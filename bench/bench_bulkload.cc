@@ -1,0 +1,60 @@
+// Extension benchmark: streaming bulkload (Sec. 4's main-memory friendly
+// import) vs. batch partitioning.
+//
+// Reports, per corpus document and rule: partitions (identical to batch
+// by construction), import throughput, the partitioner's peak working set
+// as a fraction of the document, and the effect of the Sec. 4.3 early
+// flush bound on pathological fan-out.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bulkload/streaming.h"
+#include "common/timer.h"
+#include "tree/partitioning.h"
+
+int main() {
+  constexpr natix::TotalWeight kLimit = 256;
+  const double scale = natix::benchutil::ScaleFromEnv(0.25);
+  std::printf("Streaming bulkload (K = %llu, scale %.2f)\n\n",
+              static_cast<unsigned long long>(kLimit), scale);
+  std::printf("%-10s %-5s %12s %12s %14s %10s %9s\n", "document", "rule",
+              "partitions", "MB/s", "peak resident", "of nodes", "flushes");
+
+  static constexpr struct {
+    natix::BulkloadRule rule;
+    const char* name;
+  } kRules[] = {
+      {natix::BulkloadRule::kGhdw, "GHDW"},
+      {natix::BulkloadRule::kRs, "RS"},
+      {natix::BulkloadRule::kKm, "KM"},
+  };
+
+  for (const char* name :
+       {"sigmod", "mondial", "partsupp", "uwm", "orders", "xmark"}) {
+    const natix::Result<std::string> xml =
+        natix::GenerateDocument(name, 42, scale);
+    xml.status().CheckOK();
+    for (const auto& r : kRules) {
+      natix::BulkloadOptions opts;
+      opts.limit = kLimit;
+      opts.rule = r.rule;
+      opts.max_pending_children = 512;
+      natix::Timer timer;
+      const natix::Result<natix::BulkloadResult> result =
+          natix::StreamingBulkload(*xml, opts);
+      const double seconds = timer.ElapsedSeconds();
+      result.status().CheckOK();
+      natix::CheckFeasible(result->tree, result->partitioning, kLimit)
+          .CheckOK();
+      std::printf("%-10s %-5s %12zu %12.1f %14zu %9.1f%% %9llu\n", name,
+                  r.name, result->partitioning.size(),
+                  static_cast<double>(xml->size()) / (1024 * 1024) / seconds,
+                  result->peak_resident_nodes,
+                  100.0 * result->peak_resident_nodes /
+                      static_cast<double>(result->tree.size()),
+                  static_cast<unsigned long long>(result->forced_flushes));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

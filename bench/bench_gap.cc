@@ -1,0 +1,52 @@
+// Ablation A3: optimality gap of the approximation algorithms relative to
+// the optimal DHW, across the corpus and two weight limits.
+//
+// Expected shape (Sec. 6.2): GHDW within ~4% of optimal everywhere (exact
+// on the relational documents); EKM close behind ("the biggest
+// surprise"), occasionally beating GHDW; RS a few percent worse; DFS/BFS
+// far off and erratic.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/algorithm.h"
+
+int main() {
+  const double scale = natix::benchutil::ScaleFromEnv(0.5);
+  static constexpr std::string_view kApprox[] = {"GHDW", "EKM", "RS", "DFS",
+                                                 "KM", "BFS"};
+
+  for (const natix::TotalWeight limit : {128ull, 256ull}) {
+    std::printf("Optimality gap vs DHW, K = %llu (scale %.2f); cells: "
+                "partitions (gap)\n\n",
+                static_cast<unsigned long long>(limit), scale);
+    std::printf("%-12s %10s |", "document", "DHW");
+    for (const std::string_view a : kApprox) std::printf(" %16s", a.data());
+    std::printf("\n");
+
+    const auto corpus = natix::benchutil::LoadCorpus(scale, limit);
+    for (const auto& entry : corpus) {
+      const natix::Result<natix::Partitioning> opt =
+          natix::PartitionWith("DHW", entry->doc.tree, limit);
+      opt.status().CheckOK();
+      std::printf("%-12s %10zu |", std::string(entry->info->name).c_str(),
+                  opt->size());
+      std::fflush(stdout);
+      for (const std::string_view algo : kApprox) {
+        const natix::Result<natix::Partitioning> p =
+            natix::PartitionWith(algo, entry->doc.tree, limit);
+        p.status().CheckOK();
+        const double gap =
+            100.0 * (static_cast<double>(p->size()) /
+                         static_cast<double>(opt->size()) -
+                     1.0);
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "%zu (+%.1f%%)", p->size(), gap);
+        std::printf(" %16s", cell);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A1: sensitivity to the weight limit K. Sweeps K from 64 to
+// 1024 slots and reports partition counts and runtimes per algorithm on
+// the mondial document (nested structure, where sibling partitioning
+// matters most).
+//
+// Expected shape: partition counts fall roughly as 1/K for all
+// algorithms; the gap between sibling partitioners (DHW/GHDW/EKM) and KM
+// widens with K (more siblings fit together); exact-DP runtime grows
+// super-linearly in K while the heuristics are K-independent.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/algorithm.h"
+
+int main() {
+  const double scale = natix::benchutil::ScaleFromEnv(0.5);
+  static constexpr natix::TotalWeight kLimits[] = {64, 128, 256, 512, 1024};
+  static constexpr std::string_view kAlgos[] = {"DHW", "GHDW", "EKM", "RS",
+                                                "KM"};
+
+  std::printf("Ablation: K sweep on mondial (scale %.2f)\n", scale);
+  std::printf("cells: partitions / runtime\n\n");
+
+  // The weight model caps node weights at K, so re-import per K.
+  std::printf("%-6s", "algo");
+  for (const natix::TotalWeight k : kLimits) {
+    std::printf("        K=%-10llu", static_cast<unsigned long long>(k));
+  }
+  std::printf("\n");
+
+  for (const std::string_view algo : kAlgos) {
+    std::printf("%-6s", algo.data());
+    std::fflush(stdout);
+    for (const natix::TotalWeight k : kLimits) {
+      const auto entry = natix::benchutil::LoadDocument("mondial", scale, k);
+      natix::Timer timer;
+      const natix::Result<natix::Partitioning> p =
+          natix::PartitionWith(algo, entry->doc.tree, k);
+      const double ms = timer.ElapsedMillis();
+      p.status().CheckOK();
+      char cell[40];
+      std::snprintf(cell, sizeof(cell), "%zu / %.1fms", p->size(), ms);
+      std::printf(" %19s", cell);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A2: the memoization of Secs. 3.2.3 / 3.3.6. The dynamic
+// programming tables only materialize root-weight values `s` that are
+// reachable as (node weight + subset sums of child partition weights),
+// instead of all K values. The paper reports that for a 20MB document and
+// K = 256, "on average, less than 4 of the potential 256 values for s
+// actually occur".
+//
+// This benchmark measures, per corpus document: the average number of
+// materialized s-rows per inner node, the materialized DP cells, and the
+// cells a full (non-memoized) table would allocate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/exact_algorithms.h"
+
+int main() {
+  constexpr natix::TotalWeight kLimit = 256;
+  const double scale = natix::benchutil::ScaleFromEnv(0.5);
+  std::printf("Ablation: DP memoization (K = %llu, scale %.2f)\n\n",
+              static_cast<unsigned long long>(kLimit), scale);
+  std::printf("%-12s %6s | %14s %14s %16s %9s | %14s\n", "document", "algo",
+              "rows/node", "cells", "full cells", "saving", "avg s-values");
+
+  const auto corpus = natix::benchutil::LoadCorpus(scale, kLimit);
+  for (const auto& entry : corpus) {
+    for (const bool dhw : {false, true}) {
+      natix::DpStats stats;
+      const natix::Result<natix::Partitioning> p =
+          dhw ? natix::DhwPartition(entry->doc.tree, kLimit, &stats)
+              : natix::GhdwPartition(entry->doc.tree, kLimit, &stats);
+      p.status().CheckOK();
+      const double rows_per_node =
+          stats.inner_nodes == 0
+              ? 0.0
+              : static_cast<double>(stats.rows) / stats.inner_nodes;
+      const double saving =
+          stats.full_table_cells == 0
+              ? 0.0
+              : 100.0 * (1.0 - static_cast<double>(stats.cells) /
+                                   static_cast<double>(
+                                       stats.full_table_cells));
+      std::printf("%-12s %6s | %14.2f %14llu %16llu %8.1f%% | %14.2f\n",
+                  std::string(entry->info->name).c_str(),
+                  dhw ? "DHW" : "GHDW", rows_per_node,
+                  static_cast<unsigned long long>(stats.cells),
+                  static_cast<unsigned long long>(stats.full_table_cells),
+                  saving, rows_per_node);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\npaper reference: <4 of 256 s-values per inner node on a "
+              "20MB document\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension benchmark: sibling-axis queries (following-sibling /
+// preceding-sibling) on the XMark document under the KM and EKM layouts.
+//
+// These axes are the purest use of what sibling partitioning provides:
+// a sibling interval's members share a record, so sibling scans are
+// intra-record under EKM but cross a record boundary per step under KM.
+// Expect larger EKM speedups than any Table 3 query.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/heuristics.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "storage/store.h"
+
+int main() {
+  constexpr natix::TotalWeight kLimit = 256;
+  const double scale = natix::benchutil::ScaleFromEnv(0.5);
+  std::printf("Sibling-axis queries on XMark (K = %llu, scale %.2f)\n\n",
+              static_cast<unsigned long long>(kLimit), scale);
+
+  const auto entry = natix::benchutil::LoadDocument("xmark", scale, kLimit);
+  const natix::ImportedDocument& doc = entry->doc;
+
+  const auto km = natix::KmPartition(doc.tree, kLimit);
+  const auto ekm = natix::EkmPartition(doc.tree, kLimit);
+  km.status().CheckOK();
+  ekm.status().CheckOK();
+  const auto store_km = natix::NatixStore::Build(doc, *km, kLimit);
+  const auto store_ekm = natix::NatixStore::Build(doc, *ekm, kLimit);
+  store_km.status().CheckOK();
+  store_ekm.status().CheckOK();
+
+  static constexpr const char* kQueries[] = {
+      "/site/regions/*/item/following-sibling::item",
+      "/site/people/person/following-sibling::person",
+      "/site/open_auctions/open_auction/bidder/following-sibling::bidder",
+      "//listitem/following-sibling::listitem",
+      "/site/closed_auctions/closed_auction/preceding-sibling::"
+      "closed_auction",
+      "/site/regions/*/item[following-sibling::item]/name",
+  };
+
+  const natix::NavigationCostModel cost;
+  std::printf("%-62s | %11s %11s | %7s\n", "query", "KM-cross", "EKM-cross",
+              "speedup");
+  for (const char* q : kQueries) {
+    const auto path = natix::ParseXPath(q);
+    path.status().CheckOK();
+    auto run = [&](const natix::NatixStore& store,
+                   natix::AccessStats* stats) {
+      natix::StoreQueryEvaluator eval(&store, stats);
+      auto r = eval.Evaluate(*path);
+      r.status().CheckOK();
+      return r->size();
+    };
+    natix::AccessStats skm, sekm;
+    const size_t n_km = run(*store_km, &skm);
+    const size_t n_ekm = run(*store_ekm, &sekm);
+    if (n_km != n_ekm) {
+      std::fprintf(stderr, "BUG: result mismatch for %s\n", q);
+      return 1;
+    }
+    std::printf("%-62s | %11llu %11llu | %6.2fx\n", q,
+                static_cast<unsigned long long>(skm.record_crossings),
+                static_cast<unsigned long long>(sekm.record_crossings),
+                cost.CostSeconds(skm) / cost.CostSeconds(sekm));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Table 1: number of generated partitions per document and
+// algorithm, at K = 256 slots of 8 bytes (2KB storage units).
+//
+// Expected shape (Sec. 6.2): DHW is minimal; GHDW within ~4% of DHW; EKM
+// very close behind (third best overall); RS next; KM needs many more
+// partitions (sibling partitioning saves >90% on the relational
+// documents); DFS/BFS are erratic and can be worse than KM.
+//
+// NATIX_BENCH_SCALE (default 1.0 = paper-sized documents) scales the
+// corpus.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "core/algorithm.h"
+#include "tree/partitioning.h"
+
+int main() {
+  constexpr natix::TotalWeight kLimit = 256;
+  const double scale = natix::benchutil::ScaleFromEnv();
+  std::printf("Table 1: number of generated partitions (K = %llu slots "
+              "of 8 bytes, scale %.2f)\n\n",
+              static_cast<unsigned long long>(kLimit), scale);
+
+  static constexpr std::string_view kAlgos[] = {"DHW", "GHDW", "EKM", "RS",
+                                                "DFS", "KM",   "BFS"};
+  std::printf("%-18s %8s %8s %9s |", "Document", "SizeKB", "Nodes",
+              "Weight/K");
+  for (const std::string_view a : kAlgos) std::printf(" %8s", a.data());
+  std::printf("\n");
+
+  const auto corpus = natix::benchutil::LoadCorpus(scale, kLimit);
+  for (const auto& entry : corpus) {
+    const natix::Tree& tree = entry->doc.tree;
+    std::printf("%-18s %8zu %8zu %9llu |",
+                std::string(entry->info->file_name).c_str(), entry->xml_kb,
+                tree.size(),
+                static_cast<unsigned long long>(tree.TotalTreeWeight() /
+                                                kLimit));
+    std::fflush(stdout);
+    for (const std::string_view algo : kAlgos) {
+      const natix::Result<natix::Partitioning> p =
+          natix::PartitionWith(algo, tree, kLimit);
+      p.status().CheckOK();
+      // Feasibility is re-validated here so the numbers below are
+      // guaranteed to describe legal sibling partitionings.
+      natix::CheckFeasible(tree, *p, kLimit).CheckOK();
+      std::printf(" %8zu", p->size());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper reference (absolute numbers differ: synthetic "
+              "corpus, but the ordering and ratios should match):\n");
+  std::printf("  SigmodRecord.xml   382 384 402 405 1153 1294 2987\n");
+  std::printf("  mondial-3.0.xml   1358 1376 1407 1433 3268 11625 17312\n");
+  std::printf("  partsupp.xml      1083 1083 1091 1091 2282 15876 8192\n");
+  std::printf("  uwm.xml           1727 1790 1746 1817 4345 5449 11039\n");
+  std::printf("  orders.xml        2476 2476 2482 2482 5832 29876 15474\n");
+  std::printf("  xmark0p1.xml      8603 8838 8975 9631 25046 20519 42155\n");
+  return 0;
+}

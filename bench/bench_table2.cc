@@ -1,0 +1,65 @@
+// Reproduces Table 2: CPU time of each partitioning algorithm per
+// document (K = 256). Uses google-benchmark; the expensive exact
+// algorithms run a single iteration (like the paper's one-shot
+// measurement), the cheap heuristics use normal statistical iteration.
+//
+// Expected shape (Sec. 6.3): DHW is by far the slowest (the paper reports
+// ~5 orders of magnitude between DHW and EKM); GHDW is one to two orders
+// faster than DHW but far slower than the heuristics; EKM/RS/DFS are
+// near-instant; KM pays for per-node child sorting; BFS sits between.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/algorithm.h"
+
+namespace {
+
+using natix::benchutil::BenchDoc;
+
+std::vector<std::unique_ptr<BenchDoc>>& Corpus() {
+  static std::vector<std::unique_ptr<BenchDoc>>& corpus =
+      *new std::vector<std::unique_ptr<BenchDoc>>(
+          natix::benchutil::LoadCorpus(natix::benchutil::ScaleFromEnv(),
+                                       256));
+  return corpus;
+}
+
+void RunAlgorithm(benchmark::State& state, const BenchDoc* doc,
+                  std::string_view algo) {
+  for (auto _ : state) {
+    natix::Result<natix::Partitioning> p =
+        natix::PartitionWith(algo, doc->doc.tree, 256);
+    p.status().CheckOK();
+    benchmark::DoNotOptimize(p->size());
+  }
+  state.counters["nodes"] = static_cast<double>(doc->doc.tree.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const auto& doc : Corpus()) {
+    for (const std::string_view algo :
+         {"DHW", "GHDW", "EKM", "RS", "DFS", "KM", "BFS"}) {
+      const std::string name = std::string("Table2/") +
+                               std::string(doc->info->name) + "/" +
+                               std::string(algo);
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(),
+          [doc_ptr = doc.get(), algo](benchmark::State& state) {
+            RunAlgorithm(state, doc_ptr, algo);
+          });
+      bench->Unit(benchmark::kMillisecond);
+      if (algo == "DHW" || algo == "GHDW") {
+        bench->Iterations(1);  // one-shot, like the paper's Table 2
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension benchmark: node-at-a-time maintenance vs. bulkload.
+//
+// Replays a corpus document as a stream of single-node insertions through
+// the IncrementalPartitioner and compares the maintained partition count
+// against a clean batch partitioning of the final tree -- quantifying the
+// "reorganization debt" that accumulates under online updates (the reason
+// Natix separates its bulkload component from the node-at-a-time
+// maintenance of its storage format).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/algorithm.h"
+#include "updates/incremental.h"
+
+int main() {
+  constexpr natix::TotalWeight kLimit = 256;
+  const double scale = natix::benchutil::ScaleFromEnv(0.25);
+  std::printf("Incremental maintenance vs. bulkload (K = %llu, "
+              "scale %.2f)\n\n",
+              static_cast<unsigned long long>(kLimit), scale);
+  std::printf("%-12s %9s | %11s %11s %9s | %9s %9s | %10s\n", "document",
+              "nodes", "incremental", "batch EKM", "debt", "splits",
+              "ins/sec", "opt (DHW)");
+
+  for (const char* name :
+       {"sigmod", "mondial", "partsupp", "uwm", "orders", "xmark"}) {
+    const auto entry = natix::benchutil::LoadDocument(name, scale, kLimit);
+    const natix::Tree& source = entry->doc.tree;
+
+    // Replay the document in document order as single-node insertions.
+    natix::Tree replay;
+    auto ip = natix::IncrementalPartitioner::CreateEmpty(
+        &replay, kLimit, source.WeightOf(source.root()),
+        source.LabelOf(source.root()));
+    ip.status().CheckOK();
+    std::vector<natix::NodeId> mapped(source.size());
+    mapped[source.root()] = replay.root();
+    natix::Timer timer;
+    const std::vector<natix::NodeId> preorder = source.PreorderNodes();
+    for (size_t i = 1; i < preorder.size(); ++i) {
+      const natix::NodeId v = preorder[i];
+      const auto inserted = ip->InsertBefore(
+          mapped[source.Parent(v)], natix::kInvalidNode, source.WeightOf(v),
+          source.LabelOf(v), source.KindOf(v));
+      inserted.status().CheckOK();
+      mapped[v] = *inserted;
+    }
+    const double seconds = timer.ElapsedSeconds();
+    ip->Validate().CheckOK();
+
+    const auto batch = natix::PartitionWith("EKM", source, kLimit);
+    batch.status().CheckOK();
+    const auto opt = natix::PartitionWith("DHW", source, kLimit);
+    opt.status().CheckOK();
+
+    std::printf("%-12s %9zu | %11zu %11zu %8.1f%% | %9llu %9.0fk | %10zu\n",
+                name, source.size(), ip->partition_count(), batch->size(),
+                100.0 * (static_cast<double>(ip->partition_count()) /
+                             static_cast<double>(batch->size()) -
+                         1.0),
+                static_cast<unsigned long long>(ip->split_count()),
+                static_cast<double>(source.size()) / seconds / 1000.0,
+                opt->size());
+    std::fflush(stdout);
+  }
+  return 0;
+}

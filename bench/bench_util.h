@@ -1,0 +1,79 @@
+#ifndef NATIX_BENCH_BENCH_UTIL_H_
+#define NATIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace benchutil {
+
+/// Benchmark scale factor: 1.0 reproduces the paper's document sizes
+/// (Table 1). Override with NATIX_BENCH_SCALE to trade fidelity for
+/// runtime (e.g. 0.1 for a quick smoke run).
+inline double ScaleFromEnv(double default_scale = 1.0) {
+  const char* env = std::getenv("NATIX_BENCH_SCALE");
+  if (env == nullptr) return default_scale;
+  const double v = std::atof(env);
+  return v > 0 ? v : default_scale;
+}
+
+/// One generated-and-imported corpus document.
+struct BenchDoc {
+  const GeneratorInfo* info = nullptr;
+  size_t xml_kb = 0;
+  ImportedDocument doc;
+};
+
+/// Generates and imports the paper's six-document corpus at `scale`,
+/// with the weight model capped at `limit` slots (the paper's K).
+/// Heap-allocated so the ImportedDocument addresses stay stable for
+/// NatixStore borrowing.
+inline std::vector<std::unique_ptr<BenchDoc>> LoadCorpus(double scale,
+                                                         TotalWeight limit) {
+  std::vector<std::unique_ptr<BenchDoc>> corpus;
+  WeightModel model;
+  model.max_node_slots = static_cast<uint32_t>(limit);
+  for (const GeneratorInfo& g : DocumentGenerators()) {
+    const std::string xml = g.generate(/*seed=*/42, scale);
+    Result<ImportedDocument> imp = ImportXml(xml, model);
+    imp.status().CheckOK();
+    auto entry = std::make_unique<BenchDoc>();
+    entry->info = &g;
+    entry->xml_kb = xml.size() / 1024;
+    entry->doc = std::move(imp).value();
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+/// Loads a single corpus document by generator name.
+inline std::unique_ptr<BenchDoc> LoadDocument(std::string_view name,
+                                              double scale,
+                                              TotalWeight limit) {
+  WeightModel model;
+  model.max_node_slots = static_cast<uint32_t>(limit);
+  const GeneratorInfo* g = FindGenerator(name);
+  if (g == nullptr) {
+    std::fprintf(stderr, "unknown generator %s\n", std::string(name).c_str());
+    std::abort();
+  }
+  const std::string xml = g->generate(42, scale);
+  Result<ImportedDocument> imp = ImportXml(xml, model);
+  imp.status().CheckOK();
+  auto entry = std::make_unique<BenchDoc>();
+  entry->info = g;
+  entry->xml_kb = xml.size() / 1024;
+  entry->doc = std::move(imp).value();
+  return entry;
+}
+
+}  // namespace benchutil
+}  // namespace natix
+
+#endif  // NATIX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,54 @@
+// Algorithm comparison across weight limits: how the number of partitions
+// and the runtime of each algorithm scale with K, on a chosen document.
+//
+// Usage: algorithm_comparison [generator] [scale]
+// Defaults: mondial at scale 0.2.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/timer.h"
+#include "core/algorithm.h"
+#include "datagen/generator.h"
+#include "xml/importer.h"
+
+int main(int argc, char** argv) {
+  const std::string source = argc > 1 ? argv[1] : "mondial";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+
+  const natix::Result<std::string> xml =
+      natix::GenerateDocument(source, 42, scale);
+  xml.status().CheckOK();
+
+  static constexpr natix::TotalWeight kLimits[] = {64, 128, 256, 512, 1024};
+
+  std::printf("document: %s (scale %.2f)\n", source.c_str(), scale);
+  std::printf("cells: partitions (runtime)\n\n");
+  std::printf("%-6s", "algo");
+  for (const natix::TotalWeight k : kLimits) {
+    std::printf("      K=%-8llu", static_cast<unsigned long long>(k));
+  }
+  std::printf("\n");
+
+  for (const std::string_view name : natix::AlgorithmNames()) {
+    if (name == "FDW" || name == "DHW") continue;  // DHW: see bench_table2
+    std::printf("%-6s", std::string(name).c_str());
+    for (const natix::TotalWeight k : kLimits) {
+      natix::WeightModel model;
+      model.max_node_slots = static_cast<uint32_t>(k);
+      const natix::Result<natix::ImportedDocument> imp =
+          natix::ImportXml(*xml, model);
+      imp.status().CheckOK();
+      natix::Timer timer;
+      const natix::Result<natix::Partitioning> p =
+          natix::PartitionWith(name, imp->tree, k);
+      const double ms = timer.ElapsedMillis();
+      p.status().CheckOK();
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%zu (%.0fms)", p->size(), ms);
+      std::printf(" %15s", cell);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,244 @@
+// natix_cli: command-line front end for the library -- generate corpus
+// documents, inspect their structure, partition them with any registered
+// algorithm and run XPath queries against the partitioned store.
+//
+// Usage:
+//   natix_cli generate <generator> [scale] [seed]         XML to stdout
+//   natix_cli inspect <file|generator> [scale]            structure report
+//   natix_cli partition <algo|ALL> <file|generator> [K] [scale]
+//   natix_cli query <xpath> <file|generator> [algo] [K] [scale]
+//   natix_cli algorithms                                  list algorithms
+//
+// <file|generator>: a path to an XML file, or one of the built-in
+// generator names (sigmod, mondial, partsupp, uwm, orders, xmark).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/timer.h"
+#include "core/algorithm.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "storage/store.h"
+#include "tree/tree_stats.h"
+#include "xml/importer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  natix_cli generate <generator> [scale] [seed]\n"
+      "  natix_cli inspect <file|generator> [scale]\n"
+      "  natix_cli partition <algo|ALL> <file|generator> [K] [scale]\n"
+      "  natix_cli query <xpath> <file|generator> [algo] [K] [scale]\n"
+      "  natix_cli algorithms\n");
+  return 2;
+}
+
+natix::Result<std::string> LoadXml(const std::string& source, double scale) {
+  if (natix::FindGenerator(source) != nullptr) {
+    return natix::GenerateDocument(source, /*seed=*/42, scale);
+  }
+  std::ifstream in(source, std::ios::binary);
+  if (!in) {
+    return natix::Status::NotFound("cannot open '" + source +
+                                   "' (and it is not a generator name)");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+natix::Result<natix::ImportedDocument> LoadDocument(const std::string& source,
+                                                    double scale,
+                                                    natix::TotalWeight k) {
+  NATIX_ASSIGN_OR_RETURN(const std::string xml, LoadXml(source, scale));
+  natix::WeightModel model;
+  model.max_node_slots = static_cast<uint32_t>(k);
+  NATIX_ASSIGN_OR_RETURN(natix::ImportedDocument doc,
+                         natix::ImportXml(xml, model));
+  return doc;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const natix::Result<std::string> xml =
+      natix::GenerateDocument(argv[0], seed, scale);
+  if (!xml.ok()) {
+    std::fprintf(stderr, "%s\n", xml.status().ToString().c_str());
+    return 1;
+  }
+  std::fwrite(xml->data(), 1, xml->size(), stdout);
+  return 0;
+}
+
+int CmdInspect(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+  const auto doc = LoadDocument(argv[0], scale, 256);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  const natix::TreeStats stats = natix::ComputeTreeStats(doc->tree);
+  std::fputs(natix::ToString(stats).c_str(), stdout);
+  std::printf("content: %llu bytes inline, %llu bytes in %llu overflow "
+              "nodes\n",
+              static_cast<unsigned long long>(doc->content_total_bytes -
+                                              doc->overflow_bytes),
+              static_cast<unsigned long long>(doc->overflow_bytes),
+              static_cast<unsigned long long>(doc->overflow_nodes));
+  return 0;
+}
+
+int PartitionOne(std::string_view algo, const natix::ImportedDocument& doc,
+                 natix::TotalWeight k) {
+  natix::Timer timer;
+  const natix::Result<natix::Partitioning> p =
+      natix::PartitionWith(algo, doc.tree, k);
+  const double ms = timer.ElapsedMillis();
+  if (!p.ok()) {
+    std::printf("%-6s %s\n", std::string(algo).c_str(),
+                p.status().ToString().c_str());
+    return 1;
+  }
+  const natix::Result<natix::PartitionAnalysis> a =
+      natix::Analyze(doc.tree, *p, k);
+  if (!a.ok() || !a->feasible) {
+    std::printf("%-6s INFEASIBLE RESULT (bug!)\n",
+                std::string(algo).c_str());
+    return 1;
+  }
+  std::printf("%-6s %10zu partitions  root %6llu  max %6llu  fill %5.1f%%  "
+              "%8.1fms\n",
+              std::string(algo).c_str(), a->cardinality,
+              static_cast<unsigned long long>(a->root_weight),
+              static_cast<unsigned long long>(a->max_weight),
+              100.0 * a->avg_weight / static_cast<double>(k), ms);
+  return 0;
+}
+
+int CmdPartition(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string algo = argv[0];
+  const natix::TotalWeight k = argc > 2 ? std::atoll(argv[2]) : 256;
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+  const auto doc = LoadDocument(argv[1], scale, k);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu nodes, total weight %llu, K = %llu\n\n",
+              doc->tree.size(),
+              static_cast<unsigned long long>(doc->tree.TotalTreeWeight()),
+              static_cast<unsigned long long>(k));
+  if (algo == "ALL") {
+    int rc = 0;
+    for (const std::string_view name : natix::AlgorithmNames()) {
+      if (name == "FDW") continue;
+      if (name == "DHW" && doc->tree.size() > 300000) {
+        std::printf("%-6s (skipped: >300k nodes; run explicitly)\n",
+                    std::string(name).c_str());
+        continue;
+      }
+      rc |= PartitionOne(name, *doc, k);
+    }
+    return rc;
+  }
+  return PartitionOne(algo, *doc, k);
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string query = argv[0];
+  const std::string algo = argc > 2 ? argv[2] : "EKM";
+  const natix::TotalWeight k = argc > 3 ? std::atoll(argv[3]) : 256;
+  const double scale = argc > 4 ? std::atof(argv[4]) : 0.25;
+
+  const auto path = natix::ParseXPath(query);
+  if (!path.ok()) {
+    std::fprintf(stderr, "%s\n", path.status().ToString().c_str());
+    return 1;
+  }
+  const auto doc = LoadDocument(argv[1], scale, k);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  const auto partitioning = natix::PartitionWith(algo, doc->tree, k);
+  if (!partitioning.ok()) {
+    std::fprintf(stderr, "%s\n", partitioning.status().ToString().c_str());
+    return 1;
+  }
+  const auto store = natix::NatixStore::Build(*doc, *partitioning, k);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  natix::AccessStats stats;
+  natix::StoreQueryEvaluator eval(&*store, &stats);
+  natix::Timer timer;
+  const auto result = eval.Evaluate(*path);
+  const double ms = timer.ElapsedMillis();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const natix::NavigationCostModel cost;
+  std::printf("%zu results (%s layout, %zu records)\n", result->size(),
+              algo.c_str(), store->record_count());
+  std::printf("navigation: %llu intra-record, %llu crossings "
+              "(%llu page switches)\n",
+              static_cast<unsigned long long>(stats.intra_moves),
+              static_cast<unsigned long long>(stats.record_crossings),
+              static_cast<unsigned long long>(stats.page_switches));
+  std::printf("time: %.2fms wall, %.2fms simulated navigation\n", ms,
+              cost.CostSeconds(stats) * 1e3);
+  // Print the first few results as paths of labels.
+  const size_t show = std::min<size_t>(result->size(), 5);
+  for (size_t i = 0; i < show; ++i) {
+    const natix::NodeId v = (*result)[i];
+    std::string path_str(doc->tree.LabelOf(v));
+    for (natix::NodeId p = doc->tree.Parent(v); p != natix::kInvalidNode;
+         p = doc->tree.Parent(p)) {
+      path_str = std::string(doc->tree.LabelOf(p)) + "/" + path_str;
+    }
+    std::printf("  [%zu] /%s\n", i, path_str.c_str());
+  }
+  if (result->size() > show) {
+    std::printf("  ... %zu more\n", result->size() - show);
+  }
+  return 0;
+}
+
+int CmdAlgorithms() {
+  for (const std::string_view name : natix::AlgorithmNames()) {
+    const natix::PartitioningAlgorithm* a = natix::FindAlgorithm(name);
+    std::printf("%-6s %s%s\n  %s\n", std::string(name).c_str(),
+                a->IsOptimal() ? "[optimal] " : "",
+                a->IsMainMemoryFriendly() ? "[memory-friendly]" : "",
+                std::string(a->description()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc - 2, argv + 2);
+  if (cmd == "inspect") return CmdInspect(argc - 2, argv + 2);
+  if (cmd == "partition") return CmdPartition(argc - 2, argv + 2);
+  if (cmd == "query") return CmdQuery(argc - 2, argv + 2);
+  if (cmd == "algorithms") return CmdAlgorithms();
+  return Usage();
+}

@@ -1,0 +1,83 @@
+// Storage + query demo: load an XMark document into the mini-Natix store
+// under two different partitionings (KM: parent-child only, EKM: sibling
+// partitioning) and run the XPathMark queries against both, comparing
+// record crossings and simulated navigation time -- the mechanism behind
+// the paper's Table 3.
+//
+// Usage: storage_queries [scale]     (default scale 0.05)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/xpathmark.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  constexpr natix::TotalWeight kLimit = 256;  // 2KB storage units
+
+  std::printf("generating XMark document (scale %.2f)...\n", scale);
+  const std::string xml = natix::GenerateXmark(42, scale);
+  natix::WeightModel model;
+  model.max_node_slots = kLimit;
+  const natix::Result<natix::ImportedDocument> imp =
+      natix::ImportXml(xml, model);
+  imp.status().CheckOK();
+  std::printf("%zu nodes, %zu KB\n\n", imp->tree.size(), xml.size() / 1024);
+
+  const natix::Result<natix::Partitioning> km =
+      natix::KmPartition(imp->tree, kLimit);
+  const natix::Result<natix::Partitioning> ekm =
+      natix::EkmPartition(imp->tree, kLimit);
+  km.status().CheckOK();
+  ekm.status().CheckOK();
+
+  const natix::Result<natix::NatixStore> store_km =
+      natix::NatixStore::Build(*imp, *km, kLimit);
+  const natix::Result<natix::NatixStore> store_ekm =
+      natix::NatixStore::Build(*imp, *ekm, kLimit);
+  store_km.status().CheckOK();
+  store_ekm.status().CheckOK();
+
+  std::printf("%-28s %12s %12s\n", "", "KM", "EKM");
+  std::printf("%-28s %12zu %12zu\n", "records", store_km->record_count(),
+              store_ekm->record_count());
+  std::printf("%-28s %10zuKB %10zuKB\n", "occupied disk space",
+              store_km->TotalDiskBytes() / 1024,
+              store_ekm->TotalDiskBytes() / 1024);
+  std::printf("%-28s %11.1f%% %11.1f%%\n\n", "page utilization",
+              100 * store_km->PageUtilization(),
+              100 * store_ekm->PageUtilization());
+
+  const natix::NavigationCostModel cost_model;
+  std::printf("%-4s %9s | %11s %11s | %9s %9s | %7s\n", "query", "results",
+              "KM cross", "EKM cross", "KM sim", "EKM sim", "speedup");
+  for (const natix::XPathMarkQuery& q : natix::XPathMarkQueries()) {
+    const natix::Result<natix::PathExpr> path = natix::ParseXPath(q.text);
+    path.status().CheckOK();
+
+    natix::AccessStats stats_km, stats_ekm;
+    natix::StoreQueryEvaluator eval_km(&*store_km, &stats_km);
+    natix::StoreQueryEvaluator eval_ekm(&*store_ekm, &stats_ekm);
+    const auto res_km = eval_km.Evaluate(*path);
+    const auto res_ekm = eval_ekm.Evaluate(*path);
+    res_km.status().CheckOK();
+    res_ekm.status().CheckOK();
+
+    const double t_km = cost_model.CostSeconds(stats_km);
+    const double t_ekm = cost_model.CostSeconds(stats_ekm);
+    std::printf("%-4s %9zu | %11llu %11llu | %8.3fms %8.3fms | %6.2fx\n",
+                std::string(q.id).c_str(), res_km->size(),
+                static_cast<unsigned long long>(stats_km.record_crossings),
+                static_cast<unsigned long long>(stats_ekm.record_crossings),
+                t_km * 1e3, t_ekm * 1e3, t_km / t_ekm);
+  }
+  std::printf("\n(simulated times use the default navigation cost model: "
+              "%.0fns intra-record, %.0fns per record crossing)\n",
+              cost_model.intra_ns, cost_model.crossing_ns);
+  return 0;
+}

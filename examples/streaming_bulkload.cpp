@@ -1,0 +1,75 @@
+// Streaming bulkload demo: one-pass document import that partitions on
+// the fly (Sec. 4.3's main-memory friendly operation). Shows the working
+// set staying tiny relative to the document, with and without the
+// explicit memory bound, and that streaming GHDW matches the batch result.
+//
+// Usage: streaming_bulkload [generator] [scale]    (default xmark 0.1)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bulkload/streaming.h"
+#include "common/timer.h"
+#include "core/exact_algorithms.h"
+#include "datagen/generator.h"
+#include "tree/partitioning.h"
+#include "xml/importer.h"
+
+int main(int argc, char** argv) {
+  const std::string source = argc > 1 ? argv[1] : "xmark";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+  constexpr natix::TotalWeight kLimit = 256;
+
+  const natix::Result<std::string> xml =
+      natix::GenerateDocument(source, 42, scale);
+  xml.status().CheckOK();
+  std::printf("document: %s, %zu KB\n\n", source.c_str(),
+              xml->size() / 1024);
+
+  static constexpr struct {
+    natix::BulkloadRule rule;
+    const char* name;
+  } kRules[] = {
+      {natix::BulkloadRule::kGhdw, "GHDW"},
+      {natix::BulkloadRule::kRs, "RS"},
+      {natix::BulkloadRule::kKm, "KM"},
+  };
+  std::printf("%-6s %10s %12s %16s %10s %8s\n", "rule", "pending",
+              "partitions", "peak resident", "of nodes", "time");
+  for (const auto& r : kRules) {
+    for (const size_t pending : {size_t{0}, size_t{128}}) {
+      natix::BulkloadOptions opts;
+      opts.limit = kLimit;
+      opts.rule = r.rule;
+      opts.max_pending_children = pending;
+      natix::Timer timer;
+      const natix::Result<natix::BulkloadResult> result =
+          natix::StreamingBulkload(*xml, opts);
+      const double ms = timer.ElapsedMillis();
+      result.status().CheckOK();
+      natix::CheckFeasible(result->tree, result->partitioning, kLimit)
+          .CheckOK();
+      std::printf("%-6s %10s %12zu %16zu %9.1f%% %6.0fms\n", r.name,
+                  pending == 0 ? "unbounded" : "128",
+                  result->partitioning.size(), result->peak_resident_nodes,
+                  100.0 * result->peak_resident_nodes / result->tree.size(),
+                  ms);
+    }
+  }
+
+  // Cross-check: streaming GHDW equals batch GHDW on the imported tree.
+  natix::WeightModel model;
+  model.max_node_slots = kLimit;
+  const auto imported = natix::ImportXml(*xml, model);
+  imported.status().CheckOK();
+  const auto batch = natix::GhdwPartition(imported->tree, kLimit);
+  batch.status().CheckOK();
+  natix::BulkloadOptions opts;
+  opts.limit = kLimit;
+  const auto streaming = natix::StreamingBulkload(*xml, opts);
+  streaming.status().CheckOK();
+  std::printf("\nstreaming GHDW == batch GHDW: %s (%zu partitions)\n",
+              streaming->partitioning.size() == batch->size() ? "yes" : "NO",
+              batch->size());
+  return 0;
+}

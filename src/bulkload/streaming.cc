@@ -1,0 +1,195 @@
+#include "bulkload/streaming.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/reduction.h"
+#include "xml/parser.h"
+
+namespace natix {
+
+namespace {
+
+bool IsAllWhitespace(std::string_view s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c));
+  });
+}
+
+class Bulkloader {
+ public:
+  explicit Bulkloader(const BulkloadOptions& options) : options_(options) {
+    options_.weight_model.max_node_slots =
+        static_cast<uint32_t>(options.limit);
+  }
+
+  Result<BulkloadResult> Run(std::string_view xml) {
+    XmlParser parser(xml);
+    for (;;) {
+      NATIX_ASSIGN_OR_RETURN(XmlEvent ev, parser.Next());
+      switch (ev.type) {
+        case XmlEventType::kEndDocument:
+          return Finish();
+        case XmlEventType::kStartElement: {
+          const NodeId id = AddNode(0, ev.name, NodeKind::kElement);
+          open_.push_back({id, options_.weight_model.NodeWeight(0), {}});
+          for (const XmlAttribute& a : ev.attributes) {
+            AddLeaf(a.value.size(), a.name, NodeKind::kAttribute);
+          }
+          break;
+        }
+        case XmlEventType::kEndElement:
+          NATIX_RETURN_NOT_OK(CloseElement());
+          break;
+        case XmlEventType::kText:
+          if (open_.empty()) break;
+          if (options_.parse_options.skip_whitespace_text &&
+              IsAllWhitespace(ev.content)) {
+            break;
+          }
+          AddLeaf(ev.content.size(), {}, NodeKind::kText);
+          break;
+        case XmlEventType::kComment:
+          if (options_.parse_options.keep_comments && !open_.empty()) {
+            AddLeaf(ev.content.size(), {}, NodeKind::kComment);
+          }
+          break;
+        case XmlEventType::kProcessingInstruction:
+          if (options_.parse_options.keep_comments && !open_.empty()) {
+            AddLeaf(ev.content.size(), ev.name,
+                    NodeKind::kProcessingInstruction);
+          }
+          break;
+      }
+    }
+  }
+
+ private:
+  struct OpenElement {
+    NodeId id;
+    Weight weight;
+    std::vector<ChildPart> children;
+  };
+
+  /// Creates the tree node; resident accounting for the partitioner.
+  NodeId AddNode(uint64_t content_bytes, std::string_view label,
+                 NodeKind kind) {
+    const Weight w = options_.weight_model.NodeWeight(content_bytes);
+    const NodeId id = result_.tree.empty()
+                          ? result_.tree.AddRoot(w, label, kind)
+                          : result_.tree.AppendChild(open_.back().id, w,
+                                                     label, kind);
+    ++resident_;
+    result_.peak_resident_nodes =
+        std::max(result_.peak_resident_nodes, resident_);
+    return id;
+  }
+
+  void AddLeaf(uint64_t content_bytes, std::string_view label,
+               NodeKind kind) {
+    const NodeId id = AddNode(content_bytes, label, kind);
+    AppendStub({id, options_.weight_model.NodeWeight(content_bytes), 1});
+  }
+
+  /// Hands a finished (already reduced) subtree to its parent, applying
+  /// the early-flush memory bound if configured.
+  void AppendStub(ChildPart stub) {
+    OpenElement& parent = open_.back();
+    parent.children.push_back(stub);
+    if (options_.max_pending_children != 0 &&
+        parent.children.size() > options_.max_pending_children) {
+      EarlyFlush(&parent);
+    }
+  }
+
+  /// Packs the leftmost pending children of `parent` into partitions,
+  /// keeping a small tail so they can still merge with future siblings
+  /// (Sec. 4.3's memory-bounding technique). Only *full* intervals are
+  /// emitted -- an interval is closed when the next stub no longer fits --
+  /// and a partial trailing group is carried back to pending, so the
+  /// memory bound costs almost no partition quality. Pending can
+  /// therefore transiently exceed max_pending_children by up to one
+  /// interval's worth of stubs (at most K, since every stub weighs >= 1).
+  void EarlyFlush(OpenElement* parent) {
+    const size_t keep = options_.max_pending_children / 2 + 1;
+    const size_t flush_count = parent->children.size() - keep;
+    size_t i = 0;
+    while (i < flush_count) {
+      size_t j = i;
+      TotalWeight w = parent->children[i].residual;
+      while (j + 1 < flush_count &&
+             w + parent->children[j + 1].residual <= options_.limit) {
+        ++j;
+        w += parent->children[j].residual;
+      }
+      if (j + 1 >= flush_count) break;  // partial group: carry back
+      result_.partitioning.Add(parent->children[i].node,
+                               parent->children[j].node);
+      for (size_t k = i; k <= j; ++k) {
+        resident_ -= parent->children[k].resident;
+      }
+      i = j + 1;
+    }
+    if (i == 0) return;  // nothing full enough to emit yet
+    ++result_.forced_flushes;
+    parent->children.erase(
+        parent->children.begin(),
+        parent->children.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  Status CloseElement() {
+    OpenElement node = std::move(open_.back());
+    open_.pop_back();
+    size_t subtree_resident = 1;
+    for (const ChildPart& c : node.children) subtree_resident += c.resident;
+
+    size_t flushed = 0;
+    TotalWeight residual = 0;
+    switch (options_.rule) {
+      case BulkloadRule::kRs:
+        residual = RsReduce(node.weight, node.children, options_.limit,
+                            &result_.partitioning, &flushed);
+        break;
+      case BulkloadRule::kKm:
+        residual = KmReduce(node.weight, node.children, options_.limit,
+                            &result_.partitioning, &flushed);
+        break;
+      case BulkloadRule::kGhdw:
+        residual = GhdwReduce(node.weight, node.children, options_.limit,
+                              &result_.partitioning, &flushed);
+        break;
+    }
+    resident_ -= flushed;
+    subtree_resident -= flushed;
+
+    if (open_.empty()) {
+      // Root closed: the remaining residual is the root partition.
+      (void)residual;
+      return Status::OK();
+    }
+    AppendStub({node.id, residual, subtree_resident});
+    return Status::OK();
+  }
+
+  Result<BulkloadResult> Finish() {
+    if (result_.tree.empty()) {
+      return Status::ParseError("document has no root element");
+    }
+    result_.partitioning.Add(result_.tree.root(), result_.tree.root());
+    return std::move(result_);
+  }
+
+  BulkloadOptions options_;
+  std::vector<OpenElement> open_;
+  BulkloadResult result_;
+  size_t resident_ = 0;
+};
+
+}  // namespace
+
+Result<BulkloadResult> StreamingBulkload(std::string_view xml,
+                                         const BulkloadOptions& options) {
+  return Bulkloader(options).Run(xml);
+}
+
+}  // namespace natix

@@ -1,0 +1,71 @@
+#ifndef NATIX_BULKLOAD_STREAMING_H_
+#define NATIX_BULKLOAD_STREAMING_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+#include "xml/document.h"
+#include "xml/weight_model.h"
+
+namespace natix {
+
+/// Per-node reduction rule used by the streaming bulkloader. These are the
+/// *main-memory friendly* bottom-up algorithms of Sec. 4.3: their decision
+/// at a node only needs the residual weights of the node's direct
+/// children, so partitions can be emitted (and their nodes evicted) long
+/// before the document has been fully parsed. EKM is deliberately absent:
+/// its binary-representation cuts are decided while processing *later
+/// siblings*, so it is main-memory friendly in Natix's sense but not
+/// streaming-equivalent in this simple form.
+enum class BulkloadRule {
+  kRs,    // rightmost siblings (the original Natix bulkloader)
+  kKm,    // Kundu-Misra (single-node cuts)
+  kGhdw,  // flat DP per node (best quality of the streaming rules)
+};
+
+/// Streaming bulkload options.
+struct BulkloadOptions {
+  /// Weight limit K (storage unit capacity in slots).
+  TotalWeight limit = 256;
+  /// Slot model applied to incoming nodes; `max_node_slots` is forced to
+  /// `limit` so oversized text cannot make the stream unpartitionable.
+  WeightModel weight_model;
+  BulkloadRule rule = BulkloadRule::kGhdw;
+  /// If non-zero: when an open element accumulates more than this many
+  /// pending child subtrees, the leftmost ones are flushed into partitions
+  /// early (the memory-bounding technique of Sec. 4.3). Deteriorates the
+  /// partition count but caps resident memory even for a root with huge
+  /// fan-out.
+  size_t max_pending_children = 0;
+  /// Whitespace/comment handling for the embedded parser.
+  XmlParseOptions parse_options;
+};
+
+/// Outcome of a streaming bulkload.
+struct BulkloadResult {
+  /// The logical document tree (rebuilt alongside, for verification and
+  /// for loading the partitioning into a store; the *partitioner* itself
+  /// only ever held `peak_resident_nodes` of it).
+  Tree tree;
+  /// The emitted feasible sibling partitioning, including (t, t).
+  Partitioning partitioning;
+  /// Maximum number of nodes whose partition assignment was still
+  /// undecided at any point (the bulkloader's working set).
+  size_t peak_resident_nodes = 0;
+  /// Number of early flushes forced by max_pending_children.
+  size_t forced_flushes = 0;
+};
+
+/// One-pass document import: parses `xml` as a stream and partitions it on
+/// the fly with the chosen rule. With max_pending_children == 0 the
+/// resulting partitioning is *identical* to running the corresponding
+/// batch algorithm (RS / KM / GHDW) on the imported tree -- the streaming
+/// and batch code paths share the same per-node reduction (core/reduction.h).
+Result<BulkloadResult> StreamingBulkload(std::string_view xml,
+                                         const BulkloadOptions& options);
+
+}  // namespace natix
+
+#endif  // NATIX_BULKLOAD_STREAMING_H_

@@ -1,0 +1,82 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace natix {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+int Rng::NextGeometric(double p, int cap) {
+  int n = 0;
+  while (n < cap && NextDouble() < p) ++n;
+  return n;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF approximation for the continuous analogue; adequate for
+  // workload skew, not for statistics.
+  const double u = NextDouble();
+  const double exponent = 1.0 - theta;
+  double r;
+  if (std::fabs(exponent) < 1e-9) {
+    r = std::pow(static_cast<double>(n), u);
+  } else {
+    r = std::pow(u * (std::pow(static_cast<double>(n), exponent) - 1.0) + 1.0,
+                 1.0 / exponent);
+  }
+  uint64_t rank = static_cast<uint64_t>(r) - (r >= 1.0 ? 1 : 0);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+}  // namespace natix

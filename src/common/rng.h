@@ -1,0 +1,47 @@
+#ifndef NATIX_COMMON_RNG_H_
+#define NATIX_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace natix {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256**). All workload generators and property tests use this so
+/// that every experiment in the repository is exactly reproducible from its
+/// seed, independent of the standard library implementation.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield equal streams on every platform.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool NextBool(double p = 0.5);
+
+  /// Geometric-ish draw: number of successes before failure with continue
+  /// probability `p`; capped at `cap` to keep generated structures bounded.
+  int NextGeometric(double p, int cap);
+
+  /// Zipf-like skewed draw in [0, n): rank r is ~ proportional to
+  /// 1/(r+1)^theta. Used to mimic skewed fan-out / text length
+  /// distributions in real XML corpora.
+  uint64_t NextZipf(uint64_t n, double theta);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_RNG_H_

@@ -1,0 +1,147 @@
+#ifndef NATIX_COMMON_STATUS_H_
+#define NATIX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace natix {
+
+/// Error category carried by a non-ok Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kParseError = 7,
+  kInternal = 8,
+};
+
+/// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Exception-free error propagation, in the style of arrow::Status /
+/// absl::Status. Library code never throws; fallible operations return a
+/// Status or a Result<T>.
+///
+/// The ok state is represented without allocation so that the common path is
+/// cheap.
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not ok. Use only in
+  /// examples, tests and benchmarks, never in library code.
+  void CheckOK() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T> holds either a value of type T or an error Status,
+/// in the style of arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit so functions can `return Status::...;`. `status` must not be
+  /// ok.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value; undefined if !ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Aborts with the error message if !ok(), otherwise returns the value.
+  /// For examples/tests/benchmarks only.
+  T& ValueOrDie() & {
+    status_.CheckOK();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    status_.CheckOK();
+    return *std::move(value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-ok Status from an expression to the caller.
+#define NATIX_RETURN_NOT_OK(expr)               \
+  do {                                          \
+    ::natix::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define NATIX_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto NATIX_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!NATIX_CONCAT_(_res_, __LINE__).ok())     \
+    return NATIX_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(NATIX_CONCAT_(_res_, __LINE__)).value()
+
+#define NATIX_CONCAT_IMPL_(a, b) a##b
+#define NATIX_CONCAT_(a, b) NATIX_CONCAT_IMPL_(a, b)
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_STATUS_H_

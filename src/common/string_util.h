@@ -1,0 +1,28 @@
+#ifndef NATIX_COMMON_STRING_UTIL_H_
+#define NATIX_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace natix {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a byte count as "123", "1.2KB", "3.4MB"...
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats `value` with thousands separators ("1,234,567").
+std::string FormatWithCommas(uint64_t value);
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef NATIX_COMMON_TIMER_H_
+#define NATIX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace natix {
+
+/// Monotonic stopwatch used by benchmarks and examples.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_TIMER_H_

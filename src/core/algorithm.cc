@@ -1,0 +1,140 @@
+#include "core/algorithm.h"
+
+#include <array>
+
+#include "core/exact_algorithms.h"
+#include "core/heuristics.h"
+#include "core/lukes.h"
+
+namespace natix {
+
+Status CheckPartitionable(const Tree& tree, TotalWeight limit) {
+  if (tree.empty()) {
+    return Status::InvalidArgument("cannot partition an empty tree");
+  }
+  if (limit == 0) {
+    return Status::InvalidArgument("weight limit must be positive");
+  }
+  const Weight max_node = tree.MaxNodeWeight();
+  if (max_node > limit) {
+    return Status::InvalidArgument(
+        "no feasible sibling partitioning: node weight " +
+        std::to_string(max_node) + " exceeds limit " + std::to_string(limit) +
+        " (split oversized nodes first, e.g. with the XML weight model's "
+        "overflow handling)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+using PartitionFn = Result<Partitioning> (*)(const Tree&, TotalWeight);
+
+class FnAlgorithm : public PartitioningAlgorithm {
+ public:
+  constexpr FnAlgorithm(std::string_view name, std::string_view description,
+                        PartitionFn fn, bool optimal, bool memory_friendly)
+      : name_(name),
+        description_(description),
+        fn_(fn),
+        optimal_(optimal),
+        memory_friendly_(memory_friendly) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+  Result<Partitioning> Partition(const Tree& tree,
+                                 TotalWeight limit) const override {
+    return fn_(tree, limit);
+  }
+  bool IsOptimal() const override { return optimal_; }
+  bool IsMainMemoryFriendly() const override { return memory_friendly_; }
+
+ private:
+  std::string_view name_;
+  std::string_view description_;
+  PartitionFn fn_;
+  bool optimal_;
+  bool memory_friendly_;
+};
+
+Result<Partitioning> DhwNoStats(const Tree& t, TotalWeight k) {
+  return DhwPartition(t, k);
+}
+Result<Partitioning> GhdwNoStats(const Tree& t, TotalWeight k) {
+  return GhdwPartition(t, k);
+}
+Result<Partitioning> FdwNoStats(const Tree& t, TotalWeight k) {
+  return FdwPartition(t, k);
+}
+
+// Registry in the paper's Table 1 column order, FDW last. Constructed on
+// first use and intentionally never destroyed (static storage duration
+// objects must be trivially destructible).
+const std::array<FnAlgorithm, 9>& Registry() {
+  static const std::array<FnAlgorithm, 9>& algorithms =
+      *new std::array<FnAlgorithm, 9>{
+    FnAlgorithm{"DHW",
+                "optimal sibling partitioning, O(nK^3) dynamic programming "
+                "over height and width (Sec. 3.3.5)",
+                &DhwNoStats, /*optimal=*/true, /*memory_friendly=*/false},
+    FnAlgorithm{"GHDW",
+                "greedy height / dynamic-programming width; locally optimal "
+                "subtree partitionings (Sec. 3.3.1)",
+                &GhdwNoStats, false, true},
+    FnAlgorithm{"EKM",
+                "Kundu-Misra on the binary first-child/next-sibling "
+                "representation; the paper's recommended default (Sec. 4.3.4)",
+                &EkmPartition, false, true},
+    FnAlgorithm{"RS",
+                "rightmost-siblings packing, the original Natix bulkload "
+                "heuristic (Sec. 4.3.2)",
+                &RsPartition, false, true},
+    FnAlgorithm{"DFS",
+                "greedy preorder assignment, adapted from Tsangaris/Naughton "
+                "(Sec. 4.2.1)",
+                &DfsPartition, false, true},
+    FnAlgorithm{"KM",
+                "Kundu-Misra: parent-child partitions only, no sibling "
+                "sharing (Sec. 4.3.3)",
+                &KmPartition, false, true},
+    FnAlgorithm{"BFS",
+                "greedy level-order assignment (Sec. 4.2.2)", &BfsPartition,
+                false, false},
+    FnAlgorithm{"FDW",
+                "optimal partitioning of flat trees, O(nK^2) (Sec. 3.2.2)",
+                &FdwNoStats, true, false},
+    FnAlgorithm{"LUKES",
+                "Lukes' value-based DP with unit edge values: optimal for "
+                "parent-child partitionings, no sibling sharing (Sec. 5)",
+                &LukesPartition, false, false},
+      };
+  return algorithms;
+}
+
+}  // namespace
+
+const PartitioningAlgorithm* FindAlgorithm(std::string_view name) {
+  for (const FnAlgorithm& a : Registry()) {
+    if (a.name() == name) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> AlgorithmNames() {
+  std::vector<std::string_view> names;
+  names.reserve(Registry().size());
+  for (const FnAlgorithm& a : Registry()) names.push_back(a.name());
+  return names;
+}
+
+Result<Partitioning> PartitionWith(std::string_view algorithm,
+                                   const Tree& tree, TotalWeight limit) {
+  const PartitioningAlgorithm* a = FindAlgorithm(algorithm);
+  if (a == nullptr) {
+    return Status::NotFound("unknown partitioning algorithm: " +
+                            std::string(algorithm));
+  }
+  return a->Partition(tree, limit);
+}
+
+}  // namespace natix

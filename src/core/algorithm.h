@@ -1,0 +1,71 @@
+#ifndef NATIX_CORE_ALGORITHM_H_
+#define NATIX_CORE_ALGORITHM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Common interface of all tree sibling partitioning algorithms in this
+/// library (the paper's Sec. 3 exact algorithms and Sec. 4 heuristics).
+///
+/// Partition() returns a *feasible* tree sibling partitioning for the given
+/// weight limit: disjoint sibling intervals including (t, t), every
+/// partition weight <= limit. Implementations differ in how close to the
+/// minimal cardinality they get and in their runtime/memory cost.
+class PartitioningAlgorithm {
+ public:
+  virtual ~PartitioningAlgorithm() = default;
+
+  /// Stable identifier, e.g. "DHW", "EKM". Used by the registry and the
+  /// benchmark tables.
+  virtual std::string_view name() const = 0;
+
+  /// One-line description for --help style output.
+  virtual std::string_view description() const = 0;
+
+  /// Computes a feasible sibling partitioning of `tree` under `limit`.
+  /// Fails with InvalidArgument if no feasible partitioning exists
+  /// (some node weight exceeds `limit`) or the tree is empty.
+  virtual Result<Partitioning> Partition(const Tree& tree,
+                                         TotalWeight limit) const = 0;
+
+  /// True for algorithms guaranteed to produce a minimal (and lean)
+  /// partitioning (only DHW, and FDW on flat trees).
+  virtual bool IsOptimal() const { return false; }
+
+  /// True if the algorithm can emit partitions before having seen the whole
+  /// document (Sec. 4.1's "main-memory friendly" property).
+  virtual bool IsMainMemoryFriendly() const { return false; }
+};
+
+/// Validates the common preconditions shared by every algorithm: non-empty
+/// tree, positive limit, and max node weight <= limit (otherwise no feasible
+/// sibling partitioning exists, since a node can never shed its own weight).
+Status CheckPartitionable(const Tree& tree, TotalWeight limit);
+
+/// Global algorithm registry.
+///
+/// Names (paper Sec. 6): "FDW", "GHDW", "DHW", "DFS", "BFS", "RS", "KM",
+/// "EKM", plus "LUKES" (the Sec. 5 related-work baseline). FDW is
+/// registered but only accepts flat trees; LUKES is memory-bounded to
+/// moderate n * K products.
+const PartitioningAlgorithm* FindAlgorithm(std::string_view name);
+
+/// All registered algorithm names, in the paper's Table 1 column order
+/// (DHW, GHDW, EKM, RS, DFS, KM, BFS) followed by FDW and LUKES.
+std::vector<std::string_view> AlgorithmNames();
+
+/// Convenience: looks up `algorithm` in the registry and runs it.
+Result<Partitioning> PartitionWith(std::string_view algorithm,
+                                   const Tree& tree, TotalWeight limit);
+
+}  // namespace natix
+
+#endif  // NATIX_CORE_ALGORITHM_H_

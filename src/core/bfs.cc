@@ -1,0 +1,61 @@
+#include <deque>
+
+#include "core/algorithm.h"
+#include "core/heuristics.h"
+
+namespace natix {
+
+Result<Partitioning> BfsPartition(const Tree& tree, TotalWeight limit) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+
+  constexpr uint32_t kNone = 0xFFFFFFFFu;
+  std::vector<uint32_t> partition_of(tree.size(), kNone);
+  std::vector<TotalWeight> partition_weight;
+  // One root interval per partition; extended when a node joins its
+  // previous sibling's partition as an additional partition root.
+  std::vector<SiblingInterval> partition_interval;
+
+  auto new_partition = [&](NodeId v) {
+    partition_of[v] = static_cast<uint32_t>(partition_weight.size());
+    partition_weight.push_back(tree.WeightOf(v));
+    partition_interval.push_back({v, v});
+  };
+
+  std::deque<NodeId> queue = {tree.root()};
+  new_partition(tree.root());
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      queue.push_back(c);
+      // Try the parent's partition first, then the previous sibling's.
+      const uint32_t pp = partition_of[v];
+      if (partition_weight[pp] + tree.WeightOf(c) <= limit) {
+        partition_of[c] = pp;
+        partition_weight[pp] += tree.WeightOf(c);
+        continue;  // joins below its parent; not an interval root
+      }
+      const NodeId prev = tree.PrevSibling(c);
+      if (prev != kInvalidNode) {
+        const uint32_t sp = partition_of[prev];
+        if (sp != pp && partition_weight[sp] + tree.WeightOf(c) <= limit) {
+          partition_of[c] = sp;
+          partition_weight[sp] += tree.WeightOf(c);
+          // prev is necessarily a root of sp (its parent is in a full,
+          // different partition), so c extends sp's root interval.
+          partition_interval[sp].last = c;
+          continue;
+        }
+      }
+      new_partition(c);
+    }
+  }
+
+  Partitioning p;
+  p.Reserve(partition_interval.size());
+  for (const SiblingInterval& iv : partition_interval) p.Add(iv);
+  return p;
+}
+
+}  // namespace natix

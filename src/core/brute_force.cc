@@ -1,0 +1,111 @@
+#include "core/brute_force.h"
+
+#include <map>
+
+#include "core/algorithm.h"
+
+namespace natix {
+
+namespace {
+
+// Per-node assignment during enumeration:
+//   kFree   - node stays in its parent's partition,
+//   kStart  - node is a member and starts a new interval,
+//   kExtend - node is a member and extends its previous sibling's interval
+//             (only valid if the previous sibling is a member).
+enum class Assign : uint8_t { kFree, kStart, kExtend };
+
+class Enumerator {
+ public:
+  Enumerator(const Tree& tree, TotalWeight limit)
+      : tree_(tree), limit_(limit), assign_(tree.size(), Assign::kFree) {}
+
+  BruteForceResult Run() {
+    Recurse(1);
+    BruteForceResult out;
+    out.best = std::move(best_);
+    out.min_cardinality = best_card_;
+    out.min_root_weight = best_root_weight_;
+    out.feasible_count = feasible_count_;
+    const auto near = lean_by_card_.find(best_card_ + 1);
+    if (near != lean_by_card_.end()) {
+      out.has_nearly_optimal = true;
+      out.nearly_optimal_root_weight = near->second;
+    }
+    return out;
+  }
+
+ private:
+  void Recurse(NodeId v) {
+    if (v >= tree_.size()) {
+      Evaluate();
+      return;
+    }
+    // Node ids are assigned in AppendChild order, so a previous sibling
+    // always has a smaller id and is assigned before v.
+    assign_[v] = Assign::kFree;
+    Recurse(v + 1);
+    assign_[v] = Assign::kStart;
+    Recurse(v + 1);
+    const NodeId prev = tree_.PrevSibling(v);
+    if (prev != kInvalidNode && assign_[prev] != Assign::kFree) {
+      assign_[v] = Assign::kExtend;
+      Recurse(v + 1);
+    }
+    assign_[v] = Assign::kFree;
+  }
+
+  void Evaluate() {
+    Partitioning p;
+    p.Add(tree_.root(), tree_.root());
+    for (NodeId v = 1; v < tree_.size(); ++v) {
+      if (assign_[v] != Assign::kStart) continue;
+      NodeId last = v;
+      for (NodeId s = tree_.NextSibling(last);
+           s != kInvalidNode && assign_[s] == Assign::kExtend;
+           s = tree_.NextSibling(s)) {
+        last = s;
+      }
+      p.Add(v, last);
+    }
+    const Result<PartitionAnalysis> analysis = Analyze(tree_, p, limit_);
+    if (!analysis.ok() || !analysis->feasible) return;
+    ++feasible_count_;
+    const size_t card = analysis->cardinality;
+    const TotalWeight rw = analysis->root_weight;
+    const auto it = lean_by_card_.find(card);
+    if (it == lean_by_card_.end() || rw < it->second) {
+      lean_by_card_[card] = rw;
+    }
+    if (card < best_card_ || (card == best_card_ && rw < best_root_weight_)) {
+      best_card_ = card;
+      best_root_weight_ = rw;
+      best_ = std::move(p);
+    }
+  }
+
+  const Tree& tree_;
+  TotalWeight limit_;
+  std::vector<Assign> assign_;
+  Partitioning best_;
+  size_t best_card_ = static_cast<size_t>(-1);
+  TotalWeight best_root_weight_ = 0;
+  size_t feasible_count_ = 0;
+  std::map<size_t, TotalWeight> lean_by_card_;
+};
+
+}  // namespace
+
+Result<BruteForceResult> BruteForceOptimal(const Tree& tree,
+                                           TotalWeight limit,
+                                           size_t max_nodes) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+  if (tree.size() > max_nodes) {
+    return Status::InvalidArgument(
+        "brute force enumeration limited to " + std::to_string(max_nodes) +
+        " nodes, got " + std::to_string(tree.size()));
+  }
+  return Enumerator(tree, limit).Run();
+}
+
+}  // namespace natix

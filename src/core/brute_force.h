@@ -1,0 +1,40 @@
+#ifndef NATIX_CORE_BRUTE_FORCE_H_
+#define NATIX_CORE_BRUTE_FORCE_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Result of exhaustive enumeration of all tree sibling partitionings.
+struct BruteForceResult {
+  /// An optimal (minimal and lean) partitioning.
+  Partitioning best;
+  /// Its cardinality and root weight.
+  size_t min_cardinality = 0;
+  TotalWeight min_root_weight = 0;
+  /// Root weight of a nearly optimal partitioning (minimal cardinality + 1,
+  /// lean); has_nearly_optimal is false if no feasible partitioning with
+  /// min_cardinality + 1 intervals exists.
+  bool has_nearly_optimal = false;
+  TotalWeight nearly_optimal_root_weight = 0;
+  /// Number of feasible partitionings enumerated.
+  size_t feasible_count = 0;
+};
+
+/// Exhaustively enumerates every tree sibling partitioning of `tree`
+/// (exponential; intended for trees with <= ~12 nodes) and returns the
+/// optimum. Used by the tests as ground truth for DHW (Sec. 2.2) and for
+/// the nearly-optimal machinery (Lemmas 3-4). Fails with InvalidArgument
+/// if no feasible partitioning exists or the tree is larger than
+/// `max_nodes`.
+Result<BruteForceResult> BruteForceOptimal(const Tree& tree,
+                                           TotalWeight limit,
+                                           size_t max_nodes = 12);
+
+}  // namespace natix
+
+#endif  // NATIX_CORE_BRUTE_FORCE_H_

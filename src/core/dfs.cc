@@ -1,0 +1,52 @@
+#include "core/algorithm.h"
+#include "core/heuristics.h"
+
+namespace natix {
+
+Result<Partitioning> DfsPartition(const Tree& tree, TotalWeight limit) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+
+  // stamp[v] == current_id marks membership in the open partition; using
+  // stamps avoids clearing a flag array when a partition closes.
+  std::vector<uint32_t> stamp(tree.size(), 0);
+  uint32_t current_id = 0;
+  TotalWeight current_weight = 0;
+  SiblingInterval current_interval;
+
+  Partitioning p;
+  auto close_current = [&]() { p.Add(current_interval); };
+  auto open_new = [&](NodeId v) {
+    ++current_id;
+    current_weight = tree.WeightOf(v);
+    current_interval = {v, v};
+    stamp[v] = current_id;
+  };
+
+  bool first = true;
+  for (const NodeId v : tree.PreorderNodes()) {
+    if (first) {
+      open_new(v);
+      first = false;
+      continue;
+    }
+    const NodeId parent = tree.Parent(v);
+    const NodeId prev = tree.PrevSibling(v);
+    const bool parent_in = stamp[parent] == current_id;
+    const bool sibling_in = prev != kInvalidNode && stamp[prev] == current_id;
+    const bool connected = parent_in || sibling_in;
+    if (connected && current_weight + tree.WeightOf(v) <= limit) {
+      stamp[v] = current_id;
+      current_weight += tree.WeightOf(v);
+      // If the parent is outside the partition, v joins as a new partition
+      // root adjacent to the interval's current last root.
+      if (!parent_in) current_interval.last = v;
+    } else {
+      close_current();
+      open_new(v);
+    }
+  }
+  close_current();
+  return p;
+}
+
+}  // namespace natix

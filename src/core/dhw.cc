@@ -1,0 +1,113 @@
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/exact_algorithms.h"
+#include "core/flat_dp.h"
+
+namespace natix {
+
+namespace {
+
+/// Per-node outcome of the DHW flat DP: the optimal and (if it exists)
+/// nearly optimal partitionings of the node's subtree, pre-extracted as
+/// interval chains so the DP table can be freed immediately.
+struct NodeSolution {
+  /// Root partition weight of the optimal subtree partitioning, W^P(v).
+  Weight opt_rootweight = 0;
+  /// ΔW(v) = W^P(v) - W^Q(v); 0 if no nearly optimal partitioning exists.
+  Weight delta_w = 0;
+  std::vector<FlatDp::IntervalChoice> opt_chain;
+  std::vector<FlatDp::IntervalChoice> near_chain;
+  bool has_near = false;
+};
+
+}  // namespace
+
+Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
+                                  DpStats* stats) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+
+  std::vector<NodeSolution> sol(tree.size());
+
+  // Bottom-up phase: for every node compute the optimal and nearly optimal
+  // subtree partitionings over the children's (rootweight, ΔW) pairs.
+  for (const NodeId v : tree.PostorderNodes()) {
+    NodeSolution& s = sol[v];
+    if (tree.FirstChild(v) == kInvalidNode) {
+      // A single-node subtree has exactly one partitioning; no nearly
+      // optimal solution exists (ΔW = 0).
+      s.opt_rootweight = tree.WeightOf(v);
+      continue;
+    }
+    const std::vector<NodeId> children = tree.Children(v);
+    std::vector<Weight> weights;
+    std::vector<Weight> deltas;
+    weights.reserve(children.size());
+    deltas.reserve(children.size());
+    for (const NodeId c : children) {
+      weights.push_back(sol[c].opt_rootweight);
+      deltas.push_back(sol[c].delta_w);
+    }
+
+    const Weight wv = tree.WeightOf(v);
+    FlatDp dp(wv, std::move(weights), std::move(deltas), limit);
+    dp.EnsureSeed(wv);
+    const FlatDp::Entry* opt = dp.FinalEntry(wv);
+    s.opt_rootweight = opt->rootweight;
+    s.opt_chain = dp.ExtractChain(wv);
+
+    // Lemma 4: rerunning with root weight w(v) + K - W^P(v) + 1 yields a
+    // nearly optimal partitioning (or none, if that exceeds K).
+    const uint64_t s_near = static_cast<uint64_t>(wv) + limit -
+                            opt->rootweight + 1;
+    if (s_near <= limit) {
+      const uint32_t sq = static_cast<uint32_t>(s_near);
+      dp.EnsureSeed(sq);
+      const FlatDp::Entry* near = dp.FinalEntry(sq);
+      s.near_chain = dp.ExtractChain(sq);
+      s.has_near = true;
+      // The table's rootweight fields include the inflated base sq; the
+      // actual root partition weight of the nearly optimal partitioning in
+      // T is near->rootweight - (sq - w(v)). (The paper's pseudocode
+      // subtracts table fields directly, which would mix the two bases.)
+      const Weight near_actual = near->rootweight - (sq - wv);
+      s.delta_w = s.opt_rootweight - near_actual;
+    }
+    if (stats != nullptr) {
+      stats->inner_nodes += 1;
+      stats->rows += dp.RowCount();
+      stats->cells += dp.CellCount();
+      stats->full_table_cells +=
+          (limit - wv + 1) * (children.size() + 1);
+    }
+  }
+
+  // Top-down extraction: the root uses its optimal partitioning; a node
+  // uses its nearly optimal partitioning iff the interval containing it
+  // selected it (field `nearly` of the chosen entry).
+  Partitioning p;
+  p.Add(tree.root(), tree.root());
+  std::vector<std::pair<NodeId, bool>> stack = {{tree.root(), false}};
+  while (!stack.empty()) {
+    const auto [v, use_near] = stack.back();
+    stack.pop_back();
+    if (tree.FirstChild(v) == kInvalidNode) continue;
+    const NodeSolution& s = sol[v];
+    const std::vector<FlatDp::IntervalChoice>& chain =
+        use_near ? s.near_chain : s.opt_chain;
+    const std::vector<NodeId> children = tree.Children(v);
+    std::vector<bool> child_near(children.size(), false);
+    for (const FlatDp::IntervalChoice& choice : chain) {
+      p.Add(children[choice.begin], children[choice.end]);
+      for (const uint32_t idx : choice.nearly) child_near[idx] = true;
+    }
+    for (size_t i = 0; i < children.size(); ++i) {
+      stack.push_back({children[i], child_near[i]});
+    }
+  }
+  return p;
+}
+
+}  // namespace natix

@@ -1,0 +1,67 @@
+#include "core/algorithm.h"
+#include "core/heuristics.h"
+
+namespace natix {
+
+// EKM = Kundu-Misra on the binary (first-child / next-sibling)
+// representation. In the binary tree, a node x has as left child its first
+// n-ary child and as right child its next n-ary sibling. Cutting the edge
+// above x makes x a partition root:
+//   * a cut "next sibling" edge splits a sibling run, so x starts a new
+//     sibling interval;
+//   * a cut "first child" edge detaches the whole child list, so x starts
+//     an interval spanning x and its following uncut siblings.
+// The mapped n-ary intervals are (c, r) for every cut node c, where r is
+// the last consecutive sibling of c whose own edge was not cut.
+Result<Partitioning> EkmPartition(const Tree& tree, TotalWeight limit) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+
+  const size_t n = tree.size();
+  // binary_residual[x]: weight of x's binary subtree (x + first-child
+  // subtree + next-sibling subtree) minus cut parts.
+  std::vector<TotalWeight> binary_residual(n, 0);
+  std::vector<bool> cut(n, false);
+
+  // Reverse preorder guarantees that both binary children of a node (its
+  // n-ary first child and next sibling) are processed before the node.
+  const std::vector<NodeId> preorder = tree.PreorderNodes();
+  for (size_t i = preorder.size(); i-- > 0;) {
+    const NodeId x = preorder[i];
+    const NodeId left = tree.FirstChild(x);
+    const NodeId right = tree.NextSibling(x);
+    TotalWeight rw = tree.WeightOf(x);
+    if (left != kInvalidNode) rw += binary_residual[left];
+    if (right != kInvalidNode) rw += binary_residual[right];
+    while (rw > limit) {
+      // Cut the heavier of the (at most two) uncut binary children.
+      const TotalWeight lw =
+          (left != kInvalidNode && !cut[left]) ? binary_residual[left] : 0;
+      const TotalWeight rwgt =
+          (right != kInvalidNode && !cut[right]) ? binary_residual[right] : 0;
+      if (lw >= rwgt) {
+        cut[left] = true;
+        rw -= lw;
+      } else {
+        cut[right] = true;
+        rw -= rwgt;
+      }
+    }
+    binary_residual[x] = rw;
+  }
+
+  // Map binary cuts back to n-ary sibling intervals.
+  Partitioning p;
+  p.Add(tree.root(), tree.root());
+  for (NodeId c = 0; c < n; ++c) {
+    if (!cut[c]) continue;
+    NodeId r = c;
+    for (NodeId s = tree.NextSibling(r); s != kInvalidNode && !cut[s];
+         s = tree.NextSibling(s)) {
+      r = s;
+    }
+    p.Add(c, r);
+  }
+  return p;
+}
+
+}  // namespace natix

@@ -1,0 +1,47 @@
+#ifndef NATIX_CORE_EXACT_ALGORITHMS_H_
+#define NATIX_CORE_EXACT_ALGORITHMS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Dynamic-programming usage counters, exposed for the memoization ablation
+/// benchmark (Sec. 3.3.6: "on average, less than 4 of the potential 256
+/// values for s actually occur").
+struct DpStats {
+  /// Nodes for which a flat DP was run (inner nodes).
+  uint64_t inner_nodes = 0;
+  /// Materialized DP rows (distinct s values), summed over nodes.
+  uint64_t rows = 0;
+  /// Materialized DP cells, summed over nodes.
+  uint64_t cells = 0;
+  /// Cells a non-memoized implementation would allocate:
+  /// (K - w(v) + 1) * (childcount(v) + 1) summed over inner nodes.
+  uint64_t full_table_cells = 0;
+};
+
+/// Algorithm FDW (Fig. 4): optimal partitioning of a *flat* tree (every
+/// non-root node is a leaf) in O(nK^2). Fails with InvalidArgument on deep
+/// trees.
+Result<Partitioning> FdwPartition(const Tree& tree, TotalWeight limit,
+                                  DpStats* stats = nullptr);
+
+/// Algorithm GHDW (Fig. 5): bottom-up application of the flat DP with
+/// locally optimal subtree partitionings (greedy in tree height). Feasible
+/// and near-optimal, but not always minimal (Fig. 6). O(nK^2).
+Result<Partitioning> GhdwPartition(const Tree& tree, TotalWeight limit,
+                                   DpStats* stats = nullptr);
+
+/// Algorithm DHW (Fig. 7): optimal tree sibling partitioning. Extends GHDW
+/// with the choice between optimal and nearly optimal subtree partitionings
+/// (Lemmas 3-5). Produces a minimal *and* lean partitioning in O(nK^3).
+Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
+                                  DpStats* stats = nullptr);
+
+}  // namespace natix
+
+#endif  // NATIX_CORE_EXACT_ALGORITHMS_H_

@@ -1,0 +1,43 @@
+#include "core/algorithm.h"
+#include "core/exact_algorithms.h"
+#include "core/flat_dp.h"
+
+namespace natix {
+
+Result<Partitioning> FdwPartition(const Tree& tree, TotalWeight limit,
+                                  DpStats* stats) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+  const NodeId t = tree.root();
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (v != t && tree.Parent(v) != t) {
+      return Status::InvalidArgument(
+          "FDW only handles flat trees; node " + std::to_string(v) +
+          " is not a child of the root (use GHDW or DHW for deep trees)");
+    }
+  }
+
+  const std::vector<NodeId> children = tree.Children(t);
+  std::vector<Weight> weights;
+  weights.reserve(children.size());
+  for (const NodeId c : children) weights.push_back(tree.WeightOf(c));
+
+  FlatDp dp(tree.WeightOf(t), std::move(weights), {}, limit);
+  const uint32_t s0 = tree.WeightOf(t);
+  dp.EnsureSeed(s0);
+
+  Partitioning p;
+  p.Add(t, t);
+  for (const FlatDp::IntervalChoice& choice : dp.ExtractChain(s0)) {
+    p.Add(children[choice.begin], children[choice.end]);
+  }
+  if (stats != nullptr) {
+    stats->inner_nodes += 1;
+    stats->rows += dp.RowCount();
+    stats->cells += dp.CellCount();
+    stats->full_table_cells +=
+        (limit - tree.WeightOf(t) + 1) * (children.size() + 1);
+  }
+  return p;
+}
+
+}  // namespace natix

@@ -1,0 +1,279 @@
+#include "core/flat_dp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace natix {
+
+namespace {
+constexpr uint32_t kInfeasibleCard = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+// Fenwick trees over *descending* delta values: position 1 holds the
+// largest possible value (= limit), position limit holds value 1. The
+// sliding interval of candidate 2 inserts each child's ΔW once; the query
+// answers "how many of the largest ΔWs are needed to reach a given sum"
+// (the greedy of Lemma 5) in O(log K).
+DeltaWindow::DeltaWindow(uint32_t limit)
+    : n_(limit), cnt_(limit + 1, 0), sum_(limit + 1, 0) {
+  log_ = 0;
+  while ((1u << (log_ + 1)) <= n_) ++log_;
+}
+
+void DeltaWindow::Update(size_t pos, int32_t dc, int64_t ds) {
+  for (size_t i = pos; i <= n_; i += i & (~i + 1)) {
+    cnt_[i] = static_cast<uint32_t>(static_cast<int64_t>(cnt_[i]) + dc);
+    sum_[i] = static_cast<uint64_t>(static_cast<int64_t>(sum_[i]) + ds);
+  }
+}
+
+void DeltaWindow::Insert(Weight delta) {
+  assert(delta >= 1 && delta <= n_);
+  Update(n_ + 1 - delta, +1, +static_cast<int64_t>(delta));
+  inserted_.push_back(delta);
+}
+
+void DeltaWindow::Clear() {
+  for (const Weight d : inserted_) {
+    Update(n_ + 1 - d, -1, -static_cast<int64_t>(d));
+  }
+  inserted_.clear();
+}
+
+uint32_t DeltaWindow::MinCountForSum(uint64_t need) const {
+  if (need == 0) return 0;
+  // Walk 1: the largest prefix (of descending values) whose sum is still
+  // below `need`.
+  uint64_t acc_sum = 0;
+  uint32_t acc_cnt = 0;
+  size_t pos = 0;
+  for (uint32_t bit = log_ + 1; bit-- > 0;) {
+    const size_t next = pos + (1ull << bit);
+    if (next <= n_ && acc_sum + sum_[next] < need) {
+      pos = next;
+      acc_sum += sum_[next];
+      acc_cnt += cnt_[next];
+    }
+  }
+  // Walk 2: the value of the next (descending) element -- the smallest
+  // position whose cumulative count exceeds acc_cnt.
+  uint32_t skip = 0;
+  size_t p2 = 0;
+  for (uint32_t bit = log_ + 1; bit-- > 0;) {
+    const size_t next = p2 + (1ull << bit);
+    if (next <= n_ && skip + cnt_[next] <= acc_cnt) {
+      p2 = next;
+      skip += cnt_[next];
+    }
+  }
+  const size_t idx = p2 + 1;
+  assert(idx <= n_ && "insufficient ΔW to satisfy the requested sum");
+  const uint64_t value = n_ + 1 - idx;
+  const uint64_t remaining = need - acc_sum;
+  return acc_cnt + static_cast<uint32_t>((remaining + value - 1) / value);
+}
+
+FlatDp::FlatDp(Weight node_weight, std::vector<Weight> child_weights,
+               std::vector<Weight> delta_w, TotalWeight limit)
+    : node_weight_(node_weight),
+      child_weights_(std::move(child_weights)),
+      delta_w_(std::move(delta_w)),
+      limit_(static_cast<uint32_t>(limit)),
+      first_col_(limit_ + 1, -1),
+      window_(limit_) {
+  (void)node_weight_;
+  assert(node_weight_ >= 1 && node_weight_ <= limit_);
+  assert(delta_w_.empty() || delta_w_.size() == child_weights_.size());
+  for (const Weight w : child_weights_) {
+    (void)w;
+    assert(w >= 1 && w <= limit_);
+  }
+  if (delta_w_.empty()) delta_w_.assign(child_weights_.size(), 0);
+}
+
+void FlatDp::EnsureSeed(uint32_t s) {
+  if (s > limit_) return;
+  const int32_t n = static_cast<int32_t>(child_weights_.size());
+  if (first_col_[s] >= n) return;  // already ensured for a full query
+
+  // Phase 1: propagate the needed-cell frontier column by column.
+  // `active` holds the s values raised by this call; at column j each of
+  // them may raise s + w(c_j) to column j - 1 (candidate 1 of Lemma 2).
+  // Candidate 2 stays within the same row at lower columns, which the
+  // monotone first_col_ extent already covers.
+  const size_t words = (static_cast<size_t>(limit_) + 64) / 64;
+  std::vector<uint64_t> active(words, 0);
+  auto set_bit = [&](uint32_t i) { active[i >> 6] |= 1ull << (i & 63); };
+
+  std::vector<uint32_t> raised;
+  auto note_raise = [&](uint32_t value, int32_t col) {
+    if (std::find(raised.begin(), raised.end(), value) == raised.end()) {
+      raised.push_back(value);
+    }
+    first_col_[value] = col;
+    set_bit(value);
+  };
+
+  note_raise(s, n);
+  std::vector<uint64_t> shifted(words, 0);
+  for (int32_t j = n; j >= 1; --j) {
+    const Weight w = child_weights_[static_cast<size_t>(j - 1)];
+    if (w > limit_) continue;
+    // shifted = active << w, truncated to limit_ + 1 bits.
+    const uint32_t word_shift = w >> 6;
+    const uint32_t bit_shift = w & 63;
+    std::fill(shifted.begin(), shifted.end(), 0);
+    if (word_shift < words) {
+      for (size_t i = words; i-- > word_shift;) {
+        uint64_t v = active[i - word_shift] << bit_shift;
+        if (bit_shift != 0 && i - word_shift > 0) {
+          v |= active[i - word_shift - 1] >> (64 - bit_shift);
+        }
+        shifted[i] = v;
+      }
+    }
+    for (size_t i = 0; i < words; ++i) {
+      uint64_t bits = shifted[i];
+      while (bits != 0) {
+        const uint32_t b = static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint32_t value = static_cast<uint32_t>(i * 64 + b);
+        if (value > limit_) break;
+        if (first_col_[value] < j - 1) note_raise(value, j - 1);
+      }
+    }
+  }
+
+  // Phase 2: fill raised rows in descending s order (a cell only depends
+  // on rows with larger s, and on earlier cells of its own row).
+  std::sort(raised.rbegin(), raised.rend());
+  for (const uint32_t value : raised) {
+    FillCells(value, static_cast<size_t>(first_col_[value]));
+  }
+}
+
+void FlatDp::FillCells(uint32_t s, size_t upto) {
+  std::vector<Entry>& row = rows_[s];  // creates empty row if absent
+  if (row.size() > upto) return;
+  row.reserve(upto + 1);
+  if (row.empty()) {
+    Entry base;
+    base.card = 0;
+    base.rootweight = s;
+    base.begin = base.end = -1;
+    base.next_j = -1;
+    row.push_back(base);
+  }
+
+  for (size_t j = row.size(); j <= upto; ++j) {
+    Entry best;
+    best.card = kInfeasibleCard;
+
+    // Candidate 1 (Lemma 2, statement 1): child c_j joins the root
+    // partition. Only the child's *optimal* partitioning is considered
+    // (Lemma 5, statement 1).
+    const uint64_t s_joined =
+        static_cast<uint64_t>(s) + child_weights_[j - 1];
+    if (s_joined <= limit_) {
+      const auto it = rows_.find(static_cast<uint32_t>(s_joined));
+      assert(it != rows_.end() && it->second.size() >= j &&
+             "needed-cell propagation must cover candidate 1");
+      best = it->second[j - 1];
+    }
+
+    // Candidate 2 (Lemma 2, statement 2): append an interval
+    // (c_{j-m}, c_j) to the solution for the first j-m-1 children. When
+    // the interval is too heavy under optimal child partitionings but
+    // fits once children switch to nearly optimal ones, the number of
+    // switches is the minimal count of largest ΔWs covering the excess
+    // (Lemma 5); each switch costs one partition.
+    window_.Clear();
+    uint64_t w = 0;
+    uint64_t dw_sum = 0;
+    for (size_t m = 0; m < j && m < limit_; ++m) {
+      if (w - dw_sum >= limit_) break;  // cannot grow the interval further
+      const size_t left = j - 1 - m;
+      w += child_weights_[left];
+      const Weight d = delta_w_[left];
+      dw_sum += d;
+      if (d > 0) window_.Insert(d);
+      if (w - dw_sum > limit_) continue;  // even all-nearly-optimal too heavy
+
+      const Entry& base = row[left];
+      uint32_t crd = base.card + 1;
+      if (w > limit_) crd += window_.MinCountForSum(w - limit_);
+      const uint32_t rw = base.rootweight;
+      if (crd < best.card || (crd == best.card && rw < best.rootweight)) {
+        best.card = crd;
+        best.rootweight = rw;
+        best.begin = static_cast<int32_t>(left);
+        best.end = static_cast<int32_t>(j - 1);
+        best.next_s = s;
+        best.next_j = static_cast<int32_t>(left);
+      }
+    }
+    assert(best.card != kInfeasibleCard &&
+           "every (s <= K, j) subproblem is feasible");
+    row.push_back(best);
+  }
+  window_.Clear();
+}
+
+const FlatDp::Entry* FlatDp::FinalEntry(uint32_t s) const {
+  if (s > limit_) return nullptr;
+  const auto it = rows_.find(s);
+  assert(it != rows_.end() &&
+         it->second.size() == child_weights_.size() + 1 &&
+         "EnsureSeed(s) must be called first");
+  return &it->second[child_weights_.size()];
+}
+
+std::vector<uint32_t> FlatDp::ComputeNearlySet(uint32_t begin,
+                                               uint32_t end) const {
+  uint64_t w = 0;
+  for (uint32_t i = begin; i <= end; ++i) w += child_weights_[i];
+  std::vector<uint32_t> nearly;
+  if (w <= limit_) return nearly;
+  // The greedy of Lemma 5: switch children to nearly optimal
+  // partitionings in descending-ΔW order until the interval fits.
+  std::vector<std::pair<Weight, uint32_t>> by_delta;
+  for (uint32_t i = begin; i <= end; ++i) {
+    if (delta_w_[i] > 0) by_delta.push_back({delta_w_[i], i});
+  }
+  std::sort(by_delta.begin(), by_delta.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [d, idx] : by_delta) {
+    if (w <= limit_) break;
+    w -= d;
+    nearly.push_back(idx);
+  }
+  assert(w <= limit_ && "ΔW bookkeeping out of sync with fill time");
+  return nearly;
+}
+
+std::vector<FlatDp::IntervalChoice> FlatDp::ExtractChain(uint32_t s) const {
+  std::vector<IntervalChoice> out;
+  const Entry* e = FinalEntry(s);
+  assert(e != nullptr);
+  for (;;) {
+    if (e->begin >= 0) {
+      const uint32_t begin = static_cast<uint32_t>(e->begin);
+      const uint32_t end = static_cast<uint32_t>(e->end);
+      out.push_back({begin, end, ComputeNearlySet(begin, end)});
+    }
+    if (e->next_j < 0) break;
+    const auto it = rows_.find(e->next_s);
+    assert(it != rows_.end());
+    e = &it->second[static_cast<size_t>(e->next_j)];
+  }
+  return out;
+}
+
+size_t FlatDp::CellCount() const {
+  size_t cells = 0;
+  for (const auto& [s, row] : rows_) cells += row.size();
+  return cells;
+}
+
+}  // namespace natix

@@ -1,0 +1,151 @@
+#ifndef NATIX_CORE_FLAT_DP_H_
+#define NATIX_CORE_FLAT_DP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace natix {
+
+/// The dynamic programming engine shared by FDW, GHDW and DHW
+/// (Figs. 4, 5 and 7 of the paper).
+///
+/// It solves the *flat* subproblem at one node v: given v's weight, the
+/// effective weights of its children (their partition root weights after
+/// their own subtrees were partitioned) and the weight limit K, compute for
+/// each root-weight parameter `s` an optimal (minimal cardinality, then
+/// minimal root weight) way of distributing the children between the root
+/// partition and new sibling intervals.
+///
+/// Table layout: entry (s, j) describes an optimal solution for the subtree
+/// restricted to the first j children with root-weight parameter s
+/// (Lemma 2). Entries form chains through `next` pointers; each chain link
+/// contributes at most one interval.
+///
+/// DHW extension (Fig. 7): each child additionally carries ΔW, the root
+/// weight saved by switching that child's subtree from its optimal to its
+/// nearly optimal partitioning at the cost of exactly one extra partition
+/// (Lemma 4). When an interval is too heavy under optimal child
+/// partitionings, children are switched to nearly optimal in descending-ΔW
+/// order until it fits (Lemma 5); the switched children are recorded in the
+/// entry's `nearly` set and its cardinality accounts one extra partition
+/// per switch. Passing an empty `delta_w` yields the plain FDW/GHDW
+/// behaviour.
+///
+/// Memoization (Secs. 3.2.3, 3.3.6): starting from a queried root weight
+/// (a *seed*), the only cells the recurrence can reach are
+///   (s, j) with s = seed + (sum of effective weights of a subset of the
+///   children right of column j), s <= K.
+/// EnsureSeed() propagates that reachability column by column (tracking,
+/// per s value, the highest column where it is needed) and fills only
+/// those cells. The paper reports that fewer than 4 of 256 s values occur
+/// on average for real documents; RowCount()/CellCount() expose the actual
+/// usage for the memoization ablation benchmark.
+/// Fenwick-tree window over the ΔW values of the children currently in
+/// candidate 2's sliding interval. Supports O(log K) insertion and the
+/// O(log K) query "minimal number of largest ΔWs whose sum reaches X",
+/// which is exactly the greedy switch count of Lemma 5. The concrete set
+/// of switched children is only materialized for the intervals of the
+/// final solution (ComputeNearlySet), keeping the DP inner loop cheap.
+class DeltaWindow {
+ public:
+  explicit DeltaWindow(uint32_t limit);
+
+  /// Adds one child's ΔW (must be in [1, limit]).
+  void Insert(Weight delta);
+  /// Removes everything inserted since the last Clear().
+  void Clear();
+  /// Minimal count of largest inserted values with sum >= need. The total
+  /// inserted sum must be >= need.
+  uint32_t MinCountForSum(uint64_t need) const;
+
+ private:
+  void Update(size_t pos, int32_t dc, int64_t ds);
+
+  size_t n_;
+  uint32_t log_ = 0;
+  std::vector<uint32_t> cnt_;
+  std::vector<uint64_t> sum_;
+  std::vector<Weight> inserted_;
+};
+
+class FlatDp {
+ public:
+  /// One DP table cell.
+  struct Entry {
+    /// Number of intervals committed so far along the chain, plus one per
+    /// nearly-optimal switch (constant baseline per node; only differences
+    /// matter).
+    uint32_t card = 0;
+    /// Weight of the root partition of this (partial) solution.
+    uint32_t rootweight = 0;
+    /// Child index range [begin, end] of the interval added by this entry;
+    /// begin == -1 if this entry added no interval.
+    int32_t begin = -1;
+    int32_t end = -1;
+    /// Chain predecessor (row s `next_s`, column `next_j`); next_j == -1
+    /// terminates the chain.
+    uint32_t next_s = 0;
+    int32_t next_j = -1;
+  };
+
+  /// One interval of an extracted solution, in child-index space.
+  struct IntervalChoice {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    std::vector<uint32_t> nearly;
+  };
+
+  /// `node_weight`: weight of the (collapsed) root of the flat subproblem.
+  /// `child_weights[i]`: effective weight of child i (its own weight for
+  /// FDW; its partition root weight for GHDW/DHW). Every child weight must
+  /// be in [1, limit].
+  /// `delta_w`: per-child ΔW (empty, or same size as `child_weights`).
+  /// `limit`: the weight limit K.
+  FlatDp(Weight node_weight, std::vector<Weight> child_weights,
+         std::vector<Weight> delta_w, TotalWeight limit);
+
+  /// Ensures the cells reachable from the query (s, child_count) exist.
+  /// No-op if s > limit (the query is then infeasible).
+  void EnsureSeed(uint32_t s);
+
+  /// Entry at (s, child_count). EnsureSeed(s) must have been called;
+  /// returns nullptr if s > limit.
+  const Entry* FinalEntry(uint32_t s) const;
+
+  /// Walks the chain from (s, child_count) and returns the chosen
+  /// intervals (right-to-left order). EnsureSeed(s) must have been called.
+  std::vector<IntervalChoice> ExtractChain(uint32_t s) const;
+
+  size_t child_count() const { return child_weights_.size(); }
+
+  /// Number of materialized rows (distinct s values) and cells; exposed for
+  /// the memoization ablation benchmark.
+  size_t RowCount() const { return rows_.size(); }
+  size_t CellCount() const;
+
+ private:
+  /// Appends cells [row.size(), upto] to the row for s.
+  void FillCells(uint32_t s, size_t upto);
+  /// Greedy nearly-optimal switch set for the interval [begin, end]
+  /// (Lemma 5), recomputed at extraction time.
+  std::vector<uint32_t> ComputeNearlySet(uint32_t begin, uint32_t end) const;
+
+  Weight node_weight_;
+  std::vector<Weight> child_weights_;
+  std::vector<Weight> delta_w_;
+  uint32_t limit_;
+  /// first_col_[s]: highest column where value s is needed; -1 = not needed.
+  std::vector<int32_t> first_col_;
+  /// Rows keyed by s, descending (fill dependency order). Row s holds
+  /// columns [0, first_col_[s]].
+  std::map<uint32_t, std::vector<Entry>, std::greater<>> rows_;
+  /// Scratch ΔW window for candidate 2 (cleared per column).
+  DeltaWindow window_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_CORE_FLAT_DP_H_

@@ -1,0 +1,34 @@
+#include "core/algorithm.h"
+#include "core/exact_algorithms.h"
+#include "core/reduction.h"
+
+namespace natix {
+
+Result<Partitioning> GhdwPartition(const Tree& tree, TotalWeight limit,
+                                   DpStats* stats) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+
+  // rootweight[v]: weight of v's partition after Tv was partitioned with
+  // the locally optimal solution; v is treated as a single node of this
+  // weight on the next higher level (Lemma 1).
+  std::vector<Weight> rootweight(tree.size(), 0);
+  Partitioning p;
+  std::vector<ChildPart> children;
+  for (const NodeId v : tree.PostorderNodes()) {
+    if (tree.FirstChild(v) == kInvalidNode) {
+      rootweight[v] = tree.WeightOf(v);
+      continue;
+    }
+    children.clear();
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      children.push_back({c, rootweight[c], 1});
+    }
+    rootweight[v] = static_cast<Weight>(GhdwReduce(
+        tree.WeightOf(v), children, limit, &p, nullptr, stats));
+  }
+  p.Add(tree.root(), tree.root());
+  return p;
+}
+
+}  // namespace natix

@@ -1,0 +1,41 @@
+#ifndef NATIX_CORE_HEURISTICS_H_
+#define NATIX_CORE_HEURISTICS_H_
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// DFS heuristic (Sec. 4.2.1, adapted from Tsangaris/Naughton): preorder
+/// traversal assigning each node greedily to the current partition; a new
+/// partition starts when the node does not fit or is not connected to the
+/// current partition by a parent-child or sibling edge. Main-memory
+/// friendly; top-down, so not very robust.
+Result<Partitioning> DfsPartition(const Tree& tree, TotalWeight limit);
+
+/// BFS heuristic (Sec. 4.2.2): level-order traversal; each node first tries
+/// its parent's partition, then its previous sibling's partition, else a
+/// new one. Not main-memory friendly.
+Result<Partitioning> BfsPartition(const Tree& tree, TotalWeight limit);
+
+/// Rightmost Siblings (Sec. 4.3.2): the original Natix bulkload heuristic.
+/// Bottom-up; when a subtree exceeds the limit, children are packed into
+/// new partitions from right to left until the residual subtree fits.
+Result<Partitioning> RsPartition(const Tree& tree, TotalWeight limit);
+
+/// Kundu and Misra (Sec. 4.3.3): bottom-up; while a subtree is too heavy,
+/// the heaviest child subtree is cut into a partition of its own. Minimal
+/// for parent-child-only partitionings, but produces only single-node
+/// intervals (no sibling sharing).
+Result<Partitioning> KmPartition(const Tree& tree, TotalWeight limit);
+
+/// Enhanced Kundu and Misra (Sec. 4.3.4, novel in the paper): KM applied to
+/// the binary (first-child / next-sibling) representation of the tree; cuts
+/// of "next sibling" edges translate into sibling intervals. The paper's
+/// recommended default for Natix: near-optimal and extremely fast.
+Result<Partitioning> EkmPartition(const Tree& tree, TotalWeight limit);
+
+}  // namespace natix
+
+#endif  // NATIX_CORE_HEURISTICS_H_

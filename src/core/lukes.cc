@@ -1,0 +1,174 @@
+#include "core/lukes.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace natix {
+
+namespace {
+
+constexpr int64_t kUnreachable = -1;
+
+/// Guard against the algorithm's O(nK) table memory (the practical
+/// problem Bordawekar/Shmueli report for Lukes' algorithm on XML; Sec. 5).
+constexpr uint64_t kMaxTableEntries = 1ull << 26;
+
+/// Per-node DP table: value[w] = maximal kept-edge value of a partitioning
+/// of the subtree where the part containing the node weighs exactly w;
+/// kUnreachable if no such partitioning exists.
+using Table = std::vector<int64_t>;
+
+struct LukesState {
+  const Tree* tree = nullptr;
+  uint32_t limit = 0;
+  std::vector<Table> tables;
+
+  /// Merges child table `tc` into `tv` (one step of Lukes' knapsack).
+  /// With unit edge values, keeping the parent-child edge adds 1.
+  Table MergeChild(const Table& tv, const Table& tc) const {
+    Table out(limit + 1, kUnreachable);
+    // Cut: the child's part is closed with its best value.
+    const int64_t best_child = *std::max_element(tc.begin(), tc.end());
+    for (uint32_t w = 0; w <= limit; ++w) {
+      if (tv[w] == kUnreachable) continue;
+      out[w] = std::max(out[w], tv[w] + best_child);
+    }
+    // Keep: the child's part joins the node's part.
+    for (uint32_t w = 0; w <= limit; ++w) {
+      if (tv[w] == kUnreachable) continue;
+      for (uint32_t wc = 1; wc + w <= limit; ++wc) {
+        if (tc[wc] == kUnreachable) continue;
+        out[w + wc] = std::max(out[w + wc], tv[w] + tc[wc] + 1);
+      }
+    }
+    return out;
+  }
+
+  /// Computes tables for all nodes, bottom-up.
+  void ComputeTables() {
+    const Tree& t = *tree;
+    tables.resize(t.size());
+    for (const NodeId v : t.PostorderNodes()) {
+      Table tv(limit + 1, kUnreachable);
+      tv[t.WeightOf(v)] = 0;
+      for (NodeId c = t.FirstChild(v); c != kInvalidNode;
+           c = t.NextSibling(c)) {
+        tv = MergeChild(tv, tables[c]);
+      }
+      tables[v] = std::move(tv);
+    }
+  }
+
+  static uint32_t ArgMax(const Table& table) {
+    uint32_t best = 0;
+    for (uint32_t w = 1; w < table.size(); ++w) {
+      if (table[w] > table[best]) best = w;
+    }
+    return best;
+  }
+
+  /// Re-runs the child merge for `v` keeping backpointers, then walks them
+  /// to decide, per child, cut vs keep (and the kept weight).
+  /// back[j][w]: after merging the first j children reaching part weight
+  /// w: -1 = child j was cut, otherwise the weight the child contributed.
+  void ExtractNode(NodeId v, uint32_t target_w, Partitioning* out) {
+    const Tree& t = *tree;
+    struct Frame {
+      NodeId node;
+      uint32_t target;
+    };
+    std::vector<Frame> stack = {{v, target_w}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      const std::vector<NodeId> children = t.Children(f.node);
+      if (children.empty()) continue;
+
+      // Forward pass with backpointers.
+      std::vector<Table> partial(children.size() + 1);
+      partial[0].assign(limit + 1, kUnreachable);
+      partial[0][t.WeightOf(f.node)] = 0;
+      std::vector<std::vector<int32_t>> back(
+          children.size(), std::vector<int32_t>(limit + 1, -2));
+      for (size_t j = 0; j < children.size(); ++j) {
+        const Table& tc = tables[children[j]];
+        const Table& prev = partial[j];
+        Table cur(limit + 1, kUnreachable);
+        const int64_t best_child =
+            *std::max_element(tc.begin(), tc.end());
+        for (uint32_t w = 0; w <= limit; ++w) {
+          if (prev[w] == kUnreachable) continue;
+          if (prev[w] + best_child > cur[w]) {
+            cur[w] = prev[w] + best_child;
+            back[j][w] = -1;  // cut
+          }
+        }
+        for (uint32_t w = 0; w <= limit; ++w) {
+          if (prev[w] == kUnreachable) continue;
+          for (uint32_t wc = 1; wc + w <= limit; ++wc) {
+            if (tc[wc] == kUnreachable) continue;
+            if (prev[w] + tc[wc] + 1 > cur[w + wc]) {
+              cur[w + wc] = prev[w] + tc[wc] + 1;
+              back[j][w + wc] = static_cast<int32_t>(wc);
+            }
+          }
+        }
+        partial[j + 1] = std::move(cur);
+      }
+
+      // Backward walk from (children.size(), f.target).
+      uint32_t w = f.target;
+      for (size_t j = children.size(); j-- > 0;) {
+        const int32_t choice = back[j][w];
+        const NodeId c = children[j];
+        if (choice == -1) {
+          // Cut: c roots its own partition with its best table weight.
+          out->Add(c, c);
+          stack.push_back({c, ArgMax(tables[c])});
+        } else {
+          // Kept: c contributes `choice` weight to this part.
+          stack.push_back({c, static_cast<uint32_t>(choice)});
+          w -= static_cast<uint32_t>(choice);
+        }
+      }
+    }
+  }
+};
+
+Result<LukesState> Prepare(const Tree& tree, TotalWeight limit) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+  const uint64_t entries = static_cast<uint64_t>(tree.size()) * (limit + 1);
+  if (entries > kMaxTableEntries) {
+    return Status::ResourceExhausted(
+        "Lukes' algorithm needs " + std::to_string(entries) +
+        " table entries (n * K); use a smaller document or limit, or one "
+        "of the linear-memory algorithms");
+  }
+  LukesState state;
+  state.tree = &tree;
+  state.limit = static_cast<uint32_t>(limit);
+  state.ComputeTables();
+  return state;
+}
+
+}  // namespace
+
+Result<Partitioning> LukesPartition(const Tree& tree, TotalWeight limit) {
+  NATIX_ASSIGN_OR_RETURN(LukesState state, Prepare(tree, limit));
+  Partitioning p;
+  p.Add(tree.root(), tree.root());
+  const uint32_t root_w = LukesState::ArgMax(state.tables[tree.root()]);
+  state.ExtractNode(tree.root(), root_w, &p);
+  return p;
+}
+
+Result<uint64_t> LukesOptimalValue(const Tree& tree, TotalWeight limit) {
+  NATIX_ASSIGN_OR_RETURN(LukesState state, Prepare(tree, limit));
+  const Table& root = state.tables[tree.root()];
+  return static_cast<uint64_t>(*std::max_element(root.begin(), root.end()));
+}
+
+}  // namespace natix

@@ -1,0 +1,37 @@
+#ifndef NATIX_CORE_LUKES_H_
+#define NATIX_CORE_LUKES_H_
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Lukes' algorithm (IBM J. R&D 1974; discussed in Sec. 5 of the paper):
+/// dynamic programming over (node, part-weight) states that maximizes the
+/// total *value* of edges kept inside partitions, subject to the weight
+/// limit. Partitions are connected through parent-child edges only -- no
+/// sibling sharing.
+///
+/// This implementation uses unit edge values, for which maximizing kept
+/// edges is equivalent to minimizing the number of partitions: it then
+/// solves the same problem as Kundu-Misra and serves as the "classic
+/// optimal" baseline the paper compares against (both are optimal for
+/// parent-child partitionings; DHW's sibling partitionings beat them).
+///
+/// O(nK^2) time, O(nK) memory. Like KM, the output consists of
+/// single-node intervals plus (t, t).
+Result<Partitioning> LukesPartition(const Tree& tree, TotalWeight limit);
+
+/// The number of parent-child edges Lukes' algorithm keeps inside
+/// partitions for the returned partitioning equals
+/// `tree.size() - partitioning.size()`: every partition is a connected
+/// subgraph, so a partitioning with p parts cuts exactly p - 1 edges.
+///
+/// Exposed for tests: the maximal kept-edge value for `tree` under
+/// `limit` (computed without extracting a partitioning).
+Result<uint64_t> LukesOptimalValue(const Tree& tree, TotalWeight limit);
+
+}  // namespace natix
+
+#endif  // NATIX_CORE_LUKES_H_

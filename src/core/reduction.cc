@@ -1,0 +1,92 @@
+#include "core/reduction.h"
+
+#include <algorithm>
+
+#include "core/flat_dp.h"
+
+namespace natix {
+
+TotalWeight RsReduce(Weight own_weight,
+                     const std::vector<ChildPart>& children,
+                     TotalWeight limit, Partitioning* out,
+                     size_t* flushed_resident) {
+  TotalWeight rw = own_weight;
+  for (const ChildPart& c : children) rw += c.residual;
+  size_t right = children.size();  // one past the rightmost uncut child
+  while (rw > limit) {
+    // Start a new interval at the rightmost uncut child and extend it
+    // leftwards while it helps and fits.
+    size_t left = right - 1;
+    TotalWeight interval_weight = children[left].residual;
+    rw -= children[left].residual;
+    if (flushed_resident != nullptr) {
+      *flushed_resident += children[left].resident;
+    }
+    while (rw > limit && left > 0 &&
+           interval_weight + children[left - 1].residual <= limit) {
+      --left;
+      interval_weight += children[left].residual;
+      rw -= children[left].residual;
+      if (flushed_resident != nullptr) {
+        *flushed_resident += children[left].resident;
+      }
+    }
+    out->Add(children[left].node, children[right - 1].node);
+    right = left;
+  }
+  return rw;
+}
+
+TotalWeight KmReduce(Weight own_weight,
+                     const std::vector<ChildPart>& children,
+                     TotalWeight limit, Partitioning* out,
+                     size_t* flushed_resident) {
+  TotalWeight rw = own_weight;
+  for (const ChildPart& c : children) rw += c.residual;
+  if (rw <= limit) return rw;
+  std::vector<const ChildPart*> heavy;
+  heavy.reserve(children.size());
+  for (const ChildPart& c : children) heavy.push_back(&c);
+  std::sort(heavy.begin(), heavy.end(),
+            [](const ChildPart* a, const ChildPart* b) {
+              return a->residual > b->residual;
+            });
+  for (const ChildPart* c : heavy) {
+    if (rw <= limit) break;
+    out->Add(c->node, c->node);
+    rw -= c->residual;
+    if (flushed_resident != nullptr) *flushed_resident += c->resident;
+  }
+  return rw;
+}
+
+TotalWeight GhdwReduce(Weight own_weight,
+                       const std::vector<ChildPart>& children,
+                       TotalWeight limit, Partitioning* out,
+                       size_t* flushed_resident, DpStats* stats) {
+  if (children.empty()) return own_weight;
+  std::vector<Weight> weights;
+  weights.reserve(children.size());
+  for (const ChildPart& c : children) {
+    weights.push_back(static_cast<Weight>(c.residual));
+  }
+  FlatDp dp(own_weight, std::move(weights), {}, limit);
+  dp.EnsureSeed(own_weight);
+  for (const FlatDp::IntervalChoice& choice : dp.ExtractChain(own_weight)) {
+    out->Add(children[choice.begin].node, children[choice.end].node);
+    if (flushed_resident != nullptr) {
+      for (uint32_t i = choice.begin; i <= choice.end; ++i) {
+        *flushed_resident += children[i].resident;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->inner_nodes += 1;
+    stats->rows += dp.RowCount();
+    stats->cells += dp.CellCount();
+    stats->full_table_cells += (limit - own_weight + 1) * (children.size() + 1);
+  }
+  return dp.FinalEntry(own_weight)->rootweight;
+}
+
+}  // namespace natix

@@ -1,0 +1,57 @@
+#ifndef NATIX_CORE_REDUCTION_H_
+#define NATIX_CORE_REDUCTION_H_
+
+#include <vector>
+
+#include "core/exact_algorithms.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// The partition-local state of one already-processed child subtree: the
+/// child node, the weight of its partition-local residual subtree, and how
+/// many nodes of that residual are still unassigned ("resident" in the
+/// bulkloader's memory model; batch algorithms ignore it).
+struct ChildPart {
+  NodeId node = kInvalidNode;
+  TotalWeight residual = 0;
+  size_t resident = 1;
+};
+
+/// Per-node reduction rules shared by the batch algorithms (core/rs.cc,
+/// core/km.cc, core/ghdw.cc) and the streaming bulkloader
+/// (bulkload/streaming.*). Each takes the weight of the current node, the
+/// states of its children (left to right), and the weight limit; emits
+/// sibling intervals into `out`; and returns the node's new residual
+/// weight. All children are consumed: those not placed into intervals are
+/// absorbed into the node's partition.
+///
+/// `flushed_resident`, if non-null, accumulates the resident counts of the
+/// children whose subtrees were assigned to emitted intervals.
+
+/// Rightmost-siblings rule (Sec. 4.3.2): while the residual exceeds the
+/// limit, pack children right-to-left into intervals filled up to the
+/// limit.
+TotalWeight RsReduce(Weight own_weight, const std::vector<ChildPart>& children,
+                     TotalWeight limit, Partitioning* out,
+                     size_t* flushed_resident = nullptr);
+
+/// Kundu-Misra rule (Sec. 4.3.3): while the residual exceeds the limit,
+/// cut the heaviest child as a single-node interval.
+TotalWeight KmReduce(Weight own_weight, const std::vector<ChildPart>& children,
+                     TotalWeight limit, Partitioning* out,
+                     size_t* flushed_resident = nullptr);
+
+/// GHDW rule (Sec. 3.3.1): run the flat-tree DP over the children's
+/// residual weights and emit its optimal interval set; the returned
+/// residual is the DP's (lean) root partition weight.
+TotalWeight GhdwReduce(Weight own_weight,
+                       const std::vector<ChildPart>& children,
+                       TotalWeight limit, Partitioning* out,
+                       size_t* flushed_resident = nullptr,
+                       DpStats* stats = nullptr);
+
+}  // namespace natix
+
+#endif  // NATIX_CORE_REDUCTION_H_

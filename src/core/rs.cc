@@ -1,0 +1,26 @@
+#include "core/algorithm.h"
+#include "core/heuristics.h"
+#include "core/reduction.h"
+
+namespace natix {
+
+Result<Partitioning> RsPartition(const Tree& tree, TotalWeight limit) {
+  NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+
+  // residual[v]: weight of v's partition-local subtree after cuts below.
+  std::vector<TotalWeight> residual(tree.size(), 0);
+  Partitioning p;
+  std::vector<ChildPart> children;
+  for (const NodeId v : tree.PostorderNodes()) {
+    children.clear();
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      children.push_back({c, residual[c], 1});
+    }
+    residual[v] = RsReduce(tree.WeightOf(v), children, limit, &p);
+  }
+  p.Add(tree.root(), tree.root());
+  return p;
+}
+
+}  // namespace natix

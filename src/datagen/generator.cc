@@ -1,0 +1,48 @@
+#include "datagen/generator.h"
+
+namespace natix {
+
+const std::vector<GeneratorInfo>& DocumentGenerators() {
+  static const std::vector<GeneratorInfo>& generators =
+      *new std::vector<GeneratorInfo>{
+          {"sigmod", "SigmodRecord.xml",
+           "shallow bibliography records (issues/articles/authors)",
+           &GenerateSigmodRecord, 42054, 477},
+          {"mondial", "mondial-3.0.xml",
+           "nested geographic data (countries/provinces/cities, "
+           "attribute-heavy organizations)",
+           &GenerateMondial, 152218, 1785},
+          {"partsupp", "partsupp.xml",
+           "TPC-H PARTSUPP relation as flat XML tuples", &GeneratePartsupp,
+           96005, 2242},
+          {"uwm", "uwm.xml",
+           "university course catalog (many small shallow records)",
+           &GenerateUwm, 189542, 2338},
+          {"orders", "orders.xml",
+           "TPC-H ORDERS relation as flat XML tuples", &GenerateOrders,
+           300005, 5379},
+          {"xmark", "xmark0p1.xml",
+           "XMark auction site (scale factor 0.1), XPathMark-compatible",
+           &GenerateXmark, 549213, 11670},
+      };
+  return generators;
+}
+
+const GeneratorInfo* FindGenerator(std::string_view name) {
+  for (const GeneratorInfo& g : DocumentGenerators()) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+Result<std::string> GenerateDocument(std::string_view name, uint64_t seed,
+                                     double scale) {
+  const GeneratorInfo* g = FindGenerator(name);
+  if (g == nullptr) {
+    return Status::NotFound("unknown document generator: " +
+                            std::string(name));
+  }
+  return g->generate(seed, scale);
+}
+
+}  // namespace natix

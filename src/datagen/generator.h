@@ -1,0 +1,57 @@
+#ifndef NATIX_DATAGEN_GENERATOR_H_
+#define NATIX_DATAGEN_GENERATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// A synthetic XML document generator.
+///
+/// The paper evaluates on five documents from the University of
+/// Washington XML repository plus an XMark (scale 0.1) document. Those
+/// exact files are not redistributable here, so each generator produces a
+/// deterministic document with the same *structural profile* (element
+/// vocabulary, fan-out and depth regime, text-length distribution, node
+/// count of the same order) — which is all the partitioning algorithms
+/// and the navigation-cost experiments observe.
+struct GeneratorInfo {
+  /// Registry key: "sigmod", "mondial", "partsupp", "uwm", "orders",
+  /// "xmark".
+  std::string_view name;
+  /// File name used in the paper's tables, e.g. "SigmodRecord.xml".
+  std::string_view file_name;
+  std::string_view description;
+  /// Produces the XML text. `scale` linearly scales entity counts;
+  /// scale = 1.0 approximates the paper's document sizes.
+  std::string (*generate)(uint64_t seed, double scale);
+  /// Node count of the original document (Table 1), for reference.
+  size_t paper_nodes;
+  /// File size of the original document in KB (Table 1).
+  size_t paper_kb;
+};
+
+/// All generators, in the paper's Table 1 row order.
+const std::vector<GeneratorInfo>& DocumentGenerators();
+
+/// Finds a generator by name; nullptr if unknown.
+const GeneratorInfo* FindGenerator(std::string_view name);
+
+/// Generates a document by generator name.
+Result<std::string> GenerateDocument(std::string_view name, uint64_t seed,
+                                     double scale);
+
+/// Individual generators (also reachable via the registry).
+std::string GenerateSigmodRecord(uint64_t seed, double scale);
+std::string GenerateMondial(uint64_t seed, double scale);
+std::string GeneratePartsupp(uint64_t seed, double scale);
+std::string GenerateUwm(uint64_t seed, double scale);
+std::string GenerateOrders(uint64_t seed, double scale);
+std::string GenerateXmark(uint64_t seed, double scale);
+
+}  // namespace natix
+
+#endif  // NATIX_DATAGEN_GENERATOR_H_

@@ -1,0 +1,119 @@
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "datagen/text.h"
+#include "datagen/xml_writer.h"
+
+namespace natix {
+
+namespace {
+
+std::string CountryCode(Rng* rng) {
+  std::string code(3, 'A');
+  for (char& c : code) {
+    c = static_cast<char>('A' + rng->NextBounded(26));
+  }
+  return code;
+}
+
+}  // namespace
+
+// mondial-3.0.xml profile: nested geographic data -- countries containing
+// provinces containing cities, heavy use of attributes, plus
+// organizations with long member lists. Deeper and more irregular than
+// the relational documents. Original: 1785KB, 152218 nodes.
+std::string GenerateMondial(uint64_t seed, double scale) {
+  Rng rng(seed ^ 0x30d1a1);
+  TextGenerator text(&rng);
+  XmlWriter w;
+  const int countries = static_cast<int>(494 * scale + 0.5);
+  const int organizations = static_cast<int>(359 * scale + 0.5);
+  w.Open("mondial");
+  for (int c = 0; c < countries; ++c) {
+    const std::string code = CountryCode(&rng);
+    w.Open("country", {{"car_code", code},
+                       {"area", text.Number(1000, 9000000)},
+                       {"capital", "cty-" + code + "-1"},
+                       {"memberships", "org-" + text.Number(1, 99)}});
+    w.Element("name", text.Sentence(1, 2));
+    w.Element("population", text.Number(100000, 900000000));
+    w.Element("population_growth", text.Number(0, 5) + "." +
+                                       text.Number(0, 99));
+    w.Element("infant_mortality", text.Number(2, 90) + "." +
+                                      text.Number(0, 9));
+    w.Element("gdp_total", text.Number(500, 8000000));
+    w.Element("inflation", text.Number(0, 30) + "." + text.Number(0, 9));
+    const int ethnic = static_cast<int>(rng.NextInRange(0, 4));
+    for (int e = 0; e < ethnic; ++e) {
+      w.Open("ethnicgroups",
+             {{"percentage", text.Number(1, 99)}});
+      w.Text(text.Words(1));
+      w.Close();
+    }
+    const int religions = static_cast<int>(rng.NextInRange(0, 3));
+    for (int e = 0; e < religions; ++e) {
+      w.Open("religions", {{"percentage", text.Number(1, 99)}});
+      w.Text(text.Words(1));
+      w.Close();
+    }
+    // Larger countries are subdivided into provinces with cities; the
+    // fan-out is skewed like the real data (a few countries with dozens
+    // of provinces, many with none).
+    const int provinces =
+        rng.NextBool(0.45)
+            ? static_cast<int>(rng.NextZipf(40, 0.6)) + 1
+            : 0;
+    int city_counter = 0;
+    for (int p = 0; p < provinces; ++p) {
+      const std::string prov_id =
+          "prov-" + code + "-" + std::to_string(p + 1);
+      w.Open("province", {{"id", prov_id},
+                          {"country", code},
+                          {"capital", "cty-" + code + "-" +
+                                          std::to_string(city_counter + 1)}});
+      w.Element("name", text.Sentence(1, 2));
+      w.Element("area", text.Number(100, 500000));
+      w.Element("population", text.Number(10000, 30000000));
+      const int cities = static_cast<int>(rng.NextInRange(1, 6));
+      for (int ct = 0; ct < cities; ++ct) {
+        ++city_counter;
+        w.Open("city", {{"id", "cty-" + code + "-" +
+                                   std::to_string(city_counter)},
+                        {"country", code},
+                        {"province", prov_id}});
+        w.Element("name", text.Sentence(1, 2));
+        if (rng.NextBool(0.7)) {
+          w.Element("population", text.Number(5000, 20000000));
+        }
+        if (rng.NextBool(0.4)) {
+          w.Element("longitude", text.Number(0, 179) + "." +
+                                     text.Number(0, 9));
+          w.Element("latitude", text.Number(0, 89) + "." +
+                                    text.Number(0, 9));
+        }
+        w.Close();  // city
+      }
+      w.Close();  // province
+    }
+    w.Close();  // country
+  }
+  for (int o = 0; o < organizations; ++o) {
+    w.Open("organization",
+           {{"id", "org-" + std::to_string(o + 1)},
+            {"headq", "cty-" + CountryCode(&rng) + "-1"}});
+    w.Element("name", text.Sentence(2, 6));
+    w.Element("abbrev", CountryCode(&rng));
+    w.Element("established", text.Date());
+    const int members = static_cast<int>(rng.NextZipf(60, 0.5)) + 1;
+    for (int m = 0; m < members; ++m) {
+      w.Open("members", {{"type", rng.NextBool(0.8) ? "member"
+                                                    : "observer"},
+                         {"country", CountryCode(&rng)}});
+      w.Close();
+    }
+    w.Close();  // organization
+  }
+  w.Close();
+  return w.Finish();
+}
+
+}  // namespace natix

@@ -1,0 +1,70 @@
+#include <cstdio>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "datagen/text.h"
+#include "datagen/xml_writer.h"
+
+namespace natix {
+
+// partsupp.xml profile: the TPC-H PARTSUPP relation dumped as XML -- a
+// root with one flat <T> tuple element per row, five scalar columns, the
+// last a long comment string. Original: 2242KB, 96005 nodes
+// (=> ~8700 rows at 11 nodes per row).
+std::string GeneratePartsupp(uint64_t seed, double scale) {
+  Rng rng(seed ^ 0x9a6757);
+  TextGenerator text(&rng);
+  XmlWriter w;
+  const int rows = static_cast<int>(8727 * scale + 0.5);
+  w.Open("partsupp");
+  for (int r = 0; r < rows; ++r) {
+    w.Open("T");
+    w.Element("PS_PARTKEY", std::to_string(r / 4 + 1));
+    w.Element("PS_SUPPKEY", text.Number(1, 1000));
+    w.Element("PS_AVAILQTY", text.Number(1, 9999));
+    w.Element("PS_SUPPLYCOST", text.Number(100, 99999));
+    // TPC-H ps_comment averages ~125 characters.
+    w.Element("PS_COMMENT", text.Words(static_cast<int>(
+                                rng.NextInRange(14, 28))));
+    w.Close();
+  }
+  w.Close();
+  return w.Finish();
+}
+
+// orders.xml profile: the TPC-H ORDERS relation as XML -- one <T> per
+// row, nine scalar columns. Original: 5379KB, 300005 nodes
+// (=> ~15800 rows at 19 nodes per row).
+std::string GenerateOrders(uint64_t seed, double scale) {
+  Rng rng(seed ^ 0x0bde5);
+  TextGenerator text(&rng);
+  XmlWriter w;
+  const int rows = static_cast<int>(15789 * scale + 0.5);
+  static constexpr std::string_view kStatus[] = {"O", "F", "P"};
+  static constexpr std::string_view kPriority[] = {
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  w.Open("orders");
+  for (int r = 0; r < rows; ++r) {
+    w.Open("T");
+    w.Element("O_ORDERKEY", std::to_string(r + 1));
+    w.Element("O_CUSTKEY", text.Number(1, 15000));
+    w.Element("O_ORDERSTATUS", kStatus[rng.NextBounded(3)]);
+    w.Element("O_TOTALPRICE", text.Number(1000, 400000) + "." +
+                                  text.Number(10, 99));
+    w.Element("O_ORDERDATE", text.Date());
+    w.Element("O_ORDERPRIORITY", kPriority[rng.NextBounded(5)]);
+    char clerk[20];
+    std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                  static_cast<int>(rng.NextInRange(1, 1000)));
+    w.Element("O_CLERK", clerk);
+    w.Element("O_SHIPPRIORITY", "0");
+    // TPC-H o_comment averages ~49 characters.
+    w.Element("O_COMMENT",
+              text.Words(static_cast<int>(rng.NextInRange(5, 12))));
+    w.Close();
+  }
+  w.Close();
+  return w.Finish();
+}
+
+}  // namespace natix

@@ -1,0 +1,53 @@
+#include <cstdio>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "datagen/text.h"
+#include "datagen/xml_writer.h"
+
+namespace natix {
+
+// SigmodRecord.xml profile: a shallow bibliography. 67 volumes' worth of
+// issues, each with a list of articles; each article has a title, page
+// numbers and an author list whose entries carry a "position" attribute.
+// Original: 477KB, 42054 nodes.
+std::string GenerateSigmodRecord(uint64_t seed, double scale) {
+  Rng rng(seed ^ 0x5160d);
+  TextGenerator text(&rng);
+  XmlWriter w;
+  const int issues = static_cast<int>(119 * scale + 0.5);
+  w.Open("SigmodRecord");
+  for (int i = 0; i < issues; ++i) {
+    w.Open("issue");
+    w.Element("volume", text.Number(11, 30));
+    w.Element("number", text.Number(1, 4));
+    w.Open("articles");
+    const int articles = static_cast<int>(rng.NextInRange(10, 35));
+    for (int a = 0; a < articles; ++a) {
+      w.Open("article");
+      w.Element("title", text.Sentence(4, 12));
+      const int init_page = static_cast<int>(rng.NextInRange(1, 120));
+      w.Element("initPage", std::to_string(init_page));
+      w.Element("endPage",
+                std::to_string(init_page +
+                               static_cast<int>(rng.NextInRange(2, 30))));
+      w.Open("authors");
+      const int authors = static_cast<int>(rng.NextInRange(1, 4));
+      for (int p = 0; p < authors; ++p) {
+        char pos[16];
+        std::snprintf(pos, sizeof(pos), "%02d", p);
+        w.Open("author", {{"position", std::string_view(pos)}});
+        w.Text(text.PersonName());
+        w.Close();
+      }
+      w.Close();  // authors
+      w.Close();  // article
+    }
+    w.Close();  // articles
+    w.Close();  // issue
+  }
+  w.Close();
+  return w.Finish();
+}
+
+}  // namespace natix

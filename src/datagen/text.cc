@@ -1,0 +1,118 @@
+#include "datagen/text.h"
+
+#include <cstdio>
+
+namespace natix {
+
+namespace {
+
+constexpr std::string_view kVocabulary[] = {
+    "the",      "of",        "and",       "to",        "a",
+    "in",       "that",      "is",        "was",       "he",
+    "for",      "it",        "with",      "as",        "his",
+    "on",       "be",        "at",        "by",        "had",
+    "not",      "are",       "but",       "from",      "or",
+    "have",     "an",        "they",      "which",     "one",
+    "you",      "were",      "her",       "all",       "she",
+    "there",    "would",     "their",     "we",        "him",
+    "been",     "has",       "when",      "who",       "will",
+    "more",     "no",        "if",        "out",       "so",
+    "said",     "what",      "up",        "its",       "about",
+    "into",     "than",      "them",      "can",       "only",
+    "other",    "new",       "some",      "could",     "time",
+    "these",    "two",       "may",       "then",      "do",
+    "first",    "any",       "my",        "now",       "such",
+    "like",     "our",       "over",      "man",       "me",
+    "even",     "most",      "made",      "after",     "also",
+    "did",      "many",      "before",    "must",      "through",
+    "years",    "where",     "much",      "your",      "way",
+    "well",     "down",      "should",    "because",   "each",
+    "just",     "those",     "people",    "how",       "too",
+    "little",   "state",     "good",      "very",      "make",
+    "world",    "still",     "own",       "see",       "men",
+    "work",     "long",      "get",       "here",      "between",
+    "both",     "life",      "being",     "under",     "never",
+    "day",      "same",      "another",   "know",      "while",
+    "last",     "might",     "us",        "great",     "old",
+    "year",     "off",       "come",      "since",     "against",
+    "go",       "came",      "right",     "used",      "take",
+    "three",    "states",    "himself",   "few",       "house",
+    "use",      "during",    "without",   "again",     "place",
+    "american", "around",    "however",   "home",      "small",
+    "found",    "mrs",       "thought",   "went",      "say",
+    "part",     "once",      "general",   "high",      "upon",
+    "school",   "every",     "don",       "does",      "got",
+    "united",   "left",      "number",    "course",    "war",
+    "until",    "always",    "away",      "something", "fact",
+    "though",   "water",     "less",      "public",    "put",
+    "thing",    "almost",    "hand",      "enough",    "far",
+    "took",     "head",      "yet",       "government", "system",
+};
+constexpr size_t kVocabularySize =
+    sizeof(kVocabulary) / sizeof(kVocabulary[0]);
+
+constexpr std::string_view kFirstNames[] = {
+    "Umeshwar", "Guido",  "Carl",    "Julia",   "Sven",    "Till",
+    "Robert",   "Alex",   "Maria",   "Ioana",   "Ralph",   "Florian",
+    "Martin",   "Albert", "Michael", "Mario",   "Sukhamay", "Jayadev",
+    "Joseph",   "Oded",   "Rajesh",  "Manolis", "Jeffrey", "Kevin",
+    "Roberta",  "Vanja",  "Jim",     "George",  "Guy",     "Fatma",
+};
+constexpr std::string_view kLastNames[] = {
+    "Kossmann",  "Moerkotte", "Kanne",    "Neumann",  "Helmer",
+    "Westmann",  "Schiele",   "Boehm",    "Seeger",   "Manolescu",
+    "Busse",     "Waas",      "Kersten",  "Schmidt",  "Carey",
+    "Kundu",     "Misra",     "Lukes",    "Shmueli",  "Bordawekar",
+    "Tsangaris", "Naughton",  "Beyer",    "Cochrane", "Josifovski",
+    "Lohman",    "Pirahesh",  "Franceschet", "Schkolnick", "Fiebig",
+};
+
+}  // namespace
+
+std::string_view TextGenerator::Word() {
+  return kVocabulary[rng_->NextZipf(kVocabularySize, 0.8)];
+}
+
+std::string TextGenerator::Words(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += Word();
+  }
+  return out;
+}
+
+std::string TextGenerator::Sentence(int min_words, int max_words) {
+  const int n =
+      static_cast<int>(rng_->NextInRange(min_words, max_words));
+  std::string out = Words(n);
+  if (!out.empty()) {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+    out += '.';
+  }
+  return out;
+}
+
+std::string TextGenerator::PersonName() {
+  const size_t nf = sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+  const size_t nl = sizeof(kLastNames) / sizeof(kLastNames[0]);
+  std::string out(kFirstNames[rng_->NextBounded(nf)]);
+  out += ' ';
+  out += kLastNames[rng_->NextBounded(nl)];
+  return out;
+}
+
+std::string TextGenerator::Date() {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d",
+                static_cast<int>(rng_->NextInRange(1, 12)),
+                static_cast<int>(rng_->NextInRange(1, 28)),
+                static_cast<int>(rng_->NextInRange(1996, 2002)));
+  return buf;
+}
+
+std::string TextGenerator::Number(int64_t lo, int64_t hi) {
+  return std::to_string(rng_->NextInRange(lo, hi));
+}
+
+}  // namespace natix

@@ -1,0 +1,43 @@
+#ifndef NATIX_DATAGEN_TEXT_H_
+#define NATIX_DATAGEN_TEXT_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace natix {
+
+/// Shared word-salad text generation for the document generators.
+/// Draws from a fixed vocabulary with Zipf-skewed ranks, mimicking the
+/// natural-language text (Shakespeare excerpts) the original XMark
+/// generator embeds.
+class TextGenerator {
+ public:
+  explicit TextGenerator(Rng* rng) : rng_(rng) {}
+
+  /// One random word.
+  std::string_view Word();
+
+  /// `n` space-separated words.
+  std::string Words(int n);
+
+  /// A sentence of `min_words`..`max_words` words, capitalized, with a
+  /// trailing period.
+  std::string Sentence(int min_words, int max_words);
+
+  /// A personal name like "Umeshwar Kossmann".
+  std::string PersonName();
+
+  /// A date like "07/13/1998".
+  std::string Date();
+
+  /// An integer rendered as a string, uniform in [lo, hi].
+  std::string Number(int64_t lo, int64_t hi);
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_DATAGEN_TEXT_H_

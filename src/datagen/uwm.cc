@@ -1,0 +1,63 @@
+#include <cstdio>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "datagen/text.h"
+#include "datagen/xml_writer.h"
+
+namespace natix {
+
+// uwm.xml profile: the University of Wisconsin-Milwaukee course catalog --
+// very many small, shallow course_listing records with a section list.
+// Original: 2338KB, 189542 nodes. Node budget per listing is ~30, so
+// ~6300 listings at scale 1.
+std::string GenerateUwm(uint64_t seed, double scale) {
+  Rng rng(seed ^ 0x0441);
+  TextGenerator text(&rng);
+  XmlWriter w;
+  const int listings = static_cast<int>(4700 * scale + 0.5);
+  static constexpr std::string_view kLevels[] = {"U", "G", "U/G"};
+  w.Open("root");
+  for (int i = 0; i < listings; ++i) {
+    w.Open("course_listing");
+    char course[16];
+    std::snprintf(course, sizeof(course), "%03d-%03d",
+                  static_cast<int>(rng.NextInRange(100, 999)),
+                  static_cast<int>(rng.NextInRange(100, 999)));
+    w.Element("course", course);
+    w.Open("note");
+    w.Close();
+    w.Element("title", text.Sentence(2, 6));
+    w.Element("credits", text.Number(1, 6));
+    w.Element("level", kLevels[rng.NextBounded(3)]);
+    if (rng.NextBool(0.4)) {
+      w.Element("restrictions", text.Sentence(4, 10));
+    }
+    w.Open("sections");
+    const int sections = static_cast<int>(rng.NextInRange(1, 4));
+    for (int s = 0; s < sections; ++s) {
+      w.Open("section_listing");
+      w.Element("section_note", text.Words(2));
+      w.Element("section", std::to_string(s + 1));
+      if (rng.NextBool(0.7)) {
+        w.Open("hours");
+        w.Element("start", text.Number(8, 16) + ":00");
+        w.Element("end", text.Number(9, 18) + ":50");
+        w.Close();
+      }
+      if (rng.NextBool(0.8)) {
+        w.Element("days", rng.NextBool() ? "MW" : "TR");
+      }
+      if (rng.NextBool(0.6)) {
+        w.Element("instructor", text.PersonName());
+      }
+      w.Close();  // section_listing
+    }
+    w.Close();  // sections
+    w.Close();  // course_listing
+  }
+  w.Close();
+  return w.Finish();
+}
+
+}  // namespace natix

@@ -1,0 +1,343 @@
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+#include "datagen/text.h"
+#include "datagen/xml_writer.h"
+
+namespace natix {
+
+namespace {
+
+// XMark auction-site generator, modeled on the XMark DTD (Schmidt et al.,
+// VLDB 2002). Scale 1.0 corresponds to the paper's XMark scale factor 0.1
+// document (xmark0p1.xml: 11670KB, 549213 nodes). The element vocabulary
+// covers everything the XPathMark queries Q1-Q7 touch: regions with
+// per-continent item lists, closed auctions with
+// annotation/description/parlist/listitem/text/keyword chains, and mail
+// elements inside item mailboxes.
+class XmarkGenerator {
+ public:
+  XmarkGenerator(uint64_t seed, double scale)
+      : rng_(seed ^ 0x3a41c), text_(&rng_), scale_(scale) {}
+
+  std::string Generate() {
+    items_ = Scaled(3260);
+    persons_ = Scaled(3830);
+    open_auctions_ = Scaled(1800);
+    closed_auctions_ = Scaled(1460);
+    categories_ = Scaled(150);
+
+    w_.Open("site");
+    Regions();
+    Categories();
+    Catgraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    w_.Close();
+    return w_.Finish();
+  }
+
+ private:
+  int Scaled(int base) const {
+    const int v = static_cast<int>(base * scale_ + 0.5);
+    return v < 1 ? 1 : v;
+  }
+
+  std::string ItemId(int i) const { return "item" + std::to_string(i); }
+  std::string PersonId(int i) const { return "person" + std::to_string(i); }
+  std::string CategoryId(int i) const {
+    return "category" + std::to_string(i);
+  }
+
+  std::string RandomItemRef() { return ItemId(Bounded(items_)); }
+  std::string RandomPersonRef() { return PersonId(Bounded(persons_)); }
+  std::string RandomCategoryRef() { return CategoryId(Bounded(categories_)); }
+  int Bounded(int n) { return static_cast<int>(rng_.NextBounded(n)); }
+
+  // <text> mixed content with inline keyword/bold/emph elements; the
+  // keyword elements are what //keyword and Q2/Q4/Q6 navigate to.
+  void MixedText() {
+    w_.Open("text");
+    const int runs = static_cast<int>(rng_.NextInRange(2, 5));
+    for (int r = 0; r < runs; ++r) {
+      w_.Text(text_.Words(static_cast<int>(rng_.NextInRange(6, 20))) + " ");
+      const double dice = rng_.NextDouble();
+      if (dice < 0.45) {
+        w_.Element("keyword", text_.Words(2));
+      } else if (dice < 0.65) {
+        w_.Element("bold", text_.Words(2));
+      } else if (dice < 0.8) {
+        w_.Element("emph", text_.Words(2));
+      }
+    }
+    w_.Text(text_.Words(static_cast<int>(rng_.NextInRange(2, 8))));
+    w_.Close();
+  }
+
+  // description := text | parlist; parlist nests listitems which contain
+  // text (with keywords) or a deeper parlist (Q2: .../annotation/
+  // description/parlist/listitem/text/keyword; Q4/Q6: keyword under
+  // listitem at any depth).
+  void Description(int depth) {
+    w_.Open("description");
+    if (depth > 0 && rng_.NextBool(0.55)) {
+      Parlist(depth);
+    } else {
+      MixedText();
+    }
+    w_.Close();
+  }
+
+  void Parlist(int depth) {
+    w_.Open("parlist");
+    const int items = static_cast<int>(rng_.NextInRange(1, 4));
+    for (int i = 0; i < items; ++i) {
+      w_.Open("listitem");
+      if (depth > 1 && rng_.NextBool(0.2)) {
+        Parlist(depth - 1);
+      } else {
+        MixedText();
+      }
+      w_.Close();
+    }
+    w_.Close();
+  }
+
+  void Regions() {
+    // Continent shares follow the XMark generator.
+    static constexpr struct {
+      std::string_view name;
+      double share;
+    } kRegions[] = {
+        {"africa", 0.025},    {"asia", 0.10},     {"australia", 0.10},
+        {"europe", 0.30},     {"namerica", 0.425}, {"samerica", 0.05},
+    };
+    w_.Open("regions");
+    int next_item = 0;
+    for (const auto& region : kRegions) {
+      w_.Open(region.name);
+      int count = static_cast<int>(items_ * region.share + 0.5);
+      if (&region == &kRegions[5]) count = items_ - next_item;  // remainder
+      for (int i = 0; i < count && next_item < items_; ++i) {
+        Item(next_item++);
+      }
+      w_.Close();
+    }
+    w_.Close();
+  }
+
+  void Item(int id) {
+    if (rng_.NextBool(0.1)) {
+      w_.Open("item", {{"id", ItemId(id)}, {"featured", "yes"}});
+    } else {
+      w_.Open("item", {{"id", ItemId(id)}});
+    }
+    w_.Element("location", rng_.NextBool(0.6) ? "United States"
+                                              : text_.Sentence(1, 2));
+    w_.Element("quantity", text_.Number(1, 10));
+    w_.Element("name", text_.Sentence(2, 4));
+    w_.Open("payment");
+    w_.Text("Creditcard");
+    w_.Close();
+    Description(2);
+    w_.Open("shipping");
+    w_.Text("Will ship internationally");
+    w_.Close();
+    const int cats = static_cast<int>(rng_.NextInRange(1, 3));
+    for (int c = 0; c < cats; ++c) {
+      w_.Open("incategory", {{"category", RandomCategoryRef()}});
+      w_.Close();
+    }
+    w_.Open("mailbox");
+    const int mails = static_cast<int>(rng_.NextZipf(6, 0.5));
+    for (int m = 0; m < mails; ++m) {
+      w_.Open("mail");
+      w_.Element("from", text_.PersonName());
+      w_.Element("to", text_.PersonName());
+      w_.Element("date", text_.Date());
+      MixedText();
+      w_.Close();
+    }
+    w_.Close();  // mailbox
+    w_.Close();  // item
+  }
+
+  void Categories() {
+    w_.Open("categories");
+    for (int c = 0; c < categories_; ++c) {
+      w_.Open("category", {{"id", CategoryId(c)}});
+      w_.Element("name", text_.Sentence(1, 3));
+      Description(1);
+      w_.Close();
+    }
+    w_.Close();
+  }
+
+  void Catgraph() {
+    w_.Open("catgraph");
+    for (int e = 0; e < categories_; ++e) {
+      w_.Open("edge", {{"from", RandomCategoryRef()},
+                       {"to", RandomCategoryRef()}});
+      w_.Close();
+    }
+    w_.Close();
+  }
+
+  void People() {
+    w_.Open("people");
+    for (int p = 0; p < persons_; ++p) {
+      w_.Open("person", {{"id", PersonId(p)}});
+      w_.Element("name", text_.PersonName());
+      w_.Element("emailaddress",
+                 "mailto:" + text_.Words(1) + "@" + text_.Words(1) + ".com");
+      if (rng_.NextBool(0.5)) {
+        w_.Element("phone", "+" + text_.Number(1, 99) + " (" +
+                                text_.Number(10, 999) + ") " +
+                                text_.Number(1000000, 99999999));
+      }
+      if (rng_.NextBool(0.5)) {
+        w_.Open("address");
+        w_.Element("street", text_.Number(1, 99) + " " + text_.Words(1) +
+                                 " St");
+        w_.Element("city", text_.Sentence(1, 1));
+        w_.Element("country", "United States");
+        w_.Element("zipcode", text_.Number(10000, 99999));
+        w_.Close();
+      }
+      if (rng_.NextBool(0.3)) {
+        w_.Element("homepage", "http://www." + text_.Words(1) + ".com/~" +
+                                   text_.Words(1));
+      }
+      if (rng_.NextBool(0.4)) {
+        w_.Element("creditcard",
+                   text_.Number(1000, 9999) + " " + text_.Number(1000, 9999) +
+                       " " + text_.Number(1000, 9999) + " " +
+                       text_.Number(1000, 9999));
+      }
+      if (rng_.NextBool(0.7)) {
+        w_.Open("profile", {{"income", text_.Number(9000, 120000) + ".00"}});
+        const int interests = static_cast<int>(rng_.NextZipf(4, 0.5));
+        for (int i = 0; i < interests; ++i) {
+          w_.Open("interest", {{"category", RandomCategoryRef()}});
+          w_.Close();
+        }
+        if (rng_.NextBool(0.5)) {
+          w_.Open("education");
+          w_.Text(rng_.NextBool() ? "Graduate School" : "College");
+          w_.Close();
+        }
+        if (rng_.NextBool(0.5)) {
+          w_.Element("gender", rng_.NextBool() ? "male" : "female");
+        }
+        w_.Element("business", rng_.NextBool() ? "Yes" : "No");
+        if (rng_.NextBool(0.5)) {
+          w_.Element("age", text_.Number(18, 90));
+        }
+        w_.Close();  // profile
+      }
+      if (rng_.NextBool(0.4)) {
+        w_.Open("watches");
+        const int watches = static_cast<int>(rng_.NextZipf(5, 0.5)) + 1;
+        for (int i = 0; i < watches; ++i) {
+          w_.Open("watch",
+                  {{"open_auction",
+                    "open_auction" + std::to_string(Bounded(open_auctions_))}});
+          w_.Close();
+        }
+        w_.Close();
+      }
+      w_.Close();  // person
+    }
+    w_.Close();  // people
+  }
+
+  void Annotation() {
+    w_.Open("annotation");
+    w_.Open("author", {{"person", RandomPersonRef()}});
+    w_.Close();
+    Description(2);
+    w_.Open("happiness");
+    w_.Text(text_.Number(1, 10));
+    w_.Close();
+    w_.Close();
+  }
+
+  void OpenAuctions() {
+    w_.Open("open_auctions");
+    for (int a = 0; a < open_auctions_; ++a) {
+      w_.Open("open_auction", {{"id", "open_auction" + std::to_string(a)}});
+      w_.Element("initial", text_.Number(1, 300) + "." + text_.Number(10, 99));
+      if (rng_.NextBool(0.4)) {
+        w_.Element("reserve", text_.Number(50, 500) + ".00");
+      }
+      const int bidders = static_cast<int>(rng_.NextZipf(6, 0.4));
+      for (int b = 0; b < bidders; ++b) {
+        w_.Open("bidder");
+        w_.Element("date", text_.Date());
+        w_.Element("time", text_.Number(10, 23) + ":" +
+                               text_.Number(10, 59) + ":" +
+                               text_.Number(10, 59));
+        w_.Open("personref", {{"person", RandomPersonRef()}});
+        w_.Close();
+        w_.Element("increase", text_.Number(1, 30) + ".00");
+        w_.Close();
+      }
+      w_.Element("current", text_.Number(10, 1000) + ".00");
+      if (rng_.NextBool(0.3)) w_.Element("privacy", "Yes");
+      w_.Open("itemref", {{"item", RandomItemRef()}});
+      w_.Close();
+      w_.Open("seller", {{"person", RandomPersonRef()}});
+      w_.Close();
+      Annotation();
+      w_.Element("quantity", text_.Number(1, 10));
+      w_.Element("type", rng_.NextBool(0.7) ? "Regular" : "Featured");
+      w_.Open("interval");
+      w_.Element("start", text_.Date());
+      w_.Element("end", text_.Date());
+      w_.Close();
+      w_.Close();  // open_auction
+    }
+    w_.Close();
+  }
+
+  void ClosedAuctions() {
+    w_.Open("closed_auctions");
+    for (int a = 0; a < closed_auctions_; ++a) {
+      w_.Open("closed_auction");
+      w_.Open("seller", {{"person", RandomPersonRef()}});
+      w_.Close();
+      w_.Open("buyer", {{"person", RandomPersonRef()}});
+      w_.Close();
+      w_.Open("itemref", {{"item", RandomItemRef()}});
+      w_.Close();
+      w_.Element("price", text_.Number(10, 1000) + ".00");
+      w_.Element("date", text_.Date());
+      w_.Element("quantity", text_.Number(1, 10));
+      w_.Element("type", rng_.NextBool(0.7) ? "Regular" : "Featured");
+      Annotation();
+      w_.Close();  // closed_auction
+    }
+    w_.Close();
+  }
+
+  Rng rng_;
+  TextGenerator text_;
+  XmlWriter w_;
+  double scale_;
+  int items_ = 0;
+  int persons_ = 0;
+  int open_auctions_ = 0;
+  int closed_auctions_ = 0;
+  int categories_ = 0;
+};
+
+}  // namespace
+
+std::string GenerateXmark(uint64_t seed, double scale) {
+  return XmarkGenerator(seed, scale).Generate();
+}
+
+}  // namespace natix

@@ -1,0 +1,85 @@
+#ifndef NATIX_DATAGEN_XML_WRITER_H_
+#define NATIX_DATAGEN_XML_WRITER_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace natix {
+
+/// Minimal streaming XML writer used by the document generators.
+/// Content is escaped; element nesting is tracked so Close() needs no
+/// arguments. Produces compact output (no insignificant whitespace), which
+/// keeps the parser -> importer pipeline free of whitespace text nodes.
+class XmlWriter {
+ public:
+  XmlWriter() = default;
+
+  /// Opens <tag>.
+  void Open(std::string_view tag) {
+    out_ += '<';
+    out_ += tag;
+    out_ += '>';
+    open_.emplace_back(tag);
+  }
+
+  /// Opens <tag attr1="v1" ...>.
+  void Open(std::string_view tag,
+            std::initializer_list<std::pair<std::string_view,
+                                            std::string_view>> attrs) {
+    out_ += '<';
+    out_ += tag;
+    for (const auto& [name, value] : attrs) {
+      out_ += ' ';
+      out_ += name;
+      out_ += "=\"";
+      out_ += EscapeXmlAttribute(value);
+      out_ += '"';
+    }
+    out_ += '>';
+    open_.emplace_back(tag);
+  }
+
+  /// Closes the innermost open element.
+  void Close() {
+    assert(!open_.empty());
+    out_ += "</";
+    out_ += open_.back();
+    out_ += '>';
+    open_.pop_back();
+  }
+
+  /// Appends escaped character data.
+  void Text(std::string_view text) { out_ += EscapeXmlText(text); }
+
+  /// <tag>text</tag> in one go.
+  void Element(std::string_view tag, std::string_view text) {
+    Open(tag);
+    Text(text);
+    Close();
+  }
+
+  /// <tag/> (empty element).
+  void EmptyElement(std::string_view tag) {
+    out_ += '<';
+    out_ += tag;
+    out_ += "/>";
+  }
+
+  /// Returns the document; all elements must be closed.
+  std::string Finish() {
+    assert(open_.empty());
+    return std::move(out_);
+  }
+
+ private:
+  std::string out_;
+  std::vector<std::string> open_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_DATAGEN_XML_WRITER_H_

@@ -1,0 +1,63 @@
+#ifndef NATIX_QUERY_AST_H_
+#define NATIX_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace natix {
+
+/// XPath axes supported by the evaluator (the set used by XPathMark
+/// Q1-Q7, Sec. 6.4).
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+/// Node tests.
+enum class NodeTestKind {
+  kName,        // element with a specific name
+  kAnyElement,  // *
+  kAnyNode,     // node()
+};
+
+struct PredicateExpr;
+
+/// One location step: axis::node-test[predicate]*.
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTestKind test = NodeTestKind::kName;
+  std::string name;  // for kName
+  std::vector<PredicateExpr> predicates;
+};
+
+/// A location path. Absolute paths start at the document root.
+struct PathExpr {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+/// Boolean predicate expression: an or/and tree over relative-path
+/// existence tests, e.g. [parent::namerica or parent::samerica].
+struct PredicateExpr {
+  enum class Kind { kOr, kAnd, kPath };
+  Kind kind = Kind::kPath;
+  /// For kOr / kAnd: the operands.
+  std::vector<PredicateExpr> operands;
+  /// For kPath: exists(relative path from the context node).
+  PathExpr path;
+};
+
+/// Renders a path back to XPath-ish text (diagnostics, test output).
+std::string ToString(const PathExpr& path);
+
+}  // namespace natix
+
+#endif  // NATIX_QUERY_AST_H_

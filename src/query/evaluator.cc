@@ -1,0 +1,226 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+namespace natix {
+
+StoreQueryEvaluator::StoreQueryEvaluator(const NatixStore* store,
+                                         AccessStats* stats,
+                                         LruBufferPool* buffer)
+    : store_(store),
+      nav_(store, stats, buffer),
+      preorder_rank_(store->tree().PreorderRanks()) {}
+
+Result<std::vector<NodeId>> StoreQueryEvaluator::Evaluate(
+    const PathExpr& query) {
+  if (!query.absolute) {
+    return Status::InvalidArgument(
+        "top-level queries must be absolute paths");
+  }
+  if (query.steps.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  // The initial context is the virtual document node (the parent of the
+  // root element), encoded as kInvalidNode. It can survive intermediate
+  // descendant-or-self::node() steps but is never part of the final
+  // result.
+  std::vector<NodeId> result = EvalSteps({kInvalidNode}, query.steps);
+  std::erase(result, kInvalidNode);
+  return result;
+}
+
+std::vector<NodeId> StoreQueryEvaluator::EvalSteps(
+    std::vector<NodeId> context, const std::vector<Step>& steps) {
+  for (const Step& step : steps) {
+    std::vector<NodeId> candidates;
+    for (const NodeId c : context) {
+      CollectAxis(c, step, &candidates);
+    }
+    Normalize(&candidates);
+    if (step.predicates.empty()) {
+      context = std::move(candidates);
+      continue;
+    }
+    std::vector<NodeId> filtered;
+    filtered.reserve(candidates.size());
+    for (const NodeId v : candidates) {
+      bool keep = true;
+      for (const PredicateExpr& pred : step.predicates) {
+        if (!EvalPredicate(v, pred)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(v);
+    }
+    context = std::move(filtered);
+  }
+  return context;
+}
+
+bool StoreQueryEvaluator::MatchesTest(NodeId v, const Step& step) const {
+  const Tree& tree = store_->tree();
+  const NodeKind kind = tree.KindOf(v);
+  switch (step.test) {
+    case NodeTestKind::kName:
+      return kind == NodeKind::kElement && tree.LabelOf(v) == step.name;
+    case NodeTestKind::kAnyElement:
+      return kind == NodeKind::kElement;
+    case NodeTestKind::kAnyNode:
+      // The XPath child/descendant axes never deliver attribute nodes.
+      return kind != NodeKind::kAttribute;
+  }
+  return false;
+}
+
+void StoreQueryEvaluator::CollectAxis(NodeId context, const Step& step,
+                                      std::vector<NodeId>* out) {
+  const Tree& tree = store_->tree();
+
+  // Virtual document node: only downward axes make sense.
+  if (context == kInvalidNode) {
+    const NodeId root = tree.root();
+    if (root == kInvalidNode) return;
+    switch (step.axis) {
+      case Axis::kChild:
+        nav_.JumpTo(root);
+        if (MatchesTest(root, step)) out->push_back(root);
+        return;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        // The document node's descendants are all nodes; for
+        // descendant-or-self::node() the document node itself is also in
+        // the result (this is what makes the // abbreviation able to
+        // reach the root element via the following child step).
+        if (step.axis == Axis::kDescendantOrSelf &&
+            step.test == NodeTestKind::kAnyNode) {
+          out->push_back(kInvalidNode);
+        }
+        Step scan = step;
+        scan.axis = Axis::kDescendantOrSelf;
+        CollectAxis(root, scan, out);
+        return;
+      }
+      default:
+        return;  // parent/ancestor/self of the document node: empty
+    }
+  }
+
+  switch (step.axis) {
+    case Axis::kSelf:
+      if (MatchesTest(context, step)) out->push_back(context);
+      return;
+    case Axis::kChild: {
+      nav_.JumpTo(context);
+      if (!nav_.ToFirstChild()) return;
+      do {
+        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+      } while (nav_.ToNextSibling());
+      return;
+    }
+    case Axis::kParent: {
+      nav_.JumpTo(context);
+      if (nav_.ToParent() && MatchesTest(nav_.current(), step)) {
+        out->push_back(nav_.current());
+      }
+      return;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      nav_.JumpTo(context);
+      if (step.axis == Axis::kAncestorOrSelf &&
+          MatchesTest(context, step)) {
+        out->push_back(context);
+      }
+      while (nav_.ToParent()) {
+        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+      }
+      return;
+    }
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      nav_.JumpTo(context);
+      if (step.axis == Axis::kDescendantOrSelf &&
+          MatchesTest(context, step)) {
+        out->push_back(context);
+      }
+      // Navigational depth-first scan of the subtree.
+      if (!nav_.ToFirstChild()) return;
+      int depth = 1;
+      for (;;) {
+        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+        if (nav_.ToFirstChild()) {
+          ++depth;
+          continue;
+        }
+        for (;;) {
+          if (nav_.ToNextSibling()) break;
+          if (!nav_.ToParent()) return;
+          if (--depth == 0) return;
+        }
+      }
+    }
+    case Axis::kFollowingSibling: {
+      nav_.JumpTo(context);
+      while (nav_.ToNextSibling()) {
+        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+      }
+      return;
+    }
+    case Axis::kPrecedingSibling: {
+      nav_.JumpTo(context);
+      while (nav_.ToPrevSibling()) {
+        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+      }
+      return;
+    }
+  }
+}
+
+bool StoreQueryEvaluator::EvalPredicate(NodeId v, const PredicateExpr& pred) {
+  switch (pred.kind) {
+    case PredicateExpr::Kind::kOr:
+      for (const PredicateExpr& op : pred.operands) {
+        if (EvalPredicate(v, op)) return true;
+      }
+      return false;
+    case PredicateExpr::Kind::kAnd:
+      for (const PredicateExpr& op : pred.operands) {
+        if (!EvalPredicate(v, op)) return false;
+      }
+      return true;
+    case PredicateExpr::Kind::kPath:
+      return ExistsPath(v, pred.path, 0);
+  }
+  return false;
+}
+
+bool StoreQueryEvaluator::ExistsPath(NodeId v, const PathExpr& path,
+                                     size_t step_index) {
+  if (step_index == path.steps.size()) return true;
+  std::vector<NodeId> matches;
+  CollectAxis(v, path.steps[step_index], &matches);
+  for (const NodeId m : matches) {
+    bool keep = true;
+    for (const PredicateExpr& pred : path.steps[step_index].predicates) {
+      if (!EvalPredicate(m, pred)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep && ExistsPath(m, path, step_index + 1)) return true;
+  }
+  return false;
+}
+
+void StoreQueryEvaluator::Normalize(std::vector<NodeId>* nodes) const {
+  // The virtual document node (kInvalidNode) sorts before everything.
+  const auto rank = [&](NodeId v) {
+    return v == kInvalidNode ? 0u : preorder_rank_[v] + 1;
+  };
+  std::sort(nodes->begin(), nodes->end(),
+            [&](NodeId a, NodeId b) { return rank(a) < rank(b); });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+}  // namespace natix

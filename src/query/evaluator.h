@@ -1,0 +1,55 @@
+#ifndef NATIX_QUERY_EVALUATOR_H_
+#define NATIX_QUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "storage/store.h"
+
+namespace natix {
+
+/// Evaluates an XPath-subset query against a NatixStore using only the
+/// store's navigation primitives. Every axis traversal moves a Navigator
+/// cursor node by node, so the evaluation cost decomposes into
+/// intra-record moves and record crossings -- exactly the asymmetry the
+/// paper's partitioning quality experiment measures (Sec. 6.4).
+///
+/// Semantics: node-set results in document order without duplicates.
+/// Attribute nodes are not on the child/descendant axes (XPath data
+/// model); name tests match elements only; node() matches any non-
+/// attribute node. Predicates are existence tests combined with and/or,
+/// evaluated with early exit.
+class StoreQueryEvaluator {
+ public:
+  /// `store` and `stats` (and `buffer`, if given) must outlive the
+  /// evaluator. A non-null `buffer` routes every record crossing through
+  /// the LRU page pool for cold-cache experiments.
+  StoreQueryEvaluator(const NatixStore* store, AccessStats* stats,
+                      LruBufferPool* buffer = nullptr);
+
+  /// Runs the query from the document root. Results are NodeIds of the
+  /// logical tree, in document order.
+  Result<std::vector<NodeId>> Evaluate(const PathExpr& query);
+
+ private:
+  std::vector<NodeId> EvalSteps(std::vector<NodeId> context,
+                                const std::vector<Step>& steps);
+  /// Appends nodes reached from `context` via `step` (axis + node test)
+  /// to `out`; no predicate filtering.
+  void CollectAxis(NodeId context, const Step& step, std::vector<NodeId>* out);
+  bool MatchesTest(NodeId v, const Step& step) const;
+  bool EvalPredicate(NodeId v, const PredicateExpr& pred);
+  /// Existence of a relative path from `v`, early exit on first witness.
+  bool ExistsPath(NodeId v, const PathExpr& path, size_t step_index);
+  /// Sorts by document order and removes duplicates.
+  void Normalize(std::vector<NodeId>* nodes) const;
+
+  const NatixStore* store_;
+  Navigator nav_;
+  std::vector<uint32_t> preorder_rank_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_QUERY_EVALUATOR_H_

@@ -1,0 +1,257 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace natix {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.';
+}
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view input) : input_(input) {}
+
+  Result<PathExpr> Parse() {
+    NATIX_ASSIGN_OR_RETURN(PathExpr path, ParsePath(/*allow_absolute=*/true));
+    SkipSpace();
+    if (pos_ != input_.size()) return Error("trailing input");
+    if (path.steps.empty()) return Error("empty path");
+    return path;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("XPath, offset " + std::to_string(pos_) +
+                              ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : input_[pos_]; }
+
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  /// Consumes a keyword only if it is not part of a longer name.
+  bool ConsumeKeyword(std::string_view word) {
+    if (input_.substr(pos_, word.size()) != word) return false;
+    const size_t after = pos_ + word.size();
+    if (after < input_.size() && IsNameChar(input_[after])) return false;
+    pos_ = after;
+    return true;
+  }
+
+  std::string_view ParseName() {
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return input_.substr(start, pos_ - start);
+  }
+
+  Result<PathExpr> ParsePath(bool allow_absolute) {
+    PathExpr path;
+    SkipSpace();
+    if (allow_absolute && Peek() == '/') {
+      path.absolute = true;
+    } else if (Peek() == '/') {
+      return Error("relative path expected");
+    }
+    bool first = true;
+    for (;;) {
+      SkipSpace();
+      if (first) {
+        if (path.absolute) {
+          if (Consume("//")) {
+            path.steps.push_back(DescendantOrSelfNode());
+          } else if (Consume("/")) {
+            // plain absolute step
+          }
+        }
+        first = false;
+      } else {
+        if (Consume("//")) {
+          path.steps.push_back(DescendantOrSelfNode());
+        } else if (Consume("/")) {
+          // next step
+        } else {
+          break;
+        }
+      }
+      NATIX_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path.steps.push_back(std::move(step));
+    }
+    return path;
+  }
+
+  static Step DescendantOrSelfNode() {
+    Step s;
+    s.axis = Axis::kDescendantOrSelf;
+    s.test = NodeTestKind::kAnyNode;
+    return s;
+  }
+
+  Result<Step> ParseStep() {
+    SkipSpace();
+    Step step;
+    // Optional explicit axis.
+    static constexpr struct {
+      std::string_view name;
+      Axis axis;
+    } kAxes[] = {
+        // Longest-match order matters.
+        {"descendant-or-self", Axis::kDescendantOrSelf},
+        {"descendant", Axis::kDescendant},
+        {"ancestor-or-self", Axis::kAncestorOrSelf},
+        {"ancestor", Axis::kAncestor},
+        {"following-sibling", Axis::kFollowingSibling},
+        {"preceding-sibling", Axis::kPrecedingSibling},
+        {"child", Axis::kChild},
+        {"parent", Axis::kParent},
+        {"self", Axis::kSelf},
+    };
+    for (const auto& a : kAxes) {
+      if (input_.substr(pos_, a.name.size()) == a.name &&
+          input_.substr(pos_ + a.name.size(), 2) == "::") {
+        step.axis = a.axis;
+        pos_ += a.name.size() + 2;
+        break;
+      }
+    }
+    // Node test.
+    SkipSpace();
+    if (Consume("*")) {
+      step.test = NodeTestKind::kAnyElement;
+    } else if (ConsumeKeyword("node") && Consume("()")) {
+      step.test = NodeTestKind::kAnyNode;
+    } else {
+      const std::string_view name = ParseName();
+      if (name.empty()) return Error("expected a node test");
+      step.test = NodeTestKind::kName;
+      step.name = std::string(name);
+    }
+    // Predicates.
+    for (;;) {
+      SkipSpace();
+      if (!Consume("[")) break;
+      NATIX_ASSIGN_OR_RETURN(PredicateExpr pred, ParseOrExpr());
+      SkipSpace();
+      if (!Consume("]")) return Error("expected ']'");
+      step.predicates.push_back(std::move(pred));
+    }
+    return step;
+  }
+
+  Result<PredicateExpr> ParseOrExpr() {
+    NATIX_ASSIGN_OR_RETURN(PredicateExpr left, ParseAndExpr());
+    SkipSpace();
+    if (!PeekKeyword("or")) return left;
+    PredicateExpr out;
+    out.kind = PredicateExpr::Kind::kOr;
+    out.operands.push_back(std::move(left));
+    while (ConsumeKeywordSpaced("or")) {
+      NATIX_ASSIGN_OR_RETURN(PredicateExpr next, ParseAndExpr());
+      out.operands.push_back(std::move(next));
+      SkipSpace();
+    }
+    return out;
+  }
+
+  Result<PredicateExpr> ParseAndExpr() {
+    NATIX_ASSIGN_OR_RETURN(PredicateExpr left, ParsePrimary());
+    SkipSpace();
+    if (!PeekKeyword("and")) return left;
+    PredicateExpr out;
+    out.kind = PredicateExpr::Kind::kAnd;
+    out.operands.push_back(std::move(left));
+    while (ConsumeKeywordSpaced("and")) {
+      NATIX_ASSIGN_OR_RETURN(PredicateExpr next, ParsePrimary());
+      out.operands.push_back(std::move(next));
+      SkipSpace();
+    }
+    return out;
+  }
+
+  bool PeekKeyword(std::string_view word) {
+    const size_t save = pos_;
+    const bool ok = ConsumeKeywordSpaced(word);
+    pos_ = save;
+    return ok;
+  }
+
+  bool ConsumeKeywordSpaced(std::string_view word) {
+    const size_t save = pos_;
+    SkipSpace();
+    if (ConsumeKeyword(word)) return true;
+    pos_ = save;
+    return false;
+  }
+
+  Result<PredicateExpr> ParsePrimary() {
+    SkipSpace();
+    if (Consume("(")) {
+      NATIX_ASSIGN_OR_RETURN(PredicateExpr inner, ParseOrExpr());
+      SkipSpace();
+      if (!Consume(")")) return Error("expected ')'");
+      return inner;
+    }
+    PredicateExpr out;
+    out.kind = PredicateExpr::Kind::kPath;
+    NATIX_ASSIGN_OR_RETURN(out.path, ParsePath(/*allow_absolute=*/false));
+    if (out.path.steps.empty()) return Error("expected a predicate path");
+    return out;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExpr> ParseXPath(std::string_view query) {
+  return XPathParser(query).Parse();
+}
+
+std::string ToString(const PathExpr& path) {
+  static constexpr std::string_view kAxisNames[] = {
+      "child",    "descendant",       "descendant-or-self",
+      "parent",   "ancestor",         "ancestor-or-self",
+      "self",     "following-sibling", "preceding-sibling"};
+  std::string out;
+  bool first = true;
+  for (const Step& step : path.steps) {
+    if (!first || path.absolute) out += '/';
+    first = false;
+    out += kAxisNames[static_cast<int>(step.axis)];
+    out += "::";
+    switch (step.test) {
+      case NodeTestKind::kName:
+        out += step.name;
+        break;
+      case NodeTestKind::kAnyElement:
+        out += '*';
+        break;
+      case NodeTestKind::kAnyNode:
+        out += "node()";
+        break;
+    }
+    for (const PredicateExpr& pred : step.predicates) {
+      out += "[...]";
+      (void)pred;
+    }
+  }
+  return out;
+}
+
+}  // namespace natix

@@ -1,0 +1,34 @@
+#ifndef NATIX_QUERY_PARSER_H_
+#define NATIX_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace natix {
+
+/// Parses the XPath subset used in the paper's evaluation:
+///
+///   path        := ('/' | '//')? step (('/' | '//') step)*
+///   step        := (axis '::')? nodetest predicate*
+///   axis        := child | descendant | descendant-or-self | parent
+///                | ancestor | ancestor-or-self | self
+///   nodetest    := NAME | '*' | 'node()'
+///   predicate   := '[' or-expr ']'
+///   or-expr     := and-expr ('or' and-expr)*
+///   and-expr    := primary ('and' primary)*
+///   primary     := relative-path | '(' or-expr ')'
+///
+/// '//' is desugared to a descendant-or-self::node() step, per the XPath
+/// abbreviation rules. Examples (XPathMark Q1-Q7):
+///   /site/regions/*/item
+///   //keyword
+///   /descendant-or-self::listitem/descendant-or-self::keyword
+///   /site/regions/*/item[parent::namerica or parent::samerica]
+///   //keyword/ancestor::listitem
+Result<PathExpr> ParseXPath(std::string_view query);
+
+}  // namespace natix
+
+#endif  // NATIX_QUERY_PARSER_H_

@@ -1,0 +1,195 @@
+#include "query/reference_evaluator.h"
+
+#include <algorithm>
+
+namespace natix {
+
+namespace {
+
+/// Set-at-a-time evaluator: for each step, expand every context node via
+/// plain tree accessors. Deliberately structured differently from the
+/// navigational store evaluator (precomputed descendant ranges instead of
+/// cursor walks) so the two are independent implementations.
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(const Tree& tree)
+      : tree_(tree), preorder_(tree.PreorderNodes()) {
+    rank_.resize(tree.size());
+    for (uint32_t i = 0; i < preorder_.size(); ++i) rank_[preorder_[i]] = i;
+    // subtree_end_[v]: one past the last preorder rank of Tv.
+    subtree_end_.resize(tree.size());
+    for (size_t i = preorder_.size(); i-- > 0;) {
+      const NodeId v = preorder_[i];
+      uint32_t end = static_cast<uint32_t>(i) + 1;
+      for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+           c = tree.NextSibling(c)) {
+        end = std::max(end, subtree_end_[c]);
+      }
+      subtree_end_[v] = end;
+    }
+  }
+
+  Result<std::vector<NodeId>> Evaluate(const PathExpr& query) {
+    if (!query.absolute) {
+      return Status::InvalidArgument(
+          "top-level queries must be absolute paths");
+    }
+    if (query.steps.empty()) {
+      return Status::InvalidArgument("empty query");
+    }
+    std::vector<NodeId> context = {kInvalidNode};  // virtual document node
+    for (const Step& step : query.steps) {
+      context = EvalStep(context, step);
+    }
+    std::erase(context, kInvalidNode);
+    return context;
+  }
+
+ private:
+  bool Matches(NodeId v, const Step& step) const {
+    const NodeKind kind = tree_.KindOf(v);
+    switch (step.test) {
+      case NodeTestKind::kName:
+        return kind == NodeKind::kElement && tree_.LabelOf(v) == step.name;
+      case NodeTestKind::kAnyElement:
+        return kind == NodeKind::kElement;
+      case NodeTestKind::kAnyNode:
+        return kind != NodeKind::kAttribute;
+    }
+    return false;
+  }
+
+  void CollectAxis(NodeId context, const Step& step, std::vector<NodeId>* out) {
+    if (context == kInvalidNode) {
+      if (tree_.empty()) return;
+      switch (step.axis) {
+        case Axis::kChild:
+          if (Matches(tree_.root(), step)) out->push_back(tree_.root());
+          return;
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+          // descendant-or-self::node() from the document node includes
+          // the document node itself (needed by the // abbreviation).
+          if (step.axis == Axis::kDescendantOrSelf &&
+              step.test == NodeTestKind::kAnyNode) {
+            out->push_back(kInvalidNode);
+          }
+          for (const NodeId v : preorder_) {
+            if (Matches(v, step)) out->push_back(v);
+          }
+          return;
+        default:
+          return;
+      }
+    }
+    switch (step.axis) {
+      case Axis::kSelf:
+        if (Matches(context, step)) out->push_back(context);
+        return;
+      case Axis::kChild:
+        for (NodeId c = tree_.FirstChild(context); c != kInvalidNode;
+             c = tree_.NextSibling(c)) {
+          if (Matches(c, step)) out->push_back(c);
+        }
+        return;
+      case Axis::kParent: {
+        const NodeId p = tree_.Parent(context);
+        if (p != kInvalidNode && Matches(p, step)) out->push_back(p);
+        return;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        NodeId v = step.axis == Axis::kAncestorOrSelf ? context
+                                                      : tree_.Parent(context);
+        while (v != kInvalidNode) {
+          if (Matches(v, step)) out->push_back(v);
+          v = tree_.Parent(v);
+        }
+        return;
+      }
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        const uint32_t begin = step.axis == Axis::kDescendantOrSelf
+                                   ? rank_[context]
+                                   : rank_[context] + 1;
+        for (uint32_t i = begin; i < subtree_end_[context]; ++i) {
+          if (Matches(preorder_[i], step)) out->push_back(preorder_[i]);
+        }
+        return;
+      }
+      case Axis::kFollowingSibling:
+        for (NodeId s = tree_.NextSibling(context); s != kInvalidNode;
+             s = tree_.NextSibling(s)) {
+          if (Matches(s, step)) out->push_back(s);
+        }
+        return;
+      case Axis::kPrecedingSibling:
+        for (NodeId s = tree_.PrevSibling(context); s != kInvalidNode;
+             s = tree_.PrevSibling(s)) {
+          if (Matches(s, step)) out->push_back(s);
+        }
+        return;
+    }
+  }
+
+  std::vector<NodeId> EvalStep(const std::vector<NodeId>& context,
+                               const Step& step) {
+    std::vector<NodeId> out;
+    for (const NodeId c : context) CollectAxis(c, step, &out);
+    const auto rank = [&](NodeId v) {
+      return v == kInvalidNode ? 0u : rank_[v] + 1;
+    };
+    std::sort(out.begin(), out.end(),
+              [&](NodeId a, NodeId b) { return rank(a) < rank(b); });
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    if (step.predicates.empty()) return out;
+    std::vector<NodeId> filtered;
+    for (const NodeId v : out) {
+      bool keep = true;
+      for (const PredicateExpr& pred : step.predicates) {
+        if (!EvalPred(v, pred)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(v);
+    }
+    return filtered;
+  }
+
+  bool EvalPred(NodeId v, const PredicateExpr& pred) {
+    switch (pred.kind) {
+      case PredicateExpr::Kind::kOr:
+        return std::any_of(
+            pred.operands.begin(), pred.operands.end(),
+            [&](const PredicateExpr& op) { return EvalPred(v, op); });
+      case PredicateExpr::Kind::kAnd:
+        return std::all_of(
+            pred.operands.begin(), pred.operands.end(),
+            [&](const PredicateExpr& op) { return EvalPred(v, op); });
+      case PredicateExpr::Kind::kPath: {
+        std::vector<NodeId> context = {v};
+        for (const Step& step : pred.path.steps) {
+          context = EvalStep(context, step);
+          if (context.empty()) return false;
+        }
+        return !context.empty();
+      }
+    }
+    return false;
+  }
+
+  const Tree& tree_;
+  std::vector<NodeId> preorder_;
+  std::vector<uint32_t> rank_;
+  std::vector<uint32_t> subtree_end_;
+};
+
+}  // namespace
+
+Result<std::vector<NodeId>> EvaluateOnTree(const Tree& tree,
+                                           const PathExpr& query) {
+  return ReferenceEvaluator(tree).Evaluate(query);
+}
+
+}  // namespace natix

@@ -1,0 +1,22 @@
+#ifndef NATIX_QUERY_REFERENCE_EVALUATOR_H_
+#define NATIX_QUERY_REFERENCE_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Evaluates the XPath subset directly on an in-memory Tree, with no
+/// storage model and an implementation independent from
+/// StoreQueryEvaluator. Serves as the correctness oracle in tests and as
+/// the "ideal navigation" baseline in benchmarks: results must be
+/// identical to the store evaluator for every query and partitioning.
+Result<std::vector<NodeId>> EvaluateOnTree(const Tree& tree,
+                                           const PathExpr& query);
+
+}  // namespace natix
+
+#endif  // NATIX_QUERY_REFERENCE_EVALUATOR_H_

@@ -1,0 +1,22 @@
+#include "query/xpathmark.h"
+
+namespace natix {
+
+const std::vector<XPathMarkQuery>& XPathMarkQueries() {
+  static const std::vector<XPathMarkQuery>& queries =
+      *new std::vector<XPathMarkQuery>{
+          {"Q1", "/site/regions/*/item"},
+          {"Q2",
+           "/site/closed_auctions/closed_auction/annotation/description/"
+           "parlist/listitem/text/keyword"},
+          {"Q3", "//keyword"},
+          {"Q4", "/descendant-or-self::listitem/descendant-or-self::keyword"},
+          {"Q5",
+           "/site/regions/*/item[parent::namerica or parent::samerica]"},
+          {"Q6", "//keyword/ancestor::listitem"},
+          {"Q7", "//keyword/ancestor-or-self::mail"},
+      };
+  return queries;
+}
+
+}  // namespace natix

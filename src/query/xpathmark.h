@@ -1,0 +1,22 @@
+#ifndef NATIX_QUERY_XPATHMARK_H_
+#define NATIX_QUERY_XPATHMARK_H_
+
+#include <string_view>
+#include <vector>
+
+namespace natix {
+
+/// One query of the paper's query-performance experiment.
+struct XPathMarkQuery {
+  std::string_view id;    // "Q1".."Q7"
+  std::string_view text;  // the XPath expression from Table 3
+};
+
+/// The seven XPathMark queries (Franceschet, XSym 2005) the paper runs
+/// against the XMark document in Table 3. Pure navigation queries: child,
+/// descendant and ancestor axes, wildcard steps, structural predicates.
+const std::vector<XPathMarkQuery>& XPathMarkQueries();
+
+}  // namespace natix
+
+#endif  // NATIX_QUERY_XPATHMARK_H_

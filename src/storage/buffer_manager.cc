@@ -1,0 +1,40 @@
+#include "storage/buffer_manager.h"
+
+#include <cassert>
+
+namespace natix {
+
+LruBufferPool::LruBufferPool(size_t capacity) : capacity_(capacity) {
+  assert(capacity_ > 0);
+  frames_.reserve(capacity_);
+}
+
+bool LruBufferPool::Access(uint32_t page) {
+  ++stats_.accesses;
+  const auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  if (lru_.size() >= capacity_) {
+    ++stats_.evictions;
+    frames_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  frames_[page] = lru_.begin();
+  return false;
+}
+
+bool LruBufferPool::IsResident(uint32_t page) const {
+  return frames_.contains(page);
+}
+
+void LruBufferPool::Clear() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace natix

@@ -1,0 +1,66 @@
+#ifndef NATIX_STORAGE_BUFFER_MANAGER_H_
+#define NATIX_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// Buffer access counters.
+struct BufferStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;  // each miss models one page read from disk
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+  void Reset() { *this = BufferStats(); }
+};
+
+/// An LRU page buffer, used to model cold-cache query behaviour.
+///
+/// The paper's query experiment deliberately runs with a buffer pool
+/// larger than the document, eliminating I/O; this class enables the
+/// complementary experiment: with a bounded buffer, a layout that packs a
+/// query's working set into fewer pages (sibling partitioning) touches
+/// fewer distinct pages and therefore faults less. Pages are identified
+/// by number only; the actual bytes stay in the RecordManager (this is a
+/// cache *model*, the data is already in memory).
+class LruBufferPool {
+ public:
+  /// `capacity`: number of page frames; must be positive.
+  explicit LruBufferPool(size_t capacity);
+
+  /// Touches a page: records a hit if resident, otherwise a miss (and an
+  /// eviction if the pool was full). Returns true on a hit.
+  bool Access(uint32_t page);
+
+  /// True if the page is currently resident (no stats effect).
+  bool IsResident(uint32_t page) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t resident_count() const { return lru_.size(); }
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Empties the pool (cold restart), keeping the stats.
+  void Clear();
+
+ private:
+  size_t capacity_;
+  /// Most-recently-used at the front.
+  std::list<uint32_t> lru_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> frames_;
+  BufferStats stats_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,31 @@
+#include "storage/page.h"
+
+namespace natix {
+
+Result<uint16_t> Page::Insert(const std::vector<uint8_t>& record) {
+  if (record.size() > FreeSpace()) {
+    return Status::ResourceExhausted("record does not fit in page");
+  }
+  const uint32_t offset = ReadU32(0);
+  const uint32_t slot = slot_count();
+  std::memcpy(data_.data() + offset, record.data(), record.size());
+  WriteU32(0, offset + static_cast<uint32_t>(record.size()));
+  WriteU32(4, slot + 1);
+  // Directory entry for slot s lives at size - 8*(s+1).
+  const size_t dir_off = data_.size() - 8ull * (slot + 1);
+  WriteU32(dir_off, offset);
+  WriteU32(dir_off + 4, static_cast<uint32_t>(record.size()));
+  return static_cast<uint16_t>(slot);
+}
+
+Result<std::pair<const uint8_t*, size_t>> Page::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("no such slot: " + std::to_string(slot));
+  }
+  const size_t dir_off = data_.size() - 8ull * (slot + 1);
+  const uint32_t offset = ReadU32(dir_off);
+  const uint32_t length = ReadU32(dir_off + 4);
+  return std::make_pair(data_.data() + offset, static_cast<size_t>(length));
+}
+
+}  // namespace natix

@@ -1,0 +1,67 @@
+#ifndef NATIX_STORAGE_PAGE_H_
+#define NATIX_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// A fixed-size slotted page, the disk allocation unit of the mini-Natix
+/// storage engine. Records grow from the front of the payload area; the
+/// slot directory grows from the back. Slots are never compacted (records
+/// are write-once in this bulk-load engine).
+///
+/// Layout:
+///   [0..8)                  header: payload_end (u32), slot_count (u32)
+///   [8..payload_end)        record payloads
+///   [size - 8*slot_count..) slot directory, 8 bytes per slot
+///                           (offset u32, length u32), last slot first
+class Page {
+ public:
+  explicit Page(size_t size) : data_(size, 0) {
+    WriteU32(0, 8);  // payload starts after the header
+    WriteU32(4, 0);  // no slots
+  }
+
+  size_t size() const { return data_.size(); }
+  uint32_t slot_count() const { return ReadU32(4); }
+
+  /// Bytes available for one more record's payload (its 8-byte directory
+  /// entry already accounted).
+  size_t FreeSpace() const {
+    const size_t dir = 8ull * slot_count();
+    const size_t used = ReadU32(0);  // includes the 8-byte header
+    const size_t total = data_.size();
+    if (used + dir + 8 >= total) return 0;
+    return total - used - dir - 8;
+  }
+
+  /// Appends a record; returns its slot number, or ResourceExhausted if it
+  /// does not fit.
+  Result<uint16_t> Insert(const std::vector<uint8_t>& record);
+
+  /// Read-only view of a record's bytes.
+  Result<std::pair<const uint8_t*, size_t>> Get(uint16_t slot) const;
+
+  /// Bytes wasted at the end of the payload area (fragmentation metric).
+  size_t SlackBytes() const { return FreeSpace(); }
+
+ private:
+  uint32_t ReadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data_.data() + off, 4);
+    return v;
+  }
+  void WriteU32(size_t off, uint32_t v) {
+    std::memcpy(data_.data() + off, &v, 4);
+  }
+
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_PAGE_H_

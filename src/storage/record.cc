@@ -1,0 +1,140 @@
+#include "storage/record.h"
+
+#include <cstring>
+
+namespace natix {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t off = out->size();
+  out->resize(off + 4);
+  std::memcpy(out->data() + off, &v, 4);
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t off = out->size();
+  out->resize(off + 8);
+  std::memcpy(out->data() + off, &v, 8);
+}
+
+uint32_t GetU32(const uint8_t* data) {
+  uint32_t v;
+  std::memcpy(&v, data, 4);
+  return v;
+}
+
+}  // namespace
+
+void RecordBuilder::AddNode(NodeId node, int32_t parent_in_record,
+                            uint8_t kind, int32_t label,
+                            std::string_view content, bool overflow) {
+  nodes_.push_back({node, parent_in_record, kind, label,
+                    std::string(content), overflow});
+}
+
+void RecordBuilder::AddProxy(uint64_t record_ref) {
+  proxies_.push_back(record_ref);
+}
+
+size_t RecordBuilder::ByteSize() const {
+  size_t bytes = 8;                      // counts
+  bytes += nodes_.size() * 8;            // structure entries
+  bytes += proxies_.size() * 8;          // proxy entries
+  for (const PendingNode& n : nodes_) {
+    bytes += slot_size_;  // header slot
+    if (n.overflow) {
+      bytes += slot_size_;  // overflow reference slot
+    } else if (!n.content.empty()) {
+      const size_t slots = (n.content.size() + slot_size_ - 1) / slot_size_;
+      bytes += slots * slot_size_;
+    }
+  }
+  return bytes;
+}
+
+std::vector<uint8_t> RecordBuilder::Build() const {
+  std::vector<uint8_t> out;
+  out.reserve(ByteSize());
+  PutU32(&out, static_cast<uint32_t>(nodes_.size()));
+  PutU32(&out, static_cast<uint32_t>(proxies_.size()));
+  for (const PendingNode& n : nodes_) {
+    PutU32(&out, n.node);
+    PutU32(&out, static_cast<uint32_t>(n.parent_in_record));
+  }
+  for (const uint64_t p : proxies_) PutU64(&out, p);
+  for (const PendingNode& n : nodes_) {
+    const uint32_t content_slots =
+        n.overflow ? 0
+                   : static_cast<uint32_t>(
+                         (n.content.size() + slot_size_ - 1) / slot_size_);
+    // Header slot: kind, flags, content slot count, label.
+    const size_t off = out.size();
+    out.resize(off + slot_size_, 0);
+    out[off] = n.kind;
+    out[off + 1] = n.overflow ? 1 : 0;
+    const uint16_t cs16 = static_cast<uint16_t>(content_slots);
+    std::memcpy(out.data() + off + 2, &cs16, 2);
+    std::memcpy(out.data() + off + 4, &n.label, 4);
+    if (n.overflow) {
+      // Overflow reference slot (the externalized content length).
+      const uint64_t ref = n.content.size();
+      PutU64(&out, ref);
+    } else if (!n.content.empty()) {
+      const size_t coff = out.size();
+      out.resize(coff + static_cast<size_t>(content_slots) * slot_size_, 0);
+      std::memcpy(out.data() + coff, n.content.data(), n.content.size());
+    }
+  }
+  return out;
+}
+
+Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
+                                   uint32_t slot_size) {
+  if (size < 8) return Status::ParseError("record too small");
+  DecodedRecord rec;
+  const uint32_t node_count = GetU32(data);
+  rec.proxy_count = GetU32(data + 4);
+  size_t off = 8;
+  if (size < off + 8ull * node_count + 8ull * rec.proxy_count) {
+    return Status::ParseError("record truncated in structure section");
+  }
+  rec.nodes.resize(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    rec.nodes[i].node = GetU32(data + off);
+    rec.nodes[i].parent_in_record = static_cast<int32_t>(GetU32(data + off + 4));
+    off += 8;
+  }
+  off += 8ull * rec.proxy_count;
+  for (uint32_t i = 0; i < node_count; ++i) {
+    if (off + slot_size > size) {
+      return Status::ParseError("record truncated in node data");
+    }
+    RecordNode& n = rec.nodes[i];
+    n.kind = data[off];
+    const bool overflow = (data[off + 1] & 1) != 0;
+    n.overflow = overflow;
+    uint16_t content_slots;
+    std::memcpy(&content_slots, data + off + 2, 2);
+    std::memcpy(&n.label, data + off + 4, 4);
+    off += slot_size;
+    if (overflow) {
+      if (off + 8 > size) {
+        return Status::ParseError("record truncated in overflow reference");
+      }
+      uint64_t ref;
+      std::memcpy(&ref, data + off, 8);
+      n.content_bytes = static_cast<uint32_t>(ref);
+      off += 8;
+    } else {
+      n.content_bytes = content_slots * slot_size;
+      off += static_cast<size_t>(content_slots) * slot_size;
+      if (off > size) {
+        return Status::ParseError("record truncated in content");
+      }
+    }
+  }
+  return rec;
+}
+
+}  // namespace natix

@@ -1,0 +1,100 @@
+#ifndef NATIX_STORAGE_RECORD_H_
+#define NATIX_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Physical address of a record: page number + slot within the page.
+struct RecordId {
+  uint32_t page = 0xFFFFFFFFu;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != 0xFFFFFFFFu; }
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+};
+
+/// One node inside a serialized record.
+struct RecordNode {
+  /// NodeId in the logical document tree.
+  NodeId node = kInvalidNode;
+  /// Index of the parent within this record; -1 for partition roots.
+  int32_t parent_in_record = -1;
+  uint8_t kind = 0;
+  int32_t label = -1;
+  /// Inline content byte count (0 if none or externalized).
+  uint32_t content_bytes = 0;
+  /// True if the content lives in an overflow record.
+  bool overflow = false;
+};
+
+/// Decoded form of a record, for tests and debugging.
+struct DecodedRecord {
+  std::vector<RecordNode> nodes;
+  /// Number of proxy entries (references to cut-away child/sibling
+  /// records).
+  uint32_t proxy_count = 0;
+};
+
+/// Serializes one partition into record bytes.
+///
+/// Format (little-endian):
+///   u32 node_count, u32 proxy_count
+///   node_count x structure entry: u32 logical node id, i32 parent index
+///   proxy_count x u64 proxy payload (record references of cut children)
+///   node_count x slot-aligned node data:
+///     header slot (8 bytes): u8 kind, u8 flags (bit0 = overflow),
+///                            u16 content_slots, u32 label
+///     content_slots x 8 bytes of content (zero padded), or a single
+///     8-byte overflow reference slot when flags.overflow is set
+///
+/// The slot-aligned node data section is exactly
+/// 8 * (partition weight in slots) bytes, matching the paper's weight
+/// model; the structure and proxy sections are the "additional metadata
+/// needed to maintain the on-disk structures" (Sec. 6.4).
+class RecordBuilder {
+ public:
+  explicit RecordBuilder(uint32_t slot_size = 8) : slot_size_(slot_size) {}
+
+  /// Appends a node. `content` may be empty; when `overflow` is true the
+  /// content is replaced by an overflow reference slot.
+  void AddNode(NodeId node, int32_t parent_in_record, uint8_t kind,
+               int32_t label, std::string_view content, bool overflow);
+
+  /// Adds a proxy entry for a cut-away child record.
+  void AddProxy(uint64_t record_ref);
+
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Serialized size of the record so far, in bytes.
+  size_t ByteSize() const;
+
+  /// Produces the record bytes.
+  std::vector<uint8_t> Build() const;
+
+ private:
+  struct PendingNode {
+    NodeId node;
+    int32_t parent_in_record;
+    uint8_t kind;
+    int32_t label;
+    std::string content;
+    bool overflow;
+  };
+  uint32_t slot_size_;
+  std::vector<PendingNode> nodes_;
+  std::vector<uint64_t> proxies_;
+};
+
+/// Parses record bytes produced by RecordBuilder.
+Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
+                                   uint32_t slot_size = 8);
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_RECORD_H_

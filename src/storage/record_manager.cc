@@ -1,0 +1,58 @@
+#include "storage/record_manager.h"
+
+namespace natix {
+
+Result<RecordId> RecordManager::Insert(const std::vector<uint8_t>& record) {
+  // Try the most recent pages first (bulk load locality).
+  const size_t first =
+      pages_.size() > static_cast<size_t>(lookback_)
+          ? pages_.size() - static_cast<size_t>(lookback_)
+          : 0;
+  for (size_t p = pages_.size(); p-- > first;) {
+    if (pages_[p].FreeSpace() >= record.size()) {
+      Result<uint16_t> slot = pages_[p].Insert(record);
+      if (slot.ok()) {
+        ++record_count_;
+        payload_bytes_ += record.size();
+        return RecordId{static_cast<uint32_t>(p), *slot};
+      }
+    }
+  }
+  Page page(page_size_);
+  if (record.size() > page.FreeSpace()) {
+    // Jumbo record: spans a dedicated chain of pages.
+    const size_t payload_per_page = page_size_ - 16;
+    jumbo_pages_ += (record.size() + payload_per_page - 1) / payload_per_page;
+    jumbo_records_.push_back(record);
+    ++record_count_;
+    payload_bytes_ += record.size();
+    return RecordId{
+        static_cast<uint32_t>(jumbo_records_.size() - 1) | kJumboPageBit,
+        kJumboSlot};
+  }
+  pages_.push_back(std::move(page));
+  Result<uint16_t> slot = pages_.back().Insert(record);
+  if (!slot.ok()) return slot.status();
+  ++record_count_;
+  payload_bytes_ += record.size();
+  return RecordId{static_cast<uint32_t>(pages_.size() - 1), *slot};
+}
+
+Result<std::pair<const uint8_t*, size_t>> RecordManager::Get(
+    RecordId id) const {
+  if (id.slot == kJumboSlot) {
+    const uint32_t index = id.page & ~kJumboPageBit;
+    if (index >= jumbo_records_.size()) {
+      return Status::NotFound("no such jumbo record: " +
+                              std::to_string(index));
+    }
+    const std::vector<uint8_t>& rec = jumbo_records_[index];
+    return std::make_pair(rec.data(), rec.size());
+  }
+  if (id.page >= pages_.size()) {
+    return Status::NotFound("no such page: " + std::to_string(id.page));
+  }
+  return pages_[id.page].Get(id.slot);
+}
+
+}  // namespace natix

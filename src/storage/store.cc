@@ -1,0 +1,138 @@
+#include "storage/store.h"
+
+#include <algorithm>
+
+namespace natix {
+
+Result<NatixStore> NatixStore::Build(const ImportedDocument& doc,
+                                     const Partitioning& partitioning,
+                                     TotalWeight limit,
+                                     const StoreOptions& options) {
+  const Tree& tree = doc.tree;
+  NATIX_ASSIGN_OR_RETURN(const PartitionAnalysis analysis,
+                         Analyze(tree, partitioning, limit));
+  if (!analysis.feasible) {
+    return Status::InvalidArgument(
+        "cannot build a store from an infeasible partitioning (max "
+        "partition weight " +
+        std::to_string(analysis.max_weight) + " > " + std::to_string(limit) +
+        ")");
+  }
+
+  NatixStore store(&doc, RecordManager(options.page_size,
+                                       options.allocation_lookback));
+  store.page_size_ = options.page_size;
+  store.partition_of_ = analysis.partition_of;
+  store.records_.assign(partitioning.size(), RecordId{});
+
+  // Group nodes by partition; preorder iteration makes each group sorted
+  // in document order, so parents precede their in-record children.
+  std::vector<std::vector<NodeId>> members(partitioning.size());
+  for (const NodeId v : tree.PreorderNodes()) {
+    members[store.partition_of_[v]].push_back(v);
+  }
+
+  // Insert records in document order of their first node (bulk-load
+  // locality: partitions created close together land on nearby pages).
+  const std::vector<uint32_t> pre_rank = tree.PreorderRanks();
+  std::vector<uint32_t> order(partitioning.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return pre_rank[members[a].front()] < pre_rank[members[b].front()];
+  });
+
+  // position_in_record[v]: index of v within its partition's member list.
+  std::vector<int32_t> position_in_record(tree.size(), -1);
+  for (const std::vector<NodeId>& mem : members) {
+    for (size_t i = 0; i < mem.size(); ++i) {
+      position_in_record[mem[i]] = static_cast<int32_t>(i);
+    }
+  }
+
+  uint64_t overflow_bytes = 0;
+  for (const uint32_t part : order) {
+    RecordBuilder builder(options.slot_size);
+    for (const NodeId v : members[part]) {
+      const NodeId parent = tree.Parent(v);
+      const int32_t parent_pos =
+          (parent == kInvalidNode || store.partition_of_[parent] != part)
+              ? -1
+              : position_in_record[parent];
+      // A node is externalized iff its weight is smaller than what its
+      // content would need inline (the weight model's overflow stub).
+      const uint64_t inline_slots =
+          1 + (static_cast<uint64_t>(doc.content_bytes[v]) +
+               options.slot_size - 1) /
+                  options.slot_size;
+      const bool overflow =
+          doc.content_bytes[v] > 0 && inline_slots > tree.WeightOf(v);
+      if (overflow) overflow_bytes += doc.content_bytes[v];
+      builder.AddNode(v, parent_pos, static_cast<uint8_t>(tree.KindOf(v)),
+                      tree.LabelIdOf(v), doc.ContentOf(v), overflow);
+      // One proxy entry per *run* of cut-away children sharing a target
+      // record: adjacent siblings in the same foreign partition are
+      // reachable through a single proxy (this is what sibling-interval
+      // storage buys at the format level).
+      uint32_t prev_target = part;
+      for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+           c = tree.NextSibling(c)) {
+        const uint32_t target = store.partition_of_[c];
+        if (target != part && target != prev_target) {
+          builder.AddProxy(target);
+        }
+        prev_target = target;
+      }
+    }
+    NATIX_ASSIGN_OR_RETURN(const RecordId rid,
+                           store.manager_.Insert(builder.Build()));
+    store.records_[part] = rid;
+  }
+
+  const uint64_t overflow_payload = options.page_size - 16;
+  store.overflow_pages_ = static_cast<size_t>(
+      (overflow_bytes + overflow_payload - 1) / overflow_payload);
+  return store;
+}
+
+bool Navigator::ToFirstChild() {
+  const NodeId c = store_->tree().FirstChild(current_);
+  if (c == kInvalidNode) return false;
+  Move(c);
+  return true;
+}
+
+bool Navigator::ToNextSibling() {
+  const NodeId s = store_->tree().NextSibling(current_);
+  if (s == kInvalidNode) return false;
+  Move(s);
+  return true;
+}
+
+bool Navigator::ToPrevSibling() {
+  const NodeId s = store_->tree().PrevSibling(current_);
+  if (s == kInvalidNode) return false;
+  Move(s);
+  return true;
+}
+
+bool Navigator::ToParent() {
+  const NodeId p = store_->tree().Parent(current_);
+  if (p == kInvalidNode) return false;
+  Move(p);
+  return true;
+}
+
+void Navigator::Move(NodeId to) {
+  const RecordId from_rec = store_->RecordOfNode(current_);
+  const RecordId to_rec = store_->RecordOfNode(to);
+  if (from_rec == to_rec) {
+    ++stats_->intra_moves;
+  } else {
+    ++stats_->record_crossings;
+    if (from_rec.page != to_rec.page) ++stats_->page_switches;
+    if (buffer_ != nullptr) buffer_->Access(to_rec.page);
+  }
+  current_ = to;
+}
+
+}  // namespace natix

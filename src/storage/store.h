@@ -1,0 +1,158 @@
+#ifndef NATIX_STORAGE_STORE_H_
+#define NATIX_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+#include "storage/record.h"
+#include "storage/record_manager.h"
+#include "tree/partitioning.h"
+#include "xml/importer.h"
+
+namespace natix {
+
+/// Store construction options.
+struct StoreOptions {
+  /// Disk page size in bytes; several records share one page.
+  size_t page_size = 8192;
+  /// Record manager allocation lookback (see RecordManager).
+  int allocation_lookback = 8;
+  /// Storage slot size (must match the weight model used at import).
+  uint32_t slot_size = 8;
+};
+
+/// Counters for navigation operations against a NatixStore.
+struct AccessStats {
+  /// Moves between nodes of the same record (cheap pointer chasing).
+  uint64_t intra_moves = 0;
+  /// Moves that cross a record boundary (record lookup + pin).
+  uint64_t record_crossings = 0;
+  /// Crossings that additionally land on a different page (buffer-pool
+  /// hash lookup + latch; no I/O, the paper's experiment runs with a warm
+  /// buffer larger than the document).
+  uint64_t page_switches = 0;
+
+  uint64_t TotalMoves() const { return intra_moves + record_crossings; }
+  void Reset() { *this = AccessStats(); }
+};
+
+/// Converts access counters into simulated navigation time. Defaults are
+/// calibrated to commodity-hardware order-of-magnitude costs: intra-record
+/// navigation is pointer arithmetic within a pinned record; a record
+/// crossing pays a record-id -> (page, slot) lookup, page pin and record
+/// header decode.
+struct NavigationCostModel {
+  double intra_ns = 25.0;
+  double crossing_ns = 700.0;
+  double page_switch_ns = 300.0;  // surcharge on top of crossing_ns
+
+  double CostSeconds(const AccessStats& stats) const {
+    return (stats.intra_moves * intra_ns +
+            stats.record_crossings * crossing_ns +
+            stats.page_switches * page_switch_ns) *
+           1e-9;
+  }
+};
+
+/// The mini-Natix store: a document loaded under a given tree sibling
+/// partitioning. Each partition becomes one physical record (serialized
+/// with RecordBuilder); records are packed onto slotted pages by the
+/// RecordManager; oversized text is stored in overflow pages.
+///
+/// The store borrows the ImportedDocument (it must outlive the store).
+class NatixStore {
+ public:
+  /// Builds the store. `partitioning` must be feasible for `limit` on
+  /// `doc.tree` (checked; the limit is in slots of the weight model used
+  /// at import).
+  static Result<NatixStore> Build(const ImportedDocument& doc,
+                                  const Partitioning& partitioning,
+                                  TotalWeight limit,
+                                  const StoreOptions& options = {});
+
+  const Tree& tree() const { return doc_->tree; }
+  const ImportedDocument& document() const { return *doc_; }
+
+  /// Partition index (== record index) holding a node.
+  uint32_t PartitionOf(NodeId v) const { return partition_of_[v]; }
+  /// Physical record id of a partition.
+  RecordId RecordOf(uint32_t partition) const { return records_[partition]; }
+  /// Physical record id holding a node.
+  RecordId RecordOfNode(NodeId v) const {
+    return records_[partition_of_[v]];
+  }
+
+  /// Raw bytes of a partition's record.
+  Result<std::pair<const uint8_t*, size_t>> RecordBytes(
+      uint32_t partition) const {
+    return manager_.Get(records_[partition]);
+  }
+
+  size_t record_count() const { return records_.size(); }
+  size_t page_count() const { return manager_.page_count(); }
+  size_t overflow_page_count() const { return overflow_pages_; }
+  /// Total occupied disk space: data pages + overflow pages.
+  uint64_t TotalDiskBytes() const {
+    return manager_.disk_bytes() + overflow_pages_ * page_size_;
+  }
+  double PageUtilization() const { return manager_.Utilization(); }
+  uint64_t payload_bytes() const { return manager_.payload_bytes(); }
+
+ private:
+  NatixStore(const ImportedDocument* doc, RecordManager manager)
+      : doc_(doc), manager_(std::move(manager)) {}
+
+  const ImportedDocument* doc_;
+  RecordManager manager_;
+  std::vector<uint32_t> partition_of_;  // node -> partition index
+  std::vector<RecordId> records_;       // partition index -> record
+  size_t overflow_pages_ = 0;
+  size_t page_size_ = 8192;
+};
+
+/// A navigation cursor over a NatixStore. Every move is charged to an
+/// AccessStats according to whether it stays within the current record.
+/// This is the storage-level equivalent of following intra-record pointers
+/// vs. dereferencing a proxy to another record.
+class Navigator {
+ public:
+  /// `store` and `stats` must outlive the navigator. If `buffer` is
+  /// non-null, every move that lands on a different record touches the
+  /// target page in the pool, modelling cold-cache behaviour (a miss =
+  /// one page read); pass nullptr for the paper's warm-buffer setting.
+  Navigator(const NatixStore* store, AccessStats* stats,
+            LruBufferPool* buffer = nullptr)
+      : store_(store),
+        stats_(stats),
+        buffer_(buffer),
+        current_(store->tree().root()) {}
+
+  NodeId current() const { return current_; }
+
+  /// Moves to the root (charged like any other move).
+  void JumpToRoot() { Move(store_->tree().root()); }
+
+  /// Random-access jump (e.g. when an evaluator restarts from a context
+  /// node).
+  void JumpTo(NodeId v) { Move(v); }
+
+  /// Axis moves; return false (and stay put) when no such node exists.
+  bool ToFirstChild();
+  bool ToNextSibling();
+  bool ToPrevSibling();
+  bool ToParent();
+
+ private:
+  void Move(NodeId to);
+
+  const NatixStore* store_;
+  AccessStats* stats_;
+  LruBufferPool* buffer_;
+  NodeId current_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_STORE_H_

@@ -1,0 +1,22 @@
+#ifndef NATIX_TREE_INTERVAL_H_
+#define NATIX_TREE_INTERVAL_H_
+
+#include "tree/tree.h"
+
+namespace natix {
+
+/// A sibling interval (l, r)_T: the set of consecutive siblings from `first`
+/// to `last` inclusive (Sec. 2.1). `first == last` denotes a single-node
+/// interval. Both nodes must share the same parent and `first` must not come
+/// after `last` in sibling order.
+struct SiblingInterval {
+  NodeId first = kInvalidNode;
+  NodeId last = kInvalidNode;
+
+  friend bool operator==(const SiblingInterval& a,
+                         const SiblingInterval& b) = default;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_TREE_INTERVAL_H_

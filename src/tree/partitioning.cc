@@ -1,0 +1,125 @@
+#include "tree/partitioning.h"
+
+#include <algorithm>
+
+namespace natix {
+
+namespace {
+constexpr uint32_t kNoInterval = 0xFFFFFFFFu;
+}  // namespace
+
+Result<PartitionAnalysis> Analyze(const Tree& tree, const Partitioning& p,
+                                  TotalWeight limit) {
+  const size_t n = tree.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot analyze an empty tree");
+  }
+
+  // 1. Structural validation + membership marking.
+  std::vector<uint32_t> member_of(n, kNoInterval);
+  for (size_t i = 0; i < p.size(); ++i) {
+    const SiblingInterval& iv = p[i];
+    if (iv.first >= n || iv.last >= n) {
+      return Status::InvalidArgument("interval " + std::to_string(i) +
+                                     " references a node outside the tree");
+    }
+    if (tree.Parent(iv.first) != tree.Parent(iv.last)) {
+      return Status::InvalidArgument(
+          "interval " + std::to_string(i) +
+          " endpoints do not share a parent");
+    }
+    NodeId v = iv.first;
+    for (;;) {
+      if (member_of[v] != kNoInterval) {
+        return Status::InvalidArgument(
+            "node " + std::to_string(v) + " is in intervals " +
+            std::to_string(member_of[v]) + " and " + std::to_string(i));
+      }
+      member_of[v] = static_cast<uint32_t>(i);
+      if (v == iv.last) break;
+      v = tree.NextSibling(v);
+      if (v == kInvalidNode) {
+        return Status::InvalidArgument(
+            "interval " + std::to_string(i) +
+            " last node does not follow first node in sibling order");
+      }
+    }
+  }
+
+  PartitionAnalysis out;
+  out.cardinality = p.size();
+  out.interval_weights.assign(p.size(), 0);
+
+  // 2. Partition weights: in the partition forest, a node's partition
+  // weight is its own weight plus the partition weights of its children
+  // that did NOT become roots (i.e. that are not interval members).
+  std::vector<TotalWeight> pw(n, 0);
+  const std::vector<NodeId> postorder = tree.PostorderNodes();
+  for (const NodeId v : postorder) {
+    TotalWeight sum = tree.WeightOf(v);
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      if (member_of[c] == kNoInterval) sum += pw[c];
+    }
+    pw[v] = sum;
+    if (member_of[v] != kNoInterval) {
+      out.interval_weights[member_of[v]] += pw[v];
+    }
+  }
+  out.root_weight = pw[tree.root()];
+
+  // 3. Partition membership of every node: the interval of its nearest
+  // interval-member ancestor-or-self.
+  out.partition_of.assign(n, kNoInterval);
+  for (const NodeId v : tree.PreorderNodes()) {
+    if (member_of[v] != kNoInterval) {
+      out.partition_of[v] = member_of[v];
+    } else if (tree.Parent(v) != kInvalidNode) {
+      out.partition_of[v] = out.partition_of[tree.Parent(v)];
+    }
+  }
+
+  // 4. Aggregates and feasibility.
+  const bool has_root_interval = member_of[tree.root()] != kNoInterval;
+  bool within_limit = true;
+  TotalWeight total = 0;
+  for (const TotalWeight w : out.interval_weights) {
+    out.max_weight = std::max(out.max_weight, w);
+    total += w;
+    if (w > limit) within_limit = false;
+  }
+  out.avg_weight =
+      p.empty() ? 0.0 : static_cast<double>(total) / static_cast<double>(p.size());
+  out.feasible = has_root_interval && within_limit;
+  return out;
+}
+
+Status CheckFeasible(const Tree& tree, const Partitioning& p,
+                     TotalWeight limit) {
+  NATIX_ASSIGN_OR_RETURN(const PartitionAnalysis analysis,
+                         Analyze(tree, p, limit));
+  if (analysis.feasible) return Status::OK();
+  if (p.empty() || analysis.partition_of[tree.root()] == kNoInterval) {
+    return Status::InvalidArgument(
+        "partitioning lacks the root interval (t, t)");
+  }
+  return Status::InvalidArgument(
+      "partition weight " + std::to_string(analysis.max_weight) +
+      " exceeds limit " + std::to_string(limit));
+}
+
+std::string ToString(const Tree& tree, const Partitioning& p) {
+  auto name = [&](NodeId v) {
+    const std::string_view label = tree.LabelOf(v);
+    return label.empty() ? std::to_string(v) : std::string(label);
+  };
+  std::string out = "{";
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(" + name(p[i].first) + "," + name(p[i].last) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace natix

@@ -1,0 +1,80 @@
+#ifndef NATIX_TREE_PARTITIONING_H_
+#define NATIX_TREE_PARTITIONING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/interval.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// A tree sibling partitioning: a set of disjoint sibling intervals
+/// (Sec. 2.1). A *feasible* partitioning additionally contains the root
+/// interval (t, t) and respects the weight limit; use Analyze() /
+/// CheckFeasible() to verify.
+class Partitioning {
+ public:
+  Partitioning() = default;
+
+  void Add(SiblingInterval interval) { intervals_.push_back(interval); }
+  void Add(NodeId first, NodeId last) { intervals_.push_back({first, last}); }
+
+  /// Number of intervals (the partitioning's cardinality |P|).
+  size_t size() const { return intervals_.size(); }
+  bool empty() const { return intervals_.empty(); }
+
+  const SiblingInterval& operator[](size_t i) const { return intervals_[i]; }
+  const std::vector<SiblingInterval>& intervals() const { return intervals_; }
+
+  auto begin() const { return intervals_.begin(); }
+  auto end() const { return intervals_.end(); }
+
+  void Reserve(size_t n) { intervals_.reserve(n); }
+
+ private:
+  std::vector<SiblingInterval> intervals_;
+};
+
+/// Everything Analyze() derives from a partitioning.
+struct PartitionAnalysis {
+  /// Cardinality |P| (number of intervals, including (t, t)).
+  size_t cardinality = 0;
+  /// Partition weight of the root node, W^P_T(t).
+  TotalWeight root_weight = 0;
+  /// Partition weight of each interval, parallel to the input's interval
+  /// order.
+  std::vector<TotalWeight> interval_weights;
+  /// Largest partition weight.
+  TotalWeight max_weight = 0;
+  /// Mean partition weight.
+  double avg_weight = 0.0;
+  /// For each node: index of the interval whose partition contains it
+  /// (i.e. of the interval containing its nearest interval-member
+  /// ancestor-or-self).
+  std::vector<uint32_t> partition_of;
+  /// True iff every interval weight is <= K and (t, t) is present.
+  bool feasible = false;
+};
+
+/// Validates the structure of `p` against `tree` (every interval is a run of
+/// siblings, intervals are disjoint) and computes partition weights and
+/// membership. Returns InvalidArgument with a description if the structure
+/// is broken. Feasibility with respect to `limit` is reported in the result,
+/// not as an error. O(n + |P|).
+Result<PartitionAnalysis> Analyze(const Tree& tree, const Partitioning& p,
+                                  TotalWeight limit);
+
+/// Convenience wrapper: ok iff `p` is structurally valid *and* feasible for
+/// `limit` (contains (t,t), all partition weights <= limit).
+Status CheckFeasible(const Tree& tree, const Partitioning& p,
+                     TotalWeight limit);
+
+/// Renders a partitioning as "{(a,b), (c,c), ...}" using node labels when
+/// present, node ids otherwise. For logs, tests and examples.
+std::string ToString(const Tree& tree, const Partitioning& p);
+
+}  // namespace natix
+
+#endif  // NATIX_TREE_PARTITIONING_H_

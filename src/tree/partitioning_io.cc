@@ -1,0 +1,90 @@
+#include "tree/partitioning_io.h"
+
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace natix {
+
+namespace {
+
+constexpr std::string_view kMagic = "natix-partitioning v1";
+
+Result<uint64_t> ParseNumber(std::string_view token) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::ParseError("expected a number, got '" +
+                              std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string SerializePartitioning(const Tree& tree, const Partitioning& p) {
+  std::string out(kMagic);
+  out += "\ntree " + std::to_string(tree.size()) + " " +
+         std::to_string(tree.TotalTreeWeight()) + "\n";
+  for (const SiblingInterval& iv : p) {
+    out += std::to_string(iv.first) + " " + std::to_string(iv.last) + "\n";
+  }
+  return out;
+}
+
+Result<Partitioning> DeserializePartitioning(const Tree& tree,
+                                             std::string_view text) {
+  const std::vector<std::string_view> lines = SplitString(text, '\n');
+  size_t i = 0;
+  auto next_line = [&]() -> std::string_view {
+    while (i < lines.size()) {
+      const std::string_view line = TrimWhitespace(lines[i++]);
+      if (!line.empty()) return line;
+    }
+    return {};
+  };
+
+  if (next_line() != kMagic) {
+    return Status::ParseError("missing 'natix-partitioning v1' header");
+  }
+  const std::string_view fingerprint = next_line();
+  const std::vector<std::string_view> fp = SplitString(fingerprint, ' ');
+  if (fp.size() != 3 || fp[0] != "tree") {
+    return Status::ParseError("missing tree fingerprint line");
+  }
+  NATIX_ASSIGN_OR_RETURN(const uint64_t nodes, ParseNumber(fp[1]));
+  NATIX_ASSIGN_OR_RETURN(const uint64_t weight, ParseNumber(fp[2]));
+  if (nodes != tree.size() || weight != tree.TotalTreeWeight()) {
+    return Status::FailedPrecondition(
+        "partitioning was saved for a different tree (fingerprint " +
+        std::string(fp[1]) + "/" + std::string(fp[2]) + ", tree has " +
+        std::to_string(tree.size()) + "/" +
+        std::to_string(tree.TotalTreeWeight()) + ")");
+  }
+
+  Partitioning p;
+  for (std::string_view line = next_line(); !line.empty();
+       line = next_line()) {
+    const std::vector<std::string_view> parts = SplitString(line, ' ');
+    if (parts.size() != 2) {
+      return Status::ParseError("expected 'first last', got '" +
+                                std::string(line) + "'");
+    }
+    NATIX_ASSIGN_OR_RETURN(const uint64_t first, ParseNumber(parts[0]));
+    NATIX_ASSIGN_OR_RETURN(const uint64_t last, ParseNumber(parts[1]));
+    if (first >= tree.size() || last >= tree.size()) {
+      return Status::ParseError("interval node out of range: '" +
+                                std::string(line) + "'");
+    }
+    p.Add(static_cast<NodeId>(first), static_cast<NodeId>(last));
+  }
+  // Structural validation (disjoint sibling runs); feasibility is the
+  // caller's concern since K is not stored.
+  NATIX_ASSIGN_OR_RETURN(const PartitionAnalysis analysis,
+                         Analyze(tree, p, ~TotalWeight{0}));
+  (void)analysis;
+  return p;
+}
+
+}  // namespace natix

@@ -1,0 +1,38 @@
+#ifndef NATIX_TREE_PARTITIONING_IO_H_
+#define NATIX_TREE_PARTITIONING_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Text interchange format for partitionings, enabling the paper's
+/// offline-reorganization workflow (Sec. 6.3): run the expensive optimal
+/// DHW once, save the result, and load it at import time instead of
+/// re-partitioning.
+///
+/// Format (line oriented):
+///
+///   natix-partitioning v1
+///   tree <node-count> <total-weight>     -- integrity fingerprint
+///   <first-node-id> <last-node-id>       -- one interval per line
+///   ...
+///
+/// Node ids refer to document order (NodeIds of a tree built by the
+/// importer). Loading verifies the fingerprint against the target tree
+/// and the structural validity of every interval.
+std::string SerializePartitioning(const Tree& tree, const Partitioning& p);
+
+/// Parses the format above and validates it against `tree` (fingerprint,
+/// interval structure). Feasibility for a particular K is *not* checked
+/// here; use CheckFeasible.
+Result<Partitioning> DeserializePartitioning(const Tree& tree,
+                                             std::string_view text);
+
+}  // namespace natix
+
+#endif  // NATIX_TREE_PARTITIONING_IO_H_

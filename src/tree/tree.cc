@@ -1,0 +1,250 @@
+#include "tree/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace natix {
+
+Tree Tree::Clone() const {
+  Tree copy;
+  copy.nodes_ = nodes_;
+  copy.labels_ = labels_;
+  copy.label_ids_ = label_ids_;
+  return copy;
+}
+
+int32_t Tree::InternLabel(std::string_view label) {
+  if (label.empty()) return -1;
+  auto it = label_ids_.find(std::string(label));
+  if (it != label_ids_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(labels_.size());
+  labels_.emplace_back(label);
+  label_ids_.emplace(labels_.back(), id);
+  return id;
+}
+
+NodeId Tree::AddRoot(Weight weight, std::string_view label, NodeKind kind) {
+  assert(nodes_.empty() && "AddRoot on non-empty tree");
+  assert(weight > 0);
+  Node n;
+  n.weight = weight;
+  n.label = InternLabel(label);
+  n.kind = kind;
+  nodes_.push_back(n);
+  return 0;
+}
+
+NodeId Tree::AppendChild(NodeId parent, Weight weight, std::string_view label,
+                         NodeKind kind) {
+  assert(parent < nodes_.size());
+  assert(weight > 0);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.parent = parent;
+  n.weight = weight;
+  n.label = InternLabel(label);
+  n.kind = kind;
+  Node& p = nodes_[parent];
+  if (p.last_child == kInvalidNode) {
+    p.first_child = id;
+  } else {
+    n.prev_sibling = p.last_child;
+    nodes_[p.last_child].next_sibling = id;
+  }
+  p.last_child = id;
+  ++p.child_count;
+  nodes_.push_back(n);
+  return id;
+}
+
+NodeId Tree::InsertChildBefore(NodeId parent, NodeId before, Weight weight,
+                               std::string_view label, NodeKind kind) {
+  if (before == kInvalidNode) {
+    return AppendChild(parent, weight, label, kind);
+  }
+  assert(parent < nodes_.size());
+  assert(before < nodes_.size() && nodes_[before].parent == parent);
+  assert(weight > 0);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.parent = parent;
+  n.weight = weight;
+  n.label = InternLabel(label);
+  n.kind = kind;
+  n.next_sibling = before;
+  n.prev_sibling = nodes_[before].prev_sibling;
+  nodes_.push_back(n);
+  if (nodes_[before].prev_sibling == kInvalidNode) {
+    nodes_[parent].first_child = id;
+  } else {
+    nodes_[nodes_[before].prev_sibling].next_sibling = id;
+  }
+  nodes_[before].prev_sibling = id;
+  ++nodes_[parent].child_count;
+  return id;
+}
+
+void Tree::Reserve(size_t n) { nodes_.reserve(n); }
+
+std::string_view Tree::LabelOf(NodeId v) const {
+  const int32_t id = nodes_[v].label;
+  if (id < 0) return {};
+  return labels_[static_cast<size_t>(id)];
+}
+
+int32_t Tree::FindLabelId(std::string_view label) const {
+  auto it = label_ids_.find(std::string(label));
+  return it == label_ids_.end() ? -1 : it->second;
+}
+
+std::vector<NodeId> Tree::Children(NodeId v) const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_[v].child_count);
+  for (NodeId c = nodes_[v].first_child; c != kInvalidNode;
+       c = nodes_[c].next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<NodeId> Tree::PreorderNodes() const {
+  std::vector<NodeId> out;
+  if (empty()) return out;
+  out.reserve(size());
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    // Push children right-to-left so the leftmost child pops first.
+    for (NodeId c = nodes_[v].last_child; c != kInvalidNode;
+         c = nodes_[c].prev_sibling) {
+      stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Tree::PostorderNodes() const {
+  // Postorder is the reverse of a preorder that visits children
+  // right-to-left.
+  std::vector<NodeId> out;
+  if (empty()) return out;
+  out.reserve(size());
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    for (NodeId c = nodes_[v].first_child; c != kInvalidNode;
+         c = nodes_[c].next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TotalWeight> Tree::SubtreeWeights() const {
+  std::vector<TotalWeight> w(size(), 0);
+  for (const NodeId v : PostorderNodes()) {
+    TotalWeight sum = nodes_[v].weight;
+    for (NodeId c = nodes_[v].first_child; c != kInvalidNode;
+         c = nodes_[c].next_sibling) {
+      sum += w[c];
+    }
+    w[v] = sum;
+  }
+  return w;
+}
+
+TotalWeight Tree::TotalTreeWeight() const {
+  TotalWeight sum = 0;
+  for (const Node& n : nodes_) sum += n.weight;
+  return sum;
+}
+
+std::vector<uint32_t> Tree::PreorderRanks() const {
+  std::vector<uint32_t> rank(size(), 0);
+  uint32_t r = 0;
+  for (const NodeId v : PreorderNodes()) rank[v] = r++;
+  return rank;
+}
+
+bool Tree::IsAncestorOrSelf(NodeId ancestor, NodeId v) const {
+  for (NodeId x = v; x != kInvalidNode; x = nodes_[x].parent) {
+    if (x == ancestor) return true;
+  }
+  return false;
+}
+
+int Tree::Depth(NodeId v) const {
+  int d = 0;
+  for (NodeId x = nodes_[v].parent; x != kInvalidNode; x = nodes_[x].parent) {
+    ++d;
+  }
+  return d;
+}
+
+int Tree::Height() const {
+  if (empty()) return 0;
+  std::vector<int> depth(size(), 0);
+  int h = 0;
+  for (const NodeId v : PreorderNodes()) {
+    const NodeId p = nodes_[v].parent;
+    if (p != kInvalidNode) depth[v] = depth[p] + 1;
+    h = std::max(h, depth[v]);
+  }
+  return h;
+}
+
+Weight Tree::MaxNodeWeight() const {
+  Weight m = 0;
+  for (const Node& n : nodes_) m = std::max(m, n.weight);
+  return m;
+}
+
+Status Tree::Validate() const {
+  if (empty()) return Status::OK();
+  if (nodes_[0].parent != kInvalidNode) {
+    return Status::Internal("root has a parent");
+  }
+  size_t reachable = 0;
+  for (const NodeId v : PreorderNodes()) {
+    ++reachable;
+    const Node& n = nodes_[v];
+    if (n.weight == 0) {
+      return Status::Internal("node " + std::to_string(v) +
+                              " has zero weight");
+    }
+    size_t count = 0;
+    NodeId prev = kInvalidNode;
+    for (NodeId c = n.first_child; c != kInvalidNode;
+         c = nodes_[c].next_sibling) {
+      if (nodes_[c].parent != v) {
+        return Status::Internal("child parent link mismatch at node " +
+                                std::to_string(c));
+      }
+      if (nodes_[c].prev_sibling != prev) {
+        return Status::Internal("sibling link mismatch at node " +
+                                std::to_string(c));
+      }
+      prev = c;
+      ++count;
+    }
+    if (prev != n.last_child) {
+      return Status::Internal("last_child mismatch at node " +
+                              std::to_string(v));
+    }
+    if (count != n.child_count) {
+      return Status::Internal("child_count mismatch at node " +
+                              std::to_string(v));
+    }
+  }
+  if (reachable != size()) {
+    return Status::Internal("unreachable nodes in arena");
+  }
+  return Status::OK();
+}
+
+}  // namespace natix

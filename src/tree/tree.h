@@ -1,0 +1,167 @@
+#ifndef NATIX_TREE_TREE_H_
+#define NATIX_TREE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// Index of a node in a Tree's arena. Ids are dense, starting at 0, in node
+/// creation order.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (absent parent/child/sibling).
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Weight of a single node (positive; number of storage "slots" in the XML
+/// use case).
+using Weight = uint32_t;
+
+/// Sum of weights over many nodes.
+using TotalWeight = uint64_t;
+
+/// The kind of document node a tree node represents. Partitioning algorithms
+/// ignore this; the XML importer, storage engine and query engine use it.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kText = 1,
+  kAttribute = 2,
+  kComment = 3,
+  kProcessingInstruction = 4,
+};
+
+/// A rooted, ordered, labeled, weighted tree (Sec. 2.1 of the paper),
+/// stored as a contiguous arena with first-child / next-sibling links.
+///
+/// The tree is built by creating the root with AddRoot() and appending
+/// children left-to-right with AppendChild(). Node ids are stable and dense;
+/// all per-node attribute accessors are O(1).
+///
+/// Labels are interned: the tree keeps one copy of each distinct label
+/// string and nodes store a small integer label id.
+class Tree {
+ public:
+  Tree() = default;
+
+  // Tree owns a large arena; allow moves, forbid accidental deep copies
+  // (use Clone() when a copy is really wanted).
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+
+  /// Explicit deep copy.
+  Tree Clone() const;
+
+  /// Creates the root node. Must be called exactly once, before any
+  /// AppendChild(). `weight` must be positive.
+  NodeId AddRoot(Weight weight, std::string_view label = {},
+                 NodeKind kind = NodeKind::kElement);
+
+  /// Appends a new rightmost child of `parent`. `weight` must be positive.
+  NodeId AppendChild(NodeId parent, Weight weight, std::string_view label = {},
+                     NodeKind kind = NodeKind::kElement);
+
+  /// Inserts a new child of `parent` immediately before `before` (which
+  /// must be a child of `parent`), or as the rightmost child when `before`
+  /// is kInvalidNode. Used by incremental updates; note that after an
+  /// insertion NodeIds are no longer in document order (use
+  /// PreorderRanks() where order matters).
+  NodeId InsertChildBefore(NodeId parent, NodeId before, Weight weight,
+                           std::string_view label = {},
+                           NodeKind kind = NodeKind::kElement);
+
+  /// Pre-allocates arena capacity for `n` nodes.
+  void Reserve(size_t n);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// The root node; kInvalidNode on an empty tree.
+  NodeId root() const { return empty() ? kInvalidNode : 0; }
+
+  NodeId Parent(NodeId v) const { return nodes_[v].parent; }
+  NodeId FirstChild(NodeId v) const { return nodes_[v].first_child; }
+  NodeId LastChild(NodeId v) const { return nodes_[v].last_child; }
+  NodeId NextSibling(NodeId v) const { return nodes_[v].next_sibling; }
+  NodeId PrevSibling(NodeId v) const { return nodes_[v].prev_sibling; }
+  size_t ChildCount(NodeId v) const { return nodes_[v].child_count; }
+
+  Weight WeightOf(NodeId v) const { return nodes_[v].weight; }
+  void SetWeight(NodeId v, Weight w) { nodes_[v].weight = w; }
+
+  NodeKind KindOf(NodeId v) const { return nodes_[v].kind; }
+
+  /// Label string of a node; empty view for unlabeled nodes.
+  std::string_view LabelOf(NodeId v) const;
+  /// Interned label id of a node; -1 for unlabeled nodes.
+  int32_t LabelIdOf(NodeId v) const { return nodes_[v].label; }
+  /// Id of a label string, or -1 if no node carries it.
+  int32_t FindLabelId(std::string_view label) const;
+  /// Number of distinct labels.
+  size_t LabelCount() const { return labels_.size(); }
+
+  /// Children of `v`, left to right.
+  std::vector<NodeId> Children(NodeId v) const;
+
+  /// All nodes in document (pre-)order. Iterative; safe for deep trees.
+  std::vector<NodeId> PreorderNodes() const;
+
+  /// All nodes in postorder (children before parents). Iterative.
+  std::vector<NodeId> PostorderNodes() const;
+
+  /// Subtree weight W_T(v) for every node, indexed by NodeId.
+  std::vector<TotalWeight> SubtreeWeights() const;
+
+  /// Sum of all node weights.
+  TotalWeight TotalTreeWeight() const;
+
+  /// Preorder (document-order) rank of every node, indexed by NodeId.
+  std::vector<uint32_t> PreorderRanks() const;
+
+  /// True iff `ancestor` is `v` or an ancestor of `v`. O(depth).
+  bool IsAncestorOrSelf(NodeId ancestor, NodeId v) const;
+
+  /// Depth of `v`; the root has depth 0. O(depth).
+  int Depth(NodeId v) const;
+
+  /// Height of the tree: maximum depth over all nodes, 0 for a one-node
+  /// tree. O(n).
+  int Height() const;
+
+  /// Largest single node weight in the tree (0 on empty tree). A feasible
+  /// sibling partitioning with limit K exists iff MaxNodeWeight() <= K.
+  Weight MaxNodeWeight() const;
+
+  /// Structural sanity check (link symmetry, child counts, positive
+  /// weights). Used by tests and by the generators' self-checks.
+  Status Validate() const;
+
+ private:
+  struct Node {
+    NodeId parent = kInvalidNode;
+    NodeId first_child = kInvalidNode;
+    NodeId last_child = kInvalidNode;
+    NodeId next_sibling = kInvalidNode;
+    NodeId prev_sibling = kInvalidNode;
+    uint32_t child_count = 0;
+    Weight weight = 1;
+    int32_t label = -1;
+    NodeKind kind = NodeKind::kElement;
+  };
+
+  int32_t InternLabel(std::string_view label);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int32_t> label_ids_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_TREE_TREE_H_

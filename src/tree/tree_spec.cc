@@ -1,0 +1,137 @@
+#include "tree/tree_spec.h"
+
+#include <cctype>
+#include <vector>
+
+namespace natix {
+
+namespace {
+
+bool IsLabelStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+class SpecParser {
+ public:
+  explicit SpecParser(std::string_view spec) : spec_(spec) {}
+
+  Result<Tree> Parse() {
+    Tree tree;
+    SkipSpace();
+    NATIX_RETURN_NOT_OK(ParseNode(&tree, kInvalidNode));
+    SkipSpace();
+    if (pos_ != spec_.size()) {
+      return Error("trailing input after root node");
+    }
+    return tree;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError("tree spec, offset " + std::to_string(pos_) +
+                              ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < spec_.size() &&
+           std::isspace(static_cast<unsigned char>(spec_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= spec_.size(); }
+  char Peek() const { return spec_[pos_]; }
+
+  Status ParseNode(Tree* tree, NodeId parent) {
+    std::string_view label;
+    if (!AtEnd() && IsLabelStart(Peek())) {
+      const size_t start = pos_;
+      while (!AtEnd() && IsLabelChar(Peek())) ++pos_;
+      label = spec_.substr(start, pos_ - start);
+    }
+    Weight weight = 1;
+    bool saw_weight = false;
+    if (!AtEnd() && Peek() == ':') {
+      saw_weight = true;
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("expected weight after ':'");
+      }
+      uint64_t w = 0;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        w = w * 10 + static_cast<uint64_t>(Peek() - '0');
+        if (w > 0xFFFFFFFFull) return Error("weight overflows 32 bits");
+        ++pos_;
+      }
+      if (w == 0) return Error("weight must be positive");
+      weight = static_cast<Weight>(w);
+    }
+    if (label.empty() && !saw_weight && (AtEnd() || Peek() != '(')) {
+      return Error("expected a node (label, ':weight' or '(')");
+    }
+    const NodeId id = parent == kInvalidNode
+                          ? tree->AddRoot(weight, label)
+                          : tree->AppendChild(parent, weight, label);
+    SkipSpace();
+    if (!AtEnd() && Peek() == '(') {
+      ++pos_;  // consume '('
+      SkipSpace();
+      while (!AtEnd() && Peek() != ')') {
+        NATIX_RETURN_NOT_OK(ParseNode(tree, id));
+        SkipSpace();
+      }
+      if (AtEnd()) return Error("unterminated '('");
+      ++pos_;  // consume ')'
+    }
+    return Status::OK();
+  }
+
+  std::string_view spec_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Tree> ParseTreeSpec(std::string_view spec) {
+  return SpecParser(spec).Parse();
+}
+
+std::string TreeToSpec(const Tree& tree) {
+  if (tree.empty()) return "";
+  std::string out;
+  // Iterative preorder with explicit close markers to stay safe on deep
+  // trees.
+  struct Frame {
+    NodeId node;
+    bool close;
+  };
+  std::vector<Frame> stack = {{tree.root(), false}};
+  bool first = true;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.close) {
+      out += ')';
+      continue;
+    }
+    if (!first && out.back() != '(') out += ' ';
+    first = false;
+    out += std::string(tree.LabelOf(f.node));
+    out += ':' + std::to_string(tree.WeightOf(f.node));
+    if (tree.FirstChild(f.node) != kInvalidNode) {
+      out += '(';
+      stack.push_back({f.node, true});
+      for (NodeId c = tree.LastChild(f.node); c != kInvalidNode;
+           c = tree.PrevSibling(c)) {
+        stack.push_back({c, false});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace natix

@@ -1,0 +1,32 @@
+#ifndef NATIX_TREE_TREE_SPEC_H_
+#define NATIX_TREE_TREE_SPEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Builds a Tree from a compact textual specification, used throughout the
+/// tests and examples to encode the paper's figures.
+///
+/// Grammar (whitespace separates siblings):
+///
+///   node     := [label] [":" weight] [ "(" node* ")" ]
+///   label    := [A-Za-z_][A-Za-z0-9_-]*
+///   weight   := positive integer (default 1)
+///
+/// Example — the running example of Sec. 2.1 (Fig. 3):
+///
+///   ParseTreeSpec("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)")
+Result<Tree> ParseTreeSpec(std::string_view spec);
+
+/// Inverse of ParseTreeSpec: renders `tree` in the spec grammar
+/// (labels when present, ":weight" always). Round-trips with ParseTreeSpec.
+std::string TreeToSpec(const Tree& tree);
+
+}  // namespace natix
+
+#endif  // NATIX_TREE_TREE_SPEC_H_

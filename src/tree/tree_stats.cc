@@ -1,0 +1,70 @@
+#include "tree/tree_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace natix {
+
+TreeStats ComputeTreeStats(const Tree& tree) {
+  TreeStats s;
+  s.node_count = tree.size();
+  if (tree.empty()) return s;
+
+  std::vector<int> depth(tree.size(), 0);
+  size_t fanout_sum = 0;
+  for (const NodeId v : tree.PreorderNodes()) {
+    const NodeId parent = tree.Parent(v);
+    if (parent != kInvalidNode) depth[v] = depth[parent] + 1;
+    s.height = std::max(s.height, depth[v]);
+    s.total_weight += tree.WeightOf(v);
+    s.max_node_weight = std::max(s.max_node_weight, tree.WeightOf(v));
+    ++s.kind_counts[static_cast<size_t>(tree.KindOf(v))];
+    const size_t fanout = tree.ChildCount(v);
+    if (fanout == 0) {
+      ++s.leaf_count;
+    } else {
+      ++s.inner_count;
+      fanout_sum += fanout;
+      s.max_fanout = std::max(s.max_fanout, fanout);
+      size_t bucket = 0;
+      for (size_t f = fanout; f > 1; f >>= 1) ++bucket;
+      if (s.fanout_histogram.size() <= bucket) {
+        s.fanout_histogram.resize(bucket + 1, 0);
+      }
+      ++s.fanout_histogram[bucket];
+    }
+  }
+  s.avg_node_weight =
+      static_cast<double>(s.total_weight) / static_cast<double>(s.node_count);
+  s.avg_fanout = s.inner_count == 0
+                     ? 0.0
+                     : static_cast<double>(fanout_sum) /
+                           static_cast<double>(s.inner_count);
+  s.depth_histogram.assign(static_cast<size_t>(s.height) + 1, 0);
+  for (const int d : depth) ++s.depth_histogram[static_cast<size_t>(d)];
+  return s;
+}
+
+std::string ToString(const TreeStats& s) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "nodes: %zu (elements %zu, text %zu, attributes %zu)\n"
+                "weight: total %llu slots, max %u, avg %.2f\n"
+                "shape: height %d, leaves %zu, inner %zu, fanout avg %.2f "
+                "max %zu\n",
+                s.node_count, s.kind_counts[0], s.kind_counts[1],
+                s.kind_counts[2],
+                static_cast<unsigned long long>(s.total_weight),
+                s.max_node_weight, s.avg_node_weight, s.height, s.leaf_count,
+                s.inner_count, s.avg_fanout, s.max_fanout);
+  std::string out = buf;
+  out += "depth histogram:";
+  for (size_t d = 0; d < s.depth_histogram.size(); ++d) {
+    std::snprintf(buf, sizeof(buf), " %zu:%zu", d, s.depth_histogram[d]);
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace natix

@@ -1,0 +1,42 @@
+#ifndef NATIX_TREE_TREE_STATS_H_
+#define NATIX_TREE_TREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Structural summary of a tree, used by the `inspect` tool, the corpus
+/// generators' calibration and the benchmarks' document descriptions.
+struct TreeStats {
+  size_t node_count = 0;
+  TotalWeight total_weight = 0;
+  Weight max_node_weight = 0;
+  double avg_node_weight = 0.0;
+  int height = 0;
+  size_t leaf_count = 0;
+  size_t inner_count = 0;
+  /// Maximum and average number of children over inner nodes.
+  size_t max_fanout = 0;
+  double avg_fanout = 0.0;
+  /// Node counts by kind, indexed by NodeKind.
+  size_t kind_counts[5] = {0, 0, 0, 0, 0};
+  /// depth_histogram[d] = number of nodes at depth d.
+  std::vector<size_t> depth_histogram;
+  /// fanout_histogram[i] = number of inner nodes with fanout in
+  /// [2^i, 2^(i+1)) (bucket 0 holds fanout 1).
+  std::vector<size_t> fanout_histogram;
+};
+
+/// Computes the summary in O(n).
+TreeStats ComputeTreeStats(const Tree& tree);
+
+/// Renders the summary as a small human-readable report.
+std::string ToString(const TreeStats& stats);
+
+}  // namespace natix
+
+#endif  // NATIX_TREE_TREE_STATS_H_

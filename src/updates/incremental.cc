@@ -1,0 +1,277 @@
+#include "updates/incremental.h"
+
+#include <algorithm>
+
+#include "core/algorithm.h"
+
+namespace natix {
+
+Result<IncrementalPartitioner> IncrementalPartitioner::Create(
+    Tree* tree, TotalWeight limit, const Partitioning& initial) {
+  if (tree == nullptr || tree->empty()) {
+    return Status::InvalidArgument("tree must exist and be non-empty");
+  }
+  NATIX_ASSIGN_OR_RETURN(const PartitionAnalysis analysis,
+                         Analyze(*tree, initial, limit));
+  if (!analysis.feasible) {
+    return Status::InvalidArgument(
+        "initial partitioning is not feasible for the given limit");
+  }
+  IncrementalPartitioner out(tree, limit);
+  out.member_of_.assign(tree->size(), kNone);
+  out.intervals_.reserve(initial.size());
+  for (size_t i = 0; i < initial.size(); ++i) {
+    const SiblingInterval& iv = initial[i];
+    out.intervals_.push_back(
+        {iv.first, iv.last, analysis.interval_weights[i], true});
+    for (NodeId v = iv.first;; v = tree->NextSibling(v)) {
+      out.member_of_[v] = static_cast<uint32_t>(i);
+      if (v == iv.last) break;
+    }
+  }
+  out.alive_count_ = initial.size();
+  return out;
+}
+
+Result<IncrementalPartitioner> IncrementalPartitioner::CreateEmpty(
+    Tree* tree, TotalWeight limit, Weight root_weight,
+    std::string_view root_label) {
+  if (tree == nullptr || !tree->empty()) {
+    return Status::InvalidArgument("tree must exist and be empty");
+  }
+  if (root_weight == 0 || root_weight > limit) {
+    return Status::InvalidArgument("root weight must be in [1, limit]");
+  }
+  const NodeId root = tree->AddRoot(root_weight, root_label);
+  IncrementalPartitioner out(tree, limit);
+  out.member_of_.assign(1, kNone);
+  out.member_of_[root] = out.NewInterval(root, root, root_weight);
+  return out;
+}
+
+uint32_t IncrementalPartitioner::PartitionOfNode(NodeId v) const {
+  for (NodeId x = v; x != kInvalidNode; x = tree_->Parent(x)) {
+    if (member_of_[x] != kNone) return member_of_[x];
+  }
+  return kNone;  // unreachable: the root is always a member
+}
+
+TotalWeight IncrementalPartitioner::LocalWeight(NodeId v) const {
+  TotalWeight sum = 0;
+  std::vector<NodeId> stack = {v};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    sum += tree_->WeightOf(x);
+    for (NodeId c = tree_->FirstChild(x); c != kInvalidNode;
+         c = tree_->NextSibling(c)) {
+      if (member_of_[c] == kNone) stack.push_back(c);
+    }
+  }
+  return sum;
+}
+
+uint32_t IncrementalPartitioner::NewInterval(NodeId first, NodeId last,
+                                             TotalWeight weight) {
+  intervals_.push_back({first, last, weight, true});
+  ++alive_count_;
+  return static_cast<uint32_t>(intervals_.size() - 1);
+}
+
+Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
+                                                    NodeId before,
+                                                    Weight weight,
+                                                    std::string_view label,
+                                                    NodeKind kind) {
+  if (weight == 0 || weight > limit_) {
+    return Status::InvalidArgument("node weight must be in [1, limit]");
+  }
+  if (parent >= tree_->size()) {
+    return Status::InvalidArgument("no such parent node");
+  }
+  if (before != kInvalidNode &&
+      (before >= tree_->size() || tree_->Parent(before) != parent)) {
+    return Status::InvalidArgument("'before' is not a child of 'parent'");
+  }
+  // A node inserted strictly between two members of an interval becomes a
+  // member of that interval itself (sibling intervals are defined by
+  // their endpoints); otherwise it joins its parent's partition as a
+  // subordinate node.
+  const NodeId left_neighbor =
+      before == kInvalidNode ? kInvalidNode : tree_->PrevSibling(before);
+  const bool inside_interval =
+      before != kInvalidNode && left_neighbor != kInvalidNode &&
+      member_of_[before] != kNone &&
+      member_of_[before] == member_of_[left_neighbor];
+
+  const NodeId id =
+      tree_->InsertChildBefore(parent, before, weight, label, kind);
+  member_of_.push_back(kNone);
+
+  const uint32_t p =
+      inside_interval ? member_of_[before] : PartitionOfNode(parent);
+  if (inside_interval) member_of_[id] = p;
+  intervals_[p].weight += weight;
+  std::vector<uint32_t> worklist;
+  if (intervals_[p].weight > limit_) worklist.push_back(p);
+  while (!worklist.empty()) {
+    const uint32_t q = worklist.back();
+    worklist.pop_back();
+    if (intervals_[q].alive && intervals_[q].weight > limit_) {
+      Split(q, &worklist);
+    }
+  }
+  return id;
+}
+
+void IncrementalPartitioner::Split(uint32_t p,
+                                   std::vector<uint32_t>* worklist) {
+  ++split_count_;
+  // Note: NewInterval() grows intervals_, so p must be re-indexed after
+  // any interval creation; never hold a reference across it.
+  std::vector<NodeId> members;
+  std::vector<TotalWeight> local;
+  for (NodeId v = intervals_[p].first;; v = tree_->NextSibling(v)) {
+    members.push_back(v);
+    local.push_back(LocalWeight(v));
+    if (v == intervals_[p].last) break;
+  }
+
+  if (members.size() == 1) {
+    // A single root: shed weight below it.
+    SplitBelow(members[0], p, worklist);
+    return;
+  }
+
+  // Divide at a member boundary: keep the maximal prefix that fits; the
+  // suffix becomes a new interval (re-enqueued if still too heavy).
+  TotalWeight prefix = local[0];
+  size_t cut = 1;  // first member of the suffix
+  while (cut < members.size() && prefix + local[cut] <= limit_) {
+    prefix += local[cut];
+    ++cut;
+  }
+  TotalWeight suffix_weight = 0;
+  for (size_t i = cut; i < members.size(); ++i) suffix_weight += local[i];
+  const uint32_t q =
+      NewInterval(members[cut], members.back(), suffix_weight);
+  for (size_t i = cut; i < members.size(); ++i) member_of_[members[i]] = q;
+  intervals_[p].last = members[cut - 1];
+  intervals_[p].weight = prefix;
+  if (suffix_weight > limit_) worklist->push_back(q);
+  // The prefix can itself exceed the limit when its single member is
+  // oversized (cut == 1 and local[0] > K): re-enqueue; the next round
+  // takes the single-member path.
+  if (prefix > limit_) worklist->push_back(p);
+}
+
+void IncrementalPartitioner::SplitBelow(NodeId member, uint32_t p,
+                                        std::vector<uint32_t>* worklist) {
+  // Invariant: partitions on the worklist weigh at most 2K (one
+  // insertion, one boundary prefix or one dominator cut above the limit),
+  // so a "dominator" node -- a subtree carrying more than half the
+  // partition -- can always be cut alone, leaving a remainder under K.
+  //
+  // Balanced split (the classic record split): descend the heavy path to
+  // the *deepest* dominator and cut it as a single-node interval. Both
+  // sides end up with roughly half the weight, which keeps
+  // append-at-the-tip growth from re-splitting on every insertion. The
+  // cut subtree may still exceed K; it re-enters the worklist as a
+  // single-member partition and splits the same way.
+  const TotalWeight total = intervals_[p].weight;
+  NodeId dominator = kInvalidNode;
+  NodeId walk = member;
+  for (;;) {
+    NodeId heavy = kInvalidNode;
+    for (NodeId c = tree_->FirstChild(walk); c != kInvalidNode;
+         c = tree_->NextSibling(c)) {
+      if (member_of_[c] == kNone && LocalWeight(c) > total / 2) {
+        heavy = c;  // at most one child can exceed half
+        break;
+      }
+    }
+    if (heavy == kInvalidNode) break;
+    dominator = heavy;
+    walk = heavy;
+  }
+  if (dominator != kInvalidNode) {
+    const TotalWeight w = LocalWeight(dominator);
+    const uint32_t q = NewInterval(dominator, dominator, w);
+    member_of_[dominator] = q;
+    intervals_[p].weight -= w;
+    if (w > limit_) worklist->push_back(q);
+    // remainder = total - w < total/2 <= limit, so p now fits.
+    return;
+  }
+
+  // No dominator: every subordinate child of `member` weighs at most
+  // half. Cut *leftmost* runs of adjacent subordinate children into
+  // intervals filled up to the limit, until the partition fits. Shedding
+  // from the left keeps the right end -- where document-order insertions
+  // append -- inside the parent partition with fresh headroom, so
+  // append-heavy growth produces full partitions instead of splitting on
+  // every insertion. Shedding all children always suffices since the
+  // member's own weight is <= K.
+  std::vector<NodeId> children;
+  std::vector<TotalWeight> local;
+  for (NodeId c = tree_->FirstChild(member); c != kInvalidNode;
+       c = tree_->NextSibling(c)) {
+    if (member_of_[c] == kNone) {
+      children.push_back(c);
+      local.push_back(LocalWeight(c));
+    }
+  }
+  size_t left = 0;
+  while (intervals_[p].weight > limit_ && left < children.size()) {
+    // Fill the interval up to the limit (not just enough to fit): a
+    // minimally-shed partition sits at the limit and re-splits on the
+    // very next insertion.
+    size_t right = left;
+    TotalWeight w = local[left];
+    while (right + 1 < children.size() &&
+           tree_->NextSibling(children[right]) == children[right + 1] &&
+           w + local[right + 1] <= limit_) {
+      ++right;
+      w += local[right];
+    }
+    const uint32_t q = NewInterval(children[left], children[right], w);
+    for (size_t i = left; i <= right; ++i) member_of_[children[i]] = q;
+    intervals_[p].weight -= w;
+    if (w > limit_) worklist->push_back(q);
+    left = right + 1;
+  }
+}
+
+Partitioning IncrementalPartitioner::CurrentPartitioning() const {
+  Partitioning p;
+  p.Reserve(alive_count_);
+  for (const Interval& iv : intervals_) {
+    if (iv.alive) p.Add(iv.first, iv.last);
+  }
+  return p;
+}
+
+Status IncrementalPartitioner::Validate() const {
+  const Partitioning p = CurrentPartitioning();
+  NATIX_ASSIGN_OR_RETURN(const PartitionAnalysis analysis,
+                         Analyze(*tree_, p, limit_));
+  if (!analysis.feasible) {
+    return Status::Internal("incremental partitioning became infeasible");
+  }
+  // Cross-check the maintained weights against a fresh analysis.
+  size_t idx = 0;
+  for (const Interval& iv : intervals_) {
+    if (!iv.alive) continue;
+    if (analysis.interval_weights[idx] != iv.weight) {
+      return Status::Internal(
+          "maintained weight " + std::to_string(iv.weight) +
+          " != analyzed weight " +
+          std::to_string(analysis.interval_weights[idx]) + " for interval " +
+          std::to_string(idx));
+    }
+    ++idx;
+  }
+  return Status::OK();
+}
+
+}  // namespace natix

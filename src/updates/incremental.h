@@ -1,0 +1,103 @@
+#ifndef NATIX_UPDATES_INCREMENTAL_H_
+#define NATIX_UPDATES_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+
+namespace natix {
+
+/// Node-at-a-time maintenance of a sibling partitioning under insertions
+/// -- the online counterpart of the bulk algorithms, in the spirit of the
+/// original Natix storage maintenance the paper builds on (its reference
+/// [9], Kanne/Moerkotte ICDE 2000).
+///
+/// The partitioner owns the evolving assignment: every inserted node
+/// first joins its parent's partition; when a partition outgrows the
+/// weight limit it is *split*:
+///   * an interval with several members is divided at a member boundary
+///     (the maximal prefix that still fits), preserving sibling runs;
+///   * a single-member partition sheds the rightmost subordinate children
+///     of its root into a new sibling interval (the classic Natix record
+///     split).
+/// Splits cascade through a worklist until every partition fits again, so
+/// the structure is feasible after every operation. Amortized cost per
+/// insertion is O(K) plus the depth walk to find the parent's partition.
+///
+/// The tree is borrowed and mutated through this class only.
+class IncrementalPartitioner {
+ public:
+  /// Starts from an existing feasible partitioning of `*tree` (e.g. a
+  /// bulkload result), which is copied into the internal representation.
+  static Result<IncrementalPartitioner> Create(Tree* tree, TotalWeight limit,
+                                               const Partitioning& initial);
+
+  /// Starts from a fresh one-node tree. `*tree` must be empty; a root with
+  /// the given weight/label is created.
+  static Result<IncrementalPartitioner> CreateEmpty(
+      Tree* tree, TotalWeight limit, Weight root_weight,
+      std::string_view root_label = {});
+
+  /// Inserts a node as a child of `parent`, immediately before `before`
+  /// (kInvalidNode appends as the rightmost child). Returns the new
+  /// NodeId. Fails if `weight` is 0 or exceeds the limit.
+  Result<NodeId> InsertBefore(NodeId parent, NodeId before, Weight weight,
+                              std::string_view label = {},
+                              NodeKind kind = NodeKind::kElement);
+
+  /// Materializes the current partitioning (intervals in no particular
+  /// order, (t, t) included).
+  Partitioning CurrentPartitioning() const;
+
+  size_t partition_count() const { return alive_count_; }
+  uint64_t split_count() const { return split_count_; }
+  TotalWeight limit() const { return limit_; }
+
+  /// Re-analyzes the materialized partitioning against the tree; used by
+  /// tests to certify the incremental bookkeeping.
+  Status Validate() const;
+
+ private:
+  static constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+  struct Interval {
+    NodeId first = kInvalidNode;
+    NodeId last = kInvalidNode;
+    TotalWeight weight = 0;
+    bool alive = false;
+  };
+
+  IncrementalPartitioner(Tree* tree, TotalWeight limit)
+      : tree_(tree), limit_(limit) {}
+
+  /// Interval id of the partition containing `v` (walks to the nearest
+  /// interval-member ancestor-or-self).
+  uint32_t PartitionOfNode(NodeId v) const;
+
+  /// Partition-local subtree weight of `v` (stops at interval members).
+  TotalWeight LocalWeight(NodeId v) const;
+
+  uint32_t NewInterval(NodeId first, NodeId last, TotalWeight weight);
+
+  /// Splits interval `p` (weight > limit) once; may enqueue follow-ups.
+  void Split(uint32_t p, std::vector<uint32_t>* worklist);
+
+  /// Sheds rightmost subordinate children of `member` into new intervals
+  /// until `p` fits.
+  void SplitBelow(NodeId member, uint32_t p, std::vector<uint32_t>* worklist);
+
+  Tree* tree_;
+  TotalWeight limit_;
+  std::vector<Interval> intervals_;
+  /// member_of_[v]: interval id if v is an interval member, else kNone.
+  std::vector<uint32_t> member_of_;
+  size_t alive_count_ = 0;
+  uint64_t split_count_ = 0;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_UPDATES_INCREMENTAL_H_

@@ -1,0 +1,246 @@
+#include "xml/document.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "xml/parser.h"
+
+namespace natix {
+
+namespace {
+
+bool IsAllWhitespace(std::string_view s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c));
+  });
+}
+
+}  // namespace
+
+int32_t XmlDocument::InternName(std::string_view name) {
+  if (name.empty()) return -1;
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+XmlDocument::NodeIndex XmlDocument::AddNode(NodeIndex parent, XmlNodeKind kind,
+                                            std::string_view name,
+                                            std::string_view content) {
+  const NodeIndex id = static_cast<NodeIndex>(nodes_.size());
+  Node n;
+  n.parent = parent;
+  n.kind = kind;
+  n.name = InternName(name);
+  n.content_offset = content_pool_.size();
+  n.content_length = static_cast<uint32_t>(content.size());
+  content_pool_.append(content);
+  if (parent != kNoNode) {
+    Node& p = nodes_[parent];
+    if (p.last_child == kNoNode) {
+      p.first_child = id;
+    } else {
+      nodes_[p.last_child].next_sibling = id;
+    }
+    p.last_child = id;
+    ++p.child_count;
+  }
+  nodes_.push_back(n);
+  return id;
+}
+
+Result<XmlDocument> XmlDocument::Parse(std::string_view xml,
+                                       const XmlParseOptions& options) {
+  XmlDocument doc;
+  XmlParser parser(xml);
+  std::vector<NodeIndex> stack;
+  for (;;) {
+    NATIX_ASSIGN_OR_RETURN(XmlEvent ev, parser.Next());
+    switch (ev.type) {
+      case XmlEventType::kEndDocument: {
+        if (doc.nodes_.empty()) {
+          return Status::ParseError("XML document has no root element");
+        }
+        return doc;
+      }
+      case XmlEventType::kStartElement: {
+        const NodeIndex parent = stack.empty() ? kNoNode : stack.back();
+        const NodeIndex el =
+            doc.AddNode(parent, XmlNodeKind::kElement, ev.name, {});
+        for (const XmlAttribute& a : ev.attributes) {
+          doc.AddNode(el, XmlNodeKind::kAttribute, a.name, a.value);
+        }
+        stack.push_back(el);
+        break;
+      }
+      case XmlEventType::kEndElement: {
+        stack.pop_back();
+        break;
+      }
+      case XmlEventType::kText: {
+        if (stack.empty()) break;  // parser already rejects this
+        if (options.skip_whitespace_text && IsAllWhitespace(ev.content)) {
+          break;
+        }
+        doc.AddNode(stack.back(), XmlNodeKind::kText, {}, ev.content);
+        break;
+      }
+      case XmlEventType::kComment: {
+        if (options.keep_comments && !stack.empty()) {
+          doc.AddNode(stack.back(), XmlNodeKind::kComment, {}, ev.content);
+        }
+        break;
+      }
+      case XmlEventType::kProcessingInstruction: {
+        if (options.keep_comments && !stack.empty()) {
+          doc.AddNode(stack.back(), XmlNodeKind::kProcessingInstruction,
+                      ev.name, ev.content);
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::string_view XmlDocument::NameOf(NodeIndex v) const {
+  const int32_t id = nodes_[v].name;
+  if (id < 0) return {};
+  return names_[static_cast<size_t>(id)];
+}
+
+std::string_view XmlDocument::ContentOf(NodeIndex v) const {
+  return std::string_view(content_pool_)
+      .substr(nodes_[v].content_offset, nodes_[v].content_length);
+}
+
+size_t XmlDocument::CountKind(XmlNodeKind kind) const {
+  size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string EscapeXmlText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeXmlAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string XmlDocument::Serialize() const {
+  std::string out;
+  if (nodes_.empty()) return out;
+  // Iterative serialization with explicit close frames (deep-tree safe).
+  struct Frame {
+    NodeIndex node;
+    bool close;
+  };
+  std::vector<Frame> stack = {{root(), false}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[f.node];
+    if (f.close) {
+      out += "</";
+      out += NameOf(f.node);
+      out += '>';
+      continue;
+    }
+    switch (n.kind) {
+      case XmlNodeKind::kElement: {
+        out += '<';
+        out += NameOf(f.node);
+        // Attributes first (they are the leading children by construction).
+        NodeIndex c = n.first_child;
+        while (c != kNoNode && nodes_[c].kind == XmlNodeKind::kAttribute) {
+          out += ' ';
+          out += NameOf(c);
+          out += "=\"";
+          out += EscapeXmlAttribute(ContentOf(c));
+          out += '"';
+          c = nodes_[c].next_sibling;
+        }
+        if (c == kNoNode) {
+          out += "/>";
+          break;
+        }
+        out += '>';
+        stack.push_back({f.node, true});
+        // Push non-attribute children in reverse document order.
+        std::vector<NodeIndex> kids;
+        for (NodeIndex k = c; k != kNoNode; k = nodes_[k].next_sibling) {
+          kids.push_back(k);
+        }
+        for (size_t i = kids.size(); i-- > 0;) {
+          stack.push_back({kids[i], false});
+        }
+        break;
+      }
+      case XmlNodeKind::kText:
+        out += EscapeXmlText(ContentOf(f.node));
+        break;
+      case XmlNodeKind::kAttribute:
+        // Handled by the parent element.
+        break;
+      case XmlNodeKind::kComment:
+        out += "<!--";
+        out += ContentOf(f.node);
+        out += "-->";
+        break;
+      case XmlNodeKind::kProcessingInstruction:
+        out += "<?";
+        out += NameOf(f.node);
+        if (nodes_[f.node].content_length > 0) {
+          out += ' ';
+          out += ContentOf(f.node);
+        }
+        out += "?>";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace natix

@@ -1,0 +1,105 @@
+#ifndef NATIX_XML_DOCUMENT_H_
+#define NATIX_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// Kind of node in an XmlDocument. Attribute nodes are materialized as the
+/// first children of their element, in declaration order, mirroring how
+/// the paper's weight model charges attributes (Sec. 6.1).
+enum class XmlNodeKind : uint8_t {
+  kElement,
+  kText,
+  kAttribute,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// XML parse options.
+struct XmlParseOptions {
+  /// Drop text nodes that consist only of whitespace (typical for
+  /// pretty-printed documents; the UW repository documents are stored
+  /// this way).
+  bool skip_whitespace_text = true;
+  /// Keep comments and processing instructions as nodes.
+  bool keep_comments = false;
+};
+
+/// An in-memory XML document tree (a small DOM), produced by
+/// XmlDocument::Parse and consumed by the importer (xml/importer.h), the
+/// serializer, and the examples.
+///
+/// Nodes live in a contiguous arena; names are interned; text/attribute
+/// content lives in one shared pool. Navigation mirrors the Tree class.
+class XmlDocument {
+ public:
+  using NodeIndex = uint32_t;
+  static constexpr NodeIndex kNoNode = 0xFFFFFFFFu;
+
+  /// Parses `xml` into a document. Returns ParseError on malformed input.
+  static Result<XmlDocument> Parse(std::string_view xml,
+                                   const XmlParseOptions& options = {});
+
+  size_t size() const { return nodes_.size(); }
+  NodeIndex root() const { return nodes_.empty() ? kNoNode : 0; }
+
+  XmlNodeKind KindOf(NodeIndex v) const { return nodes_[v].kind; }
+  NodeIndex Parent(NodeIndex v) const { return nodes_[v].parent; }
+  NodeIndex FirstChild(NodeIndex v) const { return nodes_[v].first_child; }
+  NodeIndex NextSibling(NodeIndex v) const { return nodes_[v].next_sibling; }
+  size_t ChildCount(NodeIndex v) const { return nodes_[v].child_count; }
+
+  /// Element/attribute/PI name; empty for text and comments.
+  std::string_view NameOf(NodeIndex v) const;
+  /// Text content, attribute value, comment body or PI data.
+  std::string_view ContentOf(NodeIndex v) const;
+
+  /// Number of element/text/attribute/comment/PI nodes, by kind.
+  size_t CountKind(XmlNodeKind kind) const;
+
+  /// Serializes back to XML text (no pretty printing; attribute children
+  /// become attributes again, entities re-escaped). Round-trips with
+  /// Parse for documents without insignificant whitespace.
+  std::string Serialize() const;
+
+ private:
+  friend class XmlDocumentBuilder;
+
+  struct Node {
+    NodeIndex parent = kNoNode;
+    NodeIndex first_child = kNoNode;
+    NodeIndex last_child = kNoNode;
+    NodeIndex next_sibling = kNoNode;
+    uint32_t child_count = 0;
+    int32_t name = -1;          // interned name id
+    uint64_t content_offset = 0;  // into content_pool_
+    uint32_t content_length = 0;
+    XmlNodeKind kind = XmlNodeKind::kElement;
+  };
+
+  NodeIndex AddNode(NodeIndex parent, XmlNodeKind kind, std::string_view name,
+                    std::string_view content);
+  int32_t InternName(std::string_view name);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int32_t> name_ids_;
+  std::string content_pool_;
+};
+
+/// Escapes text content for XML serialization (&, <, >).
+std::string EscapeXmlText(std::string_view text);
+
+/// Escapes an attribute value (&, <, >, ").
+std::string EscapeXmlAttribute(std::string_view value);
+
+}  // namespace natix
+
+#endif  // NATIX_XML_DOCUMENT_H_

@@ -1,0 +1,74 @@
+#include "xml/importer.h"
+
+namespace natix {
+
+namespace {
+
+NodeKind ToTreeKind(XmlNodeKind kind) {
+  switch (kind) {
+    case XmlNodeKind::kElement:
+      return NodeKind::kElement;
+    case XmlNodeKind::kText:
+      return NodeKind::kText;
+    case XmlNodeKind::kAttribute:
+      return NodeKind::kAttribute;
+    case XmlNodeKind::kComment:
+      return NodeKind::kComment;
+    case XmlNodeKind::kProcessingInstruction:
+      return NodeKind::kProcessingInstruction;
+  }
+  return NodeKind::kElement;
+}
+
+}  // namespace
+
+Result<ImportedDocument> ImportDocument(const XmlDocument& doc,
+                                        const WeightModel& model) {
+  if (doc.size() == 0) {
+    return Status::InvalidArgument("cannot import an empty XML document");
+  }
+  ImportedDocument out;
+  out.tree.Reserve(doc.size());
+  out.content_bytes.reserve(doc.size());
+  out.source_node.reserve(doc.size());
+
+  // Document-order walk; XmlDocument node construction order is already
+  // document order, and Tree requires parents before children, which that
+  // order guarantees.
+  std::vector<NodeId> tree_id(doc.size());
+  for (XmlDocument::NodeIndex v = 0; v < doc.size(); ++v) {
+    const uint64_t content = doc.ContentOf(v).size();
+    const Weight w = model.NodeWeight(content);
+    const NodeKind kind = ToTreeKind(doc.KindOf(v));
+    const std::string_view label = doc.NameOf(v);
+    const XmlDocument::NodeIndex parent = doc.Parent(v);
+    const NodeId id =
+        parent == XmlDocument::kNoNode
+            ? out.tree.AddRoot(w, label, kind)
+            : out.tree.AppendChild(tree_id[parent], w, label, kind);
+    tree_id[v] = id;
+    out.content_bytes.push_back(static_cast<uint32_t>(content));
+    out.content_offset.push_back(out.content_pool.size());
+    out.content_pool.append(doc.ContentOf(v));
+    out.source_node.push_back(v);
+    out.content_total_bytes += content;
+    if (model.Overflows(content)) {
+      ++out.overflow_nodes;
+      out.overflow_bytes += content;
+    }
+  }
+  return out;
+}
+
+Result<ImportedDocument> ImportXml(std::string_view xml,
+                                   const WeightModel& model,
+                                   const XmlParseOptions& options) {
+  NATIX_ASSIGN_OR_RETURN(const XmlDocument doc,
+                         XmlDocument::Parse(xml, options));
+  NATIX_ASSIGN_OR_RETURN(ImportedDocument imported,
+                         ImportDocument(doc, model));
+  imported.source_bytes = xml.size();
+  return imported;
+}
+
+}  // namespace natix

@@ -1,0 +1,61 @@
+#ifndef NATIX_XML_IMPORTER_H_
+#define NATIX_XML_IMPORTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/tree.h"
+#include "xml/document.h"
+#include "xml/weight_model.h"
+
+namespace natix {
+
+/// Result of mapping an XML document into a weighted partitioning problem
+/// instance (Sec. 6.1 of the paper).
+struct ImportedDocument {
+  /// The ordered, labeled, weighted tree. Labels are element/attribute
+  /// names; node kinds carry the XML node type. NodeIds follow document
+  /// order.
+  Tree tree;
+  /// For each tree node, the byte length of its character content
+  /// (0 for elements). Used by the storage engine to serialize records.
+  std::vector<uint32_t> content_bytes;
+  /// Per-node offset into `content_pool` (parallel to content_bytes).
+  std::vector<uint64_t> content_offset;
+  /// All character content, concatenated in document order.
+  std::string content_pool;
+  /// For each tree node, the corresponding XmlDocument node (parallel to
+  /// NodeId); kNoNode when the tree was not built from an XmlDocument.
+  std::vector<XmlDocument::NodeIndex> source_node;
+  /// Nodes whose content was externalized by the weight model.
+  uint64_t overflow_nodes = 0;
+  /// Total externalized content bytes (stored in overflow records).
+  uint64_t overflow_bytes = 0;
+  /// Total document text/attribute bytes.
+  uint64_t content_total_bytes = 0;
+  /// Source document size in bytes (serialized form), when known.
+  uint64_t source_bytes = 0;
+
+  /// Character content of a tree node.
+  std::string_view ContentOf(NodeId v) const {
+    return std::string_view(content_pool)
+        .substr(content_offset[v], content_bytes[v]);
+  }
+};
+
+/// Converts a parsed XmlDocument into a weighted tree per `model`.
+/// Fails if the document is empty.
+Result<ImportedDocument> ImportDocument(const XmlDocument& doc,
+                                        const WeightModel& model);
+
+/// Convenience: parse + import in one step. `options` controls whitespace
+/// and comment handling.
+Result<ImportedDocument> ImportXml(
+    std::string_view xml, const WeightModel& model,
+    const XmlParseOptions& options = {});
+
+}  // namespace natix
+
+#endif  // NATIX_XML_IMPORTER_H_

@@ -1,0 +1,331 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+namespace natix {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+XmlParser::XmlParser(std::string_view input) : input_(input) {}
+
+Status XmlParser::Error(const std::string& what) const {
+  return Status::ParseError("XML, line " + std::to_string(line_) + ": " +
+                            what);
+}
+
+char XmlParser::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+void XmlParser::Advance(size_t n) {
+  for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+}
+
+void XmlParser::SkipWhitespace() {
+  while (!AtEnd() && IsSpace(input_[pos_])) Advance();
+}
+
+bool XmlParser::Consume(std::string_view token) {
+  if (input_.substr(pos_, token.size()) != token) return false;
+  Advance(token.size());
+  return true;
+}
+
+Result<std::string> XmlParser::ParseName() {
+  if (AtEnd() || !IsNameStart(Peek())) {
+    return Error("expected a name");
+  }
+  const size_t start = pos_;
+  while (!AtEnd() && IsNameChar(Peek())) Advance();
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+Status XmlParser::DecodeEntity(std::string* out) {
+  // pos_ is at '&'.
+  Advance();  // consume '&'
+  const size_t start = pos_;
+  while (!AtEnd() && Peek() != ';' && pos_ - start < 12) Advance();
+  if (AtEnd() || Peek() != ';') {
+    return Error("unterminated entity reference");
+  }
+  const std::string_view name = input_.substr(start, pos_ - start);
+  Advance();  // consume ';'
+  if (name == "lt") {
+    out->push_back('<');
+  } else if (name == "gt") {
+    out->push_back('>');
+  } else if (name == "amp") {
+    out->push_back('&');
+  } else if (name == "apos") {
+    out->push_back('\'');
+  } else if (name == "quot") {
+    out->push_back('"');
+  } else if (!name.empty() && name[0] == '#') {
+    uint32_t code = 0;
+    bool ok = name.size() > 1;
+    if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+      for (size_t i = 2; i < name.size(); ++i) {
+        const char c = name[i];
+        uint32_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          digit = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          digit = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          ok = false;
+          break;
+        }
+        code = code * 16 + digit;
+      }
+    } else {
+      for (size_t i = 1; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          ok = false;
+          break;
+        }
+        code = code * 10 + static_cast<uint32_t>(name[i] - '0');
+      }
+    }
+    if (!ok || code == 0 || code > 0x10FFFF) {
+      return Error("invalid character reference &" + std::string(name) + ";");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  } else {
+    return Error("unknown entity &" + std::string(name) + ";");
+  }
+  return Status::OK();
+}
+
+Result<std::string> XmlParser::ParseAttributeValue() {
+  const char quote = Peek();
+  if (quote != '"' && quote != '\'') {
+    return Error("expected quoted attribute value");
+  }
+  Advance();
+  std::string value;
+  while (!AtEnd() && Peek() != quote) {
+    if (Peek() == '&') {
+      NATIX_RETURN_NOT_OK(DecodeEntity(&value));
+    } else if (Peek() == '<') {
+      return Error("'<' in attribute value");
+    } else {
+      value.push_back(Peek());
+      Advance();
+    }
+  }
+  if (AtEnd()) return Error("unterminated attribute value");
+  Advance();  // closing quote
+  return value;
+}
+
+Status XmlParser::ParseAttributes(XmlEvent* event) {
+  for (;;) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag");
+    if (Peek() == '>' || Peek() == '/' || Peek() == '?') return Status::OK();
+    Result<std::string> name = ParseName();
+    NATIX_RETURN_NOT_OK(name.status());
+    SkipWhitespace();
+    if (!Consume("=")) return Error("expected '=' after attribute name");
+    SkipWhitespace();
+    Result<std::string> value = ParseAttributeValue();
+    NATIX_RETURN_NOT_OK(value.status());
+    for (const XmlAttribute& a : event->attributes) {
+      if (a.name == *name) {
+        return Error("duplicate attribute '" + *name + "'");
+      }
+    }
+    event->attributes.push_back(
+        {std::move(*name), std::move(*value)});
+  }
+}
+
+Result<XmlEvent> XmlParser::ParseMarkup() {
+  // pos_ is at '<'.
+  if (Consume("<!--")) {
+    const size_t start = pos_;
+    while (!AtEnd() && input_.substr(pos_, 3) != "-->") Advance();
+    if (AtEnd()) return Error("unterminated comment");
+    XmlEvent ev;
+    ev.type = XmlEventType::kComment;
+    ev.content = std::string(input_.substr(start, pos_ - start));
+    Advance(3);
+    return ev;
+  }
+  if (Consume("<![CDATA[")) {
+    if (open_elements_.empty()) return Error("CDATA outside root element");
+    const size_t start = pos_;
+    while (!AtEnd() && input_.substr(pos_, 3) != "]]>") Advance();
+    if (AtEnd()) return Error("unterminated CDATA section");
+    XmlEvent ev;
+    ev.type = XmlEventType::kText;
+    ev.content = std::string(input_.substr(start, pos_ - start));
+    Advance(3);
+    return ev;
+  }
+  if (Consume("<!DOCTYPE")) {
+    // Skip to the matching '>' (internal subsets in brackets supported).
+    int depth = 1;
+    bool bracket = false;
+    while (!AtEnd() && depth > 0) {
+      const char c = Peek();
+      if (c == '[') bracket = true;
+      if (c == ']') bracket = false;
+      if (c == '>' && !bracket) --depth;
+      Advance();
+    }
+    if (depth != 0) return Error("unterminated DOCTYPE");
+    return Next();
+  }
+  if (Consume("<?")) {
+    Result<std::string> target = ParseName();
+    NATIX_RETURN_NOT_OK(target.status());
+    const size_t start = pos_;
+    while (!AtEnd() && input_.substr(pos_, 2) != "?>") Advance();
+    if (AtEnd()) return Error("unterminated processing instruction");
+    std::string data(input_.substr(start, pos_ - start));
+    Advance(2);
+    if (*target == "xml" || *target == "XML") {
+      return Next();  // XML declaration: skip
+    }
+    XmlEvent ev;
+    ev.type = XmlEventType::kProcessingInstruction;
+    ev.name = std::move(*target);
+    // Trim one leading space between target and data.
+    ev.content = std::move(data);
+    while (!ev.content.empty() && IsSpace(ev.content.front())) {
+      ev.content.erase(ev.content.begin());
+    }
+    return ev;
+  }
+  if (Consume("</")) {
+    Result<std::string> name = ParseName();
+    NATIX_RETURN_NOT_OK(name.status());
+    SkipWhitespace();
+    if (!Consume(">")) return Error("expected '>' in end tag");
+    if (open_elements_.empty()) {
+      return Error("end tag </" + *name + "> without open element");
+    }
+    if (open_elements_.back() != *name) {
+      return Error("mismatched end tag: expected </" +
+                   open_elements_.back() + ">, got </" + *name + ">");
+    }
+    open_elements_.pop_back();
+    XmlEvent ev;
+    ev.type = XmlEventType::kEndElement;
+    ev.name = std::move(*name);
+    return ev;
+  }
+  // Start tag.
+  Advance();  // consume '<'
+  if (seen_root_ && open_elements_.empty()) {
+    return Error("document has more than one root element");
+  }
+  Result<std::string> name = ParseName();
+  NATIX_RETURN_NOT_OK(name.status());
+  XmlEvent ev;
+  ev.type = XmlEventType::kStartElement;
+  ev.name = std::move(*name);
+  NATIX_RETURN_NOT_OK(ParseAttributes(&ev));
+  SkipWhitespace();
+  if (Consume("/>")) {
+    // Self-closing: report the start event now and synthesize the end
+    // event on the following Next() call via the pending queue.
+    pending_end_ = ev.name;
+    has_pending_end_ = true;
+    seen_root_ = true;
+    return ev;
+  }
+  if (!Consume(">")) return Error("expected '>' in start tag");
+  open_elements_.push_back(ev.name);
+  seen_root_ = true;
+  return ev;
+}
+
+Result<XmlEvent> XmlParser::ParseTextRun() {
+  std::string text;
+  while (!AtEnd() && Peek() != '<') {
+    if (Peek() == '&') {
+      NATIX_RETURN_NOT_OK(DecodeEntity(&text));
+    } else {
+      text.push_back(Peek());
+      Advance();
+    }
+  }
+  XmlEvent ev;
+  ev.type = XmlEventType::kText;
+  ev.content = std::move(text);
+  return ev;
+}
+
+Result<XmlEvent> XmlParser::Next() {
+  if (has_pending_end_) {
+    has_pending_end_ = false;
+    XmlEvent ev;
+    ev.type = XmlEventType::kEndElement;
+    ev.name = std::move(pending_end_);
+    return ev;
+  }
+  if (done_) {
+    XmlEvent ev;
+    ev.type = XmlEventType::kEndDocument;
+    return ev;
+  }
+  if (open_elements_.empty()) {
+    // Prolog or epilog: only whitespace, comments, PIs and (for the
+    // prolog) the root element may appear.
+    SkipWhitespace();
+    if (AtEnd()) {
+      if (!seen_root_) return Error("no root element");
+      done_ = true;
+      XmlEvent ev;
+      ev.type = XmlEventType::kEndDocument;
+      return ev;
+    }
+    if (Peek() != '<') return Error("text outside the root element");
+    return ParseMarkup();
+  }
+  if (AtEnd()) {
+    return Error("unexpected end of input, <" + open_elements_.back() +
+                 "> still open");
+  }
+  if (Peek() == '<') return ParseMarkup();
+  return ParseTextRun();
+}
+
+}  // namespace natix

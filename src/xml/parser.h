@@ -1,0 +1,101 @@
+#ifndef NATIX_XML_PARSER_H_
+#define NATIX_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// One attribute of a start-element event.
+struct XmlAttribute {
+  std::string name;
+  std::string value;  // entity references resolved
+};
+
+/// Kind of event produced by XmlParser.
+enum class XmlEventType {
+  kStartElement,
+  kEndElement,
+  kText,                    // character data (CDATA sections included)
+  kComment,                 // <!-- ... -->
+  kProcessingInstruction,   // <?target data?>
+  kEndDocument,
+};
+
+/// One parsing event. Which fields are meaningful depends on `type`:
+/// name for elements and PI targets, attributes for start elements,
+/// content for text/comments/PI data.
+struct XmlEvent {
+  XmlEventType type = XmlEventType::kEndDocument;
+  std::string name;
+  std::string content;
+  std::vector<XmlAttribute> attributes;
+};
+
+/// A streaming (pull) XML parser, built from scratch.
+///
+/// Supported: elements, attributes (single/double quoted), self-closing
+/// tags, character data, CDATA sections, comments, processing
+/// instructions, the XML declaration, a DOCTYPE declaration (skipped), the
+/// five predefined entities and numeric character references.
+/// Not supported (not needed for this reproduction): namespaces beyond
+/// treating ':' as a name character, external entities, DTD content
+/// models.
+///
+/// The parser enforces well-formedness: matching end tags, a single root
+/// element, no text outside the root. Errors carry the 1-based line
+/// number.
+///
+/// Typical use:
+///
+///   XmlParser parser(xml_text);
+///   for (;;) {
+///     NATIX_ASSIGN_OR_RETURN(XmlEvent ev, parser.Next());
+///     if (ev.type == XmlEventType::kEndDocument) break;
+///     ...
+///   }
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input);
+
+  /// Returns the next event, or kEndDocument after the root element
+  /// closed. Returns ParseError on malformed input; after an error the
+  /// parser must not be used further.
+  Result<XmlEvent> Next();
+
+  /// 1-based line of the current parse position (for error reporting).
+  size_t line() const { return line_; }
+
+ private:
+  Status Error(const std::string& what) const;
+  void SkipWhitespace();
+  bool Consume(std::string_view token);
+  char Peek(size_t ahead = 0) const;
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  void Advance(size_t n = 1);
+
+  Result<std::string> ParseName();
+  Status ParseAttributes(XmlEvent* event);
+  Result<std::string> ParseAttributeValue();
+  Status DecodeEntity(std::string* out);
+  Result<XmlEvent> ParseMarkup();  // dispatch at '<'
+  Result<XmlEvent> ParseTextRun();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  std::vector<std::string> open_elements_;
+  /// End event synthesized for a self-closing tag, delivered on the next
+  /// Next() call.
+  std::string pending_end_;
+  bool has_pending_end_ = false;
+  bool seen_root_ = false;
+  bool done_ = false;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_XML_PARSER_H_

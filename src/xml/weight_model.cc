@@ -1,0 +1,21 @@
+#include "xml/weight_model.h"
+
+namespace natix {
+
+Weight WeightModel::NodeWeight(uint64_t content_bytes) const {
+  const uint64_t content_slots = (content_bytes + slot_size - 1) / slot_size;
+  const uint64_t w = metadata_slots + content_slots;
+  if (max_node_slots != 0 && w > max_node_slots) {
+    // Externalized: stub of metadata + overflow pointer slot.
+    return metadata_slots + 1;
+  }
+  return static_cast<Weight>(w);
+}
+
+bool WeightModel::Overflows(uint64_t content_bytes) const {
+  if (max_node_slots == 0) return false;
+  const uint64_t content_slots = (content_bytes + slot_size - 1) / slot_size;
+  return metadata_slots + content_slots > max_node_slots;
+}
+
+}  // namespace natix

@@ -1,0 +1,44 @@
+#ifndef NATIX_XML_WEIGHT_MODEL_H_
+#define NATIX_XML_WEIGHT_MODEL_H_
+
+#include <cstdint>
+
+#include "tree/tree.h"
+#include "xml/document.h"
+
+namespace natix {
+
+/// The paper's storage weight model (Sec. 6.1): real-world storage engines
+/// align objects on secondary storage to a "slot" size. A node's weight is
+/// the number of slots it occupies:
+///   * one slot of metadata per node (tag name id, node type), plus
+///   * for text and attribute nodes, slots proportional to the content
+///     length.
+/// The paper uses a slot size of 8 bytes and K = 256 slots (2KB units).
+struct WeightModel {
+  /// Bytes per slot.
+  uint32_t slot_size = 8;
+  /// Metadata slots charged to every node.
+  uint32_t metadata_slots = 1;
+  /// If non-zero, nodes whose weight would exceed this many slots are
+  /// *externalized*: the content moves to an overflow record of its own
+  /// (as Natix does for large text values) and the in-tree node keeps a
+  /// stub of metadata_slots + 1 slots (the overflow pointer). This keeps
+  /// every in-tree node weight <= max_node_slots so that a feasible
+  /// sibling partitioning always exists for K >= max_node_slots.
+  uint32_t max_node_slots = 0;
+
+  /// Weight of a node with `content_bytes` bytes of character content
+  /// (0 for plain elements). Never returns 0.
+  Weight NodeWeight(uint64_t content_bytes) const;
+
+  /// True if NodeWeight() would externalize this content.
+  bool Overflows(uint64_t content_bytes) const;
+};
+
+/// The paper's configuration: 8-byte slots, K = 256 slots = 2KB units.
+inline constexpr TotalWeight kPaperWeightLimit = 256;
+
+}  // namespace natix
+
+#endif  // NATIX_XML_WEIGHT_MODEL_H_

@@ -1,0 +1,81 @@
+#include "core/algorithm.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+TEST(RegistryTest, AllPaperAlgorithmsRegistered) {
+  const std::vector<std::string_view> names = AlgorithmNames();
+  ASSERT_EQ(names.size(), 9u);
+  // Table 1 column order, FDW appended.
+  EXPECT_EQ(names[0], "DHW");
+  EXPECT_EQ(names[1], "GHDW");
+  EXPECT_EQ(names[2], "EKM");
+  EXPECT_EQ(names[3], "RS");
+  EXPECT_EQ(names[4], "DFS");
+  EXPECT_EQ(names[5], "KM");
+  EXPECT_EQ(names[6], "BFS");
+  EXPECT_EQ(names[7], "FDW");
+  EXPECT_EQ(names[8], "LUKES");
+}
+
+TEST(RegistryTest, FindAlgorithm) {
+  EXPECT_NE(FindAlgorithm("DHW"), nullptr);
+  EXPECT_NE(FindAlgorithm("EKM"), nullptr);
+  EXPECT_EQ(FindAlgorithm("nope"), nullptr);
+  EXPECT_EQ(FindAlgorithm("dhw"), nullptr);  // names are case-sensitive
+}
+
+TEST(RegistryTest, Properties) {
+  EXPECT_TRUE(FindAlgorithm("DHW")->IsOptimal());
+  EXPECT_TRUE(FindAlgorithm("FDW")->IsOptimal());
+  EXPECT_FALSE(FindAlgorithm("GHDW")->IsOptimal());
+  EXPECT_FALSE(FindAlgorithm("EKM")->IsOptimal());
+  // Sec. 4: DHW and BFS are not main-memory friendly; the bottom-up
+  // heuristics and DFS are.
+  EXPECT_FALSE(FindAlgorithm("DHW")->IsMainMemoryFriendly());
+  EXPECT_FALSE(FindAlgorithm("BFS")->IsMainMemoryFriendly());
+  EXPECT_TRUE(FindAlgorithm("EKM")->IsMainMemoryFriendly());
+  EXPECT_TRUE(FindAlgorithm("KM")->IsMainMemoryFriendly());
+  EXPECT_TRUE(FindAlgorithm("RS")->IsMainMemoryFriendly());
+  EXPECT_TRUE(FindAlgorithm("DFS")->IsMainMemoryFriendly());
+  EXPECT_TRUE(FindAlgorithm("GHDW")->IsMainMemoryFriendly());
+}
+
+TEST(RegistryTest, DescriptionsNonEmpty) {
+  for (const std::string_view name : AlgorithmNames()) {
+    EXPECT_FALSE(FindAlgorithm(name)->description().empty()) << name;
+  }
+}
+
+TEST(RegistryTest, PartitionWithRunsEveryAlgorithm) {
+  const Tree t = testing_util::Fig3Tree();
+  for (const std::string_view name : AlgorithmNames()) {
+    if (name == "FDW") continue;  // deep tree
+    const Result<Partitioning> p = PartitionWith(name, t, 5);
+    ASSERT_TRUE(p.ok()) << name;
+    testing_util::MustBeFeasible(t, *p, 5, std::string(name));
+  }
+}
+
+TEST(RegistryTest, PartitionWithUnknownName) {
+  const Tree t = testing_util::Fig3Tree();
+  const Result<Partitioning> p = PartitionWith("SCHKOLNICK", t, 5);
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, CheckPartitionable) {
+  const Tree t = testing_util::Fig3Tree();
+  EXPECT_TRUE(CheckPartitionable(t, 3).ok());
+  EXPECT_FALSE(CheckPartitionable(t, 2).ok());  // max node weight 3
+  EXPECT_FALSE(CheckPartitionable(t, 0).ok());
+  Tree empty;
+  EXPECT_FALSE(CheckPartitionable(empty, 5).ok());
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,117 @@
+#include "storage/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+TEST(LruBufferPoolTest, HitsAndMisses) {
+  LruBufferPool pool(2);
+  EXPECT_FALSE(pool.Access(1));  // miss
+  EXPECT_FALSE(pool.Access(2));  // miss
+  EXPECT_TRUE(pool.Access(1));   // hit
+  EXPECT_EQ(pool.stats().accesses, 3u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
+TEST(LruBufferPoolTest, EvictsLeastRecentlyUsed) {
+  LruBufferPool pool(2);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(1);  // 1 becomes MRU, 2 is LRU
+  pool.Access(3);  // evicts 2
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_TRUE(pool.IsResident(1));
+  EXPECT_FALSE(pool.IsResident(2));
+  EXPECT_TRUE(pool.IsResident(3));
+  EXPECT_EQ(pool.resident_count(), 2u);
+}
+
+TEST(LruBufferPoolTest, SequentialScanThrashesSmallPool) {
+  LruBufferPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t p = 0; p < 16; ++p) pool.Access(p);
+  }
+  // 16 pages cycling through 4 frames: every access misses.
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 48u);
+}
+
+TEST(LruBufferPoolTest, LargePoolAllHitsAfterWarmup) {
+  LruBufferPool pool(64);
+  for (uint32_t p = 0; p < 16; ++p) pool.Access(p);
+  pool.ResetStats();
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t p = 0; p < 16; ++p) pool.Access(p);
+  }
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 1.0);
+}
+
+TEST(LruBufferPoolTest, ClearColdRestarts) {
+  LruBufferPool pool(8);
+  pool.Access(1);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_count(), 0u);
+  EXPECT_FALSE(pool.Access(1));  // miss again
+}
+
+TEST(LruBufferPoolTest, NavigatorRoutesCrossingsThroughPool) {
+  WeightModel model;
+  model.max_node_slots = 64;
+  Result<ImportedDocument> imp =
+      ImportXml(GenerateSigmodRecord(3, 0.02), model);
+  ASSERT_TRUE(imp.ok());
+  const ImportedDocument doc = std::move(imp).value();
+  const Result<Partitioning> p = KmPartition(doc.tree, 64);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  ASSERT_TRUE(store.ok());
+
+  const Result<PathExpr> q = ParseXPath("//author");
+  ASSERT_TRUE(q.ok());
+  LruBufferPool pool(4);
+  AccessStats stats;
+  StoreQueryEvaluator eval(&*store, &stats, &pool);
+  ASSERT_TRUE(eval.Evaluate(*q).ok());
+  // Every record crossing touched the pool.
+  EXPECT_EQ(pool.stats().accesses, stats.record_crossings);
+  EXPECT_GT(pool.stats().misses, 0u);
+}
+
+TEST(LruBufferPoolTest, FewerRecordsFewerFaults) {
+  // The cold-cache claim: under a small buffer, the EKM layout faults
+  // less than KM on the same query.
+  WeightModel model;
+  model.max_node_slots = 256;
+  Result<ImportedDocument> imp = ImportXml(GenerateXmark(5, 0.02), model);
+  ASSERT_TRUE(imp.ok());
+  const ImportedDocument doc = std::move(imp).value();
+
+  auto faults = [&](const Partitioning& part) {
+    Result<NatixStore> store = NatixStore::Build(doc, part, 256);
+    EXPECT_TRUE(store.ok());
+    const Result<PathExpr> q = ParseXPath("/site/regions/*/item");
+    EXPECT_TRUE(q.ok());
+    LruBufferPool pool(8);
+    AccessStats stats;
+    StoreQueryEvaluator eval(&*store, &stats, &pool);
+    EXPECT_TRUE(eval.Evaluate(*q).ok());
+    return pool.stats().misses;
+  };
+  const Result<Partitioning> km = KmPartition(doc.tree, 256);
+  const Result<Partitioning> ekm = EkmPartition(doc.tree, 256);
+  ASSERT_TRUE(km.ok() && ekm.ok());
+  EXPECT_LT(faults(*ekm), faults(*km));
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,170 @@
+#include "bulkload/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/exact_algorithms.h"
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "tests/test_util.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+// Canonical form for partitioning comparison: sorted interval list.
+std::vector<std::pair<NodeId, NodeId>> Canonical(const Partitioning& p) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(p.size());
+  for (const SiblingInterval& iv : p) out.push_back({iv.first, iv.last});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(BulkloadTest, TinyDocument) {
+  BulkloadOptions opts;
+  opts.limit = 4;
+  const Result<BulkloadResult> r =
+      StreamingBulkload("<a><b>xxxxxxxx</b><c/></a>", opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tree.size(), 4u);
+  testing_util::MustBeFeasible(r->tree, r->partitioning, 4);
+}
+
+TEST(BulkloadTest, TreeMatchesBatchImporter) {
+  WeightModel model;
+  model.max_node_slots = 64;
+  const std::string xml = GenerateMondial(9, 0.02);
+  const Result<ImportedDocument> imp = ImportXml(xml, model);
+  ASSERT_TRUE(imp.ok());
+  BulkloadOptions opts;
+  opts.limit = 64;
+  opts.weight_model = model;
+  const Result<BulkloadResult> r = StreamingBulkload(xml, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->tree.size(), imp->tree.size());
+  EXPECT_EQ(r->tree.TotalTreeWeight(), imp->tree.TotalTreeWeight());
+  for (NodeId v = 0; v < r->tree.size(); ++v) {
+    EXPECT_EQ(r->tree.WeightOf(v), imp->tree.WeightOf(v));
+    EXPECT_EQ(r->tree.Parent(v), imp->tree.Parent(v));
+    EXPECT_EQ(r->tree.LabelOf(v), imp->tree.LabelOf(v));
+  }
+}
+
+// The central property: streaming with a rule == the batch algorithm.
+TEST(BulkloadTest, StreamingEqualsBatch) {
+  const struct {
+    BulkloadRule rule;
+    Result<Partitioning> (*batch)(const Tree&, TotalWeight);
+    const char* name;
+  } cases[] = {
+      {BulkloadRule::kRs, &RsPartition, "RS"},
+      {BulkloadRule::kKm, &KmPartition, "KM"},
+  };
+  for (const auto& g : DocumentGenerators()) {
+    const std::string xml = g.generate(21, 0.02);
+    WeightModel model;
+    model.max_node_slots = 128;
+    const Result<ImportedDocument> imp = ImportXml(xml, model);
+    ASSERT_TRUE(imp.ok()) << g.name;
+    for (const auto& c : cases) {
+      BulkloadOptions opts;
+      opts.limit = 128;
+      const Result<BulkloadResult> streaming = StreamingBulkload(xml, opts);
+      ASSERT_TRUE(streaming.ok()) << g.name << "/" << c.name;
+      // (rule set below; re-run with the right rule)
+      BulkloadOptions opts2 = opts;
+      opts2.rule = c.rule;
+      const Result<BulkloadResult> r = StreamingBulkload(xml, opts2);
+      ASSERT_TRUE(r.ok()) << g.name << "/" << c.name;
+      const Result<Partitioning> batch = c.batch(imp->tree, 128);
+      ASSERT_TRUE(batch.ok()) << g.name << "/" << c.name;
+      EXPECT_EQ(Canonical(r->partitioning), Canonical(*batch))
+          << g.name << "/" << c.name;
+    }
+    // GHDW rule vs batch GHDW.
+    BulkloadOptions opts;
+    opts.limit = 128;
+    opts.rule = BulkloadRule::kGhdw;
+    const Result<BulkloadResult> r = StreamingBulkload(xml, opts);
+    ASSERT_TRUE(r.ok()) << g.name;
+    const Result<Partitioning> batch = GhdwPartition(imp->tree, 128);
+    ASSERT_TRUE(batch.ok()) << g.name;
+    EXPECT_EQ(Canonical(r->partitioning), Canonical(*batch)) << g.name;
+  }
+}
+
+TEST(BulkloadTest, ResidentMemoryIsBounded) {
+  // A deep document: the working set must stay far below the node count.
+  const std::string xml = GenerateXmark(13, 0.05);
+  BulkloadOptions opts;
+  opts.limit = 256;
+  const Result<BulkloadResult> r = StreamingBulkload(xml, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->peak_resident_nodes, r->tree.size() / 3)
+      << "peak " << r->peak_resident_nodes << " of " << r->tree.size();
+  testing_util::MustBeFeasible(r->tree, r->partitioning, 256);
+}
+
+TEST(BulkloadTest, EarlyFlushCapsWideFanout) {
+  // A root with thousands of children is the worst case for bottom-up
+  // streaming (Sec. 4.3); max_pending_children must cap the working set.
+  std::string xml = "<root>";
+  for (int i = 0; i < 5000; ++i) xml += "<item>abcdefgh</item>";
+  xml += "</root>";
+
+  BulkloadOptions unbounded;
+  unbounded.limit = 64;
+  const Result<BulkloadResult> r1 = StreamingBulkload(xml, unbounded);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(r1->peak_resident_nodes, 5000u);
+  EXPECT_EQ(r1->forced_flushes, 0u);
+
+  BulkloadOptions bounded = unbounded;
+  bounded.max_pending_children = 64;
+  const Result<BulkloadResult> r2 = StreamingBulkload(xml, bounded);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(r2->peak_resident_nodes, 300u);
+  EXPECT_GT(r2->forced_flushes, 0u);
+  testing_util::MustBeFeasible(r2->tree, r2->partitioning, 64);
+  // The memory bound costs some partition quality, but not much here.
+  EXPECT_LE(r2->partitioning.size(), r1->partitioning.size() + 10);
+}
+
+TEST(BulkloadTest, OversizedTextIsExternalized) {
+  const std::string big(100000, 'x');
+  BulkloadOptions opts;
+  opts.limit = 32;
+  const Result<BulkloadResult> r =
+      StreamingBulkload("<a><t>" + big + "</t></a>", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->tree.MaxNodeWeight(), 32u);
+  testing_util::MustBeFeasible(r->tree, r->partitioning, 32);
+}
+
+TEST(BulkloadTest, ParseErrorsPropagate) {
+  BulkloadOptions opts;
+  EXPECT_FALSE(StreamingBulkload("<a><b></a>", opts).ok());
+  EXPECT_FALSE(StreamingBulkload("", opts).ok());
+}
+
+TEST(BulkloadTest, AllRulesFeasibleOnCorpus) {
+  for (const auto& g : DocumentGenerators()) {
+    const std::string xml = g.generate(5, 0.01);
+    for (const BulkloadRule rule :
+         {BulkloadRule::kRs, BulkloadRule::kKm, BulkloadRule::kGhdw}) {
+      BulkloadOptions opts;
+      opts.limit = 64;
+      opts.rule = rule;
+      opts.max_pending_children = 32;
+      const Result<BulkloadResult> r = StreamingBulkload(xml, opts);
+      ASSERT_TRUE(r.ok()) << g.name;
+      testing_util::MustBeFeasible(r->tree, r->partitioning, 64,
+                                   std::string(g.name));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace natix

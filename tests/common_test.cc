@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace natix {
+namespace {
+
+// ------------------------------------------------------------ Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad K");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad K");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad K");
+}
+
+TEST(StatusTest, AllFactories) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  NATIX_ASSIGN_OR_RETURN(const int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_EQ(ok.value(), 21);
+
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = *std::move(r);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+// --------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+    const int64_t v = rng.NextInRange(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(11);
+  std::map<uint64_t, int> histogram;
+  for (int i = 0; i < 3000; ++i) ++histogram[rng.NextBounded(5)];
+  EXPECT_EQ(histogram.size(), 5u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 400) << value;  // roughly uniform
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(12);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.NextZipf(100, 0.9) < 10) ++low;
+  }
+  // Far more than the uniform 10% lands in the first decile.
+  EXPECT_GT(low, 600);
+}
+
+TEST(RngTest, GeometricRespectsCap) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(rng.NextGeometric(0.9, 5), 5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(14);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+// ------------------------------------------------------- string utils ----
+
+TEST(StringUtilTest, Split) {
+  const auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(TrimWhitespace("xy"), "xy");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.0KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0MB");
+  EXPECT_EQ(FormatBytes(5ull * 1024 * 1024 * 1024), "5.00GB");
+}
+
+TEST(StringUtilTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+}
+
+// ------------------------------------------------------------- Timer ----
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<uint64_t>(i);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+  const double before = t.ElapsedSeconds();
+  t.Reset();
+  EXPECT_LE(t.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,103 @@
+// Structural-profile locks for the corpus generators: the substitution
+// argument in DESIGN.md rests on each synthetic document reproducing the
+// *regime* of its original (flat relational vs. shallow records vs.
+// nested), so those regimes are asserted here and will fail loudly if a
+// generator change drifts.
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "tree/tree_stats.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+TreeStats StatsFor(std::string_view generator, double scale = 0.1) {
+  const Result<std::string> xml = GenerateDocument(generator, 42, scale);
+  EXPECT_TRUE(xml.ok());
+  const Result<ImportedDocument> imp = ImportXml(*xml, WeightModel());
+  EXPECT_TRUE(imp.ok());
+  return ComputeTreeStats(imp->tree);
+}
+
+TEST(DatagenProfileTest, PartsuppIsFlatTuples) {
+  const TreeStats s = StatsFor("partsupp");
+  // root -> T -> column -> text: constant height 3.
+  EXPECT_EQ(s.height, 3);
+  // One wide root; every tuple has the same 5 columns.
+  EXPECT_GT(s.max_fanout, 500u);
+  EXPECT_EQ(s.kind_counts[static_cast<int>(NodeKind::kAttribute)], 0u);
+}
+
+TEST(DatagenProfileTest, OrdersIsFlatTuples) {
+  const TreeStats s = StatsFor("orders");
+  EXPECT_EQ(s.height, 3);
+  EXPECT_GT(s.max_fanout, 1000u);
+}
+
+TEST(DatagenProfileTest, SigmodIsShallowRecords) {
+  const TreeStats s = StatsFor("sigmod");
+  EXPECT_GE(s.height, 5);
+  EXPECT_LE(s.height, 7);
+  // Attribute-bearing author elements exist.
+  EXPECT_GT(s.kind_counts[static_cast<int>(NodeKind::kAttribute)], 0u);
+}
+
+TEST(DatagenProfileTest, MondialIsNestedAndAttributeHeavy) {
+  const TreeStats s = StatsFor("mondial");
+  EXPECT_GE(s.height, 4);
+  // Roughly a third of the nodes are attributes (the original mondial's
+  // signature trait).
+  const double attr_share =
+      static_cast<double>(s.kind_counts[static_cast<int>(
+          NodeKind::kAttribute)]) /
+      static_cast<double>(s.node_count);
+  EXPECT_GT(attr_share, 0.2);
+  EXPECT_LT(attr_share, 0.5);
+}
+
+TEST(DatagenProfileTest, UwmIsManySmallRecords) {
+  const TreeStats s = StatsFor("uwm");
+  EXPECT_GE(s.height, 4);
+  EXPECT_LE(s.height, 6);
+  // Course listings are small: average fanout of inner nodes stays low.
+  EXPECT_LT(s.avg_fanout, 6.0);
+}
+
+TEST(DatagenProfileTest, XmarkIsDeepAndMixed) {
+  const TreeStats s = StatsFor("xmark");
+  EXPECT_GE(s.height, 8);  // nested parlists under closed auctions
+  // Mixed content: plenty of text nodes.
+  const double text_share =
+      static_cast<double>(
+          s.kind_counts[static_cast<int>(NodeKind::kText)]) /
+      static_cast<double>(s.node_count);
+  EXPECT_GT(text_share, 0.25);
+}
+
+TEST(DatagenProfileTest, WeightsFollowSlotModel) {
+  // Every node weight is 1 (elements) or 1 + ceil(len/8) (text/attrs).
+  const Result<std::string> xml = GenerateDocument("sigmod", 42, 0.05);
+  ASSERT_TRUE(xml.ok());
+  const Result<ImportedDocument> imp = ImportXml(*xml, WeightModel());
+  ASSERT_TRUE(imp.ok());
+  for (NodeId v = 0; v < imp->tree.size(); ++v) {
+    const uint32_t len = imp->content_bytes[v];
+    EXPECT_EQ(imp->tree.WeightOf(v), 1 + (len + 7) / 8) << v;
+    if (imp->tree.KindOf(v) == NodeKind::kElement) EXPECT_EQ(len, 0u);
+  }
+}
+
+TEST(DatagenProfileTest, ScaleIsApproximatelyLinear) {
+  for (const char* name : {"partsupp", "xmark"}) {
+    const TreeStats s1 = StatsFor(name, 0.05);
+    const TreeStats s2 = StatsFor(name, 0.10);
+    const double ratio =
+        static_cast<double>(s2.node_count) / static_cast<double>(s1.node_count);
+    EXPECT_GT(ratio, 1.7) << name;
+    EXPECT_LT(ratio, 2.3) << name;
+  }
+}
+
+}  // namespace
+}  // namespace natix

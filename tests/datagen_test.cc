@@ -1,0 +1,150 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+TEST(DatagenTest, RegistryComplete) {
+  const auto& gens = DocumentGenerators();
+  ASSERT_EQ(gens.size(), 6u);
+  EXPECT_EQ(gens[0].name, "sigmod");
+  EXPECT_EQ(gens[5].name, "xmark");
+  EXPECT_NE(FindGenerator("mondial"), nullptr);
+  EXPECT_EQ(FindGenerator("nope"), nullptr);
+  EXPECT_FALSE(GenerateDocument("nope", 1, 1.0).ok());
+}
+
+TEST(DatagenTest, Deterministic) {
+  for (const auto& g : DocumentGenerators()) {
+    const std::string a = g.generate(7, 0.02);
+    const std::string b = g.generate(7, 0.02);
+    const std::string c = g.generate(8, 0.02);
+    EXPECT_EQ(a, b) << g.name;
+    EXPECT_NE(a, c) << g.name << " (different seeds must differ)";
+  }
+}
+
+TEST(DatagenTest, AllDocumentsParseAndImport) {
+  WeightModel model;
+  model.max_node_slots = 256;
+  for (const auto& g : DocumentGenerators()) {
+    const std::string xml = g.generate(42, 0.05);
+    const Result<ImportedDocument> imp = ImportXml(xml, model);
+    ASSERT_TRUE(imp.ok()) << g.name << ": " << imp.status().ToString();
+    EXPECT_TRUE(imp->tree.Validate().ok()) << g.name;
+    EXPECT_GT(imp->tree.size(), 100u) << g.name;
+    EXPECT_LE(imp->tree.MaxNodeWeight(), 256u) << g.name;
+  }
+}
+
+TEST(DatagenTest, ScaleGrowsDocuments) {
+  for (const auto& g : DocumentGenerators()) {
+    const std::string small = g.generate(1, 0.02);
+    const std::string large = g.generate(1, 0.08);
+    EXPECT_GT(large.size(), small.size() * 2) << g.name;
+  }
+}
+
+TEST(DatagenTest, NodeCountsTrackPaperAtFullScale) {
+  // Scale 1.0 must land within 20% of the paper's Table 1 node counts.
+  // (partsupp/orders are near-exact; the text-heavy ones are calibrated.)
+  for (const auto& g : DocumentGenerators()) {
+    const std::string xml = g.generate(42, 1.0);
+    const Result<ImportedDocument> imp = ImportXml(xml, WeightModel());
+    ASSERT_TRUE(imp.ok()) << g.name;
+    const double ratio =
+        static_cast<double>(imp->tree.size()) / g.paper_nodes;
+    EXPECT_GT(ratio, 0.8) << g.name << " nodes=" << imp->tree.size();
+    EXPECT_LT(ratio, 1.2) << g.name << " nodes=" << imp->tree.size();
+  }
+}
+
+TEST(DatagenTest, XmarkHasXPathMarkVocabulary) {
+  const std::string xml = GenerateXmark(3, 0.05);
+  const Result<XmlDocument> doc = XmlDocument::Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  // Count element names the XPathMark queries Q1-Q7 rely on.
+  size_t items = 0, keywords = 0, listitems = 0, mails = 0, parlists = 0,
+         namerica = 0, samerica = 0, closed = 0;
+  for (XmlDocument::NodeIndex v = 0; v < doc->size(); ++v) {
+    if (doc->KindOf(v) != XmlNodeKind::kElement) continue;
+    const std::string_view name = doc->NameOf(v);
+    items += name == "item";
+    keywords += name == "keyword";
+    listitems += name == "listitem";
+    mails += name == "mail";
+    parlists += name == "parlist";
+    namerica += name == "namerica";
+    samerica += name == "samerica";
+    closed += name == "closed_auction";
+  }
+  EXPECT_GT(items, 50u);
+  EXPECT_GT(keywords, 100u);
+  EXPECT_GT(listitems, 50u);
+  EXPECT_GT(mails, 20u);
+  EXPECT_GT(parlists, 20u);
+  EXPECT_EQ(namerica, 1u);
+  EXPECT_EQ(samerica, 1u);
+  EXPECT_GT(closed, 10u);
+}
+
+TEST(DatagenTest, XmarkQ2PathExists) {
+  // Q2 navigates /site/closed_auctions/closed_auction/annotation/
+  // description/parlist/listitem/text/keyword; the generator must emit at
+  // least one full such chain.
+  const std::string xml = GenerateXmark(3, 0.05);
+  const Result<XmlDocument> doc = XmlDocument::Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  size_t chains = 0;
+  for (XmlDocument::NodeIndex v = 0; v < doc->size(); ++v) {
+    if (doc->NameOf(v) != "keyword") continue;
+    static constexpr std::string_view kPath[] = {
+        "text", "listitem", "parlist", "description", "annotation",
+        "closed_auction", "closed_auctions", "site"};
+    XmlDocument::NodeIndex cur = doc->Parent(v);
+    bool match = true;
+    for (const std::string_view step : kPath) {
+      if (cur == XmlDocument::kNoNode || doc->NameOf(cur) != step) {
+        match = false;
+        break;
+      }
+      cur = doc->Parent(cur);
+    }
+    chains += match;
+  }
+  EXPECT_GT(chains, 0u);
+}
+
+TEST(DatagenTest, RelationalDocumentsAreFlatTuples) {
+  const std::string xml = GeneratePartsupp(5, 0.02);
+  const Result<XmlDocument> doc = XmlDocument::Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->NameOf(doc->root()), "partsupp");
+  // Every child of the root is a <T> tuple with only leaf-element
+  // children.
+  for (auto t = doc->FirstChild(doc->root()); t != XmlDocument::kNoNode;
+       t = doc->NextSibling(t)) {
+    EXPECT_EQ(doc->NameOf(t), "T");
+    for (auto col = doc->FirstChild(t); col != XmlDocument::kNoNode;
+         col = doc->NextSibling(col)) {
+      EXPECT_EQ(doc->KindOf(col), XmlNodeKind::kElement);
+      for (auto val = doc->FirstChild(col); val != XmlDocument::kNoNode;
+           val = doc->NextSibling(val)) {
+        EXPECT_EQ(doc->KindOf(val), XmlNodeKind::kText);
+      }
+    }
+  }
+}
+
+TEST(DatagenTest, MondialIsNested) {
+  const std::string xml = GenerateMondial(5, 0.05);
+  const Result<ImportedDocument> imp = ImportXml(xml, WeightModel());
+  ASSERT_TRUE(imp.ok());
+  EXPECT_GE(imp->tree.Height(), 4);  // mondial/country/province/city/name
+}
+
+}  // namespace
+}  // namespace natix

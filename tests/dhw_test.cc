@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/exact_algorithms.h"
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+using testing_util::Fig3Tree;
+using testing_util::Fig6Tree;
+using testing_util::Fig9Tree;
+using testing_util::MustBeFeasible;
+using testing_util::MustParse;
+
+TEST(DhwTest, SingleNode) {
+  const Tree t = MustParse("a:3");
+  const Result<Partitioning> p = DhwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(DhwTest, Fig6RequiresNearlyOptimalSubtree) {
+  // Sec. 3.3.1, Fig. 6 (K = 5): the optimum is 3 partitions
+  // {(a,a), (b,f), (d,e)} -- the c subtree must use its *nearly* optimal
+  // partitioning (d, e cut away) so that b, c, f can share an interval.
+  const Tree t = Fig6Tree();
+  const Result<Partitioning> p = DhwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 5);
+  EXPECT_EQ(a.cardinality, 3u) << ToString(t, *p);
+}
+
+TEST(DhwTest, Fig9OptimalIsTwoPartitions) {
+  // Sec. 4.3.4, Fig. 9 (K = 5): optimal is {(a,a), (b,b)} with d, e in the
+  // root partition; EKM needs 3.
+  const Tree t = Fig9Tree();
+  const Result<Partitioning> p = DhwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 5);
+  EXPECT_EQ(a.cardinality, 2u) << ToString(t, *p);
+}
+
+TEST(DhwTest, Fig3RunningExample) {
+  // Sec. 2.1 (K = 5): minimal cardinality 3; exhaustive enumeration shows
+  // the minimal root weight among 3-partition solutions is 5.
+  const Tree t = Fig3Tree();
+  const Result<BruteForceResult> bf = BruteForceOptimal(t, 5);
+  ASSERT_TRUE(bf.ok());
+  EXPECT_EQ(bf->min_cardinality, 3u);
+  EXPECT_EQ(bf->min_root_weight, 5u);
+  const Result<Partitioning> p = DhwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 5);
+  EXPECT_EQ(a.cardinality, 3u);
+  EXPECT_EQ(a.root_weight, 5u);
+}
+
+TEST(DhwTest, MatchesGhdwWhenGreedySucceeds) {
+  // On flat trees and chains GHDW is already optimal; DHW must agree.
+  const char* specs[] = {"a:1(:1 :1 :1 :1)", "a:2(b:2(c:2(d:2)))",
+                         "a:3(:1 :2 :3)"};
+  for (const char* spec : specs) {
+    const Tree t = MustParse(spec);
+    const Result<Partitioning> d = DhwPartition(t, 5);
+    const Result<Partitioning> g = GhdwPartition(t, 5);
+    ASSERT_TRUE(d.ok() && g.ok());
+    EXPECT_EQ(MustBeFeasible(t, *d, 5).cardinality,
+              MustBeFeasible(t, *g, 5).cardinality)
+        << spec;
+  }
+}
+
+TEST(DhwTest, NeverWorseThanGhdw) {
+  Rng rng(321);
+  for (int iter = 0; iter < 60; ++iter) {
+    const size_t n = 2 + rng.NextBounded(40);
+    const Tree t = testing_util::RandomTree(rng, n, 6);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(10);
+    const Result<Partitioning> d = DhwPartition(t, k);
+    const Result<Partitioning> g = GhdwPartition(t, k);
+    ASSERT_TRUE(d.ok() && g.ok());
+    const size_t cd = MustBeFeasible(t, *d, k, TreeToSpec(t)).cardinality;
+    const size_t cg = MustBeFeasible(t, *g, k, TreeToSpec(t)).cardinality;
+    EXPECT_LE(cd, cg) << TreeToSpec(t) << " K=" << k;
+  }
+}
+
+TEST(DhwTest, LayeredPathology) {
+  // A deeper variant of Fig. 6: every level needs the nearly optimal
+  // choice of the level below to merge siblings above.
+  const Tree t = MustParse(
+      "r:5(x:1 a:1(b:1 c:1(d:2 e:2) f:1) y:1)");
+  const Result<Partitioning> p = DhwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis pa = MustBeFeasible(t, *p, 5);
+  const Result<BruteForceResult> bf = BruteForceOptimal(t, 5);
+  ASSERT_TRUE(bf.ok());
+  EXPECT_EQ(pa.cardinality, bf->min_cardinality);
+  EXPECT_EQ(pa.root_weight, bf->min_root_weight);
+}
+
+TEST(DhwTest, RejectsOversizedNode) {
+  const Tree t = MustParse("a:2(b:9)");
+  EXPECT_FALSE(DhwPartition(t, 5).ok());
+}
+
+TEST(DhwTest, LimitOneUnitWeights) {
+  // K = 1 with unit weights: every node is its own partition.
+  const Tree t = MustParse("a(b(c) d)");
+  const Result<Partitioning> p = DhwPartition(t, 1);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 1);
+  EXPECT_EQ(a.cardinality, t.size());
+}
+
+TEST(DhwTest, StatsAccumulate) {
+  const Tree t = Fig6Tree();
+  DpStats stats;
+  ASSERT_TRUE(DhwPartition(t, 5, &stats).ok());
+  EXPECT_EQ(stats.inner_nodes, 2u);
+  EXPECT_GT(stats.rows, 0u);
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/exact_algorithms.h"
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+using testing_util::MustBeFeasible;
+using testing_util::MustParse;
+
+TEST(FdwTest, SingleNode) {
+  const Tree t = MustParse("a:3");
+  const Result<Partitioning> p = FdwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 1u);  // just (t, t)
+  MustBeFeasible(t, *p, 5);
+}
+
+TEST(FdwTest, RejectsDeepTree) {
+  const Tree t = MustParse("a(b(c))");
+  const Result<Partitioning> p = FdwPartition(t, 5);
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FdwTest, RejectsOversizedNode) {
+  const Tree t = MustParse("a:9(b:2)");
+  EXPECT_FALSE(FdwPartition(t, 5).ok());
+}
+
+TEST(FdwTest, RejectsEmptyTree) {
+  Tree t;
+  EXPECT_FALSE(FdwPartition(t, 5).ok());
+}
+
+TEST(FdwTest, AllChildrenFitWithRoot) {
+  const Tree t = MustParse("a:1(b:1 c:1 d:1)");
+  const Result<Partitioning> p = FdwPartition(t, 10);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 1u);
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 10);
+  EXPECT_EQ(a.root_weight, 4u);
+}
+
+TEST(FdwTest, PacksSiblingsIntoIntervals) {
+  // Root 3 + 6 unit children, K = 4: root takes 1 child; the other 5 pack
+  // into ceil(5/4) = 2 intervals => cardinality 3.
+  const Tree t = MustParse("a:3(:1 :1 :1 :1 :1 :1)");
+  const Result<Partitioning> p = FdwPartition(t, 4);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 3u);
+  MustBeFeasible(t, *p, 4);
+}
+
+TEST(FdwTest, MatchesBruteForceOnFixedTrees) {
+  const char* specs[] = {
+      "a:3(:1 :1 :1 :1 :1 :1)", "a:1(:5 :5 :5)",     "a:2(:1 :4 :1 :4 :1)",
+      "a:5(:5 :5 :5 :5)",       "a:1(:2 :3 :2 :3)",  "a:4(:1 :1)",
+      "a:1(:1 :2 :3 :4 :5)",    "a:2(:2 :2 :2 :2)",
+  };
+  for (const char* spec : specs) {
+    const Tree t = MustParse(spec);
+    for (const TotalWeight k : {5u, 6u, 8u}) {
+      const Result<BruteForceResult> bf = BruteForceOptimal(t, k);
+      const Result<Partitioning> p = FdwPartition(t, k);
+      ASSERT_EQ(bf.ok(), p.ok()) << spec << " K=" << k;
+      if (!bf.ok()) continue;
+      const PartitionAnalysis a =
+          MustBeFeasible(t, *p, k, std::string(spec) + " K=" + std::to_string(k));
+      EXPECT_EQ(a.cardinality, bf->min_cardinality) << spec << " K=" << k;
+      EXPECT_EQ(a.root_weight, bf->min_root_weight)
+          << spec << " K=" << k << " (leanness)";
+    }
+  }
+}
+
+TEST(FdwTest, MatchesBruteForceOnRandomFlatTrees) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 120; ++iter) {
+    const size_t n = 2 + rng.NextBounded(9);
+    const Weight max_w = 1 + static_cast<Weight>(rng.NextBounded(6));
+    const Tree t = testing_util::RandomFlatTree(rng, n, max_w);
+    const TotalWeight k =
+        t.MaxNodeWeight() + rng.NextBounded(8);  // always feasible
+    const Result<BruteForceResult> bf = BruteForceOptimal(t, k);
+    ASSERT_TRUE(bf.ok());
+    const Result<Partitioning> p = FdwPartition(t, k);
+    ASSERT_TRUE(p.ok()) << TreeToSpec(t) << " K=" << k;
+    const PartitionAnalysis a = MustBeFeasible(t, *p, k, TreeToSpec(t));
+    EXPECT_EQ(a.cardinality, bf->min_cardinality)
+        << TreeToSpec(t) << " K=" << k;
+    EXPECT_EQ(a.root_weight, bf->min_root_weight)
+        << TreeToSpec(t) << " K=" << k;
+  }
+}
+
+TEST(FdwTest, StatsAreReported) {
+  const Tree t = MustParse("a:1(:1 :1 :1)");
+  DpStats stats;
+  ASSERT_TRUE(FdwPartition(t, 4, &stats).ok());
+  EXPECT_EQ(stats.inner_nodes, 1u);
+  EXPECT_GT(stats.rows, 0u);
+  EXPECT_GT(stats.cells, 0u);
+  EXPECT_GE(stats.full_table_cells, stats.cells);
+}
+
+}  // namespace
+}  // namespace natix

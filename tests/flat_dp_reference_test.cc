@@ -1,0 +1,179 @@
+// Cross-validation of the production DP engine against a naive
+// re-implementation of the paper's pseudocode (Figs. 4/7): full table
+// over every s in [w(t), K], no memoization, no Fenwick trees, nearly-
+// optimal switch sets recomputed by sorting at every candidate. The two
+// implementations share no code; minimal cardinality and lean root weight
+// must agree on every random instance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/flat_dp.h"
+
+namespace natix {
+namespace {
+
+struct NaiveEntry {
+  uint32_t card = std::numeric_limits<uint32_t>::max();
+  uint32_t rootweight = 0;
+};
+
+// Full-table DP, directly following Fig. 7 (Fig. 4 is the delta_w == 0
+// special case).
+NaiveEntry NaiveDp(Weight node_weight, const std::vector<Weight>& cw,
+                   const std::vector<Weight>& dw, uint32_t limit) {
+  const size_t n = cw.size();
+  // D[s][j]; s in [0, limit].
+  std::vector<std::vector<NaiveEntry>> table(
+      limit + 1, std::vector<NaiveEntry>(n + 1));
+  for (uint32_t s = node_weight; s <= limit; ++s) {
+    table[s][0] = {0, s};
+  }
+  for (size_t j = 1; j <= n; ++j) {
+    for (uint32_t s = node_weight; s <= limit; ++s) {
+      NaiveEntry best;
+      // Candidate 1: c_j joins the root partition.
+      const uint64_t s2 = static_cast<uint64_t>(s) + cw[j - 1];
+      if (s2 <= limit) best = table[s2][j - 1];
+      // Candidate 2: interval (c_{j-m}, c_j).
+      uint64_t w = 0;
+      uint64_t dsum = 0;
+      for (size_t m = 0; m < j && m < limit; ++m) {
+        if (w - dsum >= limit) break;
+        const size_t left = j - 1 - m;
+        w += cw[left];
+        dsum += dw[left];
+        if (w - dsum > limit) continue;
+        const NaiveEntry& base = table[s][left];
+        if (base.card == std::numeric_limits<uint32_t>::max()) continue;
+        uint32_t crd = base.card + 1;
+        if (w > limit) {
+          // Greedy switch count by explicit sorting (Lemma 5).
+          std::vector<Weight> deltas;
+          for (size_t i = left; i < j; ++i) {
+            if (dw[i] > 0) deltas.push_back(dw[i]);
+          }
+          std::sort(deltas.rbegin(), deltas.rend());
+          uint64_t reduced = w;
+          for (const Weight d : deltas) {
+            if (reduced <= limit) break;
+            reduced -= d;
+            ++crd;
+          }
+          if (reduced > limit) continue;  // cannot fit (defensive)
+        }
+        if (crd < best.card ||
+            (crd == best.card && base.rootweight < best.rootweight)) {
+          best.card = crd;
+          best.rootweight = base.rootweight;
+        }
+      }
+      table[s][j] = best;
+    }
+  }
+  return table[node_weight][n];
+}
+
+struct Case {
+  uint64_t seed;
+  size_t max_children;
+  Weight max_weight;
+  uint32_t limit;
+  bool with_deltas;
+};
+
+class FlatDpReferenceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FlatDpReferenceTest, AgreesWithNaiveFullTable) {
+  const Case& c = GetParam();
+  Rng rng(c.seed);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t n = rng.NextBounded(c.max_children + 1);
+    const Weight node_weight =
+        1 + static_cast<Weight>(rng.NextBounded(
+                std::min<uint32_t>(c.max_weight, c.limit)));
+    std::vector<Weight> cw(n);
+    std::vector<Weight> dw(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      cw[i] = 1 + static_cast<Weight>(rng.NextBounded(
+                      std::min<uint32_t>(c.max_weight, c.limit)));
+      if (c.with_deltas && cw[i] > 1 && rng.NextBool(0.5)) {
+        dw[i] = static_cast<Weight>(rng.NextBounded(cw[i]));
+      }
+    }
+    const NaiveEntry expected = NaiveDp(node_weight, cw, dw, c.limit);
+
+    FlatDp dp(node_weight, cw, dw, c.limit);
+    dp.EnsureSeed(node_weight);
+    const FlatDp::Entry* actual = dp.FinalEntry(node_weight);
+    ASSERT_NE(actual, nullptr);
+    EXPECT_EQ(actual->card, expected.card)
+        << "seed " << c.seed << " iter " << iter << " n=" << n;
+    EXPECT_EQ(actual->rootweight, expected.rootweight)
+        << "seed " << c.seed << " iter " << iter << " n=" << n;
+
+    // The extracted chain must be consistent with the reported entry:
+    // interval count + switch count == card, intervals disjoint and
+    // ordered.
+    uint32_t chain_card = 0;
+    int64_t prev_begin = static_cast<int64_t>(n);
+    for (const FlatDp::IntervalChoice& choice : dp.ExtractChain(node_weight)) {
+      chain_card += 1 + static_cast<uint32_t>(choice.nearly.size());
+      EXPECT_LE(choice.begin, choice.end);
+      EXPECT_LT(static_cast<int64_t>(choice.end), prev_begin);
+      prev_begin = choice.begin;
+      for (const uint32_t idx : choice.nearly) {
+        EXPECT_GE(idx, choice.begin);
+        EXPECT_LE(idx, choice.end);
+        EXPECT_GT(dw[idx], 0u);
+      }
+    }
+    EXPECT_EQ(chain_card, actual->card);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlatDpReferenceTest,
+    ::testing::Values(
+        // Plain FDW/GHDW mode.
+        Case{1, 8, 4, 10, false}, Case{2, 15, 3, 8, false},
+        Case{3, 20, 10, 16, false}, Case{4, 6, 16, 16, false},
+        Case{5, 30, 2, 12, false},
+        // DHW mode with nearly-optimal switches.
+        Case{6, 8, 4, 10, true}, Case{7, 15, 3, 8, true},
+        Case{8, 20, 10, 16, true}, Case{9, 12, 12, 14, true},
+        Case{10, 25, 5, 20, true}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.with_deltas ? "_dhw" : "_plain");
+    });
+
+// Every reachable seed (not just w(t)) must agree with the naive table.
+TEST(FlatDpReferenceTest, AllSeedsAgree) {
+  Rng rng(77);
+  for (int iter = 0; iter < 20; ++iter) {
+    const size_t n = 1 + rng.NextBounded(10);
+    constexpr uint32_t kLimit = 12;
+    std::vector<Weight> cw(n);
+    for (size_t i = 0; i < n; ++i) {
+      cw[i] = 1 + static_cast<Weight>(rng.NextBounded(5));
+    }
+    FlatDp dp(1, cw, {}, kLimit);
+    for (uint32_t s = 1; s <= kLimit; ++s) {
+      dp.EnsureSeed(s);
+      const FlatDp::Entry* actual = dp.FinalEntry(s);
+      ASSERT_NE(actual, nullptr);
+      const NaiveEntry expected =
+          NaiveDp(static_cast<Weight>(s), cw, std::vector<Weight>(n, 0),
+                  kLimit);
+      EXPECT_EQ(actual->card, expected.card) << "s=" << s;
+      EXPECT_EQ(actual->rootweight, expected.rootweight) << "s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,158 @@
+#include "core/flat_dp.h"
+
+#include <gtest/gtest.h>
+
+namespace natix {
+namespace {
+
+TEST(FlatDpTest, NoChildren) {
+  FlatDp dp(3, {}, {}, 10);
+  dp.EnsureSeed(3);
+  const FlatDp::Entry* e = dp.FinalEntry(3);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->card, 0u);
+  EXPECT_EQ(e->rootweight, 3u);
+  EXPECT_TRUE(dp.ExtractChain(3).empty());
+}
+
+TEST(FlatDpTest, AllChildrenFitInRoot) {
+  FlatDp dp(2, {1, 2, 3}, {}, 10);
+  dp.EnsureSeed(2);
+  const FlatDp::Entry* e = dp.FinalEntry(2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->card, 0u);
+  EXPECT_EQ(e->rootweight, 8u);
+  EXPECT_TRUE(dp.ExtractChain(2).empty());
+}
+
+TEST(FlatDpTest, TwoSingletonIntervals) {
+  // Root 2 + children {4, 4}, K = 5: neither child fits with the root
+  // (2+4=6>5) and the pair exceeds K, so two singleton intervals.
+  FlatDp dp(2, {4, 4}, {}, 5);
+  dp.EnsureSeed(2);
+  const FlatDp::Entry* e = dp.FinalEntry(2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->card, 2u);
+  EXPECT_EQ(e->rootweight, 2u);
+  const auto chain = dp.ExtractChain(2);
+  ASSERT_EQ(chain.size(), 2u);
+}
+
+TEST(FlatDpTest, PrefersFewerIntervalsOverLeanRoot) {
+  // Root 1 + children {2, 2}, K = 5: everything fits in the root (card 0,
+  // rootweight 5) even though cutting both would give a leaner root.
+  FlatDp dp(1, {2, 2}, {}, 5);
+  dp.EnsureSeed(1);
+  const FlatDp::Entry* e = dp.FinalEntry(1);
+  EXPECT_EQ(e->card, 0u);
+  EXPECT_EQ(e->rootweight, 5u);
+}
+
+TEST(FlatDpTest, LeanTieBreak) {
+  // Root 3 + children {1, 2}, K = 4: minimal cardinality is 1. Options:
+  // join c1 (root 4) + interval (c2,c2), or join c2... 3+2=5>4 infeasible,
+  // or interval (c1,c2) weight 3 with root weight 3. The lean choice is
+  // the combined interval.
+  FlatDp dp(3, {1, 2}, {}, 4);
+  dp.EnsureSeed(3);
+  const FlatDp::Entry* e = dp.FinalEntry(3);
+  EXPECT_EQ(e->card, 1u);
+  EXPECT_EQ(e->rootweight, 3u);
+  const auto chain = dp.ExtractChain(3);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].begin, 0u);
+  EXPECT_EQ(chain[0].end, 1u);
+}
+
+TEST(FlatDpTest, IntervalPacking) {
+  // Root 1 + six unit children, K = 3: root takes 2 children, remaining 4
+  // pack into 2 intervals of 3... 4 children pack into ceil(4/3)=2
+  // intervals. Total card 2.
+  FlatDp dp(1, {1, 1, 1, 1, 1, 1}, {}, 3);
+  dp.EnsureSeed(1);
+  const FlatDp::Entry* e = dp.FinalEntry(1);
+  EXPECT_EQ(e->card, 2u);
+}
+
+TEST(FlatDpTest, DeltaWAllowsOverweightInterval) {
+  // The Fig. 6 situation at the root: children with optimal root weights
+  // {1, 5, 1} where the middle child can shed 4 via its nearly optimal
+  // partitioning (ΔW = 4). K = 5, root weight 5: no child can join the
+  // root; the single interval (c1,c3) weighs 7 but fits once the middle
+  // child switches (7 - 4 = 3 <= 5), at the cost of one extra partition.
+  FlatDp dp(5, {1, 5, 1}, {0, 4, 0}, 5);
+  dp.EnsureSeed(5);
+  const FlatDp::Entry* e = dp.FinalEntry(5);
+  ASSERT_NE(e, nullptr);
+  // card: 1 interval + 1 nearly-optimal switch = 2.
+  EXPECT_EQ(e->card, 2u);
+  const auto chain = dp.ExtractChain(5);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].begin, 0u);
+  EXPECT_EQ(chain[0].end, 2u);
+  ASSERT_EQ(chain[0].nearly.size(), 1u);
+  EXPECT_EQ(chain[0].nearly[0], 1u);  // the middle child switched
+}
+
+TEST(FlatDpTest, DeltaSwitchesInDescendingOrder) {
+  // Root weight 5 (nothing can join), children {2, 5, 1} with
+  // ΔW {1, 4, 0}, K = 5. The single interval (c1,c3) weighs 8; the greedy
+  // of Lemma 5 must switch the ΔW=4 child first (8-4=4 <= 5), after which
+  // the ΔW=1 child need not switch. Total: 1 interval + 1 switch = 2,
+  // strictly better than any split (which needs >= 3).
+  FlatDp dp(5, {2, 5, 1}, {1, 4, 0}, 5);
+  dp.EnsureSeed(5);
+  const FlatDp::Entry* e = dp.FinalEntry(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->card, 2u);  // 1 interval + 1 switch
+  const auto chain = dp.ExtractChain(5);
+  ASSERT_EQ(chain.size(), 1u);
+  ASSERT_EQ(chain[0].nearly.size(), 1u);
+  EXPECT_EQ(chain[0].nearly[0], 1u);  // the ΔW = 4 child, not the ΔW = 1 one
+}
+
+TEST(FlatDpTest, MemoizationTouchesFewRows) {
+  // 50 children of weight 10, K = 100: reachable s values from seed 1 are
+  // 1, 11, 21, ..., 91 -- at most 10 rows, far fewer than 100.
+  std::vector<Weight> children(50, 10);
+  FlatDp dp(1, std::move(children), {}, 100);
+  dp.EnsureSeed(1);
+  EXPECT_LE(dp.RowCount(), 10u);
+  EXPECT_GT(dp.RowCount(), 0u);
+}
+
+TEST(FlatDpTest, IncrementalSeedReusesRows) {
+  FlatDp dp(1, {2, 3, 4}, {}, 25);
+  dp.EnsureSeed(1);
+  const size_t rows_before = dp.RowCount();
+  dp.EnsureSeed(1);  // idempotent
+  EXPECT_EQ(dp.RowCount(), rows_before);
+  dp.EnsureSeed(12);  // new seed extends the table
+  EXPECT_GE(dp.RowCount(), rows_before);
+  const FlatDp::Entry* e = dp.FinalEntry(12);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->rootweight, 12u + 2 + 3 + 4);
+  EXPECT_EQ(e->card, 0u);
+}
+
+TEST(FlatDpTest, SeedAboveLimitYieldsNull) {
+  FlatDp dp(1, {1}, {}, 5);
+  dp.EnsureSeed(9);
+  EXPECT_EQ(dp.FinalEntry(9), nullptr);
+}
+
+TEST(FlatDpTest, SecondSeedInsideFirstClosure) {
+  // Seed 1 with children {2, 3}: closure {1, 3, 4, 6}. Seeding 3 (already
+  // a row) must still produce correct results for queries from 3, which
+  // need rows (e.g. 3+2=5) outside the first closure.
+  FlatDp dp(1, {2, 3}, {}, 10);
+  dp.EnsureSeed(1);
+  dp.EnsureSeed(3);
+  const FlatDp::Entry* e = dp.FinalEntry(3);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->card, 0u);
+  EXPECT_EQ(e->rootweight, 8u);  // 3 + 2 + 3, everything joins the root
+}
+
+}  // namespace
+}  // namespace natix

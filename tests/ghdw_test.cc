@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_algorithms.h"
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+using testing_util::Fig6Tree;
+using testing_util::MustBeFeasible;
+using testing_util::MustParse;
+
+TEST(GhdwTest, SingleNode) {
+  const Tree t = MustParse("a:3");
+  const Result<Partitioning> p = GhdwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(GhdwTest, Fig6GreedyFailureProducesFourPartitions) {
+  // Sec. 3.3.1, Fig. 6 (K = 5): GHDW greedily keeps d, e with c, which
+  // forces b and f into partitions of their own: {(a,a),(b,b),(c,c),(f,f)}.
+  const Tree t = Fig6Tree();
+  const Result<Partitioning> p = GhdwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 5);
+  EXPECT_EQ(a.cardinality, 4u);
+}
+
+TEST(GhdwTest, MatchesFdwOnFlatTrees) {
+  Rng rng(99);
+  for (int iter = 0; iter < 60; ++iter) {
+    const size_t n = 2 + rng.NextBounded(20);
+    const Tree t = testing_util::RandomFlatTree(rng, n, 6);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(10);
+    const Result<Partitioning> fdw = FdwPartition(t, k);
+    const Result<Partitioning> ghdw = GhdwPartition(t, k);
+    ASSERT_TRUE(fdw.ok());
+    ASSERT_TRUE(ghdw.ok());
+    const PartitionAnalysis af = MustBeFeasible(t, *fdw, k);
+    const PartitionAnalysis ag = MustBeFeasible(t, *ghdw, k);
+    EXPECT_EQ(ag.cardinality, af.cardinality) << TreeToSpec(t) << " K=" << k;
+    EXPECT_EQ(ag.root_weight, af.root_weight) << TreeToSpec(t) << " K=" << k;
+  }
+}
+
+TEST(GhdwTest, FeasibleOnDeepChain) {
+  // A path of 30 unit-weight nodes with K = 4 needs ceil(30/4) = 8
+  // partitions; GHDW achieves exactly that on chains.
+  Tree t;
+  NodeId v = t.AddRoot(1);
+  for (int i = 0; i < 29; ++i) v = t.AppendChild(v, 1);
+  const Result<Partitioning> p = GhdwPartition(t, 4);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 4);
+  EXPECT_EQ(a.cardinality, 8u);
+}
+
+TEST(GhdwTest, WideStar) {
+  // Root 1 + 100 unit children, K = 10: root partition takes 9 children,
+  // the remaining 91 need ceil(91/10) = 10 intervals => 11 partitions.
+  Tree t;
+  t.AddRoot(1);
+  for (int i = 0; i < 100; ++i) t.AppendChild(t.root(), 1);
+  const Result<Partitioning> p = GhdwPartition(t, 10);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 10);
+  EXPECT_EQ(a.cardinality, 11u);
+}
+
+TEST(GhdwTest, RejectsOversizedNode) {
+  const Tree t = MustParse("a:2(b:9)");
+  EXPECT_FALSE(GhdwPartition(t, 5).ok());
+}
+
+TEST(GhdwTest, WholeTreeFitsInOnePartition) {
+  const Tree t = testing_util::Fig3Tree();  // total weight 14
+  const Result<Partitioning> p = GhdwPartition(t, 14);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 14);
+  EXPECT_EQ(a.cardinality, 1u);
+  EXPECT_EQ(a.root_weight, 14u);
+}
+
+TEST(GhdwTest, StatsCountInnerNodes) {
+  const Tree t = Fig6Tree();
+  DpStats stats;
+  ASSERT_TRUE(GhdwPartition(t, 5, &stats).ok());
+  EXPECT_EQ(stats.inner_nodes, 2u);  // a and c
+  EXPECT_GT(stats.rows, 0u);
+  EXPECT_LE(stats.cells, stats.full_table_cells);
+}
+
+TEST(GhdwTest, FeasibleOnRandomTrees) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 80; ++iter) {
+    const size_t n = 2 + rng.NextBounded(60);
+    const Tree t = testing_util::RandomTree(rng, n, 8);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(12);
+    const Result<Partitioning> p = GhdwPartition(t, k);
+    ASSERT_TRUE(p.ok()) << TreeToSpec(t) << " K=" << k;
+    MustBeFeasible(t, *p, k, TreeToSpec(t));
+  }
+}
+
+}  // namespace
+}  // namespace natix

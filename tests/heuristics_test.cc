@@ -1,0 +1,225 @@
+#include "core/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_algorithms.h"
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+using testing_util::Fig6Tree;
+using testing_util::Fig9Tree;
+using testing_util::MustBeFeasible;
+using testing_util::MustParse;
+
+// ---------------------------------------------------------------- KM ----
+
+TEST(KmTest, ProducesOnlySingleNodeIntervals) {
+  Rng rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 40, 5);
+    const TotalWeight k = t.MaxNodeWeight() + 6;
+    const Result<Partitioning> p = KmPartition(t, k);
+    ASSERT_TRUE(p.ok());
+    MustBeFeasible(t, *p, k);
+    for (const SiblingInterval& iv : *p) EXPECT_EQ(iv.first, iv.last);
+  }
+}
+
+TEST(KmTest, CutsHeaviestChildFirst) {
+  // Root 1 + children {5, 2}, K = 6: cutting the 5-subtree suffices.
+  const Tree t = MustParse("a:1(b:5 c:2)");
+  const Result<Partitioning> p = KmPartition(t, 6);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 6);
+  EXPECT_EQ(a.cardinality, 2u);
+  EXPECT_EQ(a.root_weight, 3u);  // a + c
+}
+
+TEST(KmTest, NeighborsNotMerged) {
+  // Two sibling subtrees of weight 2 with K = 5: an optimal sibling
+  // partitioning merges them into one interval, KM cannot (Sec. 4.3.3).
+  const Tree t = MustParse("a:4(b:2 c:2)");
+  const Result<Partitioning> km = KmPartition(t, 5);
+  const Result<Partitioning> dhw = DhwPartition(t, 5);
+  ASSERT_TRUE(km.ok() && dhw.ok());
+  EXPECT_EQ(MustBeFeasible(t, *km, 5).cardinality, 3u);
+  EXPECT_EQ(MustBeFeasible(t, *dhw, 5).cardinality, 2u);
+}
+
+// --------------------------------------------------------------- EKM ----
+
+TEST(EkmTest, SolvesFig6Optimally) {
+  // Sec. 4.3.4: on the Fig. 6/8 tree EKM finds the optimal 3 partitions.
+  const Tree t = Fig6Tree();
+  const Result<Partitioning> p = EkmPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(MustBeFeasible(t, *p, 5).cardinality, 3u);
+}
+
+TEST(EkmTest, FailsOnFig9) {
+  // Sec. 4.3.4, Fig. 9: EKM produces 3 partitions where 2 are possible.
+  const Tree t = Fig9Tree();
+  const Result<Partitioning> p = EkmPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(MustBeFeasible(t, *p, 5).cardinality, 3u);
+}
+
+TEST(EkmTest, MergesSiblingRuns) {
+  // Root too heavy to keep any child; 6 unit children pack into intervals
+  // rather than singletons.
+  const Tree t = MustParse("a:5(:1 :1 :1 :1 :1 :1)");
+  const Result<Partitioning> p = EkmPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 5);
+  EXPECT_LE(a.cardinality, 3u);  // (t,t) + at most 2 sibling intervals
+}
+
+TEST(EkmTest, FeasibleOnRandomTrees) {
+  Rng rng(77);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(80), 7);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(15);
+    const Result<Partitioning> p = EkmPartition(t, k);
+    ASSERT_TRUE(p.ok()) << TreeToSpec(t) << " K=" << k;
+    MustBeFeasible(t, *p, k, TreeToSpec(t));
+  }
+}
+
+// ---------------------------------------------------------------- RS ----
+
+TEST(RsTest, PacksRightmostSiblingsFirst) {
+  // Root 5 + children {1,1,1,1}, K = 5: residual 9 > 5; RS packs from the
+  // right: interval (c1..c4) has weight 4 <= 5 and residual drops to 5.
+  const Tree t = MustParse("a:5(:1 :1 :1 :1)");
+  const Result<Partitioning> p = RsPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 5);
+  EXPECT_EQ(a.cardinality, 2u);
+  EXPECT_EQ(a.root_weight, 5u);
+}
+
+TEST(RsTest, StopsCuttingOnceSubtreeFits) {
+  // K = 4: residual 5 > 4; cutting (c2,c2) brings it to 3 and RS stops.
+  const Tree t = MustParse("a:1(:2 :2)");
+  const Result<Partitioning> p = RsPartition(t, 4);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 4);
+  EXPECT_EQ(a.cardinality, 2u);
+  EXPECT_EQ(a.root_weight, 3u);
+}
+
+TEST(RsTest, FeasibleOnRandomTrees) {
+  Rng rng(88);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(80), 7);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(15);
+    const Result<Partitioning> p = RsPartition(t, k);
+    ASSERT_TRUE(p.ok()) << TreeToSpec(t) << " K=" << k;
+    MustBeFeasible(t, *p, k, TreeToSpec(t));
+  }
+}
+
+// --------------------------------------------------------------- DFS ----
+
+TEST(DfsTest, KeepsPreorderRunTogether) {
+  const Tree t = MustParse("a:1(b:1(c:1) d:1)");
+  const Result<Partitioning> p = DfsPartition(t, 4);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 4);
+  EXPECT_EQ(a.cardinality, 1u);  // whole tree fits
+}
+
+TEST(DfsTest, StartsNewPartitionOnDisconnect) {
+  // K = 3: partition 1 = {a, b, c} (weight 3). Next in preorder is d,
+  // connected to the current partition only through b... d's parent is a
+  // (not in current after a new partition started)? Walk it concretely:
+  // a,b,c fill partition 1; d's parent a IS in partition 1 but the weight
+  // is full, so d starts partition 2.
+  const Tree t = MustParse("a:1(b:1(c:1) d:1)");
+  const Result<Partitioning> p = DfsPartition(t, 3);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 3);
+  EXPECT_EQ(a.cardinality, 2u);
+}
+
+TEST(DfsTest, PrematureDescentHurts) {
+  // DFS dives into the first child's subtree and fills the partition with
+  // it, while BFS/bottom-up algorithms would keep the shallow siblings
+  // together (the "premature decisions" of Sec. 6.2).
+  const Tree t = MustParse("a:1(b:1(x:2 y:2) c:1 d:1)");
+  const Result<Partitioning> dfs = DfsPartition(t, 4);
+  const Result<Partitioning> dhw = DhwPartition(t, 4);
+  ASSERT_TRUE(dfs.ok() && dhw.ok());
+  EXPECT_GE(MustBeFeasible(t, *dfs, 4).cardinality,
+            MustBeFeasible(t, *dhw, 4).cardinality);
+}
+
+TEST(DfsTest, FeasibleOnRandomTrees) {
+  Rng rng(99);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(80), 7);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(15);
+    const Result<Partitioning> p = DfsPartition(t, k);
+    ASSERT_TRUE(p.ok()) << TreeToSpec(t) << " K=" << k;
+    MustBeFeasible(t, *p, k, TreeToSpec(t));
+  }
+}
+
+// --------------------------------------------------------------- BFS ----
+
+TEST(BfsTest, JoinsParentPartitionFirst) {
+  const Tree t = MustParse("a:1(b:1 c:1)");
+  const Result<Partitioning> p = BfsPartition(t, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(MustBeFeasible(t, *p, 3).cardinality, 1u);
+}
+
+TEST(BfsTest, FallsBackToSiblingPartition) {
+  // Root full after b; c joins b's... b is in the root partition, so c
+  // starts its own. With children {2,2} and K = 3: b joins root (1+2=3),
+  // c cannot join root nor b's partition (same partition), so new.
+  const Tree t = MustParse("a:1(b:2 c:2 d:1)");
+  const Result<Partitioning> p = BfsPartition(t, 3);
+  ASSERT_TRUE(p.ok());
+  const PartitionAnalysis a = MustBeFeasible(t, *p, 3);
+  // a+b = 3 full; c new partition; d joins c's partition (2+1=3) as a
+  // sibling-interval extension.
+  EXPECT_EQ(a.cardinality, 2u);
+}
+
+TEST(BfsTest, FeasibleOnRandomTrees) {
+  Rng rng(111);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(80), 7);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(15);
+    const Result<Partitioning> p = BfsPartition(t, k);
+    ASSERT_TRUE(p.ok()) << TreeToSpec(t) << " K=" << k;
+    MustBeFeasible(t, *p, k, TreeToSpec(t));
+  }
+}
+
+// ------------------------------------------------------------ shared ----
+
+TEST(HeuristicsTest, AllRejectOversizedNodes) {
+  const Tree t = MustParse("a:2(b:9)");
+  EXPECT_FALSE(DfsPartition(t, 5).ok());
+  EXPECT_FALSE(BfsPartition(t, 5).ok());
+  EXPECT_FALSE(RsPartition(t, 5).ok());
+  EXPECT_FALSE(KmPartition(t, 5).ok());
+  EXPECT_FALSE(EkmPartition(t, 5).ok());
+}
+
+TEST(HeuristicsTest, AllHandleSingleNode) {
+  const Tree t = MustParse("a:3");
+  for (auto* fn : {&DfsPartition, &BfsPartition, &RsPartition, &KmPartition,
+                   &EkmPartition}) {
+    const Result<Partitioning> p = (*fn)(t, 3);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(MustBeFeasible(t, *p, 3).cardinality, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace natix

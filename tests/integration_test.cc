@@ -1,0 +1,128 @@
+// End-to-end pipeline tests: generator -> XML parser -> importer ->
+// partitioning algorithm -> storage engine -> query evaluator, across the
+// whole corpus and algorithm registry. Verifies global invariants that
+// tie the modules together:
+//   * every algorithm yields a feasible partitioning whose interval
+//     weights sum to the total document weight (nothing lost or counted
+//     twice),
+//   * the optimal DHW never loses to any other algorithm,
+//   * queries return identical results regardless of the layout, and
+//     equal to the storage-free reference evaluator.
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/reference_evaluator.h"
+#include "storage/store.h"
+#include "tests/test_util.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+constexpr TotalWeight kLimit = 128;
+
+class PipelineTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    WeightModel model;
+    model.max_node_slots = kLimit;
+    const Result<std::string> xml = GenerateDocument(GetParam(), 99, 0.03);
+    ASSERT_TRUE(xml.ok());
+    Result<ImportedDocument> imp = ImportXml(*xml, model);
+    ASSERT_TRUE(imp.ok()) << imp.status().ToString();
+    doc_ = std::make_unique<ImportedDocument>(std::move(imp).value());
+  }
+
+  std::unique_ptr<ImportedDocument> doc_;
+};
+
+TEST_P(PipelineTest, AllAlgorithmsFeasibleAndWeightConserving) {
+  const Tree& tree = doc_->tree;
+  size_t best = static_cast<size_t>(-1);
+  std::string best_name;
+  size_t dhw_cardinality = 0;
+  for (const std::string_view algo : AlgorithmNames()) {
+    if (algo == "FDW") continue;
+    const Result<Partitioning> p = PartitionWith(algo, tree, kLimit);
+    ASSERT_TRUE(p.ok()) << algo << ": " << p.status().ToString();
+    const PartitionAnalysis a =
+        testing_util::MustBeFeasible(tree, *p, kLimit, std::string(algo));
+    // Weight conservation: the partitions tile the document.
+    TotalWeight sum = 0;
+    for (const TotalWeight w : a.interval_weights) sum += w;
+    EXPECT_EQ(sum, tree.TotalTreeWeight()) << algo;
+    if (a.cardinality < best) {
+      best = a.cardinality;
+      best_name = algo;
+    }
+    if (algo == "DHW") dhw_cardinality = a.cardinality;
+  }
+  EXPECT_EQ(best, dhw_cardinality)
+      << "DHW (optimal) was beaten by " << best_name;
+}
+
+TEST_P(PipelineTest, QueriesAgreeAcrossLayouts) {
+  const Tree& tree = doc_->tree;
+  // Generic structural queries that hit every corpus document.
+  const char* queries[] = {
+      "/*",
+      "//*[node()]",
+      "/descendant-or-self::node()",
+      "/*/*/following-sibling::*",
+  };
+  for (const char* q : queries) {
+    const Result<PathExpr> path = ParseXPath(q);
+    ASSERT_TRUE(path.ok()) << q;
+    const Result<std::vector<NodeId>> reference =
+        EvaluateOnTree(tree, *path);
+    ASSERT_TRUE(reference.ok()) << q;
+    for (const std::string_view algo : {"EKM", "KM", "DFS", "BFS"}) {
+      const Result<Partitioning> p = PartitionWith(algo, tree, kLimit);
+      ASSERT_TRUE(p.ok());
+      const Result<NatixStore> store = NatixStore::Build(*doc_, *p, kLimit);
+      ASSERT_TRUE(store.ok()) << algo;
+      AccessStats stats;
+      StoreQueryEvaluator eval(&*store, &stats);
+      const Result<std::vector<NodeId>> result = eval.Evaluate(*path);
+      ASSERT_TRUE(result.ok()) << algo << " " << q;
+      EXPECT_EQ(*result, *reference) << algo << " " << q;
+    }
+  }
+}
+
+TEST_P(PipelineTest, FewerPartitionsFewerScanCrossings) {
+  // The monotone mechanism behind the paper's thesis, checked per
+  // document: the optimal layout never crosses more than KM during a
+  // full-document navigational scan.
+  const Tree& tree = doc_->tree;
+  const Result<PathExpr> scan = ParseXPath("/descendant-or-self::node()");
+  ASSERT_TRUE(scan.ok());
+  auto crossings = [&](std::string_view algo) {
+    const Result<Partitioning> p = PartitionWith(algo, tree, kLimit);
+    EXPECT_TRUE(p.ok());
+    const Result<NatixStore> store = NatixStore::Build(*doc_, *p, kLimit);
+    EXPECT_TRUE(store.ok());
+    AccessStats stats;
+    StoreQueryEvaluator eval(&*store, &stats);
+    EXPECT_TRUE(eval.Evaluate(*scan).ok());
+    return stats.record_crossings;
+  };
+  const uint64_t dhw = crossings("DHW");
+  const uint64_t ekm = crossings("EKM");
+  const uint64_t km = crossings("KM");
+  EXPECT_LE(dhw, km);
+  EXPECT_LE(ekm, km);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, PipelineTest,
+                         ::testing::Values("sigmod", "mondial", "partsupp",
+                                           "uwm", "orders", "xmark"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+}  // namespace
+}  // namespace natix

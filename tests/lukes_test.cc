@@ -1,0 +1,112 @@
+#include "core/lukes.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_algorithms.h"
+#include "core/heuristics.h"
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+using testing_util::MustBeFeasible;
+using testing_util::MustParse;
+
+TEST(LukesTest, SingleNode) {
+  const Tree t = MustParse("a:3");
+  const Result<Partitioning> p = LukesPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 1u);
+  EXPECT_EQ(*LukesOptimalValue(t, 5), 0u);
+}
+
+TEST(LukesTest, WholeTreeFits) {
+  const Tree t = MustParse("a:1(b:1(c:1) d:1)");
+  const Result<Partitioning> p = LukesPartition(t, 10);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(MustBeFeasible(t, *p, 10).cardinality, 1u);
+  // All 3 edges kept.
+  EXPECT_EQ(*LukesOptimalValue(t, 10), 3u);
+}
+
+TEST(LukesTest, ValueEqualsNodesMinusPartitions) {
+  // Every partition is connected, so a p-partition solution keeps exactly
+  // n - p edges; the optimal value certifies the partition count.
+  Rng rng(31);
+  for (int iter = 0; iter < 40; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(40), 5);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(10);
+    const Result<Partitioning> p = LukesPartition(t, k);
+    ASSERT_TRUE(p.ok()) << TreeToSpec(t);
+    const PartitionAnalysis a = MustBeFeasible(t, *p, k, TreeToSpec(t));
+    const Result<uint64_t> value = LukesOptimalValue(t, k);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, t.size() - a.cardinality) << TreeToSpec(t);
+  }
+}
+
+TEST(LukesTest, MatchesKmCardinality) {
+  // With unit edge values Lukes minimizes the number of parent-child
+  // partitions -- the same objective KM provably solves (Sec. 4.3.3), so
+  // the cardinalities must agree on every input.
+  Rng rng(32);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(50), 6);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(12);
+    const Result<Partitioning> lukes = LukesPartition(t, k);
+    const Result<Partitioning> km = KmPartition(t, k);
+    ASSERT_TRUE(lukes.ok() && km.ok()) << TreeToSpec(t);
+    EXPECT_EQ(MustBeFeasible(t, *lukes, k).cardinality,
+              MustBeFeasible(t, *km, k).cardinality)
+        << TreeToSpec(t) << " K=" << k;
+  }
+}
+
+TEST(LukesTest, NeverBeatsSiblingPartitioning) {
+  Rng rng(33);
+  for (int iter = 0; iter < 40; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(40), 5);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(10);
+    const Result<Partitioning> lukes = LukesPartition(t, k);
+    const Result<Partitioning> dhw = DhwPartition(t, k);
+    ASSERT_TRUE(lukes.ok() && dhw.ok());
+    EXPECT_GE(MustBeFeasible(t, *lukes, k).cardinality,
+              MustBeFeasible(t, *dhw, k).cardinality)
+        << TreeToSpec(t);
+  }
+}
+
+TEST(LukesTest, SiblingMergeExample) {
+  // Two sibling leaves of weight 2 under a heavy root, K = 5: Lukes (like
+  // KM) needs 3 partitions, DHW merges the siblings into one interval.
+  const Tree t = MustParse("a:4(b:2 c:2)");
+  const Result<Partitioning> p = LukesPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(MustBeFeasible(t, *p, 5).cardinality, 3u);
+}
+
+TEST(LukesTest, SingleNodeIntervalsOnly) {
+  Rng rng(34);
+  const Tree t = testing_util::RandomTree(rng, 60, 4);
+  const Result<Partitioning> p = LukesPartition(t, 8);
+  ASSERT_TRUE(p.ok());
+  for (const SiblingInterval& iv : *p) EXPECT_EQ(iv.first, iv.last);
+}
+
+TEST(LukesTest, RejectsOversizedNode) {
+  const Tree t = MustParse("a:2(b:9)");
+  EXPECT_FALSE(LukesPartition(t, 5).ok());
+}
+
+TEST(LukesTest, MemoryGuard) {
+  // n * K above the table cap must be rejected, not thrash.
+  Tree t;
+  t.AddRoot(1);
+  for (int i = 0; i < 1000; ++i) t.AppendChild(t.root(), 1);
+  const Result<Partitioning> p = LukesPartition(t, 1 << 20);
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace natix

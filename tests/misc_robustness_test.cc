@@ -1,0 +1,92 @@
+// Odds and ends: death-on-misuse contracts, comment/PI handling through
+// the whole pipeline, and serializer edge cases.
+#include <gtest/gtest.h>
+
+#include "bulkload/streaming.h"
+#include "common/status.h"
+#include "core/heuristics.h"
+#include "xml/document.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+TEST(StatusDeathTest, CheckOKAbortsOnError) {
+  EXPECT_DEATH(Status::Internal("boom").CheckOK(), "boom");
+}
+
+TEST(StatusDeathTest, CheckOKPassesOnOk) {
+  Status::OK().CheckOK();  // must not abort
+}
+
+TEST(CommentPipelineTest, CommentsFlowThroughWhenKept) {
+  XmlParseOptions opts;
+  opts.keep_comments = true;
+  const char* xml = "<a><!--note--><b/><?pi data?></a>";
+  const Result<XmlDocument> doc = XmlDocument::Parse(xml, opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 4u);
+
+  WeightModel model;
+  const Result<ImportedDocument> imp = ImportDocument(*doc, model);
+  ASSERT_TRUE(imp.ok());
+  size_t comments = 0;
+  size_t pis = 0;
+  for (NodeId v = 0; v < imp->tree.size(); ++v) {
+    comments += imp->tree.KindOf(v) == NodeKind::kComment;
+    pis += imp->tree.KindOf(v) == NodeKind::kProcessingInstruction;
+  }
+  EXPECT_EQ(comments, 1u);
+  EXPECT_EQ(pis, 1u);
+
+  // Comment nodes are weighted like text and partition normally.
+  const Result<Partitioning> p = EkmPartition(imp->tree, 8);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(CheckFeasible(imp->tree, *p, 8).ok());
+}
+
+TEST(CommentPipelineTest, BulkloadMatchesImporterWithComments) {
+  const char* xml = "<a><!--x--><b>t</b><?p q?></a>";
+  XmlParseOptions popts;
+  popts.keep_comments = true;
+  WeightModel model;
+  const Result<ImportedDocument> imp = ImportXml(xml, model, popts);
+  ASSERT_TRUE(imp.ok());
+
+  BulkloadOptions opts;
+  opts.limit = 100;
+  opts.parse_options = popts;
+  const Result<BulkloadResult> r = StreamingBulkload(xml, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->tree.size(), imp->tree.size());
+  for (NodeId v = 0; v < r->tree.size(); ++v) {
+    EXPECT_EQ(r->tree.KindOf(v), imp->tree.KindOf(v)) << v;
+    EXPECT_EQ(r->tree.WeightOf(v), imp->tree.WeightOf(v)) << v;
+  }
+}
+
+TEST(SerializerEdgeTest, CommentAndPiRoundTrip) {
+  XmlParseOptions opts;
+  opts.keep_comments = true;
+  const std::string xml = "<a><!-- keep me --><b/><?target data?></a>";
+  const Result<XmlDocument> doc = XmlDocument::Parse(xml, opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Serialize(), xml);
+}
+
+TEST(SerializerEdgeTest, EmptyPiData) {
+  XmlParseOptions opts;
+  opts.keep_comments = true;
+  const Result<XmlDocument> doc = XmlDocument::Parse("<a><?x?></a>", opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Serialize(), "<a><?x?></a>");
+}
+
+TEST(SerializerEdgeTest, AttributeOnlyElement) {
+  const Result<XmlDocument> doc = XmlDocument::Parse("<a k=\"v\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Serialize(), "<a k=\"v\"/>");
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,134 @@
+// Property tests for the partitioning analyzer itself: Analyze() is the
+// ground truth every algorithm test relies on, so it gets its own
+// independent cross-check -- a slow recursive weight computation and a
+// random generator of structurally valid partitionings.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+// Slow independent computation of a partition weight: for each interval
+// member, recursively sum weights stopping at nodes that are members of
+// any interval.
+TotalWeight SlowIntervalWeight(const Tree& tree, const Partitioning& p,
+                               size_t index) {
+  std::vector<bool> is_member(tree.size(), false);
+  for (const SiblingInterval& iv : p) {
+    for (NodeId v = iv.first;; v = tree.NextSibling(v)) {
+      is_member[v] = true;
+      if (v == iv.last) break;
+    }
+  }
+  std::function<TotalWeight(NodeId)> weight_below = [&](NodeId v) {
+    TotalWeight sum = tree.WeightOf(v);
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      if (!is_member[c]) sum += weight_below(c);
+    }
+    return sum;
+  };
+  TotalWeight total = 0;
+  const SiblingInterval& iv = p[index];
+  for (NodeId v = iv.first;; v = tree.NextSibling(v)) {
+    total += weight_below(v);
+    if (v == iv.last) break;
+  }
+  return total;
+}
+
+// Generates a random structurally valid partitioning: a random subset of
+// nodes become members, grouped into random runs (same construction as
+// the brute forcer, but sampled instead of enumerated).
+Partitioning RandomPartitioning(const Tree& tree, Rng& rng,
+                                double member_probability) {
+  std::vector<uint8_t> state(tree.size(), 0);  // 0 free, 1 start, 2 extend
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    if (!rng.NextBool(member_probability)) continue;
+    const NodeId prev = tree.PrevSibling(v);
+    if (prev != kInvalidNode && state[prev] != 0 && rng.NextBool(0.5)) {
+      state[v] = 2;
+    } else {
+      state[v] = 1;
+    }
+  }
+  Partitioning p;
+  p.Add(tree.root(), tree.root());
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    if (state[v] != 1) continue;
+    NodeId last = v;
+    for (NodeId s = tree.NextSibling(last);
+         s != kInvalidNode && state[s] == 2; s = tree.NextSibling(s)) {
+      last = s;
+    }
+    p.Add(v, last);
+  }
+  return p;
+}
+
+TEST(PartitionAnalysisPropertyTest, WeightsMatchSlowComputation) {
+  Rng rng(515);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(40), 5);
+    const Partitioning p = RandomPartitioning(t, rng, rng.NextDouble());
+    const Result<PartitionAnalysis> a = Analyze(t, p, 1 << 20);
+    ASSERT_TRUE(a.ok()) << TreeToSpec(t);
+    ASSERT_EQ(a->interval_weights.size(), p.size());
+    TotalWeight sum = 0;
+    for (size_t i = 0; i < p.size(); ++i) {
+      EXPECT_EQ(a->interval_weights[i], SlowIntervalWeight(t, p, i))
+          << TreeToSpec(t) << " interval " << i;
+      sum += a->interval_weights[i];
+    }
+    // Partitions tile the tree: weights sum to the total.
+    EXPECT_EQ(sum, t.TotalTreeWeight());
+    // The root interval is (t, t); its weight is the root weight.
+    EXPECT_EQ(a->interval_weights[0], a->root_weight);
+  }
+}
+
+TEST(PartitionAnalysisPropertyTest, PartitionOfIsNearestMemberAncestor) {
+  Rng rng(516);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(30), 4);
+    const Partitioning p = RandomPartitioning(t, rng, 0.4);
+    const Result<PartitionAnalysis> a = Analyze(t, p, 1 << 20);
+    ASSERT_TRUE(a.ok());
+    std::vector<int32_t> member_interval(t.size(), -1);
+    for (size_t i = 0; i < p.size(); ++i) {
+      for (NodeId v = p[i].first;; v = t.NextSibling(v)) {
+        member_interval[v] = static_cast<int32_t>(i);
+        if (v == p[i].last) break;
+      }
+    }
+    for (NodeId v = 0; v < t.size(); ++v) {
+      NodeId x = v;
+      while (member_interval[x] < 0) x = t.Parent(x);
+      EXPECT_EQ(a->partition_of[v], static_cast<uint32_t>(member_interval[x]))
+          << "node " << v;
+    }
+  }
+}
+
+TEST(PartitionAnalysisPropertyTest, FeasibilityThreshold) {
+  // For any partitioning, feasibility flips exactly at the max weight.
+  Rng rng(517);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Tree t = testing_util::RandomTree(rng, 2 + rng.NextBounded(25), 6);
+    const Partitioning p = RandomPartitioning(t, rng, 0.5);
+    const Result<PartitionAnalysis> loose = Analyze(t, p, 1 << 20);
+    ASSERT_TRUE(loose.ok());
+    const TotalWeight max_w = loose->max_weight;
+    const Result<PartitionAnalysis> at = Analyze(t, p, max_w);
+    const Result<PartitionAnalysis> below = Analyze(t, p, max_w - 1);
+    ASSERT_TRUE(at.ok() && below.ok());
+    EXPECT_TRUE(at->feasible);
+    EXPECT_FALSE(below->feasible);
+  }
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,90 @@
+#include "tree/partitioning_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_algorithms.h"
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "tests/test_util.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+TEST(PartitioningIoTest, RoundTrip) {
+  const Tree t = testing_util::Fig3Tree();
+  const Result<Partitioning> p = DhwPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const std::string text = SerializePartitioning(t, *p);
+  const Result<Partitioning> back = DeserializePartitioning(t, text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), p->size());
+  for (size_t i = 0; i < p->size(); ++i) {
+    EXPECT_EQ((*back)[i], (*p)[i]);
+  }
+}
+
+TEST(PartitioningIoTest, OfflineReorganizationWorkflow) {
+  // The paper's Sec. 6.3 use case: run DHW offline once, reload later.
+  WeightModel model;
+  model.max_node_slots = 64;
+  const std::string xml = GenerateSigmodRecord(2, 0.02);
+  const Result<ImportedDocument> offline = ImportXml(xml, model);
+  ASSERT_TRUE(offline.ok());
+  const Result<Partitioning> optimal = DhwPartition(offline->tree, 64);
+  ASSERT_TRUE(optimal.ok());
+  const std::string saved = SerializePartitioning(offline->tree, *optimal);
+
+  // "Later": re-import the same document and load the saved result.
+  const Result<ImportedDocument> online = ImportXml(xml, model);
+  ASSERT_TRUE(online.ok());
+  const Result<Partitioning> loaded =
+      DeserializePartitioning(online->tree, saved);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(CheckFeasible(online->tree, *loaded, 64).ok());
+  EXPECT_EQ(loaded->size(), optimal->size());
+}
+
+TEST(PartitioningIoTest, RejectsWrongTree) {
+  const Tree t = testing_util::Fig3Tree();
+  const Result<Partitioning> p = EkmPartition(t, 5);
+  ASSERT_TRUE(p.ok());
+  const std::string text = SerializePartitioning(t, *p);
+  const Tree other = testing_util::Fig6Tree();
+  const Result<Partitioning> loaded = DeserializePartitioning(other, text);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PartitioningIoTest, RejectsGarbage) {
+  const Tree t = testing_util::Fig3Tree();
+  EXPECT_FALSE(DeserializePartitioning(t, "").ok());
+  EXPECT_FALSE(DeserializePartitioning(t, "hello world").ok());
+  EXPECT_FALSE(
+      DeserializePartitioning(t, "natix-partitioning v1\nnope").ok());
+  EXPECT_FALSE(DeserializePartitioning(
+                   t, "natix-partitioning v1\ntree 8 14\n0 0\n99 99\n")
+                   .ok());
+  EXPECT_FALSE(DeserializePartitioning(
+                   t, "natix-partitioning v1\ntree 8 14\n0 zero\n")
+                   .ok());
+}
+
+TEST(PartitioningIoTest, RejectsStructurallyInvalidIntervals) {
+  const Tree t = testing_util::Fig3Tree();
+  // Nodes 3 (d) and 5 (f) have different parents.
+  const std::string text = "natix-partitioning v1\ntree 8 14\n0 0\n3 5\n";
+  EXPECT_FALSE(DeserializePartitioning(t, text).ok());
+}
+
+TEST(PartitioningIoTest, WhitespaceAndBlankLinesTolerated) {
+  const Tree t = testing_util::Fig3Tree();
+  const std::string text =
+      "natix-partitioning v1\n\n  tree 8 14  \n\n 0 0 \n\n";
+  const Result<Partitioning> p = DeserializePartitioning(t, text);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->size(), 1u);
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,158 @@
+// Combinatorial axis coverage: every (axis, node test) pair, evaluated on
+// random documents through the store evaluator and the independent
+// reference evaluator, across several partitionings. Catches axis
+// semantics drift that hand-picked queries might miss.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/heuristics.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/reference_evaluator.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+// Random XML with a small, collision-rich vocabulary so name tests hit.
+std::string RandomXml(Rng& rng, int ops) {
+  static constexpr const char* kNames[] = {"a", "b", "c", "d"};
+  std::string xml = "<a>";
+  std::vector<const char*> stack = {"a"};
+  for (int i = 0; i < ops; ++i) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const char* name = kNames[rng.NextBounded(4)];
+      xml += std::string("<") + name + ">";
+      stack.push_back(name);
+    } else if (dice < 0.65 && stack.size() > 1) {
+      xml += std::string("</") + stack.back() + ">";
+      stack.pop_back();
+    } else if (dice < 0.8) {
+      xml += "txt ";
+    } else {
+      xml += std::string("<") + kNames[rng.NextBounded(4)] + " x=\"1\"/>";
+    }
+  }
+  while (!stack.empty()) {
+    xml += std::string("</") + stack.back() + ">";
+    stack.pop_back();
+  }
+  return xml;
+}
+
+struct MatrixCase {
+  const char* axis;      // "" = default child axis
+  const char* test;      // name, * or node()
+};
+
+class AxisMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(AxisMatrixTest, StoreEqualsReference) {
+  const MatrixCase& c = GetParam();
+  Rng rng(static_cast<uint64_t>(std::string(c.axis).size() * 131 +
+                                std::string(c.test).size()));
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::string xml = RandomXml(rng, 40 + iter * 15);
+    WeightModel model;
+    Result<ImportedDocument> imp = ImportXml(xml, model);
+    ASSERT_TRUE(imp.ok()) << xml;
+    const ImportedDocument doc = std::move(imp).value();
+
+    // Queries applying the axis at two depths, with and without //.
+    const std::string axis_prefix =
+        std::string(c.axis).empty() ? "" : std::string(c.axis) + "::";
+    const std::string queries[] = {
+        "/a/" + axis_prefix + c.test,
+        "//b/" + axis_prefix + c.test,
+        "/a/*/" + axis_prefix + c.test,
+    };
+    for (const std::string& q : queries) {
+      const Result<PathExpr> path = ParseXPath(q);
+      ASSERT_TRUE(path.ok()) << q;
+      const Result<std::vector<NodeId>> reference =
+          EvaluateOnTree(doc.tree, *path);
+      ASSERT_TRUE(reference.ok()) << q;
+      for (auto* partition_fn : {&EkmPartition, &KmPartition}) {
+        const Result<Partitioning> p = (*partition_fn)(doc.tree, 16);
+        ASSERT_TRUE(p.ok());
+        const Result<NatixStore> store = NatixStore::Build(doc, *p, 16);
+        ASSERT_TRUE(store.ok());
+        AccessStats stats;
+        StoreQueryEvaluator eval(&*store, &stats);
+        const Result<std::vector<NodeId>> result = eval.Evaluate(*path);
+        ASSERT_TRUE(result.ok()) << q;
+        EXPECT_EQ(*result, *reference) << q << "\nxml: " << xml;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAxes, AxisMatrixTest,
+    ::testing::Values(MatrixCase{"", "b"}, MatrixCase{"", "*"},
+                      MatrixCase{"", "node()"},
+                      MatrixCase{"child", "c"},
+                      MatrixCase{"descendant", "b"},
+                      MatrixCase{"descendant", "node()"},
+                      MatrixCase{"descendant-or-self", "a"},
+                      MatrixCase{"descendant-or-self", "*"},
+                      MatrixCase{"parent", "b"}, MatrixCase{"parent", "*"},
+                      MatrixCase{"ancestor", "a"},
+                      MatrixCase{"ancestor", "node()"},
+                      MatrixCase{"ancestor-or-self", "b"},
+                      MatrixCase{"self", "c"}, MatrixCase{"self", "node()"},
+                      MatrixCase{"following-sibling", "b"},
+                      MatrixCase{"following-sibling", "node()"},
+                      MatrixCase{"preceding-sibling", "c"},
+                      MatrixCase{"preceding-sibling", "*"}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      std::string name = std::string(info.param.axis).empty()
+                             ? "child_abbrev"
+                             : info.param.axis;
+      std::string test = info.param.test;
+      if (test == "*") test = "star";
+      if (test == "node()") test = "node";
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_" + test;
+    });
+
+// Predicates over random axis combinations must also agree.
+TEST(AxisMatrixTest, RandomPredicatesAgree) {
+  Rng rng(909);
+  static constexpr const char* kPredicates[] = {
+      "[b]", "[b or c]", "[b and c]", "[parent::a]",
+      "[following-sibling::b]", "[descendant::c]", "[b/c]",
+      "[ancestor::b or c]",
+  };
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::string xml = RandomXml(rng, 60);
+    Result<ImportedDocument> imp = ImportXml(xml, WeightModel());
+    ASSERT_TRUE(imp.ok());
+    const ImportedDocument doc = std::move(imp).value();
+    const Result<Partitioning> p = EkmPartition(doc.tree, 16);
+    ASSERT_TRUE(p.ok());
+    const Result<NatixStore> store = NatixStore::Build(doc, *p, 16);
+    ASSERT_TRUE(store.ok());
+    for (const char* pred : kPredicates) {
+      const std::string q = std::string("//*") + pred;
+      const Result<PathExpr> path = ParseXPath(q);
+      ASSERT_TRUE(path.ok()) << q;
+      const auto reference = EvaluateOnTree(doc.tree, *path);
+      AccessStats stats;
+      StoreQueryEvaluator eval(&*store, &stats);
+      const auto result = eval.Evaluate(*path);
+      ASSERT_TRUE(reference.ok() && result.ok()) << q;
+      EXPECT_EQ(*result, *reference) << q << "\nxml: " << xml;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,193 @@
+#include "query/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "query/parser.h"
+#include "query/reference_evaluator.h"
+#include "query/xpathmark.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+// The store borrows the ImportedDocument, so the fixture keeps the
+// document at a stable heap address.
+struct Fixture {
+  std::unique_ptr<ImportedDocument> doc_ptr;
+  std::unique_ptr<NatixStore> store_ptr;
+  const ImportedDocument& doc() const { return *doc_ptr; }
+  NatixStore& store() { return *store_ptr; }
+};
+
+// Loads `xml` into a store partitioned by EKM with the given limit.
+Fixture MakeFixture(std::string_view xml, TotalWeight limit = 16) {
+  Result<ImportedDocument> imp = ImportXml(xml, WeightModel());
+  EXPECT_TRUE(imp.ok()) << imp.status().ToString();
+  Fixture f;
+  f.doc_ptr = std::make_unique<ImportedDocument>(std::move(imp).value());
+  Result<Partitioning> p = EkmPartition(f.doc_ptr->tree, limit);
+  EXPECT_TRUE(p.ok());
+  Result<NatixStore> store = NatixStore::Build(*f.doc_ptr, *p, limit);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  f.store_ptr = std::make_unique<NatixStore>(std::move(store).value());
+  return f;
+}
+
+std::vector<std::string> Labels(const Tree& tree,
+                                const std::vector<NodeId>& nodes) {
+  std::vector<std::string> out;
+  for (const NodeId v : nodes) out.emplace_back(tree.LabelOf(v));
+  return out;
+}
+
+std::vector<NodeId> RunQuery(Fixture& f, std::string_view query) {
+  const Result<PathExpr> path = ParseXPath(query);
+  EXPECT_TRUE(path.ok()) << query;
+  AccessStats stats;
+  StoreQueryEvaluator eval(&f.store(), &stats);
+  Result<std::vector<NodeId>> result = eval.Evaluate(*path);
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  return result.ok() ? *result : std::vector<NodeId>{};
+}
+
+TEST(QueryEvaluatorTest, RootStep) {
+  // The fixture doc must be referenced via the Fixture (store borrows it).
+  Fixture f = MakeFixture("<a><b/><c/></a>");
+  EXPECT_EQ(RunQuery(f, "/a").size(), 1u);
+  EXPECT_TRUE(RunQuery(f, "/nope").empty());
+}
+
+TEST(QueryEvaluatorTest, ChildSteps) {
+  Fixture f = MakeFixture("<a><b/><c/><b/></a>");
+  EXPECT_EQ(RunQuery(f, "/a/b").size(), 2u);
+  EXPECT_EQ(RunQuery(f, "/a/c").size(), 1u);
+  EXPECT_EQ(RunQuery(f, "/a/*").size(), 3u);
+}
+
+TEST(QueryEvaluatorTest, ChildAxisSkipsAttributes) {
+  Fixture f = MakeFixture("<a x=\"1\"><b/></a>");
+  EXPECT_EQ(RunQuery(f, "/a/*").size(), 1u);
+  EXPECT_EQ(RunQuery(f, "/a/node()").size(), 1u);
+}
+
+TEST(QueryEvaluatorTest, TextOnNodeAxis) {
+  Fixture f = MakeFixture("<a>hi<b/></a>");
+  // node() matches the text node and the element.
+  EXPECT_EQ(RunQuery(f, "/a/node()").size(), 2u);
+  EXPECT_EQ(RunQuery(f, "/a/*").size(), 1u);
+}
+
+TEST(QueryEvaluatorTest, DescendantSearch) {
+  Fixture f = MakeFixture("<a><b><k/></b><c><d><k/></d></c><k/></a>");
+  EXPECT_EQ(RunQuery(f, "//k").size(), 3u);
+  EXPECT_EQ(RunQuery(f, "/a//k").size(), 3u);
+  EXPECT_EQ(RunQuery(f, "/a/c//k").size(), 1u);
+}
+
+TEST(QueryEvaluatorTest, ResultsInDocumentOrderNoDuplicates) {
+  Fixture f = MakeFixture("<a><b><k/><k/></b><b><k/></b></a>");
+  const std::vector<NodeId> r = RunQuery(f, "//b//k");
+  ASSERT_EQ(r.size(), 3u);
+  const std::vector<uint32_t> ranks = f.doc().tree.PreorderRanks();
+  EXPECT_LT(ranks[r[0]], ranks[r[1]]);
+  EXPECT_LT(ranks[r[1]], ranks[r[2]]);
+}
+
+TEST(QueryEvaluatorTest, DescendantOrSelfAxis) {
+  Fixture f = MakeFixture("<l><x><l><k/></l></x></l>");
+  // /descendant-or-self::l: both l elements.
+  EXPECT_EQ(RunQuery(f, "/descendant-or-self::l").size(), 2u);
+  EXPECT_EQ(RunQuery(f, "/descendant-or-self::l/descendant-or-self::k").size(),
+            1u);
+}
+
+TEST(QueryEvaluatorTest, ParentPredicate) {
+  Fixture f = MakeFixture(
+      "<r><na><item/><item/></na><sa><item/></sa><eu><item/></eu></r>");
+  EXPECT_EQ(RunQuery(f, "/r/*/item[parent::na or parent::sa]").size(), 3u);
+  EXPECT_EQ(RunQuery(f, "/r/*/item[parent::eu]").size(), 1u);
+  EXPECT_EQ(RunQuery(f, "/r/*/item[parent::nope]").size(), 0u);
+}
+
+TEST(QueryEvaluatorTest, AncestorAxis) {
+  Fixture f = MakeFixture("<a><li><x><k/></x></li><li><k/></li><k/></a>");
+  // Ancestors of all k's that are li elements: the two distinct li's.
+  EXPECT_EQ(RunQuery(f, "//k/ancestor::li").size(), 2u);
+}
+
+TEST(QueryEvaluatorTest, AncestorOrSelfAxis) {
+  Fixture f = MakeFixture("<m><k/></m>");
+  EXPECT_EQ(RunQuery(f, "//k/ancestor-or-self::m").size(), 1u);
+  EXPECT_EQ(RunQuery(f, "//m/ancestor-or-self::m").size(), 1u);
+}
+
+TEST(QueryEvaluatorTest, AndPredicate) {
+  Fixture f = MakeFixture("<a><b><c/><d/></b><b><c/></b></a>");
+  EXPECT_EQ(RunQuery(f, "/a/b[c and d]").size(), 1u);
+  EXPECT_EQ(RunQuery(f, "/a/b[c or d]").size(), 2u);
+  EXPECT_EQ(RunQuery(f, "/a/b[c/e]").size(), 0u);
+}
+
+TEST(QueryEvaluatorTest, NavigationIsCharged) {
+  Fixture f = MakeFixture("<a><b><k/></b><c><k/></c></a>");
+  const Result<PathExpr> path = ParseXPath("//k");
+  ASSERT_TRUE(path.ok());
+  AccessStats stats;
+  StoreQueryEvaluator eval(&f.store(), &stats);
+  ASSERT_TRUE(eval.Evaluate(*path).ok());
+  EXPECT_GT(stats.TotalMoves(), 0u);
+}
+
+TEST(QueryEvaluatorTest, RelativeQueryRejected) {
+  Fixture f = MakeFixture("<a/>");
+  const Result<PathExpr> path = ParseXPath("a/b");
+  ASSERT_TRUE(path.ok());
+  AccessStats stats;
+  StoreQueryEvaluator eval(&f.store(), &stats);
+  EXPECT_FALSE(eval.Evaluate(*path).ok());
+}
+
+// Cross-validation: the store evaluator must agree with the independent
+// tree evaluator on every XPathMark query over an XMark sample, for
+// several partitionings.
+TEST(QueryEvaluatorTest, AgreesWithReferenceOnXmark) {
+  WeightModel model;
+  model.max_node_slots = 256;
+  const std::string xml = GenerateXmark(17, 0.03);
+  Result<ImportedDocument> impr = ImportXml(xml, model);
+  ASSERT_TRUE(impr.ok());
+  const ImportedDocument doc = std::move(impr).value();
+
+  for (auto* partition_fn : {&EkmPartition, &KmPartition, &RsPartition}) {
+    const Result<Partitioning> p = (*partition_fn)(doc.tree, 256);
+    ASSERT_TRUE(p.ok());
+    const Result<NatixStore> store = NatixStore::Build(doc, *p, 256);
+    ASSERT_TRUE(store.ok());
+    for (const XPathMarkQuery& q : XPathMarkQueries()) {
+      const Result<PathExpr> path = ParseXPath(q.text);
+      ASSERT_TRUE(path.ok()) << q.id;
+      AccessStats stats;
+      StoreQueryEvaluator eval(&*store, &stats);
+      const Result<std::vector<NodeId>> via_store = eval.Evaluate(*path);
+      const Result<std::vector<NodeId>> via_tree =
+          EvaluateOnTree(doc.tree, *path);
+      ASSERT_TRUE(via_store.ok()) << q.id;
+      ASSERT_TRUE(via_tree.ok()) << q.id;
+      EXPECT_EQ(*via_store, *via_tree) << q.id;
+      EXPECT_FALSE(via_store->empty())
+          << q.id << " returned nothing -- workload not exercised";
+    }
+  }
+}
+
+TEST(QueryEvaluatorTest, LabelsSanity) {
+  Fixture f = MakeFixture("<a><b/><c/></a>");
+  const std::vector<NodeId> r = RunQuery(f, "/a/*");
+  EXPECT_EQ(Labels(f.doc().tree, r),
+            (std::vector<std::string>{"b", "c"}));
+}
+
+}  // namespace
+}  // namespace natix

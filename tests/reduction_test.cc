@@ -1,0 +1,132 @@
+// Direct unit tests for the per-node reduction rules shared by the batch
+// algorithms and the streaming bulkloader (core/reduction.h). These pin
+// the exact cut decisions, independent of any tree traversal.
+#include "core/reduction.h"
+
+#include <gtest/gtest.h>
+
+namespace natix {
+namespace {
+
+std::vector<ChildPart> Parts(std::initializer_list<TotalWeight> residuals) {
+  std::vector<ChildPart> out;
+  NodeId id = 100;
+  for (const TotalWeight r : residuals) {
+    out.push_back({id++, r, 1});
+  }
+  return out;
+}
+
+TEST(RsReduceTest, NoCutWhenFits) {
+  Partitioning p;
+  const auto children = Parts({3, 3});
+  EXPECT_EQ(RsReduce(2, children, 10, &p), 8u);
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(RsReduceTest, PacksRightToLeftUpToLimit) {
+  Partitioning p;
+  // own 5 + {1,1,1,1} = 9 > 5: one interval (c1..c4) of weight 4.
+  const auto children = Parts({1, 1, 1, 1});
+  EXPECT_EQ(RsReduce(5, children, 5, &p), 5u);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].first, 100u);
+  EXPECT_EQ(p[0].last, 103u);
+}
+
+TEST(RsReduceTest, StopsCuttingWhenResidualFits) {
+  Partitioning p;
+  // own 1 + {2, 2} = 5 > 4: cutting only the rightmost child suffices.
+  const auto children = Parts({2, 2});
+  EXPECT_EQ(RsReduce(1, children, 4, &p), 3u);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].first, 101u);
+  EXPECT_EQ(p[0].last, 101u);
+}
+
+TEST(RsReduceTest, MultipleIntervals) {
+  Partitioning p;
+  // own 4 + {3,3,3,3} = 16, K = 4: every child must go; 3+3 > 4 so each
+  // child is its own interval... 3 <= 4 but 3+3=6 > 4: four singletons?
+  // Packing right-to-left: (c4)=3, then (c3)=3, ... residual 4 after all.
+  const auto children = Parts({3, 3, 3, 3});
+  EXPECT_EQ(RsReduce(4, children, 4, &p), 4u);
+  EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(RsReduceTest, ReportsFlushedResident) {
+  Partitioning p;
+  std::vector<ChildPart> children = Parts({2, 2, 2});
+  children[0].resident = 5;
+  children[1].resident = 7;
+  children[2].resident = 9;
+  size_t flushed = 0;
+  // own 4 + 6 = 10 > 6: cut (c2,c3) weight 4 -> residual 6.
+  EXPECT_EQ(RsReduce(4, children, 6, &p, &flushed), 6u);
+  EXPECT_EQ(flushed, 16u);  // residents of c2 and c3
+}
+
+TEST(KmReduceTest, CutsHeaviestFirst) {
+  Partitioning p;
+  const auto children = Parts({5, 9, 3});
+  // own 2 + 17 = 19 > 10: cut 9 -> 10 <= 10, done.
+  EXPECT_EQ(KmReduce(2, children, 10, &p), 10u);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].first, 101u);
+  EXPECT_EQ(p[0].last, 101u);
+}
+
+TEST(KmReduceTest, CutsSeveralInWeightOrder) {
+  Partitioning p;
+  const auto children = Parts({5, 9, 3});
+  // K = 6: cut 9 (-> 10), cut 5 (-> 5 <= 6).
+  EXPECT_EQ(KmReduce(2, children, 6, &p), 5u);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].first, 101u);
+  EXPECT_EQ(p[1].first, 100u);
+}
+
+TEST(KmReduceTest, SingletonIntervalsOnly) {
+  Partitioning p;
+  const auto children = Parts({4, 4, 4, 4});
+  KmReduce(1, children, 4, &p);
+  for (const SiblingInterval& iv : p) EXPECT_EQ(iv.first, iv.last);
+}
+
+TEST(GhdwReduceTest, OptimalChoiceOfJoinAndIntervals) {
+  Partitioning p;
+  // own 3 + {1, 2}, K = 4: lean optimum is the single interval (c1,c2).
+  const auto children = Parts({1, 2});
+  EXPECT_EQ(GhdwReduce(3, children, 4, &p), 3u);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].first, 100u);
+  EXPECT_EQ(p[0].last, 101u);
+}
+
+TEST(GhdwReduceTest, EmptyChildren) {
+  Partitioning p;
+  EXPECT_EQ(GhdwReduce(7, {}, 10, &p), 7u);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(GhdwReduceTest, BeatsRsOnPacking) {
+  // GHDW's DP packs strictly better than RS on an adversarial layout.
+  const auto children = Parts({3, 3, 2, 3, 3});
+  Partitioning p_rs;
+  Partitioning p_ghdw;
+  RsReduce(6, children, 6, &p_rs);
+  GhdwReduce(6, children, 6, &p_ghdw);
+  EXPECT_LE(p_ghdw.size(), p_rs.size());
+}
+
+TEST(GhdwReduceTest, StatsReported) {
+  DpStats stats;
+  Partitioning p;
+  const auto children = Parts({2, 2, 2});
+  GhdwReduce(1, children, 4, &p, nullptr, &stats);
+  EXPECT_EQ(stats.inner_nodes, 1u);
+  EXPECT_GT(stats.cells, 0u);
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,156 @@
+// Tests for the following-sibling / preceding-sibling axes -- the axes
+// most directly served by sibling partitioning (an interval's siblings
+// share a record, so sibling scans stay intra-record under EKM/DHW but
+// cross records under KM).
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/reference_evaluator.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+TEST(SiblingAxesTest, ParserAcceptsSiblingAxes) {
+  const Result<PathExpr> p =
+      ParseXPath("/a/b/following-sibling::c/preceding-sibling::*");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->steps.size(), 4u);
+  EXPECT_EQ(p->steps[2].axis, Axis::kFollowingSibling);
+  EXPECT_EQ(p->steps[3].axis, Axis::kPrecedingSibling);
+}
+
+struct Ctx {
+  std::unique_ptr<ImportedDocument> doc;
+  std::unique_ptr<NatixStore> store;
+};
+
+Ctx Make(std::string_view xml, TotalWeight limit = 16) {
+  Ctx ctx;
+  Result<ImportedDocument> imp = ImportXml(xml, WeightModel());
+  EXPECT_TRUE(imp.ok());
+  ctx.doc = std::make_unique<ImportedDocument>(std::move(imp).value());
+  Result<Partitioning> p = EkmPartition(ctx.doc->tree, limit);
+  EXPECT_TRUE(p.ok());
+  Result<NatixStore> store = NatixStore::Build(*ctx.doc, *p, limit);
+  EXPECT_TRUE(store.ok());
+  ctx.store = std::make_unique<NatixStore>(std::move(store).value());
+  return ctx;
+}
+
+std::vector<NodeId> Query(Ctx& ctx, std::string_view q) {
+  const Result<PathExpr> path = ParseXPath(q);
+  EXPECT_TRUE(path.ok()) << q;
+  AccessStats stats;
+  StoreQueryEvaluator eval(ctx.store.get(), &stats);
+  Result<std::vector<NodeId>> r = eval.Evaluate(*path);
+  EXPECT_TRUE(r.ok()) << q;
+  return r.ok() ? *r : std::vector<NodeId>{};
+}
+
+TEST(SiblingAxesTest, FollowingSibling) {
+  Ctx ctx = Make("<r><a/><b/><a/><c/><a/></r>");
+  // Following siblings of the first a: b, a, c, a.
+  EXPECT_EQ(Query(ctx, "/r/b/following-sibling::a").size(), 2u);
+  EXPECT_EQ(Query(ctx, "/r/b/following-sibling::*").size(), 3u);
+  EXPECT_EQ(Query(ctx, "/r/c/following-sibling::b").size(), 0u);
+}
+
+TEST(SiblingAxesTest, PrecedingSibling) {
+  Ctx ctx = Make("<r><a/><b/><a/><c/><a/></r>");
+  EXPECT_EQ(Query(ctx, "/r/c/preceding-sibling::a").size(), 2u);
+  EXPECT_EQ(Query(ctx, "/r/c/preceding-sibling::*").size(), 3u);
+}
+
+TEST(SiblingAxesTest, RootHasNoSiblings) {
+  Ctx ctx = Make("<r><a/></r>");
+  EXPECT_TRUE(Query(ctx, "/r/following-sibling::*").empty());
+  EXPECT_TRUE(Query(ctx, "/r/preceding-sibling::*").empty());
+}
+
+TEST(SiblingAxesTest, ResultsInDocumentOrder) {
+  Ctx ctx = Make("<r><a/><b/><c/><d/></r>");
+  const std::vector<NodeId> r = Query(ctx, "/r/d/preceding-sibling::*");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_LT(r[0], r[1]);
+  EXPECT_LT(r[1], r[2]);
+}
+
+TEST(SiblingAxesTest, InPredicates) {
+  Ctx ctx = Make("<r><x/><item/><item/><y/></r>");
+  // Items directly followed (transitively) by a y element.
+  EXPECT_EQ(Query(ctx, "/r/item[following-sibling::y]").size(), 2u);
+  EXPECT_EQ(Query(ctx, "/r/item[preceding-sibling::x]").size(), 2u);
+  EXPECT_EQ(Query(ctx, "/r/item[following-sibling::x]").size(), 0u);
+}
+
+TEST(SiblingAxesTest, TextNodesOnNodeAxis) {
+  Ctx ctx = Make("<r>one<a/>two</r>");
+  EXPECT_EQ(Query(ctx, "/r/a/following-sibling::node()").size(), 1u);
+  EXPECT_EQ(Query(ctx, "/r/a/preceding-sibling::node()").size(), 1u);
+}
+
+TEST(SiblingAxesTest, StoreAgreesWithReferenceOnXmark) {
+  WeightModel model;
+  model.max_node_slots = 256;
+  const std::string xml = GenerateXmark(29, 0.02);
+  Result<ImportedDocument> impr = ImportXml(xml, model);
+  ASSERT_TRUE(impr.ok());
+  const ImportedDocument doc = std::move(impr).value();
+  const Result<Partitioning> p = EkmPartition(doc.tree, 256);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> store = NatixStore::Build(doc, *p, 256);
+  ASSERT_TRUE(store.ok());
+  const char* queries[] = {
+      "/site/regions/*/item/following-sibling::item",
+      "//listitem/following-sibling::listitem",
+      "//keyword/preceding-sibling::node()",
+      "/site/regions/africa/item[following-sibling::item]",
+      "//mail/following-sibling::mail",
+  };
+  for (const char* q : queries) {
+    const Result<PathExpr> path = ParseXPath(q);
+    ASSERT_TRUE(path.ok()) << q;
+    AccessStats stats;
+    StoreQueryEvaluator eval(&*store, &stats);
+    const auto via_store = eval.Evaluate(*path);
+    const auto via_tree = EvaluateOnTree(doc.tree, *path);
+    ASSERT_TRUE(via_store.ok() && via_tree.ok()) << q;
+    EXPECT_EQ(*via_store, *via_tree) << q;
+  }
+}
+
+TEST(SiblingAxesTest, SiblingScanIsIntraRecordUnderEkm) {
+  // 20 unit-weight items under one parent, K large enough for all: EKM
+  // keeps them in one partition, so a following-sibling scan never
+  // crosses records; under KM each item is its own record.
+  std::string xml = "<r>";
+  for (int i = 0; i < 20; ++i) xml += "<item>0123456789012345</item>";
+  xml += "</r>";
+  Result<ImportedDocument> impr = ImportXml(xml, WeightModel());
+  ASSERT_TRUE(impr.ok());
+  const ImportedDocument doc = std::move(impr).value();
+
+  auto crossings = [&](const Partitioning& p) {
+    Result<NatixStore> store = NatixStore::Build(doc, p, 64);
+    EXPECT_TRUE(store.ok());
+    const Result<PathExpr> path =
+        ParseXPath("/r/item/following-sibling::item");
+    EXPECT_TRUE(path.ok());
+    AccessStats stats;
+    StoreQueryEvaluator eval(&*store, &stats);
+    EXPECT_TRUE(eval.Evaluate(*path).ok());
+    return stats.record_crossings;
+  };
+
+  const Result<Partitioning> ekm = EkmPartition(doc.tree, 64);
+  const Result<Partitioning> km = KmPartition(doc.tree, 64);
+  ASSERT_TRUE(ekm.ok() && km.ok());
+  EXPECT_LT(crossings(*ekm), crossings(*km) / 2);
+}
+
+}  // namespace
+}  // namespace natix

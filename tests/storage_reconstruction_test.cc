@@ -1,0 +1,124 @@
+// Deep verification of the record format: decoding every record of a
+// store must reconstruct the full document -- node identity, kinds,
+// labels, in-record structure, content sizes and proxy topology.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/algorithm.h"
+#include "datagen/generator.h"
+#include "storage/record.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+struct Loaded {
+  std::unique_ptr<ImportedDocument> doc;
+  std::unique_ptr<NatixStore> store;
+};
+
+Loaded Load(std::string_view generator, std::string_view algo,
+            TotalWeight limit) {
+  Loaded out;
+  WeightModel model;
+  model.max_node_slots = static_cast<uint32_t>(limit);
+  const Result<std::string> xml = GenerateDocument(generator, 7, 0.03);
+  EXPECT_TRUE(xml.ok());
+  Result<ImportedDocument> imp = ImportXml(*xml, model);
+  EXPECT_TRUE(imp.ok());
+  out.doc = std::make_unique<ImportedDocument>(std::move(imp).value());
+  const Result<Partitioning> p = PartitionWith(algo, out.doc->tree, limit);
+  EXPECT_TRUE(p.ok());
+  Result<NatixStore> store = NatixStore::Build(*out.doc, *p, limit);
+  EXPECT_TRUE(store.ok());
+  out.store = std::make_unique<NatixStore>(std::move(store).value());
+  return out;
+}
+
+class ReconstructionTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(ReconstructionTest, RecordsReconstructTheDocument) {
+  const auto [generator, algo] = GetParam();
+  constexpr TotalWeight kLimit = 128;
+  Loaded loaded = Load(generator, algo, kLimit);
+  const Tree& tree = loaded.doc->tree;
+  const NatixStore& store = *loaded.store;
+
+  std::vector<int> seen(tree.size(), 0);
+  for (uint32_t part = 0; part < store.record_count(); ++part) {
+    const auto bytes = store.RecordBytes(part);
+    ASSERT_TRUE(bytes.ok());
+    const Result<DecodedRecord> rec =
+        DecodeRecord(bytes->first, bytes->second);
+    ASSERT_TRUE(rec.ok()) << generator << "/" << algo << " record " << part;
+
+    uint32_t expected_proxies = 0;
+    for (size_t i = 0; i < rec->nodes.size(); ++i) {
+      const RecordNode& n = rec->nodes[i];
+      ASSERT_LT(n.node, tree.size());
+      ++seen[n.node];
+      // Identity: kind and label survive serialization.
+      EXPECT_EQ(n.kind, static_cast<uint8_t>(tree.KindOf(n.node)));
+      EXPECT_EQ(n.label, tree.LabelIdOf(n.node));
+      // Membership: the store's mapping agrees.
+      EXPECT_EQ(store.PartitionOf(n.node), part);
+      // Structure: the in-record parent is the tree parent; partition
+      // roots have the out-of-record (or no) parent.
+      if (n.parent_in_record >= 0) {
+        ASSERT_LT(static_cast<size_t>(n.parent_in_record), rec->nodes.size());
+        EXPECT_EQ(rec->nodes[static_cast<size_t>(n.parent_in_record)].node,
+                  tree.Parent(n.node));
+      } else {
+        const NodeId parent = tree.Parent(n.node);
+        EXPECT_TRUE(parent == kInvalidNode ||
+                    store.PartitionOf(parent) != part);
+      }
+      // Content: inline content is slot padded; overflow keeps the exact
+      // byte count.
+      const uint32_t content = loaded.doc->content_bytes[n.node];
+      if (n.overflow) {
+        EXPECT_EQ(n.content_bytes, content);
+      } else {
+        EXPECT_GE(n.content_bytes, content);
+        EXPECT_LT(n.content_bytes, content + 8);
+      }
+      // Proxy topology: one proxy per run of cut children in a foreign
+      // partition.
+      uint32_t prev = part;
+      for (NodeId c = tree.FirstChild(n.node); c != kInvalidNode;
+           c = tree.NextSibling(c)) {
+        const uint32_t target = store.PartitionOf(c);
+        if (target != part && target != prev) ++expected_proxies;
+        prev = target;
+      }
+    }
+    EXPECT_EQ(rec->proxy_count, expected_proxies)
+        << generator << "/" << algo << " record " << part;
+    // Document order within the record.
+    const std::vector<uint32_t> ranks = tree.PreorderRanks();
+    for (size_t i = 1; i < rec->nodes.size(); ++i) {
+      EXPECT_LT(ranks[rec->nodes[i - 1].node], ranks[rec->nodes[i].node]);
+    }
+  }
+  // Exactly-once coverage.
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    EXPECT_EQ(seen[v], 1) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CorpusByAlgorithm, ReconstructionTest,
+    ::testing::Combine(::testing::Values("sigmod", "mondial", "partsupp",
+                                         "xmark"),
+                       ::testing::Values("EKM", "KM", "RS", "GHDW")),
+    [](const ::testing::TestParamInfo<ReconstructionTest::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,353 @@
+#include "storage/store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_algorithms.h"
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "storage/page.h"
+#include "storage/record.h"
+#include "storage/record_manager.h"
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+// ------------------------------------------------------------- pages ----
+
+TEST(PageTest, InsertAndGet) {
+  Page page(256);
+  const std::vector<uint8_t> rec = {1, 2, 3, 4, 5};
+  const Result<uint16_t> slot = page.Insert(rec);
+  ASSERT_TRUE(slot.ok());
+  const auto got = page.Get(*slot);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->second, rec.size());
+  EXPECT_EQ(std::vector<uint8_t>(got->first, got->first + got->second), rec);
+}
+
+TEST(PageTest, MultipleRecords) {
+  Page page(256);
+  for (uint8_t i = 0; i < 10; ++i) {
+    const std::vector<uint8_t> rec(10, i);
+    const Result<uint16_t> slot = page.Insert(rec);
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(*slot, i);
+  }
+  EXPECT_EQ(page.slot_count(), 10u);
+  const auto got = page.Get(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->first[0], 7);
+}
+
+TEST(PageTest, RejectsOverfull) {
+  Page page(64);
+  const std::vector<uint8_t> big(100, 0);
+  EXPECT_FALSE(page.Insert(big).ok());
+  // Fill, then overflow: 8B header + 2x(20B payload + 8B dir) = 64.
+  const std::vector<uint8_t> small(20, 1);
+  ASSERT_TRUE(page.Insert(small).ok());
+  ASSERT_TRUE(page.Insert(small).ok());
+  EXPECT_EQ(page.FreeSpace(), 0u);
+  EXPECT_FALSE(page.Insert(small).ok());
+}
+
+TEST(PageTest, GetInvalidSlot) {
+  Page page(128);
+  EXPECT_FALSE(page.Get(0).ok());
+}
+
+TEST(PageTest, FreeSpaceDecreases) {
+  Page page(256);
+  const size_t before = page.FreeSpace();
+  ASSERT_TRUE(page.Insert(std::vector<uint8_t>(30, 0)).ok());
+  EXPECT_LT(page.FreeSpace(), before - 30);
+}
+
+// ----------------------------------------------------------- records ----
+
+TEST(RecordTest, RoundTrip) {
+  RecordBuilder builder;
+  builder.AddNode(10, -1, 0, 5, "", false);
+  builder.AddNode(11, 0, 1, -1, "hello bytes", false);
+  builder.AddNode(12, 0, 2, 7, "xy", false);
+  builder.AddProxy(42);
+  builder.AddProxy(43);
+  const std::vector<uint8_t> bytes = builder.Build();
+  EXPECT_EQ(bytes.size(), builder.ByteSize());
+  const Result<DecodedRecord> rec = DecodeRecord(bytes.data(), bytes.size());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->nodes.size(), 3u);
+  EXPECT_EQ(rec->proxy_count, 2u);
+  EXPECT_EQ(rec->nodes[0].node, 10u);
+  EXPECT_EQ(rec->nodes[0].parent_in_record, -1);
+  EXPECT_EQ(rec->nodes[0].label, 5);
+  EXPECT_EQ(rec->nodes[1].parent_in_record, 0);
+  // Content is slot padded: 11 bytes -> 16.
+  EXPECT_EQ(rec->nodes[1].content_bytes, 16u);
+  EXPECT_EQ(rec->nodes[2].content_bytes, 8u);
+}
+
+TEST(RecordTest, OverflowNode) {
+  RecordBuilder builder;
+  const std::string big(1000, 'z');
+  builder.AddNode(1, -1, 1, -1, big, /*overflow=*/true);
+  const std::vector<uint8_t> bytes = builder.Build();
+  // Header slot + overflow reference slot only.
+  EXPECT_EQ(bytes.size(), 8u + 8u + 8u + 8u);  // counts + structure + 2 slots
+  const Result<DecodedRecord> rec = DecodeRecord(bytes.data(), bytes.size());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->nodes[0].overflow);
+  EXPECT_EQ(rec->nodes[0].content_bytes, 1000u);
+}
+
+TEST(RecordTest, DecodeRejectsTruncated) {
+  RecordBuilder builder;
+  builder.AddNode(1, -1, 0, 0, "some content here", false);
+  const std::vector<uint8_t> bytes = builder.Build();
+  for (const size_t cut : {4u, 10u, 17u}) {
+    EXPECT_FALSE(DecodeRecord(bytes.data(), cut).ok()) << cut;
+  }
+}
+
+// ---------------------------------------------------- record manager ----
+
+TEST(RecordManagerTest, PacksSeveralRecordsPerPage) {
+  RecordManager mgr(1024);
+  for (int i = 0; i < 8; ++i) {
+    const Result<RecordId> id = mgr.Insert(std::vector<uint8_t>(100, 1));
+    ASSERT_TRUE(id.ok());
+  }
+  EXPECT_EQ(mgr.record_count(), 8u);
+  EXPECT_EQ(mgr.page_count(), 1u);
+  const Result<RecordId> id = mgr.Insert(std::vector<uint8_t>(900, 2));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(mgr.page_count(), 2u);
+}
+
+TEST(RecordManagerTest, LookbackFillsEarlierPages) {
+  RecordManager mgr(1024, /*lookback=*/4);
+  // A big record opens page 0 with some slack; a small one must reuse it.
+  ASSERT_TRUE(mgr.Insert(std::vector<uint8_t>(700, 1)).ok());
+  const Result<RecordId> small = mgr.Insert(std::vector<uint8_t>(100, 2));
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->page, 0u);
+}
+
+TEST(RecordManagerTest, JumboRecordSpansDedicatedPages) {
+  RecordManager mgr(512);
+  const std::vector<uint8_t> big(1200, 7);
+  const Result<RecordId> id = mgr.Insert(big);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->slot, RecordManager::kJumboSlot);
+  EXPECT_EQ(mgr.jumbo_record_count(), 1u);
+  // 1200 bytes over (512 - 16)-byte payload pages -> 3 pages.
+  EXPECT_EQ(mgr.page_count(), 3u);
+  const auto got = mgr.Get(*id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->second, big.size());
+  EXPECT_EQ(got->first[0], 7);
+  // Regular records continue to work alongside jumbo ones.
+  const Result<RecordId> small = mgr.Insert(std::vector<uint8_t>(40, 1));
+  ASSERT_TRUE(small.ok());
+  EXPECT_NE(small->slot, RecordManager::kJumboSlot);
+  EXPECT_TRUE(mgr.Get(*small).ok());
+}
+
+TEST(RecordManagerTest, JumboGetOutOfRange) {
+  RecordManager mgr(512);
+  EXPECT_FALSE(
+      mgr.Get(RecordId{0 | RecordManager::kJumboPageBit,
+                       RecordManager::kJumboSlot})
+          .ok());
+}
+
+TEST(RecordManagerTest, UtilizationTracksPayload) {
+  RecordManager mgr(1024);
+  ASSERT_TRUE(mgr.Insert(std::vector<uint8_t>(512, 0)).ok());
+  EXPECT_NEAR(mgr.Utilization(), 0.5, 0.01);
+}
+
+// -------------------------------------------------------------- store ----
+
+ImportedDocument ImportFixture() {
+  WeightModel model;
+  model.max_node_slots = 64;
+  const std::string xml = GenerateSigmodRecord(11, 0.02);
+  Result<ImportedDocument> imp = ImportXml(xml, model);
+  EXPECT_TRUE(imp.ok()) << imp.status().ToString();
+  return std::move(imp).value();
+}
+
+TEST(StoreTest, BuildFromEkmPartitioning) {
+  const ImportedDocument doc = ImportFixture();
+  const Result<Partitioning> p = EkmPartition(doc.tree, 64);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->record_count(), p->size());
+  EXPECT_GT(store->page_count(), 0u);
+  EXPECT_GT(store->TotalDiskBytes(), 0u);
+}
+
+TEST(StoreTest, EveryNodeHasARecord) {
+  const ImportedDocument doc = ImportFixture();
+  const Result<Partitioning> p = KmPartition(doc.tree, 64);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  ASSERT_TRUE(store.ok());
+  for (NodeId v = 0; v < doc.tree.size(); ++v) {
+    EXPECT_LT(store->PartitionOf(v), p->size());
+    EXPECT_TRUE(store->RecordOfNode(v).valid());
+  }
+}
+
+TEST(StoreTest, RecordsDecodeAndCoverAllNodes) {
+  const ImportedDocument doc = ImportFixture();
+  const Result<Partitioning> p = EkmPartition(doc.tree, 64);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  ASSERT_TRUE(store.ok());
+  size_t total_nodes = 0;
+  std::vector<bool> seen(doc.tree.size(), false);
+  for (uint32_t part = 0; part < store->record_count(); ++part) {
+    const auto bytes = store->RecordBytes(part);
+    ASSERT_TRUE(bytes.ok());
+    const Result<DecodedRecord> rec =
+        DecodeRecord(bytes->first, bytes->second);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    for (const RecordNode& n : rec->nodes) {
+      ASSERT_LT(n.node, doc.tree.size());
+      EXPECT_FALSE(seen[n.node]) << "node stored twice";
+      seen[n.node] = true;
+      EXPECT_EQ(store->PartitionOf(n.node), part);
+      // Parent linkage: in-record parents must match the tree.
+      if (n.parent_in_record >= 0) {
+        const NodeId parent = rec->nodes[n.parent_in_record].node;
+        EXPECT_EQ(doc.tree.Parent(n.node), parent);
+      }
+    }
+    total_nodes += rec->nodes.size();
+  }
+  EXPECT_EQ(total_nodes, doc.tree.size());
+}
+
+TEST(StoreTest, RejectsInfeasiblePartitioning) {
+  const ImportedDocument doc = ImportFixture();
+  Partitioning p;
+  p.Add(doc.tree.root(), doc.tree.root());  // everything in one partition
+  EXPECT_FALSE(NatixStore::Build(doc, p, 64).ok());
+}
+
+TEST(StoreTest, FewerPartitionsFewerRecords) {
+  const ImportedDocument doc = ImportFixture();
+  const Result<Partitioning> ekm = EkmPartition(doc.tree, 64);
+  const Result<Partitioning> km = KmPartition(doc.tree, 64);
+  ASSERT_TRUE(ekm.ok() && km.ok());
+  const Result<NatixStore> s_ekm = NatixStore::Build(doc, *ekm, 64);
+  const Result<NatixStore> s_km = NatixStore::Build(doc, *km, 64);
+  ASSERT_TRUE(s_ekm.ok() && s_km.ok());
+  EXPECT_LT(s_ekm->record_count(), s_km->record_count());
+}
+
+TEST(StoreTest, OverflowPagesAccounted) {
+  WeightModel model;
+  model.max_node_slots = 16;
+  const std::string big(100000, 'q');
+  const Result<ImportedDocument> imp =
+      ImportXml("<a><t>" + big + "</t></a>", model);
+  ASSERT_TRUE(imp.ok());
+  const Result<Partitioning> p = EkmPartition(imp->tree, 16);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> store = NatixStore::Build(*imp, *p, 16);
+  ASSERT_TRUE(store.ok());
+  EXPECT_GE(store->overflow_page_count(), 100000u / 8192);
+  EXPECT_GT(store->TotalDiskBytes(),
+            store->page_count() * 8192ull);
+}
+
+// ---------------------------------------------------------- navigator ----
+
+TEST(NavigatorTest, IntraVsCrossAccounting) {
+  // Tree a(b c) with partitioning {(a,a),(b,c)}: moving a->b crosses,
+  // b->c stays within the record.
+  WeightModel model;
+  const Result<ImportedDocument> imp = ImportXml("<a><b/><c/></a>", model);
+  ASSERT_TRUE(imp.ok());
+  Partitioning p;
+  p.Add(0, 0);
+  p.Add(1, 2);
+  const Result<NatixStore> store = NatixStore::Build(*imp, p, 100);
+  ASSERT_TRUE(store.ok());
+  AccessStats stats;
+  Navigator nav(&*store, &stats);
+  EXPECT_TRUE(nav.ToFirstChild());  // a -> b: crossing
+  EXPECT_EQ(stats.record_crossings, 1u);
+  EXPECT_TRUE(nav.ToNextSibling());  // b -> c: intra
+  EXPECT_EQ(stats.intra_moves, 1u);
+  EXPECT_TRUE(nav.ToParent());  // c -> a: crossing
+  EXPECT_EQ(stats.record_crossings, 2u);
+  EXPECT_FALSE(nav.ToNextSibling());  // root has no sibling
+  EXPECT_EQ(stats.TotalMoves(), 3u);
+}
+
+TEST(NavigatorTest, SinglePartitionAllIntra) {
+  const Result<ImportedDocument> imp =
+      ImportXml("<a><b><c/></b><d/></a>", WeightModel());
+  ASSERT_TRUE(imp.ok());
+  Partitioning p;
+  p.Add(0, 0);
+  const Result<NatixStore> store = NatixStore::Build(*imp, p, 100);
+  ASSERT_TRUE(store.ok());
+  AccessStats stats;
+  Navigator nav(&*store, &stats);
+  nav.ToFirstChild();
+  nav.ToFirstChild();
+  nav.ToParent();
+  nav.ToNextSibling();
+  EXPECT_EQ(stats.record_crossings, 0u);
+  EXPECT_EQ(stats.intra_moves, 4u);
+}
+
+TEST(NavigatorTest, CostModel) {
+  AccessStats stats;
+  stats.intra_moves = 1000;
+  stats.record_crossings = 10;
+  stats.page_switches = 5;
+  NavigationCostModel model;
+  const double cost = model.CostSeconds(stats);
+  EXPECT_NEAR(cost, (1000 * 25.0 + 10 * 700.0 + 5 * 300.0) * 1e-9, 1e-12);
+}
+
+TEST(NavigatorTest, BetterPartitioningFewerCrossings) {
+  // Full-document scan: the EKM layout must cross records fewer times
+  // than the KM layout (the mechanism behind Table 3).
+  const ImportedDocument doc = ImportFixture();
+  const Result<Partitioning> ekm = EkmPartition(doc.tree, 64);
+  const Result<Partitioning> km = KmPartition(doc.tree, 64);
+  ASSERT_TRUE(ekm.ok() && km.ok());
+  const Result<NatixStore> s_ekm = NatixStore::Build(doc, *ekm, 64);
+  const Result<NatixStore> s_km = NatixStore::Build(doc, *km, 64);
+  ASSERT_TRUE(s_ekm.ok() && s_km.ok());
+
+  auto scan_crossings = [](const NatixStore& store) {
+    AccessStats stats;
+    Navigator nav(&store, &stats);
+    // Depth-first scan using only navigation primitives.
+    std::vector<NodeId> stack = {store.tree().root()};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      nav.JumpTo(v);
+      for (NodeId c = store.tree().FirstChild(v); c != kInvalidNode;
+           c = store.tree().NextSibling(c)) {
+        stack.push_back(c);
+      }
+    }
+    return stats.record_crossings;
+  };
+  EXPECT_LT(scan_crossings(*s_ekm), scan_crossings(*s_km));
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,114 @@
+// Store construction options and page-level accounting.
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<ImportedDocument> doc;
+};
+
+Ctx Import(double scale = 0.03) {
+  Ctx ctx;
+  WeightModel model;
+  model.max_node_slots = 128;
+  Result<ImportedDocument> imp =
+      ImportXml(GenerateSigmodRecord(8, scale), model);
+  EXPECT_TRUE(imp.ok());
+  ctx.doc = std::make_unique<ImportedDocument>(std::move(imp).value());
+  return ctx;
+}
+
+TEST(StoreOptionsTest, SmallerPagesMorePages) {
+  Ctx ctx = Import();
+  const Result<Partitioning> p = EkmPartition(ctx.doc->tree, 128);
+  ASSERT_TRUE(p.ok());
+  StoreOptions small;
+  small.page_size = 4096;
+  StoreOptions large;
+  large.page_size = 16384;
+  const Result<NatixStore> s_small =
+      NatixStore::Build(*ctx.doc, *p, 128, small);
+  const Result<NatixStore> s_large =
+      NatixStore::Build(*ctx.doc, *p, 128, large);
+  ASSERT_TRUE(s_small.ok() && s_large.ok());
+  EXPECT_GT(s_small->page_count(), s_large->page_count());
+  // Payload is identical; only the packaging differs.
+  EXPECT_EQ(s_small->payload_bytes(), s_large->payload_bytes());
+}
+
+TEST(StoreOptionsTest, LookbackImprovesUtilization) {
+  Ctx ctx = Import(0.05);
+  const Result<Partitioning> p = EkmPartition(ctx.doc->tree, 128);
+  ASSERT_TRUE(p.ok());
+  StoreOptions no_lookback;
+  no_lookback.allocation_lookback = 1;
+  StoreOptions deep_lookback;
+  deep_lookback.allocation_lookback = 64;
+  const Result<NatixStore> s1 =
+      NatixStore::Build(*ctx.doc, *p, 128, no_lookback);
+  const Result<NatixStore> s64 =
+      NatixStore::Build(*ctx.doc, *p, 128, deep_lookback);
+  ASSERT_TRUE(s1.ok() && s64.ok());
+  EXPECT_GE(s64->PageUtilization(), s1->PageUtilization());
+  EXPECT_LE(s64->page_count(), s1->page_count());
+}
+
+TEST(StoreOptionsTest, PageSwitchesAtMostCrossings) {
+  Ctx ctx = Import();
+  const Result<Partitioning> p = KmPartition(ctx.doc->tree, 128);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> store = NatixStore::Build(*ctx.doc, *p, 128);
+  ASSERT_TRUE(store.ok());
+  AccessStats stats;
+  Navigator nav(&*store, &stats);
+  // Wander around.
+  for (int i = 0; i < 200; ++i) {
+    if (!nav.ToFirstChild() && !nav.ToNextSibling() && !nav.ToParent()) {
+      break;
+    }
+  }
+  EXPECT_LE(stats.page_switches, stats.record_crossings);
+}
+
+TEST(StoreOptionsTest, SamePageCrossingIsNotAPageSwitch) {
+  // Two partitions small enough to share one page: crossing between them
+  // must not count as a page switch.
+  WeightModel model;
+  Result<ImportedDocument> imp = ImportXml("<a><b/><c/></a>", model);
+  ASSERT_TRUE(imp.ok());
+  const ImportedDocument doc = std::move(imp).value();
+  Partitioning p;
+  p.Add(0, 0);
+  p.Add(1, 2);
+  const Result<NatixStore> store = NatixStore::Build(doc, p, 100);
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ(store->page_count(), 1u);
+  AccessStats stats;
+  Navigator nav(&*store, &stats);
+  nav.ToFirstChild();  // crossing, same page
+  EXPECT_EQ(stats.record_crossings, 1u);
+  EXPECT_EQ(stats.page_switches, 0u);
+}
+
+TEST(StoreOptionsTest, DiskBytesAreWholePages) {
+  Ctx ctx = Import();
+  const Result<Partitioning> p = EkmPartition(ctx.doc->tree, 128);
+  ASSERT_TRUE(p.ok());
+  StoreOptions opts;
+  opts.page_size = 8192;
+  const Result<NatixStore> store =
+      NatixStore::Build(*ctx.doc, *p, 128, opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->TotalDiskBytes() % 8192, 0u);
+  EXPECT_GE(store->TotalDiskBytes(),
+            store->payload_bytes());
+}
+
+}  // namespace
+}  // namespace natix

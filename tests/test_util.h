@@ -1,0 +1,79 @@
+#ifndef NATIX_TESTS_TEST_UTIL_H_
+#define NATIX_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "tree/partitioning.h"
+#include "tree/tree.h"
+#include "tree/tree_spec.h"
+
+namespace natix {
+namespace testing_util {
+
+/// Builds a tree from a spec string, failing the test on parse errors.
+inline Tree MustParse(std::string_view spec) {
+  Result<Tree> t = ParseTreeSpec(spec);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return std::move(t).value();
+}
+
+/// The running example of Sec. 2.1 (Fig. 3).
+inline Tree Fig3Tree() {
+  return MustParse("a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)");
+}
+
+/// The greedy-failure example of Sec. 3.3.1 (Fig. 6), K = 5:
+/// GHDW needs 4 partitions, the optimum is 3.
+inline Tree Fig6Tree() { return MustParse("a:5(b:1 c:1(d:2 e:2) f:1)"); }
+
+/// The EKM-failure example of Sec. 4.3.4 (Fig. 9), K = 5:
+/// EKM produces 3 partitions, the optimum is 2.
+inline Tree Fig9Tree() { return MustParse("a:2(b:4 c:1(d:1 e:1))"); }
+
+/// Random tree with `n` nodes: each new node is appended to a random
+/// existing node, weights uniform in [1, max_weight].
+inline Tree RandomTree(Rng& rng, size_t n, Weight max_weight) {
+  Tree t;
+  t.AddRoot(static_cast<Weight>(rng.NextInRange(1, max_weight)));
+  for (size_t i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.NextBounded(t.size()));
+    t.AppendChild(parent, static_cast<Weight>(rng.NextInRange(1, max_weight)));
+  }
+  return t;
+}
+
+/// Random *flat* tree: a root with n - 1 leaf children.
+inline Tree RandomFlatTree(Rng& rng, size_t n, Weight max_weight) {
+  Tree t;
+  t.AddRoot(static_cast<Weight>(rng.NextInRange(1, max_weight)));
+  for (size_t i = 1; i < n; ++i) {
+    t.AppendChild(t.root(),
+                  static_cast<Weight>(rng.NextInRange(1, max_weight)));
+  }
+  return t;
+}
+
+/// Asserts that `p` is a structurally valid, feasible partitioning and
+/// returns its analysis.
+inline PartitionAnalysis MustBeFeasible(const Tree& tree,
+                                        const Partitioning& p,
+                                        TotalWeight limit,
+                                        const std::string& context = "") {
+  Result<PartitionAnalysis> a = Analyze(tree, p, limit);
+  EXPECT_TRUE(a.ok()) << context << ": " << a.status().ToString();
+  if (a.ok()) {
+    EXPECT_TRUE(a->feasible)
+        << context << ": infeasible, max weight " << a->max_weight
+        << " limit " << limit << " partitioning " << ToString(tree, p);
+  }
+  return a.ok() ? *a : PartitionAnalysis{};
+}
+
+}  // namespace testing_util
+}  // namespace natix
+
+#endif  // NATIX_TESTS_TEST_UTIL_H_

@@ -1,0 +1,81 @@
+#include "tree/tree_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+TEST(TreeSpecTest, SingleNode) {
+  const Tree t = testing_util::MustParse("a:3");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.LabelOf(0), "a");
+  EXPECT_EQ(t.WeightOf(0), 3u);
+}
+
+TEST(TreeSpecTest, DefaultWeightIsOne) {
+  const Tree t = testing_util::MustParse("a(b c)");
+  EXPECT_EQ(t.WeightOf(0), 1u);
+  EXPECT_EQ(t.WeightOf(1), 1u);
+  EXPECT_EQ(t.ChildCount(0), 2u);
+}
+
+TEST(TreeSpecTest, WeightOnlyNodes) {
+  const Tree t = testing_util::MustParse(":5(:2 :3)");
+  EXPECT_EQ(t.WeightOf(0), 5u);
+  EXPECT_EQ(t.WeightOf(1), 2u);
+  EXPECT_EQ(t.WeightOf(2), 3u);
+  EXPECT_EQ(t.LabelOf(0), "");
+}
+
+TEST(TreeSpecTest, Fig3RoundTrip) {
+  const std::string spec = "a:3(b:2 c:1(d:2 e:2) f:1 g:1 h:2)";
+  const Tree t = testing_util::MustParse(spec);
+  EXPECT_EQ(TreeToSpec(t), spec);
+}
+
+TEST(TreeSpecTest, NestedDeep) {
+  const Tree t = testing_util::MustParse("a(b(c(d(e))))");
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.Height(), 4);
+}
+
+TEST(TreeSpecTest, ExtraWhitespace) {
+  const Tree t = testing_util::MustParse("  a:2 ( b:1   c:3 ) ");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.WeightOf(2), 3u);
+}
+
+TEST(TreeSpecTest, RejectsUnterminatedParen) {
+  EXPECT_FALSE(ParseTreeSpec("a(b").ok());
+}
+
+TEST(TreeSpecTest, RejectsTrailingInput) {
+  EXPECT_FALSE(ParseTreeSpec("a b").ok());
+}
+
+TEST(TreeSpecTest, RejectsZeroWeight) {
+  EXPECT_FALSE(ParseTreeSpec("a:0").ok());
+}
+
+TEST(TreeSpecTest, RejectsEmptyInput) { EXPECT_FALSE(ParseTreeSpec("").ok()); }
+
+TEST(TreeSpecTest, RejectsMissingWeightDigits) {
+  EXPECT_FALSE(ParseTreeSpec("a:").ok());
+}
+
+TEST(TreeSpecTest, RoundTripRandomTrees) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Tree t = testing_util::RandomTree(rng, 50, 9);
+    const std::string spec = TreeToSpec(t);
+    const Tree back = testing_util::MustParse(spec);
+    EXPECT_EQ(TreeToSpec(back), spec);
+    EXPECT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.TotalTreeWeight(), t.TotalTreeWeight());
+  }
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,71 @@
+#include "tree/tree_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+TEST(TreeStatsTest, EmptyTree) {
+  Tree t;
+  const TreeStats s = ComputeTreeStats(t);
+  EXPECT_EQ(s.node_count, 0u);
+  EXPECT_EQ(s.total_weight, 0u);
+}
+
+TEST(TreeStatsTest, Fig3) {
+  const TreeStats s = ComputeTreeStats(testing_util::Fig3Tree());
+  EXPECT_EQ(s.node_count, 8u);
+  EXPECT_EQ(s.total_weight, 14u);
+  EXPECT_EQ(s.max_node_weight, 3u);
+  EXPECT_EQ(s.height, 2);
+  EXPECT_EQ(s.leaf_count, 6u);
+  EXPECT_EQ(s.inner_count, 2u);
+  EXPECT_EQ(s.max_fanout, 5u);
+  EXPECT_DOUBLE_EQ(s.avg_fanout, 3.5);  // (5 + 2) / 2
+  ASSERT_EQ(s.depth_histogram.size(), 3u);
+  EXPECT_EQ(s.depth_histogram[0], 1u);
+  EXPECT_EQ(s.depth_histogram[1], 5u);
+  EXPECT_EQ(s.depth_histogram[2], 2u);
+}
+
+TEST(TreeStatsTest, HistogramsSumToNodeCount) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Tree t = testing_util::RandomTree(rng, 300, 7);
+    const TreeStats s = ComputeTreeStats(t);
+    EXPECT_EQ(std::accumulate(s.depth_histogram.begin(),
+                              s.depth_histogram.end(), size_t{0}),
+              t.size());
+    EXPECT_EQ(s.leaf_count + s.inner_count, t.size());
+    size_t kinds = 0;
+    for (const size_t c : s.kind_counts) kinds += c;
+    EXPECT_EQ(kinds, t.size());
+    EXPECT_EQ(s.total_weight, t.TotalTreeWeight());
+    EXPECT_EQ(s.height, t.Height());
+  }
+}
+
+TEST(TreeStatsTest, FanoutBuckets) {
+  // Root with 9 children: fanout 9 lands in bucket 3 ([8, 16)).
+  Tree t;
+  t.AddRoot(1);
+  for (int i = 0; i < 9; ++i) t.AppendChild(t.root(), 1);
+  const TreeStats s = ComputeTreeStats(t);
+  ASSERT_EQ(s.fanout_histogram.size(), 4u);
+  EXPECT_EQ(s.fanout_histogram[3], 1u);
+  EXPECT_EQ(s.max_fanout, 9u);
+}
+
+TEST(TreeStatsTest, ToStringMentionsKeyNumbers) {
+  const std::string out = ToString(ComputeTreeStats(testing_util::Fig3Tree()));
+  EXPECT_NE(out.find("nodes: 8"), std::string::npos);
+  EXPECT_NE(out.find("height 2"), std::string::npos);
+  EXPECT_NE(out.find("depth histogram:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,186 @@
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+using testing_util::Fig3Tree;
+
+TEST(TreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.root(), kInvalidNode);
+  EXPECT_EQ(t.TotalTreeWeight(), 0u);
+  EXPECT_EQ(t.MaxNodeWeight(), 0u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreeTest, SingleNode) {
+  Tree t;
+  const NodeId r = t.AddRoot(7, "root");
+  EXPECT_EQ(r, 0u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.root(), r);
+  EXPECT_EQ(t.Parent(r), kInvalidNode);
+  EXPECT_EQ(t.FirstChild(r), kInvalidNode);
+  EXPECT_EQ(t.WeightOf(r), 7u);
+  EXPECT_EQ(t.LabelOf(r), "root");
+  EXPECT_EQ(t.ChildCount(r), 0u);
+  EXPECT_EQ(t.Height(), 0);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreeTest, SiblingLinks) {
+  Tree t;
+  const NodeId r = t.AddRoot(1);
+  const NodeId a = t.AppendChild(r, 1, "a");
+  const NodeId b = t.AppendChild(r, 2, "b");
+  const NodeId c = t.AppendChild(r, 3, "c");
+  EXPECT_EQ(t.FirstChild(r), a);
+  EXPECT_EQ(t.LastChild(r), c);
+  EXPECT_EQ(t.NextSibling(a), b);
+  EXPECT_EQ(t.NextSibling(b), c);
+  EXPECT_EQ(t.NextSibling(c), kInvalidNode);
+  EXPECT_EQ(t.PrevSibling(c), b);
+  EXPECT_EQ(t.PrevSibling(b), a);
+  EXPECT_EQ(t.PrevSibling(a), kInvalidNode);
+  EXPECT_EQ(t.ChildCount(r), 3u);
+  EXPECT_EQ(t.Children(r), (std::vector<NodeId>{a, b, c}));
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TreeTest, Fig3Structure) {
+  const Tree t = Fig3Tree();
+  ASSERT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.LabelOf(t.root()), "a");
+  EXPECT_EQ(t.WeightOf(t.root()), 3u);
+  const std::vector<NodeId> kids = t.Children(t.root());
+  ASSERT_EQ(kids.size(), 5u);
+  EXPECT_EQ(t.LabelOf(kids[0]), "b");
+  EXPECT_EQ(t.LabelOf(kids[1]), "c");
+  EXPECT_EQ(t.LabelOf(kids[4]), "h");
+  EXPECT_EQ(t.ChildCount(kids[1]), 2u);
+  EXPECT_EQ(t.TotalTreeWeight(), 14u);
+  EXPECT_EQ(t.Height(), 2);
+}
+
+TEST(TreeTest, SubtreeWeightsMatchPaper) {
+  // Sec 2.1: "c's subtree weight W_T(c) is 5."
+  const Tree t = Fig3Tree();
+  const std::vector<TotalWeight> w = t.SubtreeWeights();
+  const NodeId c = t.Children(t.root())[1];
+  EXPECT_EQ(w[c], 5u);
+  EXPECT_EQ(w[t.root()], 14u);
+  // Leaves have subtree weight == own weight.
+  const NodeId b = t.Children(t.root())[0];
+  EXPECT_EQ(w[b], 2u);
+}
+
+TEST(TreeTest, PreorderAndPostorder) {
+  const Tree t = Fig3Tree();
+  std::vector<std::string> pre;
+  for (const NodeId v : t.PreorderNodes()) pre.emplace_back(t.LabelOf(v));
+  EXPECT_EQ(pre, (std::vector<std::string>{"a", "b", "c", "d", "e", "f", "g",
+                                           "h"}));
+  std::vector<std::string> post;
+  for (const NodeId v : t.PostorderNodes()) post.emplace_back(t.LabelOf(v));
+  EXPECT_EQ(post, (std::vector<std::string>{"b", "d", "e", "c", "f", "g", "h",
+                                            "a"}));
+}
+
+TEST(TreeTest, PreorderRanks) {
+  const Tree t = Fig3Tree();
+  const std::vector<uint32_t> ranks = t.PreorderRanks();
+  const std::vector<NodeId> pre = t.PreorderNodes();
+  for (uint32_t i = 0; i < pre.size(); ++i) EXPECT_EQ(ranks[pre[i]], i);
+}
+
+TEST(TreeTest, DepthAndAncestors) {
+  const Tree t = Fig3Tree();
+  const NodeId c = t.Children(t.root())[1];
+  const NodeId d = t.Children(c)[0];
+  EXPECT_EQ(t.Depth(t.root()), 0);
+  EXPECT_EQ(t.Depth(c), 1);
+  EXPECT_EQ(t.Depth(d), 2);
+  EXPECT_TRUE(t.IsAncestorOrSelf(t.root(), d));
+  EXPECT_TRUE(t.IsAncestorOrSelf(c, d));
+  EXPECT_TRUE(t.IsAncestorOrSelf(d, d));
+  EXPECT_FALSE(t.IsAncestorOrSelf(d, c));
+}
+
+TEST(TreeTest, LabelInterning) {
+  Tree t;
+  const NodeId r = t.AddRoot(1, "x");
+  const NodeId a = t.AppendChild(r, 1, "y");
+  const NodeId b = t.AppendChild(r, 1, "x");
+  EXPECT_EQ(t.LabelIdOf(r), t.LabelIdOf(b));
+  EXPECT_NE(t.LabelIdOf(r), t.LabelIdOf(a));
+  EXPECT_EQ(t.LabelCount(), 2u);
+  EXPECT_EQ(t.FindLabelId("x"), t.LabelIdOf(r));
+  EXPECT_EQ(t.FindLabelId("missing"), -1);
+}
+
+TEST(TreeTest, UnlabeledNodes) {
+  Tree t;
+  const NodeId r = t.AddRoot(2);
+  EXPECT_EQ(t.LabelOf(r), "");
+  EXPECT_EQ(t.LabelIdOf(r), -1);
+}
+
+TEST(TreeTest, NodeKinds) {
+  Tree t;
+  const NodeId r = t.AddRoot(1, "e", NodeKind::kElement);
+  const NodeId txt = t.AppendChild(r, 3, "", NodeKind::kText);
+  const NodeId attr = t.AppendChild(r, 2, "id", NodeKind::kAttribute);
+  EXPECT_EQ(t.KindOf(r), NodeKind::kElement);
+  EXPECT_EQ(t.KindOf(txt), NodeKind::kText);
+  EXPECT_EQ(t.KindOf(attr), NodeKind::kAttribute);
+}
+
+TEST(TreeTest, Clone) {
+  const Tree t = Fig3Tree();
+  const Tree copy = t.Clone();
+  EXPECT_EQ(copy.size(), t.size());
+  EXPECT_EQ(TreeToSpec(copy), TreeToSpec(t));
+}
+
+TEST(TreeTest, MaxNodeWeight) {
+  const Tree t = Fig3Tree();
+  EXPECT_EQ(t.MaxNodeWeight(), 3u);
+}
+
+TEST(TreeTest, DeepChainTraversalsDoNotOverflow) {
+  // 200k-deep path; traversals must be iterative.
+  Tree t;
+  NodeId v = t.AddRoot(1);
+  for (int i = 0; i < 200000; ++i) v = t.AppendChild(v, 1);
+  EXPECT_EQ(t.PreorderNodes().size(), t.size());
+  EXPECT_EQ(t.PostorderNodes().size(), t.size());
+  EXPECT_EQ(t.Height(), 200000);
+  EXPECT_EQ(t.SubtreeWeights()[t.root()], t.size());
+}
+
+TEST(TreeTest, SetWeight) {
+  Tree t;
+  const NodeId r = t.AddRoot(5);
+  t.SetWeight(r, 9);
+  EXPECT_EQ(t.WeightOf(r), 9u);
+}
+
+TEST(TreeTest, RandomTreesValidate) {
+  Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const Tree t = testing_util::RandomTree(rng, 200, 10);
+    EXPECT_TRUE(t.Validate().ok());
+    EXPECT_EQ(t.size(), 200u);
+    // Subtree weight of the root equals the total weight.
+    EXPECT_EQ(t.SubtreeWeights()[t.root()], t.TotalTreeWeight());
+  }
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,179 @@
+#include "updates/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "tests/test_util.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+TEST(IncrementalTest, CreateEmptyAndAppend) {
+  Tree t;
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::CreateEmpty(&t, 10, 2, "root");
+  ASSERT_TRUE(ip.ok()) << ip.status().ToString();
+  EXPECT_EQ(ip->partition_count(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ip->InsertBefore(t.root(), kInvalidNode, 2).ok());
+  }
+  EXPECT_EQ(ip->partition_count(), 1u);  // 2 + 4*2 = 10 <= 10
+  EXPECT_TRUE(ip->Validate().ok());
+  // One more child overflows (10 + 2 > 10) and forces a split.
+  ASSERT_TRUE(ip->InsertBefore(t.root(), kInvalidNode, 2).ok());
+  EXPECT_GT(ip->partition_count(), 1u);
+  EXPECT_GT(ip->split_count(), 0u);
+  EXPECT_TRUE(ip->Validate().ok()) << ip->Validate().ToString();
+}
+
+TEST(IncrementalTest, InsertBeforeMaintainsSiblingOrder) {
+  Tree t;
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::CreateEmpty(&t, 100, 1);
+  ASSERT_TRUE(ip.ok());
+  const NodeId a = *ip->InsertBefore(t.root(), kInvalidNode, 1, "a");
+  const NodeId c = *ip->InsertBefore(t.root(), kInvalidNode, 1, "c");
+  const NodeId b = *ip->InsertBefore(t.root(), c, 1, "b");
+  EXPECT_EQ(t.NextSibling(a), b);
+  EXPECT_EQ(t.NextSibling(b), c);
+  EXPECT_EQ(t.PrevSibling(c), b);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_TRUE(ip->Validate().ok());
+}
+
+TEST(IncrementalTest, RejectsBadInsertions) {
+  Tree t;
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::CreateEmpty(&t, 10, 1);
+  ASSERT_TRUE(ip.ok());
+  EXPECT_FALSE(ip->InsertBefore(t.root(), kInvalidNode, 0).ok());
+  EXPECT_FALSE(ip->InsertBefore(t.root(), kInvalidNode, 11).ok());
+  EXPECT_FALSE(ip->InsertBefore(42, kInvalidNode, 1).ok());
+  const NodeId a = *ip->InsertBefore(t.root(), kInvalidNode, 1);
+  const NodeId b = *ip->InsertBefore(a, kInvalidNode, 1);
+  // `before` must be a child of `parent`.
+  EXPECT_FALSE(ip->InsertBefore(t.root(), b, 1).ok());
+}
+
+TEST(IncrementalTest, CreateFromBulkloadedPartitioning) {
+  WeightModel model;
+  model.max_node_slots = 64;
+  Result<ImportedDocument> imp =
+      ImportXml(GenerateSigmodRecord(4, 0.02), model);
+  ASSERT_TRUE(imp.ok());
+  ImportedDocument doc = std::move(imp).value();
+  const Result<Partitioning> ekm = EkmPartition(doc.tree, 64);
+  ASSERT_TRUE(ekm.ok());
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::Create(&doc.tree, 64, *ekm);
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->partition_count(), ekm->size());
+  EXPECT_TRUE(ip->Validate().ok());
+}
+
+TEST(IncrementalTest, CreateRejectsInfeasibleStart) {
+  Tree t = testing_util::Fig3Tree();
+  Partitioning p;
+  p.Add(t.root(), t.root());  // whole tree, weight 14
+  EXPECT_FALSE(IncrementalPartitioner::Create(&t, 5, p).ok());
+}
+
+TEST(IncrementalTest, RandomInsertionsStayFeasible) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t;
+    const TotalWeight limit = 8 + rng.NextBounded(40);
+    Result<IncrementalPartitioner> ip = IncrementalPartitioner::CreateEmpty(
+        &t, limit, 1 + static_cast<Weight>(rng.NextBounded(3)));
+    ASSERT_TRUE(ip.ok());
+    for (int i = 0; i < 300; ++i) {
+      const NodeId parent = static_cast<NodeId>(rng.NextBounded(t.size()));
+      // Random position: append or before a random child.
+      NodeId before = kInvalidNode;
+      if (t.ChildCount(parent) > 0 && rng.NextBool(0.4)) {
+        const std::vector<NodeId> kids = t.Children(parent);
+        before = kids[rng.NextBounded(kids.size())];
+      }
+      const Weight w =
+          1 + static_cast<Weight>(rng.NextBounded(limit > 4 ? 4 : limit));
+      ASSERT_TRUE(ip->InsertBefore(parent, before, w).ok());
+      if (i % 50 == 49) {
+        ASSERT_TRUE(ip->Validate().ok())
+            << "trial " << trial << " step " << i << ": "
+            << ip->Validate().ToString();
+      }
+    }
+    ASSERT_TRUE(ip->Validate().ok());
+    ASSERT_TRUE(t.Validate().ok());
+  }
+}
+
+TEST(IncrementalTest, QualityWithinReasonOfBatch) {
+  // Build a relational-style document node at a time, in document order,
+  // then compare the maintained partition count against batch EKM and the
+  // optimum on the final tree.
+  Tree t;
+  constexpr TotalWeight kLimit = 64;
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::CreateEmpty(&t, kLimit, 1, "table");
+  ASSERT_TRUE(ip.ok());
+  Rng rng(7);
+  for (int row = 0; row < 400; ++row) {
+    const NodeId r = *ip->InsertBefore(t.root(), kInvalidNode, 1, "row");
+    for (int col = 0; col < 5; ++col) {
+      const NodeId c = *ip->InsertBefore(r, kInvalidNode, 1, "col");
+      ASSERT_TRUE(
+          ip->InsertBefore(c, kInvalidNode,
+                           1 + static_cast<Weight>(rng.NextBounded(4)))
+              .ok());
+    }
+  }
+  ASSERT_TRUE(ip->Validate().ok());
+  const size_t incremental = ip->partition_count();
+
+  const Result<Partitioning> batch = EkmPartition(t, kLimit);
+  ASSERT_TRUE(batch.ok());
+  // Online maintenance cannot beat a clean bulkload, but should stay in
+  // the same ballpark (the paper's motivation for periodic reorganization
+  // notwithstanding).
+  EXPECT_GE(incremental, batch->size());
+  EXPECT_LE(incremental, batch->size() * 3);
+}
+
+TEST(IncrementalTest, DeepGrowthSplitsBelow) {
+  // Grow a single deep chain: splits must happen below the single-member
+  // root partition.
+  Tree t;
+  constexpr TotalWeight kLimit = 16;
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::CreateEmpty(&t, kLimit, 1);
+  ASSERT_TRUE(ip.ok());
+  NodeId tip = t.root();
+  for (int i = 0; i < 200; ++i) {
+    tip = *ip->InsertBefore(tip, kInvalidNode, 1);
+  }
+  EXPECT_TRUE(ip->Validate().ok());
+  // 201 unit nodes with K = 16: at least ceil(201/16) = 13 partitions.
+  EXPECT_GE(ip->partition_count(), 13u);
+  EXPECT_LE(ip->partition_count(), 40u);
+}
+
+TEST(IncrementalTest, OversizedSubtreeCascades) {
+  // Inserting heavy children under one parent repeatedly must cascade
+  // splits through multiple levels without losing feasibility.
+  Tree t;
+  constexpr TotalWeight kLimit = 10;
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::CreateEmpty(&t, kLimit, 1);
+  ASSERT_TRUE(ip.ok());
+  const NodeId hub = *ip->InsertBefore(t.root(), kInvalidNode, 1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ip->InsertBefore(hub, kInvalidNode, 9).ok());
+    ASSERT_TRUE(ip->Validate().ok()) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace natix

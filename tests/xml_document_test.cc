@@ -1,0 +1,102 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+namespace natix {
+namespace {
+
+XmlDocument MustParse(std::string_view xml, const XmlParseOptions& opts = {}) {
+  Result<XmlDocument> doc = XmlDocument::Parse(xml, opts);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(XmlDocumentTest, SingleElement) {
+  const XmlDocument doc = MustParse("<root/>");
+  ASSERT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.NameOf(doc.root()), "root");
+  EXPECT_EQ(doc.KindOf(doc.root()), XmlNodeKind::kElement);
+}
+
+TEST(XmlDocumentTest, AttributesBecomeLeadingChildren) {
+  const XmlDocument doc = MustParse("<a x=\"1\" y=\"2\"><b/></a>");
+  ASSERT_EQ(doc.size(), 4u);
+  const auto first = doc.FirstChild(doc.root());
+  EXPECT_EQ(doc.KindOf(first), XmlNodeKind::kAttribute);
+  EXPECT_EQ(doc.NameOf(first), "x");
+  EXPECT_EQ(doc.ContentOf(first), "1");
+  const auto second = doc.NextSibling(first);
+  EXPECT_EQ(doc.NameOf(second), "y");
+  const auto third = doc.NextSibling(second);
+  EXPECT_EQ(doc.KindOf(third), XmlNodeKind::kElement);
+  EXPECT_EQ(doc.NameOf(third), "b");
+}
+
+TEST(XmlDocumentTest, TextNodes) {
+  const XmlDocument doc = MustParse("<a>hi<b/>there</a>");
+  EXPECT_EQ(doc.CountKind(XmlNodeKind::kText), 2u);
+  const auto t1 = doc.FirstChild(doc.root());
+  EXPECT_EQ(doc.ContentOf(t1), "hi");
+}
+
+TEST(XmlDocumentTest, WhitespaceTextSkippedByDefault) {
+  const XmlDocument doc = MustParse("<a>\n  <b/>\n</a>");
+  EXPECT_EQ(doc.CountKind(XmlNodeKind::kText), 0u);
+  EXPECT_EQ(doc.size(), 2u);
+}
+
+TEST(XmlDocumentTest, WhitespaceTextKeptOnRequest) {
+  XmlParseOptions opts;
+  opts.skip_whitespace_text = false;
+  const XmlDocument doc = MustParse("<a>\n  <b/>\n</a>", opts);
+  EXPECT_EQ(doc.CountKind(XmlNodeKind::kText), 2u);
+}
+
+TEST(XmlDocumentTest, CommentsDroppedByDefault) {
+  const XmlDocument doc = MustParse("<a><!-- c --></a>");
+  EXPECT_EQ(doc.size(), 1u);
+}
+
+TEST(XmlDocumentTest, CommentsKeptOnRequest) {
+  XmlParseOptions opts;
+  opts.keep_comments = true;
+  const XmlDocument doc = MustParse("<a><!-- c --><?pi data?></a>", opts);
+  EXPECT_EQ(doc.CountKind(XmlNodeKind::kComment), 1u);
+  EXPECT_EQ(doc.CountKind(XmlNodeKind::kProcessingInstruction), 1u);
+}
+
+TEST(XmlDocumentTest, SerializeRoundTrip) {
+  const std::string xml =
+      "<site><regions><item id=\"i1\">A &amp; B</item><item "
+      "id=\"i2\"/></regions></site>";
+  const XmlDocument doc = MustParse(xml);
+  EXPECT_EQ(doc.Serialize(), xml);
+}
+
+TEST(XmlDocumentTest, SerializeEscapesAttributeQuotes) {
+  const XmlDocument doc = MustParse("<a t=\"say &quot;hi&quot;\"/>");
+  EXPECT_EQ(doc.Serialize(), "<a t=\"say &quot;hi&quot;\"/>");
+}
+
+TEST(XmlDocumentTest, SerializeReparseStable) {
+  const std::string xml =
+      "<a x=\"1\"><b>text &lt;here&gt;</b><c/><d y=\"2\">more</d></a>";
+  const XmlDocument doc = MustParse(xml);
+  const std::string once = doc.Serialize();
+  const XmlDocument again = MustParse(once);
+  EXPECT_EQ(again.Serialize(), once);
+  EXPECT_EQ(again.size(), doc.size());
+}
+
+TEST(XmlDocumentTest, ParseErrorPropagates) {
+  EXPECT_FALSE(XmlDocument::Parse("<a><b></a>").ok());
+  EXPECT_FALSE(XmlDocument::Parse("").ok());
+}
+
+TEST(XmlDocumentTest, ChildCounts) {
+  const XmlDocument doc = MustParse("<a x=\"1\"><b/><c/></a>");
+  EXPECT_EQ(doc.ChildCount(doc.root()), 3u);  // attribute + 2 elements
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,128 @@
+#include "xml/importer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "tests/test_util.h"
+#include "xml/weight_model.h"
+
+namespace natix {
+namespace {
+
+TEST(WeightModelTest, MetadataOnly) {
+  WeightModel m;
+  EXPECT_EQ(m.NodeWeight(0), 1u);
+}
+
+TEST(WeightModelTest, ContentSlots) {
+  WeightModel m;  // 8-byte slots
+  EXPECT_EQ(m.NodeWeight(1), 2u);
+  EXPECT_EQ(m.NodeWeight(8), 2u);
+  EXPECT_EQ(m.NodeWeight(9), 3u);
+  EXPECT_EQ(m.NodeWeight(64), 9u);
+}
+
+TEST(WeightModelTest, OverflowStub) {
+  WeightModel m;
+  m.max_node_slots = 4;
+  EXPECT_EQ(m.NodeWeight(8), 2u);       // fits inline
+  EXPECT_FALSE(m.Overflows(8));
+  EXPECT_EQ(m.NodeWeight(1000), 2u);    // stub: metadata + pointer
+  EXPECT_TRUE(m.Overflows(1000));
+}
+
+TEST(WeightModelTest, CustomSlotSize) {
+  WeightModel m;
+  m.slot_size = 4;
+  m.metadata_slots = 2;
+  EXPECT_EQ(m.NodeWeight(0), 2u);
+  EXPECT_EQ(m.NodeWeight(5), 4u);
+}
+
+TEST(ImporterTest, SimpleDocument) {
+  const WeightModel model;
+  const Result<ImportedDocument> imp =
+      ImportXml("<a><b>12345678</b><c x=\"12\"/></a>", model);
+  ASSERT_TRUE(imp.ok()) << imp.status().ToString();
+  const Tree& t = imp->tree;
+  // Nodes: a, b, text(8 bytes), c, @x(2 bytes).
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.LabelOf(0), "a");
+  EXPECT_EQ(t.WeightOf(0), 1u);
+  EXPECT_EQ(t.KindOf(2), NodeKind::kText);
+  EXPECT_EQ(t.WeightOf(2), 2u);  // 1 metadata + 1 content slot
+  EXPECT_EQ(t.KindOf(4), NodeKind::kAttribute);
+  EXPECT_EQ(t.LabelOf(4), "x");
+  EXPECT_EQ(t.WeightOf(4), 2u);
+  EXPECT_EQ(imp->content_total_bytes, 10u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(ImporterTest, DocumentOrderPreserved) {
+  const Result<ImportedDocument> imp =
+      ImportXml("<a><b/><c><d/></c><e/></a>", WeightModel());
+  ASSERT_TRUE(imp.ok());
+  const Tree& t = imp->tree;
+  std::vector<std::string> labels;
+  for (const NodeId v : t.PreorderNodes()) labels.emplace_back(t.LabelOf(v));
+  EXPECT_EQ(labels, (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+}
+
+TEST(ImporterTest, OverflowAccounting) {
+  WeightModel model;
+  model.max_node_slots = 4;  // content > 3 slots (24 bytes) overflows
+  const std::string big(100, 'x');
+  const Result<ImportedDocument> imp =
+      ImportXml("<a><t>" + big + "</t></a>", model);
+  ASSERT_TRUE(imp.ok());
+  EXPECT_EQ(imp->overflow_nodes, 1u);
+  EXPECT_EQ(imp->overflow_bytes, 100u);
+  EXPECT_EQ(imp->tree.MaxNodeWeight(), 2u);  // stub weight
+}
+
+TEST(ImporterTest, OverflowKeepsDocumentPartitionable) {
+  // A node with 10KB of text exceeds K = 256 slots inline; with overflow
+  // enabled the tree stays partitionable.
+  WeightModel inline_model;
+  WeightModel overflow_model;
+  overflow_model.max_node_slots = 256;
+  const std::string big(10000, 'y');
+  const std::string xml = "<a><t>" + big + "</t></a>";
+  const Result<ImportedDocument> no_overflow = ImportXml(xml, inline_model);
+  ASSERT_TRUE(no_overflow.ok());
+  EXPECT_FALSE(CheckPartitionable(no_overflow->tree, 256).ok());
+  const Result<ImportedDocument> with_overflow =
+      ImportXml(xml, overflow_model);
+  ASSERT_TRUE(with_overflow.ok());
+  EXPECT_TRUE(CheckPartitionable(with_overflow->tree, 256).ok());
+}
+
+TEST(ImporterTest, SourceBytesRecorded) {
+  const std::string xml = "<a><b/></a>";
+  const Result<ImportedDocument> imp = ImportXml(xml, WeightModel());
+  ASSERT_TRUE(imp.ok());
+  EXPECT_EQ(imp->source_bytes, xml.size());
+}
+
+TEST(ImporterTest, ImportedTreeIsPartitionable) {
+  const char* xml =
+      "<orders><order id=\"1\"><key>42</key><status>OK</status>"
+      "<price>100.50</price></order><order id=\"2\"><key>43</key>"
+      "<comment>a somewhat longer comment string here</comment>"
+      "</order></orders>";
+  const Result<ImportedDocument> imp = ImportXml(xml, WeightModel());
+  ASSERT_TRUE(imp.ok());
+  for (const std::string_view algo : AlgorithmNames()) {
+    if (algo == "FDW") continue;
+    const Result<Partitioning> p = PartitionWith(algo, imp->tree, 8);
+    ASSERT_TRUE(p.ok()) << algo;
+    testing_util::MustBeFeasible(imp->tree, *p, 8, std::string(algo));
+  }
+}
+
+TEST(ImporterTest, ParseErrorPropagates) {
+  EXPECT_FALSE(ImportXml("<a><b></a>", WeightModel()).ok());
+}
+
+}  // namespace
+}  // namespace natix

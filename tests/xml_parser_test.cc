@@ -1,0 +1,187 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace natix {
+namespace {
+
+// Drains the parser into a compact trace string like
+// "+root text(hi) -root" for easy assertions.
+std::string Trace(std::string_view xml) {
+  XmlParser parser(xml);
+  std::string out;
+  for (;;) {
+    Result<XmlEvent> ev = parser.Next();
+    if (!ev.ok()) return "ERROR: " + ev.status().message();
+    if (!out.empty()) out += ' ';
+    switch (ev->type) {
+      case XmlEventType::kEndDocument:
+        out += "eof";
+        return out;
+      case XmlEventType::kStartElement: {
+        out += '+' + ev->name;
+        for (const XmlAttribute& a : ev->attributes) {
+          out += '[' + a.name + '=' + a.value + ']';
+        }
+        break;
+      }
+      case XmlEventType::kEndElement:
+        out += '-' + ev->name;
+        break;
+      case XmlEventType::kText:
+        out += "text(" + ev->content + ")";
+        break;
+      case XmlEventType::kComment:
+        out += "comment(" + ev->content + ")";
+        break;
+      case XmlEventType::kProcessingInstruction:
+        out += "pi(" + ev->name + ":" + ev->content + ")";
+        break;
+    }
+  }
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  EXPECT_EQ(Trace("<a/>"), "+a -a eof");
+}
+
+TEST(XmlParserTest, NestedElements) {
+  EXPECT_EQ(Trace("<a><b><c/></b></a>"), "+a +b +c -c -b -a eof");
+}
+
+TEST(XmlParserTest, TextContent) {
+  EXPECT_EQ(Trace("<a>hello</a>"), "+a text(hello) -a eof");
+}
+
+TEST(XmlParserTest, MixedContent) {
+  EXPECT_EQ(Trace("<a>x<b/>y</a>"), "+a text(x) +b -b text(y) -a eof");
+}
+
+TEST(XmlParserTest, Attributes) {
+  EXPECT_EQ(Trace("<a id=\"1\" name='n'/>"), "+a[id=1][name=n] -a eof");
+}
+
+TEST(XmlParserTest, AttributeEntities) {
+  EXPECT_EQ(Trace("<a t=\"&lt;&amp;&quot;\"/>"), "+a[t=<&\"] -a eof");
+}
+
+TEST(XmlParserTest, PredefinedEntities) {
+  EXPECT_EQ(Trace("<a>&lt;tag&gt; &amp; &apos;q&apos;</a>"),
+            "+a text(<tag> & 'q') -a eof");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  EXPECT_EQ(Trace("<a>&#65;&#x42;</a>"), "+a text(AB) -a eof");
+}
+
+TEST(XmlParserTest, Utf8CharacterReference) {
+  // U+00E9 LATIN SMALL LETTER E WITH ACUTE = 0xC3 0xA9.
+  XmlParser parser("<a>&#233;</a>");
+  Result<XmlEvent> ev = parser.Next();  // +a
+  ASSERT_TRUE(ev.ok());
+  ev = parser.Next();
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev->content, "\xC3\xA9");
+}
+
+TEST(XmlParserTest, CData) {
+  EXPECT_EQ(Trace("<a><![CDATA[<raw> & stuff]]></a>"),
+            "+a text(<raw> & stuff) -a eof");
+}
+
+TEST(XmlParserTest, Comments) {
+  EXPECT_EQ(Trace("<!-- pre --><a><!-- in --></a>"),
+            "comment( pre ) +a comment( in ) -a eof");
+}
+
+TEST(XmlParserTest, ProcessingInstruction) {
+  EXPECT_EQ(Trace("<a><?php echo?></a>"), "+a pi(php:echo) -a eof");
+}
+
+TEST(XmlParserTest, XmlDeclarationSkipped) {
+  EXPECT_EQ(Trace("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>"),
+            "+a -a eof");
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  EXPECT_EQ(Trace("<!DOCTYPE html><a/>"), "+a -a eof");
+  EXPECT_EQ(Trace("<!DOCTYPE doc [ <!ELEMENT doc (#PCDATA)> ]><doc/>"),
+            "+doc -doc eof");
+}
+
+TEST(XmlParserTest, WhitespaceAroundRoot) {
+  EXPECT_EQ(Trace("  \n <a/> \n"), "+a -a eof");
+}
+
+TEST(XmlParserTest, NamesWithColonsAndDots) {
+  EXPECT_EQ(Trace("<ns:a x.y-z=\"1\"/>"), "+ns:a[x.y-z=1] -ns:a eof");
+}
+
+TEST(XmlParserTest, RejectsMismatchedTags) {
+  EXPECT_TRUE(Trace("<a><b></a></b>").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsUnclosedRoot) {
+  EXPECT_TRUE(Trace("<a><b></b>").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsSecondRoot) {
+  EXPECT_TRUE(Trace("<a/><b/>").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsTextOutsideRoot) {
+  EXPECT_TRUE(Trace("hello<a/>").starts_with("ERROR"));
+  EXPECT_TRUE(Trace("<a/>bye").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsEmptyInput) {
+  EXPECT_TRUE(Trace("").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsUnknownEntity) {
+  EXPECT_TRUE(Trace("<a>&nbsp;</a>").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsDuplicateAttribute) {
+  EXPECT_TRUE(Trace("<a x=\"1\" x=\"2\"/>").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsRawLessThanInAttribute) {
+  EXPECT_TRUE(Trace("<a x=\"<\"/>").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, RejectsUnterminatedComment) {
+  EXPECT_TRUE(Trace("<a><!-- oops</a>").starts_with("ERROR"));
+}
+
+TEST(XmlParserTest, ErrorsCarryLineNumbers) {
+  XmlParser parser("<a>\n\n<b></c>\n</a>");
+  for (;;) {
+    Result<XmlEvent> ev = parser.Next();
+    if (!ev.ok()) {
+      EXPECT_NE(ev.status().message().find("line 3"), std::string::npos)
+          << ev.status().message();
+      break;
+    }
+    ASSERT_NE(ev->type, XmlEventType::kEndDocument) << "expected an error";
+  }
+}
+
+TEST(XmlParserTest, DeeplyNestedDocument) {
+  std::string xml;
+  constexpr int kDepth = 50000;
+  for (int i = 0; i < kDepth; ++i) xml += "<d>";
+  for (int i = 0; i < kDepth; ++i) xml += "</d>";
+  XmlParser parser(xml);
+  size_t events = 0;
+  for (;;) {
+    Result<XmlEvent> ev = parser.Next();
+    ASSERT_TRUE(ev.ok());
+    if (ev->type == XmlEventType::kEndDocument) break;
+    ++events;
+  }
+  EXPECT_EQ(events, 2u * kDepth);
+}
+
+}  // namespace
+}  // namespace natix

@@ -1,0 +1,151 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace natix {
+namespace {
+
+PathExpr MustParse(std::string_view q) {
+  Result<PathExpr> p = ParseXPath(q);
+  EXPECT_TRUE(p.ok()) << q << ": " << p.status().ToString();
+  return p.ok() ? *std::move(p) : PathExpr{};
+}
+
+TEST(XPathParserTest, SimpleChildPath) {
+  const PathExpr p = MustParse("/site/regions");
+  EXPECT_TRUE(p.absolute);
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[0].name, "site");
+  EXPECT_EQ(p.steps[1].name, "regions");
+}
+
+TEST(XPathParserTest, Wildcard) {
+  const PathExpr p = MustParse("/site/regions/*/item");
+  ASSERT_EQ(p.steps.size(), 4u);
+  EXPECT_EQ(p.steps[2].test, NodeTestKind::kAnyElement);
+  EXPECT_EQ(p.steps[3].name, "item");
+}
+
+TEST(XPathParserTest, DoubleSlashDesugars) {
+  const PathExpr p = MustParse("//keyword");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(p.steps[0].test, NodeTestKind::kAnyNode);
+  EXPECT_EQ(p.steps[1].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[1].name, "keyword");
+}
+
+TEST(XPathParserTest, DoubleSlashInMiddle) {
+  const PathExpr p = MustParse("/site//keyword");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[1].axis, Axis::kDescendantOrSelf);
+}
+
+TEST(XPathParserTest, ExplicitAxes) {
+  const PathExpr p =
+      MustParse("/descendant-or-self::listitem/descendant-or-self::keyword");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(p.steps[0].name, "listitem");
+  EXPECT_EQ(p.steps[1].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(p.steps[1].name, "keyword");
+}
+
+TEST(XPathParserTest, AncestorAxis) {
+  const PathExpr p = MustParse("//keyword/ancestor::listitem");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[2].axis, Axis::kAncestor);
+  EXPECT_EQ(p.steps[2].name, "listitem");
+}
+
+TEST(XPathParserTest, AncestorOrSelfAxis) {
+  const PathExpr p = MustParse("//keyword/ancestor-or-self::mail");
+  EXPECT_EQ(p.steps[2].axis, Axis::kAncestorOrSelf);
+}
+
+TEST(XPathParserTest, PredicateWithOr) {
+  const PathExpr p =
+      MustParse("/site/regions/*/item[parent::namerica or parent::samerica]");
+  ASSERT_EQ(p.steps.size(), 4u);
+  const Step& item = p.steps[3];
+  ASSERT_EQ(item.predicates.size(), 1u);
+  const PredicateExpr& pred = item.predicates[0];
+  ASSERT_EQ(pred.kind, PredicateExpr::Kind::kOr);
+  ASSERT_EQ(pred.operands.size(), 2u);
+  EXPECT_EQ(pred.operands[0].kind, PredicateExpr::Kind::kPath);
+  EXPECT_EQ(pred.operands[0].path.steps[0].axis, Axis::kParent);
+  EXPECT_EQ(pred.operands[0].path.steps[0].name, "namerica");
+  EXPECT_EQ(pred.operands[1].path.steps[0].name, "samerica");
+}
+
+TEST(XPathParserTest, PredicateWithAnd) {
+  const PathExpr p = MustParse("/a/b[c and d]");
+  const PredicateExpr& pred = p.steps[1].predicates[0];
+  EXPECT_EQ(pred.kind, PredicateExpr::Kind::kAnd);
+  ASSERT_EQ(pred.operands.size(), 2u);
+}
+
+TEST(XPathParserTest, NestedParentheses) {
+  const PathExpr p = MustParse("/a/b[(c or d) and e]");
+  const PredicateExpr& pred = p.steps[1].predicates[0];
+  ASSERT_EQ(pred.kind, PredicateExpr::Kind::kAnd);
+  EXPECT_EQ(pred.operands[0].kind, PredicateExpr::Kind::kOr);
+}
+
+TEST(XPathParserTest, PredicateWithRelativePath) {
+  const PathExpr p = MustParse("/a/b[c/d]");
+  const PredicateExpr& pred = p.steps[1].predicates[0];
+  ASSERT_EQ(pred.kind, PredicateExpr::Kind::kPath);
+  ASSERT_EQ(pred.path.steps.size(), 2u);
+  EXPECT_FALSE(pred.path.absolute);
+}
+
+TEST(XPathParserTest, MultiplePredicates) {
+  const PathExpr p = MustParse("/a/b[c][d]");
+  EXPECT_EQ(p.steps[1].predicates.size(), 2u);
+}
+
+TEST(XPathParserTest, NodeTest) {
+  const PathExpr p = MustParse("/a/node()");
+  EXPECT_EQ(p.steps[1].test, NodeTestKind::kAnyNode);
+}
+
+TEST(XPathParserTest, ElementNamedOrd) {
+  // Names starting with keyword prefixes must not confuse the predicate
+  // parser.
+  const PathExpr p = MustParse("/a/b[ord or android]");
+  const PredicateExpr& pred = p.steps[1].predicates[0];
+  ASSERT_EQ(pred.kind, PredicateExpr::Kind::kOr);
+  EXPECT_EQ(pred.operands[0].path.steps[0].name, "ord");
+  EXPECT_EQ(pred.operands[1].path.steps[0].name, "android");
+}
+
+TEST(XPathParserTest, AllXPathMarkQueriesParse) {
+  const char* queries[] = {
+      "/site/regions/*/item",
+      "/site/closed_auctions/closed_auction/annotation/description/parlist/"
+      "listitem/text/keyword",
+      "//keyword",
+      "/descendant-or-self::listitem/descendant-or-self::keyword",
+      "/site/regions/*/item[parent::namerica or parent::samerica]",
+      "//keyword/ancestor::listitem",
+      "//keyword/ancestor-or-self::mail",
+  };
+  for (const char* q : queries) {
+    EXPECT_TRUE(ParseXPath(q).ok()) << q;
+  }
+}
+
+TEST(XPathParserTest, Rejections) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("/").ok());
+  EXPECT_FALSE(ParseXPath("/a[").ok());
+  EXPECT_FALSE(ParseXPath("/a[b").ok());
+  EXPECT_FALSE(ParseXPath("/a]").ok());
+  EXPECT_FALSE(ParseXPath("/a/b[(c]").ok());
+  EXPECT_FALSE(ParseXPath("/a/!").ok());
+}
+
+}  // namespace
+}  // namespace natix
