@@ -1,0 +1,89 @@
+// Thread-count sweep for the parallel DHW bottom-up phase on the Table 3
+// document (XMark, K = 256): runs DHW with 1, 2, 4 and hardware_concurrency
+// workers and reports wall time, speedup over the sequential run, and
+// whether the outputs are byte-identical (they must be).
+//
+// Every configuration is emitted as one machine-readable JSON line
+// (prefixed "BENCH_PARALLEL ") so future runs can be diffed as a
+// trajectory:
+//   BENCH_PARALLEL {"bench":"dhw_parallel","doc":"xmark",...}
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/exact_algorithms.h"
+#include "tree/partitioning.h"
+
+namespace {
+
+double RunOnce(const natix::Tree& tree, natix::TotalWeight limit,
+               unsigned threads, natix::Partitioning* out) {
+  natix::DhwOptions opts;
+  opts.num_threads = threads;
+  natix::Timer timer;
+  natix::Result<natix::Partitioning> p =
+      natix::DhwPartition(tree, limit, opts);
+  const double ms = timer.ElapsedMillis();
+  p.status().CheckOK();
+  *out = *std::move(p);
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  constexpr natix::TotalWeight kLimit = 256;
+  constexpr int kRepetitions = 3;
+  const double scale = natix::benchutil::ScaleFromEnv();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("DHW thread sweep on XMark (K = %llu, scale %.2f, %u hardware "
+              "threads)\n\n",
+              static_cast<unsigned long long>(kLimit), scale, hw);
+
+  const auto entry = natix::benchutil::LoadDocument("xmark", scale, kLimit);
+  const natix::Tree& tree = entry->doc.tree;
+  std::printf("document: %zu nodes, %zu KB source\n\n", tree.size(),
+              entry->xml_kb);
+
+  std::vector<unsigned> sweep = {1, 2, 4, hw};
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+
+  natix::Partitioning baseline;
+  double baseline_ms = 0;
+  std::printf("%8s %12s %9s %12s %10s\n", "threads", "wall-ms", "speedup",
+              "partitions", "identical");
+  for (const unsigned threads : sweep) {
+    natix::Partitioning p;
+    double best_ms = 0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      const double ms = RunOnce(tree, kLimit, threads, &p);
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    const bool first = threads == sweep.front();
+    if (first) {
+      baseline = p;
+      baseline_ms = best_ms;
+    }
+    const bool identical = p.intervals() == baseline.intervals();
+    const double speedup = baseline_ms / best_ms;
+    std::printf("%8u %12.1f %8.2fx %12zu %10s\n", threads, best_ms, speedup,
+                p.size(), identical ? "yes" : "NO (bug!)");
+    std::printf("BENCH_PARALLEL {\"bench\":\"dhw_parallel\",\"doc\":\"xmark\","
+                "\"nodes\":%zu,\"k\":%llu,\"scale\":%.3f,\"threads\":%u,"
+                "\"wall_ms\":%.3f,\"speedup_vs_seq\":%.3f,\"partitions\":%zu,"
+                "\"identical\":%s}\n",
+                tree.size(), static_cast<unsigned long long>(kLimit), scale,
+                threads, best_ms, speedup, p.size(),
+                identical ? "true" : "false");
+    if (!identical) return 1;
+  }
+  std::printf("\nnum_threads=1 runs the pre-pooling sequential order with a "
+              "single reused workspace; larger counts add the work-stealing "
+              "pool on top.\n");
+  return 0;
+}

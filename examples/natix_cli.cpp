@@ -5,12 +5,14 @@
 // Usage:
 //   natix_cli generate <generator> [scale] [seed]         XML to stdout
 //   natix_cli inspect <file|generator> [scale]            structure report
-//   natix_cli partition <algo|ALL> <file|generator> [K] [scale]
+//   natix_cli partition <algo|ALL> <file|generator> [K] [scale] [threads]
 //   natix_cli query <xpath> <file|generator> [algo] [K] [scale]
 //   natix_cli algorithms                                  list algorithms
 //
 // <file|generator>: a path to an XML file, or one of the built-in
 // generator names (sigmod, mondial, partsupp, uwm, orders, xmark).
+// [threads]: worker threads for parallel algorithms (DHW); 0 = one per
+// hardware thread (the default), 1 = sequential.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +37,8 @@ int Usage() {
       "usage:\n"
       "  natix_cli generate <generator> [scale] [seed]\n"
       "  natix_cli inspect <file|generator> [scale]\n"
-      "  natix_cli partition <algo|ALL> <file|generator> [K] [scale]\n"
+      "  natix_cli partition <algo|ALL> <file|generator> [K] [scale] "
+      "[threads]\n"
       "  natix_cli query <xpath> <file|generator> [algo] [K] [scale]\n"
       "  natix_cli algorithms\n");
   return 2;
@@ -100,10 +103,10 @@ int CmdInspect(int argc, char** argv) {
 }
 
 int PartitionOne(std::string_view algo, const natix::ImportedDocument& doc,
-                 natix::TotalWeight k) {
+                 natix::TotalWeight k, const natix::PartitionOptions& opts) {
   natix::Timer timer;
   const natix::Result<natix::Partitioning> p =
-      natix::PartitionWith(algo, doc.tree, k);
+      natix::PartitionWith(algo, doc.tree, k, opts);
   const double ms = timer.ElapsedMillis();
   if (!p.ok()) {
     std::printf("%-6s %s\n", std::string(algo).c_str(),
@@ -131,6 +134,9 @@ int CmdPartition(int argc, char** argv) {
   const std::string algo = argv[0];
   const natix::TotalWeight k = argc > 2 ? std::atoll(argv[2]) : 256;
   const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+  natix::PartitionOptions opts;
+  opts.num_threads =
+      argc > 4 ? static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10)) : 0;
   const auto doc = LoadDocument(argv[1], scale, k);
   if (!doc.ok()) {
     std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
@@ -149,11 +155,11 @@ int CmdPartition(int argc, char** argv) {
                     std::string(name).c_str());
         continue;
       }
-      rc |= PartitionOne(name, *doc, k);
+      rc |= PartitionOne(name, *doc, k, opts);
     }
     return rc;
   }
-  return PartitionOne(algo, *doc, k);
+  return PartitionOne(algo, *doc, k, opts);
 }
 
 int CmdQuery(int argc, char** argv) {

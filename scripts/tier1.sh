@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then a
+# ThreadSanitizer build of the parallel-DHW machinery so the work-stealing
+# pool is race-checked on every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# 1. Standard tier-1: build everything, run all tests.
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# 2. Race check: the determinism test (and the pool's own tests) under
+#    -fsanitize=thread. Benchmarks/examples are skipped to keep it quick.
+cmake -B build-tsan -S . -DNATIX_SANITIZE=thread \
+  -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test
+(cd build-tsan && ./tests/dhw_parallel_test && ./tests/thread_pool_test)
+
+echo "tier1 OK (tests + TSan race check)"

@@ -1,0 +1,137 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace natix {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : workers_(std::max(1u, num_threads)) {
+  queues_.reserve(workers_);
+  for (unsigned w = 0; w < workers_; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers_ - 1);
+  for (unsigned w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunGraph(size_t n, const uint32_t* dependency_counts,
+                          const uint32_t* dependent_of,
+                          const std::function<void(size_t, unsigned)>& run) {
+  if (n == 0) return;
+  assert(n <= kNoDependent && "task ids must fit the queue element type");
+
+  pending_ = std::make_unique<std::atomic<uint32_t>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    pending_[i].store(dependency_counts[i], std::memory_order_relaxed);
+  }
+  // Seed the initially ready tasks round-robin so every worker starts with
+  // a share of the frontier.
+  unsigned next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (dependency_counts[i] != 0) continue;
+    WorkerQueue& q = *queues_[next];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(static_cast<uint32_t>(i));
+    next = (next + 1) % workers_;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    run_ = &run;
+    dependent_of_ = dependent_of;
+    remaining_.store(n, std::memory_order_relaxed);
+    ++generation_;
+    active_workers_ = workers_ - 1;
+  }
+  cv_.notify_all();
+
+  WorkUntilDone(/*worker=*/0);
+
+  // All task bodies have completed (remaining_ == 0), but background
+  // workers may still be inside their final steal attempts; wait until they
+  // are back to sleep before tearing the graph state down.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return active_workers_ == 0; });
+    run_ = nullptr;
+    dependent_of_ = nullptr;
+  }
+  pending_.reset();
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    WorkUntilDone(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkUntilDone(unsigned worker) {
+  for (;;) {
+    if (TryRunOne(worker)) continue;
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+bool ThreadPool::TryRunOne(unsigned worker) {
+  uint32_t task = kNoDependent;
+  {
+    WorkerQueue& own = *queues_[worker];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = own.tasks.back();
+      own.tasks.pop_back();
+    }
+  }
+  if (task == kNoDependent) {
+    for (unsigned i = 1; i < workers_ && task == kNoDependent; ++i) {
+      WorkerQueue& victim = *queues_[(worker + i) % workers_];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = victim.tasks.front();
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (task == kNoDependent) return false;
+
+  (*run_)(task, worker);
+
+  const uint32_t dependent = dependent_of_[task];
+  if (dependent != kNoDependent &&
+      pending_[dependent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    WorkerQueue& own = *queues_[worker];
+    std::lock_guard<std::mutex> lock(own.mu);
+    own.tasks.push_back(dependent);
+  }
+  remaining_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+}  // namespace natix

@@ -1,0 +1,92 @@
+#ifndef NATIX_COMMON_THREAD_POOL_H_
+#define NATIX_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace natix {
+
+/// A small work-stealing pool for dependency-counted task graphs.
+///
+/// The scheduler is specialized for the shape the partitioning algorithms
+/// need: a forest of tasks where every task has at most one *dependent*
+/// (e.g. a bottom-up tree traversal, where a node becomes ready once all of
+/// its children are done). Task bodies receive the executing worker's index
+/// so callers can keep per-worker state (DP workspaces, stats) without any
+/// locking in the hot path.
+///
+/// Scheduling: tasks whose dependency count is initially zero are seeded
+/// round-robin across the workers' deques. A worker pops from the back of
+/// its own deque (LIFO, cache-friendly: a just-unblocked parent is
+/// processed while its children's results are hot) and steals from the
+/// front of other workers' deques when its own is empty (FIFO, so thieves
+/// take the work most distant from the victim's current locality).
+class ThreadPool {
+ public:
+  /// Sentinel for "this task unblocks nothing".
+  static constexpr uint32_t kNoDependent = 0xFFFFFFFFu;
+
+  /// Total worker count *including* the thread that calls RunGraph();
+  /// `num_threads - 1` background threads are spawned. `num_threads` is
+  /// clamped to at least 1.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const { return workers_; }
+
+  /// Executes tasks 0..n-1. Task i may start once `dependency_counts[i]`
+  /// completions of its prerequisites have happened; finishing task i
+  /// decrements the pending count of `dependent_of[i]` (kNoDependent for
+  /// none). `run(task, worker)` is invoked with worker in
+  /// [0, worker_count()). Blocks until all n tasks ran; the calling thread
+  /// participates as worker 0. Not reentrant. Every task must eventually
+  /// become ready (the graph must be an acyclic forest whose dependency
+  /// counts are consistent with `dependent_of`), otherwise RunGraph never
+  /// returns.
+  void RunGraph(size_t n, const uint32_t* dependency_counts,
+                const uint32_t* dependent_of,
+                const std::function<void(size_t, unsigned)>& run);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<uint32_t> tasks;
+  };
+
+  void WorkerLoop(unsigned worker);
+  void WorkUntilDone(unsigned worker);
+  bool TryRunOne(unsigned worker);
+
+  unsigned workers_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // State of the graph currently being run; written by RunGraph under mu_
+  // before the workers are woken, so the wake-up synchronizes the plain
+  // pointers.
+  const std::function<void(size_t, unsigned)>* run_ = nullptr;
+  const uint32_t* dependent_of_ = nullptr;
+  std::unique_ptr<std::atomic<uint32_t>[]> pending_;
+  std::atomic<size_t> remaining_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t generation_ = 0;
+  unsigned active_workers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_THREAD_POOL_H_

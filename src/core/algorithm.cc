@@ -28,7 +28,10 @@ Status CheckPartitionable(const Tree& tree, TotalWeight limit) {
 
 namespace {
 
-using PartitionFn = Result<Partitioning> (*)(const Tree&, TotalWeight);
+// Every registry entry is options-aware so PartitionOptions threads
+// through uniformly; sequential algorithms simply ignore the options.
+using PartitionFn = Result<Partitioning> (*)(const Tree&, TotalWeight,
+                                             const PartitionOptions&);
 
 class FnAlgorithm : public PartitioningAlgorithm {
  public:
@@ -44,7 +47,12 @@ class FnAlgorithm : public PartitioningAlgorithm {
   std::string_view description() const override { return description_; }
   Result<Partitioning> Partition(const Tree& tree,
                                  TotalWeight limit) const override {
-    return fn_(tree, limit);
+    return fn_(tree, limit, PartitionOptions{});
+  }
+  Result<Partitioning> Partition(const Tree& tree, TotalWeight limit,
+                                 const PartitionOptions& options)
+      const override {
+    return fn_(tree, limit, options);
   }
   bool IsOptimal() const override { return optimal_; }
   bool IsMainMemoryFriendly() const override { return memory_friendly_; }
@@ -57,14 +65,43 @@ class FnAlgorithm : public PartitioningAlgorithm {
   bool memory_friendly_;
 };
 
-Result<Partitioning> DhwNoStats(const Tree& t, TotalWeight k) {
-  return DhwPartition(t, k);
+Result<Partitioning> DhwFn(const Tree& t, TotalWeight k,
+                           const PartitionOptions& o) {
+  DhwOptions dhw;
+  dhw.num_threads = o.num_threads;
+  return DhwPartition(t, k, dhw);
 }
-Result<Partitioning> GhdwNoStats(const Tree& t, TotalWeight k) {
+Result<Partitioning> GhdwFn(const Tree& t, TotalWeight k,
+                            const PartitionOptions&) {
   return GhdwPartition(t, k);
 }
-Result<Partitioning> FdwNoStats(const Tree& t, TotalWeight k) {
+Result<Partitioning> FdwFn(const Tree& t, TotalWeight k,
+                           const PartitionOptions&) {
   return FdwPartition(t, k);
+}
+Result<Partitioning> EkmFn(const Tree& t, TotalWeight k,
+                           const PartitionOptions&) {
+  return EkmPartition(t, k);
+}
+Result<Partitioning> RsFn(const Tree& t, TotalWeight k,
+                          const PartitionOptions&) {
+  return RsPartition(t, k);
+}
+Result<Partitioning> DfsFn(const Tree& t, TotalWeight k,
+                           const PartitionOptions&) {
+  return DfsPartition(t, k);
+}
+Result<Partitioning> KmFn(const Tree& t, TotalWeight k,
+                          const PartitionOptions&) {
+  return KmPartition(t, k);
+}
+Result<Partitioning> BfsFn(const Tree& t, TotalWeight k,
+                           const PartitionOptions&) {
+  return BfsPartition(t, k);
+}
+Result<Partitioning> LukesFn(const Tree& t, TotalWeight k,
+                             const PartitionOptions&) {
+  return LukesPartition(t, k);
 }
 
 // Registry in the paper's Table 1 column order, FDW last. Constructed on
@@ -76,37 +113,37 @@ const std::array<FnAlgorithm, 9>& Registry() {
     FnAlgorithm{"DHW",
                 "optimal sibling partitioning, O(nK^3) dynamic programming "
                 "over height and width (Sec. 3.3.5)",
-                &DhwNoStats, /*optimal=*/true, /*memory_friendly=*/false},
+                &DhwFn, /*optimal=*/true, /*memory_friendly=*/false},
     FnAlgorithm{"GHDW",
                 "greedy height / dynamic-programming width; locally optimal "
                 "subtree partitionings (Sec. 3.3.1)",
-                &GhdwNoStats, false, true},
+                &GhdwFn, false, true},
     FnAlgorithm{"EKM",
                 "Kundu-Misra on the binary first-child/next-sibling "
                 "representation; the paper's recommended default (Sec. 4.3.4)",
-                &EkmPartition, false, true},
+                &EkmFn, false, true},
     FnAlgorithm{"RS",
                 "rightmost-siblings packing, the original Natix bulkload "
                 "heuristic (Sec. 4.3.2)",
-                &RsPartition, false, true},
+                &RsFn, false, true},
     FnAlgorithm{"DFS",
                 "greedy preorder assignment, adapted from Tsangaris/Naughton "
                 "(Sec. 4.2.1)",
-                &DfsPartition, false, true},
+                &DfsFn, false, true},
     FnAlgorithm{"KM",
                 "Kundu-Misra: parent-child partitions only, no sibling "
                 "sharing (Sec. 4.3.3)",
-                &KmPartition, false, true},
+                &KmFn, false, true},
     FnAlgorithm{"BFS",
-                "greedy level-order assignment (Sec. 4.2.2)", &BfsPartition,
+                "greedy level-order assignment (Sec. 4.2.2)", &BfsFn,
                 false, false},
     FnAlgorithm{"FDW",
                 "optimal partitioning of flat trees, O(nK^2) (Sec. 3.2.2)",
-                &FdwNoStats, true, false},
+                &FdwFn, true, false},
     FnAlgorithm{"LUKES",
                 "Lukes' value-based DP with unit edge values: optimal for "
                 "parent-child partitionings, no sibling sharing (Sec. 5)",
-                &LukesPartition, false, false},
+                &LukesFn, false, false},
       };
   return algorithms;
 }
@@ -129,12 +166,18 @@ std::vector<std::string_view> AlgorithmNames() {
 
 Result<Partitioning> PartitionWith(std::string_view algorithm,
                                    const Tree& tree, TotalWeight limit) {
+  return PartitionWith(algorithm, tree, limit, PartitionOptions{});
+}
+
+Result<Partitioning> PartitionWith(std::string_view algorithm,
+                                   const Tree& tree, TotalWeight limit,
+                                   const PartitionOptions& options) {
   const PartitioningAlgorithm* a = FindAlgorithm(algorithm);
   if (a == nullptr) {
     return Status::NotFound("unknown partitioning algorithm: " +
                             std::string(algorithm));
   }
-  return a->Partition(tree, limit);
+  return a->Partition(tree, limit, options);
 }
 
 }  // namespace natix

@@ -12,6 +12,14 @@
 
 namespace natix {
 
+/// Cross-algorithm execution options. Algorithms ignore the fields they
+/// have no use for (only DHW is parallel today).
+struct PartitionOptions {
+  /// Worker threads for algorithms with a parallel phase. 0 = one per
+  /// hardware thread, 1 = sequential. Results are identical either way.
+  unsigned num_threads = 0;
+};
+
 /// Common interface of all tree sibling partitioning algorithms in this
 /// library (the paper's Sec. 3 exact algorithms and Sec. 4 heuristics).
 ///
@@ -35,6 +43,15 @@ class PartitioningAlgorithm {
   /// (some node weight exceeds `limit`) or the tree is empty.
   virtual Result<Partitioning> Partition(const Tree& tree,
                                          TotalWeight limit) const = 0;
+
+  /// Options-aware variant; the default implementation ignores the options
+  /// (correct for every purely sequential algorithm).
+  virtual Result<Partitioning> Partition(const Tree& tree, TotalWeight limit,
+                                         const PartitionOptions& options)
+      const {
+    (void)options;
+    return Partition(tree, limit);
+  }
 
   /// True for algorithms guaranteed to produce a minimal (and lean)
   /// partitioning (only DHW, and FDW on flat trees).
@@ -65,6 +82,9 @@ std::vector<std::string_view> AlgorithmNames();
 /// Convenience: looks up `algorithm` in the registry and runs it.
 Result<Partitioning> PartitionWith(std::string_view algorithm,
                                    const Tree& tree, TotalWeight limit);
+Result<Partitioning> PartitionWith(std::string_view algorithm,
+                                   const Tree& tree, TotalWeight limit,
+                                   const PartitionOptions& options);
 
 }  // namespace natix
 

@@ -1,7 +1,10 @@
+#include <algorithm>
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/algorithm.h"
 #include "core/exact_algorithms.h"
 #include "core/flat_dp.h"
@@ -23,73 +26,169 @@ struct NodeSolution {
   bool has_near = false;
 };
 
+/// Per-worker state: a pooled DP workspace, the flat-problem scratch
+/// vectors, and a private stats accumulator (merged once at the end, so
+/// the hot loop never touches shared counters).
+struct DhwWorker {
+  FlatDpWorkspace workspace;
+  std::vector<Weight> weights;
+  std::vector<Weight> deltas;
+  DpStats stats;
+};
+
+/// Solves the flat DP at inner node `v`. Reads only the children's
+/// (completed) NodeSolutions and writes only sol[v], so independent
+/// subtrees can be solved concurrently; the result is deterministic
+/// regardless of scheduling.
+void SolveInnerNode(const Tree& tree, TotalWeight limit, NodeId v,
+                    std::vector<NodeSolution>& sol, DhwWorker& worker) {
+  NodeSolution& s = sol[v];
+  worker.weights.clear();
+  worker.deltas.clear();
+  for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+       c = tree.NextSibling(c)) {
+    worker.weights.push_back(sol[c].opt_rootweight);
+    worker.deltas.push_back(sol[c].delta_w);
+  }
+  const size_t child_count = worker.weights.size();
+
+  const Weight wv = tree.WeightOf(v);
+  FlatDp dp(wv, worker.weights.data(), worker.deltas.data(), child_count,
+            limit, &worker.workspace);
+  dp.EnsureSeed(wv);
+  const FlatDp::Entry* opt = dp.FinalEntry(wv);
+  s.opt_rootweight = opt->rootweight;
+  s.opt_chain = dp.ExtractChain(wv);
+
+  // Lemma 4: rerunning with root weight w(v) + K - W^P(v) + 1 yields a
+  // nearly optimal partitioning (or none, if that exceeds K).
+  const uint64_t s_near = static_cast<uint64_t>(wv) + limit -
+                          opt->rootweight + 1;
+  if (s_near <= limit) {
+    const uint32_t sq = static_cast<uint32_t>(s_near);
+    dp.EnsureSeed(sq);
+    const FlatDp::Entry* near = dp.FinalEntry(sq);
+    s.near_chain = dp.ExtractChain(sq);
+    s.has_near = true;
+    // The table's rootweight fields include the inflated base sq; the
+    // actual root partition weight of the nearly optimal partitioning in
+    // T is near->rootweight - (sq - w(v)). (The paper's pseudocode
+    // subtracts table fields directly, which would mix the two bases.)
+    const Weight near_actual = near->rootweight - (sq - wv);
+    s.delta_w = s.opt_rootweight - near_actual;
+  }
+  worker.stats.inner_nodes += 1;
+  worker.stats.rows += dp.RowCount();
+  worker.stats.cells += dp.CellCount();
+  worker.stats.full_table_cells +=
+      (static_cast<uint64_t>(limit) - wv + 1) *
+      (static_cast<uint64_t>(child_count) + 1);
+}
+
+unsigned ResolveThreadCount(const Tree& tree, const DhwOptions& options) {
+  unsigned threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // Oversubscription past the hardware brings no speedup, and an absurd
+  // request (e.g. a wrapped-around negative from a CLI) must not translate
+  // into thousands of OS threads. Determinism is unaffected by the cap.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, std::max(8u, 2 * hw));
+  // Below the cutoff the pool's wake-up/steal overhead dominates the DP
+  // work; fall back to the sequential path.
+  if (tree.size() < options.min_parallel_nodes) threads = 1;
+  return threads;
+}
+
 }  // namespace
 
 Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
-                                  DpStats* stats) {
+                                  const DhwOptions& options, DpStats* stats) {
   NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
 
   std::vector<NodeSolution> sol(tree.size());
 
-  // Bottom-up phase: for every node compute the optimal and nearly optimal
-  // subtree partitionings over the children's (rootweight, ΔW) pairs.
-  for (const NodeId v : tree.PostorderNodes()) {
-    NodeSolution& s = sol[v];
+  // Leaves have exactly one partitioning; no nearly optimal solution
+  // exists (ΔW = 0). Solving them up front leaves only inner nodes for the
+  // (possibly parallel) bottom-up phase.
+  const std::vector<NodeId> postorder = tree.PostorderNodes();
+  std::vector<NodeId> inner;
+  for (const NodeId v : postorder) {
     if (tree.FirstChild(v) == kInvalidNode) {
-      // A single-node subtree has exactly one partitioning; no nearly
-      // optimal solution exists (ΔW = 0).
-      s.opt_rootweight = tree.WeightOf(v);
-      continue;
+      sol[v].opt_rootweight = tree.WeightOf(v);
+    } else {
+      inner.push_back(v);
     }
-    const std::vector<NodeId> children = tree.Children(v);
-    std::vector<Weight> weights;
-    std::vector<Weight> deltas;
-    weights.reserve(children.size());
-    deltas.reserve(children.size());
-    for (const NodeId c : children) {
-      weights.push_back(sol[c].opt_rootweight);
-      deltas.push_back(sol[c].delta_w);
-    }
+  }
 
-    const Weight wv = tree.WeightOf(v);
-    FlatDp dp(wv, std::move(weights), std::move(deltas), limit);
-    dp.EnsureSeed(wv);
-    const FlatDp::Entry* opt = dp.FinalEntry(wv);
-    s.opt_rootweight = opt->rootweight;
-    s.opt_chain = dp.ExtractChain(wv);
+  unsigned threads = ResolveThreadCount(tree, options);
+  if (threads > inner.size()) {
+    threads = static_cast<unsigned>(inner.size() == 0 ? 1 : inner.size());
+  }
 
-    // Lemma 4: rerunning with root weight w(v) + K - W^P(v) + 1 yields a
-    // nearly optimal partitioning (or none, if that exceeds K).
-    const uint64_t s_near = static_cast<uint64_t>(wv) + limit -
-                            opt->rootweight + 1;
-    if (s_near <= limit) {
-      const uint32_t sq = static_cast<uint32_t>(s_near);
-      dp.EnsureSeed(sq);
-      const FlatDp::Entry* near = dp.FinalEntry(sq);
-      s.near_chain = dp.ExtractChain(sq);
-      s.has_near = true;
-      // The table's rootweight fields include the inflated base sq; the
-      // actual root partition weight of the nearly optimal partitioning in
-      // T is near->rootweight - (sq - w(v)). (The paper's pseudocode
-      // subtracts table fields directly, which would mix the two bases.)
-      const Weight near_actual = near->rootweight - (sq - wv);
-      s.delta_w = s.opt_rootweight - near_actual;
+  if (threads <= 1) {
+    // Sequential path: identical to the parallel one, in postorder (the
+    // pre-pooling execution order), with a single reused workspace.
+    DhwWorker worker;
+    for (const NodeId v : inner) {
+      SolveInnerNode(tree, limit, v, sol, worker);
     }
     if (stats != nullptr) {
-      stats->inner_nodes += 1;
-      stats->rows += dp.RowCount();
-      stats->cells += dp.CellCount();
-      stats->full_table_cells +=
-          (limit - wv + 1) * (children.size() + 1);
+      stats->inner_nodes += worker.stats.inner_nodes;
+      stats->rows += worker.stats.rows;
+      stats->cells += worker.stats.cells;
+      stats->full_table_cells += worker.stats.full_table_cells;
+    }
+  } else {
+    // Dependency-counter schedule: inner node v becomes ready once all of
+    // its inner children are solved (leaves were solved above). Each inner
+    // node's only dependent is its parent, which is itself inner, so the
+    // graph is exactly the tree restricted to inner nodes.
+    std::vector<uint32_t> task_of(tree.size(), ThreadPool::kNoDependent);
+    for (size_t i = 0; i < inner.size(); ++i) {
+      task_of[inner[i]] = static_cast<uint32_t>(i);
+    }
+    std::vector<uint32_t> dependency_counts(inner.size(), 0);
+    std::vector<uint32_t> dependent_of(inner.size(),
+                                       ThreadPool::kNoDependent);
+    for (size_t i = 0; i < inner.size(); ++i) {
+      const NodeId parent = tree.Parent(inner[i]);
+      if (parent == kInvalidNode) continue;
+      const uint32_t parent_task = task_of[parent];
+      dependent_of[i] = parent_task;
+      ++dependency_counts[parent_task];
+    }
+
+    std::vector<DhwWorker> workers(threads);
+    ThreadPool pool(threads);
+    pool.RunGraph(inner.size(), dependency_counts.data(),
+                  dependent_of.data(),
+                  [&](size_t task, unsigned worker) {
+                    SolveInnerNode(tree, limit, inner[task], sol,
+                                   workers[worker]);
+                  });
+    if (stats != nullptr) {
+      for (const DhwWorker& worker : workers) {
+        stats->inner_nodes += worker.stats.inner_nodes;
+        stats->rows += worker.stats.rows;
+        stats->cells += worker.stats.cells;
+        stats->full_table_cells += worker.stats.full_table_cells;
+      }
     }
   }
 
   // Top-down extraction: the root uses its optimal partitioning; a node
   // uses its nearly optimal partitioning iff the interval containing it
-  // selected it (field `nearly` of the chosen entry).
+  // selected it (field `nearly` of the chosen entry). Sequential and
+  // independent of the solve schedule, so the emitted interval order (and
+  // hence the whole result) is byte-identical across thread counts.
   Partitioning p;
   p.Add(tree.root(), tree.root());
   std::vector<std::pair<NodeId, bool>> stack = {{tree.root(), false}};
+  std::vector<NodeId> children;
+  std::vector<char> child_near;
   while (!stack.empty()) {
     const auto [v, use_near] = stack.back();
     stack.pop_back();
@@ -97,17 +196,26 @@ Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
     const NodeSolution& s = sol[v];
     const std::vector<FlatDp::IntervalChoice>& chain =
         use_near ? s.near_chain : s.opt_chain;
-    const std::vector<NodeId> children = tree.Children(v);
-    std::vector<bool> child_near(children.size(), false);
+    children.clear();
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      children.push_back(c);
+    }
+    child_near.assign(children.size(), 0);
     for (const FlatDp::IntervalChoice& choice : chain) {
       p.Add(children[choice.begin], children[choice.end]);
-      for (const uint32_t idx : choice.nearly) child_near[idx] = true;
+      for (const uint32_t idx : choice.nearly) child_near[idx] = 1;
     }
     for (size_t i = 0; i < children.size(); ++i) {
-      stack.push_back({children[i], child_near[i]});
+      stack.push_back({children[i], child_near[i] != 0});
     }
   }
   return p;
+}
+
+Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
+                                  DpStats* stats) {
+  return DhwPartition(tree, limit, DhwOptions{}, stats);
 }
 
 }  // namespace natix

@@ -36,10 +36,29 @@ Result<Partitioning> FdwPartition(const Tree& tree, TotalWeight limit,
 Result<Partitioning> GhdwPartition(const Tree& tree, TotalWeight limit,
                                    DpStats* stats = nullptr);
 
+/// Execution options for DHW's parallel bottom-up phase.
+struct DhwOptions {
+  /// Worker threads for the bottom-up DP phase. 0 = one per hardware
+  /// thread; 1 = today's sequential execution order. The result is
+  /// byte-identical for every value (the per-node DP is deterministic;
+  /// only the schedule varies).
+  unsigned num_threads = 0;
+  /// Trees smaller than this are solved sequentially regardless of
+  /// num_threads: below it the pool's wake-up and steal overhead exceeds
+  /// the DP work. Tests lower it to force the parallel path on tiny trees.
+  size_t min_parallel_nodes = 4096;
+};
+
 /// Algorithm DHW (Fig. 7): optimal tree sibling partitioning. Extends GHDW
 /// with the choice between optimal and nearly optimal subtree partitionings
 /// (Lemmas 3-5). Produces a minimal *and* lean partitioning in O(nK^3).
+/// The bottom-up phase runs on a work-stealing pool (see DhwOptions);
+/// independent subtrees are solved concurrently with per-thread pooled DP
+/// workspaces.
 Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
+                                  DpStats* stats = nullptr);
+Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
+                                  const DhwOptions& options,
                                   DpStats* stats = nullptr);
 
 }  // namespace natix

@@ -15,8 +15,16 @@ constexpr uint32_t kInfeasibleCard = std::numeric_limits<uint32_t>::max();
 // sliding interval of candidate 2 inserts each child's ΔW once; the query
 // answers "how many of the largest ΔWs are needed to reach a given sum"
 // (the greedy of Lemma 5) in O(log K).
-DeltaWindow::DeltaWindow(uint32_t limit)
-    : n_(limit), cnt_(limit + 1, 0), sum_(limit + 1, 0) {
+void DeltaWindow::Reset(uint32_t limit) {
+  // Every Insert() since the last Clear() is undone first, so the trees are
+  // all-zero and re-targeting is just a matter of growing them: stale
+  // (now out-of-range) positions hold zeroes and never perturb a query.
+  Clear();
+  n_ = limit;
+  if (cnt_.size() < static_cast<size_t>(limit) + 1) {
+    cnt_.resize(static_cast<size_t>(limit) + 1, 0);
+    sum_.resize(static_cast<size_t>(limit) + 1, 0);
+  }
   log_ = 0;
   while ((1u << (log_ + 1)) <= n_) ++log_;
 }
@@ -74,49 +82,130 @@ uint32_t DeltaWindow::MinCountForSum(uint64_t need) const {
   return acc_cnt + static_cast<uint32_t>((remaining + value - 1) / value);
 }
 
+void FlatDpWorkspace::BeginNode(uint32_t limit) {
+  ++epoch_;
+  if (per_s_.size() < static_cast<size_t>(limit) + 1) {
+    per_s_.resize(static_cast<size_t>(limit) + 1);
+  }
+  rows_used_ = 0;
+  used_s_.clear();
+  window_.Reset(limit);
+}
+
+uint32_t FlatDpWorkspace::AcquireRowSlot(uint32_t s) {
+  if (rows_used_ == row_pool_.size()) {
+    row_pool_.emplace_back();
+  } else {
+    row_pool_[rows_used_].clear();  // keeps the capacity
+  }
+  used_s_.push_back(s);
+  return static_cast<uint32_t>(rows_used_++);
+}
+
 FlatDp::FlatDp(Weight node_weight, std::vector<Weight> child_weights,
-               std::vector<Weight> delta_w, TotalWeight limit)
+               std::vector<Weight> delta_w, TotalWeight limit,
+               FlatDpWorkspace* workspace)
     : node_weight_(node_weight),
-      child_weights_(std::move(child_weights)),
-      delta_w_(std::move(delta_w)),
-      limit_(static_cast<uint32_t>(limit)),
-      first_col_(limit_ + 1, -1),
-      window_(limit_) {
+      owned_child_weights_(std::move(child_weights)),
+      owned_delta_w_(std::move(delta_w)) {
+  assert(owned_delta_w_.empty() ||
+         owned_delta_w_.size() == owned_child_weights_.size());
+  if (owned_delta_w_.empty()) {
+    owned_delta_w_.assign(owned_child_weights_.size(), 0);
+  }
+  child_weights_ = owned_child_weights_.data();
+  delta_w_ = owned_delta_w_.data();
+  child_count_ = owned_child_weights_.size();
+  Init(limit, workspace);
+}
+
+FlatDp::FlatDp(Weight node_weight, const Weight* child_weights,
+               const Weight* delta_w, size_t child_count, TotalWeight limit,
+               FlatDpWorkspace* workspace)
+    : node_weight_(node_weight),
+      child_weights_(child_weights),
+      delta_w_(delta_w),
+      child_count_(child_count) {
+  if (delta_w_ == nullptr) {
+    owned_delta_w_.assign(child_count_, 0);
+    delta_w_ = owned_delta_w_.data();
+  }
+  Init(limit, workspace);
+}
+
+void FlatDp::Init(TotalWeight limit, FlatDpWorkspace* workspace) {
+  limit_ = static_cast<uint32_t>(limit);
   (void)node_weight_;
   assert(node_weight_ >= 1 && node_weight_ <= limit_);
-  assert(delta_w_.empty() || delta_w_.size() == child_weights_.size());
-  for (const Weight w : child_weights_) {
-    (void)w;
-    assert(w >= 1 && w <= limit_);
+  for (size_t i = 0; i < child_count_; ++i) {
+    (void)i;
+    assert(child_weights_[i] >= 1 && child_weights_[i] <= limit_);
   }
-  if (delta_w_.empty()) delta_w_.assign(child_weights_.size(), 0);
+  if (workspace == nullptr) {
+    owned_ws_ = std::make_unique<FlatDpWorkspace>();
+    workspace = owned_ws_.get();
+  }
+  ws_ = workspace;
+  ws_->BeginNode(limit_);
+}
+
+int32_t FlatDp::FirstColOf(uint32_t s) const {
+  const FlatDpWorkspace::RowState& st = ws_->per_s_[s];
+  return st.first_col_epoch == ws_->epoch_ ? st.first_col : -1;
+}
+
+void FlatDp::SetFirstCol(uint32_t s, int32_t col) {
+  FlatDpWorkspace::RowState& st = ws_->per_s_[s];
+  st.first_col_epoch = ws_->epoch_;
+  st.first_col = col;
+}
+
+std::vector<FlatDp::Entry>& FlatDp::RowFor(uint32_t s) {
+  FlatDpWorkspace::RowState& st = ws_->per_s_[s];
+  if (st.row_epoch != ws_->epoch_) {
+    st.row_epoch = ws_->epoch_;
+    st.row_slot = ws_->AcquireRowSlot(s);
+  }
+  return ws_->row_pool_[st.row_slot];
+}
+
+const std::vector<FlatDp::Entry>* FlatDp::FindRow(uint32_t s) const {
+  const FlatDpWorkspace::RowState& st = ws_->per_s_[s];
+  return st.row_epoch == ws_->epoch_ ? &ws_->row_pool_[st.row_slot] : nullptr;
 }
 
 void FlatDp::EnsureSeed(uint32_t s) {
   if (s > limit_) return;
-  const int32_t n = static_cast<int32_t>(child_weights_.size());
-  if (first_col_[s] >= n) return;  // already ensured for a full query
+  const int32_t n = static_cast<int32_t>(child_count_);
+  if (FirstColOf(s) >= n) return;  // already ensured for a full query
 
   // Phase 1: propagate the needed-cell frontier column by column.
   // `active` holds the s values raised by this call; at column j each of
   // them may raise s + w(c_j) to column j - 1 (candidate 1 of Lemma 2).
   // Candidate 2 stays within the same row at lower columns, which the
-  // monotone first_col_ extent already covers.
+  // monotone first_col extent already covers.
   const size_t words = (static_cast<size_t>(limit_) + 64) / 64;
-  std::vector<uint64_t> active(words, 0);
+  std::vector<uint64_t>& active = ws_->active_;
+  active.assign(words, 0);
+  std::vector<uint64_t>& shifted = ws_->shifted_;
+  shifted.assign(words, 0);
   auto set_bit = [&](uint32_t i) { active[i >> 6] |= 1ull << (i & 63); };
+  auto test_bit = [&](uint32_t i) {
+    return (active[i >> 6] >> (i & 63)) & 1u;
+  };
 
-  std::vector<uint32_t> raised;
+  // `active` doubles as the membership bitmap for `raised`: a bit is set
+  // exactly when the value was noted, so the duplicate check is O(1)
+  // instead of a linear scan over the raised list.
+  std::vector<uint32_t>& raised = ws_->raised_;
+  raised.clear();
   auto note_raise = [&](uint32_t value, int32_t col) {
-    if (std::find(raised.begin(), raised.end(), value) == raised.end()) {
-      raised.push_back(value);
-    }
-    first_col_[value] = col;
+    if (!test_bit(value)) raised.push_back(value);
+    SetFirstCol(value, col);
     set_bit(value);
   };
 
   note_raise(s, n);
-  std::vector<uint64_t> shifted(words, 0);
   for (int32_t j = n; j >= 1; --j) {
     const Weight w = child_weights_[static_cast<size_t>(j - 1)];
     if (w > limit_) continue;
@@ -140,7 +229,7 @@ void FlatDp::EnsureSeed(uint32_t s) {
         bits &= bits - 1;
         const uint32_t value = static_cast<uint32_t>(i * 64 + b);
         if (value > limit_) break;
-        if (first_col_[value] < j - 1) note_raise(value, j - 1);
+        if (FirstColOf(value) < j - 1) note_raise(value, j - 1);
       }
     }
   }
@@ -149,12 +238,12 @@ void FlatDp::EnsureSeed(uint32_t s) {
   // on rows with larger s, and on earlier cells of its own row).
   std::sort(raised.rbegin(), raised.rend());
   for (const uint32_t value : raised) {
-    FillCells(value, static_cast<size_t>(first_col_[value]));
+    FillCells(value, static_cast<size_t>(FirstColOf(value)));
   }
 }
 
 void FlatDp::FillCells(uint32_t s, size_t upto) {
-  std::vector<Entry>& row = rows_[s];  // creates empty row if absent
+  std::vector<Entry>& row = RowFor(s);  // creates empty row if absent
   if (row.size() > upto) return;
   row.reserve(upto + 1);
   if (row.empty()) {
@@ -166,6 +255,7 @@ void FlatDp::FillCells(uint32_t s, size_t upto) {
     row.push_back(base);
   }
 
+  DeltaWindow& window = ws_->window_;
   for (size_t j = row.size(); j <= upto; ++j) {
     Entry best;
     best.card = kInfeasibleCard;
@@ -176,10 +266,11 @@ void FlatDp::FillCells(uint32_t s, size_t upto) {
     const uint64_t s_joined =
         static_cast<uint64_t>(s) + child_weights_[j - 1];
     if (s_joined <= limit_) {
-      const auto it = rows_.find(static_cast<uint32_t>(s_joined));
-      assert(it != rows_.end() && it->second.size() >= j &&
+      const std::vector<Entry>* joined =
+          FindRow(static_cast<uint32_t>(s_joined));
+      assert(joined != nullptr && joined->size() >= j &&
              "needed-cell propagation must cover candidate 1");
-      best = it->second[j - 1];
+      best = (*joined)[j - 1];
     }
 
     // Candidate 2 (Lemma 2, statement 2): append an interval
@@ -188,7 +279,7 @@ void FlatDp::FillCells(uint32_t s, size_t upto) {
     // fits once children switch to nearly optimal ones, the number of
     // switches is the minimal count of largest ΔWs covering the excess
     // (Lemma 5); each switch costs one partition.
-    window_.Clear();
+    window.Clear();
     uint64_t w = 0;
     uint64_t dw_sum = 0;
     for (size_t m = 0; m < j && m < limit_; ++m) {
@@ -197,12 +288,12 @@ void FlatDp::FillCells(uint32_t s, size_t upto) {
       w += child_weights_[left];
       const Weight d = delta_w_[left];
       dw_sum += d;
-      if (d > 0) window_.Insert(d);
+      if (d > 0) window.Insert(d);
       if (w - dw_sum > limit_) continue;  // even all-nearly-optimal too heavy
 
       const Entry& base = row[left];
       uint32_t crd = base.card + 1;
-      if (w > limit_) crd += window_.MinCountForSum(w - limit_);
+      if (w > limit_) crd += window.MinCountForSum(w - limit_);
       const uint32_t rw = base.rootweight;
       if (crd < best.card || (crd == best.card && rw < best.rootweight)) {
         best.card = crd;
@@ -217,16 +308,16 @@ void FlatDp::FillCells(uint32_t s, size_t upto) {
            "every (s <= K, j) subproblem is feasible");
     row.push_back(best);
   }
-  window_.Clear();
+  window.Clear();
 }
 
 const FlatDp::Entry* FlatDp::FinalEntry(uint32_t s) const {
   if (s > limit_) return nullptr;
-  const auto it = rows_.find(s);
-  assert(it != rows_.end() &&
-         it->second.size() == child_weights_.size() + 1 &&
+  const std::vector<Entry>* row = FindRow(s);
+  (void)row;
+  assert(row != nullptr && row->size() == child_count_ + 1 &&
          "EnsureSeed(s) must be called first");
-  return &it->second[child_weights_.size()];
+  return &(*FindRow(s))[child_count_];
 }
 
 std::vector<uint32_t> FlatDp::ComputeNearlySet(uint32_t begin,
@@ -263,16 +354,18 @@ std::vector<FlatDp::IntervalChoice> FlatDp::ExtractChain(uint32_t s) const {
       out.push_back({begin, end, ComputeNearlySet(begin, end)});
     }
     if (e->next_j < 0) break;
-    const auto it = rows_.find(e->next_s);
-    assert(it != rows_.end());
-    e = &it->second[static_cast<size_t>(e->next_j)];
+    const std::vector<Entry>* row = FindRow(e->next_s);
+    assert(row != nullptr);
+    e = &(*row)[static_cast<size_t>(e->next_j)];
   }
   return out;
 }
 
 size_t FlatDp::CellCount() const {
   size_t cells = 0;
-  for (const auto& [s, row] : rows_) cells += row.size();
+  for (const uint32_t s : ws_->used_s_) {
+    cells += ws_->row_pool_[ws_->per_s_[s].row_slot].size();
+  }
   return cells;
 }
 

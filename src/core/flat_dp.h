@@ -2,12 +2,125 @@
 #define NATIX_CORE_FLAT_DP_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "tree/tree.h"
 
 namespace natix {
+
+/// Fenwick-tree window over the ΔW values of the children currently in
+/// candidate 2's sliding interval. Supports O(log K) insertion and the
+/// O(log K) query "minimal number of largest ΔWs whose sum reaches X",
+/// which is exactly the greedy switch count of Lemma 5. The concrete set
+/// of switched children is only materialized for the intervals of the
+/// final solution (ComputeNearlySet), keeping the DP inner loop cheap.
+///
+/// The window is reusable: Clear() undoes exactly the insertions since the
+/// previous Clear() (O(inserted log K)), and Reset() re-targets the window
+/// at a new limit without zeroing the O(K) trees — both are what lets a
+/// pooled workspace run node after node with zero steady-state allocation.
+class DeltaWindow {
+ public:
+  DeltaWindow() = default;
+  explicit DeltaWindow(uint32_t limit) { Reset(limit); }
+
+  /// Re-targets the window at `limit`. Clears any outstanding insertions
+  /// first (O(inserted)); the backing trees only grow, so the call
+  /// allocates at most once per high-water limit.
+  void Reset(uint32_t limit);
+
+  /// Adds one child's ΔW (must be in [1, limit]).
+  void Insert(Weight delta);
+  /// Removes everything inserted since the last Clear().
+  void Clear();
+  /// Minimal count of largest inserted values with sum >= need. The total
+  /// inserted sum must be >= need.
+  uint32_t MinCountForSum(uint64_t need) const;
+
+ private:
+  void Update(size_t pos, int32_t dc, int64_t ds);
+
+  size_t n_ = 0;
+  uint32_t log_ = 0;
+  std::vector<uint32_t> cnt_;
+  std::vector<uint64_t> sum_;
+  std::vector<Weight> inserted_;
+};
+
+class FlatDp;
+
+/// One DP table cell. (Defined at namespace scope so FlatDpWorkspace can
+/// pool rows of them; use FlatDp::Entry in client code.)
+struct FlatDpEntry {
+  /// Number of intervals committed so far along the chain, plus one per
+  /// nearly-optimal switch (constant baseline per node; only differences
+  /// matter).
+  uint32_t card = 0;
+  /// Weight of the root partition of this (partial) solution.
+  uint32_t rootweight = 0;
+  /// Child index range [begin, end] of the interval added by this entry;
+  /// begin == -1 if this entry added no interval.
+  int32_t begin = -1;
+  int32_t end = -1;
+  /// Chain predecessor (row s `next_s`, column `next_j`); next_j == -1
+  /// terminates the chain.
+  uint32_t next_s = 0;
+  int32_t next_j = -1;
+};
+
+/// Reusable backing store for FlatDp instances.
+///
+/// A FlatDp run needs a handful of O(K)-sized structures (the needed-cell
+/// frontier, the row index, the ΔW window) plus one Entry vector per
+/// materialized row. Allocating those per node is what dominated DHW's
+/// allocator traffic, so a workspace keeps all of them alive across nodes:
+/// row vectors are recycled from a pool (their capacity survives), and the
+/// per-s metadata is invalidated in O(1) by an epoch stamp instead of an
+/// O(K) wipe. In steady state (same limit, row/scratch capacities warmed
+/// up) a FlatDp run performs zero heap allocations.
+///
+/// A workspace serves one FlatDp at a time: constructing a new FlatDp on it
+/// invalidates the tables of the previous one. It is not thread-safe; use
+/// one workspace per worker thread.
+class FlatDpWorkspace {
+ public:
+  FlatDpWorkspace() = default;
+  FlatDpWorkspace(const FlatDpWorkspace&) = delete;
+  FlatDpWorkspace& operator=(const FlatDpWorkspace&) = delete;
+
+ private:
+  friend class FlatDp;
+
+  /// Per root-weight value s: the needed-cell frontier and the row handle,
+  /// each valid only when its stamp matches the workspace epoch.
+  struct RowState {
+    uint64_t first_col_epoch = 0;
+    uint64_t row_epoch = 0;
+    uint32_t row_slot = 0;
+    int32_t first_col = -1;
+  };
+
+  /// Starts a new FlatDp run: bumps the epoch (invalidating all per-s
+  /// state) and re-targets the ΔW window. O(1) amortized.
+  void BeginNode(uint32_t limit);
+
+  /// Recycles (or creates) a row vector and registers it for value s.
+  uint32_t AcquireRowSlot(uint32_t s);
+
+  uint64_t epoch_ = 0;
+  std::vector<RowState> per_s_;
+  /// Recycled row vectors; [0, rows_used_) are live for the current epoch.
+  std::vector<std::vector<FlatDpEntry>> row_pool_;
+  size_t rows_used_ = 0;
+  /// s values with a live row this epoch (for cell accounting).
+  std::vector<uint32_t> used_s_;
+  DeltaWindow window_;
+  /// EnsureSeed scratch: reachability bitsets and the raised-value list.
+  std::vector<uint64_t> active_;
+  std::vector<uint64_t> shifted_;
+  std::vector<uint32_t> raised_;
+};
 
 /// The dynamic programming engine shared by FDW, GHDW and DHW
 /// (Figs. 4, 5 and 7 of the paper).
@@ -43,53 +156,9 @@ namespace natix {
 /// those cells. The paper reports that fewer than 4 of 256 s values occur
 /// on average for real documents; RowCount()/CellCount() expose the actual
 /// usage for the memoization ablation benchmark.
-/// Fenwick-tree window over the ΔW values of the children currently in
-/// candidate 2's sliding interval. Supports O(log K) insertion and the
-/// O(log K) query "minimal number of largest ΔWs whose sum reaches X",
-/// which is exactly the greedy switch count of Lemma 5. The concrete set
-/// of switched children is only materialized for the intervals of the
-/// final solution (ComputeNearlySet), keeping the DP inner loop cheap.
-class DeltaWindow {
- public:
-  explicit DeltaWindow(uint32_t limit);
-
-  /// Adds one child's ΔW (must be in [1, limit]).
-  void Insert(Weight delta);
-  /// Removes everything inserted since the last Clear().
-  void Clear();
-  /// Minimal count of largest inserted values with sum >= need. The total
-  /// inserted sum must be >= need.
-  uint32_t MinCountForSum(uint64_t need) const;
-
- private:
-  void Update(size_t pos, int32_t dc, int64_t ds);
-
-  size_t n_;
-  uint32_t log_ = 0;
-  std::vector<uint32_t> cnt_;
-  std::vector<uint64_t> sum_;
-  std::vector<Weight> inserted_;
-};
-
 class FlatDp {
  public:
-  /// One DP table cell.
-  struct Entry {
-    /// Number of intervals committed so far along the chain, plus one per
-    /// nearly-optimal switch (constant baseline per node; only differences
-    /// matter).
-    uint32_t card = 0;
-    /// Weight of the root partition of this (partial) solution.
-    uint32_t rootweight = 0;
-    /// Child index range [begin, end] of the interval added by this entry;
-    /// begin == -1 if this entry added no interval.
-    int32_t begin = -1;
-    int32_t end = -1;
-    /// Chain predecessor (row s `next_s`, column `next_j`); next_j == -1
-    /// terminates the chain.
-    uint32_t next_s = 0;
-    int32_t next_j = -1;
-  };
+  using Entry = FlatDpEntry;
 
   /// One interval of an extracted solution, in child-index space.
   struct IntervalChoice {
@@ -104,8 +173,18 @@ class FlatDp {
   /// be in [1, limit].
   /// `delta_w`: per-child ΔW (empty, or same size as `child_weights`).
   /// `limit`: the weight limit K.
+  /// `workspace`: optional pooled backing store; when null the FlatDp owns
+  /// a private workspace (the pre-pooling behaviour).
   FlatDp(Weight node_weight, std::vector<Weight> child_weights,
-         std::vector<Weight> delta_w, TotalWeight limit);
+         std::vector<Weight> delta_w, TotalWeight limit,
+         FlatDpWorkspace* workspace = nullptr);
+
+  /// Borrowing variant for hot loops: operates directly on caller-owned
+  /// arrays of `child_count` weights/ΔWs, which must outlive the FlatDp.
+  /// `delta_w` may be null (all-zero ΔW).
+  FlatDp(Weight node_weight, const Weight* child_weights,
+         const Weight* delta_w, size_t child_count, TotalWeight limit,
+         FlatDpWorkspace* workspace);
 
   /// Ensures the cells reachable from the query (s, child_count) exist.
   /// No-op if s > limit (the query is then infeasible).
@@ -119,14 +198,22 @@ class FlatDp {
   /// intervals (right-to-left order). EnsureSeed(s) must have been called.
   std::vector<IntervalChoice> ExtractChain(uint32_t s) const;
 
-  size_t child_count() const { return child_weights_.size(); }
+  size_t child_count() const { return child_count_; }
 
   /// Number of materialized rows (distinct s values) and cells; exposed for
   /// the memoization ablation benchmark.
-  size_t RowCount() const { return rows_.size(); }
+  size_t RowCount() const { return ws_->rows_used_; }
   size_t CellCount() const;
 
  private:
+  void Init(TotalWeight limit, FlatDpWorkspace* workspace);
+
+  /// Row accessors, all epoch-checked against the workspace.
+  int32_t FirstColOf(uint32_t s) const;
+  void SetFirstCol(uint32_t s, int32_t col);
+  std::vector<Entry>& RowFor(uint32_t s);
+  const std::vector<Entry>* FindRow(uint32_t s) const;
+
   /// Appends cells [row.size(), upto] to the row for s.
   void FillCells(uint32_t s, size_t upto);
   /// Greedy nearly-optimal switch set for the interval [begin, end]
@@ -134,16 +221,16 @@ class FlatDp {
   std::vector<uint32_t> ComputeNearlySet(uint32_t begin, uint32_t end) const;
 
   Weight node_weight_;
-  std::vector<Weight> child_weights_;
-  std::vector<Weight> delta_w_;
-  uint32_t limit_;
-  /// first_col_[s]: highest column where value s is needed; -1 = not needed.
-  std::vector<int32_t> first_col_;
-  /// Rows keyed by s, descending (fill dependency order). Row s holds
-  /// columns [0, first_col_[s]].
-  std::map<uint32_t, std::vector<Entry>, std::greater<>> rows_;
-  /// Scratch ΔW window for candidate 2 (cleared per column).
-  DeltaWindow window_;
+  /// Backing storage for the owning constructor; the borrowing constructor
+  /// leaves these empty.
+  std::vector<Weight> owned_child_weights_;
+  std::vector<Weight> owned_delta_w_;
+  const Weight* child_weights_ = nullptr;
+  const Weight* delta_w_ = nullptr;
+  size_t child_count_ = 0;
+  uint32_t limit_ = 0;
+  FlatDpWorkspace* ws_ = nullptr;
+  std::unique_ptr<FlatDpWorkspace> owned_ws_;
 };
 
 }  // namespace natix

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/exact_algorithms.h"
+#include "core/flat_dp.h"
+#include "tests/test_util.h"
+
+namespace natix {
+namespace {
+
+using testing_util::MustBeFeasible;
+using testing_util::RandomTree;
+
+DhwOptions ForcedParallel(unsigned threads) {
+  DhwOptions opts;
+  opts.num_threads = threads;
+  opts.min_parallel_nodes = 2;  // exercise the pool even on tiny trees
+  return opts;
+}
+
+// The headline guarantee: DHW output is byte-identical across thread
+// counts — same cardinality, same root weight, and the exact same interval
+// sequence (not just an equivalent set).
+TEST(DhwParallelTest, DeterministicAcrossThreadCounts) {
+  Rng rng(777);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t n = 2 + rng.NextBounded(120);
+    const Tree t = RandomTree(rng, n, 6);
+    const TotalWeight k = t.MaxNodeWeight() + rng.NextBounded(12);
+
+    const Result<Partitioning> sequential =
+        DhwPartition(t, k, ForcedParallel(1));
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    const PartitionAnalysis base = MustBeFeasible(t, *sequential, k);
+
+    for (const unsigned threads : {2u, 3u, 4u, 8u}) {
+      const Result<Partitioning> parallel =
+          DhwPartition(t, k, ForcedParallel(threads));
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ASSERT_EQ(sequential->intervals(), parallel->intervals())
+          << TreeToSpec(t) << " K=" << k << " threads=" << threads;
+      const PartitionAnalysis a = MustBeFeasible(t, *parallel, k);
+      EXPECT_EQ(a.cardinality, base.cardinality);
+      EXPECT_EQ(a.root_weight, base.root_weight);
+    }
+  }
+}
+
+TEST(DhwParallelTest, MatchesDefaultEntryPoint) {
+  // The stats-taking 3-arg overload and the options overload agree.
+  Rng rng(4242);
+  const Tree t = RandomTree(rng, 200, 5);
+  const TotalWeight k = t.MaxNodeWeight() + 7;
+  const Result<Partitioning> a = DhwPartition(t, k);
+  const Result<Partitioning> b = DhwPartition(t, k, ForcedParallel(4));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->intervals(), b->intervals());
+}
+
+// Per-thread DpStats are merged after the run; the totals must not depend
+// on how the nodes were distributed over workers.
+TEST(DhwParallelTest, StatsAggregateAcrossThreads) {
+  Rng rng(99);
+  const Tree t = RandomTree(rng, 300, 4);
+  const TotalWeight k = t.MaxNodeWeight() + 9;
+
+  DpStats sequential;
+  ASSERT_TRUE(DhwPartition(t, k, ForcedParallel(1), &sequential).ok());
+  for (const unsigned threads : {2u, 4u}) {
+    DpStats parallel;
+    ASSERT_TRUE(DhwPartition(t, k, ForcedParallel(threads), &parallel).ok());
+    EXPECT_EQ(parallel.inner_nodes, sequential.inner_nodes);
+    EXPECT_EQ(parallel.rows, sequential.rows);
+    EXPECT_EQ(parallel.cells, sequential.cells);
+    EXPECT_EQ(parallel.full_table_cells, sequential.full_table_cells);
+  }
+}
+
+std::vector<FlatDp::IntervalChoice> SolveOn(FlatDpWorkspace* ws,
+                                            Weight node_weight,
+                                            const std::vector<Weight>& w,
+                                            const std::vector<Weight>& d,
+                                            TotalWeight limit,
+                                            uint32_t* rootweight) {
+  FlatDp dp(node_weight, w.data(), d.data(), w.size(), limit, ws);
+  dp.EnsureSeed(node_weight);
+  const FlatDp::Entry* e = dp.FinalEntry(node_weight);
+  *rootweight = e->rootweight;
+  return dp.ExtractChain(node_weight);
+}
+
+bool SameChains(const std::vector<FlatDp::IntervalChoice>& a,
+                const std::vector<FlatDp::IntervalChoice>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].begin != b[i].begin || a[i].end != b[i].end ||
+        a[i].nearly != b[i].nearly) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Workspace reuse: a second flat problem solved on a warmed-up workspace
+// must be unaffected by the first one's stale rows, frontier marks and
+// window contents.
+TEST(DhwParallelTest, WorkspaceReuseIsStateless) {
+  const std::vector<Weight> w1 = {4, 4, 1, 3};
+  const std::vector<Weight> d1 = {2, 0, 0, 1};
+  const std::vector<Weight> w2 = {2, 5, 2, 2, 1};
+  const std::vector<Weight> d2 = {0, 3, 1, 0, 0};
+
+  // Reference results from fresh workspaces.
+  FlatDpWorkspace fresh1, fresh2;
+  uint32_t rw1 = 0, rw2 = 0;
+  const auto chain1 = SolveOn(&fresh1, 3, w1, d1, 6, &rw1);
+  const auto chain2 = SolveOn(&fresh2, 2, w2, d2, 6, &rw2);
+
+  // Same two problems back-to-back on one shared workspace, in both
+  // orders, plus a repeat of the first to catch same-limit staleness.
+  FlatDpWorkspace shared;
+  uint32_t rw = 0;
+  EXPECT_TRUE(SameChains(SolveOn(&shared, 3, w1, d1, 6, &rw), chain1));
+  EXPECT_EQ(rw, rw1);
+  EXPECT_TRUE(SameChains(SolveOn(&shared, 2, w2, d2, 6, &rw), chain2));
+  EXPECT_EQ(rw, rw2);
+  EXPECT_TRUE(SameChains(SolveOn(&shared, 3, w1, d1, 6, &rw), chain1));
+  EXPECT_EQ(rw, rw1);
+}
+
+// Randomized version of the reuse test against the owning (private
+// workspace) constructor, across varying limits on the same workspace.
+TEST(DhwParallelTest, WorkspaceReuseMatchesPrivateWorkspace) {
+  Rng rng(1234);
+  FlatDpWorkspace shared;
+  for (int iter = 0; iter < 200; ++iter) {
+    const TotalWeight limit = 2 + rng.NextBounded(30);
+    const Weight node_weight =
+        static_cast<Weight>(rng.NextInRange(1, static_cast<Weight>(limit)));
+    const size_t n = rng.NextBounded(12);
+    std::vector<Weight> weights, deltas;
+    for (size_t i = 0; i < n; ++i) {
+      const Weight w =
+          static_cast<Weight>(rng.NextInRange(1, static_cast<Weight>(limit)));
+      weights.push_back(w);
+      // ΔW can never exceed w - 1 (the nearly optimal root keeps the node).
+      deltas.push_back(w > 1 ? static_cast<Weight>(rng.NextBounded(w)) : 0);
+    }
+
+    uint32_t rw_shared = 0, rw_private = 0;
+    const auto shared_chain =
+        SolveOn(&shared, node_weight, weights, deltas, limit, &rw_shared);
+
+    FlatDp dp(node_weight, weights, deltas, limit);  // private workspace
+    dp.EnsureSeed(node_weight);
+    rw_private = dp.FinalEntry(node_weight)->rootweight;
+    const auto private_chain = dp.ExtractChain(node_weight);
+
+    EXPECT_EQ(rw_shared, rw_private) << "iter " << iter;
+    EXPECT_TRUE(SameChains(shared_chain, private_chain)) << "iter " << iter;
+  }
+}
+
+// Two FlatDp runs on one workspace where the second node's reachable rows
+// are a strict subset of the first's: any stale row reuse would surface as
+// a wrong (already filled, wrong-seed) table.
+TEST(DhwParallelTest, SecondRunDoesNotSeeFirstRunsRows) {
+  FlatDpWorkspace ws;
+  {
+    FlatDp dp(1, std::vector<Weight>{2, 3, 4}, {}, 25, &ws);
+    dp.EnsureSeed(1);
+    ASSERT_NE(dp.FinalEntry(1), nullptr);
+    EXPECT_GT(dp.RowCount(), 1u);
+  }
+  {
+    // Same s values reachable, different child weights: must refill.
+    FlatDp dp(1, std::vector<Weight>{9, 9, 9}, {}, 25, &ws);
+    dp.EnsureSeed(1);
+    const FlatDp::Entry* e = dp.FinalEntry(1);
+    ASSERT_NE(e, nullptr);
+    // 1 + 9 + 9 + 9 = 28 > 25: at least one interval is forced.
+    EXPECT_GT(e->card, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace natix

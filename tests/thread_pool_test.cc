@@ -1,0 +1,107 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace natix {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndependentTaskExactlyOnce) {
+  constexpr size_t kTasks = 1000;
+  std::vector<uint32_t> deps(kTasks, 0);
+  std::vector<uint32_t> dependent(kTasks, ThreadPool::kNoDependent);
+  std::vector<std::atomic<uint32_t>> ran(kTasks);
+  for (auto& r : ran) r.store(0);
+
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  pool.RunGraph(kTasks, deps.data(), dependent.data(),
+                [&](size_t task, unsigned worker) {
+                  ASSERT_LT(worker, 4u);
+                  ran[task].fetch_add(1);
+                });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1u) << i;
+}
+
+TEST(ThreadPoolTest, RespectsChainDependencies) {
+  // A single chain 0 <- 1 <- ... <- n-1 (task i depends on task i-1): the
+  // completion order must be exactly 0, 1, ..., n-1 however many workers
+  // steal.
+  constexpr size_t kTasks = 200;
+  std::vector<uint32_t> deps(kTasks, 1);
+  deps[0] = 0;
+  std::vector<uint32_t> dependent(kTasks, ThreadPool::kNoDependent);
+  for (size_t i = 0; i + 1 < kTasks; ++i) {
+    dependent[i] = static_cast<uint32_t>(i + 1);
+  }
+
+  std::vector<size_t> order;
+  std::mutex mu;
+  ThreadPool pool(3);
+  pool.RunGraph(kTasks, deps.data(), dependent.data(),
+                [&](size_t task, unsigned) {
+                  std::lock_guard<std::mutex> lock(mu);
+                  order.push_back(task);
+                });
+  ASSERT_EQ(order.size(), kTasks);
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, BottomUpTreeAccumulation) {
+  // A complete binary tree of tasks; every task adds its children's
+  // results plus one into its own slot. The root must see the whole count,
+  // which proves children always complete before their parent.
+  constexpr size_t kTasks = (1u << 10) - 1;  // heap layout, root = 0
+  std::vector<uint32_t> deps(kTasks, 0);
+  std::vector<uint32_t> dependent(kTasks, ThreadPool::kNoDependent);
+  for (size_t i = 1; i < kTasks; ++i) {
+    dependent[i] = static_cast<uint32_t>((i - 1) / 2);
+    ++deps[(i - 1) / 2];
+  }
+  std::vector<uint64_t> sum(kTasks, 0);
+
+  ThreadPool pool(4);
+  pool.RunGraph(kTasks, deps.data(), dependent.data(),
+                [&](size_t task, unsigned) {
+                  uint64_t total = 1;
+                  const size_t left = 2 * task + 1;
+                  const size_t right = 2 * task + 2;
+                  if (left < kTasks) total += sum[left];
+                  if (right < kTasks) total += sum[right];
+                  sum[task] = total;
+                });
+  EXPECT_EQ(sum[0], kTasks);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossGraphs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    constexpr size_t kTasks = 64;
+    std::vector<uint32_t> deps(kTasks, 0);
+    std::vector<uint32_t> dependent(kTasks, ThreadPool::kNoDependent);
+    std::atomic<size_t> count{0};
+    pool.RunGraph(kTasks, deps.data(), dependent.data(),
+                  [&](size_t, unsigned) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), kTasks) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerAndEmptyGraph) {
+  ThreadPool pool(1);
+  size_t count = 0;
+  std::vector<uint32_t> deps(3, 0);
+  std::vector<uint32_t> dependent(3, ThreadPool::kNoDependent);
+  pool.RunGraph(0, nullptr, nullptr, [&](size_t, unsigned) { ++count; });
+  EXPECT_EQ(count, 0u);
+  pool.RunGraph(3, deps.data(), dependent.data(),
+                [&](size_t, unsigned worker) {
+                  EXPECT_EQ(worker, 0u);
+                  ++count;
+                });
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace natix
