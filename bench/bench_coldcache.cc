@@ -31,8 +31,8 @@ int main() {
   const auto ekm = natix::EkmPartition(doc.tree, kLimit);
   km.status().CheckOK();
   ekm.status().CheckOK();
-  const auto store_km = natix::NatixStore::Build(doc, *km, kLimit);
-  const auto store_ekm = natix::NatixStore::Build(doc, *ekm, kLimit);
+  const auto store_km = natix::NatixStore::Build(doc.Clone(), *km, kLimit);
+  const auto store_ekm = natix::NatixStore::Build(doc.Clone(), *ekm, kLimit);
   store_km.status().CheckOK();
   store_ekm.status().CheckOK();
   std::printf("pages: KM %zu, EKM %zu\n\n", store_km->page_count(),
@@ -49,16 +49,11 @@ int main() {
     auto run_all = [&](const natix::NatixStore& store, uint64_t* faults,
                        double* est) {
       natix::LruBufferPool pool(frames);
-      for (const natix::XPathMarkQuery& q : natix::XPathMarkQueries()) {
-        const auto path = natix::ParseXPath(q.text);
-        path.status().CheckOK();
-        natix::AccessStats stats;
-        natix::StoreQueryEvaluator eval(&store, &stats, &pool);
-        eval.Evaluate(*path).status().CheckOK();
-        *est += nav_cost.CostSeconds(stats);
-      }
+      const natix::benchutil::QueryRun sweep =
+          natix::benchutil::RunXPathMarkSweep(store, &pool, nav_cost);
       *faults = pool.stats().misses;
-      *est += static_cast<double>(pool.stats().misses) * kFaultMicros * 1e-6;
+      *est += sweep.sim_ms * 1e-3 +
+              static_cast<double>(pool.stats().misses) * kFaultMicros * 1e-6;
     };
     run_all(*store_km, &faults_km, &est_km);
     run_all(*store_ekm, &faults_ekm, &est_ekm);

@@ -26,8 +26,8 @@ int main() {
   const auto ekm = natix::EkmPartition(doc.tree, kLimit);
   km.status().CheckOK();
   ekm.status().CheckOK();
-  const auto store_km = natix::NatixStore::Build(doc, *km, kLimit);
-  const auto store_ekm = natix::NatixStore::Build(doc, *ekm, kLimit);
+  const auto store_km = natix::NatixStore::Build(doc.Clone(), *km, kLimit);
+  const auto store_ekm = natix::NatixStore::Build(doc.Clone(), *ekm, kLimit);
   store_km.status().CheckOK();
   store_ekm.status().CheckOK();
 

@@ -47,9 +47,9 @@ int main() {
   ekm.status().CheckOK();
 
   natix::Result<natix::NatixStore> store_km =
-      natix::NatixStore::Build(doc, *km, kLimit);
+      natix::NatixStore::Build(doc.Clone(), *km, kLimit);
   natix::Result<natix::NatixStore> store_ekm =
-      natix::NatixStore::Build(doc, *ekm, kLimit);
+      natix::NatixStore::Build(doc.Clone(), *ekm, kLimit);
   km.status().CheckOK();
   ekm.status().CheckOK();
   store_km.status().CheckOK();
@@ -77,37 +77,25 @@ int main() {
     const natix::Result<natix::PathExpr> path = natix::ParseXPath(q.text);
     path.status().CheckOK();
 
-    auto run = [&](const natix::NatixStore& store, natix::AccessStats* stats,
-                   double* wall_ms) {
-      natix::Timer timer;
-      natix::StoreQueryEvaluator eval(&store, stats);
-      natix::Result<std::vector<natix::NodeId>> result =
-          eval.Evaluate(*path);
-      *wall_ms = timer.ElapsedMillis();
-      result.status().CheckOK();
-      return *std::move(result);
-    };
-
-    natix::AccessStats stats_km, stats_ekm;
-    double wall_km = 0, wall_ekm = 0;
-    const auto res_km = run(*store_km, &stats_km, &wall_km);
-    const auto res_ekm = run(*store_ekm, &stats_ekm, &wall_ekm);
-    if (res_km != res_ekm) {
+    const natix::benchutil::QueryRun run_km =
+        natix::benchutil::RunStoreQuery(*store_km, *path, nullptr, cost);
+    const natix::benchutil::QueryRun run_ekm =
+        natix::benchutil::RunStoreQuery(*store_ekm, *path, nullptr, cost);
+    if (run_km.result != run_ekm.result) {
       std::fprintf(stderr, "BUG: %s results differ between layouts\n",
                    std::string(q.id).c_str());
       return 1;
     }
-    const double sim_km = cost.CostSeconds(stats_km) * 1e3;
-    const double sim_ekm = cost.CostSeconds(stats_ekm) * 1e3;
-    total_km += sim_km;
-    total_ekm += sim_ekm;
+    total_km += run_km.sim_ms;
+    total_ekm += run_ekm.sim_ms;
     std::printf(
         "%-4s %8zu | %11llu %11llu | %7.2fms %7.2fms | %7.2fms %7.2fms | "
         "%6.2fx\n",
-        std::string(q.id).c_str(), res_km.size(),
-        static_cast<unsigned long long>(stats_km.record_crossings),
-        static_cast<unsigned long long>(stats_ekm.record_crossings), sim_km,
-        sim_ekm, wall_km, wall_ekm, sim_km / sim_ekm);
+        std::string(q.id).c_str(), run_km.result.size(),
+        static_cast<unsigned long long>(run_km.stats.record_crossings),
+        static_cast<unsigned long long>(run_ekm.stats.record_crossings),
+        run_km.sim_ms, run_ekm.sim_ms, run_km.wall_ms, run_ekm.wall_ms,
+        run_km.sim_ms / run_ekm.sim_ms);
   }
   std::printf("\ntotal simulated navigation time: KM %.2fms, EKM %.2fms "
               "(%.2fx)\n",

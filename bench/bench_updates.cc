@@ -1,37 +1,98 @@
 // Extension benchmark: node-at-a-time maintenance vs. bulkload.
 //
-// Replays a corpus document as a stream of single-node insertions through
-// the IncrementalPartitioner and compares the maintained partition count
-// against a clean batch partitioning of the final tree -- quantifying the
-// "reorganization debt" that accumulates under online updates (the reason
-// Natix separates its bulkload component from the node-at-a-time
-// maintenance of its storage format).
+// Part 1 replays a corpus document as a stream of single-node insertions
+// through the bare IncrementalPartitioner and compares the maintained
+// partition count against a clean batch partitioning of the final tree --
+// quantifying the "reorganization debt" that accumulates under online
+// updates (the reason Natix separates its bulkload component from the
+// node-at-a-time maintenance of its storage format).
+//
+// Part 2 drives the full mutable store end to end: randomized inserts
+// interleaved with XPathMark query sweeps, checking every sweep against
+// the reference tree evaluator, then comparing the grown store's layout
+// and simulated navigation cost against a fresh bulkload of the final
+// document. Emits BENCH_UPDATES JSON lines (one per sweep plus a
+// summary) for snapshotting.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/algorithm.h"
+#include "core/heuristics.h"
+#include "query/reference_evaluator.h"
 #include "updates/incremental.h"
 
-int main() {
-  constexpr natix::TotalWeight kLimit = 256;
-  const double scale = natix::benchutil::ScaleFromEnv(0.25);
+namespace {
+
+/// Randomized single-node inserts matching the store_updates_test
+/// workload: uniform parent, 40% chance of a non-append position, half
+/// text nodes with 1-40 bytes of content.
+bool ApplyRandomInserts(natix::NatixStore* store, int count,
+                        natix::Rng* rng) {
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  for (int i = 0; i < count; ++i) {
+    const natix::Tree& t = store->tree();
+    const natix::NodeId parent =
+        static_cast<natix::NodeId>(rng->NextBounded(t.size()));
+    natix::NodeId before = natix::kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng->NextBool(0.4)) {
+      const std::vector<natix::NodeId> kids = t.Children(parent);
+      before = kids[rng->NextBounded(kids.size())];
+    }
+    const bool text = rng->NextBool(0.5);
+    std::string content;
+    if (text) content.assign(1 + rng->NextBounded(40), 'a' + i % 26);
+    const auto id = store->InsertBefore(
+        parent, before, text ? "" : kLabels[rng->NextBounded(4)],
+        text ? natix::NodeKind::kText : natix::NodeKind::kElement, content);
+    if (!id.ok()) {
+      std::fprintf(stderr, "insert: %s\n", id.status().ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs all XPathMark queries against the store and cross-checks each
+/// result against the reference evaluator on the store's tree.
+bool SweepMatchesReference(const natix::NatixStore& store) {
+  natix::AccessStats stats;
+  natix::StoreQueryEvaluator eval(&store, &stats);
+  for (const natix::XPathMarkQuery& q : natix::XPathMarkQueries()) {
+    const auto path = natix::ParseXPath(q.text);
+    path.status().CheckOK();
+    const auto got = eval.Evaluate(*path);
+    const auto want = natix::EvaluateOnTree(store.tree(), *path);
+    got.status().CheckOK();
+    want.status().CheckOK();
+    if (*got != *want) {
+      std::fprintf(stderr, "BUG: %s diverges from reference evaluator\n",
+                   std::string(q.id).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunReplayTable(natix::TotalWeight limit, double scale) {
   std::printf("Incremental maintenance vs. bulkload (K = %llu, "
               "scale %.2f)\n\n",
-              static_cast<unsigned long long>(kLimit), scale);
+              static_cast<unsigned long long>(limit), scale);
   std::printf("%-12s %9s | %11s %11s %9s | %9s %9s | %10s\n", "document",
               "nodes", "incremental", "batch EKM", "debt", "splits",
               "ins/sec", "opt (DHW)");
 
   for (const char* name :
        {"sigmod", "mondial", "partsupp", "uwm", "orders", "xmark"}) {
-    const auto entry = natix::benchutil::LoadDocument(name, scale, kLimit);
+    const auto entry = natix::benchutil::LoadDocument(name, scale, limit);
     const natix::Tree& source = entry->doc.tree;
 
     // Replay the document in document order as single-node insertions.
     natix::Tree replay;
     auto ip = natix::IncrementalPartitioner::CreateEmpty(
-        &replay, kLimit, source.WeightOf(source.root()),
+        &replay, limit, source.WeightOf(source.root()),
         source.LabelOf(source.root()));
     ip.status().CheckOK();
     std::vector<natix::NodeId> mapped(source.size());
@@ -49,9 +110,9 @@ int main() {
     const double seconds = timer.ElapsedSeconds();
     ip->Validate().CheckOK();
 
-    const auto batch = natix::PartitionWith("EKM", source, kLimit);
+    const auto batch = natix::PartitionWith("EKM", source, limit);
     batch.status().CheckOK();
-    const auto opt = natix::PartitionWith("DHW", source, kLimit);
+    const auto opt = natix::PartitionWith("DHW", source, limit);
     opt.status().CheckOK();
 
     std::printf("%-12s %9zu | %11zu %11zu %8.1f%% | %9llu %9.0fk | %10zu\n",
@@ -65,4 +126,132 @@ int main() {
     std::fflush(stdout);
   }
   return 0;
+}
+
+int RunStoreLeg(natix::TotalWeight limit, double scale) {
+  constexpr int kChunks = 4;
+  constexpr int kChunkInserts = 2500;
+  std::printf("\nEnd-to-end mutable store: %d randomized inserts on XMark "
+              "interleaved with XPathMark sweeps\n\n",
+              kChunks * kChunkInserts);
+
+  const auto entry = natix::benchutil::LoadDocument("xmark", scale, limit);
+  const auto ekm = natix::EkmPartition(entry->doc.tree, limit);
+  ekm.status().CheckOK();
+  auto store = natix::NatixStore::Build(entry->doc.Clone(), *ekm, limit);
+  store.status().CheckOK();
+  const size_t nodes_before = store->tree().size();
+
+  const natix::NavigationCostModel cost;
+  const natix::benchutil::QueryRun before =
+      natix::benchutil::RunXPathMarkSweep(*store, nullptr, cost);
+  const double util_before = store->PageUtilization();
+  std::printf("%9s | %9s %9s %9s | %10s %10s | %6s\n", "inserts", "ins/us",
+              "splits", "reloc", "sweep-sim", "crossings", "util");
+  std::printf("%9d | %9s %9s %9s | %8.2fms %10llu | %5.1f%%\n", 0, "-", "-",
+              "-", before.sim_ms,
+              static_cast<unsigned long long>(before.stats.record_crossings),
+              100.0 * util_before);
+
+  natix::Rng rng(1);
+  double insert_ms_total = 0;
+  for (int chunk = 1; chunk <= kChunks; ++chunk) {
+    natix::Timer timer;
+    if (!ApplyRandomInserts(&*store, kChunkInserts, &rng)) return 1;
+    const double insert_ms = timer.ElapsedMillis();
+    insert_ms_total += insert_ms;
+    store->partitioner()->Validate().CheckOK();
+    if (!SweepMatchesReference(*store)) return 1;
+
+    const natix::benchutil::QueryRun sweep =
+        natix::benchutil::RunXPathMarkSweep(*store, nullptr, cost);
+    const natix::UpdateStats us = store->update_stats();
+    const int done = chunk * kChunkInserts;
+    std::printf(
+        "%9d | %9.2f %9llu %9llu | %8.2fms %10llu | %5.1f%%\n", done,
+        1e3 * insert_ms / kChunkInserts,
+        static_cast<unsigned long long>(us.splits),
+        static_cast<unsigned long long>(us.relocations), sweep.sim_ms,
+        static_cast<unsigned long long>(sweep.stats.record_crossings),
+        100.0 * store->PageUtilization());
+    std::printf(
+        "BENCH_UPDATES {\"bench\":\"store_updates\",\"doc\":\"xmark\","
+        "\"nodes\":%zu,\"k\":%llu,\"scale\":%.3f,\"inserts\":%d,"
+        "\"insert_us\":%.3f,\"splits\":%llu,\"rewritten\":%llu,"
+        "\"relocations\":%llu,\"compactions\":%llu,\"utilization\":%.4f,"
+        "\"sweep_sim_ms\":%.3f,\"sweep_crossings\":%llu,"
+        "\"queries_match\":true}\n",
+        store->tree().size(), static_cast<unsigned long long>(limit), scale,
+        done, 1e3 * insert_ms / kChunkInserts,
+        static_cast<unsigned long long>(us.splits),
+        static_cast<unsigned long long>(us.records_rewritten),
+        static_cast<unsigned long long>(us.relocations),
+        static_cast<unsigned long long>(us.compactions),
+        store->PageUtilization(), sweep.sim_ms,
+        static_cast<unsigned long long>(sweep.stats.record_crossings));
+    std::fflush(stdout);
+  }
+
+  // Reference point: bulkload the final document from scratch.
+  const auto fresh_p = natix::EkmPartition(store->tree(), limit);
+  fresh_p.status().CheckOK();
+  const auto fresh =
+      natix::NatixStore::Build(store->SnapshotDocument(), *fresh_p, limit);
+  fresh.status().CheckOK();
+  const natix::benchutil::QueryRun grown_sweep =
+      natix::benchutil::RunXPathMarkSweep(*store, nullptr, cost);
+  const natix::benchutil::QueryRun fresh_sweep =
+      natix::benchutil::RunXPathMarkSweep(*fresh, nullptr, cost);
+  const double drift_pct =
+      fresh_sweep.sim_ms > 0
+          ? 100.0 * (grown_sweep.sim_ms - fresh_sweep.sim_ms) /
+                fresh_sweep.sim_ms
+          : 0.0;
+
+  const natix::UpdateStats us = store->update_stats();
+  std::printf("\n%llu inserts in %.1fms (%.2fus each): splits %llu, "
+              "records rewritten %llu, relocations %llu\n",
+              static_cast<unsigned long long>(us.inserts), insert_ms_total,
+              1e3 * insert_ms_total / static_cast<double>(us.inserts),
+              static_cast<unsigned long long>(us.splits),
+              static_cast<unsigned long long>(us.records_rewritten),
+              static_cast<unsigned long long>(us.relocations));
+  std::printf("grown store: %zu records on %zu pages (utilization %.1f%% "
+              "-> %.1f%%)\n",
+              store->record_count(), store->page_count(),
+              100.0 * util_before, 100.0 * store->PageUtilization());
+  std::printf("fresh rebuild: %zu records on %zu pages (utilization "
+              "%.1f%%)\n",
+              fresh->record_count(), fresh->page_count(),
+              100.0 * fresh->PageUtilization());
+  std::printf("sweep cost: before %.2fms, grown %.2fms, fresh %.2fms "
+              "(drift %.1f%% over fresh)\n",
+              before.sim_ms, grown_sweep.sim_ms, fresh_sweep.sim_ms,
+              drift_pct);
+  std::printf(
+      "BENCH_UPDATES {\"bench\":\"store_updates_summary\",\"doc\":\"xmark\","
+      "\"nodes_before\":%zu,\"nodes_after\":%zu,\"k\":%llu,\"scale\":%.3f,"
+      "\"inserts\":%llu,\"insert_us\":%.3f,\"splits\":%llu,"
+      "\"relocations\":%llu,\"cost_before_ms\":%.3f,\"cost_grown_ms\":%.3f,"
+      "\"cost_fresh_ms\":%.3f,\"drift_pct\":%.2f,\"records_grown\":%zu,"
+      "\"records_fresh\":%zu,\"util_grown\":%.4f,\"util_fresh\":%.4f}\n",
+      nodes_before, store->tree().size(),
+      static_cast<unsigned long long>(limit), scale,
+      static_cast<unsigned long long>(us.inserts),
+      1e3 * insert_ms_total / static_cast<double>(us.inserts),
+      static_cast<unsigned long long>(us.splits),
+      static_cast<unsigned long long>(us.relocations), before.sim_ms,
+      grown_sweep.sim_ms, fresh_sweep.sim_ms, drift_pct,
+      store->record_count(), fresh->record_count(),
+      store->PageUtilization(), fresh->PageUtilization());
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr natix::TotalWeight kLimit = 256;
+  const double scale = natix::benchutil::ScaleFromEnv(0.25);
+  if (const int rc = RunReplayTable(kLimit, scale)) return rc;
+  return RunStoreLeg(kLimit, scale);
 }

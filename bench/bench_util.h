@@ -7,7 +7,13 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/xpathmark.h"
+#include "storage/buffer_manager.h"
+#include "storage/store.h"
 #include "xml/importer.h"
 
 namespace natix {
@@ -71,6 +77,51 @@ inline std::unique_ptr<BenchDoc> LoadDocument(std::string_view name,
   entry->xml_kb = xml.size() / 1024;
   entry->doc = std::move(imp).value();
   return entry;
+}
+
+/// One navigational query execution against a store: results plus the
+/// access counters and their cost-model conversion. Shared by the query
+/// benchmarks so they report identically.
+struct QueryRun {
+  std::vector<NodeId> result;
+  AccessStats stats;
+  double wall_ms = 0;
+  double sim_ms = 0;
+};
+
+/// Evaluates `path` against `store` (optionally through an LRU pool for
+/// cold-cache runs), charging navigation to a fresh AccessStats.
+inline QueryRun RunStoreQuery(const NatixStore& store, const PathExpr& path,
+                              LruBufferPool* pool = nullptr,
+                              const NavigationCostModel& cost = {}) {
+  QueryRun run;
+  StoreQueryEvaluator eval(&store, &run.stats, pool);
+  Timer timer;
+  Result<std::vector<NodeId>> result = eval.Evaluate(path);
+  run.wall_ms = timer.ElapsedMillis();
+  result.status().CheckOK();
+  run.result = *std::move(result);
+  run.sim_ms = cost.CostSeconds(run.stats) * 1e3;
+  return run;
+}
+
+/// Runs all seven XPathMark queries back to back and accumulates their
+/// access counters and simulated cost. Result vectors are discarded.
+inline QueryRun RunXPathMarkSweep(const NatixStore& store,
+                                  LruBufferPool* pool = nullptr,
+                                  const NavigationCostModel& cost = {}) {
+  QueryRun total;
+  for (const XPathMarkQuery& q : XPathMarkQueries()) {
+    const Result<PathExpr> path = ParseXPath(q.text);
+    path.status().CheckOK();
+    const QueryRun run = RunStoreQuery(store, *path, pool, cost);
+    total.stats.intra_moves += run.stats.intra_moves;
+    total.stats.record_crossings += run.stats.record_crossings;
+    total.stats.page_switches += run.stats.page_switches;
+    total.wall_ms += run.wall_ms;
+    total.sim_ms += run.sim_ms;
+  }
+  return total;
 }
 
 }  // namespace benchutil

@@ -7,6 +7,7 @@
 //   natix_cli inspect <file|generator> [scale]            structure report
 //   natix_cli partition <algo|ALL> <file|generator> [K] [scale] [threads]
 //   natix_cli query <xpath> <file|generator> [algo] [K] [scale]
+//   natix_cli update <file|generator> [inserts] [K] [scale] [seed]
 //   natix_cli algorithms                                  list algorithms
 //
 // <file|generator>: a path to an XML file, or one of the built-in
@@ -20,8 +21,10 @@
 #include <sstream>
 #include <string>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/algorithm.h"
+#include "core/heuristics.h"
 #include "datagen/generator.h"
 #include "query/evaluator.h"
 #include "query/parser.h"
@@ -40,6 +43,7 @@ int Usage() {
       "  natix_cli partition <algo|ALL> <file|generator> [K] [scale] "
       "[threads]\n"
       "  natix_cli query <xpath> <file|generator> [algo] [K] [scale]\n"
+      "  natix_cli update <file|generator> [inserts] [K] [scale] [seed]\n"
       "  natix_cli algorithms\n");
   return 2;
 }
@@ -184,7 +188,7 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", partitioning.status().ToString().c_str());
     return 1;
   }
-  const auto store = natix::NatixStore::Build(*doc, *partitioning, k);
+  const auto store = natix::NatixStore::Build(doc->Clone(), *partitioning, k);
   if (!store.ok()) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
@@ -225,6 +229,120 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+// Sweeps a couple of generic structural queries over the store and
+// returns the simulated navigation cost (AccessStats through the cost
+// model).
+double SweepCostSeconds(const natix::NatixStore& store,
+                        natix::AccessStats* out_stats) {
+  static constexpr const char* kSweeps[] = {"/descendant-or-self::node()",
+                                            "//*"};
+  natix::AccessStats stats;
+  natix::StoreQueryEvaluator eval(&store, &stats);
+  for (const char* q : kSweeps) {
+    const auto path = natix::ParseXPath(q);
+    if (!path.ok()) continue;
+    (void)eval.Evaluate(*path);
+  }
+  if (out_stats != nullptr) *out_stats = stats;
+  return natix::NavigationCostModel().CostSeconds(stats);
+}
+
+int CmdUpdate(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const int inserts = argc > 1 ? std::atoi(argv[1]) : 10000;
+  const natix::TotalWeight k = argc > 2 ? std::atoll(argv[2]) : 256;
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.05;
+  const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  const auto doc = LoadDocument(argv[0], scale, k);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  const auto partitioning = natix::EkmPartition(doc->tree, k);
+  if (!partitioning.ok()) {
+    std::fprintf(stderr, "%s\n", partitioning.status().ToString().c_str());
+    return 1;
+  }
+  auto store = natix::NatixStore::Build(doc->Clone(), *partitioning, k);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu nodes, K = %llu: %zu records on %zu pages, "
+              "utilization %.1f%%\n",
+              store->tree().size(), static_cast<unsigned long long>(k),
+              store->record_count(), store->page_count(),
+              100.0 * store->PageUtilization());
+  const double cost_before = SweepCostSeconds(*store, nullptr);
+  const double util_before = store->PageUtilization();
+
+  natix::Rng rng(seed);
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  natix::Timer timer;
+  for (int i = 0; i < inserts; ++i) {
+    const natix::Tree& t = store->tree();
+    const natix::NodeId parent =
+        static_cast<natix::NodeId>(rng.NextBounded(t.size()));
+    natix::NodeId before = natix::kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng.NextBool(0.4)) {
+      const std::vector<natix::NodeId> kids = t.Children(parent);
+      before = kids[rng.NextBounded(kids.size())];
+    }
+    const bool text = rng.NextBool(0.5);
+    std::string content;
+    if (text) content.assign(1 + rng.NextBounded(40), 'a' + i % 26);
+    const auto id = store->InsertBefore(
+        parent, before, text ? "" : kLabels[rng.NextBounded(4)],
+        text ? natix::NodeKind::kText : natix::NodeKind::kElement, content);
+    if (!id.ok()) {
+      std::fprintf(stderr, "insert %d: %s\n", i,
+                   id.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double update_ms = timer.ElapsedMillis();
+
+  const natix::UpdateStats us = store->update_stats();
+  std::printf("\n%d inserts in %.1fms (%.2fus each)\n", inserts, update_ms,
+              1e3 * update_ms / inserts);
+  std::printf("  splits %llu, records rewritten %llu, created %llu\n",
+              static_cast<unsigned long long>(us.splits),
+              static_cast<unsigned long long>(us.records_rewritten),
+              static_cast<unsigned long long>(us.records_created));
+  std::printf("  relocations %llu, page compactions %llu\n",
+              static_cast<unsigned long long>(us.relocations),
+              static_cast<unsigned long long>(us.compactions));
+  std::printf("  utilization %.1f%% -> %.1f%% (%zu records, %zu pages)\n",
+              100.0 * util_before, 100.0 * store->PageUtilization(),
+              store->record_count(), store->page_count());
+
+  const double cost_grown = SweepCostSeconds(*store, nullptr);
+
+  // Reference point: bulkload the final document from scratch.
+  const auto fresh_p = natix::EkmPartition(store->tree(), k);
+  if (!fresh_p.ok()) {
+    std::fprintf(stderr, "%s\n", fresh_p.status().ToString().c_str());
+    return 1;
+  }
+  const auto fresh =
+      natix::NatixStore::Build(store->SnapshotDocument(), *fresh_p, k);
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "%s\n", fresh.status().ToString().c_str());
+    return 1;
+  }
+  const double cost_fresh = SweepCostSeconds(*fresh, nullptr);
+  std::printf("\nsimulated scan cost: before %.2fms, grown %.2fms, "
+              "fresh rebuild %.2fms (drift %.1f%%)\n",
+              1e3 * cost_before, 1e3 * cost_grown, 1e3 * cost_fresh,
+              cost_fresh > 0 ? 100.0 * (cost_grown - cost_fresh) / cost_fresh
+                             : 0.0);
+  std::printf("records: grown %zu vs fresh %zu; pages: %zu vs %zu\n",
+              store->record_count(), fresh->record_count(),
+              store->page_count(), fresh->page_count());
+  return 0;
+}
+
 int CmdAlgorithms() {
   for (const std::string_view name : natix::AlgorithmNames()) {
     const natix::PartitioningAlgorithm* a = natix::FindAlgorithm(name);
@@ -245,6 +363,7 @@ int main(int argc, char** argv) {
   if (cmd == "inspect") return CmdInspect(argc - 2, argv + 2);
   if (cmd == "partition") return CmdPartition(argc - 2, argv + 2);
   if (cmd == "query") return CmdQuery(argc - 2, argv + 2);
+  if (cmd == "update") return CmdUpdate(argc - 2, argv + 2);
   if (cmd == "algorithms") return CmdAlgorithms();
   return Usage();
 }

@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
   ekm.status().CheckOK();
 
   const natix::Result<natix::NatixStore> store_km =
-      natix::NatixStore::Build(*imp, *km, kLimit);
+      natix::NatixStore::Build(imp->Clone(), *km, kLimit);
   const natix::Result<natix::NatixStore> store_ekm =
-      natix::NatixStore::Build(*imp, *ekm, kLimit);
+      natix::NatixStore::Build(imp->Clone(), *ekm, kLimit);
   store_km.status().CheckOK();
   store_ekm.status().CheckOK();
 

@@ -11,10 +11,24 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 # 2. Race check: the determinism test (and the pool's own tests) under
-#    -fsanitize=thread. Benchmarks/examples are skipped to keep it quick.
+#    -fsanitize=thread, plus the mutable-store path (its inserts run the
+#    parallel-free update machinery but share the pooled workspaces).
+#    Benchmarks/examples are skipped to keep it quick.
 cmake -B build-tsan -S . -DNATIX_SANITIZE=thread \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test
-(cd build-tsan && ./tests/dhw_parallel_test && ./tests/thread_pool_test)
+cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test \
+  store_updates_test
+(cd build-tsan && ./tests/dhw_parallel_test && ./tests/thread_pool_test \
+  && ./tests/store_updates_test)
 
-echo "tier1 OK (tests + TSan race check)"
+# 3. Memory check: the update/storage surface under ASan+UBSan -- record
+#    splits, relocations and page compaction move raw bytes around, so
+#    this is where lifetime bugs would hide.
+cmake -B build-asan -S . -DNATIX_SANITIZE=address,undefined \
+  -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j --target store_updates_test updates_test \
+  storage_test
+(cd build-asan && ./tests/store_updates_test && ./tests/updates_test \
+  && ./tests/storage_test)
+
+echo "tier1 OK (tests + TSan race check + ASan/UBSan memory check)"

@@ -20,6 +20,13 @@ Result<std::vector<NodeId>> StoreQueryEvaluator::Evaluate(
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty query");
   }
+  // The store may have grown (InsertBefore) since construction or the
+  // previous query; refresh document-order ranks so Normalize() stays
+  // correct mid-update-stream. NodeIds are append-only, so a size check
+  // detects every mutation.
+  if (preorder_rank_.size() != store_->tree().size()) {
+    preorder_rank_ = store_->tree().PreorderRanks();
+  }
   // The initial context is the virtual document node (the parent of the
   // root element), encoded as kInvalidNode. It can survive intermediate
   // descendant-or-self::node() steps but is never part of the final

@@ -1,31 +1,136 @@
 #include "storage/page.h"
 
+#include <algorithm>
+
 namespace natix {
 
 Result<uint16_t> Page::Insert(const std::vector<uint8_t>& record) {
   if (record.size() > FreeSpace()) {
-    return Status::ResourceExhausted("record does not fit in page");
+    if (record.size() > FreeTotal()) {
+      return Status::ResourceExhausted("record does not fit in page");
+    }
+    Compact();
+    if (record.size() > FreeSpace()) {
+      return Status::ResourceExhausted("record does not fit in page");
+    }
+  }
+  // Pick a slot: reuse a tombstone if one exists, else grow the directory.
+  uint32_t slot = slot_count();
+  if (free_slots_ > 0) {
+    for (uint32_t s = 0; s < slot_count(); ++s) {
+      if (ReadU32(DirOffset(s)) == kFreedOffset) {
+        slot = s;
+        break;
+      }
+    }
   }
   const uint32_t offset = ReadU32(0);
-  const uint32_t slot = slot_count();
   std::memcpy(data_.data() + offset, record.data(), record.size());
   WriteU32(0, offset + static_cast<uint32_t>(record.size()));
-  WriteU32(4, slot + 1);
-  // Directory entry for slot s lives at size - 8*(s+1).
-  const size_t dir_off = data_.size() - 8ull * (slot + 1);
+  if (slot == slot_count()) {
+    WriteU32(4, slot + 1);
+  } else {
+    --free_slots_;
+  }
+  const size_t dir_off = DirOffset(slot);
   WriteU32(dir_off, offset);
   WriteU32(dir_off + 4, static_cast<uint32_t>(record.size()));
   return static_cast<uint16_t>(slot);
+}
+
+Status Page::Update(uint16_t slot, const std::vector<uint8_t>& record) {
+  if (slot >= slot_count() || ReadU32(DirOffset(slot)) == kFreedOffset) {
+    return Status::NotFound("no such slot: " + std::to_string(slot));
+  }
+  const size_t dir_off = DirOffset(slot);
+  const uint32_t offset = ReadU32(dir_off);
+  const uint32_t length = ReadU32(dir_off + 4);
+  if (record.size() <= length) {
+    // In-place rewrite; the tail of the old extent becomes a hole that
+    // compaction reclaims (directory lengths drive compaction).
+    std::memcpy(data_.data() + offset, record.data(), record.size());
+    hole_bytes_ += length - record.size();
+    WriteU32(dir_off + 4, static_cast<uint32_t>(record.size()));
+    return Status::OK();
+  }
+  // Growth: the old extent is reclaimable, so capacity is tail + holes +
+  // the old length. No new directory entry is needed.
+  if (TailSpace() + hole_bytes_ + length < record.size()) {
+    return Status::ResourceExhausted("updated record does not fit in page");
+  }
+  // Tombstone the old extent, compact if the tail alone is too small,
+  // then append at the (possibly fresh) payload end.
+  WriteU32(dir_off, kFreedOffset);
+  WriteU32(dir_off + 4, 0);
+  hole_bytes_ += length;
+  if (TailSpace() < record.size()) Compact();
+  const uint32_t end = ReadU32(0);
+  std::memcpy(data_.data() + end, record.data(), record.size());
+  WriteU32(0, end + static_cast<uint32_t>(record.size()));
+  WriteU32(dir_off, end);
+  WriteU32(dir_off + 4, static_cast<uint32_t>(record.size()));
+  return Status::OK();
+}
+
+Status Page::Free(uint16_t slot) {
+  if (slot >= slot_count() || ReadU32(DirOffset(slot)) == kFreedOffset) {
+    return Status::NotFound("no such slot: " + std::to_string(slot));
+  }
+  const size_t dir_off = DirOffset(slot);
+  hole_bytes_ += ReadU32(dir_off + 4);
+  WriteU32(dir_off, kFreedOffset);
+  WriteU32(dir_off + 4, 0);
+  ++free_slots_;
+  return Status::OK();
 }
 
 Result<std::pair<const uint8_t*, size_t>> Page::Get(uint16_t slot) const {
   if (slot >= slot_count()) {
     return Status::NotFound("no such slot: " + std::to_string(slot));
   }
-  const size_t dir_off = data_.size() - 8ull * (slot + 1);
+  const size_t dir_off = DirOffset(slot);
   const uint32_t offset = ReadU32(dir_off);
+  if (offset == kFreedOffset) {
+    return Status::NotFound("slot is freed: " + std::to_string(slot));
+  }
   const uint32_t length = ReadU32(dir_off + 4);
   return std::make_pair(data_.data() + offset, static_cast<size_t>(length));
+}
+
+size_t Page::LiveBytes() const {
+  size_t live = 0;
+  for (uint32_t s = 0; s < slot_count(); ++s) {
+    if (ReadU32(DirOffset(s)) != kFreedOffset) live += ReadU32(DirOffset(s) + 4);
+  }
+  return live;
+}
+
+void Page::Compact() {
+  // Collect live extents in payload order, then slide them left. Slot
+  // numbers (and therefore RecordIds resolving here) are unchanged.
+  struct Extent {
+    uint32_t slot, offset, length;
+  };
+  std::vector<Extent> live;
+  live.reserve(slot_count());
+  for (uint32_t s = 0; s < slot_count(); ++s) {
+    const uint32_t off = ReadU32(DirOffset(s));
+    if (off == kFreedOffset) continue;
+    live.push_back({s, off, ReadU32(DirOffset(s) + 4)});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Extent& a, const Extent& b) { return a.offset < b.offset; });
+  uint32_t write = 8;
+  for (const Extent& e : live) {
+    if (e.offset != write) {
+      std::memmove(data_.data() + write, data_.data() + e.offset, e.length);
+      WriteU32(DirOffset(e.slot), write);
+    }
+    write += e.length;
+  }
+  WriteU32(0, write);
+  hole_bytes_ = 0;
+  ++compactions_;
 }
 
 }  // namespace natix

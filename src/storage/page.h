@@ -11,16 +11,22 @@ namespace natix {
 
 /// A fixed-size slotted page, the disk allocation unit of the mini-Natix
 /// storage engine. Records grow from the front of the payload area; the
-/// slot directory grows from the back. Slots are never compacted (records
-/// are write-once in this bulk-load engine).
+/// slot directory grows from the back. Slots are stable (a record keeps
+/// its slot number for its whole life on the page); freed slots are
+/// tombstoned in the directory and reused by later insertions. Holes left
+/// by Free() and by in-place shrinks are reclaimed by compaction, which
+/// slides live payloads to the front without renumbering slots.
 ///
 /// Layout:
 ///   [0..8)                  header: payload_end (u32), slot_count (u32)
 ///   [8..payload_end)        record payloads
 ///   [size - 8*slot_count..) slot directory, 8 bytes per slot
-///                           (offset u32, length u32), last slot first
+///                           (offset u32, length u32), last slot first;
+///                           freed slots have offset == kFreedOffset
 class Page {
  public:
+  static constexpr uint32_t kFreedOffset = 0xFFFFFFFFu;
+
   explicit Page(size_t size) : data_(size, 0) {
     WriteU32(0, 8);  // payload starts after the header
     WriteU32(4, 0);  // no slots
@@ -29,25 +35,52 @@ class Page {
   size_t size() const { return data_.size(); }
   uint32_t slot_count() const { return ReadU32(4); }
 
-  /// Bytes available for one more record's payload (its 8-byte directory
-  /// entry already accounted).
+  /// Bytes available for one more record's payload without compaction
+  /// (a directory entry for it already accounted; reusing a freed slot
+  /// costs nothing).
   size_t FreeSpace() const {
     const size_t dir = 8ull * slot_count();
+    const size_t reserve = free_slots_ > 0 ? 0 : 8;
     const size_t used = ReadU32(0);  // includes the 8-byte header
     const size_t total = data_.size();
-    if (used + dir + 8 >= total) return 0;
-    return total - used - dir - 8;
+    if (used + dir + reserve >= total) return 0;
+    return total - used - dir - reserve;
   }
 
-  /// Appends a record; returns its slot number, or ResourceExhausted if it
-  /// does not fit.
+  /// Bytes available for one more record counting reclaimable holes
+  /// (freed records, shrink slack); reaching them may require Compact().
+  size_t FreeTotal() const { return FreeSpace() + hole_bytes_; }
+
+  /// Stores a record; returns its slot number (reusing a freed slot when
+  /// one exists), or ResourceExhausted if it does not fit even after
+  /// compaction. Compacts automatically when the contiguous tail is too
+  /// small but the total free space suffices.
   Result<uint16_t> Insert(const std::vector<uint8_t>& record);
+
+  /// Rewrites the record in `slot` with new bytes, keeping the slot
+  /// number. Shrinks rewrite in place; growth appends to the payload tail
+  /// (compacting first if needed). ResourceExhausted if the new size does
+  /// not fit on this page at all -- the caller then relocates the record
+  /// to another page.
+  Status Update(uint16_t slot, const std::vector<uint8_t>& record);
+
+  /// Frees the record in `slot`; its directory entry becomes a tombstone
+  /// reusable by later insertions.
+  Status Free(uint16_t slot);
 
   /// Read-only view of a record's bytes.
   Result<std::pair<const uint8_t*, size_t>> Get(uint16_t slot) const;
 
+  /// Sum of live record payload bytes on this page.
+  size_t LiveBytes() const;
+
   /// Bytes wasted at the end of the payload area (fragmentation metric).
   size_t SlackBytes() const { return FreeSpace(); }
+
+  /// Number of tombstoned directory entries.
+  uint32_t free_slot_count() const { return free_slots_; }
+  /// How many times this page compacted its payload area.
+  uint64_t compaction_count() const { return compactions_; }
 
  private:
   uint32_t ReadU32(size_t off) const {
@@ -58,8 +91,23 @@ class Page {
   void WriteU32(size_t off, uint32_t v) {
     std::memcpy(data_.data() + off, &v, 4);
   }
+  size_t DirOffset(uint32_t slot) const {
+    return data_.size() - 8ull * (slot + 1);
+  }
+  /// Contiguous payload tail assuming no new directory entry is needed.
+  size_t TailSpace() const {
+    const size_t used = ReadU32(0);
+    const size_t dir = 8ull * slot_count();
+    return used + dir >= data_.size() ? 0 : data_.size() - used - dir;
+  }
+  /// Slides live payloads to the front (slot numbers unchanged).
+  void Compact();
 
   std::vector<uint8_t> data_;
+  /// Reclaimable payload bytes: freed records + in-place shrink slack.
+  size_t hole_bytes_ = 0;
+  uint32_t free_slots_ = 0;
+  uint64_t compactions_ = 0;
 };
 
 }  // namespace natix

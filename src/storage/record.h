@@ -10,12 +10,15 @@
 
 namespace natix {
 
-/// Physical address of a record: page number + slot within the page.
+/// Stable logical identifier of a record. The RecordManager maps it to a
+/// physical (page, slot) address through an indirection table, so the id
+/// survives in-place updates, record splits and page-to-page relocation
+/// -- the property that lets proxies and the store's partition table keep
+/// pointing at a record while the space below it is reorganized.
 struct RecordId {
-  uint32_t page = 0xFFFFFFFFu;
-  uint16_t slot = 0;
+  uint32_t value = 0xFFFFFFFFu;
 
-  bool valid() const { return page != 0xFFFFFFFFu; }
+  bool valid() const { return value != 0xFFFFFFFFu; }
   friend bool operator==(const RecordId&, const RecordId&) = default;
 };
 

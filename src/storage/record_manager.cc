@@ -1,58 +1,183 @@
 #include "storage/record_manager.h"
 
+#include <algorithm>
+
 namespace natix {
 
-Result<RecordId> RecordManager::Insert(const std::vector<uint8_t>& record) {
+namespace {
+/// Bound on stale reuse candidates examined per placement, so a burst of
+/// frees cannot make one insertion O(pages).
+constexpr int kMaxCandidatePops = 16;
+}  // namespace
+
+void RecordManager::NoteFreeSpace(uint32_t page) {
+  reuse_candidates_.push_back(page);
+}
+
+Result<RecordManager::Entry> RecordManager::Place(
+    const std::vector<uint8_t>& record) {
+  if (record.size() > PagePayloadCapacity()) {
+    // Jumbo record: spans a dedicated chain of pages.
+    uint32_t index;
+    if (!free_jumbos_.empty()) {
+      index = free_jumbos_.back();
+      free_jumbos_.pop_back();
+      jumbo_records_[index] = record;
+    } else {
+      index = static_cast<uint32_t>(jumbo_records_.size());
+      jumbo_records_.push_back(record);
+    }
+    jumbo_pages_ += JumboPagesFor(record.size());
+    ++live_jumbos_;
+    return Entry{index | kJumboPageBit, 0};
+  }
   // Try the most recent pages first (bulk load locality).
   const size_t first =
       pages_.size() > static_cast<size_t>(lookback_)
           ? pages_.size() - static_cast<size_t>(lookback_)
           : 0;
   for (size_t p = pages_.size(); p-- > first;) {
-    if (pages_[p].FreeSpace() >= record.size()) {
+    if (pages_[p].FreeTotal() >= record.size()) {
       Result<uint16_t> slot = pages_[p].Insert(record);
-      if (slot.ok()) {
-        ++record_count_;
-        payload_bytes_ += record.size();
-        return RecordId{static_cast<uint32_t>(p), *slot};
-      }
+      if (slot.ok()) return Entry{static_cast<uint32_t>(p), *slot};
     }
   }
-  Page page(page_size_);
-  if (record.size() > page.FreeSpace()) {
-    // Jumbo record: spans a dedicated chain of pages.
-    const size_t payload_per_page = page_size_ - 16;
-    jumbo_pages_ += (record.size() + payload_per_page - 1) / payload_per_page;
-    jumbo_records_.push_back(record);
-    ++record_count_;
-    payload_bytes_ += record.size();
-    return RecordId{
-        static_cast<uint32_t>(jumbo_records_.size() - 1) | kJumboPageBit,
-        kJumboSlot};
+  // Then pages that regained space through frees/shrinks.
+  for (int pops = 0; pops < kMaxCandidatePops && !reuse_candidates_.empty();
+       ++pops) {
+    const uint32_t p = reuse_candidates_.back();
+    reuse_candidates_.pop_back();
+    if (pages_[p].FreeTotal() < record.size()) continue;
+    Result<uint16_t> slot = pages_[p].Insert(record);
+    if (!slot.ok()) continue;
+    // The page may still have room for more; keep it as a candidate.
+    if (pages_[p].FreeTotal() > 0) reuse_candidates_.push_back(p);
+    return Entry{p, *slot};
   }
-  pages_.push_back(std::move(page));
+  pages_.emplace_back(page_size_);
   Result<uint16_t> slot = pages_.back().Insert(record);
   if (!slot.ok()) return slot.status();
-  ++record_count_;
+  return Entry{static_cast<uint32_t>(pages_.size() - 1), *slot};
+}
+
+Result<RecordId> RecordManager::Insert(const std::vector<uint8_t>& record) {
+  NATIX_ASSIGN_OR_RETURN(const Entry entry, Place(record));
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    entries_[id] = entry;
+  } else {
+    id = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(entry);
+  }
+  ++live_records_;
   payload_bytes_ += record.size();
-  return RecordId{static_cast<uint32_t>(pages_.size() - 1), *slot};
+  return RecordId{id};
+}
+
+Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
+  if (id.value >= entries_.size() || entries_[id.value].page == kNoPage) {
+    return Status::NotFound("no such record: " + std::to_string(id.value));
+  }
+  Entry& entry = entries_[id.value];
+  if (entry.page & kJumboPageBit) {
+    const uint32_t index = entry.page & ~kJumboPageBit;
+    std::vector<uint8_t>& old = jumbo_records_[index];
+    payload_bytes_ -= old.size();
+    jumbo_pages_ -= JumboPagesFor(old.size());
+    if (record.size() > PagePayloadCapacity()) {
+      // Jumbo stays jumbo: rewrite its chain in place.
+      old = record;
+      jumbo_pages_ += JumboPagesFor(record.size());
+      payload_bytes_ += record.size();
+      return Status::OK();
+    }
+    // Shrunk below a page: leave the jumbo chain, move to a slotted page.
+    old.clear();
+    old.shrink_to_fit();
+    free_jumbos_.push_back(index);
+    --live_jumbos_;
+    NATIX_ASSIGN_OR_RETURN(entry, Place(record));
+    payload_bytes_ += record.size();
+    ++relocations_;
+    return Status::OK();
+  }
+  Page& page = pages_[entry.page];
+  NATIX_ASSIGN_OR_RETURN(const auto old, page.Get(entry.slot));
+  const size_t old_size = old.second;
+  if (record.size() <= PagePayloadCapacity() &&
+      page.Update(entry.slot, record).ok()) {
+    payload_bytes_ += record.size();
+    payload_bytes_ -= old_size;
+    if (record.size() < old_size) NoteFreeSpace(entry.page);
+    return Status::OK();
+  }
+  // Does not fit where it lives (or outgrew pages entirely): relocate.
+  NATIX_RETURN_NOT_OK(page.Free(entry.slot));
+  NoteFreeSpace(entry.page);
+  NATIX_ASSIGN_OR_RETURN(entry, Place(record));
+  payload_bytes_ += record.size();
+  payload_bytes_ -= old_size;
+  ++relocations_;
+  return Status::OK();
+}
+
+Status RecordManager::Free(RecordId id) {
+  if (id.value >= entries_.size() || entries_[id.value].page == kNoPage) {
+    return Status::NotFound("no such record: " + std::to_string(id.value));
+  }
+  Entry& entry = entries_[id.value];
+  if (entry.page & kJumboPageBit) {
+    const uint32_t index = entry.page & ~kJumboPageBit;
+    std::vector<uint8_t>& rec = jumbo_records_[index];
+    payload_bytes_ -= rec.size();
+    jumbo_pages_ -= JumboPagesFor(rec.size());
+    rec.clear();
+    rec.shrink_to_fit();
+    free_jumbos_.push_back(index);
+    --live_jumbos_;
+  } else {
+    NATIX_ASSIGN_OR_RETURN(const auto bytes, pages_[entry.page].Get(entry.slot));
+    payload_bytes_ -= bytes.second;
+    NATIX_RETURN_NOT_OK(pages_[entry.page].Free(entry.slot));
+    NoteFreeSpace(entry.page);
+  }
+  entry = Entry{};
+  free_ids_.push_back(id.value);
+  --live_records_;
+  ++frees_;
+  return Status::OK();
 }
 
 Result<std::pair<const uint8_t*, size_t>> RecordManager::Get(
     RecordId id) const {
-  if (id.slot == kJumboSlot) {
-    const uint32_t index = id.page & ~kJumboPageBit;
-    if (index >= jumbo_records_.size()) {
-      return Status::NotFound("no such jumbo record: " +
-                              std::to_string(index));
-    }
-    const std::vector<uint8_t>& rec = jumbo_records_[index];
+  if (id.value >= entries_.size() || entries_[id.value].page == kNoPage) {
+    return Status::NotFound("no such record: " + std::to_string(id.value));
+  }
+  const Entry& entry = entries_[id.value];
+  if (entry.page & kJumboPageBit) {
+    const std::vector<uint8_t>& rec =
+        jumbo_records_[entry.page & ~kJumboPageBit];
     return std::make_pair(rec.data(), rec.size());
   }
-  if (id.page >= pages_.size()) {
-    return Status::NotFound("no such page: " + std::to_string(id.page));
-  }
-  return pages_[id.page].Get(id.slot);
+  return pages_[entry.page].Get(entry.slot);
+}
+
+uint32_t RecordManager::PageOf(RecordId id) const {
+  if (id.value >= entries_.size()) return kNoPage;
+  return entries_[id.value].page;
+}
+
+bool RecordManager::IsJumbo(RecordId id) const {
+  return id.value < entries_.size() && entries_[id.value].page != kNoPage &&
+         (entries_[id.value].page & kJumboPageBit) != 0;
+}
+
+uint64_t RecordManager::compaction_count() const {
+  uint64_t total = 0;
+  for (const Page& p : pages_) total += p.compaction_count();
+  return total;
 }
 
 }  // namespace natix

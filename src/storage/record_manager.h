@@ -12,35 +12,65 @@ namespace natix {
 
 /// Places records on slotted pages, several records per page (Sec. 6.4:
 /// "the record manager ... stores several records on a single disk
-/// page"). Allocation is append-with-lookback: a new record is placed on
-/// the first of the most recent `lookback` pages with enough free space,
-/// otherwise on a fresh page. This reproduces the fragmentation behaviour
-/// the paper observes (larger records leave more slack, so a layout with
-/// fewer but larger records can occupy slightly *more* total disk space).
+/// page"), and keeps them addressable under mutation. RecordIds are
+/// *logical*: an indirection table maps them to physical (page, slot)
+/// addresses, so Update() can relocate a grown record to another page --
+/// the Kanne/Moerkotte record-split maintenance the incremental store is
+/// built on -- without invalidating anything that points at it.
+///
+/// Allocation is append-with-lookback: a new record is placed on the
+/// first of the most recent `lookback` pages with enough free space,
+/// otherwise on a page freed up by earlier deletes/shrinks (tracked in a
+/// lazily-validated candidate stack), otherwise on a fresh page. This
+/// reproduces the fragmentation behaviour the paper observes (larger
+/// records leave more slack, so a layout with fewer but larger records
+/// can occupy slightly *more* total disk space).
 class RecordManager {
  public:
-  /// Jumbo records (larger than one page) use this slot sentinel; their
-  /// RecordId.page indexes the jumbo table with the high bit set.
-  static constexpr uint16_t kJumboSlot = 0xFFFF;
+  /// Jumbo records (larger than one page) live in a dedicated chain of
+  /// pages; their synthetic page number carries this bit so they share
+  /// the page-id namespace used for buffer accounting.
   static constexpr uint32_t kJumboPageBit = 0x80000000u;
 
   explicit RecordManager(size_t page_size = 8192, int lookback = 8)
       : page_size_(page_size), lookback_(lookback) {}
 
-  /// Stores a record, returns its id. Records larger than one page become
-  /// *jumbo* records stored in a dedicated chain of pages (a rare case:
-  /// e.g. a record whose node has very many cut-away child runs).
+  /// Stores a record, returns its logical id (freed ids are recycled).
   Result<RecordId> Insert(const std::vector<uint8_t>& record);
+
+  /// Rewrites a record under its existing id. In place when the new bytes
+  /// fit where the record lives; otherwise the record is relocated to
+  /// another page (or to/from the jumbo chain) and the indirection table
+  /// is repointed -- the id, and anything holding it, stays valid.
+  Status Update(RecordId id, const std::vector<uint8_t>& record);
+
+  /// Releases a record; its page space becomes reusable and its logical
+  /// id is recycled by a later Insert().
+  Status Free(RecordId id);
 
   /// Read-only access to a stored record's bytes.
   Result<std::pair<const uint8_t*, size_t>> Get(RecordId id) const;
 
+  /// Physical page currently holding the record (jumbo records report
+  /// their synthetic kJumboPageBit page id); 0xFFFFFFFF for invalid ids.
+  /// This is what navigation charges page switches against -- it changes
+  /// when a record relocates, which is exactly the point.
+  uint32_t PageOf(RecordId id) const;
+
+  bool IsJumbo(RecordId id) const;
+
   size_t page_count() const { return pages_.size() + jumbo_pages_; }
-  size_t record_count() const { return record_count_; }
+  size_t record_count() const { return live_records_; }
   uint64_t disk_bytes() const { return page_count() * page_size_; }
   uint64_t payload_bytes() const { return payload_bytes_; }
-  size_t jumbo_record_count() const { return jumbo_records_.size(); }
-  /// Fraction of allocated page bytes actually occupied by records.
+  size_t jumbo_record_count() const { return live_jumbos_; }
+  /// Updates that had to move a record to a different page.
+  uint64_t relocation_count() const { return relocations_; }
+  /// Records freed over the manager's lifetime.
+  uint64_t free_count() const { return frees_; }
+  /// Page payload compactions performed (summed over all pages).
+  uint64_t compaction_count() const;
+  /// Fraction of allocated page bytes actually occupied by live records.
   double Utilization() const {
     return page_count() == 0
                ? 0.0
@@ -49,13 +79,40 @@ class RecordManager {
   }
 
  private:
+  /// Physical address of a logical id. page == kNoPage: id unused/freed;
+  /// kJumboPageBit set: index into jumbo_records_.
+  struct Entry {
+    uint32_t page = kNoPage;
+    uint16_t slot = 0;
+  };
+  static constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+
+  size_t PagePayloadCapacity() const { return page_size_ - 16; }
+  size_t JumboPagesFor(size_t bytes) const {
+    return (bytes + PagePayloadCapacity() - 1) / PagePayloadCapacity();
+  }
+  /// Physically places the bytes (page with space, jumbo chain, or a
+  /// fresh page).
+  Result<Entry> Place(const std::vector<uint8_t>& record);
+  /// Remembers that `page` gained free space (lazy, validated on pop).
+  void NoteFreeSpace(uint32_t page);
+
   size_t page_size_;
   int lookback_;
   std::vector<Page> pages_;
   std::vector<std::vector<uint8_t>> jumbo_records_;
+  std::vector<uint32_t> free_jumbos_;
+  std::vector<Entry> entries_;       // logical id -> physical address
+  std::vector<uint32_t> free_ids_;   // recycled logical ids
+  /// Pages that recently gained free space; stale entries are discarded
+  /// when popped, so maintenance stays O(1) amortized per operation.
+  std::vector<uint32_t> reuse_candidates_;
   size_t jumbo_pages_ = 0;
-  size_t record_count_ = 0;
+  size_t live_records_ = 0;
+  size_t live_jumbos_ = 0;
   uint64_t payload_bytes_ = 0;
+  uint64_t relocations_ = 0;
+  uint64_t frees_ = 0;
 };
 
 }  // namespace natix

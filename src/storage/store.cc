@@ -1,16 +1,72 @@
 #include "storage/store.h"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "core/algorithm.h"
+#include "xml/weight_model.h"
 
 namespace natix {
+namespace {
 
-Result<NatixStore> NatixStore::Build(const ImportedDocument& doc,
+/// Serializes one partition into record bytes. `members` must list the
+/// partition's nodes in document order (so parents precede their
+/// in-record children). Adds `*overflow_bytes` of externalized content.
+std::vector<uint8_t> SerializePartition(const ImportedDocument& doc,
+                                        const std::vector<uint32_t>& partition_of,
+                                        uint32_t part,
+                                        const std::vector<NodeId>& members,
+                                        uint32_t slot_size,
+                                        uint64_t* overflow_bytes) {
+  const Tree& tree = doc.tree;
+  std::unordered_map<NodeId, int32_t> position;
+  position.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    position[members[i]] = static_cast<int32_t>(i);
+  }
+  RecordBuilder builder(slot_size);
+  *overflow_bytes = 0;
+  for (const NodeId v : members) {
+    const NodeId parent = tree.Parent(v);
+    const int32_t parent_pos =
+        (parent == kInvalidNode || partition_of[parent] != part)
+            ? -1
+            : position[parent];
+    // A node is externalized iff its weight is smaller than what its
+    // content would need inline (the weight model's overflow stub).
+    const uint64_t inline_slots =
+        1 + (static_cast<uint64_t>(doc.content_bytes[v]) + slot_size - 1) /
+                slot_size;
+    const bool overflow =
+        doc.content_bytes[v] > 0 && inline_slots > tree.WeightOf(v);
+    if (overflow) *overflow_bytes += doc.content_bytes[v];
+    builder.AddNode(v, parent_pos, static_cast<uint8_t>(tree.KindOf(v)),
+                    tree.LabelIdOf(v), doc.ContentOf(v), overflow);
+    // One proxy entry per *run* of cut-away children sharing a target
+    // record: adjacent siblings in the same foreign partition are
+    // reachable through a single proxy (this is what sibling-interval
+    // storage buys at the format level).
+    uint32_t prev_target = part;
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      const uint32_t target = partition_of[c];
+      if (target != part && target != prev_target) {
+        builder.AddProxy(target);
+      }
+      prev_target = target;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<NatixStore> NatixStore::Build(ImportedDocument doc,
                                      const Partitioning& partitioning,
                                      TotalWeight limit,
                                      const StoreOptions& options) {
-  const Tree& tree = doc.tree;
   NATIX_ASSIGN_OR_RETURN(const PartitionAnalysis analysis,
-                         Analyze(tree, partitioning, limit));
+                         Analyze(doc.tree, partitioning, limit));
   if (!analysis.feasible) {
     return Status::InvalidArgument(
         "cannot build a store from an infeasible partitioning (max "
@@ -19,11 +75,18 @@ Result<NatixStore> NatixStore::Build(const ImportedDocument& doc,
         ")");
   }
 
-  NatixStore store(&doc, RecordManager(options.page_size,
-                                       options.allocation_lookback));
+  NatixStore store;
+  store.doc_ = std::make_unique<ImportedDocument>(std::move(doc));
+  store.manager_ =
+      RecordManager(options.page_size, options.allocation_lookback);
+  store.options_ = options;
   store.page_size_ = options.page_size;
+  store.limit_ = limit;
+  store.partitioning_ = partitioning;
   store.partition_of_ = analysis.partition_of;
   store.records_.assign(partitioning.size(), RecordId{});
+  store.record_overflow_.assign(partitioning.size(), 0);
+  const Tree& tree = store.doc_->tree;
 
   // Group nodes by partition; preorder iteration makes each group sorted
   // in document order, so parents precede their in-record children.
@@ -41,57 +104,107 @@ Result<NatixStore> NatixStore::Build(const ImportedDocument& doc,
     return pre_rank[members[a].front()] < pre_rank[members[b].front()];
   });
 
-  // position_in_record[v]: index of v within its partition's member list.
-  std::vector<int32_t> position_in_record(tree.size(), -1);
-  for (const std::vector<NodeId>& mem : members) {
-    for (size_t i = 0; i < mem.size(); ++i) {
-      position_in_record[mem[i]] = static_cast<int32_t>(i);
-    }
-  }
-
-  uint64_t overflow_bytes = 0;
   for (const uint32_t part : order) {
-    RecordBuilder builder(options.slot_size);
-    for (const NodeId v : members[part]) {
-      const NodeId parent = tree.Parent(v);
-      const int32_t parent_pos =
-          (parent == kInvalidNode || store.partition_of_[parent] != part)
-              ? -1
-              : position_in_record[parent];
-      // A node is externalized iff its weight is smaller than what its
-      // content would need inline (the weight model's overflow stub).
-      const uint64_t inline_slots =
-          1 + (static_cast<uint64_t>(doc.content_bytes[v]) +
-               options.slot_size - 1) /
-                  options.slot_size;
-      const bool overflow =
-          doc.content_bytes[v] > 0 && inline_slots > tree.WeightOf(v);
-      if (overflow) overflow_bytes += doc.content_bytes[v];
-      builder.AddNode(v, parent_pos, static_cast<uint8_t>(tree.KindOf(v)),
-                      tree.LabelIdOf(v), doc.ContentOf(v), overflow);
-      // One proxy entry per *run* of cut-away children sharing a target
-      // record: adjacent siblings in the same foreign partition are
-      // reachable through a single proxy (this is what sibling-interval
-      // storage buys at the format level).
-      uint32_t prev_target = part;
-      for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
-           c = tree.NextSibling(c)) {
-        const uint32_t target = store.partition_of_[c];
-        if (target != part && target != prev_target) {
-          builder.AddProxy(target);
-        }
-        prev_target = target;
-      }
-    }
-    NATIX_ASSIGN_OR_RETURN(const RecordId rid,
-                           store.manager_.Insert(builder.Build()));
+    uint64_t overflow = 0;
+    const std::vector<uint8_t> bytes =
+        SerializePartition(*store.doc_, store.partition_of_, part,
+                           members[part], options.slot_size, &overflow);
+    NATIX_ASSIGN_OR_RETURN(const RecordId rid, store.manager_.Insert(bytes));
     store.records_[part] = rid;
+    store.record_overflow_[part] = overflow;
+    store.overflow_bytes_ += overflow;
+  }
+  store.RecomputeOverflowPages();
+  return store;
+}
+
+Status NatixStore::EnsureMutable() {
+  if (inc_ != nullptr) return Status::OK();
+  NATIX_ASSIGN_OR_RETURN(
+      IncrementalPartitioner inc,
+      IncrementalPartitioner::Create(&doc_->tree, limit_, partitioning_));
+  inc_ = std::make_unique<IncrementalPartitioner>(std::move(inc));
+  return Status::OK();
+}
+
+Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
+                                        std::string_view label, NodeKind kind,
+                                        std::string_view content) {
+  NATIX_RETURN_NOT_OK(EnsureMutable());
+  // Weight per the store's model; cap at the partition limit so any
+  // content stays insertable (beyond the cap it is externalized, exactly
+  // like the import-time overflow stub).
+  const uint32_t cap = static_cast<uint32_t>(
+      std::min<TotalWeight>(limit_, 0xFFFFFFFFull));
+  const WeightModel model{options_.slot_size, options_.metadata_slots, cap};
+  const Weight weight = model.NodeWeight(content.size());
+
+  NATIX_ASSIGN_OR_RETURN(const NodeId id,
+                         inc_->InsertBefore(parent, before, weight, label,
+                                            kind));
+  // Extend the document arrays for the new node.
+  doc_->content_bytes.push_back(static_cast<uint32_t>(content.size()));
+  doc_->content_offset.push_back(doc_->content_pool.size());
+  doc_->content_pool.append(content);
+  if (doc_->source_node.size() + 1 == doc_->tree.size()) {
+    doc_->source_node.push_back(XmlDocument::kNoNode);
+  }
+  doc_->content_total_bytes += content.size();
+  if (model.Overflows(content.size())) {
+    ++doc_->overflow_nodes;
+    doc_->overflow_bytes += content.size();
   }
 
-  const uint64_t overflow_payload = options.page_size - 16;
-  store.overflow_pages_ = static_cast<size_t>(
-      (overflow_bytes + overflow_payload - 1) / overflow_payload);
-  return store;
+  const PartitionDelta& delta = inc_->last_delta();
+  partition_of_.resize(doc_->tree.size(), 0);
+  if (records_.size() < inc_->interval_count()) {
+    records_.resize(inc_->interval_count(), RecordId{});
+    record_overflow_.resize(inc_->interval_count(), 0);
+  }
+
+  // Refresh membership for every touched partition *before* serializing
+  // any of them: proxies point at the partitions of cut-away children,
+  // which may themselves have moved this operation.
+  std::vector<std::pair<uint32_t, std::vector<NodeId>>> groups;
+  groups.reserve(delta.dirty.size() + delta.created.size());
+  for (const uint32_t part : delta.dirty) {
+    groups.emplace_back(part, inc_->PartitionNodes(part));
+  }
+  for (const uint32_t part : delta.created) {
+    groups.emplace_back(part, inc_->PartitionNodes(part));
+  }
+  for (const auto& [part, nodes] : groups) {
+    for (const NodeId v : nodes) partition_of_[v] = part;
+  }
+
+  for (const auto& [part, nodes] : groups) {
+    uint64_t overflow = 0;
+    const std::vector<uint8_t> bytes = SerializePartition(
+        *doc_, partition_of_, part, nodes, options_.slot_size, &overflow);
+    if (records_[part].valid()) {
+      NATIX_RETURN_NOT_OK(manager_.Update(records_[part], bytes));
+      ++records_rewritten_;
+    } else {
+      NATIX_ASSIGN_OR_RETURN(records_[part], manager_.Insert(bytes));
+      ++records_created_;
+    }
+    overflow_bytes_ = overflow_bytes_ - record_overflow_[part] + overflow;
+    record_overflow_[part] = overflow;
+  }
+  RecomputeOverflowPages();
+  ++inserts_;
+  return id;
+}
+
+UpdateStats NatixStore::update_stats() const {
+  UpdateStats s;
+  s.inserts = inserts_;
+  s.splits = inc_ != nullptr ? inc_->split_count() : 0;
+  s.records_rewritten = records_rewritten_;
+  s.records_created = records_created_;
+  s.relocations = manager_.relocation_count();
+  s.compactions = manager_.compaction_count();
+  return s;
 }
 
 bool Navigator::ToFirstChild() {
@@ -129,8 +242,9 @@ void Navigator::Move(NodeId to) {
     ++stats_->intra_moves;
   } else {
     ++stats_->record_crossings;
-    if (from_rec.page != to_rec.page) ++stats_->page_switches;
-    if (buffer_ != nullptr) buffer_->Access(to_rec.page);
+    const uint32_t to_page = store_->PageOfNode(to);
+    if (store_->PageOfNode(current_) != to_page) ++stats_->page_switches;
+    if (buffer_ != nullptr) buffer_->Access(to_page);
   }
   current_ = to;
 }

@@ -2,6 +2,8 @@
 #define NATIX_STORAGE_STORE_H_
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -9,6 +11,7 @@
 #include "storage/record.h"
 #include "storage/record_manager.h"
 #include "tree/partitioning.h"
+#include "updates/incremental.h"
 #include "xml/importer.h"
 
 namespace natix {
@@ -21,6 +24,9 @@ struct StoreOptions {
   int allocation_lookback = 8;
   /// Storage slot size (must match the weight model used at import).
   uint32_t slot_size = 8;
+  /// Metadata slots charged to nodes inserted through InsertBefore();
+  /// must match the weight model used at import.
+  uint32_t metadata_slots = 1;
 };
 
 /// Counters for navigation operations against a NatixStore.
@@ -56,24 +62,61 @@ struct NavigationCostModel {
   }
 };
 
+/// Counters for mutations applied to a NatixStore.
+struct UpdateStats {
+  /// InsertBefore() calls that succeeded.
+  uint64_t inserts = 0;
+  /// Partition splits performed by the incremental partitioner.
+  uint64_t splits = 0;
+  /// Pre-existing records rewritten because their partition changed.
+  uint64_t records_rewritten = 0;
+  /// Records created for partitions born from splits.
+  uint64_t records_created = 0;
+  /// Record rewrites that had to move the record to a different page.
+  uint64_t relocations = 0;
+  /// Page payload compactions triggered by rewrites.
+  uint64_t compactions = 0;
+};
+
 /// The mini-Natix store: a document loaded under a given tree sibling
 /// partitioning. Each partition becomes one physical record (serialized
 /// with RecordBuilder); records are packed onto slotted pages by the
 /// RecordManager; oversized text is stored in overflow pages.
 ///
-/// The store borrows the ImportedDocument (it must outlive the store).
+/// The store *owns* its document and may mutate it: InsertBefore() adds a
+/// node, drives the IncrementalPartitioner, and rewrites exactly the
+/// records named in its PartitionDelta -- the storage-level realization of
+/// the Kanne/Moerkotte record split. RecordIds are logical, so records
+/// relocated by growth keep their identity; navigation and queries stay
+/// correct mid-update-stream.
 class NatixStore {
  public:
-  /// Builds the store. `partitioning` must be feasible for `limit` on
-  /// `doc.tree` (checked; the limit is in slots of the weight model used
-  /// at import).
-  static Result<NatixStore> Build(const ImportedDocument& doc,
+  /// Builds the store, taking ownership of `doc`. `partitioning` must be
+  /// feasible for `limit` on `doc.tree` (checked; the limit is in slots
+  /// of the weight model used at import).
+  static Result<NatixStore> Build(ImportedDocument doc,
                                   const Partitioning& partitioning,
                                   TotalWeight limit,
                                   const StoreOptions& options = {});
 
+  /// Inserts a node as a child of `parent` immediately before `before`
+  /// (kInvalidNode appends), with the given label/kind/content. The
+  /// node's weight follows the store's weight model; content too large
+  /// for the partition limit is externalized to overflow storage. Only
+  /// the records of partitions in the resulting PartitionDelta are
+  /// rewritten, so per-insert cost is proportional to the partitions
+  /// touched, not to the document.
+  Result<NodeId> InsertBefore(NodeId parent, NodeId before,
+                              std::string_view label = {},
+                              NodeKind kind = NodeKind::kElement,
+                              std::string_view content = {});
+
   const Tree& tree() const { return doc_->tree; }
   const ImportedDocument& document() const { return *doc_; }
+
+  /// Deep copy of the (possibly mutated) document, for reference
+  /// rebuilds and equivalence checks.
+  ImportedDocument SnapshotDocument() const { return doc_->Clone(); }
 
   /// Partition index (== record index) holding a node.
   uint32_t PartitionOf(NodeId v) const { return partition_of_[v]; }
@@ -83,12 +126,21 @@ class NatixStore {
   RecordId RecordOfNode(NodeId v) const {
     return records_[partition_of_[v]];
   }
+  /// Page currently holding a node's record (changes when the record
+  /// relocates; jumbo records report their synthetic page id).
+  uint32_t PageOfNode(NodeId v) const {
+    return manager_.PageOf(records_[partition_of_[v]]);
+  }
 
   /// Raw bytes of a partition's record.
   Result<std::pair<const uint8_t*, size_t>> RecordBytes(
       uint32_t partition) const {
     return manager_.Get(records_[partition]);
   }
+
+  /// The incremental partitioner, once the store has been mutated
+  /// (nullptr for a store that has only been bulk-loaded).
+  const IncrementalPartitioner* partitioner() const { return inc_.get(); }
 
   size_t record_count() const { return records_.size(); }
   size_t page_count() const { return manager_.page_count(); }
@@ -99,17 +151,38 @@ class NatixStore {
   }
   double PageUtilization() const { return manager_.Utilization(); }
   uint64_t payload_bytes() const { return manager_.payload_bytes(); }
+  TotalWeight limit() const { return limit_; }
+  UpdateStats update_stats() const;
 
  private:
-  NatixStore(const ImportedDocument* doc, RecordManager manager)
-      : doc_(doc), manager_(std::move(manager)) {}
+  NatixStore() = default;
 
-  const ImportedDocument* doc_;
+  /// Creates the incremental partitioner from the build-time partitioning
+  /// on first mutation (interval id i == build partition i).
+  Status EnsureMutable();
+
+  void RecomputeOverflowPages() {
+    const uint64_t payload = page_size_ - 16;
+    overflow_pages_ =
+        static_cast<size_t>((overflow_bytes_ + payload - 1) / payload);
+  }
+
+  /// Owned on the heap so the partitioner's Tree* survives store moves.
+  std::unique_ptr<ImportedDocument> doc_;
   RecordManager manager_;
+  StoreOptions options_;
+  TotalWeight limit_ = 0;
+  Partitioning partitioning_;  // build-time snapshot; seeds inc_
+  std::unique_ptr<IncrementalPartitioner> inc_;
   std::vector<uint32_t> partition_of_;  // node -> partition index
   std::vector<RecordId> records_;       // partition index -> record
+  std::vector<uint64_t> record_overflow_;  // externalized bytes per record
+  uint64_t overflow_bytes_ = 0;
   size_t overflow_pages_ = 0;
   size_t page_size_ = 8192;
+  uint64_t inserts_ = 0;
+  uint64_t records_rewritten_ = 0;
+  uint64_t records_created_ = 0;
 };
 
 /// A navigation cursor over a NatixStore. Every move is charged to an

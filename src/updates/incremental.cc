@@ -46,6 +46,7 @@ Result<IncrementalPartitioner> IncrementalPartitioner::CreateEmpty(
   IncrementalPartitioner out(tree, limit);
   out.member_of_.assign(1, kNone);
   out.member_of_[root] = out.NewInterval(root, root, root_weight);
+  out.delta_.Clear();
   return out;
 }
 
@@ -75,7 +76,22 @@ uint32_t IncrementalPartitioner::NewInterval(NodeId first, NodeId last,
                                              TotalWeight weight) {
   intervals_.push_back({first, last, weight, true});
   ++alive_count_;
-  return static_cast<uint32_t>(intervals_.size() - 1);
+  const uint32_t id = static_cast<uint32_t>(intervals_.size() - 1);
+  delta_.created.push_back(id);
+  return id;
+}
+
+void IncrementalPartitioner::MarkDirty(uint32_t p) {
+  // Partitions born this operation are already fully rewritten by the
+  // caller; only pre-existing ones need a dirty entry.
+  if (std::find(delta_.created.begin(), delta_.created.end(), p) !=
+      delta_.created.end()) {
+    return;
+  }
+  if (std::find(delta_.dirty.begin(), delta_.dirty.end(), p) ==
+      delta_.dirty.end()) {
+    delta_.dirty.push_back(p);
+  }
 }
 
 Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
@@ -93,6 +109,7 @@ Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
       (before >= tree_->size() || tree_->Parent(before) != parent)) {
     return Status::InvalidArgument("'before' is not a child of 'parent'");
   }
+  delta_.Clear();
   // A node inserted strictly between two members of an interval becomes a
   // member of that interval itself (sibling intervals are defined by
   // their endpoints); otherwise it joins its parent's partition as a
@@ -112,6 +129,7 @@ Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
       inside_interval ? member_of_[before] : PartitionOfNode(parent);
   if (inside_interval) member_of_[id] = p;
   intervals_[p].weight += weight;
+  MarkDirty(p);
   std::vector<uint32_t> worklist;
   if (intervals_[p].weight > limit_) worklist.push_back(p);
   while (!worklist.empty()) {
@@ -127,6 +145,7 @@ Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
 void IncrementalPartitioner::Split(uint32_t p,
                                    std::vector<uint32_t>* worklist) {
   ++split_count_;
+  MarkDirty(p);  // p keeps its id but loses nodes either way
   // Note: NewInterval() grows intervals_, so p must be re-indexed after
   // any interval creation; never hold a reference across it.
   std::vector<NodeId> members;
@@ -242,11 +261,48 @@ void IncrementalPartitioner::SplitBelow(NodeId member, uint32_t p,
   }
 }
 
+std::vector<NodeId> IncrementalPartitioner::PartitionNodes(uint32_t id) const {
+  std::vector<NodeId> nodes;
+  if (id >= intervals_.size() || !intervals_[id].alive) return nodes;
+  const Interval& iv = intervals_[id];
+  std::vector<NodeId> stack;
+  for (NodeId v = iv.first;; v = tree_->NextSibling(v)) {
+    // Document-order DFS through the subordinate (non-member) descendants.
+    stack.push_back(v);
+    while (!stack.empty()) {
+      const NodeId x = stack.back();
+      stack.pop_back();
+      nodes.push_back(x);
+      // Push children in reverse so the leftmost is visited first.
+      size_t mark = stack.size();
+      for (NodeId c = tree_->FirstChild(x); c != kInvalidNode;
+           c = tree_->NextSibling(c)) {
+        if (member_of_[c] == kNone) stack.push_back(c);
+      }
+      std::reverse(stack.begin() + mark, stack.end());
+    }
+    if (v == iv.last) break;
+  }
+  return nodes;
+}
+
 Partitioning IncrementalPartitioner::CurrentPartitioning() const {
+  std::vector<uint32_t> alive;
+  alive.reserve(alive_count_);
+  for (uint32_t i = 0; i < intervals_.size(); ++i) {
+    if (intervals_[i].alive) alive.push_back(i);
+  }
+  // Canonical (document) order: intervals sorted by the preorder rank of
+  // their first member. Interval ids are insertion-ordered, not
+  // document-ordered, so a rank sort is required.
+  const std::vector<uint32_t> rank = tree_->PreorderRanks();
+  std::sort(alive.begin(), alive.end(), [&](uint32_t a, uint32_t b) {
+    return rank[intervals_[a].first] < rank[intervals_[b].first];
+  });
   Partitioning p;
-  p.Reserve(alive_count_);
-  for (const Interval& iv : intervals_) {
-    if (iv.alive) p.Add(iv.first, iv.last);
+  p.Reserve(alive.size());
+  for (const uint32_t i : alive) {
+    p.Add(intervals_[i].first, intervals_[i].last);
   }
   return p;
 }
@@ -258,18 +314,21 @@ Status IncrementalPartitioner::Validate() const {
   if (!analysis.feasible) {
     return Status::Internal("incremental partitioning became infeasible");
   }
-  // Cross-check the maintained weights against a fresh analysis.
-  size_t idx = 0;
-  for (const Interval& iv : intervals_) {
+  // Cross-check the maintained weights against a fresh analysis. The
+  // canonical ordering permutes intervals, so match by first member.
+  std::vector<TotalWeight> by_first(tree_->size(), 0);
+  for (size_t i = 0; i < p.size(); ++i) {
+    by_first[p[i].first] = analysis.interval_weights[i];
+  }
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    const Interval& iv = intervals_[i];
     if (!iv.alive) continue;
-    if (analysis.interval_weights[idx] != iv.weight) {
+    if (by_first[iv.first] != iv.weight) {
       return Status::Internal(
           "maintained weight " + std::to_string(iv.weight) +
-          " != analyzed weight " +
-          std::to_string(analysis.interval_weights[idx]) + " for interval " +
-          std::to_string(idx));
+          " != analyzed weight " + std::to_string(by_first[iv.first]) +
+          " for interval " + std::to_string(i));
     }
-    ++idx;
   }
   return Status::OK();
 }

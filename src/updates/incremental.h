@@ -10,6 +10,30 @@
 
 namespace natix {
 
+/// Changelog of one mutating operation on an IncrementalPartitioner:
+/// which partitions a caller that materializes partitions (e.g. the
+/// record-per-partition store) must rewrite. Ids are the partitioner's
+/// stable interval ids.
+struct PartitionDelta {
+  /// Pre-existing partitions whose node set changed (gained the inserted
+  /// node and/or lost members to a split).
+  std::vector<uint32_t> dirty;
+  /// Partitions created by splits during the operation.
+  std::vector<uint32_t> created;
+  /// Partitions removed. Insertions never remove partitions; reserved
+  /// for future merge/delete maintenance.
+  std::vector<uint32_t> deleted;
+
+  bool empty() const {
+    return dirty.empty() && created.empty() && deleted.empty();
+  }
+  void Clear() {
+    dirty.clear();
+    created.clear();
+    deleted.clear();
+  }
+};
+
 /// Node-at-a-time maintenance of a sibling partitioning under insertions
 /// -- the online counterpart of the bulk algorithms, in the spirit of the
 /// original Natix storage maintenance the paper builds on (its reference
@@ -27,11 +51,25 @@ namespace natix {
 /// the structure is feasible after every operation. Amortized cost per
 /// insertion is O(K) plus the depth walk to find the parent's partition.
 ///
+/// Every InsertBefore() additionally records a PartitionDelta -- the
+/// interval ids it dirtied or created -- so callers maintaining per-
+/// partition materializations (physical records) pay O(touched
+/// partitions) per operation instead of materializing everything.
+///
 /// The tree is borrowed and mutated through this class only.
 class IncrementalPartitioner {
  public:
+  /// Everything a caller needs to materialize one partition.
+  struct IntervalInfo {
+    NodeId first = kInvalidNode;
+    NodeId last = kInvalidNode;
+    TotalWeight weight = 0;
+    bool alive = false;
+  };
+
   /// Starts from an existing feasible partitioning of `*tree` (e.g. a
   /// bulkload result), which is copied into the internal representation.
+  /// Interval id i corresponds to `initial[i]`.
   static Result<IncrementalPartitioner> Create(Tree* tree, TotalWeight limit,
                                                const Partitioning& initial);
 
@@ -43,13 +81,35 @@ class IncrementalPartitioner {
 
   /// Inserts a node as a child of `parent`, immediately before `before`
   /// (kInvalidNode appends as the rightmost child). Returns the new
-  /// NodeId. Fails if `weight` is 0 or exceeds the limit.
+  /// NodeId and resets last_delta() to this operation's changelog. Fails
+  /// if `weight` is 0 or exceeds the limit.
   Result<NodeId> InsertBefore(NodeId parent, NodeId before, Weight weight,
                               std::string_view label = {},
                               NodeKind kind = NodeKind::kElement);
 
-  /// Materializes the current partitioning (intervals in no particular
-  /// order, (t, t) included).
+  /// Changelog of the most recent InsertBefore().
+  const PartitionDelta& last_delta() const { return delta_; }
+
+  /// Interval by stable id (ids in [0, interval_count()); dead intervals
+  /// have alive == false).
+  IntervalInfo interval(uint32_t id) const {
+    const Interval& iv = intervals_[id];
+    return {iv.first, iv.last, iv.weight, iv.alive};
+  }
+  /// Number of interval slots ever allocated, including dead ones.
+  size_t interval_count() const { return intervals_.size(); }
+
+  /// Interval id of the partition containing `v` (the interval of the
+  /// nearest interval-member ancestor-or-self). O(depth).
+  uint32_t PartitionContaining(NodeId v) const { return PartitionOfNode(v); }
+
+  /// All nodes of partition `id` in document order: each interval member
+  /// followed by its subordinate (non-member) descendants. O(partition
+  /// size).
+  std::vector<NodeId> PartitionNodes(uint32_t id) const;
+
+  /// Materializes the current partitioning with intervals in canonical
+  /// (document) order of their first member. O(n + |P| log |P|).
   Partitioning CurrentPartitioning() const;
 
   size_t partition_count() const { return alive_count_; }
@@ -82,6 +142,9 @@ class IncrementalPartitioner {
 
   uint32_t NewInterval(NodeId first, NodeId last, TotalWeight weight);
 
+  /// Records `p` in the current delta unless it was created this op.
+  void MarkDirty(uint32_t p);
+
   /// Splits interval `p` (weight > limit) once; may enqueue follow-ups.
   void Split(uint32_t p, std::vector<uint32_t>* worklist);
 
@@ -96,6 +159,7 @@ class IncrementalPartitioner {
   std::vector<uint32_t> member_of_;
   size_t alive_count_ = 0;
   uint64_t split_count_ = 0;
+  PartitionDelta delta_;
 };
 
 }  // namespace natix

@@ -43,6 +43,22 @@ struct ImportedDocument {
     return std::string_view(content_pool)
         .substr(content_offset[v], content_bytes[v]);
   }
+
+  /// Explicit deep copy (Tree forbids implicit copies; so must we). Used
+  /// to snapshot a mutable store's document for reference rebuilds.
+  ImportedDocument Clone() const {
+    ImportedDocument out;
+    out.tree = tree.Clone();
+    out.content_bytes = content_bytes;
+    out.content_offset = content_offset;
+    out.content_pool = content_pool;
+    out.source_node = source_node;
+    out.overflow_nodes = overflow_nodes;
+    out.overflow_bytes = overflow_bytes;
+    out.content_total_bytes = content_total_bytes;
+    out.source_bytes = source_bytes;
+    return out;
+  }
 };
 
 /// Converts a parsed XmlDocument into a weighted tree per `model`.

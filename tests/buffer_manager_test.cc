@@ -73,7 +73,7 @@ TEST(LruBufferPoolTest, NavigatorRoutesCrossingsThroughPool) {
   const ImportedDocument doc = std::move(imp).value();
   const Result<Partitioning> p = KmPartition(doc.tree, 64);
   ASSERT_TRUE(p.ok());
-  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 64);
   ASSERT_TRUE(store.ok());
 
   const Result<PathExpr> q = ParseXPath("//author");
@@ -97,7 +97,7 @@ TEST(LruBufferPoolTest, FewerRecordsFewerFaults) {
   const ImportedDocument doc = std::move(imp).value();
 
   auto faults = [&](const Partitioning& part) {
-    Result<NatixStore> store = NatixStore::Build(doc, part, 256);
+    Result<NatixStore> store = NatixStore::Build(doc.Clone(), part, 256);
     EXPECT_TRUE(store.ok());
     const Result<PathExpr> q = ParseXPath("/site/regions/*/item");
     EXPECT_TRUE(q.ok());

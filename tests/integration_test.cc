@@ -82,7 +82,7 @@ TEST_P(PipelineTest, QueriesAgreeAcrossLayouts) {
     for (const std::string_view algo : {"EKM", "KM", "DFS", "BFS"}) {
       const Result<Partitioning> p = PartitionWith(algo, tree, kLimit);
       ASSERT_TRUE(p.ok());
-      const Result<NatixStore> store = NatixStore::Build(*doc_, *p, kLimit);
+      const Result<NatixStore> store = NatixStore::Build(doc_->Clone(), *p, kLimit);
       ASSERT_TRUE(store.ok()) << algo;
       AccessStats stats;
       StoreQueryEvaluator eval(&*store, &stats);
@@ -103,7 +103,7 @@ TEST_P(PipelineTest, FewerPartitionsFewerScanCrossings) {
   auto crossings = [&](std::string_view algo) {
     const Result<Partitioning> p = PartitionWith(algo, tree, kLimit);
     EXPECT_TRUE(p.ok());
-    const Result<NatixStore> store = NatixStore::Build(*doc_, *p, kLimit);
+    const Result<NatixStore> store = NatixStore::Build(doc_->Clone(), *p, kLimit);
     EXPECT_TRUE(store.ok());
     AccessStats stats;
     StoreQueryEvaluator eval(&*store, &stats);

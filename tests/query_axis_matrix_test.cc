@@ -80,7 +80,7 @@ TEST_P(AxisMatrixTest, StoreEqualsReference) {
       for (auto* partition_fn : {&EkmPartition, &KmPartition}) {
         const Result<Partitioning> p = (*partition_fn)(doc.tree, 16);
         ASSERT_TRUE(p.ok());
-        const Result<NatixStore> store = NatixStore::Build(doc, *p, 16);
+        const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 16);
         ASSERT_TRUE(store.ok());
         AccessStats stats;
         StoreQueryEvaluator eval(&*store, &stats);
@@ -138,7 +138,7 @@ TEST(AxisMatrixTest, RandomPredicatesAgree) {
     const ImportedDocument doc = std::move(imp).value();
     const Result<Partitioning> p = EkmPartition(doc.tree, 16);
     ASSERT_TRUE(p.ok());
-    const Result<NatixStore> store = NatixStore::Build(doc, *p, 16);
+    const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 16);
     ASSERT_TRUE(store.ok());
     for (const char* pred : kPredicates) {
       const std::string q = std::string("//*") + pred;

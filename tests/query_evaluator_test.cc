@@ -29,7 +29,7 @@ Fixture MakeFixture(std::string_view xml, TotalWeight limit = 16) {
   f.doc_ptr = std::make_unique<ImportedDocument>(std::move(imp).value());
   Result<Partitioning> p = EkmPartition(f.doc_ptr->tree, limit);
   EXPECT_TRUE(p.ok());
-  Result<NatixStore> store = NatixStore::Build(*f.doc_ptr, *p, limit);
+  Result<NatixStore> store = NatixStore::Build(f.doc_ptr->Clone(), *p, limit);
   EXPECT_TRUE(store.ok()) << store.status().ToString();
   f.store_ptr = std::make_unique<NatixStore>(std::move(store).value());
   return f;
@@ -163,7 +163,7 @@ TEST(QueryEvaluatorTest, AgreesWithReferenceOnXmark) {
   for (auto* partition_fn : {&EkmPartition, &KmPartition, &RsPartition}) {
     const Result<Partitioning> p = (*partition_fn)(doc.tree, 256);
     ASSERT_TRUE(p.ok());
-    const Result<NatixStore> store = NatixStore::Build(doc, *p, 256);
+    const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 256);
     ASSERT_TRUE(store.ok());
     for (const XPathMarkQuery& q : XPathMarkQueries()) {
       const Result<PathExpr> path = ParseXPath(q.text);

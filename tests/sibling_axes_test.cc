@@ -35,7 +35,7 @@ Ctx Make(std::string_view xml, TotalWeight limit = 16) {
   ctx.doc = std::make_unique<ImportedDocument>(std::move(imp).value());
   Result<Partitioning> p = EkmPartition(ctx.doc->tree, limit);
   EXPECT_TRUE(p.ok());
-  Result<NatixStore> store = NatixStore::Build(*ctx.doc, *p, limit);
+  Result<NatixStore> store = NatixStore::Build(ctx.doc->Clone(), *p, limit);
   EXPECT_TRUE(store.ok());
   ctx.store = std::make_unique<NatixStore>(std::move(store).value());
   return ctx;
@@ -102,7 +102,7 @@ TEST(SiblingAxesTest, StoreAgreesWithReferenceOnXmark) {
   const ImportedDocument doc = std::move(impr).value();
   const Result<Partitioning> p = EkmPartition(doc.tree, 256);
   ASSERT_TRUE(p.ok());
-  const Result<NatixStore> store = NatixStore::Build(doc, *p, 256);
+  const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 256);
   ASSERT_TRUE(store.ok());
   const char* queries[] = {
       "/site/regions/*/item/following-sibling::item",
@@ -135,7 +135,7 @@ TEST(SiblingAxesTest, SiblingScanIsIntraRecordUnderEkm) {
   const ImportedDocument doc = std::move(impr).value();
 
   auto crossings = [&](const Partitioning& p) {
-    Result<NatixStore> store = NatixStore::Build(doc, p, 64);
+    Result<NatixStore> store = NatixStore::Build(doc.Clone(), p, 64);
     EXPECT_TRUE(store.ok());
     const Result<PathExpr> path =
         ParseXPath("/r/item/following-sibling::item");

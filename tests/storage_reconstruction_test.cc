@@ -31,7 +31,7 @@ Loaded Load(std::string_view generator, std::string_view algo,
   out.doc = std::make_unique<ImportedDocument>(std::move(imp).value());
   const Result<Partitioning> p = PartitionWith(algo, out.doc->tree, limit);
   EXPECT_TRUE(p.ok());
-  Result<NatixStore> store = NatixStore::Build(*out.doc, *p, limit);
+  Result<NatixStore> store = NatixStore::Build(out.doc->Clone(), *p, limit);
   EXPECT_TRUE(store.ok());
   out.store = std::make_unique<NatixStore>(std::move(store).value());
   return out;

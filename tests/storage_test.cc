@@ -131,7 +131,7 @@ TEST(RecordManagerTest, LookbackFillsEarlierPages) {
   ASSERT_TRUE(mgr.Insert(std::vector<uint8_t>(700, 1)).ok());
   const Result<RecordId> small = mgr.Insert(std::vector<uint8_t>(100, 2));
   ASSERT_TRUE(small.ok());
-  EXPECT_EQ(small->page, 0u);
+  EXPECT_EQ(mgr.PageOf(*small), 0u);
 }
 
 TEST(RecordManagerTest, JumboRecordSpansDedicatedPages) {
@@ -139,7 +139,7 @@ TEST(RecordManagerTest, JumboRecordSpansDedicatedPages) {
   const std::vector<uint8_t> big(1200, 7);
   const Result<RecordId> id = mgr.Insert(big);
   ASSERT_TRUE(id.ok());
-  EXPECT_EQ(id->slot, RecordManager::kJumboSlot);
+  EXPECT_TRUE(mgr.IsJumbo(*id));
   EXPECT_EQ(mgr.jumbo_record_count(), 1u);
   // 1200 bytes over (512 - 16)-byte payload pages -> 3 pages.
   EXPECT_EQ(mgr.page_count(), 3u);
@@ -150,16 +150,14 @@ TEST(RecordManagerTest, JumboRecordSpansDedicatedPages) {
   // Regular records continue to work alongside jumbo ones.
   const Result<RecordId> small = mgr.Insert(std::vector<uint8_t>(40, 1));
   ASSERT_TRUE(small.ok());
-  EXPECT_NE(small->slot, RecordManager::kJumboSlot);
+  EXPECT_FALSE(mgr.IsJumbo(*small));
   EXPECT_TRUE(mgr.Get(*small).ok());
 }
 
-TEST(RecordManagerTest, JumboGetOutOfRange) {
+TEST(RecordManagerTest, GetRejectsUnknownId) {
   RecordManager mgr(512);
-  EXPECT_FALSE(
-      mgr.Get(RecordId{0 | RecordManager::kJumboPageBit,
-                       RecordManager::kJumboSlot})
-          .ok());
+  EXPECT_FALSE(mgr.Get(RecordId{42}).ok());
+  EXPECT_FALSE(mgr.Get(RecordId{}).ok());
 }
 
 TEST(RecordManagerTest, UtilizationTracksPayload) {
@@ -183,7 +181,7 @@ TEST(StoreTest, BuildFromEkmPartitioning) {
   const ImportedDocument doc = ImportFixture();
   const Result<Partitioning> p = EkmPartition(doc.tree, 64);
   ASSERT_TRUE(p.ok());
-  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 64);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   EXPECT_EQ(store->record_count(), p->size());
   EXPECT_GT(store->page_count(), 0u);
@@ -194,7 +192,7 @@ TEST(StoreTest, EveryNodeHasARecord) {
   const ImportedDocument doc = ImportFixture();
   const Result<Partitioning> p = KmPartition(doc.tree, 64);
   ASSERT_TRUE(p.ok());
-  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 64);
   ASSERT_TRUE(store.ok());
   for (NodeId v = 0; v < doc.tree.size(); ++v) {
     EXPECT_LT(store->PartitionOf(v), p->size());
@@ -206,7 +204,7 @@ TEST(StoreTest, RecordsDecodeAndCoverAllNodes) {
   const ImportedDocument doc = ImportFixture();
   const Result<Partitioning> p = EkmPartition(doc.tree, 64);
   ASSERT_TRUE(p.ok());
-  const Result<NatixStore> store = NatixStore::Build(doc, *p, 64);
+  const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 64);
   ASSERT_TRUE(store.ok());
   size_t total_nodes = 0;
   std::vector<bool> seen(doc.tree.size(), false);
@@ -236,7 +234,7 @@ TEST(StoreTest, RejectsInfeasiblePartitioning) {
   const ImportedDocument doc = ImportFixture();
   Partitioning p;
   p.Add(doc.tree.root(), doc.tree.root());  // everything in one partition
-  EXPECT_FALSE(NatixStore::Build(doc, p, 64).ok());
+  EXPECT_FALSE(NatixStore::Build(doc.Clone(), p, 64).ok());
 }
 
 TEST(StoreTest, FewerPartitionsFewerRecords) {
@@ -244,8 +242,8 @@ TEST(StoreTest, FewerPartitionsFewerRecords) {
   const Result<Partitioning> ekm = EkmPartition(doc.tree, 64);
   const Result<Partitioning> km = KmPartition(doc.tree, 64);
   ASSERT_TRUE(ekm.ok() && km.ok());
-  const Result<NatixStore> s_ekm = NatixStore::Build(doc, *ekm, 64);
-  const Result<NatixStore> s_km = NatixStore::Build(doc, *km, 64);
+  const Result<NatixStore> s_ekm = NatixStore::Build(doc.Clone(), *ekm, 64);
+  const Result<NatixStore> s_km = NatixStore::Build(doc.Clone(), *km, 64);
   ASSERT_TRUE(s_ekm.ok() && s_km.ok());
   EXPECT_LT(s_ekm->record_count(), s_km->record_count());
 }
@@ -259,7 +257,7 @@ TEST(StoreTest, OverflowPagesAccounted) {
   ASSERT_TRUE(imp.ok());
   const Result<Partitioning> p = EkmPartition(imp->tree, 16);
   ASSERT_TRUE(p.ok());
-  const Result<NatixStore> store = NatixStore::Build(*imp, *p, 16);
+  const Result<NatixStore> store = NatixStore::Build(imp->Clone(), *p, 16);
   ASSERT_TRUE(store.ok());
   EXPECT_GE(store->overflow_page_count(), 100000u / 8192);
   EXPECT_GT(store->TotalDiskBytes(),
@@ -277,7 +275,7 @@ TEST(NavigatorTest, IntraVsCrossAccounting) {
   Partitioning p;
   p.Add(0, 0);
   p.Add(1, 2);
-  const Result<NatixStore> store = NatixStore::Build(*imp, p, 100);
+  const Result<NatixStore> store = NatixStore::Build(imp->Clone(), p, 100);
   ASSERT_TRUE(store.ok());
   AccessStats stats;
   Navigator nav(&*store, &stats);
@@ -297,7 +295,7 @@ TEST(NavigatorTest, SinglePartitionAllIntra) {
   ASSERT_TRUE(imp.ok());
   Partitioning p;
   p.Add(0, 0);
-  const Result<NatixStore> store = NatixStore::Build(*imp, p, 100);
+  const Result<NatixStore> store = NatixStore::Build(imp->Clone(), p, 100);
   ASSERT_TRUE(store.ok());
   AccessStats stats;
   Navigator nav(&*store, &stats);
@@ -326,8 +324,8 @@ TEST(NavigatorTest, BetterPartitioningFewerCrossings) {
   const Result<Partitioning> ekm = EkmPartition(doc.tree, 64);
   const Result<Partitioning> km = KmPartition(doc.tree, 64);
   ASSERT_TRUE(ekm.ok() && km.ok());
-  const Result<NatixStore> s_ekm = NatixStore::Build(doc, *ekm, 64);
-  const Result<NatixStore> s_km = NatixStore::Build(doc, *km, 64);
+  const Result<NatixStore> s_ekm = NatixStore::Build(doc.Clone(), *ekm, 64);
+  const Result<NatixStore> s_km = NatixStore::Build(doc.Clone(), *km, 64);
   ASSERT_TRUE(s_ekm.ok() && s_km.ok());
 
   auto scan_crossings = [](const NatixStore& store) {

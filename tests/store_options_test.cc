@@ -33,9 +33,9 @@ TEST(StoreOptionsTest, SmallerPagesMorePages) {
   StoreOptions large;
   large.page_size = 16384;
   const Result<NatixStore> s_small =
-      NatixStore::Build(*ctx.doc, *p, 128, small);
+      NatixStore::Build(ctx.doc->Clone(), *p, 128, small);
   const Result<NatixStore> s_large =
-      NatixStore::Build(*ctx.doc, *p, 128, large);
+      NatixStore::Build(ctx.doc->Clone(), *p, 128, large);
   ASSERT_TRUE(s_small.ok() && s_large.ok());
   EXPECT_GT(s_small->page_count(), s_large->page_count());
   // Payload is identical; only the packaging differs.
@@ -51,9 +51,9 @@ TEST(StoreOptionsTest, LookbackImprovesUtilization) {
   StoreOptions deep_lookback;
   deep_lookback.allocation_lookback = 64;
   const Result<NatixStore> s1 =
-      NatixStore::Build(*ctx.doc, *p, 128, no_lookback);
+      NatixStore::Build(ctx.doc->Clone(), *p, 128, no_lookback);
   const Result<NatixStore> s64 =
-      NatixStore::Build(*ctx.doc, *p, 128, deep_lookback);
+      NatixStore::Build(ctx.doc->Clone(), *p, 128, deep_lookback);
   ASSERT_TRUE(s1.ok() && s64.ok());
   EXPECT_GE(s64->PageUtilization(), s1->PageUtilization());
   EXPECT_LE(s64->page_count(), s1->page_count());
@@ -63,7 +63,7 @@ TEST(StoreOptionsTest, PageSwitchesAtMostCrossings) {
   Ctx ctx = Import();
   const Result<Partitioning> p = KmPartition(ctx.doc->tree, 128);
   ASSERT_TRUE(p.ok());
-  const Result<NatixStore> store = NatixStore::Build(*ctx.doc, *p, 128);
+  const Result<NatixStore> store = NatixStore::Build(ctx.doc->Clone(), *p, 128);
   ASSERT_TRUE(store.ok());
   AccessStats stats;
   Navigator nav(&*store, &stats);
@@ -86,7 +86,7 @@ TEST(StoreOptionsTest, SamePageCrossingIsNotAPageSwitch) {
   Partitioning p;
   p.Add(0, 0);
   p.Add(1, 2);
-  const Result<NatixStore> store = NatixStore::Build(doc, p, 100);
+  const Result<NatixStore> store = NatixStore::Build(doc.Clone(), p, 100);
   ASSERT_TRUE(store.ok());
   ASSERT_EQ(store->page_count(), 1u);
   AccessStats stats;
@@ -103,7 +103,7 @@ TEST(StoreOptionsTest, DiskBytesAreWholePages) {
   StoreOptions opts;
   opts.page_size = 8192;
   const Result<NatixStore> store =
-      NatixStore::Build(*ctx.doc, *p, 128, opts);
+      NatixStore::Build(ctx.doc->Clone(), *p, 128, opts);
   ASSERT_TRUE(store.ok());
   EXPECT_EQ(store->TotalDiskBytes() % 8192, 0u);
   EXPECT_GE(store->TotalDiskBytes(),

@@ -107,7 +107,42 @@ TEST(IncrementalTest, RandomInsertionsStayFeasible) {
     }
     ASSERT_TRUE(ip->Validate().ok());
     ASSERT_TRUE(t.Validate().ok());
+    // The materialized partitioning lists intervals in canonical
+    // (document) order even though interval ids are insertion-ordered.
+    const Partitioning p = ip->CurrentPartitioning();
+    const std::vector<uint32_t> rank = t.PreorderRanks();
+    for (size_t i = 1; i < p.size(); ++i) {
+      ASSERT_LT(rank[p[i - 1].first], rank[p[i].first])
+          << "trial " << trial << ": intervals " << (i - 1) << "," << i;
+    }
   }
+}
+
+TEST(IncrementalTest, DeltaNamesExactlyTouchedPartitions) {
+  Tree t;
+  Result<IncrementalPartitioner> ip =
+      IncrementalPartitioner::CreateEmpty(&t, 10, 2, "root");
+  ASSERT_TRUE(ip.ok());
+  // Plain insert: the containing partition is dirty, nothing is created.
+  ASSERT_TRUE(ip->InsertBefore(t.root(), kInvalidNode, 2).ok());
+  EXPECT_EQ(ip->last_delta().dirty, std::vector<uint32_t>{0});
+  EXPECT_TRUE(ip->last_delta().created.empty());
+  EXPECT_TRUE(ip->last_delta().deleted.empty());
+  // Overflow the partition: the split creates new interval ids and still
+  // reports the survivor as dirty.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ip->InsertBefore(t.root(), kInvalidNode, 2).ok());
+  }
+  EXPECT_GT(ip->partition_count(), 1u);
+  const PartitionDelta& d = ip->last_delta();
+  EXPECT_EQ(d.dirty, std::vector<uint32_t>{0});
+  EXPECT_FALSE(d.created.empty());
+  for (const uint32_t q : d.created) {
+    EXPECT_TRUE(ip->interval(q).alive);
+    EXPECT_GE(q, 1u);
+  }
+  // A follow-up insert into an untouched partition leaves the rest alone.
+  ASSERT_TRUE(ip->Validate().ok());
 }
 
 TEST(IncrementalTest, QualityWithinReasonOfBatch) {
