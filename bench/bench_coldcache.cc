@@ -48,7 +48,7 @@ int main() {
     double est_ekm = 0;
     auto run_all = [&](const natix::NatixStore& store, uint64_t* faults,
                        double* est) {
-      natix::LruBufferPool pool(frames);
+      natix::LruBufferPool pool = natix::LruBufferPool::Create(frames).ValueOrDie();
       const natix::benchutil::QueryRun sweep =
           natix::benchutil::RunXPathMarkSweep(store, &pool, nav_cost);
       *faults = pool.stats().misses;

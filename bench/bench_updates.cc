@@ -14,6 +14,7 @@
 // document. Emits BENCH_UPDATES JSON lines (one per sweep plus a
 // summary) for snapshotting.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -22,6 +23,7 @@
 #include "core/algorithm.h"
 #include "core/heuristics.h"
 #include "query/reference_evaluator.h"
+#include "storage/file_backend.h"
 #include "updates/incremental.h"
 
 namespace {
@@ -247,11 +249,106 @@ int RunStoreLeg(natix::TotalWeight limit, double scale) {
   return 0;
 }
 
+// Part 3: the same insert workload through a write-ahead log. Measures
+// the durability overhead -- log bytes per record byte for the op stream
+// (the per-insert cost) and for checkpoints (amortized by cadence) --
+// then recovers the store from the log and checks the surviving insert
+// count. The op-stream amplification is the acceptance metric: logical
+// logging must stay well under the record bytes the same inserts write.
+int RunWalLeg(natix::TotalWeight limit, double scale) {
+  constexpr int kInserts = 10000;
+  constexpr int kCheckpointEvery = 2500;
+  std::printf("\nDurable store: %d inserts through the WAL (checkpoint "
+              "every %d)\n\n",
+              kInserts, kCheckpointEvery);
+
+  const auto entry = natix::benchutil::LoadDocument("xmark", scale, limit);
+  const auto ekm = natix::EkmPartition(entry->doc.tree, limit);
+  ekm.status().CheckOK();
+  auto store = natix::NatixStore::Build(entry->doc.Clone(), *ekm, limit);
+  store.status().CheckOK();
+
+  auto backend = std::make_unique<natix::MemoryFileBackend>();
+  const std::shared_ptr<natix::MemoryFileBackend::Bytes> disk =
+      backend->disk();
+  natix::Timer attach_timer;
+  store->EnableDurability(std::move(backend)).CheckOK();
+  const double attach_ms = attach_timer.ElapsedMillis();
+
+  natix::Rng rng(1);
+  natix::Timer timer;
+  for (int done = 0; done < kInserts; done += kCheckpointEvery) {
+    if (!ApplyRandomInserts(&*store, kCheckpointEvery, &rng)) return 1;
+    store->Checkpoint().CheckOK();
+  }
+  const double insert_ms = timer.ElapsedMillis();
+
+  const natix::WalStats ws = store->wal_stats();
+  std::printf("initial checkpoint: %.1fms; %d durable inserts in %.1fms "
+              "(%.2fus each)\n",
+              attach_ms, kInserts, insert_ms, 1e3 * insert_ms / kInserts);
+  std::printf("WAL: %llu bytes (%llu op bytes in %llu entries, %llu "
+              "checkpoint bytes in %llu checkpoints)\n",
+              static_cast<unsigned long long>(ws.wal_bytes),
+              static_cast<unsigned long long>(ws.op_bytes),
+              static_cast<unsigned long long>(ws.op_entries),
+              static_cast<unsigned long long>(ws.checkpoint_bytes),
+              static_cast<unsigned long long>(ws.checkpoints));
+  std::printf("op log amplification: %.3fx of %llu record bytes\n",
+              ws.OpAmplification(),
+              static_cast<unsigned long long>(ws.record_bytes));
+  if (ws.OpAmplification() >= 2.0) {
+    std::fprintf(stderr, "BUG: op log amplification above the 2x budget\n");
+    return 1;
+  }
+
+  // Crash (drop the store) and rebuild from the surviving bytes.
+  const size_t records_before_crash = store->record_count();
+  store = natix::Status::Internal("crashed");
+  natix::Timer recover_timer;
+  auto recovered = natix::NatixStore::Recover(
+      std::make_unique<natix::MemoryFileBackend>(disk));
+  const double recover_ms = recover_timer.ElapsedMillis();
+  recovered.status().CheckOK();
+  const natix::UpdateStats us = recovered->update_stats();
+  std::printf("recovery: %.1fms, %llu/%d inserts survived, %zu records\n",
+              recover_ms, static_cast<unsigned long long>(us.inserts),
+              kInserts, recovered->record_count());
+  if (us.inserts != static_cast<uint64_t>(kInserts) ||
+      recovered->record_count() != records_before_crash) {
+    std::fprintf(stderr, "BUG: recovered store diverges from the original\n");
+    return 1;
+  }
+  recovered->partitioner()->Validate().CheckOK();
+  if (!SweepMatchesReference(*recovered)) return 1;
+
+  std::printf(
+      "BENCH_UPDATES {\"bench\":\"store_updates_wal\",\"doc\":\"xmark\","
+      "\"nodes\":%zu,\"k\":%llu,\"scale\":%.3f,\"inserts\":%d,"
+      "\"insert_us\":%.3f,\"wal_bytes\":%llu,\"op_bytes\":%llu,"
+      "\"op_entries\":%llu,\"checkpoint_bytes\":%llu,\"checkpoints\":%llu,"
+      "\"record_bytes\":%llu,\"op_amplification\":%.4f,"
+      "\"recover_ms\":%.3f,\"recovered_inserts\":%llu,"
+      "\"queries_match\":true}\n",
+      recovered->tree().size(), static_cast<unsigned long long>(limit),
+      scale, kInserts, 1e3 * insert_ms / kInserts,
+      static_cast<unsigned long long>(ws.wal_bytes),
+      static_cast<unsigned long long>(ws.op_bytes),
+      static_cast<unsigned long long>(ws.op_entries),
+      static_cast<unsigned long long>(ws.checkpoint_bytes),
+      static_cast<unsigned long long>(ws.checkpoints),
+      static_cast<unsigned long long>(ws.record_bytes),
+      ws.OpAmplification(), recover_ms,
+      static_cast<unsigned long long>(us.inserts));
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   constexpr natix::TotalWeight kLimit = 256;
   const double scale = natix::benchutil::ScaleFromEnv(0.25);
   if (const int rc = RunReplayTable(kLimit, scale)) return rc;
-  return RunStoreLeg(kLimit, scale);
+  if (const int rc = RunStoreLeg(kLimit, scale)) return rc;
+  return RunWalLeg(kLimit, scale);
 }

@@ -23,12 +23,23 @@ cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test \
 
 # 3. Memory check: the update/storage surface under ASan+UBSan -- record
 #    splits, relocations and page compaction move raw bytes around, so
-#    this is where lifetime bugs would hide.
+#    this is where lifetime bugs would hide. The WAL/recovery suite
+#    (crash matrix included) runs here too: recovery parses raw bytes a
+#    simulated crash mangled, the other place lifetime bugs would hide.
 cmake -B build-asan -S . -DNATIX_SANITIZE=address,undefined \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j --target store_updates_test updates_test \
-  storage_test
+  storage_test wal_recovery_test
 (cd build-asan && ./tests/store_updates_test && ./tests/updates_test \
-  && ./tests/storage_test)
+  && ./tests/storage_test && ./tests/wal_recovery_test)
 
-echo "tier1 OK (tests + TSan race check + ASan/UBSan memory check)"
+# 4. Assert-free build: CMAKE_BUILD_TYPE=Release defines NDEBUG, which
+#    compiles every assert() out. All input validation must ride on
+#    Status returns, never on asserts -- this leg proves the full suite
+#    passes with asserts gone.
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+  -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
+cmake --build build-release -j
+(cd build-release && ctest --output-on-failure -j)
+
+echo "tier1 OK (tests + TSan race check + ASan/UBSan memory check + NDEBUG)"

@@ -1,0 +1,113 @@
+#ifndef NATIX_COMMON_BYTES_H_
+#define NATIX_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// Appends little-endian primitives and length-prefixed blobs to a byte
+/// vector. Used by the WAL and checkpoint serializers; the matching
+/// ByteReader validates every read, so deserialization of corrupt or
+/// truncated input degrades to a Status instead of undefined behaviour.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I32(int32_t v) { Raw(&v, 4); }
+
+  /// Length-prefixed (u64) byte string.
+  void Str(std::string_view s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  /// Raw bytes, no length prefix (caller encodes the count separately).
+  void Raw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked cursor over a byte buffer. Every accessor returns
+/// OutOfRange instead of reading past the end, which is what makes WAL
+/// replay safe against torn entries and corrupt checkpoint payloads.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  Result<uint8_t> U8() {
+    uint8_t v;
+    NATIX_RETURN_NOT_OK(Raw(&v, 1));
+    return v;
+  }
+  Result<uint16_t> U16() {
+    uint16_t v;
+    NATIX_RETURN_NOT_OK(Raw(&v, 2));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v;
+    NATIX_RETURN_NOT_OK(Raw(&v, 4));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v;
+    NATIX_RETURN_NOT_OK(Raw(&v, 8));
+    return v;
+  }
+  Result<int32_t> I32() {
+    int32_t v;
+    NATIX_RETURN_NOT_OK(Raw(&v, 4));
+    return v;
+  }
+
+  /// Reads a u64 length prefix followed by that many bytes.
+  Result<std::string> Str() {
+    NATIX_ASSIGN_OR_RETURN(const uint64_t n, U64());
+    if (n > remaining()) {
+      return Status::OutOfRange("string length " + std::to_string(n) +
+                                " exceeds remaining " +
+                                std::to_string(remaining()) + " bytes");
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+  Status Raw(void* dst, size_t n) {
+    if (n > remaining()) {
+      return Status::OutOfRange("read of " + std::to_string(n) +
+                                " bytes exceeds remaining " +
+                                std::to_string(remaining()) + " bytes");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_BYTES_H_

@@ -1,0 +1,17 @@
+#ifndef NATIX_COMMON_CRC32_H_
+#define NATIX_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace natix {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding WAL
+/// entries against torn and corrupted writes. `seed` allows incremental
+/// computation over discontiguous buffers: pass the previous return value
+/// to continue a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_CRC32_H_

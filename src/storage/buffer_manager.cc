@@ -1,11 +1,17 @@
 #include "storage/buffer_manager.h"
 
-#include <cassert>
+#include <algorithm>
 
 namespace natix {
 
+Result<LruBufferPool> LruBufferPool::Create(size_t capacity) {
+  if (capacity == 0) {
+    return Status::InvalidArgument("buffer pool capacity must be positive");
+  }
+  return LruBufferPool(capacity);
+}
+
 LruBufferPool::LruBufferPool(size_t capacity) : capacity_(capacity) {
-  assert(capacity_ > 0);
   frames_.reserve(capacity_);
 }
 
@@ -35,6 +41,12 @@ bool LruBufferPool::IsResident(uint32_t page) const {
 void LruBufferPool::Clear() {
   lru_.clear();
   frames_.clear();
+}
+
+std::vector<uint32_t> BufferManager::DirtyPagesSorted() const {
+  std::vector<uint32_t> out(dirty_.begin(), dirty_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace natix

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/status.h"
 
@@ -35,8 +37,11 @@ struct BufferStats {
 /// cache *model*, the data is already in memory).
 class LruBufferPool {
  public:
-  /// `capacity`: number of page frames; must be positive.
-  explicit LruBufferPool(size_t capacity);
+  /// `capacity`: number of page frames; must be positive. A zero capacity
+  /// is rejected with InvalidArgument -- this used to be an assert, which
+  /// compiles out under NDEBUG (the default RelWithDebInfo build) and let
+  /// a zero-capacity pool evict from an empty list.
+  static Result<LruBufferPool> Create(size_t capacity);
 
   /// Touches a page: records a hit if resident, otherwise a miss (and an
   /// eviction if the pool was full). Returns true on a hit.
@@ -54,11 +59,35 @@ class LruBufferPool {
   void Clear();
 
  private:
+  explicit LruBufferPool(size_t capacity);
+
   size_t capacity_;
   /// Most-recently-used at the front.
   std::list<uint32_t> lru_;
   std::unordered_map<uint32_t, std::list<uint32_t>::iterator> frames_;
   BufferStats stats_;
+};
+
+/// Tracks which pages of a RecordManager have been mutated since the last
+/// checkpoint. The durability layer flushes exactly this set as page
+/// images when a checkpoint is taken; every page/jumbo mutation in the
+/// RecordManager reports here. Page ids use the RecordManager convention:
+/// plain slotted pages are their index, jumbo records carry the high bit.
+class BufferManager {
+ public:
+  void MarkDirty(uint32_t page_id) { dirty_.insert(page_id); }
+  bool IsDirty(uint32_t page_id) const { return dirty_.contains(page_id); }
+  size_t dirty_count() const { return dirty_.size(); }
+
+  /// Dirty page ids in ascending order (deterministic checkpoint layout).
+  std::vector<uint32_t> DirtyPagesSorted() const;
+
+  /// Called after a checkpoint commits or a restore completes: everything
+  /// on "disk" (the WAL) now matches memory.
+  void MarkAllClean() { dirty_.clear(); }
+
+ private:
+  std::unordered_set<uint32_t> dirty_;
 };
 
 }  // namespace natix

@@ -1,0 +1,53 @@
+#include "storage/fault_injector.h"
+
+#include <vector>
+
+namespace natix {
+
+Result<uint64_t> FaultInjectingBackend::Size() {
+  if (fired_) return Dead();
+  return inner_->Size();
+}
+
+Status FaultInjectingBackend::Append(const void* data, size_t size) {
+  if (fired_) return Dead();
+  if (appends_++ != fault_at_) return inner_->Append(data, size);
+  fired_ = true;
+  if (mode_ == FaultMode::kFailStop || size == 0) return Dead();
+  // Land a strict prefix: at least 0, at most size-1 bytes survive.
+  const size_t keep = static_cast<size_t>(rng_.NextBounded(size));
+  if (mode_ == FaultMode::kShortWrite) {
+    if (keep > 0) {
+      // The inner write's own failure (it shouldn't fail -- the inner
+      // backend is healthy) would still read as a crash; ignore it.
+      (void)inner_->Append(data, keep);
+    }
+    return Dead();
+  }
+  // Torn write: the prefix is real, the rest of the entry's bytes are
+  // garbage (stale sector content). Recovery must detect this via CRC.
+  std::vector<uint8_t> torn(static_cast<const uint8_t*>(data),
+                            static_cast<const uint8_t*>(data) + size);
+  for (size_t i = keep; i < torn.size(); ++i) {
+    torn[i] = static_cast<uint8_t>(rng_.Next());
+  }
+  (void)inner_->Append(torn.data(), torn.size());
+  return Dead();
+}
+
+Status FaultInjectingBackend::ReadAt(uint64_t offset, void* out, size_t size) {
+  if (fired_) return Dead();
+  return inner_->ReadAt(offset, out, size);
+}
+
+Status FaultInjectingBackend::Truncate(uint64_t size) {
+  if (fired_) return Dead();
+  return inner_->Truncate(size);
+}
+
+Status FaultInjectingBackend::Sync() {
+  if (fired_) return Dead();
+  return inner_->Sync();
+}
+
+}  // namespace natix

@@ -1,0 +1,68 @@
+#ifndef NATIX_STORAGE_FAULT_INJECTOR_H_
+#define NATIX_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "storage/file_backend.h"
+
+namespace natix {
+
+/// How an injected fault mangles the write it fires on.
+enum class FaultMode : uint8_t {
+  /// The write is dropped entirely and the backend dies ("power cut
+  /// before the block hit the platter").
+  kFailStop = 0,
+  /// A strict prefix of the write lands, then the backend dies (short
+  /// write at the device boundary).
+  kShortWrite = 1,
+  /// A prefix lands and the following bytes are replaced by garbage
+  /// before the backend dies (torn sector: the tail was part-written with
+  /// stale/corrupt data).
+  kTornWrite = 2,
+};
+
+/// A FileBackend decorator that kills the underlying backend on the Nth
+/// append, simulating a crash mid-I/O. Deterministic: the same
+/// (fault_at, mode, seed) triple always yields the same surviving bytes,
+/// so every cell of the crash matrix is reproducible. After the fault
+/// fires (and after it, for every later call) all operations return
+/// Internal -- the process is "dead"; tests then recover from the bytes
+/// the inner backend kept.
+class FaultInjectingBackend : public FileBackend {
+ public:
+  /// `fault_at`: 0-based index of the Append() call the fault fires on; a
+  /// count past the end of the workload means the fault never fires.
+  FaultInjectingBackend(std::unique_ptr<FileBackend> inner, uint64_t fault_at,
+                        FaultMode mode, uint64_t seed = 0x5eedull)
+      : inner_(std::move(inner)), fault_at_(fault_at), mode_(mode),
+        rng_(seed) {}
+
+  bool fired() const { return fired_; }
+  /// Append() calls observed so far; lets a dry run count the workload's
+  /// total write ops before the matrix picks fault points.
+  uint64_t append_count() const { return appends_; }
+
+  Result<uint64_t> Size() override;
+  Status Append(const void* data, size_t size) override;
+  Status ReadAt(uint64_t offset, void* out, size_t size) override;
+  Status Truncate(uint64_t size) override;
+  Status Sync() override;
+
+ private:
+  Status Dead() const {
+    return Status::Internal("injected fault: backend is dead");
+  }
+
+  std::unique_ptr<FileBackend> inner_;
+  uint64_t fault_at_;
+  FaultMode mode_;
+  Rng rng_;
+  uint64_t appends_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_FAULT_INJECTOR_H_

@@ -1,0 +1,107 @@
+#include "storage/file_backend.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace natix {
+
+namespace {
+std::string ErrnoMessage(const std::string& what, int err) {
+  return what + ": " + std::strerror(err);
+}
+}  // namespace
+
+Status MemoryFileBackend::Append(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  disk_->insert(disk_->end(), bytes, bytes + size);
+  return Status::OK();
+}
+
+Status MemoryFileBackend::ReadAt(uint64_t offset, void* out, size_t size) {
+  if (offset > disk_->size() || size > disk_->size() - offset) {
+    return Status::OutOfRange("read past end of backend");
+  }
+  std::memcpy(out, disk_->data() + offset, size);
+  return Status::OK();
+}
+
+Status MemoryFileBackend::Truncate(uint64_t size) {
+  if (size > disk_->size()) {
+    return Status::InvalidArgument("truncate cannot extend the backend");
+  }
+  disk_->resize(static_cast<size_t>(size));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PosixFileBackend>> PosixFileBackend::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("open " + path, errno));
+  }
+  return std::unique_ptr<PosixFileBackend>(new PosixFileBackend(fd, path));
+}
+
+PosixFileBackend::~PosixFileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> PosixFileBackend::Size() {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::Internal(ErrnoMessage("fstat " + path_, errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status PosixFileBackend::Append(const void* data, size_t size) {
+  NATIX_ASSIGN_OR_RETURN(const uint64_t end, Size());
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::pwrite(fd_, bytes + written, size - written,
+                               static_cast<off_t>(end + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("pwrite " + path_, errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PosixFileBackend::ReadAt(uint64_t offset, void* out, size_t size) {
+  uint8_t* bytes = static_cast<uint8_t*>(out);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pread(fd_, bytes + done, size - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("pread " + path_, errno));
+    }
+    if (n == 0) return Status::OutOfRange("read past end of " + path_);
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PosixFileBackend::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::Internal(ErrnoMessage("ftruncate " + path_, errno));
+  }
+  return Status::OK();
+}
+
+Status PosixFileBackend::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal(ErrnoMessage("fdatasync " + path_, errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace natix

@@ -1,0 +1,94 @@
+#ifndef NATIX_STORAGE_FILE_BACKEND_H_
+#define NATIX_STORAGE_FILE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// Byte-level storage the WAL writes through. The interface is the small
+/// append-mostly subset a log needs; implementations are an in-memory
+/// "disk" (tests, crash simulation) and a POSIX file (the CLI). Fault
+/// injection wraps any backend (see fault_injector.h), which is how the
+/// crash matrix kills the store at every I/O.
+class FileBackend {
+ public:
+  virtual ~FileBackend() = default;
+
+  /// Current size in bytes.
+  virtual Result<uint64_t> Size() = 0;
+
+  /// Appends `size` bytes at the end. A failure may leave a prefix of the
+  /// bytes written (short/torn write) -- exactly what recovery must cope
+  /// with.
+  virtual Status Append(const void* data, size_t size) = 0;
+
+  /// Reads exactly `size` bytes at `offset` into `out`; OutOfRange if the
+  /// range extends past the end.
+  virtual Status ReadAt(uint64_t offset, void* out, size_t size) = 0;
+
+  /// Shrinks the file to `size` bytes (drops a torn tail after recovery).
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Makes everything appended so far durable.
+  virtual Status Sync() = 0;
+};
+
+/// An in-memory FileBackend over a shared byte vector. The vector is the
+/// simulated disk: tests keep a reference, destroy the store mid-workload
+/// (the "crash"), and hand the surviving bytes to recovery.
+class MemoryFileBackend : public FileBackend {
+ public:
+  using Bytes = std::vector<uint8_t>;
+
+  /// Backend over a fresh empty "disk".
+  MemoryFileBackend() : disk_(std::make_shared<Bytes>()) {}
+  /// Backend over an existing "disk" (recovery attaches to the bytes the
+  /// crashed store left behind).
+  explicit MemoryFileBackend(std::shared_ptr<Bytes> disk)
+      : disk_(std::move(disk)) {}
+
+  const std::shared_ptr<Bytes>& disk() const { return disk_; }
+
+  Result<uint64_t> Size() override { return uint64_t{disk_->size()}; }
+  Status Append(const void* data, size_t size) override;
+  Status ReadAt(uint64_t offset, void* out, size_t size) override;
+  Status Truncate(uint64_t size) override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<Bytes> disk_;
+};
+
+/// A FileBackend over a POSIX file, used by the CLI's --wal flag. Opens
+/// (creating if needed) for read/append; Sync() is fdatasync.
+class PosixFileBackend : public FileBackend {
+ public:
+  static Result<std::unique_ptr<PosixFileBackend>> Open(
+      const std::string& path);
+
+  ~PosixFileBackend() override;
+  PosixFileBackend(const PosixFileBackend&) = delete;
+  PosixFileBackend& operator=(const PosixFileBackend&) = delete;
+
+  Result<uint64_t> Size() override;
+  Status Append(const void* data, size_t size) override;
+  Status ReadAt(uint64_t offset, void* out, size_t size) override;
+  Status Truncate(uint64_t size) override;
+  Status Sync() override;
+
+ private:
+  PosixFileBackend(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_FILE_BACKEND_H_

@@ -4,6 +4,80 @@
 
 namespace natix {
 
+Result<Page> Page::FromImage(std::vector<uint8_t> data) {
+  if (data.size() < kMinPageSize) {
+    return Status::ParseError("page image too small: " +
+                              std::to_string(data.size()) + " bytes");
+  }
+  Page page(std::move(data));
+  const size_t size = page.data_.size();
+  const uint32_t payload_end = page.ReadU32(0);
+  const uint32_t slots = page.ReadU32(4);
+  // The directory must fit behind the payload area: 8 header bytes, then
+  // payloads up to payload_end, then 8 bytes per slot from the back.
+  if (slots > (size - 8) / 8) {
+    return Status::ParseError("page image slot count " +
+                              std::to_string(slots) + " exceeds page size");
+  }
+  if (payload_end < 8 || payload_end > size - 8ull * slots) {
+    return Status::ParseError("page image payload end " +
+                              std::to_string(payload_end) +
+                              " overlaps the slot directory");
+  }
+  // Walk the directory: every live entry must lie inside the payload
+  // area, and the live bytes must be coverable by it.
+  size_t live_bytes = 0;
+  uint32_t tombstones = 0;
+  for (uint32_t s = 0; s < slots; ++s) {
+    const size_t dir_off = page.DirOffset(s);
+    const uint32_t offset = page.ReadU32(dir_off);
+    const uint32_t length = page.ReadU32(dir_off + 4);
+    if (offset == kFreedOffset) {
+      if (length != 0) {
+        return Status::ParseError("page image tombstone slot " +
+                                  std::to_string(s) + " has nonzero length");
+      }
+      ++tombstones;
+      continue;
+    }
+    if (offset < 8 || offset > payload_end ||
+        length > payload_end - offset) {
+      return Status::ParseError("page image slot " + std::to_string(s) +
+                                " extent [" + std::to_string(offset) + ", +" +
+                                std::to_string(length) +
+                                ") outside the payload area");
+    }
+    live_bytes += length;
+  }
+  if (live_bytes > payload_end - 8u) {
+    return Status::ParseError("page image live bytes exceed the payload area");
+  }
+  // Derived bookkeeping: holes are whatever the payload area holds beyond
+  // the live extents (freed records, shrink slack, overlap is impossible
+  // to distinguish here and compaction handles it either way).
+  page.hole_bytes_ = (payload_end - 8u) - live_bytes;
+  page.free_slots_ = tombstones;
+  return page;
+}
+
+Result<std::pair<uint32_t, uint32_t>> Page::CheckedEntry(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("no such slot: " + std::to_string(slot));
+  }
+  const size_t dir_off = DirOffset(slot);
+  const uint32_t offset = ReadU32(dir_off);
+  if (offset == kFreedOffset) {
+    return Status::NotFound("slot is freed: " + std::to_string(slot));
+  }
+  const uint32_t length = ReadU32(dir_off + 4);
+  const uint32_t payload_end = ReadU32(0);
+  if (offset < 8 || offset > payload_end || length > payload_end - offset) {
+    return Status::ParseError("corrupt directory entry for slot " +
+                              std::to_string(slot));
+  }
+  return std::make_pair(offset, length);
+}
+
 Result<uint16_t> Page::Insert(const std::vector<uint8_t>& record) {
   if (record.size() > FreeSpace()) {
     if (record.size() > FreeTotal()) {
@@ -39,12 +113,10 @@ Result<uint16_t> Page::Insert(const std::vector<uint8_t>& record) {
 }
 
 Status Page::Update(uint16_t slot, const std::vector<uint8_t>& record) {
-  if (slot >= slot_count() || ReadU32(DirOffset(slot)) == kFreedOffset) {
-    return Status::NotFound("no such slot: " + std::to_string(slot));
-  }
+  NATIX_ASSIGN_OR_RETURN(const auto entry, CheckedEntry(slot));
   const size_t dir_off = DirOffset(slot);
-  const uint32_t offset = ReadU32(dir_off);
-  const uint32_t length = ReadU32(dir_off + 4);
+  const uint32_t offset = entry.first;
+  const uint32_t length = entry.second;
   if (record.size() <= length) {
     // In-place rewrite; the tail of the old extent becomes a hole that
     // compaction reclaims (directory lengths drive compaction).
@@ -73,11 +145,9 @@ Status Page::Update(uint16_t slot, const std::vector<uint8_t>& record) {
 }
 
 Status Page::Free(uint16_t slot) {
-  if (slot >= slot_count() || ReadU32(DirOffset(slot)) == kFreedOffset) {
-    return Status::NotFound("no such slot: " + std::to_string(slot));
-  }
+  NATIX_ASSIGN_OR_RETURN(const auto entry, CheckedEntry(slot));
   const size_t dir_off = DirOffset(slot);
-  hole_bytes_ += ReadU32(dir_off + 4);
+  hole_bytes_ += entry.second;
   WriteU32(dir_off, kFreedOffset);
   WriteU32(dir_off + 4, 0);
   ++free_slots_;
@@ -85,16 +155,9 @@ Status Page::Free(uint16_t slot) {
 }
 
 Result<std::pair<const uint8_t*, size_t>> Page::Get(uint16_t slot) const {
-  if (slot >= slot_count()) {
-    return Status::NotFound("no such slot: " + std::to_string(slot));
-  }
-  const size_t dir_off = DirOffset(slot);
-  const uint32_t offset = ReadU32(dir_off);
-  if (offset == kFreedOffset) {
-    return Status::NotFound("slot is freed: " + std::to_string(slot));
-  }
-  const uint32_t length = ReadU32(dir_off + 4);
-  return std::make_pair(data_.data() + offset, static_cast<size_t>(length));
+  NATIX_ASSIGN_OR_RETURN(const auto entry, CheckedEntry(slot));
+  return std::make_pair(data_.data() + entry.first,
+                        static_cast<size_t>(entry.second));
 }
 
 size_t Page::LiveBytes() const {

@@ -26,11 +26,23 @@ namespace natix {
 class Page {
  public:
   static constexpr uint32_t kFreedOffset = 0xFFFFFFFFu;
+  /// Smallest page that can hold the header plus one slot entry.
+  static constexpr size_t kMinPageSize = 16;
 
   explicit Page(size_t size) : data_(size, 0) {
     WriteU32(0, 8);  // payload starts after the header
     WriteU32(4, 0);  // no slots
   }
+
+  /// Rebuilds a page from a raw image (checkpoint restore / WAL replay).
+  /// The header and every directory entry are validated against the image
+  /// bounds -- a corrupt or truncated image yields a Status, never an
+  /// out-of-range read -- and the derived bookkeeping (hole bytes, free
+  /// slot count) is recomputed from the directory.
+  static Result<Page> FromImage(std::vector<uint8_t> data);
+
+  /// Raw page bytes, the unit checkpointing writes to the WAL.
+  const std::vector<uint8_t>& image() const { return data_; }
 
   size_t size() const { return data_.size(); }
   uint32_t slot_count() const { return ReadU32(4); }
@@ -71,6 +83,13 @@ class Page {
   /// Read-only view of a record's bytes.
   Result<std::pair<const uint8_t*, size_t>> Get(uint16_t slot) const;
 
+  /// Validated directory lookup: (payload offset, length) of the live
+  /// record in `slot`. NotFound for out-of-range or tombstoned slots,
+  /// ParseError when the entry points outside the payload area (corrupt
+  /// image). All record accessors go through this, so a bad directory
+  /// entry can never turn into an out-of-bounds read.
+  Result<std::pair<uint32_t, uint32_t>> CheckedEntry(uint16_t slot) const;
+
   /// Sum of live record payload bytes on this page.
   size_t LiveBytes() const;
 
@@ -83,6 +102,10 @@ class Page {
   uint64_t compaction_count() const { return compactions_; }
 
  private:
+  /// Adopts raw bytes without validation; only FromImage() uses this,
+  /// after checking the header.
+  explicit Page(std::vector<uint8_t> data) : data_(std::move(data)) {}
+
   uint32_t ReadU32(size_t off) const {
     uint32_t v;
     std::memcpy(&v, data_.data() + off, 4);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/bytes.h"
+
 namespace natix {
 
 namespace {
@@ -29,6 +31,7 @@ Result<RecordManager::Entry> RecordManager::Place(
     }
     jumbo_pages_ += JumboPagesFor(record.size());
     ++live_jumbos_;
+    buffer_.MarkDirty(index | kJumboPageBit);
     return Entry{index | kJumboPageBit, 0};
   }
   // Try the most recent pages first (bulk load locality).
@@ -39,7 +42,10 @@ Result<RecordManager::Entry> RecordManager::Place(
   for (size_t p = pages_.size(); p-- > first;) {
     if (pages_[p].FreeTotal() >= record.size()) {
       Result<uint16_t> slot = pages_[p].Insert(record);
-      if (slot.ok()) return Entry{static_cast<uint32_t>(p), *slot};
+      if (slot.ok()) {
+        buffer_.MarkDirty(static_cast<uint32_t>(p));
+        return Entry{static_cast<uint32_t>(p), *slot};
+      }
     }
   }
   // Then pages that regained space through frees/shrinks.
@@ -52,11 +58,13 @@ Result<RecordManager::Entry> RecordManager::Place(
     if (!slot.ok()) continue;
     // The page may still have room for more; keep it as a candidate.
     if (pages_[p].FreeTotal() > 0) reuse_candidates_.push_back(p);
+    buffer_.MarkDirty(p);
     return Entry{p, *slot};
   }
   pages_.emplace_back(page_size_);
   Result<uint16_t> slot = pages_.back().Insert(record);
   if (!slot.ok()) return slot.status();
+  buffer_.MarkDirty(static_cast<uint32_t>(pages_.size() - 1));
   return Entry{static_cast<uint32_t>(pages_.size() - 1), *slot};
 }
 
@@ -73,6 +81,7 @@ Result<RecordId> RecordManager::Insert(const std::vector<uint8_t>& record) {
   }
   ++live_records_;
   payload_bytes_ += record.size();
+  record_bytes_written_ += record.size();
   return RecordId{id};
 }
 
@@ -80,6 +89,7 @@ Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
   if (id.value >= entries_.size() || entries_[id.value].page == kNoPage) {
     return Status::NotFound("no such record: " + std::to_string(id.value));
   }
+  record_bytes_written_ += record.size();
   Entry& entry = entries_[id.value];
   if (entry.page & kJumboPageBit) {
     const uint32_t index = entry.page & ~kJumboPageBit;
@@ -91,6 +101,7 @@ Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
       old = record;
       jumbo_pages_ += JumboPagesFor(record.size());
       payload_bytes_ += record.size();
+      buffer_.MarkDirty(entry.page);
       return Status::OK();
     }
     // Shrunk below a page: leave the jumbo chain, move to a slotted page.
@@ -98,6 +109,7 @@ Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
     old.shrink_to_fit();
     free_jumbos_.push_back(index);
     --live_jumbos_;
+    buffer_.MarkDirty(entry.page);
     NATIX_ASSIGN_OR_RETURN(entry, Place(record));
     payload_bytes_ += record.size();
     ++relocations_;
@@ -111,11 +123,13 @@ Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
     payload_bytes_ += record.size();
     payload_bytes_ -= old_size;
     if (record.size() < old_size) NoteFreeSpace(entry.page);
+    buffer_.MarkDirty(entry.page);
     return Status::OK();
   }
   // Does not fit where it lives (or outgrew pages entirely): relocate.
   NATIX_RETURN_NOT_OK(page.Free(entry.slot));
   NoteFreeSpace(entry.page);
+  buffer_.MarkDirty(entry.page);
   NATIX_ASSIGN_OR_RETURN(entry, Place(record));
   payload_bytes_ += record.size();
   payload_bytes_ -= old_size;
@@ -137,11 +151,13 @@ Status RecordManager::Free(RecordId id) {
     rec.shrink_to_fit();
     free_jumbos_.push_back(index);
     --live_jumbos_;
+    buffer_.MarkDirty(entry.page);
   } else {
     NATIX_ASSIGN_OR_RETURN(const auto bytes, pages_[entry.page].Get(entry.slot));
     payload_bytes_ -= bytes.second;
     NATIX_RETURN_NOT_OK(pages_[entry.page].Free(entry.slot));
     NoteFreeSpace(entry.page);
+    buffer_.MarkDirty(entry.page);
   }
   entry = Entry{};
   free_ids_.push_back(id.value);
@@ -178,6 +194,203 @@ uint64_t RecordManager::compaction_count() const {
   uint64_t total = 0;
   for (const Page& p : pages_) total += p.compaction_count();
   return total;
+}
+
+Result<std::vector<uint8_t>> RecordManager::PageImage(uint32_t page_id) const {
+  if (page_id & kJumboPageBit) {
+    const uint32_t index = page_id & ~kJumboPageBit;
+    if (index >= jumbo_records_.size()) {
+      return Status::NotFound("no such jumbo record: " + std::to_string(index));
+    }
+    return jumbo_records_[index];
+  }
+  if (page_id >= pages_.size()) {
+    return Status::NotFound("no such page: " + std::to_string(page_id));
+  }
+  return pages_[page_id].image();
+}
+
+namespace {
+constexpr uint32_t kRecordManagerFormatVersion = 1;
+}  // namespace
+
+void RecordManager::SerializeMeta(ByteWriter* w) const {
+  w->U32(kRecordManagerFormatVersion);
+  w->U64(page_size_);
+  w->I32(lookback_);
+  w->U64(pages_.size());
+  w->U64(jumbo_records_.size());
+  w->U64(entries_.size());
+  for (const Entry& e : entries_) {
+    w->U32(e.page);
+    w->U16(e.slot);
+  }
+  w->U64(free_ids_.size());
+  for (const uint32_t id : free_ids_) w->U32(id);
+  w->U64(free_jumbos_.size());
+  for (const uint32_t id : free_jumbos_) w->U32(id);
+  w->U64(jumbo_pages_);
+  w->U64(live_records_);
+  w->U64(live_jumbos_);
+  w->U64(payload_bytes_);
+  w->U64(relocations_);
+  w->U64(frees_);
+  w->U64(record_bytes_written_);
+}
+
+Result<RecordManager> RecordManager::RestoreMeta(ByteReader* r) {
+  NATIX_ASSIGN_OR_RETURN(const uint32_t version, r->U32());
+  if (version != kRecordManagerFormatVersion) {
+    return Status::ParseError("unsupported record manager format version " +
+                              std::to_string(version));
+  }
+  NATIX_ASSIGN_OR_RETURN(const uint64_t page_size, r->U64());
+  NATIX_ASSIGN_OR_RETURN(const int32_t lookback, r->I32());
+  if (page_size < Page::kMinPageSize || page_size > (1u << 30) ||
+      lookback < 0) {
+    return Status::ParseError("implausible record manager geometry");
+  }
+  RecordManager rm(static_cast<size_t>(page_size), lookback);
+  NATIX_ASSIGN_OR_RETURN(const uint64_t page_count, r->U64());
+  NATIX_ASSIGN_OR_RETURN(const uint64_t jumbo_count, r->U64());
+  NATIX_ASSIGN_OR_RETURN(const uint64_t entry_count, r->U64());
+  // Each serialized entry is 6 bytes; cheap plausibility bounds before
+  // the allocations below. Page counts are not derivable from the entry
+  // count (relocating updates mint pages without minting ids), so they
+  // get a generous absolute cap instead.
+  if (entry_count > r->remaining() / 6) {
+    return Status::ParseError("record manager table sizes exceed payload");
+  }
+  constexpr uint64_t kMaxRestoredPages = 1ull << 24;
+  if (page_count > kMaxRestoredPages || jumbo_count > kMaxRestoredPages) {
+    return Status::ParseError("record manager page count implausibly large");
+  }
+  // Pages come back zeroed; checkpoint images overwrite them next.
+  for (uint64_t i = 0; i < page_count; ++i) {
+    rm.pages_.emplace_back(rm.page_size_);
+  }
+  rm.jumbo_records_.resize(static_cast<size_t>(jumbo_count));
+  rm.entries_.reserve(static_cast<size_t>(entry_count));
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    Entry e;
+    NATIX_ASSIGN_OR_RETURN(e.page, r->U32());
+    NATIX_ASSIGN_OR_RETURN(e.slot, r->U16());
+    if (e.page != kNoPage) {
+      const bool jumbo = (e.page & kJumboPageBit) != 0;
+      const uint32_t index = e.page & ~kJumboPageBit;
+      if ((jumbo && index >= jumbo_count) || (!jumbo && index >= page_count)) {
+        return Status::ParseError("record entry " + std::to_string(i) +
+                                  " points at a nonexistent page");
+      }
+    }
+    rm.entries_.push_back(e);
+  }
+  NATIX_ASSIGN_OR_RETURN(const uint64_t free_id_count, r->U64());
+  if (free_id_count > entry_count) {
+    return Status::ParseError("free id list longer than the entry table");
+  }
+  for (uint64_t i = 0; i < free_id_count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(const uint32_t id, r->U32());
+    if (id >= entry_count || rm.entries_[id].page != kNoPage) {
+      return Status::ParseError("free id list names a live record");
+    }
+    rm.free_ids_.push_back(id);
+  }
+  NATIX_ASSIGN_OR_RETURN(const uint64_t free_jumbo_count, r->U64());
+  if (free_jumbo_count > jumbo_count) {
+    return Status::ParseError("free jumbo list longer than the jumbo table");
+  }
+  for (uint64_t i = 0; i < free_jumbo_count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(const uint32_t id, r->U32());
+    if (id >= jumbo_count) {
+      return Status::ParseError("free jumbo list out of range");
+    }
+    rm.free_jumbos_.push_back(id);
+  }
+  NATIX_ASSIGN_OR_RETURN(uint64_t v, r->U64());
+  rm.jumbo_pages_ = static_cast<size_t>(v);
+  NATIX_ASSIGN_OR_RETURN(v, r->U64());
+  rm.live_records_ = static_cast<size_t>(v);
+  NATIX_ASSIGN_OR_RETURN(v, r->U64());
+  rm.live_jumbos_ = static_cast<size_t>(v);
+  NATIX_ASSIGN_OR_RETURN(rm.payload_bytes_, r->U64());
+  NATIX_ASSIGN_OR_RETURN(rm.relocations_, r->U64());
+  NATIX_ASSIGN_OR_RETURN(rm.frees_, r->U64());
+  NATIX_ASSIGN_OR_RETURN(rm.record_bytes_written_, r->U64());
+  return rm;
+}
+
+Status RecordManager::ApplyPageImage(uint32_t page_id, const uint8_t* data,
+                                     size_t size) {
+  if (page_id & kJumboPageBit) {
+    const uint32_t index = page_id & ~kJumboPageBit;
+    if (index >= jumbo_records_.size()) {
+      return Status::ParseError("page image for nonexistent jumbo record " +
+                                std::to_string(index));
+    }
+    jumbo_records_[index].assign(data, data + size);
+    return Status::OK();
+  }
+  if (page_id >= pages_.size()) {
+    return Status::ParseError("page image for nonexistent page " +
+                              std::to_string(page_id));
+  }
+  if (size != page_size_) {
+    return Status::ParseError("page image size " + std::to_string(size) +
+                              " does not match page size " +
+                              std::to_string(page_size_));
+  }
+  NATIX_ASSIGN_OR_RETURN(pages_[page_id],
+                         Page::FromImage(std::vector<uint8_t>(data,
+                                                              data + size)));
+  return Status::OK();
+}
+
+Status RecordManager::FinishRestore() {
+  // A freed jumbo slot may still carry content from an older checkpoint
+  // image; drop it (the slot is reused only through Place(), which
+  // rewrites the content anyway).
+  for (const uint32_t index : free_jumbos_) {
+    jumbo_records_[index].clear();
+    jumbo_records_[index].shrink_to_fit();
+  }
+  // Cross-check the indirection table against the restored pages: every
+  // live id must resolve to record bytes, and the totals must agree with
+  // the checkpointed counters. This is what turns a subtly corrupt
+  // checkpoint into a recovery error instead of silent bad answers.
+  uint64_t live = 0, live_jumbo = 0, bytes = 0;
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    const Entry& e = entries_[id];
+    if (e.page == kNoPage) continue;
+    ++live;
+    if (e.page & kJumboPageBit) {
+      ++live_jumbo;
+      bytes += jumbo_records_[e.page & ~kJumboPageBit].size();
+      continue;
+    }
+    Result<std::pair<const uint8_t*, size_t>> rec = pages_[e.page].Get(e.slot);
+    if (!rec.ok()) {
+      return Status::ParseError("record " + std::to_string(id) +
+                                " does not resolve after restore: " +
+                                rec.status().message());
+    }
+    bytes += rec->second;
+  }
+  if (live != live_records_ || live_jumbo != live_jumbos_ ||
+      bytes != payload_bytes_) {
+    return Status::ParseError(
+        "restored record totals disagree with checkpoint counters");
+  }
+  // The reuse-candidate stack is advisory; reseed it with every page that
+  // has reclaimable space.
+  reuse_candidates_.clear();
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    if (pages_[p].FreeTotal() > 0) {
+      reuse_candidates_.push_back(static_cast<uint32_t>(p));
+    }
+  }
+  buffer_.MarkAllClean();
+  return Status::OK();
 }
 
 }  // namespace natix

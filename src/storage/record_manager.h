@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/buffer_manager.h"
 #include "storage/page.h"
 #include "storage/record.h"
 
@@ -68,6 +69,40 @@ class RecordManager {
   uint64_t relocation_count() const { return relocations_; }
   /// Records freed over the manager's lifetime.
   uint64_t free_count() const { return frees_; }
+  /// Total record payload bytes handed to Insert()/Update() over the
+  /// manager's lifetime -- the denominator of the WAL write-amplification
+  /// metric.
+  uint64_t record_bytes_written() const { return record_bytes_written_; }
+
+  /// Dirty-page tracker: every mutation reports the touched page (jumbo
+  /// records under their synthetic kJumboPageBit id), and checkpointing
+  /// flushes exactly the dirty set.
+  BufferManager& buffer() { return buffer_; }
+  const BufferManager& buffer() const { return buffer_; }
+
+  /// Image of one page for checkpointing: the raw page bytes for slotted
+  /// pages, the record content for a jumbo id.
+  Result<std::vector<uint8_t>> PageImage(uint32_t page_id) const;
+
+  /// Appends the manager's metadata (indirection table, free lists,
+  /// counters -- everything except page contents) to `w`.
+  void SerializeMeta(class ByteWriter* w) const;
+
+  /// Rebuilds a manager from SerializeMeta() bytes. Pages come back
+  /// zeroed; the caller then applies checkpoint page images with
+  /// ApplyPageImage() and seals with FinishRestore().
+  static Result<RecordManager> RestoreMeta(class ByteReader* r);
+
+  /// Overwrites one page (or jumbo record) with a checkpoint image.
+  /// Images from successive checkpoints are applied in log order, later
+  /// ones superseding earlier ones.
+  Status ApplyPageImage(uint32_t page_id, const uint8_t* data, size_t size);
+
+  /// Finishes a restore: rebuilds the reuse-candidate stack, clears free
+  /// jumbo slots, cross-checks the indirection table against the restored
+  /// pages (every live id must resolve, byte totals must match) and marks
+  /// everything clean.
+  Status FinishRestore();
   /// Page payload compactions performed (summed over all pages).
   uint64_t compaction_count() const;
   /// Fraction of allocated page bytes actually occupied by live records.
@@ -113,6 +148,8 @@ class RecordManager {
   uint64_t payload_bytes_ = 0;
   uint64_t relocations_ = 0;
   uint64_t frees_ = 0;
+  uint64_t record_bytes_written_ = 0;
+  BufferManager buffer_;
 };
 
 }  // namespace natix

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/bytes.h"
 #include "core/algorithm.h"
 #include "xml/weight_model.h"
 
@@ -65,6 +66,11 @@ Result<NatixStore> NatixStore::Build(ImportedDocument doc,
                                      const Partitioning& partitioning,
                                      TotalWeight limit,
                                      const StoreOptions& options) {
+  if (options.page_size < Page::kMinPageSize + 16) {
+    return Status::InvalidArgument("page size " +
+                                   std::to_string(options.page_size) +
+                                   " too small for the slotted page layout");
+  }
   NATIX_ASSIGN_OR_RETURN(const PartitionAnalysis analysis,
                          Analyze(doc.tree, partitioning, limit));
   if (!analysis.feasible) {
@@ -130,6 +136,11 @@ Status NatixStore::EnsureMutable() {
 Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
                                         std::string_view label, NodeKind kind,
                                         std::string_view content) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "store is poisoned: a WAL write failed, the log no longer matches "
+        "memory; recover from the log to continue");
+  }
   NATIX_RETURN_NOT_OK(EnsureMutable());
   // Weight per the store's model; cap at the partition limit so any
   // content stays insertable (beyond the cap it is externalized, exactly
@@ -156,6 +167,16 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
   }
 
   const PartitionDelta& delta = inc_->last_delta();
+  if (!delta.deleted.empty()) {
+    // Insertions never delete partitions; a populated `deleted` list
+    // means the partitioner and this store's record bookkeeping have
+    // diverged, and silently ignoring it would leak records and leave
+    // stale proxies. Fail loudly instead.
+    return Status::Internal(
+        "InsertBefore produced a PartitionDelta with " +
+        std::to_string(delta.deleted.size()) +
+        " deleted partitions; the store cannot apply deletions");
+  }
   partition_of_.resize(doc_->tree.size(), 0);
   if (records_.size() < inc_->interval_count()) {
     records_.resize(inc_->interval_count(), RecordId{});
@@ -193,7 +214,429 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
   }
   RecomputeOverflowPages();
   ++inserts_;
+  // Log after applying: the only crash points are backend writes, so an
+  // op either reaches the log whole (replayable) or the tail is torn and
+  // recovery stops before it -- as if the op never happened.
+  if (wal_ != nullptr && !replaying_) {
+    NATIX_RETURN_NOT_OK(LogInsert(parent, before, kind, label, content));
+  }
   return id;
+}
+
+Status NatixStore::LogInsert(NodeId parent_logged, NodeId before,
+                             NodeKind kind, std::string_view label,
+                             std::string_view content) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U32(parent_logged);
+  w.U32(before);
+  w.U8(static_cast<uint8_t>(kind));
+  w.Str(label);
+  w.Str(content);
+  Result<uint64_t> lsn = wal_->Append(WalEntryType::kInsertOp, payload);
+  if (!lsn.ok()) {
+    poisoned_ = true;
+    return Status::FailedPrecondition("WAL append failed (" +
+                                      lsn.status().message() +
+                                      "); store is poisoned");
+  }
+  wal_op_bytes_ += kWalEntryHeaderSize + payload.size();
+  ++wal_op_entries_;
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kCheckpointFormatVersion = 1;
+}  // namespace
+
+void NatixStore::SerializeCheckpointMeta(std::vector<uint8_t>* out) const {
+  ByteWriter w(out);
+  w.U32(kCheckpointFormatVersion);
+  w.U64(options_.page_size);
+  w.I32(options_.allocation_lookback);
+  w.U32(options_.slot_size);
+  w.U32(options_.metadata_slots);
+  w.U64(limit_);
+  doc_->tree.SerializeTo(out);
+  w.U64(doc_->content_bytes.size());
+  for (const uint32_t b : doc_->content_bytes) w.U32(b);
+  w.U64(doc_->content_offset.size());
+  for (const uint64_t off : doc_->content_offset) w.U64(off);
+  w.Str(doc_->content_pool);
+  w.U64(doc_->source_node.size());
+  for (const XmlDocument::NodeIndex n : doc_->source_node) w.U32(n);
+  w.U64(doc_->overflow_nodes);
+  w.U64(doc_->overflow_bytes);
+  w.U64(doc_->content_total_bytes);
+  w.U64(doc_->source_bytes);
+  w.U64(partitioning_.size());
+  for (const SiblingInterval& iv : partitioning_) {
+    w.U32(iv.first);
+    w.U32(iv.last);
+  }
+  w.U8(inc_ != nullptr ? 1 : 0);
+  if (inc_ != nullptr) {
+    const IncrementalPartitioner::SavedState state = inc_->SaveState();
+    w.U64(state.intervals.size());
+    for (const IncrementalPartitioner::IntervalInfo& iv : state.intervals) {
+      w.U32(iv.first);
+      w.U32(iv.last);
+      w.U64(iv.weight);
+      w.U8(iv.alive ? 1 : 0);
+    }
+    w.U64(state.split_count);
+  }
+  w.U64(partition_of_.size());
+  for (const uint32_t p : partition_of_) w.U32(p);
+  w.U64(records_.size());
+  for (const RecordId r : records_) w.U32(r.value);
+  w.U64(record_overflow_.size());
+  for (const uint64_t b : record_overflow_) w.U64(b);
+  w.U64(overflow_bytes_);
+  w.U64(inserts_);
+  w.U64(records_rewritten_);
+  w.U64(records_created_);
+  manager_.SerializeMeta(&w);
+}
+
+Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
+                                                  size_t size) {
+  ByteReader r(data, size);
+  NATIX_ASSIGN_OR_RETURN(const uint32_t version, r.U32());
+  if (version != kCheckpointFormatVersion) {
+    return Status::ParseError("unsupported checkpoint format version " +
+                              std::to_string(version));
+  }
+  NatixStore store;
+  NATIX_ASSIGN_OR_RETURN(const uint64_t page_size, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.options_.allocation_lookback, r.I32());
+  NATIX_ASSIGN_OR_RETURN(store.options_.slot_size, r.U32());
+  NATIX_ASSIGN_OR_RETURN(store.options_.metadata_slots, r.U32());
+  store.options_.page_size = static_cast<size_t>(page_size);
+  store.page_size_ = store.options_.page_size;
+  NATIX_ASSIGN_OR_RETURN(store.limit_, r.U64());
+  store.doc_ = std::make_unique<ImportedDocument>();
+  NATIX_ASSIGN_OR_RETURN(store.doc_->tree, Tree::DeserializeFrom(&r));
+  const size_t n = store.doc_->tree.size();
+  NATIX_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+  if (count != n) {
+    return Status::ParseError("checkpoint content_bytes size mismatch");
+  }
+  store.doc_->content_bytes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    NATIX_ASSIGN_OR_RETURN(store.doc_->content_bytes[i], r.U32());
+  }
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count != n) {
+    return Status::ParseError("checkpoint content_offset size mismatch");
+  }
+  store.doc_->content_offset.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    NATIX_ASSIGN_OR_RETURN(store.doc_->content_offset[i], r.U64());
+  }
+  NATIX_ASSIGN_OR_RETURN(store.doc_->content_pool, r.Str());
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t off = store.doc_->content_offset[i];
+    const uint64_t len = store.doc_->content_bytes[i];
+    if (off > store.doc_->content_pool.size() ||
+        len > store.doc_->content_pool.size() - off) {
+      return Status::ParseError("checkpoint content slice out of range");
+    }
+  }
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count != 0 && count != n) {
+    return Status::ParseError("checkpoint source_node size mismatch");
+  }
+  store.doc_->source_node.resize(static_cast<size_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(store.doc_->source_node[i], r.U32());
+  }
+  NATIX_ASSIGN_OR_RETURN(store.doc_->overflow_nodes, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.doc_->overflow_bytes, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.doc_->content_total_bytes, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.doc_->source_bytes, r.U64());
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count > r.remaining() / 8) {
+    return Status::ParseError("checkpoint partitioning size exceeds payload");
+  }
+  store.partitioning_.Reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SiblingInterval iv;
+    NATIX_ASSIGN_OR_RETURN(iv.first, r.U32());
+    NATIX_ASSIGN_OR_RETURN(iv.last, r.U32());
+    store.partitioning_.Add(iv);
+  }
+  NATIX_ASSIGN_OR_RETURN(const uint8_t has_inc, r.U8());
+  if (has_inc > 1) {
+    return Status::ParseError("checkpoint partitioner flag corrupt");
+  }
+  if (has_inc == 1) {
+    IncrementalPartitioner::SavedState state;
+    NATIX_ASSIGN_OR_RETURN(count, r.U64());
+    if (count > r.remaining() / 17) {
+      return Status::ParseError("checkpoint interval table exceeds payload");
+    }
+    state.intervals.resize(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      IncrementalPartitioner::IntervalInfo& iv = state.intervals[i];
+      NATIX_ASSIGN_OR_RETURN(iv.first, r.U32());
+      NATIX_ASSIGN_OR_RETURN(iv.last, r.U32());
+      NATIX_ASSIGN_OR_RETURN(iv.weight, r.U64());
+      NATIX_ASSIGN_OR_RETURN(const uint8_t alive, r.U8());
+      if (alive > 1) {
+        return Status::ParseError("checkpoint interval alive flag corrupt");
+      }
+      iv.alive = alive == 1;
+    }
+    NATIX_ASSIGN_OR_RETURN(state.split_count, r.U64());
+    NATIX_ASSIGN_OR_RETURN(
+        IncrementalPartitioner inc,
+        IncrementalPartitioner::Restore(&store.doc_->tree, store.limit_,
+                                        state));
+    store.inc_ = std::make_unique<IncrementalPartitioner>(std::move(inc));
+  }
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count != n) {
+    return Status::ParseError("checkpoint partition_of size mismatch");
+  }
+  store.partition_of_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    NATIX_ASSIGN_OR_RETURN(store.partition_of_[i], r.U32());
+  }
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count > r.remaining() / 4) {
+    return Status::ParseError("checkpoint record table exceeds payload");
+  }
+  store.records_.resize(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(store.records_[i].value, r.U32());
+  }
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count != store.records_.size()) {
+    return Status::ParseError("checkpoint overflow table size mismatch");
+  }
+  store.record_overflow_.resize(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(store.record_overflow_[i], r.U64());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (store.partition_of_[i] >= store.records_.size()) {
+      return Status::ParseError("checkpoint partition_of out of range");
+    }
+  }
+  NATIX_ASSIGN_OR_RETURN(store.overflow_bytes_, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.inserts_, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.records_rewritten_, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.records_created_, r.U64());
+  NATIX_ASSIGN_OR_RETURN(store.manager_, RecordManager::RestoreMeta(&r));
+  if (!r.AtEnd()) {
+    return Status::ParseError("trailing bytes after checkpoint metadata");
+  }
+  store.RecomputeOverflowPages();
+  return store;
+}
+
+Status NatixStore::EnableDurability(std::unique_ptr<FileBackend> backend) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("store already has a WAL attached");
+  }
+  NATIX_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Create(backend.get()));
+  backend_ = std::move(backend);
+  wal_ = std::make_unique<WalWriter>(std::move(writer));
+  wal_record_base_ = manager_.record_bytes_written();
+  // The initial checkpoint captures the bulk-loaded store (Build marked
+  // every page dirty), making the log self-contained from entry one.
+  return Checkpoint();
+}
+
+Status NatixStore::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("store has no WAL attached");
+  }
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "store is poisoned: a WAL write failed; recover from the log");
+  }
+  // Any failure past the Begin entry leaves an incomplete checkpoint in
+  // the log. Recovery ignores it, but only as long as nothing else is
+  // appended afterwards -- so every failure here poisons the store.
+  auto poison = [this](const Status& st) {
+    poisoned_ = true;
+    return Status::FailedPrecondition("checkpoint failed (" + st.message() +
+                                      "); store is poisoned");
+  };
+  std::vector<uint8_t> meta;
+  SerializeCheckpointMeta(&meta);
+  const Result<uint64_t> begin_lsn =
+      wal_->Append(WalEntryType::kCheckpointBegin, meta);
+  if (!begin_lsn.ok()) return poison(begin_lsn.status());
+  uint64_t bytes = kWalEntryHeaderSize + meta.size();
+  const std::vector<uint32_t> dirty = manager_.buffer().DirtyPagesSorted();
+  for (const uint32_t page_id : dirty) {
+    Result<std::vector<uint8_t>> image = manager_.PageImage(page_id);
+    if (!image.ok()) return poison(image.status());
+    std::vector<uint8_t> payload;
+    ByteWriter w(&payload);
+    w.U32(page_id);
+    if (!image->empty()) w.Raw(image->data(), image->size());
+    const Result<uint64_t> lsn =
+        wal_->Append(WalEntryType::kPageImage, payload);
+    if (!lsn.ok()) return poison(lsn.status());
+    bytes += kWalEntryHeaderSize + payload.size();
+  }
+  std::vector<uint8_t> end_payload;
+  ByteWriter w(&end_payload);
+  w.U64(*begin_lsn);
+  w.U64(dirty.size());
+  const Result<uint64_t> end_lsn =
+      wal_->Append(WalEntryType::kCheckpointEnd, end_payload);
+  if (!end_lsn.ok()) return poison(end_lsn.status());
+  bytes += kWalEntryHeaderSize + end_payload.size();
+  const Status synced = wal_->Sync();
+  if (!synced.ok()) return poison(synced);
+  manager_.buffer().MarkAllClean();
+  wal_checkpoint_bytes_ += bytes;
+  ++wal_checkpoints_;
+  return Status::OK();
+}
+
+Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
+  NATIX_ASSIGN_OR_RETURN(WalReader reader, WalReader::Open(backend.get()));
+  struct PendingCheckpoint {
+    uint64_t begin_lsn = 0;
+    uint64_t end_lsn = 0;
+    std::vector<uint8_t> meta;
+    std::vector<std::vector<uint8_t>> images;
+  };
+  std::vector<PendingCheckpoint> complete;
+  std::unique_ptr<PendingCheckpoint> pending;
+  std::vector<WalEntry> ops;
+  while (true) {
+    NATIX_ASSIGN_OR_RETURN(std::optional<WalEntry> entry, reader.Next());
+    if (!entry.has_value()) break;
+    switch (entry->type) {
+      case WalEntryType::kInsertOp:
+        if (pending != nullptr) {
+          return Status::ParseError("op entry inside a checkpoint at LSN " +
+                                    std::to_string(entry->lsn));
+        }
+        ops.push_back(std::move(*entry));
+        break;
+      case WalEntryType::kCheckpointBegin:
+        if (pending != nullptr) {
+          return Status::ParseError("nested checkpoint at LSN " +
+                                    std::to_string(entry->lsn));
+        }
+        pending = std::make_unique<PendingCheckpoint>();
+        pending->begin_lsn = entry->lsn;
+        pending->meta = std::move(entry->payload);
+        break;
+      case WalEntryType::kPageImage:
+        if (pending == nullptr) {
+          return Status::ParseError("page image outside a checkpoint at LSN " +
+                                    std::to_string(entry->lsn));
+        }
+        pending->images.push_back(std::move(entry->payload));
+        break;
+      case WalEntryType::kCheckpointEnd: {
+        if (pending == nullptr) {
+          return Status::ParseError(
+              "checkpoint end without a begin at LSN " +
+              std::to_string(entry->lsn));
+        }
+        ByteReader r(entry->payload.data(), entry->payload.size());
+        NATIX_ASSIGN_OR_RETURN(const uint64_t begin_lsn, r.U64());
+        NATIX_ASSIGN_OR_RETURN(const uint64_t image_count, r.U64());
+        if (begin_lsn != pending->begin_lsn ||
+            image_count != pending->images.size()) {
+          return Status::ParseError("checkpoint end does not match its begin");
+        }
+        pending->end_lsn = entry->lsn;
+        complete.push_back(std::move(*pending));
+        pending.reset();
+        break;
+      }
+    }
+  }
+  if (complete.empty()) {
+    return Status::FailedPrecondition(
+        "log contains no complete checkpoint; the store never became "
+        "durable");
+  }
+  const uint64_t restore_lsn = complete.back().end_lsn;
+  NATIX_ASSIGN_OR_RETURN(
+      NatixStore store,
+      FromCheckpointMeta(complete.back().meta.data(),
+                         complete.back().meta.size()));
+  // Page images apply cumulatively: each checkpoint wrote only the pages
+  // dirtied since the previous one, so the union over all complete
+  // checkpoints (later images superseding earlier ones) reconstructs
+  // every page as of the final checkpoint.
+  for (const PendingCheckpoint& cp : complete) {
+    for (const std::vector<uint8_t>& image : cp.images) {
+      ByteReader r(image.data(), image.size());
+      NATIX_ASSIGN_OR_RETURN(const uint32_t page_id, r.U32());
+      NATIX_RETURN_NOT_OK(store.manager_.ApplyPageImage(
+          page_id, image.data() + 4, image.size() - 4));
+    }
+  }
+  NATIX_RETURN_NOT_OK(store.manager_.FinishRestore());
+  for (size_t part = 0; part < store.records_.size(); ++part) {
+    if (store.records_[part].valid() &&
+        !store.manager_.Get(store.records_[part]).ok()) {
+      return Status::ParseError("record of partition " +
+                                std::to_string(part) +
+                                " does not resolve after restore");
+    }
+  }
+  // Drop the torn tail (if any) so the re-attached writer appends after
+  // the last valid entry.
+  NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, backend->Size());
+  if (reader.valid_end() < log_size) {
+    NATIX_RETURN_NOT_OK(backend->Truncate(reader.valid_end()));
+  }
+  NATIX_ASSIGN_OR_RETURN(WalWriter writer,
+                         WalWriter::Attach(backend.get(), reader.next_lsn()));
+  store.backend_ = std::move(backend);
+  store.wal_ = std::make_unique<WalWriter>(std::move(writer));
+  // Replay the op tail through the normal insert path; replaying_
+  // suppresses re-logging.
+  store.replaying_ = true;
+  for (const WalEntry& op : ops) {
+    if (op.lsn <= restore_lsn) continue;
+    ByteReader r(op.payload.data(), op.payload.size());
+    NATIX_ASSIGN_OR_RETURN(const uint32_t parent, r.U32());
+    NATIX_ASSIGN_OR_RETURN(const uint32_t before, r.U32());
+    NATIX_ASSIGN_OR_RETURN(const uint8_t kind, r.U8());
+    NATIX_ASSIGN_OR_RETURN(const std::string label, r.Str());
+    NATIX_ASSIGN_OR_RETURN(const std::string content, r.Str());
+    if (!r.AtEnd() ||
+        kind > static_cast<uint8_t>(NodeKind::kProcessingInstruction)) {
+      return Status::ParseError("malformed op entry at LSN " +
+                                std::to_string(op.lsn));
+    }
+    const Result<NodeId> id = store.InsertBefore(
+        parent, before, label, static_cast<NodeKind>(kind), content);
+    if (!id.ok()) {
+      return Status::Internal("replay failed at LSN " +
+                              std::to_string(op.lsn) + ": " +
+                              id.status().message());
+    }
+  }
+  store.replaying_ = false;
+  store.wal_record_base_ = store.manager_.record_bytes_written();
+  return store;
+}
+
+WalStats NatixStore::wal_stats() const {
+  WalStats s;
+  s.wal_bytes = wal_ != nullptr ? wal_->bytes_written() : 0;
+  s.op_bytes = wal_op_bytes_;
+  s.checkpoint_bytes = wal_checkpoint_bytes_;
+  s.op_entries = wal_op_entries_;
+  s.checkpoints = wal_checkpoints_;
+  s.record_bytes = manager_.record_bytes_written() - wal_record_base_;
+  return s;
 }
 
 UpdateStats NatixStore::update_stats() const {

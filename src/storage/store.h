@@ -8,8 +8,10 @@
 
 #include "common/status.h"
 #include "storage/buffer_manager.h"
+#include "storage/file_backend.h"
 #include "storage/record.h"
 #include "storage/record_manager.h"
+#include "storage/wal.h"
 #include "tree/partitioning.h"
 #include "updates/incremental.h"
 #include "xml/importer.h"
@@ -59,6 +61,35 @@ struct NavigationCostModel {
             stats.record_crossings * crossing_ns +
             stats.page_switches * page_switch_ns) *
            1e-9;
+  }
+};
+
+/// Counters for the durability layer of a NatixStore, the basis of the
+/// write-amplification report in bench_updates. All counters cover the
+/// current process's WAL session (they restart at zero after recovery).
+struct WalStats {
+  /// Total log bytes appended (entry headers included).
+  uint64_t wal_bytes = 0;
+  /// Log bytes spent on logical insert-op entries.
+  uint64_t op_bytes = 0;
+  /// Log bytes spent on checkpoints (metadata + page images).
+  uint64_t checkpoint_bytes = 0;
+  /// Logical operations logged.
+  uint64_t op_entries = 0;
+  /// Checkpoints completed.
+  uint64_t checkpoints = 0;
+  /// Record payload bytes written by the record manager in the same
+  /// window -- the denominator of the amplification ratio.
+  uint64_t record_bytes = 0;
+
+  /// Log bytes per record byte for the op stream alone (checkpoints are
+  /// reported separately: their cost is amortized by the checkpoint
+  /// cadence, not by each operation).
+  double OpAmplification() const {
+    return record_bytes == 0
+               ? 0.0
+               : static_cast<double>(op_bytes) /
+                     static_cast<double>(record_bytes);
   }
 };
 
@@ -142,6 +173,30 @@ class NatixStore {
   /// (nullptr for a store that has only been bulk-loaded).
   const IncrementalPartitioner* partitioner() const { return inc_.get(); }
 
+  /// Attaches a write-ahead log to the store. The backend must be empty;
+  /// an initial checkpoint of the full store is written immediately, so
+  /// from this point the log alone reconstructs the store. Every later
+  /// InsertBefore() appends one logical op entry before returning.
+  Status EnableDurability(std::unique_ptr<FileBackend> backend);
+
+  /// Writes a checkpoint: the store's metadata plus an image of every
+  /// page dirtied since the previous checkpoint. Recovery replays only
+  /// the op tail after the last complete checkpoint, so checkpoint
+  /// cadence bounds recovery work.
+  Status Checkpoint();
+
+  /// Rebuilds a store from the log left behind by a crashed (or cleanly
+  /// stopped) durable store: restores the last complete checkpoint,
+  /// replays the op tail, truncates any torn bytes off the log, and
+  /// re-attaches the backend for continued durable operation.
+  static Result<NatixStore> Recover(std::unique_ptr<FileBackend> backend);
+
+  bool durable() const { return wal_ != nullptr; }
+  /// True after a WAL or checkpoint write failed: the in-memory store may
+  /// be ahead of the log, so further mutations are refused.
+  bool poisoned() const { return poisoned_; }
+  WalStats wal_stats() const;
+
   size_t record_count() const { return records_.size(); }
   size_t page_count() const { return manager_.page_count(); }
   size_t overflow_page_count() const { return overflow_pages_; }
@@ -160,6 +215,19 @@ class NatixStore {
   /// Creates the incremental partitioner from the build-time partitioning
   /// on first mutation (interval id i == build partition i).
   Status EnsureMutable();
+
+  /// Serializes everything a checkpoint must capture except page
+  /// contents: document, partitioner state, record-manager metadata,
+  /// store tables and counters.
+  void SerializeCheckpointMeta(std::vector<uint8_t>* out) const;
+
+  /// Rebuilds a store from checkpoint metadata (pages still zeroed).
+  static Result<NatixStore> FromCheckpointMeta(const uint8_t* data,
+                                               size_t size);
+
+  /// Appends one logical op entry for a completed InsertBefore().
+  Status LogInsert(NodeId parent_logged, NodeId before, NodeKind kind,
+                   std::string_view label, std::string_view content);
 
   void RecomputeOverflowPages() {
     const uint64_t payload = page_size_ - 16;
@@ -183,6 +251,22 @@ class NatixStore {
   uint64_t inserts_ = 0;
   uint64_t records_rewritten_ = 0;
   uint64_t records_created_ = 0;
+
+  // Durability (all null/zero for a plain in-memory store).
+  std::unique_ptr<FileBackend> backend_;
+  std::unique_ptr<WalWriter> wal_;
+  bool poisoned_ = false;
+  /// Set while recovery replays the op tail, so the replayed
+  /// InsertBefore() calls do not log themselves again.
+  bool replaying_ = false;
+  uint64_t wal_op_bytes_ = 0;
+  uint64_t wal_checkpoint_bytes_ = 0;
+  uint64_t wal_op_entries_ = 0;
+  uint64_t wal_checkpoints_ = 0;
+  /// record_bytes_written() when the WAL attached; wal_stats() reports
+  /// record bytes relative to this, so the ratio covers the same window
+  /// as the log counters.
+  uint64_t wal_record_base_ = 0;
 };
 
 /// A navigation cursor over a NatixStore. Every move is charged to an

@@ -1,0 +1,127 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace natix {
+
+namespace {
+/// CRC over the non-length header fields and the payload. The length is
+/// excluded because it is validated structurally (a wrong length either
+/// truncates the read or desynchronizes the following LSN check).
+uint32_t EntryCrc(uint64_t lsn, uint32_t type, const uint8_t* payload,
+                  size_t payload_len) {
+  uint8_t hdr[12];
+  std::memcpy(hdr, &lsn, 8);
+  std::memcpy(hdr + 8, &type, 4);
+  const uint32_t crc = Crc32(hdr, sizeof(hdr));
+  return Crc32(payload, payload_len, crc);
+}
+}  // namespace
+
+Result<WalWriter> WalWriter::Create(FileBackend* backend) {
+  NATIX_ASSIGN_OR_RETURN(const uint64_t size, backend->Size());
+  if (size != 0) {
+    return Status::FailedPrecondition(
+        "refusing to start a fresh WAL on a non-empty backend (" +
+        std::to_string(size) + " bytes); recover it instead");
+  }
+  NATIX_RETURN_NOT_OK(backend->Append(kWalMagic, sizeof(kWalMagic)));
+  WalWriter writer(backend, 1);
+  writer.bytes_written_ = sizeof(kWalMagic);
+  return writer;
+}
+
+Result<WalWriter> WalWriter::Attach(FileBackend* backend, uint64_t next_lsn) {
+  NATIX_ASSIGN_OR_RETURN(const uint64_t size, backend->Size());
+  if (size < kWalHeaderSize) {
+    return Status::FailedPrecondition("cannot attach to a log with no header");
+  }
+  if (next_lsn == 0) {
+    return Status::InvalidArgument("next_lsn must be positive");
+  }
+  return WalWriter(backend, next_lsn);
+}
+
+Result<uint64_t> WalWriter::Append(WalEntryType type,
+                                   const std::vector<uint8_t>& payload) {
+  const uint64_t lsn = next_lsn_;
+  const uint32_t type_raw = static_cast<uint32_t>(type);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = EntryCrc(lsn, type_raw, payload.data(), payload.size());
+  // One buffer, one backend Append: the entry either lands whole or is a
+  // torn tail the reader can detect.
+  std::vector<uint8_t> buf;
+  buf.reserve(kWalEntryHeaderSize + payload.size());
+  ByteWriter w(&buf);
+  w.U64(lsn);
+  w.U32(type_raw);
+  w.U32(len);
+  w.U32(crc);
+  if (!payload.empty()) w.Raw(payload.data(), payload.size());
+  NATIX_RETURN_NOT_OK(backend_->Append(buf.data(), buf.size()));
+  ++next_lsn_;
+  bytes_written_ += buf.size();
+  return lsn;
+}
+
+Result<WalReader> WalReader::Open(FileBackend* backend) {
+  NATIX_ASSIGN_OR_RETURN(const uint64_t size, backend->Size());
+  if (size < kWalHeaderSize) {
+    return Status::ParseError("WAL too small to hold a header (" +
+                              std::to_string(size) + " bytes)");
+  }
+  uint8_t magic[kWalHeaderSize];
+  NATIX_RETURN_NOT_OK(backend->ReadAt(0, magic, sizeof(magic)));
+  if (std::memcmp(magic, kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::ParseError("bad WAL magic");
+  }
+  return WalReader(backend, size);
+}
+
+Result<std::optional<WalEntry>> WalReader::Next() {
+  if (done_) return std::optional<WalEntry>();
+  if (pos_ == size_) {  // clean end of log
+    done_ = true;
+    return std::optional<WalEntry>();
+  }
+  auto torn = [&]() -> Result<std::optional<WalEntry>> {
+    done_ = true;
+    tail_is_torn_ = true;
+    return std::optional<WalEntry>();
+  };
+  if (size_ - pos_ < kWalEntryHeaderSize) return torn();
+  uint8_t hdr[kWalEntryHeaderSize];
+  NATIX_RETURN_NOT_OK(backend_->ReadAt(pos_, hdr, sizeof(hdr)));
+  uint64_t lsn;
+  uint32_t type_raw, len, crc;
+  std::memcpy(&lsn, hdr, 8);
+  std::memcpy(&type_raw, hdr + 8, 4);
+  std::memcpy(&len, hdr + 12, 4);
+  std::memcpy(&crc, hdr + 16, 4);
+  if (lsn != next_lsn_) return torn();
+  if (len > size_ - pos_ - kWalEntryHeaderSize) return torn();
+  WalEntry entry;
+  entry.lsn = lsn;
+  entry.payload.resize(len);
+  if (len > 0) {
+    NATIX_RETURN_NOT_OK(backend_->ReadAt(pos_ + kWalEntryHeaderSize,
+                                         entry.payload.data(), len));
+  }
+  if (EntryCrc(lsn, type_raw, entry.payload.data(), len) != crc) {
+    return torn();
+  }
+  if (type_raw < static_cast<uint32_t>(WalEntryType::kInsertOp) ||
+      type_raw > static_cast<uint32_t>(WalEntryType::kCheckpointEnd)) {
+    return torn();
+  }
+  entry.type = static_cast<WalEntryType>(type_raw);
+  pos_ += kWalEntryHeaderSize + len;
+  valid_end_ = pos_;
+  ++next_lsn_;
+  return std::optional<WalEntry>(std::move(entry));
+}
+
+}  // namespace natix

@@ -1,0 +1,114 @@
+#ifndef NATIX_STORAGE_WAL_H_
+#define NATIX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/file_backend.h"
+
+namespace natix {
+
+/// WAL entry types. The log is a single append-only stream holding both
+/// logical record operations and physical checkpoint data.
+enum class WalEntryType : uint32_t {
+  /// A logical InsertBefore (parent, before, kind, weight, label,
+  /// content). Replayed through the normal insert path during recovery.
+  kInsertOp = 1,
+  /// Opens a checkpoint: payload is the store's full metadata snapshot
+  /// (tree, partitioner intervals, record-manager tables).
+  kCheckpointBegin = 2,
+  /// One dirty page image: u32 page id (jumbo bit included), raw bytes.
+  kPageImage = 3,
+  /// Seals a checkpoint: (begin LSN, image count). A checkpoint without
+  /// its End entry is incomplete and ignored by recovery.
+  kCheckpointEnd = 4,
+};
+
+/// A decoded WAL entry.
+struct WalEntry {
+  uint64_t lsn = 0;
+  WalEntryType type = WalEntryType::kInsertOp;
+  std::vector<uint8_t> payload;
+};
+
+/// On-disk format. The file opens with an 8-byte magic, then entries:
+///   [lsn u64][type u32][payload_len u32][crc u32][payload bytes]
+/// with crc = CRC32 over (lsn, type, payload). LSNs are assigned 1, 2,
+/// 3, ... by the single writer; the reader enforces this, so any torn,
+/// bit-flipped or half-written tail fails either the length, the CRC or
+/// the LSN check and the log has a well-defined valid prefix.
+inline constexpr uint8_t kWalMagic[8] = {'N', 'A', 'T', 'X',
+                                         'W', 'A', 'L', '1'};
+inline constexpr size_t kWalHeaderSize = 8;
+inline constexpr size_t kWalEntryHeaderSize = 20;
+
+/// Appends entries to the log. One WAL entry is exactly one backend
+/// Append(), so every entry is an independent fault-injection point.
+class WalWriter {
+ public:
+  /// Starts a fresh log on an empty backend (writes the magic).
+  static Result<WalWriter> Create(FileBackend* backend);
+
+  /// Continues an existing log after recovery: the next entry gets
+  /// `next_lsn`. The backend must already hold a valid log prefix.
+  static Result<WalWriter> Attach(FileBackend* backend, uint64_t next_lsn);
+
+  /// Appends one entry; returns its LSN.
+  Result<uint64_t> Append(WalEntryType type,
+                          const std::vector<uint8_t>& payload);
+
+  Status Sync() { return backend_->Sync(); }
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Total log bytes this writer has appended (headers + payloads), the
+  /// numerator of the write-amplification metric.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WalWriter(FileBackend* backend, uint64_t next_lsn)
+      : backend_(backend), next_lsn_(next_lsn) {}
+
+  FileBackend* backend_;
+  uint64_t next_lsn_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Scans a log front to back, stopping at the first invalid entry. After
+/// the scan, valid_end() is the byte offset just past the last valid
+/// entry -- recovery truncates the backend there to drop a torn tail.
+class WalReader {
+ public:
+  /// Verifies the magic; the cursor starts at the first entry.
+  static Result<WalReader> Open(FileBackend* backend);
+
+  /// Next valid entry, or nullopt at end of the valid prefix (clean end
+  /// or torn tail -- check tail_is_torn()). Never returns a Status for
+  /// corruption; a bad entry simply ends the log.
+  Result<std::optional<WalEntry>> Next();
+
+  /// Byte offset just past the last valid entry read so far.
+  uint64_t valid_end() const { return valid_end_; }
+  /// True when the scan stopped because of trailing bytes that do not
+  /// form a valid entry (crash damage), false at a clean end.
+  bool tail_is_torn() const { return tail_is_torn_; }
+  /// LSN the next appended entry should carry (last valid LSN + 1).
+  uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  WalReader(FileBackend* backend, uint64_t size)
+      : backend_(backend), size_(size) {}
+
+  FileBackend* backend_;
+  uint64_t size_;
+  uint64_t pos_ = kWalHeaderSize;
+  uint64_t valid_end_ = kWalHeaderSize;
+  uint64_t next_lsn_ = 1;
+  bool tail_is_torn_ = false;
+  bool done_ = false;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_WAL_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/bytes.h"
+
 namespace natix {
 
 Tree Tree::Clone() const {
@@ -245,6 +247,93 @@ Status Tree::Validate() const {
     return Status::Internal("unreachable nodes in arena");
   }
   return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kTreeFormatVersion = 1;
+}  // namespace
+
+void Tree::SerializeTo(std::vector<uint8_t>* out) const {
+  ByteWriter w(out);
+  w.U32(kTreeFormatVersion);
+  w.U64(nodes_.size());
+  for (const Node& n : nodes_) {
+    w.U32(n.parent);
+    w.U32(n.first_child);
+    w.U32(n.last_child);
+    w.U32(n.next_sibling);
+    w.U32(n.prev_sibling);
+    w.U32(n.child_count);
+    w.U32(n.weight);
+    w.I32(n.label);
+    w.U8(static_cast<uint8_t>(n.kind));
+  }
+  w.U64(labels_.size());
+  for (const std::string& label : labels_) w.Str(label);
+}
+
+Result<Tree> Tree::DeserializeFrom(ByteReader* reader) {
+  NATIX_ASSIGN_OR_RETURN(const uint32_t version, reader->U32());
+  if (version != kTreeFormatVersion) {
+    return Status::ParseError("unsupported tree format version " +
+                              std::to_string(version));
+  }
+  NATIX_ASSIGN_OR_RETURN(const uint64_t count, reader->U64());
+  // Each node occupies 33 serialized bytes; reject counts the buffer
+  // cannot possibly hold before allocating.
+  if (count > reader->remaining() / 33) {
+    return Status::ParseError("tree node count " + std::to_string(count) +
+                              " exceeds the serialized payload");
+  }
+  Tree tree;
+  tree.nodes_.reserve(static_cast<size_t>(count));
+  auto check_link = [&](uint32_t link) {
+    return link == kInvalidNode || link < count;
+  };
+  for (uint64_t i = 0; i < count; ++i) {
+    Node n;
+    NATIX_ASSIGN_OR_RETURN(n.parent, reader->U32());
+    NATIX_ASSIGN_OR_RETURN(n.first_child, reader->U32());
+    NATIX_ASSIGN_OR_RETURN(n.last_child, reader->U32());
+    NATIX_ASSIGN_OR_RETURN(n.next_sibling, reader->U32());
+    NATIX_ASSIGN_OR_RETURN(n.prev_sibling, reader->U32());
+    NATIX_ASSIGN_OR_RETURN(n.child_count, reader->U32());
+    NATIX_ASSIGN_OR_RETURN(n.weight, reader->U32());
+    NATIX_ASSIGN_OR_RETURN(n.label, reader->I32());
+    NATIX_ASSIGN_OR_RETURN(const uint8_t kind, reader->U8());
+    // Links must be checked before Validate(): its traversal indexes the
+    // arena through them.
+    if (!check_link(n.parent) || !check_link(n.first_child) ||
+        !check_link(n.last_child) || !check_link(n.next_sibling) ||
+        !check_link(n.prev_sibling)) {
+      return Status::ParseError("tree node " + std::to_string(i) +
+                                " has an out-of-range link");
+    }
+    if (kind > static_cast<uint8_t>(NodeKind::kProcessingInstruction)) {
+      return Status::ParseError("tree node " + std::to_string(i) +
+                                " has an invalid kind");
+    }
+    n.kind = static_cast<NodeKind>(kind);
+    tree.nodes_.push_back(n);
+  }
+  NATIX_ASSIGN_OR_RETURN(const uint64_t label_count, reader->U64());
+  if (label_count > reader->remaining() / 8) {
+    return Status::ParseError("tree label count exceeds payload");
+  }
+  tree.labels_.reserve(static_cast<size_t>(label_count));
+  for (uint64_t i = 0; i < label_count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(std::string label, reader->Str());
+    tree.labels_.push_back(std::move(label));
+    tree.label_ids_.emplace(tree.labels_.back(), static_cast<int32_t>(i));
+  }
+  for (const Node& n : tree.nodes_) {
+    if (n.label != -1 &&
+        (n.label < 0 || static_cast<uint64_t>(n.label) >= label_count)) {
+      return Status::ParseError("tree node has an out-of-range label id");
+    }
+  }
+  NATIX_RETURN_NOT_OK(tree.Validate());
+  return tree;
 }
 
 }  // namespace natix

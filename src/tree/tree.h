@@ -142,6 +142,17 @@ class Tree {
   /// weights). Used by tests and by the generators' self-checks.
   Status Validate() const;
 
+  /// Appends a flat binary image of the tree (node arena + label table) to
+  /// `out`. NodeIds survive the round trip exactly, which is what lets a
+  /// recovered store keep answering queries with the same ids as the
+  /// uncrashed run. Format is internal to DeserializeFrom().
+  void SerializeTo(std::vector<uint8_t>* out) const;
+
+  /// Rebuilds a tree from SerializeTo() bytes starting at `*reader`'s
+  /// cursor. Every field is bounds-checked and the result passes
+  /// Validate(); corrupt input yields a Status, never undefined behaviour.
+  static Result<Tree> DeserializeFrom(class ByteReader* reader);
+
  private:
   struct Node {
     NodeId parent = kInvalidNode;

@@ -50,6 +50,60 @@ Result<IncrementalPartitioner> IncrementalPartitioner::CreateEmpty(
   return out;
 }
 
+IncrementalPartitioner::SavedState IncrementalPartitioner::SaveState() const {
+  SavedState state;
+  state.intervals.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    state.intervals.push_back({iv.first, iv.last, iv.weight, iv.alive});
+  }
+  state.split_count = split_count_;
+  return state;
+}
+
+Result<IncrementalPartitioner> IncrementalPartitioner::Restore(
+    Tree* tree, TotalWeight limit, const SavedState& state) {
+  if (tree == nullptr || tree->empty()) {
+    return Status::InvalidArgument("tree must exist and be non-empty");
+  }
+  IncrementalPartitioner out(tree, limit);
+  out.member_of_.assign(tree->size(), kNone);
+  out.intervals_.reserve(state.intervals.size());
+  for (size_t i = 0; i < state.intervals.size(); ++i) {
+    const IntervalInfo& iv = state.intervals[i];
+    out.intervals_.push_back({iv.first, iv.last, iv.weight, iv.alive});
+    if (!iv.alive) continue;
+    ++out.alive_count_;
+    if (iv.first >= tree->size() || iv.last >= tree->size()) {
+      return Status::InvalidArgument("interval " + std::to_string(i) +
+                                     " references a node outside the tree");
+    }
+    // Walk the sibling run first..last; a snapshot whose endpoints do not
+    // bound a run is corrupt.
+    for (NodeId v = iv.first;; v = tree->NextSibling(v)) {
+      if (v == kInvalidNode) {
+        return Status::InvalidArgument(
+            "interval " + std::to_string(i) +
+            " endpoints do not bound a sibling run");
+      }
+      if (out.member_of_[v] != kNone) {
+        return Status::InvalidArgument("node " + std::to_string(v) +
+                                       " is a member of two intervals");
+      }
+      out.member_of_[v] = static_cast<uint32_t>(i);
+      if (v == iv.last) break;
+    }
+  }
+  if (out.alive_count_ == 0 || out.member_of_[tree->root()] == kNone) {
+    return Status::InvalidArgument(
+        "snapshot does not cover the root partition");
+  }
+  out.split_count_ = state.split_count;
+  // Certify the rebuilt assignment: feasibility and the saved weights must
+  // agree with a fresh analysis of the materialized partitioning.
+  NATIX_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
 uint32_t IncrementalPartitioner::PartitionOfNode(NodeId v) const {
   for (NodeId x = v; x != kInvalidNode; x = tree_->Parent(x)) {
     if (member_of_[x] != kNone) return member_of_[x];

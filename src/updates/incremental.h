@@ -79,6 +79,22 @@ class IncrementalPartitioner {
       Tree* tree, TotalWeight limit, Weight root_weight,
       std::string_view root_label = {});
 
+  /// Snapshot of the interval table (by stable id, dead slots included),
+  /// for checkpointing. Together with the tree it fully determines the
+  /// partitioner's state; member links are derivable from the endpoints.
+  struct SavedState {
+    std::vector<IntervalInfo> intervals;
+    uint64_t split_count = 0;
+  };
+  SavedState SaveState() const;
+
+  /// Rebuilds a partitioner over `*tree` from a SaveState() snapshot.
+  /// Member links are recomputed by walking each interval's sibling run;
+  /// malformed snapshots (out-of-range nodes, broken runs, weight
+  /// mismatches) are rejected with a Status.
+  static Result<IncrementalPartitioner> Restore(Tree* tree, TotalWeight limit,
+                                                const SavedState& state);
+
   /// Inserts a node as a child of `parent`, immediately before `before`
   /// (kInvalidNode appends as the rightmost child). Returns the new
   /// NodeId and resets last_delta() to this operation's changelog. Fails

@@ -13,7 +13,7 @@ namespace natix {
 namespace {
 
 TEST(LruBufferPoolTest, HitsAndMisses) {
-  LruBufferPool pool(2);
+  LruBufferPool pool = LruBufferPool::Create(2).ValueOrDie();
   EXPECT_FALSE(pool.Access(1));  // miss
   EXPECT_FALSE(pool.Access(2));  // miss
   EXPECT_TRUE(pool.Access(1));   // hit
@@ -24,7 +24,7 @@ TEST(LruBufferPoolTest, HitsAndMisses) {
 }
 
 TEST(LruBufferPoolTest, EvictsLeastRecentlyUsed) {
-  LruBufferPool pool(2);
+  LruBufferPool pool = LruBufferPool::Create(2).ValueOrDie();
   pool.Access(1);
   pool.Access(2);
   pool.Access(1);  // 1 becomes MRU, 2 is LRU
@@ -37,7 +37,7 @@ TEST(LruBufferPoolTest, EvictsLeastRecentlyUsed) {
 }
 
 TEST(LruBufferPoolTest, SequentialScanThrashesSmallPool) {
-  LruBufferPool pool(4);
+  LruBufferPool pool = LruBufferPool::Create(4).ValueOrDie();
   for (int round = 0; round < 3; ++round) {
     for (uint32_t p = 0; p < 16; ++p) pool.Access(p);
   }
@@ -47,7 +47,7 @@ TEST(LruBufferPoolTest, SequentialScanThrashesSmallPool) {
 }
 
 TEST(LruBufferPoolTest, LargePoolAllHitsAfterWarmup) {
-  LruBufferPool pool(64);
+  LruBufferPool pool = LruBufferPool::Create(64).ValueOrDie();
   for (uint32_t p = 0; p < 16; ++p) pool.Access(p);
   pool.ResetStats();
   for (int round = 0; round < 10; ++round) {
@@ -57,7 +57,7 @@ TEST(LruBufferPoolTest, LargePoolAllHitsAfterWarmup) {
 }
 
 TEST(LruBufferPoolTest, ClearColdRestarts) {
-  LruBufferPool pool(8);
+  LruBufferPool pool = LruBufferPool::Create(8).ValueOrDie();
   pool.Access(1);
   pool.Clear();
   EXPECT_EQ(pool.resident_count(), 0u);
@@ -78,7 +78,7 @@ TEST(LruBufferPoolTest, NavigatorRoutesCrossingsThroughPool) {
 
   const Result<PathExpr> q = ParseXPath("//author");
   ASSERT_TRUE(q.ok());
-  LruBufferPool pool(4);
+  LruBufferPool pool = LruBufferPool::Create(4).ValueOrDie();
   AccessStats stats;
   StoreQueryEvaluator eval(&*store, &stats, &pool);
   ASSERT_TRUE(eval.Evaluate(*q).ok());
@@ -101,7 +101,7 @@ TEST(LruBufferPoolTest, FewerRecordsFewerFaults) {
     EXPECT_TRUE(store.ok());
     const Result<PathExpr> q = ParseXPath("/site/regions/*/item");
     EXPECT_TRUE(q.ok());
-    LruBufferPool pool(8);
+    LruBufferPool pool = LruBufferPool::Create(8).ValueOrDie();
     AccessStats stats;
     StoreQueryEvaluator eval(&*store, &stats, &pool);
     EXPECT_TRUE(eval.Evaluate(*q).ok());

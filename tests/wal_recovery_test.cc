@@ -1,0 +1,544 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/xpathmark.h"
+#include "storage/buffer_manager.h"
+#include "storage/fault_injector.h"
+#include "storage/file_backend.h"
+#include "storage/page.h"
+#include "storage/store.h"
+#include "storage/wal.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+// ----------------------------------------------------------- crc32 ------
+
+TEST(Crc32Test, KnownAnswer) {
+  // The IEEE 802.3 check value for the nine ASCII digits.
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const char digits[] = "123456789";
+  const uint32_t head = Crc32(digits, 4);
+  EXPECT_EQ(Crc32(digits + 4, 5, head), Crc32(digits, 9));
+}
+
+// ------------------------------------------------------- wal basics -----
+
+TEST(WalTest, RoundTripsEntries) {
+  MemoryFileBackend* mem = new MemoryFileBackend();
+  std::unique_ptr<FileBackend> backend(mem);
+  Result<WalWriter> writer = WalWriter::Create(backend.get());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ(*writer->Append(WalEntryType::kInsertOp, {1, 2, 3}), 1u);
+  EXPECT_EQ(*writer->Append(WalEntryType::kCheckpointBegin, {}), 2u);
+  EXPECT_EQ(*writer->Append(WalEntryType::kPageImage,
+                            std::vector<uint8_t>(100, 7)),
+            3u);
+
+  Result<WalReader> reader = WalReader::Open(backend.get());
+  ASSERT_TRUE(reader.ok());
+  Result<std::optional<WalEntry>> e = reader->Next();
+  ASSERT_TRUE(e.ok() && e->has_value());
+  EXPECT_EQ((*e)->lsn, 1u);
+  EXPECT_EQ((*e)->type, WalEntryType::kInsertOp);
+  EXPECT_EQ((*e)->payload, (std::vector<uint8_t>{1, 2, 3}));
+  e = reader->Next();
+  ASSERT_TRUE(e.ok() && e->has_value());
+  EXPECT_EQ((*e)->lsn, 2u);
+  EXPECT_TRUE((*e)->payload.empty());
+  e = reader->Next();
+  ASSERT_TRUE(e.ok() && e->has_value());
+  EXPECT_EQ((*e)->payload.size(), 100u);
+  e = reader->Next();
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->has_value());
+  EXPECT_FALSE(reader->tail_is_torn());
+  EXPECT_EQ(reader->next_lsn(), 4u);
+}
+
+TEST(WalTest, RefusesFreshLogOnNonEmptyBackend) {
+  MemoryFileBackend backend;
+  ASSERT_TRUE(backend.Append("x", 1).ok());
+  EXPECT_FALSE(WalWriter::Create(&backend).ok());
+}
+
+TEST(WalTest, TornTailStopsAtLastValidEntry) {
+  auto disk = std::make_shared<MemoryFileBackend::Bytes>();
+  MemoryFileBackend backend(disk);
+  Result<WalWriter> writer = WalWriter::Create(&backend);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {1}).ok());
+  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {2, 2}).ok());
+  const uint64_t end_of_two = disk->size();
+  ASSERT_TRUE(
+      writer->Append(WalEntryType::kInsertOp, std::vector<uint8_t>(40, 3))
+          .ok());
+  // Chop the log mid-way through the third entry.
+  disk->resize(disk->size() - 25);
+
+  Result<WalReader> reader = WalReader::Open(&backend);
+  ASSERT_TRUE(reader.ok());
+  int seen = 0;
+  while (true) {
+    Result<std::optional<WalEntry>> e = reader->Next();
+    ASSERT_TRUE(e.ok());
+    if (!e->has_value()) break;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 2);
+  EXPECT_TRUE(reader->tail_is_torn());
+  EXPECT_EQ(reader->valid_end(), end_of_two);
+  EXPECT_EQ(reader->next_lsn(), 3u);
+
+  // The standard recovery move: truncate the torn tail and keep going.
+  ASSERT_TRUE(backend.Truncate(reader->valid_end()).ok());
+  Result<WalWriter> attach = WalWriter::Attach(&backend, reader->next_lsn());
+  ASSERT_TRUE(attach.ok());
+  EXPECT_EQ(*attach->Append(WalEntryType::kInsertOp, {9}), 3u);
+  Result<WalReader> again = WalReader::Open(&backend);
+  ASSERT_TRUE(again.ok());
+  int count = 0;
+  while (true) {
+    Result<std::optional<WalEntry>> e = again->Next();
+    ASSERT_TRUE(e.ok());
+    if (!e->has_value()) break;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(again->tail_is_torn());
+}
+
+TEST(WalTest, CorruptCrcEndsTheValidPrefix) {
+  auto disk = std::make_shared<MemoryFileBackend::Bytes>();
+  MemoryFileBackend backend(disk);
+  Result<WalWriter> writer = WalWriter::Create(&backend);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {1, 1, 1}).ok());
+  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {2, 2, 2}).ok());
+  // Flip one payload byte of the second entry.
+  disk->back() ^= 0xFF;
+  Result<WalReader> reader = WalReader::Open(&backend);
+  ASSERT_TRUE(reader.ok());
+  Result<std::optional<WalEntry>> e = reader->Next();
+  ASSERT_TRUE(e.ok() && e->has_value());
+  e = reader->Next();
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->has_value());
+  EXPECT_TRUE(reader->tail_is_torn());
+}
+
+TEST(WalTest, OpenRejectsMissingOrBadMagic) {
+  MemoryFileBackend empty;
+  EXPECT_FALSE(WalReader::Open(&empty).ok());
+  MemoryFileBackend bad;
+  ASSERT_TRUE(bad.Append("NOTAWAL0", 8).ok());
+  EXPECT_FALSE(WalReader::Open(&bad).ok());
+}
+
+// -------------------------------------------------- fault injection -----
+
+TEST(FaultInjectorTest, FailStopDropsTheWholeWrite) {
+  auto mem = std::make_unique<MemoryFileBackend>();
+  auto disk = mem->disk();
+  FaultInjectingBackend inj(std::move(mem), 1, FaultMode::kFailStop);
+  ASSERT_TRUE(inj.Append("aaaa", 4).ok());
+  EXPECT_FALSE(inj.Append("bbbb", 4).ok());
+  EXPECT_TRUE(inj.fired());
+  EXPECT_EQ(disk->size(), 4u);
+  // Dead for good, including reads and later writes.
+  EXPECT_FALSE(inj.Append("cccc", 4).ok());
+  char buf[1];
+  EXPECT_FALSE(inj.ReadAt(0, buf, 1).ok());
+  EXPECT_FALSE(inj.Sync().ok());
+  EXPECT_EQ(inj.append_count(), 2u);
+}
+
+TEST(FaultInjectorTest, ShortWriteLandsAStrictPrefix) {
+  auto mem = std::make_unique<MemoryFileBackend>();
+  auto disk = mem->disk();
+  FaultInjectingBackend inj(std::move(mem), 0, FaultMode::kShortWrite);
+  EXPECT_FALSE(inj.Append("abcdefgh", 8).ok());
+  EXPECT_LT(disk->size(), 8u);
+  // Whatever landed is a prefix of the original bytes.
+  EXPECT_EQ(MemoryFileBackend::Bytes(disk->begin(), disk->end()),
+            MemoryFileBackend::Bytes("abcdefgh",
+                                     "abcdefgh" + disk->size()));
+}
+
+TEST(FaultInjectorTest, TornWriteKeepsLengthButGarblesTail) {
+  auto mem = std::make_unique<MemoryFileBackend>();
+  auto disk = mem->disk();
+  FaultInjectingBackend inj(std::move(mem), 0, FaultMode::kTornWrite);
+  EXPECT_FALSE(inj.Append(std::string(64, 'z').data(), 64).ok());
+  EXPECT_EQ(disk->size(), 64u);
+  // Deterministic: the same seed yields the same garbage.
+  auto mem2 = std::make_unique<MemoryFileBackend>();
+  auto disk2 = mem2->disk();
+  FaultInjectingBackend inj2(std::move(mem2), 0, FaultMode::kTornWrite);
+  EXPECT_FALSE(inj2.Append(std::string(64, 'z').data(), 64).ok());
+  EXPECT_EQ(*disk, *disk2);
+}
+
+// ----------------------------------------------------- page hardening ---
+
+TEST(PageImageTest, RoundTripsThroughRawBytes) {
+  Page page(512);
+  const uint16_t s0 = *page.Insert(std::vector<uint8_t>(100, 1));
+  const uint16_t s1 = *page.Insert(std::vector<uint8_t>(50, 2));
+  ASSERT_TRUE(page.Free(s0).ok());
+  Result<Page> copy = Page::FromImage(page.image());
+  ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+  EXPECT_EQ(copy->slot_count(), page.slot_count());
+  EXPECT_EQ(copy->free_slot_count(), 1u);
+  EXPECT_EQ(copy->LiveBytes(), 50u);
+  EXPECT_EQ(copy->FreeTotal(), page.FreeTotal());
+  const auto got = copy->Get(s1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->second, 50u);
+  EXPECT_EQ(got->first[0], 2);
+  EXPECT_FALSE(copy->Get(s0).ok());
+}
+
+TEST(PageImageTest, RejectsCorruptImages) {
+  // Too small to hold even the header and one directory entry.
+  EXPECT_FALSE(Page::FromImage(std::vector<uint8_t>(8, 0)).ok());
+
+  Page good(256);
+  ASSERT_TRUE(good.Insert(std::vector<uint8_t>(10, 1)).ok());
+
+  // payload_end past the directory.
+  std::vector<uint8_t> img = good.image();
+  img[0] = 0xFF;
+  img[1] = 0xFF;
+  EXPECT_FALSE(Page::FromImage(img).ok());
+
+  // Slot count larger than the page can hold.
+  img = good.image();
+  img[4] = 0xFF;
+  img[5] = 0xFF;
+  EXPECT_FALSE(Page::FromImage(img).ok());
+
+  // Directory entry pointing outside the payload area. The single slot's
+  // entry occupies the last 8 bytes: offset at [248, 252).
+  img = good.image();
+  img[248] = 0xF0;
+  EXPECT_FALSE(Page::FromImage(img).ok());
+
+  // A tombstone must have length zero.
+  Page freed(256);
+  const uint16_t slot = *freed.Insert(std::vector<uint8_t>(10, 1));
+  ASSERT_TRUE(freed.Free(slot).ok());
+  img = freed.image();
+  img[252] = 5;  // tombstone length
+  EXPECT_FALSE(Page::FromImage(img).ok());
+}
+
+TEST(BufferPoolTest, CreateRejectsZeroCapacity) {
+  EXPECT_FALSE(LruBufferPool::Create(0).ok());
+  Result<LruBufferPool> pool = LruBufferPool::Create(4);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool->capacity(), 4u);
+}
+
+TEST(BufferManagerTest, TracksAndClearsDirtyPages) {
+  BufferManager buf;
+  buf.MarkDirty(3);
+  buf.MarkDirty(1);
+  buf.MarkDirty(3);
+  EXPECT_EQ(buf.dirty_count(), 2u);
+  EXPECT_TRUE(buf.IsDirty(1));
+  EXPECT_FALSE(buf.IsDirty(2));
+  EXPECT_EQ(buf.DirtyPagesSorted(), (std::vector<uint32_t>{1, 3}));
+  buf.MarkAllClean();
+  EXPECT_EQ(buf.dirty_count(), 0u);
+}
+
+// ------------------------------------------------- durable store --------
+
+constexpr TotalWeight kLimit = 64;
+constexpr uint64_t kWorkloadSeed = 20250805;
+constexpr int kWorkloadInserts = 1000;
+constexpr int kCheckpointEvery = 250;
+
+ImportedDocument ImportSmall() {
+  WeightModel model;
+  model.max_node_slots = static_cast<uint32_t>(kLimit);
+  Result<ImportedDocument> imp = ImportXml(GenerateXmark(5, 0.003), model);
+  EXPECT_TRUE(imp.ok()) << imp.status().ToString();
+  return std::move(imp).value();
+}
+
+NatixStore MakeStore() {
+  ImportedDocument doc = ImportSmall();
+  Result<Partitioning> p = EkmPartition(doc.tree, kLimit);
+  EXPECT_TRUE(p.ok());
+  Result<NatixStore> store = NatixStore::Build(std::move(doc), *p, kLimit);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+/// One scripted random insert. Both the workload and the oracle call this
+/// with equal-seeded Rngs; because each op is generated from the current
+/// tree state and both stores evolve identically, equal op *counts* imply
+/// equal op *sequences* (prefix determinism).
+Result<NodeId> ScriptedInsert(NatixStore* store, Rng* rng) {
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  const Tree& t = store->tree();
+  const NodeId parent = static_cast<NodeId>(rng->NextBounded(t.size()));
+  NodeId before = kInvalidNode;
+  if (t.ChildCount(parent) > 0 && rng->NextBool(0.4)) {
+    const std::vector<NodeId> kids = t.Children(parent);
+    before = kids[rng->NextBounded(kids.size())];
+  }
+  const bool text = rng->NextBool(0.5);
+  std::string content;
+  if (text) {
+    content.assign(1 + rng->NextBounded(40),
+                   static_cast<char>('a' + rng->NextBounded(26)));
+  }
+  return store->InsertBefore(parent, before,
+                             text ? "" : kLabels[rng->NextBounded(4)],
+                             text ? NodeKind::kText : NodeKind::kElement,
+                             content);
+}
+
+/// Runs the scripted workload against a durable store whose backend kills
+/// itself at `fault_at` (pass a huge value for a fault-free run). Returns
+/// the surviving "disk" bytes; the store itself is destroyed -- that is
+/// the crash.
+std::shared_ptr<MemoryFileBackend::Bytes> RunWorkloadUntilCrash(
+    uint64_t fault_at, FaultMode mode, uint64_t* total_appends = nullptr) {
+  NatixStore store = MakeStore();
+  auto mem = std::make_unique<MemoryFileBackend>();
+  std::shared_ptr<MemoryFileBackend::Bytes> disk = mem->disk();
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::move(mem), fault_at, mode,
+      /*seed=*/kWorkloadSeed ^ fault_at ^ (static_cast<uint64_t>(mode) << 32));
+  FaultInjectingBackend* inj_raw = inj.get();
+  Rng rng(kWorkloadSeed);
+  if (store.EnableDurability(std::move(inj)).ok()) {
+    for (int i = 0; i < kWorkloadInserts; ++i) {
+      if (!ScriptedInsert(&store, &rng).ok()) break;
+      if ((i + 1) % kCheckpointEvery == 0 && !store.Checkpoint().ok()) break;
+    }
+  }
+  if (total_appends != nullptr) *total_appends = inj_raw->append_count();
+  return disk;
+}
+
+/// Advances the reference store (which never crashes) to `target` ops.
+void AdvanceOracle(NatixStore* oracle, Rng* rng, uint64_t* done,
+                   uint64_t target) {
+  ASSERT_LE(*done, target) << "fault points must be visited in ascending "
+                              "order for the shared oracle";
+  while (*done < target) {
+    ASSERT_TRUE(ScriptedInsert(oracle, rng).ok());
+    ++*done;
+  }
+}
+
+/// The crash-matrix oracle: the recovered store must hold exactly the
+/// oracle's document and answer every XPathMark query identically.
+void ExpectEquivalent(const NatixStore& recovered, const NatixStore& oracle,
+                      const std::string& context) {
+  const Tree& rt = recovered.tree();
+  const Tree& ot = oracle.tree();
+  ASSERT_EQ(rt.size(), ot.size()) << context;
+  for (NodeId v = 0; v < rt.size(); ++v) {
+    ASSERT_EQ(rt.Parent(v), ot.Parent(v)) << context << " node " << v;
+    ASSERT_EQ(rt.FirstChild(v), ot.FirstChild(v)) << context << " node " << v;
+    ASSERT_EQ(rt.NextSibling(v), ot.NextSibling(v))
+        << context << " node " << v;
+    ASSERT_EQ(rt.WeightOf(v), ot.WeightOf(v)) << context << " node " << v;
+    ASSERT_EQ(rt.KindOf(v), ot.KindOf(v)) << context << " node " << v;
+    ASSERT_EQ(rt.LabelOf(v), ot.LabelOf(v)) << context << " node " << v;
+    ASSERT_EQ(recovered.document().ContentOf(v), oracle.document().ContentOf(v))
+        << context << " node " << v;
+  }
+  // The recovered partitioning must be feasible, not just present.
+  if (recovered.partitioner() != nullptr) {
+    ASSERT_TRUE(recovered.partitioner()->Validate().ok()) << context;
+  }
+  // Query equivalence against the uncrashed run, straight from the
+  // stores' records.
+  AccessStats rstats, ostats;
+  StoreQueryEvaluator reval(&recovered, &rstats);
+  StoreQueryEvaluator oeval(&oracle, &ostats);
+  for (const XPathMarkQuery& q : XPathMarkQueries()) {
+    const Result<PathExpr> path = ParseXPath(q.text);
+    ASSERT_TRUE(path.ok()) << q.id;
+    const Result<std::vector<NodeId>> got = reval.Evaluate(*path);
+    const Result<std::vector<NodeId>> want = oeval.Evaluate(*path);
+    ASSERT_TRUE(got.ok() && want.ok()) << context << " " << q.id;
+    ASSERT_EQ(*got, *want) << context << " " << q.id;
+  }
+}
+
+TEST(DurableStoreTest, CleanStopRecoversExactly) {
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk =
+      RunWorkloadUntilCrash(~0ull, FaultMode::kFailStop);
+  Result<NatixStore> recovered =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->durable());
+  EXPECT_EQ(recovered->update_stats().inserts,
+            static_cast<uint64_t>(kWorkloadInserts));
+
+  NatixStore oracle = MakeStore();
+  Rng rng(kWorkloadSeed);
+  uint64_t done = 0;
+  AdvanceOracle(&oracle, &rng, &done, kWorkloadInserts);
+  ExpectEquivalent(*recovered, oracle, "clean stop");
+}
+
+TEST(DurableStoreTest, OpLogStaysUnderTwiceRecordVolume) {
+  NatixStore store = MakeStore();
+  ASSERT_TRUE(
+      store.EnableDurability(std::make_unique<MemoryFileBackend>()).ok());
+  Rng rng(kWorkloadSeed);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&store, &rng).ok());
+  }
+  const WalStats stats = store.wal_stats();
+  EXPECT_EQ(stats.op_entries, 500u);
+  EXPECT_GT(stats.record_bytes, 0u);
+  // The acceptance bound: logical op logging must cost well under 2x the
+  // record bytes the same ops wrote.
+  EXPECT_LT(stats.op_bytes, 2 * stats.record_bytes);
+  EXPECT_GT(stats.OpAmplification(), 0.0);
+  EXPECT_LT(stats.OpAmplification(), 2.0);
+}
+
+TEST(DurableStoreTest, RecoverOnEmptyOrAlienBytesFails) {
+  EXPECT_FALSE(
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>()).ok());
+  auto junk = std::make_unique<MemoryFileBackend>();
+  ASSERT_TRUE(junk->Append("definitely not a WAL", 20).ok());
+  EXPECT_FALSE(NatixStore::Recover(std::move(junk)).ok());
+}
+
+TEST(DurableStoreTest, PoisonedStoreRefusesFurtherMutations) {
+  NatixStore store = MakeStore();
+  // Fault on the 3rd append: the initial checkpoint (magic + begin +
+  // several page images + end) is still in flight, so EnableDurability
+  // itself fails and the store is poisoned.
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryFileBackend>(), 2, FaultMode::kFailStop);
+  EXPECT_FALSE(store.EnableDurability(std::move(inj)).ok());
+  EXPECT_TRUE(store.poisoned());
+  EXPECT_FALSE(
+      store.InsertBefore(store.tree().root(), kInvalidNode, "x").ok());
+  EXPECT_FALSE(store.Checkpoint().ok());
+}
+
+TEST(DurableStoreTest, CrashMatrixRecoversToQueryEquivalence) {
+  // Size the matrix: count the workload's total backend writes with a
+  // never-firing injector, then visit strided fault points. Exhaustive
+  // coverage (every append x every mode) is available via
+  // NATIX_CRASH_MATRIX_EXHAUSTIVE=1.
+  uint64_t total_appends = 0;
+  RunWorkloadUntilCrash(~0ull, FaultMode::kFailStop, &total_appends);
+  ASSERT_GT(total_appends, static_cast<uint64_t>(kWorkloadInserts));
+
+  const bool exhaustive = std::getenv("NATIX_CRASH_MATRIX_EXHAUSTIVE") != nullptr;
+  const uint64_t stride =
+      exhaustive ? 1 : std::max<uint64_t>(1, total_appends / 24);
+
+  NatixStore oracle = MakeStore();
+  Rng oracle_rng(kWorkloadSeed);
+  uint64_t oracle_done = 0;
+  int recovered_trials = 0;
+  int never_durable_trials = 0;
+
+  for (uint64_t fault_at = 0; fault_at < total_appends; fault_at += stride) {
+    for (const FaultMode mode :
+         {FaultMode::kFailStop, FaultMode::kShortWrite,
+          FaultMode::kTornWrite}) {
+      const std::string context =
+          "fault at append " + std::to_string(fault_at) + " mode " +
+          std::to_string(static_cast<int>(mode));
+      const std::shared_ptr<MemoryFileBackend::Bytes> disk =
+          RunWorkloadUntilCrash(fault_at, mode);
+      Result<NatixStore> recovered =
+          NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+      if (!recovered.ok()) {
+        // Legitimate only while the initial checkpoint had not been
+        // sealed: the store never reached durability, there is nothing
+        // to recover. Magic (1) + begin (1) + one image per page + end
+        // (1) + the op stream; anything at or past the first op entry
+        // must recover.
+        ASSERT_LT(fault_at, total_appends - kWorkloadInserts)
+            << context << ": " << recovered.status().ToString();
+        ++never_durable_trials;
+        continue;
+      }
+      ++recovered_trials;
+      const uint64_t m = recovered->update_stats().inserts;
+      ASSERT_LE(m, static_cast<uint64_t>(kWorkloadInserts)) << context;
+      AdvanceOracle(&oracle, &oracle_rng, &oracle_done, m);
+      ASSERT_EQ(oracle_done, m) << context;
+      ExpectEquivalent(*recovered, oracle, context);
+    }
+  }
+  // The matrix must actually exercise recovery, not skip everything.
+  EXPECT_GT(recovered_trials, 0);
+  // And a crash during the very first writes must be the only way to end
+  // up with an unrecoverable log.
+  EXPECT_LT(never_durable_trials, recovered_trials);
+}
+
+TEST(DurableStoreTest, SurvivesCrashRecoverContinueCrash) {
+  // First crash: torn write in the middle of the op stream.
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk =
+      RunWorkloadUntilCrash(300, FaultMode::kTornWrite);
+  Result<NatixStore> recovered =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const uint64_t m = recovered->update_stats().inserts;
+
+  NatixStore oracle = MakeStore();
+  Rng oracle_rng(kWorkloadSeed);
+  uint64_t oracle_done = 0;
+  AdvanceOracle(&oracle, &oracle_rng, &oracle_done, m);
+
+  // Continue on the recovered store; mirror every op on the oracle (the
+  // trees are identical, so equal-seeded generators produce equal ops).
+  Rng cont_a(777), cont_b(777);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&*recovered, &cont_a).ok()) << "continue " << i;
+    ASSERT_TRUE(ScriptedInsert(&oracle, &cont_b).ok());
+  }
+  ASSERT_TRUE(recovered->Checkpoint().ok());
+  // A few more un-checkpointed ops, then crash again (destruction).
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&*recovered, &cont_a).ok());
+    ASSERT_TRUE(ScriptedInsert(&oracle, &cont_b).ok());
+  }
+  recovered = Status::Internal("crashed");  // destroy the first recovery
+
+  Result<NatixStore> again =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->update_stats().inserts, m + 250);
+  ExpectEquivalent(*again, oracle, "second recovery");
+}
+
+}  // namespace
+}  // namespace natix
