@@ -197,8 +197,10 @@ int RunStoreLeg(natix::TotalWeight limit, double scale) {
   // Reference point: bulkload the final document from scratch.
   const auto fresh_p = natix::EkmPartition(store->tree(), limit);
   fresh_p.status().CheckOK();
+  auto snapshot = store->SnapshotDocument();
+  snapshot.status().CheckOK();
   const auto fresh =
-      natix::NatixStore::Build(store->SnapshotDocument(), *fresh_p, limit);
+      natix::NatixStore::Build(std::move(snapshot).value(), *fresh_p, limit);
   fresh.status().CheckOK();
   const natix::benchutil::QueryRun grown_sweep =
       natix::benchutil::RunXPathMarkSweep(*store, nullptr, cost);

@@ -90,12 +90,14 @@ struct QueryRun {
 };
 
 /// Evaluates `path` against `store` (optionally through an LRU pool for
-/// cold-cache runs), charging navigation to a fresh AccessStats.
+/// cold-cache runs; `provider` redirects pool misses, e.g. to a
+/// FilePageSource), charging navigation to a fresh AccessStats.
 inline QueryRun RunStoreQuery(const NatixStore& store, const PathExpr& path,
                               LruBufferPool* pool = nullptr,
-                              const NavigationCostModel& cost = {}) {
+                              const NavigationCostModel& cost = {},
+                              const PageProvider* provider = nullptr) {
   QueryRun run;
-  StoreQueryEvaluator eval(&store, &run.stats, pool);
+  StoreQueryEvaluator eval(&store, &run.stats, pool, provider);
   Timer timer;
   Result<std::vector<NodeId>> result = eval.Evaluate(path);
   run.wall_ms = timer.ElapsedMillis();
@@ -109,12 +111,13 @@ inline QueryRun RunStoreQuery(const NatixStore& store, const PathExpr& path,
 /// access counters and simulated cost. Result vectors are discarded.
 inline QueryRun RunXPathMarkSweep(const NatixStore& store,
                                   LruBufferPool* pool = nullptr,
-                                  const NavigationCostModel& cost = {}) {
+                                  const NavigationCostModel& cost = {},
+                                  const PageProvider* provider = nullptr) {
   QueryRun total;
   for (const XPathMarkQuery& q : XPathMarkQueries()) {
     const Result<PathExpr> path = ParseXPath(q.text);
     path.status().CheckOK();
-    const QueryRun run = RunStoreQuery(store, *path, pool, cost);
+    const QueryRun run = RunStoreQuery(store, *path, pool, cost, provider);
     total.stats.intra_moves += run.stats.intra_moves;
     total.stats.record_crossings += run.stats.record_crossings;
     total.stats.page_switches += run.stats.page_switches;

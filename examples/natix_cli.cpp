@@ -197,9 +197,16 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", partitioning.status().ToString().c_str());
     return 1;
   }
-  const auto store = natix::NatixStore::Build(doc->Clone(), *partitioning, k);
+  auto store = natix::NatixStore::Build(doc->Clone(), *partitioning, k);
   if (!store.ok()) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  // Evaluate against the records alone: the store's in-memory document
+  // is dropped, so every axis move decodes from record bytes.
+  const natix::Status released = store->ReleaseDocument();
+  if (!released.ok()) {
+    std::fprintf(stderr, "%s\n", released.ToString().c_str());
     return 1;
   }
   natix::AccessStats stats;
@@ -212,8 +219,8 @@ int CmdQuery(int argc, char** argv) {
     return 1;
   }
   const natix::NavigationCostModel cost;
-  std::printf("%zu results (%s layout, %zu records)\n", result->size(),
-              algo.c_str(), store->record_count());
+  std::printf("%zu results (%s layout, %zu records, document released)\n",
+              result->size(), algo.c_str(), store->record_count());
   std::printf("navigation: %llu intra-record, %llu crossings "
               "(%llu page switches)\n",
               static_cast<unsigned long long>(stats.intra_moves),
@@ -291,7 +298,7 @@ int CmdUpdate(int argc, char** argv) {
   }
   std::printf("%zu nodes, K = %llu: %zu records on %zu pages, "
               "utilization %.1f%%\n",
-              store->tree().size(), static_cast<unsigned long long>(k),
+              store->node_count(), static_cast<unsigned long long>(k),
               store->record_count(), store->page_count(),
               100.0 * store->PageUtilization());
   const double cost_before = SweepCostSeconds(*store, nullptr);
@@ -381,8 +388,13 @@ int CmdUpdate(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", fresh_p.status().ToString().c_str());
     return 1;
   }
+  auto snapshot = store->SnapshotDocument();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
   const auto fresh =
-      natix::NatixStore::Build(store->SnapshotDocument(), *fresh_p, k);
+      natix::NatixStore::Build(std::move(snapshot).value(), *fresh_p, k);
   if (!fresh.ok()) {
     std::fprintf(stderr, "%s\n", fresh.status().ToString().c_str());
     return 1;
@@ -430,7 +442,7 @@ int CmdRecover(int argc, char** argv) {
   const natix::UpdateStats us = store->update_stats();
   std::printf("recovered in %.1fms: %zu nodes, %zu records on %zu pages, "
               "utilization %.1f%%\n",
-              ms, store->tree().size(), store->record_count(),
+              ms, store->node_count(), store->record_count(),
               store->page_count(), 100.0 * store->PageUtilization());
   std::printf("  %llu inserts survived (%llu splits, %llu records "
               "rewritten, %llu created)\n",

@@ -29,9 +29,18 @@ cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test \
 cmake -B build-asan -S . -DNATIX_SANITIZE=address,undefined \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j --target store_updates_test updates_test \
-  storage_test wal_recovery_test
+  storage_test wal_recovery_test record_codec_test store_evict_test \
+  query_axis_matrix_test
 (cd build-asan && ./tests/store_updates_test && ./tests/updates_test \
   && ./tests/storage_test && ./tests/wal_recovery_test)
+
+# 3b. Evicted-mode memory check: the record codec, the release/
+#     rematerialize cycle and the query+updates+WAL surface with the
+#     document *released* and navigation running through a tiny buffer
+#     pool. Every byte a query reads then comes from decoded record
+#     payloads, so ASan/UBSan sees the whole zero-copy RecordView path.
+(cd build-asan && ./tests/record_codec_test && ./tests/store_evict_test \
+  && ./tests/query_axis_matrix_test)
 
 # 4. Assert-free build: CMAKE_BUILD_TYPE=Release defines NDEBUG, which
 #    compiles every assert() out. All input validation must ride on

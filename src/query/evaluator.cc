@@ -6,10 +6,49 @@ namespace natix {
 
 StoreQueryEvaluator::StoreQueryEvaluator(const NatixStore* store,
                                          AccessStats* stats,
-                                         LruBufferPool* buffer)
-    : store_(store),
-      nav_(store, stats, buffer),
-      preorder_rank_(store->tree().PreorderRanks()) {}
+                                         LruBufferPool* buffer,
+                                         const PageProvider* provider)
+    : store_(store), nav_(store, stats, buffer, provider) {}
+
+void StoreQueryEvaluator::RefreshRanks() {
+  const uint64_t tree_version =
+      store_->has_document() ? store_->tree().version() : 0;
+  if (!preorder_rank_.empty() && rank_version_ == store_->version() &&
+      rank_tree_version_ == tree_version &&
+      preorder_rank_.size() == store_->node_count()) {
+    return;
+  }
+  rank_version_ = store_->version();
+  rank_tree_version_ = tree_version;
+  if (store_->has_document()) {
+    preorder_rank_ = store_->tree().PreorderRanks();
+    return;
+  }
+  // Released document: walk the records once with a throwaway cursor
+  // (ranks are bookkeeping, not part of the measured navigation).
+  preorder_rank_.assign(store_->node_count(), 0);
+  AccessStats scratch;
+  Navigator walker(store_, &scratch);
+  uint32_t rank = 0;
+  preorder_rank_[walker.current()] = rank++;
+  int depth = 0;
+  for (;;) {
+    if (walker.ToFirstChild()) {
+      ++depth;
+      preorder_rank_[walker.current()] = rank++;
+      continue;
+    }
+    for (;;) {
+      if (walker.ToNextSibling()) {
+        preorder_rank_[walker.current()] = rank++;
+        break;
+      }
+      if (depth == 0) return;
+      walker.ToParent();
+      --depth;
+    }
+  }
+}
 
 Result<std::vector<NodeId>> StoreQueryEvaluator::Evaluate(
     const PathExpr& query) {
@@ -20,13 +59,10 @@ Result<std::vector<NodeId>> StoreQueryEvaluator::Evaluate(
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty query");
   }
-  // The store may have grown (InsertBefore) since construction or the
+  // The store may have mutated (InsertBefore) since construction or the
   // previous query; refresh document-order ranks so Normalize() stays
-  // correct mid-update-stream. NodeIds are append-only, so a size check
-  // detects every mutation.
-  if (preorder_rank_.size() != store_->tree().size()) {
-    preorder_rank_ = store_->tree().PreorderRanks();
-  }
+  // correct mid-update-stream.
+  RefreshRanks();
   // The initial context is the virtual document node (the parent of the
   // root element), encoded as kInvalidNode. It can survive intermediate
   // descendant-or-self::node() steps but is never part of the final
@@ -65,12 +101,12 @@ std::vector<NodeId> StoreQueryEvaluator::EvalSteps(
   return context;
 }
 
-bool StoreQueryEvaluator::MatchesTest(NodeId v, const Step& step) const {
-  const Tree& tree = store_->tree();
-  const NodeKind kind = tree.KindOf(v);
+bool StoreQueryEvaluator::MatchesCurrent(const Step& step) {
+  const NodeKind kind = nav_.CurrentKind();
   switch (step.test) {
     case NodeTestKind::kName:
-      return kind == NodeKind::kElement && tree.LabelOf(v) == step.name;
+      return kind == NodeKind::kElement &&
+             store_->LabelNameOf(nav_.CurrentLabelId()) == step.name;
     case NodeTestKind::kAnyElement:
       return kind == NodeKind::kElement;
     case NodeTestKind::kAnyNode:
@@ -80,18 +116,33 @@ bool StoreQueryEvaluator::MatchesTest(NodeId v, const Step& step) const {
   return false;
 }
 
+bool StoreQueryEvaluator::MatchesTest(NodeId v, const Step& step) const {
+  const Result<NodeKind> kind = store_->KindOfNode(v);
+  if (!kind.ok()) return false;
+  switch (step.test) {
+    case NodeTestKind::kName: {
+      if (*kind != NodeKind::kElement) return false;
+      const Result<int32_t> label = store_->LabelIdOfNode(v);
+      return label.ok() && store_->LabelNameOf(*label) == step.name;
+    }
+    case NodeTestKind::kAnyElement:
+      return *kind == NodeKind::kElement;
+    case NodeTestKind::kAnyNode:
+      return *kind != NodeKind::kAttribute;
+  }
+  return false;
+}
+
 void StoreQueryEvaluator::CollectAxis(NodeId context, const Step& step,
                                       std::vector<NodeId>* out) {
-  const Tree& tree = store_->tree();
-
   // Virtual document node: only downward axes make sense.
   if (context == kInvalidNode) {
-    const NodeId root = tree.root();
+    const NodeId root = store_->RootNode();
     if (root == kInvalidNode) return;
     switch (step.axis) {
       case Axis::kChild:
         nav_.JumpTo(root);
-        if (MatchesTest(root, step)) out->push_back(root);
+        if (MatchesCurrent(step)) out->push_back(root);
         return;
       case Axis::kDescendant:
       case Axis::kDescendantOrSelf: {
@@ -121,13 +172,13 @@ void StoreQueryEvaluator::CollectAxis(NodeId context, const Step& step,
       nav_.JumpTo(context);
       if (!nav_.ToFirstChild()) return;
       do {
-        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+        if (MatchesCurrent(step)) out->push_back(nav_.current());
       } while (nav_.ToNextSibling());
       return;
     }
     case Axis::kParent: {
       nav_.JumpTo(context);
-      if (nav_.ToParent() && MatchesTest(nav_.current(), step)) {
+      if (nav_.ToParent() && MatchesCurrent(step)) {
         out->push_back(nav_.current());
       }
       return;
@@ -135,27 +186,25 @@ void StoreQueryEvaluator::CollectAxis(NodeId context, const Step& step,
     case Axis::kAncestor:
     case Axis::kAncestorOrSelf: {
       nav_.JumpTo(context);
-      if (step.axis == Axis::kAncestorOrSelf &&
-          MatchesTest(context, step)) {
+      if (step.axis == Axis::kAncestorOrSelf && MatchesCurrent(step)) {
         out->push_back(context);
       }
       while (nav_.ToParent()) {
-        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+        if (MatchesCurrent(step)) out->push_back(nav_.current());
       }
       return;
     }
     case Axis::kDescendant:
     case Axis::kDescendantOrSelf: {
       nav_.JumpTo(context);
-      if (step.axis == Axis::kDescendantOrSelf &&
-          MatchesTest(context, step)) {
+      if (step.axis == Axis::kDescendantOrSelf && MatchesCurrent(step)) {
         out->push_back(context);
       }
       // Navigational depth-first scan of the subtree.
       if (!nav_.ToFirstChild()) return;
       int depth = 1;
       for (;;) {
-        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+        if (MatchesCurrent(step)) out->push_back(nav_.current());
         if (nav_.ToFirstChild()) {
           ++depth;
           continue;
@@ -170,14 +219,14 @@ void StoreQueryEvaluator::CollectAxis(NodeId context, const Step& step,
     case Axis::kFollowingSibling: {
       nav_.JumpTo(context);
       while (nav_.ToNextSibling()) {
-        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+        if (MatchesCurrent(step)) out->push_back(nav_.current());
       }
       return;
     }
     case Axis::kPrecedingSibling: {
       nav_.JumpTo(context);
       while (nav_.ToPrevSibling()) {
-        if (MatchesTest(nav_.current(), step)) out->push_back(nav_.current());
+        if (MatchesCurrent(step)) out->push_back(nav_.current());
       }
       return;
     }

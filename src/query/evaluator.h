@@ -22,11 +22,15 @@ namespace natix {
 /// evaluated with early exit.
 class StoreQueryEvaluator {
  public:
-  /// `store` and `stats` (and `buffer`, if given) must outlive the
-  /// evaluator. A non-null `buffer` routes every record crossing through
-  /// the LRU page pool for cold-cache experiments.
+  /// `store` and `stats` (and `buffer`/`provider`, if given) must
+  /// outlive the evaluator. A non-null `buffer` routes every record
+  /// crossing through the LRU page pool for cold-cache experiments;
+  /// `provider` overrides where pool misses read page bytes from (e.g. a
+  /// FilePageSource over a flushed page file) and defaults to the
+  /// store's in-memory pages.
   StoreQueryEvaluator(const NatixStore* store, AccessStats* stats,
-                      LruBufferPool* buffer = nullptr);
+                      LruBufferPool* buffer = nullptr,
+                      const PageProvider* provider = nullptr);
 
   /// Runs the query from the document root. Results are NodeIds of the
   /// logical tree, in document order.
@@ -38,7 +42,19 @@ class StoreQueryEvaluator {
   /// Appends nodes reached from `context` via `step` (axis + node test)
   /// to `out`; no predicate filtering.
   void CollectAxis(NodeId context, const Step& step, std::vector<NodeId>* out);
+  /// Node test against the navigator's current node, decoded from its
+  /// record view (O(1), no stats effect). Every positioned call site
+  /// uses this; only self:: tests an unpositioned node.
+  bool MatchesCurrent(const Step& step);
+  /// Node test by NodeId, reading kind/label through the store's record
+  /// tables (used where the navigator is not positioned on `v`; charging
+  /// no navigation stats, exactly like the historical tree lookup).
   bool MatchesTest(NodeId v, const Step& step) const;
+  /// Rebuilds document-order ranks when the store has mutated since the
+  /// last query. Keyed on the store's monotonic mutation version -- a
+  /// size compare alone misses same-size mutations and, under release /
+  /// rematerialize cycles, there may be no tree to size-check against.
+  void RefreshRanks();
   bool EvalPredicate(NodeId v, const PredicateExpr& pred);
   /// Existence of a relative path from `v`, early exit on first witness.
   bool ExistsPath(NodeId v, const PathExpr& path, size_t step_index);
@@ -48,6 +64,11 @@ class StoreQueryEvaluator {
   const NatixStore* store_;
   Navigator nav_;
   std::vector<uint32_t> preorder_rank_;
+  /// Store mutation version the ranks were computed at.
+  uint64_t rank_version_ = 0;
+  /// Tree mutation version as a belt-and-braces check while a document
+  /// is resident (0 when the ranks were computed from records).
+  uint64_t rank_tree_version_ = 0;
 };
 
 }  // namespace natix

@@ -1,6 +1,7 @@
 #include "storage/buffer_manager.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace natix {
 
@@ -15,27 +16,87 @@ LruBufferPool::LruBufferPool(size_t capacity) : capacity_(capacity) {
   frames_.reserve(capacity_);
 }
 
-bool LruBufferPool::Access(uint32_t page) {
+LruBufferPool::Frame& LruBufferPool::Touch(uint32_t page) {
   ++stats_.accesses;
   const auto it = frames_.find(page);
   if (it != frames_.end()) {
     ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return true;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second;
   }
   ++stats_.misses;
   if (lru_.size() >= capacity_) {
-    ++stats_.evictions;
-    frames_.erase(lru_.back());
-    lru_.pop_back();
+    // Evict the least-recently-used unpinned frame. If every frame is
+    // pinned the pool temporarily oversubscribes rather than dropping a
+    // frame someone still reads from.
+    for (auto victim = lru_.rbegin(); victim != lru_.rend(); ++victim) {
+      const auto vit = frames_.find(*victim);
+      if (vit->second.pins > 0) continue;
+      ++stats_.evictions;
+      lru_.erase(std::next(victim).base());
+      frames_.erase(vit);
+      break;
+    }
   }
   lru_.push_front(page);
-  frames_[page] = lru_.begin();
-  return false;
+  Frame& frame = frames_[page];
+  frame.lru_it = lru_.begin();
+  return frame;
+}
+
+bool LruBufferPool::Access(uint32_t page) {
+  const bool resident = frames_.contains(page);
+  Touch(page);
+  return resident;
+}
+
+Result<const std::vector<uint8_t>*> LruBufferPool::Pin(
+    uint32_t page, const PageProvider* provider) {
+  Frame& frame = Touch(page);
+  if (!frame.loaded && provider != nullptr) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<std::vector<uint8_t>> bytes = provider->ReadPage(page);
+    const auto end = std::chrono::steady_clock::now();
+    stats_.read_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
+    if (!bytes.ok()) {
+      // A failed read leaves the (byteless) frame resident; the next Pin
+      // retries the provider.
+      return bytes.status();
+    }
+    stats_.bytes_read += bytes->size();
+    frame.bytes = std::move(bytes).value();
+    frame.loaded = true;
+  }
+  ++frame.pins;
+  return &frame.bytes;
+}
+
+void LruBufferPool::Unpin(uint32_t page) {
+  const auto it = frames_.find(page);
+  if (it == frames_.end() || it->second.pins == 0) return;
+  --it->second.pins;
 }
 
 bool LruBufferPool::IsResident(uint32_t page) const {
   return frames_.contains(page);
+}
+
+size_t LruBufferPool::pinned_count() const {
+  size_t pinned = 0;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.pins > 0) ++pinned;
+  }
+  return pinned;
+}
+
+void LruBufferPool::InvalidateBytes() {
+  for (auto& [page, frame] : frames_) {
+    frame.bytes.clear();
+    frame.bytes.shrink_to_fit();
+    frame.loaded = false;
+  }
 }
 
 void LruBufferPool::Clear() {

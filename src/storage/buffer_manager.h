@@ -15,8 +15,12 @@ namespace natix {
 struct BufferStats {
   uint64_t accesses = 0;
   uint64_t hits = 0;
-  uint64_t misses = 0;  // each miss models one page read from disk
+  uint64_t misses = 0;  // each miss is one page read from the provider
   uint64_t evictions = 0;
+  /// Bytes actually fetched through a PageProvider on misses.
+  uint64_t bytes_read = 0;
+  /// Wall time spent inside PageProvider::ReadPage on misses.
+  uint64_t read_ns = 0;
 
   double HitRate() const {
     return accesses == 0 ? 0.0
@@ -26,15 +30,34 @@ struct BufferStats {
   void Reset() { *this = BufferStats(); }
 };
 
-/// An LRU page buffer, used to model cold-cache query behaviour.
+/// Source of page bytes for buffer-pool misses. The RecordManager is the
+/// default provider (its in-memory page images); FilePageSource serves
+/// frames from a FileBackend for genuinely cold reads. Page ids use the
+/// RecordManager convention: plain slotted pages are their index, jumbo
+/// records carry the high bit and resolve to the record bytes themselves.
+class PageProvider {
+ public:
+  virtual ~PageProvider() = default;
+  virtual Result<std::vector<uint8_t>> ReadPage(uint32_t page_id) const = 0;
+};
+
+/// An LRU page buffer holding real frames.
 ///
 /// The paper's query experiment deliberately runs with a buffer pool
 /// larger than the document, eliminating I/O; this class enables the
 /// complementary experiment: with a bounded buffer, a layout that packs a
 /// query's working set into fewer pages (sibling partitioning) touches
-/// fewer distinct pages and therefore faults less. Pages are identified
-/// by number only; the actual bytes stay in the RecordManager (this is a
-/// cache *model*, the data is already in memory).
+/// fewer distinct pages and therefore faults less. Two usage modes share
+/// the same LRU state and stats:
+///   - Access() is the historical cache *model*: it touches a page id
+///     without materializing bytes.
+///   - Pin() additionally loads the frame's bytes through a PageProvider
+///     on a miss and protects the frame from eviction until Unpin().
+///     Record-backed navigation decodes node data straight out of pinned
+///     frames.
+/// The stats accounting (accesses/hits/misses/evictions) is identical in
+/// both modes, so a pinned navigation run reproduces the model's counters
+/// exactly as long as at most one frame is pinned at a time.
 class LruBufferPool {
  public:
   /// `capacity`: number of page frames; must be positive. A zero capacity
@@ -47,24 +70,56 @@ class LruBufferPool {
   /// eviction if the pool was full). Returns true on a hit.
   bool Access(uint32_t page);
 
+  /// Touches a page like Access(), loads its bytes through `provider` if
+  /// the frame is not already materialized, and pins the frame. The
+  /// returned vector stays valid until the matching Unpin(). With a null
+  /// provider the frame stays byteless (model mode) and the returned
+  /// pointer is to an empty vector.
+  Result<const std::vector<uint8_t>*> Pin(uint32_t page,
+                                          const PageProvider* provider);
+
+  /// Releases one pin on `page`. Unbalanced unpins are ignored.
+  void Unpin(uint32_t page);
+
   /// True if the page is currently resident (no stats effect).
   bool IsResident(uint32_t page) const;
 
   size_t capacity() const { return capacity_; }
   size_t resident_count() const { return lru_.size(); }
+  size_t pinned_count() const;
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
-  /// Empties the pool (cold restart), keeping the stats.
+  /// Empties the pool (cold restart), keeping the stats. The caller must
+  /// not hold pins across a Clear().
   void Clear();
+
+  /// Drops every frame's bytes but keeps residency, pins and stats: the
+  /// next Pin() of each page reloads through its provider. Called after
+  /// store mutations rewrite records, which stales cached page images
+  /// without changing which pages are hot. The caller must not hold pins
+  /// (their frame bytes would be yanked mid-read).
+  void InvalidateBytes();
 
  private:
   explicit LruBufferPool(size_t capacity);
 
+  struct Frame {
+    /// Position in lru_ (most-recently-used at the front).
+    std::list<uint32_t>::iterator lru_it;
+    /// Frame bytes; empty until a Pin() with a provider materializes it.
+    std::vector<uint8_t> bytes;
+    uint32_t pins = 0;
+    bool loaded = false;
+  };
+
+  /// Shared touch path of Access()/Pin(): stats, LRU bump, eviction.
+  /// Returns the touched frame (inserting an empty one on a miss).
+  Frame& Touch(uint32_t page);
+
   size_t capacity_;
-  /// Most-recently-used at the front.
   std::list<uint32_t> lru_;
-  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> frames_;
+  std::unordered_map<uint32_t, Frame> frames_;
   BufferStats stats_;
 };
 

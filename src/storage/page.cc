@@ -78,6 +78,40 @@ Result<std::pair<uint32_t, uint32_t>> Page::CheckedEntry(uint16_t slot) const {
   return std::make_pair(offset, length);
 }
 
+Result<std::pair<uint32_t, uint32_t>> Page::EntryInImage(
+    const uint8_t* data, size_t size, uint16_t slot) {
+  if (data == nullptr || size < kMinPageSize) {
+    return Status::ParseError("page image too small");
+  }
+  const auto read_u32 = [&](size_t off) {
+    uint32_t v;
+    std::memcpy(&v, data + off, 4);
+    return v;
+  };
+  const uint32_t slots = read_u32(4);
+  if (slots > (size - 8) / 8) {
+    return Status::ParseError("page image slot count exceeds page size");
+  }
+  if (slot >= slots) {
+    return Status::NotFound("no such slot: " + std::to_string(slot));
+  }
+  const size_t dir_off = size - 8ull * (slot + 1u);
+  const uint32_t offset = read_u32(dir_off);
+  if (offset == kFreedOffset) {
+    return Status::NotFound("slot is freed: " + std::to_string(slot));
+  }
+  const uint32_t length = read_u32(dir_off + 4);
+  const uint32_t payload_end = read_u32(0);
+  if (payload_end < 8 || payload_end > size - 8ull * slots) {
+    return Status::ParseError("page image payload end overlaps directory");
+  }
+  if (offset < 8 || offset > payload_end || length > payload_end - offset) {
+    return Status::ParseError("corrupt directory entry for slot " +
+                              std::to_string(slot));
+  }
+  return std::make_pair(offset, length);
+}
+
 Result<uint16_t> Page::Insert(const std::vector<uint8_t>& record) {
   if (record.size() > FreeSpace()) {
     if (record.size() > FreeTotal()) {

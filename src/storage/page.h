@@ -90,6 +90,13 @@ class Page {
   /// entry can never turn into an out-of-bounds read.
   Result<std::pair<uint32_t, uint32_t>> CheckedEntry(uint16_t slot) const;
 
+  /// Validated directory lookup against a raw page image that has not
+  /// been adopted into a Page -- the buffer pool reads frames as plain
+  /// byte vectors and record-backed navigation locates record payloads
+  /// inside them with this. Same checks as CheckedEntry().
+  static Result<std::pair<uint32_t, uint32_t>> EntryInImage(
+      const uint8_t* data, size_t size, uint16_t slot);
+
   /// Sum of live record payload bytes on this page.
   size_t LiveBytes() const;
 

@@ -1,10 +1,28 @@
 #include "storage/record.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace natix {
 
 namespace {
+
+constexpr uint16_t kRecordFormatVersion = 2;
+constexpr uint16_t kFlagWideTopology = 1;
+constexpr size_t kHeaderBytes = 28;
+constexpr size_t kNarrowEntryBytes = 16;
+constexpr size_t kWideEntryBytes = 28;
+constexpr size_t kProxyBytes = 20;
+constexpr uint16_t kNarrowNone = 0xFFFFu;
+constexpr uint16_t kNarrowRemote = 0xFFFEu;
+constexpr uint32_t kWideNone = 0xFFFFFFFFu;
+constexpr uint32_t kWideRemote = 0xFFFFFFFEu;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  const size_t off = out->size();
+  out->resize(off + 2);
+  std::memcpy(out->data() + off, &v, 2);
+}
 
 void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   const size_t off = out->size();
@@ -12,10 +30,10 @@ void PutU32(std::vector<uint8_t>* out, uint32_t v) {
   std::memcpy(out->data() + off, &v, 4);
 }
 
-void PutU64(std::vector<uint8_t>* out, uint64_t v) {
-  const size_t off = out->size();
-  out->resize(off + 8);
-  std::memcpy(out->data() + off, &v, 8);
+uint16_t GetU16(const uint8_t* data) {
+  uint16_t v;
+  std::memcpy(&v, data, 2);
+  return v;
 }
 
 uint32_t GetU32(const uint8_t* data) {
@@ -24,62 +42,176 @@ uint32_t GetU32(const uint8_t* data) {
   return v;
 }
 
-}  // namespace
-
-void RecordBuilder::AddNode(NodeId node, int32_t parent_in_record,
-                            uint8_t kind, int32_t label,
-                            std::string_view content, bool overflow) {
-  nodes_.push_back({node, parent_in_record, kind, label,
-                    std::string(content), overflow});
+uint32_t ProxyKey(uint32_t from_index, RecordEdge edge) {
+  return (from_index << 2) | static_cast<uint32_t>(edge);
 }
 
-void RecordBuilder::AddProxy(uint64_t record_ref) {
-  proxies_.push_back(record_ref);
+/// Slots a node's data occupies: the header slot plus either one
+/// overflow slot or its inline content slots.
+uint64_t NodeDataSlots(bool overflow, uint64_t content_size,
+                       uint32_t slot_size) {
+  if (overflow) return 2;
+  return 1 + (content_size + slot_size - 1) / slot_size;
+}
+
+}  // namespace
+
+void RecordBuilder::AddNode(const RecordNodeSpec& spec) {
+  PendingNode pending;
+  pending.spec = spec;
+  pending.content.assign(spec.content.begin(), spec.content.end());
+  pending.spec.content = {};  // Build() reads the owned copy.
+  nodes_.push_back(std::move(pending));
+}
+
+void RecordBuilder::AddProxy(const RecordProxy& proxy) {
+  proxies_.push_back(proxy);
+}
+
+void RecordBuilder::SetAggregate(const RecordAggregate& aggregate) {
+  aggregate_ = aggregate;
+}
+
+size_t RecordBuilder::DataSlots() const {
+  uint64_t slots = 0;
+  for (const PendingNode& n : nodes_) {
+    slots += NodeDataSlots(n.spec.overflow, n.content.size(), slot_size_);
+  }
+  return static_cast<size_t>(slots);
+}
+
+bool RecordBuilder::NeedsWide() const {
+  if (nodes_.size() > kNarrowRemote - 1) return true;
+  if (DataSlots() > kNarrowNone) return true;
+  for (const PendingNode& n : nodes_) {
+    if (n.spec.weight > kNarrowNone) return true;
+  }
+  return false;
 }
 
 size_t RecordBuilder::ByteSize() const {
-  size_t bytes = 8;                      // counts
-  bytes += nodes_.size() * 8;            // structure entries
-  bytes += proxies_.size() * 8;          // proxy entries
-  for (const PendingNode& n : nodes_) {
-    bytes += slot_size_;  // header slot
-    if (n.overflow) {
-      bytes += slot_size_;  // overflow reference slot
-    } else if (!n.content.empty()) {
-      const size_t slots = (n.content.size() + slot_size_ - 1) / slot_size_;
-      bytes += slots * slot_size_;
-    }
-  }
-  return bytes;
+  const size_t entry = NeedsWide() ? kWideEntryBytes : kNarrowEntryBytes;
+  return kHeaderBytes + nodes_.size() * entry + proxies_.size() * kProxyBytes +
+         DataSlots() * slot_size_;
 }
 
-std::vector<uint8_t> RecordBuilder::Build() const {
+Result<std::vector<uint8_t>> RecordBuilder::Build() const {
+  if (slot_size_ < 8 || slot_size_ > 128) {
+    return Status::InvalidArgument("record slot size must be in [8, 128]");
+  }
+  const uint32_t node_count = static_cast<uint32_t>(nodes_.size());
+  const bool wide = NeedsWide();
+  // Validate links and slot geometry before writing anything.
+  for (const PendingNode& n : nodes_) {
+    for (const int32_t link : {n.spec.parent, n.spec.first_child,
+                               n.spec.next_sibling, n.spec.prev_sibling}) {
+      if (link != kEdgeNone && link != kEdgeRemote &&
+          (link < 0 || static_cast<uint32_t>(link) >= node_count)) {
+        return Status::InvalidArgument("record link index out of range");
+      }
+    }
+    if (!n.spec.overflow) {
+      const uint64_t slots =
+          (n.content.size() + slot_size_ - 1) / slot_size_;
+      if (slots > kNarrowNone) {
+        return Status::InvalidArgument(
+            "inline content too large for content_slots field");
+      }
+    }
+  }
+
+  std::vector<RecordProxy> proxies = proxies_;
+  std::sort(proxies.begin(), proxies.end(),
+            [](const RecordProxy& a, const RecordProxy& b) {
+              return ProxyKey(a.from_index, a.edge) <
+                     ProxyKey(b.from_index, b.edge);
+            });
+  for (size_t j = 1; j < proxies.size(); ++j) {
+    if (ProxyKey(proxies[j - 1].from_index, proxies[j - 1].edge) ==
+        ProxyKey(proxies[j].from_index, proxies[j].edge)) {
+      return Status::InvalidArgument("duplicate proxy for the same edge");
+    }
+  }
+
   std::vector<uint8_t> out;
   out.reserve(ByteSize());
-  PutU32(&out, static_cast<uint32_t>(nodes_.size()));
-  PutU32(&out, static_cast<uint32_t>(proxies_.size()));
+  PutU16(&out, kRecordFormatVersion);
+  PutU16(&out, wide ? kFlagWideTopology : 0);
+  PutU32(&out, node_count);
+  PutU32(&out, static_cast<uint32_t>(proxies.size()));
+  PutU32(&out, aggregate_.parent_node);
+  PutU32(&out, aggregate_.parent_partition);
+  PutU32(&out, aggregate_.parent_record.value);
+  PutU32(&out, aggregate_.parent_slot);
+
+  const auto encode_link = [&](int32_t link) -> uint32_t {
+    if (wide) {
+      if (link == kEdgeNone) return kWideNone;
+      if (link == kEdgeRemote) return kWideRemote;
+      return static_cast<uint32_t>(link);
+    }
+    if (link == kEdgeNone) return kNarrowNone;
+    if (link == kEdgeRemote) return kNarrowRemote;
+    return static_cast<uint32_t>(link);
+  };
+
+  uint64_t slot_cursor = 0;
   for (const PendingNode& n : nodes_) {
-    PutU32(&out, n.node);
-    PutU32(&out, static_cast<uint32_t>(n.parent_in_record));
+    PutU32(&out, n.spec.node);
+    if (wide) {
+      PutU32(&out, static_cast<uint32_t>(n.spec.weight));
+      PutU32(&out, encode_link(n.spec.parent));
+      PutU32(&out, encode_link(n.spec.first_child));
+      PutU32(&out, encode_link(n.spec.next_sibling));
+      PutU32(&out, encode_link(n.spec.prev_sibling));
+      PutU32(&out, static_cast<uint32_t>(slot_cursor));
+    } else {
+      PutU16(&out, static_cast<uint16_t>(n.spec.weight));
+      PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.parent)));
+      PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.first_child)));
+      PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.next_sibling)));
+      PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.prev_sibling)));
+      PutU16(&out, static_cast<uint16_t>(slot_cursor));
+    }
+    slot_cursor += NodeDataSlots(n.spec.overflow, n.content.size(),
+                                 slot_size_);
   }
-  for (const uint64_t p : proxies_) PutU64(&out, p);
+
+  for (const RecordProxy& p : proxies) {
+    PutU32(&out, ProxyKey(p.from_index, p.edge));
+    PutU32(&out, p.target_node);
+    PutU32(&out, p.target_partition);
+    PutU32(&out, p.target_record.value);
+    PutU32(&out, p.target_slot);
+  }
+
   for (const PendingNode& n : nodes_) {
     const uint32_t content_slots =
-        n.overflow ? 0
-                   : static_cast<uint32_t>(
-                         (n.content.size() + slot_size_ - 1) / slot_size_);
-    // Header slot: kind, flags, content slot count, label.
+        n.spec.overflow
+            ? 0
+            : static_cast<uint32_t>(
+                  (n.content.size() + slot_size_ - 1) / slot_size_);
+    const uint32_t pad =
+        n.spec.overflow
+            ? 0
+            : static_cast<uint32_t>(content_slots * slot_size_ -
+                                    n.content.size());
+    // Header slot: kind, flags (overflow bit + pad count), content slot
+    // count, label.
     const size_t off = out.size();
     out.resize(off + slot_size_, 0);
-    out[off] = n.kind;
-    out[off + 1] = n.overflow ? 1 : 0;
+    out[off] = n.spec.kind;
+    out[off + 1] = static_cast<uint8_t>((n.spec.overflow ? 1 : 0) |
+                                        (pad << 1));
     const uint16_t cs16 = static_cast<uint16_t>(content_slots);
     std::memcpy(out.data() + off + 2, &cs16, 2);
-    std::memcpy(out.data() + off + 4, &n.label, 4);
-    if (n.overflow) {
-      // Overflow reference slot (the externalized content length).
+    std::memcpy(out.data() + off + 4, &n.spec.label, 4);
+    if (n.spec.overflow) {
+      // Overflow slot: the externalized content length.
+      const size_t ooff = out.size();
+      out.resize(ooff + slot_size_, 0);
       const uint64_t ref = n.content.size();
-      PutU64(&out, ref);
+      std::memcpy(out.data() + ooff, &ref, 8);
     } else if (!n.content.empty()) {
       const size_t coff = out.size();
       out.resize(coff + static_cast<size_t>(content_slots) * slot_size_, 0);
@@ -89,50 +221,230 @@ std::vector<uint8_t> RecordBuilder::Build() const {
   return out;
 }
 
-Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
-                                   uint32_t slot_size) {
-  if (size < 8) return Status::ParseError("record too small");
-  DecodedRecord rec;
-  const uint32_t node_count = GetU32(data);
-  rec.proxy_count = GetU32(data + 4);
-  size_t off = 8;
-  if (size < off + 8ull * node_count + 8ull * rec.proxy_count) {
-    return Status::ParseError("record truncated in structure section");
+size_t RecordView::TopoEntryOff(uint32_t i) const {
+  return topo_off_ + static_cast<size_t>(i) *
+                         (wide_ ? kWideEntryBytes : kNarrowEntryBytes);
+}
+
+uint32_t RecordView::TopoField(uint32_t i, uint32_t field) const {
+  const size_t off = TopoEntryOff(i);
+  if (wide_) return GetU32(data_ + off + 4 * field);
+  if (field == 0) return GetU32(data_ + off);
+  return GetU16(data_ + off + 4 + 2 * (field - 1));
+}
+
+int32_t RecordView::TopoLink(uint32_t i, uint32_t field) const {
+  const uint32_t raw = TopoField(i, field);
+  if (wide_) {
+    if (raw == kWideNone) return kEdgeNone;
+    if (raw == kWideRemote) return kEdgeRemote;
+  } else {
+    if (raw == kNarrowNone) return kEdgeNone;
+    if (raw == kNarrowRemote) return kEdgeRemote;
   }
-  rec.nodes.resize(node_count);
-  for (uint32_t i = 0; i < node_count; ++i) {
-    rec.nodes[i].node = GetU32(data + off);
-    rec.nodes[i].parent_in_record = static_cast<int32_t>(GetU32(data + off + 4));
-    off += 8;
+  return static_cast<int32_t>(raw);
+}
+
+const uint8_t* RecordView::DataSlot(uint32_t i) const {
+  return data_ + data_off_ +
+         static_cast<size_t>(TopoField(i, 6)) * slot_size_;
+}
+
+Result<RecordView> RecordView::Parse(const uint8_t* data, size_t size,
+                                     uint32_t slot_size) {
+  if (slot_size < 8 || slot_size > 128) {
+    return Status::InvalidArgument("record slot size must be in [8, 128]");
   }
-  off += 8ull * rec.proxy_count;
-  for (uint32_t i = 0; i < node_count; ++i) {
-    if (off + slot_size > size) {
+  if (size < kHeaderBytes) return Status::ParseError("record too small");
+  RecordView view;
+  view.data_ = data;
+  view.size_ = size;
+  view.slot_size_ = slot_size;
+  const uint16_t version = GetU16(data);
+  if (version != kRecordFormatVersion) {
+    return Status::ParseError("unsupported record format version");
+  }
+  const uint16_t flags = GetU16(data + 2);
+  view.wide_ = (flags & kFlagWideTopology) != 0;
+  view.node_count_ = GetU32(data + 4);
+  view.proxy_count_ = GetU32(data + 8);
+  view.topo_off_ = kHeaderBytes;
+  const uint64_t entry =
+      view.wide_ ? kWideEntryBytes : kNarrowEntryBytes;
+  const uint64_t topo_bytes = entry * view.node_count_;
+  const uint64_t proxy_bytes =
+      static_cast<uint64_t>(kProxyBytes) * view.proxy_count_;
+  if (kHeaderBytes + topo_bytes + proxy_bytes > size) {
+    return Status::ParseError("record truncated in topology section");
+  }
+  view.proxy_off_ = kHeaderBytes + static_cast<size_t>(topo_bytes);
+  view.data_off_ = view.proxy_off_ + static_cast<size_t>(proxy_bytes);
+  // Validate every node's links and data-slot geometry once, so the
+  // accessors can read without bounds checks.
+  for (uint32_t i = 0; i < view.node_count_; ++i) {
+    for (uint32_t field = 2; field <= 5; ++field) {
+      const int32_t link = view.TopoLink(i, field);
+      if (link != kEdgeNone && link != kEdgeRemote &&
+          static_cast<uint32_t>(link) >= view.node_count_) {
+        return Status::ParseError("record link index out of range");
+      }
+    }
+    const uint64_t slot_off = view.TopoField(i, 6);
+    const uint64_t header_at =
+        view.data_off_ + slot_off * slot_size;
+    if (header_at + slot_size > size) {
       return Status::ParseError("record truncated in node data");
     }
-    RecordNode& n = rec.nodes[i];
-    n.kind = data[off];
-    const bool overflow = (data[off + 1] & 1) != 0;
-    n.overflow = overflow;
-    uint16_t content_slots;
-    std::memcpy(&content_slots, data + off + 2, 2);
-    std::memcpy(&n.label, data + off + 4, 4);
-    off += slot_size;
-    if (overflow) {
-      if (off + 8 > size) {
-        return Status::ParseError("record truncated in overflow reference");
-      }
-      uint64_t ref;
-      std::memcpy(&ref, data + off, 8);
-      n.content_bytes = static_cast<uint32_t>(ref);
-      off += 8;
-    } else {
-      n.content_bytes = content_slots * slot_size;
-      off += static_cast<size_t>(content_slots) * slot_size;
-      if (off > size) {
-        return Status::ParseError("record truncated in content");
-      }
+    const uint8_t* header = data + header_at;
+    const bool overflow = (header[1] & 1) != 0;
+    const uint32_t pad = header[1] >> 1;
+    const uint16_t content_slots = GetU16(header + 2);
+    const uint64_t extra_slots = overflow ? 1 : content_slots;
+    if (header_at + (1 + extra_slots) * slot_size > size) {
+      return Status::ParseError("record truncated in node content");
     }
+    if (!overflow && content_slots == 0 && pad != 0) {
+      return Status::ParseError("record content padding without content");
+    }
+    if (!overflow && pad >= slot_size && content_slots > 0) {
+      return Status::ParseError("record content padding exceeds slot");
+    }
+  }
+  // Proxy keys must be strictly increasing for FindProxy's binary
+  // search, and reference in-range nodes.
+  uint32_t prev_key = 0;
+  for (uint32_t j = 0; j < view.proxy_count_; ++j) {
+    const uint32_t key = GetU32(data + view.proxy_off_ + j * kProxyBytes);
+    if (j > 0 && key <= prev_key) {
+      return Status::ParseError("record proxies not sorted");
+    }
+    prev_key = key;
+    if ((key >> 2) >= view.node_count_ ||
+        (key & 3) > static_cast<uint32_t>(RecordEdge::kPrevSibling)) {
+      return Status::ParseError("record proxy key out of range");
+    }
+  }
+  return view;
+}
+
+RecordAggregate RecordView::aggregate() const {
+  RecordAggregate agg;
+  agg.parent_node = GetU32(data_ + 12);
+  agg.parent_partition = GetU32(data_ + 16);
+  agg.parent_record = RecordId{GetU32(data_ + 20)};
+  agg.parent_slot = GetU32(data_ + 24);
+  return agg;
+}
+
+NodeId RecordView::node_id(uint32_t i) const { return TopoField(i, 0); }
+uint64_t RecordView::weight(uint32_t i) const { return TopoField(i, 1); }
+int32_t RecordView::parent(uint32_t i) const { return TopoLink(i, 2); }
+int32_t RecordView::first_child(uint32_t i) const { return TopoLink(i, 3); }
+int32_t RecordView::next_sibling(uint32_t i) const { return TopoLink(i, 4); }
+int32_t RecordView::prev_sibling(uint32_t i) const { return TopoLink(i, 5); }
+
+uint8_t RecordView::kind(uint32_t i) const { return DataSlot(i)[0]; }
+
+int32_t RecordView::label(uint32_t i) const {
+  int32_t v;
+  std::memcpy(&v, DataSlot(i) + 4, 4);
+  return v;
+}
+
+bool RecordView::overflow(uint32_t i) const {
+  return (DataSlot(i)[1] & 1) != 0;
+}
+
+uint32_t RecordView::content_slots(uint32_t i) const {
+  return overflow(i) ? 0 : GetU16(DataSlot(i) + 2);
+}
+
+std::string_view RecordView::content(uint32_t i) const {
+  const uint8_t* header = DataSlot(i);
+  if ((header[1] & 1) != 0) return {};
+  const uint32_t slots = GetU16(header + 2);
+  if (slots == 0) return {};
+  const uint32_t pad = header[1] >> 1;
+  return std::string_view(
+      reinterpret_cast<const char*>(header + slot_size_),
+      static_cast<size_t>(slots) * slot_size_ - pad);
+}
+
+uint64_t RecordView::content_bytes(uint32_t i) const {
+  if (overflow(i)) return overflow_bytes(i);
+  return static_cast<uint64_t>(content_slots(i)) * slot_size_;
+}
+
+uint64_t RecordView::overflow_bytes(uint32_t i) const {
+  const uint8_t* header = DataSlot(i);
+  if ((header[1] & 1) == 0) return 0;
+  uint64_t ref;
+  std::memcpy(&ref, header + slot_size_, 8);
+  return ref;
+}
+
+RecordProxy RecordView::proxy(uint32_t j) const {
+  const uint8_t* p = data_ + proxy_off_ + j * kProxyBytes;
+  const uint32_t key = GetU32(p);
+  RecordProxy proxy;
+  proxy.from_index = key >> 2;
+  proxy.edge = static_cast<RecordEdge>(key & 3);
+  proxy.target_node = GetU32(p + 4);
+  proxy.target_partition = GetU32(p + 8);
+  proxy.target_record = RecordId{GetU32(p + 12)};
+  proxy.target_slot = GetU32(p + 16);
+  return proxy;
+}
+
+std::optional<RecordProxy> RecordView::FindProxy(uint32_t from_index,
+                                                 RecordEdge edge) const {
+  const uint32_t want = ProxyKey(from_index, edge);
+  uint32_t lo = 0, hi = proxy_count_;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    const uint32_t key = GetU32(data_ + proxy_off_ + mid * kProxyBytes);
+    if (key == want) return proxy(mid);
+    if (key < want) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+int32_t RecordView::IndexOf(NodeId v) const {
+  for (uint32_t i = 0; i < node_count_; ++i) {
+    if (node_id(i) == v) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
+                                   uint32_t slot_size) {
+  Result<RecordView> view = RecordView::Parse(data, size, slot_size);
+  NATIX_RETURN_NOT_OK(view.status());
+  DecodedRecord rec;
+  rec.aggregate = view->aggregate();
+  rec.proxy_count = view->proxy_count();
+  rec.nodes.resize(view->node_count());
+  for (uint32_t i = 0; i < view->node_count(); ++i) {
+    RecordNode& n = rec.nodes[i];
+    n.node = view->node_id(i);
+    n.parent_in_record = view->parent(i);
+    n.first_child = view->first_child(i);
+    n.next_sibling = view->next_sibling(i);
+    n.prev_sibling = view->prev_sibling(i);
+    n.weight = view->weight(i);
+    n.kind = view->kind(i);
+    n.label = view->label(i);
+    n.overflow = view->overflow(i);
+    n.content_bytes = static_cast<uint32_t>(view->content_bytes(i));
+    n.content.assign(view->content(i));
+  }
+  rec.proxies.reserve(view->proxy_count());
+  for (uint32_t j = 0; j < view->proxy_count(); ++j) {
+    rec.proxies.push_back(view->proxy(j));
   }
   return rec;
 }

@@ -2,6 +2,7 @@
 #define NATIX_STORAGE_RECORD_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,16 +23,88 @@ struct RecordId {
   friend bool operator==(const RecordId&, const RecordId&) = default;
 };
 
-/// One node inside a serialized record.
-struct RecordNode {
-  /// NodeId in the logical document tree.
+/// Sentinel partition index ("no partition").
+inline constexpr uint32_t kNoPartition = 0xFFFFFFFFu;
+
+/// Link sentinels used by the in-record topology. A link field either
+/// holds the in-record index of the neighbour, kEdgeNone when the
+/// neighbour does not exist at all, or kEdgeRemote when it exists but
+/// lives in another record -- in which case a proxy entry keyed by
+/// (node index, edge kind) names the target.
+inline constexpr int32_t kEdgeNone = -1;
+inline constexpr int32_t kEdgeRemote = -2;
+
+/// Which outgoing edge of a node a proxy stands in for. Parent edges
+/// never need proxies: every node whose parent is outside the record is
+/// an interval member, and all interval members share one parent, named
+/// by the record's single aggregate entry (paper Sec. 2 helper nodes).
+enum class RecordEdge : uint8_t {
+  kFirstChild = 0,
+  kNextSibling = 1,
+  kPrevSibling = 2,
+};
+
+/// A proxy node: stands in for a partition-crossing child/sibling edge
+/// and names the target node's home record. The partition/record/slot
+/// triple is a placement hint -- correct as of the last time this record
+/// was encoded; splits elsewhere can move the target, so navigation
+/// verifies against the store's authoritative tables.
+struct RecordProxy {
+  uint32_t from_index = 0;
+  RecordEdge edge = RecordEdge::kFirstChild;
+  NodeId target_node = kInvalidNode;
+  uint32_t target_partition = kNoPartition;
+  RecordId target_record;
+  uint32_t target_slot = 0;
+
+  friend bool operator==(const RecordProxy&, const RecordProxy&) = default;
+};
+
+/// The aggregate node: the record's single back-pointer to the record
+/// holding the parent of its interval members. parent_node is
+/// kInvalidNode for the record containing the document root.
+struct RecordAggregate {
+  NodeId parent_node = kInvalidNode;
+  uint32_t parent_partition = kNoPartition;
+  RecordId parent_record;
+  uint32_t parent_slot = 0;
+
+  friend bool operator==(const RecordAggregate&,
+                         const RecordAggregate&) = default;
+};
+
+/// Everything the encoder needs to know about one node of the fragment.
+/// Link fields hold in-record indices or kEdgeNone / kEdgeRemote.
+struct RecordNodeSpec {
   NodeId node = kInvalidNode;
-  /// Index of the parent within this record; -1 for partition roots.
-  int32_t parent_in_record = -1;
+  uint64_t weight = 0;
+  int32_t parent = kEdgeNone;
+  int32_t first_child = kEdgeNone;
+  int32_t next_sibling = kEdgeNone;
+  int32_t prev_sibling = kEdgeNone;
   uint8_t kind = 0;
   int32_t label = -1;
-  /// Inline content byte count (0 if none or externalized).
+  std::string_view content;
+  bool overflow = false;
+};
+
+/// One node inside a decoded record (tests and debugging; navigation
+/// uses the zero-copy RecordView instead).
+struct RecordNode {
+  NodeId node = kInvalidNode;
+  /// In-record index of the parent; kEdgeNone for interval members.
+  int32_t parent_in_record = kEdgeNone;
+  int32_t first_child = kEdgeNone;
+  int32_t next_sibling = kEdgeNone;
+  int32_t prev_sibling = kEdgeNone;
+  uint64_t weight = 0;
+  uint8_t kind = 0;
+  int32_t label = -1;
+  /// Slot-aligned inline content byte count, or the externalized length
+  /// when overflow is set.
   uint32_t content_bytes = 0;
+  /// Exact inline content (empty for overflow nodes).
+  std::string content;
   /// True if the content lives in an overflow record.
   bool overflow = false;
 };
@@ -39,62 +112,145 @@ struct RecordNode {
 /// Decoded form of a record, for tests and debugging.
 struct DecodedRecord {
   std::vector<RecordNode> nodes;
-  /// Number of proxy entries (references to cut-away child/sibling
-  /// records).
+  std::vector<RecordProxy> proxies;
+  RecordAggregate aggregate;
   uint32_t proxy_count = 0;
 };
 
-/// Serializes one partition into record bytes.
+/// Serializes one partition's subtree fragment into self-describing
+/// record bytes (format version 2).
 ///
-/// Format (little-endian):
-///   u32 node_count, u32 proxy_count
-///   node_count x structure entry: u32 logical node id, i32 parent index
-///   proxy_count x u64 proxy payload (record references of cut children)
-///   node_count x slot-aligned node data:
-///     header slot (8 bytes): u8 kind, u8 flags (bit0 = overflow),
-///                            u16 content_slots, u32 label
-///     content_slots x 8 bytes of content (zero padded), or a single
-///     8-byte overflow reference slot when flags.overflow is set
+/// Layout (little-endian):
+///   header (28 bytes):
+///     u16 version (= 2), u16 flags (bit0 = wide topology entries)
+///     u32 node_count, u32 proxy_count
+///     aggregate: u32 parent_node, u32 parent_partition,
+///                u32 parent_record, u32 parent_slot
+///   node_count x topology entry, nodes in document order:
+///     narrow (16 bytes): u32 node, u16 weight, u16 parent,
+///       u16 first_child, u16 next_sibling, u16 prev_sibling,
+///       u16 data_slot_offset        (0xFFFF = none, 0xFFFE = remote)
+///     wide (28 bytes): the same fields as u32
+///       (0xFFFFFFFF = none, 0xFFFFFFFE = remote)
+///   proxy_count x proxy entry (20 bytes), sorted by key:
+///     u32 key = (from_index << 2) | edge
+///     u32 target_node, u32 target_partition, u32 target_record,
+///     u32 target_slot
+///   node_count x slot-aligned node data, at data_slot_offset slots from
+///   the section start:
+///     header slot (8 bytes): u8 kind,
+///       u8 flags (bit0 = overflow, bits 1-7 = padding byte count),
+///       u16 content_slots, u32 label
+///     content_slots x slot_size bytes of content (zero padded; the
+///     exact length is content_slots * slot_size - padding), or a single
+///     8-byte overflow slot holding the externalized content length when
+///     flags.overflow is set
 ///
-/// The slot-aligned node data section is exactly
-/// 8 * (partition weight in slots) bytes, matching the paper's weight
-/// model; the structure and proxy sections are the "additional metadata
-/// needed to maintain the on-disk structures" (Sec. 6.4).
+/// The slot-aligned data section is exactly slot_size * (partition
+/// weight in slots) bytes, matching the paper's weight model; topology,
+/// proxies and the aggregate are the "additional metadata needed to
+/// maintain the on-disk structures" (Sec. 6.4). The encoder picks the
+/// narrow topology width whenever every index, weight and data offset
+/// fits 16 bits, keeping the metadata overhead near the v1 format's.
 class RecordBuilder {
  public:
   explicit RecordBuilder(uint32_t slot_size = 8) : slot_size_(slot_size) {}
 
-  /// Appends a node. `content` may be empty; when `overflow` is true the
-  /// content is replaced by an overflow reference slot.
-  void AddNode(NodeId node, int32_t parent_in_record, uint8_t kind,
-               int32_t label, std::string_view content, bool overflow);
+  /// Appends a node. `content` may be empty; when `spec.overflow` is
+  /// true the content is replaced by an overflow slot recording
+  /// `spec.content.size()` as the externalized length.
+  void AddNode(const RecordNodeSpec& spec);
 
-  /// Adds a proxy entry for a cut-away child record.
-  void AddProxy(uint64_t record_ref);
+  /// Adds a proxy entry for a partition-crossing edge. Entries may be
+  /// added in any order; Build() sorts them by key.
+  void AddProxy(const RecordProxy& proxy);
+
+  /// Sets the record's aggregate (parent record back-pointer).
+  void SetAggregate(const RecordAggregate& aggregate);
 
   size_t node_count() const { return nodes_.size(); }
 
   /// Serialized size of the record so far, in bytes.
   size_t ByteSize() const;
 
-  /// Produces the record bytes.
-  std::vector<uint8_t> Build() const;
+  /// Produces the record bytes. Fails if a link index is out of range
+  /// or the slot geometry cannot be represented.
+  Result<std::vector<uint8_t>> Build() const;
 
  private:
   struct PendingNode {
-    NodeId node;
-    int32_t parent_in_record;
-    uint8_t kind;
-    int32_t label;
+    RecordNodeSpec spec;
     std::string content;
-    bool overflow;
   };
+
+  bool NeedsWide() const;
+  size_t DataSlots() const;
+
   uint32_t slot_size_;
   std::vector<PendingNode> nodes_;
-  std::vector<uint64_t> proxies_;
+  std::vector<RecordProxy> proxies_;
+  RecordAggregate aggregate_;
 };
 
-/// Parses record bytes produced by RecordBuilder.
+/// Zero-copy view over record bytes. Parse() validates the section
+/// geometry and every node's data-slot bounds once; the accessors then
+/// read straight from the caller's buffer, which must outlive the view.
+class RecordView {
+ public:
+  RecordView() = default;
+
+  static Result<RecordView> Parse(const uint8_t* data, size_t size,
+                                  uint32_t slot_size = 8);
+
+  bool valid() const { return data_ != nullptr; }
+  uint32_t node_count() const { return node_count_; }
+  uint32_t proxy_count() const { return proxy_count_; }
+  RecordAggregate aggregate() const;
+
+  NodeId node_id(uint32_t i) const;
+  uint64_t weight(uint32_t i) const;
+  int32_t parent(uint32_t i) const;
+  int32_t first_child(uint32_t i) const;
+  int32_t next_sibling(uint32_t i) const;
+  int32_t prev_sibling(uint32_t i) const;
+  uint8_t kind(uint32_t i) const;
+  int32_t label(uint32_t i) const;
+  bool overflow(uint32_t i) const;
+  uint32_t content_slots(uint32_t i) const;
+  /// Exact inline content (empty for overflow nodes).
+  std::string_view content(uint32_t i) const;
+  /// Slot-aligned inline content byte count, or the externalized length
+  /// for overflow nodes.
+  uint64_t content_bytes(uint32_t i) const;
+  /// Externalized content length (overflow nodes only; 0 otherwise).
+  uint64_t overflow_bytes(uint32_t i) const;
+
+  /// The j-th proxy entry (sorted by (from_index, edge)).
+  RecordProxy proxy(uint32_t j) const;
+  /// Binary-searches for the proxy covering `from_index`'s `edge`.
+  std::optional<RecordProxy> FindProxy(uint32_t from_index,
+                                       RecordEdge edge) const;
+  /// Linear scan for the in-record index of `v`; -1 if absent.
+  int32_t IndexOf(NodeId v) const;
+
+ private:
+  size_t TopoEntryOff(uint32_t i) const;
+  uint32_t TopoField(uint32_t i, uint32_t field) const;
+  int32_t TopoLink(uint32_t i, uint32_t field) const;
+  const uint8_t* DataSlot(uint32_t i) const;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  uint32_t slot_size_ = 8;
+  bool wide_ = false;
+  uint32_t node_count_ = 0;
+  uint32_t proxy_count_ = 0;
+  size_t topo_off_ = 0;
+  size_t proxy_off_ = 0;
+  size_t data_off_ = 0;
+};
+
+/// Parses record bytes into an owning DecodedRecord (tests/debugging).
 Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
                                    uint32_t slot_size = 8);
 

@@ -85,8 +85,45 @@ Result<RecordId> RecordManager::Insert(const std::vector<uint8_t>& record) {
   return RecordId{id};
 }
 
+RecordId RecordManager::Allocate() {
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    entries_[id] = Entry{kPendingPage, 0};
+  } else {
+    id = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{kPendingPage, 0});
+  }
+  return RecordId{id};
+}
+
+Status RecordManager::InsertWithId(RecordId id,
+                                   const std::vector<uint8_t>& record) {
+  if (id.value >= entries_.size() ||
+      entries_[id.value].page != kPendingPage) {
+    return Status::InvalidArgument("record id " + std::to_string(id.value) +
+                                   " was not reserved by Allocate()");
+  }
+  NATIX_ASSIGN_OR_RETURN(const Entry entry, Place(record));
+  entries_[id.value] = entry;
+  ++live_records_;
+  payload_bytes_ += record.size();
+  record_bytes_written_ += record.size();
+  return Status::OK();
+}
+
+Result<std::pair<uint32_t, uint16_t>> RecordManager::AddressOf(
+    RecordId id) const {
+  if (id.value >= entries_.size() || !IsLivePage(entries_[id.value].page)) {
+    return Status::NotFound("no such record: " + std::to_string(id.value));
+  }
+  const Entry& entry = entries_[id.value];
+  return std::make_pair(entry.page, entry.slot);
+}
+
 Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
-  if (id.value >= entries_.size() || entries_[id.value].page == kNoPage) {
+  if (id.value >= entries_.size() || !IsLivePage(entries_[id.value].page)) {
     return Status::NotFound("no such record: " + std::to_string(id.value));
   }
   record_bytes_written_ += record.size();
@@ -142,6 +179,12 @@ Status RecordManager::Free(RecordId id) {
     return Status::NotFound("no such record: " + std::to_string(id.value));
   }
   Entry& entry = entries_[id.value];
+  if (entry.page == kPendingPage) {
+    // Reserved but never placed: just recycle the id.
+    entry = Entry{};
+    free_ids_.push_back(id.value);
+    return Status::OK();
+  }
   if (entry.page & kJumboPageBit) {
     const uint32_t index = entry.page & ~kJumboPageBit;
     std::vector<uint8_t>& rec = jumbo_records_[index];
@@ -168,7 +211,7 @@ Status RecordManager::Free(RecordId id) {
 
 Result<std::pair<const uint8_t*, size_t>> RecordManager::Get(
     RecordId id) const {
-  if (id.value >= entries_.size() || entries_[id.value].page == kNoPage) {
+  if (id.value >= entries_.size() || !IsLivePage(entries_[id.value].page)) {
     return Status::NotFound("no such record: " + std::to_string(id.value));
   }
   const Entry& entry = entries_[id.value];
@@ -182,11 +225,13 @@ Result<std::pair<const uint8_t*, size_t>> RecordManager::Get(
 
 uint32_t RecordManager::PageOf(RecordId id) const {
   if (id.value >= entries_.size()) return kNoPage;
-  return entries_[id.value].page;
+  const uint32_t page = entries_[id.value].page;
+  return page == kPendingPage ? kNoPage : page;
 }
 
 bool RecordManager::IsJumbo(RecordId id) const {
-  return id.value < entries_.size() && entries_[id.value].page != kNoPage &&
+  return id.value < entries_.size() &&
+         IsLivePage(entries_[id.value].page) &&
          (entries_[id.value].page & kJumboPageBit) != 0;
 }
 
@@ -275,6 +320,10 @@ Result<RecordManager> RecordManager::RestoreMeta(ByteReader* r) {
     Entry e;
     NATIX_ASSIGN_OR_RETURN(e.page, r->U32());
     NATIX_ASSIGN_OR_RETURN(e.slot, r->U16());
+    if (e.page == kPendingPage) {
+      return Status::ParseError("record entry " + std::to_string(i) +
+                                " was checkpointed while pending");
+    }
     if (e.page != kNoPage) {
       const bool jumbo = (e.page & kJumboPageBit) != 0;
       const uint32_t index = e.page & ~kJumboPageBit;

@@ -26,7 +26,7 @@ namespace natix {
 /// reproduces the fragmentation behaviour the paper observes (larger
 /// records leave more slack, so a layout with fewer but larger records
 /// can occupy slightly *more* total disk space).
-class RecordManager {
+class RecordManager : public PageProvider {
  public:
   /// Jumbo records (larger than one page) live in a dedicated chain of
   /// pages; their synthetic page number carries this bit so they share
@@ -38,6 +38,20 @@ class RecordManager {
 
   /// Stores a record, returns its logical id (freed ids are recycled).
   Result<RecordId> Insert(const std::vector<uint8_t>& record);
+
+  /// Reserves a logical id without bytes. Self-describing records name
+  /// each other by RecordId (proxies, aggregates), so a batch encode
+  /// first allocates the ids of every record it will write, then
+  /// serializes, then places each with InsertWithId(). A pending id is
+  /// invisible to Get()/Update() until its bytes arrive.
+  RecordId Allocate();
+
+  /// Places bytes under an id reserved by Allocate().
+  Status InsertWithId(RecordId id, const std::vector<uint8_t>& record);
+
+  /// Physical (page, slot) address of a live record; for jumbo records
+  /// the slot is 0 and the page carries kJumboPageBit.
+  Result<std::pair<uint32_t, uint16_t>> AddressOf(RecordId id) const;
 
   /// Rewrites a record under its existing id. In place when the new bytes
   /// fit where the record lives; otherwise the record is relocated to
@@ -61,6 +75,9 @@ class RecordManager {
   bool IsJumbo(RecordId id) const;
 
   size_t page_count() const { return pages_.size() + jumbo_pages_; }
+  /// Regular slotted pages only (page ids [0, regular_page_count()));
+  /// jumbo chains live outside this range under synthetic ids.
+  size_t regular_page_count() const { return pages_.size(); }
   size_t record_count() const { return live_records_; }
   uint64_t disk_bytes() const { return page_count() * page_size_; }
   uint64_t payload_bytes() const { return payload_bytes_; }
@@ -83,6 +100,12 @@ class RecordManager {
   /// Image of one page for checkpointing: the raw page bytes for slotted
   /// pages, the record content for a jumbo id.
   Result<std::vector<uint8_t>> PageImage(uint32_t page_id) const;
+
+  /// PageProvider: the manager's in-memory page images are the default
+  /// byte source for buffer-pool misses.
+  Result<std::vector<uint8_t>> ReadPage(uint32_t page_id) const override {
+    return PageImage(page_id);
+  }
 
   /// Appends the manager's metadata (indirection table, free lists,
   /// counters -- everything except page contents) to `w`.
@@ -115,12 +138,19 @@ class RecordManager {
 
  private:
   /// Physical address of a logical id. page == kNoPage: id unused/freed;
-  /// kJumboPageBit set: index into jumbo_records_.
+  /// page == kPendingPage: id reserved by Allocate() awaiting bytes;
+  /// kJumboPageBit set (and neither sentinel): index into
+  /// jumbo_records_. Both sentinels have the jumbo bit set, so every
+  /// jumbo test must first rule them out via IsLivePage().
   struct Entry {
     uint32_t page = kNoPage;
     uint16_t slot = 0;
   };
   static constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+  static constexpr uint32_t kPendingPage = 0xFFFFFFFEu;
+  static bool IsLivePage(uint32_t page) {
+    return page != kNoPage && page != kPendingPage;
+  }
 
   size_t PagePayloadCapacity() const { return page_size_ - 16; }
   size_t JumboPagesFor(size_t bytes) const {

@@ -1,66 +1,120 @@
 #include "storage/store.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
 
 #include "common/bytes.h"
-#include "core/algorithm.h"
+#include "storage/page.h"
 #include "xml/weight_model.h"
 
 namespace natix {
-namespace {
 
-/// Serializes one partition into record bytes. `members` must list the
-/// partition's nodes in document order (so parents precede their
-/// in-record children). Adds `*overflow_bytes` of externalized content.
-std::vector<uint8_t> SerializePartition(const ImportedDocument& doc,
-                                        const std::vector<uint32_t>& partition_of,
-                                        uint32_t part,
-                                        const std::vector<NodeId>& members,
-                                        uint32_t slot_size,
-                                        uint64_t* overflow_bytes) {
-  const Tree& tree = doc.tree;
-  std::unordered_map<NodeId, int32_t> position;
-  position.reserve(members.size());
-  for (size_t i = 0; i < members.size(); ++i) {
-    position[members[i]] = static_cast<int32_t>(i);
-  }
-  RecordBuilder builder(slot_size);
-  *overflow_bytes = 0;
-  for (const NodeId v : members) {
-    const NodeId parent = tree.Parent(v);
-    const int32_t parent_pos =
-        (parent == kInvalidNode || partition_of[parent] != part)
-            ? -1
-            : position[parent];
-    // A node is externalized iff its weight is smaller than what its
-    // content would need inline (the weight model's overflow stub).
-    const uint64_t inline_slots =
-        1 + (static_cast<uint64_t>(doc.content_bytes[v]) + slot_size - 1) /
-                slot_size;
-    const bool overflow =
-        doc.content_bytes[v] > 0 && inline_slots > tree.WeightOf(v);
-    if (overflow) *overflow_bytes += doc.content_bytes[v];
-    builder.AddNode(v, parent_pos, static_cast<uint8_t>(tree.KindOf(v)),
-                    tree.LabelIdOf(v), doc.ContentOf(v), overflow);
-    // One proxy entry per *run* of cut-away children sharing a target
-    // record: adjacent siblings in the same foreign partition are
-    // reachable through a single proxy (this is what sibling-interval
-    // storage buys at the format level).
-    uint32_t prev_target = part;
-    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
-         c = tree.NextSibling(c)) {
-      const uint32_t target = partition_of[c];
-      if (target != part && target != prev_target) {
-        builder.AddProxy(target);
-      }
-      prev_target = target;
+Result<std::vector<uint8_t>> FilePageSource::ReadPage(uint32_t page_id) const {
+  if ((page_id & RecordManager::kJumboPageBit) != 0) {
+    if (fallback_ == nullptr) {
+      return Status::InvalidArgument(
+          "jumbo page " + std::to_string(page_id) +
+          " is not in the flat page file and no fallback is attached");
     }
+    return fallback_->ReadPage(page_id);
+  }
+  std::vector<uint8_t> bytes(page_size_);
+  NATIX_RETURN_NOT_OK(file_->ReadAt(
+      static_cast<uint64_t>(page_id) * page_size_, bytes.data(), bytes.size()));
+  return bytes;
+}
+
+bool NatixStore::NodeOverflows(NodeId v) const {
+  // A node is externalized iff its weight is smaller than what its
+  // content would need inline (the weight model's overflow stub).
+  const uint32_t bytes = doc_->content_bytes[v];
+  if (bytes == 0) return false;
+  const uint64_t inline_slots =
+      1 + (static_cast<uint64_t>(bytes) + options_.slot_size - 1) /
+              options_.slot_size;
+  return inline_slots > doc_->tree.WeightOf(v);
+}
+
+void NatixStore::AssignSlots(const std::vector<NodeId>& members) {
+  for (size_t i = 0; i < members.size(); ++i) {
+    slot_in_record_[members[i]] = static_cast<uint32_t>(i);
+  }
+}
+
+void NatixStore::SyncLabels() {
+  const Tree& tree = doc_->tree;
+  for (size_t id = labels_.size(); id < tree.LabelCount(); ++id) {
+    labels_.emplace_back(tree.LabelName(static_cast<int32_t>(id)));
+  }
+}
+
+Result<std::vector<uint8_t>> NatixStore::EncodePartition(
+    uint32_t part, const std::vector<NodeId>& members,
+    uint64_t* overflow_bytes) const {
+  const Tree& tree = doc_->tree;
+  RecordBuilder builder(options_.slot_size);
+  *overflow_bytes = 0;
+  // Local link of a neighbour: its in-record index when it shares the
+  // partition, kEdgeRemote plus a proxy naming the target node and its
+  // current home otherwise.
+  const auto link = [&](uint32_t i, NodeId target,
+                        RecordEdge edge) -> int32_t {
+    if (target == kInvalidNode) return kEdgeNone;
+    const uint32_t target_part = partition_of_[target];
+    if (target_part == part) {
+      return static_cast<int32_t>(slot_in_record_[target]);
+    }
+    RecordProxy proxy;
+    proxy.from_index = i;
+    proxy.edge = edge;
+    proxy.target_node = target;
+    proxy.target_partition = target_part;
+    proxy.target_record = records_[target_part];
+    proxy.target_slot = slot_in_record_[target];
+    builder.AddProxy(proxy);
+    return kEdgeRemote;
+  };
+  for (size_t i = 0; i < members.size(); ++i) {
+    const NodeId v = members[i];
+    const uint32_t idx = static_cast<uint32_t>(i);
+    RecordNodeSpec spec;
+    spec.node = v;
+    spec.weight = tree.WeightOf(v);
+    spec.kind = static_cast<uint8_t>(tree.KindOf(v));
+    spec.label = tree.LabelIdOf(v);
+    // Parent links never go remote: a node whose parent lives outside
+    // the record is an interval member, and all interval members share
+    // the one parent named by the record's aggregate.
+    const NodeId parent = tree.Parent(v);
+    spec.parent = (parent != kInvalidNode && partition_of_[parent] == part)
+                      ? static_cast<int32_t>(slot_in_record_[parent])
+                      : kEdgeNone;
+    spec.first_child = link(idx, tree.FirstChild(v), RecordEdge::kFirstChild);
+    spec.next_sibling =
+        link(idx, tree.NextSibling(v), RecordEdge::kNextSibling);
+    spec.prev_sibling =
+        link(idx, tree.PrevSibling(v), RecordEdge::kPrevSibling);
+    spec.overflow = NodeOverflows(v);
+    spec.content = doc_->ContentOf(v);
+    if (spec.overflow) *overflow_bytes += doc_->content_bytes[v];
+    builder.AddNode(spec);
+  }
+  // members is in document order, so front() is the interval head; its
+  // parent (shared by every interval member) is the aggregate target.
+  const NodeId head_parent = tree.Parent(members.front());
+  if (head_parent != kInvalidNode) {
+    RecordAggregate agg;
+    agg.parent_node = head_parent;
+    agg.parent_partition = partition_of_[head_parent];
+    agg.parent_record = records_[agg.parent_partition];
+    agg.parent_slot = slot_in_record_[head_parent];
+    builder.SetAggregate(agg);
   }
   return builder.Build();
 }
-
-}  // namespace
 
 Result<NatixStore> NatixStore::Build(ImportedDocument doc,
                                      const Partitioning& partitioning,
@@ -93,6 +147,8 @@ Result<NatixStore> NatixStore::Build(ImportedDocument doc,
   store.records_.assign(partitioning.size(), RecordId{});
   store.record_overflow_.assign(partitioning.size(), 0);
   const Tree& tree = store.doc_->tree;
+  store.slot_in_record_.assign(tree.size(), 0);
+  store.SyncLabels();
 
   // Group nodes by partition; preorder iteration makes each group sorted
   // in document order, so parents precede their in-record children.
@@ -100,6 +156,7 @@ Result<NatixStore> NatixStore::Build(ImportedDocument doc,
   for (const NodeId v : tree.PreorderNodes()) {
     members[store.partition_of_[v]].push_back(v);
   }
+  for (const std::vector<NodeId>& m : members) store.AssignSlots(m);
 
   // Insert records in document order of their first node (bulk-load
   // locality: partitions created close together land on nearby pages).
@@ -110,13 +167,19 @@ Result<NatixStore> NatixStore::Build(ImportedDocument doc,
     return pre_rank[members[a].front()] < pre_rank[members[b].front()];
   });
 
+  // Two-phase encode: reserve every record id first, so proxies and
+  // aggregates can name the records of neighbouring partitions, then
+  // serialize and place each record under its reserved id.
+  for (const uint32_t part : order) {
+    store.records_[part] = store.manager_.Allocate();
+  }
   for (const uint32_t part : order) {
     uint64_t overflow = 0;
-    const std::vector<uint8_t> bytes =
-        SerializePartition(*store.doc_, store.partition_of_, part,
-                           members[part], options.slot_size, &overflow);
-    NATIX_ASSIGN_OR_RETURN(const RecordId rid, store.manager_.Insert(bytes));
-    store.records_[part] = rid;
+    NATIX_ASSIGN_OR_RETURN(
+        const std::vector<uint8_t> bytes,
+        store.EncodePartition(part, members[part], &overflow));
+    NATIX_RETURN_NOT_OK(
+        store.manager_.InsertWithId(store.records_[part], bytes));
     store.record_overflow_[part] = overflow;
     store.overflow_bytes_ += overflow;
   }
@@ -124,8 +187,258 @@ Result<NatixStore> NatixStore::Build(ImportedDocument doc,
   return store;
 }
 
+Status NatixStore::ReleaseDocument() {
+  if (doc_ == nullptr) return Status::OK();
+  // Park the partitioner's interval table: inc_ holds a pointer into the
+  // document's tree and cannot outlive it.
+  if (inc_ != nullptr) {
+    saved_inc_ = inc_->SaveState();
+    has_saved_inc_ = true;
+    inc_.reset();
+  }
+  // Records store only the length of externalized content; the bytes
+  // themselves move to the side map until rematerialization.
+  overflow_content_.clear();
+  const size_t n = doc_->tree.size();
+  for (NodeId v = 0; v < n; ++v) {
+    if (NodeOverflows(v)) {
+      overflow_content_.emplace(v, std::string(doc_->ContentOf(v)));
+    }
+  }
+  released_source_bytes_ = doc_->source_bytes;
+  doc_.reset();
+  return Status::OK();
+}
+
+Status NatixStore::EnsureDocument() {
+  if (doc_ != nullptr) return Status::OK();
+  NATIX_ASSIGN_OR_RETURN(ImportedDocument doc, BuildDocumentFromRecords());
+  doc_ = std::make_unique<ImportedDocument>(std::move(doc));
+  // The document is the overflow source again; drop the side copies.
+  overflow_content_.clear();
+  return Status::OK();
+}
+
+Result<ImportedDocument> NatixStore::MaterializeDocument() const {
+  return BuildDocumentFromRecords();
+}
+
+Result<ImportedDocument> NatixStore::SnapshotDocument() const {
+  if (doc_ != nullptr) return doc_->Clone();
+  return BuildDocumentFromRecords();
+}
+
+namespace {
+
+/// Resolves a record topology link to the NodeId it denotes.
+Result<NodeId> ResolveLink(const RecordView& view, uint32_t i, int32_t link,
+                           RecordEdge edge) {
+  if (link == kEdgeNone) return kInvalidNode;
+  if (link == kEdgeRemote) {
+    const std::optional<RecordProxy> proxy = view.FindProxy(i, edge);
+    if (!proxy.has_value()) {
+      return Status::ParseError("record marks an edge remote but carries no "
+                                "proxy for node index " +
+                                std::to_string(i));
+    }
+    return proxy->target_node;
+  }
+  if (link < 0 || static_cast<uint32_t>(link) >= view.node_count()) {
+    return Status::ParseError("record link index out of range");
+  }
+  return view.node_id(static_cast<uint32_t>(link));
+}
+
+}  // namespace
+
+Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
+  const size_t n = partition_of_.size();
+  if (n == 0) {
+    return Status::FailedPrecondition("store holds no nodes");
+  }
+  Tree::Links links;
+  links.parent.assign(n, kInvalidNode);
+  links.first_child.assign(n, kInvalidNode);
+  links.next_sibling.assign(n, kInvalidNode);
+  links.prev_sibling.assign(n, kInvalidNode);
+  links.weight.assign(n, 1);
+  links.label.assign(n, -1);
+  links.kind.assign(n, NodeKind::kElement);
+  links.labels = labels_;
+
+  ImportedDocument out;
+  out.content_bytes.assign(n, 0);
+  out.content_offset.assign(n, 0);
+  std::vector<uint8_t> seen(n, 0);
+  for (size_t part = 0; part < records_.size(); ++part) {
+    if (!records_[part].valid()) continue;
+    NATIX_ASSIGN_OR_RETURN(const auto bytes, manager_.Get(records_[part]));
+    NATIX_ASSIGN_OR_RETURN(
+        const RecordView view,
+        RecordView::Parse(bytes.first, bytes.second, options_.slot_size));
+    const RecordAggregate agg = view.aggregate();
+    for (uint32_t i = 0; i < view.node_count(); ++i) {
+      const NodeId v = view.node_id(i);
+      if (v >= n) {
+        return Status::ParseError("record of partition " +
+                                  std::to_string(part) +
+                                  " names out-of-range node " +
+                                  std::to_string(v));
+      }
+      if (seen[v]) {
+        return Status::ParseError("node " + std::to_string(v) +
+                                  " appears in more than one record");
+      }
+      seen[v] = 1;
+      // Cross-check the store's navigation tables against the record
+      // bytes: they must agree, or navigation would read wrong slots.
+      if (partition_of_[v] != part || slot_in_record_[v] != i) {
+        return Status::ParseError(
+            "store tables disagree with record contents for node " +
+            std::to_string(v));
+      }
+      const uint64_t weight = view.weight(i);
+      if (weight == 0 || weight > 0xFFFFFFFFull) {
+        return Status::ParseError("record weight out of range for node " +
+                                  std::to_string(v));
+      }
+      links.weight[v] = static_cast<Weight>(weight);
+      const uint8_t kind = view.kind(i);
+      if (kind > static_cast<uint8_t>(NodeKind::kProcessingInstruction)) {
+        return Status::ParseError("record node kind corrupt for node " +
+                                  std::to_string(v));
+      }
+      links.kind[v] = static_cast<NodeKind>(kind);
+      const int32_t label = view.label(i);
+      if (label < -1 ||
+          (label >= 0 && static_cast<size_t>(label) >= labels_.size())) {
+        return Status::ParseError("record label id out of range for node " +
+                                  std::to_string(v));
+      }
+      links.label[v] = label;
+      const int32_t plink = view.parent(i);
+      if (plink == kEdgeNone) {
+        // Interval member: the parent is the aggregate target
+        // (kInvalidNode in the record holding the document root).
+        links.parent[v] = agg.parent_node;
+      } else if (plink == kEdgeRemote) {
+        return Status::ParseError("record parent link marked remote");
+      } else if (static_cast<uint32_t>(plink) >= view.node_count()) {
+        return Status::ParseError("record parent index out of range");
+      } else {
+        links.parent[v] = view.node_id(static_cast<uint32_t>(plink));
+      }
+      NATIX_ASSIGN_OR_RETURN(
+          links.first_child[v],
+          ResolveLink(view, i, view.first_child(i), RecordEdge::kFirstChild));
+      NATIX_ASSIGN_OR_RETURN(links.next_sibling[v],
+                             ResolveLink(view, i, view.next_sibling(i),
+                                         RecordEdge::kNextSibling));
+      NATIX_ASSIGN_OR_RETURN(links.prev_sibling[v],
+                             ResolveLink(view, i, view.prev_sibling(i),
+                                         RecordEdge::kPrevSibling));
+      std::string_view content;
+      if (view.overflow(i)) {
+        // The record holds only the externalized length; the bytes live
+        // in the resident document or, when released, in the side map.
+        const uint64_t len = view.overflow_bytes(i);
+        if (doc_ != nullptr) {
+          content = doc_->ContentOf(v);
+        } else {
+          const auto it = overflow_content_.find(v);
+          if (it == overflow_content_.end()) {
+            return Status::ParseError(
+                "overflow content of node " + std::to_string(v) +
+                " is not available");
+          }
+          content = it->second;
+        }
+        if (content.size() != len) {
+          return Status::ParseError(
+              "overflow content length mismatch for node " +
+              std::to_string(v));
+        }
+        ++out.overflow_nodes;
+        out.overflow_bytes += len;
+      } else {
+        content = view.content(i);
+      }
+      out.content_offset[v] = out.content_pool.size();
+      out.content_bytes[v] = static_cast<uint32_t>(content.size());
+      out.content_pool.append(content);
+      out.content_total_bytes += content.size();
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!seen[v]) {
+      return Status::ParseError("node " + std::to_string(v) +
+                                " is not covered by any record");
+    }
+  }
+  NATIX_ASSIGN_OR_RETURN(out.tree, Tree::FromParts(std::move(links)));
+  // source_node is import provenance; a rematerialized document has none.
+  out.source_bytes =
+      doc_ != nullptr ? doc_->source_bytes : released_source_bytes_;
+  return out;
+}
+
+Result<NodeKind> NatixStore::KindOfNode(NodeId v) const {
+  if (v >= node_count()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(v));
+  }
+  NATIX_ASSIGN_OR_RETURN(const auto bytes, manager_.Get(RecordOfNode(v)));
+  NATIX_ASSIGN_OR_RETURN(
+      const RecordView view,
+      RecordView::Parse(bytes.first, bytes.second, options_.slot_size));
+  const uint32_t i = slot_in_record_[v];
+  if (i >= view.node_count() || view.node_id(i) != v) {
+    return Status::Internal("slot table does not match record contents");
+  }
+  return static_cast<NodeKind>(view.kind(i));
+}
+
+Result<int32_t> NatixStore::LabelIdOfNode(NodeId v) const {
+  if (v >= node_count()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(v));
+  }
+  NATIX_ASSIGN_OR_RETURN(const auto bytes, manager_.Get(RecordOfNode(v)));
+  NATIX_ASSIGN_OR_RETURN(
+      const RecordView view,
+      RecordView::Parse(bytes.first, bytes.second, options_.slot_size));
+  const uint32_t i = slot_in_record_[v];
+  if (i >= view.node_count() || view.node_id(i) != v) {
+    return Status::Internal("slot table does not match record contents");
+  }
+  return view.label(i);
+}
+
+Status NatixStore::FlushPagesTo(FileBackend* file) const {
+  NATIX_RETURN_NOT_OK(file->Truncate(0));
+  for (uint32_t p = 0; p < manager_.regular_page_count(); ++p) {
+    NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> image,
+                           manager_.PageImage(p));
+    if (image.size() != page_size_) {
+      return Status::Internal("page image size mismatch for page " +
+                              std::to_string(p));
+    }
+    NATIX_RETURN_NOT_OK(file->Append(image.data(), image.size()));
+  }
+  return file->Sync();
+}
+
 Status NatixStore::EnsureMutable() {
   if (inc_ != nullptr) return Status::OK();
+  if (has_saved_inc_) {
+    // Revive the partitioner parked by a release cycle; the build-time
+    // snapshot would lose every split since then.
+    NATIX_ASSIGN_OR_RETURN(
+        IncrementalPartitioner inc,
+        IncrementalPartitioner::Restore(&doc_->tree, limit_, saved_inc_));
+    inc_ = std::make_unique<IncrementalPartitioner>(std::move(inc));
+    saved_inc_ = {};
+    has_saved_inc_ = false;
+    return Status::OK();
+  }
   NATIX_ASSIGN_OR_RETURN(
       IncrementalPartitioner inc,
       IncrementalPartitioner::Create(&doc_->tree, limit_, partitioning_));
@@ -141,6 +454,7 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
         "store is poisoned: a WAL write failed, the log no longer matches "
         "memory; recover from the log to continue");
   }
+  NATIX_RETURN_NOT_OK(EnsureDocument());
   NATIX_RETURN_NOT_OK(EnsureMutable());
   // Weight per the store's model; cap at the partition limit so any
   // content stays insertable (beyond the cap it is externalized, exactly
@@ -178,42 +492,77 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
         " deleted partitions; the store cannot apply deletions");
   }
   partition_of_.resize(doc_->tree.size(), 0);
+  slot_in_record_.resize(doc_->tree.size(), 0);
+  SyncLabels();
   if (records_.size() < inc_->interval_count()) {
     records_.resize(inc_->interval_count(), RecordId{});
     record_overflow_.resize(inc_->interval_count(), 0);
   }
 
-  // Refresh membership for every touched partition *before* serializing
-  // any of them: proxies point at the partitions of cut-away children,
-  // which may themselves have moved this operation.
-  std::vector<std::pair<uint32_t, std::vector<NodeId>>> groups;
+  // Refresh membership and in-record slots for every touched partition
+  // *before* serializing any of them: proxies point at the partitions,
+  // records and slots of cut-away neighbours, which may themselves have
+  // moved this operation.
+  struct Group {
+    uint32_t part;
+    std::vector<NodeId> nodes;
+    bool created = false;
+  };
+  std::vector<Group> groups;
   groups.reserve(delta.dirty.size() + delta.created.size());
   for (const uint32_t part : delta.dirty) {
-    groups.emplace_back(part, inc_->PartitionNodes(part));
+    groups.push_back({part, inc_->PartitionNodes(part)});
   }
   for (const uint32_t part : delta.created) {
-    groups.emplace_back(part, inc_->PartitionNodes(part));
+    groups.push_back({part, inc_->PartitionNodes(part)});
   }
-  for (const auto& [part, nodes] : groups) {
-    for (const NodeId v : nodes) partition_of_[v] = part;
+  for (const Group& g : groups) {
+    for (const NodeId v : g.nodes) partition_of_[v] = g.part;
+    AssignSlots(g.nodes);
+  }
+  // Membership-preserving neighbours: the parent (when the new node
+  // became its first child) and the two adjacent siblings now have an
+  // edge to `id`, but their partitions appear in the delta only if their
+  // membership also changed. Their records must be re-encoded anyway --
+  // a proxy's target_node is authoritative, so leaving the old one in
+  // place would corrupt navigation, not just stale a placement hint.
+  const auto add_neighbour = [&](NodeId v) {
+    if (v == kInvalidNode) return;
+    const uint32_t part = partition_of_[v];
+    for (const Group& g : groups) {
+      if (g.part == part) return;
+    }
+    groups.push_back({part, inc_->PartitionNodes(part)});
+  };
+  if (doc_->tree.FirstChild(parent) == id) add_neighbour(parent);
+  add_neighbour(doc_->tree.PrevSibling(id));
+  add_neighbour(doc_->tree.NextSibling(id));
+  // Reserve record ids for partitions born this operation before any
+  // encode: a rewritten record's proxies may name them.
+  for (Group& g : groups) {
+    if (!records_[g.part].valid()) {
+      records_[g.part] = manager_.Allocate();
+      g.created = true;
+    }
   }
 
-  for (const auto& [part, nodes] : groups) {
+  for (const Group& g : groups) {
     uint64_t overflow = 0;
-    const std::vector<uint8_t> bytes = SerializePartition(
-        *doc_, partition_of_, part, nodes, options_.slot_size, &overflow);
-    if (records_[part].valid()) {
-      NATIX_RETURN_NOT_OK(manager_.Update(records_[part], bytes));
-      ++records_rewritten_;
-    } else {
-      NATIX_ASSIGN_OR_RETURN(records_[part], manager_.Insert(bytes));
+    NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                           EncodePartition(g.part, g.nodes, &overflow));
+    if (g.created) {
+      NATIX_RETURN_NOT_OK(manager_.InsertWithId(records_[g.part], bytes));
       ++records_created_;
+    } else {
+      NATIX_RETURN_NOT_OK(manager_.Update(records_[g.part], bytes));
+      ++records_rewritten_;
     }
-    overflow_bytes_ = overflow_bytes_ - record_overflow_[part] + overflow;
-    record_overflow_[part] = overflow;
+    overflow_bytes_ = overflow_bytes_ - record_overflow_[g.part] + overflow;
+    record_overflow_[g.part] = overflow;
   }
   RecomputeOverflowPages();
   ++inserts_;
+  ++version_;
   // Log after applying: the only crash points are backend writes, so an
   // op either reaches the log whole (replayable) or the tail is torn and
   // recovery stops before it -- as if the op never happened.
@@ -246,7 +595,42 @@ Status NatixStore::LogInsert(NodeId parent_logged, NodeId before,
 }
 
 namespace {
-constexpr uint32_t kCheckpointFormatVersion = 1;
+constexpr uint32_t kCheckpointFormatVersion = 2;
+
+void WritePartitionerState(ByteWriter* w,
+                           const IncrementalPartitioner::SavedState& state) {
+  w->U64(state.intervals.size());
+  for (const IncrementalPartitioner::IntervalInfo& iv : state.intervals) {
+    w->U32(iv.first);
+    w->U32(iv.last);
+    w->U64(iv.weight);
+    w->U8(iv.alive ? 1 : 0);
+  }
+  w->U64(state.split_count);
+}
+
+Result<IncrementalPartitioner::SavedState> ReadPartitionerState(
+    ByteReader* r) {
+  IncrementalPartitioner::SavedState state;
+  NATIX_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
+  if (count > r->remaining() / 17) {
+    return Status::ParseError("checkpoint interval table exceeds payload");
+  }
+  state.intervals.resize(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    IncrementalPartitioner::IntervalInfo& iv = state.intervals[i];
+    NATIX_ASSIGN_OR_RETURN(iv.first, r->U32());
+    NATIX_ASSIGN_OR_RETURN(iv.last, r->U32());
+    NATIX_ASSIGN_OR_RETURN(iv.weight, r->U64());
+    NATIX_ASSIGN_OR_RETURN(const uint8_t alive, r->U8());
+    if (alive > 1) {
+      return Status::ParseError("checkpoint interval alive flag corrupt");
+    }
+    iv.alive = alive == 1;
+  }
+  NATIX_ASSIGN_OR_RETURN(state.split_count, r->U64());
+  return state;
+}
 }  // namespace
 
 void NatixStore::SerializeCheckpointMeta(std::vector<uint8_t>* out) const {
@@ -257,34 +641,40 @@ void NatixStore::SerializeCheckpointMeta(std::vector<uint8_t>* out) const {
   w.U32(options_.slot_size);
   w.U32(options_.metadata_slots);
   w.U64(limit_);
-  doc_->tree.SerializeTo(out);
-  w.U64(doc_->content_bytes.size());
-  for (const uint32_t b : doc_->content_bytes) w.U32(b);
-  w.U64(doc_->content_offset.size());
-  for (const uint64_t off : doc_->content_offset) w.U64(off);
-  w.Str(doc_->content_pool);
-  w.U64(doc_->source_node.size());
-  for (const XmlDocument::NodeIndex n : doc_->source_node) w.U32(n);
-  w.U64(doc_->overflow_nodes);
-  w.U64(doc_->overflow_bytes);
-  w.U64(doc_->content_total_bytes);
-  w.U64(doc_->source_bytes);
+  w.U8(doc_ != nullptr ? 1 : 0);
+  if (doc_ != nullptr) {
+    doc_->tree.SerializeTo(out);
+    w.U64(doc_->content_bytes.size());
+    for (const uint32_t b : doc_->content_bytes) w.U32(b);
+    w.U64(doc_->content_offset.size());
+    for (const uint64_t off : doc_->content_offset) w.U64(off);
+    w.Str(doc_->content_pool);
+    w.U64(doc_->source_node.size());
+    for (const XmlDocument::NodeIndex n : doc_->source_node) w.U32(n);
+    w.U64(doc_->overflow_nodes);
+    w.U64(doc_->overflow_bytes);
+    w.U64(doc_->content_total_bytes);
+    w.U64(doc_->source_bytes);
+  } else {
+    // Released store: the records are the document. Only the node count
+    // (for table sizing) and provenance byte count survive on the side.
+    w.U64(partition_of_.size());
+    w.U64(released_source_bytes_);
+  }
   w.U64(partitioning_.size());
   for (const SiblingInterval& iv : partitioning_) {
     w.U32(iv.first);
     w.U32(iv.last);
   }
-  w.U8(inc_ != nullptr ? 1 : 0);
+  // Partitioner: 0 = never mutated, 1 = live, 2 = parked by a release.
   if (inc_ != nullptr) {
-    const IncrementalPartitioner::SavedState state = inc_->SaveState();
-    w.U64(state.intervals.size());
-    for (const IncrementalPartitioner::IntervalInfo& iv : state.intervals) {
-      w.U32(iv.first);
-      w.U32(iv.last);
-      w.U64(iv.weight);
-      w.U8(iv.alive ? 1 : 0);
-    }
-    w.U64(state.split_count);
+    w.U8(1);
+    WritePartitionerState(&w, inc_->SaveState());
+  } else if (has_saved_inc_) {
+    w.U8(2);
+    WritePartitionerState(&w, saved_inc_);
+  } else {
+    w.U8(0);
   }
   w.U64(partition_of_.size());
   for (const uint32_t p : partition_of_) w.U32(p);
@@ -292,6 +682,23 @@ void NatixStore::SerializeCheckpointMeta(std::vector<uint8_t>* out) const {
   for (const RecordId r : records_) w.U32(r.value);
   w.U64(record_overflow_.size());
   for (const uint64_t b : record_overflow_) w.U64(b);
+  w.U64(slot_in_record_.size());
+  for (const uint32_t s : slot_in_record_) w.U32(s);
+  w.U64(labels_.size());
+  for (const std::string& label : labels_) w.Str(label);
+  w.U64(version_);
+  // Deterministic layout: overflow side-map entries sorted by node.
+  std::vector<NodeId> overflow_nodes;
+  overflow_nodes.reserve(overflow_content_.size());
+  for (const auto& [v, content] : overflow_content_) {
+    overflow_nodes.push_back(v);
+  }
+  std::sort(overflow_nodes.begin(), overflow_nodes.end());
+  w.U64(overflow_nodes.size());
+  for (const NodeId v : overflow_nodes) {
+    w.U32(v);
+    w.Str(overflow_content_.at(v));
+  }
   w.U64(overflow_bytes_);
   w.U64(inserts_);
   w.U64(records_rewritten_);
@@ -315,47 +722,61 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
   store.options_.page_size = static_cast<size_t>(page_size);
   store.page_size_ = store.options_.page_size;
   NATIX_ASSIGN_OR_RETURN(store.limit_, r.U64());
-  store.doc_ = std::make_unique<ImportedDocument>();
-  NATIX_ASSIGN_OR_RETURN(store.doc_->tree, Tree::DeserializeFrom(&r));
-  const size_t n = store.doc_->tree.size();
-  NATIX_ASSIGN_OR_RETURN(uint64_t count, r.U64());
-  if (count != n) {
-    return Status::ParseError("checkpoint content_bytes size mismatch");
+  NATIX_ASSIGN_OR_RETURN(const uint8_t has_document, r.U8());
+  if (has_document > 1) {
+    return Status::ParseError("checkpoint document flag corrupt");
   }
-  store.doc_->content_bytes.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    NATIX_ASSIGN_OR_RETURN(store.doc_->content_bytes[i], r.U32());
-  }
-  NATIX_ASSIGN_OR_RETURN(count, r.U64());
-  if (count != n) {
-    return Status::ParseError("checkpoint content_offset size mismatch");
-  }
-  store.doc_->content_offset.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    NATIX_ASSIGN_OR_RETURN(store.doc_->content_offset[i], r.U64());
-  }
-  NATIX_ASSIGN_OR_RETURN(store.doc_->content_pool, r.Str());
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t off = store.doc_->content_offset[i];
-    const uint64_t len = store.doc_->content_bytes[i];
-    if (off > store.doc_->content_pool.size() ||
-        len > store.doc_->content_pool.size() - off) {
-      return Status::ParseError("checkpoint content slice out of range");
+  size_t n = 0;
+  if (has_document == 1) {
+    store.doc_ = std::make_unique<ImportedDocument>();
+    NATIX_ASSIGN_OR_RETURN(store.doc_->tree, Tree::DeserializeFrom(&r));
+    n = store.doc_->tree.size();
+    NATIX_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+    if (count != n) {
+      return Status::ParseError("checkpoint content_bytes size mismatch");
     }
+    store.doc_->content_bytes.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      NATIX_ASSIGN_OR_RETURN(store.doc_->content_bytes[i], r.U32());
+    }
+    NATIX_ASSIGN_OR_RETURN(count, r.U64());
+    if (count != n) {
+      return Status::ParseError("checkpoint content_offset size mismatch");
+    }
+    store.doc_->content_offset.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      NATIX_ASSIGN_OR_RETURN(store.doc_->content_offset[i], r.U64());
+    }
+    NATIX_ASSIGN_OR_RETURN(store.doc_->content_pool, r.Str());
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t off = store.doc_->content_offset[i];
+      const uint64_t len = store.doc_->content_bytes[i];
+      if (off > store.doc_->content_pool.size() ||
+          len > store.doc_->content_pool.size() - off) {
+        return Status::ParseError("checkpoint content slice out of range");
+      }
+    }
+    NATIX_ASSIGN_OR_RETURN(count, r.U64());
+    if (count != 0 && count != n) {
+      return Status::ParseError("checkpoint source_node size mismatch");
+    }
+    store.doc_->source_node.resize(static_cast<size_t>(count));
+    for (size_t i = 0; i < count; ++i) {
+      NATIX_ASSIGN_OR_RETURN(store.doc_->source_node[i], r.U32());
+    }
+    NATIX_ASSIGN_OR_RETURN(store.doc_->overflow_nodes, r.U64());
+    NATIX_ASSIGN_OR_RETURN(store.doc_->overflow_bytes, r.U64());
+    NATIX_ASSIGN_OR_RETURN(store.doc_->content_total_bytes, r.U64());
+    NATIX_ASSIGN_OR_RETURN(store.doc_->source_bytes, r.U64());
+  } else {
+    NATIX_ASSIGN_OR_RETURN(const uint64_t node_count, r.U64());
+    if (node_count == 0 || node_count > 0xFFFFFFFFull) {
+      return Status::ParseError("checkpoint node count out of range");
+    }
+    n = static_cast<size_t>(node_count);
+    NATIX_ASSIGN_OR_RETURN(store.released_source_bytes_, r.U64());
   }
-  NATIX_ASSIGN_OR_RETURN(count, r.U64());
-  if (count != 0 && count != n) {
-    return Status::ParseError("checkpoint source_node size mismatch");
-  }
-  store.doc_->source_node.resize(static_cast<size_t>(count));
-  for (size_t i = 0; i < count; ++i) {
-    NATIX_ASSIGN_OR_RETURN(store.doc_->source_node[i], r.U32());
-  }
-  NATIX_ASSIGN_OR_RETURN(store.doc_->overflow_nodes, r.U64());
-  NATIX_ASSIGN_OR_RETURN(store.doc_->overflow_bytes, r.U64());
-  NATIX_ASSIGN_OR_RETURN(store.doc_->content_total_bytes, r.U64());
-  NATIX_ASSIGN_OR_RETURN(store.doc_->source_bytes, r.U64());
-  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  NATIX_ASSIGN_OR_RETURN(uint64_t count, r.U64());
   if (count > r.remaining() / 8) {
     return Status::ParseError("checkpoint partitioning size exceeds payload");
   }
@@ -366,34 +787,25 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
     NATIX_ASSIGN_OR_RETURN(iv.last, r.U32());
     store.partitioning_.Add(iv);
   }
-  NATIX_ASSIGN_OR_RETURN(const uint8_t has_inc, r.U8());
-  if (has_inc > 1) {
+  NATIX_ASSIGN_OR_RETURN(const uint8_t inc_flag, r.U8());
+  if (inc_flag > 2) {
     return Status::ParseError("checkpoint partitioner flag corrupt");
   }
-  if (has_inc == 1) {
-    IncrementalPartitioner::SavedState state;
-    NATIX_ASSIGN_OR_RETURN(count, r.U64());
-    if (count > r.remaining() / 17) {
-      return Status::ParseError("checkpoint interval table exceeds payload");
+  if (inc_flag == 1) {
+    if (has_document == 0) {
+      return Status::ParseError(
+          "checkpoint has a live partitioner but no document");
     }
-    state.intervals.resize(static_cast<size_t>(count));
-    for (uint64_t i = 0; i < count; ++i) {
-      IncrementalPartitioner::IntervalInfo& iv = state.intervals[i];
-      NATIX_ASSIGN_OR_RETURN(iv.first, r.U32());
-      NATIX_ASSIGN_OR_RETURN(iv.last, r.U32());
-      NATIX_ASSIGN_OR_RETURN(iv.weight, r.U64());
-      NATIX_ASSIGN_OR_RETURN(const uint8_t alive, r.U8());
-      if (alive > 1) {
-        return Status::ParseError("checkpoint interval alive flag corrupt");
-      }
-      iv.alive = alive == 1;
-    }
-    NATIX_ASSIGN_OR_RETURN(state.split_count, r.U64());
+    NATIX_ASSIGN_OR_RETURN(const IncrementalPartitioner::SavedState state,
+                           ReadPartitionerState(&r));
     NATIX_ASSIGN_OR_RETURN(
         IncrementalPartitioner inc,
         IncrementalPartitioner::Restore(&store.doc_->tree, store.limit_,
                                         state));
     store.inc_ = std::make_unique<IncrementalPartitioner>(std::move(inc));
+  } else if (inc_flag == 2) {
+    NATIX_ASSIGN_OR_RETURN(store.saved_inc_, ReadPartitionerState(&r));
+    store.has_saved_inc_ = true;
   }
   NATIX_ASSIGN_OR_RETURN(count, r.U64());
   if (count != n) {
@@ -422,6 +834,36 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
   for (size_t i = 0; i < n; ++i) {
     if (store.partition_of_[i] >= store.records_.size()) {
       return Status::ParseError("checkpoint partition_of out of range");
+    }
+  }
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count != n) {
+    return Status::ParseError("checkpoint slot table size mismatch");
+  }
+  store.slot_in_record_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    NATIX_ASSIGN_OR_RETURN(store.slot_in_record_[i], r.U32());
+  }
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count > r.remaining()) {
+    return Status::ParseError("checkpoint label table exceeds payload");
+  }
+  store.labels_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(std::string label, r.Str());
+    store.labels_.push_back(std::move(label));
+  }
+  NATIX_ASSIGN_OR_RETURN(store.version_, r.U64());
+  NATIX_ASSIGN_OR_RETURN(count, r.U64());
+  if (count > r.remaining() / 8) {
+    return Status::ParseError("checkpoint overflow map exceeds payload");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    NATIX_ASSIGN_OR_RETURN(const uint32_t v, r.U32());
+    NATIX_ASSIGN_OR_RETURN(std::string content, r.Str());
+    if (v >= n || !store.overflow_content_.emplace(v, std::move(content))
+                       .second) {
+      return Status::ParseError("checkpoint overflow map entry corrupt");
     }
   }
   NATIX_ASSIGN_OR_RETURN(store.overflow_bytes_, r.U64());
@@ -589,6 +1031,13 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
                                 " does not resolve after restore");
     }
   }
+  if (!store.has_document()) {
+    // A released store has no tree to validate against; prove the record
+    // bytes are coherent (parse, cover the node set, match the tables)
+    // by materializing once before trusting them for navigation.
+    const Result<ImportedDocument> probe = store.BuildDocumentFromRecords();
+    if (!probe.ok()) return probe.status();
+  }
   // Drop the torn tail (if any) so the re-attached writer appends after
   // the last valid entry.
   NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, backend->Size());
@@ -600,7 +1049,8 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
   store.backend_ = std::move(backend);
   store.wal_ = std::make_unique<WalWriter>(std::move(writer));
   // Replay the op tail through the normal insert path; replaying_
-  // suppresses re-logging.
+  // suppresses re-logging. On a released store the first replayed op
+  // rematerializes the document from the restored records.
   store.replaying_ = true;
   for (const WalEntry& op : ops) {
     if (op.lsn <= restore_lsn) continue;
@@ -642,7 +1092,8 @@ WalStats NatixStore::wal_stats() const {
 UpdateStats NatixStore::update_stats() const {
   UpdateStats s;
   s.inserts = inserts_;
-  s.splits = inc_ != nullptr ? inc_->split_count() : 0;
+  s.splits = inc_ != nullptr ? inc_->split_count()
+                             : (has_saved_inc_ ? saved_inc_.split_count : 0);
   s.records_rewritten = records_rewritten_;
   s.records_created = records_created_;
   s.relocations = manager_.relocation_count();
@@ -650,46 +1101,219 @@ UpdateStats NatixStore::update_stats() const {
   return s;
 }
 
+namespace {
+
+/// Record-backed navigation has no error channel (the bool axis moves
+/// mean "no such node"); a decode failure can only be a corrupt record
+/// or a table/record desync, both invariant violations. Fail fast.
+[[noreturn]] void NavigatorFail(const char* what, const Status& st) {
+  std::fprintf(stderr, "natix: record-backed navigation failed: %s: %s\n",
+               what, st.message().c_str());
+  std::abort();
+}
+
+void CheckCursor(const RecordView& view, uint32_t idx, NodeId current) {
+  if (idx >= view.node_count() || view.node_id(idx) != current) {
+    NavigatorFail("slot table does not match record contents",
+                  Status::Internal("cursor desync at node " +
+                                   std::to_string(current)));
+  }
+}
+
+}  // namespace
+
+void Navigator::UnpinCurrent() {
+  if (buffer_ != nullptr && pinned_page_ != 0xFFFFFFFFu) {
+    buffer_->Unpin(pinned_page_);
+  }
+  pinned_page_ = 0xFFFFFFFFu;
+}
+
+void Navigator::MaybeRefresh() {
+  if (seen_version_ == store_->version()) return;
+  seen_version_ = store_->version();
+  // The mutation may have rewritten or relocated any record: drop the
+  // cached view and stale frame bytes. Residency (and so pool stats)
+  // is preserved; frames reload on their next pin.
+  UnpinCurrent();
+  view_valid_ = false;
+  if (buffer_ != nullptr) buffer_->InvalidateBytes();
+}
+
+void Navigator::SetView(const uint8_t* data, size_t size) {
+  const Result<RecordView> view =
+      RecordView::Parse(data, size, store_->slot_size());
+  if (!view.ok()) NavigatorFail("record bytes do not parse", view.status());
+  view_ = *view;
+  view_valid_ = true;
+}
+
+void Navigator::EnsureView() {
+  MaybeRefresh();
+  if (view_valid_) return;
+  // Initial position (or first use after a mutation): decode straight
+  // from the manager. No pool traffic -- only record *crossings* touch
+  // the buffer, exactly like the historical access model.
+  const Result<std::pair<const uint8_t*, size_t>> bytes =
+      store_->RecordBytes(store_->PartitionOf(current_));
+  if (!bytes.ok()) {
+    NavigatorFail("record of current node unreadable", bytes.status());
+  }
+  SetView(bytes->first, bytes->second);
+  idx_ = store_->SlotOfNode(current_);
+  CheckCursor(view_, idx_, current_);
+}
+
+void Navigator::Move(NodeId to) {
+  MaybeRefresh();
+  const RecordId from_rec = store_->RecordOfNode(current_);
+  const RecordId to_rec = store_->RecordOfNode(to);
+  if (from_rec == to_rec) {
+    ++stats_->intra_moves;
+    current_ = to;
+    idx_ = store_->SlotOfNode(to);
+    if (view_valid_) CheckCursor(view_, idx_, current_);
+    return;
+  }
+  ++stats_->record_crossings;
+  const uint32_t to_page = store_->PageOfNode(to);
+  if (store_->PageOfNode(current_) != to_page) ++stats_->page_switches;
+  view_valid_ = false;
+  if (buffer_ != nullptr) {
+    // Unpin before pinning: at most one frame is ever pinned, and none
+    // during the Pin() itself, so eviction picks the same victims as the
+    // Access()-only model and the stats stay byte-identical.
+    UnpinCurrent();
+    const Result<const std::vector<uint8_t>*> frame =
+        buffer_->Pin(to_page, provider_);
+    if (!frame.ok()) NavigatorFail("page pin failed", frame.status());
+    pinned_page_ = to_page;
+    const std::vector<uint8_t>& bytes = **frame;
+    if ((to_page & RecordManager::kJumboPageBit) != 0) {
+      // A jumbo frame is the record itself.
+      SetView(bytes.data(), bytes.size());
+    } else {
+      const Result<std::pair<uint32_t, uint16_t>> addr =
+          store_->AddressOfRecord(to_rec);
+      if (!addr.ok()) {
+        NavigatorFail("record address lookup failed", addr.status());
+      }
+      const Result<std::pair<uint32_t, uint32_t>> entry =
+          Page::EntryInImage(bytes.data(), bytes.size(), addr->second);
+      if (!entry.ok()) {
+        NavigatorFail("record not found in pinned frame", entry.status());
+      }
+      SetView(bytes.data() + entry->first, entry->second);
+    }
+  } else {
+    const Result<std::pair<const uint8_t*, size_t>> bytes =
+        store_->RecordBytes(store_->PartitionOf(to));
+    if (!bytes.ok()) {
+      NavigatorFail("record of target node unreadable", bytes.status());
+    }
+    SetView(bytes->first, bytes->second);
+  }
+  current_ = to;
+  idx_ = store_->SlotOfNode(to);
+  CheckCursor(view_, idx_, current_);
+}
+
+NodeId Navigator::LinkTarget(int32_t link, RecordEdge edge) {
+  if (link == kEdgeNone) return kInvalidNode;
+  if (link == kEdgeRemote) {
+    const std::optional<RecordProxy> proxy = view_.FindProxy(idx_, edge);
+    if (!proxy.has_value()) {
+      NavigatorFail("remote edge without a proxy",
+                    Status::Internal("missing proxy entry for node " +
+                                     std::to_string(current_)));
+    }
+    // The proxy names the target *node*; its current record and page are
+    // resolved through the store's tables on the actual Move (the
+    // record/slot hint encoded here can be stale after splits).
+    return proxy->target_node;
+  }
+  return view_.node_id(static_cast<uint32_t>(link));
+}
+
 bool Navigator::ToFirstChild() {
-  const NodeId c = store_->tree().FirstChild(current_);
+  EnsureView();
+  const NodeId c = LinkTarget(view_.first_child(idx_),
+                              RecordEdge::kFirstChild);
+#ifndef NDEBUG
+  if (store_->has_document() && c != store_->tree().FirstChild(current_)) {
+    NavigatorFail("record topology diverges from the in-memory tree",
+                  Status::Internal("first-child shadow check failed"));
+  }
+#endif
   if (c == kInvalidNode) return false;
   Move(c);
   return true;
 }
 
 bool Navigator::ToNextSibling() {
-  const NodeId s = store_->tree().NextSibling(current_);
+  EnsureView();
+  const NodeId s = LinkTarget(view_.next_sibling(idx_),
+                              RecordEdge::kNextSibling);
+#ifndef NDEBUG
+  if (store_->has_document() && s != store_->tree().NextSibling(current_)) {
+    NavigatorFail("record topology diverges from the in-memory tree",
+                  Status::Internal("next-sibling shadow check failed"));
+  }
+#endif
   if (s == kInvalidNode) return false;
   Move(s);
   return true;
 }
 
 bool Navigator::ToPrevSibling() {
-  const NodeId s = store_->tree().PrevSibling(current_);
+  EnsureView();
+  const NodeId s = LinkTarget(view_.prev_sibling(idx_),
+                              RecordEdge::kPrevSibling);
+#ifndef NDEBUG
+  if (store_->has_document() && s != store_->tree().PrevSibling(current_)) {
+    NavigatorFail("record topology diverges from the in-memory tree",
+                  Status::Internal("prev-sibling shadow check failed"));
+  }
+#endif
   if (s == kInvalidNode) return false;
   Move(s);
   return true;
 }
 
 bool Navigator::ToParent() {
-  const NodeId p = store_->tree().Parent(current_);
+  EnsureView();
+  const int32_t plink = view_.parent(idx_);
+  NodeId p = kInvalidNode;
+  if (plink == kEdgeNone) {
+    // Interval member: the parent lives in the aggregate's record
+    // (kInvalidNode only in the record holding the document root).
+    p = view_.aggregate().parent_node;
+  } else if (plink == kEdgeRemote) {
+    NavigatorFail("parent link marked remote",
+                  Status::Internal("parent edges use the aggregate, never "
+                                   "proxies"));
+  } else {
+    p = view_.node_id(static_cast<uint32_t>(plink));
+  }
+#ifndef NDEBUG
+  if (store_->has_document() && p != store_->tree().Parent(current_)) {
+    NavigatorFail("record topology diverges from the in-memory tree",
+                  Status::Internal("parent shadow check failed"));
+  }
+#endif
   if (p == kInvalidNode) return false;
   Move(p);
   return true;
 }
 
-void Navigator::Move(NodeId to) {
-  const RecordId from_rec = store_->RecordOfNode(current_);
-  const RecordId to_rec = store_->RecordOfNode(to);
-  if (from_rec == to_rec) {
-    ++stats_->intra_moves;
-  } else {
-    ++stats_->record_crossings;
-    const uint32_t to_page = store_->PageOfNode(to);
-    if (store_->PageOfNode(current_) != to_page) ++stats_->page_switches;
-    if (buffer_ != nullptr) buffer_->Access(to_page);
-  }
-  current_ = to;
+NodeKind Navigator::CurrentKind() {
+  EnsureView();
+  return static_cast<NodeKind>(view_.kind(idx_));
+}
+
+int32_t Navigator::CurrentLabelId() {
+  EnsureView();
+  return view_.label(idx_);
 }
 
 }  // namespace natix

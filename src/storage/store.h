@@ -1,9 +1,12 @@
 #ifndef NATIX_STORAGE_STORE_H_
 #define NATIX_STORAGE_STORE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -109,10 +112,37 @@ struct UpdateStats {
   uint64_t compactions = 0;
 };
 
+/// Serves buffer-pool frames from a FileBackend that FlushPagesTo()
+/// populated: page p lives at byte offset p * page_size. Jumbo pages
+/// (synthetic kJumboPageBit ids) are not part of the flat file layout and
+/// fall back to the record manager's in-memory image. bench_coldcache
+/// reads through this to charge real I/O to pool misses.
+class FilePageSource : public PageProvider {
+ public:
+  FilePageSource(FileBackend* file, size_t page_size,
+                 const PageProvider* jumbo_fallback)
+      : file_(file), page_size_(page_size), fallback_(jumbo_fallback) {}
+
+  Result<std::vector<uint8_t>> ReadPage(uint32_t page_id) const override;
+
+ private:
+  FileBackend* file_;
+  size_t page_size_;
+  const PageProvider* fallback_;
+};
+
 /// The mini-Natix store: a document loaded under a given tree sibling
 /// partitioning. Each partition becomes one physical record (serialized
 /// with RecordBuilder); records are packed onto slotted pages by the
 /// RecordManager; oversized text is stored in overflow pages.
+///
+/// Records are self-describing (format v2: per-node topology, proxies for
+/// partition-crossing edges, one aggregate parent back-pointer), which
+/// makes them the physical source of truth: ReleaseDocument() drops the
+/// in-memory ImportedDocument and the store keeps answering navigation,
+/// queries, updates and checkpoints from record bytes alone. A released
+/// store rematerializes its document on demand (first InsertBefore) via
+/// MaterializeDocument(), which reconstructs the exact same NodeIds.
 ///
 /// The store *owns* its document and may mutate it: InsertBefore() adds a
 /// node, drives the IncrementalPartitioner, and rewrites exactly the
@@ -136,18 +166,74 @@ class NatixStore {
   /// for the partition limit is externalized to overflow storage. Only
   /// the records of partitions in the resulting PartitionDelta are
   /// rewritten, so per-insert cost is proportional to the partitions
-  /// touched, not to the document.
+  /// touched, not to the document. On a released store the document is
+  /// rematerialized from records first.
   Result<NodeId> InsertBefore(NodeId parent, NodeId before,
                               std::string_view label = {},
                               NodeKind kind = NodeKind::kElement,
                               std::string_view content = {});
 
-  const Tree& tree() const { return doc_->tree; }
-  const ImportedDocument& document() const { return *doc_; }
+  /// True while the in-memory document is resident. tree()/document()
+  /// may only be called then.
+  bool has_document() const { return doc_ != nullptr; }
+
+  const Tree& tree() const {
+    assert(doc_ != nullptr && "document released; use record accessors");
+    return doc_->tree;
+  }
+  const ImportedDocument& document() const {
+    assert(doc_ != nullptr && "document released; use record accessors");
+    return *doc_;
+  }
+
+  /// Drops the in-memory document (and parks the incremental
+  /// partitioner's state), leaving the records as the only copy of the
+  /// data -- the memory-bounded operating mode. Overflow node content is
+  /// moved to a small side map (records store only its length). No-op on
+  /// an already-released store.
+  Status ReleaseDocument();
+
+  /// Rebuilds the in-memory document from record bytes if it was
+  /// released; no-op otherwise. NodeIds, labels and content round-trip
+  /// exactly.
+  Status EnsureDocument();
+
+  /// Reconstructs a standalone document from record bytes (works whether
+  /// or not the in-memory document is resident; never mutates the
+  /// store). The record-is-truth invariant in one call: the result must
+  /// equal the resident document.
+  Result<ImportedDocument> MaterializeDocument() const;
 
   /// Deep copy of the (possibly mutated) document, for reference
-  /// rebuilds and equivalence checks.
-  ImportedDocument SnapshotDocument() const { return doc_->Clone(); }
+  /// rebuilds and equivalence checks. Materializes from records when the
+  /// document is released.
+  Result<ImportedDocument> SnapshotDocument() const;
+
+  /// Number of nodes in the store (valid regardless of document
+  /// residency).
+  size_t node_count() const { return partition_of_.size(); }
+
+  /// The document root (NodeId 0 by construction); kInvalidNode only for
+  /// a default-constructed store.
+  NodeId RootNode() const {
+    return partition_of_.empty() ? kInvalidNode : NodeId{0};
+  }
+
+  /// Monotonic mutation counter: bumped by every successful
+  /// InsertBefore(), survives release/rematerialize cycles and
+  /// checkpoint/recovery. Caches derived from the node set (the query
+  /// evaluator's document-order ranks) key their freshness on this.
+  uint64_t version() const { return version_; }
+
+  /// Label string by interned id; empty view for -1 or out of range.
+  /// Backed by the store's own label table, so it works on a released
+  /// store.
+  std::string_view LabelNameOf(int32_t id) const {
+    return id < 0 || static_cast<size_t>(id) >= labels_.size()
+               ? std::string_view()
+               : labels_[static_cast<size_t>(id)];
+  }
+  size_t label_count() const { return labels_.size(); }
 
   /// Partition index (== record index) holding a node.
   uint32_t PartitionOf(NodeId v) const { return partition_of_[v]; }
@@ -157,11 +243,19 @@ class NatixStore {
   RecordId RecordOfNode(NodeId v) const {
     return records_[partition_of_[v]];
   }
+  /// In-record topology index of a node within its record.
+  uint32_t SlotOfNode(NodeId v) const { return slot_in_record_[v]; }
   /// Page currently holding a node's record (changes when the record
   /// relocates; jumbo records report their synthetic page id).
   uint32_t PageOfNode(NodeId v) const {
     return manager_.PageOf(records_[partition_of_[v]]);
   }
+
+  /// Node kind decoded from the node's record bytes (no document, no
+  /// buffer pool, no stats).
+  Result<NodeKind> KindOfNode(NodeId v) const;
+  /// Interned label id decoded from the node's record bytes.
+  Result<int32_t> LabelIdOfNode(NodeId v) const;
 
   /// Raw bytes of a partition's record.
   Result<std::pair<const uint8_t*, size_t>> RecordBytes(
@@ -169,8 +263,29 @@ class NatixStore {
     return manager_.Get(records_[partition]);
   }
 
+  /// Physical (page, slot) address of a record (see
+  /// RecordManager::AddressOf); navigation uses it to locate record
+  /// payloads inside pinned page frames.
+  Result<std::pair<uint32_t, uint16_t>> AddressOfRecord(RecordId id) const {
+    return manager_.AddressOf(id);
+  }
+
+  /// Storage slot size the records were encoded with.
+  uint32_t slot_size() const { return options_.slot_size; }
+  size_t page_size() const { return page_size_; }
+
+  /// Default byte source for buffer-pool misses: the record manager's
+  /// in-memory page images.
+  const PageProvider* page_provider() const { return &manager_; }
+
+  /// Writes every regular page image sequentially to `file` (page p at
+  /// offset p * page_size; the file is truncated first). A FilePageSource
+  /// over the result serves genuinely cold page reads.
+  Status FlushPagesTo(FileBackend* file) const;
+
   /// The incremental partitioner, once the store has been mutated
-  /// (nullptr for a store that has only been bulk-loaded).
+  /// (nullptr for a store that has only been bulk-loaded or whose
+  /// document is currently released).
   const IncrementalPartitioner* partitioner() const { return inc_.get(); }
 
   /// Attaches a write-ahead log to the store. The backend must be empty;
@@ -182,7 +297,9 @@ class NatixStore {
   /// Writes a checkpoint: the store's metadata plus an image of every
   /// page dirtied since the previous checkpoint. Recovery replays only
   /// the op tail after the last complete checkpoint, so checkpoint
-  /// cadence bounds recovery work.
+  /// cadence bounds recovery work. Works on a released store (the
+  /// checkpoint then carries no document; recovery restores a released
+  /// store).
   Status Checkpoint();
 
   /// Rebuilds a store from the log left behind by a crashed (or cleanly
@@ -212,13 +329,38 @@ class NatixStore {
  private:
   NatixStore() = default;
 
-  /// Creates the incremental partitioner from the build-time partitioning
-  /// on first mutation (interval id i == build partition i).
+  /// Creates the incremental partitioner on first mutation: from the
+  /// saved state of a release cycle when one exists, else from the
+  /// build-time partitioning (interval id i == build partition i).
   Status EnsureMutable();
 
+  /// Serializes one partition into self-describing record bytes.
+  /// `members` must list the partition's nodes in document order and
+  /// slot_in_record_ must already be current for every member and every
+  /// cut-away neighbour. Adds `*overflow_bytes` of externalized content.
+  Result<std::vector<uint8_t>> EncodePartition(
+      uint32_t part, const std::vector<NodeId>& members,
+      uint64_t* overflow_bytes) const;
+
+  /// Records the in-record topology index of every member.
+  void AssignSlots(const std::vector<NodeId>& members);
+
+  /// Appends labels interned by the tree since the last sync to the
+  /// store's own label table (ids are shared between the two).
+  void SyncLabels();
+
+  /// True if `v`'s content is externalized (the weight model's overflow
+  /// stub: inline slots would exceed the node's weight).
+  bool NodeOverflows(NodeId v) const;
+
+  /// Shared body of MaterializeDocument()/EnsureDocument(): decodes
+  /// every record into a fresh document. Overflow content comes from the
+  /// resident document when there is one, else from overflow_content_.
+  Result<ImportedDocument> BuildDocumentFromRecords() const;
+
   /// Serializes everything a checkpoint must capture except page
-  /// contents: document, partitioner state, record-manager metadata,
-  /// store tables and counters.
+  /// contents: document (when resident), partitioner state,
+  /// record-manager metadata, store tables and counters.
   void SerializeCheckpointMeta(std::vector<uint8_t>* out) const;
 
   /// Rebuilds a store from checkpoint metadata (pages still zeroed).
@@ -236,15 +378,29 @@ class NatixStore {
   }
 
   /// Owned on the heap so the partitioner's Tree* survives store moves.
+  /// Null while the document is released.
   std::unique_ptr<ImportedDocument> doc_;
   RecordManager manager_;
   StoreOptions options_;
   TotalWeight limit_ = 0;
   Partitioning partitioning_;  // build-time snapshot; seeds inc_
   std::unique_ptr<IncrementalPartitioner> inc_;
+  /// Partitioner state parked across a release cycle (inc_ holds a Tree*
+  /// and cannot outlive the document).
+  IncrementalPartitioner::SavedState saved_inc_;
+  bool has_saved_inc_ = false;
   std::vector<uint32_t> partition_of_;  // node -> partition index
   std::vector<RecordId> records_;       // partition index -> record
+  std::vector<uint32_t> slot_in_record_;  // node -> in-record index
+  std::vector<std::string> labels_;     // store-owned copy of the label table
   std::vector<uint64_t> record_overflow_;  // externalized bytes per record
+  /// Externalized content of overflow nodes, kept only while the
+  /// document is released (records store just the length; the resident
+  /// document is the source otherwise).
+  std::unordered_map<NodeId, std::string> overflow_content_;
+  /// document().source_bytes, preserved across a release cycle.
+  uint64_t released_source_bytes_ = 0;
+  uint64_t version_ = 0;
   uint64_t overflow_bytes_ = 0;
   size_t overflow_pages_ = 0;
   size_t page_size_ = 8192;
@@ -269,27 +425,47 @@ class NatixStore {
   uint64_t wal_record_base_ = 0;
 };
 
-/// A navigation cursor over a NatixStore. Every move is charged to an
-/// AccessStats according to whether it stays within the current record.
-/// This is the storage-level equivalent of following intra-record pointers
-/// vs. dereferencing a proxy to another record.
+/// A navigation cursor over a NatixStore, decoding moves from record
+/// bytes: in-record links for intra-record steps, proxy entries for
+/// partition-crossing child/sibling edges and the aggregate back-pointer
+/// for the parent of interval members. The in-memory document is never
+/// consulted (a released store navigates identically); in debug builds a
+/// resident document cross-validates every move.
+///
+/// Every move is charged to an AccessStats according to whether it stays
+/// within the current record. With a buffer pool, the target page of each
+/// record crossing is pinned (the previous pin is dropped first, so at
+/// most one frame is pinned between moves and the pool's LRU/stats
+/// behaviour is identical to the historical Access()-only model); node
+/// data is then decoded from the pinned frame. Proxies name the target
+/// node; its current record/page are resolved through the store's
+/// authoritative tables, since splits elsewhere may have moved it after
+/// this record was last encoded.
 class Navigator {
  public:
-  /// `store` and `stats` must outlive the navigator. If `buffer` is
-  /// non-null, every move that lands on a different record touches the
-  /// target page in the pool, modelling cold-cache behaviour (a miss =
-  /// one page read); pass nullptr for the paper's warm-buffer setting.
+  /// `store`, `stats` (and `buffer`/`provider`, if given) must outlive
+  /// the navigator. If `buffer` is non-null, every move that lands on a
+  /// different record pins the target page in the pool (a miss = one
+  /// page read through `provider`, defaulting to the store's in-memory
+  /// pages); pass a null buffer for the paper's warm-buffer setting.
   Navigator(const NatixStore* store, AccessStats* stats,
-            LruBufferPool* buffer = nullptr)
+            LruBufferPool* buffer = nullptr,
+            const PageProvider* provider = nullptr)
       : store_(store),
         stats_(stats),
         buffer_(buffer),
-        current_(store->tree().root()) {}
+        provider_(provider != nullptr ? provider : store->page_provider()),
+        current_(store->RootNode()),
+        seen_version_(store->version()) {}
+
+  ~Navigator() { UnpinCurrent(); }
+  Navigator(const Navigator&) = delete;
+  Navigator& operator=(const Navigator&) = delete;
 
   NodeId current() const { return current_; }
 
   /// Moves to the root (charged like any other move).
-  void JumpToRoot() { Move(store_->tree().root()); }
+  void JumpToRoot() { Move(store_->RootNode()); }
 
   /// Random-access jump (e.g. when an evaluator restarts from a context
   /// node).
@@ -301,13 +477,41 @@ class Navigator {
   bool ToPrevSibling();
   bool ToParent();
 
+  /// Kind/label of the current node, decoded from its record (no stats
+  /// effect; the record is already materialized for the cursor).
+  NodeKind CurrentKind();
+  int32_t CurrentLabelId();
+
  private:
   void Move(NodeId to);
+  /// Drops cached state when the store has mutated since the last move:
+  /// record bytes may have been rewritten or relocated, so the view and
+  /// any pooled frame bytes are stale (frames keep their residency --
+  /// only the bytes reload -- so pool stats stay comparable).
+  void MaybeRefresh();
+  /// Decodes the current node's record (from the manager, no pool
+  /// activity) if no view is cached.
+  void EnsureView();
+  void SetView(const uint8_t* data, size_t size);
+  void UnpinCurrent();
+  /// Resolves a topology link of the current node to a NodeId:
+  /// kInvalidNode for kEdgeNone, the proxy target for kEdgeRemote, the
+  /// in-record node otherwise.
+  NodeId LinkTarget(int32_t link, RecordEdge edge);
 
   const NatixStore* store_;
   AccessStats* stats_;
   LruBufferPool* buffer_;
+  const PageProvider* provider_;
   NodeId current_;
+  uint64_t seen_version_;
+  RecordView view_;
+  bool view_valid_ = false;
+  uint32_t idx_ = 0;
+  /// Page whose frame the view decodes from, 0xFFFFFFFF when the view
+  /// reads the manager's bytes directly (note: valid jumbo page ids have
+  /// the high bit set but never equal the sentinel).
+  uint32_t pinned_page_ = 0xFFFFFFFFu;
 };
 
 }  // namespace natix

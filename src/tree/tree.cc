@@ -12,6 +12,7 @@ Tree Tree::Clone() const {
   copy.nodes_ = nodes_;
   copy.labels_ = labels_;
   copy.label_ids_ = label_ids_;
+  copy.version_ = version_;
   return copy;
 }
 
@@ -33,6 +34,7 @@ NodeId Tree::AddRoot(Weight weight, std::string_view label, NodeKind kind) {
   n.label = InternLabel(label);
   n.kind = kind;
   nodes_.push_back(n);
+  ++version_;
   return 0;
 }
 
@@ -56,6 +58,7 @@ NodeId Tree::AppendChild(NodeId parent, Weight weight, std::string_view label,
   p.last_child = id;
   ++p.child_count;
   nodes_.push_back(n);
+  ++version_;
   return id;
 }
 
@@ -83,6 +86,7 @@ NodeId Tree::InsertChildBefore(NodeId parent, NodeId before, Weight weight,
   }
   nodes_[before].prev_sibling = id;
   ++nodes_[parent].child_count;
+  ++version_;
   return id;
 }
 
@@ -97,6 +101,11 @@ std::string_view Tree::LabelOf(NodeId v) const {
 int32_t Tree::FindLabelId(std::string_view label) const {
   auto it = label_ids_.find(std::string(label));
   return it == label_ids_.end() ? -1 : it->second;
+}
+
+std::string_view Tree::LabelName(int32_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= labels_.size()) return {};
+  return labels_[static_cast<size_t>(id)];
 }
 
 std::vector<NodeId> Tree::Children(NodeId v) const {
@@ -331,6 +340,69 @@ Result<Tree> Tree::DeserializeFrom(ByteReader* reader) {
         (n.label < 0 || static_cast<uint64_t>(n.label) >= label_count)) {
       return Status::ParseError("tree node has an out-of-range label id");
     }
+  }
+  NATIX_RETURN_NOT_OK(tree.Validate());
+  return tree;
+}
+
+Result<Tree> Tree::FromParts(Links links) {
+  const size_t n = links.parent.size();
+  if (links.first_child.size() != n || links.next_sibling.size() != n ||
+      links.prev_sibling.size() != n || links.weight.size() != n ||
+      links.label.size() != n || links.kind.size() != n) {
+    return Status::InvalidArgument("tree link arrays have unequal lengths");
+  }
+  auto check_link = [&](NodeId link) {
+    return link == kInvalidNode || link < n;
+  };
+  Tree tree;
+  tree.nodes_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    Node& node = tree.nodes_[i];
+    node.parent = links.parent[i];
+    node.first_child = links.first_child[i];
+    node.next_sibling = links.next_sibling[i];
+    node.prev_sibling = links.prev_sibling[i];
+    node.weight = links.weight[i];
+    node.label = links.label[i];
+    node.kind = links.kind[i];
+    if (!check_link(node.parent) || !check_link(node.first_child) ||
+        !check_link(node.next_sibling) || !check_link(node.prev_sibling)) {
+      return Status::InvalidArgument("tree node " + std::to_string(i) +
+                                     " has an out-of-range link");
+    }
+    if (node.label != -1 &&
+        (node.label < 0 ||
+         static_cast<size_t>(node.label) >= links.labels.size())) {
+      return Status::InvalidArgument("tree node " + std::to_string(i) +
+                                     " has an out-of-range label id");
+    }
+  }
+  if (n > 0 && tree.nodes_[0].parent != kInvalidNode) {
+    return Status::InvalidArgument("node 0 must be the root");
+  }
+  // Derive last_child and child_count from the sibling chains. The walk
+  // is bounded by n steps per parent in a valid tree; a sibling cycle
+  // would spin, so cap the walk and let Validate() report the mismatch.
+  for (size_t v = 0; v < n; ++v) {
+    NodeId last = kInvalidNode;
+    uint32_t count = 0;
+    for (NodeId c = tree.nodes_[v].first_child;
+         c != kInvalidNode && count <= n;
+         c = tree.nodes_[c].next_sibling) {
+      last = c;
+      ++count;
+    }
+    if (count > n) {
+      return Status::InvalidArgument("sibling cycle under node " +
+                                     std::to_string(v));
+    }
+    tree.nodes_[v].last_child = last;
+    tree.nodes_[v].child_count = count;
+  }
+  tree.labels_ = std::move(links.labels);
+  for (size_t i = 0; i < tree.labels_.size(); ++i) {
+    tree.label_ids_.emplace(tree.labels_[i], static_cast<int32_t>(i));
   }
   NATIX_RETURN_NOT_OK(tree.Validate());
   return tree;

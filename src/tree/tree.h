@@ -82,6 +82,12 @@ class Tree {
   size_t size() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
 
+  /// Monotonic mutation counter: bumped by every AddRoot/AppendChild/
+  /// InsertChildBefore/SetWeight. Caches derived from the tree (preorder
+  /// ranks, subtree weights, ...) key their freshness on this rather
+  /// than on size() -- a size compare misses any same-size mutation.
+  uint64_t version() const { return version_; }
+
   /// The root node; kInvalidNode on an empty tree.
   NodeId root() const { return empty() ? kInvalidNode : 0; }
 
@@ -93,7 +99,10 @@ class Tree {
   size_t ChildCount(NodeId v) const { return nodes_[v].child_count; }
 
   Weight WeightOf(NodeId v) const { return nodes_[v].weight; }
-  void SetWeight(NodeId v, Weight w) { nodes_[v].weight = w; }
+  void SetWeight(NodeId v, Weight w) {
+    nodes_[v].weight = w;
+    ++version_;
+  }
 
   NodeKind KindOf(NodeId v) const { return nodes_[v].kind; }
 
@@ -105,6 +114,8 @@ class Tree {
   int32_t FindLabelId(std::string_view label) const;
   /// Number of distinct labels.
   size_t LabelCount() const { return labels_.size(); }
+  /// Label string by interned id; empty view for -1 or out of range.
+  std::string_view LabelName(int32_t id) const;
 
   /// Children of `v`, left to right.
   std::vector<NodeId> Children(NodeId v) const;
@@ -153,6 +164,26 @@ class Tree {
   /// Validate(); corrupt input yields a Status, never undefined behaviour.
   static Result<Tree> DeserializeFrom(class ByteReader* reader);
 
+  /// Per-node link arrays for FromParts(), all indexed by NodeId and of
+  /// equal length. last_child and child_count are derived.
+  struct Links {
+    std::vector<NodeId> parent;
+    std::vector<NodeId> first_child;
+    std::vector<NodeId> next_sibling;
+    std::vector<NodeId> prev_sibling;
+    std::vector<Weight> weight;
+    std::vector<int32_t> label;
+    std::vector<NodeKind> kind;
+    std::vector<std::string> labels;
+  };
+
+  /// Rebuilds a tree arena directly from link arrays, preserving NodeIds
+  /// exactly -- record-backed rematerialization uses this, since the
+  /// AppendChild/InsertChildBefore path cannot reproduce arbitrary
+  /// id-to-position assignments. Node 0 must be the root. The result is
+  /// Validate()d; inconsistent links yield a Status.
+  static Result<Tree> FromParts(Links links);
+
  private:
   struct Node {
     NodeId parent = kInvalidNode;
@@ -171,6 +202,7 @@ class Tree {
   std::vector<Node> nodes_;
   std::vector<std::string> labels_;
   std::unordered_map<std::string, int32_t> label_ids_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace natix

@@ -80,13 +80,48 @@ TEST_P(AxisMatrixTest, StoreEqualsReference) {
       for (auto* partition_fn : {&EkmPartition, &KmPartition}) {
         const Result<Partitioning> p = (*partition_fn)(doc.tree, 16);
         ASSERT_TRUE(p.ok());
-        const Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 16);
+        Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, 16);
         ASSERT_TRUE(store.ok());
+        // Document resident: the debug shadow check cross-validates every
+        // record-decoded move against the tree.
         AccessStats stats;
         StoreQueryEvaluator eval(&*store, &stats);
         const Result<std::vector<NodeId>> result = eval.Evaluate(*path);
         ASSERT_TRUE(result.ok()) << q;
         EXPECT_EQ(*result, *reference) << q << "\nxml: " << xml;
+
+        // Same store with the document resident but routed through a
+        // tiny 2-frame pool: the pool is a pure observer of crossings.
+        Result<LruBufferPool> model_pool = LruBufferPool::Create(2);
+        ASSERT_TRUE(model_pool.ok());
+        AccessStats model_stats;
+        StoreQueryEvaluator model_eval(&*store, &model_stats, &*model_pool);
+        const Result<std::vector<NodeId>> model_result =
+            model_eval.Evaluate(*path);
+        ASSERT_TRUE(model_result.ok()) << q;
+        EXPECT_EQ(*model_result, *reference) << q;
+
+        // Document released, 2-frame pool: navigation reads only record
+        // bytes, yet node sets, AccessStats and the pool's hit/miss/
+        // eviction trace must be identical to the resident run.
+        ASSERT_TRUE(store->ReleaseDocument().ok());
+        Result<LruBufferPool> pool = LruBufferPool::Create(2);
+        ASSERT_TRUE(pool.ok());
+        AccessStats released_stats;
+        StoreQueryEvaluator released_eval(&*store, &released_stats, &*pool);
+        const Result<std::vector<NodeId>> released_result =
+            released_eval.Evaluate(*path);
+        ASSERT_TRUE(released_result.ok()) << q;
+        EXPECT_EQ(*released_result, *reference) << q << "\nxml: " << xml;
+        EXPECT_EQ(released_stats.intra_moves, stats.intra_moves) << q;
+        EXPECT_EQ(released_stats.record_crossings, stats.record_crossings)
+            << q;
+        EXPECT_EQ(released_stats.page_switches, stats.page_switches) << q;
+        EXPECT_EQ(pool->stats().accesses, model_pool->stats().accesses) << q;
+        EXPECT_EQ(pool->stats().hits, model_pool->stats().hits) << q;
+        EXPECT_EQ(pool->stats().misses, model_pool->stats().misses) << q;
+        EXPECT_EQ(pool->stats().evictions, model_pool->stats().evictions)
+            << q;
       }
     }
   }

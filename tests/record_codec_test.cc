@@ -1,0 +1,238 @@
+// Fuzz coverage of the self-describing record codec (format v2): direct
+// builder/view round trips including the wide-topology escape, error
+// paths, and whole-store round trips (random trees x K sweep) through
+// MaterializeDocument(), which rebuilds the document from record bytes
+// alone and must reproduce the source tree exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/heuristics.h"
+#include "storage/record.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+// Random XML with a small vocabulary, text runs and attributes.
+std::string RandomXml(Rng& rng, int ops) {
+  static constexpr const char* kNames[] = {"a", "b", "c", "d", "e"};
+  std::string xml = "<a>";
+  std::vector<const char*> stack = {"a"};
+  for (int i = 0; i < ops; ++i) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.35) {
+      const char* name = kNames[rng.NextBounded(5)];
+      xml += std::string("<") + name + ">";
+      stack.push_back(name);
+    } else if (dice < 0.6 && stack.size() > 1) {
+      xml += std::string("</") + stack.back() + ">";
+      stack.pop_back();
+    } else if (dice < 0.8) {
+      xml += std::string(1 + rng.NextBounded(60), 'x');
+      xml += ' ';
+    } else {
+      xml += std::string("<") + kNames[rng.NextBounded(5)] + " k=\"v\"/>";
+    }
+  }
+  while (!stack.empty()) {
+    xml += std::string("</") + stack.back() + ">";
+    stack.pop_back();
+  }
+  return xml;
+}
+
+// Structural equality of two trees plus per-node content equality.
+void ExpectDocumentsEqual(const ImportedDocument& got,
+                          const ImportedDocument& want) {
+  ASSERT_EQ(got.tree.size(), want.tree.size());
+  for (NodeId v = 0; v < want.tree.size(); ++v) {
+    EXPECT_EQ(got.tree.Parent(v), want.tree.Parent(v)) << v;
+    EXPECT_EQ(got.tree.FirstChild(v), want.tree.FirstChild(v)) << v;
+    EXPECT_EQ(got.tree.NextSibling(v), want.tree.NextSibling(v)) << v;
+    EXPECT_EQ(got.tree.PrevSibling(v), want.tree.PrevSibling(v)) << v;
+    EXPECT_EQ(got.tree.WeightOf(v), want.tree.WeightOf(v)) << v;
+    EXPECT_EQ(got.tree.KindOf(v), want.tree.KindOf(v)) << v;
+    EXPECT_EQ(got.tree.LabelOf(v), want.tree.LabelOf(v)) << v;
+    EXPECT_EQ(got.ContentOf(v), want.ContentOf(v)) << v;
+  }
+  EXPECT_EQ(got.overflow_nodes, want.overflow_nodes);
+  EXPECT_EQ(got.overflow_bytes, want.overflow_bytes);
+}
+
+TEST(RecordCodecFuzzTest, StoreRoundTripsRandomTreesAcrossK) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 6; ++iter) {
+    const std::string xml = RandomXml(rng, 80 + iter * 40);
+    for (const TotalWeight limit : {8ull, 32ull, 256ull}) {
+      WeightModel model;
+      model.max_node_slots = static_cast<uint32_t>(limit);
+      Result<ImportedDocument> imp = ImportXml(xml, model);
+      ASSERT_TRUE(imp.ok()) << xml;
+      const ImportedDocument doc = std::move(imp).value();
+      const Result<Partitioning> p = EkmPartition(doc.tree, limit);
+      ASSERT_TRUE(p.ok());
+      Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, limit);
+      ASSERT_TRUE(store.ok()) << store.status().ToString();
+      const Result<ImportedDocument> rebuilt = store->MaterializeDocument();
+      ASSERT_TRUE(rebuilt.ok())
+          << rebuilt.status().ToString() << " K=" << limit;
+      ExpectDocumentsEqual(*rebuilt, doc);
+      // Same decode with the document gone: records must still carry
+      // everything (overflow content moves to the side map on release).
+      ASSERT_TRUE(store->ReleaseDocument().ok());
+      const Result<ImportedDocument> released = store->MaterializeDocument();
+      ASSERT_TRUE(released.ok())
+          << released.status().ToString() << " K=" << limit;
+      ExpectDocumentsEqual(*released, doc);
+    }
+  }
+}
+
+TEST(RecordCodecFuzzTest, BuilderViewRoundTripRandomRecords) {
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const uint32_t n = 1 + rng.NextBounded(20);
+    // ~Every 4th record exercises the wide topology path via big weights.
+    const bool wide = iter % 4 == 0;
+    RecordBuilder builder;
+    std::vector<RecordNodeSpec> specs(n);
+    std::vector<std::string> contents(n);
+    std::vector<RecordProxy> proxies;
+    for (uint32_t i = 0; i < n; ++i) {
+      RecordNodeSpec& spec = specs[i];
+      spec.node = static_cast<NodeId>(rng.NextBounded(1u << 20));
+      spec.weight = 1 + rng.NextBounded(wide ? 1u << 20 : 60u);
+      spec.kind = static_cast<uint8_t>(rng.NextBounded(4));
+      spec.label = static_cast<int32_t>(rng.NextBounded(10)) - 1;
+      contents[i].assign(rng.NextBounded(100), static_cast<char>('a' + i));
+      spec.content = contents[i];
+      spec.overflow = !contents[i].empty() && rng.NextBool(0.2);
+      const auto link = [&](RecordEdge edge) -> int32_t {
+        const double dice = rng.NextDouble();
+        if (dice < 0.4) return kEdgeNone;
+        if (dice < 0.55) {
+          RecordProxy proxy;
+          proxy.from_index = i;
+          proxy.edge = edge;
+          proxy.target_node = static_cast<NodeId>(rng.NextBounded(1u << 20));
+          proxy.target_partition =
+              static_cast<uint32_t>(rng.NextBounded(1000));
+          proxy.target_record =
+              RecordId{static_cast<uint32_t>(rng.NextBounded(1000))};
+          proxy.target_slot = static_cast<uint32_t>(rng.NextBounded(64));
+          proxies.push_back(proxy);
+          builder.AddProxy(proxy);
+          return kEdgeRemote;
+        }
+        return static_cast<int32_t>(rng.NextBounded(n));
+      };
+      spec.parent = rng.NextBool(0.3)
+                        ? kEdgeNone
+                        : static_cast<int32_t>(rng.NextBounded(n));
+      spec.first_child = link(RecordEdge::kFirstChild);
+      spec.next_sibling = link(RecordEdge::kNextSibling);
+      spec.prev_sibling = link(RecordEdge::kPrevSibling);
+      builder.AddNode(spec);
+    }
+    RecordAggregate agg;
+    if (rng.NextBool(0.7)) {
+      agg.parent_node = static_cast<NodeId>(rng.NextBounded(1u << 20));
+      agg.parent_partition = static_cast<uint32_t>(rng.NextBounded(1000));
+      agg.parent_record =
+          RecordId{static_cast<uint32_t>(rng.NextBounded(1000))};
+      agg.parent_slot = static_cast<uint32_t>(rng.NextBounded(64));
+      builder.SetAggregate(agg);
+    }
+    const Result<std::vector<uint8_t>> bytes = builder.Build();
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    EXPECT_EQ(bytes->size(), builder.ByteSize());
+    const Result<RecordView> view =
+        RecordView::Parse(bytes->data(), bytes->size());
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    ASSERT_EQ(view->node_count(), n);
+    EXPECT_EQ(view->aggregate(), agg);
+    for (uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(view->node_id(i), specs[i].node) << i;
+      EXPECT_EQ(view->weight(i), specs[i].weight) << i;
+      EXPECT_EQ(view->parent(i), specs[i].parent) << i;
+      EXPECT_EQ(view->first_child(i), specs[i].first_child) << i;
+      EXPECT_EQ(view->next_sibling(i), specs[i].next_sibling) << i;
+      EXPECT_EQ(view->prev_sibling(i), specs[i].prev_sibling) << i;
+      EXPECT_EQ(view->kind(i), specs[i].kind) << i;
+      EXPECT_EQ(view->label(i), specs[i].label) << i;
+      EXPECT_EQ(view->overflow(i), specs[i].overflow) << i;
+      if (specs[i].overflow) {
+        EXPECT_EQ(view->overflow_bytes(i), contents[i].size()) << i;
+        EXPECT_TRUE(view->content(i).empty()) << i;
+      } else {
+        EXPECT_EQ(view->content(i), contents[i]) << i;
+      }
+      EXPECT_EQ(view->IndexOf(specs[i].node) >= 0, true) << i;
+    }
+    ASSERT_EQ(view->proxy_count(), proxies.size());
+    for (const RecordProxy& want : proxies) {
+      const std::optional<RecordProxy> got =
+          view->FindProxy(want.from_index, want.edge);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, want);
+    }
+    // An edge nobody proxied must not resolve.
+    EXPECT_FALSE(view->FindProxy(n + 1, RecordEdge::kFirstChild).has_value());
+  }
+}
+
+TEST(RecordCodecFuzzTest, TruncationNeverParses) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    RecordBuilder builder;
+    const uint32_t n = 1 + rng.NextBounded(6);
+    std::vector<std::string> contents(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      RecordNodeSpec spec;
+      spec.node = i;
+      spec.weight = 1 + rng.NextBounded(9);
+      contents[i].assign(rng.NextBounded(50), 'q');
+      spec.content = contents[i];
+      builder.AddNode(spec);
+    }
+    const Result<std::vector<uint8_t>> bytes = builder.Build();
+    ASSERT_TRUE(bytes.ok());
+    for (size_t cut = 0; cut < bytes->size(); ++cut) {
+      EXPECT_FALSE(RecordView::Parse(bytes->data(), cut).ok()) << cut;
+    }
+    ASSERT_TRUE(RecordView::Parse(bytes->data(), bytes->size()).ok());
+  }
+}
+
+TEST(RecordCodecTest, BuilderRejectsOutOfRangeLinks) {
+  RecordBuilder builder;
+  RecordNodeSpec spec;
+  spec.node = 1;
+  spec.weight = 1;
+  spec.first_child = 5;  // only one node in the record
+  builder.AddNode(spec);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(RecordCodecTest, BuilderRejectsDuplicateProxy) {
+  RecordBuilder builder;
+  RecordNodeSpec spec;
+  spec.node = 1;
+  spec.weight = 1;
+  spec.first_child = kEdgeRemote;
+  builder.AddNode(spec);
+  RecordProxy proxy;
+  proxy.from_index = 0;
+  proxy.edge = RecordEdge::kFirstChild;
+  proxy.target_node = 7;
+  builder.AddProxy(proxy);
+  builder.AddProxy(proxy);  // same (node, edge) key twice
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+}  // namespace
+}  // namespace natix

@@ -56,27 +56,76 @@ TEST_P(ReconstructionTest, RecordsReconstructTheDocument) {
         DecodeRecord(bytes->first, bytes->second);
     ASSERT_TRUE(rec.ok()) << generator << "/" << algo << " record " << part;
 
+    // Each topology link either resolves inside the record or is marked
+    // remote and backed by exactly one proxy naming the tree neighbour.
+    const auto check_edge = [&](size_t i, int32_t link, RecordEdge edge,
+                                NodeId tree_target) -> uint32_t {
+      if (link == kEdgeNone) {
+        EXPECT_EQ(tree_target, kInvalidNode);
+        return 0;
+      }
+      if (link == kEdgeRemote) {
+        EXPECT_NE(tree_target, kInvalidNode);
+        if (tree_target == kInvalidNode) return 1;
+        EXPECT_NE(store.PartitionOf(tree_target), part);
+        const RecordProxy* found = nullptr;
+        for (const RecordProxy& proxy : rec->proxies) {
+          if (proxy.from_index == i && proxy.edge == edge) found = &proxy;
+        }
+        EXPECT_NE(found, nullptr)
+            << "remote edge without a proxy at record " << part;
+        if (found == nullptr) return 1;
+        EXPECT_EQ(found->target_node, tree_target);
+        EXPECT_EQ(found->target_partition, store.PartitionOf(tree_target));
+        EXPECT_EQ(found->target_record,
+                  store.RecordOf(store.PartitionOf(tree_target)));
+        return 1;
+      }
+      EXPECT_LT(static_cast<size_t>(link), rec->nodes.size());
+      if (static_cast<size_t>(link) >= rec->nodes.size()) return 0;
+      EXPECT_EQ(rec->nodes[static_cast<size_t>(link)].node, tree_target);
+      EXPECT_EQ(store.PartitionOf(tree_target), part);
+      return 0;
+    };
     uint32_t expected_proxies = 0;
     for (size_t i = 0; i < rec->nodes.size(); ++i) {
       const RecordNode& n = rec->nodes[i];
       ASSERT_LT(n.node, tree.size());
       ++seen[n.node];
-      // Identity: kind and label survive serialization.
+      // Identity: kind, label and weight survive serialization.
       EXPECT_EQ(n.kind, static_cast<uint8_t>(tree.KindOf(n.node)));
       EXPECT_EQ(n.label, tree.LabelIdOf(n.node));
+      EXPECT_EQ(n.weight, tree.WeightOf(n.node));
       // Membership: the store's mapping agrees.
       EXPECT_EQ(store.PartitionOf(n.node), part);
-      // Structure: the in-record parent is the tree parent; partition
-      // roots have the out-of-record (or no) parent.
+      // Structure: the in-record parent is the tree parent; interval
+      // members defer to the record's aggregate, which must name their
+      // shared out-of-record parent. Parent links are never remote.
       if (n.parent_in_record >= 0) {
         ASSERT_LT(static_cast<size_t>(n.parent_in_record), rec->nodes.size());
         EXPECT_EQ(rec->nodes[static_cast<size_t>(n.parent_in_record)].node,
                   tree.Parent(n.node));
       } else {
+        EXPECT_EQ(n.parent_in_record, kEdgeNone);
         const NodeId parent = tree.Parent(n.node);
-        EXPECT_TRUE(parent == kInvalidNode ||
-                    store.PartitionOf(parent) != part);
+        EXPECT_EQ(rec->aggregate.parent_node, parent);
+        if (parent != kInvalidNode) {
+          EXPECT_NE(store.PartitionOf(parent), part);
+          EXPECT_EQ(rec->aggregate.parent_partition,
+                    store.PartitionOf(parent));
+          EXPECT_EQ(rec->aggregate.parent_record,
+                    store.RecordOf(store.PartitionOf(parent)));
+        }
       }
+      expected_proxies += check_edge(i, n.first_child,
+                                     RecordEdge::kFirstChild,
+                                     tree.FirstChild(n.node));
+      expected_proxies += check_edge(i, n.next_sibling,
+                                     RecordEdge::kNextSibling,
+                                     tree.NextSibling(n.node));
+      expected_proxies += check_edge(i, n.prev_sibling,
+                                     RecordEdge::kPrevSibling,
+                                     tree.PrevSibling(n.node));
       // Content: inline content is slot padded; overflow keeps the exact
       // byte count.
       const uint32_t content = loaded.doc->content_bytes[n.node];
@@ -85,15 +134,6 @@ TEST_P(ReconstructionTest, RecordsReconstructTheDocument) {
       } else {
         EXPECT_GE(n.content_bytes, content);
         EXPECT_LT(n.content_bytes, content + 8);
-      }
-      // Proxy topology: one proxy per run of cut children in a foreign
-      // partition.
-      uint32_t prev = part;
-      for (NodeId c = tree.FirstChild(n.node); c != kInvalidNode;
-           c = tree.NextSibling(c)) {
-        const uint32_t target = store.PartitionOf(c);
-        if (target != part && target != prev) ++expected_proxies;
-        prev = target;
       }
     }
     EXPECT_EQ(rec->proxy_count, expected_proxies)

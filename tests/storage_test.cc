@@ -66,47 +66,92 @@ TEST(PageTest, FreeSpaceDecreases) {
 
 // ----------------------------------------------------------- records ----
 
+RecordNodeSpec MakeSpec(NodeId node, int32_t parent, uint64_t weight,
+                        int32_t label, std::string_view content,
+                        bool overflow = false) {
+  RecordNodeSpec spec;
+  spec.node = node;
+  spec.parent = parent;
+  spec.weight = weight;
+  spec.label = label;
+  spec.content = content;
+  spec.overflow = overflow;
+  return spec;
+}
+
 TEST(RecordTest, RoundTrip) {
   RecordBuilder builder;
-  builder.AddNode(10, -1, 0, 5, "", false);
-  builder.AddNode(11, 0, 1, -1, "hello bytes", false);
-  builder.AddNode(12, 0, 2, 7, "xy", false);
-  builder.AddProxy(42);
-  builder.AddProxy(43);
-  const std::vector<uint8_t> bytes = builder.Build();
-  EXPECT_EQ(bytes.size(), builder.ByteSize());
-  const Result<DecodedRecord> rec = DecodeRecord(bytes.data(), bytes.size());
+  RecordNodeSpec root = MakeSpec(10, kEdgeNone, 1, 5, "");
+  root.first_child = 1;
+  builder.AddNode(root);
+  RecordNodeSpec mid = MakeSpec(11, 0, 3, -1, "hello bytes");
+  mid.next_sibling = 2;
+  builder.AddNode(mid);
+  RecordNodeSpec last = MakeSpec(12, 0, 2, 7, "xy");
+  last.prev_sibling = 1;
+  last.first_child = kEdgeRemote;
+  builder.AddNode(last);
+  RecordProxy proxy;
+  proxy.from_index = 2;
+  proxy.edge = RecordEdge::kFirstChild;
+  proxy.target_node = 42;
+  proxy.target_partition = 7;
+  proxy.target_record = RecordId{9};
+  proxy.target_slot = 0;
+  builder.AddProxy(proxy);
+  RecordAggregate agg;
+  agg.parent_node = 3;
+  agg.parent_partition = 1;
+  agg.parent_record = RecordId{4};
+  agg.parent_slot = 2;
+  builder.SetAggregate(agg);
+  const Result<std::vector<uint8_t>> bytes = builder.Build();
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_EQ(bytes->size(), builder.ByteSize());
+  const Result<DecodedRecord> rec =
+      DecodeRecord(bytes->data(), bytes->size());
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();
   ASSERT_EQ(rec->nodes.size(), 3u);
-  EXPECT_EQ(rec->proxy_count, 2u);
+  EXPECT_EQ(rec->proxy_count, 1u);
+  ASSERT_EQ(rec->proxies.size(), 1u);
+  EXPECT_EQ(rec->proxies[0], proxy);
+  EXPECT_EQ(rec->aggregate, agg);
   EXPECT_EQ(rec->nodes[0].node, 10u);
-  EXPECT_EQ(rec->nodes[0].parent_in_record, -1);
+  EXPECT_EQ(rec->nodes[0].parent_in_record, kEdgeNone);
+  EXPECT_EQ(rec->nodes[0].first_child, 1);
   EXPECT_EQ(rec->nodes[0].label, 5);
   EXPECT_EQ(rec->nodes[1].parent_in_record, 0);
-  // Content is slot padded: 11 bytes -> 16.
+  EXPECT_EQ(rec->nodes[1].weight, 3u);
+  EXPECT_EQ(rec->nodes[1].content, "hello bytes");
+  // Inline content is slot padded: 11 bytes -> 16.
   EXPECT_EQ(rec->nodes[1].content_bytes, 16u);
   EXPECT_EQ(rec->nodes[2].content_bytes, 8u);
+  EXPECT_EQ(rec->nodes[2].first_child, kEdgeRemote);
 }
 
 TEST(RecordTest, OverflowNode) {
   RecordBuilder builder;
   const std::string big(1000, 'z');
-  builder.AddNode(1, -1, 1, -1, big, /*overflow=*/true);
-  const std::vector<uint8_t> bytes = builder.Build();
-  // Header slot + overflow reference slot only.
-  EXPECT_EQ(bytes.size(), 8u + 8u + 8u + 8u);  // counts + structure + 2 slots
-  const Result<DecodedRecord> rec = DecodeRecord(bytes.data(), bytes.size());
+  builder.AddNode(MakeSpec(1, kEdgeNone, 1, -1, big, /*overflow=*/true));
+  const Result<std::vector<uint8_t>> bytes = builder.Build();
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  // 28B header + 16B narrow topology entry + header slot + overflow slot.
+  EXPECT_EQ(bytes->size(), 28u + 16u + 8u + 8u);
+  const Result<DecodedRecord> rec =
+      DecodeRecord(bytes->data(), bytes->size());
   ASSERT_TRUE(rec.ok());
   EXPECT_TRUE(rec->nodes[0].overflow);
   EXPECT_EQ(rec->nodes[0].content_bytes, 1000u);
+  EXPECT_TRUE(rec->nodes[0].content.empty());
 }
 
 TEST(RecordTest, DecodeRejectsTruncated) {
   RecordBuilder builder;
-  builder.AddNode(1, -1, 0, 0, "some content here", false);
-  const std::vector<uint8_t> bytes = builder.Build();
-  for (const size_t cut : {4u, 10u, 17u}) {
-    EXPECT_FALSE(DecodeRecord(bytes.data(), cut).ok()) << cut;
+  builder.AddNode(MakeSpec(1, kEdgeNone, 4, 0, "some content here"));
+  const Result<std::vector<uint8_t>> bytes = builder.Build();
+  ASSERT_TRUE(bytes.ok());
+  for (size_t cut = 0; cut < bytes->size(); ++cut) {
+    EXPECT_FALSE(DecodeRecord(bytes->data(), cut).ok()) << cut;
   }
 }
 

@@ -1,0 +1,344 @@
+// The evicted operating mode: ReleaseDocument() drops the in-memory
+// document and the store must keep answering navigation, queries,
+// updates, checkpoints and recovery from record bytes alone, with
+// results (and access statistics) identical to a document-resident
+// store.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/heuristics.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/reference_evaluator.h"
+#include "storage/file_backend.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+std::string RandomXml(Rng& rng, int ops) {
+  static constexpr const char* kNames[] = {"a", "b", "c", "d"};
+  std::string xml = "<a>";
+  std::vector<const char*> stack = {"a"};
+  for (int i = 0; i < ops; ++i) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const char* name = kNames[rng.NextBounded(4)];
+      xml += std::string("<") + name + ">";
+      stack.push_back(name);
+    } else if (dice < 0.65 && stack.size() > 1) {
+      xml += std::string("</") + stack.back() + ">";
+      stack.pop_back();
+    } else if (dice < 0.85) {
+      xml += std::string(1 + rng.NextBounded(40), 't');
+      xml += ' ';
+    } else {
+      xml += std::string("<") + kNames[rng.NextBounded(4)] + " k=\"v\"/>";
+    }
+  }
+  while (!stack.empty()) {
+    xml += std::string("</") + stack.back() + ">";
+    stack.pop_back();
+  }
+  return xml;
+}
+
+// Imports with the weight model capped at the partition limit, so big
+// text runs externalize instead of making partitioning infeasible.
+ImportedDocument ImportDoc(const std::string& xml) {
+  WeightModel model;
+  model.max_node_slots = 16;
+  Result<ImportedDocument> imp = ImportXml(xml, model);
+  imp.status().CheckOK();
+  return std::move(imp).value();
+}
+
+NatixStore BuildStore(const ImportedDocument& doc, TotalWeight limit) {
+  Result<Partitioning> p = EkmPartition(doc.tree, limit);
+  p.status().CheckOK();
+  Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, limit);
+  store.status().CheckOK();
+  return std::move(store).value();
+}
+
+void ExpectDocumentsEqual(const ImportedDocument& got,
+                          const ImportedDocument& want) {
+  ASSERT_EQ(got.tree.size(), want.tree.size());
+  for (NodeId v = 0; v < want.tree.size(); ++v) {
+    EXPECT_EQ(got.tree.Parent(v), want.tree.Parent(v)) << v;
+    EXPECT_EQ(got.tree.FirstChild(v), want.tree.FirstChild(v)) << v;
+    EXPECT_EQ(got.tree.NextSibling(v), want.tree.NextSibling(v)) << v;
+    EXPECT_EQ(got.tree.PrevSibling(v), want.tree.PrevSibling(v)) << v;
+    EXPECT_EQ(got.tree.WeightOf(v), want.tree.WeightOf(v)) << v;
+    EXPECT_EQ(got.tree.KindOf(v), want.tree.KindOf(v)) << v;
+    EXPECT_EQ(got.tree.LabelOf(v), want.tree.LabelOf(v)) << v;
+    EXPECT_EQ(got.ContentOf(v), want.ContentOf(v)) << v;
+  }
+}
+
+std::vector<NodeId> RunQuery(const NatixStore& store, const std::string& q,
+                             AccessStats* stats,
+                             LruBufferPool* pool = nullptr) {
+  const Result<PathExpr> path = ParseXPath(q);
+  path.status().CheckOK();
+  StoreQueryEvaluator eval(&store, stats, pool);
+  Result<std::vector<NodeId>> result = eval.Evaluate(*path);
+  result.status().CheckOK();
+  return *std::move(result);
+}
+
+TEST(StoreEvictTest, ReleaseThenEnsureRoundTripsDocument) {
+  Rng rng(11);
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::string xml = RandomXml(rng, 60 + iter * 25);
+    const ImportedDocument doc = ImportDoc(xml);
+    NatixStore store = BuildStore(doc, 16);
+    ASSERT_TRUE(store.has_document());
+    ASSERT_TRUE(store.ReleaseDocument().ok());
+    EXPECT_FALSE(store.has_document());
+    EXPECT_EQ(store.node_count(), doc.tree.size());
+    // Release is idempotent.
+    ASSERT_TRUE(store.ReleaseDocument().ok());
+    ASSERT_TRUE(store.EnsureDocument().ok());
+    ASSERT_TRUE(store.has_document());
+    ExpectDocumentsEqual(store.document(), doc);
+  }
+}
+
+TEST(StoreEvictTest, ReleasedQueriesMatchResidentAndReference) {
+  Rng rng(23);
+  static constexpr const char* kQueries[] = {
+      "/a//b", "//c[b]", "//*[parent::a]/d", "//b/following-sibling::*",
+      "//d/ancestor::b",
+  };
+  for (int iter = 0; iter < 6; ++iter) {
+    const std::string xml = RandomXml(rng, 120);
+    const ImportedDocument doc = ImportDoc(xml);
+    NatixStore resident = BuildStore(doc, 16);
+    NatixStore released = BuildStore(doc, 16);
+    ASSERT_TRUE(released.ReleaseDocument().ok());
+    for (const char* q : kQueries) {
+      const Result<PathExpr> path = ParseXPath(q);
+      ASSERT_TRUE(path.ok()) << q;
+      const Result<std::vector<NodeId>> reference =
+          EvaluateOnTree(doc.tree, *path);
+      ASSERT_TRUE(reference.ok()) << q;
+      AccessStats rstats;
+      AccessStats estats;
+      EXPECT_EQ(RunQuery(resident, q, &rstats), *reference) << q;
+      EXPECT_EQ(RunQuery(released, q, &estats), *reference) << q;
+      // The counters the cost model consumes must be identical: release
+      // changes where bytes live, never how navigation is charged.
+      EXPECT_EQ(estats.intra_moves, rstats.intra_moves) << q;
+      EXPECT_EQ(estats.record_crossings, rstats.record_crossings) << q;
+      EXPECT_EQ(estats.page_switches, rstats.page_switches) << q;
+    }
+  }
+}
+
+TEST(StoreEvictTest, RandomWalkMatchesTreeOracleUnderTinyPool) {
+  Rng rng(37);
+  const std::string xml = RandomXml(rng, 3000);
+  const ImportedDocument doc = ImportDoc(xml);
+  NatixStore store = BuildStore(doc, 16);
+  ASSERT_TRUE(store.ReleaseDocument().ok());
+  // The working set must exceed the pool or the eviction check is vacuous.
+  ASSERT_GT(store.page_count(), 2u);
+  Result<LruBufferPool> pool = LruBufferPool::Create(2);
+  ASSERT_TRUE(pool.ok());
+  AccessStats stats;
+  Navigator nav(&store, &stats, &*pool);
+  NodeId oracle = 0;
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t dice = rng.NextBounded(5);
+    bool moved = false;
+    NodeId target = kInvalidNode;
+    switch (dice) {
+      case 0:
+        moved = nav.ToFirstChild();
+        target = doc.tree.FirstChild(oracle);
+        break;
+      case 1:
+        moved = nav.ToNextSibling();
+        target = doc.tree.NextSibling(oracle);
+        break;
+      case 2:
+        moved = nav.ToPrevSibling();
+        target = doc.tree.PrevSibling(oracle);
+        break;
+      case 3:
+        moved = nav.ToParent();
+        target = doc.tree.Parent(oracle);
+        break;
+      default:
+        nav.JumpToRoot();
+        moved = true;
+        target = 0;
+        break;
+    }
+    ASSERT_EQ(moved, target != kInvalidNode) << "step " << step;
+    if (moved) oracle = target;
+    ASSERT_EQ(nav.current(), oracle) << "step " << step;
+    EXPECT_EQ(nav.CurrentKind(), doc.tree.KindOf(oracle)) << "step " << step;
+    EXPECT_EQ(store.LabelNameOf(nav.CurrentLabelId()),
+              doc.tree.LabelOf(oracle))
+        << "step " << step;
+  }
+  // Random access to every node: the walk above is root-anchored, but
+  // this sweep provably touches more pages than the pool holds.
+  for (NodeId v = 0; v < store.node_count(); ++v) {
+    nav.JumpTo(v);
+    ASSERT_EQ(nav.current(), v);
+    EXPECT_EQ(nav.CurrentKind(), doc.tree.KindOf(v)) << v;
+    EXPECT_EQ(store.LabelNameOf(nav.CurrentLabelId()), doc.tree.LabelOf(v))
+        << v;
+  }
+  EXPECT_GT(pool->stats().evictions, 0u);
+}
+
+TEST(StoreEvictTest, InsertsOnReleasedStoreMatchResidentStore) {
+  Rng rng(53);
+  const std::string xml = RandomXml(rng, 100);
+  const ImportedDocument doc = ImportDoc(xml);
+  NatixStore resident = BuildStore(doc, 16);
+  NatixStore released = BuildStore(doc, 16);
+  ASSERT_TRUE(released.ReleaseDocument().ok());
+  EXPECT_EQ(released.version(), resident.version());
+
+  // The same insert stream against both stores. The released store must
+  // rematerialize transparently and land on identical NodeIds.
+  Rng stream(7);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId parent = static_cast<NodeId>(
+        stream.NextBounded(resident.node_count()));
+    const std::string label(1, static_cast<char>('a' + stream.NextBounded(4)));
+    const std::string content(stream.NextBounded(30), 'y');
+    const Result<NodeId> a =
+        resident.InsertBefore(parent, kInvalidNode, label,
+                              NodeKind::kElement, content);
+    const Result<NodeId> b =
+        released.InsertBefore(parent, kInvalidNode, label,
+                              NodeKind::kElement, content);
+    ASSERT_EQ(a.ok(), b.ok())
+        << i << " resident: " << a.status().ToString()
+        << " released: " << b.status().ToString();
+    if (!a.ok()) continue;
+    EXPECT_EQ(*a, *b) << i;
+    // Every third insert, drop the document again mid-stream.
+    if (i % 3 == 2) {
+      ASSERT_TRUE(released.ReleaseDocument().ok());
+    }
+  }
+  EXPECT_EQ(released.version(), resident.version());
+  EXPECT_GT(released.version(), 0u);
+
+  Result<ImportedDocument> left = released.SnapshotDocument();
+  Result<ImportedDocument> right = resident.SnapshotDocument();
+  ASSERT_TRUE(left.ok() && right.ok());
+  ExpectDocumentsEqual(*left, *right);
+
+  // Queries over the mutated stores agree too (the evaluator's rank cache
+  // must refresh on the released store's version bumps).
+  for (const char* q : {"//b", "//*[c]", "//d/ancestor::a"}) {
+    AccessStats s1;
+    AccessStats s2;
+    EXPECT_EQ(RunQuery(released, q, &s1), RunQuery(resident, q, &s2)) << q;
+  }
+}
+
+TEST(StoreEvictTest, OverflowContentSurvivesReleaseCycles) {
+  // One huge text node forces overflow storage; its content must survive
+  // release (records keep only the length; the store parks the bytes).
+  const std::string big(100000, 'Z');
+  const std::string xml = "<a><b>" + big + "</b><c>small</c></a>";
+  const ImportedDocument doc = ImportDoc(xml);
+  ASSERT_GT(doc.overflow_nodes, 0u);
+  NatixStore store = BuildStore(doc, 16);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(store.ReleaseDocument().ok());
+    ASSERT_TRUE(store.EnsureDocument().ok());
+  }
+  ExpectDocumentsEqual(store.document(), doc);
+  EXPECT_EQ(store.document().overflow_nodes, doc.overflow_nodes);
+  EXPECT_EQ(store.document().overflow_bytes, doc.overflow_bytes);
+}
+
+TEST(StoreEvictTest, CheckpointAndRecoverReleasedStore) {
+  Rng rng(71);
+  const std::string xml = RandomXml(rng, 150);
+  const ImportedDocument doc = ImportDoc(xml);
+  NatixStore store = BuildStore(doc, 16);
+
+  auto mem = std::make_unique<MemoryFileBackend>();
+  auto disk = mem->disk();
+  ASSERT_TRUE(store.EnableDurability(std::move(mem)).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.InsertBefore(0, kInvalidNode, "b").ok());
+  }
+  // Checkpoint a *released* store: the checkpoint carries no document.
+  ASSERT_TRUE(store.ReleaseDocument().ok());
+  ASSERT_TRUE(store.Checkpoint().ok());
+  // Op tail after the checkpoint, then release again so the log describes
+  // a store that ended its run evicted.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.InsertBefore(0, kInvalidNode, "c").ok());
+  }
+  ASSERT_TRUE(store.ReleaseDocument().ok());
+
+  Result<NatixStore> recovered =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->node_count(), store.node_count());
+  EXPECT_EQ(recovered->version(), store.version());
+
+  Result<ImportedDocument> left = recovered->SnapshotDocument();
+  Result<ImportedDocument> right = store.SnapshotDocument();
+  ASSERT_TRUE(left.ok() && right.ok());
+  ExpectDocumentsEqual(*left, *right);
+
+  // The recovered store answers queries without ever having held the
+  // original in-memory document.
+  for (const char* q : {"/a/b", "/a/c", "//*"}) {
+    AccessStats s1;
+    AccessStats s2;
+    EXPECT_EQ(RunQuery(*recovered, q, &s1), RunQuery(store, q, &s2)) << q;
+  }
+}
+
+TEST(StoreEvictTest, FlushedPageFileServesColdReads) {
+  Rng rng(83);
+  const std::string xml = RandomXml(rng, 200);
+  const ImportedDocument doc = ImportDoc(xml);
+  NatixStore store = BuildStore(doc, 16);
+  ASSERT_TRUE(store.ReleaseDocument().ok());
+
+  MemoryFileBackend pagefile;
+  ASSERT_TRUE(store.FlushPagesTo(&pagefile).ok());
+  const FilePageSource source(&pagefile, store.page_size(),
+                              store.page_provider());
+
+  const Result<PathExpr> path = ParseXPath("//b/ancestor::*");
+  ASSERT_TRUE(path.ok());
+  const Result<std::vector<NodeId>> reference =
+      EvaluateOnTree(doc.tree, *path);
+  ASSERT_TRUE(reference.ok());
+
+  Result<LruBufferPool> pool = LruBufferPool::Create(2);
+  ASSERT_TRUE(pool.ok());
+  AccessStats stats;
+  StoreQueryEvaluator eval(&store, &stats, &*pool, &source);
+  const Result<std::vector<NodeId>> result = eval.Evaluate(*path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, *reference);
+  // Misses really read bytes from the flushed file.
+  EXPECT_GT(pool->stats().misses, 0u);
+  EXPECT_GT(pool->stats().bytes_read, 0u);
+}
+
+}  // namespace
+}  // namespace natix
