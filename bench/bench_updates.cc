@@ -13,6 +13,7 @@
 // and simulated navigation cost against a fresh bulkload of the final
 // document. Emits BENCH_UPDATES JSON lines (one per sweep plus a
 // summary) for snapshotting.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +25,9 @@
 #include "core/heuristics.h"
 #include "query/reference_evaluator.h"
 #include "storage/file_backend.h"
+#include "storage/fsck.h"
+#include "storage/page_integrity.h"
+#include "storage/self_heal.h"
 #include "updates/incremental.h"
 
 namespace {
@@ -324,6 +328,55 @@ int RunWalLeg(natix::TotalWeight limit, double scale) {
   recovered->partitioner()->Validate().CheckOK();
   if (!SweepMatchesReference(*recovered)) return 1;
 
+  // Integrity leg: flush the recovered store's pages as sealed cells,
+  // damage a sample of them, and measure fsck detection plus the
+  // self-healing read path over the same WAL.
+  natix::MemoryFileBackend pagefile;
+  recovered->FlushPagesTo(&pagefile).CheckOK();
+  const size_t cell_size = recovered->page_size() + natix::kPageCellOverhead;
+  const size_t pages = recovered->regular_page_count();
+  const size_t to_damage = std::min<size_t>(8, pages);
+  for (size_t p = 0; p < to_damage; ++p) {
+    (*pagefile.disk())[p * cell_size + 64] ^= 0x10;
+  }
+  natix::MemoryFileBackend audit_wal(disk);
+  std::unique_ptr<natix::NatixStore> audited;
+  natix::Timer fsck_timer;
+  auto report = natix::FsckLog(&audit_wal, &audited);
+  report.status().CheckOK();
+  natix::FsckPageFile(&pagefile, *audited, &*report).CheckOK();
+  const double fsck_ms = fsck_timer.ElapsedMillis();
+  if (report->cell_checksum_failures != to_damage) {
+    std::fprintf(stderr, "BUG: fsck found %llu of %zu damaged cells\n",
+                 static_cast<unsigned long long>(
+                     report->cell_checksum_failures),
+                 to_damage);
+    return 1;
+  }
+  natix::FilePageSource primary(&pagefile, recovered->page_size(),
+                                recovered->page_provider());
+  natix::MemoryFileBackend heal_wal(disk);
+  const natix::SelfHealingPageSource healer(&primary, &heal_wal);
+  natix::Timer heal_timer;
+  for (uint32_t p = 0; p < static_cast<uint32_t>(pages); ++p) {
+    healer.ReadPage(p).status().CheckOK();
+  }
+  const double heal_ms = heal_timer.ElapsedMillis();
+  const natix::IntegrityStats is = healer.stats();
+  if (is.repairs != to_damage || is.repair_failures != 0) {
+    std::fprintf(stderr, "BUG: %llu of %zu damaged pages healed "
+                         "(%llu failures)\n",
+                 static_cast<unsigned long long>(is.repairs), to_damage,
+                 static_cast<unsigned long long>(is.repair_failures));
+    return 1;
+  }
+  std::printf("integrity: fsck over %zu cells in %.1fms (%llu damaged "
+              "found), %llu pages healed in %.1fms\n",
+              pages, fsck_ms,
+              static_cast<unsigned long long>(
+                  report->cell_checksum_failures),
+              static_cast<unsigned long long>(is.repairs), heal_ms);
+
   std::printf(
       "BENCH_UPDATES {\"bench\":\"store_updates_wal\",\"doc\":\"xmark\","
       "\"nodes\":%zu,\"k\":%llu,\"scale\":%.3f,\"inserts\":%d,"
@@ -331,7 +384,9 @@ int RunWalLeg(natix::TotalWeight limit, double scale) {
       "\"op_entries\":%llu,\"checkpoint_bytes\":%llu,\"checkpoints\":%llu,"
       "\"record_bytes\":%llu,\"op_amplification\":%.4f,"
       "\"recover_ms\":%.3f,\"recovered_inserts\":%llu,"
-      "\"queries_match\":true}\n",
+      "\"queries_match\":true,\"fsck_cells\":%zu,\"fsck_ms\":%.3f,"
+      "\"fsck_damage_found\":%llu,\"pages_repaired\":%llu,"
+      "\"repair_failures\":%llu,\"heal_ms\":%.3f}\n",
       recovered->tree().size(), static_cast<unsigned long long>(limit),
       scale, kInserts, 1e3 * insert_ms / kInserts,
       static_cast<unsigned long long>(ws.wal_bytes),
@@ -341,7 +396,10 @@ int RunWalLeg(natix::TotalWeight limit, double scale) {
       static_cast<unsigned long long>(ws.checkpoints),
       static_cast<unsigned long long>(ws.record_bytes),
       ws.OpAmplification(), recover_ms,
-      static_cast<unsigned long long>(us.inserts));
+      static_cast<unsigned long long>(us.inserts), pages, fsck_ms,
+      static_cast<unsigned long long>(report->cell_checksum_failures),
+      static_cast<unsigned long long>(is.repairs),
+      static_cast<unsigned long long>(is.repair_failures), heal_ms);
   return 0;
 }
 

@@ -8,8 +8,9 @@
 //   natix_cli partition <algo|ALL> <file|generator> [K] [scale] [threads]
 //   natix_cli query <xpath> <file|generator> [algo] [K] [scale]
 //   natix_cli update <file|generator> [inserts] [K] [scale] [seed]
-//              [--wal <path>]
+//              [--wal <path>] [--pages <path>]
 //   natix_cli recover <wal-file>                          rebuild from log
+//   natix_cli fsck <wal-file> [--pages <page-file>]       offline checker
 //   natix_cli algorithms                                  list algorithms
 //
 // <file|generator>: a path to an XML file, or one of the built-in
@@ -19,11 +20,20 @@
 // --wal <path>: write every insert through a write-ahead log at <path>
 // (the file must not already exist); `recover` rebuilds the store from
 // such a log after a crash and reports what survived.
+// --pages <path>: after the workload, flush every page as a
+// checksummed sealed cell to <path>; `fsck --pages` later verifies that
+// file cell by cell against the store the log restores.
+//
+// Exit codes (recover): 0 clean recovery; 3 no WAL found at the path;
+// 4 recovered, but a torn tail was truncated (some trailing ops were
+// lost); 5 the log exists but is unrecoverable. Exit codes (fsck):
+// 0 clean, 1 damage found, 3 no WAL found.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -35,7 +45,9 @@
 #include "query/evaluator.h"
 #include "query/parser.h"
 #include "storage/file_backend.h"
+#include "storage/fsck.h"
 #include "storage/store.h"
+#include "storage/wal.h"
 #include "tree/tree_stats.h"
 #include "xml/importer.h"
 
@@ -51,10 +63,42 @@ int Usage() {
       "[threads]\n"
       "  natix_cli query <xpath> <file|generator> [algo] [K] [scale]\n"
       "  natix_cli update <file|generator> [inserts] [K] [scale] [seed] "
-      "[--wal <path>]\n"
+      "[--wal <path>] [--pages <path>]\n"
       "  natix_cli recover <wal-file>\n"
+      "  natix_cli fsck <wal-file> [--pages <page-file>]\n"
       "  natix_cli algorithms\n");
   return 2;
+}
+
+// Strips `flag` and its value from argv, storing the value in *out.
+// Returns false on a flag with a missing value.
+bool StripFlag(const char* flag, int* argc, char** argv, std::string* out) {
+  for (int i = 0; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      if (i + 1 >= *argc) return false;
+      *out = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return true;
+    }
+  }
+  return true;
+}
+
+// `recover` and `fsck` must distinguish "there is no log here" from "the
+// log is damaged". PosixFileBackend::Open creates missing files, so the
+// probe runs first: exit code 3 when the file is absent, too short for a
+// log header, or carries the wrong magic.
+int ProbeWal(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[natix::kWalHeaderSize] = {};
+  if (!in || !in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, natix::kWalMagic, sizeof(magic)) != 0) {
+    std::fprintf(stderr, "no WAL found at %s (missing file or no log "
+                         "header)\n", path);
+    return 3;
+  }
+  return 0;
 }
 
 natix::Result<std::string> LoadXml(const std::string& source, double scale) {
@@ -264,16 +308,12 @@ double SweepCostSeconds(const natix::NatixStore& store,
 }
 
 int CmdUpdate(int argc, char** argv) {
-  // Strip the --wal flag (and its value) before positional parsing.
+  // Strip flags (and their values) before positional parsing.
   std::string wal_path;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--wal") == 0) {
-      if (i + 1 >= argc) return Usage();
-      wal_path = argv[i + 1];
-      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      break;
-    }
+  std::string pages_path;
+  if (!StripFlag("--wal", &argc, argv, &wal_path) ||
+      !StripFlag("--pages", &argc, argv, &pages_path)) {
+    return Usage();
   }
   if (argc < 1) return Usage();
   const int inserts = argc > 1 ? std::atoi(argv[1]) : 10000;
@@ -421,23 +461,42 @@ int CmdUpdate(int argc, char** argv) {
                 ws.OpAmplification(),
                 static_cast<unsigned long long>(ws.record_bytes));
   }
+  if (!pages_path.empty()) {
+    auto pages = natix::PosixFileBackend::Open(pages_path);
+    if (!pages.ok()) {
+      std::fprintf(stderr, "%s\n", pages.status().ToString().c_str());
+      return 1;
+    }
+    const natix::Status flushed = store->FlushPagesTo(pages->get());
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "page flush: %s\n", flushed.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nflushed %zu sealed page cell(s) to %s "
+                "(%zu + %zu bytes each)\n",
+                store->regular_page_count(), pages_path.c_str(),
+                store->page_size(), natix::kPageCellOverhead);
+  }
   return 0;
 }
 
 int CmdRecover(int argc, char** argv) {
   if (argc < 1) return Usage();
+  const int probe = ProbeWal(argv[0]);
+  if (probe != 0) return probe;
   auto backend = natix::PosixFileBackend::Open(argv[0]);
   if (!backend.ok()) {
     std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
-    return 1;
+    return 5;
   }
+  natix::RecoveryInfo info;
   natix::Timer timer;
-  auto store = natix::NatixStore::Recover(std::move(*backend));
+  auto store = natix::NatixStore::Recover(std::move(*backend), &info);
   const double ms = timer.ElapsedMillis();
   if (!store.ok()) {
-    std::fprintf(stderr, "recovery failed: %s\n",
+    std::fprintf(stderr, "unrecoverable corruption: %s\n",
                  store.status().ToString().c_str());
-    return 1;
+    return 5;
   }
   const natix::UpdateStats us = store->update_stats();
   std::printf("recovered in %.1fms: %zu nodes, %zu records on %zu pages, "
@@ -450,19 +509,82 @@ int CmdRecover(int argc, char** argv) {
               static_cast<unsigned long long>(us.splits),
               static_cast<unsigned long long>(us.records_rewritten),
               static_cast<unsigned long long>(us.records_created));
+  std::printf("  LSN range: checkpoint %llu..%llu, %llu op(s) replayed, "
+              "last LSN %llu (%llu entries scanned, %llu checkpoints)\n",
+              static_cast<unsigned long long>(info.checkpoint_begin_lsn),
+              static_cast<unsigned long long>(info.checkpoint_end_lsn),
+              static_cast<unsigned long long>(info.replayed_ops),
+              static_cast<unsigned long long>(info.last_lsn),
+              static_cast<unsigned long long>(info.entries_scanned),
+              static_cast<unsigned long long>(info.checkpoints_found));
   if (store->partitioner() != nullptr) {
     const natix::Status valid = store->partitioner()->Validate();
     std::printf("  partitioning: %s\n",
                 valid.ok() ? "feasible" : valid.ToString().c_str());
-    if (!valid.ok()) return 1;
+    if (!valid.ok()) return 5;
   }
   natix::AccessStats stats;
   const double sweep = SweepCostSeconds(*store, &stats);
   std::printf("  structural sweep: %llu moves, %.2fms simulated cost\n",
               static_cast<unsigned long long>(stats.TotalMoves()),
               1e3 * sweep);
+  if (info.tail_was_torn) {
+    std::printf("  torn tail truncated: %llu byte(s) past LSN %llu were "
+                "dropped (ops after the last durable entry are lost)\n",
+                static_cast<unsigned long long>(info.torn_bytes),
+                static_cast<unsigned long long>(info.last_lsn));
+    return 4;
+  }
   std::printf("  log is clean; the store can continue accepting updates\n");
   return 0;
+}
+
+int CmdFsck(int argc, char** argv) {
+  std::string pages_path;
+  if (!StripFlag("--pages", &argc, argv, &pages_path)) return Usage();
+  if (argc < 1) return Usage();
+  const int probe = ProbeWal(argv[0]);
+  if (probe != 0) return probe;
+  auto backend = natix::PosixFileBackend::Open(argv[0]);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+    return 3;
+  }
+  std::unique_ptr<natix::NatixStore> store;
+  auto report = natix::FsckLog(backend->get(), &store);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fsck cannot read the log: %s\n",
+                 report.status().ToString().c_str());
+    return 3;
+  }
+  if (!pages_path.empty()) {
+    if (store == nullptr) {
+      report->AddProblem("page file not checked: the log restored no "
+                         "store");
+    } else {
+      std::ifstream probe_pages(pages_path, std::ios::binary);
+      if (!probe_pages) {
+        std::fprintf(stderr, "no page file found at %s\n",
+                     pages_path.c_str());
+        return 2;
+      }
+      probe_pages.close();
+      auto pages = natix::PosixFileBackend::Open(pages_path);
+      if (!pages.ok()) {
+        std::fprintf(stderr, "%s\n", pages.status().ToString().c_str());
+        return 2;
+      }
+      const natix::Status checked =
+          natix::FsckPageFile(pages->get(), *store, &*report);
+      if (!checked.ok()) {
+        std::fprintf(stderr, "page file check aborted: %s\n",
+                     checked.ToString().c_str());
+        return 2;
+      }
+    }
+  }
+  std::fputs(report->Summary().c_str(), stdout);
+  return report->clean() ? 0 : 1;
 }
 
 int CmdAlgorithms() {
@@ -487,6 +609,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(argc - 2, argv + 2);
   if (cmd == "update") return CmdUpdate(argc - 2, argv + 2);
   if (cmd == "recover") return CmdRecover(argc - 2, argv + 2);
+  if (cmd == "fsck") return CmdFsck(argc - 2, argv + 2);
   if (cmd == "algorithms") return CmdAlgorithms();
   return Usage();
 }

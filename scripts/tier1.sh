@@ -21,18 +21,43 @@ cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test \
 (cd build-tsan && ./tests/dhw_parallel_test && ./tests/thread_pool_test \
   && ./tests/store_updates_test)
 
+# 2b. fsck / corruption-repair smoke: exercise the CLI workflow the
+#     integrity layer exists for -- durable update with a flushed page
+#     file, recovery, a clean fsck, then an injected bit flip that fsck
+#     must catch (exit 1) and distinct recover/fsck exit codes for a
+#     missing log (exit 3).
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+./build/examples/natix_cli update sigmod 500 256 0.02 1 \
+  --wal "$SMOKE/w.log" --pages "$SMOKE/p.pages" > /dev/null
+./build/examples/natix_cli recover "$SMOKE/w.log" > /dev/null
+./build/examples/natix_cli fsck "$SMOKE/w.log" --pages "$SMOKE/p.pages" \
+  > /dev/null
+printf '\xff' | dd of="$SMOKE/p.pages" bs=1 seek=300 conv=notrunc \
+  status=none
+if ./build/examples/natix_cli fsck "$SMOKE/w.log" \
+    --pages "$SMOKE/p.pages" > /dev/null; then
+  echo "fsck smoke FAILED: corruption went undetected" >&2; exit 1
+fi
+if ./build/examples/natix_cli fsck "$SMOKE/nope.log" 2> /dev/null; then
+  echo "fsck smoke FAILED: missing log not reported" >&2; exit 1
+fi
+
 # 3. Memory check: the update/storage surface under ASan+UBSan -- record
 #    splits, relocations and page compaction move raw bytes around, so
 #    this is where lifetime bugs would hide. The WAL/recovery suite
-#    (crash matrix included) runs here too: recovery parses raw bytes a
-#    simulated crash mangled, the other place lifetime bugs would hide.
+#    (crash matrix included) runs here too, as does the integrity suite
+#    (read-fault injection, fsck, corruption matrix, self-healing
+#    repair): both parse and rewrite raw bytes a simulated fault
+#    mangled, the other place lifetime bugs would hide.
 cmake -B build-asan -S . -DNATIX_SANITIZE=address,undefined \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j --target store_updates_test updates_test \
-  storage_test wal_recovery_test record_codec_test store_evict_test \
-  query_axis_matrix_test
+  storage_test wal_recovery_test fsck_repair_test record_codec_test \
+  store_evict_test query_axis_matrix_test
 (cd build-asan && ./tests/store_updates_test && ./tests/updates_test \
-  && ./tests/storage_test && ./tests/wal_recovery_test)
+  && ./tests/storage_test && ./tests/wal_recovery_test \
+  && ./tests/fsck_repair_test)
 
 # 3b. Evicted-mode memory check: the record codec, the release/
 #     rematerialize cycle and the query+updates+WAL surface with the

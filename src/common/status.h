@@ -20,6 +20,10 @@ enum class StatusCode {
   kFailedPrecondition = 6,
   kParseError = 7,
   kInternal = 8,
+  /// A transient failure (device busy, injected EIO): the same call may
+  /// succeed if retried. Retry loops key on this code; every other code
+  /// means retrying is pointless.
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -63,6 +67,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

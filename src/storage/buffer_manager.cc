@@ -91,6 +91,15 @@ size_t LruBufferPool::pinned_count() const {
   return pinned;
 }
 
+bool LruBufferPool::Quarantine(uint32_t page) {
+  const auto it = frames_.find(page);
+  if (it == frames_.end() || it->second.pins > 0) return false;
+  lru_.erase(it->second.lru_it);
+  frames_.erase(it);
+  ++stats_.quarantines;
+  return true;
+}
+
 void LruBufferPool::InvalidateBytes() {
   for (auto& [page, frame] : frames_) {
     frame.bytes.clear();

@@ -17,6 +17,8 @@ struct BufferStats {
   uint64_t hits = 0;
   uint64_t misses = 0;  // each miss is one page read from the provider
   uint64_t evictions = 0;
+  /// Frames dropped by Quarantine() after a failed integrity check.
+  uint64_t quarantines = 0;
   /// Bytes actually fetched through a PageProvider on misses.
   uint64_t bytes_read = 0;
   /// Wall time spent inside PageProvider::ReadPage on misses.
@@ -93,6 +95,14 @@ class LruBufferPool {
   /// Empties the pool (cold restart), keeping the stats. The caller must
   /// not hold pins across a Clear().
   void Clear();
+
+  /// Evicts one frame outright because its bytes failed an integrity
+  /// check -- quarantined bytes must not be served to later Pin()s, and
+  /// unlike InvalidateBytes() the residency is dropped too (the page is
+  /// suspect, not merely stale). Refuses (returns false) while the frame
+  /// is pinned: a reader still holds a pointer into it. Returns true if
+  /// a frame was dropped.
+  bool Quarantine(uint32_t page);
 
   /// Drops every frame's bytes but keeps residency, pins and stats: the
   /// next Pin() of each page reloads through its provider. Called after

@@ -37,7 +37,43 @@ Status FaultInjectingBackend::Append(const void* data, size_t size) {
 
 Status FaultInjectingBackend::ReadAt(uint64_t offset, void* out, size_t size) {
   if (fired_) return Dead();
+  const uint64_t idx = reads_++;
+  if (read_mode_ == ReadFaultMode::kNone || idx < read_fault_at_ ||
+      idx >= read_fault_at_ + read_fault_count_) {
+    return inner_->ReadAt(offset, out, size);
+  }
+  ++read_faults_fired_;
+  switch (read_mode_) {
+    case ReadFaultMode::kBitFlip: {
+      NATIX_RETURN_NOT_OK(inner_->ReadAt(offset, out, size));
+      if (size > 0) {
+        const uint64_t bit = rng_.NextBounded(size * 8);
+        static_cast<uint8_t*>(out)[bit / 8] ^=
+            static_cast<uint8_t>(1u << (bit % 8));
+      }
+      return Status::OK();
+    }
+    case ReadFaultMode::kShortRead: {
+      // A strict prefix lands in `out`; the tail keeps whatever garbage
+      // the caller's buffer held. The error is transient: retrying the
+      // same read succeeds once the fault window has passed.
+      const size_t keep =
+          size == 0 ? 0 : static_cast<size_t>(rng_.NextBounded(size));
+      if (keep > 0) NATIX_RETURN_NOT_OK(inner_->ReadAt(offset, out, keep));
+      return Status::Unavailable("injected short read");
+    }
+    case ReadFaultMode::kTransientEio:
+      return Status::Unavailable("injected transient EIO");
+    case ReadFaultMode::kNone:
+      break;
+  }
   return inner_->ReadAt(offset, out, size);
+}
+
+Status FaultInjectingBackend::WriteAt(uint64_t offset, const void* data,
+                                      size_t size) {
+  if (fired_) return Dead();
+  return inner_->WriteAt(offset, data, size);
 }
 
 Status FaultInjectingBackend::Truncate(uint64_t size) {

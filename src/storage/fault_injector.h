@@ -23,6 +23,22 @@ enum class FaultMode : uint8_t {
   kTornWrite = 2,
 };
 
+/// How an injected read fault corrupts the ReadAt it fires on. Unlike
+/// write faults these model a flaky (not dying) device: the backend
+/// stays alive afterwards.
+enum class ReadFaultMode : uint8_t {
+  kNone = 0,
+  /// The read "succeeds" but one deterministic bit of the returned
+  /// buffer is flipped -- silent corruption only a checksum can catch.
+  kBitFlip = 1,
+  /// A strict prefix of the buffer is filled, then the call fails with
+  /// Unavailable (device gave up mid-transfer); a retry succeeds.
+  kShortRead = 2,
+  /// The call fails with Unavailable without touching the buffer; after
+  /// `count` consecutive failures, reads succeed again.
+  kTransientEio = 3,
+};
+
 /// A FileBackend decorator that kills the underlying backend on the Nth
 /// append, simulating a crash mid-I/O. Deterministic: the same
 /// (fault_at, mode, seed) triple always yields the same surviving bytes,
@@ -30,6 +46,10 @@ enum class FaultMode : uint8_t {
 /// fires (and after it, for every later call) all operations return
 /// Internal -- the process is "dead"; tests then recover from the bytes
 /// the inner backend kept.
+///
+/// Independently, ArmReadFault() injects read-path faults (bit flips,
+/// short reads, transient EIO) on the Nth ReadAt without killing the
+/// backend -- the tooling behind the integrity layer's read tests.
 class FaultInjectingBackend : public FileBackend {
  public:
   /// `fault_at`: 0-based index of the Append() call the fault fires on; a
@@ -44,9 +64,24 @@ class FaultInjectingBackend : public FileBackend {
   /// total write ops before the matrix picks fault points.
   uint64_t append_count() const { return appends_; }
 
+  /// Arms a read fault firing on the `fault_at`-th ReadAt (0-based) and,
+  /// for the transient modes, on the `count - 1` calls after it.
+  void ArmReadFault(ReadFaultMode mode, uint64_t fault_at,
+                    uint32_t count = 1) {
+    read_mode_ = mode;
+    read_fault_at_ = fault_at;
+    read_fault_count_ = count;
+  }
+
+  /// ReadAt() calls observed so far (faulted or not).
+  uint64_t read_count() const { return reads_; }
+  /// Read faults actually injected so far.
+  uint64_t read_faults_fired() const { return read_faults_fired_; }
+
   Result<uint64_t> Size() override;
   Status Append(const void* data, size_t size) override;
   Status ReadAt(uint64_t offset, void* out, size_t size) override;
+  Status WriteAt(uint64_t offset, const void* data, size_t size) override;
   Status Truncate(uint64_t size) override;
   Status Sync() override;
 
@@ -61,6 +96,12 @@ class FaultInjectingBackend : public FileBackend {
   Rng rng_;
   uint64_t appends_ = 0;
   bool fired_ = false;
+
+  ReadFaultMode read_mode_ = ReadFaultMode::kNone;
+  uint64_t read_fault_at_ = 0;
+  uint32_t read_fault_count_ = 1;
+  uint64_t reads_ = 0;
+  uint64_t read_faults_fired_ = 0;
 };
 
 }  // namespace natix

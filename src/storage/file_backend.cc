@@ -29,6 +29,15 @@ Status MemoryFileBackend::ReadAt(uint64_t offset, void* out, size_t size) {
   return Status::OK();
 }
 
+Status MemoryFileBackend::WriteAt(uint64_t offset, const void* data,
+                                  size_t size) {
+  if (offset + size > disk_->size()) {
+    disk_->resize(static_cast<size_t>(offset + size));
+  }
+  if (size > 0) std::memcpy(disk_->data() + offset, data, size);
+  return Status::OK();
+}
+
 Status MemoryFileBackend::Truncate(uint64_t size) {
   if (size > disk_->size()) {
     return Status::InvalidArgument("truncate cannot extend the backend");
@@ -58,36 +67,59 @@ Result<uint64_t> PosixFileBackend::Size() {
   return static_cast<uint64_t>(st.st_size);
 }
 
-Status PosixFileBackend::Append(const void* data, size_t size) {
-  NATIX_ASSIGN_OR_RETURN(const uint64_t end, Size());
-  const uint8_t* bytes = static_cast<const uint8_t*>(data);
-  size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::pwrite(fd_, bytes + written, size - written,
-                               static_cast<off_t>(end + written));
+namespace {
+/// Errnos worth retrying: the device was busy or threw a one-off I/O
+/// error. Everything else (EBADF, ENOSPC, ...) is permanent.
+bool IsTransientErrno(int err) { return err == EIO || err == EAGAIN; }
+
+constexpr int kMaxTransientRetries = 4;
+constexpr useconds_t kBackoffBaseUs = 100;
+}  // namespace
+
+Status PosixFileBackend::TransferAt(bool write, uint64_t offset, void* buf,
+                                    size_t size) {
+  uint8_t* bytes = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  int transient = 0;
+  while (done < size) {
+    const ssize_t n =
+        write ? ::pwrite(fd_, bytes + done, size - done,
+                         static_cast<off_t>(offset + done))
+              : ::pread(fd_, bytes + done, size - done,
+                        static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(ErrnoMessage("pwrite " + path_, errno));
+      if (IsTransientErrno(errno) && transient < kMaxTransientRetries) {
+        ++transient_retries_;
+        ::usleep(kBackoffBaseUs << transient++);
+        continue;
+      }
+      const std::string msg = ErrnoMessage(
+          (write ? "pwrite " : "pread ") + path_, errno);
+      return IsTransientErrno(errno) ? Status::Unavailable(msg)
+                                     : Status::Internal(msg);
     }
-    written += static_cast<size_t>(n);
+    if (!write && n == 0) {
+      return Status::OutOfRange("read past end of " + path_);
+    }
+    done += static_cast<size_t>(n);
+    transient = 0;  // progress resets the retry budget
   }
   return Status::OK();
 }
 
+Status PosixFileBackend::Append(const void* data, size_t size) {
+  NATIX_ASSIGN_OR_RETURN(const uint64_t end, Size());
+  return TransferAt(/*write=*/true, end, const_cast<void*>(data), size);
+}
+
 Status PosixFileBackend::ReadAt(uint64_t offset, void* out, size_t size) {
-  uint8_t* bytes = static_cast<uint8_t*>(out);
-  size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::pread(fd_, bytes + done, size - done,
-                              static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(ErrnoMessage("pread " + path_, errno));
-    }
-    if (n == 0) return Status::OutOfRange("read past end of " + path_);
-    done += static_cast<size_t>(n);
-  }
-  return Status::OK();
+  return TransferAt(/*write=*/false, offset, out, size);
+}
+
+Status PosixFileBackend::WriteAt(uint64_t offset, const void* data,
+                                 size_t size) {
+  return TransferAt(/*write=*/true, offset, const_cast<void*>(data), size);
 }
 
 Status PosixFileBackend::Truncate(uint64_t size) {

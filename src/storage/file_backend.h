@@ -31,6 +31,11 @@ class FileBackend {
   /// range extends past the end.
   virtual Status ReadAt(uint64_t offset, void* out, size_t size) = 0;
 
+  /// Overwrites `size` bytes at `offset` (extending the file if the range
+  /// runs past the end, like pwrite). Used by the repair path to rewrite
+  /// a damaged page cell in place.
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t size) = 0;
+
   /// Shrinks the file to `size` bytes (drops a torn tail after recovery).
   virtual Status Truncate(uint64_t size) = 0;
 
@@ -57,6 +62,7 @@ class MemoryFileBackend : public FileBackend {
   Result<uint64_t> Size() override { return uint64_t{disk_->size()}; }
   Status Append(const void* data, size_t size) override;
   Status ReadAt(uint64_t offset, void* out, size_t size) override;
+  Status WriteAt(uint64_t offset, const void* data, size_t size) override;
   Status Truncate(uint64_t size) override;
   Status Sync() override { return Status::OK(); }
 
@@ -66,6 +72,11 @@ class MemoryFileBackend : public FileBackend {
 
 /// A FileBackend over a POSIX file, used by the CLI's --wal flag. Opens
 /// (creating if needed) for read/append; Sync() is fdatasync.
+///
+/// Every pread/pwrite loops on EINTR and on partial transfers, and
+/// retries transient device errors (EIO, EAGAIN) a bounded number of
+/// times with exponential backoff before giving up with Unavailable --
+/// a flaky device must be retried, a persistent one reported.
 class PosixFileBackend : public FileBackend {
  public:
   static Result<std::unique_ptr<PosixFileBackend>> Open(
@@ -78,15 +89,26 @@ class PosixFileBackend : public FileBackend {
   Result<uint64_t> Size() override;
   Status Append(const void* data, size_t size) override;
   Status ReadAt(uint64_t offset, void* out, size_t size) override;
+  Status WriteAt(uint64_t offset, const void* data, size_t size) override;
   Status Truncate(uint64_t size) override;
   Status Sync() override;
+
+  /// Transient-error retries performed so far (EIO/EAGAIN that later
+  /// succeeded or exhausted the budget).
+  uint64_t transient_retries() const { return transient_retries_; }
 
  private:
   PosixFileBackend(int fd, std::string path)
       : fd_(fd), path_(std::move(path)) {}
 
+  /// Shared pread/pwrite loop: EINTR restarts immediately, transient
+  /// errnos restart after backoff (up to kMaxTransientRetries), anything
+  /// else is fatal.
+  Status TransferAt(bool write, uint64_t offset, void* buf, size_t size);
+
   int fd_;
   std::string path_;
+  uint64_t transient_retries_ = 0;
 };
 
 }  // namespace natix

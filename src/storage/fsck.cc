@@ -1,0 +1,400 @@
+#include "storage/fsck.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/bytes.h"
+#include "storage/page.h"
+#include "storage/page_integrity.h"
+#include "storage/record.h"
+#include "storage/record_manager.h"
+#include "storage/wal.h"
+
+namespace natix {
+
+uint64_t FsckReport::damage_count() const {
+  return log_structure_errors + record_errors + directory_errors +
+         topology_errors + proxy_errors + aggregate_errors +
+         partition_errors + cell_checksum_failures + cell_torn +
+         cell_content_mismatches;
+}
+
+void FsckReport::AddProblem(std::string line) {
+  if (problems.size() < kMaxProblems) {
+    problems.push_back(std::move(line));
+  } else if (problems.size() == kMaxProblems) {
+    problems.push_back("... further problems elided (counters stay exact)");
+  }
+}
+
+std::string FsckReport::Summary() const {
+  auto u = [](uint64_t v) { return std::to_string(v); };
+  std::string out;
+  out += "log: " + u(entries_scanned) + " entries, last LSN " + u(last_lsn) +
+         ", " + u(complete_checkpoints) + " complete checkpoint(s)";
+  if (complete_checkpoints > 0) {
+    out += " (last at LSN " + u(last_checkpoint_begin_lsn) + ".." +
+           u(last_checkpoint_end_lsn) + ")";
+  }
+  out += "\n";
+  if (incomplete_checkpoint_tail) {
+    out += "log: ends inside an unfinished checkpoint (ignored by "
+           "recovery)\n";
+  }
+  if (tail_torn) {
+    out += "log: torn tail of " + u(torn_bytes) + " byte(s)\n";
+  }
+  if (log_structure_errors > 0) {
+    out += "log: " + u(log_structure_errors) + " structure error(s)\n";
+  }
+  out += store_recovered
+             ? "store: restored; checked " + u(records_checked) +
+                   " records, " + u(nodes_checked) + " nodes, " +
+                   u(pages_checked) + " pages, " + u(proxies_checked) +
+                   " proxies\n"
+             : "store: NOT restored\n";
+  const uint64_t store_errors = record_errors + directory_errors +
+                                topology_errors + proxy_errors +
+                                aggregate_errors + partition_errors;
+  if (store_errors > 0) {
+    out += "store: " + u(record_errors) + " record, " +
+           u(directory_errors) + " directory, " + u(topology_errors) +
+           " topology, " + u(proxy_errors) + " proxy, " +
+           u(aggregate_errors) + " aggregate, " + u(partition_errors) +
+           " partition error(s)\n";
+  }
+  if (stale_placement_hints > 0) {
+    out += "store: " + u(stale_placement_hints) +
+           " stale placement hint(s) (tolerated by navigation)\n";
+  }
+  if (page_file_checked) {
+    out += "pagefile: " + u(page_cells_checked) + " cell(s) checked, " +
+           u(cell_checksum_failures) + " checksum failure(s), " +
+           u(cell_torn) + " torn, " + u(cell_content_mismatches) +
+           " content mismatch(es)\n";
+  }
+  for (const std::string& p : problems) out += "  ! " + p + "\n";
+  out += clean() ? "fsck: clean\n"
+                 : "fsck: " + u(damage_count()) + " problem(s) found\n";
+  return out;
+}
+
+Result<FsckReport> FsckLog(FileBackend* wal,
+                           std::unique_ptr<NatixStore>* store_out) {
+  FsckReport report;
+  NATIX_ASSIGN_OR_RETURN(WalReader reader, WalReader::Open(wal));
+  struct Pending {
+    uint64_t begin_lsn = 0;
+    uint64_t images = 0;
+  };
+  std::optional<Pending> pending;
+  while (true) {
+    NATIX_ASSIGN_OR_RETURN(std::optional<WalEntry> entry, reader.Next());
+    if (!entry.has_value()) break;
+    ++report.entries_scanned;
+    report.last_lsn = entry->lsn;
+    switch (entry->type) {
+      case WalEntryType::kInsertOp:
+        if (pending.has_value()) {
+          ++report.log_structure_errors;
+          report.AddProblem("op entry inside a checkpoint at LSN " +
+                            std::to_string(entry->lsn));
+        }
+        break;
+      case WalEntryType::kCheckpointBegin:
+        if (pending.has_value()) {
+          ++report.log_structure_errors;
+          report.AddProblem("nested checkpoint at LSN " +
+                            std::to_string(entry->lsn));
+        }
+        pending = Pending{entry->lsn, 0};
+        break;
+      case WalEntryType::kPageImage:
+        if (!pending.has_value()) {
+          ++report.log_structure_errors;
+          report.AddProblem("page image outside a checkpoint at LSN " +
+                            std::to_string(entry->lsn));
+        } else {
+          ++pending->images;
+        }
+        break;
+      case WalEntryType::kCheckpointEnd: {
+        if (!pending.has_value()) {
+          ++report.log_structure_errors;
+          report.AddProblem("checkpoint end without a begin at LSN " +
+                            std::to_string(entry->lsn));
+          break;
+        }
+        ByteReader r(entry->payload.data(), entry->payload.size());
+        const auto begin_lsn = r.U64();
+        const auto image_count = r.U64();
+        if (!begin_lsn.ok() || !image_count.ok() ||
+            *begin_lsn != pending->begin_lsn ||
+            *image_count != pending->images) {
+          ++report.log_structure_errors;
+          report.AddProblem("checkpoint end at LSN " +
+                            std::to_string(entry->lsn) +
+                            " does not match its begin");
+        } else if (entry->lsn != pending->begin_lsn + pending->images + 1) {
+          // LSNs are assigned sequentially by the single writer, so a
+          // checkpoint's entries must occupy a contiguous LSN range.
+          ++report.log_structure_errors;
+          report.AddProblem("checkpoint LSN chain broken at LSN " +
+                            std::to_string(entry->lsn));
+        } else {
+          ++report.complete_checkpoints;
+          report.last_checkpoint_begin_lsn = pending->begin_lsn;
+          report.last_checkpoint_end_lsn = entry->lsn;
+        }
+        pending.reset();
+        break;
+      }
+    }
+  }
+  report.incomplete_checkpoint_tail = pending.has_value();
+  report.tail_torn = reader.tail_is_torn();
+  NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, wal->Size());
+  report.torn_bytes =
+      reader.valid_end() < log_size ? log_size - reader.valid_end() : 0;
+  if (report.complete_checkpoints == 0) {
+    report.AddProblem("log contains no complete checkpoint");
+    ++report.log_structure_errors;
+    return report;
+  }
+  Result<NatixStore> store = NatixStore::RecoverForAudit(wal);
+  if (!store.ok()) {
+    ++report.log_structure_errors;
+    report.AddProblem("store restore failed: " +
+                      store.status().ToString());
+    return report;
+  }
+  report.store_recovered = true;
+  NATIX_RETURN_NOT_OK(FsckStore(*store, &report));
+  if (store_out != nullptr) {
+    *store_out = std::make_unique<NatixStore>(std::move(store).value());
+  }
+  return report;
+}
+
+Status FsckStore(const NatixStore& store, FsckReport* report) {
+  const size_t n = store.node_count();
+  const uint32_t parts = static_cast<uint32_t>(store.record_count());
+  // Parse every live record once; the views borrow the manager's bytes,
+  // which are stable for the duration of this (const) audit.
+  std::vector<std::optional<RecordView>> views(parts);
+  for (uint32_t p = 0; p < parts; ++p) {
+    if (!store.RecordOf(p).valid()) continue;  // dead partition
+    const auto bytes = store.RecordBytes(p);
+    if (!bytes.ok()) {
+      ++report->record_errors;
+      report->AddProblem("record of partition " + std::to_string(p) +
+                         " does not resolve: " +
+                         bytes.status().ToString());
+      continue;
+    }
+    const auto view =
+        RecordView::Parse(bytes->first, bytes->second, store.slot_size());
+    if (!view.ok()) {
+      ++report->record_errors;
+      report->AddProblem("record of partition " + std::to_string(p) +
+                         " does not parse: " + view.status().ToString());
+      continue;
+    }
+    views[p] = *view;
+    ++report->records_checked;
+  }
+  // Forward direction: every node's table entry resolves into a record
+  // slot holding exactly that node.
+  for (NodeId v = 0; v < n; ++v) {
+    ++report->nodes_checked;
+    const uint32_t p = store.PartitionOf(v);
+    if (p >= parts || !views[p].has_value()) {
+      ++report->topology_errors;
+      report->AddProblem("node " + std::to_string(v) +
+                         " maps to unusable partition " + std::to_string(p));
+      continue;
+    }
+    const RecordView& view = *views[p];
+    const uint32_t slot = store.SlotOfNode(v);
+    if (slot >= view.node_count() || view.node_id(slot) != v) {
+      ++report->topology_errors;
+      report->AddProblem("node " + std::to_string(v) + " slot " +
+                         std::to_string(slot) +
+                         " disagrees with record of partition " +
+                         std::to_string(p));
+    }
+  }
+  // Reverse direction per record: contents point back at the tables,
+  // node coverage is exact, the partition weight invariant holds, and
+  // every proxy / the aggregate name plausible targets.
+  const uint32_t root_partition = n > 0 ? store.PartitionOf(0) : 0;
+  uint64_t covered = 0;
+  for (uint32_t p = 0; p < parts; ++p) {
+    if (!views[p].has_value()) continue;
+    const RecordView& view = *views[p];
+    covered += view.node_count();
+    uint64_t weight = 0;
+    for (uint32_t i = 0; i < view.node_count(); ++i) {
+      weight += view.weight(i);
+      const NodeId u = view.node_id(i);
+      if (u >= n || store.PartitionOf(u) != p || store.SlotOfNode(u) != i) {
+        ++report->topology_errors;
+        report->AddProblem("record of partition " + std::to_string(p) +
+                           " slot " + std::to_string(i) +
+                           " holds node " + std::to_string(u) +
+                           " the tables do not map back");
+      }
+    }
+    if (weight > store.limit()) {
+      ++report->partition_errors;
+      report->AddProblem("partition " + std::to_string(p) + " weighs " +
+                         std::to_string(weight) + " > limit " +
+                         std::to_string(store.limit()));
+    }
+    for (uint32_t j = 0; j < view.proxy_count(); ++j) {
+      ++report->proxies_checked;
+      const RecordProxy proxy = view.proxy(j);
+      if (proxy.from_index >= view.node_count() || proxy.target_node >= n) {
+        ++report->proxy_errors;
+        report->AddProblem("partition " + std::to_string(p) + " proxy " +
+                           std::to_string(j) +
+                           " names an impossible node");
+        continue;
+      }
+      const uint32_t tp = store.PartitionOf(proxy.target_node);
+      if (tp >= parts || !store.RecordOf(tp).valid()) {
+        ++report->proxy_errors;
+        report->AddProblem("partition " + std::to_string(p) + " proxy " +
+                           std::to_string(j) + " targets node " +
+                           std::to_string(proxy.target_node) +
+                           " of unusable partition " + std::to_string(tp));
+        continue;
+      }
+      if (proxy.target_partition != tp ||
+          proxy.target_record.value != store.RecordOf(tp).value ||
+          proxy.target_slot != store.SlotOfNode(proxy.target_node)) {
+        ++report->stale_placement_hints;
+      }
+    }
+    const RecordAggregate agg = view.aggregate();
+    const bool holds_root = n > 0 && p == root_partition;
+    if ((agg.parent_node == kInvalidNode) != holds_root) {
+      ++report->aggregate_errors;
+      report->AddProblem("partition " + std::to_string(p) +
+                         " aggregate parent is " +
+                         (holds_root ? "set on the root record"
+                                     : "missing on a non-root record"));
+    } else if (agg.parent_node != kInvalidNode) {
+      if (agg.parent_node >= n) {
+        ++report->aggregate_errors;
+        report->AddProblem("partition " + std::to_string(p) +
+                           " aggregate names an impossible parent");
+      } else {
+        const uint32_t pp = store.PartitionOf(agg.parent_node);
+        if (agg.parent_partition != pp ||
+            agg.parent_record.value != store.RecordOf(pp).value ||
+            agg.parent_slot != store.SlotOfNode(agg.parent_node)) {
+          ++report->stale_placement_hints;
+        }
+      }
+    }
+  }
+  if (covered != n) {
+    ++report->topology_errors;
+    report->AddProblem("records cover " + std::to_string(covered) +
+                       " node slots for " + std::to_string(n) + " nodes");
+  }
+  // Page directory: every regular page image must validate, and every
+  // record's directory entry must agree with the record header it
+  // addresses.
+  for (uint32_t pid = 0;
+       pid < static_cast<uint32_t>(store.regular_page_count()); ++pid) {
+    const auto image = store.page_provider()->ReadPage(pid);
+    if (!image.ok()) {
+      ++report->directory_errors;
+      report->AddProblem("page " + std::to_string(pid) +
+                         " image unreadable: " + image.status().ToString());
+      continue;
+    }
+    const auto page = Page::FromImage(*image);
+    if (!page.ok()) {
+      ++report->directory_errors;
+      report->AddProblem("page " + std::to_string(pid) +
+                         " directory invalid: " + page.status().ToString());
+      continue;
+    }
+    ++report->pages_checked;
+  }
+  for (uint32_t p = 0; p < parts; ++p) {
+    if (!views[p].has_value()) continue;
+    const auto addr = store.AddressOfRecord(store.RecordOf(p));
+    if (!addr.ok()) {
+      ++report->directory_errors;
+      continue;
+    }
+    if ((addr->first & RecordManager::kJumboPageBit) != 0) continue;
+    const auto image = store.page_provider()->ReadPage(addr->first);
+    if (!image.ok()) continue;  // already counted above
+    const auto entry =
+        Page::EntryInImage(image->data(), image->size(), addr->second);
+    const auto bytes = store.RecordBytes(p);
+    if (!entry.ok() || !bytes.ok() || entry->second != bytes->second) {
+      ++report->directory_errors;
+      report->AddProblem("partition " + std::to_string(p) +
+                         " directory entry (page " +
+                         std::to_string(addr->first) + ", slot " +
+                         std::to_string(addr->second) +
+                         ") disagrees with its record header");
+    }
+  }
+  return Status::OK();
+}
+
+Status FsckPageFile(FileBackend* page_file, const NatixStore& store,
+                    FsckReport* report) {
+  report->page_file_checked = true;
+  const size_t cell_size = store.page_size() + kPageCellOverhead;
+  NATIX_ASSIGN_OR_RETURN(const uint64_t file_size, page_file->Size());
+  const uint64_t expected =
+      static_cast<uint64_t>(store.regular_page_count()) * cell_size;
+  if (file_size != expected) {
+    report->AddProblem("page file holds " + std::to_string(file_size) +
+                       " bytes, expected " + std::to_string(expected));
+  }
+  std::vector<uint8_t> cell(cell_size);
+  for (uint32_t pid = 0;
+       pid < static_cast<uint32_t>(store.regular_page_count()); ++pid) {
+    const Status read = page_file->ReadAt(
+        static_cast<uint64_t>(pid) * cell_size, cell.data(), cell.size());
+    if (!read.ok()) {
+      ++report->cell_checksum_failures;
+      report->AddProblem("page " + std::to_string(pid) +
+                         " cell unreadable: " + read.ToString());
+      continue;
+    }
+    ++report->page_cells_checked;
+    PageDamage damage = PageDamage::kNone;
+    const Result<std::vector<uint8_t>> payload =
+        OpenPageCell(cell.data(), cell.size(), nullptr, &damage);
+    if (!payload.ok()) {
+      if (damage == PageDamage::kTorn) {
+        ++report->cell_torn;
+      } else {
+        ++report->cell_checksum_failures;
+      }
+      report->AddProblem("page " + std::to_string(pid) + ": " +
+                         payload.status().message());
+      continue;
+    }
+    const auto truth = store.page_provider()->ReadPage(pid);
+    if (truth.ok() && *payload != *truth) {
+      ++report->cell_content_mismatches;
+      report->AddProblem("page " + std::to_string(pid) +
+                         " cell verifies but differs from the "
+                         "authoritative image (stale generation)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace natix

@@ -1,0 +1,114 @@
+#ifndef NATIX_STORAGE_FSCK_H_
+#define NATIX_STORAGE_FSCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/file_backend.h"
+#include "storage/store.h"
+
+namespace natix {
+
+/// Structured damage summary produced by the fsck checks. Counters are
+/// grouped by the cross-validation that found them; `problems` holds a
+/// capped list of human-readable detail lines. A report is clean iff
+/// every error counter is zero -- stale proxy placement hints are
+/// recorded separately because navigation resolves targets through the
+/// store's authoritative tables and tolerates them by design.
+struct FsckReport {
+  // --- log structure ---
+  uint64_t entries_scanned = 0;
+  uint64_t last_lsn = 0;
+  uint64_t complete_checkpoints = 0;
+  uint64_t last_checkpoint_begin_lsn = 0;
+  uint64_t last_checkpoint_end_lsn = 0;
+  /// The log ends inside an unfinished checkpoint (crash mid-checkpoint;
+  /// recovery ignores it, so this is informational).
+  bool incomplete_checkpoint_tail = false;
+  /// Trailing bytes that do not form a valid entry (crash damage).
+  bool tail_torn = false;
+  uint64_t torn_bytes = 0;
+  /// Entries violating the log grammar (op inside a checkpoint, image
+  /// outside one, end/begin mismatch, non-sequential checkpoint LSNs).
+  uint64_t log_structure_errors = 0;
+  /// True once the log's last complete checkpoint restored and its op
+  /// tail replayed; the store-level checks below ran only if set.
+  bool store_recovered = false;
+
+  // --- store-level cross-validation (records <-> tables <-> pages) ---
+  uint64_t records_checked = 0;
+  uint64_t nodes_checked = 0;
+  uint64_t pages_checked = 0;
+  uint64_t proxies_checked = 0;
+  /// Records that do not resolve or whose bytes fail to parse.
+  uint64_t record_errors = 0;
+  /// Page directory damage: an invalid slotted-page image, or a record
+  /// whose directory entry disagrees with its header/length.
+  uint64_t directory_errors = 0;
+  /// Node <-> record table mismatches (partition/slot tables vs record
+  /// contents, node-coverage violations).
+  uint64_t topology_errors = 0;
+  /// Structurally impossible proxies (bad from-index / target node).
+  uint64_t proxy_errors = 0;
+  /// Aggregate back-pointer violations.
+  uint64_t aggregate_errors = 0;
+  /// Partition-invariant violations (record weight over the limit).
+  uint64_t partition_errors = 0;
+  /// Proxy/aggregate placement hints that lag the authoritative tables
+  /// (warning only; see above).
+  uint64_t stale_placement_hints = 0;
+
+  // --- flushed page file (sealed cells) ---
+  bool page_file_checked = false;
+  uint64_t page_cells_checked = 0;
+  /// Cells rejected as bit rot / zeroed sectors, plus missing cells.
+  uint64_t cell_checksum_failures = 0;
+  /// Cells rejected as torn (half-old/half-new).
+  uint64_t cell_torn = 0;
+  /// Cells that verify but differ from the store's authoritative image
+  /// (a stale generation that kept a valid seal).
+  uint64_t cell_content_mismatches = 0;
+
+  /// Detail lines, capped at kMaxProblems (the counters stay exact).
+  static constexpr size_t kMaxProblems = 64;
+  std::vector<std::string> problems;
+
+  /// Sum of every error counter (stale hints excluded).
+  uint64_t damage_count() const;
+  bool clean() const { return damage_count() == 0; }
+  /// Multi-line human-readable summary (the `natix_cli fsck` output).
+  std::string Summary() const;
+
+  /// Appends a detail line, honouring the cap.
+  void AddProblem(std::string line);
+};
+
+/// Audits a WAL: scans the log structure (LSN chain, checkpoint
+/// begin/end pairing, torn tail), then restores the store it describes
+/// (read-only, via NatixStore::RecoverForAudit) and runs the store-level
+/// cross-validation on the result. Never writes to `wal`. Returns a
+/// Status only when the log cannot even be opened (no/invalid magic);
+/// all damage beyond that is reported inside the FsckReport. On success
+/// and when `store_out` is non-null, the recovered store is handed out
+/// for further checks (FsckPageFile) or queries.
+Result<FsckReport> FsckLog(FileBackend* wal,
+                           std::unique_ptr<NatixStore>* store_out = nullptr);
+
+/// Store-level deep check, usable on any store (recovered or live):
+/// cross-validates page directory entries <-> record headers <-> proxy
+/// targets and aggregate back-pointers <-> the partition tables and
+/// their invariants. Findings land in `report`.
+Status FsckStore(const NatixStore& store, FsckReport* report);
+
+/// Verifies every sealed cell of a page file written by FlushPagesTo()
+/// against `store`'s authoritative page images: seal integrity (torn vs
+/// rot classification) plus byte equality for cells that pass.
+Status FsckPageFile(FileBackend* page_file, const NatixStore& store,
+                    FsckReport* report);
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_FSCK_H_

@@ -1,0 +1,76 @@
+#include "storage/page_integrity.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/crc32.h"
+
+namespace natix {
+
+namespace {
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+const char* PageDamageName(PageDamage damage) {
+  switch (damage) {
+    case PageDamage::kNone:
+      return "clean";
+    case PageDamage::kTorn:
+      return "torn page (head/tail epoch mismatch)";
+    case PageDamage::kChecksum:
+      return "checksum mismatch (bit rot or zeroed sector)";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> SealPageCell(uint32_t epoch, const uint8_t* payload,
+                                  size_t size) {
+  std::vector<uint8_t> cell(size + kPageCellOverhead);
+  StoreU32(cell.data(), kPageCellMagic);
+  StoreU32(cell.data() + 4, epoch);
+  if (size > 0) std::memcpy(cell.data() + 8, payload, size);
+  StoreU32(cell.data() + 8 + size, epoch);
+  StoreU32(cell.data() + 12 + size, Crc32(cell.data(), cell.size() - 4));
+  return cell;
+}
+
+PageDamage ClassifyPageCell(const uint8_t* cell, size_t size,
+                            uint32_t* epoch_out) {
+  if (size < kPageCellOverhead) return PageDamage::kChecksum;
+  const bool magic_ok = LoadU32(cell) == kPageCellMagic;
+  const uint32_t head_epoch = LoadU32(cell + 4);
+  const uint32_t tail_epoch = LoadU32(cell + size - 8);
+  if (magic_ok && epoch_out != nullptr) *epoch_out = head_epoch;
+  if (LoadU32(cell + size - 4) == Crc32(cell, size - 4) && magic_ok) {
+    // A consistent CRC over mismatched epochs cannot come from
+    // SealPageCell; classify it as torn all the same.
+    return head_epoch == tail_epoch ? PageDamage::kNone : PageDamage::kTorn;
+  }
+  // The head stamp survived but the generations disagree: an interrupted
+  // overwrite left old bytes behind the new head. Anything else (bad
+  // magic, matching epochs with a failed CRC) is rot.
+  if (magic_ok && head_epoch != tail_epoch) return PageDamage::kTorn;
+  return PageDamage::kChecksum;
+}
+
+Result<std::vector<uint8_t>> OpenPageCell(const uint8_t* cell, size_t size,
+                                          uint32_t* epoch_out,
+                                          PageDamage* damage_out) {
+  const PageDamage damage = ClassifyPageCell(cell, size, epoch_out);
+  if (damage_out != nullptr) *damage_out = damage;
+  if (damage != PageDamage::kNone) {
+    return Status::ParseError(std::string("page cell damaged: ") +
+                              PageDamageName(damage));
+  }
+  return std::vector<uint8_t>(cell + 8, cell + size - 8);
+}
+
+}  // namespace natix

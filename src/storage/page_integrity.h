@@ -1,0 +1,82 @@
+#ifndef NATIX_STORAGE_PAGE_INTEGRITY_H_
+#define NATIX_STORAGE_PAGE_INTEGRITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// Every page image that leaves the process -- the flat page file written
+/// by FlushPagesTo() and the page images inside WAL checkpoints -- is
+/// wrapped in a sealed cell:
+///
+///   [magic u32 "NPG1"][epoch u32][payload bytes][epoch u32][crc u32]
+///
+/// with crc = CRC32 over everything before the crc field (magic, head
+/// epoch, payload, tail epoch). The duplicated epoch is the torn-page
+/// detector: a write that stopped partway leaves the new epoch at the
+/// head and the previous cell's epoch (or garbage) at the tail, so a
+/// head/tail epoch mismatch under a failed CRC reads as "half-old/
+/// half-new" rather than bit rot. The in-memory Page layout is untouched;
+/// sealing happens purely at the I/O boundary.
+inline constexpr uint32_t kPageCellMagic = 0x3147504Eu;  // "NPG1" LE
+inline constexpr size_t kPageCellOverhead = 16;
+
+/// What inspection of a sealed cell concluded.
+enum class PageDamage : uint8_t {
+  kNone = 0,
+  /// Head and tail epoch disagree: the cell mixes two write generations
+  /// (interrupted overwrite / torn sectors).
+  kTorn = 1,
+  /// Epochs agree (or the framing itself is gone) but the CRC fails:
+  /// bit rot, a zeroed sector, or a foreign byte range.
+  kChecksum = 2,
+};
+
+const char* PageDamageName(PageDamage damage);
+
+/// Counters kept by the verified read path (FilePageSource) and the
+/// self-healing layer (SelfHealingPageSource); bench_updates snapshots
+/// them next to the WAL amplification numbers.
+struct IntegrityStats {
+  /// Page cells read and verified successfully.
+  uint64_t pages_read = 0;
+  /// Transient (Unavailable) backend errors absorbed by retrying.
+  uint64_t transient_retries = 0;
+  /// Cells rejected as bit rot / zeroed sectors.
+  uint64_t checksum_failures = 0;
+  /// Cells rejected as torn (half-old/half-new).
+  uint64_t torn_pages = 0;
+  /// Buffer-pool frames dropped before a repair.
+  uint64_t quarantines = 0;
+  /// Damaged cells rewritten from a clean source and re-verified.
+  uint64_t repairs = 0;
+  /// Damaged cells with no clean source (or whose rewrite failed).
+  uint64_t repair_failures = 0;
+};
+
+/// Wraps `size` payload bytes in a sealed cell. `epoch` must be nonzero
+/// and should differ from the epoch previously written at the same file
+/// offset (otherwise a torn overwrite is indistinguishable from rot --
+/// it is still detected, just classified as kChecksum).
+std::vector<uint8_t> SealPageCell(uint32_t epoch, const uint8_t* payload,
+                                  size_t size);
+
+/// Inspects a cell without copying. Returns the damage classification;
+/// on kNone (and on kTorn, when the head framing is intact) `*epoch_out`
+/// receives the head epoch if non-null.
+PageDamage ClassifyPageCell(const uint8_t* cell, size_t size,
+                            uint32_t* epoch_out = nullptr);
+
+/// Verifies a cell and extracts its payload. On damage returns
+/// ParseError whose message names the classification (torn page vs
+/// checksum mismatch); `damage_out` (if non-null) receives it either way.
+Result<std::vector<uint8_t>> OpenPageCell(const uint8_t* cell, size_t size,
+                                          uint32_t* epoch_out = nullptr,
+                                          PageDamage* damage_out = nullptr);
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_PAGE_INTEGRITY_H_

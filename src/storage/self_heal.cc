@@ -1,0 +1,94 @@
+#include "storage/self_heal.h"
+
+#include <cstring>
+#include <string>
+
+#include "storage/record_manager.h"
+
+namespace natix {
+
+Result<std::vector<uint8_t>> SelfHealingPageSource::ReadPage(
+    uint32_t page_id) const {
+  Result<std::vector<uint8_t>> first = primary_->ReadPage(page_id);
+  if (first.ok() || (page_id & RecordManager::kJumboPageBit) != 0) {
+    return first;
+  }
+  // Persistent transient errors (retries exhausted inside the primary)
+  // are not corruption; healing cannot help a device that will not read.
+  if (first.status().code() == StatusCode::kUnavailable) {
+    return first;
+  }
+  if (pool_ != nullptr && pool_->Quarantine(page_id)) {
+    ++stats_.quarantines;
+  }
+  const Status repaired = RepairPage(page_id, first.status().message());
+  if (!repaired.ok()) {
+    ++stats_.repair_failures;
+    return Status::Internal(
+        "page " + std::to_string(page_id) + " is unrecoverable: " +
+        first.status().message() + "; repair failed: " + repaired.message());
+  }
+  // The repair only counts if the rewritten cell verifies end to end.
+  Result<std::vector<uint8_t>> retry = primary_->ReadPage(page_id);
+  if (!retry.ok()) {
+    ++stats_.repair_failures;
+    return Status::Internal("page " + std::to_string(page_id) +
+                            " still unreadable after repair: " +
+                            retry.status().message());
+  }
+  ++stats_.repairs;
+  return retry;
+}
+
+Status SelfHealingPageSource::RepairPage(uint32_t page_id,
+                                         const std::string& why) const {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no clean source: the store is not durability-backed (" + why + ")");
+  }
+  if (scratch_ == nullptr) {
+    NATIX_ASSIGN_OR_RETURN(NatixStore store,
+                           NatixStore::RecoverForAudit(wal_));
+    scratch_ = std::make_unique<NatixStore>(std::move(store));
+  }
+  if (page_id >= scratch_->regular_page_count()) {
+    return Status::OutOfRange("the recovered store has no page " +
+                              std::to_string(page_id));
+  }
+  NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> image,
+                         scratch_->page_provider()->ReadPage(page_id));
+  if (image.size() != scratch_->page_size()) {
+    return Status::Internal("recovered image of page " +
+                            std::to_string(page_id) + " has size " +
+                            std::to_string(image.size()));
+  }
+  const size_t cell_size = primary_->page_size() + kPageCellOverhead;
+  const uint64_t offset = static_cast<uint64_t>(page_id) * cell_size;
+  // Stamp the repaired cell one epoch past the damaged one when the old
+  // head stamp survived, so a second interruption still reads as torn;
+  // fall back to the recovered store's flush epoch otherwise.
+  uint32_t epoch = static_cast<uint32_t>(scratch_->version()) + 1;
+  uint8_t head[8];
+  if (primary_->file()->ReadAt(offset, head, sizeof(head)).ok()) {
+    uint32_t magic, old_epoch;
+    std::memcpy(&magic, head, 4);
+    std::memcpy(&old_epoch, head + 4, 4);
+    if (magic == kPageCellMagic && old_epoch != 0) epoch = old_epoch + 1;
+  }
+  if (epoch == 0) epoch = 1;
+  const std::vector<uint8_t> cell =
+      SealPageCell(epoch, image.data(), image.size());
+  NATIX_RETURN_NOT_OK(
+      primary_->file()->WriteAt(offset, cell.data(), cell.size()));
+  return primary_->file()->Sync();
+}
+
+IntegrityStats SelfHealingPageSource::stats() const {
+  IntegrityStats merged = primary_->stats();
+  merged.quarantines += stats_.quarantines;
+  merged.repairs += stats_.repairs;
+  merged.repair_failures += stats_.repair_failures;
+  return merged;
+}
+
+}  // namespace natix

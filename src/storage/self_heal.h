@@ -1,0 +1,69 @@
+#ifndef NATIX_STORAGE_SELF_HEAL_H_
+#define NATIX_STORAGE_SELF_HEAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+#include "storage/page_integrity.h"
+#include "storage/store.h"
+
+namespace natix {
+
+/// A PageProvider that repairs what it cannot read. Wraps a
+/// FilePageSource (which already verifies every cell and retries
+/// transients) and, when a read still fails with corruption, walks the
+/// repair state machine:
+///
+///   1. quarantine -- the damaged page's buffer-pool frame is dropped so
+///      no stale copy survives the repair (skipped while pinned);
+///   2. restore -- a scratch store is recovered from the WAL
+///      (last complete checkpoint image + op-tail replay, read-only via
+///      NatixStore::RecoverForAudit) and asked for the page's
+///      authoritative image;
+///   3. rewrite -- the image is re-sealed under a fresh epoch and
+///      written over the damaged cell in place (FileBackend::WriteAt);
+///   4. retry -- the read goes back through the verifying primary
+///      source, so a repair only counts once the rewritten cell passes
+///      its CRC again.
+///
+/// Failing that -- no WAL attached, the WAL itself unrecoverable, or the
+/// rewritten cell still bad -- the read fails loudly with Internal;
+/// there is no silent fallback.
+class SelfHealingPageSource : public PageProvider {
+ public:
+  /// `primary` must serve sealed cells from `page_file` (the repair
+  /// rewrites cells there through WriteAt). `wal` is the durability log
+  /// used as the clean source; pass null for a store without one --
+  /// reads then fail loudly instead of healing. `pool` (optional) is
+  /// the buffer pool whose frame for a damaged page gets quarantined.
+  /// All pointers must outlive the source.
+  SelfHealingPageSource(FilePageSource* primary, FileBackend* wal,
+                        LruBufferPool* pool = nullptr)
+      : primary_(primary), wal_(wal), pool_(pool) {}
+
+  Result<std::vector<uint8_t>> ReadPage(uint32_t page_id) const override;
+
+  /// Healing counters, merged with the primary source's verification
+  /// counters (pages_read, torn/checksum failures, transient retries).
+  IntegrityStats stats() const;
+
+ private:
+  /// Steps 1-3 of the state machine; `why` is the original failure
+  /// message, carried into the loud error when repair is impossible.
+  Status RepairPage(uint32_t page_id, const std::string& why) const;
+
+  FilePageSource* primary_;
+  FileBackend* wal_;
+  LruBufferPool* pool_;
+  /// Scratch store recovered from wal_ on first repair; later repairs
+  /// reuse it (the WAL does not change under an offline healing pass).
+  mutable std::unique_ptr<NatixStore> scratch_;
+  mutable IntegrityStats stats_;
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_SELF_HEAL_H_

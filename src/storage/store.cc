@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <optional>
 #include <utility>
 
@@ -11,6 +12,22 @@
 #include "xml/weight_model.h"
 
 namespace natix {
+
+namespace {
+/// Transient (Unavailable) errors from the page-file backend are retried
+/// this many times, with a small exponential backoff, before the error
+/// is passed up. Device-level retries (EINTR, partial transfers, flaky
+/// EIO) already happen inside PosixFileBackend; this layer absorbs
+/// transients any backend may surface.
+constexpr int kMaxPageReadRetries = 4;
+
+void ReadRetryBackoff(int attempt) {
+  // ~10us, 20us, 40us, 80us: long enough to let a hiccup pass, short
+  // enough to be invisible in tests.
+  struct timespec ts = {0, 10'000L << attempt};
+  ::nanosleep(&ts, nullptr);
+}
+}  // namespace
 
 Result<std::vector<uint8_t>> FilePageSource::ReadPage(uint32_t page_id) const {
   if ((page_id & RecordManager::kJumboPageBit) != 0) {
@@ -21,10 +38,42 @@ Result<std::vector<uint8_t>> FilePageSource::ReadPage(uint32_t page_id) const {
     }
     return fallback_->ReadPage(page_id);
   }
-  std::vector<uint8_t> bytes(page_size_);
-  NATIX_RETURN_NOT_OK(file_->ReadAt(
-      static_cast<uint64_t>(page_id) * page_size_, bytes.data(), bytes.size()));
-  return bytes;
+  const size_t cell_size = page_size_ + kPageCellOverhead;
+  const uint64_t offset = static_cast<uint64_t>(page_id) * cell_size;
+  std::vector<uint8_t> cell(cell_size);
+  Status read = Status::OK();
+  for (int attempt = 0;; ++attempt) {
+    read = file_->ReadAt(offset, cell.data(), cell.size());
+    if (read.ok() || read.code() != StatusCode::kUnavailable ||
+        attempt >= kMaxPageReadRetries) {
+      break;
+    }
+    ++stats_.transient_retries;
+    ReadRetryBackoff(attempt);
+  }
+  NATIX_RETURN_NOT_OK(read);
+  PageDamage damage = PageDamage::kNone;
+  Result<std::vector<uint8_t>> payload =
+      OpenPageCell(cell.data(), cell.size(), nullptr, &damage);
+  if (!payload.ok()) {
+    if (damage == PageDamage::kTorn) {
+      ++stats_.torn_pages;
+    } else {
+      ++stats_.checksum_failures;
+    }
+    return Status::ParseError("page " + std::to_string(page_id) + ": " +
+                              payload.status().message());
+  }
+  if (payload->size() != page_size_) {
+    ++stats_.checksum_failures;
+    return Status::ParseError("page " + std::to_string(page_id) +
+                              ": cell payload size " +
+                              std::to_string(payload->size()) +
+                              " does not match page size " +
+                              std::to_string(page_size_));
+  }
+  ++stats_.pages_read;
+  return payload;
 }
 
 bool NatixStore::NodeOverflows(NodeId v) const {
@@ -414,6 +463,10 @@ Result<int32_t> NatixStore::LabelIdOfNode(NodeId v) const {
 
 Status NatixStore::FlushPagesTo(FileBackend* file) const {
   NATIX_RETURN_NOT_OK(file->Truncate(0));
+  // Epoch stamp for this flush generation: nonzero, and different from
+  // the previous flush of a mutated store, so an interrupted re-flush of
+  // a cell reads as torn rather than rot.
+  const uint32_t epoch = static_cast<uint32_t>(version_) + 1;
   for (uint32_t p = 0; p < manager_.regular_page_count(); ++p) {
     NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> image,
                            manager_.PageImage(p));
@@ -421,7 +474,9 @@ Status NatixStore::FlushPagesTo(FileBackend* file) const {
       return Status::Internal("page image size mismatch for page " +
                               std::to_string(p));
     }
-    NATIX_RETURN_NOT_OK(file->Append(image.data(), image.size()));
+    const std::vector<uint8_t> cell =
+        SealPageCell(epoch, image.data(), image.size());
+    NATIX_RETURN_NOT_OK(file->Append(cell.data(), cell.size()));
   }
   return file->Sync();
 }
@@ -595,7 +650,9 @@ Status NatixStore::LogInsert(NodeId parent_logged, NodeId before,
 }
 
 namespace {
-constexpr uint32_t kCheckpointFormatVersion = 2;
+// v3: checkpoint page-image payloads carry sealed cells (page_integrity)
+// instead of raw page bytes, so recovery verifies every image's CRC.
+constexpr uint32_t kCheckpointFormatVersion = 3;
 
 void WritePartitionerState(ByteWriter* w,
                            const IncrementalPartitioner::SavedState& state) {
@@ -914,13 +971,16 @@ Status NatixStore::Checkpoint() {
   if (!begin_lsn.ok()) return poison(begin_lsn.status());
   uint64_t bytes = kWalEntryHeaderSize + meta.size();
   const std::vector<uint32_t> dirty = manager_.buffer().DirtyPagesSorted();
+  const uint32_t epoch = static_cast<uint32_t>(version_) + 1;
   for (const uint32_t page_id : dirty) {
     Result<std::vector<uint8_t>> image = manager_.PageImage(page_id);
     if (!image.ok()) return poison(image.status());
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
     w.U32(page_id);
-    if (!image->empty()) w.Raw(image->data(), image->size());
+    const std::vector<uint8_t> cell =
+        SealPageCell(epoch, image->data(), image->size());
+    w.Raw(cell.data(), cell.size());
     const Result<uint64_t> lsn =
         wal_->Append(WalEntryType::kPageImage, payload);
     if (!lsn.ok()) return poison(lsn.status());
@@ -942,8 +1002,14 @@ Status NatixStore::Checkpoint() {
   return Status::OK();
 }
 
-Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
-  NATIX_ASSIGN_OR_RETURN(WalReader reader, WalReader::Open(backend.get()));
+Result<NatixStore> NatixStore::RecoverCore(FileBackend* backend,
+                                           RecoveryInfo* info,
+                                           uint64_t* valid_end,
+                                           uint64_t* next_lsn) {
+  NATIX_ASSIGN_OR_RETURN(WalReader reader, WalReader::Open(backend));
+  RecoveryInfo local_info;
+  if (info == nullptr) info = &local_info;
+  *info = RecoveryInfo();
   struct PendingCheckpoint {
     uint64_t begin_lsn = 0;
     uint64_t end_lsn = 0;
@@ -956,6 +1022,7 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
   while (true) {
     NATIX_ASSIGN_OR_RETURN(std::optional<WalEntry> entry, reader.Next());
     if (!entry.has_value()) break;
+    ++info->entries_scanned;
     switch (entry->type) {
       case WalEntryType::kInsertOp:
         if (pending != nullptr) {
@@ -1000,12 +1067,24 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
       }
     }
   }
+  // The scan is done: record what the log holds before deciding whether
+  // it is recoverable.
+  NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, backend->Size());
+  info->checkpoints_found = complete.size();
+  info->tail_was_torn = reader.tail_is_torn();
+  info->torn_bytes =
+      reader.valid_end() < log_size ? log_size - reader.valid_end() : 0;
+  if (valid_end != nullptr) *valid_end = reader.valid_end();
+  if (next_lsn != nullptr) *next_lsn = reader.next_lsn();
   if (complete.empty()) {
     return Status::FailedPrecondition(
         "log contains no complete checkpoint; the store never became "
         "durable");
   }
   const uint64_t restore_lsn = complete.back().end_lsn;
+  info->checkpoint_begin_lsn = complete.back().begin_lsn;
+  info->checkpoint_end_lsn = restore_lsn;
+  info->last_lsn = restore_lsn;
   NATIX_ASSIGN_OR_RETURN(
       NatixStore store,
       FromCheckpointMeta(complete.back().meta.data(),
@@ -1013,13 +1092,24 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
   // Page images apply cumulatively: each checkpoint wrote only the pages
   // dirtied since the previous one, so the union over all complete
   // checkpoints (later images superseding earlier ones) reconstructs
-  // every page as of the final checkpoint.
+  // every page as of the final checkpoint. Each image is a sealed cell;
+  // a failed CRC here is bit rot inside the log itself and is reported
+  // loudly rather than applied.
   for (const PendingCheckpoint& cp : complete) {
     for (const std::vector<uint8_t>& image : cp.images) {
       ByteReader r(image.data(), image.size());
       NATIX_ASSIGN_OR_RETURN(const uint32_t page_id, r.U32());
+      PageDamage damage = PageDamage::kNone;
+      Result<std::vector<uint8_t>> payload = OpenPageCell(
+          image.data() + 4, image.size() - 4, nullptr, &damage);
+      if (!payload.ok()) {
+        return Status::ParseError(
+            "checkpoint image of page " + std::to_string(page_id) +
+            " (checkpoint at LSN " + std::to_string(cp.begin_lsn) +
+            "): " + payload.status().message());
+      }
       NATIX_RETURN_NOT_OK(store.manager_.ApplyPageImage(
-          page_id, image.data() + 4, image.size() - 4));
+          page_id, payload->data(), payload->size()));
     }
   }
   NATIX_RETURN_NOT_OK(store.manager_.FinishRestore());
@@ -1038,19 +1128,10 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
     const Result<ImportedDocument> probe = store.BuildDocumentFromRecords();
     if (!probe.ok()) return probe.status();
   }
-  // Drop the torn tail (if any) so the re-attached writer appends after
-  // the last valid entry.
-  NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, backend->Size());
-  if (reader.valid_end() < log_size) {
-    NATIX_RETURN_NOT_OK(backend->Truncate(reader.valid_end()));
-  }
-  NATIX_ASSIGN_OR_RETURN(WalWriter writer,
-                         WalWriter::Attach(backend.get(), reader.next_lsn()));
-  store.backend_ = std::move(backend);
-  store.wal_ = std::make_unique<WalWriter>(std::move(writer));
   // Replay the op tail through the normal insert path; replaying_
-  // suppresses re-logging. On a released store the first replayed op
-  // rematerializes the document from the restored records.
+  // suppresses re-logging (no writer is attached yet either). On a
+  // released store the first replayed op rematerializes the document
+  // from the restored records.
   store.replaying_ = true;
   for (const WalEntry& op : ops) {
     if (op.lsn <= restore_lsn) continue;
@@ -1072,8 +1153,38 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend) {
                               std::to_string(op.lsn) + ": " +
                               id.status().message());
     }
+    ++info->replayed_ops;
+    info->last_lsn = op.lsn;
   }
   store.replaying_ = false;
+  return store;
+}
+
+Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend,
+                                       RecoveryInfo* info) {
+  uint64_t valid_end = 0;
+  uint64_t next_lsn = 0;
+  NATIX_ASSIGN_OR_RETURN(
+      NatixStore store,
+      RecoverCore(backend.get(), info, &valid_end, &next_lsn));
+  // Drop the torn tail (if any) so the re-attached writer appends after
+  // the last valid entry.
+  NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, backend->Size());
+  if (valid_end < log_size) {
+    NATIX_RETURN_NOT_OK(backend->Truncate(valid_end));
+  }
+  NATIX_ASSIGN_OR_RETURN(WalWriter writer,
+                         WalWriter::Attach(backend.get(), next_lsn));
+  store.backend_ = std::move(backend);
+  store.wal_ = std::make_unique<WalWriter>(std::move(writer));
+  store.wal_record_base_ = store.manager_.record_bytes_written();
+  return store;
+}
+
+Result<NatixStore> NatixStore::RecoverForAudit(FileBackend* backend,
+                                               RecoveryInfo* info) {
+  NATIX_ASSIGN_OR_RETURN(NatixStore store,
+                         RecoverCore(backend, info, nullptr, nullptr));
   store.wal_record_base_ = store.manager_.record_bytes_written();
   return store;
 }

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "storage/buffer_manager.h"
 #include "storage/file_backend.h"
+#include "storage/page_integrity.h"
 #include "storage/record.h"
 #include "storage/record_manager.h"
 #include "storage/wal.h"
@@ -113,10 +114,15 @@ struct UpdateStats {
 };
 
 /// Serves buffer-pool frames from a FileBackend that FlushPagesTo()
-/// populated: page p lives at byte offset p * page_size. Jumbo pages
-/// (synthetic kJumboPageBit ids) are not part of the flat file layout and
-/// fall back to the record manager's in-memory image. bench_coldcache
-/// reads through this to charge real I/O to pool misses.
+/// populated: page p lives in a sealed cell (page_integrity.h) at byte
+/// offset p * (page_size + kPageCellOverhead). Every read verifies the
+/// cell's CRC before handing bytes up -- a damaged cell fails with
+/// ParseError naming the classification (torn vs rot), and transient
+/// backend errors (Unavailable) are retried a bounded number of times
+/// with backoff. Jumbo pages (synthetic kJumboPageBit ids) are not part
+/// of the flat file layout and fall back to the record manager's
+/// in-memory image. bench_coldcache reads through this to charge real
+/// I/O to pool misses.
 class FilePageSource : public PageProvider {
  public:
   FilePageSource(FileBackend* file, size_t page_size,
@@ -125,10 +131,38 @@ class FilePageSource : public PageProvider {
 
   Result<std::vector<uint8_t>> ReadPage(uint32_t page_id) const override;
 
+  FileBackend* file() const { return file_; }
+  size_t page_size() const { return page_size_; }
+  const IntegrityStats& stats() const { return stats_; }
+
  private:
   FileBackend* file_;
   size_t page_size_;
   const PageProvider* fallback_;
+  mutable IntegrityStats stats_;
+};
+
+/// What Recover() found in the log -- the CLI maps this onto its exit
+/// codes and LSN-range report, fsck onto its damage summary.
+struct RecoveryInfo {
+  /// LSN of the kCheckpointBegin entry of the restored checkpoint.
+  uint64_t checkpoint_begin_lsn = 0;
+  /// LSN of its kCheckpointEnd entry (the restore point).
+  uint64_t checkpoint_end_lsn = 0;
+  /// LSN of the last valid entry applied (restore point or op tail).
+  uint64_t last_lsn = 0;
+  /// Valid log entries scanned (checkpoint entries included).
+  uint64_t entries_scanned = 0;
+  /// Complete checkpoints found in the log.
+  uint64_t checkpoints_found = 0;
+  /// Op entries replayed after the restore point.
+  uint64_t replayed_ops = 0;
+  /// True when the log ended in bytes that do not form a valid entry
+  /// (crash damage); Recover() truncates them, RecoverForAudit() leaves
+  /// them in place.
+  bool tail_was_torn = false;
+  /// Size of that torn tail in bytes.
+  uint64_t torn_bytes = 0;
 };
 
 /// The mini-Natix store: a document loaded under a given tree sibling
@@ -278,9 +312,10 @@ class NatixStore {
   /// in-memory page images.
   const PageProvider* page_provider() const { return &manager_; }
 
-  /// Writes every regular page image sequentially to `file` (page p at
-  /// offset p * page_size; the file is truncated first). A FilePageSource
-  /// over the result serves genuinely cold page reads.
+  /// Writes every regular page image sequentially to `file` as sealed
+  /// cells (page p at offset p * (page_size + kPageCellOverhead); the
+  /// file is truncated first). A FilePageSource over the result serves
+  /// genuinely cold, checksum-verified page reads.
   Status FlushPagesTo(FileBackend* file) const;
 
   /// The incremental partitioner, once the store has been mutated
@@ -305,8 +340,18 @@ class NatixStore {
   /// Rebuilds a store from the log left behind by a crashed (or cleanly
   /// stopped) durable store: restores the last complete checkpoint,
   /// replays the op tail, truncates any torn bytes off the log, and
-  /// re-attaches the backend for continued durable operation.
-  static Result<NatixStore> Recover(std::unique_ptr<FileBackend> backend);
+  /// re-attaches the backend for continued durable operation. `info`
+  /// (optional) receives what the scan found, torn tail included.
+  static Result<NatixStore> Recover(std::unique_ptr<FileBackend> backend,
+                                    RecoveryInfo* info = nullptr);
+
+  /// Read-only flavour of Recover() for fsck and the self-healing read
+  /// path: restores the checkpoint and replays the op tail exactly like
+  /// Recover(), but never writes to `backend` (no torn-tail truncation)
+  /// and leaves the result non-durable. `backend` must outlive nothing --
+  /// it is only read during the call.
+  static Result<NatixStore> RecoverForAudit(FileBackend* backend,
+                                            RecoveryInfo* info = nullptr);
 
   bool durable() const { return wal_ != nullptr; }
   /// True after a WAL or checkpoint write failed: the in-memory store may
@@ -316,6 +361,9 @@ class NatixStore {
 
   size_t record_count() const { return records_.size(); }
   size_t page_count() const { return manager_.page_count(); }
+  /// Regular slotted pages only -- the pages FlushPagesTo() writes and
+  /// fsck's page-file checker verifies.
+  size_t regular_page_count() const { return manager_.regular_page_count(); }
   size_t overflow_page_count() const { return overflow_pages_; }
   /// Total occupied disk space: data pages + overflow pages.
   uint64_t TotalDiskBytes() const {
@@ -366,6 +414,15 @@ class NatixStore {
   /// Rebuilds a store from checkpoint metadata (pages still zeroed).
   static Result<NatixStore> FromCheckpointMeta(const uint8_t* data,
                                                size_t size);
+
+  /// Shared body of Recover()/RecoverForAudit(): scans the log, restores
+  /// the last complete checkpoint, replays the op tail. Never mutates
+  /// `backend`. Outputs the offset just past the valid prefix and the
+  /// next LSN so Recover() can truncate and re-attach.
+  static Result<NatixStore> RecoverCore(FileBackend* backend,
+                                        RecoveryInfo* info,
+                                        uint64_t* valid_end,
+                                        uint64_t* next_lsn);
 
   /// Appends one logical op entry for a completed InsertBefore().
   Status LogInsert(NodeId parent_logged, NodeId before, NodeKind kind,

@@ -1,0 +1,486 @@
+// Storage integrity layer: sealed page cells, verified reads, the fsck
+// offline checker and self-healing repair. The centrepiece is the
+// corruption matrix: bit flips and zeroed sectors at strided offsets
+// over a flushed page file, where fsck must detect every injected fault
+// (no silent successes) and repair must restore byte- and query-level
+// equivalence with an undamaged oracle.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/xpathmark.h"
+#include "storage/buffer_manager.h"
+#include "storage/fault_injector.h"
+#include "storage/file_backend.h"
+#include "storage/fsck.h"
+#include "storage/page_integrity.h"
+#include "storage/self_heal.h"
+#include "storage/store.h"
+#include "storage/wal.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+// ------------------------------------------------- sealed page cells ----
+
+TEST(PageCellTest, SealRoundTrips) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 250, 0, 9};
+  const std::vector<uint8_t> cell =
+      SealPageCell(/*epoch=*/7, payload.data(), payload.size());
+  ASSERT_EQ(cell.size(), payload.size() + kPageCellOverhead);
+  uint32_t epoch = 0;
+  EXPECT_EQ(ClassifyPageCell(cell.data(), cell.size(), &epoch),
+            PageDamage::kNone);
+  EXPECT_EQ(epoch, 7u);
+  const Result<std::vector<uint8_t>> open =
+      OpenPageCell(cell.data(), cell.size());
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(*open, payload);
+}
+
+TEST(PageCellTest, ClassifiesTornVersusRot) {
+  const std::vector<uint8_t> payload(64, 0xAB);
+  const std::vector<uint8_t> old_cell =
+      SealPageCell(3, payload.data(), payload.size());
+  const std::vector<uint8_t> new_cell =
+      SealPageCell(4, payload.data(), payload.size());
+
+  // Half-old/half-new: the head of the new write over the tail of the
+  // old one. The epochs disagree, so this is torn, not rot.
+  std::vector<uint8_t> torn = old_cell;
+  std::memcpy(torn.data(), new_cell.data(), torn.size() / 2);
+  EXPECT_EQ(ClassifyPageCell(torn.data(), torn.size()), PageDamage::kTorn);
+  EXPECT_FALSE(OpenPageCell(torn.data(), torn.size()).ok());
+
+  // A flipped payload bit keeps the epochs equal: rot.
+  std::vector<uint8_t> rotten = old_cell;
+  rotten[10] ^= 0x04;
+  EXPECT_EQ(ClassifyPageCell(rotten.data(), rotten.size()),
+            PageDamage::kChecksum);
+
+  // A zeroed run in the payload keeps the epochs equal: rot.
+  std::vector<uint8_t> zeroed = old_cell;
+  std::fill(zeroed.begin() + 20, zeroed.begin() + 40, 0);
+  EXPECT_EQ(ClassifyPageCell(zeroed.data(), zeroed.size()),
+            PageDamage::kChecksum);
+
+  // A zeroed run spanning the tail stamp wipes the tail epoch -- that is
+  // indistinguishable from a write whose tail never landed, so it
+  // classifies as torn, not rot.
+  std::vector<uint8_t> tailless = old_cell;
+  std::fill(tailless.end() - 16, tailless.end(), 0);
+  EXPECT_EQ(ClassifyPageCell(tailless.data(), tailless.size()),
+            PageDamage::kTorn);
+
+  // Bad magic and runt cells are never classified as torn.
+  std::vector<uint8_t> alien = old_cell;
+  alien[0] ^= 0xFF;
+  EXPECT_EQ(ClassifyPageCell(alien.data(), alien.size()),
+            PageDamage::kChecksum);
+  EXPECT_EQ(ClassifyPageCell(old_cell.data(), kPageCellOverhead - 1),
+            PageDamage::kChecksum);
+}
+
+// ------------------------------------------------- shared fixtures ------
+
+constexpr TotalWeight kLimit = 64;
+constexpr uint64_t kSeed = 20260805;
+constexpr int kInserts = 300;
+constexpr int kCheckpointEvery = 100;
+
+NatixStore MakeStore() {
+  WeightModel model;
+  model.max_node_slots = static_cast<uint32_t>(kLimit);
+  Result<ImportedDocument> imp = ImportXml(GenerateXmark(5, 0.003), model);
+  EXPECT_TRUE(imp.ok()) << imp.status().ToString();
+  Result<Partitioning> p = EkmPartition(imp->tree, kLimit);
+  EXPECT_TRUE(p.ok());
+  Result<NatixStore> store =
+      NatixStore::Build(std::move(imp).value(), *p, kLimit);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+Status ScriptedInsert(NatixStore* store, Rng* rng) {
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  const Tree& t = store->tree();
+  const NodeId parent = static_cast<NodeId>(rng->NextBounded(t.size()));
+  NodeId before = kInvalidNode;
+  if (t.ChildCount(parent) > 0 && rng->NextBool(0.4)) {
+    const std::vector<NodeId> kids = t.Children(parent);
+    before = kids[rng->NextBounded(kids.size())];
+  }
+  const bool text = rng->NextBool(0.5);
+  std::string content;
+  if (text) {
+    content.assign(1 + rng->NextBounded(40),
+                   static_cast<char>('a' + rng->NextBounded(26)));
+  }
+  return store
+      ->InsertBefore(parent, before,
+                     text ? "" : kLabels[rng->NextBounded(4)],
+                     text ? NodeKind::kText : NodeKind::kElement, content)
+      .status();
+}
+
+/// A mutated, checkpointed, durable store plus the WAL bytes and a
+/// flushed sealed-cell page file. The live store doubles as the
+/// undamaged oracle for every check below.
+struct DurableFixture {
+  NatixStore store;
+  std::shared_ptr<MemoryFileBackend::Bytes> wal_disk;
+  MemoryFileBackend::Bytes pristine_pages;
+
+  static DurableFixture Make() {
+    DurableFixture f{MakeStore(), nullptr, {}};
+    auto mem = std::make_unique<MemoryFileBackend>();
+    f.wal_disk = mem->disk();
+    EXPECT_TRUE(f.store.EnableDurability(std::move(mem)).ok());
+    Rng rng(kSeed);
+    for (int i = 0; i < kInserts; ++i) {
+      EXPECT_TRUE(ScriptedInsert(&f.store, &rng).ok()) << i;
+      if ((i + 1) % kCheckpointEvery == 0) {
+        EXPECT_TRUE(f.store.Checkpoint().ok());
+      }
+    }
+    EXPECT_TRUE(f.store.Checkpoint().ok());
+    MemoryFileBackend pagefile;
+    EXPECT_TRUE(f.store.FlushPagesTo(&pagefile).ok());
+    f.pristine_pages = *pagefile.disk();
+    return f;
+  }
+};
+
+// --------------------------------------------- verified page source -----
+
+TEST(FilePageSourceTest, ServesVerifiedCells) {
+  DurableFixture f = DurableFixture::Make();
+  MemoryFileBackend pagefile(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  const FilePageSource source(&pagefile, f.store.page_size(),
+                              f.store.page_provider());
+  ASSERT_GT(f.store.regular_page_count(), 1u);
+  for (uint32_t p = 0; p < f.store.regular_page_count(); ++p) {
+    const Result<std::vector<uint8_t>> got = source.ReadPage(p);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const Result<std::vector<uint8_t>> want =
+        f.store.page_provider()->ReadPage(p);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(*got, *want) << "page " << p;
+  }
+  EXPECT_EQ(source.stats().pages_read, f.store.regular_page_count());
+  EXPECT_EQ(source.stats().checksum_failures, 0u);
+  EXPECT_EQ(source.stats().torn_pages, 0u);
+}
+
+TEST(FilePageSourceTest, RetriesTransientUnavailableReads) {
+  DurableFixture f = DurableFixture::Make();
+  auto mem = std::make_unique<MemoryFileBackend>(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  FaultInjectingBackend flaky(std::move(mem), /*fault_at=*/1ull << 40,
+                              FaultMode::kFailStop);
+  flaky.ArmReadFault(ReadFaultMode::kTransientEio, /*fault_at=*/0,
+                     /*count=*/2);
+  const FilePageSource source(&flaky, f.store.page_size(),
+                              f.store.page_provider());
+  const Result<std::vector<uint8_t>> got = source.ReadPage(0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, *f.store.page_provider()->ReadPage(0));
+  EXPECT_EQ(source.stats().transient_retries, 2u);
+  EXPECT_EQ(flaky.read_faults_fired(), 2u);
+}
+
+TEST(FilePageSourceTest, ReportsBitFlipAsChecksumDamage) {
+  DurableFixture f = DurableFixture::Make();
+  auto mem = std::make_unique<MemoryFileBackend>(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  FaultInjectingBackend flaky(std::move(mem), /*fault_at=*/1ull << 40,
+                              FaultMode::kFailStop);
+  flaky.ArmReadFault(ReadFaultMode::kBitFlip, /*fault_at=*/0);
+  const FilePageSource source(&flaky, f.store.page_size(),
+                              f.store.page_provider());
+  const Result<std::vector<uint8_t>> got = source.ReadPage(0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(source.stats().checksum_failures, 1u);
+  // The device reads clean outside the fault window; the same source
+  // serves the page on the next attempt (what self-healing relies on).
+  EXPECT_TRUE(source.ReadPage(0).ok());
+}
+
+// -------------------------------------------------- self-healing --------
+
+TEST(SelfHealTest, RepairsRotFromTheWal) {
+  DurableFixture f = DurableFixture::Make();
+  MemoryFileBackend pagefile(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  // Flip a payload byte in every cell: every page is damaged.
+  const size_t cell_size = f.store.page_size() + kPageCellOverhead;
+  for (uint32_t p = 0; p < f.store.regular_page_count(); ++p) {
+    (*pagefile.disk())[p * cell_size + 100] ^= 0x20;
+  }
+  FilePageSource primary(&pagefile, f.store.page_size(),
+                         f.store.page_provider());
+  MemoryFileBackend wal(f.wal_disk);
+  Result<LruBufferPool> pool = LruBufferPool::Create(4);
+  ASSERT_TRUE(pool.ok());
+  // Make a frame resident so the quarantine step has something to drop.
+  ASSERT_TRUE(pool->Pin(0, f.store.page_provider()).ok());
+  pool->Unpin(0);
+  const SelfHealingPageSource healer(&primary, &wal, &*pool);
+  for (uint32_t p = 0; p < f.store.regular_page_count(); ++p) {
+    const Result<std::vector<uint8_t>> got = healer.ReadPage(p);
+    ASSERT_TRUE(got.ok()) << "page " << p << ": " << got.status().ToString();
+    EXPECT_EQ(*got, *f.store.page_provider()->ReadPage(p)) << "page " << p;
+  }
+  const IntegrityStats stats = healer.stats();
+  EXPECT_EQ(stats.repairs, f.store.regular_page_count());
+  EXPECT_EQ(stats.repair_failures, 0u);
+  EXPECT_EQ(stats.checksum_failures, f.store.regular_page_count());
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(pool->stats().quarantines, 1u);
+  // The rewritten cells are durable: a fresh, non-healing source now
+  // verifies every page without help.
+  const FilePageSource reread(&pagefile, f.store.page_size(),
+                              f.store.page_provider());
+  for (uint32_t p = 0; p < f.store.regular_page_count(); ++p) {
+    EXPECT_TRUE(reread.ReadPage(p).ok()) << "page " << p;
+  }
+}
+
+TEST(SelfHealTest, FailsLoudlyWithoutACleanSource) {
+  DurableFixture f = DurableFixture::Make();
+  MemoryFileBackend pagefile(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  (*pagefile.disk())[50] ^= 0xFF;
+  FilePageSource primary(&pagefile, f.store.page_size(),
+                         f.store.page_provider());
+  const SelfHealingPageSource healer(&primary, /*wal=*/nullptr);
+  const Result<std::vector<uint8_t>> got = healer.ReadPage(0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+  EXPECT_NE(got.status().message().find("unrecoverable"), std::string::npos)
+      << got.status().ToString();
+  EXPECT_EQ(healer.stats().repair_failures, 1u);
+  EXPECT_EQ(healer.stats().repairs, 0u);
+}
+
+TEST(SelfHealTest, PassesThroughPersistentUnavailability) {
+  DurableFixture f = DurableFixture::Make();
+  auto mem = std::make_unique<MemoryFileBackend>(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  FaultInjectingBackend flaky(std::move(mem), /*fault_at=*/1ull << 40,
+                              FaultMode::kFailStop);
+  // More consecutive failures than the page source's retry budget: the
+  // read must surface Unavailable, not trigger a (pointless) repair.
+  flaky.ArmReadFault(ReadFaultMode::kTransientEio, /*fault_at=*/0,
+                     /*count=*/64);
+  FilePageSource primary(&flaky, f.store.page_size(),
+                         f.store.page_provider());
+  MemoryFileBackend wal(f.wal_disk);
+  const SelfHealingPageSource healer(&primary, &wal);
+  const Result<std::vector<uint8_t>> got = healer.ReadPage(0);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(healer.stats().repairs, 0u);
+  EXPECT_EQ(healer.stats().repair_failures, 0u);
+}
+
+// ------------------------------------------------------- fsck -----------
+
+TEST(FsckTest, CleanStoreAuditsClean) {
+  DurableFixture f = DurableFixture::Make();
+  MemoryFileBackend wal(f.wal_disk);
+  MemoryFileBackend pagefile(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  std::unique_ptr<NatixStore> audited;
+  Result<FsckReport> report = FsckLog(&wal, &audited);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_NE(audited, nullptr);
+  ASSERT_TRUE(FsckPageFile(&pagefile, *audited, &*report).ok());
+  EXPECT_TRUE(report->clean()) << report->Summary();
+  EXPECT_TRUE(report->store_recovered);
+  EXPECT_FALSE(report->tail_torn);
+  EXPECT_GE(report->complete_checkpoints, 4u);
+  EXPECT_EQ(report->nodes_checked, f.store.node_count());
+  EXPECT_EQ(report->page_cells_checked, f.store.regular_page_count());
+  EXPECT_EQ(report->cell_content_mismatches, 0u);
+  // The audit is genuinely read-only.
+  EXPECT_EQ(*wal.disk(), *MemoryFileBackend(f.wal_disk).disk());
+}
+
+TEST(FsckTest, ReportsTornTailWithoutTruncating) {
+  DurableFixture f = DurableFixture::Make();
+  auto damaged =
+      std::make_shared<MemoryFileBackend::Bytes>(*f.wal_disk);
+  const MemoryFileBackend::Bytes garbage = {'g', 'a', 'r', 'b'};
+  damaged->insert(damaged->end(), garbage.begin(), garbage.end());
+  MemoryFileBackend wal(damaged);
+  const Result<FsckReport> report = FsckLog(&wal);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->tail_torn);
+  EXPECT_EQ(report->torn_bytes, garbage.size());
+  // A torn tail is crash damage recovery handles, not integrity damage.
+  EXPECT_TRUE(report->clean()) << report->Summary();
+  EXPECT_EQ(damaged->size(), f.wal_disk->size() + garbage.size());
+}
+
+TEST(FsckTest, FlagsALogWithoutACompleteCheckpoint) {
+  MemoryFileBackend wal;
+  Result<WalWriter> writer = WalWriter::Create(&wal);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append(WalEntryType::kCheckpointBegin, {}).ok());
+  const Result<FsckReport> report = FsckLog(&wal);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+  EXPECT_FALSE(report->store_recovered);
+  EXPECT_TRUE(report->incomplete_checkpoint_tail);
+  EXPECT_GE(report->log_structure_errors, 1u);
+}
+
+// -------------------------------------------- the corruption matrix -----
+
+/// Runs fsck (log + page file) over `pages` and returns the report.
+FsckReport AuditPages(const DurableFixture& f,
+                      const MemoryFileBackend::Bytes& pages) {
+  MemoryFileBackend wal(f.wal_disk);
+  MemoryFileBackend pagefile(
+      std::make_shared<MemoryFileBackend::Bytes>(pages));
+  std::unique_ptr<NatixStore> audited;
+  Result<FsckReport> report = FsckLog(&wal, &audited);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(audited, nullptr);
+  EXPECT_TRUE(FsckPageFile(&pagefile, *audited, &*report).ok());
+  return *report;
+}
+
+/// Heals every regular page of `pages` in place and checks byte
+/// equivalence with the oracle's authoritative images.
+void ExpectHealsCompletely(const DurableFixture& f,
+                           MemoryFileBackend* pagefile,
+                           const std::string& context) {
+  FilePageSource primary(pagefile, f.store.page_size(),
+                         f.store.page_provider());
+  MemoryFileBackend wal(f.wal_disk);
+  const SelfHealingPageSource healer(&primary, &wal);
+  for (uint32_t p = 0; p < f.store.regular_page_count(); ++p) {
+    const Result<std::vector<uint8_t>> got = healer.ReadPage(p);
+    ASSERT_TRUE(got.ok()) << context << " page " << p << ": "
+                          << got.status().ToString();
+    ASSERT_EQ(*got, *f.store.page_provider()->ReadPage(p))
+        << context << " page " << p;
+  }
+  EXPECT_EQ(healer.stats().repair_failures, 0u) << context;
+}
+
+TEST(CorruptionMatrixTest, FsckDetectsAndRepairHealsEveryFault) {
+  const DurableFixture f = DurableFixture::Make();
+  const size_t file_size = f.pristine_pages.size();
+  ASSERT_GT(file_size, 0u);
+  // Strides chosen to land faults in cell heads, payload bodies and tail
+  // stamps across different pages.
+  const size_t flip_stride = file_size / 23 + 1;
+  constexpr size_t kSectorSize = 64;
+  const size_t sector_stride = file_size / 11 + 1;
+
+  size_t cases = 0;
+  // --- single bit flips ---
+  for (size_t off = 0; off < file_size; off += flip_stride) {
+    MemoryFileBackend::Bytes damaged = f.pristine_pages;
+    damaged[off] ^= 1u << (off % 8);
+    const FsckReport report = AuditPages(f, damaged);
+    ASSERT_GT(report.damage_count(), 0u)
+        << "SILENT SUCCESS: bit flip at offset " << off
+        << " went undetected\n" << report.Summary();
+    MemoryFileBackend pagefile(
+        std::make_shared<MemoryFileBackend::Bytes>(damaged));
+    ExpectHealsCompletely(f, &pagefile,
+                          "bit flip at " + std::to_string(off));
+    ++cases;
+  }
+  // --- zeroed sectors ---
+  for (size_t off = 0; off < file_size; off += sector_stride) {
+    MemoryFileBackend::Bytes damaged = f.pristine_pages;
+    const size_t end = std::min(off + kSectorSize, file_size);
+    std::fill(damaged.begin() + off, damaged.begin() + end, 0);
+    if (damaged == f.pristine_pages) continue;  // sector was already zero
+    const FsckReport report = AuditPages(f, damaged);
+    ASSERT_GT(report.damage_count(), 0u)
+        << "SILENT SUCCESS: zeroed sector at offset " << off
+        << " went undetected\n" << report.Summary();
+    MemoryFileBackend pagefile(
+        std::make_shared<MemoryFileBackend::Bytes>(damaged));
+    ExpectHealsCompletely(f, &pagefile,
+                          "zeroed sector at " + std::to_string(off));
+    ++cases;
+  }
+  ASSERT_GE(cases, 20u) << "the matrix shrank; widen the strides";
+}
+
+TEST(CorruptionMatrixTest, HealedFileAnswersQueriesLikeTheOracle) {
+  const DurableFixture f = DurableFixture::Make();
+  // Damage a run of bytes in the middle of the file, then evaluate the
+  // full XPathMark suite reading *through* the healing source.
+  MemoryFileBackend pagefile(
+      std::make_shared<MemoryFileBackend::Bytes>(f.pristine_pages));
+  const size_t mid = pagefile.disk()->size() / 2;
+  for (size_t i = 0; i < 200; ++i) (*pagefile.disk())[mid + i] ^= 0x55;
+  FilePageSource primary(&pagefile, f.store.page_size(),
+                         f.store.page_provider());
+  MemoryFileBackend wal(f.wal_disk);
+  const SelfHealingPageSource healer(&primary, &wal);
+  Result<LruBufferPool> pool = LruBufferPool::Create(2);
+  ASSERT_TRUE(pool.ok());
+  AccessStats hstats, ostats;
+  StoreQueryEvaluator healed(&f.store, &hstats, &*pool, &healer);
+  StoreQueryEvaluator oracle(&f.store, &ostats);
+  for (const XPathMarkQuery& q : XPathMarkQueries()) {
+    const Result<PathExpr> path = ParseXPath(q.text);
+    ASSERT_TRUE(path.ok()) << q.id;
+    const Result<std::vector<NodeId>> got = healed.Evaluate(*path);
+    const Result<std::vector<NodeId>> want = oracle.Evaluate(*path);
+    ASSERT_TRUE(got.ok()) << q.id << ": " << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << q.id;
+    ASSERT_EQ(*got, *want) << q.id;
+  }
+  EXPECT_GT(healer.stats().repairs, 0u);
+  EXPECT_EQ(healer.stats().repair_failures, 0u);
+}
+
+// ------------------------------------------------- recovery info --------
+
+TEST(RecoveryInfoTest, ReportsLsnRangeAndTornTail) {
+  DurableFixture f = DurableFixture::Make();
+  // A few more inserts after the last checkpoint give recovery an op
+  // tail to replay, then a torn append loses its final bytes.
+  Rng rng(kSeed + 1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&f.store, &rng).ok());
+  }
+  const uint64_t intact_size = f.wal_disk->size();
+  f.wal_disk->resize(intact_size + 7, 0xEE);
+  RecoveryInfo info;
+  Result<NatixStore> recovered = NatixStore::Recover(
+      std::make_unique<MemoryFileBackend>(f.wal_disk), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(info.tail_was_torn);
+  EXPECT_EQ(info.torn_bytes, 7u);
+  EXPECT_EQ(f.wal_disk->size(), intact_size);  // tail truncated
+  EXPECT_EQ(info.replayed_ops, 5u);
+  EXPECT_GT(info.checkpoint_begin_lsn, 0u);
+  EXPECT_EQ(info.checkpoint_end_lsn, info.last_lsn - info.replayed_ops);
+  EXPECT_GE(info.checkpoints_found, 4u);
+  EXPECT_GT(info.entries_scanned, info.replayed_ops);
+  EXPECT_EQ(recovered->node_count(), f.store.node_count());
+}
+
+}  // namespace
+}  // namespace natix

@@ -196,6 +196,66 @@ TEST(FaultInjectorTest, TornWriteKeepsLengthButGarblesTail) {
   EXPECT_EQ(*disk, *disk2);
 }
 
+// Read faults model a flaky device rather than a dying one: the backend
+// keeps serving after the fault window. The write fault is parked far
+// past the workload so only the read path misbehaves.
+constexpr uint64_t kNoWriteFault = 1ull << 40;
+
+TEST(FaultInjectorTest, BitFlipSilentlyCorruptsOneBit) {
+  auto mem = std::make_unique<MemoryFileBackend>();
+  ASSERT_TRUE(mem->Append("abcdefgh", 8).ok());
+  FaultInjectingBackend inj(std::move(mem), kNoWriteFault,
+                            FaultMode::kFailStop);
+  inj.ArmReadFault(ReadFaultMode::kBitFlip, /*fault_at=*/0);
+  char buf[8];
+  // The faulted read *succeeds* -- the corruption is silent.
+  ASSERT_TRUE(inj.ReadAt(0, buf, 8).ok());
+  int flipped_bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    flipped_bits += __builtin_popcount(
+        static_cast<uint8_t>(buf[i]) ^ static_cast<uint8_t>("abcdefgh"[i]));
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(inj.read_faults_fired(), 1u);
+  // Outside the window the device reads clean again.
+  ASSERT_TRUE(inj.ReadAt(0, buf, 8).ok());
+  EXPECT_EQ(MemoryFileBackend::Bytes(buf, buf + 8),
+            MemoryFileBackend::Bytes("abcdefgh", "abcdefgh" + 8));
+  EXPECT_EQ(inj.read_faults_fired(), 1u);
+}
+
+TEST(FaultInjectorTest, ShortReadFailsUnavailableThenRecovers) {
+  auto mem = std::make_unique<MemoryFileBackend>();
+  ASSERT_TRUE(mem->Append("abcdefgh", 8).ok());
+  FaultInjectingBackend inj(std::move(mem), kNoWriteFault,
+                            FaultMode::kFailStop);
+  inj.ArmReadFault(ReadFaultMode::kShortRead, /*fault_at=*/0);
+  char buf[8];
+  const Status s = inj.ReadAt(0, buf, 8);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+  ASSERT_TRUE(inj.ReadAt(0, buf, 8).ok());
+  EXPECT_EQ(MemoryFileBackend::Bytes(buf, buf + 8),
+            MemoryFileBackend::Bytes("abcdefgh", "abcdefgh" + 8));
+}
+
+TEST(FaultInjectorTest, TransientEioClearsAfterItsWindow) {
+  auto mem = std::make_unique<MemoryFileBackend>();
+  ASSERT_TRUE(mem->Append("abcdefgh", 8).ok());
+  FaultInjectingBackend inj(std::move(mem), kNoWriteFault,
+                            FaultMode::kFailStop);
+  inj.ArmReadFault(ReadFaultMode::kTransientEio, /*fault_at=*/1,
+                   /*count=*/2);
+  char buf[8];
+  ASSERT_TRUE(inj.ReadAt(0, buf, 8).ok());  // read 0: before the window
+  EXPECT_EQ(inj.ReadAt(0, buf, 8).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(inj.ReadAt(0, buf, 8).code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(inj.ReadAt(0, buf, 8).ok());  // read 3: window over
+  EXPECT_EQ(inj.read_count(), 4u);
+  EXPECT_EQ(inj.read_faults_fired(), 2u);
+  // A flaky device is not a dead one: writes still land.
+  EXPECT_TRUE(inj.Append("x", 1).ok());
+}
+
 // ----------------------------------------------------- page hardening ---
 
 TEST(PageImageTest, RoundTripsThroughRawBytes) {
