@@ -10,6 +10,13 @@
 // into fewer pages, so sibling partitioning's advantage grows as the
 // buffer shrinks.
 //
+// On top of the KM/EKM layout comparison, every layout is built twice:
+// once with the v2 slot-aligned record format and once with the v3
+// compressed format (varint metadata + Huffman-coded text cells). The
+// partitioning, weights and query answers are identical by construction
+// -- only the physical record bytes differ -- so the v2/v3 delta in
+// bytes_read is the storage format's contribution alone.
+//
 // Each row also reports measured I/O: miss count, bytes actually read
 // through the FilePageSource and the wall time spent in those reads; the
 // sweep's wall time covers the record decoding on top. Machine-readable
@@ -57,7 +64,9 @@ uint64_t CurrentRssKb() {
 }
 
 struct Layout {
-  const char* name;
+  const char* algo;
+  uint16_t record_format;
+  const char* format_name;
   natix::NatixStore store;
   natix::MemoryFileBackend pagefile;
 };
@@ -77,14 +86,25 @@ int main() {
   const auto ekm = natix::EkmPartition(doc.tree, kLimit);
   km.status().CheckOK();
   ekm.status().CheckOK();
-  auto store_km = natix::NatixStore::Build(doc.Clone(), *km, kLimit);
-  auto store_ekm = natix::NatixStore::Build(doc.Clone(), *ekm, kLimit);
-  store_km.status().CheckOK();
-  store_ekm.status().CheckOK();
+  natix::StoreOptions v2_opts;
+  v2_opts.record_format = natix::kRecordFormatV2;
+  natix::StoreOptions v3_opts;
+  v3_opts.record_format = natix::kRecordFormatV3;
+  auto km_v2 = natix::NatixStore::Build(doc.Clone(), *km, kLimit, v2_opts);
+  auto km_v3 = natix::NatixStore::Build(doc.Clone(), *km, kLimit, v3_opts);
+  auto ekm_v2 = natix::NatixStore::Build(doc.Clone(), *ekm, kLimit, v2_opts);
+  auto ekm_v3 = natix::NatixStore::Build(doc.Clone(), *ekm, kLimit, v3_opts);
+  for (const auto* s : {&km_v2, &km_v3, &ekm_v2, &ekm_v3}) {
+    s->status().CheckOK();
+  }
   const uint64_t rss_resident_kb = CurrentRssKb();
 
-  Layout layouts[] = {{"KM", std::move(*store_km), {}},
-                      {"EKM", std::move(*store_ekm), {}}};
+  Layout layouts[] = {
+      {"KM", natix::kRecordFormatV2, "v2", std::move(*km_v2), {}},
+      {"KM", natix::kRecordFormatV3, "v3", std::move(*km_v3), {}},
+      {"EKM", natix::kRecordFormatV2, "v2", std::move(*ekm_v2), {}},
+      {"EKM", natix::kRecordFormatV3, "v3", std::move(*ekm_v3), {}},
+  };
   // Evicted mode: drop the in-memory documents (and the import copy);
   // from here on, record bytes are the only representation.
   entry.reset();
@@ -93,9 +113,24 @@ int main() {
     l.store.FlushPagesTo(&l.pagefile).CheckOK();
   }
   const uint64_t rss_released_kb = CurrentRssKb();
-  std::printf("pages: KM %zu, EKM %zu\n", layouts[0].store.page_count(),
-              layouts[1].store.page_count());
-  std::printf("RSS: %llu KiB with documents resident, %llu KiB released\n\n",
+  std::printf("%-4s %-3s | %9s %8s %13s %13s\n", "algo", "fmt", "records",
+              "pages", "records/page", "disk bytes");
+  for (const Layout& l : layouts) {
+    std::printf("%-4s %-3s | %9zu %8zu %13.2f %13llu\n", l.algo,
+                l.format_name, l.store.record_count(), l.store.page_count(),
+                static_cast<double>(l.store.record_count()) /
+                    static_cast<double>(l.store.page_count()),
+                static_cast<unsigned long long>(l.store.TotalDiskBytes()));
+    std::printf("BENCH_COLDCACHE {\"metric\":\"layout\",\"layout\":\"%s\","
+                "\"format\":\"%s\",\"records\":%zu,\"pages\":%zu,"
+                "\"records_per_page\":%.3f,\"disk_bytes\":%llu}\n",
+                l.algo, l.format_name, l.store.record_count(),
+                l.store.page_count(),
+                static_cast<double>(l.store.record_count()) /
+                    static_cast<double>(l.store.page_count()),
+                static_cast<unsigned long long>(l.store.TotalDiskBytes()));
+  }
+  std::printf("\nRSS: %llu KiB with documents resident, %llu KiB released\n\n",
               static_cast<unsigned long long>(rss_resident_kb),
               static_cast<unsigned long long>(rss_released_kb));
   std::printf("BENCH_COLDCACHE {\"metric\":\"rss\",\"resident_kb\":%llu,"
@@ -104,11 +139,14 @@ int main() {
               static_cast<unsigned long long>(rss_released_kb));
 
   const natix::NavigationCostModel nav_cost;
-  std::printf("%-12s %-4s | %9s %12s %9s | %9s %9s\n", "buffer", "algo",
-              "misses", "bytes read", "read ms", "sweep ms", "sim ms");
+  bool results_equivalent = true;
+  std::printf("%-8s %-4s %-3s | %9s %12s %9s | %9s %9s %10s\n", "buffer",
+              "algo", "fmt", "misses", "bytes read", "read ms", "sweep ms",
+              "sim ms", "results");
   for (const size_t frames : {16ul, 64ul, 256ul, 4096ul}) {
-    double wall[2] = {0, 0};
-    for (int i = 0; i < 2; ++i) {
+    uint64_t bytes_read[4] = {0, 0, 0, 0};
+    uint64_t results[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
       Layout& l = layouts[i];
       natix::LruBufferPool pool =
           natix::LruBufferPool::Create(frames).ValueOrDie();
@@ -118,18 +156,22 @@ int main() {
           natix::benchutil::RunXPathMarkSweep(l.store, &pool, nav_cost,
                                               &source);
       const natix::BufferStats& bs = pool.stats();
-      wall[i] = sweep.wall_ms;
-      std::printf("%-12zu %-4s | %9llu %12llu %9.2f | %9.2f %9.2f\n",
-                  frames, l.name,
+      bytes_read[i] = bs.bytes_read;
+      results[i] = sweep.result_nodes;
+      std::printf("%-8zu %-4s %-3s | %9llu %12llu %9.2f | %9.2f %9.2f "
+                  "%10llu\n",
+                  frames, l.algo, l.format_name,
                   static_cast<unsigned long long>(bs.misses),
                   static_cast<unsigned long long>(bs.bytes_read),
                   static_cast<double>(bs.read_ns) * 1e-6, sweep.wall_ms,
-                  sweep.sim_ms);
-      std::printf("BENCH_COLDCACHE {\"layout\":\"%s\",\"frames\":%zu,"
-                  "\"misses\":%llu,\"bytes_read\":%llu,\"read_ms\":%.3f,"
-                  "\"sweep_wall_ms\":%.3f,\"sim_ms\":%.3f,"
-                  "\"crossings\":%llu,\"page_switches\":%llu}\n",
-                  l.name, frames,
+                  sweep.sim_ms,
+                  static_cast<unsigned long long>(sweep.result_nodes));
+      std::printf("BENCH_COLDCACHE {\"layout\":\"%s\",\"format\":\"%s\","
+                  "\"frames\":%zu,\"misses\":%llu,\"bytes_read\":%llu,"
+                  "\"read_ms\":%.3f,\"sweep_wall_ms\":%.3f,\"sim_ms\":%.3f,"
+                  "\"crossings\":%llu,\"page_switches\":%llu,"
+                  "\"result_nodes\":%llu}\n",
+                  l.algo, l.format_name, frames,
                   static_cast<unsigned long long>(bs.misses),
                   static_cast<unsigned long long>(bs.bytes_read),
                   static_cast<double>(bs.read_ns) * 1e-6, sweep.wall_ms,
@@ -137,14 +179,41 @@ int main() {
                   static_cast<unsigned long long>(
                       sweep.stats.record_crossings),
                   static_cast<unsigned long long>(
-                      sweep.stats.page_switches));
+                      sweep.stats.page_switches),
+                  static_cast<unsigned long long>(sweep.result_nodes));
     }
-    std::printf("%-12s      | KM/EKM sweep wall ratio %.2fx\n\n", "",
-                wall[1] > 0 ? wall[0] / wall[1] : 0.0);
+    // Same algorithm, same partitioning, same queries: the answers must
+    // not depend on the record format.
+    if (results[0] != results[1] || results[2] != results[3]) {
+      results_equivalent = false;
+    }
+    const auto reduction = [](uint64_t v2, uint64_t v3) {
+      return v2 > 0
+                 ? 100.0 * (1.0 - static_cast<double>(v3) /
+                                      static_cast<double>(v2))
+                 : 0.0;
+    };
+    std::printf("%-8s          | v3 reads %.1f%% fewer bytes (KM), %.1f%% "
+                "fewer (EKM)\n",
+                "", reduction(bytes_read[0], bytes_read[1]),
+                reduction(bytes_read[2], bytes_read[3]));
+    std::printf("BENCH_COLDCACHE {\"metric\":\"compression\",\"frames\":%zu,"
+                "\"km_bytes_read_reduction_pct\":%.2f,"
+                "\"ekm_bytes_read_reduction_pct\":%.2f,"
+                "\"results_equivalent\":%s}\n\n",
+                frames, reduction(bytes_read[0], bytes_read[1]),
+                reduction(bytes_read[2], bytes_read[3]),
+                results[0] == results[1] && results[2] == results[3]
+                    ? "true"
+                    : "false");
   }
   std::printf("(each row runs XPathMark Q1-Q7 back to back through one "
               "shared pool; 4096 frames approximates the paper's warm "
               "buffer. Every miss reads one page from the page file and "
               "every crossing decodes a record view from frame bytes.)\n");
+  if (!results_equivalent) {
+    std::printf("ERROR: query results differ between record formats\n");
+    return 1;
+  }
   return 0;
 }

@@ -87,6 +87,10 @@ struct QueryRun {
   AccessStats stats;
   double wall_ms = 0;
   double sim_ms = 0;
+  /// Sweep use: total result nodes over all queries (the per-query
+  /// vectors are discarded); lets two layouts be checked for equivalent
+  /// answers without keeping every result alive.
+  uint64_t result_nodes = 0;
 };
 
 /// Evaluates `path` against `store` (optionally through an LRU pool for
@@ -123,6 +127,7 @@ inline QueryRun RunXPathMarkSweep(const NatixStore& store,
     total.stats.page_switches += run.stats.page_switches;
     total.wall_ms += run.wall_ms;
     total.sim_ms += run.sim_ms;
+    total.result_nodes += run.result.size();
   }
   return total;
 }

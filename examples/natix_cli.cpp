@@ -6,6 +6,7 @@
 //   natix_cli generate <generator> [scale] [seed]         XML to stdout
 //   natix_cli inspect <file|generator> [scale]            structure report
 //   natix_cli partition <algo|ALL> <file|generator> [K] [scale] [threads]
+//              [--grain <nodes>]
 //   natix_cli query <xpath> <file|generator> [algo] [K] [scale]
 //   natix_cli update <file|generator> [inserts] [K] [scale] [seed]
 //              [--wal <path>] [--pages <path>]
@@ -17,6 +18,11 @@
 // generator names (sigmod, mondial, partsupp, uwm, orders, xmark).
 // [threads]: worker threads for parallel algorithms (DHW); 0 = one per
 // hardware thread (the default), 1 = sequential.
+// --grain <nodes>: target nodes per parallel task for DHW's
+// subtree-chunked scheduler (default 4096). A pure scheduling knob: the
+// partitioning is byte-identical for every value; smaller grains expose
+// more parallelism, larger grains amortize pool overhead. Trees no
+// larger than one grain run sequentially.
 // --wal <path>: write every insert through a write-ahead log at <path>
 // (the file must not already exist); `recover` rebuilds the store from
 // such a log after a crash and reports what survived.
@@ -60,7 +66,7 @@ int Usage() {
       "  natix_cli generate <generator> [scale] [seed]\n"
       "  natix_cli inspect <file|generator> [scale]\n"
       "  natix_cli partition <algo|ALL> <file|generator> [K] [scale] "
-      "[threads]\n"
+      "[threads] [--grain <nodes>]\n"
       "  natix_cli query <xpath> <file|generator> [algo] [K] [scale]\n"
       "  natix_cli update <file|generator> [inserts] [K] [scale] [seed] "
       "[--wal <path>] [--pages <path>]\n"
@@ -187,6 +193,8 @@ int PartitionOne(std::string_view algo, const natix::ImportedDocument& doc,
 }
 
 int CmdPartition(int argc, char** argv) {
+  std::string grain;
+  if (!StripFlag("--grain", &argc, argv, &grain)) return Usage();
   if (argc < 2) return Usage();
   const std::string algo = argv[0];
   const natix::TotalWeight k = argc > 2 ? std::atoll(argv[2]) : 256;
@@ -194,6 +202,9 @@ int CmdPartition(int argc, char** argv) {
   natix::PartitionOptions opts;
   opts.num_threads =
       argc > 4 ? static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10)) : 0;
+  if (!grain.empty()) {
+    opts.task_grain_nodes = std::strtoull(grain.c_str(), nullptr, 10);
+  }
   const auto doc = LoadDocument(argv[1], scale, k);
   if (!doc.ok()) {
     std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());

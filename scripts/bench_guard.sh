@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Benchmark regression guard over the checked-in artifact files.
+#
+# Checks BENCH_PARALLEL.json (dhw_parallel, JSONL) and
+# BENCH_COLDCACHE.json (bench_coldcache, JSON array) against floors:
+#
+#  * Correctness gates are unconditional: every parallel run must be
+#    byte-identical to the sequential one, and cold-cache query answers
+#    must not depend on the record format.
+#  * The parallel speedup floor is hardware-aware. Real scaling needs
+#    real cores; the artifacts record hardware_threads at measurement
+#    time, and the floor keys on that, not on where the guard runs:
+#      hw >= 4: >= 2.0x at 4 threads (the scaling target)
+#      hw = 2-3: >= 1.3x at 2 threads
+#      hw < 2: no-regression only -- every multi-thread run >= 0.9x
+#    (on a single hardware thread a speedup is physically impossible;
+#    the guard only insists the chunked scheduler costs ~nothing).
+#  * Compressed records must cut cold-cache bytes_read by >= 25% at
+#    every buffer size, for both layouts.
+#
+# Usage: scripts/bench_guard.sh  (exits nonzero on any violation)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq > /dev/null || { echo "bench_guard: jq not found" >&2; exit 2; }
+fail=0
+say_fail() { echo "bench_guard FAIL: $*" >&2; fail=1; }
+
+# ------------------------------------------------ parallel partitioning --
+if [[ ! -f BENCH_PARALLEL.json ]]; then
+  say_fail "BENCH_PARALLEL.json missing"
+else
+  if jq -es 'map(.identical) | all' BENCH_PARALLEL.json > /dev/null; then :
+  else
+    say_fail "a parallel run was not byte-identical to sequential"
+  fi
+  hw=$(jq -s '.[0].hardware_threads // 1' BENCH_PARALLEL.json)
+  if (( hw >= 4 )); then
+    floor=2.0 at_threads=4
+  elif (( hw >= 2 )); then
+    floor=1.3 at_threads=2
+  else
+    floor=0.9 at_threads=0   # 0 = every multi-thread row
+  fi
+  bad=$(jq -s --argjson floor "$floor" --argjson t "$at_threads" \
+    '[.[] | select(.threads > 1)
+         | select($t == 0 or .threads == $t)
+         | select(.speedup_vs_seq < $floor)] | length' BENCH_PARALLEL.json)
+  if (( bad > 0 )); then
+    say_fail "speedup below the ${floor}x floor for hw=${hw} threads" \
+             "(see BENCH_PARALLEL.json)"
+  fi
+  echo "bench_guard: parallel OK (hw=${hw}, floor=${floor}x)"
+fi
+
+# ------------------------------------------------------- cold cache -----
+if [[ ! -f BENCH_COLDCACHE.json ]]; then
+  say_fail "BENCH_COLDCACHE.json missing"
+else
+  if jq -e '[.[] | select(.metric == "compression")
+             | .results_equivalent] | length > 0 and all' \
+      BENCH_COLDCACHE.json > /dev/null; then :
+  else
+    say_fail "query results differ between record formats"
+  fi
+  bad=$(jq '[.[] | select(.metric == "compression")
+             | select(.km_bytes_read_reduction_pct < 25 or
+                      .ekm_bytes_read_reduction_pct < 25)] | length' \
+      BENCH_COLDCACHE.json)
+  if (( bad > 0 )); then
+    say_fail "v3 bytes_read reduction under the 25% floor" \
+             "(see BENCH_COLDCACHE.json compression rows)"
+  fi
+  echo "bench_guard: cold-cache OK (>= 25% fewer bytes read with v3)"
+fi
+
+(( fail == 0 )) && echo "bench_guard OK"
+exit "$fail"

@@ -54,7 +54,7 @@ cmake -B build-asan -S . -DNATIX_SANITIZE=address,undefined \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j --target store_updates_test updates_test \
   storage_test wal_recovery_test fsck_repair_test record_codec_test \
-  store_evict_test query_axis_matrix_test
+  content_codec_test store_evict_test query_axis_matrix_test
 (cd build-asan && ./tests/store_updates_test && ./tests/updates_test \
   && ./tests/storage_test && ./tests/wal_recovery_test \
   && ./tests/fsck_repair_test)
@@ -64,8 +64,8 @@ cmake --build build-asan -j --target store_updates_test updates_test \
 #     document *released* and navigation running through a tiny buffer
 #     pool. Every byte a query reads then comes from decoded record
 #     payloads, so ASan/UBSan sees the whole zero-copy RecordView path.
-(cd build-asan && ./tests/record_codec_test && ./tests/store_evict_test \
-  && ./tests/query_axis_matrix_test)
+(cd build-asan && ./tests/record_codec_test && ./tests/content_codec_test \
+  && ./tests/store_evict_test && ./tests/query_axis_matrix_test)
 
 # 4. Assert-free build: CMAKE_BUILD_TYPE=Release defines NDEBUG, which
 #    compiles every assert() out. All input validation must ride on

@@ -46,11 +46,31 @@ void ThreadPool::RunGraph(size_t n, const uint32_t* dependency_counts,
     q.tasks.push_back(static_cast<uint32_t>(i));
     next = (next + 1) % workers_;
   }
+  dependent_of_ = dependent_of;
+  Launch(n, run);
+}
 
+void ThreadPool::RunIndependent(
+    size_t n, const std::function<void(size_t, unsigned)>& run) {
+  if (n == 0) return;
+  assert(n <= kNoDependent && "task ids must fit the queue element type");
+
+  unsigned next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    WorkerQueue& q = *queues_[next];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(static_cast<uint32_t>(i));
+    next = (next + 1) % workers_;
+  }
+  dependent_of_ = nullptr;  // TryRunOne: no task unblocks anything
+  Launch(n, run);
+}
+
+void ThreadPool::Launch(size_t n,
+                        const std::function<void(size_t, unsigned)>& run) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     run_ = &run;
-    dependent_of_ = dependent_of;
     remaining_.store(n, std::memory_order_relaxed);
     ++generation_;
     active_workers_ = workers_ - 1;
@@ -123,7 +143,8 @@ bool ThreadPool::TryRunOne(unsigned worker) {
 
   (*run_)(task, worker);
 
-  const uint32_t dependent = dependent_of_[task];
+  const uint32_t dependent =
+      dependent_of_ != nullptr ? dependent_of_[task] : kNoDependent;
   if (dependent != kNoDependent &&
       pending_[dependent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
     WorkerQueue& own = *queues_[worker];

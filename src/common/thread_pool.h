@@ -58,7 +58,17 @@ class ThreadPool {
                 const uint32_t* dependent_of,
                 const std::function<void(size_t, unsigned)>& run);
 
+  /// Executes n mutually independent tasks (all immediately ready, none
+  /// unblocking anything) without materializing the two all-trivial
+  /// dependency arrays RunGraph would need. Same blocking/worker-index
+  /// contract as RunGraph. DHW's parallel extraction phase uses this: the
+  /// light-subtree jobs have no ordering constraints among themselves.
+  void RunIndependent(size_t n,
+                      const std::function<void(size_t, unsigned)>& run);
+
  private:
+  void Launch(size_t n, const std::function<void(size_t, unsigned)>& run);
+
   struct WorkerQueue {
     std::mutex mu;
     std::deque<uint32_t> tasks;

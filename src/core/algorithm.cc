@@ -69,6 +69,7 @@ Result<Partitioning> DhwFn(const Tree& t, TotalWeight k,
                            const PartitionOptions& o) {
   DhwOptions dhw;
   dhw.num_threads = o.num_threads;
+  if (o.task_grain_nodes != 0) dhw.task_grain_nodes = o.task_grain_nodes;
   return DhwPartition(t, k, dhw);
 }
 Result<Partitioning> GhdwFn(const Tree& t, TotalWeight k,

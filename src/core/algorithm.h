@@ -18,6 +18,11 @@ struct PartitionOptions {
   /// Worker threads for algorithms with a parallel phase. 0 = one per
   /// hardware thread, 1 = sequential. Results are identical either way.
   unsigned num_threads = 0;
+  /// Target node count per parallel task for algorithms that chunk their
+  /// work by subtree (DHW). 0 = the algorithm's default (see
+  /// DhwOptions::task_grain_nodes). Purely a scheduling knob; results are
+  /// identical for every value.
+  size_t task_grain_nodes = 0;
 };
 
 /// Common interface of all tree sibling partitioning algorithms in this

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <utility>
@@ -27,13 +28,17 @@ struct NodeSolution {
 };
 
 /// Per-worker state: a pooled DP workspace, the flat-problem scratch
-/// vectors, and a private stats accumulator (merged once at the end, so
-/// the hot loop never touches shared counters).
+/// vectors, extraction scratch, and a private stats accumulator (merged
+/// once at the end, so the hot loop never touches shared counters).
 struct DhwWorker {
   FlatDpWorkspace workspace;
   std::vector<Weight> weights;
   std::vector<Weight> deltas;
   DpStats stats;
+  // Extraction scratch, reused across the worker's extraction jobs.
+  std::vector<std::pair<NodeId, bool>> stack;
+  std::vector<NodeId> children;
+  std::vector<char> child_near;
 };
 
 /// Solves the flat DP at inner node `v`. Reads only the children's
@@ -85,6 +90,12 @@ void SolveInnerNode(const Tree& tree, TotalWeight limit, NodeId v,
       (static_cast<uint64_t>(child_count) + 1);
 }
 
+/// Seeds the trivial solution of a leaf.
+inline void SolveLeaf(const Tree& tree, NodeId v,
+                      std::vector<NodeSolution>& sol) {
+  sol[v].opt_rootweight = tree.WeightOf(v);
+}
+
 unsigned ResolveThreadCount(const Tree& tree, const DhwOptions& options) {
   unsigned threads = options.num_threads;
   if (threads == 0) {
@@ -102,114 +113,322 @@ unsigned ResolveThreadCount(const Tree& tree, const DhwOptions& options) {
   return threads;
 }
 
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One scheduler task: either a single heavy inner node, or a chunk of
+/// whole light subtrees given as ranges into the postorder array.
+struct DhwTask {
+  /// Heavy node to solve, or kInvalidNode for a chunk task.
+  NodeId heavy_node = kInvalidNode;
+  /// Chunk tasks: half-open range into the shared range list.
+  uint32_t ranges_begin = 0;
+  uint32_t ranges_end = 0;
+};
+
+/// The subtree-chunked task graph. Built once per run (setup phase);
+/// execution allocates nothing.
+struct DhwSchedule {
+  std::vector<NodeId> post;           // global postorder
+  std::vector<uint32_t> pos;          // pos[v] = index of v in post
+  std::vector<uint32_t> subtree_nodes;
+  std::vector<DhwTask> tasks;
+  /// Inclusive postorder index ranges referenced by chunk tasks. Each
+  /// range covers whole subtrees, so walking it in increasing index order
+  /// meets every child before its parent.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  std::vector<uint32_t> dependency_counts;
+  std::vector<uint32_t> dependent_of;
+  /// task id of each heavy node (kNoDependent elsewhere).
+  std::vector<uint32_t> task_of_node;
+  size_t grain = 0;
+
+  bool IsHeavy(NodeId v) const { return subtree_nodes[v] > grain; }
+};
+
+/// Decomposes the tree into chunk and heavy-node tasks with accumulated
+/// subtree size >= grain per chunk. Requires subtree_nodes[root] > grain
+/// (otherwise the whole tree is one grain and the caller should run
+/// sequentially). Heavy nodes (subtree > grain) become tasks of their
+/// own; the maximal light subtrees hanging off each heavy node are
+/// greedily grouped left-to-right into chunk tasks. Every task has at
+/// most one dependent (its heavy parent's task), which is exactly the
+/// shape ThreadPool::RunGraph schedules.
+DhwSchedule BuildSchedule(const Tree& tree, size_t grain) {
+  DhwSchedule sched;
+  sched.grain = grain;
+  sched.post = tree.PostorderNodes();
+  const size_t n = sched.post.size();
+  sched.pos.resize(n);
+  sched.subtree_nodes.assign(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId v = sched.post[i];
+    sched.pos[v] = static_cast<uint32_t>(i);
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      sched.subtree_nodes[v] += sched.subtree_nodes[c];
+    }
+  }
+  sched.task_of_node.assign(n, ThreadPool::kNoDependent);
+
+  for (const NodeId v : sched.post) {
+    if (!sched.IsHeavy(v)) continue;
+    // Heavy nodes have subtree > grain >= 1, hence children.
+    const uint32_t first_chunk = static_cast<uint32_t>(sched.tasks.size());
+    uint32_t heavy_children = 0;
+    size_t acc = 0;
+    uint32_t rbegin = static_cast<uint32_t>(sched.ranges.size());
+    const auto close_chunk = [&] {
+      if (sched.ranges.size() == rbegin) return;
+      DhwTask chunk;
+      chunk.ranges_begin = rbegin;
+      chunk.ranges_end = static_cast<uint32_t>(sched.ranges.size());
+      sched.tasks.push_back(chunk);
+      sched.dependency_counts.push_back(0);
+      sched.dependent_of.push_back(ThreadPool::kNoDependent);
+      rbegin = static_cast<uint32_t>(sched.ranges.size());
+      acc = 0;
+    };
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      if (sched.IsHeavy(c)) {
+        ++heavy_children;
+        continue;
+      }
+      // The subtree of c is the contiguous postorder slice ending at c.
+      const uint32_t hi = sched.pos[c];
+      const uint32_t lo = hi - sched.subtree_nodes[c] + 1;
+      if (sched.ranges.size() > rbegin &&
+          sched.ranges.back().second + 1 == lo) {
+        sched.ranges.back().second = hi;
+      } else {
+        sched.ranges.emplace_back(lo, hi);
+      }
+      acc += sched.subtree_nodes[c];
+      if (acc >= grain) close_chunk();
+    }
+    close_chunk();
+
+    const uint32_t vid = static_cast<uint32_t>(sched.tasks.size());
+    sched.task_of_node[v] = vid;
+    DhwTask heavy;
+    heavy.heavy_node = v;
+    sched.tasks.push_back(heavy);
+    sched.dependency_counts.push_back(vid - first_chunk + heavy_children);
+    sched.dependent_of.push_back(ThreadPool::kNoDependent);
+    for (uint32_t t = first_chunk; t < vid; ++t) {
+      sched.dependent_of[t] = vid;
+    }
+    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+         c = tree.NextSibling(c)) {
+      if (sched.IsHeavy(c)) sched.dependent_of[sched.task_of_node[c]] = vid;
+    }
+  }
+  return sched;
+}
+
+/// Emits v's chain intervals into `out` (in chain order) and pushes v's
+/// children onto `stack` left-to-right with their use_near flags, so the
+/// LIFO pop visits them right-to-left -- the traversal order the original
+/// sequential extraction used, which the parallel one must reproduce.
+void EmitAndDescend(const Tree& tree, const std::vector<NodeSolution>& sol,
+                    NodeId v, bool use_near, DhwWorker& worker,
+                    std::vector<std::pair<NodeId, NodeId>>& out) {
+  const NodeSolution& s = sol[v];
+  const std::vector<FlatDp::IntervalChoice>& chain =
+      use_near ? s.near_chain : s.opt_chain;
+  worker.children.clear();
+  for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
+       c = tree.NextSibling(c)) {
+    worker.children.push_back(c);
+  }
+  worker.child_near.assign(worker.children.size(), 0);
+  for (const FlatDp::IntervalChoice& choice : chain) {
+    out.emplace_back(worker.children[choice.begin],
+                     worker.children[choice.end]);
+    for (const uint32_t idx : choice.nearly) worker.child_near[idx] = 1;
+  }
+  for (size_t i = 0; i < worker.children.size(); ++i) {
+    worker.stack.push_back(
+        {worker.children[i], worker.child_near[i] != 0});
+  }
+}
+
+/// Extracts the full interval sequence of `root`'s subtree (root's own
+/// chain first, then descendants in right-to-left preorder).
+void ExtractSubtree(const Tree& tree, const std::vector<NodeSolution>& sol,
+                    NodeId root, bool use_near, DhwWorker& worker,
+                    std::vector<std::pair<NodeId, NodeId>>& out) {
+  worker.stack.clear();
+  worker.stack.push_back({root, use_near});
+  while (!worker.stack.empty()) {
+    const auto [v, near] = worker.stack.back();
+    worker.stack.pop_back();
+    if (tree.FirstChild(v) == kInvalidNode) continue;
+    EmitAndDescend(tree, sol, v, near, worker, out);
+  }
+}
+
+/// A light subtree whose extraction was deferred to the parallel phase.
+struct ExtractJob {
+  NodeId root = kInvalidNode;
+  bool use_near = false;
+  std::vector<std::pair<NodeId, NodeId>> out;
+};
+
 }  // namespace
 
 Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
-                                  const DhwOptions& options, DpStats* stats) {
+                                  const DhwOptions& options, DpStats* stats,
+                                  DhwPhaseTimings* timings) {
   NATIX_RETURN_NOT_OK(CheckPartitionable(tree, limit));
+  using Clock = std::chrono::steady_clock;
 
   std::vector<NodeSolution> sol(tree.size());
-
-  // Leaves have exactly one partitioning; no nearly optimal solution
-  // exists (ΔW = 0). Solving them up front leaves only inner nodes for the
-  // (possibly parallel) bottom-up phase.
-  const std::vector<NodeId> postorder = tree.PostorderNodes();
-  std::vector<NodeId> inner;
-  for (const NodeId v : postorder) {
-    if (tree.FirstChild(v) == kInvalidNode) {
-      sol[v].opt_rootweight = tree.WeightOf(v);
-    } else {
-      inner.push_back(v);
-    }
-  }
-
+  const size_t grain =
+      std::max<size_t>(1, options.task_grain_nodes == 0
+                              ? DhwOptions{}.task_grain_nodes
+                              : options.task_grain_nodes);
   unsigned threads = ResolveThreadCount(tree, options);
-  if (threads > inner.size()) {
-    threads = static_cast<unsigned>(inner.size() == 0 ? 1 : inner.size());
-  }
+  // A tree no larger than one task grain would decompose into a single
+  // task; take the sequential path directly (same result, no pool).
+  if (tree.size() <= grain) threads = 1;
+
+  const auto merge_stats = [stats](const DhwWorker& worker) {
+    if (stats == nullptr) return;
+    stats->inner_nodes += worker.stats.inner_nodes;
+    stats->rows += worker.stats.rows;
+    stats->cells += worker.stats.cells;
+    stats->full_table_cells += worker.stats.full_table_cells;
+  };
+
+  Partitioning p;
+  p.Add(tree.root(), tree.root());
 
   if (threads <= 1) {
-    // Sequential path: identical to the parallel one, in postorder (the
-    // pre-pooling execution order), with a single reused workspace.
+    if (timings != nullptr) timings->threads_used = 1;
+    // Sequential path: leaves first, then inner nodes in postorder with a
+    // single reused workspace.
+    auto t0 = Clock::now();
+    const std::vector<NodeId> postorder = tree.PostorderNodes();
+    if (timings != nullptr) timings->setup_ms = MsSince(t0);
+
+    t0 = Clock::now();
+    std::vector<NodeId> inner;
+    for (const NodeId v : postorder) {
+      if (tree.FirstChild(v) == kInvalidNode) {
+        SolveLeaf(tree, v, sol);
+      } else {
+        inner.push_back(v);
+      }
+    }
+    if (timings != nullptr) timings->leaf_ms = MsSince(t0);
+
+    t0 = Clock::now();
     DhwWorker worker;
     for (const NodeId v : inner) {
       SolveInnerNode(tree, limit, v, sol, worker);
     }
-    if (stats != nullptr) {
-      stats->inner_nodes += worker.stats.inner_nodes;
-      stats->rows += worker.stats.rows;
-      stats->cells += worker.stats.cells;
-      stats->full_table_cells += worker.stats.full_table_cells;
-    }
-  } else {
-    // Dependency-counter schedule: inner node v becomes ready once all of
-    // its inner children are solved (leaves were solved above). Each inner
-    // node's only dependent is its parent, which is itself inner, so the
-    // graph is exactly the tree restricted to inner nodes.
-    std::vector<uint32_t> task_of(tree.size(), ThreadPool::kNoDependent);
-    for (size_t i = 0; i < inner.size(); ++i) {
-      task_of[inner[i]] = static_cast<uint32_t>(i);
-    }
-    std::vector<uint32_t> dependency_counts(inner.size(), 0);
-    std::vector<uint32_t> dependent_of(inner.size(),
-                                       ThreadPool::kNoDependent);
-    for (size_t i = 0; i < inner.size(); ++i) {
-      const NodeId parent = tree.Parent(inner[i]);
-      if (parent == kInvalidNode) continue;
-      const uint32_t parent_task = task_of[parent];
-      dependent_of[i] = parent_task;
-      ++dependency_counts[parent_task];
-    }
+    merge_stats(worker);
+    if (timings != nullptr) timings->solve_ms = MsSince(t0);
 
-    std::vector<DhwWorker> workers(threads);
-    ThreadPool pool(threads);
-    pool.RunGraph(inner.size(), dependency_counts.data(),
-                  dependent_of.data(),
-                  [&](size_t task, unsigned worker) {
-                    SolveInnerNode(tree, limit, inner[task], sol,
-                                   workers[worker]);
-                  });
-    if (stats != nullptr) {
-      for (const DhwWorker& worker : workers) {
-        stats->inner_nodes += worker.stats.inner_nodes;
-        stats->rows += worker.stats.rows;
-        stats->cells += worker.stats.cells;
-        stats->full_table_cells += worker.stats.full_table_cells;
-      }
-    }
+    t0 = Clock::now();
+    std::vector<std::pair<NodeId, NodeId>> flat;
+    ExtractSubtree(tree, sol, tree.root(), /*use_near=*/false, worker, flat);
+    for (const auto& [a, b] : flat) p.Add(a, b);
+    if (timings != nullptr) timings->extract_ms = MsSince(t0);
+    return p;
   }
 
-  // Top-down extraction: the root uses its optimal partitioning; a node
-  // uses its nearly optimal partitioning iff the interval containing it
-  // selected it (field `nearly` of the chosen entry). Sequential and
-  // independent of the solve schedule, so the emitted interval order (and
-  // hence the whole result) is byte-identical across thread counts.
-  Partitioning p;
-  p.Add(tree.root(), tree.root());
-  std::vector<std::pair<NodeId, bool>> stack = {{tree.root(), false}};
-  std::vector<NodeId> children;
-  std::vector<char> child_near;
-  while (!stack.empty()) {
-    const auto [v, use_near] = stack.back();
-    stack.pop_back();
+  // Parallel path: subtree-chunked bottom-up solve, then a split
+  // extraction (sequential over the heavy spine, parallel over the light
+  // subtrees). Both phases produce exactly the sequential result: the
+  // per-node solutions are schedule-independent, and the extraction
+  // reassembles its pieces in the sequential emission order.
+  auto t0 = Clock::now();
+  const DhwSchedule sched = BuildSchedule(tree, grain);
+  if (threads > sched.tasks.size()) {
+    threads = static_cast<unsigned>(sched.tasks.size());
+  }
+  std::vector<DhwWorker> workers(threads);
+  ThreadPool pool(threads);
+  if (timings != nullptr) {
+    timings->setup_ms = MsSince(t0);
+    timings->threads_used = threads;
+  }
+
+  t0 = Clock::now();
+  pool.RunGraph(
+      sched.tasks.size(), sched.dependency_counts.data(),
+      sched.dependent_of.data(), [&](size_t task, unsigned worker) {
+        const DhwTask& t = sched.tasks[task];
+        DhwWorker& w = workers[worker];
+        if (t.heavy_node != kInvalidNode) {
+          SolveInnerNode(tree, limit, t.heavy_node, sol, w);
+          return;
+        }
+        // Chunk task: whole light subtrees in postorder slices; the leaf
+        // pass rides along inside the chunk (no sequential pre-pass).
+        for (uint32_t r = t.ranges_begin; r < t.ranges_end; ++r) {
+          const auto [lo, hi] = sched.ranges[r];
+          for (uint32_t i = lo; i <= hi; ++i) {
+            const NodeId v = sched.post[i];
+            if (tree.FirstChild(v) == kInvalidNode) {
+              SolveLeaf(tree, v, sol);
+            } else {
+              SolveInnerNode(tree, limit, v, sol, w);
+            }
+          }
+        }
+      });
+  for (const DhwWorker& worker : workers) merge_stats(worker);
+  if (timings != nullptr) timings->solve_ms = MsSince(t0);
+
+  t0 = Clock::now();
+  // Extraction phase 1 (sequential): walk the heavy spine in the exact
+  // traversal order of the sequential extraction. Heavy nodes emit their
+  // intervals inline; each maximal light subtree becomes a deferred job,
+  // marked by a (kInvalidNode, job index) placeholder so phase 3 can
+  // splice its output back in at the right position.
+  std::vector<std::pair<NodeId, NodeId>> ops;
+  std::vector<ExtractJob> jobs;
+  DhwWorker& w0 = workers[0];
+  w0.stack.clear();
+  w0.stack.push_back({tree.root(), false});
+  while (!w0.stack.empty()) {
+    const auto [v, near] = w0.stack.back();
+    w0.stack.pop_back();
     if (tree.FirstChild(v) == kInvalidNode) continue;
-    const NodeSolution& s = sol[v];
-    const std::vector<FlatDp::IntervalChoice>& chain =
-        use_near ? s.near_chain : s.opt_chain;
-    children.clear();
-    for (NodeId c = tree.FirstChild(v); c != kInvalidNode;
-         c = tree.NextSibling(c)) {
-      children.push_back(c);
+    if (!sched.IsHeavy(v)) {
+      ops.emplace_back(kInvalidNode, static_cast<NodeId>(jobs.size()));
+      ExtractJob job;
+      job.root = v;
+      job.use_near = near;
+      jobs.push_back(std::move(job));
+      continue;
     }
-    child_near.assign(children.size(), 0);
-    for (const FlatDp::IntervalChoice& choice : chain) {
-      p.Add(children[choice.begin], children[choice.end]);
-      for (const uint32_t idx : choice.nearly) child_near[idx] = 1;
-    }
-    for (size_t i = 0; i < children.size(); ++i) {
-      stack.push_back({children[i], child_near[i] != 0});
+    EmitAndDescend(tree, sol, v, near, w0, ops);
+  }
+
+  // Phase 2 (parallel): extract every light subtree independently.
+  pool.RunIndependent(jobs.size(), [&](size_t j, unsigned worker) {
+    ExtractJob& job = jobs[j];
+    ExtractSubtree(tree, sol, job.root, job.use_near, workers[worker],
+                   job.out);
+  });
+
+  // Phase 3 (sequential): splice the pieces in emission order.
+  for (const auto& [a, b] : ops) {
+    if (a != kInvalidNode) {
+      p.Add(a, b);
+    } else {
+      for (const auto& [ja, jb] : jobs[b].out) p.Add(ja, jb);
     }
   }
+  if (timings != nullptr) timings->extract_ms = MsSince(t0);
   return p;
 }
 

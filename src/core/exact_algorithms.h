@@ -36,30 +36,64 @@ Result<Partitioning> FdwPartition(const Tree& tree, TotalWeight limit,
 Result<Partitioning> GhdwPartition(const Tree& tree, TotalWeight limit,
                                    DpStats* stats = nullptr);
 
-/// Execution options for DHW's parallel bottom-up phase.
+/// Execution options for DHW's parallel phases.
 struct DhwOptions {
-  /// Worker threads for the bottom-up DP phase. 0 = one per hardware
-  /// thread; 1 = today's sequential execution order. The result is
-  /// byte-identical for every value (the per-node DP is deterministic;
-  /// only the schedule varies).
+  /// Worker threads for the bottom-up DP and extraction phases. 0 = one
+  /// per hardware thread; 1 = sequential. The result is byte-identical
+  /// for every value (the per-node DP is deterministic; only the schedule
+  /// varies).
   unsigned num_threads = 0;
   /// Trees smaller than this are solved sequentially regardless of
   /// num_threads: below it the pool's wake-up and steal overhead exceeds
   /// the DP work. Tests lower it to force the parallel path on tiny trees.
+  ///
+  /// Interplay with task_grain_nodes: min_parallel_nodes gates on *total*
+  /// tree size before any decomposition happens; a tree that passes the
+  /// gate additionally falls back to sequential when it is no larger than
+  /// a single task grain (the chunked scheduler would produce one task).
+  /// Both fallbacks take the exact code path num_threads = 1 takes.
   size_t min_parallel_nodes = 4096;
+  /// Target node count per parallel task. The scheduler coarsens work by
+  /// subtree: a node whose subtree exceeds the grain becomes a task of
+  /// its own, and its lighter child subtrees are greedily grouped into
+  /// chunk tasks of >= grain nodes each. Larger grains amortize pool
+  /// overhead; smaller grains expose more parallelism. 0 = the default.
+  /// Purely a scheduling knob -- the partitioning is identical for every
+  /// value.
+  size_t task_grain_nodes = 4096;
+};
+
+/// Wall-clock breakdown of one DhwPartition run, for bench_parallel's
+/// attribution of where time goes. In the chunked parallel schedule the
+/// leaf pass is folded into the bottom-up tasks (each chunk seeds its own
+/// leaves), so leaf_ms is only nonzero on the sequential path.
+struct DhwPhaseTimings {
+  /// Postorder / subtree-size / task-graph construction.
+  double setup_ms = 0;
+  /// Sequential leaf seeding (sequential path only; 0 when chunked).
+  double leaf_ms = 0;
+  /// Bottom-up DP over inner nodes (includes in-chunk leaf seeding on the
+  /// parallel path).
+  double solve_ms = 0;
+  /// Top-down interval extraction.
+  double extract_ms = 0;
+  /// Worker threads actually used (after all fallbacks).
+  unsigned threads_used = 1;
 };
 
 /// Algorithm DHW (Fig. 7): optimal tree sibling partitioning. Extends GHDW
 /// with the choice between optimal and nearly optimal subtree partitionings
 /// (Lemmas 3-5). Produces a minimal *and* lean partitioning in O(nK^3).
-/// The bottom-up phase runs on a work-stealing pool (see DhwOptions);
-/// independent subtrees are solved concurrently with per-thread pooled DP
-/// workspaces.
+/// The bottom-up phase runs on a work-stealing pool over subtree-chunked
+/// tasks (see DhwOptions), and the extraction phase fans the independent
+/// light subtrees out over the same pool; per-thread pooled DP workspaces
+/// keep the steady state allocation-free.
 Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
                                   DpStats* stats = nullptr);
 Result<Partitioning> DhwPartition(const Tree& tree, TotalWeight limit,
                                   const DhwOptions& options,
-                                  DpStats* stats = nullptr);
+                                  DpStats* stats = nullptr,
+                                  DhwPhaseTimings* timings = nullptr);
 
 }  // namespace natix
 

@@ -1,0 +1,193 @@
+#include "storage/content_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+namespace natix {
+
+namespace {
+
+/// Builtin byte frequencies: English letter statistics blended with the
+/// punctuation XML character data actually contains (whitespace, digits,
+/// markup-adjacent symbols). Every byte has a nonzero count so arbitrary
+/// binary content stays encodable (just not profitably -- Compress then
+/// reports false and the raw bytes are stored).
+std::array<uint32_t, 256> BuiltinFrequencies() {
+  std::array<uint32_t, 256> f;
+  f.fill(1);
+  f[' '] = 18000;
+  f['\n'] = 900;
+  f['\t'] = 300;
+  // Lowercase letters, classic English distribution (per-100k scale).
+  const struct { char c; uint32_t n; } kLower[] = {
+      {'e', 12702}, {'t', 9056}, {'a', 8167}, {'o', 7507}, {'i', 6966},
+      {'n', 6749},  {'s', 6327}, {'h', 6094}, {'r', 5987}, {'d', 4253},
+      {'l', 4025},  {'c', 2782}, {'u', 2758}, {'m', 2406}, {'w', 2360},
+      {'f', 2228},  {'g', 2015}, {'y', 1974}, {'p', 1929}, {'b', 1492},
+      {'v', 978},   {'k', 772},  {'j', 153},  {'x', 150},  {'q', 95},
+      {'z', 74}};
+  for (const auto& e : kLower) {
+    f[static_cast<uint8_t>(e.c)] = e.n;
+    // Uppercase at roughly an eighth of the lowercase rate.
+    f[static_cast<uint8_t>(e.c - 'a' + 'A')] = std::max(1u, e.n / 8);
+  }
+  for (char c = '0'; c <= '9'; ++c) f[static_cast<uint8_t>(c)] = 1100;
+  const struct { char c; uint32_t n; } kPunct[] = {
+      {'.', 1300}, {',', 1200}, {'-', 700}, {'\'', 500}, {'"', 400},
+      {';', 300},  {':', 300},  {'!', 150}, {'?', 150},  {'(', 120},
+      {')', 120},  {'/', 250},  {'&', 120}, {'%', 80},   {'$', 80},
+      {'#', 60},   {'@', 60},   {'_', 200}, {'=', 100},  {'+', 60},
+      {'*', 60},   {'<', 80},   {'>', 80}};
+  for (const auto& e : kPunct) f[static_cast<uint8_t>(e.c)] = e.n;
+  return f;
+}
+
+struct CodecTables {
+  std::array<uint8_t, 256> len;     // code length per symbol, in bits
+  std::array<uint32_t, 256> code;   // canonical code, MSB-aligned in len bits
+  uint32_t max_bits = 0;
+  // Canonical decode: per length l, the first code value of that length
+  // and the index into `symbols` where its symbols start.
+  std::array<uint32_t, 33> first_code;
+  std::array<uint32_t, 33> count;
+  std::array<uint32_t, 33> sym_base;
+  std::array<uint8_t, 256> symbols;  // symbols ordered by (len, value)
+};
+
+/// Builds the Huffman code lengths for the builtin table, then assigns
+/// canonical codes. Ties in the priority queue are broken by the lowest
+/// contained symbol so the lengths are platform-independent.
+CodecTables BuildTables() {
+  const std::array<uint32_t, 256> freq = BuiltinFrequencies();
+  struct HuffNode {
+    uint64_t weight;
+    int min_symbol;  // deterministic tie-break
+    int left, right;  // -1 for leaves
+    int symbol;
+  };
+  std::vector<HuffNode> nodes;
+  nodes.reserve(511);
+  using QE = std::pair<std::pair<uint64_t, int>, int>;  // ((w, min_sym), idx)
+  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> q;
+  for (int s = 0; s < 256; ++s) {
+    nodes.push_back({freq[s], s, -1, -1, s});
+    q.push({{freq[s], s}, s});
+  }
+  while (q.size() > 1) {
+    const QE a = q.top();
+    q.pop();
+    const QE b = q.top();
+    q.pop();
+    const int idx = static_cast<int>(nodes.size());
+    nodes.push_back({a.first.first + b.first.first,
+                     std::min(a.first.second, b.first.second), a.second,
+                     b.second, -1});
+    q.push({{nodes[idx].weight, nodes[idx].min_symbol}, idx});
+  }
+  CodecTables t{};
+  // Iterative depth assignment.
+  std::vector<std::pair<int, uint8_t>> stack = {
+      {q.top().second, static_cast<uint8_t>(0)}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const HuffNode& n = nodes[idx];
+    if (n.symbol >= 0) {
+      t.len[n.symbol] = std::max<uint8_t>(1, depth);
+      continue;
+    }
+    stack.push_back({n.left, static_cast<uint8_t>(depth + 1)});
+    stack.push_back({n.right, static_cast<uint8_t>(depth + 1)});
+  }
+  // Canonical code assignment: symbols sorted by (length, value).
+  t.count.fill(0);
+  for (int s = 0; s < 256; ++s) {
+    ++t.count[t.len[s]];
+    t.max_bits = std::max<uint32_t>(t.max_bits, t.len[s]);
+  }
+  uint32_t code = 0;
+  uint32_t base = 0;
+  for (uint32_t l = 1; l <= t.max_bits; ++l) {
+    code <<= 1;
+    t.first_code[l] = code;
+    t.sym_base[l] = base;
+    code += t.count[l];
+    base += t.count[l];
+  }
+  std::array<uint32_t, 33> next = t.first_code;
+  std::array<uint32_t, 33> next_slot = t.sym_base;
+  for (int s = 0; s < 256; ++s) {
+    const uint8_t l = t.len[s];
+    t.code[s] = next[l]++;
+    t.symbols[next_slot[l]++] = static_cast<uint8_t>(s);
+  }
+  return t;
+}
+
+const CodecTables& Tables() {
+  static const CodecTables& tables = *new CodecTables(BuildTables());
+  return tables;
+}
+
+}  // namespace
+
+bool ContentCodec::Compress(std::string_view raw, std::vector<uint8_t>* out) {
+  if (raw.empty()) return false;
+  const CodecTables& t = Tables();
+  out->clear();
+  out->reserve(raw.size());
+  uint64_t bits = 0;
+  uint32_t nbits = 0;
+  for (const char c : raw) {
+    const uint8_t s = static_cast<uint8_t>(c);
+    bits = (bits << t.len[s]) | t.code[s];
+    nbits += t.len[s];
+    while (nbits >= 8) {
+      out->push_back(static_cast<uint8_t>(bits >> (nbits - 8)));
+      nbits -= 8;
+      if (out->size() >= raw.size()) return false;  // not shrinking; bail
+    }
+  }
+  if (nbits > 0) {
+    out->push_back(static_cast<uint8_t>(bits << (8 - nbits)));
+  }
+  return out->size() < raw.size();
+}
+
+bool ContentCodec::Decompress(const uint8_t* enc, size_t enc_len,
+                              size_t raw_len, std::string* out) {
+  const CodecTables& t = Tables();
+  out->clear();
+  out->reserve(raw_len);
+  size_t byte = 0;
+  uint32_t bit = 0;  // bits consumed of enc[byte], MSB first
+  uint32_t code = 0;
+  uint32_t len = 0;
+  while (out->size() < raw_len) {
+    if (byte >= enc_len) return false;  // stream ended mid-symbol
+    code = (code << 1) |
+           (static_cast<uint32_t>(enc[byte] >> (7 - bit)) & 1u);
+    ++len;
+    if (++bit == 8) {
+      bit = 0;
+      ++byte;
+    }
+    if (len > t.max_bits) return false;  // no such code
+    if (t.count[len] != 0 && code >= t.first_code[len] &&
+        code < t.first_code[len] + t.count[len]) {
+      out->push_back(static_cast<char>(
+          t.symbols[t.sym_base[len] + (code - t.first_code[len])]));
+      code = 0;
+      len = 0;
+    }
+  }
+  // The stream must end in the byte we stopped in: leftover whole bytes
+  // mean the declared lengths and the payload disagree.
+  const size_t used = byte + (bit != 0 ? 1 : 0);
+  return used == enc_len;
+}
+
+uint32_t ContentCodec::MaxCodeBits() { return Tables().max_bits; }
+
+}  // namespace natix

@@ -1,0 +1,46 @@
+#ifndef NATIX_STORAGE_CONTENT_CODEC_H_
+#define NATIX_STORAGE_CONTENT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace natix {
+
+/// Lightweight text compression for record content payloads (format v3).
+///
+/// A canonical Huffman code over single bytes, built from a *builtin*
+/// frequency table representative of XML character data (English text,
+/// markup punctuation, digits). Using a fixed table instead of per-store
+/// statistics keeps records self-describing: fsck, self-heal and
+/// recovery can decode any v3 cell from its bytes alone, with no
+/// side-channel dictionary that could itself be lost or corrupted. The
+/// trade-off -- a few percent worse ratio than an adaptive code -- is
+/// the right one for an integrity-checked store.
+///
+/// The code is deterministic: the same input always encodes to the same
+/// bytes on every platform (the table is fixed and ties in the Huffman
+/// build are broken by symbol value).
+class ContentCodec {
+ public:
+  /// Encodes `raw` into `*out` (cleared first). Returns true when the
+  /// encoded form is strictly smaller than the input; on false the
+  /// caller should store the raw bytes (out's contents are unspecified).
+  static bool Compress(std::string_view raw, std::vector<uint8_t>* out);
+
+  /// Decodes exactly `raw_len` bytes from the `enc_len`-byte stream into
+  /// `*out`. Returns false on a malformed stream: an invalid code, a
+  /// stream that ends early, or one with leftover whole bytes. Corrupt
+  /// cells are reported, never silently decoded to something else.
+  static bool Decompress(const uint8_t* enc, size_t enc_len, size_t raw_len,
+                         std::string* out);
+
+  /// Longest code length in bits (exposed for the codec's own tests).
+  static uint32_t MaxCodeBits();
+};
+
+}  // namespace natix
+
+#endif  // NATIX_STORAGE_CONTENT_CODEC_H_

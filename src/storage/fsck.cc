@@ -236,6 +236,16 @@ Status FsckStore(const NatixStore& store, FsckReport* report) {
     uint64_t weight = 0;
     for (uint32_t i = 0; i < view.node_count(); ++i) {
       weight += view.weight(i);
+      // Compressed v3 cells: Parse only bounds-checks them; the audit
+      // runs the full decode so a corrupt payload is surfaced here, not
+      // on some later navigation.
+      const Status content = view.VerifyContent(i);
+      if (!content.ok()) {
+        ++report->record_errors;
+        report->AddProblem("record of partition " + std::to_string(p) +
+                           " slot " + std::to_string(i) +
+                           " content corrupt: " + content.ToString());
+      }
       const NodeId u = view.node_id(i);
       if (u >= n || store.PartitionOf(u) != p || store.SlotOfNode(u) != i) {
         ++report->topology_errors;

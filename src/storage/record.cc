@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include "storage/content_codec.h"
+
 namespace natix {
 
 namespace {
 
-constexpr uint16_t kRecordFormatVersion = 2;
 constexpr uint16_t kFlagWideTopology = 1;
 constexpr size_t kHeaderBytes = 28;
 constexpr size_t kNarrowEntryBytes = 16;
@@ -54,6 +55,45 @@ uint64_t NodeDataSlots(bool overflow, uint64_t content_size,
   return 1 + (content_size + slot_size - 1) / slot_size;
 }
 
+// --------------------------------------------------------- v3 helpers ----
+
+/// v3 meta byte: bits 0-2 kind, bit 3 overflow, bit 4 compressed. The
+/// top three bits are reserved and must be zero (Parse rejects them set,
+/// which doubles as a cheap corruption check).
+constexpr uint8_t kV3KindMask = 0x07;
+constexpr uint8_t kV3Overflow = 0x08;
+constexpr uint8_t kV3Compressed = 0x10;
+constexpr uint8_t kV3Reserved = 0xE0;
+
+/// Content below this many bytes is never worth the codec's framing.
+constexpr size_t kV3CompressMinBytes = 16;
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Decodes a varint at [*pos, end). Returns false on truncation or an
+/// over-long (> 10 byte) encoding; advances *pos past the varint on
+/// success.
+bool GetVarint(const uint8_t* data, size_t size, size_t* pos, uint64_t* v) {
+  uint64_t value = 0;
+  uint32_t shift = 0;
+  while (*pos < size && shift < 64) {
+    const uint8_t byte = data[(*pos)++];
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
 }  // namespace
 
 void RecordBuilder::AddNode(const RecordNodeSpec& spec) {
@@ -61,6 +101,35 @@ void RecordBuilder::AddNode(const RecordNodeSpec& spec) {
   pending.spec = spec;
   pending.content.assign(spec.content.begin(), spec.content.end());
   pending.spec.content = {};  // Build() reads the owned copy.
+  if (format_ == kRecordFormatV3) {
+    // Precompute the packed data entry now so ByteSize() stays O(1) per
+    // node and Build() is a plain concatenation. Validation problems
+    // (bad kind, bad label) are still reported by Build(), which
+    // re-checks the spec; the entry is just dropped bytes in that case.
+    std::vector<uint8_t>& e = pending.entry;
+    bool compressed = false;
+    std::vector<uint8_t> enc;
+    if (!spec.overflow && pending.content.size() >= kV3CompressMinBytes) {
+      compressed = ContentCodec::Compress(pending.content, &enc);
+    }
+    e.push_back(static_cast<uint8_t>((spec.kind & kV3KindMask) |
+                                     (spec.overflow ? kV3Overflow : 0) |
+                                     (compressed ? kV3Compressed : 0)));
+    const uint32_t label_plus1 =
+        spec.label < 0 ? 0u : static_cast<uint32_t>(spec.label) + 1u;
+    PutVarint(&e, label_plus1);
+    if (spec.overflow) {
+      PutVarint(&e, pending.content.size());
+    } else {
+      PutVarint(&e, pending.content.size());
+      if (compressed) {
+        PutVarint(&e, enc.size());
+        e.insert(e.end(), enc.begin(), enc.end());
+      } else {
+        e.insert(e.end(), pending.content.begin(), pending.content.end());
+      }
+    }
+  }
   nodes_.push_back(std::move(pending));
 }
 
@@ -80,9 +149,21 @@ size_t RecordBuilder::DataSlots() const {
   return static_cast<size_t>(slots);
 }
 
+size_t RecordBuilder::DataBytes() const {
+  size_t bytes = 0;
+  for (const PendingNode& n : nodes_) bytes += n.entry.size();
+  return bytes;
+}
+
 bool RecordBuilder::NeedsWide() const {
   if (nodes_.size() > kNarrowRemote - 1) return true;
-  if (DataSlots() > kNarrowNone) return true;
+  // Field 6 is a u16 in the narrow layout: a v2 slot offset or a v3 byte
+  // offset. Total section size bounds every node's offset.
+  if (format_ == kRecordFormatV3) {
+    if (DataBytes() > kNarrowNone) return true;
+  } else if (DataSlots() > kNarrowNone) {
+    return true;
+  }
   for (const PendingNode& n : nodes_) {
     if (n.spec.weight > kNarrowNone) return true;
   }
@@ -91,17 +172,23 @@ bool RecordBuilder::NeedsWide() const {
 
 size_t RecordBuilder::ByteSize() const {
   const size_t entry = NeedsWide() ? kWideEntryBytes : kNarrowEntryBytes;
+  const size_t data = format_ == kRecordFormatV3 ? DataBytes()
+                                                 : DataSlots() * slot_size_;
   return kHeaderBytes + nodes_.size() * entry + proxies_.size() * kProxyBytes +
-         DataSlots() * slot_size_;
+         data;
 }
 
 Result<std::vector<uint8_t>> RecordBuilder::Build() const {
   if (slot_size_ < 8 || slot_size_ > 128) {
     return Status::InvalidArgument("record slot size must be in [8, 128]");
   }
+  if (format_ != kRecordFormatV2 && format_ != kRecordFormatV3) {
+    return Status::InvalidArgument("unsupported record format version");
+  }
+  const bool v3 = format_ == kRecordFormatV3;
   const uint32_t node_count = static_cast<uint32_t>(nodes_.size());
   const bool wide = NeedsWide();
-  // Validate links and slot geometry before writing anything.
+  // Validate links and data geometry before writing anything.
   for (const PendingNode& n : nodes_) {
     for (const int32_t link : {n.spec.parent, n.spec.first_child,
                                n.spec.next_sibling, n.spec.prev_sibling}) {
@@ -110,7 +197,14 @@ Result<std::vector<uint8_t>> RecordBuilder::Build() const {
         return Status::InvalidArgument("record link index out of range");
       }
     }
-    if (!n.spec.overflow) {
+    if (v3) {
+      if ((n.spec.kind & ~static_cast<uint8_t>(kV3KindMask)) != 0) {
+        return Status::InvalidArgument("record node kind exceeds 3 bits");
+      }
+      if (n.spec.label < -1) {
+        return Status::InvalidArgument("record label out of range");
+      }
+    } else if (!n.spec.overflow) {
       const uint64_t slots =
           (n.content.size() + slot_size_ - 1) / slot_size_;
       if (slots > kNarrowNone) {
@@ -135,7 +229,7 @@ Result<std::vector<uint8_t>> RecordBuilder::Build() const {
 
   std::vector<uint8_t> out;
   out.reserve(ByteSize());
-  PutU16(&out, kRecordFormatVersion);
+  PutU16(&out, format_);
   PutU16(&out, wide ? kFlagWideTopology : 0);
   PutU32(&out, node_count);
   PutU32(&out, static_cast<uint32_t>(proxies.size()));
@@ -155,7 +249,9 @@ Result<std::vector<uint8_t>> RecordBuilder::Build() const {
     return static_cast<uint32_t>(link);
   };
 
-  uint64_t slot_cursor = 0;
+  // Field 6: the node's v2 slot offset or v3 byte offset into the data
+  // section (entries are packed in node order either way).
+  uint64_t data_cursor = 0;
   for (const PendingNode& n : nodes_) {
     PutU32(&out, n.spec.node);
     if (wide) {
@@ -164,17 +260,18 @@ Result<std::vector<uint8_t>> RecordBuilder::Build() const {
       PutU32(&out, encode_link(n.spec.first_child));
       PutU32(&out, encode_link(n.spec.next_sibling));
       PutU32(&out, encode_link(n.spec.prev_sibling));
-      PutU32(&out, static_cast<uint32_t>(slot_cursor));
+      PutU32(&out, static_cast<uint32_t>(data_cursor));
     } else {
       PutU16(&out, static_cast<uint16_t>(n.spec.weight));
       PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.parent)));
       PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.first_child)));
       PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.next_sibling)));
       PutU16(&out, static_cast<uint16_t>(encode_link(n.spec.prev_sibling)));
-      PutU16(&out, static_cast<uint16_t>(slot_cursor));
+      PutU16(&out, static_cast<uint16_t>(data_cursor));
     }
-    slot_cursor += NodeDataSlots(n.spec.overflow, n.content.size(),
-                                 slot_size_);
+    data_cursor += v3 ? n.entry.size()
+                      : NodeDataSlots(n.spec.overflow, n.content.size(),
+                                      slot_size_);
   }
 
   for (const RecordProxy& p : proxies) {
@@ -183,6 +280,13 @@ Result<std::vector<uint8_t>> RecordBuilder::Build() const {
     PutU32(&out, p.target_partition);
     PutU32(&out, p.target_record.value);
     PutU32(&out, p.target_slot);
+  }
+
+  if (v3) {
+    for (const PendingNode& n : nodes_) {
+      out.insert(out.end(), n.entry.begin(), n.entry.end());
+    }
+    return out;
   }
 
   for (const PendingNode& n : nodes_) {
@@ -250,6 +354,25 @@ const uint8_t* RecordView::DataSlot(uint32_t i) const {
          static_cast<size_t>(TopoField(i, 6)) * slot_size_;
 }
 
+RecordView::V3Entry RecordView::ParseV3(uint32_t i) const {
+  // Parse() validated this entry, so the varint reads cannot fail; the
+  // bounds are only passed along so GetVarint terminates.
+  V3Entry e;
+  size_t pos = data_off_ + TopoField(i, 6);
+  const uint8_t meta = data_[pos++];
+  e.kind = meta & kV3KindMask;
+  e.overflow = (meta & kV3Overflow) != 0;
+  e.compressed = (meta & kV3Compressed) != 0;
+  uint64_t label_plus1 = 0;
+  GetVarint(data_, size_, &pos, &label_plus1);
+  e.label = static_cast<int32_t>(label_plus1) - 1;
+  GetVarint(data_, size_, &pos, &e.raw_len);
+  e.enc_len = e.raw_len;
+  if (e.compressed) GetVarint(data_, size_, &pos, &e.enc_len);
+  e.payload = e.overflow ? nullptr : data_ + pos;
+  return e;
+}
+
 Result<RecordView> RecordView::Parse(const uint8_t* data, size_t size,
                                      uint32_t slot_size) {
   if (slot_size < 8 || slot_size > 128) {
@@ -261,9 +384,10 @@ Result<RecordView> RecordView::Parse(const uint8_t* data, size_t size,
   view.size_ = size;
   view.slot_size_ = slot_size;
   const uint16_t version = GetU16(data);
-  if (version != kRecordFormatVersion) {
+  if (version != kRecordFormatV2 && version != kRecordFormatV3) {
     return Status::ParseError("unsupported record format version");
   }
+  view.v3_ = version == kRecordFormatV3;
   const uint16_t flags = GetU16(data + 2);
   view.wide_ = (flags & kFlagWideTopology) != 0;
   view.node_count_ = GetU32(data + 4);
@@ -279,8 +403,11 @@ Result<RecordView> RecordView::Parse(const uint8_t* data, size_t size,
   }
   view.proxy_off_ = kHeaderBytes + static_cast<size_t>(topo_bytes);
   view.data_off_ = view.proxy_off_ + static_cast<size_t>(proxy_bytes);
-  // Validate every node's links and data-slot geometry once, so the
-  // accessors can read without bounds checks.
+  // Validate every node's links and data geometry once, so the accessors
+  // can read without bounds checks. Compressed v3 payloads are *not*
+  // decoded here -- Parse runs on every record crossing during
+  // navigation; VerifyContent() does the expensive check on demand
+  // (fsck, DecodeRecord).
   for (uint32_t i = 0; i < view.node_count_; ++i) {
     for (uint32_t field = 2; field <= 5; ++field) {
       const int32_t link = view.TopoLink(i, field);
@@ -288,6 +415,44 @@ Result<RecordView> RecordView::Parse(const uint8_t* data, size_t size,
           static_cast<uint32_t>(link) >= view.node_count_) {
         return Status::ParseError("record link index out of range");
       }
+    }
+    if (view.v3_) {
+      size_t pos = view.data_off_ + view.TopoField(i, 6);
+      if (pos >= size) {
+        return Status::ParseError("record truncated in node data");
+      }
+      const uint8_t meta = data[pos++];
+      if ((meta & kV3Reserved) != 0) {
+        return Status::ParseError("record data entry has reserved bits set");
+      }
+      const bool overflow = (meta & kV3Overflow) != 0;
+      const bool compressed = (meta & kV3Compressed) != 0;
+      if (overflow && compressed) {
+        return Status::ParseError("record overflow entry marked compressed");
+      }
+      uint64_t label_plus1 = 0;
+      if (!GetVarint(data, size, &pos, &label_plus1) ||
+          label_plus1 > 0x7FFFFFFFu) {
+        return Status::ParseError("record data entry label malformed");
+      }
+      uint64_t raw_len = 0;
+      if (!GetVarint(data, size, &pos, &raw_len)) {
+        return Status::ParseError("record data entry length malformed");
+      }
+      if (!overflow) {
+        uint64_t stored_len = raw_len;
+        if (compressed) {
+          if (!GetVarint(data, size, &pos, &stored_len) ||
+              stored_len >= raw_len) {
+            return Status::ParseError(
+                "record compressed entry not smaller than raw");
+          }
+        }
+        if (stored_len > size - pos) {
+          return Status::ParseError("record truncated in node content");
+        }
+      }
+      continue;
     }
     const uint64_t slot_off = view.TopoField(i, 6);
     const uint64_t header_at =
@@ -343,23 +508,48 @@ int32_t RecordView::first_child(uint32_t i) const { return TopoLink(i, 3); }
 int32_t RecordView::next_sibling(uint32_t i) const { return TopoLink(i, 4); }
 int32_t RecordView::prev_sibling(uint32_t i) const { return TopoLink(i, 5); }
 
-uint8_t RecordView::kind(uint32_t i) const { return DataSlot(i)[0]; }
+uint8_t RecordView::kind(uint32_t i) const {
+  if (v3_) return ParseV3(i).kind;
+  return DataSlot(i)[0];
+}
 
 int32_t RecordView::label(uint32_t i) const {
+  if (v3_) return ParseV3(i).label;
   int32_t v;
   std::memcpy(&v, DataSlot(i) + 4, 4);
   return v;
 }
 
 bool RecordView::overflow(uint32_t i) const {
+  if (v3_) return ParseV3(i).overflow;
   return (DataSlot(i)[1] & 1) != 0;
 }
 
 uint32_t RecordView::content_slots(uint32_t i) const {
+  if (v3_) {
+    const V3Entry e = ParseV3(i);
+    if (e.overflow) return 0;
+    return static_cast<uint32_t>((e.raw_len + slot_size_ - 1) / slot_size_);
+  }
   return overflow(i) ? 0 : GetU16(DataSlot(i) + 2);
 }
 
 std::string_view RecordView::content(uint32_t i) const {
+  if (v3_) {
+    const V3Entry e = ParseV3(i);
+    if (e.overflow || e.raw_len == 0) return {};
+    if (!e.compressed) {
+      return std::string_view(reinterpret_cast<const char*>(e.payload),
+                              static_cast<size_t>(e.raw_len));
+    }
+    if (scratch_index_ != i) {
+      scratch_index_ = i;
+      scratch_ok_ = ContentCodec::Decompress(
+          e.payload, static_cast<size_t>(e.enc_len),
+          static_cast<size_t>(e.raw_len), &scratch_);
+    }
+    return scratch_ok_ ? std::string_view(scratch_) : std::string_view();
+  }
   const uint8_t* header = DataSlot(i);
   if ((header[1] & 1) != 0) return {};
   const uint32_t slots = GetU16(header + 2);
@@ -370,12 +560,32 @@ std::string_view RecordView::content(uint32_t i) const {
       static_cast<size_t>(slots) * slot_size_ - pad);
 }
 
+Status RecordView::VerifyContent(uint32_t i) const {
+  if (!v3_) return Status::OK();
+  const V3Entry e = ParseV3(i);
+  if (!e.compressed) return Status::OK();
+  if (scratch_index_ != i) {
+    scratch_index_ = i;
+    scratch_ok_ = ContentCodec::Decompress(
+        e.payload, static_cast<size_t>(e.enc_len),
+        static_cast<size_t>(e.raw_len), &scratch_);
+  }
+  if (!scratch_ok_) {
+    return Status::ParseError("record compressed content does not decode");
+  }
+  return Status::OK();
+}
+
 uint64_t RecordView::content_bytes(uint32_t i) const {
   if (overflow(i)) return overflow_bytes(i);
   return static_cast<uint64_t>(content_slots(i)) * slot_size_;
 }
 
 uint64_t RecordView::overflow_bytes(uint32_t i) const {
+  if (v3_) {
+    const V3Entry e = ParseV3(i);
+    return e.overflow ? e.raw_len : 0;
+  }
   const uint8_t* header = DataSlot(i);
   if ((header[1] & 1) == 0) return 0;
   uint64_t ref;
@@ -440,6 +650,7 @@ Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
     n.label = view->label(i);
     n.overflow = view->overflow(i);
     n.content_bytes = static_cast<uint32_t>(view->content_bytes(i));
+    NATIX_RETURN_NOT_OK(view->VerifyContent(i));
     n.content.assign(view->content(i));
   }
   rec.proxies.reserve(view->proxy_count());

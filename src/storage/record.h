@@ -117,27 +117,36 @@ struct DecodedRecord {
   uint32_t proxy_count = 0;
 };
 
+/// Record format versions. v2 is the slot-aligned layout below; v3 packs
+/// node data entries back to back with varint fields and optional
+/// Huffman-compressed content (see ContentCodec). Which one a store
+/// *writes* is negotiated per store (StoreOptions::record_format); both
+/// are always readable, so a v2 store opens under a v3 binary unchanged.
+inline constexpr uint16_t kRecordFormatV2 = 2;
+inline constexpr uint16_t kRecordFormatV3 = 3;
+
 /// Serializes one partition's subtree fragment into self-describing
-/// record bytes (format version 2).
+/// record bytes (format version 2 or 3).
 ///
-/// Layout (little-endian):
+/// Common layout (little-endian):
 ///   header (28 bytes):
-///     u16 version (= 2), u16 flags (bit0 = wide topology entries)
+///     u16 version (= 2 or 3), u16 flags (bit0 = wide topology entries)
 ///     u32 node_count, u32 proxy_count
 ///     aggregate: u32 parent_node, u32 parent_partition,
 ///                u32 parent_record, u32 parent_slot
 ///   node_count x topology entry, nodes in document order:
 ///     narrow (16 bytes): u32 node, u16 weight, u16 parent,
 ///       u16 first_child, u16 next_sibling, u16 prev_sibling,
-///       u16 data_slot_offset        (0xFFFF = none, 0xFFFE = remote)
+///       u16 data_offset             (0xFFFF = none, 0xFFFE = remote)
 ///     wide (28 bytes): the same fields as u32
 ///       (0xFFFFFFFF = none, 0xFFFFFFFE = remote)
 ///   proxy_count x proxy entry (20 bytes), sorted by key:
 ///     u32 key = (from_index << 2) | edge
 ///     u32 target_node, u32 target_partition, u32 target_record,
 ///     u32 target_slot
-///   node_count x slot-aligned node data, at data_slot_offset slots from
-///   the section start:
+///
+/// v2 node data (data_offset counts slot_size-byte slots from the
+/// section start):
 ///     header slot (8 bytes): u8 kind,
 ///       u8 flags (bit0 = overflow, bits 1-7 = padding byte count),
 ///       u16 content_slots, u32 label
@@ -146,7 +155,21 @@ struct DecodedRecord {
 ///     8-byte overflow slot holding the externalized content length when
 ///     flags.overflow is set
 ///
-/// The slot-aligned data section is exactly slot_size * (partition
+/// v3 node data (data_offset counts *bytes* from the section start;
+/// entries are packed back to back, unaligned and unpadded):
+///     u8 meta: bits 0-2 kind, bit 3 overflow, bit 4 compressed
+///     varint label_plus1 (0 = unlabeled, i.e. label id -1)
+///     overflow:    varint external_len (no content bytes follow)
+///     uncompressed: varint raw_len, raw_len content bytes
+///     compressed:   varint raw_len, varint enc_len (< raw_len),
+///                   enc_len ContentCodec bytes
+/// The label id is the store-level label dictionary reference (the store
+/// interns every tag name once; records never carry tag strings). The
+/// node's *weight* stays the slot-based storage weight of the raw
+/// content -- partitioning and the fsck weight invariant are defined on
+/// logical slots, v3 only shrinks the physical bytes.
+///
+/// The v2 slot-aligned data section is exactly slot_size * (partition
 /// weight in slots) bytes, matching the paper's weight model; topology,
 /// proxies and the aggregate are the "additional metadata needed to
 /// maintain the on-disk structures" (Sec. 6.4). The encoder picks the
@@ -154,7 +177,9 @@ struct DecodedRecord {
 /// fits 16 bits, keeping the metadata overhead near the v1 format's.
 class RecordBuilder {
  public:
-  explicit RecordBuilder(uint32_t slot_size = 8) : slot_size_(slot_size) {}
+  explicit RecordBuilder(uint32_t slot_size = 8,
+                         uint16_t format = kRecordFormatV3)
+      : slot_size_(slot_size), format_(format) {}
 
   /// Appends a node. `content` may be empty; when `spec.overflow` is
   /// true the content is replaced by an overflow slot recording
@@ -181,12 +206,17 @@ class RecordBuilder {
   struct PendingNode {
     RecordNodeSpec spec;
     std::string content;
+    /// v3 only: the node's packed data entry, built by AddNode so
+    /// ByteSize() needs no re-encoding.
+    std::vector<uint8_t> entry;
   };
 
   bool NeedsWide() const;
   size_t DataSlots() const;
+  size_t DataBytes() const;
 
   uint32_t slot_size_;
+  uint16_t format_;
   std::vector<PendingNode> nodes_;
   std::vector<RecordProxy> proxies_;
   RecordAggregate aggregate_;
@@ -216,9 +246,20 @@ class RecordView {
   uint8_t kind(uint32_t i) const;
   int32_t label(uint32_t i) const;
   bool overflow(uint32_t i) const;
+  /// Logical content slots (ceil(exact length / slot_size)); the weight
+  /// model's view of the node regardless of the physical encoding.
   uint32_t content_slots(uint32_t i) const;
-  /// Exact inline content (empty for overflow nodes).
+  /// Exact inline content (empty for overflow nodes). For a compressed
+  /// v3 node the bytes are lazily decoded into a per-view scratch
+  /// buffer: the returned view stays valid until the next content()
+  /// call on this RecordView, and is empty if the cell does not decode
+  /// (call VerifyContent to distinguish corruption from emptiness).
   std::string_view content(uint32_t i) const;
+  /// Checks that node i's content payload decodes cleanly. Trivially OK
+  /// for v2 and uncompressed v3 nodes (Parse already bounds-checked
+  /// them); for compressed v3 cells this runs the full decode, so fsck
+  /// and DecodeRecord call it while navigation does not.
+  Status VerifyContent(uint32_t i) const;
   /// Slot-aligned inline content byte count, or the externalized length
   /// for overflow nodes.
   uint64_t content_bytes(uint32_t i) const;
@@ -234,20 +275,39 @@ class RecordView {
   int32_t IndexOf(NodeId v) const;
 
  private:
+  /// Decoded v3 data-entry header (payload stays in the record buffer).
+  struct V3Entry {
+    uint8_t kind = 0;
+    bool overflow = false;
+    bool compressed = false;
+    int32_t label = -1;
+    /// Raw content length, or the externalized length for overflow.
+    uint64_t raw_len = 0;
+    /// Stored payload length (== raw_len when uncompressed).
+    uint64_t enc_len = 0;
+    const uint8_t* payload = nullptr;
+  };
+
   size_t TopoEntryOff(uint32_t i) const;
   uint32_t TopoField(uint32_t i, uint32_t field) const;
   int32_t TopoLink(uint32_t i, uint32_t field) const;
   const uint8_t* DataSlot(uint32_t i) const;
+  V3Entry ParseV3(uint32_t i) const;
 
   const uint8_t* data_ = nullptr;
   size_t size_ = 0;
   uint32_t slot_size_ = 8;
   bool wide_ = false;
+  bool v3_ = false;
   uint32_t node_count_ = 0;
   uint32_t proxy_count_ = 0;
   size_t topo_off_ = 0;
   size_t proxy_off_ = 0;
   size_t data_off_ = 0;
+  /// Lazy decompression cache for content(); see the accessor docs.
+  mutable std::string scratch_;
+  mutable uint32_t scratch_index_ = 0xFFFFFFFFu;
+  mutable bool scratch_ok_ = false;
 };
 
 /// Parses record bytes into an owning DecodedRecord (tests/debugging).

@@ -104,7 +104,7 @@ Result<std::vector<uint8_t>> NatixStore::EncodePartition(
     uint32_t part, const std::vector<NodeId>& members,
     uint64_t* overflow_bytes) const {
   const Tree& tree = doc_->tree;
-  RecordBuilder builder(options_.slot_size);
+  RecordBuilder builder(options_.slot_size, options_.record_format);
   *overflow_bytes = 0;
   // Local link of a neighbour: its in-record index when it shares the
   // partition, kEdgeRemote plus a proxy naming the target node and its
@@ -410,6 +410,9 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
         ++out.overflow_nodes;
         out.overflow_bytes += len;
       } else {
+        // A corrupt compressed cell would read back as empty; fail the
+        // materialization instead of silently dropping the text.
+        NATIX_RETURN_NOT_OK(view.VerifyContent(i));
         content = view.content(i);
       }
       out.content_offset[v] = out.content_pool.size();
@@ -652,7 +655,11 @@ Status NatixStore::LogInsert(NodeId parent_logged, NodeId before,
 namespace {
 // v3: checkpoint page-image payloads carry sealed cells (page_integrity)
 // instead of raw page bytes, so recovery verifies every image's CRC.
-constexpr uint32_t kCheckpointFormatVersion = 3;
+// v4: the metadata records the store's negotiated record wire format;
+// v3 checkpoints are still accepted and imply record format v2 (the only
+// format that existed when they were written).
+constexpr uint32_t kCheckpointFormatVersion = 4;
+constexpr uint32_t kCheckpointFormatVersionSealedCells = 3;
 
 void WritePartitionerState(ByteWriter* w,
                            const IncrementalPartitioner::SavedState& state) {
@@ -697,6 +704,7 @@ void NatixStore::SerializeCheckpointMeta(std::vector<uint8_t>* out) const {
   w.I32(options_.allocation_lookback);
   w.U32(options_.slot_size);
   w.U32(options_.metadata_slots);
+  w.U32(options_.record_format);
   w.U64(limit_);
   w.U8(doc_ != nullptr ? 1 : 0);
   if (doc_ != nullptr) {
@@ -767,7 +775,8 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
                                                   size_t size) {
   ByteReader r(data, size);
   NATIX_ASSIGN_OR_RETURN(const uint32_t version, r.U32());
-  if (version != kCheckpointFormatVersion) {
+  if (version != kCheckpointFormatVersion &&
+      version != kCheckpointFormatVersionSealedCells) {
     return Status::ParseError("unsupported checkpoint format version " +
                               std::to_string(version));
   }
@@ -776,6 +785,19 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
   NATIX_ASSIGN_OR_RETURN(store.options_.allocation_lookback, r.I32());
   NATIX_ASSIGN_OR_RETURN(store.options_.slot_size, r.U32());
   NATIX_ASSIGN_OR_RETURN(store.options_.metadata_slots, r.U32());
+  if (version >= kCheckpointFormatVersion) {
+    NATIX_ASSIGN_OR_RETURN(const uint32_t record_format, r.U32());
+    if (record_format != kRecordFormatV2 &&
+        record_format != kRecordFormatV3) {
+      return Status::ParseError("checkpoint names an unknown record format " +
+                                std::to_string(record_format));
+    }
+    store.options_.record_format = static_cast<uint16_t>(record_format);
+  } else {
+    // A pre-v4 checkpoint was written by a binary that only knew v2
+    // records; keep writing what the store's existing records use.
+    store.options_.record_format = kRecordFormatV2;
+  }
   store.options_.page_size = static_cast<size_t>(page_size);
   store.page_size_ = store.options_.page_size;
   NATIX_ASSIGN_OR_RETURN(store.limit_, r.U64());

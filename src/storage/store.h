@@ -33,6 +33,11 @@ struct StoreOptions {
   /// Metadata slots charged to nodes inserted through InsertBefore();
   /// must match the weight model used at import.
   uint32_t metadata_slots = 1;
+  /// Record wire format for every record this store writes
+  /// (kRecordFormatV2 or kRecordFormatV3). Readers accept both formats
+  /// regardless, so this only picks the encoding of new/rewritten
+  /// records; stores recovered from pre-v3 checkpoints keep writing v2.
+  uint16_t record_format = kRecordFormatV3;
 };
 
 /// Counters for navigation operations against a NatixStore.
@@ -370,6 +375,9 @@ class NatixStore {
     return manager_.disk_bytes() + overflow_pages_ * page_size_;
   }
   double PageUtilization() const { return manager_.Utilization(); }
+  /// The format new records are encoded with (checkpoints persist it, so
+  /// a recovered store keeps writing whatever the original store wrote).
+  uint16_t record_format() const { return options_.record_format; }
   uint64_t payload_bytes() const { return manager_.payload_bytes(); }
   TotalWeight limit() const { return limit_; }
   UpdateStats update_stats() const;

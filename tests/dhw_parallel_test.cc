@@ -16,6 +16,7 @@ DhwOptions ForcedParallel(unsigned threads) {
   DhwOptions opts;
   opts.num_threads = threads;
   opts.min_parallel_nodes = 2;  // exercise the pool even on tiny trees
+  opts.task_grain_nodes = 2;    // ...and force real subtree chunking
   return opts;
 }
 
@@ -56,6 +57,51 @@ TEST(DhwParallelTest, MatchesDefaultEntryPoint) {
   const Result<Partitioning> b = DhwPartition(t, k, ForcedParallel(4));
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a->intervals(), b->intervals());
+}
+
+// The two sequential-fallback gates (see DhwOptions): trees below
+// min_parallel_nodes, and trees no larger than one task grain, must run
+// on one thread even when the caller asks for many — and forcing both
+// knobs down must actually engage the pool. threads_used in the phase
+// timings is the observable.
+TEST(DhwParallelTest, GrainAndMinNodesGateSequentialFallback) {
+  Rng rng(2024);
+  const Tree t = RandomTree(rng, 100, 5);
+  const TotalWeight k = t.MaxNodeWeight() + 4;
+
+  // Default thresholds (4096): a 100-node tree stays sequential.
+  {
+    DhwOptions opts;
+    opts.num_threads = 4;
+    DhwPhaseTimings timings;
+    ASSERT_TRUE(DhwPartition(t, k, opts, nullptr, &timings).ok());
+    EXPECT_EQ(timings.threads_used, 1u);
+  }
+  // min_parallel_nodes passed, but the whole tree fits in one grain:
+  // the chunked scheduler would emit a single task, so stay sequential.
+  {
+    DhwOptions opts;
+    opts.num_threads = 4;
+    opts.min_parallel_nodes = 2;
+    opts.task_grain_nodes = 100;
+    DhwPhaseTimings timings;
+    ASSERT_TRUE(DhwPartition(t, k, opts, nullptr, &timings).ok());
+    EXPECT_EQ(timings.threads_used, 1u);
+  }
+  // num_threads = 1 always wins, whatever the thresholds say.
+  {
+    DhwPhaseTimings timings;
+    ASSERT_TRUE(DhwPartition(t, k, ForcedParallel(1), nullptr, &timings).ok());
+    EXPECT_EQ(timings.threads_used, 1u);
+  }
+  // Both gates forced open: the pool really runs.
+  {
+    DhwPhaseTimings timings;
+    ASSERT_TRUE(DhwPartition(t, k, ForcedParallel(4), nullptr, &timings).ok());
+    EXPECT_GT(timings.threads_used, 1u);
+    // On the chunked path, leaf seeding folds into the solve tasks.
+    EXPECT_EQ(timings.leaf_ms, 0.0);
+  }
 }
 
 // Per-thread DpStats are merged after the run; the totals must not depend

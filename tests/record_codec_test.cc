@@ -92,13 +92,29 @@ TEST(RecordCodecFuzzTest, StoreRoundTripsRandomTreesAcrossK) {
   }
 }
 
+// English-ish filler: compresses well under the v3 content codec, unlike
+// a single repeated byte which stresses the deep-code path.
+std::string RandomText(Rng& rng, size_t len) {
+  static constexpr const char* kWords[] = {"the",  "quick", "brown", "fox",
+                                           "price", "item",  "2024",  "&"};
+  std::string out;
+  while (out.size() < len) {
+    out += kWords[rng.NextBounded(8)];
+    out += ' ';
+  }
+  out.resize(len);
+  return out;
+}
+
 TEST(RecordCodecFuzzTest, BuilderViewRoundTripRandomRecords) {
   Rng rng(7);
   for (int iter = 0; iter < 200; ++iter) {
     const uint32_t n = 1 + rng.NextBounded(20);
-    // ~Every 4th record exercises the wide topology path via big weights.
+    // ~Every 4th record exercises the wide topology path via big weights;
+    // formats alternate so both encoders stay under the same fuzz.
     const bool wide = iter % 4 == 0;
-    RecordBuilder builder;
+    RecordBuilder builder(8, iter % 2 == 0 ? kRecordFormatV3
+                                           : kRecordFormatV2);
     std::vector<RecordNodeSpec> specs(n);
     std::vector<std::string> contents(n);
     std::vector<RecordProxy> proxies;
@@ -108,7 +124,10 @@ TEST(RecordCodecFuzzTest, BuilderViewRoundTripRandomRecords) {
       spec.weight = 1 + rng.NextBounded(wide ? 1u << 20 : 60u);
       spec.kind = static_cast<uint8_t>(rng.NextBounded(4));
       spec.label = static_cast<int32_t>(rng.NextBounded(10)) - 1;
-      contents[i].assign(rng.NextBounded(100), static_cast<char>('a' + i));
+      contents[i] = rng.NextBool(0.5)
+                        ? RandomText(rng, rng.NextBounded(100))
+                        : std::string(rng.NextBounded(100),
+                                      static_cast<char>('a' + i));
       spec.content = contents[i];
       spec.overflow = !contents[i].empty() && rng.NextBool(0.2);
       const auto link = [&](RecordEdge edge) -> int32_t {
@@ -188,14 +207,17 @@ TEST(RecordCodecFuzzTest, BuilderViewRoundTripRandomRecords) {
 TEST(RecordCodecFuzzTest, TruncationNeverParses) {
   Rng rng(99);
   for (int iter = 0; iter < 20; ++iter) {
-    RecordBuilder builder;
+    RecordBuilder builder(8, iter % 2 == 0 ? kRecordFormatV3
+                                           : kRecordFormatV2);
     const uint32_t n = 1 + rng.NextBounded(6);
     std::vector<std::string> contents(n);
     for (uint32_t i = 0; i < n; ++i) {
       RecordNodeSpec spec;
       spec.node = i;
       spec.weight = 1 + rng.NextBounded(9);
-      contents[i].assign(rng.NextBounded(50), 'q');
+      contents[i] = rng.NextBool(0.5)
+                        ? RandomText(rng, rng.NextBounded(50))
+                        : std::string(rng.NextBounded(50), 'q');
       spec.content = contents[i];
       builder.AddNode(spec);
     }
@@ -206,6 +228,102 @@ TEST(RecordCodecFuzzTest, TruncationNeverParses) {
     }
     ASSERT_TRUE(RecordView::Parse(bytes->data(), bytes->size()).ok());
   }
+}
+
+// v3-specific coverage: compressed cells round-trip exactly, shrink the
+// record relative to v2, and corrupt payloads are reported rather than
+// silently decoded.
+TEST(RecordCodecTest, CompressedContentRoundTripsAndShrinks) {
+  const std::string text =
+      "The quick brown fox jumps over the lazy dog while the auction "
+      "lists an open item with a reserve price and a current bid of 42.";
+  RecordBuilder v3(8, kRecordFormatV3);
+  RecordBuilder v2(8, kRecordFormatV2);
+  RecordNodeSpec spec;
+  spec.node = 1;
+  spec.weight = 18;
+  spec.kind = 1;
+  spec.label = 3;
+  spec.content = text;
+  v3.AddNode(spec);
+  v2.AddNode(spec);
+  const Result<std::vector<uint8_t>> b3 = v3.Build();
+  const Result<std::vector<uint8_t>> b2 = v2.Build();
+  ASSERT_TRUE(b3.ok() && b2.ok());
+  EXPECT_LT(b3->size(), b2->size());
+  const Result<RecordView> view = RecordView::Parse(b3->data(), b3->size());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(view->VerifyContent(0).ok());
+  EXPECT_EQ(view->content(0), text);
+  EXPECT_EQ(view->label(0), 3);
+  EXPECT_EQ(view->kind(0), 1);
+  // The logical (slot-rounded) size is unchanged by compression.
+  EXPECT_EQ(view->content_bytes(0), (text.size() + 7) / 8 * 8);
+}
+
+TEST(RecordCodecTest, V3RejectsCorruptCompressedPayload) {
+  const std::string text(200, 'e');  // 1-symbol stream, compresses hard
+  RecordBuilder builder;  // v3 default
+  RecordNodeSpec spec;
+  spec.node = 1;
+  spec.weight = 26;
+  spec.content = text;
+  builder.AddNode(spec);
+  Result<std::vector<uint8_t>> bytes = builder.Build();
+  ASSERT_TRUE(bytes.ok());
+  {
+    const Result<RecordView> clean =
+        RecordView::Parse(bytes->data(), bytes->size());
+    ASSERT_TRUE(clean.ok());
+    ASSERT_TRUE(clean->VerifyContent(0).ok());
+  }
+  // Flip the last payload byte. The prefix code is injective, so a
+  // damaged stream can never verify *and* still decode to the original
+  // text: either the symbol/length bookkeeping breaks (VerifyContent
+  // fails) or the decoded run differs.
+  std::vector<uint8_t> flipped = *bytes;
+  flipped.back() ^= 0xFF;
+  const Result<RecordView> view =
+      RecordView::Parse(flipped.data(), flipped.size());
+  if (view.ok()) {
+    EXPECT_FALSE(view->VerifyContent(0).ok() && view->content(0) == text);
+  }
+  // Truncating the payload is always caught: the last entry must end
+  // exactly at the record's final byte.
+  EXPECT_FALSE(
+      RecordView::Parse(bytes->data(), bytes->size() - 1).ok());
+}
+
+TEST(RecordCodecTest, V2RecordsStillParseUnderV3Default) {
+  // Read-compat: bytes written by a v2 builder (what every pre-v3 store
+  // holds) must decode identically through the same view/decoder that
+  // now defaults to writing v3.
+  RecordBuilder v2(8, kRecordFormatV2);
+  RecordNodeSpec spec;
+  spec.node = 9;
+  spec.weight = 4;
+  spec.kind = 2;
+  spec.label = 7;
+  spec.content = "legacy cell";
+  v2.AddNode(spec);
+  const Result<std::vector<uint8_t>> bytes = v2.Build();
+  ASSERT_TRUE(bytes.ok());
+  const Result<DecodedRecord> rec = DecodeRecord(bytes->data(), bytes->size());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->nodes[0].node, 9u);
+  EXPECT_EQ(rec->nodes[0].kind, 2);
+  EXPECT_EQ(rec->nodes[0].label, 7);
+  EXPECT_EQ(rec->nodes[0].content, "legacy cell");
+}
+
+TEST(RecordCodecTest, V3RejectsOversizedKind) {
+  RecordBuilder builder;  // v3: kind must fit the 3-bit meta field
+  RecordNodeSpec spec;
+  spec.node = 1;
+  spec.weight = 1;
+  spec.kind = 8;
+  builder.AddNode(spec);
+  EXPECT_FALSE(builder.Build().ok());
 }
 
 TEST(RecordCodecTest, BuilderRejectsOutOfRangeLinks) {

@@ -130,13 +130,30 @@ TEST(RecordTest, RoundTrip) {
 }
 
 TEST(RecordTest, OverflowNode) {
-  RecordBuilder builder;
+  RecordBuilder builder(8, kRecordFormatV2);
   const std::string big(1000, 'z');
   builder.AddNode(MakeSpec(1, kEdgeNone, 1, -1, big, /*overflow=*/true));
   const Result<std::vector<uint8_t>> bytes = builder.Build();
   ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
   // 28B header + 16B narrow topology entry + header slot + overflow slot.
   EXPECT_EQ(bytes->size(), 28u + 16u + 8u + 8u);
+  const Result<DecodedRecord> rec =
+      DecodeRecord(bytes->data(), bytes->size());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->nodes[0].overflow);
+  EXPECT_EQ(rec->nodes[0].content_bytes, 1000u);
+  EXPECT_TRUE(rec->nodes[0].content.empty());
+}
+
+TEST(RecordTest, OverflowNodeV3) {
+  RecordBuilder builder;  // default format is v3
+  const std::string big(1000, 'z');
+  builder.AddNode(MakeSpec(1, kEdgeNone, 1, -1, big, /*overflow=*/true));
+  const Result<std::vector<uint8_t>> bytes = builder.Build();
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  // 28B header + 16B narrow topology entry + packed data entry
+  // (1B meta + 1B label varint + 2B external-length varint).
+  EXPECT_EQ(bytes->size(), 28u + 16u + 4u);
   const Result<DecodedRecord> rec =
       DecodeRecord(bytes->data(), bytes->size());
   ASSERT_TRUE(rec.ok());

@@ -3,6 +3,7 @@
 
 #include "core/heuristics.h"
 #include "datagen/generator.h"
+#include "storage/file_backend.h"
 #include "storage/store.h"
 #include "xml/importer.h"
 
@@ -94,6 +95,64 @@ TEST(StoreOptionsTest, SamePageCrossingIsNotAPageSwitch) {
   nav.ToFirstChild();  // crossing, same page
   EXPECT_EQ(stats.record_crossings, 1u);
   EXPECT_EQ(stats.page_switches, 0u);
+}
+
+TEST(StoreOptionsTest, RecordFormatSelectsEncodingAndShrinksV3) {
+  Ctx ctx = Import(0.05);
+  const Result<Partitioning> p = EkmPartition(ctx.doc->tree, 128);
+  ASSERT_TRUE(p.ok());
+  StoreOptions v2;
+  v2.record_format = kRecordFormatV2;
+  StoreOptions v3;
+  v3.record_format = kRecordFormatV3;
+  const Result<NatixStore> s2 =
+      NatixStore::Build(ctx.doc->Clone(), *p, 128, v2);
+  const Result<NatixStore> s3 =
+      NatixStore::Build(ctx.doc->Clone(), *p, 128, v3);
+  ASSERT_TRUE(s2.ok() && s3.ok());
+  EXPECT_EQ(s2->record_format(), kRecordFormatV2);
+  EXPECT_EQ(s3->record_format(), kRecordFormatV3);
+  // Same partitioning, same logical document; compressed records take
+  // strictly fewer payload bytes on English-heavy corpus text.
+  EXPECT_EQ(s2->record_count(), s3->record_count());
+  EXPECT_LT(s3->payload_bytes(), s2->payload_bytes());
+  // The logical view is identical node for node.
+  const Tree& t2 = s2->tree();
+  for (NodeId v = 0; v < t2.size(); ++v) {
+    ASSERT_EQ(s2->document().ContentOf(v), s3->document().ContentOf(v))
+        << "node " << v;
+  }
+}
+
+TEST(StoreOptionsTest, RecoveryPreservesRecordFormat) {
+  // A store checkpointed with v2 records must keep writing v2 after
+  // recovery -- the format is per store, not per binary.
+  for (const uint16_t format : {kRecordFormatV2, kRecordFormatV3}) {
+    Ctx ctx = Import();
+    const Result<Partitioning> p = EkmPartition(ctx.doc->tree, 128);
+    ASSERT_TRUE(p.ok());
+    StoreOptions opts;
+    opts.record_format = format;
+    Result<NatixStore> store =
+        NatixStore::Build(ctx.doc->Clone(), *p, 128, opts);
+    ASSERT_TRUE(store.ok());
+    auto mem = std::make_unique<MemoryFileBackend>();
+    const std::shared_ptr<MemoryFileBackend::Bytes> disk = mem->disk();
+    ASSERT_TRUE(store->EnableDurability(std::move(mem)).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+
+    const Result<NatixStore> recovered =
+        NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ(recovered->record_format(), format);
+    const Tree& t = store->tree();
+    ASSERT_EQ(recovered->tree().size(), t.size());
+    for (NodeId v = 0; v < t.size(); ++v) {
+      ASSERT_EQ(recovered->document().ContentOf(v),
+                store->document().ContentOf(v))
+          << "format " << format << " node " << v;
+    }
+  }
 }
 
 TEST(StoreOptionsTest, DiskBytesAreWholePages) {
