@@ -61,6 +61,110 @@ bool ApplyRandomInserts(natix::NatixStore* store, int count,
   return true;
 }
 
+struct MixCounts {
+  int inserts = 0;
+  int deletes = 0;
+  int moves = 0;
+  int renames = 0;
+  int skipped = 0;
+};
+
+/// Randomized mixed update stream (~40% insert / 30% delete-subtree /
+/// 20% move-subtree / 10% rename), mirroring `natix_cli update`'s
+/// default mix. Deletes convert back into inserts while the live count
+/// sits below `size_floor`, so the document keeps roughly its size.
+bool ApplyRandomOps(natix::NatixStore* store, int count, size_t size_floor,
+                    natix::Rng* rng, MixCounts* did) {
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  for (int i = 0; i < count; ++i) {
+    const natix::Tree& t = store->tree();
+    const auto pick_live = [&]() -> natix::NodeId {
+      for (int tries = 0; tries < 256; ++tries) {
+        const auto v = static_cast<natix::NodeId>(rng->NextBounded(t.size()));
+        if (store->IsLiveNode(v)) return v;
+      }
+      return 0;
+    };
+    const auto subtree_capped = [&](natix::NodeId v, size_t cap) {
+      std::vector<natix::NodeId> stack = {v};
+      size_t n = 0;
+      while (!stack.empty()) {
+        const natix::NodeId u = stack.back();
+        stack.pop_back();
+        if (++n > cap) return false;
+        for (natix::NodeId c = t.FirstChild(u); c != natix::kInvalidNode;
+             c = t.NextSibling(c)) {
+          stack.push_back(c);
+        }
+      }
+      return true;
+    };
+    uint64_t roll = rng->NextBounded(100);
+    if (roll >= 40 && roll < 70 && store->live_node_count() < size_floor) {
+      roll = 0;
+    }
+    natix::Status applied = natix::Status::OK();
+    if (roll < 40) {
+      const natix::NodeId parent = pick_live();
+      natix::NodeId before = natix::kInvalidNode;
+      if (t.ChildCount(parent) > 0 && rng->NextBool(0.4)) {
+        const std::vector<natix::NodeId> kids = t.Children(parent);
+        before = kids[rng->NextBounded(kids.size())];
+      }
+      const bool text = rng->NextBool(0.5);
+      std::string content;
+      if (text) content.assign(1 + rng->NextBounded(40), 'a' + i % 26);
+      applied = store
+                    ->InsertBefore(parent, before,
+                                   text ? "" : kLabels[rng->NextBounded(4)],
+                                   text ? natix::NodeKind::kText
+                                        : natix::NodeKind::kElement,
+                                   content)
+                    .status();
+      ++did->inserts;
+    } else if (roll < 70) {
+      const natix::NodeId v = pick_live();
+      if (v == 0 || !subtree_capped(v, 16)) {
+        ++did->skipped;
+      } else {
+        applied = store->DeleteSubtree(v).status();
+        ++did->deletes;
+      }
+    } else if (roll < 90) {
+      const natix::NodeId v = pick_live();
+      const natix::NodeId parent = pick_live();
+      bool legal = v != 0;
+      for (natix::NodeId a = parent; a != natix::kInvalidNode;
+           a = t.Parent(a)) {
+        if (a == v) {
+          legal = false;
+          break;
+        }
+      }
+      if (!legal) {
+        ++did->skipped;
+      } else {
+        natix::NodeId before = natix::kInvalidNode;
+        if (t.ChildCount(parent) > 0 && rng->NextBool(0.5)) {
+          const std::vector<natix::NodeId> kids = t.Children(parent);
+          before = kids[rng->NextBounded(kids.size())];
+          if (before == v) before = natix::kInvalidNode;
+        }
+        applied = store->MoveSubtree(v, parent, before);
+        ++did->moves;
+      }
+    } else {
+      applied = store->Rename(pick_live(), kLabels[rng->NextBounded(4)]);
+      ++did->renames;
+    }
+    if (!applied.ok()) {
+      std::fprintf(stderr, "op: %s\n", applied.ToString().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Runs all XPathMark queries against the store and cross-checks each
 /// result against the reference evaluator on the store's tree.
 bool SweepMatchesReference(const natix::NatixStore& store) {
@@ -255,7 +359,159 @@ int RunStoreLeg(natix::TotalWeight limit, double scale) {
   return 0;
 }
 
-// Part 3: the same insert workload through a write-ahead log. Measures
+// Part 3: the full CRUD surface. A 10k-op mixed stream (~40% insert,
+// 30% delete-subtree, 20% move-subtree, 10% rename) through the WAL,
+// with a checkpoint taken mid-stream, XPathMark sweeps cross-checked
+// against the reference evaluator after every chunk, then a crash +
+// recovery and a fresh bulkload of the compacted final document. The
+// acceptance metrics: the grown store's XPathMark answers must map
+// node-for-node onto the fresh store's, and page utilization after the
+// stream must stay within 15% of the fresh-build baseline.
+int RunMixedLeg(natix::TotalWeight limit, double scale) {
+  constexpr int kChunks = 4;
+  constexpr int kChunkOps = 2500;
+  std::printf("\nMixed CRUD stream: %d ops (40/30/20/10 insert/delete/"
+              "move/rename) on XMark through the WAL\n\n",
+              kChunks * kChunkOps);
+
+  const auto entry = natix::benchutil::LoadDocument("xmark", scale, limit);
+  const auto ekm = natix::EkmPartition(entry->doc.tree, limit);
+  ekm.status().CheckOK();
+  auto store = natix::NatixStore::Build(entry->doc.Clone(), *ekm, limit);
+  store.status().CheckOK();
+  const size_t size_floor = store->live_node_count();
+
+  auto backend = std::make_unique<natix::MemoryFileBackend>();
+  const std::shared_ptr<natix::MemoryFileBackend::Bytes> disk =
+      backend->disk();
+  store->EnableDurability(std::move(backend)).CheckOK();
+
+  const natix::NavigationCostModel cost;
+  natix::Rng rng(7);
+  MixCounts did;
+  double op_ms_total = 0;
+  std::printf("%9s | %7s %7s %7s %7s | %8s %8s | %6s\n", "ops", "ins",
+              "del", "mov", "ren", "splits", "merges", "util");
+  for (int chunk = 1; chunk <= kChunks; ++chunk) {
+    natix::Timer timer;
+    if (!ApplyRandomOps(&*store, kChunkOps, size_floor, &rng, &did)) {
+      return 1;
+    }
+    op_ms_total += timer.ElapsedMillis();
+    store->partitioner()->Validate().CheckOK();
+    if (!SweepMatchesReference(*store)) return 1;
+    // One checkpoint mid-stream: recovery restores it and replays the
+    // second half of the op stream through the mixed replay path.
+    if (chunk == kChunks / 2) store->Checkpoint().CheckOK();
+    const natix::UpdateStats us = store->update_stats();
+    std::printf("%9d | %7d %7d %7d %7d | %8llu %8llu | %5.1f%%\n",
+                chunk * kChunkOps, did.inserts, did.deletes, did.moves,
+                did.renames, static_cast<unsigned long long>(us.splits),
+                static_cast<unsigned long long>(us.merges),
+                100.0 * store->PageUtilization());
+    std::fflush(stdout);
+  }
+  const natix::UpdateStats before_crash = store->update_stats();
+  const size_t records_before_crash = store->record_count();
+
+  // Crash and rebuild: the tail past the mid-stream checkpoint replays
+  // through the same insert/delete/move/rename paths.
+  store = natix::Status::Internal("crashed");
+  natix::Timer recover_timer;
+  auto recovered = natix::NatixStore::Recover(
+      std::make_unique<natix::MemoryFileBackend>(disk));
+  const double recover_ms = recover_timer.ElapsedMillis();
+  recovered.status().CheckOK();
+  recovered->partitioner()->Validate().CheckOK();
+  const natix::UpdateStats us = recovered->update_stats();
+  if (us.inserts != before_crash.inserts ||
+      us.deletes != before_crash.deletes ||
+      us.moves != before_crash.moves ||
+      us.renames != before_crash.renames ||
+      recovered->record_count() != records_before_crash) {
+    std::fprintf(stderr, "BUG: recovered store diverges from the original\n");
+    return 1;
+  }
+  if (!SweepMatchesReference(*recovered)) return 1;
+
+  // Oracle: bulkload the compacted final document from scratch; every
+  // XPathMark answer on the grown store must map node-for-node (through
+  // the compaction's id map) onto the fresh store's answer.
+  std::vector<natix::NodeId> old_to_new;
+  auto snapshot = recovered->CompactSnapshot(&old_to_new);
+  snapshot.status().CheckOK();
+  const auto fresh_p = natix::EkmPartition(snapshot->tree, limit);
+  fresh_p.status().CheckOK();
+  const auto fresh =
+      natix::NatixStore::Build(std::move(snapshot).value(), *fresh_p, limit);
+  fresh.status().CheckOK();
+  bool answers_equivalent = true;
+  {
+    natix::AccessStats ga, fa;
+    natix::StoreQueryEvaluator grown_eval(&*recovered, &ga);
+    natix::StoreQueryEvaluator fresh_eval(&*fresh, &fa);
+    for (const natix::XPathMarkQuery& q : natix::XPathMarkQueries()) {
+      const auto path = natix::ParseXPath(q.text);
+      path.status().CheckOK();
+      auto got = grown_eval.Evaluate(*path);
+      const auto want = fresh_eval.Evaluate(*path);
+      got.status().CheckOK();
+      want.status().CheckOK();
+      for (natix::NodeId& v : *got) v = old_to_new[v];
+      if (*got != *want) {
+        std::fprintf(stderr, "BUG: %s diverges between grown and fresh\n",
+                     std::string(q.id).c_str());
+        answers_equivalent = false;
+      }
+    }
+  }
+  if (!answers_equivalent) return 1;
+
+  const natix::benchutil::QueryRun grown_sweep =
+      natix::benchutil::RunXPathMarkSweep(*recovered, nullptr, cost);
+  const natix::benchutil::QueryRun fresh_sweep =
+      natix::benchutil::RunXPathMarkSweep(*fresh, nullptr, cost);
+  const double util_grown = recovered->PageUtilization();
+  const double util_fresh = fresh->PageUtilization();
+  const double util_drift_pct =
+      util_fresh > 0 ? 100.0 * (util_fresh - util_grown) / util_fresh : 0.0;
+  const int total_ops =
+      did.inserts + did.deletes + did.moves + did.renames;
+  std::printf("\n%d mixed ops in %.1fms (%.2fus each), recovery %.1fms\n",
+              total_ops, op_ms_total,
+              1e3 * op_ms_total / std::max(1, total_ops), recover_ms);
+  std::printf("grown: %zu live nodes, %zu records, utilization %.1f%%; "
+              "fresh: %zu records, %.1f%% (drift %.1f%%)\n",
+              recovered->live_node_count(), recovered->record_count(),
+              100.0 * util_grown, fresh->record_count(), 100.0 * util_fresh,
+              util_drift_pct);
+  std::printf("sweep cost: grown %.2fms vs fresh %.2fms; answers "
+              "equivalent through the compaction map\n",
+              grown_sweep.sim_ms, fresh_sweep.sim_ms);
+  std::printf(
+      "BENCH_UPDATES {\"bench\":\"store_updates_mixed\",\"doc\":\"xmark\","
+      "\"k\":%llu,\"scale\":%.3f,\"ops\":%d,\"inserts\":%d,\"deletes\":%d,"
+      "\"moves\":%d,\"renames\":%d,\"skipped\":%d,\"op_us\":%.3f,"
+      "\"splits\":%llu,\"merges\":%llu,\"rewritten\":%llu,\"created\":%llu,"
+      "\"recover_ms\":%.3f,\"live_nodes\":%zu,\"records_grown\":%zu,"
+      "\"records_fresh\":%zu,\"util_grown\":%.4f,\"util_fresh\":%.4f,"
+      "\"util_drift_pct\":%.2f,\"cost_grown_ms\":%.3f,"
+      "\"cost_fresh_ms\":%.3f,\"queries_match\":true,"
+      "\"answers_equivalent\":true}\n",
+      static_cast<unsigned long long>(limit), scale, total_ops, did.inserts,
+      did.deletes, did.moves, did.renames, did.skipped,
+      1e3 * op_ms_total / std::max(1, total_ops),
+      static_cast<unsigned long long>(us.splits),
+      static_cast<unsigned long long>(us.merges),
+      static_cast<unsigned long long>(us.records_rewritten),
+      static_cast<unsigned long long>(us.records_created), recover_ms,
+      recovered->live_node_count(), recovered->record_count(),
+      fresh->record_count(), util_grown, util_fresh, util_drift_pct,
+      grown_sweep.sim_ms, fresh_sweep.sim_ms);
+  return 0;
+}
+
+// Part 4: the same insert workload through a write-ahead log. Measures
 // the durability overhead -- log bytes per record byte for the op stream
 // (the per-insert cost) and for checkpoints (amortized by cadence) --
 // then recovers the store from the log and checks the surviving insert
@@ -410,5 +666,6 @@ int main() {
   const double scale = natix::benchutil::ScaleFromEnv(0.25);
   if (const int rc = RunReplayTable(kLimit, scale)) return rc;
   if (const int rc = RunStoreLeg(kLimit, scale)) return rc;
+  if (const int rc = RunMixedLeg(kLimit, scale)) return rc;
   return RunWalLeg(kLimit, scale);
 }

@@ -8,10 +8,10 @@
 //   natix_cli partition <algo|ALL> <file|generator> [K] [scale] [threads]
 //              [--grain <nodes>]
 //   natix_cli query <xpath> <file|generator> [algo] [K] [scale]
-//   natix_cli update <file|generator> [inserts] [K] [scale] [seed]
-//              [--wal <path>] [--pages <path>]
+//   natix_cli update <file|generator> [ops] [K] [scale] [seed]
+//              [--wal <path>] [--pages <path>] [--mix i,d,m,r]
 //   natix_cli recover <wal-file>                          rebuild from log
-//   natix_cli fsck <wal-file> [--pages <page-file>]       offline checker
+//   natix_cli fsck <wal-file> [--pages <page-file>] [--fix-hints]
 //   natix_cli algorithms                                  list algorithms
 //
 // <file|generator>: a path to an XML file, or one of the built-in
@@ -23,17 +23,24 @@
 // partitioning is byte-identical for every value; smaller grains expose
 // more parallelism, larger grains amortize pool overhead. Trees no
 // larger than one grain run sequentially.
-// --wal <path>: write every insert through a write-ahead log at <path>
+// --wal <path>: write every update through a write-ahead log at <path>
 // (the file must not already exist); `recover` rebuilds the store from
 // such a log after a crash and reports what survived.
 // --pages <path>: after the workload, flush every page as a
 // checksummed sealed cell to <path>; `fsck --pages` later verifies that
 // file cell by cell against the store the log restores.
+// --mix i,d,m,r: relative weights of insert / delete-subtree / move-
+// subtree / rename ops in the update stream (default 40,30,20,10).
+// --fix-hints: before the audit, recover the store read-write, rewrite
+// every stale proxy/aggregate placement hint in place, append a fresh
+// checkpoint and (with --pages) reseal the page file, so the follow-up
+// audit reports zero stale hints.
 //
 // Exit codes (recover): 0 clean recovery; 3 no WAL found at the path;
 // 4 recovered, but a torn tail was truncated (some trailing ops were
 // lost); 5 the log exists but is unrecoverable. Exit codes (fsck):
-// 0 clean, 1 damage found, 3 no WAL found.
+// 0 clean, 1 damage found, 3 no WAL found, 5 fix-hints could not
+// recover or rewrite.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -68,10 +75,10 @@ int Usage() {
       "  natix_cli partition <algo|ALL> <file|generator> [K] [scale] "
       "[threads] [--grain <nodes>]\n"
       "  natix_cli query <xpath> <file|generator> [algo] [K] [scale]\n"
-      "  natix_cli update <file|generator> [inserts] [K] [scale] [seed] "
-      "[--wal <path>] [--pages <path>]\n"
+      "  natix_cli update <file|generator> [ops] [K] [scale] [seed] "
+      "[--wal <path>] [--pages <path>] [--mix i,d,m,r]\n"
       "  natix_cli recover <wal-file>\n"
-      "  natix_cli fsck <wal-file> [--pages <page-file>]\n"
+      "  natix_cli fsck <wal-file> [--pages <page-file>] [--fix-hints]\n"
       "  natix_cli algorithms\n");
   return 2;
 }
@@ -89,6 +96,18 @@ bool StripFlag(const char* flag, int* argc, char** argv, std::string* out) {
     }
   }
   return true;
+}
+
+// Strips a valueless `flag` from argv; returns true when it was present.
+bool StripBoolFlag(const char* flag, int* argc, char** argv) {
+  for (int i = 0; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      *argc -= 1;
+      return true;
+    }
+  }
+  return false;
 }
 
 // `recover` and `fsck` must distinguish "there is no log here" from "the
@@ -322,15 +341,27 @@ int CmdUpdate(int argc, char** argv) {
   // Strip flags (and their values) before positional parsing.
   std::string wal_path;
   std::string pages_path;
+  std::string mix_str = "40,30,20,10";
   if (!StripFlag("--wal", &argc, argv, &wal_path) ||
-      !StripFlag("--pages", &argc, argv, &pages_path)) {
+      !StripFlag("--pages", &argc, argv, &pages_path) ||
+      !StripFlag("--mix", &argc, argv, &mix_str)) {
     return Usage();
   }
   if (argc < 1) return Usage();
-  const int inserts = argc > 1 ? std::atoi(argv[1]) : 10000;
+  const int ops = argc > 1 ? std::atoi(argv[1]) : 10000;
   const natix::TotalWeight k = argc > 2 ? std::atoll(argv[2]) : 256;
   const double scale = argc > 3 ? std::atof(argv[3]) : 0.05;
   const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  int mix[4] = {0, 0, 0, 0};
+  if (std::sscanf(mix_str.c_str(), "%d,%d,%d,%d", &mix[0], &mix[1], &mix[2],
+                  &mix[3]) != 4 ||
+      mix[0] < 0 || mix[1] < 0 || mix[2] < 0 || mix[3] < 0 ||
+      mix[0] + mix[1] + mix[2] + mix[3] <= 0) {
+    std::fprintf(stderr, "bad --mix (want four non-negative weights)\n");
+    return Usage();
+  }
+  const uint64_t mix_total =
+      static_cast<uint64_t>(mix[0]) + mix[1] + mix[2] + mix[3];
 
   const auto doc = LoadDocument(argv[0], scale, k);
   if (!doc.ok()) {
@@ -373,36 +404,112 @@ int CmdUpdate(int argc, char** argv) {
   // Checkpoint cadence for durable runs: four checkpoints across the
   // workload plus a final one, so `recover` replays at most a quarter of
   // the op stream.
-  const int checkpoint_every =
-      wal_path.empty() ? 0 : std::max(1, inserts / 4);
+  const int checkpoint_every = wal_path.empty() ? 0 : std::max(1, ops / 4);
 
   natix::Rng rng(seed);
   static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  int did[4] = {0, 0, 0, 0};  // insert / delete / move / rename
+  int skipped = 0;
+  // A delete removes a whole subtree while an insert adds one node, so
+  // an unchecked mix shrinks the document to nothing; deletes turn back
+  // into inserts while the live count sits below the starting size.
+  const size_t size_floor = store->live_node_count();
   natix::Timer timer;
-  for (int i = 0; i < inserts; ++i) {
+  for (int i = 0; i < ops; ++i) {
     const natix::Tree& t = store->tree();
-    const natix::NodeId parent =
-        static_cast<natix::NodeId>(rng.NextBounded(t.size()));
-    natix::NodeId before = natix::kInvalidNode;
-    if (t.ChildCount(parent) > 0 && rng.NextBool(0.4)) {
-      const std::vector<natix::NodeId> kids = t.Children(parent);
-      before = kids[rng.NextBounded(kids.size())];
+    // The node-id space keeps tombstones forever, so draws retry until
+    // they land on a live slot (the root is always live).
+    const auto pick_live = [&]() -> natix::NodeId {
+      for (int tries = 0; tries < 256; ++tries) {
+        const auto v = static_cast<natix::NodeId>(rng.NextBounded(t.size()));
+        if (store->IsLiveNode(v)) return v;
+      }
+      return 0;
+    };
+    // True when v's subtree holds at most `cap` nodes; keeps random
+    // deletes from wiping out most of the document.
+    const auto subtree_capped = [&](natix::NodeId v, size_t cap) {
+      std::vector<natix::NodeId> stack = {v};
+      size_t count = 0;
+      while (!stack.empty()) {
+        const natix::NodeId u = stack.back();
+        stack.pop_back();
+        if (++count > cap) return false;
+        for (natix::NodeId c = t.FirstChild(u); c != natix::kInvalidNode;
+             c = t.NextSibling(c)) {
+          stack.push_back(c);
+        }
+      }
+      return true;
+    };
+    uint64_t roll = rng.NextBounded(mix_total);
+    if (roll >= static_cast<uint64_t>(mix[0]) &&
+        roll < static_cast<uint64_t>(mix[0]) + mix[1] &&
+        store->live_node_count() < size_floor) {
+      roll = 0;  // delete -> insert while under the floor
     }
-    const bool text = rng.NextBool(0.5);
-    std::string content;
-    if (text) content.assign(1 + rng.NextBounded(40), 'a' + i % 26);
-    const auto id = store->InsertBefore(
-        parent, before, text ? "" : kLabels[rng.NextBounded(4)],
-        text ? natix::NodeKind::kText : natix::NodeKind::kElement, content);
-    if (!id.ok()) {
-      std::fprintf(stderr, "insert %d: %s\n", i,
-                   id.status().ToString().c_str());
+    natix::Status applied = natix::Status::OK();
+    if (roll < static_cast<uint64_t>(mix[0])) {
+      const natix::NodeId parent = pick_live();
+      natix::NodeId before = natix::kInvalidNode;
+      if (t.ChildCount(parent) > 0 && rng.NextBool(0.4)) {
+        const std::vector<natix::NodeId> kids = t.Children(parent);
+        before = kids[rng.NextBounded(kids.size())];
+      }
+      const bool text = rng.NextBool(0.5);
+      std::string content;
+      if (text) content.assign(1 + rng.NextBounded(40), 'a' + i % 26);
+      applied = store
+                    ->InsertBefore(parent, before,
+                                   text ? "" : kLabels[rng.NextBounded(4)],
+                                   text ? natix::NodeKind::kText
+                                        : natix::NodeKind::kElement,
+                                   content)
+                    .status();
+      ++did[0];
+    } else if (roll < static_cast<uint64_t>(mix[0]) + mix[1]) {
+      const natix::NodeId v = pick_live();
+      if (v == 0 || !subtree_capped(v, 16)) {
+        ++skipped;
+      } else {
+        applied = store->DeleteSubtree(v).status();
+        ++did[1];
+      }
+    } else if (roll < static_cast<uint64_t>(mix[0]) + mix[1] + mix[2]) {
+      const natix::NodeId v = pick_live();
+      const natix::NodeId parent = pick_live();
+      bool legal = v != 0;
+      for (natix::NodeId a = parent; a != natix::kInvalidNode;
+           a = t.Parent(a)) {
+        if (a == v) {
+          legal = false;
+          break;
+        }
+      }
+      if (!legal) {
+        ++skipped;
+      } else {
+        natix::NodeId before = natix::kInvalidNode;
+        if (t.ChildCount(parent) > 0 && rng.NextBool(0.5)) {
+          const std::vector<natix::NodeId> kids = t.Children(parent);
+          before = kids[rng.NextBounded(kids.size())];
+          if (before == v) before = natix::kInvalidNode;
+        }
+        applied = store->MoveSubtree(v, parent, before);
+        ++did[2];
+      }
+    } else {
+      applied = store->Rename(pick_live(), kLabels[rng.NextBounded(4)]);
+      ++did[3];
+    }
+    if (!applied.ok()) {
+      std::fprintf(stderr, "op %d: %s\n", i, applied.ToString().c_str());
       return 1;
     }
     if (checkpoint_every > 0 && (i + 1) % checkpoint_every == 0) {
       const natix::Status ck = store->Checkpoint();
       if (!ck.ok()) {
-        std::fprintf(stderr, "checkpoint after insert %d: %s\n", i + 1,
+        std::fprintf(stderr, "checkpoint after op %d: %s\n", i + 1,
                      ck.ToString().c_str());
         return 1;
       }
@@ -418,30 +525,39 @@ int CmdUpdate(int argc, char** argv) {
   const double update_ms = timer.ElapsedMillis();
 
   const natix::UpdateStats us = store->update_stats();
-  std::printf("\n%d inserts in %.1fms (%.2fus each)\n", inserts, update_ms,
-              1e3 * update_ms / inserts);
-  std::printf("  splits %llu, records rewritten %llu, created %llu\n",
+  std::printf("\n%d ops in %.1fms (%.2fus each): %d insert, %d delete, "
+              "%d move, %d rename, %d skipped\n",
+              ops, update_ms, 1e3 * update_ms / std::max(1, ops), did[0],
+              did[1], did[2], did[3], skipped);
+  std::printf("  splits %llu, merges %llu, records rewritten %llu, "
+              "created %llu\n",
               static_cast<unsigned long long>(us.splits),
+              static_cast<unsigned long long>(us.merges),
               static_cast<unsigned long long>(us.records_rewritten),
               static_cast<unsigned long long>(us.records_created));
   std::printf("  relocations %llu, page compactions %llu\n",
               static_cast<unsigned long long>(us.relocations),
               static_cast<unsigned long long>(us.compactions));
-  std::printf("  utilization %.1f%% -> %.1f%% (%zu records, %zu pages)\n",
+  std::printf("  utilization %.1f%% -> %.1f%% (%zu live nodes, "
+              "%zu records, %zu pages)\n",
               100.0 * util_before, 100.0 * store->PageUtilization(),
-              store->record_count(), store->page_count());
+              store->live_node_count(), store->record_count(),
+              store->page_count());
 
   const double cost_grown = SweepCostSeconds(*store, nullptr);
 
-  // Reference point: bulkload the final document from scratch.
-  const auto fresh_p = natix::EkmPartition(store->tree(), k);
-  if (!fresh_p.ok()) {
-    std::fprintf(stderr, "%s\n", fresh_p.status().ToString().c_str());
-    return 1;
-  }
-  auto snapshot = store->SnapshotDocument();
+  // Reference point: bulkload the final document from scratch. The
+  // compacted snapshot renumbers live nodes in document order, dropping
+  // the tombstones the grown id space keeps.
+  std::vector<natix::NodeId> old_to_new;
+  auto snapshot = store->CompactSnapshot(&old_to_new);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "%s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const auto fresh_p = natix::EkmPartition(snapshot->tree, k);
+  if (!fresh_p.ok()) {
+    std::fprintf(stderr, "%s\n", fresh_p.status().ToString().c_str());
     return 1;
   }
   const auto fresh =
@@ -456,9 +572,12 @@ int CmdUpdate(int argc, char** argv) {
               1e3 * cost_before, 1e3 * cost_grown, 1e3 * cost_fresh,
               cost_fresh > 0 ? 100.0 * (cost_grown - cost_fresh) / cost_fresh
                              : 0.0);
-  std::printf("records: grown %zu vs fresh %zu; pages: %zu vs %zu\n",
+  std::printf("records: grown %zu vs fresh %zu; pages: %zu vs %zu; "
+              "utilization: %.1f%% vs %.1f%%\n",
               store->record_count(), fresh->record_count(),
-              store->page_count(), fresh->page_count());
+              store->page_count(), fresh->page_count(),
+              100.0 * store->PageUtilization(),
+              100.0 * fresh->PageUtilization());
   if (store->durable()) {
     const natix::WalStats ws = store->wal_stats();
     std::printf("\nWAL: %llu bytes total (%llu op bytes in %llu entries, "
@@ -514,10 +633,15 @@ int CmdRecover(int argc, char** argv) {
               "utilization %.1f%%\n",
               ms, store->node_count(), store->record_count(),
               store->page_count(), 100.0 * store->PageUtilization());
-  std::printf("  %llu inserts survived (%llu splits, %llu records "
+  std::printf("  ops survived: %llu insert, %llu delete, %llu move, "
+              "%llu rename (%llu splits, %llu merges, %llu records "
               "rewritten, %llu created)\n",
               static_cast<unsigned long long>(us.inserts),
+              static_cast<unsigned long long>(us.deletes),
+              static_cast<unsigned long long>(us.moves),
+              static_cast<unsigned long long>(us.renames),
               static_cast<unsigned long long>(us.splits),
+              static_cast<unsigned long long>(us.merges),
               static_cast<unsigned long long>(us.records_rewritten),
               static_cast<unsigned long long>(us.records_created));
   std::printf("  LSN range: checkpoint %llu..%llu, %llu op(s) replayed, "
@@ -553,9 +677,58 @@ int CmdRecover(int argc, char** argv) {
 int CmdFsck(int argc, char** argv) {
   std::string pages_path;
   if (!StripFlag("--pages", &argc, argv, &pages_path)) return Usage();
+  const bool fix_hints = StripBoolFlag("--fix-hints", &argc, argv);
   if (argc < 1) return Usage();
   const int probe = ProbeWal(argv[0]);
   if (probe != 0) return probe;
+  if (fix_hints) {
+    // Repair pass: recover the store read-write, rewrite every stale
+    // proxy/aggregate placement hint from the authoritative tables,
+    // append a checkpoint so the repaired bytes are durable, and reseal
+    // the page file so it matches. The read-only audit below then runs
+    // against the repaired log.
+    auto rw = natix::PosixFileBackend::Open(argv[0]);
+    if (!rw.ok()) {
+      std::fprintf(stderr, "%s\n", rw.status().ToString().c_str());
+      return 5;
+    }
+    natix::RecoveryInfo info;
+    auto store = natix::NatixStore::Recover(std::move(*rw), &info);
+    if (!store.ok()) {
+      std::fprintf(stderr, "fix-hints: recovery failed: %s\n",
+                   store.status().ToString().c_str());
+      return 5;
+    }
+    const natix::Result<size_t> patched = store->RefreshPlacementHints();
+    if (!patched.ok()) {
+      std::fprintf(stderr, "fix-hints: %s\n",
+                   patched.status().ToString().c_str());
+      return 5;
+    }
+    const natix::Status ck = store->Checkpoint();
+    if (!ck.ok()) {
+      std::fprintf(stderr, "fix-hints checkpoint: %s\n",
+                   ck.ToString().c_str());
+      return 5;
+    }
+    std::printf("fix-hints: %zu hint field(s) rewritten, checkpoint "
+                "appended\n", *patched);
+    if (!pages_path.empty()) {
+      auto pages = natix::PosixFileBackend::Open(pages_path);
+      if (!pages.ok()) {
+        std::fprintf(stderr, "%s\n", pages.status().ToString().c_str());
+        return 5;
+      }
+      const natix::Status flushed = store->FlushPagesTo(pages->get());
+      if (!flushed.ok()) {
+        std::fprintf(stderr, "fix-hints reseal: %s\n",
+                     flushed.ToString().c_str());
+        return 5;
+      }
+      std::printf("fix-hints: resealed %zu page cell(s) at %s\n",
+                  store->regular_page_count(), pages_path.c_str());
+    }
+  }
   auto backend = natix::PosixFileBackend::Open(argv[0]);
   if (!backend.ok()) {
     std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark regression guard over the checked-in artifact files.
 #
-# Checks BENCH_PARALLEL.json (dhw_parallel, JSONL) and
-# BENCH_COLDCACHE.json (bench_coldcache, JSON array) against floors:
+# Checks BENCH_PARALLEL.json (dhw_parallel, JSONL),
+# BENCH_COLDCACHE.json (bench_coldcache, JSON array) and
+# BENCH_UPDATES.json (bench_updates, JSONL) against floors:
 #
 #  * Correctness gates are unconditional: every parallel run must be
 #    byte-identical to the sequential one, and cold-cache query answers
@@ -17,6 +18,10 @@
 #    the guard only insists the chunked scheduler costs ~nothing).
 #  * Compressed records must cut cold-cache bytes_read by >= 25% at
 #    every buffer size, for both layouts.
+#  * The mixed update stream (insert/delete/move/rename with neighbour
+#    merges) must stay query-correct, answer byte-equivalently to a
+#    fresh bulkload of the resulting document, and keep post-stream page
+#    utilization within 15% of the fresh-build baseline.
 #
 # Usage: scripts/bench_guard.sh  (exits nonzero on any violation)
 set -euo pipefail
@@ -72,6 +77,35 @@ else
              "(see BENCH_COLDCACHE.json compression rows)"
   fi
   echo "bench_guard: cold-cache OK (>= 25% fewer bytes read with v3)"
+fi
+
+# ---------------------------------------------------- update streams ----
+if [[ ! -f BENCH_UPDATES.json ]]; then
+  say_fail "BENCH_UPDATES.json missing"
+else
+  mixed=$(jq -s '[.[] | select(.bench == "store_updates_mixed")] | length' \
+      BENCH_UPDATES.json)
+  if (( mixed == 0 )); then
+    say_fail "no store_updates_mixed row in BENCH_UPDATES.json" \
+             "(re-run bench_updates)"
+  else
+    if jq -es '[.[] | select(.bench == "store_updates_mixed")
+               | .queries_match and .answers_equivalent] | all' \
+        BENCH_UPDATES.json > /dev/null; then :
+    else
+      say_fail "mixed update stream diverged from the fresh-build oracle"
+    fi
+    bad=$(jq -s '[.[] | select(.bench == "store_updates_mixed")
+               | select(.util_drift_pct > 15)] | length' BENCH_UPDATES.json)
+    if (( bad > 0 )); then
+      say_fail "post-stream page utilization drifted more than 15%" \
+               "from the fresh-build baseline (see BENCH_UPDATES.json)"
+    fi
+    drift=$(jq -s '[.[] | select(.bench == "store_updates_mixed")
+               | .util_drift_pct] | max' BENCH_UPDATES.json)
+    echo "bench_guard: updates OK (mixed stream oracle-equivalent," \
+         "util drift ${drift}% <= 15%)"
+  fi
 fi
 
 (( fail == 0 )) && echo "bench_guard OK"

@@ -22,10 +22,12 @@ cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test \
   && ./tests/store_updates_test)
 
 # 2b. fsck / corruption-repair smoke: exercise the CLI workflow the
-#     integrity layer exists for -- durable update with a flushed page
-#     file, recovery, a clean fsck, then an injected bit flip that fsck
-#     must catch (exit 1) and distinct recover/fsck exit codes for a
-#     missing log (exit 3).
+#     integrity layer exists for -- a durable mixed update stream
+#     (insert/delete/move/rename) with a flushed page file, recovery, a
+#     clean fsck, a --fix-hints pass that must leave zero stale placement
+#     hints behind, then an injected bit flip that fsck must catch
+#     (exit 1) and distinct recover/fsck exit codes for a missing log
+#     (exit 3).
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
 ./build/examples/natix_cli update sigmod 500 256 0.02 1 \
@@ -33,6 +35,12 @@ trap 'rm -rf "$SMOKE"' EXIT
 ./build/examples/natix_cli recover "$SMOKE/w.log" > /dev/null
 ./build/examples/natix_cli fsck "$SMOKE/w.log" --pages "$SMOKE/p.pages" \
   > /dev/null
+./build/examples/natix_cli fsck "$SMOKE/w.log" --pages "$SMOKE/p.pages" \
+  --fix-hints > /dev/null
+if ./build/examples/natix_cli fsck "$SMOKE/w.log" \
+    --pages "$SMOKE/p.pages" | grep -q 'stale placement hint'; then
+  echo "fsck smoke FAILED: stale hints survived --fix-hints" >&2; exit 1
+fi
 printf '\xff' | dd of="$SMOKE/p.pages" bs=1 seek=300 conv=notrunc \
   status=none
 if ./build/examples/natix_cli fsck "$SMOKE/w.log" \

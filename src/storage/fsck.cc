@@ -95,6 +95,9 @@ Result<FsckReport> FsckLog(FileBackend* wal,
     report.last_lsn = entry->lsn;
     switch (entry->type) {
       case WalEntryType::kInsertOp:
+      case WalEntryType::kDeleteOp:
+      case WalEntryType::kMoveOp:
+      case WalEntryType::kRenameOp:
         if (pending.has_value()) {
           ++report.log_structure_errors;
           report.AddProblem("op entry inside a checkpoint at LSN " +
@@ -203,9 +206,11 @@ Status FsckStore(const NatixStore& store, FsckReport* report) {
     views[p] = *view;
     ++report->records_checked;
   }
-  // Forward direction: every node's table entry resolves into a record
-  // slot holding exactly that node.
+  // Forward direction: every live node's table entry resolves into a
+  // record slot holding exactly that node. Tombstoned nodes (deleted
+  // subtrees) legitimately map to no partition and are skipped.
   for (NodeId v = 0; v < n; ++v) {
+    if (!store.IsLiveNode(v)) continue;
     ++report->nodes_checked;
     const uint32_t p = store.PartitionOf(v);
     if (p >= parts || !views[p].has_value()) {
@@ -309,10 +314,12 @@ Status FsckStore(const NatixStore& store, FsckReport* report) {
       }
     }
   }
-  if (covered != n) {
+  const uint64_t live = store.live_node_count();
+  if (covered != live) {
     ++report->topology_errors;
     report->AddProblem("records cover " + std::to_string(covered) +
-                       " node slots for " + std::to_string(n) + " nodes");
+                       " node slots for " + std::to_string(live) +
+                       " live nodes");
   }
   // Page directory: every regular page image must validate, and every
   // record's directory entry must agree with the record header it

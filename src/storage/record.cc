@@ -630,6 +630,352 @@ int32_t RecordView::IndexOf(NodeId v) const {
   return -1;
 }
 
+namespace {
+
+/// Section geometry shared by the in-place rewrite helpers; derived
+/// straight from a record Parse() already validated.
+struct RecordGeometry {
+  bool v3 = false;
+  bool wide = false;
+  uint32_t node_count = 0;
+  uint32_t proxy_count = 0;
+  size_t entry_bytes = 0;
+  size_t proxy_off = 0;
+  size_t data_off = 0;
+};
+
+RecordGeometry GeometryOf(const uint8_t* data) {
+  RecordGeometry g;
+  g.v3 = GetU16(data) == kRecordFormatV3;
+  g.wide = (GetU16(data + 2) & kFlagWideTopology) != 0;
+  g.node_count = GetU32(data + 4);
+  g.proxy_count = GetU32(data + 8);
+  g.entry_bytes = g.wide ? kWideEntryBytes : kNarrowEntryBytes;
+  g.proxy_off = kHeaderBytes + g.node_count * g.entry_bytes;
+  g.data_off = g.proxy_off + static_cast<size_t>(g.proxy_count) * kProxyBytes;
+  return g;
+}
+
+size_t FieldOffset(const RecordGeometry& g, uint32_t i, uint32_t field) {
+  const size_t entry = kHeaderBytes + i * g.entry_bytes;
+  if (g.wide) return entry + 4 * field;
+  return field == 0 ? entry : entry + 4 + 2 * (field - 1);
+}
+
+uint64_t GetField(const RecordGeometry& g, const uint8_t* data, uint32_t i,
+                  uint32_t field) {
+  const size_t off = FieldOffset(g, i, field);
+  if (g.wide || field == 0) return GetU32(data + off);
+  return GetU16(data + off);
+}
+
+void PutField(const RecordGeometry& g, uint8_t* data, uint32_t i,
+              uint32_t field, uint64_t value) {
+  const size_t off = FieldOffset(g, i, field);
+  if (g.wide || field == 0) {
+    const uint32_t v = static_cast<uint32_t>(value);
+    std::memcpy(data + off, &v, 4);
+  } else {
+    const uint16_t v = static_cast<uint16_t>(value);
+    std::memcpy(data + off, &v, 2);
+  }
+}
+
+uint32_t EncodeLink(const RecordGeometry& g, int32_t link) {
+  if (link == kEdgeNone) return g.wide ? kWideNone : kNarrowNone;
+  if (link == kEdgeRemote) return g.wide ? kWideRemote : kNarrowRemote;
+  return static_cast<uint32_t>(link);
+}
+
+/// Byte span of one v3 data entry, plus where its label varint sits.
+struct V3EntrySpan {
+  size_t label_off = 0;
+  size_t label_len = 0;
+  size_t total_len = 0;
+};
+
+bool ParseV3EntrySpan(const uint8_t* data, size_t size, size_t start,
+                      V3EntrySpan* out) {
+  size_t pos = start;
+  if (pos >= size) return false;
+  const uint8_t meta = data[pos++];
+  const bool overflow = (meta & kV3Overflow) != 0;
+  const bool compressed = (meta & kV3Compressed) != 0;
+  out->label_off = pos;
+  uint64_t label_plus1 = 0;
+  if (!GetVarint(data, size, &pos, &label_plus1)) return false;
+  out->label_len = pos - out->label_off;
+  uint64_t raw_len = 0;
+  if (!GetVarint(data, size, &pos, &raw_len)) return false;
+  if (!overflow) {
+    uint64_t stored = raw_len;
+    if (compressed && !GetVarint(data, size, &pos, &stored)) return false;
+    if (stored > size - pos) return false;
+    pos += stored;
+  }
+  out->total_len = pos - start;
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> RewriteRecordLabel(const uint8_t* data,
+                                                size_t size, uint32_t index,
+                                                int32_t new_label,
+                                                uint32_t slot_size) {
+  NATIX_RETURN_NOT_OK(RecordView::Parse(data, size, slot_size).status());
+  const RecordGeometry g = GeometryOf(data);
+  if (index >= g.node_count) {
+    return Status::InvalidArgument("record entry index out of range");
+  }
+  if (new_label < -1) {
+    return Status::InvalidArgument("label id out of range");
+  }
+  if (!g.v3) {
+    // v2 keeps the label as a fixed 4-byte field in the node's header
+    // slot: a pure in-place patch.
+    std::vector<uint8_t> out(data, data + size);
+    const size_t slot_at =
+        g.data_off + static_cast<size_t>(GetField(g, data, index, 6)) *
+                         slot_size;
+    std::memcpy(out.data() + slot_at + 4, &new_label, 4);
+    return out;
+  }
+  const uint64_t my_off = GetField(g, data, index, 6);
+  V3EntrySpan span;
+  if (!ParseV3EntrySpan(data, size, g.data_off + my_off, &span)) {
+    return Status::ParseError("record data entry malformed");
+  }
+  std::vector<uint8_t> label_bytes;
+  PutVarint(&label_bytes,
+            new_label < 0 ? 0u : static_cast<uint32_t>(new_label) + 1u);
+  const int64_t delta =
+      static_cast<int64_t>(label_bytes.size()) -
+      static_cast<int64_t>(span.label_len);
+  if (delta != 0 && !g.wide) {
+    const int64_t data_bytes = static_cast<int64_t>(size - g.data_off);
+    if (data_bytes + delta > kNarrowNone) {
+      return Status::FailedPrecondition(
+          "label rewrite overflows narrow data offsets");
+    }
+  }
+  std::vector<uint8_t> out;
+  out.reserve(size + (delta > 0 ? static_cast<size_t>(delta) : 0));
+  out.insert(out.end(), data, data + span.label_off);
+  out.insert(out.end(), label_bytes.begin(), label_bytes.end());
+  out.insert(out.end(), data + span.label_off + span.label_len, data + size);
+  if (delta != 0) {
+    // Entries behind the grown/shrunk one shift; re-base their offsets.
+    for (uint32_t i = 0; i < g.node_count; ++i) {
+      if (i == index) continue;
+      const uint64_t off = GetField(g, data, i, 6);
+      if (off <= my_off) continue;
+      PutField(g, out.data(), i, 6,
+               static_cast<uint64_t>(static_cast<int64_t>(off) + delta));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> RemoveRecordEntries(
+    const uint8_t* data, size_t size, const std::vector<uint32_t>& remove,
+    uint32_t slot_size) {
+  Result<RecordView> parsed = RecordView::Parse(data, size, slot_size);
+  NATIX_RETURN_NOT_OK(parsed.status());
+  const RecordView& view = *parsed;
+  const RecordGeometry g = GeometryOf(data);
+  const uint32_t n = g.node_count;
+  std::vector<bool> removed(n, false);
+  for (const uint32_t i : remove) {
+    if (i >= n) {
+      return Status::InvalidArgument("record entry index out of range");
+    }
+    removed[i] = true;
+  }
+  if (remove.empty()) return std::vector<uint8_t>(data, data + size);
+  std::vector<int32_t> remap(n, -1);
+  uint32_t kept = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!removed[i]) remap[i] = static_cast<int32_t>(kept++);
+  }
+  if (kept == 0) {
+    return Status::InvalidArgument("cannot remove every record entry");
+  }
+
+  // Splice a link that leads into the removed set: follow `chase` links
+  // of removed entries to the first survivor. A chain that dead-ends in
+  // a remote link hands the last removed entry's proxy to the survivor.
+  struct Spliced {
+    int32_t link = kEdgeNone;
+    std::optional<RecordProxy> inherited;
+  };
+  auto splice = [&](int32_t link, RecordEdge chase) -> Result<Spliced> {
+    Spliced out;
+    int32_t cur = link;
+    while (cur >= 0 && removed[static_cast<uint32_t>(cur)]) {
+      const uint32_t r = static_cast<uint32_t>(cur);
+      const int32_t next = chase == RecordEdge::kPrevSibling
+                               ? view.prev_sibling(r)
+                               : view.next_sibling(r);
+      if (next == kEdgeRemote) {
+        std::optional<RecordProxy> p = view.FindProxy(r, chase);
+        if (!p.has_value()) {
+          return Status::ParseError("record remote link without proxy");
+        }
+        out.link = kEdgeRemote;
+        out.inherited = p;
+        return out;
+      }
+      cur = next;
+    }
+    out.link = cur;
+    return out;
+  };
+
+  std::vector<RecordProxy> proxies;
+  for (uint32_t j = 0; j < g.proxy_count; ++j) {
+    RecordProxy p = view.proxy(j);
+    if (removed[p.from_index]) continue;
+    p.from_index = static_cast<uint32_t>(remap[p.from_index]);
+    proxies.push_back(p);
+  }
+
+  struct NewEntry {
+    uint32_t old_index = 0;
+    int32_t parent = kEdgeNone;
+    int32_t first_child = kEdgeNone;
+    int32_t next_sibling = kEdgeNone;
+    int32_t prev_sibling = kEdgeNone;
+    uint64_t data_len = 0;  // bytes (v3) or slots (v2)
+  };
+  std::vector<NewEntry> entries;
+  entries.reserve(kept);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (removed[i]) continue;
+    NewEntry e;
+    e.old_index = i;
+    e.parent = view.parent(i);
+    if (e.parent >= 0 && removed[static_cast<uint32_t>(e.parent)]) {
+      // The removed set must be descendant-closed; a survivor under a
+      // removed parent means the caller did not remove a whole subtree.
+      return Status::InvalidArgument(
+          "record entry removal is not descendant-closed");
+    }
+    struct LinkFix {
+      int32_t* link;
+      RecordEdge edge;       // the survivor's edge being fixed
+      RecordEdge chase;      // direction to follow through removed entries
+    };
+    e.first_child = view.first_child(i);
+    e.next_sibling = view.next_sibling(i);
+    e.prev_sibling = view.prev_sibling(i);
+    const LinkFix fixes[3] = {
+        {&e.first_child, RecordEdge::kFirstChild, RecordEdge::kNextSibling},
+        {&e.next_sibling, RecordEdge::kNextSibling, RecordEdge::kNextSibling},
+        {&e.prev_sibling, RecordEdge::kPrevSibling, RecordEdge::kPrevSibling},
+    };
+    for (const LinkFix& f : fixes) {
+      if (*f.link < 0 || !removed[static_cast<uint32_t>(*f.link)]) continue;
+      NATIX_ASSIGN_OR_RETURN(const Spliced s, splice(*f.link, f.chase));
+      *f.link = s.link;
+      if (s.inherited.has_value()) {
+        RecordProxy p = *s.inherited;
+        p.from_index = static_cast<uint32_t>(remap[i]);
+        p.edge = f.edge;
+        proxies.push_back(p);
+      }
+    }
+    entries.push_back(e);
+  }
+
+  // Remap surviving local links and lay out the new data section.
+  for (NewEntry& e : entries) {
+    for (int32_t* link : {&e.parent, &e.first_child, &e.next_sibling,
+                          &e.prev_sibling}) {
+      if (*link >= 0) *link = remap[static_cast<uint32_t>(*link)];
+    }
+    if (g.v3) {
+      V3EntrySpan span;
+      const size_t start =
+          g.data_off +
+          static_cast<size_t>(GetField(g, data, e.old_index, 6));
+      if (!ParseV3EntrySpan(data, size, start, &span)) {
+        return Status::ParseError("record data entry malformed");
+      }
+      e.data_len = span.total_len;
+    } else {
+      e.data_len = view.overflow(e.old_index)
+                       ? 2
+                       : 1 + view.content_slots(e.old_index);
+    }
+  }
+
+  std::sort(proxies.begin(), proxies.end(),
+            [](const RecordProxy& a, const RecordProxy& b) {
+              return ProxyKey(a.from_index, a.edge) <
+                     ProxyKey(b.from_index, b.edge);
+            });
+
+  std::vector<uint8_t> out;
+  PutU16(&out, GetU16(data));
+  PutU16(&out, GetU16(data + 2));
+  PutU32(&out, kept);
+  PutU32(&out, static_cast<uint32_t>(proxies.size()));
+  out.insert(out.end(), data + 12, data + kHeaderBytes);  // aggregate
+  RecordGeometry ng = g;
+  ng.node_count = kept;
+  ng.proxy_count = static_cast<uint32_t>(proxies.size());
+  ng.proxy_off = kHeaderBytes + kept * g.entry_bytes;
+  ng.data_off = ng.proxy_off + proxies.size() * kProxyBytes;
+  out.resize(ng.proxy_off, 0);
+  uint64_t cursor = 0;
+  for (uint32_t i = 0; i < kept; ++i) {
+    const NewEntry& e = entries[i];
+    PutField(ng, out.data(), i, 0, GetField(g, data, e.old_index, 0));
+    PutField(ng, out.data(), i, 1, GetField(g, data, e.old_index, 1));
+    PutField(ng, out.data(), i, 2, EncodeLink(g, e.parent));
+    PutField(ng, out.data(), i, 3, EncodeLink(g, e.first_child));
+    PutField(ng, out.data(), i, 4, EncodeLink(g, e.next_sibling));
+    PutField(ng, out.data(), i, 5, EncodeLink(g, e.prev_sibling));
+    PutField(ng, out.data(), i, 6, cursor);
+    cursor += e.data_len;
+  }
+  for (const RecordProxy& p : proxies) {
+    PutU32(&out, ProxyKey(p.from_index, p.edge));
+    PutU32(&out, p.target_node);
+    PutU32(&out, p.target_partition);
+    PutU32(&out, p.target_record.value);
+    PutU32(&out, p.target_slot);
+  }
+  for (const NewEntry& e : entries) {
+    const size_t start =
+        g.data_off + static_cast<size_t>(GetField(g, data, e.old_index, 6)) *
+                         (g.v3 ? 1 : slot_size);
+    const size_t len =
+        static_cast<size_t>(e.data_len) * (g.v3 ? 1 : slot_size);
+    out.insert(out.end(), data + start, data + start + len);
+  }
+  return out;
+}
+
+namespace record_internal {
+
+Result<std::vector<size_t>> HintFieldOffsets(const uint8_t* data, size_t size,
+                                             uint32_t slot_size) {
+  NATIX_RETURN_NOT_OK(RecordView::Parse(data, size, slot_size).status());
+  const RecordGeometry g = GeometryOf(data);
+  std::vector<size_t> offsets;
+  offsets.reserve(1 + g.proxy_count);
+  offsets.push_back(16);  // aggregate: parent_node at 12, hints at 16
+  for (uint32_t j = 0; j < g.proxy_count; ++j) {
+    // Proxy: key at +0, target_node at +4, hints at +8.
+    offsets.push_back(g.proxy_off + static_cast<size_t>(j) * kProxyBytes + 8);
+  }
+  return offsets;
+}
+
+}  // namespace record_internal
+
 Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
                                    uint32_t slot_size) {
   Result<RecordView> view = RecordView::Parse(data, size, slot_size);

@@ -2,6 +2,7 @@
 #define NATIX_STORAGE_RECORD_H_
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
@@ -313,6 +314,86 @@ class RecordView {
 /// Parses record bytes into an owning DecodedRecord (tests/debugging).
 Result<DecodedRecord> DecodeRecord(const uint8_t* data, size_t size,
                                    uint32_t slot_size = 8);
+
+/// Rewrites the interned-label id of entry `index` without re-encoding
+/// anything else -- content cells (including compressed v3 cells) are
+/// carried over byte for byte. For v2 the label is a fixed 4-byte field;
+/// for v3 the label varint may change width, in which case the data
+/// section is shifted and every entry's data offset re-based. Fails with
+/// kFailedPrecondition when the shift would overflow the narrow
+/// topology's 16-bit offset field (the caller falls back to a full
+/// partition re-encode).
+Result<std::vector<uint8_t>> RewriteRecordLabel(const uint8_t* data,
+                                                size_t size, uint32_t index,
+                                                int32_t new_label,
+                                                uint32_t slot_size = 8);
+
+/// Removes the given entry indices from a record, in place semantically:
+/// surviving entries keep their topology fields and data cells byte for
+/// byte (no content decode/re-encode), only indices, data offsets and
+/// counts are re-based. Sibling links into the removed set are spliced
+/// through it (a survivor whose next_sibling chain dead-ends in a remote
+/// link inherits the removed entry's proxy, re-keyed), first_child links
+/// follow the removed entry's sibling chain to the first survivor, and
+/// proxies from removed entries are dropped. Exactly the transformation
+/// a subtree delete applies to the one record that keeps living: the
+/// removed set must be closed under in-record descendants (a survivor
+/// whose parent is removed is rejected).
+Result<std::vector<uint8_t>> RemoveRecordEntries(
+    const uint8_t* data, size_t size, const std::vector<uint32_t>& remove,
+    uint32_t slot_size = 8);
+
+/// Authoritative placement of a node, for re-stamping stale hints.
+struct RecordPlacement {
+  uint32_t partition = kNoPartition;
+  RecordId record;
+  uint32_t slot = 0;
+};
+
+/// Re-stamps every proxy's and the aggregate's placement-hint fields
+/// (partition / record / slot -- target_node and parent_node stay
+/// untouched) from `resolve`, strictly in place: hint fields are fixed
+/// width, so the record's size and layout cannot change. `resolve`
+/// returns the authoritative placement of a node or false when the node
+/// is unknown (such hints are left alone). Returns how many entries were
+/// actually rewritten. fsck --fix-hints runs this over every record and
+/// reseal-writes the ones that changed.
+template <typename Resolver>
+size_t PatchPlacementHints(std::vector<uint8_t>* bytes,
+                           const Resolver& resolve, uint32_t slot_size = 8);
+
+namespace record_internal {
+/// Non-template core of PatchPlacementHints: offsets of the 12
+/// hint bytes of the aggregate and of each proxy entry.
+Result<std::vector<size_t>> HintFieldOffsets(const uint8_t* data, size_t size,
+                                             uint32_t slot_size);
+}  // namespace record_internal
+
+template <typename Resolver>
+size_t PatchPlacementHints(std::vector<uint8_t>* bytes,
+                           const Resolver& resolve, uint32_t slot_size) {
+  // Hint layout at each offset o: u32 node at o-4 (aggregate parent_node
+  // or proxy target_node), then u32 partition, u32 record, u32 slot.
+  Result<std::vector<size_t>> offsets = record_internal::HintFieldOffsets(
+      bytes->data(), bytes->size(), slot_size);
+  if (!offsets.ok()) return 0;
+  size_t patched = 0;
+  for (const size_t o : *offsets) {
+    uint32_t node;
+    std::memcpy(&node, bytes->data() + o - 4, 4);
+    if (node == kInvalidNode) continue;
+    RecordPlacement placement;
+    if (!resolve(static_cast<NodeId>(node), &placement)) continue;
+    uint32_t fields[3];
+    std::memcpy(fields, bytes->data() + o, 12);
+    const uint32_t want[3] = {placement.partition, placement.record.value,
+                              placement.slot};
+    if (std::memcmp(fields, want, 12) == 0) continue;
+    std::memcpy(bytes->data() + o, want, 12);
+    ++patched;
+  }
+  return patched;
+}
 
 }  // namespace natix
 

@@ -314,6 +314,19 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
   links.label.assign(n, -1);
   links.kind.assign(n, NodeKind::kElement);
   links.labels = labels_;
+  // Tombstoned nodes (partition_of_ == kNoPartition) are covered by no
+  // record; they keep their arena slot as a dead, link-free node with
+  // the same normalized fields Tree::RemoveSubtree leaves behind.
+  size_t dead = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (partition_of_[v] == kNoPartition) ++dead;
+  }
+  if (dead != 0) {
+    links.alive.assign(n, 1);
+    for (size_t v = 0; v < n; ++v) {
+      if (partition_of_[v] == kNoPartition) links.alive[v] = 0;
+    }
+  }
 
   ImportedDocument out;
   out.content_bytes.assign(n, 0);
@@ -422,7 +435,9 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
     }
   }
   for (size_t v = 0; v < n; ++v) {
-    if (!seen[v]) {
+    // Covered tombstones are already rejected by the table cross-check
+    // above (kNoPartition never equals a record's partition index).
+    if (!seen[v] && partition_of_[v] != kNoPartition) {
       return Status::ParseError("node " + std::to_string(v) +
                                 " is not covered by any record");
     }
@@ -538,16 +553,37 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
     doc_->overflow_bytes += content.size();
   }
 
-  const PartitionDelta& delta = inc_->last_delta();
-  if (!delta.deleted.empty()) {
-    // Insertions never delete partitions; a populated `deleted` list
-    // means the partitioner and this store's record bookkeeping have
-    // diverged, and silently ignoring it would leak records and leave
-    // stale proxies. Fail loudly instead.
-    return Status::Internal(
-        "InsertBefore produced a PartitionDelta with " +
-        std::to_string(delta.deleted.size()) +
-        " deleted partitions; the store cannot apply deletions");
+  // Membership-preserving neighbours: the parent (when the new node
+  // became its first child) and the two adjacent siblings now have an
+  // edge to `id`, but their partitions appear in the delta only if their
+  // membership also changed.
+  std::vector<NodeId> neighbours;
+  if (doc_->tree.FirstChild(parent) == id) neighbours.push_back(parent);
+  neighbours.push_back(doc_->tree.PrevSibling(id));
+  neighbours.push_back(doc_->tree.NextSibling(id));
+  NATIX_RETURN_NOT_OK(ApplyDelta(inc_->last_delta(), neighbours));
+  ++inserts_;
+  // Log after applying: the only crash points are backend writes, so an
+  // op either reaches the log whole (replayable) or the tail is torn and
+  // recovery stops before it -- as if the op never happened.
+  if (wal_ != nullptr && !replaying_) {
+    NATIX_RETURN_NOT_OK(LogInsert(parent, before, kind, label, content));
+  }
+  return id;
+}
+
+Status NatixStore::ApplyDelta(const PartitionDelta& delta,
+                              const std::vector<NodeId>& neighbours) {
+  // Retired partitions go first: their records are freed and their ids
+  // forgotten before any re-encode runs, so a dirtied neighbour cannot
+  // emit a proxy hint naming a freed record.
+  for (const uint32_t part : delta.deleted) {
+    if (records_[part].valid()) {
+      NATIX_RETURN_NOT_OK(manager_.Free(records_[part]));
+      records_[part] = RecordId{};
+      overflow_bytes_ -= record_overflow_[part];
+      record_overflow_[part] = 0;
+    }
   }
   partition_of_.resize(doc_->tree.size(), 0);
   slot_in_record_.resize(doc_->tree.size(), 0);
@@ -578,11 +614,9 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
     for (const NodeId v : g.nodes) partition_of_[v] = g.part;
     AssignSlots(g.nodes);
   }
-  // Membership-preserving neighbours: the parent (when the new node
-  // became its first child) and the two adjacent siblings now have an
-  // edge to `id`, but their partitions appear in the delta only if their
-  // membership also changed. Their records must be re-encoded anyway --
-  // a proxy's target_node is authoritative, so leaving the old one in
+  // `neighbours` are nodes with a changed crossing edge whose partitions
+  // may not appear in the delta. Their records must be re-encoded anyway
+  // -- a proxy's target_node is authoritative, so leaving the old one in
   // place would corrupt navigation, not just stale a placement hint.
   const auto add_neighbour = [&](NodeId v) {
     if (v == kInvalidNode) return;
@@ -592,9 +626,7 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
     }
     groups.push_back({part, inc_->PartitionNodes(part)});
   };
-  if (doc_->tree.FirstChild(parent) == id) add_neighbour(parent);
-  add_neighbour(doc_->tree.PrevSibling(id));
-  add_neighbour(doc_->tree.NextSibling(id));
+  for (const NodeId v : neighbours) add_neighbour(v);
   // Reserve record ids for partitions born this operation before any
   // encode: a rewritten record's proxies may name them.
   for (Group& g : groups) {
@@ -619,15 +651,273 @@ Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
     record_overflow_[g.part] = overflow;
   }
   RecomputeOverflowPages();
-  ++inserts_;
   ++version_;
-  // Log after applying: the only crash points are backend writes, so an
-  // op either reaches the log whole (replayable) or the tail is torn and
-  // recovery stops before it -- as if the op never happened.
-  if (wal_ != nullptr && !replaying_) {
-    NATIX_RETURN_NOT_OK(LogInsert(parent, before, kind, label, content));
+  return Status::OK();
+}
+
+Result<std::vector<NodeId>> NatixStore::DeleteSubtree(NodeId v) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "store is poisoned: a WAL write failed, the log no longer matches "
+        "memory; recover from the log to continue");
   }
-  return id;
+  NATIX_RETURN_NOT_OK(EnsureDocument());
+  NATIX_RETURN_NOT_OK(EnsureMutable());
+  const Tree& tree = doc_->tree;
+  if (v >= tree.size() || !tree.IsAlive(v)) {
+    return Status::InvalidArgument("no such node: " + std::to_string(v));
+  }
+  if (v == RootNode()) {
+    return Status::InvalidArgument("the document root cannot be deleted");
+  }
+  // Neighbours whose crossing edge to `v` disappears, captured before
+  // the detach rewires them.
+  std::vector<NodeId> neighbours;
+  const NodeId parent = tree.Parent(v);
+  if (parent != kInvalidNode && tree.FirstChild(parent) == v) {
+    neighbours.push_back(parent);
+  }
+  neighbours.push_back(tree.PrevSibling(v));
+  neighbours.push_back(tree.NextSibling(v));
+
+  // Content bookkeeping before the tombstoning normalizes the subtree's
+  // weights (NodeOverflows needs the original weight).
+  const std::vector<NodeId> subtree = tree.SubtreeNodes(v);
+  for (const NodeId r : subtree) {
+    if (NodeOverflows(r)) {
+      --doc_->overflow_nodes;
+      doc_->overflow_bytes -= doc_->content_bytes[r];
+    }
+    doc_->content_total_bytes -= doc_->content_bytes[r];
+    doc_->content_bytes[r] = 0;
+    doc_->content_offset[r] = 0;
+  }
+  NATIX_RETURN_NOT_OK(inc_->DeleteSubtree(v).status());
+  for (const NodeId r : subtree) {
+    partition_of_[r] = kNoPartition;
+    slot_in_record_[r] = 0;
+  }
+  NATIX_RETURN_NOT_OK(ApplyDelta(inc_->last_delta(), neighbours));
+  ++deletes_;
+  if (wal_ != nullptr && !replaying_) {
+    NATIX_RETURN_NOT_OK(LogDelete(v));
+  }
+  return subtree;
+}
+
+Status NatixStore::MoveSubtree(NodeId v, NodeId parent, NodeId before) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "store is poisoned: a WAL write failed, the log no longer matches "
+        "memory; recover from the log to continue");
+  }
+  NATIX_RETURN_NOT_OK(EnsureDocument());
+  NATIX_RETURN_NOT_OK(EnsureMutable());
+  const Tree& tree = doc_->tree;
+  if (v >= tree.size() || !tree.IsAlive(v)) {
+    return Status::InvalidArgument("no such node: " + std::to_string(v));
+  }
+  // Old neighbours lose their edge to `v`; captured before the splice.
+  // The partitioner validates the rest (ancestry, destination liveness)
+  // before mutating anything, so capturing early is safe.
+  std::vector<NodeId> neighbours;
+  const NodeId old_parent = tree.Parent(v);
+  if (old_parent != kInvalidNode && tree.FirstChild(old_parent) == v) {
+    neighbours.push_back(old_parent);
+  }
+  neighbours.push_back(tree.PrevSibling(v));
+  neighbours.push_back(tree.NextSibling(v));
+  NATIX_RETURN_NOT_OK(inc_->MoveSubtree(v, parent, before));
+  // New neighbours gained an edge to `v`.
+  if (tree.FirstChild(parent) == v) neighbours.push_back(parent);
+  neighbours.push_back(tree.PrevSibling(v));
+  neighbours.push_back(tree.NextSibling(v));
+  NATIX_RETURN_NOT_OK(ApplyDelta(inc_->last_delta(), neighbours));
+  ++moves_;
+  if (wal_ != nullptr && !replaying_) {
+    NATIX_RETURN_NOT_OK(LogMove(v, parent, before));
+  }
+  return Status::OK();
+}
+
+int32_t NatixStore::InternStoreLabel(std::string_view label) {
+  if (label.empty()) return -1;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<int32_t>(i);
+  }
+  labels_.emplace_back(label);
+  return static_cast<int32_t>(labels_.size() - 1);
+}
+
+Status NatixStore::ReencodePartition(uint32_t part) {
+  std::vector<NodeId> members;
+  for (NodeId u = 0; u < partition_of_.size(); ++u) {
+    if (partition_of_[u] == part) members.push_back(u);
+  }
+  // Members in document order == increasing in-record slot.
+  std::sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+    return slot_in_record_[a] < slot_in_record_[b];
+  });
+  uint64_t overflow = 0;
+  NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                         EncodePartition(part, members, &overflow));
+  NATIX_RETURN_NOT_OK(manager_.Update(records_[part], bytes));
+  ++records_rewritten_;
+  overflow_bytes_ = overflow_bytes_ - record_overflow_[part] + overflow;
+  record_overflow_[part] = overflow;
+  RecomputeOverflowPages();
+  return Status::OK();
+}
+
+Status NatixStore::Rename(NodeId v, std::string_view label) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "store is poisoned: a WAL write failed, the log no longer matches "
+        "memory; recover from the log to continue");
+  }
+  if (v >= partition_of_.size() || partition_of_[v] == kNoPartition) {
+    return Status::InvalidArgument("no such node: " + std::to_string(v));
+  }
+  int32_t label_id = -1;
+  if (doc_ != nullptr) {
+    if (inc_ != nullptr) {
+      NATIX_RETURN_NOT_OK(inc_->Rename(v, label));
+    } else {
+      doc_->tree.SetLabel(v, label);
+    }
+    SyncLabels();
+    label_id = doc_->tree.LabelIdOf(v);
+  } else {
+    // Released store: the rename runs against record bytes alone.
+    label_id = InternStoreLabel(label);
+  }
+  const uint32_t part = partition_of_[v];
+  NATIX_ASSIGN_OR_RETURN(const auto raw, manager_.Get(records_[part]));
+  Result<std::vector<uint8_t>> patched = RewriteRecordLabel(
+      raw.first, raw.second, slot_in_record_[v], label_id,
+      options_.slot_size);
+  if (patched.ok()) {
+    NATIX_RETURN_NOT_OK(manager_.Update(records_[part], *patched));
+    ++records_rewritten_;
+  } else if (patched.status().code() == StatusCode::kFailedPrecondition) {
+    // The varint label grew past what the narrow topology's 16-bit data
+    // offsets can address: re-encode the whole partition instead (the
+    // builder switches to wide entries as needed).
+    NATIX_RETURN_NOT_OK(EnsureDocument());
+    if (doc_->tree.LabelIdOf(v) != label_id) {
+      // The document was rematerialized from the unpatched records.
+      doc_->tree.SetLabel(v, label);
+      SyncLabels();
+    }
+    NATIX_RETURN_NOT_OK(ReencodePartition(part));
+  } else {
+    return patched.status();
+  }
+  ++renames_;
+  ++version_;
+  if (wal_ != nullptr && !replaying_) {
+    NATIX_RETURN_NOT_OK(LogRename(v, label));
+  }
+  return Status::OK();
+}
+
+Result<ImportedDocument> NatixStore::CompactSnapshot(
+    std::vector<NodeId>* old_to_new) const {
+  NATIX_ASSIGN_OR_RETURN(const ImportedDocument old, SnapshotDocument());
+  const Tree& tree = old.tree;
+  std::vector<NodeId> map(tree.size(), kInvalidNode);
+  const std::vector<NodeId> order = tree.PreorderNodes();  // live only
+  for (size_t i = 0; i < order.size(); ++i) {
+    map[order[i]] = static_cast<NodeId>(i);
+  }
+  const auto remap = [&](NodeId u) {
+    return u == kInvalidNode ? kInvalidNode : map[u];
+  };
+  const size_t m = order.size();
+  Tree::Links links;
+  links.parent.resize(m);
+  links.first_child.resize(m);
+  links.next_sibling.resize(m);
+  links.prev_sibling.resize(m);
+  links.weight.resize(m);
+  links.label.resize(m);
+  links.kind.resize(m);
+  links.labels.reserve(tree.LabelCount());
+  for (size_t id = 0; id < tree.LabelCount(); ++id) {
+    links.labels.emplace_back(tree.LabelName(static_cast<int32_t>(id)));
+  }
+  ImportedDocument out;
+  out.content_bytes.assign(m, 0);
+  out.content_offset.assign(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    const NodeId v = order[i];
+    links.parent[i] = remap(tree.Parent(v));
+    links.first_child[i] = remap(tree.FirstChild(v));
+    links.next_sibling[i] = remap(tree.NextSibling(v));
+    links.prev_sibling[i] = remap(tree.PrevSibling(v));
+    links.weight[i] = tree.WeightOf(v);
+    links.label[i] = tree.LabelIdOf(v);
+    links.kind[i] = tree.KindOf(v);
+    const std::string_view content = old.ContentOf(v);
+    out.content_offset[i] = out.content_pool.size();
+    out.content_bytes[i] = static_cast<uint32_t>(content.size());
+    out.content_pool.append(content);
+    out.content_total_bytes += content.size();
+    if (!content.empty()) {
+      const uint64_t inline_slots =
+          1 + (content.size() + options_.slot_size - 1) / options_.slot_size;
+      if (inline_slots > tree.WeightOf(v)) {
+        ++out.overflow_nodes;
+        out.overflow_bytes += content.size();
+      }
+    }
+  }
+  NATIX_ASSIGN_OR_RETURN(out.tree, Tree::FromParts(std::move(links)));
+  out.source_bytes = old.source_bytes;
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return out;
+}
+
+Result<size_t> NatixStore::RefreshPlacementHints() {
+  size_t patched_total = 0;
+  for (size_t part = 0; part < records_.size(); ++part) {
+    if (!records_[part].valid()) continue;
+    NATIX_ASSIGN_OR_RETURN(const auto raw, manager_.Get(records_[part]));
+    std::vector<uint8_t> bytes(raw.first, raw.first + raw.second);
+    const size_t patched = PatchPlacementHints(
+        &bytes,
+        [this](NodeId v, RecordPlacement* out) {
+          if (v >= partition_of_.size() ||
+              partition_of_[v] == kNoPartition) {
+            return false;
+          }
+          out->partition = partition_of_[v];
+          out->record = records_[partition_of_[v]];
+          out->slot = slot_in_record_[v];
+          return true;
+        },
+        options_.slot_size);
+    if (patched == 0) continue;
+    NATIX_RETURN_NOT_OK(manager_.Update(records_[part], bytes));
+    ++records_rewritten_;
+    patched_total += patched;
+  }
+  if (patched_total != 0) ++version_;
+  return patched_total;
+}
+
+Status NatixStore::LogOp(WalEntryType type,
+                         const std::vector<uint8_t>& payload) {
+  Result<uint64_t> lsn = wal_->Append(type, payload);
+  if (!lsn.ok()) {
+    poisoned_ = true;
+    return Status::FailedPrecondition("WAL append failed (" +
+                                      lsn.status().message() +
+                                      "); store is poisoned");
+  }
+  wal_op_bytes_ += kWalEntryHeaderSize + payload.size();
+  ++wal_op_entries_;
+  return Status::OK();
 }
 
 Status NatixStore::LogInsert(NodeId parent_logged, NodeId before,
@@ -640,16 +930,31 @@ Status NatixStore::LogInsert(NodeId parent_logged, NodeId before,
   w.U8(static_cast<uint8_t>(kind));
   w.Str(label);
   w.Str(content);
-  Result<uint64_t> lsn = wal_->Append(WalEntryType::kInsertOp, payload);
-  if (!lsn.ok()) {
-    poisoned_ = true;
-    return Status::FailedPrecondition("WAL append failed (" +
-                                      lsn.status().message() +
-                                      "); store is poisoned");
-  }
-  wal_op_bytes_ += kWalEntryHeaderSize + payload.size();
-  ++wal_op_entries_;
-  return Status::OK();
+  return LogOp(WalEntryType::kInsertOp, payload);
+}
+
+Status NatixStore::LogDelete(NodeId v) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U32(v);
+  return LogOp(WalEntryType::kDeleteOp, payload);
+}
+
+Status NatixStore::LogMove(NodeId v, NodeId parent, NodeId before) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U32(v);
+  w.U32(parent);
+  w.U32(before);
+  return LogOp(WalEntryType::kMoveOp, payload);
+}
+
+Status NatixStore::LogRename(NodeId v, std::string_view label) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.U32(v);
+  w.Str(label);
+  return LogOp(WalEntryType::kRenameOp, payload);
 }
 
 namespace {
@@ -658,7 +963,11 @@ namespace {
 // v4: the metadata records the store's negotiated record wire format;
 // v3 checkpoints are still accepted and imply record format v2 (the only
 // format that existed when they were written).
-constexpr uint32_t kCheckpointFormatVersion = 4;
+// v5: the tree serializes tombstone flags, the partitioner state carries
+// its merge counter and the metadata records the delete/move/rename
+// counters. Pre-v5 checkpoints read back with those counters at zero.
+constexpr uint32_t kCheckpointFormatVersion = 5;
+constexpr uint32_t kCheckpointFormatVersionRecordFormat = 4;
 constexpr uint32_t kCheckpointFormatVersionSealedCells = 3;
 
 void WritePartitionerState(ByteWriter* w,
@@ -671,10 +980,11 @@ void WritePartitionerState(ByteWriter* w,
     w->U8(iv.alive ? 1 : 0);
   }
   w->U64(state.split_count);
+  w->U64(state.merge_count);
 }
 
 Result<IncrementalPartitioner::SavedState> ReadPartitionerState(
-    ByteReader* r) {
+    ByteReader* r, uint32_t version) {
   IncrementalPartitioner::SavedState state;
   NATIX_ASSIGN_OR_RETURN(const uint64_t count, r->U64());
   if (count > r->remaining() / 17) {
@@ -693,6 +1003,9 @@ Result<IncrementalPartitioner::SavedState> ReadPartitionerState(
     iv.alive = alive == 1;
   }
   NATIX_ASSIGN_OR_RETURN(state.split_count, r->U64());
+  if (version >= kCheckpointFormatVersion) {
+    NATIX_ASSIGN_OR_RETURN(state.merge_count, r->U64());
+  }
   return state;
 }
 }  // namespace
@@ -768,6 +1081,9 @@ void NatixStore::SerializeCheckpointMeta(std::vector<uint8_t>* out) const {
   w.U64(inserts_);
   w.U64(records_rewritten_);
   w.U64(records_created_);
+  w.U64(deletes_);
+  w.U64(moves_);
+  w.U64(renames_);
   manager_.SerializeMeta(&w);
 }
 
@@ -775,8 +1091,8 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
                                                   size_t size) {
   ByteReader r(data, size);
   NATIX_ASSIGN_OR_RETURN(const uint32_t version, r.U32());
-  if (version != kCheckpointFormatVersion &&
-      version != kCheckpointFormatVersionSealedCells) {
+  if (version < kCheckpointFormatVersionSealedCells ||
+      version > kCheckpointFormatVersion) {
     return Status::ParseError("unsupported checkpoint format version " +
                               std::to_string(version));
   }
@@ -785,7 +1101,7 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
   NATIX_ASSIGN_OR_RETURN(store.options_.allocation_lookback, r.I32());
   NATIX_ASSIGN_OR_RETURN(store.options_.slot_size, r.U32());
   NATIX_ASSIGN_OR_RETURN(store.options_.metadata_slots, r.U32());
-  if (version >= kCheckpointFormatVersion) {
+  if (version >= kCheckpointFormatVersionRecordFormat) {
     NATIX_ASSIGN_OR_RETURN(const uint32_t record_format, r.U32());
     if (record_format != kRecordFormatV2 &&
         record_format != kRecordFormatV3) {
@@ -876,14 +1192,15 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
           "checkpoint has a live partitioner but no document");
     }
     NATIX_ASSIGN_OR_RETURN(const IncrementalPartitioner::SavedState state,
-                           ReadPartitionerState(&r));
+                           ReadPartitionerState(&r, version));
     NATIX_ASSIGN_OR_RETURN(
         IncrementalPartitioner inc,
         IncrementalPartitioner::Restore(&store.doc_->tree, store.limit_,
                                         state));
     store.inc_ = std::make_unique<IncrementalPartitioner>(std::move(inc));
   } else if (inc_flag == 2) {
-    NATIX_ASSIGN_OR_RETURN(store.saved_inc_, ReadPartitionerState(&r));
+    NATIX_ASSIGN_OR_RETURN(store.saved_inc_,
+                           ReadPartitionerState(&r, version));
     store.has_saved_inc_ = true;
   }
   NATIX_ASSIGN_OR_RETURN(count, r.U64());
@@ -911,7 +1228,9 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
     NATIX_ASSIGN_OR_RETURN(store.record_overflow_[i], r.U64());
   }
   for (size_t i = 0; i < n; ++i) {
-    if (store.partition_of_[i] >= store.records_.size()) {
+    // kNoPartition marks a tombstoned node: legal, covered by no record.
+    if (store.partition_of_[i] != kNoPartition &&
+        store.partition_of_[i] >= store.records_.size()) {
       return Status::ParseError("checkpoint partition_of out of range");
     }
   }
@@ -949,6 +1268,11 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
   NATIX_ASSIGN_OR_RETURN(store.inserts_, r.U64());
   NATIX_ASSIGN_OR_RETURN(store.records_rewritten_, r.U64());
   NATIX_ASSIGN_OR_RETURN(store.records_created_, r.U64());
+  if (version >= kCheckpointFormatVersion) {
+    NATIX_ASSIGN_OR_RETURN(store.deletes_, r.U64());
+    NATIX_ASSIGN_OR_RETURN(store.moves_, r.U64());
+    NATIX_ASSIGN_OR_RETURN(store.renames_, r.U64());
+  }
   NATIX_ASSIGN_OR_RETURN(store.manager_, RecordManager::RestoreMeta(&r));
   if (!r.AtEnd()) {
     return Status::ParseError("trailing bytes after checkpoint metadata");
@@ -1035,6 +1359,9 @@ Result<NatixStore> NatixStore::RecoverCore(FileBackend* backend,
   struct PendingCheckpoint {
     uint64_t begin_lsn = 0;
     uint64_t end_lsn = 0;
+    /// Byte offset of the begin entry, so an incomplete trailing
+    /// checkpoint can be truncated wholesale.
+    uint64_t begin_offset = 0;
     std::vector<uint8_t> meta;
     std::vector<std::vector<uint8_t>> images;
   };
@@ -1042,11 +1369,15 @@ Result<NatixStore> NatixStore::RecoverCore(FileBackend* backend,
   std::unique_ptr<PendingCheckpoint> pending;
   std::vector<WalEntry> ops;
   while (true) {
+    const uint64_t entry_start = reader.valid_end();
     NATIX_ASSIGN_OR_RETURN(std::optional<WalEntry> entry, reader.Next());
     if (!entry.has_value()) break;
     ++info->entries_scanned;
     switch (entry->type) {
       case WalEntryType::kInsertOp:
+      case WalEntryType::kDeleteOp:
+      case WalEntryType::kMoveOp:
+      case WalEntryType::kRenameOp:
         if (pending != nullptr) {
           return Status::ParseError("op entry inside a checkpoint at LSN " +
                                     std::to_string(entry->lsn));
@@ -1060,6 +1391,7 @@ Result<NatixStore> NatixStore::RecoverCore(FileBackend* backend,
         }
         pending = std::make_unique<PendingCheckpoint>();
         pending->begin_lsn = entry->lsn;
+        pending->begin_offset = entry_start;
         pending->meta = std::move(entry->payload);
         break;
       case WalEntryType::kPageImage:
@@ -1094,10 +1426,19 @@ Result<NatixStore> NatixStore::RecoverCore(FileBackend* backend,
   NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, backend->Size());
   info->checkpoints_found = complete.size();
   info->tail_was_torn = reader.tail_is_torn();
-  info->torn_bytes =
-      reader.valid_end() < log_size ? log_size - reader.valid_end() : 0;
-  if (valid_end != nullptr) *valid_end = reader.valid_end();
-  if (next_lsn != nullptr) *next_lsn = reader.next_lsn();
+  // A checkpoint the crash left without its end entry is discarded
+  // wholesale: the valid prefix ends just before its begin entry, so the
+  // attached writer appends the next op *outside* any checkpoint and a
+  // later recovery never sees ops trailing a dangling begin.
+  uint64_t usable_end = reader.valid_end();
+  uint64_t usable_lsn = reader.next_lsn();
+  if (pending != nullptr) {
+    usable_end = pending->begin_offset;
+    usable_lsn = pending->begin_lsn;
+  }
+  info->torn_bytes = usable_end < log_size ? log_size - usable_end : 0;
+  if (valid_end != nullptr) *valid_end = usable_end;
+  if (next_lsn != nullptr) *next_lsn = usable_lsn;
   if (complete.empty()) {
     return Status::FailedPrecondition(
         "log contains no complete checkpoint; the store never became "
@@ -1158,22 +1499,63 @@ Result<NatixStore> NatixStore::RecoverCore(FileBackend* backend,
   for (const WalEntry& op : ops) {
     if (op.lsn <= restore_lsn) continue;
     ByteReader r(op.payload.data(), op.payload.size());
-    NATIX_ASSIGN_OR_RETURN(const uint32_t parent, r.U32());
-    NATIX_ASSIGN_OR_RETURN(const uint32_t before, r.U32());
-    NATIX_ASSIGN_OR_RETURN(const uint8_t kind, r.U8());
-    NATIX_ASSIGN_OR_RETURN(const std::string label, r.Str());
-    NATIX_ASSIGN_OR_RETURN(const std::string content, r.Str());
-    if (!r.AtEnd() ||
-        kind > static_cast<uint8_t>(NodeKind::kProcessingInstruction)) {
-      return Status::ParseError("malformed op entry at LSN " +
-                                std::to_string(op.lsn));
+    Status applied = Status::OK();
+    switch (op.type) {
+      case WalEntryType::kInsertOp: {
+        NATIX_ASSIGN_OR_RETURN(const uint32_t parent, r.U32());
+        NATIX_ASSIGN_OR_RETURN(const uint32_t before, r.U32());
+        NATIX_ASSIGN_OR_RETURN(const uint8_t kind, r.U8());
+        NATIX_ASSIGN_OR_RETURN(const std::string label, r.Str());
+        NATIX_ASSIGN_OR_RETURN(const std::string content, r.Str());
+        if (!r.AtEnd() ||
+            kind > static_cast<uint8_t>(NodeKind::kProcessingInstruction)) {
+          return Status::ParseError("malformed op entry at LSN " +
+                                    std::to_string(op.lsn));
+        }
+        applied = store
+                      .InsertBefore(parent, before, label,
+                                    static_cast<NodeKind>(kind), content)
+                      .status();
+        break;
+      }
+      case WalEntryType::kDeleteOp: {
+        NATIX_ASSIGN_OR_RETURN(const uint32_t v, r.U32());
+        if (!r.AtEnd()) {
+          return Status::ParseError("malformed op entry at LSN " +
+                                    std::to_string(op.lsn));
+        }
+        applied = store.DeleteSubtree(v).status();
+        break;
+      }
+      case WalEntryType::kMoveOp: {
+        NATIX_ASSIGN_OR_RETURN(const uint32_t v, r.U32());
+        NATIX_ASSIGN_OR_RETURN(const uint32_t parent, r.U32());
+        NATIX_ASSIGN_OR_RETURN(const uint32_t before, r.U32());
+        if (!r.AtEnd()) {
+          return Status::ParseError("malformed op entry at LSN " +
+                                    std::to_string(op.lsn));
+        }
+        applied = store.MoveSubtree(v, parent, before);
+        break;
+      }
+      case WalEntryType::kRenameOp: {
+        NATIX_ASSIGN_OR_RETURN(const uint32_t v, r.U32());
+        NATIX_ASSIGN_OR_RETURN(const std::string label, r.Str());
+        if (!r.AtEnd()) {
+          return Status::ParseError("malformed op entry at LSN " +
+                                    std::to_string(op.lsn));
+        }
+        applied = store.Rename(v, label);
+        break;
+      }
+      default:
+        return Status::ParseError("unexpected entry type in op tail at LSN " +
+                                  std::to_string(op.lsn));
     }
-    const Result<NodeId> id = store.InsertBefore(
-        parent, before, label, static_cast<NodeKind>(kind), content);
-    if (!id.ok()) {
+    if (!applied.ok()) {
       return Status::Internal("replay failed at LSN " +
                               std::to_string(op.lsn) + ": " +
-                              id.status().message());
+                              applied.message());
     }
     ++info->replayed_ops;
     info->last_lsn = op.lsn;
@@ -1225,8 +1607,13 @@ WalStats NatixStore::wal_stats() const {
 UpdateStats NatixStore::update_stats() const {
   UpdateStats s;
   s.inserts = inserts_;
+  s.deletes = deletes_;
+  s.moves = moves_;
+  s.renames = renames_;
   s.splits = inc_ != nullptr ? inc_->split_count()
                              : (has_saved_inc_ ? saved_inc_.split_count : 0);
+  s.merges = inc_ != nullptr ? inc_->merge_count()
+                             : (has_saved_inc_ ? saved_inc_.merge_count : 0);
   s.records_rewritten = records_rewritten_;
   s.records_created = records_created_;
   s.relocations = manager_.relocation_count();

@@ -106,8 +106,17 @@ struct WalStats {
 struct UpdateStats {
   /// InsertBefore() calls that succeeded.
   uint64_t inserts = 0;
+  /// DeleteSubtree() calls that succeeded.
+  uint64_t deletes = 0;
+  /// MoveSubtree() calls that succeeded.
+  uint64_t moves = 0;
+  /// Rename() calls that succeeded.
+  uint64_t renames = 0;
   /// Partition splits performed by the incremental partitioner.
   uint64_t splits = 0;
+  /// Under-utilized partitions absorbed into a run-adjacent sibling
+  /// partition (the delete path's neighbour-merge).
+  uint64_t merges = 0;
   /// Pre-existing records rewritten because their partition changed.
   uint64_t records_rewritten = 0;
   /// Records created for partitions born from splits.
@@ -212,6 +221,33 @@ class NatixStore {
                               NodeKind kind = NodeKind::kElement,
                               std::string_view content = {});
 
+  /// Deletes the subtree rooted at `v` (the root cannot be deleted).
+  /// Every node of the subtree is tombstoned: its NodeId is never
+  /// recycled, its partition slot becomes kNoPartition, and the records
+  /// of partitions that lose all their nodes are freed. Partitions left
+  /// under half the weight limit are merged with a run-adjacent sibling
+  /// partition (see IncrementalPartitioner::DeleteSubtree), so page
+  /// utilization does not drift under delete-heavy workloads. Returns
+  /// the removed NodeIds in document order. Goes through the same
+  /// delta-application pipeline as every other mutation.
+  Result<std::vector<NodeId>> DeleteSubtree(NodeId v);
+
+  /// Splices the subtree rooted at `v` to a new position (child of
+  /// `parent`, immediately before `before`; kInvalidNode appends). The
+  /// subtree's record bytes are not re-imported: only the records of the
+  /// source partition, the destination partition and the old/new
+  /// neighbours (whose crossing-edge proxies or aggregate back-pointers
+  /// change) are rewritten.
+  Status MoveSubtree(NodeId v, NodeId parent, NodeId before);
+
+  /// Replaces the label of `v`. The new label is interned and the one
+  /// record holding `v` is patched in place through RewriteRecordLabel
+  /// (honoring the v3 varint label encoding); when the patch cannot be
+  /// represented (narrow-offset overflow) the partition is re-encoded
+  /// instead. Works on a released store without materializing the
+  /// document.
+  Status Rename(NodeId v, std::string_view label);
+
   /// True while the in-memory document is resident. tree()/document()
   /// may only be called then.
   bool has_document() const { return doc_ != nullptr; }
@@ -248,9 +284,42 @@ class NatixStore {
   /// document is released.
   Result<ImportedDocument> SnapshotDocument() const;
 
-  /// Number of nodes in the store (valid regardless of document
-  /// residency).
+  /// A tombstone-free snapshot: live nodes renumbered densely in
+  /// document order, dead slots dropped. `old_to_new` (sized like the
+  /// store's node table) maps every live NodeId to its id in the
+  /// compacted document and kInvalidNode for tombstones. The result is
+  /// what a fresh import of the current logical document looks like, so
+  /// equivalence checks can Build() a reference store from it and
+  /// compare query answers through the map.
+  Result<ImportedDocument> CompactSnapshot(
+      std::vector<NodeId>* old_to_new) const;
+
+  /// Re-stamps the placement-hint fields (partition / record / slot) of
+  /// every proxy and aggregate in every record from the store's
+  /// authoritative tables, rewriting only the records whose hints were
+  /// stale. Returns the number of hint entries rewritten. Hints go stale
+  /// when splits, merges or moves re-home a proxy target; navigation
+  /// never trusts them, but fsck --fix-hints uses this to restore the
+  /// bulk-load property that hints are exact.
+  Result<size_t> RefreshPlacementHints();
+
+  /// Number of node slots in the store, tombstones included (valid
+  /// regardless of document residency). NodeIds are never recycled, so
+  /// this only grows.
   size_t node_count() const { return partition_of_.size(); }
+
+  /// Number of live (non-tombstoned) nodes.
+  size_t live_node_count() const {
+    size_t live = 0;
+    for (const uint32_t p : partition_of_) live += p != kNoPartition ? 1 : 0;
+    return live;
+  }
+
+  /// True when `v` names a live node (false for tombstones and
+  /// out-of-range ids).
+  bool IsLiveNode(NodeId v) const {
+    return v < partition_of_.size() && partition_of_[v] != kNoPartition;
+  }
 
   /// The document root (NodeId 0 by construction); kInvalidNode only for
   /// a default-constructed store.
@@ -432,9 +501,36 @@ class NatixStore {
                                         uint64_t* valid_end,
                                         uint64_t* next_lsn);
 
+  /// Applies one PartitionDelta to the physical layer -- the single
+  /// pipeline shared by insert, delete, move and rename: frees the
+  /// records of retired partitions, refreshes the membership and
+  /// in-record slot tables of every partition in the delta plus the
+  /// given `neighbours` (nodes whose crossing edges changed without a
+  /// membership change), then re-encodes exactly those records. Bumps
+  /// version_.
+  Status ApplyDelta(const PartitionDelta& delta,
+                    const std::vector<NodeId>& neighbours);
+
+  /// Interns `label` into the store's own label table (used by the
+  /// released-store rename path, where no tree is resident).
+  int32_t InternStoreLabel(std::string_view label);
+
+  /// Re-encodes partition `part` from the resident document, using the
+  /// current membership tables (rename fallback when the in-place label
+  /// patch cannot be represented).
+  Status ReencodePartition(uint32_t part);
+
   /// Appends one logical op entry for a completed InsertBefore().
   Status LogInsert(NodeId parent_logged, NodeId before, NodeKind kind,
                    std::string_view label, std::string_view content);
+  /// Appends one logical op entry for a completed DeleteSubtree().
+  Status LogDelete(NodeId v);
+  /// Appends one logical op entry for a completed MoveSubtree().
+  Status LogMove(NodeId v, NodeId parent, NodeId before);
+  /// Appends one logical op entry for a completed Rename().
+  Status LogRename(NodeId v, std::string_view label);
+  /// Shared tail of the Log*() helpers: appends and accounts one entry.
+  Status LogOp(WalEntryType type, const std::vector<uint8_t>& payload);
 
   void RecomputeOverflowPages() {
     const uint64_t payload = page_size_ - 16;
@@ -470,6 +566,9 @@ class NatixStore {
   size_t overflow_pages_ = 0;
   size_t page_size_ = 8192;
   uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+  uint64_t moves_ = 0;
+  uint64_t renames_ = 0;
   uint64_t records_rewritten_ = 0;
   uint64_t records_created_ = 0;
 

@@ -114,7 +114,7 @@ Result<std::optional<WalEntry>> WalReader::Next() {
     return torn();
   }
   if (type_raw < static_cast<uint32_t>(WalEntryType::kInsertOp) ||
-      type_raw > static_cast<uint32_t>(WalEntryType::kCheckpointEnd)) {
+      type_raw > static_cast<uint32_t>(WalEntryType::kRenameOp)) {
     return torn();
   }
   entry.type = static_cast<WalEntryType>(type_raw);

@@ -24,6 +24,13 @@ enum class WalEntryType : uint32_t {
   /// Seals a checkpoint: (begin LSN, image count). A checkpoint without
   /// its End entry is incomplete and ignored by recovery.
   kCheckpointEnd = 4,
+  /// A logical DeleteSubtree (u32 root). Replayed through the normal
+  /// delete path during recovery.
+  kDeleteOp = 5,
+  /// A logical MoveSubtree (u32 node, u32 parent, u32 before).
+  kMoveOp = 6,
+  /// A logical Rename (u32 node, string label).
+  kRenameOp = 7,
 };
 
 /// A decoded WAL entry.

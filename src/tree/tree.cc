@@ -13,6 +13,7 @@ Tree Tree::Clone() const {
   copy.labels_ = labels_;
   copy.label_ids_ = label_ids_;
   copy.version_ = version_;
+  copy.dead_count_ = dead_count_;
   return copy;
 }
 
@@ -88,6 +89,118 @@ NodeId Tree::InsertChildBefore(NodeId parent, NodeId before, Weight weight,
   ++nodes_[parent].child_count;
   ++version_;
   return id;
+}
+
+void Tree::DetachSubtree(NodeId v) {
+  assert(v < nodes_.size() && v != 0);
+  assert(nodes_[v].alive);
+  Node& n = nodes_[v];
+  assert(n.parent != kInvalidNode);
+  Node& p = nodes_[n.parent];
+  if (n.prev_sibling != kInvalidNode) {
+    nodes_[n.prev_sibling].next_sibling = n.next_sibling;
+  } else {
+    p.first_child = n.next_sibling;
+  }
+  if (n.next_sibling != kInvalidNode) {
+    nodes_[n.next_sibling].prev_sibling = n.prev_sibling;
+  } else {
+    p.last_child = n.prev_sibling;
+  }
+  --p.child_count;
+  n.parent = kInvalidNode;
+  n.next_sibling = kInvalidNode;
+  n.prev_sibling = kInvalidNode;
+  ++version_;
+}
+
+void Tree::AttachSubtree(NodeId v, NodeId parent, NodeId before) {
+  assert(v < nodes_.size() && parent < nodes_.size());
+  assert(nodes_[v].alive && nodes_[parent].alive);
+  assert(nodes_[v].parent == kInvalidNode && v != 0);
+  assert(!IsAncestorOrSelf(v, parent));
+  Node& n = nodes_[v];
+  Node& p = nodes_[parent];
+  n.parent = parent;
+  if (before == kInvalidNode) {
+    if (p.last_child == kInvalidNode) {
+      p.first_child = v;
+    } else {
+      n.prev_sibling = p.last_child;
+      nodes_[p.last_child].next_sibling = v;
+    }
+    p.last_child = v;
+  } else {
+    assert(before < nodes_.size() && nodes_[before].parent == parent);
+    n.next_sibling = before;
+    n.prev_sibling = nodes_[before].prev_sibling;
+    if (n.prev_sibling == kInvalidNode) {
+      p.first_child = v;
+    } else {
+      nodes_[n.prev_sibling].next_sibling = v;
+    }
+    nodes_[before].prev_sibling = v;
+  }
+  ++p.child_count;
+  ++version_;
+}
+
+void Tree::RemoveSubtree(NodeId v, std::vector<NodeId>* removed) {
+  DetachSubtree(v);
+  // Tombstone the whole subtree. A dead slot keeps its id forever (never
+  // recycled) but drops every link and normalizes its payload fields, so
+  // a tree rematerialized from records -- where tombstones carry no data
+  // at all -- reproduces it bit for bit.
+  std::vector<NodeId> stack = {v};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    for (NodeId c = nodes_[x].last_child; c != kInvalidNode;
+         c = nodes_[c].prev_sibling) {
+      stack.push_back(c);
+    }
+    Node& n = nodes_[x];
+    n.parent = kInvalidNode;
+    n.first_child = kInvalidNode;
+    n.last_child = kInvalidNode;
+    n.next_sibling = kInvalidNode;
+    n.prev_sibling = kInvalidNode;
+    n.child_count = 0;
+    n.weight = 1;
+    n.label = -1;
+    n.kind = NodeKind::kElement;
+    n.alive = false;
+    ++dead_count_;
+    if (removed != nullptr) removed->push_back(x);
+  }
+  ++version_;
+}
+
+void Tree::MoveSubtree(NodeId v, NodeId parent, NodeId before) {
+  assert(before != v);
+  DetachSubtree(v);
+  AttachSubtree(v, parent, before);
+}
+
+void Tree::SetLabel(NodeId v, std::string_view label) {
+  assert(v < nodes_.size() && nodes_[v].alive);
+  nodes_[v].label = InternLabel(label);
+  ++version_;
+}
+
+std::vector<NodeId> Tree::SubtreeNodes(NodeId v) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = {v};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    out.push_back(x);
+    for (NodeId c = nodes_[x].last_child; c != kInvalidNode;
+         c = nodes_[c].prev_sibling) {
+      stack.push_back(c);
+    }
+  }
+  return out;
 }
 
 void Tree::Reserve(size_t n) { nodes_.reserve(n); }
@@ -171,7 +284,9 @@ std::vector<TotalWeight> Tree::SubtreeWeights() const {
 
 TotalWeight Tree::TotalTreeWeight() const {
   TotalWeight sum = 0;
-  for (const Node& n : nodes_) sum += n.weight;
+  for (const Node& n : nodes_) {
+    if (n.alive) sum += n.weight;
+  }
   return sum;
 }
 
@@ -211,7 +326,9 @@ int Tree::Height() const {
 
 Weight Tree::MaxNodeWeight() const {
   Weight m = 0;
-  for (const Node& n : nodes_) m = std::max(m, n.weight);
+  for (const Node& n : nodes_) {
+    if (n.alive) m = std::max(m, n.weight);
+  }
   return m;
 }
 
@@ -220,10 +337,17 @@ Status Tree::Validate() const {
   if (nodes_[0].parent != kInvalidNode) {
     return Status::Internal("root has a parent");
   }
+  if (!nodes_[0].alive) {
+    return Status::Internal("root is tombstoned");
+  }
   size_t reachable = 0;
   for (const NodeId v : PreorderNodes()) {
     ++reachable;
     const Node& n = nodes_[v];
+    if (!n.alive) {
+      return Status::Internal("tombstoned node " + std::to_string(v) +
+                              " is reachable from the root");
+    }
     if (n.weight == 0) {
       return Status::Internal("node " + std::to_string(v) +
                               " has zero weight");
@@ -252,14 +376,31 @@ Status Tree::Validate() const {
                               std::to_string(v));
     }
   }
-  if (reachable != size()) {
-    return Status::Internal("unreachable nodes in arena");
+  size_t dead = 0;
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const Node& n = nodes_[v];
+    if (n.alive) continue;
+    ++dead;
+    if (n.parent != kInvalidNode || n.first_child != kInvalidNode ||
+        n.last_child != kInvalidNode || n.next_sibling != kInvalidNode ||
+        n.prev_sibling != kInvalidNode || n.child_count != 0) {
+      return Status::Internal("tombstoned node " + std::to_string(v) +
+                              " still carries links");
+    }
+  }
+  if (dead != dead_count_) {
+    return Status::Internal("dead-node count out of sync with arena");
+  }
+  if (reachable + dead != size()) {
+    return Status::Internal("unreachable live nodes in arena");
   }
   return Status::OK();
 }
 
 namespace {
-constexpr uint32_t kTreeFormatVersion = 1;
+// v1: no liveness byte (every node alive). v2: trailing u8 alive per node.
+constexpr uint32_t kTreeFormatVersion = 2;
+constexpr uint32_t kTreeFormatVersionNoTombstones = 1;
 }  // namespace
 
 void Tree::SerializeTo(std::vector<uint8_t>* out) const {
@@ -276,6 +417,7 @@ void Tree::SerializeTo(std::vector<uint8_t>* out) const {
     w.U32(n.weight);
     w.I32(n.label);
     w.U8(static_cast<uint8_t>(n.kind));
+    w.U8(n.alive ? 1 : 0);
   }
   w.U64(labels_.size());
   for (const std::string& label : labels_) w.Str(label);
@@ -283,14 +425,16 @@ void Tree::SerializeTo(std::vector<uint8_t>* out) const {
 
 Result<Tree> Tree::DeserializeFrom(ByteReader* reader) {
   NATIX_ASSIGN_OR_RETURN(const uint32_t version, reader->U32());
-  if (version != kTreeFormatVersion) {
+  if (version != kTreeFormatVersion &&
+      version != kTreeFormatVersionNoTombstones) {
     return Status::ParseError("unsupported tree format version " +
                               std::to_string(version));
   }
+  const bool has_alive = version >= kTreeFormatVersion;
   NATIX_ASSIGN_OR_RETURN(const uint64_t count, reader->U64());
-  // Each node occupies 33 serialized bytes; reject counts the buffer
-  // cannot possibly hold before allocating.
-  if (count > reader->remaining() / 33) {
+  // Each node occupies 33 (v1) or 34 (v2) serialized bytes; reject counts
+  // the buffer cannot possibly hold before allocating.
+  if (count > reader->remaining() / (has_alive ? 34 : 33)) {
     return Status::ParseError("tree node count " + std::to_string(count) +
                               " exceeds the serialized payload");
   }
@@ -323,6 +467,15 @@ Result<Tree> Tree::DeserializeFrom(ByteReader* reader) {
                                 " has an invalid kind");
     }
     n.kind = static_cast<NodeKind>(kind);
+    if (has_alive) {
+      NATIX_ASSIGN_OR_RETURN(const uint8_t alive, reader->U8());
+      if (alive > 1) {
+        return Status::ParseError("tree node " + std::to_string(i) +
+                                  " has an invalid liveness flag");
+      }
+      n.alive = alive != 0;
+      if (!n.alive) ++tree.dead_count_;
+    }
     tree.nodes_.push_back(n);
   }
   NATIX_ASSIGN_OR_RETURN(const uint64_t label_count, reader->U64());
@@ -349,7 +502,8 @@ Result<Tree> Tree::FromParts(Links links) {
   const size_t n = links.parent.size();
   if (links.first_child.size() != n || links.next_sibling.size() != n ||
       links.prev_sibling.size() != n || links.weight.size() != n ||
-      links.label.size() != n || links.kind.size() != n) {
+      links.label.size() != n || links.kind.size() != n ||
+      (!links.alive.empty() && links.alive.size() != n)) {
     return Status::InvalidArgument("tree link arrays have unequal lengths");
   }
   auto check_link = [&](NodeId link) {
@@ -366,6 +520,10 @@ Result<Tree> Tree::FromParts(Links links) {
     node.weight = links.weight[i];
     node.label = links.label[i];
     node.kind = links.kind[i];
+    if (!links.alive.empty() && links.alive[i] == 0) {
+      node.alive = false;
+      ++tree.dead_count_;
+    }
     if (!check_link(node.parent) || !check_link(node.first_child) ||
         !check_link(node.next_sibling) || !check_link(node.prev_sibling)) {
       return Status::InvalidArgument("tree node " + std::to_string(i) +

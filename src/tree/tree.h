@@ -76,6 +76,44 @@ class Tree {
                            std::string_view label = {},
                            NodeKind kind = NodeKind::kElement);
 
+  /// Unlinks the subtree rooted at `v` from its parent and siblings. The
+  /// subtree keeps its internal structure and stays addressable by NodeId;
+  /// it is simply no longer reachable from the root until AttachSubtree().
+  /// `v` must be alive and must not be the root.
+  void DetachSubtree(NodeId v);
+
+  /// Re-links a previously detached subtree rooted at `v` as a child of
+  /// `parent`, immediately before `before` (or as the rightmost child when
+  /// `before` is kInvalidNode). `parent` must not lie inside the subtree.
+  void AttachSubtree(NodeId v, NodeId parent, NodeId before);
+
+  /// Deletes the subtree rooted at `v`: detaches it and tombstones every
+  /// node in it. Tombstoned slots keep their NodeId (ids are never
+  /// recycled) but drop all links; IsAlive() turns false and they are
+  /// excluded from traversals, weights and Validate()'s coverage check.
+  /// Appends the removed ids (preorder) to `removed` when non-null.
+  /// `v` must be alive and must not be the root.
+  void RemoveSubtree(NodeId v, std::vector<NodeId>* removed = nullptr);
+
+  /// Splices the subtree rooted at `v` to a new position: child of
+  /// `parent`, immediately before `before` (kInvalidNode appends). All
+  /// NodeIds, weights, labels and the subtree's internal structure are
+  /// preserved. `parent` must not lie inside the subtree and `before`
+  /// must not be `v` itself.
+  void MoveSubtree(NodeId v, NodeId parent, NodeId before);
+
+  /// Replaces the label of `v` (interning the new string).
+  void SetLabel(NodeId v, std::string_view label);
+
+  /// False for tombstoned (deleted) nodes.
+  bool IsAlive(NodeId v) const { return nodes_[v].alive; }
+
+  /// Number of live (non-tombstoned) nodes.
+  size_t live_count() const { return nodes_.size() - dead_count_; }
+
+  /// Nodes of the subtree rooted at `v`, in preorder. O(subtree size).
+  std::vector<NodeId> SubtreeNodes(NodeId v) const;
+
   /// Pre-allocates arena capacity for `n` nodes.
   void Reserve(size_t n);
 
@@ -175,6 +213,9 @@ class Tree {
     std::vector<int32_t> label;
     std::vector<NodeKind> kind;
     std::vector<std::string> labels;
+    /// Per-node liveness; empty means every node is alive. Dead slots must
+    /// carry no links (all kInvalidNode).
+    std::vector<uint8_t> alive;
   };
 
   /// Rebuilds a tree arena directly from link arrays, preserving NodeIds
@@ -195,6 +236,7 @@ class Tree {
     Weight weight = 1;
     int32_t label = -1;
     NodeKind kind = NodeKind::kElement;
+    bool alive = true;
   };
 
   int32_t InternLabel(std::string_view label);
@@ -203,6 +245,7 @@ class Tree {
   std::vector<std::string> labels_;
   std::unordered_map<std::string, int32_t> label_ids_;
   uint64_t version_ = 0;
+  size_t dead_count_ = 0;
 };
 
 }  // namespace natix

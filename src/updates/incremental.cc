@@ -57,6 +57,7 @@ IncrementalPartitioner::SavedState IncrementalPartitioner::SaveState() const {
     state.intervals.push_back({iv.first, iv.last, iv.weight, iv.alive});
   }
   state.split_count = split_count_;
+  state.merge_count = merge_count_;
   return state;
 }
 
@@ -98,6 +99,7 @@ Result<IncrementalPartitioner> IncrementalPartitioner::Restore(
         "snapshot does not cover the root partition");
   }
   out.split_count_ = state.split_count;
+  out.merge_count_ = state.merge_count;
   // Certify the rebuilt assignment: feasibility and the saved weights must
   // agree with a fresh analysis of the materialized partitioning.
   NATIX_RETURN_NOT_OK(out.Validate());
@@ -148,6 +150,74 @@ void IncrementalPartitioner::MarkDirty(uint32_t p) {
   }
 }
 
+void IncrementalPartitioner::MarkDeleted(uint32_t p) {
+  auto erase_from = [p](std::vector<uint32_t>* list) {
+    auto it = std::find(list->begin(), list->end(), p);
+    if (it == list->end()) return false;
+    list->erase(it);
+    return true;
+  };
+  erase_from(&delta_.dirty);
+  // A partition both created and retired within one operation never
+  // reaches the caller at all.
+  if (erase_from(&delta_.created)) return;
+  if (std::find(delta_.deleted.begin(), delta_.deleted.end(), p) ==
+      delta_.deleted.end()) {
+    delta_.deleted.push_back(p);
+  }
+}
+
+void IncrementalPartitioner::KillInterval(uint32_t p) {
+  if (!intervals_[p].alive) return;
+  intervals_[p].alive = false;
+  --alive_count_;
+  MarkDeleted(p);
+}
+
+void IncrementalPartitioner::MergeInto(uint32_t survivor, uint32_t victim) {
+  for (NodeId m = intervals_[victim].first;; m = tree_->NextSibling(m)) {
+    member_of_[m] = survivor;
+    if (m == intervals_[victim].last) break;
+  }
+  intervals_[survivor].last = intervals_[victim].last;
+  intervals_[survivor].weight += intervals_[victim].weight;
+  MarkDirty(survivor);
+  KillInterval(victim);
+  ++merge_count_;
+}
+
+void IncrementalPartitioner::MaybeMerge(uint32_t p) {
+  if (p == kNone || p >= intervals_.size()) return;
+  // An interval under half the limit merges with a run-adjacent sibling
+  // interval whenever the union still fits; preferring the left neighbour
+  // keeps the merge deterministic. Repeats while the survivor is still
+  // under-utilized (bounded by the number of sibling intervals).
+  while (intervals_[p].alive && intervals_[p].weight * 2 < limit_) {
+    const NodeId before_first = tree_->PrevSibling(intervals_[p].first);
+    if (before_first != kInvalidNode) {
+      const uint32_t left = member_of_[before_first];
+      if (left != kNone && left != p && intervals_[left].alive &&
+          intervals_[left].last == before_first &&
+          intervals_[left].weight + intervals_[p].weight <= limit_) {
+        MergeInto(left, p);
+        p = left;
+        continue;
+      }
+    }
+    const NodeId after_last = tree_->NextSibling(intervals_[p].last);
+    if (after_last != kInvalidNode) {
+      const uint32_t right = member_of_[after_last];
+      if (right != kNone && right != p && intervals_[right].alive &&
+          intervals_[right].first == after_last &&
+          intervals_[right].weight + intervals_[p].weight <= limit_) {
+        MergeInto(p, right);
+        continue;
+      }
+    }
+    break;
+  }
+}
+
 Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
                                                     NodeId before,
                                                     Weight weight,
@@ -156,7 +226,7 @@ Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
   if (weight == 0 || weight > limit_) {
     return Status::InvalidArgument("node weight must be in [1, limit]");
   }
-  if (parent >= tree_->size()) {
+  if (parent >= tree_->size() || !tree_->IsAlive(parent)) {
     return Status::InvalidArgument("no such parent node");
   }
   if (before != kInvalidNode &&
@@ -184,6 +254,11 @@ Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
   if (inside_interval) member_of_[id] = p;
   intervals_[p].weight += weight;
   MarkDirty(p);
+  SplitToFit(p);
+  return id;
+}
+
+void IncrementalPartitioner::SplitToFit(uint32_t p) {
   std::vector<uint32_t> worklist;
   if (intervals_[p].weight > limit_) worklist.push_back(p);
   while (!worklist.empty()) {
@@ -193,7 +268,156 @@ Result<NodeId> IncrementalPartitioner::InsertBefore(NodeId parent,
       Split(q, &worklist);
     }
   }
-  return id;
+}
+
+Result<std::vector<NodeId>> IncrementalPartitioner::DeleteSubtree(NodeId v) {
+  if (v >= tree_->size() || !tree_->IsAlive(v)) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (v == tree_->root()) {
+    return Status::InvalidArgument("the root cannot be deleted");
+  }
+  delta_.Clear();
+  // All weight and endpoint bookkeeping uses sibling links that the
+  // unlink below destroys, so it runs first.
+  const uint32_t p = PartitionOfNode(v);
+  const TotalWeight w = LocalWeight(v);
+  const NodeId old_left = tree_->PrevSibling(v);
+  const NodeId old_right = tree_->NextSibling(v);
+  const std::vector<NodeId> subtree = tree_->SubtreeNodes(v);
+
+  // Intervals whose members lie strictly below v vanish with the subtree
+  // (a member below v has its whole sibling run below v). Their weight is
+  // exactly the part of the subtree that LocalWeight(v) stopped at.
+  for (const NodeId x : subtree) {
+    if (x == v) continue;
+    const uint32_t q = member_of_[x];
+    if (q != kNone) KillInterval(q);
+  }
+
+  if (member_of_[v] == p && intervals_[p].first == v &&
+      intervals_[p].last == v) {
+    // v was the sole member: the whole partition goes with it.
+    KillInterval(p);
+  } else {
+    if (member_of_[v] == p) {
+      if (intervals_[p].first == v) intervals_[p].first = old_right;
+      if (intervals_[p].last == v) intervals_[p].last = old_left;
+    }
+    intervals_[p].weight -= w;
+    MarkDirty(p);
+  }
+  for (const NodeId x : subtree) member_of_[x] = kNone;
+
+  std::vector<NodeId> removed;
+  tree_->RemoveSubtree(v, &removed);
+
+  // Neighbour-merge pass: the shrunken partition itself, plus the two
+  // partitions whose runs the removal may have made adjacent.
+  if (intervals_[p].alive) MaybeMerge(p);
+  if (old_left != kInvalidNode && member_of_[old_left] != kNone) {
+    MaybeMerge(member_of_[old_left]);
+  }
+  if (old_right != kInvalidNode && member_of_[old_right] != kNone) {
+    MaybeMerge(member_of_[old_right]);
+  }
+  return removed;
+}
+
+Status IncrementalPartitioner::MoveSubtree(NodeId v, NodeId parent,
+                                           NodeId before) {
+  if (v >= tree_->size() || !tree_->IsAlive(v)) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (v == tree_->root()) {
+    return Status::InvalidArgument("the root cannot be moved");
+  }
+  if (parent >= tree_->size() || !tree_->IsAlive(parent)) {
+    return Status::InvalidArgument("no such parent node");
+  }
+  if (tree_->IsAncestorOrSelf(v, parent)) {
+    return Status::InvalidArgument(
+        "cannot move a subtree under its own descendant");
+  }
+  if (before == v) {
+    return Status::InvalidArgument("cannot move a node before itself");
+  }
+  if (before != kInvalidNode &&
+      (before >= tree_->size() || tree_->Parent(before) != parent)) {
+    return Status::InvalidArgument("'before' is not a child of 'parent'");
+  }
+  delta_.Clear();
+  const uint32_t p_src = PartitionOfNode(v);
+  const TotalWeight w = LocalWeight(v);
+  const NodeId old_left = tree_->PrevSibling(v);
+  const NodeId old_right = tree_->NextSibling(v);
+  // When v is the sole member of its own interval, the interval travels
+  // with the splice: no weight moves anywhere, only its crossing edges
+  // (parent back-pointer, boundary proxies) change.
+  const bool carries_own_interval = member_of_[v] != kNone &&
+                                    intervals_[p_src].first == v &&
+                                    intervals_[p_src].last == v;
+  if (!carries_own_interval) {
+    if (member_of_[v] == p_src) {
+      if (intervals_[p_src].first == v) intervals_[p_src].first = old_right;
+      if (intervals_[p_src].last == v) intervals_[p_src].last = old_left;
+      member_of_[v] = kNone;
+    }
+    intervals_[p_src].weight -= w;
+  }
+  MarkDirty(p_src);
+
+  tree_->DetachSubtree(v);
+  // Same membership rule as InsertBefore, evaluated while v is detached:
+  // spliced strictly between two members of one interval, v must become a
+  // member of it (interval runs are contiguous); otherwise it joins the
+  // destination parent's partition as a subordinate -- or, when it
+  // carries its own interval, simply lands between runs.
+  const NodeId left_neighbor =
+      before == kInvalidNode ? kInvalidNode : tree_->PrevSibling(before);
+  const bool inside_interval =
+      before != kInvalidNode && left_neighbor != kInvalidNode &&
+      member_of_[before] != kNone &&
+      member_of_[before] == member_of_[left_neighbor];
+  tree_->AttachSubtree(v, parent, before);
+  if (carries_own_interval && inside_interval) {
+    // A carried singleton interval may not sit mid-run inside another
+    // interval; absorb it into the surrounding one instead.
+    const uint32_t p_dst = member_of_[before];
+    member_of_[v] = p_dst;
+    intervals_[p_dst].weight += w;
+    KillInterval(p_src);
+    MarkDirty(p_dst);
+    SplitToFit(p_dst);
+  } else if (!carries_own_interval) {
+    const uint32_t p_dst =
+        inside_interval ? member_of_[before] : PartitionOfNode(parent);
+    if (inside_interval) member_of_[v] = p_dst;
+    intervals_[p_dst].weight += w;
+    MarkDirty(p_dst);
+    SplitToFit(p_dst);
+  }
+
+  // The source side shrank (or its run gap closed): same merge pass as a
+  // delete.
+  if (!carries_own_interval && intervals_[p_src].alive) MaybeMerge(p_src);
+  if (old_left != kInvalidNode && member_of_[old_left] != kNone) {
+    MaybeMerge(member_of_[old_left]);
+  }
+  if (old_right != kInvalidNode && member_of_[old_right] != kNone) {
+    MaybeMerge(member_of_[old_right]);
+  }
+  return Status::OK();
+}
+
+Status IncrementalPartitioner::Rename(NodeId v, std::string_view label) {
+  if (v >= tree_->size() || !tree_->IsAlive(v)) {
+    return Status::InvalidArgument("no such node");
+  }
+  delta_.Clear();
+  tree_->SetLabel(v, label);
+  MarkDirty(PartitionOfNode(v));
+  return Status::OK();
 }
 
 void IncrementalPartitioner::Split(uint32_t p,

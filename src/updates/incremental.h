@@ -15,13 +15,15 @@ namespace natix {
 /// record-per-partition store) must rewrite. Ids are the partitioner's
 /// stable interval ids.
 struct PartitionDelta {
-  /// Pre-existing partitions whose node set changed (gained the inserted
-  /// node and/or lost members to a split).
+  /// Pre-existing partitions whose node set changed (gained or lost
+  /// nodes through an insert, delete, move, merge or split).
   std::vector<uint32_t> dirty;
   /// Partitions created by splits during the operation.
   std::vector<uint32_t> created;
-  /// Partitions removed. Insertions never remove partitions; reserved
-  /// for future merge/delete maintenance.
+  /// Pre-existing partitions retired by the operation: every node they
+  /// held was deleted, or a neighbour-merge absorbed them. A materializing
+  /// caller frees their records. The three lists are disjoint -- a
+  /// partition created and retired within one operation appears nowhere.
   std::vector<uint32_t> deleted;
 
   bool empty() const {
@@ -85,6 +87,7 @@ class IncrementalPartitioner {
   struct SavedState {
     std::vector<IntervalInfo> intervals;
     uint64_t split_count = 0;
+    uint64_t merge_count = 0;
   };
   SavedState SaveState() const;
 
@@ -103,7 +106,30 @@ class IncrementalPartitioner {
                               std::string_view label = {},
                               NodeKind kind = NodeKind::kElement);
 
-  /// Changelog of the most recent InsertBefore().
+  /// Deletes the subtree rooted at `v`: every node in it is tombstoned in
+  /// the tree and leaves its partition. Partitions that lose all nodes are
+  /// retired (delta deleted-list); an affected partition left under half
+  /// the weight limit is merged with a run-adjacent sibling partition when
+  /// the union still fits (neighbour-merge, fighting utilization drift).
+  /// Returns the removed NodeIds in preorder and resets last_delta().
+  /// The root cannot be deleted.
+  Result<std::vector<NodeId>> DeleteSubtree(NodeId v);
+
+  /// Splices the subtree rooted at `v` to a new position (child of
+  /// `parent`, immediately before `before`; kInvalidNode appends). The
+  /// subtree's internal partition structure travels untouched: only the
+  /// source partition, the destination partition and -- when `v` is the
+  /// sole member of its own interval -- that interval's crossing edges
+  /// change. Splits cascade at the destination and the source side is
+  /// neighbour-merged like a delete. Resets last_delta().
+  Status MoveSubtree(NodeId v, NodeId parent, NodeId before);
+
+  /// Replaces the label of `v` and marks its partition dirty so the
+  /// caller re-materializes the one record holding it. Resets
+  /// last_delta().
+  Status Rename(NodeId v, std::string_view label);
+
+  /// Changelog of the most recent mutating operation.
   const PartitionDelta& last_delta() const { return delta_; }
 
   /// Interval by stable id (ids in [0, interval_count()); dead intervals
@@ -130,6 +156,7 @@ class IncrementalPartitioner {
 
   size_t partition_count() const { return alive_count_; }
   uint64_t split_count() const { return split_count_; }
+  uint64_t merge_count() const { return merge_count_; }
   TotalWeight limit() const { return limit_; }
 
   /// Re-analyzes the materialized partitioning against the tree; used by
@@ -161,8 +188,27 @@ class IncrementalPartitioner {
   /// Records `p` in the current delta unless it was created this op.
   void MarkDirty(uint32_t p);
 
+  /// Records `p` as retired: drops it from dirty, and either cancels a
+  /// same-op creation or appends it to the deleted list.
+  void MarkDeleted(uint32_t p);
+
+  /// Retires interval `p` (idempotent).
+  void KillInterval(uint32_t p);
+
+  /// While `p` sits under half the limit, absorb it into the run-adjacent
+  /// sibling interval on its left, or absorb the one on its right into it,
+  /// whenever the union still fits.
+  void MaybeMerge(uint32_t p);
+
+  /// Absorbs `victim` (whose run immediately follows `survivor`'s) into
+  /// `survivor`.
+  void MergeInto(uint32_t survivor, uint32_t victim);
+
   /// Splits interval `p` (weight > limit) once; may enqueue follow-ups.
   void Split(uint32_t p, std::vector<uint32_t>* worklist);
+
+  /// Runs the split worklist until every affected partition fits again.
+  void SplitToFit(uint32_t p);
 
   /// Sheds rightmost subordinate children of `member` into new intervals
   /// until `p` fits.
@@ -175,6 +221,7 @@ class IncrementalPartitioner {
   std::vector<uint32_t> member_of_;
   size_t alive_count_ = 0;
   uint64_t split_count_ = 0;
+  uint64_t merge_count_ = 0;
   PartitionDelta delta_;
 };
 

@@ -312,6 +312,406 @@ TEST(StoreUpdateTest, TenThousandRandomInsertsStayQueryCorrect) {
   }
 }
 
+// ------------------------------------- delete / move / rename algebra ----
+
+/// Picks a live node uniformly; the id space keeps tombstones forever,
+/// so the draw retries until it lands on a live slot.
+NodeId PickLive(const NatixStore& store, Rng* rng) {
+  const size_t n = store.tree().size();
+  for (int tries = 0; tries < 256; ++tries) {
+    const auto v = static_cast<NodeId>(rng->NextBounded(n));
+    if (store.IsLiveNode(v)) return v;
+  }
+  return 0;
+}
+
+/// True when v's subtree holds at most `cap` nodes.
+bool SubtreeCapped(const Tree& t, NodeId v, size_t cap) {
+  std::vector<NodeId> stack = {v};
+  size_t n = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (++n > cap) return false;
+    for (NodeId c = t.FirstChild(u); c != kInvalidNode; c = t.NextSibling(c)) {
+      stack.push_back(c);
+    }
+  }
+  return true;
+}
+
+/// Applies one op of the canonical mixed stream (~40% insert, 30%
+/// delete-subtree, 20% move-subtree, 10% rename). Deletes convert back
+/// into inserts while the live count sits below `size_floor`.
+void RandomMixedOp(NatixStore* store, int i, size_t size_floor, Rng* rng) {
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  const Tree& t = store->tree();
+  uint64_t roll = rng->NextBounded(100);
+  if (roll >= 40 && roll < 70 && store->live_node_count() < size_floor) {
+    roll = 0;
+  }
+  if (roll < 40) {
+    const NodeId parent = PickLive(*store, rng);
+    NodeId before = kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng->NextBool(0.4)) {
+      const std::vector<NodeId> kids = t.Children(parent);
+      before = kids[rng->NextBounded(kids.size())];
+    }
+    const bool text = rng->NextBool(0.5);
+    std::string content;
+    if (text) content.assign(1 + rng->NextBounded(40), 'a' + i % 26);
+    const Result<NodeId> id = store->InsertBefore(
+        parent, before, text ? "" : kLabels[rng->NextBounded(4)],
+        text ? NodeKind::kText : NodeKind::kElement, content);
+    ASSERT_TRUE(id.ok()) << "insert " << i << ": " << id.status().ToString();
+  } else if (roll < 70) {
+    const NodeId v = PickLive(*store, rng);
+    if (v == 0 || !SubtreeCapped(t, v, 16)) return;
+    const Result<std::vector<NodeId>> gone = store->DeleteSubtree(v);
+    ASSERT_TRUE(gone.ok()) << "delete " << i << ": "
+                           << gone.status().ToString();
+  } else if (roll < 90) {
+    const NodeId v = PickLive(*store, rng);
+    const NodeId parent = PickLive(*store, rng);
+    if (v == 0) return;
+    for (NodeId a = parent; a != kInvalidNode; a = t.Parent(a)) {
+      if (a == v) return;
+    }
+    NodeId before = kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng->NextBool(0.5)) {
+      const std::vector<NodeId> kids = t.Children(parent);
+      before = kids[rng->NextBounded(kids.size())];
+      if (before == v) before = kInvalidNode;
+    }
+    const Status moved = store->MoveSubtree(v, parent, before);
+    ASSERT_TRUE(moved.ok()) << "move " << i << ": " << moved.ToString();
+  } else {
+    const Status renamed =
+        store->Rename(PickLive(*store, rng), kLabels[rng->NextBounded(4)]);
+    ASSERT_TRUE(renamed.ok()) << "rename " << i << ": " << renamed.ToString();
+  }
+}
+
+TEST(StoreDeleteTest, DeleteLeafTombstonesWithoutShrinkingIdSpace) {
+  NatixStore store = BuildStore(ImportScaled(0.003, 256), 256);
+  const Tree& t = store.tree();
+  NodeId leaf = kInvalidNode;
+  for (NodeId v = 1; v < t.size(); ++v) {
+    if (t.ChildCount(v) == 0) {
+      leaf = v;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kInvalidNode);
+  const size_t nodes_before = store.node_count();
+  const size_t live_before = store.live_node_count();
+  const Result<std::vector<NodeId>> gone = store.DeleteSubtree(leaf);
+  ASSERT_TRUE(gone.ok()) << gone.status().ToString();
+  EXPECT_EQ(*gone, std::vector<NodeId>{leaf});
+  EXPECT_FALSE(store.IsLiveNode(leaf));
+  EXPECT_EQ(store.node_count(), nodes_before);  // ids are never recycled
+  EXPECT_EQ(store.live_node_count(), live_before - 1);
+  EXPECT_EQ(store.update_stats().deletes, 1u);
+  ASSERT_NE(store.partitioner(), nullptr);
+  EXPECT_TRUE(store.partitioner()->Validate().ok());
+  ExpectQueriesMatchReference(store, "after leaf delete");
+}
+
+TEST(StoreDeleteTest, DeleteSubtreeRemovesEveryDescendant) {
+  NatixStore store = BuildStore(ImportScaled(0.003, 256), 256);
+  const Tree& t = store.tree();
+  // Pick an internal node with a few descendants.
+  NodeId v = kInvalidNode;
+  for (NodeId u = 1; u < t.size(); ++u) {
+    if (t.ChildCount(u) >= 2 && SubtreeCapped(t, u, 32)) {
+      v = u;
+      break;
+    }
+  }
+  ASSERT_NE(v, kInvalidNode);
+  const std::vector<NodeId> expected = t.SubtreeNodes(v);
+  ASSERT_GT(expected.size(), 2u);
+  const size_t live_before = store.live_node_count();
+  const Result<std::vector<NodeId>> gone = store.DeleteSubtree(v);
+  ASSERT_TRUE(gone.ok()) << gone.status().ToString();
+  EXPECT_EQ(*gone, expected);
+  for (const NodeId u : expected) EXPECT_FALSE(store.IsLiveNode(u));
+  EXPECT_EQ(store.live_node_count(), live_before - expected.size());
+  ASSERT_NE(store.partitioner(), nullptr);
+  EXPECT_TRUE(store.partitioner()->Validate().ok());
+  ExpectQueriesMatchReference(store, "after subtree delete");
+}
+
+TEST(StoreDeleteTest, RejectsRootAndDeadNodes) {
+  NatixStore store = BuildStore(ImportScaled(0.003, 256), 256);
+  EXPECT_FALSE(store.DeleteSubtree(store.tree().root()).ok());
+  EXPECT_FALSE(store.DeleteSubtree(static_cast<NodeId>(1u << 30)).ok());
+  NodeId leaf = kInvalidNode;
+  for (NodeId v = 1; v < store.tree().size(); ++v) {
+    if (store.tree().ChildCount(v) == 0) {
+      leaf = v;
+      break;
+    }
+  }
+  ASSERT_TRUE(store.DeleteSubtree(leaf).ok());
+  // Double delete is rejected: the node is already a tombstone.
+  EXPECT_FALSE(store.DeleteSubtree(leaf).ok());
+}
+
+TEST(StoreDeleteTest, DeletesDriveNeighbourMergesAndKeepInvariants) {
+  constexpr TotalWeight kSmall = 64;
+  NatixStore store = BuildStore(ImportScaled(0.01, kSmall), kSmall);
+  Rng rng(23);
+  // Random leaf-biased deletes drive partitions below the half-limit
+  // utilization threshold, which must trigger neighbour merges.
+  int deleted = 0;
+  for (int i = 0; i < 4000 && deleted < 1500; ++i) {
+    const NodeId v = PickLive(store, &rng);
+    if (v == 0 || !SubtreeCapped(store.tree(), v, 4)) continue;
+    ASSERT_TRUE(store.DeleteSubtree(v).ok()) << "delete " << i;
+    ++deleted;
+  }
+  const UpdateStats us = store.update_stats();
+  EXPECT_GT(us.merges, 0u) << "deletes never merged a partition";
+  ASSERT_NE(store.partitioner(), nullptr);
+  const IncrementalPartitioner* ip = store.partitioner();
+  // The weight invariant holds partition by partition, and merged
+  // intervals account for every live node exactly once.
+  EXPECT_TRUE(ip->Validate().ok());
+  // Every alive interval respects the weight limit, and dead (merged or
+  // retired) interval slots carry no nodes.
+  size_t covered = 0;
+  for (uint32_t i = 0; i < ip->interval_count(); ++i) {
+    const IncrementalPartitioner::IntervalInfo iv = ip->interval(i);
+    if (!iv.alive) continue;
+    EXPECT_LE(iv.weight, static_cast<TotalWeight>(kSmall))
+        << "interval " << i << " exceeds the limit after merging";
+    EXPECT_GT(iv.weight, 0u) << "interval " << i << " is empty but alive";
+    covered += ip->PartitionNodes(i).size();
+  }
+  EXPECT_EQ(covered, store.live_node_count());
+  // CurrentPartitioning stays in canonical document order after the
+  // delete/merge churn.
+  const Partitioning p = ip->CurrentPartitioning();
+  const std::vector<uint32_t> rank = store.tree().PreorderRanks();
+  for (size_t i = 1; i < p.size(); ++i) {
+    EXPECT_LT(rank[p[i - 1].first], rank[p[i].first])
+        << "intervals " << (i - 1) << " and " << i
+        << " are out of document order";
+  }
+  ExpectQueriesMatchReference(store, "after delete/merge churn");
+}
+
+TEST(StoreMoveTest, MoveSubtreeSplicesWithoutReimportingBytes) {
+  NatixStore store = BuildStore(ImportScaled(0.003, 256), 256);
+  const Tree& t = store.tree();
+  NodeId v = kInvalidNode;
+  for (NodeId u = 1; u < t.size(); ++u) {
+    if (t.ChildCount(u) >= 1 && SubtreeCapped(t, u, 16)) {
+      v = u;
+      break;
+    }
+  }
+  ASSERT_NE(v, kInvalidNode);
+  // New parent: the root (guaranteed outside v's subtree for v != root's
+  // only child chain picked above).
+  const NodeId root = t.root();
+  ASSERT_TRUE(store.MoveSubtree(v, root, kInvalidNode).ok());
+  EXPECT_EQ(store.tree().Parent(v), root);
+  EXPECT_EQ(store.tree().LastChild(root), v);
+  EXPECT_EQ(store.update_stats().moves, 1u);
+  ASSERT_NE(store.partitioner(), nullptr);
+  EXPECT_TRUE(store.partitioner()->Validate().ok());
+  ExpectQueriesMatchReference(store, "after move to root");
+}
+
+TEST(StoreMoveTest, RejectsCyclesAndRoot) {
+  NatixStore store = BuildStore(ImportScaled(0.003, 256), 256);
+  const Tree& t = store.tree();
+  NodeId v = kInvalidNode;
+  for (NodeId u = 1; u < t.size(); ++u) {
+    if (t.ChildCount(u) >= 1) {
+      v = u;
+      break;
+    }
+  }
+  ASSERT_NE(v, kInvalidNode);
+  const NodeId child = t.FirstChild(v);
+  // Moving the root, moving under a descendant, and moving under itself
+  // are all rejected without mutating anything.
+  EXPECT_FALSE(store.MoveSubtree(t.root(), v, kInvalidNode).ok());
+  EXPECT_FALSE(store.MoveSubtree(v, child, kInvalidNode).ok());
+  EXPECT_FALSE(store.MoveSubtree(v, v, kInvalidNode).ok());
+  EXPECT_EQ(store.update_stats().moves, 0u);
+  if (store.partitioner() != nullptr) {
+    EXPECT_TRUE(store.partitioner()->Validate().ok());
+  }
+}
+
+TEST(StoreRenameTest, RenameRewritesTheLabelInPlace) {
+  NatixStore store = BuildStore(ImportScaled(0.003, 256), 256);
+  const Tree& t = store.tree();
+  NodeId v = kInvalidNode;
+  for (NodeId u = 1; u < t.size(); ++u) {
+    if (t.KindOf(u) == NodeKind::kElement) {
+      v = u;
+      break;
+    }
+  }
+  ASSERT_NE(v, kInvalidNode);
+  // A brand-new label must be interned and the record patched in place.
+  ASSERT_TRUE(store.Rename(v, "renamed_to_something_new").ok());
+  EXPECT_EQ(store.tree().LabelOf(v), "renamed_to_something_new");
+  EXPECT_EQ(store.update_stats().renames, 1u);
+  // The record bytes agree: decode the containing record and check the
+  // slot's label id resolves to the new name.
+  const uint32_t part = store.PartitionOf(v);
+  const auto bytes = store.RecordBytes(part);
+  ASSERT_TRUE(bytes.ok());
+  const Result<DecodedRecord> rec = DecodeRecord(bytes->first, bytes->second);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  bool found = false;
+  for (const RecordNode& n : rec->nodes) {
+    if (n.node == v) {
+      found = true;
+      EXPECT_EQ(store.LabelNameOf(n.label), "renamed_to_something_new");
+    }
+  }
+  EXPECT_TRUE(found);
+  ExpectQueriesMatchReference(store, "after rename");
+}
+
+TEST(StoreRenameTest, RenameSweepStaysQueryCorrect) {
+  NatixStore store = BuildStore(ImportScaled(0.005, 256), 256);
+  Rng rng(31);
+  static constexpr const char* kNames[] = {"alpha", "a_rather_long_label",
+                                           "z", "mid"};
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        store.Rename(PickLive(store, &rng), kNames[rng.NextBounded(4)]).ok())
+        << "rename " << i;
+  }
+  EXPECT_EQ(store.update_stats().renames, 300u);
+  // A pure rename stream never changes partition structure, so the
+  // incremental partitioner is not even instantiated.
+  if (store.partitioner() != nullptr) {
+    EXPECT_TRUE(store.partitioner()->Validate().ok());
+  }
+  ExpectQueriesMatchReference(store, "after rename sweep");
+}
+
+TEST(StoreCompactTest, CompactSnapshotDropsTombstonesAndMapsLiveNodes) {
+  NatixStore store = BuildStore(ImportScaled(0.003, 256), 256);
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId v = PickLive(store, &rng);
+    if (v == 0 || !SubtreeCapped(store.tree(), v, 8)) continue;
+    ASSERT_TRUE(store.DeleteSubtree(v).ok());
+  }
+  ASSERT_GT(store.update_stats().deletes, 0u);
+  std::vector<NodeId> old_to_new;
+  Result<ImportedDocument> compact = store.CompactSnapshot(&old_to_new);
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+  EXPECT_EQ(compact->tree.size(), store.live_node_count());
+  ASSERT_EQ(old_to_new.size(), store.node_count());
+  for (NodeId v = 0; v < store.node_count(); ++v) {
+    if (store.IsLiveNode(v)) {
+      ASSERT_NE(old_to_new[v], kInvalidNode) << "live node " << v
+                                             << " unmapped";
+      EXPECT_EQ(compact->tree.LabelOf(old_to_new[v]),
+                store.tree().LabelOf(v));
+      EXPECT_EQ(compact->tree.KindOf(old_to_new[v]), store.tree().KindOf(v));
+    } else {
+      EXPECT_EQ(old_to_new[v], kInvalidNode) << "tombstone " << v
+                                             << " mapped";
+    }
+  }
+  // The compacted document is a clean import: it must bulkload.
+  const Result<Partitioning> p = EkmPartition(compact->tree, 256);
+  ASSERT_TRUE(p.ok());
+  const Result<NatixStore> fresh =
+      NatixStore::Build(std::move(compact).value(), *p, 256);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+}
+
+TEST(StoreMixedTest, TenThousandMixedOpsMatchFreshBuildThroughWal) {
+  constexpr TotalWeight kLimit = 256;
+  NatixStore store = BuildStore(ImportScaled(0.01, kLimit), kLimit);
+  auto backend = std::make_unique<MemoryFileBackend>();
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk = backend->disk();
+  ASSERT_TRUE(store.EnableDurability(std::move(backend)).ok());
+
+  const size_t size_floor = store.live_node_count();
+  Rng rng(99);
+  constexpr int kTotal = 10000;
+  constexpr int kChunk = 2500;
+  for (int done = 0; done < kTotal; done += kChunk) {
+    for (int i = 0; i < kChunk; ++i) {
+      ASSERT_NO_FATAL_FAILURE(RandomMixedOp(&store, done + i, size_floor,
+                                            &rng));
+    }
+    ASSERT_NE(store.partitioner(), nullptr);
+    ASSERT_TRUE(store.partitioner()->Validate().ok())
+        << "after " << (done + kChunk) << " ops";
+    // Queries must be correct *mid-stream*, not only at the end.
+    ExpectQueriesMatchReference(
+        store, "after " + std::to_string(done + kChunk) + " ops");
+    // One checkpoint mid-stream: recovery restores it and replays the
+    // second half of the op stream through the mixed replay path.
+    if (done + kChunk == kTotal / 2) {
+      ASSERT_TRUE(store.Checkpoint().ok());
+    }
+  }
+  const UpdateStats us = store.update_stats();
+  EXPECT_GT(us.deletes, 0u);
+  EXPECT_GT(us.moves, 0u);
+  EXPECT_GT(us.renames, 0u);
+  EXPECT_GT(us.merges, 0u);
+
+  // Crash; the tail past the mid-stream checkpoint replays through the
+  // same insert/delete/move/rename paths.
+  const size_t records_before_crash = store.record_count();
+  const size_t live_before_crash = store.live_node_count();
+  store = BuildStore(ImportScaled(0.003, kLimit), kLimit);
+  Result<NatixStore> recovered =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const UpdateStats rs = recovered->update_stats();
+  EXPECT_EQ(rs.inserts, us.inserts);
+  EXPECT_EQ(rs.deletes, us.deletes);
+  EXPECT_EQ(rs.moves, us.moves);
+  EXPECT_EQ(rs.renames, us.renames);
+  EXPECT_EQ(recovered->record_count(), records_before_crash);
+  EXPECT_EQ(recovered->live_node_count(), live_before_crash);
+  ASSERT_NE(recovered->partitioner(), nullptr);
+  ASSERT_TRUE(recovered->partitioner()->Validate().ok());
+  ExpectQueriesMatchReference(*recovered, "after recovery");
+
+  // Oracle: a fresh bulkload of the compacted final document must answer
+  // every XPathMark query byte-equivalently through the compaction map.
+  std::vector<NodeId> old_to_new;
+  Result<ImportedDocument> snapshot = recovered->CompactSnapshot(&old_to_new);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const Result<Partitioning> fresh_p = EkmPartition(snapshot->tree, kLimit);
+  ASSERT_TRUE(fresh_p.ok());
+  const Result<NatixStore> fresh =
+      NatixStore::Build(std::move(snapshot).value(), *fresh_p, kLimit);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  AccessStats grown_stats, fresh_stats;
+  StoreQueryEvaluator grown_eval(&*recovered, &grown_stats);
+  StoreQueryEvaluator fresh_eval(&*fresh, &fresh_stats);
+  for (const XPathMarkQuery& q : XPathMarkQueries()) {
+    const Result<PathExpr> path = ParseXPath(q.text);
+    ASSERT_TRUE(path.ok()) << q.id;
+    Result<std::vector<NodeId>> grown_r = grown_eval.Evaluate(*path);
+    const Result<std::vector<NodeId>> fresh_r = fresh_eval.Evaluate(*path);
+    ASSERT_TRUE(grown_r.ok() && fresh_r.ok()) << q.id;
+    for (NodeId& v : *grown_r) v = old_to_new[v];
+    EXPECT_EQ(*grown_r, *fresh_r) << q.id;
+  }
+}
+
 TEST(StoreUpdateTest, CurrentPartitioningIsCanonicallyOrdered) {
   NatixStore store = BuildStore(ImportScaled(0.005, 64), 64);
   Rng rng(7);

@@ -600,5 +600,266 @@ TEST(DurableStoreTest, SurvivesCrashRecoverContinueCrash) {
   ExpectEquivalent(*again, oracle, "second recovery");
 }
 
+// ------------------------------------------- mixed-op crash matrix ------
+
+constexpr int kMixedOps = 600;
+constexpr int kMixedCheckpointEvery = 150;
+
+enum class MixedOpOutcome { kApplied, kSkipped, kFailed };
+
+/// Live-node pick for the mixed workload; reads only the store's tables,
+/// so equal-state stores with equal-seeded Rngs pick identically.
+NodeId ScriptedPickLive(const NatixStore& store, Rng* rng) {
+  const size_t n = store.tree().size();
+  for (int tries = 0; tries < 256; ++tries) {
+    const auto v = static_cast<NodeId>(rng->NextBounded(n));
+    if (store.IsLiveNode(v)) return v;
+  }
+  return 0;
+}
+
+bool ScriptedSubtreeCapped(const Tree& t, NodeId v, size_t cap) {
+  std::vector<NodeId> stack = {v};
+  size_t n = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (++n > cap) return false;
+    for (NodeId c = t.FirstChild(u); c != kInvalidNode; c = t.NextSibling(c)) {
+      stack.push_back(c);
+    }
+  }
+  return true;
+}
+
+/// One scripted mixed op: ~40% insert, 30% delete-subtree, 20%
+/// move-subtree, 10% rename. Prefix-deterministic like ScriptedInsert --
+/// every draw depends only on the shared Rng and the current tree state,
+/// and a *skipped* pick (illegal delete/move target) consumes exactly the
+/// same draws on every store. Equal applied-op counts therefore imply
+/// equal op sequences. Deletes convert to inserts while the live count
+/// sits under `size_floor` so the document cannot collapse mid-matrix.
+MixedOpOutcome ScriptedMixedOp(NatixStore* store, Rng* rng,
+                               size_t size_floor) {
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  const Tree& t = store->tree();
+  uint64_t roll = rng->NextBounded(100);
+  if (roll >= 40 && roll < 70 && store->live_node_count() < size_floor) {
+    roll = 0;
+  }
+  if (roll < 40) {
+    const NodeId parent = ScriptedPickLive(*store, rng);
+    NodeId before = kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng->NextBool(0.4)) {
+      const std::vector<NodeId> kids = t.Children(parent);
+      before = kids[rng->NextBounded(kids.size())];
+    }
+    const bool text = rng->NextBool(0.5);
+    std::string content;
+    if (text) {
+      content.assign(1 + rng->NextBounded(40),
+                     static_cast<char>('a' + rng->NextBounded(26)));
+    }
+    return store
+                   ->InsertBefore(parent, before,
+                                  text ? "" : kLabels[rng->NextBounded(4)],
+                                  text ? NodeKind::kText : NodeKind::kElement,
+                                  content)
+                   .ok()
+               ? MixedOpOutcome::kApplied
+               : MixedOpOutcome::kFailed;
+  }
+  if (roll < 70) {
+    const NodeId v = ScriptedPickLive(*store, rng);
+    if (v == 0 || !ScriptedSubtreeCapped(t, v, 16)) {
+      return MixedOpOutcome::kSkipped;
+    }
+    return store->DeleteSubtree(v).ok() ? MixedOpOutcome::kApplied
+                                        : MixedOpOutcome::kFailed;
+  }
+  if (roll < 90) {
+    const NodeId v = ScriptedPickLive(*store, rng);
+    const NodeId parent = ScriptedPickLive(*store, rng);
+    if (v == 0) return MixedOpOutcome::kSkipped;
+    for (NodeId a = parent; a != kInvalidNode; a = t.Parent(a)) {
+      if (a == v) return MixedOpOutcome::kSkipped;
+    }
+    NodeId before = kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng->NextBool(0.5)) {
+      const std::vector<NodeId> kids = t.Children(parent);
+      before = kids[rng->NextBounded(kids.size())];
+      if (before == v) before = kInvalidNode;
+    }
+    return store->MoveSubtree(v, parent, before).ok()
+               ? MixedOpOutcome::kApplied
+               : MixedOpOutcome::kFailed;
+  }
+  return store->Rename(ScriptedPickLive(*store, rng),
+                       kLabels[rng->NextBounded(4)])
+                 .ok()
+             ? MixedOpOutcome::kApplied
+             : MixedOpOutcome::kFailed;
+}
+
+/// Mixed-stream twin of RunWorkloadUntilCrash: checkpoint cadence is
+/// attempt-based (deterministic across runs), ops span all four mutation
+/// kinds. Returns the surviving disk; optionally reports the fault-free
+/// run's append and applied-op totals.
+std::shared_ptr<MemoryFileBackend::Bytes> RunMixedWorkloadUntilCrash(
+    uint64_t fault_at, FaultMode mode, uint64_t* total_appends = nullptr,
+    uint64_t* total_applied = nullptr) {
+  NatixStore store = MakeStore();
+  auto mem = std::make_unique<MemoryFileBackend>();
+  std::shared_ptr<MemoryFileBackend::Bytes> disk = mem->disk();
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::move(mem), fault_at, mode,
+      /*seed=*/kWorkloadSeed ^ fault_at ^
+          (static_cast<uint64_t>(mode) << 32) ^ 0x9e3779b9ull);
+  FaultInjectingBackend* inj_raw = inj.get();
+  const size_t size_floor = store.live_node_count();
+  Rng rng(kWorkloadSeed);
+  uint64_t applied = 0;
+  if (store.EnableDurability(std::move(inj)).ok()) {
+    for (int i = 0; i < kMixedOps; ++i) {
+      const MixedOpOutcome out = ScriptedMixedOp(&store, &rng, size_floor);
+      if (out == MixedOpOutcome::kFailed) break;
+      if (out == MixedOpOutcome::kApplied) ++applied;
+      if ((i + 1) % kMixedCheckpointEvery == 0 && !store.Checkpoint().ok()) {
+        break;
+      }
+    }
+  }
+  if (total_appends != nullptr) *total_appends = inj_raw->append_count();
+  if (total_applied != nullptr) *total_applied = applied;
+  return disk;
+}
+
+/// Advances the mixed oracle until `target` ops have *applied* (skips
+/// consume rng draws but do not count, mirroring the crashed run).
+void AdvanceMixedOracle(NatixStore* oracle, Rng* rng, size_t size_floor,
+                        uint64_t* done, uint64_t target) {
+  ASSERT_LE(*done, target) << "fault points must be visited in ascending "
+                              "order for the shared mixed oracle";
+  while (*done < target) {
+    const MixedOpOutcome out = ScriptedMixedOp(oracle, rng, size_floor);
+    ASSERT_NE(out, MixedOpOutcome::kFailed);
+    if (out == MixedOpOutcome::kApplied) ++*done;
+  }
+}
+
+uint64_t AppliedOps(const NatixStore& store) {
+  const UpdateStats us = store.update_stats();
+  return us.inserts + us.deletes + us.moves + us.renames;
+}
+
+TEST(DurableStoreTest, MixedCrashMatrixRecoversToQueryEquivalence) {
+  // Fault-free pass sizes the matrix and pins the op totals the strided
+  // crash runs are compared against.
+  uint64_t total_appends = 0, total_applied = 0;
+  {
+    const std::shared_ptr<MemoryFileBackend::Bytes> disk =
+        RunMixedWorkloadUntilCrash(~0ull, FaultMode::kFailStop,
+                                   &total_appends, &total_applied);
+    Result<NatixStore> clean =
+        NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    const UpdateStats us = clean->update_stats();
+    // The blend actually exercises every op kind before any crash runs.
+    ASSERT_GT(us.inserts, 0u);
+    ASSERT_GT(us.deletes, 0u);
+    ASSERT_GT(us.moves, 0u);
+    ASSERT_GT(us.renames, 0u);
+    ASSERT_EQ(AppliedOps(*clean), total_applied);
+  }
+  ASSERT_GT(total_appends, total_applied);
+
+  const bool exhaustive =
+      std::getenv("NATIX_CRASH_MATRIX_EXHAUSTIVE") != nullptr;
+  const uint64_t stride =
+      exhaustive ? 1 : std::max<uint64_t>(1, total_appends / 16);
+
+  NatixStore oracle = MakeStore();
+  const size_t size_floor = oracle.live_node_count();
+  Rng oracle_rng(kWorkloadSeed);
+  uint64_t oracle_done = 0;
+  int recovered_trials = 0;
+  int never_durable_trials = 0;
+
+  for (uint64_t fault_at = 0; fault_at < total_appends; fault_at += stride) {
+    for (const FaultMode mode :
+         {FaultMode::kFailStop, FaultMode::kShortWrite,
+          FaultMode::kTornWrite}) {
+      const std::string context =
+          "mixed fault at append " + std::to_string(fault_at) + " mode " +
+          std::to_string(static_cast<int>(mode));
+      const std::shared_ptr<MemoryFileBackend::Bytes> disk =
+          RunMixedWorkloadUntilCrash(fault_at, mode);
+      Result<NatixStore> recovered =
+          NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+      if (!recovered.ok()) {
+        // Only legitimate while the initial checkpoint had not sealed;
+        // once the op stream starts, every prefix must recover. Crashes
+        // past the midpoint have also survived a mid-stream checkpoint,
+        // so this bound covers checkpoint recovery too.
+        ASSERT_LT(fault_at, total_appends - total_applied)
+            << context << ": " << recovered.status().ToString();
+        ++never_durable_trials;
+        continue;
+      }
+      ++recovered_trials;
+      const uint64_t m = AppliedOps(*recovered);
+      ASSERT_LE(m, total_applied) << context;
+      AdvanceMixedOracle(&oracle, &oracle_rng, size_floor, &oracle_done, m);
+      ASSERT_EQ(oracle_done, m) << context;
+      ExpectEquivalent(*recovered, oracle, context);
+    }
+  }
+  EXPECT_GT(recovered_trials, 0);
+  EXPECT_LT(never_durable_trials, recovered_trials);
+}
+
+TEST(DurableStoreTest, MixedStreamRecoversMidStreamCheckpoint) {
+  // Crash shortly after the midpoint: the surviving log holds at least
+  // one full mid-stream checkpoint whose partitioner state (merges
+  // included) recovery must restore before replaying the tail.
+  uint64_t total_appends = 0;
+  RunMixedWorkloadUntilCrash(~0ull, FaultMode::kFailStop, &total_appends);
+  const uint64_t fault_at = total_appends * 3 / 4;
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk =
+      RunMixedWorkloadUntilCrash(fault_at, FaultMode::kTornWrite);
+  Result<NatixStore> recovered =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  NatixStore oracle = MakeStore();
+  const size_t size_floor = oracle.live_node_count();
+  Rng oracle_rng(kWorkloadSeed);
+  uint64_t oracle_done = 0;
+  AdvanceMixedOracle(&oracle, &oracle_rng, size_floor, &oracle_done,
+                     AppliedOps(*recovered));
+  ExpectEquivalent(*recovered, oracle, "post-midpoint mixed crash");
+
+  // The recovered store keeps mutating and survives a second crash.
+  Rng cont_a(4242), cont_b(4242);
+  uint64_t extra = 0;
+  for (int i = 0; i < 100; ++i) {
+    const MixedOpOutcome a = ScriptedMixedOp(&*recovered, &cont_a, size_floor);
+    const MixedOpOutcome b = ScriptedMixedOp(&oracle, &cont_b, size_floor);
+    ASSERT_NE(a, MixedOpOutcome::kFailed) << "continue " << i;
+    ASSERT_EQ(a == MixedOpOutcome::kApplied, b == MixedOpOutcome::kApplied);
+    if (a == MixedOpOutcome::kApplied) ++extra;
+  }
+  ASSERT_TRUE(recovered->Checkpoint().ok());
+  const uint64_t before_second = AppliedOps(*recovered);
+  recovered = Status::Internal("crashed");
+
+  Result<NatixStore> again =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(AppliedOps(*again), before_second);
+  ASSERT_GT(extra, 0u);
+  ExpectEquivalent(*again, oracle, "second mixed recovery");
+}
+
 }  // namespace
 }  // namespace natix
