@@ -10,6 +10,7 @@
 //   natix_cli query <xpath> <file|generator> [algo] [K] [scale]
 //   natix_cli update <file|generator> [ops] [K] [scale] [seed]
 //              [--wal <path>] [--pages <path>] [--mix i,d,m,r]
+//              [--sync every|group|checkpoint]
 //   natix_cli recover <wal-file>                          rebuild from log
 //   natix_cli fsck <wal-file> [--pages <page-file>] [--fix-hints]
 //   natix_cli algorithms                                  list algorithms
@@ -31,6 +32,13 @@
 // file cell by cell against the store the log restores.
 // --mix i,d,m,r: relative weights of insert / delete-subtree / move-
 // subtree / rename ops in the update stream (default 40,30,20,10).
+// --sync <policy>: when the WAL fsyncs, i.e. when an op counts as
+// durable. `every` fsyncs before each op returns (strongest, slowest);
+// `group` (default) batches fsyncs across a ~200us commit window --
+// an op is durable once the background flusher syncs its batch;
+// `checkpoint` is the legacy unsafe mode: nothing is fsynced between
+// checkpoints, so every op since the last checkpoint can vanish on
+// power failure.
 // --fix-hints: before the audit, recover the store read-write, rewrite
 // every stale proxy/aggregate placement hint in place, append a fresh
 // checkpoint and (with --pages) reseal the page file, so the follow-up
@@ -76,7 +84,8 @@ int Usage() {
       "[threads] [--grain <nodes>]\n"
       "  natix_cli query <xpath> <file|generator> [algo] [K] [scale]\n"
       "  natix_cli update <file|generator> [ops] [K] [scale] [seed] "
-      "[--wal <path>] [--pages <path>] [--mix i,d,m,r]\n"
+      "[--wal <path>] [--pages <path>] [--mix i,d,m,r] "
+      "[--sync every|group|checkpoint]\n"
       "  natix_cli recover <wal-file>\n"
       "  natix_cli fsck <wal-file> [--pages <page-file>] [--fix-hints]\n"
       "  natix_cli algorithms\n");
@@ -342,9 +351,22 @@ int CmdUpdate(int argc, char** argv) {
   std::string wal_path;
   std::string pages_path;
   std::string mix_str = "40,30,20,10";
+  std::string sync_str = "group";
   if (!StripFlag("--wal", &argc, argv, &wal_path) ||
       !StripFlag("--pages", &argc, argv, &pages_path) ||
-      !StripFlag("--mix", &argc, argv, &mix_str)) {
+      !StripFlag("--mix", &argc, argv, &mix_str) ||
+      !StripFlag("--sync", &argc, argv, &sync_str)) {
+    return Usage();
+  }
+  natix::SyncPolicy sync_policy;
+  if (sync_str == "every") {
+    sync_policy = natix::SyncPolicy::EveryOp();
+  } else if (sync_str == "group") {
+    sync_policy = natix::SyncPolicy::GroupCommit();
+  } else if (sync_str == "checkpoint") {
+    sync_policy = natix::SyncPolicy::OnCheckpoint();
+  } else {
+    std::fprintf(stderr, "bad --sync (want every, group or checkpoint)\n");
     return Usage();
   }
   if (argc < 1) return Usage();
@@ -393,13 +415,14 @@ int CmdUpdate(int argc, char** argv) {
       return 1;
     }
     const natix::Status durable =
-        store->EnableDurability(std::move(*backend));
+        store->EnableDurability(std::move(*backend), sync_policy);
     if (!durable.ok()) {
       std::fprintf(stderr, "%s\n", durable.ToString().c_str());
       return 1;
     }
-    std::printf("WAL attached at %s (initial checkpoint written)\n",
-                wal_path.c_str());
+    std::printf("WAL attached at %s (initial checkpoint written, "
+                "sync policy %s)\n",
+                wal_path.c_str(), sync_policy.ModeName());
   }
   // Checkpoint cadence for durable runs: four checkpoints across the
   // workload plus a final one, so `recover` replays at most a quarter of
@@ -590,6 +613,13 @@ int CmdUpdate(int argc, char** argv) {
     std::printf("  op log amplification: %.3fx of %llu record bytes\n",
                 ws.OpAmplification(),
                 static_cast<unsigned long long>(ws.record_bytes));
+    std::printf("  sync policy %s: %llu fsyncs, %llu commit batches, "
+                "mean batch %.1f entries, %llu transient retries\n",
+                store->sync_policy().ModeName(),
+                static_cast<unsigned long long>(ws.fsyncs),
+                static_cast<unsigned long long>(ws.sync_batches),
+                ws.MeanBatchOps(),
+                static_cast<unsigned long long>(ws.append_retries));
   }
   if (!pages_path.empty()) {
     auto pages = natix::PosixFileBackend::Open(pages_path);

@@ -22,6 +22,16 @@
 #    merges) must stay query-correct, answer byte-equivalently to a
 #    fresh bulkload of the resulting document, and keep post-stream page
 #    utilization within 15% of the fresh-build baseline.
+#  * Durable insert latency: with b = the WAL-off baseline insert cost,
+#    e = the every-op-fsync cost and g = the group-commit cost, group
+#    commit must stay under 1.5x the WAL-off baseline AND reclaim at
+#    least half of the every-op durability gap:
+#        g <= max(1.15*b, b + 0.5*(e - b))
+#    The 1.15*b term covers the no-gap regime (an in-memory backend
+#    makes fsync nearly free, so e ~ b and the reclaim criterion is
+#    vacuous -- only the flusher handoff overhead remains); once fsync
+#    has a real price (e >= 1.3*b) the gap term dominates and group
+#    commit must genuinely buy half of it back.
 #
 # Usage: scripts/bench_guard.sh  (exits nonzero on any violation)
 set -euo pipefail
@@ -105,6 +115,38 @@ else
                | .util_drift_pct] | max' BENCH_UPDATES.json)
     echo "bench_guard: updates OK (mixed stream oracle-equivalent," \
          "util drift ${drift}% <= 15%)"
+  fi
+
+  # ------------------------------------------- durable insert latency ---
+  b=$(jq -s '[.[] | select(.bench == "store_updates_summary")
+             | .insert_us] | first // empty' BENCH_UPDATES.json)
+  e=$(jq -s '[.[] | select(.bench == "store_updates_wal" and
+                           .sync_policy == "every_op")
+             | .insert_us] | first // empty' BENCH_UPDATES.json)
+  g=$(jq -s '[.[] | select(.bench == "store_updates_wal" and
+                           .sync_policy == "group_commit")
+             | .insert_us] | first // empty' BENCH_UPDATES.json)
+  if [[ -z "$b" || -z "$e" || -z "$g" ]]; then
+    say_fail "missing durable-latency rows (want store_updates_summary" \
+             "plus store_updates_wal rows for every_op and group_commit;" \
+             "re-run bench_updates)"
+  else
+    if ! jq -en --argjson b "$b" --argjson g "$g" \
+        '$g <= 1.5 * $b' > /dev/null; then
+      say_fail "group-commit durable insert latency ${g}us exceeds 1.5x" \
+               "the ${b}us WAL-off baseline"
+    fi
+    if ! jq -en --argjson b "$b" --argjson e "$e" --argjson g "$g" \
+        '$g <= ([1.15 * $b, $b + 0.5 * ($e - $b)] | max)' > /dev/null; then
+      say_fail "group commit reclaims less than half of the every-op" \
+               "durability gap (baseline ${b}us, every_op ${e}us," \
+               "group_commit ${g}us)"
+    fi
+    batch=$(jq -s '[.[] | select(.bench == "store_updates_wal" and
+                                 .sync_policy == "group_commit")
+                   | .mean_batch_ops] | first' BENCH_UPDATES.json)
+    echo "bench_guard: durable latency OK (baseline ${b}us, every_op" \
+         "${e}us, group_commit ${g}us, mean batch ${batch} ops)"
   fi
 fi
 

@@ -12,14 +12,18 @@ cmake --build build -j
 
 # 2. Race check: the determinism test (and the pool's own tests) under
 #    -fsanitize=thread, plus the mutable-store path (its inserts run the
-#    parallel-free update machinery but share the pooled workspaces).
+#    parallel-free update machinery but share the pooled workspaces) and
+#    the WAL group-commit engine (mutator thread vs background flusher:
+#    the buffered append path, the durable-watermark handoff and the
+#    power-loss matrix all cross the flusher's mutex).
 #    Benchmarks/examples are skipped to keep it quick.
 cmake -B build-tsan -S . -DNATIX_SANITIZE=thread \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test \
-  store_updates_test
+  store_updates_test wal_recovery_test
 (cd build-tsan && ./tests/dhw_parallel_test && ./tests/thread_pool_test \
-  && ./tests/store_updates_test)
+  && ./tests/store_updates_test \
+  && ./tests/wal_recovery_test --gtest_filter='WalGroupCommitTest.*:DurableStoreTest.TransientAppendFaultsAreAbsorbedByRetry:DurableStoreTest.FsyncFailurePoisonsLikeAppendFailure:DurableStoreTest.GroupCommitBatchesStoreFsyncs:DurableStoreTest.PowerLossMatrixKeepsEveryAcknowledgedOp')
 
 # 2b. fsck / corruption-repair smoke: exercise the CLI workflow the
 #     integrity layer exists for -- a durable mixed update stream
@@ -33,6 +37,10 @@ trap 'rm -rf "$SMOKE"' EXIT
 ./build/examples/natix_cli update sigmod 500 256 0.02 1 \
   --wal "$SMOKE/w.log" --pages "$SMOKE/p.pages" > /dev/null
 ./build/examples/natix_cli recover "$SMOKE/w.log" > /dev/null
+# The --sync knob: a strongest-guarantee every-op run must also recover.
+./build/examples/natix_cli update sigmod 200 256 0.02 1 \
+  --wal "$SMOKE/we.log" --sync every > /dev/null
+./build/examples/natix_cli recover "$SMOKE/we.log" > /dev/null
 ./build/examples/natix_cli fsck "$SMOKE/w.log" --pages "$SMOKE/p.pages" \
   > /dev/null
 ./build/examples/natix_cli fsck "$SMOKE/w.log" --pages "$SMOKE/p.pages" \

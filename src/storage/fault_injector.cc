@@ -1,41 +1,58 @@
 #include "storage/fault_injector.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace natix {
 
 Result<uint64_t> FaultInjectingBackend::Size() {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
   return inner_->Size();
 }
 
 Status FaultInjectingBackend::Append(const void* data, size_t size) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
-  if (appends_++ != fault_at_) return inner_->Append(data, size);
-  fired_ = true;
-  if (mode_ == FaultMode::kFailStop || size == 0) return Dead();
-  // Land a strict prefix: at least 0, at most size-1 bytes survive.
-  const size_t keep = static_cast<size_t>(rng_.NextBounded(size));
-  if (mode_ == FaultMode::kShortWrite) {
-    if (keep > 0) {
-      // The inner write's own failure (it shouldn't fail -- the inner
-      // backend is healthy) would still read as a crash; ignore it.
-      (void)inner_->Append(data, keep);
+  const uint64_t idx = appends_++;
+  if (idx == fault_at_) {
+    fired_ = true;
+    if (mode_ == FaultMode::kFailStop || size == 0) return Dead();
+    // Land a strict prefix: at least 0, at most size-1 bytes survive.
+    const size_t keep = static_cast<size_t>(rng_.NextBounded(size));
+    if (mode_ == FaultMode::kShortWrite) {
+      if (keep > 0) {
+        // The inner write's own failure (it shouldn't fail -- the inner
+        // backend is healthy) would still read as a crash; ignore it.
+        (void)inner_->Append(data, keep);
+      }
+      return Dead();
     }
+    // Torn write: the prefix is real, the rest of the entry's bytes are
+    // garbage (stale sector content). Recovery must detect this via CRC.
+    std::vector<uint8_t> torn(static_cast<const uint8_t*>(data),
+                              static_cast<const uint8_t*>(data) + size);
+    for (size_t i = keep; i < torn.size(); ++i) {
+      torn[i] = static_cast<uint8_t>(rng_.Next());
+    }
+    (void)inner_->Append(torn.data(), torn.size());
     return Dead();
   }
-  // Torn write: the prefix is real, the rest of the entry's bytes are
-  // garbage (stale sector content). Recovery must detect this via CRC.
-  std::vector<uint8_t> torn(static_cast<const uint8_t*>(data),
-                            static_cast<const uint8_t*>(data) + size);
-  for (size_t i = keep; i < torn.size(); ++i) {
-    torn[i] = static_cast<uint8_t>(rng_.Next());
+  if (idx >= append_fault_at_ &&
+      idx < append_fault_at_ + append_fault_count_) {
+    // Transient: a strict prefix may land, the call fails Unavailable,
+    // the backend lives on. A correct writer truncates back and retries.
+    ++append_faults_fired_;
+    const size_t keep =
+        size == 0 ? 0 : static_cast<size_t>(rng_.NextBounded(size));
+    if (keep > 0) (void)inner_->Append(data, keep);
+    return Status::Unavailable("injected transient append failure");
   }
-  (void)inner_->Append(torn.data(), torn.size());
-  return Dead();
+  return inner_->Append(data, size);
 }
 
 Status FaultInjectingBackend::ReadAt(uint64_t offset, void* out, size_t size) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
   const uint64_t idx = reads_++;
   if (read_mode_ == ReadFaultMode::kNone || idx < read_fault_at_ ||
@@ -72,18 +89,57 @@ Status FaultInjectingBackend::ReadAt(uint64_t offset, void* out, size_t size) {
 
 Status FaultInjectingBackend::WriteAt(uint64_t offset, const void* data,
                                       size_t size) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
+  if (size > 0 && offset < durable_size_) SnapshotDurablePrefix();
   return inner_->WriteAt(offset, data, size);
 }
 
 Status FaultInjectingBackend::Truncate(uint64_t size) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
+  if (size < durable_size_) SnapshotDurablePrefix();
   return inner_->Truncate(size);
 }
 
 Status FaultInjectingBackend::Sync() {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
-  return inner_->Sync();
+  const uint64_t idx = syncs_++;
+  if (idx == sync_fault_at_) {
+    fired_ = true;
+    return Status::Internal(
+        "injected fault: fsync failed; backend is dead");
+  }
+  NATIX_RETURN_NOT_OK(inner_->Sync());
+  // Everything on the platter now: the durable image is the live content.
+  durable_snapshot_.reset();
+  if (const Result<uint64_t> s = inner_->Size(); s.ok()) {
+    durable_size_ = *s;
+  }
+  return Status::OK();
+}
+
+void FaultInjectingBackend::SnapshotDurablePrefix() {
+  // Only the FIRST damaging mutation since the last Sync snapshots: at
+  // that moment inner[0, durable_size_) still equals the durable bytes.
+  if (durable_snapshot_.has_value()) return;
+  std::vector<uint8_t> snap(static_cast<size_t>(durable_size_));
+  if (durable_size_ > 0 &&
+      !inner_->ReadAt(0, snap.data(), snap.size()).ok()) {
+    return;  // best effort; the healthy inner backends never fail here
+  }
+  durable_snapshot_ = std::move(snap);
+}
+
+Result<std::vector<uint8_t>> FaultInjectingBackend::DurableImage() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (durable_snapshot_.has_value()) return *durable_snapshot_;
+  NATIX_ASSIGN_OR_RETURN(const uint64_t size, inner_->Size());
+  const uint64_t n = std::min(size, durable_size_);
+  std::vector<uint8_t> out(static_cast<size_t>(n));
+  if (n > 0) NATIX_RETURN_NOT_OK(inner_->ReadAt(0, out.data(), out.size()));
+  return out;
 }
 
 }  // namespace natix

@@ -3,6 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "storage/file_backend.h"
@@ -49,7 +52,22 @@ enum class ReadFaultMode : uint8_t {
 ///
 /// Independently, ArmReadFault() injects read-path faults (bit flips,
 /// short reads, transient EIO) on the Nth ReadAt without killing the
-/// backend -- the tooling behind the integrity layer's read tests.
+/// backend, ArmTransientAppendFault() makes a window of Append() calls
+/// fail Unavailable (flaky device, retry succeeds), and ArmSyncFault()
+/// kills the backend on the Nth Sync() -- an fsync failure is a crash,
+/// exactly like a failed append.
+///
+/// The injector also models *power loss*: it tracks the inner size at
+/// the last successful Sync() (everything past it is an un-fsynced
+/// suffix the platter never saw) and snapshots the durable prefix before
+/// any in-place damage to it, so DurableImage() returns exactly the
+/// bytes that survive pulling the plug.
+///
+/// Thread-safe: every operation and observer serializes on one internal
+/// mutex, so a DurableImage() "plug pull" taken while a background
+/// flusher is appending always lands between whole backend calls --
+/// like a real disk, which stays internally consistent no matter when
+/// the host dies.
 class FaultInjectingBackend : public FileBackend {
  public:
   /// `fault_at`: 0-based index of the Append() call the fault fires on; a
@@ -57,26 +75,64 @@ class FaultInjectingBackend : public FileBackend {
   FaultInjectingBackend(std::unique_ptr<FileBackend> inner, uint64_t fault_at,
                         FaultMode mode, uint64_t seed = 0x5eedull)
       : inner_(std::move(inner)), fault_at_(fault_at), mode_(mode),
-        rng_(seed) {}
+        rng_(seed) {
+    // Pre-existing bytes are assumed durable (they were there before
+    // "power came on").
+    if (const Result<uint64_t> s = inner_->Size(); s.ok()) {
+      durable_size_ = *s;
+    }
+  }
 
-  bool fired() const { return fired_; }
+  bool fired() const { return Locked(fired_); }
   /// Append() calls observed so far; lets a dry run count the workload's
   /// total write ops before the matrix picks fault points.
-  uint64_t append_count() const { return appends_; }
+  uint64_t append_count() const { return Locked(appends_); }
 
   /// Arms a read fault firing on the `fault_at`-th ReadAt (0-based) and,
   /// for the transient modes, on the `count - 1` calls after it.
   void ArmReadFault(ReadFaultMode mode, uint64_t fault_at,
                     uint32_t count = 1) {
+    const std::lock_guard<std::mutex> lock(mu_);
     read_mode_ = mode;
     read_fault_at_ = fault_at;
     read_fault_count_ = count;
   }
 
+  /// Arms transient append failures: the `fault_at`-th Append (0-based)
+  /// and the `count - 1` after it land a random strict prefix and fail
+  /// Unavailable, but the backend stays alive -- a flaky device a
+  /// bounded retry should absorb.
+  void ArmTransientAppendFault(uint64_t fault_at, uint32_t count = 1) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    append_fault_at_ = fault_at;
+    append_fault_count_ = count;
+  }
+
+  /// Arms a fatal fsync failure on the `fault_at`-th Sync() (0-based):
+  /// the call fails and the backend is dead afterwards, like a kill
+  /// fault on Append.
+  void ArmSyncFault(uint64_t fault_at) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    sync_fault_at_ = fault_at;
+  }
+
   /// ReadAt() calls observed so far (faulted or not).
-  uint64_t read_count() const { return reads_; }
+  uint64_t read_count() const { return Locked(reads_); }
   /// Read faults actually injected so far.
-  uint64_t read_faults_fired() const { return read_faults_fired_; }
+  uint64_t read_faults_fired() const { return Locked(read_faults_fired_); }
+  /// Transient append faults actually injected so far.
+  uint64_t append_faults_fired() const { return Locked(append_faults_fired_); }
+  /// Sync() calls observed so far.
+  uint64_t sync_count() const { return Locked(syncs_); }
+
+  /// Inner size at the last successful Sync().
+  uint64_t durable_size() const { return Locked(durable_size_); }
+  /// The bytes that survive power loss right now: the content as of the
+  /// last successful Sync(). Un-fsynced appended suffixes are dropped;
+  /// un-fsynced in-place damage (WriteAt/Truncate into the durable
+  /// prefix) is undone via the pre-damage snapshot. Works after the
+  /// backend died -- that is the point.
+  Result<std::vector<uint8_t>> DurableImage();
 
   Result<uint64_t> Size() override;
   Status Append(const void* data, size_t size) override;
@@ -86,10 +142,22 @@ class FaultInjectingBackend : public FileBackend {
   Status Sync() override;
 
  private:
+  static constexpr uint64_t kNever = ~0ull;
+
   Status Dead() const {
     return Status::Internal("injected fault: backend is dead");
   }
+  /// Copies the still-undamaged durable prefix aside before the first
+  /// un-fsynced in-place mutation touches it. Call with mu_ held.
+  void SnapshotDurablePrefix();
 
+  template <typename T>
+  T Locked(const T& field) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return field;
+  }
+
+  mutable std::mutex mu_;
   std::unique_ptr<FileBackend> inner_;
   uint64_t fault_at_;
   FaultMode mode_;
@@ -102,6 +170,16 @@ class FaultInjectingBackend : public FileBackend {
   uint32_t read_fault_count_ = 1;
   uint64_t reads_ = 0;
   uint64_t read_faults_fired_ = 0;
+
+  uint64_t append_fault_at_ = kNever;
+  uint32_t append_fault_count_ = 0;
+  uint64_t append_faults_fired_ = 0;
+
+  uint64_t sync_fault_at_ = kNever;
+  uint64_t syncs_ = 0;
+
+  uint64_t durable_size_ = 0;
+  std::optional<std::vector<uint8_t>> durable_snapshot_;
 };
 
 }  // namespace natix

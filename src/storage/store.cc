@@ -165,6 +165,13 @@ Result<std::vector<uint8_t>> NatixStore::EncodePartition(
   return builder.Build();
 }
 
+NatixStore::~NatixStore() {
+  // Join the flusher thread while the backend it writes to is still
+  // alive; member destruction order alone cannot guarantee that for
+  // every teardown path.
+  wal_.reset();
+}
+
 Result<NatixStore> NatixStore::Build(ImportedDocument doc,
                                      const Partitioning& partitioning,
                                      TotalWeight limit,
@@ -908,6 +915,11 @@ Result<size_t> NatixStore::RefreshPlacementHints() {
 
 Status NatixStore::LogOp(WalEntryType type,
                          const std::vector<uint8_t>& payload) {
+  // Transient (Unavailable) backend hiccups are retried with backoff
+  // inside the writer; an error surfacing here means the log truly lost
+  // the entry (append failed for good, or -- under kSyncEveryOp -- the
+  // fsync did), so the in-memory store is ahead of the log and must
+  // refuse further mutations.
   Result<uint64_t> lsn = wal_->Append(type, payload);
   if (!lsn.ok()) {
     poisoned_ = true;
@@ -1281,17 +1293,37 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
   return store;
 }
 
-Status NatixStore::EnableDurability(std::unique_ptr<FileBackend> backend) {
+Status NatixStore::EnableDurability(std::unique_ptr<FileBackend> backend,
+                                    SyncPolicy policy) {
   if (wal_ != nullptr) {
     return Status::FailedPrecondition("store already has a WAL attached");
   }
-  NATIX_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Create(backend.get()));
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> writer,
+                         WalWriter::Create(backend.get(), policy));
   backend_ = std::move(backend);
-  wal_ = std::make_unique<WalWriter>(std::move(writer));
+  wal_ = std::move(writer);
+  sync_policy_ = policy;
   wal_record_base_ = manager_.record_bytes_written();
   // The initial checkpoint captures the bulk-loaded store (Build marked
   // every page dirty), making the log self-contained from entry one.
   return Checkpoint();
+}
+
+Status NatixStore::SyncWal() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("store has no WAL attached");
+  }
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "store is poisoned: a WAL write failed; recover from the log");
+  }
+  const Status st = wal_->Sync();
+  if (!st.ok()) {
+    poisoned_ = true;
+    return Status::FailedPrecondition("WAL sync failed (" + st.message() +
+                                      "); store is poisoned");
+  }
+  return Status::OK();
 }
 
 Status NatixStore::Checkpoint() {
@@ -1302,20 +1334,30 @@ Status NatixStore::Checkpoint() {
     return Status::FailedPrecondition(
         "store is poisoned: a WAL write failed; recover from the log");
   }
-  // Any failure past the Begin entry leaves an incomplete checkpoint in
-  // the log. Recovery ignores it, but only as long as nothing else is
-  // appended afterwards -- so every failure here poisons the store.
+  // A failed install leaves at worst an incomplete checkpoint in the
+  // log. Recovery discards it wholesale, but only as long as nothing
+  // else is appended afterwards -- so every failure here poisons the
+  // store.
   auto poison = [this](const Status& st) {
     poisoned_ = true;
     return Status::FailedPrecondition("checkpoint failed (" + st.message() +
                                       "); store is poisoned");
   };
+  // Stage the whole checkpoint (metadata + sealed page images + End) off
+  // the commit path: serialization happens into a side buffer while the
+  // WAL flusher keeps draining ops, then AppendGroup installs it as ONE
+  // backend append + fsync. A crash mid-install leaves a dangling
+  // checkpoint that recovery truncates back to its Begin.
+  //
+  // LSN bookkeeping: the single mutator thread owns LSN assignment (the
+  // flusher only writes already-encoded bytes), so the Begin entry's LSN
+  // -- which the End payload must carry -- is known up front.
+  const uint64_t expect_begin = wal_->next_lsn();
+  std::vector<WalGroupEntry> group;
   std::vector<uint8_t> meta;
   SerializeCheckpointMeta(&meta);
-  const Result<uint64_t> begin_lsn =
-      wal_->Append(WalEntryType::kCheckpointBegin, meta);
-  if (!begin_lsn.ok()) return poison(begin_lsn.status());
   uint64_t bytes = kWalEntryHeaderSize + meta.size();
+  group.push_back({WalEntryType::kCheckpointBegin, std::move(meta)});
   const std::vector<uint32_t> dirty = manager_.buffer().DirtyPagesSorted();
   const uint32_t epoch = static_cast<uint32_t>(version_) + 1;
   for (const uint32_t page_id : dirty) {
@@ -1327,21 +1369,23 @@ Status NatixStore::Checkpoint() {
     const std::vector<uint8_t> cell =
         SealPageCell(epoch, image->data(), image->size());
     w.Raw(cell.data(), cell.size());
-    const Result<uint64_t> lsn =
-        wal_->Append(WalEntryType::kPageImage, payload);
-    if (!lsn.ok()) return poison(lsn.status());
     bytes += kWalEntryHeaderSize + payload.size();
+    group.push_back({WalEntryType::kPageImage, std::move(payload)});
   }
   std::vector<uint8_t> end_payload;
   ByteWriter w(&end_payload);
-  w.U64(*begin_lsn);
+  w.U64(expect_begin);
   w.U64(dirty.size());
-  const Result<uint64_t> end_lsn =
-      wal_->Append(WalEntryType::kCheckpointEnd, end_payload);
-  if (!end_lsn.ok()) return poison(end_lsn.status());
   bytes += kWalEntryHeaderSize + end_payload.size();
-  const Status synced = wal_->Sync();
-  if (!synced.ok()) return poison(synced);
+  group.push_back({WalEntryType::kCheckpointEnd, std::move(end_payload)});
+  const Result<uint64_t> begin_lsn = wal_->AppendGroup(std::move(group));
+  if (!begin_lsn.ok()) return poison(begin_lsn.status());
+  if (*begin_lsn != expect_begin) {
+    return poison(Status::Internal(
+        "checkpoint begin LSN drifted during install (expected " +
+        std::to_string(expect_begin) + ", got " +
+        std::to_string(*begin_lsn) + ")"));
+  }
   manager_.buffer().MarkAllClean();
   wal_checkpoint_bytes_ += bytes;
   ++wal_checkpoints_;
@@ -1565,22 +1609,27 @@ Result<NatixStore> NatixStore::RecoverCore(FileBackend* backend,
 }
 
 Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend,
-                                       RecoveryInfo* info) {
+                                       RecoveryInfo* info,
+                                       SyncPolicy policy) {
   uint64_t valid_end = 0;
   uint64_t next_lsn = 0;
   NATIX_ASSIGN_OR_RETURN(
       NatixStore store,
       RecoverCore(backend.get(), info, &valid_end, &next_lsn));
   // Drop the torn tail (if any) so the re-attached writer appends after
-  // the last valid entry.
+  // the last valid entry -- and fsync the truncation. Without the sync a
+  // second crash right after recovery can resurrect the torn bytes,
+  // which would sit mid-log under freshly appended entries.
   NATIX_ASSIGN_OR_RETURN(const uint64_t log_size, backend->Size());
   if (valid_end < log_size) {
     NATIX_RETURN_NOT_OK(backend->Truncate(valid_end));
+    NATIX_RETURN_NOT_OK(backend->Sync());
   }
-  NATIX_ASSIGN_OR_RETURN(WalWriter writer,
-                         WalWriter::Attach(backend.get(), next_lsn));
+  NATIX_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> writer,
+                         WalWriter::Attach(backend.get(), next_lsn, policy));
   store.backend_ = std::move(backend);
-  store.wal_ = std::make_unique<WalWriter>(std::move(writer));
+  store.wal_ = std::move(writer);
+  store.sync_policy_ = policy;
   store.wal_record_base_ = store.manager_.record_bytes_written();
   return store;
 }
@@ -1601,6 +1650,14 @@ WalStats NatixStore::wal_stats() const {
   s.op_entries = wal_op_entries_;
   s.checkpoints = wal_checkpoints_;
   s.record_bytes = manager_.record_bytes_written() - wal_record_base_;
+  if (wal_ != nullptr) {
+    s.fsyncs = wal_->fsync_count();
+    s.sync_batches = wal_->sync_batch_count();
+    s.synced_entries = wal_->synced_entry_count();
+    s.append_retries = wal_->transient_retry_count();
+    s.last_lsn = wal_->last_lsn();
+    s.durable_lsn = wal_->durable_lsn();
+  }
   return s;
 }
 

@@ -90,6 +90,18 @@ struct WalStats {
   /// Record payload bytes written by the record manager in the same
   /// window -- the denominator of the amplification ratio.
   uint64_t record_bytes = 0;
+  /// Backend fsyncs issued by the WAL writer.
+  uint64_t fsyncs = 0;
+  /// Fsyncs that made at least one new entry durable, and the entries
+  /// they covered; their ratio is the mean commit batch size.
+  uint64_t sync_batches = 0;
+  uint64_t synced_entries = 0;
+  /// Transient (Unavailable) append attempts absorbed by retry.
+  uint64_t append_retries = 0;
+  /// LSN of the last entry logged and the durable watermark: entries
+  /// with LSN <= durable_lsn survive power loss.
+  uint64_t last_lsn = 0;
+  uint64_t durable_lsn = 0;
 
   /// Log bytes per record byte for the op stream alone (checkpoints are
   /// reported separately: their cost is amortized by the checkpoint
@@ -99,6 +111,12 @@ struct WalStats {
                ? 0.0
                : static_cast<double>(op_bytes) /
                      static_cast<double>(record_bytes);
+  }
+  /// Mean entries made durable per effective fsync batch.
+  double MeanBatchOps() const {
+    return sync_batches == 0 ? 0.0
+                             : static_cast<double>(synced_entries) /
+                                   static_cast<double>(sync_batches);
   }
 };
 
@@ -400,8 +418,11 @@ class NatixStore {
   /// Attaches a write-ahead log to the store. The backend must be empty;
   /// an initial checkpoint of the full store is written immediately, so
   /// from this point the log alone reconstructs the store. Every later
-  /// InsertBefore() appends one logical op entry before returning.
-  Status EnableDurability(std::unique_ptr<FileBackend> backend);
+  /// mutation appends one logical op entry before returning; when that
+  /// op is acknowledged durable is the `policy`'s call (see SyncPolicy;
+  /// the default group-commit batches fsyncs across a commit window).
+  Status EnableDurability(std::unique_ptr<FileBackend> backend,
+                          SyncPolicy policy = SyncPolicy());
 
   /// Writes a checkpoint: the store's metadata plus an image of every
   /// page dirtied since the previous checkpoint. Recovery replays only
@@ -417,7 +438,8 @@ class NatixStore {
   /// re-attaches the backend for continued durable operation. `info`
   /// (optional) receives what the scan found, torn tail included.
   static Result<NatixStore> Recover(std::unique_ptr<FileBackend> backend,
-                                    RecoveryInfo* info = nullptr);
+                                    RecoveryInfo* info = nullptr,
+                                    SyncPolicy policy = SyncPolicy());
 
   /// Read-only flavour of Recover() for fsck and the self-healing read
   /// path: restores the checkpoint and replays the op tail exactly like
@@ -432,6 +454,20 @@ class NatixStore {
   /// be ahead of the log, so further mutations are refused.
   bool poisoned() const { return poisoned_; }
   WalStats wal_stats() const;
+
+  /// Sync policy the WAL runs under (meaningful only when durable()).
+  const SyncPolicy& sync_policy() const { return sync_policy_; }
+  /// LSN of the last entry this store logged (0 when non-durable).
+  uint64_t last_wal_lsn() const { return wal_ ? wal_->last_lsn() : 0; }
+  /// The acknowledgement watermark: ops whose entry LSN is <= this are
+  /// fsynced and survive power loss. Under kSyncEveryOp it trails every
+  /// mutation by zero; under kGroupCommit it advances as the flusher
+  /// lands batches; under kSyncOnCheckpoint only checkpoints move it.
+  uint64_t durable_wal_lsn() const { return wal_ ? wal_->durable_lsn() : 0; }
+  /// Flushes and fsyncs every logged entry; on success every prior
+  /// mutation is durable. A failed sync poisons the store exactly like
+  /// a failed append.
+  Status SyncWal();
 
   size_t record_count() const { return records_.size(); }
   size_t page_count() const { return manager_.page_count(); }
@@ -450,6 +486,15 @@ class NatixStore {
   uint64_t payload_bytes() const { return manager_.payload_bytes(); }
   TotalWeight limit() const { return limit_; }
   UpdateStats update_stats() const;
+
+  /// Joins the WAL flusher thread (via `wal_`) before any other member --
+  /// in particular `backend_`, which the flusher writes to -- is torn
+  /// down. The moves stay defaulted; they are safe because `wal_` is
+  /// declared before `backend_`, so move-assignment retires the old
+  /// WalWriter (joining its flusher) before the old backend can be freed.
+  ~NatixStore();
+  NatixStore(NatixStore&&) = default;
+  NatixStore& operator=(NatixStore&&) = default;
 
  private:
   NatixStore() = default;
@@ -572,9 +617,13 @@ class NatixStore {
   uint64_t records_rewritten_ = 0;
   uint64_t records_created_ = 0;
 
-  // Durability (all null/zero for a plain in-memory store).
-  std::unique_ptr<FileBackend> backend_;
+  // Durability (all null/zero for a plain in-memory store). Order
+  // matters: `wal_` must precede `backend_` so defaulted move-assignment
+  // joins the old writer's flusher thread before freeing the backend it
+  // writes to (the destructor resets `wal_` first for the same reason).
   std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<FileBackend> backend_;
+  SyncPolicy sync_policy_;
   bool poisoned_ = false;
   /// Set while recovery replays the op tail, so the replayed
   /// InsertBefore() calls do not log themselves again.

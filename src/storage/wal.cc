@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <ctime>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -19,9 +20,35 @@ uint32_t EntryCrc(uint64_t lsn, uint32_t type, const uint8_t* payload,
   const uint32_t crc = Crc32(hdr, sizeof(hdr));
   return Crc32(payload, payload_len, crc);
 }
+
+/// Appends one encoded entry to `buf`.
+void EncodeEntry(std::vector<uint8_t>* buf, uint64_t lsn, WalEntryType type,
+                 const std::vector<uint8_t>& payload) {
+  const uint32_t type_raw = static_cast<uint32_t>(type);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = EntryCrc(lsn, type_raw, payload.data(), payload.size());
+  buf->reserve(buf->size() + kWalEntryHeaderSize + payload.size());
+  ByteWriter w(buf);
+  w.U64(lsn);
+  w.U32(type_raw);
+  w.U32(len);
+  w.U32(crc);
+  if (!payload.empty()) w.Raw(payload.data(), payload.size());
+}
+
+/// Transient-failure budget, mirroring the FilePageSource read path: a
+/// kUnavailable backend is a flaky-but-alive device, worth a few retries
+/// with exponential backoff before giving up.
+constexpr int kMaxWalAppendRetries = 4;
+
+void AppendRetryBackoff(int attempt) {
+  struct timespec ts = {0, 10'000L << attempt};  // 10us, 20us, 40us, 80us
+  ::nanosleep(&ts, nullptr);
+}
 }  // namespace
 
-Result<WalWriter> WalWriter::Create(FileBackend* backend) {
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(FileBackend* backend,
+                                                     SyncPolicy policy) {
   NATIX_ASSIGN_OR_RETURN(const uint64_t size, backend->Size());
   if (size != 0) {
     return Status::FailedPrecondition(
@@ -29,12 +56,15 @@ Result<WalWriter> WalWriter::Create(FileBackend* backend) {
         std::to_string(size) + " bytes); recover it instead");
   }
   NATIX_RETURN_NOT_OK(backend->Append(kWalMagic, sizeof(kWalMagic)));
-  WalWriter writer(backend, 1);
-  writer.bytes_written_ = sizeof(kWalMagic);
+  std::unique_ptr<WalWriter> writer(new WalWriter(backend, 1, policy));
+  writer->bytes_written_ = sizeof(kWalMagic);
+  writer->StartFlusher();
   return writer;
 }
 
-Result<WalWriter> WalWriter::Attach(FileBackend* backend, uint64_t next_lsn) {
+Result<std::unique_ptr<WalWriter>> WalWriter::Attach(FileBackend* backend,
+                                                     uint64_t next_lsn,
+                                                     SyncPolicy policy) {
   NATIX_ASSIGN_OR_RETURN(const uint64_t size, backend->Size());
   if (size < kWalHeaderSize) {
     return Status::FailedPrecondition("cannot attach to a log with no header");
@@ -42,29 +72,271 @@ Result<WalWriter> WalWriter::Attach(FileBackend* backend, uint64_t next_lsn) {
   if (next_lsn == 0) {
     return Status::InvalidArgument("next_lsn must be positive");
   }
-  return WalWriter(backend, next_lsn);
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(backend, next_lsn, policy));
+  writer->StartFlusher();
+  return writer;
+}
+
+void WalWriter::StartFlusher() {
+  if (policy_.mode == SyncPolicy::Mode::kGroupCommit) {
+    flusher_ = std::thread(&WalWriter::FlusherMain, this);
+  }
+}
+
+WalWriter::~WalWriter() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutdown_ = true;
+    flusher_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  // Clean-shutdown flush: make buffered / appended-but-unsynced entries
+  // durable. A dead writer (sticky io_error_) is left as-is.
+  std::unique_lock<std::mutex> l(mu_);
+  if (io_error_.ok() &&
+      (pending_entries_ > 0 || durable_lsn_ < appended_lsn_)) {
+    (void)WaitDurableLocked(l, buffered_lsn_);
+  }
+}
+
+Status WalWriter::RetryingAppend(const uint8_t* data, size_t size,
+                                 uint64_t* retries) {
+  NATIX_ASSIGN_OR_RETURN(const uint64_t base, backend_->Size());
+  Status st = Status::OK();
+  for (int attempt = 0;; ++attempt) {
+    st = backend_->Append(data, size);
+    if (st.ok() || st.code() != StatusCode::kUnavailable ||
+        attempt >= kMaxWalAppendRetries) {
+      break;
+    }
+    ++*retries;
+    AppendRetryBackoff(attempt);
+    // A failed attempt may have landed a prefix; drop it so the retry
+    // does not splice duplicate bytes into the middle of the log.
+    NATIX_RETURN_NOT_OK(backend_->Truncate(base));
+  }
+  return st;
+}
+
+Status WalWriter::FlushBatchLocked(std::unique_lock<std::mutex>& lock) {
+  while (flushing_) durable_cv_.wait(lock);
+  NATIX_RETURN_NOT_OK(io_error_);
+  if (pending_entries_ == 0 && durable_lsn_ >= appended_lsn_) {
+    return Status::OK();
+  }
+  std::vector<uint8_t> batch;
+  batch.swap(pending_);
+  pending_entries_ = 0;
+  const uint64_t target_lsn = buffered_lsn_;
+  const uint64_t durable_before = durable_lsn_;
+  flushing_ = true;
+  lock.unlock();
+  uint64_t retries = 0;
+  Status st = Status::OK();
+  if (!batch.empty()) st = RetryingAppend(batch.data(), batch.size(), &retries);
+  if (st.ok()) st = backend_->Sync();
+  lock.lock();
+  flushing_ = false;
+  transient_retries_ += retries;
+  if (st.ok()) {
+    ++fsyncs_;
+    bytes_written_ += batch.size();
+    if (target_lsn > appended_lsn_) appended_lsn_ = target_lsn;
+    if (target_lsn > durable_lsn_) durable_lsn_ = target_lsn;
+    const uint64_t covered = durable_lsn_ - durable_before;
+    if (covered > 0) {
+      ++sync_batches_;
+      synced_entries_ += covered;
+    }
+  } else {
+    io_error_ = st;
+  }
+  durable_cv_.notify_all();
+  return st;
+}
+
+Status WalWriter::WaitDurableLocked(std::unique_lock<std::mutex>& lock,
+                                    uint64_t lsn) {
+  if (lsn > buffered_lsn_) lsn = buffered_lsn_;
+  while (durable_lsn_ < lsn) {
+    NATIX_RETURN_NOT_OK(io_error_);
+    if (flushing_) {
+      durable_cv_.wait(lock);
+      continue;
+    }
+    NATIX_RETURN_NOT_OK(FlushBatchLocked(lock));
+  }
+  return io_error_;
+}
+
+void WalWriter::FlusherMain() {
+  std::unique_lock<std::mutex> l(mu_);
+  const auto window = std::chrono::microseconds(policy_.window_us);
+  while (true) {
+    flusher_cv_.wait(l, [&] {
+      return shutdown_ || (pending_entries_ > 0 && io_error_.ok());
+    });
+    if (shutdown_) return;  // the destructor drains the remainder
+    // Let the commit window fill unless a size threshold already
+    // tripped; new appends re-signal, so thresholds are re-checked.
+    const auto deadline = pending_since_ + window;
+    while (!shutdown_ && io_error_.ok() && pending_entries_ > 0 &&
+           pending_entries_ < policy_.max_ops &&
+           pending_.size() < policy_.max_bytes &&
+           std::chrono::steady_clock::now() < deadline) {
+      flusher_cv_.wait_until(l, deadline);
+    }
+    if (shutdown_) return;
+    if (pending_entries_ > 0 && io_error_.ok()) {
+      (void)FlushBatchLocked(l);
+    }
+  }
 }
 
 Result<uint64_t> WalWriter::Append(WalEntryType type,
                                    const std::vector<uint8_t>& payload) {
+  std::unique_lock<std::mutex> l(mu_);
+  NATIX_RETURN_NOT_OK(io_error_);
   const uint64_t lsn = next_lsn_;
-  const uint32_t type_raw = static_cast<uint32_t>(type);
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  const uint32_t crc = EntryCrc(lsn, type_raw, payload.data(), payload.size());
-  // One buffer, one backend Append: the entry either lands whole or is a
-  // torn tail the reader can detect.
-  std::vector<uint8_t> buf;
-  buf.reserve(kWalEntryHeaderSize + payload.size());
-  ByteWriter w(&buf);
-  w.U64(lsn);
-  w.U32(type_raw);
-  w.U32(len);
-  w.U32(crc);
-  if (!payload.empty()) w.Raw(payload.data(), payload.size());
-  NATIX_RETURN_NOT_OK(backend_->Append(buf.data(), buf.size()));
+
+  if (policy_.mode == SyncPolicy::Mode::kSyncOnCheckpoint) {
+    // Legacy unbuffered path: one entry is exactly one backend Append
+    // (an independent fault-injection point), nothing is fsynced.
+    std::vector<uint8_t> buf;
+    EncodeEntry(&buf, lsn, type, payload);
+    while (flushing_) durable_cv_.wait(l);
+    NATIX_RETURN_NOT_OK(io_error_);
+    flushing_ = true;
+    l.unlock();
+    uint64_t retries = 0;
+    const Status st = RetryingAppend(buf.data(), buf.size(), &retries);
+    l.lock();
+    flushing_ = false;
+    transient_retries_ += retries;
+    if (!st.ok()) {
+      io_error_ = st;
+      durable_cv_.notify_all();
+      return st;
+    }
+    ++next_lsn_;
+    buffered_lsn_ = lsn;
+    appended_lsn_ = lsn;
+    bytes_written_ += buf.size();
+    durable_cv_.notify_all();
+    return lsn;
+  }
+
+  EncodeEntry(&pending_, lsn, type, payload);
+  if (pending_entries_++ == 0) {
+    pending_since_ = std::chrono::steady_clock::now();
+  }
   ++next_lsn_;
-  bytes_written_ += buf.size();
+  buffered_lsn_ = lsn;
+  if (policy_.mode == SyncPolicy::Mode::kSyncEveryOp) {
+    NATIX_RETURN_NOT_OK(WaitDurableLocked(l, lsn));
+    return lsn;
+  }
+  // kGroupCommit: hand the batch to the flusher; the caller acknowledges
+  // via the durable watermark.
+  flusher_cv_.notify_one();
   return lsn;
+}
+
+Result<uint64_t> WalWriter::AppendGroup(std::vector<WalGroupEntry> entries) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("empty WAL entry group");
+  }
+  std::unique_lock<std::mutex> l(mu_);
+  while (flushing_) durable_cv_.wait(l);
+  NATIX_RETURN_NOT_OK(io_error_);
+  // Stage buffered ops (earlier LSNs) plus the whole group as one
+  // buffer: a single backend Append is the atomic install.
+  std::vector<uint8_t> buf;
+  buf.swap(pending_);
+  pending_entries_ = 0;
+  const uint64_t first = next_lsn_;
+  for (const WalGroupEntry& e : entries) {
+    EncodeEntry(&buf, next_lsn_, e.type, e.payload);
+    buffered_lsn_ = next_lsn_++;
+  }
+  const uint64_t target_lsn = buffered_lsn_;
+  const uint64_t durable_before = durable_lsn_;
+  flushing_ = true;
+  l.unlock();
+  uint64_t retries = 0;
+  Status st = RetryingAppend(buf.data(), buf.size(), &retries);
+  if (st.ok()) st = backend_->Sync();
+  l.lock();
+  flushing_ = false;
+  transient_retries_ += retries;
+  if (!st.ok()) {
+    io_error_ = st;
+    durable_cv_.notify_all();
+    return st;
+  }
+  ++fsyncs_;
+  bytes_written_ += buf.size();
+  appended_lsn_ = target_lsn;
+  durable_lsn_ = target_lsn;
+  const uint64_t covered = target_lsn - durable_before;
+  if (covered > 0) {
+    ++sync_batches_;
+    synced_entries_ += covered;
+  }
+  durable_cv_.notify_all();
+  return first;
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> l(mu_);
+  NATIX_RETURN_NOT_OK(io_error_);
+  return WaitDurableLocked(l, buffered_lsn_);
+}
+
+Status WalWriter::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> l(mu_);
+  return WaitDurableLocked(l, lsn);
+}
+
+uint64_t WalWriter::durable_lsn() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return durable_lsn_;
+}
+
+uint64_t WalWriter::last_lsn() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return buffered_lsn_;
+}
+
+uint64_t WalWriter::next_lsn() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return next_lsn_;
+}
+
+uint64_t WalWriter::bytes_written() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return bytes_written_;
+}
+
+uint64_t WalWriter::fsync_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return fsyncs_;
+}
+
+uint64_t WalWriter::sync_batch_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sync_batches_;
+}
+
+uint64_t WalWriter::synced_entry_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return synced_entries_;
+}
+
+uint64_t WalWriter::transient_retry_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return transient_retries_;
 }
 
 Result<WalReader> WalReader::Open(FileBackend* backend) {

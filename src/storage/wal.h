@@ -1,8 +1,14 @@
 #ifndef NATIX_STORAGE_WAL_H_
 #define NATIX_STORAGE_WAL_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -40,6 +46,74 @@ struct WalEntry {
   std::vector<uint8_t> payload;
 };
 
+/// When the writer fsyncs, i.e. when an appended entry becomes durable
+/// and may be acknowledged. The contract: an entry survives power loss
+/// iff its LSN is <= durable_lsn() at the moment of the crash.
+struct SyncPolicy {
+  enum class Mode : uint8_t {
+    /// Fsync before every Append() returns. Strongest guarantee, one
+    /// fsync per op: Append() == acknowledgement.
+    kSyncEveryOp = 0,
+    /// Buffer entries in memory; a background flusher appends and
+    /// fsyncs a whole batch once `window_us` elapses or `max_ops` /
+    /// `max_bytes` accumulate. Append() returns immediately with the
+    /// LSN; the op is acknowledged durable only once durable_lsn()
+    /// reaches it (WaitDurable / Sync). One fsync covers many ops.
+    kGroupCommit = 1,
+    /// Legacy behavior, unsafe by default: every entry is appended
+    /// unbuffered (one entry = one backend Append, an independent
+    /// fault-injection point) but nothing is fsynced until an explicit
+    /// Sync() -- in practice the next checkpoint. Every op since the
+    /// last checkpoint can vanish on power failure.
+    kSyncOnCheckpoint = 2,
+  };
+
+  Mode mode = Mode::kGroupCommit;
+  /// kGroupCommit: max time an entry waits in the buffer before its
+  /// batch is flushed and fsynced.
+  uint32_t window_us = 200;
+  /// kGroupCommit: flush as soon as this many entries are buffered...
+  uint32_t max_ops = 64;
+  /// ...or this many buffered bytes.
+  uint32_t max_bytes = 1u << 20;
+
+  static SyncPolicy EveryOp() {
+    SyncPolicy p;
+    p.mode = Mode::kSyncEveryOp;
+    return p;
+  }
+  static SyncPolicy GroupCommit(uint32_t window_us = 200,
+                                uint32_t max_ops = 64,
+                                uint32_t max_bytes = 1u << 20) {
+    SyncPolicy p;
+    p.mode = Mode::kGroupCommit;
+    p.window_us = window_us;
+    p.max_ops = max_ops == 0 ? 1 : max_ops;
+    p.max_bytes = max_bytes == 0 ? 1 : max_bytes;
+    return p;
+  }
+  static SyncPolicy OnCheckpoint() {
+    SyncPolicy p;
+    p.mode = Mode::kSyncOnCheckpoint;
+    return p;
+  }
+
+  const char* ModeName() const {
+    switch (mode) {
+      case Mode::kSyncEveryOp: return "every_op";
+      case Mode::kGroupCommit: return "group_commit";
+      case Mode::kSyncOnCheckpoint: return "sync_on_checkpoint";
+    }
+    return "unknown";
+  }
+};
+
+/// One staged entry of an atomically installed group (checkpoints).
+struct WalGroupEntry {
+  WalEntryType type;
+  std::vector<uint8_t> payload;
+};
+
 /// On-disk format. The file opens with an 8-byte magic, then entries:
 ///   [lsn u64][type u32][payload_len u32][crc u32][payload bytes]
 /// with crc = CRC32 over (lsn, type, payload). LSNs are assigned 1, 2,
@@ -51,35 +125,132 @@ inline constexpr uint8_t kWalMagic[8] = {'N', 'A', 'T', 'X',
 inline constexpr size_t kWalHeaderSize = 8;
 inline constexpr size_t kWalEntryHeaderSize = 20;
 
-/// Appends entries to the log. One WAL entry is exactly one backend
-/// Append(), so every entry is an independent fault-injection point.
+/// Appends entries to the log under a SyncPolicy and tracks the durable
+/// watermark. There is one logical writer (the store mutator); under
+/// kGroupCommit a dedicated flusher thread batches the backend Append +
+/// fsync across a commit window, so every member is mutex-guarded.
+///
+/// Transient backend failures (StatusCode::kUnavailable -- a flaky but
+/// alive device) are retried with exponential backoff, truncating back
+/// to the pre-append offset between attempts so a half-landed attempt is
+/// never duplicated. Any other failure -- and transient exhaustion -- is
+/// sticky: the writer is dead and every later call returns the error.
 class WalWriter {
  public:
   /// Starts a fresh log on an empty backend (writes the magic).
-  static Result<WalWriter> Create(FileBackend* backend);
+  static Result<std::unique_ptr<WalWriter>> Create(
+      FileBackend* backend, SyncPolicy policy = SyncPolicy());
 
   /// Continues an existing log after recovery: the next entry gets
   /// `next_lsn`. The backend must already hold a valid log prefix.
-  static Result<WalWriter> Attach(FileBackend* backend, uint64_t next_lsn);
+  static Result<std::unique_ptr<WalWriter>> Attach(
+      FileBackend* backend, uint64_t next_lsn,
+      SyncPolicy policy = SyncPolicy());
 
-  /// Appends one entry; returns its LSN.
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one entry; returns its LSN. Durability of the returned LSN
+  /// depends on the policy: kSyncEveryOp returns only once the entry is
+  /// fsynced; kGroupCommit returns immediately (ack via WaitDurable /
+  /// durable_lsn); kSyncOnCheckpoint appends unbuffered and unsynced.
   Result<uint64_t> Append(WalEntryType type,
                           const std::vector<uint8_t>& payload);
 
-  Status Sync() { return backend_->Sync(); }
+  /// Atomically installs a group of entries with consecutive LSNs as
+  /// ONE backend append followed by one fsync, flushing any buffered
+  /// ops (earlier LSNs) in the same write so on-disk order matches LSN
+  /// order. Used for checkpoints: the group is staged in memory off the
+  /// commit path, and a crash mid-install leaves a dangling checkpoint
+  /// that recovery discards wholesale. Returns the first entry's LSN.
+  Result<uint64_t> AppendGroup(std::vector<WalGroupEntry> entries);
 
-  uint64_t next_lsn() const { return next_lsn_; }
+  /// Flushes every buffered entry and fsyncs; on return every appended
+  /// LSN is durable (durable_lsn() == last_lsn()) or the writer is dead.
+  Status Sync();
+
+  /// Blocks until `lsn` is durable or the writer dies. Drives the flush
+  /// inline when no flusher thread exists.
+  Status WaitDurable(uint64_t lsn);
+
+  /// Highest LSN known fsynced -- the acknowledgement watermark.
+  uint64_t durable_lsn() const;
+  /// LSN of the last entry accepted by Append/AppendGroup.
+  uint64_t last_lsn() const;
+
+  uint64_t next_lsn() const;
   /// Total log bytes this writer has appended (headers + payloads), the
   /// numerator of the write-amplification metric.
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const;
+
+  const SyncPolicy& policy() const { return policy_; }
+  /// Number of backend Sync() calls issued.
+  uint64_t fsync_count() const;
+  /// Fsyncs that made at least one new entry durable, and the entries
+  /// they covered: synced_entry_count / sync_batch_count is the mean
+  /// commit batch size.
+  uint64_t sync_batch_count() const;
+  uint64_t synced_entry_count() const;
+  /// Transient (kUnavailable) append attempts absorbed by retry.
+  uint64_t transient_retry_count() const;
 
  private:
-  WalWriter(FileBackend* backend, uint64_t next_lsn)
-      : backend_(backend), next_lsn_(next_lsn) {}
+  WalWriter(FileBackend* backend, uint64_t next_lsn, SyncPolicy policy)
+      : backend_(backend),
+        policy_(policy),
+        next_lsn_(next_lsn),
+        buffered_lsn_(next_lsn - 1),
+        appended_lsn_(next_lsn - 1),
+        durable_lsn_(next_lsn - 1) {}
+
+  void StartFlusher();
+  void FlusherMain();
+  /// Appends with bounded retry of transient failures. Called with the
+  /// lock released and flushing_ held by this thread (exclusive backend
+  /// access); `retries` accumulates absorbed attempts.
+  Status RetryingAppend(const uint8_t* data, size_t size,
+                        uint64_t* retries);
+  /// Swaps out the pending buffer, appends + fsyncs it with the lock
+  /// released, then advances durable_lsn_. Also issues a bare fsync
+  /// when entries are appended but unsynced (kSyncOnCheckpoint).
+  Status FlushBatchLocked(std::unique_lock<std::mutex>& lock);
+  /// Blocks until durable_lsn_ >= lsn, flushing inline as needed.
+  Status WaitDurableLocked(std::unique_lock<std::mutex>& lock,
+                           uint64_t lsn);
 
   FileBackend* backend_;
-  uint64_t next_lsn_;
+  const SyncPolicy policy_;
+
+  mutable std::mutex mu_;
+  /// Wakes the flusher thread (new pending data / shutdown).
+  std::condition_variable flusher_cv_;
+  /// Wakes WaitDurable waiters and threads queued behind flushing_.
+  std::condition_variable durable_cv_;
+
+  /// Encoded entries not yet handed to the backend.
+  std::vector<uint8_t> pending_;
+  uint64_t pending_entries_ = 0;
+  std::chrono::steady_clock::time_point pending_since_{};
+
+  uint64_t next_lsn_;      // next LSN to assign
+  uint64_t buffered_lsn_;  // last LSN accepted (buffered or appended)
+  uint64_t appended_lsn_;  // last LSN handed to backend Append
+  uint64_t durable_lsn_;   // last LSN known fsynced
+  /// True while a thread runs backend I/O with the lock released; all
+  /// backend access is serialized through this flag.
+  bool flushing_ = false;
+  bool shutdown_ = false;
+  /// Sticky first I/O failure; the writer is dead once set.
+  Status io_error_ = Status::OK();
+
   uint64_t bytes_written_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t sync_batches_ = 0;
+  uint64_t synced_entries_ = 0;
+  uint64_t transient_retries_ = 0;
+
+  std::thread flusher_;
 };
 
 /// Scans a log front to back, stopping at the first invalid entry. After

@@ -288,6 +288,9 @@ TEST(StoreEvictTest, CheckpointAndRecoverReleasedStore) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(store.InsertBefore(0, kInvalidNode, "c").ok());
   }
+  // Recovery below reads the shared disk while the store is still alive;
+  // drain the group-commit buffer so the tail ops are on it.
+  ASSERT_TRUE(store.SyncWal().ok());
   ASSERT_TRUE(store.ReleaseDocument().ok());
 
   Result<NatixStore> recovered =

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/crc32.h"
@@ -44,12 +47,15 @@ TEST(Crc32Test, SeedChainsIncrementally) {
 TEST(WalTest, RoundTripsEntries) {
   MemoryFileBackend* mem = new MemoryFileBackend();
   std::unique_ptr<FileBackend> backend(mem);
-  Result<WalWriter> writer = WalWriter::Create(backend.get());
+  // The unbuffered legacy policy: every entry hits the backend inside
+  // Append(), so the reader below needs no flush.
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Create(backend.get(), SyncPolicy::OnCheckpoint());
   ASSERT_TRUE(writer.ok()) << writer.status().ToString();
-  EXPECT_EQ(*writer->Append(WalEntryType::kInsertOp, {1, 2, 3}), 1u);
-  EXPECT_EQ(*writer->Append(WalEntryType::kCheckpointBegin, {}), 2u);
-  EXPECT_EQ(*writer->Append(WalEntryType::kPageImage,
-                            std::vector<uint8_t>(100, 7)),
+  EXPECT_EQ(*(*writer)->Append(WalEntryType::kInsertOp, {1, 2, 3}), 1u);
+  EXPECT_EQ(*(*writer)->Append(WalEntryType::kCheckpointBegin, {}), 2u);
+  EXPECT_EQ(*(*writer)->Append(WalEntryType::kPageImage,
+                               std::vector<uint8_t>(100, 7)),
             3u);
 
   Result<WalReader> reader = WalReader::Open(backend.get());
@@ -82,13 +88,14 @@ TEST(WalTest, RefusesFreshLogOnNonEmptyBackend) {
 TEST(WalTest, TornTailStopsAtLastValidEntry) {
   auto disk = std::make_shared<MemoryFileBackend::Bytes>();
   MemoryFileBackend backend(disk);
-  Result<WalWriter> writer = WalWriter::Create(&backend);
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Create(&backend, SyncPolicy::OnCheckpoint());
   ASSERT_TRUE(writer.ok());
-  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {1}).ok());
-  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {2, 2}).ok());
+  ASSERT_TRUE((*writer)->Append(WalEntryType::kInsertOp, {1}).ok());
+  ASSERT_TRUE((*writer)->Append(WalEntryType::kInsertOp, {2, 2}).ok());
   const uint64_t end_of_two = disk->size();
   ASSERT_TRUE(
-      writer->Append(WalEntryType::kInsertOp, std::vector<uint8_t>(40, 3))
+      (*writer)->Append(WalEntryType::kInsertOp, std::vector<uint8_t>(40, 3))
           .ok());
   // Chop the log mid-way through the third entry.
   disk->resize(disk->size() - 25);
@@ -109,9 +116,11 @@ TEST(WalTest, TornTailStopsAtLastValidEntry) {
 
   // The standard recovery move: truncate the torn tail and keep going.
   ASSERT_TRUE(backend.Truncate(reader->valid_end()).ok());
-  Result<WalWriter> attach = WalWriter::Attach(&backend, reader->next_lsn());
+  Result<std::unique_ptr<WalWriter>> attach =
+      WalWriter::Attach(&backend, reader->next_lsn(),
+                        SyncPolicy::OnCheckpoint());
   ASSERT_TRUE(attach.ok());
-  EXPECT_EQ(*attach->Append(WalEntryType::kInsertOp, {9}), 3u);
+  EXPECT_EQ(*(*attach)->Append(WalEntryType::kInsertOp, {9}), 3u);
   Result<WalReader> again = WalReader::Open(&backend);
   ASSERT_TRUE(again.ok());
   int count = 0;
@@ -128,10 +137,11 @@ TEST(WalTest, TornTailStopsAtLastValidEntry) {
 TEST(WalTest, CorruptCrcEndsTheValidPrefix) {
   auto disk = std::make_shared<MemoryFileBackend::Bytes>();
   MemoryFileBackend backend(disk);
-  Result<WalWriter> writer = WalWriter::Create(&backend);
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Create(&backend, SyncPolicy::OnCheckpoint());
   ASSERT_TRUE(writer.ok());
-  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {1, 1, 1}).ok());
-  ASSERT_TRUE(writer->Append(WalEntryType::kInsertOp, {2, 2, 2}).ok());
+  ASSERT_TRUE((*writer)->Append(WalEntryType::kInsertOp, {1, 1, 1}).ok());
+  ASSERT_TRUE((*writer)->Append(WalEntryType::kInsertOp, {2, 2, 2}).ok());
   // Flip one payload byte of the second entry.
   disk->back() ^= 0xFF;
   Result<WalReader> reader = WalReader::Open(&backend);
@@ -150,6 +160,153 @@ TEST(WalTest, OpenRejectsMissingOrBadMagic) {
   MemoryFileBackend bad;
   ASSERT_TRUE(bad.Append("NOTAWAL0", 8).ok());
   EXPECT_FALSE(WalReader::Open(&bad).ok());
+}
+
+// ---------------------------------------------- group-commit engine -----
+
+/// Replays a raw log image and counts its valid entries.
+int CountValidEntries(const std::vector<uint8_t>& image, bool* torn) {
+  MemoryFileBackend replay(
+      std::make_shared<MemoryFileBackend::Bytes>(image));
+  Result<WalReader> reader = WalReader::Open(&replay);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  if (!reader.ok()) return -1;
+  int seen = 0;
+  while (true) {
+    Result<std::optional<WalEntry>> e = reader->Next();
+    EXPECT_TRUE(e.ok());
+    if (!e.ok() || !e->has_value()) break;
+    ++seen;
+  }
+  if (torn != nullptr) *torn = reader->tail_is_torn();
+  return seen;
+}
+
+TEST(WalGroupCommitTest, EveryOpPolicySyncsBeforeAcknowledging) {
+  FaultInjectingBackend backend(std::make_unique<MemoryFileBackend>(),
+                                /*fault_at=*/~0ull, FaultMode::kFailStop);
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Create(&backend, SyncPolicy::EveryOp());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (uint64_t i = 1; i <= 5; ++i) {
+    Result<uint64_t> lsn =
+        (*writer)->Append(WalEntryType::kInsertOp, {static_cast<uint8_t>(i)});
+    ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+    EXPECT_EQ(*lsn, i);
+    // The acknowledgement contract: by the time Append returns, the
+    // entry is fsynced -- the durable watermark covers it.
+    EXPECT_EQ((*writer)->durable_lsn(), i);
+  }
+  EXPECT_GE((*writer)->fsync_count(), 5u);
+  // Pull the plug right now: the durable image must replay all five.
+  Result<std::vector<uint8_t>> image = backend.DurableImage();
+  ASSERT_TRUE(image.ok());
+  bool torn = true;
+  EXPECT_EQ(CountValidEntries(*image, &torn), 5);
+  EXPECT_FALSE(torn);
+}
+
+TEST(WalGroupCommitTest, GroupCommitBatchesEntriesPerFsync) {
+  MemoryFileBackend backend;
+  // A far-future window with max_ops = 4: batches form on the op
+  // threshold (or the final explicit Sync), never on the clock, so the
+  // arithmetic below is timing-independent.
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Create(
+      &backend, SyncPolicy::GroupCommit(/*window_us=*/60'000'000,
+                                        /*max_ops=*/4,
+                                        /*max_bytes=*/1u << 20));
+  ASSERT_TRUE(writer.ok());
+  for (uint64_t i = 1; i <= 8; ++i) {
+    Result<uint64_t> lsn =
+        (*writer)->Append(WalEntryType::kInsertOp, {static_cast<uint8_t>(i)});
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(*lsn, i);  // acked immediately with the assigned LSN
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->durable_lsn(), 8u);
+  EXPECT_EQ((*writer)->last_lsn(), 8u);
+  EXPECT_EQ((*writer)->synced_entry_count(), 8u);
+  // Batching must beat one-fsync-per-op: at least one batch held >= 4
+  // entries, so there are strictly fewer batches than entries.
+  EXPECT_GE((*writer)->sync_batch_count(), 1u);
+  EXPECT_LT((*writer)->sync_batch_count(), 8u);
+}
+
+TEST(WalGroupCommitTest, BackgroundFlusherAdvancesWatermarkWithoutSync) {
+  MemoryFileBackend backend;
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Create(
+      &backend, SyncPolicy::GroupCommit(/*window_us=*/100, /*max_ops=*/64,
+                                        /*max_bytes=*/1u << 20));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(WalEntryType::kInsertOp, {1, 2, 3}).ok());
+  // No explicit Sync: the flusher thread alone must land the entry once
+  // the commit window elapses. Bounded spin, fails by deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((*writer)->durable_lsn() < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "flusher never made the entry durable";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE((*writer)->fsync_count(), 1u);
+  EXPECT_TRUE((*writer)->WaitDurable(1).ok());
+}
+
+TEST(WalGroupCommitTest, TransientAppendFaultsAreRetriedWithoutDuplication) {
+  FaultInjectingBackend backend(std::make_unique<MemoryFileBackend>(),
+                                /*fault_at=*/~0ull, FaultMode::kFailStop);
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Create(&backend, SyncPolicy::EveryOp());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(WalEntryType::kInsertOp, {1}).ok());
+  // The next two append attempts fail transiently, each possibly landing
+  // a partial prefix the writer must truncate away before retrying.
+  backend.ArmTransientAppendFault(backend.append_count(), 2);
+  Result<uint64_t> lsn = (*writer)->Append(WalEntryType::kInsertOp, {2, 2});
+  ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+  EXPECT_EQ(*lsn, 2u);
+  EXPECT_EQ(backend.append_faults_fired(), 2u);
+  EXPECT_EQ((*writer)->transient_retry_count(), 2u);
+  EXPECT_EQ((*writer)->durable_lsn(), 2u);
+  // No duplicated or half-landed bytes: the log replays as exactly two
+  // intact entries.
+  Result<std::vector<uint8_t>> image = backend.DurableImage();
+  ASSERT_TRUE(image.ok());
+  bool torn = true;
+  EXPECT_EQ(CountValidEntries(*image, &torn), 2);
+  EXPECT_FALSE(torn);
+}
+
+TEST(WalGroupCommitTest, TransientFaultStormExhaustsRetriesAndKills) {
+  FaultInjectingBackend backend(std::make_unique<MemoryFileBackend>(),
+                                /*fault_at=*/~0ull, FaultMode::kFailStop);
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Create(&backend, SyncPolicy::EveryOp());
+  ASSERT_TRUE(writer.ok());
+  // Wider than the retry budget: the append must fail for good.
+  backend.ArmTransientAppendFault(backend.append_count(), 64);
+  EXPECT_FALSE((*writer)->Append(WalEntryType::kInsertOp, {1}).ok());
+  EXPECT_EQ((*writer)->durable_lsn(), 0u);
+  // Sticky: the writer stays dead even once the backend heals.
+  backend.ArmTransientAppendFault(~0ull, 0);
+  EXPECT_FALSE((*writer)->Append(WalEntryType::kInsertOp, {2}).ok());
+  EXPECT_FALSE((*writer)->Sync().ok());
+}
+
+TEST(WalGroupCommitTest, FsyncFailureIsStickyAndFatal) {
+  FaultInjectingBackend backend(std::make_unique<MemoryFileBackend>(),
+                                /*fault_at=*/~0ull, FaultMode::kFailStop);
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Create(&backend, SyncPolicy::EveryOp());
+  ASSERT_TRUE(writer.ok());
+  backend.ArmSyncFault(backend.sync_count());
+  // The entry appends fine; the fsync fails, so the op is NOT
+  // acknowledged and the writer is dead.
+  EXPECT_FALSE((*writer)->Append(WalEntryType::kInsertOp, {1}).ok());
+  EXPECT_TRUE(backend.fired());
+  EXPECT_EQ((*writer)->durable_lsn(), 0u);
+  EXPECT_FALSE((*writer)->Append(WalEntryType::kInsertOp, {2}).ok());
+  EXPECT_FALSE((*writer)->Sync().ok());
 }
 
 // -------------------------------------------------- fault injection -----
@@ -393,7 +550,11 @@ std::shared_ptr<MemoryFileBackend::Bytes> RunWorkloadUntilCrash(
       /*seed=*/kWorkloadSeed ^ fault_at ^ (static_cast<uint64_t>(mode) << 32));
   FaultInjectingBackend* inj_raw = inj.get();
   Rng rng(kWorkloadSeed);
-  if (store.EnableDurability(std::move(inj)).ok()) {
+  // The legacy policy keeps one op = one backend Append, so fault indices
+  // stay deterministic (group commit would batch by wall clock). The
+  // power-loss matrix below covers the buffered policies.
+  if (store.EnableDurability(std::move(inj), SyncPolicy::OnCheckpoint())
+          .ok()) {
     for (int i = 0; i < kWorkloadInserts; ++i) {
       if (!ScriptedInsert(&store, &rng).ok()) break;
       if ((i + 1) % kCheckpointEvery == 0 && !store.Checkpoint().ok()) break;
@@ -496,11 +657,11 @@ TEST(DurableStoreTest, RecoverOnEmptyOrAlienBytesFails) {
 
 TEST(DurableStoreTest, PoisonedStoreRefusesFurtherMutations) {
   NatixStore store = MakeStore();
-  // Fault on the 3rd append: the initial checkpoint (magic + begin +
-  // several page images + end) is still in flight, so EnableDurability
-  // itself fails and the store is poisoned.
+  // Fault on the 2nd append: the magic is append 0 and the initial
+  // checkpoint installs as one atomic group append (1), so the fault
+  // lands mid-install, EnableDurability fails and the store is poisoned.
   auto inj = std::make_unique<FaultInjectingBackend>(
-      std::make_unique<MemoryFileBackend>(), 2, FaultMode::kFailStop);
+      std::make_unique<MemoryFileBackend>(), 1, FaultMode::kFailStop);
   EXPECT_FALSE(store.EnableDurability(std::move(inj)).ok());
   EXPECT_TRUE(store.poisoned());
   EXPECT_FALSE(
@@ -541,9 +702,9 @@ TEST(DurableStoreTest, CrashMatrixRecoversToQueryEquivalence) {
       if (!recovered.ok()) {
         // Legitimate only while the initial checkpoint had not been
         // sealed: the store never reached durability, there is nothing
-        // to recover. Magic (1) + begin (1) + one image per page + end
-        // (1) + the op stream; anything at or past the first op entry
-        // must recover.
+        // to recover. Magic (1) + the atomic checkpoint install (1) +
+        // the op stream; anything at or past the first op entry must
+        // recover.
         ASSERT_LT(fault_at, total_appends - kWorkloadInserts)
             << context << ": " << recovered.status().ToString();
         ++never_durable_trials;
@@ -598,6 +759,241 @@ TEST(DurableStoreTest, SurvivesCrashRecoverContinueCrash) {
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ(again->update_stats().inserts, m + 250);
   ExpectEquivalent(*again, oracle, "second recovery");
+}
+
+// --------------------------------------- durability acknowledgement -----
+
+TEST(DurableStoreTest, TransientAppendFaultsAreAbsorbedByRetry) {
+  NatixStore store = MakeStore();
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryFileBackend>(), /*fault_at=*/~0ull,
+      FaultMode::kFailStop);
+  FaultInjectingBackend* raw = inj.get();
+  ASSERT_TRUE(
+      store.EnableDurability(std::move(inj), SyncPolicy::EveryOp()).ok());
+  Rng rng(kWorkloadSeed);
+  // Two flaky appends sit inside the writer's retry budget: the op must
+  // succeed and the store must stay healthy.
+  raw->ArmTransientAppendFault(raw->append_count(), 2);
+  ASSERT_TRUE(ScriptedInsert(&store, &rng).ok());
+  EXPECT_FALSE(store.poisoned());
+  EXPECT_EQ(raw->append_faults_fired(), 2u);
+  EXPECT_EQ(store.wal_stats().append_retries, 2u);
+  EXPECT_EQ(store.last_wal_lsn(), store.durable_wal_lsn());
+
+  // A storm wider than the budget must fail the op and poison the store,
+  // exactly like a hard append failure.
+  raw->ArmTransientAppendFault(raw->append_count(), 64);
+  EXPECT_FALSE(ScriptedInsert(&store, &rng).ok());
+  EXPECT_TRUE(store.poisoned());
+  EXPECT_FALSE(
+      store.InsertBefore(store.tree().root(), kInvalidNode, "x").ok());
+}
+
+TEST(DurableStoreTest, FsyncFailurePoisonsLikeAppendFailure) {
+  // Every-op flavor: the failed fsync surfaces through the op itself.
+  {
+    NatixStore store = MakeStore();
+    auto inj = std::make_unique<FaultInjectingBackend>(
+        std::make_unique<MemoryFileBackend>(), /*fault_at=*/~0ull,
+        FaultMode::kFailStop);
+    FaultInjectingBackend* raw = inj.get();
+    ASSERT_TRUE(
+        store.EnableDurability(std::move(inj), SyncPolicy::EveryOp()).ok());
+    raw->ArmSyncFault(raw->sync_count());
+    Rng rng(kWorkloadSeed);
+    EXPECT_FALSE(ScriptedInsert(&store, &rng).ok());
+    EXPECT_TRUE(store.poisoned());
+    EXPECT_FALSE(store.Checkpoint().ok());
+  }
+  // Group-commit flavor: the op is acknowledged from the buffer; the
+  // explicit durability barrier reports the failure and poisons.
+  {
+    NatixStore store = MakeStore();
+    auto inj = std::make_unique<FaultInjectingBackend>(
+        std::make_unique<MemoryFileBackend>(), /*fault_at=*/~0ull,
+        FaultMode::kFailStop);
+    FaultInjectingBackend* raw = inj.get();
+    // A far-future window so the background flusher cannot reach the
+    // armed fault before SyncWal does.
+    ASSERT_TRUE(store
+                    .EnableDurability(
+                        std::move(inj),
+                        SyncPolicy::GroupCommit(/*window_us=*/60'000'000,
+                                                /*max_ops=*/1u << 20,
+                                                /*max_bytes=*/1u << 30))
+                    .ok());
+    raw->ArmSyncFault(raw->sync_count());
+    Rng rng(kWorkloadSeed);
+    EXPECT_TRUE(ScriptedInsert(&store, &rng).ok());  // buffered, acked
+    EXPECT_FALSE(store.SyncWal().ok());
+    EXPECT_TRUE(store.poisoned());
+    EXPECT_FALSE(
+        store.InsertBefore(store.tree().root(), kInvalidNode, "x").ok());
+  }
+}
+
+TEST(DurableStoreTest, GroupCommitBatchesStoreFsyncs) {
+  NatixStore store = MakeStore();
+  ASSERT_TRUE(store
+                  .EnableDurability(
+                      std::make_unique<MemoryFileBackend>(),
+                      SyncPolicy::GroupCommit(/*window_us=*/60'000'000,
+                                              /*max_ops=*/32,
+                                              /*max_bytes=*/1u << 30))
+                  .ok());
+  Rng rng(kWorkloadSeed);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&store, &rng).ok());
+  }
+  ASSERT_TRUE(store.SyncWal().ok());
+  const WalStats stats = store.wal_stats();
+  EXPECT_EQ(stats.op_entries, 200u);
+  EXPECT_EQ(stats.durable_lsn, stats.last_lsn);
+  EXPECT_GT(stats.sync_batches, 0u);
+  // 200 ops at <= 32 per batch plus the initial checkpoint: far fewer
+  // fsyncs than one per op.
+  EXPECT_LT(stats.sync_batches, 32u);
+  EXPECT_GT(stats.MeanBatchOps(), 1.0);
+}
+
+TEST(DurableStoreTest, RecoveryMakesTornTailTruncationDurable) {
+  // Crash #1 leaves a torn tail mid-way through the op stream.
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk =
+      RunWorkloadUntilCrash(300, FaultMode::kTornWrite);
+
+  // Recover through a power-loss-tracking wrapper: recovery must
+  // truncate the torn tail AND fsync the truncation before appending
+  // anything new.
+  auto inner = std::make_unique<MemoryFileBackend>(
+      std::make_shared<MemoryFileBackend::Bytes>(*disk));
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::move(inner), /*fault_at=*/~0ull, FaultMode::kFailStop);
+  FaultInjectingBackend* raw = inj.get();
+  RecoveryInfo info;
+  Result<NatixStore> recovered = NatixStore::Recover(std::move(inj), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_TRUE(info.tail_was_torn);
+  const uint64_t m = recovered->update_stats().inserts;
+
+  // Crash #2 strikes immediately, before any further I/O. Without the
+  // post-truncate fsync the truncation lives only in the page cache and
+  // the torn bytes resurrect on the second recovery.
+  Result<std::vector<uint8_t>> image = raw->DurableImage();
+  ASSERT_TRUE(image.ok());
+  recovered = Status::Internal("crashed again");
+
+  RecoveryInfo second;
+  Result<NatixStore> again = NatixStore::Recover(
+      std::make_unique<MemoryFileBackend>(
+          std::make_shared<MemoryFileBackend::Bytes>(*image)),
+      &second);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(second.tail_was_torn);
+  EXPECT_EQ(second.torn_bytes, 0u);
+  EXPECT_EQ(again->update_stats().inserts, m);
+}
+
+// ------------------------------------------------ power-loss matrix -----
+
+/// One plug-pull trial: how many ops the workload applied in memory, how
+/// many had been acknowledged durable when the power died, and the bytes
+/// that actually survive (the un-fsynced WAL suffix is DROPPED, not
+/// torn).
+struct PowerLossTrial {
+  uint64_t attempted = 0;
+  uint64_t acked = 0;
+  std::vector<uint8_t> image;
+};
+
+/// Runs `ops` scripted inserts under `policy` on a power-loss-tracking
+/// backend, then pulls the plug. The watermark is read BEFORE the image:
+/// the background flusher may advance both concurrently, and
+/// watermark-then-image keeps `acked` a lower bound on what the image
+/// holds. The store object dies afterwards -- its destructor cannot
+/// influence the already-captured image.
+PowerLossTrial RunPowerLossWorkload(const SyncPolicy& policy, int ops) {
+  PowerLossTrial trial;
+  NatixStore store = MakeStore();
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::make_unique<MemoryFileBackend>(), /*fault_at=*/~0ull,
+      FaultMode::kFailStop);
+  FaultInjectingBackend* raw = inj.get();
+  EXPECT_TRUE(store.EnableDurability(std::move(inj), policy).ok());
+  Rng rng(kWorkloadSeed);
+  std::vector<uint64_t> op_lsns;
+  for (int i = 0; i < ops; ++i) {
+    EXPECT_TRUE(ScriptedInsert(&store, &rng).ok());
+    op_lsns.push_back(store.last_wal_lsn());
+    if ((i + 1) % kCheckpointEvery == 0) {
+      EXPECT_TRUE(store.Checkpoint().ok());
+    }
+  }
+  trial.attempted = static_cast<uint64_t>(ops);
+  const uint64_t durable = store.durable_wal_lsn();
+  for (const uint64_t lsn : op_lsns) {
+    trial.acked += lsn <= durable ? 1u : 0u;
+  }
+  Result<std::vector<uint8_t>> image = raw->DurableImage();
+  EXPECT_TRUE(image.ok());
+  if (image.ok()) trial.image = *std::move(image);
+  return trial;
+}
+
+TEST(DurableStoreTest, PowerLossMatrixKeepsEveryAcknowledgedOp) {
+  // Plug-pull points strided through the workload, under both durable
+  // policies. Two-sided contract per trial: no acknowledged op may be
+  // lost, no op may be invented; the recovered prefix must match the
+  // oracle exactly.
+  constexpr int kOps = 400;
+  constexpr int kStride = 50;
+  const SyncPolicy policies[] = {SyncPolicy::EveryOp(),
+                                 SyncPolicy::GroupCommit()};
+  for (const SyncPolicy& policy : policies) {
+    struct RecoveredTrial {
+      uint64_t m;
+      NatixStore store;
+    };
+    std::vector<RecoveredTrial> recovered;
+    for (int crash_at = kStride; crash_at <= kOps; crash_at += kStride) {
+      const std::string context = std::string("policy ") + policy.ModeName() +
+                                  " plug pulled after op " +
+                                  std::to_string(crash_at);
+      PowerLossTrial trial = RunPowerLossWorkload(policy, crash_at);
+      ASSERT_FALSE(::testing::Test::HasFailure()) << context;
+      Result<NatixStore> rec = NatixStore::Recover(
+          std::make_unique<MemoryFileBackend>(
+              std::make_shared<MemoryFileBackend::Bytes>(
+                  std::move(trial.image))));
+      ASSERT_TRUE(rec.ok()) << context << ": " << rec.status().ToString();
+      const uint64_t m = rec->update_stats().inserts;
+      ASSERT_GE(m, trial.acked) << context;
+      ASSERT_LE(m, trial.attempted) << context;
+      if (policy.mode == SyncPolicy::Mode::kSyncEveryOp) {
+        // Every-op acknowledges synchronously: nothing applied was ever
+        // un-durable, so recovery is exact.
+        ASSERT_EQ(trial.acked, trial.attempted) << context;
+        ASSERT_EQ(m, trial.attempted) << context;
+      }
+      recovered.push_back({m, std::move(rec).value()});
+    }
+    // Group-commit recovery depths are timing-dependent and not
+    // monotone in crash_at; visit them sorted so the shared oracle only
+    // ever advances.
+    std::sort(recovered.begin(), recovered.end(),
+              [](const RecoveredTrial& a, const RecoveredTrial& b) {
+                return a.m < b.m;
+              });
+    NatixStore oracle = MakeStore();
+    Rng oracle_rng(kWorkloadSeed);
+    uint64_t oracle_done = 0;
+    for (const RecoveredTrial& t : recovered) {
+      AdvanceOracle(&oracle, &oracle_rng, &oracle_done, t.m);
+      ExpectEquivalent(t.store, oracle,
+                       std::string("power loss, ") + policy.ModeName() +
+                           ", m=" + std::to_string(t.m));
+    }
+  }
 }
 
 // ------------------------------------------- mixed-op crash matrix ------
@@ -719,7 +1115,10 @@ std::shared_ptr<MemoryFileBackend::Bytes> RunMixedWorkloadUntilCrash(
   const size_t size_floor = store.live_node_count();
   Rng rng(kWorkloadSeed);
   uint64_t applied = 0;
-  if (store.EnableDurability(std::move(inj)).ok()) {
+  // Legacy policy for deterministic fault indices; see
+  // RunWorkloadUntilCrash.
+  if (store.EnableDurability(std::move(inj), SyncPolicy::OnCheckpoint())
+          .ok()) {
     for (int i = 0; i < kMixedOps; ++i) {
       const MixedOpOutcome out = ScriptedMixedOp(&store, &rng, size_floor);
       if (out == MixedOpOutcome::kFailed) break;
