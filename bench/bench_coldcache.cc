@@ -21,10 +21,12 @@
 // through the FilePageSource and the wall time spent in those reads; the
 // sweep's wall time covers the record decoding on top. Machine-readable
 // "BENCH_COLDCACHE {...}" JSON lines accompany the table.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #if defined(__linux__)
 #include <malloc.h>
@@ -70,6 +72,12 @@ struct Layout {
   natix::NatixStore store;
   natix::MemoryFileBackend pagefile;
 };
+
+// Hardware threads as reported by the runtime, floored at one so the
+// JSON rows stay meaningful on hosts where the query returns zero.
+unsigned HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
 }  // namespace
 
@@ -123,20 +131,23 @@ int main() {
                 static_cast<unsigned long long>(l.store.TotalDiskBytes()));
     std::printf("BENCH_COLDCACHE {\"metric\":\"layout\",\"layout\":\"%s\","
                 "\"format\":\"%s\",\"records\":%zu,\"pages\":%zu,"
-                "\"records_per_page\":%.3f,\"disk_bytes\":%llu}\n",
+                "\"records_per_page\":%.3f,\"disk_bytes\":%llu,"
+                "\"hardware_threads\":%u}\n",
                 l.algo, l.format_name, l.store.record_count(),
                 l.store.page_count(),
                 static_cast<double>(l.store.record_count()) /
                     static_cast<double>(l.store.page_count()),
-                static_cast<unsigned long long>(l.store.TotalDiskBytes()));
+                static_cast<unsigned long long>(l.store.TotalDiskBytes()),
+                HardwareThreads());
   }
   std::printf("\nRSS: %llu KiB with documents resident, %llu KiB released\n\n",
               static_cast<unsigned long long>(rss_resident_kb),
               static_cast<unsigned long long>(rss_released_kb));
   std::printf("BENCH_COLDCACHE {\"metric\":\"rss\",\"resident_kb\":%llu,"
-              "\"released_kb\":%llu}\n\n",
+              "\"released_kb\":%llu,\"hardware_threads\":%u}\n\n",
               static_cast<unsigned long long>(rss_resident_kb),
-              static_cast<unsigned long long>(rss_released_kb));
+              static_cast<unsigned long long>(rss_released_kb),
+              HardwareThreads());
 
   const natix::NavigationCostModel nav_cost;
   bool results_equivalent = true;
@@ -170,7 +181,7 @@ int main() {
                   "\"frames\":%zu,\"misses\":%llu,\"bytes_read\":%llu,"
                   "\"read_ms\":%.3f,\"sweep_wall_ms\":%.3f,\"sim_ms\":%.3f,"
                   "\"crossings\":%llu,\"page_switches\":%llu,"
-                  "\"result_nodes\":%llu}\n",
+                  "\"result_nodes\":%llu,\"hardware_threads\":%u}\n",
                   l.algo, l.format_name, frames,
                   static_cast<unsigned long long>(bs.misses),
                   static_cast<unsigned long long>(bs.bytes_read),
@@ -180,7 +191,8 @@ int main() {
                       sweep.stats.record_crossings),
                   static_cast<unsigned long long>(
                       sweep.stats.page_switches),
-                  static_cast<unsigned long long>(sweep.result_nodes));
+                  static_cast<unsigned long long>(sweep.result_nodes),
+                  HardwareThreads());
     }
     // Same algorithm, same partitioning, same queries: the answers must
     // not depend on the record format.
@@ -200,12 +212,13 @@ int main() {
     std::printf("BENCH_COLDCACHE {\"metric\":\"compression\",\"frames\":%zu,"
                 "\"km_bytes_read_reduction_pct\":%.2f,"
                 "\"ekm_bytes_read_reduction_pct\":%.2f,"
-                "\"results_equivalent\":%s}\n\n",
+                "\"results_equivalent\":%s,\"hardware_threads\":%u}\n\n",
                 frames, reduction(bytes_read[0], bytes_read[1]),
                 reduction(bytes_read[2], bytes_read[3]),
                 results[0] == results[1] && results[2] == results[3]
                     ? "true"
-                    : "false");
+                    : "false",
+                HardwareThreads());
   }
   std::printf("(each row runs XPathMark Q1-Q7 back to back through one "
               "shared pool; 4096 frames approximates the paper's warm "

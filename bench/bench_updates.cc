@@ -14,9 +14,12 @@
 // document. Emits BENCH_UPDATES JSON lines (one per sweep plus a
 // summary) for snapshotting.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
@@ -165,6 +168,12 @@ bool ApplyRandomOps(natix::NatixStore* store, int count, size_t size_floor,
   return true;
 }
 
+/// Hardware threads as reported by the runtime, floored at one so the
+/// JSON rows stay meaningful on hosts where the query returns zero.
+unsigned HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 /// Runs all XPathMark queries against the store and cross-checks each
 /// result against the reference evaluator on the store's tree.
 bool SweepMatchesReference(const natix::NatixStore& store) {
@@ -290,7 +299,7 @@ int RunStoreLeg(natix::TotalWeight limit, double scale) {
         "\"insert_us\":%.3f,\"splits\":%llu,\"rewritten\":%llu,"
         "\"relocations\":%llu,\"compactions\":%llu,\"utilization\":%.4f,"
         "\"sweep_sim_ms\":%.3f,\"sweep_crossings\":%llu,"
-        "\"queries_match\":true}\n",
+        "\"queries_match\":true,\"hardware_threads\":%u}\n",
         store->tree().size(), static_cast<unsigned long long>(limit), scale,
         done, 1e3 * insert_ms / kChunkInserts,
         static_cast<unsigned long long>(us.splits),
@@ -298,7 +307,8 @@ int RunStoreLeg(natix::TotalWeight limit, double scale) {
         static_cast<unsigned long long>(us.relocations),
         static_cast<unsigned long long>(us.compactions),
         store->PageUtilization(), sweep.sim_ms,
-        static_cast<unsigned long long>(sweep.stats.record_crossings));
+        static_cast<unsigned long long>(sweep.stats.record_crossings),
+        HardwareThreads());
     std::fflush(stdout);
   }
 
@@ -346,7 +356,8 @@ int RunStoreLeg(natix::TotalWeight limit, double scale) {
       "\"inserts\":%llu,\"insert_us\":%.3f,\"splits\":%llu,"
       "\"relocations\":%llu,\"cost_before_ms\":%.3f,\"cost_grown_ms\":%.3f,"
       "\"cost_fresh_ms\":%.3f,\"drift_pct\":%.2f,\"records_grown\":%zu,"
-      "\"records_fresh\":%zu,\"util_grown\":%.4f,\"util_fresh\":%.4f}\n",
+      "\"records_fresh\":%zu,\"util_grown\":%.4f,\"util_fresh\":%.4f,"
+      "\"hardware_threads\":%u}\n",
       nodes_before, store->tree().size(),
       static_cast<unsigned long long>(limit), scale,
       static_cast<unsigned long long>(us.inserts),
@@ -355,7 +366,8 @@ int RunStoreLeg(natix::TotalWeight limit, double scale) {
       static_cast<unsigned long long>(us.relocations), before.sim_ms,
       grown_sweep.sim_ms, fresh_sweep.sim_ms, drift_pct,
       store->record_count(), fresh->record_count(),
-      store->PageUtilization(), fresh->PageUtilization());
+      store->PageUtilization(), fresh->PageUtilization(),
+      HardwareThreads());
   return 0;
 }
 
@@ -497,7 +509,7 @@ int RunMixedLeg(natix::TotalWeight limit, double scale) {
       "\"records_fresh\":%zu,\"util_grown\":%.4f,\"util_fresh\":%.4f,"
       "\"util_drift_pct\":%.2f,\"cost_grown_ms\":%.3f,"
       "\"cost_fresh_ms\":%.3f,\"queries_match\":true,"
-      "\"answers_equivalent\":true}\n",
+      "\"answers_equivalent\":true,\"hardware_threads\":%u}\n",
       static_cast<unsigned long long>(limit), scale, total_ops, did.inserts,
       did.deletes, did.moves, did.renames, did.skipped,
       1e3 * op_ms_total / std::max(1, total_ops),
@@ -507,11 +519,151 @@ int RunMixedLeg(natix::TotalWeight limit, double scale) {
       static_cast<unsigned long long>(us.records_created), recover_ms,
       recovered->live_node_count(), recovered->record_count(),
       fresh->record_count(), util_grown, util_fresh, util_drift_pct,
-      grown_sweep.sim_ms, fresh_sweep.sim_ms);
+      grown_sweep.sim_ms, fresh_sweep.sim_ms, HardwareThreads());
   return 0;
 }
 
-// Part 4: the same insert workload through a write-ahead log under a
+// Part 4: snapshot serving. N reader threads each pin a store version
+// (OpenSnapshot) and sweep XPathMark in a loop while one writer thread
+// streams the mixed CRUD workload through the same store. Each reader
+// verifies its first sweep against a fresh-build oracle of its pinned
+// version (MaterializeDocument preserves NodeIds, so the reference
+// evaluator's answers compare directly); after that it just counts
+// sweeps. Emits one "store_updates_serve" row per reader count so the
+// guard can check reader scaling on multi-core hosts.
+int RunServeLeg(natix::TotalWeight limit, double scale) {
+  const unsigned hw = HardwareThreads();
+  constexpr int kWriterChunk = 64;
+  constexpr int kMinWriterOps = 512;
+  constexpr double kMinRunMs = 400.0;
+  std::printf("\nSnapshot serving: pinned readers sweeping XPathMark "
+              "against one mixed-op writer (%u hardware threads)\n\n",
+              hw);
+
+  const auto entry = natix::benchutil::LoadDocument("xmark", scale, limit);
+  const auto ekm = natix::EkmPartition(entry->doc.tree, limit);
+  ekm.status().CheckOK();
+
+  std::vector<unsigned> legs = {1};
+  if (const unsigned wide = std::min(4u, hw); wide > 1) {
+    legs.push_back(wide);
+  }
+
+  std::printf("%8s | %9s %11s %11s | %7s\n", "readers", "sweeps",
+              "sweeps/sec", "writer ops", "oracle");
+  for (const unsigned readers : legs) {
+    // A fresh store per reader count: every leg's writer starts from the
+    // same bulkloaded layout instead of the previous leg's residue.
+    auto store = natix::NatixStore::Build(entry->doc.Clone(), *ekm, limit);
+    store.status().CheckOK();
+    const size_t size_floor = store->live_node_count();
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> sweeps{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> pool;
+    natix::Timer timer;
+    for (unsigned r = 0; r < readers; ++r) {
+      pool.emplace_back([&]() {
+        const natix::StoreSnapshot snap = store->OpenSnapshot();
+        const auto oracle = snap.MaterializeDocument();
+        if (!oracle.ok()) {
+          ++failures;
+          return;
+        }
+        natix::AccessStats stats;
+        natix::StoreQueryEvaluator eval(&snap, &stats);
+        bool checked = false;
+        while (!stop.load(std::memory_order_acquire)) {
+          for (const natix::XPathMarkQuery& q :
+               natix::XPathMarkQueries()) {
+            const auto path = natix::ParseXPath(q.text);
+            const auto got = path.ok() ? eval.Evaluate(*path)
+                                       : path.status();
+            if (!got.ok()) {
+              ++failures;
+              return;
+            }
+            if (!checked) {
+              const auto want =
+                  natix::EvaluateOnTree(oracle->tree, *path);
+              if (!want.ok() || *got != *want) {
+                ++failures;
+                return;
+              }
+            }
+          }
+          checked = true;
+          sweeps.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    natix::Rng rng(11);
+    MixCounts did;
+    int writer_ops = 0;
+    bool writer_ok = true;
+    // The writer streams until every floor is met: a minimum op count, a
+    // minimum wall time, and at least one counted sweep per reader.
+    const auto need_more = [&]() {
+      if (failures.load(std::memory_order_relaxed) > 0) return false;
+      return writer_ops < kMinWriterOps ||
+             timer.ElapsedMillis() < kMinRunMs ||
+             sweeps.load(std::memory_order_relaxed) <
+                 static_cast<uint64_t>(readers);
+    };
+    while (need_more()) {
+      if (!ApplyRandomOps(&*store, kWriterChunk, size_floor, &rng, &did)) {
+        writer_ok = false;
+        break;
+      }
+      writer_ops += kWriterChunk;
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : pool) t.join();
+    const double elapsed_ms = timer.ElapsedMillis();
+    if (!writer_ok || failures.load() > 0) {
+      std::fprintf(stderr, "BUG: serving leg with %u readers failed "
+                           "(%d reader failures)\n",
+                   readers, failures.load());
+      return 1;
+    }
+    if (store->open_snapshot_count() != 0) {
+      std::fprintf(stderr, "BUG: %zu snapshots leaked after join\n",
+                   store->open_snapshot_count());
+      return 1;
+    }
+    const natix::MvccStats ms = store->mvcc_stats();
+    if (ms.held_frames != 0) {
+      std::fprintf(stderr, "BUG: %llu retired frames still held with no "
+                           "open snapshot\n",
+                   static_cast<unsigned long long>(ms.held_frames));
+      return 1;
+    }
+    store->partitioner()->Validate().CheckOK();
+    const double sweeps_per_sec =
+        1e3 * static_cast<double>(sweeps.load()) / elapsed_ms;
+    std::printf("%8u | %9llu %11.2f %11d | %7s\n", readers,
+                static_cast<unsigned long long>(sweeps.load()),
+                sweeps_per_sec, writer_ops, "ok");
+    std::printf(
+        "BENCH_UPDATES {\"bench\":\"store_updates_serve\",\"doc\":\"xmark\","
+        "\"k\":%llu,\"scale\":%.3f,\"readers\":%u,\"writer_ops\":%d,"
+        "\"sweeps\":%llu,\"elapsed_ms\":%.1f,\"sweeps_per_sec\":%.2f,"
+        "\"retired_frames\":%llu,\"reclaimed_frames\":%llu,"
+        "\"snapshot_reads\":%llu,\"answers_equivalent\":true,"
+        "\"hardware_threads\":%u}\n",
+        static_cast<unsigned long long>(limit), scale, readers, writer_ops,
+        static_cast<unsigned long long>(sweeps.load()), elapsed_ms,
+        sweeps_per_sec, static_cast<unsigned long long>(ms.retired_frames),
+        static_cast<unsigned long long>(ms.reclaimed_frames),
+        static_cast<unsigned long long>(ms.snapshot_reads), hw);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+// Part 5: the same insert workload through a write-ahead log under a
 // given sync policy. Measures the durable insert latency -- the timed
 // section covers the inserts plus the durability barrier (SyncWal) that
 // acknowledges them, while checkpoints run outside the timer (an
@@ -588,13 +740,15 @@ int RunWalLeg(natix::TotalWeight limit, double scale,
         "\"sync_policy\":\"%s\",\"nodes\":%zu,\"k\":%llu,\"scale\":%.3f,"
         "\"inserts\":%d,\"insert_us\":%.3f,\"checkpoint_ms\":%.3f,"
         "\"fsyncs\":%llu,\"sync_batches\":%llu,\"mean_batch_ops\":%.2f,"
-        "\"wal_bytes\":%llu,\"op_amplification\":%.4f}\n",
+        "\"wal_bytes\":%llu,\"op_amplification\":%.4f,"
+        "\"hardware_threads\":%u}\n",
         policy.ModeName(), store->tree().size(),
         static_cast<unsigned long long>(limit), scale, kInserts,
         1e3 * insert_ms / kInserts, checkpoint_ms,
         static_cast<unsigned long long>(ws.fsyncs),
         static_cast<unsigned long long>(ws.sync_batches), ws.MeanBatchOps(),
-        static_cast<unsigned long long>(ws.wal_bytes), ws.OpAmplification());
+        static_cast<unsigned long long>(ws.wal_bytes), ws.OpAmplification(),
+        HardwareThreads());
     return 0;
   }
 
@@ -678,7 +832,8 @@ int RunWalLeg(natix::TotalWeight limit, double scale,
       "\"recover_ms\":%.3f,\"recovered_inserts\":%llu,"
       "\"queries_match\":true,\"fsck_cells\":%zu,\"fsck_ms\":%.3f,"
       "\"fsck_damage_found\":%llu,\"pages_repaired\":%llu,"
-      "\"repair_failures\":%llu,\"heal_ms\":%.3f}\n",
+      "\"repair_failures\":%llu,\"heal_ms\":%.3f,"
+      "\"hardware_threads\":%u}\n",
       policy.ModeName(), recovered->tree().size(),
       static_cast<unsigned long long>(limit),
       scale, kInserts, 1e3 * insert_ms / kInserts, checkpoint_ms,
@@ -694,7 +849,8 @@ int RunWalLeg(natix::TotalWeight limit, double scale,
       static_cast<unsigned long long>(us.inserts), pages, fsck_ms,
       static_cast<unsigned long long>(report->cell_checksum_failures),
       static_cast<unsigned long long>(is.repairs),
-      static_cast<unsigned long long>(is.repair_failures), heal_ms);
+      static_cast<unsigned long long>(is.repair_failures), heal_ms,
+      HardwareThreads());
   return 0;
 }
 
@@ -706,6 +862,7 @@ int main() {
   if (const int rc = RunReplayTable(kLimit, scale)) return rc;
   if (const int rc = RunStoreLeg(kLimit, scale)) return rc;
   if (const int rc = RunMixedLeg(kLimit, scale)) return rc;
+  if (const int rc = RunServeLeg(kLimit, scale)) return rc;
   // Two durable legs: every-op fsync prices the strongest guarantee
   // (timing only), group commit is the default policy and carries the
   // full recovery + integrity flow.

@@ -12,17 +12,21 @@ cmake --build build -j
 
 # 2. Race check: the determinism test (and the pool's own tests) under
 #    -fsanitize=thread, plus the mutable-store path (its inserts run the
-#    parallel-free update machinery but share the pooled workspaces) and
-#    the WAL group-commit engine (mutator thread vs background flusher:
+#    parallel-free update machinery but share the pooled workspaces), the
+#    WAL group-commit engine (mutator thread vs background flusher:
 #    the buffered append path, the durable-watermark handoff and the
-#    power-loss matrix all cross the flusher's mutex).
+#    power-loss matrix all cross the flusher's mutex), and the snapshot
+#    serving path (N pinned readers racing one mixed-op writer through
+#    the store's shared lock, the copy-on-write retire/reclaim chains
+#    and the shared buffer pool).
 #    Benchmarks/examples are skipped to keep it quick.
 cmake -B build-tsan -S . -DNATIX_SANITIZE=thread \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j --target dhw_parallel_test thread_pool_test \
-  store_updates_test wal_recovery_test
+  store_updates_test wal_recovery_test store_concurrency_test
 (cd build-tsan && ./tests/dhw_parallel_test && ./tests/thread_pool_test \
   && ./tests/store_updates_test \
+  && ./tests/store_concurrency_test \
   && ./tests/wal_recovery_test --gtest_filter='WalGroupCommitTest.*:DurableStoreTest.TransientAppendFaultsAreAbsorbedByRetry:DurableStoreTest.FsyncFailurePoisonsLikeAppendFailure:DurableStoreTest.GroupCommitBatchesStoreFsyncs:DurableStoreTest.PowerLossMatrixKeepsEveryAcknowledgedOp')
 
 # 2b. fsck / corruption-repair smoke: exercise the CLI workflow the

@@ -4,31 +4,55 @@
 
 namespace natix {
 
+StoreQueryEvaluator::StoreQueryEvaluator(const StoreSnapshot* snapshot,
+                                         AccessStats* stats,
+                                         LruBufferPool* buffer,
+                                         const PageProvider* provider)
+    : store_(nullptr),
+      stats_(stats),
+      buffer_(buffer),
+      provider_(provider),
+      snap_(snapshot) {
+  nav_.emplace(snap_, stats_, buffer_, provider_);
+}
+
 StoreQueryEvaluator::StoreQueryEvaluator(const NatixStore* store,
                                          AccessStats* stats,
                                          LruBufferPool* buffer,
                                          const PageProvider* provider)
-    : store_(store), nav_(store, stats, buffer, provider) {}
+    : store_(store),
+      stats_(stats),
+      buffer_(buffer),
+      provider_(provider),
+      owned_(store->OpenSnapshot()),
+      snap_(&*owned_) {
+  nav_.emplace(snap_, stats_, buffer_, provider_);
+}
+
+void StoreQueryEvaluator::MaybeReopen() {
+  if (store_ == nullptr || owned_->version() == store_->version()) return;
+  // Drop the navigator first: it may hold a pool pin keyed to the old
+  // snapshot's epochs, and must not outlive the snapshot it borrows.
+  nav_.reset();
+  owned_.emplace(store_->OpenSnapshot());
+  snap_ = &*owned_;
+  nav_.emplace(snap_, stats_, buffer_, provider_);
+  ranks_valid_ = false;
+}
 
 void StoreQueryEvaluator::RefreshRanks() {
-  const uint64_t tree_version =
-      store_->has_document() ? store_->tree().version() : 0;
-  if (!preorder_rank_.empty() && rank_version_ == store_->version() &&
-      rank_tree_version_ == tree_version &&
-      preorder_rank_.size() == store_->node_count()) {
+  if (ranks_valid_ && preorder_rank_.size() == snap_->node_count()) return;
+  ranks_valid_ = true;
+  if (!snap_->preorder_ranks().empty()) {
+    preorder_rank_ = snap_->preorder_ranks();
     return;
   }
-  rank_version_ = store_->version();
-  rank_tree_version_ = tree_version;
-  if (store_->has_document()) {
-    preorder_rank_ = store_->tree().PreorderRanks();
-    return;
-  }
-  // Released document: walk the records once with a throwaway cursor
-  // (ranks are bookkeeping, not part of the measured navigation).
-  preorder_rank_.assign(store_->node_count(), 0);
+  // The snapshot was opened over a released document: walk the records
+  // once with a throwaway cursor (ranks are bookkeeping, not part of the
+  // measured navigation).
+  preorder_rank_.assign(snap_->node_count(), 0);
   AccessStats scratch;
-  Navigator walker(store_, &scratch);
+  Navigator walker(snap_, &scratch);
   uint32_t rank = 0;
   preorder_rank_[walker.current()] = rank++;
   int depth = 0;
@@ -59,9 +83,11 @@ Result<std::vector<NodeId>> StoreQueryEvaluator::Evaluate(
   if (query.steps.empty()) {
     return Status::InvalidArgument("empty query");
   }
-  // The store may have mutated (InsertBefore) since construction or the
-  // previous query; refresh document-order ranks so Normalize() stays
-  // correct mid-update-stream.
+  // In auto-refresh mode the store may have mutated (InsertBefore) since
+  // construction or the previous query; re-pin the latest version and
+  // recompute document-order ranks so Normalize() stays correct
+  // mid-update-stream.
+  MaybeReopen();
   RefreshRanks();
   // The initial context is the virtual document node (the parent of the
   // root element), encoded as kInvalidNode. It can survive intermediate
@@ -102,11 +128,11 @@ std::vector<NodeId> StoreQueryEvaluator::EvalSteps(
 }
 
 bool StoreQueryEvaluator::MatchesCurrent(const Step& step) {
-  const NodeKind kind = nav_.CurrentKind();
+  const NodeKind kind = nav_->CurrentKind();
   switch (step.test) {
     case NodeTestKind::kName:
       return kind == NodeKind::kElement &&
-             store_->LabelNameOf(nav_.CurrentLabelId()) == step.name;
+             snap_->LabelNameOf(nav_->CurrentLabelId()) == step.name;
     case NodeTestKind::kAnyElement:
       return kind == NodeKind::kElement;
     case NodeTestKind::kAnyNode:
@@ -117,13 +143,13 @@ bool StoreQueryEvaluator::MatchesCurrent(const Step& step) {
 }
 
 bool StoreQueryEvaluator::MatchesTest(NodeId v, const Step& step) const {
-  const Result<NodeKind> kind = store_->KindOfNode(v);
+  const Result<NodeKind> kind = snap_->KindOfNode(v);
   if (!kind.ok()) return false;
   switch (step.test) {
     case NodeTestKind::kName: {
       if (*kind != NodeKind::kElement) return false;
-      const Result<int32_t> label = store_->LabelIdOfNode(v);
-      return label.ok() && store_->LabelNameOf(*label) == step.name;
+      const Result<int32_t> label = snap_->LabelIdOfNode(v);
+      return label.ok() && snap_->LabelNameOf(*label) == step.name;
     }
     case NodeTestKind::kAnyElement:
       return *kind == NodeKind::kElement;
@@ -137,11 +163,11 @@ void StoreQueryEvaluator::CollectAxis(NodeId context, const Step& step,
                                       std::vector<NodeId>* out) {
   // Virtual document node: only downward axes make sense.
   if (context == kInvalidNode) {
-    const NodeId root = store_->RootNode();
+    const NodeId root = snap_->RootNode();
     if (root == kInvalidNode) return;
     switch (step.axis) {
       case Axis::kChild:
-        nav_.JumpTo(root);
+        nav_->JumpTo(root);
         if (MatchesCurrent(step)) out->push_back(root);
         return;
       case Axis::kDescendant:
@@ -169,64 +195,64 @@ void StoreQueryEvaluator::CollectAxis(NodeId context, const Step& step,
       if (MatchesTest(context, step)) out->push_back(context);
       return;
     case Axis::kChild: {
-      nav_.JumpTo(context);
-      if (!nav_.ToFirstChild()) return;
+      nav_->JumpTo(context);
+      if (!nav_->ToFirstChild()) return;
       do {
-        if (MatchesCurrent(step)) out->push_back(nav_.current());
-      } while (nav_.ToNextSibling());
+        if (MatchesCurrent(step)) out->push_back(nav_->current());
+      } while (nav_->ToNextSibling());
       return;
     }
     case Axis::kParent: {
-      nav_.JumpTo(context);
-      if (nav_.ToParent() && MatchesCurrent(step)) {
-        out->push_back(nav_.current());
+      nav_->JumpTo(context);
+      if (nav_->ToParent() && MatchesCurrent(step)) {
+        out->push_back(nav_->current());
       }
       return;
     }
     case Axis::kAncestor:
     case Axis::kAncestorOrSelf: {
-      nav_.JumpTo(context);
+      nav_->JumpTo(context);
       if (step.axis == Axis::kAncestorOrSelf && MatchesCurrent(step)) {
         out->push_back(context);
       }
-      while (nav_.ToParent()) {
-        if (MatchesCurrent(step)) out->push_back(nav_.current());
+      while (nav_->ToParent()) {
+        if (MatchesCurrent(step)) out->push_back(nav_->current());
       }
       return;
     }
     case Axis::kDescendant:
     case Axis::kDescendantOrSelf: {
-      nav_.JumpTo(context);
+      nav_->JumpTo(context);
       if (step.axis == Axis::kDescendantOrSelf && MatchesCurrent(step)) {
         out->push_back(context);
       }
       // Navigational depth-first scan of the subtree.
-      if (!nav_.ToFirstChild()) return;
+      if (!nav_->ToFirstChild()) return;
       int depth = 1;
       for (;;) {
-        if (MatchesCurrent(step)) out->push_back(nav_.current());
-        if (nav_.ToFirstChild()) {
+        if (MatchesCurrent(step)) out->push_back(nav_->current());
+        if (nav_->ToFirstChild()) {
           ++depth;
           continue;
         }
         for (;;) {
-          if (nav_.ToNextSibling()) break;
-          if (!nav_.ToParent()) return;
+          if (nav_->ToNextSibling()) break;
+          if (!nav_->ToParent()) return;
           if (--depth == 0) return;
         }
       }
     }
     case Axis::kFollowingSibling: {
-      nav_.JumpTo(context);
-      while (nav_.ToNextSibling()) {
-        if (MatchesCurrent(step)) out->push_back(nav_.current());
+      nav_->JumpTo(context);
+      while (nav_->ToNextSibling()) {
+        if (MatchesCurrent(step)) out->push_back(nav_->current());
       }
       return;
     }
     case Axis::kPrecedingSibling: {
-      nav_.JumpTo(context);
-      while (nav_.ToPrevSibling()) {
-        if (MatchesCurrent(step)) out->push_back(nav_.current());
+      nav_->JumpTo(context);
+      while (nav_->ToPrevSibling()) {
+        if (MatchesCurrent(step)) out->push_back(nav_->current());
       }
       return;
     }

@@ -1,6 +1,7 @@
 #ifndef NATIX_QUERY_EVALUATOR_H_
 #define NATIX_QUERY_EVALUATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -9,9 +10,9 @@
 
 namespace natix {
 
-/// Evaluates an XPath-subset query against a NatixStore using only the
-/// store's navigation primitives. Every axis traversal moves a Navigator
-/// cursor node by node, so the evaluation cost decomposes into
+/// Evaluates an XPath-subset query against one pinned store version using
+/// only the store's navigation primitives. Every axis traversal moves a
+/// Navigator cursor node by node, so the evaluation cost decomposes into
 /// intra-record moves and record crossings -- exactly the asymmetry the
 /// paper's partitioning quality experiment measures (Sec. 6.4).
 ///
@@ -22,12 +23,21 @@ namespace natix {
 /// evaluated with early exit.
 class StoreQueryEvaluator {
  public:
-  /// `store` and `stats` (and `buffer`/`provider`, if given) must
-  /// outlive the evaluator. A non-null `buffer` routes every record
-  /// crossing through the LRU page pool for cold-cache experiments;
-  /// `provider` overrides where pool misses read page bytes from (e.g. a
-  /// FilePageSource over a flushed page file) and defaults to the
-  /// store's in-memory pages.
+  /// Pinned mode: evaluates against `snapshot` (which must outlive the
+  /// evaluator, as must `stats` and `buffer`/`provider` if given). Every
+  /// query answers at the snapshot's version, isolated from concurrent
+  /// writers. A non-null `buffer` routes every record crossing through
+  /// the LRU page pool for cold-cache experiments; `provider` overrides
+  /// where pool misses read page bytes from (e.g. a FilePageSource over
+  /// a flushed page file) and defaults to the snapshot's as-of provider.
+  StoreQueryEvaluator(const StoreSnapshot* snapshot, AccessStats* stats,
+                      LruBufferPool* buffer = nullptr,
+                      const PageProvider* provider = nullptr);
+
+  /// Auto-refresh mode: opens (and owns) a snapshot of `store`, and
+  /// re-opens it whenever Evaluate() finds the store's version has moved
+  /// on -- single-threaded callers interleaving queries and updates see
+  /// every mutation, exactly like the historical live-store evaluator.
   StoreQueryEvaluator(const NatixStore* store, AccessStats* stats,
                       LruBufferPool* buffer = nullptr,
                       const PageProvider* provider = nullptr);
@@ -36,7 +46,13 @@ class StoreQueryEvaluator {
   /// logical tree, in document order.
   Result<std::vector<NodeId>> Evaluate(const PathExpr& query);
 
+  /// The snapshot queries currently answer at (owned or borrowed).
+  const StoreSnapshot* snapshot() const { return snap_; }
+
  private:
+  /// Auto-refresh mode only: re-opens the owned snapshot (and the
+  /// navigator over it) when the store has mutated since the last query.
+  void MaybeReopen();
   std::vector<NodeId> EvalSteps(std::vector<NodeId> context,
                                 const std::vector<Step>& steps);
   /// Appends nodes reached from `context` via `step` (axis + node test)
@@ -46,14 +62,13 @@ class StoreQueryEvaluator {
   /// record view (O(1), no stats effect). Every positioned call site
   /// uses this; only self:: tests an unpositioned node.
   bool MatchesCurrent(const Step& step);
-  /// Node test by NodeId, reading kind/label through the store's record
-  /// tables (used where the navigator is not positioned on `v`; charging
-  /// no navigation stats, exactly like the historical tree lookup).
+  /// Node test by NodeId, reading kind/label through the snapshot's
+  /// record tables (used where the navigator is not positioned on `v`;
+  /// charging no navigation stats, exactly like the historical tree
+  /// lookup).
   bool MatchesTest(NodeId v, const Step& step) const;
-  /// Rebuilds document-order ranks when the store has mutated since the
-  /// last query. Keyed on the store's monotonic mutation version -- a
-  /// size compare alone misses same-size mutations and, under release /
-  /// rematerialize cycles, there may be no tree to size-check against.
+  /// Computes document-order ranks for the current snapshot (so
+  /// Normalize() can sort); cached until the snapshot is re-opened.
   void RefreshRanks();
   bool EvalPredicate(NodeId v, const PredicateExpr& pred);
   /// Existence of a relative path from `v`, early exit on first witness.
@@ -61,14 +76,18 @@ class StoreQueryEvaluator {
   /// Sorts by document order and removes duplicates.
   void Normalize(std::vector<NodeId>* nodes) const;
 
+  /// Auto-refresh source store; null in pinned mode.
   const NatixStore* store_;
-  Navigator nav_;
+  AccessStats* stats_;
+  LruBufferPool* buffer_;
+  /// User-supplied provider override (null = each snapshot's own).
+  const PageProvider* provider_;
+  /// Set in auto-refresh mode; snap_ points here then.
+  std::optional<StoreSnapshot> owned_;
+  const StoreSnapshot* snap_;
+  std::optional<Navigator> nav_;
   std::vector<uint32_t> preorder_rank_;
-  /// Store mutation version the ranks were computed at.
-  uint64_t rank_version_ = 0;
-  /// Tree mutation version as a belt-and-braces check while a document
-  /// is resident (0 when the ranks were computed from records).
-  uint64_t rank_tree_version_ = 0;
+  bool ranks_valid_ = false;
 };
 
 }  // namespace natix

@@ -12,13 +12,14 @@ Result<LruBufferPool> LruBufferPool::Create(size_t capacity) {
   return LruBufferPool(capacity);
 }
 
-LruBufferPool::LruBufferPool(size_t capacity) : capacity_(capacity) {
+LruBufferPool::LruBufferPool(size_t capacity)
+    : capacity_(capacity), mu_(std::make_unique<std::mutex>()) {
   frames_.reserve(capacity_);
 }
 
-LruBufferPool::Frame& LruBufferPool::Touch(uint32_t page) {
+LruBufferPool::Frame& LruBufferPool::Touch(FrameKey key) {
   ++stats_.accesses;
-  const auto it = frames_.find(page);
+  const auto it = frames_.find(key);
   if (it != frames_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -31,28 +32,34 @@ LruBufferPool::Frame& LruBufferPool::Touch(uint32_t page) {
     // frame someone still reads from.
     for (auto victim = lru_.rbegin(); victim != lru_.rend(); ++victim) {
       const auto vit = frames_.find(*victim);
-      if (vit->second.pins > 0) continue;
+      if (vit->second.pins > 0) {
+        ++stats_.pinned_evictions_refused;
+        continue;
+      }
       ++stats_.evictions;
       lru_.erase(std::next(victim).base());
       frames_.erase(vit);
       break;
     }
   }
-  lru_.push_front(page);
-  Frame& frame = frames_[page];
+  lru_.push_front(key);
+  Frame& frame = frames_[key];
   frame.lru_it = lru_.begin();
   return frame;
 }
 
 bool LruBufferPool::Access(uint32_t page) {
-  const bool resident = frames_.contains(page);
-  Touch(page);
+  std::lock_guard<std::mutex> lock(*mu_);
+  const FrameKey key{page, 0};
+  const bool resident = frames_.contains(key);
+  Touch(key);
   return resident;
 }
 
 Result<const std::vector<uint8_t>*> LruBufferPool::Pin(
-    uint32_t page, const PageProvider* provider) {
-  Frame& frame = Touch(page);
+    uint32_t page, const PageProvider* provider, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  Frame& frame = Touch(FrameKey{page, epoch});
   if (!frame.loaded && provider != nullptr) {
     const auto start = std::chrono::steady_clock::now();
     Result<std::vector<uint8_t>> bytes = provider->ReadPage(page);
@@ -69,30 +76,52 @@ Result<const std::vector<uint8_t>*> LruBufferPool::Pin(
     frame.bytes = std::move(bytes).value();
     frame.loaded = true;
   }
+  if (frame.pins > 0) ++stats_.shared_pins;
   ++frame.pins;
+  ++stats_.pin_events;
   return &frame.bytes;
 }
 
-void LruBufferPool::Unpin(uint32_t page) {
-  const auto it = frames_.find(page);
+void LruBufferPool::Unpin(uint32_t page, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  const auto it = frames_.find(FrameKey{page, epoch});
   if (it == frames_.end() || it->second.pins == 0) return;
   --it->second.pins;
+  ++stats_.unpin_events;
 }
 
-bool LruBufferPool::IsResident(uint32_t page) const {
-  return frames_.contains(page);
+bool LruBufferPool::IsResident(uint32_t page, uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return frames_.contains(FrameKey{page, epoch});
+}
+
+size_t LruBufferPool::resident_count() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return lru_.size();
 }
 
 size_t LruBufferPool::pinned_count() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   size_t pinned = 0;
-  for (const auto& [page, frame] : frames_) {
+  for (const auto& [key, frame] : frames_) {
     if (frame.pins > 0) ++pinned;
   }
   return pinned;
 }
 
-bool LruBufferPool::Quarantine(uint32_t page) {
-  const auto it = frames_.find(page);
+BufferStats LruBufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return stats_;
+}
+
+void LruBufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  stats_.Reset();
+}
+
+bool LruBufferPool::Quarantine(uint32_t page, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  const auto it = frames_.find(FrameKey{page, epoch});
   if (it == frames_.end() || it->second.pins > 0) return false;
   lru_.erase(it->second.lru_it);
   frames_.erase(it);
@@ -101,7 +130,8 @@ bool LruBufferPool::Quarantine(uint32_t page) {
 }
 
 void LruBufferPool::InvalidateBytes() {
-  for (auto& [page, frame] : frames_) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  for (auto& [key, frame] : frames_) {
     frame.bytes.clear();
     frame.bytes.shrink_to_fit();
     frame.loaded = false;
@@ -109,6 +139,7 @@ void LruBufferPool::InvalidateBytes() {
 }
 
 void LruBufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(*mu_);
   lru_.clear();
   frames_.clear();
 }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -23,6 +25,19 @@ struct BufferStats {
   uint64_t bytes_read = 0;
   /// Wall time spent inside PageProvider::ReadPage on misses.
   uint64_t read_ns = 0;
+  /// Successful Pin() calls and their matching Unpin() calls. Equal once
+  /// every reader has released its frames -- the pin-accounting invariant
+  /// the eviction and quarantine paths are tested against.
+  uint64_t pin_events = 0;
+  uint64_t unpin_events = 0;
+  /// Pins that found the frame already pinned by another reader (shared
+  /// reader pins on one frame).
+  uint64_t shared_pins = 0;
+  /// Victim-scan skips of pinned frames: an eviction candidate was passed
+  /// over because a reader still holds it. Snapshot readers assert their
+  /// pinned frames are never reclaimed by watching this stay in lockstep
+  /// with frame residency.
+  uint64_t pinned_evictions_refused = 0;
 
   double HitRate() const {
     return accesses == 0 ? 0.0
@@ -60,6 +75,21 @@ class PageProvider {
 /// The stats accounting (accesses/hits/misses/evictions) is identical in
 /// both modes, so a pinned navigation run reproduces the model's counters
 /// exactly as long as at most one frame is pinned at a time.
+///
+/// Frames are keyed by (page, epoch): a snapshot reader pins the page
+/// image that was current at its pinned store version, so two snapshots
+/// over different versions of the same page occupy distinct frames while
+/// readers over the same version share one. Epoch 0 is the historical
+/// single-version mode (Access() and default Pin() arguments).
+///
+/// Every public method takes an internal mutex, so one pool may be shared
+/// by concurrent snapshot readers. Pins are shared (reader) pins: a frame
+/// with pins > 0 is never evicted and never quarantined, and the bytes of
+/// a loaded frame are immutable until the frame dies, so the pointer a
+/// Pin() returns stays valid until the matching Unpin() regardless of
+/// what other threads do. A miss loads bytes through the provider while
+/// the pool lock is held, serializing concurrent misses (correctness
+/// first; frame reads are memcpy-cheap for the in-memory providers).
 class LruBufferPool {
  public:
   /// `capacity`: number of page frames; must be positive. A zero capacity
@@ -76,21 +106,27 @@ class LruBufferPool {
   /// the frame is not already materialized, and pins the frame. The
   /// returned vector stays valid until the matching Unpin(). With a null
   /// provider the frame stays byteless (model mode) and the returned
-  /// pointer is to an empty vector.
+  /// pointer is to an empty vector. `epoch` selects which version of the
+  /// page the frame holds; the provider passed alongside must serve
+  /// exactly that version's bytes.
   Result<const std::vector<uint8_t>*> Pin(uint32_t page,
-                                          const PageProvider* provider);
+                                          const PageProvider* provider,
+                                          uint64_t epoch = 0);
 
-  /// Releases one pin on `page`. Unbalanced unpins are ignored.
-  void Unpin(uint32_t page);
+  /// Releases one pin on `page`'s frame at `epoch`. Unbalanced unpins are
+  /// ignored (and not counted as unpin events).
+  void Unpin(uint32_t page, uint64_t epoch = 0);
 
-  /// True if the page is currently resident (no stats effect).
-  bool IsResident(uint32_t page) const;
+  /// True if the page is currently resident at `epoch` (no stats effect).
+  bool IsResident(uint32_t page, uint64_t epoch = 0) const;
 
   size_t capacity() const { return capacity_; }
-  size_t resident_count() const { return lru_.size(); }
+  size_t resident_count() const;
   size_t pinned_count() const;
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Snapshot of the counters, taken under the pool lock (safe to call
+  /// from any thread while readers run).
+  BufferStats stats() const;
+  void ResetStats();
 
   /// Empties the pool (cold restart), keeping the stats. The caller must
   /// not hold pins across a Clear().
@@ -102,21 +138,39 @@ class LruBufferPool {
   /// suspect, not merely stale). Refuses (returns false) while the frame
   /// is pinned: a reader still holds a pointer into it. Returns true if
   /// a frame was dropped.
-  bool Quarantine(uint32_t page);
+  bool Quarantine(uint32_t page, uint64_t epoch = 0);
 
   /// Drops every frame's bytes but keeps residency, pins and stats: the
-  /// next Pin() of each page reloads through its provider. Called after
-  /// store mutations rewrite records, which stales cached page images
-  /// without changing which pages are hot. The caller must not hold pins
-  /// (their frame bytes would be yanked mid-read).
+  /// next Pin() of each page reloads through its provider. Predates
+  /// epoch-keyed frames (snapshot readers never see stale bytes -- a
+  /// mutated page publishes under a fresh epoch key); retained for
+  /// provider-swap call sites. The caller must not hold pins (their frame
+  /// bytes would be yanked mid-read).
   void InvalidateBytes();
 
  private:
   explicit LruBufferPool(size_t capacity);
 
+  /// (page, epoch) identity of one immutable page image.
+  struct FrameKey {
+    uint32_t page = 0;
+    uint64_t epoch = 0;
+    bool operator==(const FrameKey&) const = default;
+  };
+  struct FrameKeyHash {
+    size_t operator()(const FrameKey& k) const {
+      // splitmix-style mix of the two halves.
+      uint64_t x = (static_cast<uint64_t>(k.page) << 1) ^ k.epoch;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<size_t>(x * 0x94d049bb133111ebull);
+    }
+  };
+
   struct Frame {
     /// Position in lru_ (most-recently-used at the front).
-    std::list<uint32_t>::iterator lru_it;
+    std::list<FrameKey>::iterator lru_it;
     /// Frame bytes; empty until a Pin() with a provider materializes it.
     std::vector<uint8_t> bytes;
     uint32_t pins = 0;
@@ -125,11 +179,14 @@ class LruBufferPool {
 
   /// Shared touch path of Access()/Pin(): stats, LRU bump, eviction.
   /// Returns the touched frame (inserting an empty one on a miss).
-  Frame& Touch(uint32_t page);
+  /// Caller holds mu_.
+  Frame& Touch(FrameKey key);
 
   size_t capacity_;
-  std::list<uint32_t> lru_;
-  std::unordered_map<uint32_t, Frame> frames_;
+  /// Heap-allocated so the pool stays movable (Result<LruBufferPool>).
+  std::unique_ptr<std::mutex> mu_;
+  std::list<FrameKey> lru_;
+  std::unordered_map<FrameKey, Frame, FrameKeyHash> frames_;
   BufferStats stats_;
 };
 

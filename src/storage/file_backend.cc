@@ -130,9 +130,18 @@ Status PosixFileBackend::Truncate(uint64_t size) {
 }
 
 Status PosixFileBackend::Sync() {
+#if defined(__linux__)
+  // fdatasync skips the metadata-only flush (mtime etc.); file length
+  // changes still reach disk, which is all WAL/page-file durability
+  // needs.
   if (::fdatasync(fd_) != 0) {
     return Status::Internal(ErrnoMessage("fdatasync " + path_, errno));
   }
+#else
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(ErrnoMessage("fsync " + path_, errno));
+  }
+#endif
   return Status::OK();
 }
 

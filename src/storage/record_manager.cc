@@ -16,6 +16,138 @@ void RecordManager::NoteFreeSpace(uint32_t page) {
   reuse_candidates_.push_back(page);
 }
 
+void RecordManager::BeginWriteEpoch(uint64_t epoch, bool snapshots_open,
+                                    uint64_t max_open) {
+  write_epoch_ = epoch;
+  cow_armed_ = snapshots_open;
+  cow_max_snapshot_ = max_open;
+}
+
+uint64_t RecordManager::PageEpochOf(uint32_t page_id) const {
+  const auto it = page_epochs_.find(page_id);
+  return it == page_epochs_.end() ? 0 : it->second;
+}
+
+void RecordManager::StampEpoch(uint32_t page_id) {
+  if (write_epoch_ != 0) page_epochs_[page_id] = write_epoch_;
+}
+
+void RecordManager::PrepareCow(uint32_t page_id) {
+  if (write_epoch_ == 0) return;  // bulk load / restore: nothing to isolate
+  const uint64_t from = PageEpochOf(page_id);
+  if (from >= write_epoch_) return;  // already copied this epoch
+  if (cow_armed_ && from <= cow_max_snapshot_) {
+    Result<std::vector<uint8_t>> image = PageImage(page_id);
+    if (image.ok()) {
+      mvcc_->retired_frames.fetch_add(1, std::memory_order_relaxed);
+      mvcc_->retired_bytes.fetch_add(image->size(),
+                                     std::memory_order_relaxed);
+      retired_[page_id].push_back(
+          RetiredImage{from, write_epoch_ - 1, std::move(image).value()});
+    }
+  }
+  page_epochs_[page_id] = write_epoch_;
+}
+
+Result<const std::vector<uint8_t>*> RecordManager::ImageAsOf(
+    uint32_t page_id, uint64_t snapshot) const {
+  if (snapshot >= PageEpochOf(page_id)) {
+    mvcc_->current_reads.fetch_add(1, std::memory_order_relaxed);
+    if (page_id & kJumboPageBit) {
+      const uint32_t index = page_id & ~kJumboPageBit;
+      if (index >= jumbo_records_.size()) {
+        return Status::NotFound("no such jumbo record: " +
+                                std::to_string(index));
+      }
+      return &jumbo_records_[index];
+    }
+    if (page_id >= pages_.size()) {
+      return Status::NotFound("no such page: " + std::to_string(page_id));
+    }
+    return &pages_[page_id].image();
+  }
+  const auto it = retired_.find(page_id);
+  if (it != retired_.end()) {
+    // Newest pre-images sit at the back; a fresh snapshot is most likely
+    // to need the most recent one.
+    for (auto img = it->second.rbegin(); img != it->second.rend(); ++img) {
+      if (img->valid_from <= snapshot && snapshot <= img->valid_through) {
+        mvcc_->snapshot_reads.fetch_add(1, std::memory_order_relaxed);
+        return &img->bytes;
+      }
+    }
+  }
+  return Status::Internal("page " + std::to_string(page_id) +
+                          " has no image visible at snapshot version " +
+                          std::to_string(snapshot) +
+                          " (frame reclaimed under an open snapshot?)");
+}
+
+Result<std::vector<uint8_t>> RecordManager::ReadPageAsOf(
+    uint32_t page_id, uint64_t snapshot) const {
+  NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t>* image,
+                         ImageAsOf(page_id, snapshot));
+  return *image;
+}
+
+Result<std::vector<uint8_t>> RecordManager::RecordBytesAsOf(
+    uint32_t page_id, uint16_t slot, uint64_t snapshot) const {
+  NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t>* image,
+                         ImageAsOf(page_id, snapshot));
+  if (page_id & kJumboPageBit) return *image;  // the image is the record
+  NATIX_ASSIGN_OR_RETURN(const auto entry,
+                         Page::EntryInImage(image->data(), image->size(),
+                                            slot));
+  return std::vector<uint8_t>(image->begin() + entry.first,
+                              image->begin() + entry.first + entry.second);
+}
+
+void RecordManager::ReclaimRetired(uint64_t min_open) {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    std::vector<RetiredImage>& chain = it->second;
+    uint64_t frames = 0, bytes = 0;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [&](const RetiredImage& img) {
+                                 if (img.valid_through >= min_open) {
+                                   return false;
+                                 }
+                                 ++frames;
+                                 bytes += img.bytes.size();
+                                 return true;
+                               }),
+                chain.end());
+    if (frames > 0) {
+      mvcc_->reclaimed_frames.fetch_add(frames, std::memory_order_relaxed);
+      mvcc_->reclaimed_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    it = chain.empty() ? retired_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<std::pair<uint32_t, uint16_t>> RecordManager::ExportAddresses()
+    const {
+  std::vector<std::pair<uint32_t, uint16_t>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.emplace_back(IsLivePage(e.page) ? e.page : kInvalidPage, e.slot);
+  }
+  return out;
+}
+
+MvccStats RecordManager::mvcc_stats() const {
+  MvccStats s;
+  s.retired_frames = mvcc_->retired_frames.load(std::memory_order_relaxed);
+  s.retired_bytes = mvcc_->retired_bytes.load(std::memory_order_relaxed);
+  s.reclaimed_frames =
+      mvcc_->reclaimed_frames.load(std::memory_order_relaxed);
+  s.reclaimed_bytes = mvcc_->reclaimed_bytes.load(std::memory_order_relaxed);
+  s.held_frames = s.retired_frames - s.reclaimed_frames;
+  s.held_bytes = s.retired_bytes - s.reclaimed_bytes;
+  s.snapshot_reads = mvcc_->snapshot_reads.load(std::memory_order_relaxed);
+  s.current_reads = mvcc_->current_reads.load(std::memory_order_relaxed);
+  return s;
+}
+
 Result<RecordManager::Entry> RecordManager::Place(
     const std::vector<uint8_t>& record) {
   if (record.size() > PagePayloadCapacity()) {
@@ -24,10 +156,14 @@ Result<RecordManager::Entry> RecordManager::Place(
     if (!free_jumbos_.empty()) {
       index = free_jumbos_.back();
       free_jumbos_.pop_back();
+      // The freed slot's pre-image was retired by Free(); its current
+      // (cleared) content is unreachable, so stamp without retiring.
+      StampEpoch(index | kJumboPageBit);
       jumbo_records_[index] = record;
     } else {
       index = static_cast<uint32_t>(jumbo_records_.size());
       jumbo_records_.push_back(record);
+      StampEpoch(index | kJumboPageBit);
     }
     jumbo_pages_ += JumboPagesFor(record.size());
     ++live_jumbos_;
@@ -41,6 +177,7 @@ Result<RecordManager::Entry> RecordManager::Place(
           : 0;
   for (size_t p = pages_.size(); p-- > first;) {
     if (pages_[p].FreeTotal() >= record.size()) {
+      PrepareCow(static_cast<uint32_t>(p));
       Result<uint16_t> slot = pages_[p].Insert(record);
       if (slot.ok()) {
         buffer_.MarkDirty(static_cast<uint32_t>(p));
@@ -54,6 +191,7 @@ Result<RecordManager::Entry> RecordManager::Place(
     const uint32_t p = reuse_candidates_.back();
     reuse_candidates_.pop_back();
     if (pages_[p].FreeTotal() < record.size()) continue;
+    PrepareCow(p);
     Result<uint16_t> slot = pages_[p].Insert(record);
     if (!slot.ok()) continue;
     // The page may still have room for more; keep it as a candidate.
@@ -62,6 +200,7 @@ Result<RecordManager::Entry> RecordManager::Place(
     return Entry{p, *slot};
   }
   pages_.emplace_back(page_size_);
+  StampEpoch(static_cast<uint32_t>(pages_.size() - 1));
   Result<uint16_t> slot = pages_.back().Insert(record);
   if (!slot.ok()) return slot.status();
   buffer_.MarkDirty(static_cast<uint32_t>(pages_.size() - 1));
@@ -81,7 +220,7 @@ Result<RecordId> RecordManager::Insert(const std::vector<uint8_t>& record) {
   }
   ++live_records_;
   payload_bytes_ += record.size();
-  record_bytes_written_ += record.size();
+  BumpRecordBytes(record.size());
   return RecordId{id};
 }
 
@@ -109,7 +248,7 @@ Status RecordManager::InsertWithId(RecordId id,
   entries_[id.value] = entry;
   ++live_records_;
   payload_bytes_ += record.size();
-  record_bytes_written_ += record.size();
+  BumpRecordBytes(record.size());
   return Status::OK();
 }
 
@@ -126,9 +265,10 @@ Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
   if (id.value >= entries_.size() || !IsLivePage(entries_[id.value].page)) {
     return Status::NotFound("no such record: " + std::to_string(id.value));
   }
-  record_bytes_written_ += record.size();
+  BumpRecordBytes(record.size());
   Entry& entry = entries_[id.value];
   if (entry.page & kJumboPageBit) {
+    PrepareCow(entry.page);
     const uint32_t index = entry.page & ~kJumboPageBit;
     std::vector<uint8_t>& old = jumbo_records_[index];
     payload_bytes_ -= old.size();
@@ -155,6 +295,7 @@ Status RecordManager::Update(RecordId id, const std::vector<uint8_t>& record) {
   Page& page = pages_[entry.page];
   NATIX_ASSIGN_OR_RETURN(const auto old, page.Get(entry.slot));
   const size_t old_size = old.second;
+  PrepareCow(entry.page);
   if (record.size() <= PagePayloadCapacity() &&
       page.Update(entry.slot, record).ok()) {
     payload_bytes_ += record.size();
@@ -186,6 +327,7 @@ Status RecordManager::Free(RecordId id) {
     return Status::OK();
   }
   if (entry.page & kJumboPageBit) {
+    PrepareCow(entry.page);
     const uint32_t index = entry.page & ~kJumboPageBit;
     std::vector<uint8_t>& rec = jumbo_records_[index];
     payload_bytes_ -= rec.size();
@@ -198,6 +340,7 @@ Status RecordManager::Free(RecordId id) {
   } else {
     NATIX_ASSIGN_OR_RETURN(const auto bytes, pages_[entry.page].Get(entry.slot));
     payload_bytes_ -= bytes.second;
+    PrepareCow(entry.page);
     NATIX_RETURN_NOT_OK(pages_[entry.page].Free(entry.slot));
     NoteFreeSpace(entry.page);
     buffer_.MarkDirty(entry.page);
@@ -280,7 +423,7 @@ void RecordManager::SerializeMeta(ByteWriter* w) const {
   w->U64(payload_bytes_);
   w->U64(relocations_);
   w->U64(frees_);
-  w->U64(record_bytes_written_);
+  w->U64(record_bytes_written());
 }
 
 Result<RecordManager> RecordManager::RestoreMeta(ByteReader* r) {
@@ -365,7 +508,9 @@ Result<RecordManager> RecordManager::RestoreMeta(ByteReader* r) {
   NATIX_ASSIGN_OR_RETURN(rm.payload_bytes_, r->U64());
   NATIX_ASSIGN_OR_RETURN(rm.relocations_, r->U64());
   NATIX_ASSIGN_OR_RETURN(rm.frees_, r->U64());
-  NATIX_ASSIGN_OR_RETURN(rm.record_bytes_written_, r->U64());
+  NATIX_ASSIGN_OR_RETURN(const uint64_t record_bytes, r->U64());
+  rm.mvcc_->record_bytes_written.store(record_bytes,
+                                       std::memory_order_relaxed);
   return rm;
 }
 

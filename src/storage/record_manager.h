@@ -1,7 +1,11 @@
 #ifndef NATIX_STORAGE_RECORD_MANAGER_H_
 #define NATIX_STORAGE_RECORD_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -10,6 +14,24 @@
 #include "storage/record.h"
 
 namespace natix {
+
+/// Counters for the copy-on-write retire/reclaim machinery backing
+/// snapshot isolation. `retired_*`/`reclaimed_*` are cumulative;
+/// `held_*` are gauges of pre-images currently kept alive for open
+/// snapshots. All values are atomics read with relaxed ordering, so the
+/// struct is safe to poll from reader threads mid-run.
+struct MvccStats {
+  uint64_t retired_frames = 0;
+  uint64_t retired_bytes = 0;
+  uint64_t reclaimed_frames = 0;
+  uint64_t reclaimed_bytes = 0;
+  uint64_t held_frames = 0;
+  uint64_t held_bytes = 0;
+  /// ReadPageAsOf() calls served from a retired pre-image vs. from the
+  /// live page image.
+  uint64_t snapshot_reads = 0;
+  uint64_t current_reads = 0;
+};
 
 /// Places records on slotted pages, several records per page (Sec. 6.4:
 /// "the record manager ... stores several records on a single disk
@@ -33,8 +55,13 @@ class RecordManager : public PageProvider {
   /// the page-id namespace used for buffer accounting.
   static constexpr uint32_t kJumboPageBit = 0x80000000u;
 
+  /// Sentinel page id for unused/freed logical ids, exposed so snapshot
+  /// address tables can test liveness without reaching into Entry.
+  static constexpr uint32_t kInvalidPage = 0xFFFFFFFFu;
+
   explicit RecordManager(size_t page_size = 8192, int lookback = 8)
-      : page_size_(page_size), lookback_(lookback) {}
+      : page_size_(page_size), lookback_(lookback),
+        mvcc_(std::make_unique<MvccCounters>()) {}
 
   /// Stores a record, returns its logical id (freed ids are recycled).
   Result<RecordId> Insert(const std::vector<uint8_t>& record);
@@ -88,8 +115,68 @@ class RecordManager : public PageProvider {
   uint64_t free_count() const { return frees_; }
   /// Total record payload bytes handed to Insert()/Update() over the
   /// manager's lifetime -- the denominator of the WAL write-amplification
-  /// metric.
-  uint64_t record_bytes_written() const { return record_bytes_written_; }
+  /// metric. Atomic so stats pollers on reader threads race with nothing.
+  uint64_t record_bytes_written() const {
+    return mvcc_->record_bytes_written.load(std::memory_order_relaxed);
+  }
+
+  // --- Versioned (MVCC) page resolution -------------------------------
+  //
+  // The store serializes writers; before each mutating operation it calls
+  // BeginWriteEpoch() with the epoch the operation will publish as (the
+  // store version after the op) and the high-water mark of currently open
+  // snapshots. Every page mutation then runs copy-on-write: if the
+  // page's current image is visible to an open snapshot, the pre-image is
+  // retired into that page's epoch list before the bytes change, and the
+  // page is stamped with the new epoch. Readers resolve (page, snapshot
+  // version) through ReadPageAsOf(); retired images die only when every
+  // snapshot at or below their epoch has closed (ReclaimRetired()).
+  //
+  // Thread contract: BeginWriteEpoch, the mutators and ReclaimRetired run
+  // under the store's writer (unique) lock; ReadPageAsOf and
+  // RecordBytesAsOf run under its reader (shared) lock.
+
+  /// Arms copy-on-write for the next mutating operation. `epoch` is the
+  /// version the operation publishes as; `snapshots_open` / `max_open`
+  /// describe the snapshot registry at the time the writer lock was
+  /// taken (no snapshot can open mid-operation).
+  void BeginWriteEpoch(uint64_t epoch, bool snapshots_open,
+                       uint64_t max_open);
+
+  /// Epoch the page's current image became valid at (0 for never-mutated
+  /// pages). The (page, epoch) pair identifies one immutable page image
+  /// and keys buffer-pool frames.
+  uint64_t PageEpochOf(uint32_t page_id) const;
+
+  /// The page's image as visible to a snapshot pinned at `snapshot`:
+  /// the live image when the page has not changed since, otherwise the
+  /// retired pre-image whose validity interval covers `snapshot`.
+  Result<std::vector<uint8_t>> ReadPageAsOf(uint32_t page_id,
+                                            uint64_t snapshot) const;
+
+  /// One record's bytes out of the page image visible at `snapshot` --
+  /// the no-buffer-pool read path (copies only the record, not the whole
+  /// page image). Jumbo pages ignore `slot` (the image is the record).
+  Result<std::vector<uint8_t>> RecordBytesAsOf(uint32_t page_id,
+                                               uint16_t slot,
+                                               uint64_t snapshot) const;
+
+  /// Drops every retired image no open snapshot can still reach:
+  /// `min_open` is the smallest open snapshot version, or UINT64_MAX
+  /// when none remain.
+  void ReclaimRetired(uint64_t min_open);
+
+  /// Copy of the logical-id indirection table (page, slot) -- dead ids
+  /// report kInvalidPage. Snapshots capture this at open so address
+  /// resolution needs no lock afterwards.
+  std::vector<std::pair<uint32_t, uint16_t>> ExportAddresses() const;
+
+  /// Copy of the page -> current-epoch map (pages absent are at epoch 0).
+  std::unordered_map<uint32_t, uint64_t> ExportPageEpochs() const {
+    return page_epochs_;
+  }
+
+  MvccStats mvcc_stats() const;
 
   /// Dirty-page tracker: every mutation reports the touched page (jumbo
   /// records under their synthetic kJumboPageBit id), and checkpointing
@@ -146,7 +233,7 @@ class RecordManager : public PageProvider {
     uint32_t page = kNoPage;
     uint16_t slot = 0;
   };
-  static constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+  static constexpr uint32_t kNoPage = kInvalidPage;
   static constexpr uint32_t kPendingPage = 0xFFFFFFFEu;
   static bool IsLivePage(uint32_t page) {
     return page != kNoPage && page != kPendingPage;
@@ -161,6 +248,40 @@ class RecordManager : public PageProvider {
   Result<Entry> Place(const std::vector<uint8_t>& record);
   /// Remembers that `page` gained free space (lazy, validated on pop).
   void NoteFreeSpace(uint32_t page);
+
+  /// One retired page image and the closed interval of store versions it
+  /// serves. Chains per page are appended in epoch order, so intervals
+  /// are disjoint and ascending.
+  struct RetiredImage {
+    uint64_t valid_from;
+    uint64_t valid_through;
+    std::vector<uint8_t> bytes;
+  };
+
+  /// Atomic counter block behind a pointer so the manager stays movable.
+  struct MvccCounters {
+    std::atomic<uint64_t> record_bytes_written{0};
+    std::atomic<uint64_t> retired_frames{0};
+    std::atomic<uint64_t> retired_bytes{0};
+    std::atomic<uint64_t> reclaimed_frames{0};
+    std::atomic<uint64_t> reclaimed_bytes{0};
+    std::atomic<uint64_t> snapshot_reads{0};
+    std::atomic<uint64_t> current_reads{0};
+  };
+
+  /// Called before mutating an existing page: retires the pre-image if
+  /// an open snapshot still sees it, then stamps the page with the
+  /// current write epoch. Idempotent within one epoch.
+  void PrepareCow(uint32_t page_id);
+  /// Stamps a page whose prior content is unreachable (fresh pages,
+  /// recycled jumbo slots): no pre-image to retire.
+  void StampEpoch(uint32_t page_id);
+  /// The image bytes visible at `snapshot` (live page or retired copy).
+  Result<const std::vector<uint8_t>*> ImageAsOf(uint32_t page_id,
+                                                uint64_t snapshot) const;
+  void BumpRecordBytes(size_t n) {
+    mvcc_->record_bytes_written.fetch_add(n, std::memory_order_relaxed);
+  }
 
   size_t page_size_;
   int lookback_;
@@ -178,8 +299,19 @@ class RecordManager : public PageProvider {
   uint64_t payload_bytes_ = 0;
   uint64_t relocations_ = 0;
   uint64_t frees_ = 0;
-  uint64_t record_bytes_written_ = 0;
   BufferManager buffer_;
+  /// Epoch the next mutating operation publishes as (0 during bulk load
+  /// and restore: no snapshots can exist yet).
+  uint64_t write_epoch_ = 0;
+  /// Whether the current operation must retire pre-images, and up to
+  /// which snapshot version (set by BeginWriteEpoch).
+  bool cow_armed_ = false;
+  uint64_t cow_max_snapshot_ = 0;
+  /// valid-from epoch of each page's current image; absent means 0.
+  std::unordered_map<uint32_t, uint64_t> page_epochs_;
+  /// Retired pre-images per page, oldest first.
+  std::unordered_map<uint32_t, std::vector<RetiredImage>> retired_;
+  std::unique_ptr<MvccCounters> mvcc_;
 };
 
 }  // namespace natix

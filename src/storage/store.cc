@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <functional>
 #include <optional>
 #include <utility>
 
@@ -165,11 +166,92 @@ Result<std::vector<uint8_t>> NatixStore::EncodePartition(
   return builder.Build();
 }
 
+NatixStore::NatixStore() : cc_(std::make_unique<ConcurrencyCore>()) {}
+
 NatixStore::~NatixStore() {
   // Join the flusher thread while the backend it writes to is still
   // alive; member destruction order alone cannot guarantee that for
   // every teardown path.
   wal_.reset();
+}
+
+uint64_t NatixStore::version() const {
+  std::shared_lock<std::shared_mutex> lock(cc_->mu);
+  return version_;
+}
+
+size_t NatixStore::open_snapshot_count() const {
+  std::lock_guard<std::mutex> reg(cc_->reg_mu);
+  size_t n = 0;
+  for (const auto& [version, count] : cc_->open_snapshots) n += count;
+  return n;
+}
+
+void NatixStore::ArmCow() {
+  bool open = false;
+  uint64_t max_open = 0;
+  {
+    std::lock_guard<std::mutex> reg(cc_->reg_mu);
+    open = !cc_->open_snapshots.empty();
+    if (open) max_open = cc_->open_snapshots.rbegin()->first;
+  }
+  // Every mutator publishes at version_ + 1 (ApplyDelta, Rename and
+  // RefreshPlacementHints each bump exactly once on success).
+  manager_.BeginWriteEpoch(version_ + 1, open, max_open);
+}
+
+StoreSnapshot NatixStore::OpenSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(cc_->mu);
+  auto state = std::make_unique<StoreSnapshot::State>();
+  state->store = this;
+  state->version = version_;
+  state->slot_size = options_.slot_size;
+  state->page_size = page_size_;
+  state->partition_of = partition_of_;
+  state->records = records_;
+  state->slot_in_record = slot_in_record_;
+  state->labels = labels_;
+  state->addresses = manager_.ExportAddresses();
+  state->page_epochs = manager_.ExportPageEpochs();
+  state->source_bytes =
+      doc_ != nullptr ? doc_->source_bytes : released_source_bytes_;
+  if (doc_ != nullptr) {
+    state->preorder_ranks = doc_->tree.PreorderRanks();
+    for (NodeId v = 0; v < partition_of_.size(); ++v) {
+      if (partition_of_[v] != kNoPartition && NodeOverflows(v)) {
+        state->overflow_content.emplace(v, std::string(doc_->ContentOf(v)));
+      }
+    }
+  } else {
+    state->overflow_content = overflow_content_;
+  }
+  {
+    std::lock_guard<std::mutex> reg(cc_->reg_mu);
+    ++cc_->open_snapshots[state->version];
+  }
+  return StoreSnapshot(std::move(state));
+}
+
+void NatixStore::CloseSnapshot(uint64_t version) const {
+  // Exclusive: reclamation must not race snapshot page reads, and the
+  // min-open computation must be atomic with respect to writers arming
+  // copy-on-write.
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  uint64_t min_open = UINT64_MAX;
+  {
+    std::lock_guard<std::mutex> reg(cc_->reg_mu);
+    const auto it = cc_->open_snapshots.find(version);
+    if (it != cc_->open_snapshots.end() && --it->second == 0) {
+      cc_->open_snapshots.erase(it);
+    }
+    if (!cc_->open_snapshots.empty()) {
+      min_open = cc_->open_snapshots.begin()->first;
+    }
+  }
+  // Retired pre-images are a cache of dead versions; dropping them does
+  // not change observable store state, hence the cast from this const
+  // close path.
+  const_cast<RecordManager&>(manager_).ReclaimRetired(min_open);
 }
 
 Result<NatixStore> NatixStore::Build(ImportedDocument doc,
@@ -244,6 +326,11 @@ Result<NatixStore> NatixStore::Build(ImportedDocument doc,
 }
 
 Status NatixStore::ReleaseDocument() {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  return ReleaseDocumentLocked();
+}
+
+Status NatixStore::ReleaseDocumentLocked() {
   if (doc_ == nullptr) return Status::OK();
   // Park the partitioner's interval table: inc_ holds a pointer into the
   // document's tree and cannot outlive it.
@@ -267,6 +354,11 @@ Status NatixStore::ReleaseDocument() {
 }
 
 Status NatixStore::EnsureDocument() {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  return EnsureDocumentLocked();
+}
+
+Status NatixStore::EnsureDocumentLocked() {
   if (doc_ != nullptr) return Status::OK();
   NATIX_ASSIGN_OR_RETURN(ImportedDocument doc, BuildDocumentFromRecords());
   doc_ = std::make_unique<ImportedDocument>(std::move(doc));
@@ -276,10 +368,20 @@ Status NatixStore::EnsureDocument() {
 }
 
 Result<ImportedDocument> NatixStore::MaterializeDocument() const {
+  std::shared_lock<std::shared_mutex> lock(cc_->mu);
+  return MaterializeDocumentLocked();
+}
+
+Result<ImportedDocument> NatixStore::MaterializeDocumentLocked() const {
   return BuildDocumentFromRecords();
 }
 
 Result<ImportedDocument> NatixStore::SnapshotDocument() const {
+  std::shared_lock<std::shared_mutex> lock(cc_->mu);
+  return SnapshotDocumentLocked();
+}
+
+Result<ImportedDocument> NatixStore::SnapshotDocumentLocked() const {
   if (doc_ != nullptr) return doc_->Clone();
   return BuildDocumentFromRecords();
 }
@@ -305,10 +407,28 @@ Result<NodeId> ResolveLink(const RecordView& view, uint32_t i, int32_t link,
   return view.node_id(static_cast<uint32_t>(link));
 }
 
-}  // namespace
+/// The store tables BuildDocumentFromTables() decodes against -- either
+/// the live store's members or a snapshot's pinned copies.
+struct RecordTables {
+  const std::vector<uint32_t>& partition_of;
+  const std::vector<RecordId>& records;
+  const std::vector<uint32_t>& slot_in_record;
+  const std::vector<std::string>& labels;
+  uint32_t slot_size;
+  uint64_t source_bytes;
+};
 
-Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
-  const size_t n = partition_of_.size();
+/// Shared document reconstruction: decodes every record into a fresh
+/// document. `record_bytes(part)` returns the record bytes of a
+/// partition (the returned pointer must stay valid until the next call);
+/// `overflow_content(v)` returns the externalized content of an overflow
+/// node.
+Result<ImportedDocument> BuildDocumentFromTables(
+    const RecordTables& t,
+    const std::function<Result<std::pair<const uint8_t*, size_t>>(uint32_t)>&
+        record_bytes,
+    const std::function<Result<std::string_view>(NodeId)>& overflow_content) {
+  const size_t n = t.partition_of.size();
   if (n == 0) {
     return Status::FailedPrecondition("store holds no nodes");
   }
@@ -320,18 +440,18 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
   links.weight.assign(n, 1);
   links.label.assign(n, -1);
   links.kind.assign(n, NodeKind::kElement);
-  links.labels = labels_;
-  // Tombstoned nodes (partition_of_ == kNoPartition) are covered by no
+  links.labels = t.labels;
+  // Tombstoned nodes (partition_of == kNoPartition) are covered by no
   // record; they keep their arena slot as a dead, link-free node with
   // the same normalized fields Tree::RemoveSubtree leaves behind.
   size_t dead = 0;
   for (size_t v = 0; v < n; ++v) {
-    if (partition_of_[v] == kNoPartition) ++dead;
+    if (t.partition_of[v] == kNoPartition) ++dead;
   }
   if (dead != 0) {
     links.alive.assign(n, 1);
     for (size_t v = 0; v < n; ++v) {
-      if (partition_of_[v] == kNoPartition) links.alive[v] = 0;
+      if (t.partition_of[v] == kNoPartition) links.alive[v] = 0;
     }
   }
 
@@ -339,12 +459,13 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
   out.content_bytes.assign(n, 0);
   out.content_offset.assign(n, 0);
   std::vector<uint8_t> seen(n, 0);
-  for (size_t part = 0; part < records_.size(); ++part) {
-    if (!records_[part].valid()) continue;
-    NATIX_ASSIGN_OR_RETURN(const auto bytes, manager_.Get(records_[part]));
+  for (size_t part = 0; part < t.records.size(); ++part) {
+    if (!t.records[part].valid()) continue;
+    NATIX_ASSIGN_OR_RETURN(const auto bytes,
+                           record_bytes(static_cast<uint32_t>(part)));
     NATIX_ASSIGN_OR_RETURN(
         const RecordView view,
-        RecordView::Parse(bytes.first, bytes.second, options_.slot_size));
+        RecordView::Parse(bytes.first, bytes.second, t.slot_size));
     const RecordAggregate agg = view.aggregate();
     for (uint32_t i = 0; i < view.node_count(); ++i) {
       const NodeId v = view.node_id(i);
@@ -361,7 +482,7 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
       seen[v] = 1;
       // Cross-check the store's navigation tables against the record
       // bytes: they must agree, or navigation would read wrong slots.
-      if (partition_of_[v] != part || slot_in_record_[v] != i) {
+      if (t.partition_of[v] != part || t.slot_in_record[v] != i) {
         return Status::ParseError(
             "store tables disagree with record contents for node " +
             std::to_string(v));
@@ -380,7 +501,7 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
       links.kind[v] = static_cast<NodeKind>(kind);
       const int32_t label = view.label(i);
       if (label < -1 ||
-          (label >= 0 && static_cast<size_t>(label) >= labels_.size())) {
+          (label >= 0 && static_cast<size_t>(label) >= t.labels.size())) {
         return Status::ParseError("record label id out of range for node " +
                                   std::to_string(v));
       }
@@ -409,19 +530,9 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
       std::string_view content;
       if (view.overflow(i)) {
         // The record holds only the externalized length; the bytes live
-        // in the resident document or, when released, in the side map.
+        // outside the record and come back through the callback.
         const uint64_t len = view.overflow_bytes(i);
-        if (doc_ != nullptr) {
-          content = doc_->ContentOf(v);
-        } else {
-          const auto it = overflow_content_.find(v);
-          if (it == overflow_content_.end()) {
-            return Status::ParseError(
-                "overflow content of node " + std::to_string(v) +
-                " is not available");
-          }
-          content = it->second;
-        }
+        NATIX_ASSIGN_OR_RETURN(content, overflow_content(v));
         if (content.size() != len) {
           return Status::ParseError(
               "overflow content length mismatch for node " +
@@ -444,16 +555,97 @@ Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
   for (size_t v = 0; v < n; ++v) {
     // Covered tombstones are already rejected by the table cross-check
     // above (kNoPartition never equals a record's partition index).
-    if (!seen[v] && partition_of_[v] != kNoPartition) {
+    if (!seen[v] && t.partition_of[v] != kNoPartition) {
       return Status::ParseError("node " + std::to_string(v) +
                                 " is not covered by any record");
     }
   }
   NATIX_ASSIGN_OR_RETURN(out.tree, Tree::FromParts(std::move(links)));
   // source_node is import provenance; a rematerialized document has none.
-  out.source_bytes =
-      doc_ != nullptr ? doc_->source_bytes : released_source_bytes_;
+  out.source_bytes = t.source_bytes;
   return out;
+}
+
+/// Shared compaction core: renumbers the live nodes of `old` in preorder
+/// and rebuilds a dense document. `slot_size` drives the overflow
+/// recomputation; `old_to_new` (optional) receives the id translation.
+Result<ImportedDocument> CompactDocumentImpl(const ImportedDocument& old,
+                                             uint32_t slot_size,
+                                             std::vector<NodeId>* old_to_new) {
+  const Tree& tree = old.tree;
+  std::vector<NodeId> map(tree.size(), kInvalidNode);
+  const std::vector<NodeId> order = tree.PreorderNodes();  // live only
+  for (size_t i = 0; i < order.size(); ++i) {
+    map[order[i]] = static_cast<NodeId>(i);
+  }
+  const auto remap = [&](NodeId u) {
+    return u == kInvalidNode ? kInvalidNode : map[u];
+  };
+  const size_t m = order.size();
+  Tree::Links links;
+  links.parent.resize(m);
+  links.first_child.resize(m);
+  links.next_sibling.resize(m);
+  links.prev_sibling.resize(m);
+  links.weight.resize(m);
+  links.label.resize(m);
+  links.kind.resize(m);
+  links.labels.reserve(tree.LabelCount());
+  for (size_t id = 0; id < tree.LabelCount(); ++id) {
+    links.labels.emplace_back(tree.LabelName(static_cast<int32_t>(id)));
+  }
+  ImportedDocument out;
+  out.content_bytes.assign(m, 0);
+  out.content_offset.assign(m, 0);
+  for (size_t i = 0; i < m; ++i) {
+    const NodeId v = order[i];
+    links.parent[i] = remap(tree.Parent(v));
+    links.first_child[i] = remap(tree.FirstChild(v));
+    links.next_sibling[i] = remap(tree.NextSibling(v));
+    links.prev_sibling[i] = remap(tree.PrevSibling(v));
+    links.weight[i] = tree.WeightOf(v);
+    links.label[i] = tree.LabelIdOf(v);
+    links.kind[i] = tree.KindOf(v);
+    const std::string_view content = old.ContentOf(v);
+    out.content_offset[i] = out.content_pool.size();
+    out.content_bytes[i] = static_cast<uint32_t>(content.size());
+    out.content_pool.append(content);
+    out.content_total_bytes += content.size();
+    if (!content.empty()) {
+      const uint64_t inline_slots =
+          1 + (content.size() + slot_size - 1) / slot_size;
+      if (inline_slots > tree.WeightOf(v)) {
+        ++out.overflow_nodes;
+        out.overflow_bytes += content.size();
+      }
+    }
+  }
+  NATIX_ASSIGN_OR_RETURN(out.tree, Tree::FromParts(std::move(links)));
+  out.source_bytes = old.source_bytes;
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return out;
+}
+
+}  // namespace
+
+Result<ImportedDocument> NatixStore::BuildDocumentFromRecords() const {
+  const RecordTables tables{partition_of_,       records_,
+                            slot_in_record_,     labels_,
+                            options_.slot_size,
+                            doc_ != nullptr ? doc_->source_bytes
+                                            : released_source_bytes_};
+  return BuildDocumentFromTables(
+      tables,
+      [this](uint32_t part) { return manager_.Get(records_[part]); },
+      [this](NodeId v) -> Result<std::string_view> {
+        if (doc_ != nullptr) return doc_->ContentOf(v);
+        const auto it = overflow_content_.find(v);
+        if (it == overflow_content_.end()) {
+          return Status::ParseError("overflow content of node " +
+                                    std::to_string(v) + " is not available");
+        }
+        return std::string_view(it->second);
+      });
 }
 
 Result<NodeKind> NatixStore::KindOfNode(NodeId v) const {
@@ -487,6 +679,11 @@ Result<int32_t> NatixStore::LabelIdOfNode(NodeId v) const {
 }
 
 Status NatixStore::FlushPagesTo(FileBackend* file) const {
+  std::shared_lock<std::shared_mutex> lock(cc_->mu);
+  return FlushPagesToLocked(file);
+}
+
+Status NatixStore::FlushPagesToLocked(FileBackend* file) const {
   NATIX_RETURN_NOT_OK(file->Truncate(0));
   // Epoch stamp for this flush generation: nonzero, and different from
   // the previous flush of a mutated store, so an interrupted re-flush of
@@ -529,12 +726,21 @@ Status NatixStore::EnsureMutable() {
 Result<NodeId> NatixStore::InsertBefore(NodeId parent, NodeId before,
                                         std::string_view label, NodeKind kind,
                                         std::string_view content) {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  ArmCow();
+  return InsertBeforeLocked(parent, before, label, kind, content);
+}
+
+Result<NodeId> NatixStore::InsertBeforeLocked(NodeId parent, NodeId before,
+                                              std::string_view label,
+                                              NodeKind kind,
+                                              std::string_view content) {
   if (poisoned_) {
     return Status::FailedPrecondition(
         "store is poisoned: a WAL write failed, the log no longer matches "
         "memory; recover from the log to continue");
   }
-  NATIX_RETURN_NOT_OK(EnsureDocument());
+  NATIX_RETURN_NOT_OK(EnsureDocumentLocked());
   NATIX_RETURN_NOT_OK(EnsureMutable());
   // Weight per the store's model; cap at the partition limit so any
   // content stays insertable (beyond the cap it is externalized, exactly
@@ -663,12 +869,18 @@ Status NatixStore::ApplyDelta(const PartitionDelta& delta,
 }
 
 Result<std::vector<NodeId>> NatixStore::DeleteSubtree(NodeId v) {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  ArmCow();
+  return DeleteSubtreeLocked(v);
+}
+
+Result<std::vector<NodeId>> NatixStore::DeleteSubtreeLocked(NodeId v) {
   if (poisoned_) {
     return Status::FailedPrecondition(
         "store is poisoned: a WAL write failed, the log no longer matches "
         "memory; recover from the log to continue");
   }
-  NATIX_RETURN_NOT_OK(EnsureDocument());
+  NATIX_RETURN_NOT_OK(EnsureDocumentLocked());
   NATIX_RETURN_NOT_OK(EnsureMutable());
   const Tree& tree = doc_->tree;
   if (v >= tree.size() || !tree.IsAlive(v)) {
@@ -713,12 +925,18 @@ Result<std::vector<NodeId>> NatixStore::DeleteSubtree(NodeId v) {
 }
 
 Status NatixStore::MoveSubtree(NodeId v, NodeId parent, NodeId before) {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  ArmCow();
+  return MoveSubtreeLocked(v, parent, before);
+}
+
+Status NatixStore::MoveSubtreeLocked(NodeId v, NodeId parent, NodeId before) {
   if (poisoned_) {
     return Status::FailedPrecondition(
         "store is poisoned: a WAL write failed, the log no longer matches "
         "memory; recover from the log to continue");
   }
-  NATIX_RETURN_NOT_OK(EnsureDocument());
+  NATIX_RETURN_NOT_OK(EnsureDocumentLocked());
   NATIX_RETURN_NOT_OK(EnsureMutable());
   const Tree& tree = doc_->tree;
   if (v >= tree.size() || !tree.IsAlive(v)) {
@@ -777,6 +995,12 @@ Status NatixStore::ReencodePartition(uint32_t part) {
 }
 
 Status NatixStore::Rename(NodeId v, std::string_view label) {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  ArmCow();
+  return RenameLocked(v, label);
+}
+
+Status NatixStore::RenameLocked(NodeId v, std::string_view label) {
   if (poisoned_) {
     return Status::FailedPrecondition(
         "store is poisoned: a WAL write failed, the log no longer matches "
@@ -810,7 +1034,7 @@ Status NatixStore::Rename(NodeId v, std::string_view label) {
     // The varint label grew past what the narrow topology's 16-bit data
     // offsets can address: re-encode the whole partition instead (the
     // builder switches to wide entries as needed).
-    NATIX_RETURN_NOT_OK(EnsureDocument());
+    NATIX_RETURN_NOT_OK(EnsureDocumentLocked());
     if (doc_->tree.LabelIdOf(v) != label_id) {
       // The document was rematerialized from the unpatched records.
       doc_->tree.SetLabel(v, label);
@@ -830,62 +1054,23 @@ Status NatixStore::Rename(NodeId v, std::string_view label) {
 
 Result<ImportedDocument> NatixStore::CompactSnapshot(
     std::vector<NodeId>* old_to_new) const {
-  NATIX_ASSIGN_OR_RETURN(const ImportedDocument old, SnapshotDocument());
-  const Tree& tree = old.tree;
-  std::vector<NodeId> map(tree.size(), kInvalidNode);
-  const std::vector<NodeId> order = tree.PreorderNodes();  // live only
-  for (size_t i = 0; i < order.size(); ++i) {
-    map[order[i]] = static_cast<NodeId>(i);
-  }
-  const auto remap = [&](NodeId u) {
-    return u == kInvalidNode ? kInvalidNode : map[u];
-  };
-  const size_t m = order.size();
-  Tree::Links links;
-  links.parent.resize(m);
-  links.first_child.resize(m);
-  links.next_sibling.resize(m);
-  links.prev_sibling.resize(m);
-  links.weight.resize(m);
-  links.label.resize(m);
-  links.kind.resize(m);
-  links.labels.reserve(tree.LabelCount());
-  for (size_t id = 0; id < tree.LabelCount(); ++id) {
-    links.labels.emplace_back(tree.LabelName(static_cast<int32_t>(id)));
-  }
-  ImportedDocument out;
-  out.content_bytes.assign(m, 0);
-  out.content_offset.assign(m, 0);
-  for (size_t i = 0; i < m; ++i) {
-    const NodeId v = order[i];
-    links.parent[i] = remap(tree.Parent(v));
-    links.first_child[i] = remap(tree.FirstChild(v));
-    links.next_sibling[i] = remap(tree.NextSibling(v));
-    links.prev_sibling[i] = remap(tree.PrevSibling(v));
-    links.weight[i] = tree.WeightOf(v);
-    links.label[i] = tree.LabelIdOf(v);
-    links.kind[i] = tree.KindOf(v);
-    const std::string_view content = old.ContentOf(v);
-    out.content_offset[i] = out.content_pool.size();
-    out.content_bytes[i] = static_cast<uint32_t>(content.size());
-    out.content_pool.append(content);
-    out.content_total_bytes += content.size();
-    if (!content.empty()) {
-      const uint64_t inline_slots =
-          1 + (content.size() + options_.slot_size - 1) / options_.slot_size;
-      if (inline_slots > tree.WeightOf(v)) {
-        ++out.overflow_nodes;
-        out.overflow_bytes += content.size();
-      }
-    }
-  }
-  NATIX_ASSIGN_OR_RETURN(out.tree, Tree::FromParts(std::move(links)));
-  out.source_bytes = old.source_bytes;
-  if (old_to_new != nullptr) *old_to_new = std::move(map);
-  return out;
+  std::shared_lock<std::shared_mutex> lock(cc_->mu);
+  return CompactSnapshotLocked(old_to_new);
+}
+
+Result<ImportedDocument> NatixStore::CompactSnapshotLocked(
+    std::vector<NodeId>* old_to_new) const {
+  NATIX_ASSIGN_OR_RETURN(const ImportedDocument old, SnapshotDocumentLocked());
+  return CompactDocumentImpl(old, options_.slot_size, old_to_new);
 }
 
 Result<size_t> NatixStore::RefreshPlacementHints() {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  ArmCow();
+  return RefreshPlacementHintsLocked();
+}
+
+Result<size_t> NatixStore::RefreshPlacementHintsLocked() {
   size_t patched_total = 0;
   for (size_t part = 0; part < records_.size(); ++part) {
     if (!records_[part].valid()) continue;
@@ -927,8 +1112,9 @@ Status NatixStore::LogOp(WalEntryType type,
                                       lsn.status().message() +
                                       "); store is poisoned");
   }
-  wal_op_bytes_ += kWalEntryHeaderSize + payload.size();
-  ++wal_op_entries_;
+  cc_->wal_op_bytes.fetch_add(kWalEntryHeaderSize + payload.size(),
+                              std::memory_order_relaxed);
+  cc_->wal_op_entries.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -1295,6 +1481,7 @@ Result<NatixStore> NatixStore::FromCheckpointMeta(const uint8_t* data,
 
 Status NatixStore::EnableDurability(std::unique_ptr<FileBackend> backend,
                                     SyncPolicy policy) {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
   if (wal_ != nullptr) {
     return Status::FailedPrecondition("store already has a WAL attached");
   }
@@ -1303,13 +1490,19 @@ Status NatixStore::EnableDurability(std::unique_ptr<FileBackend> backend,
   backend_ = std::move(backend);
   wal_ = std::move(writer);
   sync_policy_ = policy;
-  wal_record_base_ = manager_.record_bytes_written();
+  cc_->wal_record_base.store(manager_.record_bytes_written(),
+                             std::memory_order_relaxed);
   // The initial checkpoint captures the bulk-loaded store (Build marked
   // every page dirty), making the log self-contained from entry one.
-  return Checkpoint();
+  return CheckpointLocked();
 }
 
 Status NatixStore::SyncWal() {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  return SyncWalLocked();
+}
+
+Status NatixStore::SyncWalLocked() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("store has no WAL attached");
   }
@@ -1327,6 +1520,11 @@ Status NatixStore::SyncWal() {
 }
 
 Status NatixStore::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  return CheckpointLocked();
+}
+
+Status NatixStore::CheckpointLocked() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("store has no WAL attached");
   }
@@ -1387,8 +1585,8 @@ Status NatixStore::Checkpoint() {
         std::to_string(*begin_lsn) + ")"));
   }
   manager_.buffer().MarkAllClean();
-  wal_checkpoint_bytes_ += bytes;
-  ++wal_checkpoints_;
+  cc_->wal_checkpoint_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  cc_->wal_checkpoints.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -1630,7 +1828,8 @@ Result<NatixStore> NatixStore::Recover(std::unique_ptr<FileBackend> backend,
   store.backend_ = std::move(backend);
   store.wal_ = std::move(writer);
   store.sync_policy_ = policy;
-  store.wal_record_base_ = store.manager_.record_bytes_written();
+  store.cc_->wal_record_base.store(store.manager_.record_bytes_written(),
+                                   std::memory_order_relaxed);
   return store;
 }
 
@@ -1638,18 +1837,21 @@ Result<NatixStore> NatixStore::RecoverForAudit(FileBackend* backend,
                                                RecoveryInfo* info) {
   NATIX_ASSIGN_OR_RETURN(NatixStore store,
                          RecoverCore(backend, info, nullptr, nullptr));
-  store.wal_record_base_ = store.manager_.record_bytes_written();
+  store.cc_->wal_record_base.store(store.manager_.record_bytes_written(),
+                                   std::memory_order_relaxed);
   return store;
 }
 
 WalStats NatixStore::wal_stats() const {
   WalStats s;
   s.wal_bytes = wal_ != nullptr ? wal_->bytes_written() : 0;
-  s.op_bytes = wal_op_bytes_;
-  s.checkpoint_bytes = wal_checkpoint_bytes_;
-  s.op_entries = wal_op_entries_;
-  s.checkpoints = wal_checkpoints_;
-  s.record_bytes = manager_.record_bytes_written() - wal_record_base_;
+  s.op_bytes = cc_->wal_op_bytes.load(std::memory_order_relaxed);
+  s.checkpoint_bytes =
+      cc_->wal_checkpoint_bytes.load(std::memory_order_relaxed);
+  s.op_entries = cc_->wal_op_entries.load(std::memory_order_relaxed);
+  s.checkpoints = cc_->wal_checkpoints.load(std::memory_order_relaxed);
+  s.record_bytes = manager_.record_bytes_written() -
+                   cc_->wal_record_base.load(std::memory_order_relaxed);
   if (wal_ != nullptr) {
     s.fsyncs = wal_->fsync_count();
     s.sync_batches = wal_->sync_batch_count();
@@ -1678,6 +1880,116 @@ UpdateStats NatixStore::update_stats() const {
   return s;
 }
 
+StoreSnapshot& StoreSnapshot::operator=(StoreSnapshot&& other) noexcept {
+  if (this != &other) {
+    if (state_ != nullptr && state_->store != nullptr) {
+      state_->store->CloseSnapshot(state_->version);
+    }
+    state_ = std::move(other.state_);
+    source_ = PageSource(state_.get());
+  }
+  return *this;
+}
+
+StoreSnapshot::~StoreSnapshot() {
+  if (state_ != nullptr && state_->store != nullptr) {
+    state_->store->CloseSnapshot(state_->version);
+  }
+}
+
+Result<std::pair<uint32_t, uint16_t>> StoreSnapshot::AddressOfRecord(
+    RecordId id) const {
+  if (id.value >= state_->addresses.size() ||
+      state_->addresses[id.value].first == RecordManager::kInvalidPage) {
+    return Status::NotFound("record " + std::to_string(id.value) +
+                            " is not placed at version " +
+                            std::to_string(state_->version));
+  }
+  return state_->addresses[id.value];
+}
+
+uint32_t StoreSnapshot::PageOfNode(NodeId v) const {
+  return state_->addresses[RecordOfNode(v).value].first;
+}
+
+Result<std::vector<uint8_t>> StoreSnapshot::CopyRecordBytes(
+    uint32_t partition) const {
+  NATIX_ASSIGN_OR_RETURN(const auto addr,
+                         AddressOfRecord(state_->records[partition]));
+  std::shared_lock<std::shared_mutex> lock(state_->store->cc_->mu);
+  return state_->store->manager_.RecordBytesAsOf(addr.first, addr.second,
+                                                 state_->version);
+}
+
+Result<NodeKind> StoreSnapshot::KindOfNode(NodeId v) const {
+  if (v >= node_count() || !IsLiveNode(v)) {
+    return Status::InvalidArgument("no such node: " + std::to_string(v));
+  }
+  NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                         CopyRecordBytes(state_->partition_of[v]));
+  NATIX_ASSIGN_OR_RETURN(
+      const RecordView view,
+      RecordView::Parse(bytes.data(), bytes.size(), state_->slot_size));
+  const uint32_t i = state_->slot_in_record[v];
+  if (i >= view.node_count() || view.node_id(i) != v) {
+    return Status::Internal("slot table does not match record contents");
+  }
+  return static_cast<NodeKind>(view.kind(i));
+}
+
+Result<int32_t> StoreSnapshot::LabelIdOfNode(NodeId v) const {
+  if (v >= node_count() || !IsLiveNode(v)) {
+    return Status::InvalidArgument("no such node: " + std::to_string(v));
+  }
+  NATIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                         CopyRecordBytes(state_->partition_of[v]));
+  NATIX_ASSIGN_OR_RETURN(
+      const RecordView view,
+      RecordView::Parse(bytes.data(), bytes.size(), state_->slot_size));
+  const uint32_t i = state_->slot_in_record[v];
+  if (i >= view.node_count() || view.node_id(i) != v) {
+    return Status::Internal("slot table does not match record contents");
+  }
+  return view.label(i);
+}
+
+Result<std::vector<uint8_t>> StoreSnapshot::PageSource::ReadPage(
+    uint32_t page_id) const {
+  std::shared_lock<std::shared_mutex> lock(state_->store->cc_->mu);
+  return state_->store->manager_.ReadPageAsOf(page_id, state_->version);
+}
+
+Result<ImportedDocument> StoreSnapshot::MaterializeDocument() const {
+  const RecordTables tables{state_->partition_of,   state_->records,
+                            state_->slot_in_record, state_->labels,
+                            state_->slot_size,      state_->source_bytes};
+  // Holds each record's bytes across the decode of its slots; refreshed
+  // per record by the callback.
+  std::vector<uint8_t> scratch;
+  return BuildDocumentFromTables(
+      tables,
+      [this, &scratch](uint32_t part)
+          -> Result<std::pair<const uint8_t*, size_t>> {
+        NATIX_ASSIGN_OR_RETURN(scratch, CopyRecordBytes(part));
+        return std::pair<const uint8_t*, size_t>(scratch.data(),
+                                                 scratch.size());
+      },
+      [this](NodeId v) -> Result<std::string_view> {
+        const auto it = state_->overflow_content.find(v);
+        if (it == state_->overflow_content.end()) {
+          return Status::ParseError("overflow content of node " +
+                                    std::to_string(v) + " is not available");
+        }
+        return std::string_view(it->second);
+      });
+}
+
+Result<ImportedDocument> StoreSnapshot::CompactDocument(
+    std::vector<NodeId>* old_to_new) const {
+  NATIX_ASSIGN_OR_RETURN(const ImportedDocument old, MaterializeDocument());
+  return CompactDocumentImpl(old, state_->slot_size, old_to_new);
+}
+
 namespace {
 
 /// Record-backed navigation has no error channel (the bool axis moves
@@ -1699,79 +2011,90 @@ void CheckCursor(const RecordView& view, uint32_t idx, NodeId current) {
 
 }  // namespace
 
+Navigator::Navigator(const StoreSnapshot* snapshot, AccessStats* stats,
+                     LruBufferPool* buffer, const PageProvider* provider)
+    : snap_(snapshot),
+      stats_(stats),
+      buffer_(buffer),
+      provider_(provider != nullptr ? provider : snapshot->page_provider()),
+      current_(snapshot->RootNode()) {}
+
+Navigator::Navigator(const NatixStore* store, AccessStats* stats,
+                     LruBufferPool* buffer, const PageProvider* provider)
+    : owned_(store->OpenSnapshot()),
+      snap_(&*owned_),
+      stats_(stats),
+      buffer_(buffer),
+      provider_(provider != nullptr ? provider : snap_->page_provider()),
+      current_(snap_->RootNode()) {}
+
+Navigator::~Navigator() { UnpinCurrent(); }
+
 void Navigator::UnpinCurrent() {
   if (buffer_ != nullptr && pinned_page_ != 0xFFFFFFFFu) {
-    buffer_->Unpin(pinned_page_);
+    buffer_->Unpin(pinned_page_, pinned_epoch_);
   }
   pinned_page_ = 0xFFFFFFFFu;
-}
-
-void Navigator::MaybeRefresh() {
-  if (seen_version_ == store_->version()) return;
-  seen_version_ = store_->version();
-  // The mutation may have rewritten or relocated any record: drop the
-  // cached view and stale frame bytes. Residency (and so pool stats)
-  // is preserved; frames reload on their next pin.
-  UnpinCurrent();
-  view_valid_ = false;
-  if (buffer_ != nullptr) buffer_->InvalidateBytes();
+  pinned_epoch_ = 0;
 }
 
 void Navigator::SetView(const uint8_t* data, size_t size) {
   const Result<RecordView> view =
-      RecordView::Parse(data, size, store_->slot_size());
+      RecordView::Parse(data, size, snap_->slot_size());
   if (!view.ok()) NavigatorFail("record bytes do not parse", view.status());
   view_ = *view;
   view_valid_ = true;
 }
 
 void Navigator::EnsureView() {
-  MaybeRefresh();
   if (view_valid_) return;
-  // Initial position (or first use after a mutation): decode straight
-  // from the manager. No pool traffic -- only record *crossings* touch
-  // the buffer, exactly like the historical access model.
-  const Result<std::pair<const uint8_t*, size_t>> bytes =
-      store_->RecordBytes(store_->PartitionOf(current_));
+  // Initial position: copy straight out of the snapshot. No pool
+  // traffic -- only record *crossings* touch the buffer, exactly like
+  // the historical access model.
+  Result<std::vector<uint8_t>> bytes =
+      snap_->CopyRecordBytes(snap_->PartitionOf(current_));
   if (!bytes.ok()) {
     NavigatorFail("record of current node unreadable", bytes.status());
   }
-  SetView(bytes->first, bytes->second);
-  idx_ = store_->SlotOfNode(current_);
+  scratch_ = std::move(bytes).value();
+  SetView(scratch_.data(), scratch_.size());
+  idx_ = snap_->SlotOfNode(current_);
   CheckCursor(view_, idx_, current_);
 }
 
 void Navigator::Move(NodeId to) {
-  MaybeRefresh();
-  const RecordId from_rec = store_->RecordOfNode(current_);
-  const RecordId to_rec = store_->RecordOfNode(to);
+  const RecordId from_rec = snap_->RecordOfNode(current_);
+  const RecordId to_rec = snap_->RecordOfNode(to);
   if (from_rec == to_rec) {
     ++stats_->intra_moves;
     current_ = to;
-    idx_ = store_->SlotOfNode(to);
+    idx_ = snap_->SlotOfNode(to);
     if (view_valid_) CheckCursor(view_, idx_, current_);
     return;
   }
   ++stats_->record_crossings;
-  const uint32_t to_page = store_->PageOfNode(to);
-  if (store_->PageOfNode(current_) != to_page) ++stats_->page_switches;
+  const uint32_t to_page = snap_->PageOfNode(to);
+  if (snap_->PageOfNode(current_) != to_page) ++stats_->page_switches;
   view_valid_ = false;
   if (buffer_ != nullptr) {
-    // Unpin before pinning: at most one frame is ever pinned, and none
-    // during the Pin() itself, so eviction picks the same victims as the
-    // Access()-only model and the stats stay byte-identical.
+    // Unpin before pinning: at most one frame is ever pinned per cursor,
+    // and none during the Pin() itself, so eviction picks the same
+    // victims as the Access()-only model and single-cursor stats stay
+    // byte-identical.
     UnpinCurrent();
+    const uint64_t epoch = snap_->PageEpochOf(to_page);
     const Result<const std::vector<uint8_t>*> frame =
-        buffer_->Pin(to_page, provider_);
+        buffer_->Pin(to_page, provider_, epoch);
     if (!frame.ok()) NavigatorFail("page pin failed", frame.status());
     pinned_page_ = to_page;
+    pinned_epoch_ = epoch;
     const std::vector<uint8_t>& bytes = **frame;
     if ((to_page & RecordManager::kJumboPageBit) != 0) {
       // A jumbo frame is the record itself.
       SetView(bytes.data(), bytes.size());
     } else {
       const Result<std::pair<uint32_t, uint16_t>> addr =
-          store_->AddressOfRecord(to_rec);
+          snap_->AddressOfRecord(to_rec);
       if (!addr.ok()) {
         NavigatorFail("record address lookup failed", addr.status());
       }
@@ -1783,15 +2106,16 @@ void Navigator::Move(NodeId to) {
       SetView(bytes.data() + entry->first, entry->second);
     }
   } else {
-    const Result<std::pair<const uint8_t*, size_t>> bytes =
-        store_->RecordBytes(store_->PartitionOf(to));
+    Result<std::vector<uint8_t>> bytes =
+        snap_->CopyRecordBytes(snap_->PartitionOf(to));
     if (!bytes.ok()) {
       NavigatorFail("record of target node unreadable", bytes.status());
     }
-    SetView(bytes->first, bytes->second);
+    scratch_ = std::move(bytes).value();
+    SetView(scratch_.data(), scratch_.size());
   }
   current_ = to;
-  idx_ = store_->SlotOfNode(to);
+  idx_ = snap_->SlotOfNode(to);
   CheckCursor(view_, idx_, current_);
 }
 
@@ -1816,12 +2140,6 @@ bool Navigator::ToFirstChild() {
   EnsureView();
   const NodeId c = LinkTarget(view_.first_child(idx_),
                               RecordEdge::kFirstChild);
-#ifndef NDEBUG
-  if (store_->has_document() && c != store_->tree().FirstChild(current_)) {
-    NavigatorFail("record topology diverges from the in-memory tree",
-                  Status::Internal("first-child shadow check failed"));
-  }
-#endif
   if (c == kInvalidNode) return false;
   Move(c);
   return true;
@@ -1831,12 +2149,6 @@ bool Navigator::ToNextSibling() {
   EnsureView();
   const NodeId s = LinkTarget(view_.next_sibling(idx_),
                               RecordEdge::kNextSibling);
-#ifndef NDEBUG
-  if (store_->has_document() && s != store_->tree().NextSibling(current_)) {
-    NavigatorFail("record topology diverges from the in-memory tree",
-                  Status::Internal("next-sibling shadow check failed"));
-  }
-#endif
   if (s == kInvalidNode) return false;
   Move(s);
   return true;
@@ -1846,12 +2158,6 @@ bool Navigator::ToPrevSibling() {
   EnsureView();
   const NodeId s = LinkTarget(view_.prev_sibling(idx_),
                               RecordEdge::kPrevSibling);
-#ifndef NDEBUG
-  if (store_->has_document() && s != store_->tree().PrevSibling(current_)) {
-    NavigatorFail("record topology diverges from the in-memory tree",
-                  Status::Internal("prev-sibling shadow check failed"));
-  }
-#endif
   if (s == kInvalidNode) return false;
   Move(s);
   return true;
@@ -1872,12 +2178,6 @@ bool Navigator::ToParent() {
   } else {
     p = view_.node_id(static_cast<uint32_t>(plink));
   }
-#ifndef NDEBUG
-  if (store_->has_document() && p != store_->tree().Parent(current_)) {
-    NavigatorFail("record topology diverges from the in-memory tree",
-                  Status::Internal("parent shadow check failed"));
-  }
-#endif
   if (p == kInvalidNode) return false;
   Move(p);
   return true;

@@ -1,12 +1,18 @@
 #ifndef NATIX_STORAGE_STORE_H_
 #define NATIX_STORAGE_STORE_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -197,6 +203,8 @@ struct RecoveryInfo {
   uint64_t torn_bytes = 0;
 };
 
+class StoreSnapshot;
+
 /// The mini-Natix store: a document loaded under a given tree sibling
 /// partitioning. Each partition becomes one physical record (serialized
 /// with RecordBuilder); records are packed onto slotted pages by the
@@ -345,11 +353,31 @@ class NatixStore {
     return partition_of_.empty() ? kInvalidNode : NodeId{0};
   }
 
-  /// Monotonic mutation counter: bumped by every successful
-  /// InsertBefore(), survives release/rematerialize cycles and
-  /// checkpoint/recovery. Caches derived from the node set (the query
-  /// evaluator's document-order ranks) key their freshness on this.
-  uint64_t version() const { return version_; }
+  /// Monotonic mutation counter: bumped by every successful mutation,
+  /// survives release/rematerialize cycles and checkpoint/recovery.
+  /// Snapshots pin a version; caches derived from the node set (the
+  /// query evaluator's document-order ranks) key their freshness on
+  /// this. Thread-safe (takes the reader lock).
+  uint64_t version() const;
+
+  /// Opens a read view pinned at the current version. The snapshot's
+  /// accessors answer from tables copied at open and page images
+  /// resolved as-of the pinned version, so N reader threads may each
+  /// hold a snapshot and navigate/query it while one writer thread
+  /// keeps mutating the store: mutations publish re-encoded records
+  /// copy-on-write and the pre-images a snapshot can still reach are
+  /// retired, not overwritten, until every snapshot at or below their
+  /// epoch closes (~StoreSnapshot triggers the reclaim). The snapshot
+  /// borrows the store -- it must not outlive it, and the store must
+  /// not be moved while snapshots are open.
+  StoreSnapshot OpenSnapshot() const;
+
+  /// Number of snapshot handles currently open (all versions).
+  /// Thread-safe.
+  size_t open_snapshot_count() const;
+
+  /// Copy-on-write retire/reclaim counters (thread-safe; see MvccStats).
+  MvccStats mvcc_stats() const { return manager_.mvcc_stats(); }
 
   /// Label string by interned id; empty view for -1 or out of range.
   /// Backed by the store's own label table, so it works on a released
@@ -453,6 +481,9 @@ class NatixStore {
   /// True after a WAL or checkpoint write failed: the in-memory store may
   /// be ahead of the log, so further mutations are refused.
   bool poisoned() const { return poisoned_; }
+  /// Thread-safe: the session counters are atomics and the WalWriter
+  /// accessors take the writer's own mutex, so a monitoring thread may
+  /// poll this while the mutator thread streams ops.
   WalStats wal_stats() const;
 
   /// Sync policy the WAL runs under (meaningful only when durable()).
@@ -497,7 +528,63 @@ class NatixStore {
   NatixStore& operator=(NatixStore&&) = default;
 
  private:
-  NatixStore() = default;
+  friend class StoreSnapshot;
+
+  NatixStore();
+
+  /// Concurrency state, heap-held so the store stays movable (the
+  /// defaulted moves transfer the pointer; a store must not be moved
+  /// while snapshots are open or other threads touch it).
+  struct ConcurrencyCore {
+    /// Single-writer / shared-reader lock over the store tables, the
+    /// record manager and the WAL session. Public mutators hold it
+    /// exclusive; snapshot opens and snapshot page/record reads hold it
+    /// shared. Not recursive: internal cross-calls bind to the
+    /// *Locked() bodies below.
+    mutable std::shared_mutex mu;
+    /// Guards open_snapshots. A leaf lock: taken with mu held shared
+    /// (open), exclusive (close, CoW arming) or not at all
+    /// (open_snapshot_count); never the other way around.
+    mutable std::mutex reg_mu;
+    /// Open snapshots: pinned version -> handle count.
+    std::map<uint64_t, uint32_t> open_snapshots;
+    // WAL session counters, atomic so wal_stats() needs no lock.
+    std::atomic<uint64_t> wal_op_bytes{0};
+    std::atomic<uint64_t> wal_checkpoint_bytes{0};
+    std::atomic<uint64_t> wal_op_entries{0};
+    std::atomic<uint64_t> wal_checkpoints{0};
+    std::atomic<uint64_t> wal_record_base{0};
+  };
+
+  /// Releases one handle on `version` and reclaims retired page images
+  /// no remaining snapshot can reach (called by ~StoreSnapshot; takes
+  /// the writer lock).
+  void CloseSnapshot(uint64_t version) const;
+
+  /// Arms the record manager's copy-on-write for the mutation about to
+  /// run: the write epoch is version_ + 1, and pre-images are retired
+  /// (rather than dropped) only when an open snapshot can still reach
+  /// them. Caller holds cc_->mu exclusive.
+  void ArmCow();
+
+  // Unlocked bodies of the public locking wrappers. Internal
+  // cross-calls must bind to these (cc_->mu is not recursive).
+  Result<NodeId> InsertBeforeLocked(NodeId parent, NodeId before,
+                                    std::string_view label, NodeKind kind,
+                                    std::string_view content);
+  Result<std::vector<NodeId>> DeleteSubtreeLocked(NodeId v);
+  Status MoveSubtreeLocked(NodeId v, NodeId parent, NodeId before);
+  Status RenameLocked(NodeId v, std::string_view label);
+  Status ReleaseDocumentLocked();
+  Status EnsureDocumentLocked();
+  Result<size_t> RefreshPlacementHintsLocked();
+  Status FlushPagesToLocked(FileBackend* file) const;
+  Status CheckpointLocked();
+  Status SyncWalLocked();
+  Result<ImportedDocument> MaterializeDocumentLocked() const;
+  Result<ImportedDocument> SnapshotDocumentLocked() const;
+  Result<ImportedDocument> CompactSnapshotLocked(
+      std::vector<NodeId>* old_to_new) const;
 
   /// Creates the incremental partitioner on first mutation: from the
   /// saved state of a release cycle when one exists, else from the
@@ -628,57 +715,195 @@ class NatixStore {
   /// Set while recovery replays the op tail, so the replayed
   /// InsertBefore() calls do not log themselves again.
   bool replaying_ = false;
-  uint64_t wal_op_bytes_ = 0;
-  uint64_t wal_checkpoint_bytes_ = 0;
-  uint64_t wal_op_entries_ = 0;
-  uint64_t wal_checkpoints_ = 0;
-  /// record_bytes_written() when the WAL attached; wal_stats() reports
-  /// record bytes relative to this, so the ratio covers the same window
-  /// as the log counters.
-  uint64_t wal_record_base_ = 0;
+  /// Locks, the snapshot registry and the atomic WAL session counters
+  /// (wal_record_base is record_bytes_written() when the WAL attached;
+  /// wal_stats() reports record bytes relative to it, so the ratio
+  /// covers the same window as the log counters).
+  std::unique_ptr<ConcurrencyCore> cc_;
 };
 
-/// A navigation cursor over a NatixStore, decoding moves from record
+/// An immutable read view of a NatixStore pinned at one version -- the
+/// read-path contract: every navigator and evaluator works over a
+/// snapshot, never over the live store, so a writer thread mutating the
+/// store cannot change an answer mid-query. The logical tables
+/// (partition/record/slot/label/address) are copied at open; page bytes
+/// are resolved on demand as-of the pinned version (the live image when
+/// the page has not changed since, a retired pre-image otherwise), under
+/// the store's reader lock. Closing the snapshot lets the store reclaim
+/// pre-images no remaining snapshot can reach.
+///
+/// Move-only. The handle must not outlive its store, and must not be
+/// moved while a Navigator holds a pointer to it (the navigator's
+/// provider points into the handle).
+class StoreSnapshot {
+ public:
+  StoreSnapshot(StoreSnapshot&& other) noexcept
+      : state_(std::move(other.state_)), source_(state_.get()) {}
+  StoreSnapshot& operator=(StoreSnapshot&& other) noexcept;
+  StoreSnapshot(const StoreSnapshot&) = delete;
+  StoreSnapshot& operator=(const StoreSnapshot&) = delete;
+  /// Releases the version pin; the store reclaims page pre-images no
+  /// remaining snapshot can reach.
+  ~StoreSnapshot();
+
+  /// The pinned store version.
+  uint64_t version() const { return state_->version; }
+
+  // The read-side surface of NatixStore, answered from the pinned
+  // tables (same semantics as the store accessors of the same name).
+  size_t node_count() const { return state_->partition_of.size(); }
+  bool IsLiveNode(NodeId v) const {
+    return v < state_->partition_of.size() &&
+           state_->partition_of[v] != kNoPartition;
+  }
+  NodeId RootNode() const {
+    return state_->partition_of.empty() ? kInvalidNode : NodeId{0};
+  }
+  uint32_t PartitionOf(NodeId v) const { return state_->partition_of[v]; }
+  RecordId RecordOf(uint32_t partition) const {
+    return state_->records[partition];
+  }
+  RecordId RecordOfNode(NodeId v) const {
+    return state_->records[state_->partition_of[v]];
+  }
+  uint32_t SlotOfNode(NodeId v) const { return state_->slot_in_record[v]; }
+  /// Physical (page, slot) address of a record at this version (NotFound
+  /// for records that were dead at open).
+  Result<std::pair<uint32_t, uint16_t>> AddressOfRecord(RecordId id) const;
+  uint32_t PageOfNode(NodeId v) const;
+  std::string_view LabelNameOf(int32_t id) const {
+    return id < 0 || static_cast<size_t>(id) >= state_->labels.size()
+               ? std::string_view()
+               : state_->labels[static_cast<size_t>(id)];
+  }
+  size_t label_count() const { return state_->labels.size(); }
+  uint32_t slot_size() const { return state_->slot_size; }
+  size_t page_size() const { return state_->page_size; }
+  Result<NodeKind> KindOfNode(NodeId v) const;
+  Result<int32_t> LabelIdOfNode(NodeId v) const;
+
+  /// Epoch of the page image this version reads -- the frame key a
+  /// buffer-pool pin of `page` must use, so two snapshots over different
+  /// versions of one page occupy distinct frames.
+  uint64_t PageEpochOf(uint32_t page) const {
+    const auto it = state_->page_epochs.find(page);
+    return it == state_->page_epochs.end() ? 0 : it->second;
+  }
+
+  /// Copies the record bytes of `partition` as of this version (the live
+  /// image, or a retired pre-image when the writer has since re-encoded
+  /// the record). Thread-safe against the writer.
+  Result<std::vector<uint8_t>> CopyRecordBytes(uint32_t partition) const;
+
+  /// Byte source for buffer-pool misses, serving this version's page
+  /// images. Thread-safe against the writer.
+  const PageProvider* page_provider() const { return &source_; }
+
+  /// Document-order rank of every node slot, captured at open when the
+  /// store's document was resident; empty otherwise (the evaluator then
+  /// derives ranks by walking records through a Navigator).
+  const std::vector<uint32_t>& preorder_ranks() const {
+    return state_->preorder_ranks;
+  }
+
+  /// Reconstructs the document as of this version from record bytes
+  /// (tombstones included, NodeIds preserved) -- the oracle input for
+  /// isolation checks.
+  Result<ImportedDocument> MaterializeDocument() const;
+
+  /// Tombstone-free document as of this version, live nodes renumbered
+  /// densely in document order (see NatixStore::CompactSnapshot).
+  Result<ImportedDocument> CompactDocument(
+      std::vector<NodeId>* old_to_new) const;
+
+ private:
+  friend class NatixStore;
+
+  struct State {
+    const NatixStore* store = nullptr;
+    uint64_t version = 0;
+    uint32_t slot_size = 8;
+    size_t page_size = 8192;
+    std::vector<uint32_t> partition_of;   // node -> partition index
+    std::vector<RecordId> records;        // partition index -> record
+    std::vector<uint32_t> slot_in_record; // node -> in-record index
+    std::vector<std::string> labels;
+    /// record id -> (page, slot) at this version; records dead at open
+    /// hold RecordManager::kInvalidPage.
+    std::vector<std::pair<uint32_t, uint16_t>> addresses;
+    /// page -> epoch of the image this version reads (absent = 0).
+    std::unordered_map<uint32_t, uint64_t> page_epochs;
+    /// Externalized content of overflow nodes, copied at open.
+    std::unordered_map<NodeId, std::string> overflow_content;
+    uint64_t source_bytes = 0;
+    std::vector<uint32_t> preorder_ranks;
+  };
+
+  /// PageProvider over the pinned version: resolves each page through
+  /// the snapshot's epoch map under the store's reader lock.
+  class PageSource : public PageProvider {
+   public:
+    explicit PageSource(const State* state) : state_(state) {}
+    Result<std::vector<uint8_t>> ReadPage(uint32_t page_id) const override;
+
+   private:
+    const State* state_;
+  };
+
+  explicit StoreSnapshot(std::unique_ptr<State> state)
+      : state_(std::move(state)), source_(state_.get()) {}
+
+  std::unique_ptr<State> state_;  // null only in a moved-from handle
+  PageSource source_;
+};
+
+/// A navigation cursor over one StoreSnapshot, decoding moves from record
 /// bytes: in-record links for intra-record steps, proxy entries for
 /// partition-crossing child/sibling edges and the aggregate back-pointer
 /// for the parent of interval members. The in-memory document is never
-/// consulted (a released store navigates identically); in debug builds a
-/// resident document cross-validates every move.
+/// consulted (a released store navigates identically), and the snapshot
+/// isolates the cursor from concurrent writers: every record it decodes
+/// is the pinned version's image.
 ///
 /// Every move is charged to an AccessStats according to whether it stays
 /// within the current record. With a buffer pool, the target page of each
-/// record crossing is pinned (the previous pin is dropped first, so at
-/// most one frame is pinned between moves and the pool's LRU/stats
-/// behaviour is identical to the historical Access()-only model); node
-/// data is then decoded from the pinned frame. Proxies name the target
-/// node; its current record/page are resolved through the store's
-/// authoritative tables, since splits elsewhere may have moved it after
-/// this record was last encoded.
+/// record crossing is pinned under the snapshot's (page, epoch) frame key
+/// (the previous pin is dropped first, so at most one frame is pinned
+/// between moves); node data is then decoded from the pinned frame.
+/// Without a pool, record bytes are copied out of the snapshot into a
+/// cursor-owned scratch buffer. Proxies name the target node; its current
+/// record/page are resolved through the snapshot's tables, since splits
+/// elsewhere may have moved it after this record was last encoded.
 class Navigator {
  public:
-  /// `store`, `stats` (and `buffer`/`provider`, if given) must outlive
-  /// the navigator. If `buffer` is non-null, every move that lands on a
-  /// different record pins the target page in the pool (a miss = one
-  /// page read through `provider`, defaulting to the store's in-memory
-  /// pages); pass a null buffer for the paper's warm-buffer setting.
+  /// Walks `snapshot`, which must outlive the navigator (as must `stats`
+  /// and `buffer`/`provider`, if given). If `buffer` is non-null, every
+  /// move that lands on a different record pins the target page in the
+  /// pool (a miss = one page read through `provider`, defaulting to the
+  /// snapshot's as-of provider); pass a null buffer for the paper's
+  /// warm-buffer setting.
+  Navigator(const StoreSnapshot* snapshot, AccessStats* stats,
+            LruBufferPool* buffer = nullptr,
+            const PageProvider* provider = nullptr);
+
+  /// Convenience: opens (and owns) a snapshot of `store` at its current
+  /// version. Navigation is then isolated from later store mutations --
+  /// re-create the navigator to observe them.
   Navigator(const NatixStore* store, AccessStats* stats,
             LruBufferPool* buffer = nullptr,
-            const PageProvider* provider = nullptr)
-      : store_(store),
-        stats_(stats),
-        buffer_(buffer),
-        provider_(provider != nullptr ? provider : store->page_provider()),
-        current_(store->RootNode()),
-        seen_version_(store->version()) {}
+            const PageProvider* provider = nullptr);
 
-  ~Navigator() { UnpinCurrent(); }
+  ~Navigator();
   Navigator(const Navigator&) = delete;
   Navigator& operator=(const Navigator&) = delete;
+
+  /// The snapshot this cursor reads (owned or borrowed).
+  const StoreSnapshot* snapshot() const { return snap_; }
 
   NodeId current() const { return current_; }
 
   /// Moves to the root (charged like any other move).
-  void JumpToRoot() { Move(store_->RootNode()); }
+  void JumpToRoot() { Move(snap_->RootNode()); }
 
   /// Random-access jump (e.g. when an evaluator restarts from a context
   /// node).
@@ -697,13 +922,8 @@ class Navigator {
 
  private:
   void Move(NodeId to);
-  /// Drops cached state when the store has mutated since the last move:
-  /// record bytes may have been rewritten or relocated, so the view and
-  /// any pooled frame bytes are stale (frames keep their residency --
-  /// only the bytes reload -- so pool stats stay comparable).
-  void MaybeRefresh();
-  /// Decodes the current node's record (from the manager, no pool
-  /// activity) if no view is cached.
+  /// Decodes the current node's record (copied from the snapshot, no
+  /// pool activity) if no view is cached.
   void EnsureView();
   void SetView(const uint8_t* data, size_t size);
   void UnpinCurrent();
@@ -712,19 +932,26 @@ class Navigator {
   /// in-record node otherwise.
   NodeId LinkTarget(int32_t link, RecordEdge edge);
 
-  const NatixStore* store_;
+  /// Set by the convenience constructor; snap_ points here then.
+  std::optional<StoreSnapshot> owned_;
+  const StoreSnapshot* snap_;
   AccessStats* stats_;
   LruBufferPool* buffer_;
   const PageProvider* provider_;
   NodeId current_;
-  uint64_t seen_version_;
   RecordView view_;
   bool view_valid_ = false;
   uint32_t idx_ = 0;
   /// Page whose frame the view decodes from, 0xFFFFFFFF when the view
-  /// reads the manager's bytes directly (note: valid jumbo page ids have
-  /// the high bit set but never equal the sentinel).
+  /// reads scratch_ (note: valid jumbo page ids have the high bit set
+  /// but never equal the sentinel). pinned_epoch_ completes the frame
+  /// key.
   uint32_t pinned_page_ = 0xFFFFFFFFu;
+  uint64_t pinned_epoch_ = 0;
+  /// Record bytes copied out of the snapshot for the pool-less path
+  /// (the store's live image may be re-encoded under the cursor; the
+  /// copy is stable).
+  std::vector<uint8_t> scratch_;
 };
 
 }  // namespace natix

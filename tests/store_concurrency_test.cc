@@ -1,0 +1,359 @@
+// Snapshot isolation under concurrency: N reader threads sweep queries
+// against pinned snapshots while one writer streams mixed updates
+// through the store. Every reader must see exactly its pinned version
+// (answers equal to an oracle evaluation over that version's
+// materialized document), retired page pre-images must survive until
+// the last snapshot that can see them closes, and the buffer pool's pin
+// accounting must balance. Run under -DNATIX_SANITIZE=thread this is
+// the data-race gate for the whole read path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/heuristics.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/reference_evaluator.h"
+#include "storage/file_backend.h"
+#include "storage/store.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+std::string RandomXml(Rng& rng, int ops) {
+  static constexpr const char* kNames[] = {"a", "b", "c", "d"};
+  std::string xml = "<a>";
+  std::vector<const char*> stack = {"a"};
+  for (int i = 0; i < ops; ++i) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const char* name = kNames[rng.NextBounded(4)];
+      xml += std::string("<") + name + ">";
+      stack.push_back(name);
+    } else if (dice < 0.65 && stack.size() > 1) {
+      xml += std::string("</") + stack.back() + ">";
+      stack.pop_back();
+    } else if (dice < 0.85) {
+      xml += std::string(1 + rng.NextBounded(40), 't');
+      xml += ' ';
+    } else {
+      xml += std::string("<") + kNames[rng.NextBounded(4)] + " k=\"v\"/>";
+    }
+  }
+  while (!stack.empty()) {
+    xml += std::string("</") + stack.back() + ">";
+    stack.pop_back();
+  }
+  return xml;
+}
+
+ImportedDocument ImportDoc(const std::string& xml) {
+  WeightModel model;
+  model.max_node_slots = 16;
+  Result<ImportedDocument> imp = ImportXml(xml, model);
+  imp.status().CheckOK();
+  return std::move(imp).value();
+}
+
+NatixStore BuildStore(const ImportedDocument& doc, TotalWeight limit) {
+  Result<Partitioning> p = EkmPartition(doc.tree, limit);
+  p.status().CheckOK();
+  Result<NatixStore> store = NatixStore::Build(doc.Clone(), *p, limit);
+  store.status().CheckOK();
+  return std::move(store).value();
+}
+
+/// One mixed op against the store (~45% insert / 25% delete / 15% move /
+/// 15% rename). Runs on the single writer thread; ops that pick an
+/// invalid target simply fail status-checked inside the store.
+void ApplyMixedOp(NatixStore* store, Rng* rng) {
+  const Tree& t = store->tree();
+  const auto pick_live = [&]() -> NodeId {
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto v = static_cast<NodeId>(rng->NextBounded(t.size()));
+      if (store->IsLiveNode(v)) return v;
+    }
+    return 0;
+  };
+  const uint64_t roll = rng->NextBounded(100);
+  if (roll < 45 || store->live_node_count() < 64) {
+    const NodeId parent = pick_live();
+    const bool text = rng->NextBool(0.4);
+    std::string content;
+    if (text) content.assign(1 + rng->NextBounded(30), 'u');
+    (void)store->InsertBefore(parent, kInvalidNode, text ? "" : "b",
+                              text ? NodeKind::kText : NodeKind::kElement,
+                              content);
+  } else if (roll < 70) {
+    const NodeId victim = pick_live();
+    if (victim != store->RootNode()) {
+      (void)store->DeleteSubtree(victim);
+    }
+  } else if (roll < 85) {
+    const NodeId v = pick_live();
+    const NodeId dest = pick_live();
+    if (v != store->RootNode()) {
+      (void)store->MoveSubtree(v, dest, kInvalidNode);
+    }
+  } else {
+    (void)store->Rename(pick_live(), "rn");
+  }
+}
+
+constexpr const char* kQueries[] = {
+    "/a//b", "//c[b]", "//*[parent::a]/d", "//b/following-sibling::*",
+    "//d/ancestor::b",
+};
+
+// The acceptance scenario: every reader's answers are equal to an
+// independent oracle evaluation over its own pinned version, no matter
+// what the writer does in the meantime.
+TEST(StoreConcurrencyTest, ReadersStayIsolatedFromMixedWriter) {
+  Rng rng(101);
+  const ImportedDocument doc = ImportDoc(RandomXml(rng, 500));
+  NatixStore store = BuildStore(doc, 16);
+
+  constexpr int kReaders = 3;
+  constexpr int kWriterOps = 150;
+  std::atomic<bool> stop{false};
+  std::atomic<int> sweeps{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &stop, &sweeps, &failures] {
+      int mine = 0;
+      while (!stop.load(std::memory_order_acquire) || mine == 0) {
+        const StoreSnapshot snap = store.OpenSnapshot();
+        // The oracle: this version's document, reconstructed from the
+        // pinned record bytes.
+        const Result<ImportedDocument> oracle = snap.MaterializeDocument();
+        if (!oracle.ok()) {
+          ADD_FAILURE() << "materialize failed: " << oracle.status().ToString();
+          ++failures;
+          return;
+        }
+        AccessStats stats;
+        StoreQueryEvaluator eval(&snap, &stats);
+        for (const char* q : kQueries) {
+          const Result<PathExpr> path = ParseXPath(q);
+          if (!path.ok()) {
+            ++failures;
+            return;
+          }
+          const Result<std::vector<NodeId>> got = eval.Evaluate(*path);
+          const Result<std::vector<NodeId>> want =
+              EvaluateOnTree(oracle->tree, *path);
+          if (!got.ok() || !want.ok() || *got != *want) {
+            ADD_FAILURE() << "query " << q << " diverged at version "
+                          << snap.version();
+            ++failures;
+            return;
+          }
+        }
+        ++mine;
+        ++sweeps;
+      }
+    });
+  }
+
+  Rng wrng(7);
+  for (int i = 0; i < kWriterOps; ++i) {
+    ApplyMixedOp(&store, &wrng);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(sweeps.load(), kReaders);
+  EXPECT_EQ(store.open_snapshot_count(), 0u);
+  // With every snapshot closed, nothing may still be held...
+  const MvccStats m = store.mvcc_stats();
+  EXPECT_EQ(m.held_frames, 0u);
+  EXPECT_EQ(m.held_bytes, 0u);
+  EXPECT_EQ(m.retired_frames, m.reclaimed_frames);
+  EXPECT_EQ(m.retired_bytes, m.reclaimed_bytes);
+  // ...and the store still answers and survives a full audit.
+  ASSERT_TRUE(store.partitioner()->Validate().ok());
+}
+
+// Pre-images retire while a snapshot can see them and are reclaimed in
+// stages as the open set shrinks -- never earlier.
+TEST(StoreConcurrencyTest, RetiredImagesLiveExactlyAsLongAsTheirSnapshots) {
+  Rng rng(211);
+  const ImportedDocument doc = ImportDoc(RandomXml(rng, 300));
+  NatixStore store = BuildStore(doc, 16);
+
+  std::optional<StoreSnapshot> early(store.OpenSnapshot());
+  const Result<ImportedDocument> early_doc = early->MaterializeDocument();
+  ASSERT_TRUE(early_doc.ok());
+
+  Rng wrng(17);
+  for (int i = 0; i < 60; ++i) ApplyMixedOp(&store, &wrng);
+  {
+    const MvccStats mid = store.mvcc_stats();
+    EXPECT_GT(mid.retired_frames, 0u);
+    EXPECT_EQ(mid.reclaimed_frames, 0u);
+    EXPECT_EQ(mid.held_frames, mid.retired_frames);
+  }
+
+  std::optional<StoreSnapshot> late(store.OpenSnapshot());
+  for (int i = 0; i < 60; ++i) ApplyMixedOp(&store, &wrng);
+
+  // The early snapshot still reads its version, byte-for-byte.
+  {
+    const Result<ImportedDocument> again = early->MaterializeDocument();
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    ASSERT_EQ(again->tree.size(), early_doc->tree.size());
+    for (NodeId v = 0; v < early_doc->tree.size(); ++v) {
+      ASSERT_EQ(again->tree.Parent(v), early_doc->tree.Parent(v)) << v;
+      ASSERT_EQ(again->ContentOf(v), early_doc->ContentOf(v)) << v;
+    }
+  }
+
+  // Closing the early snapshot may reclaim its exclusive pre-images but
+  // must keep everything the late snapshot still reads.
+  early.reset();
+  EXPECT_EQ(store.open_snapshot_count(), 1u);
+  {
+    const MvccStats m = store.mvcc_stats();
+    EXPECT_LE(m.reclaimed_frames, m.retired_frames);
+    const Result<ImportedDocument> late_doc = late->MaterializeDocument();
+    ASSERT_TRUE(late_doc.ok()) << late_doc.status().ToString();
+  }
+
+  // Last close drains the retire list completely.
+  late.reset();
+  EXPECT_EQ(store.open_snapshot_count(), 0u);
+  const MvccStats m = store.mvcc_stats();
+  EXPECT_EQ(m.held_frames, 0u);
+  EXPECT_EQ(m.retired_frames, m.reclaimed_frames);
+  EXPECT_GT(m.snapshot_reads, 0u);
+}
+
+// Buffer-pool contract under snapshots: concurrent cursors share frames
+// (shared pins), pinned frames are never evicted under pressure, and
+// every pin is matched by an unpin once the cursors die.
+TEST(StoreConcurrencyTest, PoolPinsBalanceAndPinnedFramesSurviveEviction) {
+  Rng rng(307);
+  const ImportedDocument doc = ImportDoc(RandomXml(rng, 2000));
+  NatixStore store = BuildStore(doc, 16);
+  ASSERT_GT(store.page_count(), 4u);
+
+  Result<LruBufferPool> pool = LruBufferPool::Create(2);
+  ASSERT_TRUE(pool.ok());
+  const StoreSnapshot snap = store.OpenSnapshot();
+  {
+    AccessStats s1;
+    AccessStats s2;
+    Navigator a(&snap, &s1, &*pool);
+    Navigator b(&snap, &s2, &*pool);
+    // Lockstep first: the trailing cursor's crossings pin frames the
+    // leading one already holds (shared pins).
+    for (NodeId v = 0; v < store.node_count() / 4; ++v) {
+      a.JumpTo(v);
+      b.JumpTo(v);
+      ASSERT_EQ(a.CurrentKind(), b.CurrentKind()) << v;
+    }
+    // Then park `b` on the root's frame and let `a` churn the pool: once
+    // the parked frame ages to the LRU tail, eviction must skip it.
+    b.JumpToRoot();
+    for (NodeId v = 0; v < store.node_count(); ++v) {
+      a.JumpTo(v);
+    }
+    ASSERT_EQ(b.current(), store.RootNode());
+    ASSERT_EQ(b.CurrentKind(), NodeKind::kElement);
+    const BufferStats bs = pool->stats();
+    EXPECT_GT(bs.shared_pins, 0u);
+    EXPECT_GT(bs.evictions, 0u);
+    // A 2-frame pool with 2 cursors pinned on frames must have refused
+    // at least one eviction of a pinned frame.
+    EXPECT_GT(bs.pinned_evictions_refused, 0u);
+    EXPECT_EQ(bs.pin_events, bs.unpin_events + 2);
+  }
+  const BufferStats bs = pool->stats();
+  EXPECT_EQ(bs.pin_events, bs.unpin_events);
+  EXPECT_EQ(pool->pinned_count(), 0u);
+}
+
+// Two snapshots of different versions of one page occupy *distinct*
+// frames (the epoch is part of the frame key), so a shared pool serves
+// both versions correctly at once.
+TEST(StoreConcurrencyTest, SnapshotsOfDifferentVersionsShareOnePool) {
+  Rng rng(401);
+  const ImportedDocument doc = ImportDoc(RandomXml(rng, 400));
+  NatixStore store = BuildStore(doc, 16);
+
+  const StoreSnapshot old_snap = store.OpenSnapshot();
+  const Result<ImportedDocument> old_doc = old_snap.MaterializeDocument();
+  ASSERT_TRUE(old_doc.ok());
+
+  Rng wrng(19);
+  for (int i = 0; i < 80; ++i) ApplyMixedOp(&store, &wrng);
+  const StoreSnapshot new_snap = store.OpenSnapshot();
+  const Result<ImportedDocument> new_doc = new_snap.MaterializeDocument();
+  ASSERT_TRUE(new_doc.ok());
+  ASSERT_NE(new_snap.version(), old_snap.version());
+
+  Result<LruBufferPool> pool = LruBufferPool::Create(64);
+  ASSERT_TRUE(pool.ok());
+  for (const char* q : kQueries) {
+    const Result<PathExpr> path = ParseXPath(q);
+    ASSERT_TRUE(path.ok());
+    AccessStats s1;
+    AccessStats s2;
+    StoreQueryEvaluator old_eval(&old_snap, &s1, &*pool);
+    StoreQueryEvaluator new_eval(&new_snap, &s2, &*pool);
+    const Result<std::vector<NodeId>> old_got = old_eval.Evaluate(*path);
+    const Result<std::vector<NodeId>> new_got = new_eval.Evaluate(*path);
+    ASSERT_TRUE(old_got.ok() && new_got.ok()) << q;
+    const Result<std::vector<NodeId>> old_want =
+        EvaluateOnTree(old_doc->tree, *path);
+    const Result<std::vector<NodeId>> new_want =
+        EvaluateOnTree(new_doc->tree, *path);
+    ASSERT_TRUE(old_want.ok() && new_want.ok()) << q;
+    EXPECT_EQ(*old_got, *old_want) << q;
+    EXPECT_EQ(*new_got, *new_want) << q;
+  }
+}
+
+// wal_stats() and mvcc_stats() are documented safe to poll from
+// non-mutator threads; hammer them against a live writer (meaningful
+// under TSan; single-threaded it is just a smoke test).
+TEST(StoreConcurrencyTest, StatsAreReadableWhileWriting) {
+  Rng rng(503);
+  const ImportedDocument doc = ImportDoc(RandomXml(rng, 300));
+  NatixStore store = BuildStore(doc, 16);
+  ASSERT_TRUE(
+      store.EnableDurability(std::make_unique<MemoryFileBackend>()).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&store, &stop] {
+    uint64_t last_ops = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const WalStats w = store.wal_stats();
+      EXPECT_GE(w.op_entries, last_ops);  // monotone
+      last_ops = w.op_entries;
+      const MvccStats m = store.mvcc_stats();
+      EXPECT_GE(m.retired_frames, m.reclaimed_frames);
+      (void)store.version();
+      (void)store.open_snapshot_count();
+    }
+  });
+  Rng wrng(23);
+  for (int i = 0; i < 120; ++i) ApplyMixedOp(&store, &wrng);
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GT(store.wal_stats().op_entries, 0u);
+}
+
+}  // namespace
+}  // namespace natix

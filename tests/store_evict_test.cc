@@ -198,7 +198,27 @@ TEST(StoreEvictTest, RandomWalkMatchesTreeOracleUnderTinyPool) {
     EXPECT_EQ(store.LabelNameOf(nav.CurrentLabelId()), doc.tree.LabelOf(v))
         << v;
   }
-  EXPECT_GT(pool->stats().evictions, 0u);
+  {
+    // Pin accounting mid-run: the cursor holds exactly its current frame
+    // (one pin more than released so far), and pressure from this walk
+    // never evicted the pinned frame out from under it.
+    const BufferStats bs = pool->stats();
+    EXPECT_GT(bs.evictions, 0u);
+    EXPECT_GT(bs.pin_events, 0u);
+    EXPECT_EQ(bs.pin_events, bs.unpin_events + 1);
+    EXPECT_EQ(pool->pinned_count(), 1u);
+  }
+  // A navigator over the same store shares residency but re-pins frames
+  // for itself; after both cursors die every pin is matched.
+  {
+    AccessStats stats2;
+    Navigator nav2(&store, &stats2, &*pool);
+    for (NodeId v = 0; v < store.node_count(); v += 7) nav2.JumpTo(v);
+  }
+  nav.JumpToRoot();  // repositions; the old frame is released
+  const BufferStats bs = pool->stats();
+  EXPECT_EQ(bs.pin_events, bs.unpin_events + 1);
+  EXPECT_LE(pool->pinned_count(), 1u);
 }
 
 TEST(StoreEvictTest, InsertsOnReleasedStoreMatchResidentStore) {
