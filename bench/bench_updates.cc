@@ -27,6 +27,7 @@
 #include "core/algorithm.h"
 #include "core/heuristics.h"
 #include "query/reference_evaluator.h"
+#include "storage/fault_injector.h"
 #include "storage/file_backend.h"
 #include "storage/fsck.h"
 #include "storage/page_integrity.h"
@@ -663,6 +664,137 @@ int RunServeLeg(natix::TotalWeight limit, double scale) {
   return 0;
 }
 
+// Part 4b: graceful degradation. Streams mixed ops through a
+// fault-injecting WAL backend until an injected device death demotes
+// the store, then measures what the health state machine promises: a
+// degraded store answers every XPathMark query exactly like the
+// reference evaluator over its own materialized tree (reads never
+// poison), and a revived device rehabilitates back to a healthy store
+// that accepts ops and checkpoints again. Emits one
+// "store_updates_degraded" row.
+int RunDegradedLeg(natix::TotalWeight limit, double scale) {
+  constexpr int kChunk = 16;
+  constexpr int kMaxOps = 4096;
+  constexpr double kServeMs = 300.0;
+  std::printf("\nDegraded serving: mixed ops until an injected WAL device "
+              "death, query sweeps while degraded, then rehabilitation\n\n");
+
+  const auto entry = natix::benchutil::LoadDocument("xmark", scale, limit);
+  const auto ekm = natix::EkmPartition(entry->doc.tree, limit);
+  ekm.status().CheckOK();
+  auto store = natix::NatixStore::Build(entry->doc.Clone(), *ekm, limit);
+  store.status().CheckOK();
+  const size_t size_floor = store->live_node_count();
+
+  auto inj = std::make_unique<natix::FaultInjectingBackend>(
+      std::make_unique<natix::MemoryFileBackend>(),
+      natix::FaultInjectingBackend::kNoLimit, natix::FaultMode::kFailStop,
+      /*seed=*/42);
+  natix::FaultInjectingBackend* raw = inj.get();
+  store->EnableDurability(std::move(inj), natix::SyncPolicy::GroupCommit())
+      .CheckOK();
+  raw->ArmSyncFault(raw->sync_count() + 4);
+
+  natix::Rng rng(23);
+  MixCounts did;
+  int ops_before = 0;
+  while (store->health() == natix::StoreHealth::kHealthy &&
+         ops_before < kMaxOps) {
+    if (ApplyRandomOps(&*store, kChunk, size_floor, &rng, &did)) {
+      ops_before += kChunk;
+      // The durability barrier is what drives the armed fsync fault.
+      (void)store->SyncWal();
+    }
+  }
+  if (store->health() != natix::StoreHealth::kDegraded) {
+    std::fprintf(stderr, "BUG: store is %s after the injected device "
+                         "death (wanted degraded)\n",
+                 natix::StoreHealthName(store->health()));
+    return 1;
+  }
+
+  // Serve while degraded: time query sweeps and check the first sweep's
+  // answers against the reference evaluator over the materialized tree.
+  bool answers_equivalent = true;
+  uint64_t sweeps = 0;
+  double degraded_ms = 0.0;
+  {
+    const natix::StoreSnapshot snap = store->OpenSnapshot();
+    const auto oracle = snap.MaterializeDocument();
+    oracle.status().CheckOK();
+    natix::AccessStats stats;
+    natix::StoreQueryEvaluator eval(&*store, &stats);
+    bool checked = false;
+    natix::Timer timer;
+    while (timer.ElapsedMillis() < kServeMs && answers_equivalent) {
+      for (const natix::XPathMarkQuery& q : natix::XPathMarkQueries()) {
+        const auto path = natix::ParseXPath(q.text);
+        const auto got =
+            path.ok() ? eval.Evaluate(*path) : path.status();
+        if (!got.ok()) {
+          answers_equivalent = false;
+          break;
+        }
+        if (!checked) {
+          const auto want = natix::EvaluateOnTree(oracle->tree, *path);
+          if (!want.ok() || *got != *want) {
+            answers_equivalent = false;
+            break;
+          }
+        }
+      }
+      checked = true;
+      ++sweeps;
+    }
+    degraded_ms = timer.ElapsedMillis();
+  }
+  if (!answers_equivalent) {
+    std::fprintf(stderr, "BUG: degraded store answered a query wrong\n");
+    return 1;
+  }
+
+  // The operator swaps the device; rehabilitation must re-earn full
+  // health and the store must take ops and checkpoints again.
+  raw->Revive();
+  const natix::Status rehab = store->TryRehabilitate();
+  const bool rehabilitated =
+      rehab.ok() && store->health() == natix::StoreHealth::kHealthy;
+  int ops_after = 0;
+  if (rehabilitated) {
+    for (int c = 0; c < 4; ++c) {
+      if (!ApplyRandomOps(&*store, kChunk, size_floor, &rng, &did)) break;
+      ops_after += kChunk;
+    }
+  }
+  if (!rehabilitated || ops_after == 0) {
+    std::fprintf(stderr, "BUG: rehabilitation failed (%s)\n",
+                 rehab.ToString().c_str());
+    return 1;
+  }
+  store->Checkpoint().CheckOK();
+  store->partitioner()->Validate().CheckOK();
+
+  const double sweeps_per_sec =
+      degraded_ms > 0 ? 1e3 * static_cast<double>(sweeps) / degraded_ms
+                      : 0.0;
+  std::printf("%d ops to the device death; %llu degraded sweeps "
+              "(%.2f/sec, answers ok); rehabilitated, %d ops after\n",
+              ops_before, static_cast<unsigned long long>(sweeps),
+              sweeps_per_sec, ops_after);
+  std::printf(
+      "BENCH_UPDATES {\"bench\":\"store_updates_degraded\",\"doc\":"
+      "\"xmark\",\"k\":%llu,\"scale\":%.3f,\"ops_before_fault\":%d,"
+      "\"degraded_sweeps\":%llu,\"degraded_ms\":%.1f,"
+      "\"sweeps_per_sec\":%.2f,\"answers_equivalent\":%s,"
+      "\"rehabilitated\":%s,\"ops_after_rehab\":%d}\n",
+      static_cast<unsigned long long>(limit), scale, ops_before,
+      static_cast<unsigned long long>(sweeps), degraded_ms, sweeps_per_sec,
+      answers_equivalent ? "true" : "false",
+      rehabilitated ? "true" : "false", ops_after);
+  std::fflush(stdout);
+  return 0;
+}
+
 // Part 5: the same insert workload through a write-ahead log under a
 // given sync policy. Measures the durable insert latency -- the timed
 // section covers the inserts plus the durability barrier (SyncWal) that
@@ -863,6 +995,7 @@ int main() {
   if (const int rc = RunStoreLeg(kLimit, scale)) return rc;
   if (const int rc = RunMixedLeg(kLimit, scale)) return rc;
   if (const int rc = RunServeLeg(kLimit, scale)) return rc;
+  if (const int rc = RunDegradedLeg(kLimit, scale)) return rc;
   // Two durable legs: every-op fsync prices the strongest guarantee
   // (timing only), group commit is the default policy and carries the
   // full recovery + integrity flow.

@@ -527,6 +527,10 @@ int CmdUpdate(int argc, char** argv) {
     }
     if (!applied.ok()) {
       std::fprintf(stderr, "op %d: %s\n", i, applied.ToString().c_str());
+      // A demoted store refuses further mutations but keeps serving
+      // reads; stop the stream and report the health below (exit 6/7)
+      // instead of bailing on stats a degraded store can still answer.
+      if (store->health() != natix::StoreHealth::kHealthy) break;
       return 1;
     }
     if (checkpoint_every > 0 && (i + 1) % checkpoint_every == 0) {
@@ -534,15 +538,16 @@ int CmdUpdate(int argc, char** argv) {
       if (!ck.ok()) {
         std::fprintf(stderr, "checkpoint after op %d: %s\n", i + 1,
                      ck.ToString().c_str());
+        if (store->health() != natix::StoreHealth::kHealthy) break;
         return 1;
       }
     }
   }
-  if (store->durable()) {
+  if (store->durable() && store->health() == natix::StoreHealth::kHealthy) {
     const natix::Status ck = store->Checkpoint();
     if (!ck.ok()) {
       std::fprintf(stderr, "final checkpoint: %s\n", ck.ToString().c_str());
-      return 1;
+      if (store->health() == natix::StoreHealth::kHealthy) return 1;
     }
   }
   const double update_ms = timer.ElapsedMillis();
@@ -566,6 +571,13 @@ int CmdUpdate(int argc, char** argv) {
               100.0 * util_before, 100.0 * store->PageUtilization(),
               store->live_node_count(), store->record_count(),
               store->page_count());
+  if (store->health() == natix::StoreHealth::kHealthy) {
+    std::printf("  health: healthy\n");
+  } else {
+    std::printf("  health: %s (%s)\n",
+                natix::StoreHealthName(store->health()),
+                store->health_reason().c_str());
+  }
 
   const double cost_grown = SweepCostSeconds(*store, nullptr);
 
@@ -637,6 +649,11 @@ int CmdUpdate(int argc, char** argv) {
                 store->regular_page_count(), pages_path.c_str(),
                 store->page_size(), natix::kPageCellOverhead);
   }
+  // Exit code mirrors the health state machine: 6 = degraded (reads
+  // kept serving; TryRehabilitate() or recover from the WAL), 7 =
+  // failed (recover from the WAL).
+  if (store->health() == natix::StoreHealth::kDegraded) return 6;
+  if (store->health() == natix::StoreHealth::kFailed) return 7;
   return 0;
 }
 

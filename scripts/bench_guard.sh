@@ -217,6 +217,27 @@ else
       fi
     fi
   fi
+  # ------------------------------------------- graceful degradation ----
+  degraded=$(jq -s '[.[] | select(.bench == "store_updates_degraded")]
+                    | length' BENCH_UPDATES.json)
+  if (( degraded == 0 )); then
+    say_fail "no store_updates_degraded row in BENCH_UPDATES.json" \
+             "(re-run bench_updates)"
+  else
+    if jq -es '[.[] | select(.bench == "store_updates_degraded")
+               | .answers_equivalent and .rehabilitated
+                 and .degraded_sweeps >= 1 and .ops_after_rehab >= 1]
+               | all' BENCH_UPDATES.json > /dev/null; then
+      rate=$(jq -s '[.[] | select(.bench == "store_updates_degraded")
+                 | .sweeps_per_sec] | first' BENCH_UPDATES.json)
+      echo "bench_guard: degraded serving OK (${rate} sweeps/s while" \
+           "degraded, rehabilitation re-earned full health)"
+    else
+      say_fail "degraded leg broke an invariant: a demoted store must" \
+               "keep answering correctly and rehabilitate cleanly" \
+               "(see store_updates_degraded in BENCH_UPDATES.json)"
+    fi
+  fi
 fi
 
 (( fail == 0 )) && echo "bench_guard OK"

@@ -74,10 +74,12 @@ cmake -B build-asan -S . -DNATIX_SANITIZE=address,undefined \
   -DNATIX_BUILD_BENCHMARKS=OFF -DNATIX_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j --target store_updates_test updates_test \
   storage_test wal_recovery_test fsck_repair_test record_codec_test \
-  content_codec_test store_evict_test query_axis_matrix_test
+  content_codec_test store_evict_test query_axis_matrix_test \
+  store_chaos_test
 (cd build-asan && ./tests/store_updates_test && ./tests/updates_test \
   && ./tests/storage_test && ./tests/wal_recovery_test \
-  && ./tests/fsck_repair_test)
+  && ./tests/fsck_repair_test \
+  && ./tests/store_chaos_test)
 
 # 3b. Evicted-mode memory check: the record codec, the release/
 #     rematerialize cycle and the query+updates+WAL surface with the

@@ -1,0 +1,66 @@
+#ifndef NATIX_COMMON_RETRY_H_
+#define NATIX_COMMON_RETRY_H_
+
+#include <ctime>
+#include <utility>
+
+#include "common/status.h"
+
+namespace natix {
+
+/// Shared transient-failure policy: how many times a flaky-but-alive
+/// device is retried and how long each attempt backs off. Every retry
+/// loop in the tree (WAL appends, page-file reads, POSIX transfers)
+/// draws its budget and backoff curve from one of these, so "how hard
+/// do we try before declaring the device dead" is decided in exactly
+/// one place.
+///
+/// Only transient errors (kUnavailable, see IsTransient()) are ever
+/// retried. Backpressure (kResourceExhausted, disk full) is not: the
+/// device is healthy and will keep saying no until the caller frees
+/// space. Everything else is a hard failure and retrying is pointless.
+struct RetryPolicy {
+  /// Retries after the first attempt (so max_retries + 1 attempts total).
+  int max_retries = 4;
+  /// Backoff before retry k (0-based) is `backoff_base_ns << k`.
+  long backoff_base_ns = 10'000;
+};
+
+/// Library-level retry loops (WAL append, sealed-page reads): short
+/// backoffs, long enough to let a hiccup pass and invisible in tests.
+/// 10us, 20us, 40us, 80us.
+inline constexpr RetryPolicy kIoRetryPolicy{4, 10'000};
+
+/// Device-level (errno) retry loops inside PosixFileBackend: the kernel
+/// already absorbed EINTR, so a surviving EIO/EAGAIN deserves a longer
+/// pause. 100us, 200us, 400us, 800us.
+inline constexpr RetryPolicy kDeviceRetryPolicy{4, 100'000};
+
+/// Sleeps the policy's backoff for 0-based retry `attempt`.
+inline void RetryBackoff(const RetryPolicy& policy, int attempt) {
+  struct timespec ts = {0, policy.backoff_base_ns << attempt};
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Runs `fn` (a callable returning Status), retrying while it fails
+/// transiently (IsTransient) within the policy's budget. Before each
+/// retry `on_retry(attempt)` runs -- the hook bumps counters and undoes
+/// partial effects (the WAL truncates a part-landed append back); a
+/// non-ok hook status aborts the loop and is returned as-is. The final
+/// status of `fn` (ok, non-transient, or transient with the budget
+/// spent) is returned unchanged.
+template <typename Fn, typename OnRetry>
+Status RetryTransient(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry) {
+  for (int attempt = 0;; ++attempt) {
+    const Status st = fn();
+    if (st.ok() || !IsTransient(st) || attempt >= policy.max_retries) {
+      return st;
+    }
+    NATIX_RETURN_NOT_OK(on_retry(attempt));
+    RetryBackoff(policy, attempt);
+  }
+}
+
+}  // namespace natix
+
+#endif  // NATIX_COMMON_RETRY_H_

@@ -16,6 +16,10 @@ enum class StatusCode {
   kNotFound = 2,
   kOutOfRange = 3,
   kAlreadyExists = 4,
+  /// A capacity limit was hit (a record does not fit in its page, the
+  /// disk is full). Backpressure, not failure: the operation left no
+  /// trace, retrying without freeing space is pointless, and nothing is
+  /// broken -- the caller sheds load, relocates, or frees space.
   kResourceExhausted = 5,
   kFailedPrecondition = 6,
   kParseError = 7,
@@ -130,6 +134,17 @@ class Result {
   std::optional<T> value_;
   Status status_;
 };
+
+/// Failure-taxonomy helpers (DESIGN.md "Failure taxonomy & degraded
+/// mode"): retry loops key on IsTransient, backpressure surfaces to the
+/// caller unretried and must never kill a writer, and everything else
+/// is a hard failure that demotes whatever component hit it.
+inline bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+inline bool IsBackpressure(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
 
 /// Propagates a non-ok Status from an expression to the caller.
 #define NATIX_RETURN_NOT_OK(expr)               \

@@ -11,35 +11,41 @@ Result<uint64_t> FaultInjectingBackend::Size() {
   return inner_->Size();
 }
 
+Status FaultInjectingBackend::FireWriteFault(FaultMode mode, const void* data,
+                                             size_t size) {
+  fired_ = true;
+  if (mode == FaultMode::kFailStop || size == 0) return Dead();
+  // Land a strict prefix: at least 0, at most size-1 bytes survive.
+  const size_t keep = static_cast<size_t>(rng_.NextBounded(size));
+  if (mode == FaultMode::kShortWrite) {
+    if (keep > 0) {
+      // The inner write's own failure (it shouldn't fail -- the inner
+      // backend is healthy) would still read as a crash; ignore it.
+      (void)inner_->Append(data, keep);
+    }
+    return Dead();
+  }
+  // Torn write: the prefix is real, the rest of the entry's bytes are
+  // garbage (stale sector content). Recovery must detect this via CRC.
+  std::vector<uint8_t> torn(static_cast<const uint8_t*>(data),
+                            static_cast<const uint8_t*>(data) + size);
+  for (size_t i = keep; i < torn.size(); ++i) {
+    torn[i] = static_cast<uint8_t>(rng_.Next());
+  }
+  (void)inner_->Append(torn.data(), torn.size());
+  return Dead();
+}
+
 Status FaultInjectingBackend::Append(const void* data, size_t size) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
   const uint64_t idx = appends_++;
-  if (idx == fault_at_) {
-    fired_ = true;
-    if (mode_ == FaultMode::kFailStop || size == 0) return Dead();
-    // Land a strict prefix: at least 0, at most size-1 bytes survive.
-    const size_t keep = static_cast<size_t>(rng_.NextBounded(size));
-    if (mode_ == FaultMode::kShortWrite) {
-      if (keep > 0) {
-        // The inner write's own failure (it shouldn't fail -- the inner
-        // backend is healthy) would still read as a crash; ignore it.
-        (void)inner_->Append(data, keep);
-      }
-      return Dead();
-    }
-    // Torn write: the prefix is real, the rest of the entry's bytes are
-    // garbage (stale sector content). Recovery must detect this via CRC.
-    std::vector<uint8_t> torn(static_cast<const uint8_t*>(data),
-                              static_cast<const uint8_t*>(data) + size);
-    for (size_t i = keep; i < torn.size(); ++i) {
-      torn[i] = static_cast<uint8_t>(rng_.Next());
-    }
-    (void)inner_->Append(torn.data(), torn.size());
-    return Dead();
+  if (idx == fault_at_) return FireWriteFault(mode_, data, size);
+  for (const WriteFault& f : write_faults_) {
+    if (idx == f.at) return FireWriteFault(f.mode, data, size);
   }
-  if (idx >= append_fault_at_ &&
-      idx < append_fault_at_ + append_fault_count_) {
+  for (const TransientWindow& w : transient_faults_) {
+    if (idx < w.at || idx >= w.at + w.count) continue;
     // Transient: a strict prefix may land, the call fails Unavailable,
     // the backend lives on. A correct writer truncates back and retries.
     ++append_faults_fired_;
@@ -48,6 +54,14 @@ Status FaultInjectingBackend::Append(const void* data, size_t size) {
     if (keep > 0) (void)inner_->Append(data, keep);
     return Status::Unavailable("injected transient append failure");
   }
+  if (capacity_ != kNoLimit) {
+    NATIX_ASSIGN_OR_RETURN(const uint64_t cur, inner_->Size());
+    if (cur + size > capacity_) {
+      return Status::ResourceExhausted(
+          "injected disk full: append would grow the backend past " +
+          std::to_string(capacity_) + " bytes");
+    }
+  }
   return inner_->Append(data, size);
 }
 
@@ -55,12 +69,19 @@ Status FaultInjectingBackend::ReadAt(uint64_t offset, void* out, size_t size) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
   const uint64_t idx = reads_++;
-  if (read_mode_ == ReadFaultMode::kNone || idx < read_fault_at_ ||
-      idx >= read_fault_at_ + read_fault_count_) {
+  ReadFaultMode mode = ReadFaultMode::kNone;
+  for (const ReadFault& f : read_faults_) {
+    if (f.mode != ReadFaultMode::kNone && idx >= f.at &&
+        idx < f.at + f.count) {
+      mode = f.mode;  // first armed window containing idx wins
+      break;
+    }
+  }
+  if (mode == ReadFaultMode::kNone) {
     return inner_->ReadAt(offset, out, size);
   }
   ++read_faults_fired_;
-  switch (read_mode_) {
+  switch (mode) {
     case ReadFaultMode::kBitFlip: {
       NATIX_RETURN_NOT_OK(inner_->ReadAt(offset, out, size));
       if (size > 0) {
@@ -91,6 +112,13 @@ Status FaultInjectingBackend::WriteAt(uint64_t offset, const void* data,
                                       size_t size) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
+  if (capacity_ != kNoLimit && offset + size > capacity_) {
+    // Growing past the limit is refused; rewrites below it still land
+    // (a full disk happily overwrites allocated blocks).
+    return Status::ResourceExhausted(
+        "injected disk full: write would grow the backend past " +
+        std::to_string(capacity_) + " bytes");
+  }
   if (size > 0 && offset < durable_size_) SnapshotDurablePrefix();
   return inner_->WriteAt(offset, data, size);
 }
@@ -106,10 +134,12 @@ Status FaultInjectingBackend::Sync() {
   const std::lock_guard<std::mutex> lock(mu_);
   if (fired_) return Dead();
   const uint64_t idx = syncs_++;
-  if (idx == sync_fault_at_) {
-    fired_ = true;
-    return Status::Internal(
-        "injected fault: fsync failed; backend is dead");
+  for (const uint64_t at : sync_faults_) {
+    if (idx == at) {
+      fired_ = true;
+      return Status::Internal(
+          "injected fault: fsync failed; backend is dead");
+    }
   }
   NATIX_RETURN_NOT_OK(inner_->Sync());
   // Everything on the platter now: the durable image is the live content.

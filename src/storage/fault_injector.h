@@ -53,9 +53,19 @@ enum class ReadFaultMode : uint8_t {
 /// Independently, ArmReadFault() injects read-path faults (bit flips,
 /// short reads, transient EIO) on the Nth ReadAt without killing the
 /// backend, ArmTransientAppendFault() makes a window of Append() calls
-/// fail Unavailable (flaky device, retry succeeds), and ArmSyncFault()
+/// fail Unavailable (flaky device, retry succeeds), ArmSyncFault()
 /// kills the backend on the Nth Sync() -- an fsync failure is a crash,
-/// exactly like a failed append.
+/// exactly like a failed append -- and ArmCapacityLimit() models a full
+/// disk: writes that would grow past the limit fail ResourceExhausted
+/// without landing bytes and without killing anything.
+///
+/// Every Arm* call adds an independent trigger -- windows accumulate
+/// rather than overwrite -- so a chaos trial can arm several fault
+/// kinds (and several windows of one kind) concurrently. A single Arm*
+/// call keeps the one-shot semantics the legacy crash matrices rely on.
+/// Revive() clears a fired fatal fault ("the operator swapped the
+/// cable"): the inner backend keeps whatever bytes survived and serves
+/// again, which is what TryRehabilitate() re-probes after.
 ///
 /// The injector also models *power loss*: it tracks the inner size at
 /// the last successful Sync() (everything past it is an un-fsynced
@@ -88,14 +98,23 @@ class FaultInjectingBackend : public FileBackend {
   /// total write ops before the matrix picks fault points.
   uint64_t append_count() const { return Locked(appends_); }
 
+  /// No capacity limit / a fault index that never fires.
+  static constexpr uint64_t kNoLimit = ~0ull;
+
+  /// Arms another fatal write fault firing on the `fault_at`-th Append
+  /// (0-based), alongside the constructor's one. Only the first fatal
+  /// fault to fire matters -- the backend is dead afterwards.
+  void ArmAppendFault(FaultMode mode, uint64_t fault_at) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    write_faults_.push_back({mode, fault_at});
+  }
+
   /// Arms a read fault firing on the `fault_at`-th ReadAt (0-based) and,
   /// for the transient modes, on the `count - 1` calls after it.
   void ArmReadFault(ReadFaultMode mode, uint64_t fault_at,
                     uint32_t count = 1) {
     const std::lock_guard<std::mutex> lock(mu_);
-    read_mode_ = mode;
-    read_fault_at_ = fault_at;
-    read_fault_count_ = count;
+    read_faults_.push_back({mode, fault_at, count});
   }
 
   /// Arms transient append failures: the `fault_at`-th Append (0-based)
@@ -104,8 +123,7 @@ class FaultInjectingBackend : public FileBackend {
   /// bounded retry should absorb.
   void ArmTransientAppendFault(uint64_t fault_at, uint32_t count = 1) {
     const std::lock_guard<std::mutex> lock(mu_);
-    append_fault_at_ = fault_at;
-    append_fault_count_ = count;
+    transient_faults_.push_back({fault_at, count});
   }
 
   /// Arms a fatal fsync failure on the `fault_at`-th Sync() (0-based):
@@ -113,7 +131,27 @@ class FaultInjectingBackend : public FileBackend {
   /// fault on Append.
   void ArmSyncFault(uint64_t fault_at) {
     const std::lock_guard<std::mutex> lock(mu_);
-    sync_fault_at_ = fault_at;
+    sync_faults_.push_back(fault_at);
+  }
+
+  /// Arms the capacity-limited ("disk full") mode: an Append/WriteAt
+  /// that would grow the inner backend past `max_bytes` fails
+  /// ResourceExhausted without landing a single byte -- the filesystem
+  /// refused the allocation -- and without killing the backend. ENOSPC
+  /// is backpressure: Truncate still frees space, in-place rewrites
+  /// below the limit still land, and raising the limit (or passing
+  /// kNoLimit) "frees the disk".
+  void ArmCapacityLimit(uint64_t max_bytes) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = max_bytes;
+  }
+
+  /// Clears a fired fatal fault, as if the operator replaced the flaky
+  /// device: the inner backend holds whatever bytes survived the crash
+  /// and serves again. Rehabilitation probes go through this.
+  void Revive() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fired_ = false;
   }
 
   /// ReadAt() calls observed so far (faulted or not).
@@ -144,9 +182,26 @@ class FaultInjectingBackend : public FileBackend {
  private:
   static constexpr uint64_t kNever = ~0ull;
 
+  struct WriteFault {
+    FaultMode mode;
+    uint64_t at;
+  };
+  struct ReadFault {
+    ReadFaultMode mode;
+    uint64_t at;
+    uint32_t count;
+  };
+  struct TransientWindow {
+    uint64_t at;
+    uint32_t count;
+  };
+
   Status Dead() const {
     return Status::Internal("injected fault: backend is dead");
   }
+  /// Kills the backend on this append per `mode` (landing a prefix /
+  /// torn bytes first). Call with mu_ held.
+  Status FireWriteFault(FaultMode mode, const void* data, size_t size);
   /// Copies the still-undamaged durable prefix aside before the first
   /// un-fsynced in-place mutation touches it. Call with mu_ held.
   void SnapshotDurablePrefix();
@@ -165,17 +220,15 @@ class FaultInjectingBackend : public FileBackend {
   uint64_t appends_ = 0;
   bool fired_ = false;
 
-  ReadFaultMode read_mode_ = ReadFaultMode::kNone;
-  uint64_t read_fault_at_ = 0;
-  uint32_t read_fault_count_ = 1;
+  std::vector<WriteFault> write_faults_;
+  std::vector<ReadFault> read_faults_;
+  std::vector<TransientWindow> transient_faults_;
+  std::vector<uint64_t> sync_faults_;
+  uint64_t capacity_ = kNoLimit;
+
   uint64_t reads_ = 0;
   uint64_t read_faults_fired_ = 0;
-
-  uint64_t append_fault_at_ = kNever;
-  uint32_t append_fault_count_ = 0;
   uint64_t append_faults_fired_ = 0;
-
-  uint64_t sync_fault_at_ = kNever;
   uint64_t syncs_ = 0;
 
   uint64_t durable_size_ = 0;

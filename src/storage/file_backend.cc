@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/retry.h"
+
 namespace natix {
 
 namespace {
@@ -69,11 +71,16 @@ Result<uint64_t> PosixFileBackend::Size() {
 
 namespace {
 /// Errnos worth retrying: the device was busy or threw a one-off I/O
-/// error. Everything else (EBADF, ENOSPC, ...) is permanent.
+/// error. ENOSPC is backpressure (the disk is full until the operator
+/// frees space -- retrying is pointless but nothing is broken);
+/// everything else (EBADF, ...) is permanent.
 bool IsTransientErrno(int err) { return err == EIO || err == EAGAIN; }
 
-constexpr int kMaxTransientRetries = 4;
-constexpr useconds_t kBackoffBaseUs = 100;
+/// Maps a permanent errno onto the failure taxonomy.
+Status PermanentErrnoStatus(int err, std::string msg) {
+  return err == ENOSPC ? Status::ResourceExhausted(std::move(msg))
+                       : Status::Internal(std::move(msg));
+}
 }  // namespace
 
 Status PosixFileBackend::TransferAt(bool write, uint64_t offset, void* buf,
@@ -89,15 +96,16 @@ Status PosixFileBackend::TransferAt(bool write, uint64_t offset, void* buf,
                         static_cast<off_t>(offset + done));
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (IsTransientErrno(errno) && transient < kMaxTransientRetries) {
+      if (IsTransientErrno(errno) &&
+          transient < kDeviceRetryPolicy.max_retries) {
         ++transient_retries_;
-        ::usleep(kBackoffBaseUs << transient++);
+        RetryBackoff(kDeviceRetryPolicy, transient++);
         continue;
       }
       const std::string msg = ErrnoMessage(
           (write ? "pwrite " : "pread ") + path_, errno);
       return IsTransientErrno(errno) ? Status::Unavailable(msg)
-                                     : Status::Internal(msg);
+                                     : PermanentErrnoStatus(errno, msg);
     }
     if (!write && n == 0) {
       return Status::OutOfRange("read past end of " + path_);
@@ -124,7 +132,8 @@ Status PosixFileBackend::WriteAt(uint64_t offset, const void* data,
 
 Status PosixFileBackend::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-    return Status::Internal(ErrnoMessage("ftruncate " + path_, errno));
+    return PermanentErrnoStatus(errno,
+                                ErrnoMessage("ftruncate " + path_, errno));
   }
   return Status::OK();
 }
@@ -135,11 +144,12 @@ Status PosixFileBackend::Sync() {
   // changes still reach disk, which is all WAL/page-file durability
   // needs.
   if (::fdatasync(fd_) != 0) {
-    return Status::Internal(ErrnoMessage("fdatasync " + path_, errno));
+    return PermanentErrnoStatus(errno,
+                                ErrnoMessage("fdatasync " + path_, errno));
   }
 #else
   if (::fsync(fd_) != 0) {
-    return Status::Internal(ErrnoMessage("fsync " + path_, errno));
+    return PermanentErrnoStatus(errno, ErrnoMessage("fsync " + path_, errno));
   }
 #endif
   return Status::OK();

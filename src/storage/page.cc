@@ -132,6 +132,11 @@ Result<uint16_t> Page::Insert(const std::vector<uint8_t>& record) {
       }
     }
   }
+  if (slot > 0xFFFFu) {
+    // Slot numbers travel as uint16_t (RecordIds, directory lookups); a
+    // 65537th slot would silently alias slot 0 after the narrowing cast.
+    return Status::ResourceExhausted("page slot directory is full");
+  }
   const uint32_t offset = ReadU32(0);
   std::memcpy(data_.data() + offset, record.data(), record.size());
   WriteU32(0, offset + static_cast<uint32_t>(record.size()));

@@ -65,8 +65,9 @@ class Page {
 
   /// Stores a record; returns its slot number (reusing a freed slot when
   /// one exists), or ResourceExhausted if it does not fit even after
-  /// compaction. Compacts automatically when the contiguous tail is too
-  /// small but the total free space suffices.
+  /// compaction or the directory already holds 65536 slots (slot numbers
+  /// are 16-bit everywhere downstream). Compacts automatically when the
+  /// contiguous tail is too small but the total free space suffices.
   Result<uint16_t> Insert(const std::vector<uint8_t>& record);
 
   /// Rewrites the record in `slot` with new bytes, keeping the slot

@@ -378,6 +378,17 @@ bool RecordManager::IsJumbo(RecordId id) const {
          (entries_[id.value].page & kJumboPageBit) != 0;
 }
 
+void RecordManager::MarkAllPagesDirty() {
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    buffer_.MarkDirty(static_cast<uint32_t>(p));
+  }
+  // Freed jumbo slots are included: their image is the cleared record,
+  // exactly what Free() already persists through the dirty set.
+  for (size_t j = 0; j < jumbo_records_.size(); ++j) {
+    buffer_.MarkDirty(static_cast<uint32_t>(j) | kJumboPageBit);
+  }
+}
+
 uint64_t RecordManager::compaction_count() const {
   uint64_t total = 0;
   for (const Page& p : pages_) total += p.compaction_count();

@@ -213,6 +213,15 @@ class RecordManager : public PageProvider {
   /// pages (every live id must resolve, byte totals must match) and marks
   /// everything clean.
   Status FinishRestore();
+
+  /// Marks every page and jumbo record dirty, forcing the next
+  /// checkpoint to write a complete image set instead of an incremental
+  /// one. Rehabilitation needs this: truncating the log may erase a
+  /// previously installed checkpoint, and the incremental dirty set --
+  /// tracked relative to that erased checkpoint -- would no longer cover
+  /// everything the surviving log is missing.
+  void MarkAllPagesDirty();
+
   /// Page payload compactions performed (summed over all pages).
   uint64_t compaction_count() const;
   /// Fraction of allocated page bytes actually occupied by live records.

@@ -24,17 +24,21 @@ Result<std::vector<uint8_t>> SelfHealingPageSource::ReadPage(
   const Status repaired = RepairPage(page_id, first.status().message());
   if (!repaired.ok()) {
     ++stats_.repair_failures;
-    return Status::Internal(
+    const Status loud = Status::Internal(
         "page " + std::to_string(page_id) + " is unrecoverable: " +
         first.status().message() + "; repair failed: " + repaired.message());
+    if (on_unrecoverable_) on_unrecoverable_(loud);
+    return loud;
   }
   // The repair only counts if the rewritten cell verifies end to end.
   Result<std::vector<uint8_t>> retry = primary_->ReadPage(page_id);
   if (!retry.ok()) {
     ++stats_.repair_failures;
-    return Status::Internal("page " + std::to_string(page_id) +
-                            " still unreadable after repair: " +
-                            retry.status().message());
+    const Status loud = Status::Internal(
+        "page " + std::to_string(page_id) +
+        " still unreadable after repair: " + retry.status().message());
+    if (on_unrecoverable_) on_unrecoverable_(loud);
+    return loud;
   }
   ++stats_.repairs;
   return retry;

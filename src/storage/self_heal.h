@@ -2,7 +2,9 @@
 #define NATIX_STORAGE_SELF_HEAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -46,6 +48,17 @@ class SelfHealingPageSource : public PageProvider {
 
   Result<std::vector<uint8_t>> ReadPage(uint32_t page_id) const override;
 
+  /// Invoked (with the loud Internal error) whenever a page proves
+  /// unrecoverable -- repair failed, or the resealed cell still does not
+  /// verify. The owning store's NoteUnrecoverableFailure() is the
+  /// intended sink: a page neither the file nor the WAL can produce is a
+  /// kFailed-grade condition, not something a retry will fix. The
+  /// callback must not re-enter this source and must not hold the
+  /// store's writer lock when reads flow while it is held shared.
+  void set_on_unrecoverable(std::function<void(const Status&)> cb) {
+    on_unrecoverable_ = std::move(cb);
+  }
+
   /// Healing counters, merged with the primary source's verification
   /// counters (pages_read, torn/checksum failures, transient retries).
   IntegrityStats stats() const;
@@ -62,6 +75,7 @@ class SelfHealingPageSource : public PageProvider {
   /// reuse it (the WAL does not change under an offline healing pass).
   mutable std::unique_ptr<NatixStore> scratch_;
   mutable IntegrityStats stats_;
+  std::function<void(const Status&)> on_unrecoverable_;
 };
 
 }  // namespace natix

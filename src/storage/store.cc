@@ -9,26 +9,23 @@
 #include <utility>
 
 #include "common/bytes.h"
+#include "common/retry.h"
 #include "storage/page.h"
 #include "xml/weight_model.h"
 
 namespace natix {
 
-namespace {
-/// Transient (Unavailable) errors from the page-file backend are retried
-/// this many times, with a small exponential backoff, before the error
-/// is passed up. Device-level retries (EINTR, partial transfers, flaky
-/// EIO) already happen inside PosixFileBackend; this layer absorbs
-/// transients any backend may surface.
-constexpr int kMaxPageReadRetries = 4;
-
-void ReadRetryBackoff(int attempt) {
-  // ~10us, 20us, 40us, 80us: long enough to let a hiccup pass, short
-  // enough to be invisible in tests.
-  struct timespec ts = {0, 10'000L << attempt};
-  ::nanosleep(&ts, nullptr);
+const char* StoreHealthName(StoreHealth health) {
+  switch (health) {
+    case StoreHealth::kHealthy:
+      return "healthy";
+    case StoreHealth::kDegraded:
+      return "degraded";
+    case StoreHealth::kFailed:
+      return "failed";
+  }
+  return "unknown";
 }
-}  // namespace
 
 Result<std::vector<uint8_t>> FilePageSource::ReadPage(uint32_t page_id) const {
   if ((page_id & RecordManager::kJumboPageBit) != 0) {
@@ -42,17 +39,16 @@ Result<std::vector<uint8_t>> FilePageSource::ReadPage(uint32_t page_id) const {
   const size_t cell_size = page_size_ + kPageCellOverhead;
   const uint64_t offset = static_cast<uint64_t>(page_id) * cell_size;
   std::vector<uint8_t> cell(cell_size);
-  Status read = Status::OK();
-  for (int attempt = 0;; ++attempt) {
-    read = file_->ReadAt(offset, cell.data(), cell.size());
-    if (read.ok() || read.code() != StatusCode::kUnavailable ||
-        attempt >= kMaxPageReadRetries) {
-      break;
-    }
-    ++stats_.transient_retries;
-    ReadRetryBackoff(attempt);
-  }
-  NATIX_RETURN_NOT_OK(read);
+  // Device-level retries (EINTR, partial transfers, flaky EIO) already
+  // happen inside PosixFileBackend; this layer absorbs transients any
+  // backend may surface.
+  NATIX_RETURN_NOT_OK(RetryTransient(
+      kIoRetryPolicy,
+      [&] { return file_->ReadAt(offset, cell.data(), cell.size()); },
+      [&](int) {
+        ++stats_.transient_retries;
+        return Status::OK();
+      }));
   PageDamage damage = PageDamage::kNone;
   Result<std::vector<uint8_t>> payload =
       OpenPageCell(cell.data(), cell.size(), nullptr, &damage);
@@ -735,11 +731,7 @@ Result<NodeId> NatixStore::InsertBeforeLocked(NodeId parent, NodeId before,
                                               std::string_view label,
                                               NodeKind kind,
                                               std::string_view content) {
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "store is poisoned: a WAL write failed, the log no longer matches "
-        "memory; recover from the log to continue");
-  }
+  NATIX_RETURN_NOT_OK(CheckWritable());
   NATIX_RETURN_NOT_OK(EnsureDocumentLocked());
   NATIX_RETURN_NOT_OK(EnsureMutable());
   // Weight per the store's model; cap at the partition limit so any
@@ -875,11 +867,7 @@ Result<std::vector<NodeId>> NatixStore::DeleteSubtree(NodeId v) {
 }
 
 Result<std::vector<NodeId>> NatixStore::DeleteSubtreeLocked(NodeId v) {
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "store is poisoned: a WAL write failed, the log no longer matches "
-        "memory; recover from the log to continue");
-  }
+  NATIX_RETURN_NOT_OK(CheckWritable());
   NATIX_RETURN_NOT_OK(EnsureDocumentLocked());
   NATIX_RETURN_NOT_OK(EnsureMutable());
   const Tree& tree = doc_->tree;
@@ -931,11 +919,7 @@ Status NatixStore::MoveSubtree(NodeId v, NodeId parent, NodeId before) {
 }
 
 Status NatixStore::MoveSubtreeLocked(NodeId v, NodeId parent, NodeId before) {
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "store is poisoned: a WAL write failed, the log no longer matches "
-        "memory; recover from the log to continue");
-  }
+  NATIX_RETURN_NOT_OK(CheckWritable());
   NATIX_RETURN_NOT_OK(EnsureDocumentLocked());
   NATIX_RETURN_NOT_OK(EnsureMutable());
   const Tree& tree = doc_->tree;
@@ -1001,11 +985,7 @@ Status NatixStore::Rename(NodeId v, std::string_view label) {
 }
 
 Status NatixStore::RenameLocked(NodeId v, std::string_view label) {
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "store is poisoned: a WAL write failed, the log no longer matches "
-        "memory; recover from the log to continue");
-  }
+  NATIX_RETURN_NOT_OK(CheckWritable());
   if (v >= partition_of_.size() || partition_of_[v] == kNoPartition) {
     return Status::InvalidArgument("no such node: " + std::to_string(v));
   }
@@ -1107,10 +1087,21 @@ Status NatixStore::LogOp(WalEntryType type,
   // refuse further mutations.
   Result<uint64_t> lsn = wal_->Append(type, payload);
   if (!lsn.ok()) {
-    poisoned_ = true;
-    return Status::FailedPrecondition("WAL append failed (" +
-                                      lsn.status().message() +
-                                      "); store is poisoned");
+    if (IsBackpressure(lsn.status()) &&
+        sync_policy_.mode != SyncPolicy::Mode::kSyncOnCheckpoint) {
+      // Disk full, but the entry is still buffered in the writer (the
+      // buffered modes park the batch on ENOSPC): once space frees, the
+      // log catches up on its own. Backpressure, not a demotion -- the
+      // caller sees ResourceExhausted and may retry later.
+      return lsn.status();
+    }
+    // Either a genuine write failure or a full disk under the unbuffered
+    // kSyncOnCheckpoint mode, where the entry is simply gone while the
+    // op is already applied in memory: the log no longer matches memory.
+    Demote(StoreHealth::kDegraded, "WAL append", lsn.status());
+    return Status::FailedPrecondition(
+        "WAL append failed (" + lsn.status().message() + "); store is " +
+        StoreHealthName(health_));
   }
   cc_->wal_op_bytes.fetch_add(kWalEntryHeaderSize + payload.size(),
                               std::memory_order_relaxed);
@@ -1506,15 +1497,148 @@ Status NatixStore::SyncWalLocked() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("store has no WAL attached");
   }
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "store is poisoned: a WAL write failed; recover from the log");
-  }
+  NATIX_RETURN_NOT_OK(CheckWritable());
   const Status st = wal_->Sync();
   if (!st.ok()) {
-    poisoned_ = true;
+    if (IsBackpressure(st)) {
+      // Disk full while flushing: the batch went back to the writer's
+      // pending buffer, nothing was lost. The caller's ops are simply
+      // not durable yet; a later SyncWal (after space frees) lands them.
+      return st;
+    }
+    Demote(StoreHealth::kDegraded, "WAL sync", st);
     return Status::FailedPrecondition("WAL sync failed (" + st.message() +
-                                      "); store is poisoned");
+                                      "); store is " +
+                                      StoreHealthName(health_));
+  }
+  return Status::OK();
+}
+
+Status NatixStore::CheckWritable() const {
+  if (health_ == StoreHealth::kHealthy) return Status::OK();
+  return Status::FailedPrecondition(
+      "store is " + std::string(StoreHealthName(health_)) + " (" +
+      health_reason_ +
+      "): the log no longer matches memory, so mutations are refused; " +
+      (health_ == StoreHealth::kDegraded
+           ? "reads still serve -- TryRehabilitate() or recover from the log"
+           : "reads still serve -- recover from the log to continue"));
+}
+
+void NatixStore::Demote(StoreHealth to, const char* what,
+                        const Status& cause) {
+  if (to <= health_) return;  // severity only escalates; first reason wins
+  health_ = to;
+  health_reason_ = std::string(what) + " failed: " + cause.message();
+}
+
+void NatixStore::NoteUnrecoverableFailure(const Status& cause) {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  Demote(StoreHealth::kFailed, "storage layer", cause);
+}
+
+Status NatixStore::TryRehabilitate() {
+  std::unique_lock<std::shared_mutex> lock(cc_->mu);
+  if (backend_ == nullptr) {
+    return Status::FailedPrecondition(
+        "store has no WAL backend; nothing to rehabilitate");
+  }
+  if (health_ == StoreHealth::kFailed) {
+    return Status::FailedPrecondition(
+        "store is failed (" + health_reason_ +
+        "); rehabilitation serves only degraded stores -- Recover() from "
+        "the log instead");
+  }
+  if (health_ == StoreHealth::kHealthy && wal_ != nullptr) {
+    return Status::OK();
+  }
+  // Retire the dead writer first: this joins its flusher thread, so
+  // nothing races the probe below, and drops buffered entries of
+  // unknowable durability -- the fresh checkpoint at the end re-covers
+  // their in-memory effects.
+  wal_.reset();
+  // Probe the backend by scanning the log's valid prefix, the same walk
+  // recovery does. The scan doubles as the read-probe: a device that
+  // still errors keeps the store degraded, and the call may be retried.
+  uint64_t usable_end = 0;
+  uint64_t usable_lsn = 0;
+  {
+    Result<WalReader> reader = WalReader::Open(backend_.get());
+    if (!reader.ok()) {
+      health_reason_ = "rehabilitation probe failed: " +
+                       reader.status().message();
+      return reader.status();
+    }
+    // Track a checkpoint the crash may have left without its End: the
+    // writer must not re-attach inside it (recovery would see ops
+    // trailing a dangling Begin), so truncation chops it wholesale.
+    bool in_checkpoint = false;
+    uint64_t begin_offset = 0;
+    uint64_t begin_lsn = 0;
+    while (true) {
+      const uint64_t entry_start = reader->valid_end();
+      Result<std::optional<WalEntry>> entry = reader->Next();
+      if (!entry.ok()) {
+        health_reason_ = "rehabilitation probe failed: " +
+                         entry.status().message();
+        return entry.status();
+      }
+      if (!entry->has_value()) break;
+      if ((*entry)->type == WalEntryType::kCheckpointBegin) {
+        in_checkpoint = true;
+        begin_offset = entry_start;
+        begin_lsn = (*entry)->lsn;
+      } else if ((*entry)->type == WalEntryType::kCheckpointEnd) {
+        in_checkpoint = false;
+      }
+    }
+    usable_end = reader->valid_end();
+    usable_lsn = reader->next_lsn();
+    if (in_checkpoint) {
+      usable_end = begin_offset;
+      usable_lsn = begin_lsn;
+    }
+  }
+  // Drop everything past the valid prefix (the failed write's debris)
+  // and prove the device can still make that truncation durable.
+  Status barrier = backend_->Truncate(usable_end);
+  if (barrier.ok()) barrier = backend_->Sync();
+  if (!barrier.ok()) {
+    health_reason_ =
+        "rehabilitation truncate/sync failed: " + barrier.message();
+    return barrier;
+  }
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Attach(backend_.get(), usable_lsn, sync_policy_);
+  if (!writer.ok()) {
+    health_reason_ =
+        "rehabilitation attach failed: " + writer.status().message();
+    return writer.status();
+  }
+  wal_ = std::move(*writer);
+  // Tentatively healthy, so the resync checkpoint below passes
+  // CheckWritable. The checkpoint is what actually re-earns the state:
+  // ops applied in memory after the demotion were never logged, and the
+  // full image supersedes them, making log == memory again.
+  health_ = StoreHealth::kHealthy;
+  health_reason_.clear();
+  // The truncation may have erased a checkpoint that was installed (and
+  // reset the dirty-page tracking) before the store degraded -- for
+  // example when the probe scan stopped early on a rotten entry. An
+  // incremental checkpoint would then silently omit every page the
+  // erased one had cleaned, leaving a log whose cumulative images no
+  // longer reconstruct memory. The resync checkpoint is therefore
+  // always a full one.
+  manager_.MarkAllPagesDirty();
+  const Status cp = CheckpointLocked();
+  if (!cp.ok()) {
+    // CheckpointLocked demotes on genuine failure; a backpressure
+    // (disk-full) refusal leaves health alone, so re-demote explicitly:
+    // until the checkpoint lands the log still does not match memory.
+    if (health_ == StoreHealth::kHealthy) {
+      Demote(StoreHealth::kDegraded, "rehabilitation checkpoint", cp);
+    }
+    return cp;
   }
   return Status::OK();
 }
@@ -1528,18 +1652,21 @@ Status NatixStore::CheckpointLocked() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("store has no WAL attached");
   }
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "store is poisoned: a WAL write failed; recover from the log");
-  }
-  // A failed install leaves at worst an incomplete checkpoint in the
+  NATIX_RETURN_NOT_OK(CheckWritable());
+  // A failed install may leave an incomplete checkpoint group in the
   // log. Recovery discards it wholesale, but only as long as nothing
-  // else is appended afterwards -- so every failure here poisons the
-  // store.
-  auto poison = [this](const Status& st) {
-    poisoned_ = true;
+  // else is appended afterwards -- and unlike a lost op entry, a torn
+  // group cannot be fenced off by truncating to a watermark this side
+  // of a full log scan. So a genuine install failure demotes to kFailed
+  // (rehabilitation refused; Recover() from the bytes), while a full
+  // disk -- where AppendGroup unwound the staging and nothing landed --
+  // stays pure backpressure.
+  auto fail = [this](const Status& st) {
+    if (IsBackpressure(st)) return st;
+    Demote(StoreHealth::kFailed, "checkpoint install", st);
     return Status::FailedPrecondition("checkpoint failed (" + st.message() +
-                                      "); store is poisoned");
+                                      "); store is " +
+                                      StoreHealthName(health_));
   };
   // Stage the whole checkpoint (metadata + sealed page images + End) off
   // the commit path: serialization happens into a side buffer while the
@@ -1560,7 +1687,7 @@ Status NatixStore::CheckpointLocked() {
   const uint32_t epoch = static_cast<uint32_t>(version_) + 1;
   for (const uint32_t page_id : dirty) {
     Result<std::vector<uint8_t>> image = manager_.PageImage(page_id);
-    if (!image.ok()) return poison(image.status());
+    if (!image.ok()) return fail(image.status());
     std::vector<uint8_t> payload;
     ByteWriter w(&payload);
     w.U32(page_id);
@@ -1577,9 +1704,9 @@ Status NatixStore::CheckpointLocked() {
   bytes += kWalEntryHeaderSize + end_payload.size();
   group.push_back({WalEntryType::kCheckpointEnd, std::move(end_payload)});
   const Result<uint64_t> begin_lsn = wal_->AppendGroup(std::move(group));
-  if (!begin_lsn.ok()) return poison(begin_lsn.status());
+  if (!begin_lsn.ok()) return fail(begin_lsn.status());
   if (*begin_lsn != expect_begin) {
-    return poison(Status::Internal(
+    return fail(Status::Internal(
         "checkpoint begin LSN drifted during install (expected " +
         std::to_string(expect_begin) + ", got " +
         std::to_string(*begin_lsn) + ")"));

@@ -203,6 +203,31 @@ struct RecoveryInfo {
   uint64_t torn_bytes = 0;
 };
 
+/// Health of a durable store's write path. Reads (snapshots, queries,
+/// navigation, fsck) never consult the WAL, so they keep serving in every
+/// state; what degrades is the *mutation* surface.
+///
+///   kHealthy --(WAL append/sync failure)--> kDegraded
+///   kHealthy/kDegraded --(torn checkpoint, reseal failure)--> kFailed
+///   kDegraded --(TryRehabilitate() succeeds)--> kHealthy
+///
+/// kDegraded means the log may be missing a suffix of applied ops but the
+/// in-memory store is intact: mutations are refused (FailedPrecondition),
+/// reads serve, and TryRehabilitate() may win the store back by truncating
+/// the log to its durable watermark and re-checkpointing. kFailed means a
+/// write landed partially in a way that cannot be reasoned about (a torn
+/// checkpoint group, an unreadable resealed page): rehabilitation is
+/// refused and the only way forward is Recover() from the on-disk bytes.
+/// Severity only escalates; Demote() never moves health backwards.
+enum class StoreHealth : uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kFailed = 2,
+};
+
+/// "healthy" / "degraded" / "failed" -- stable strings for logs and CLI.
+const char* StoreHealthName(StoreHealth health);
+
 class StoreSnapshot;
 
 /// The mini-Natix store: a document loaded under a given tree sibling
@@ -478,9 +503,32 @@ class NatixStore {
                                             RecoveryInfo* info = nullptr);
 
   bool durable() const { return wal_ != nullptr; }
-  /// True after a WAL or checkpoint write failed: the in-memory store may
-  /// be ahead of the log, so further mutations are refused.
-  bool poisoned() const { return poisoned_; }
+  /// Write-path health (see StoreHealth). Always kHealthy for a
+  /// non-durable store.
+  StoreHealth health() const { return health_; }
+  /// Human-readable cause of the last demotion; empty while healthy.
+  const std::string& health_reason() const { return health_reason_; }
+  /// True when the store is not kHealthy: the in-memory store may be
+  /// ahead of the log, so further mutations are refused. (Compatibility
+  /// spelling of `health() != StoreHealth::kHealthy`.)
+  bool poisoned() const { return health_ != StoreHealth::kHealthy; }
+
+  /// Attempts to win a kDegraded store back to kHealthy: re-probes the
+  /// backend, truncates the log to the durable watermark (dropping any
+  /// entries of unknowable durability, and a dangling checkpoint-begin
+  /// group if one made it in), re-attaches a WAL writer there and writes
+  /// a fresh checkpoint so the log again matches the in-memory store --
+  /// applied-but-unlogged ops are re-covered by that checkpoint, not
+  /// replayed. On success the store is kHealthy and accepts mutations.
+  /// On failure the store stays kDegraded (each failure path reports why)
+  /// and the call may be retried. Refused (FailedPrecondition) for
+  /// kFailed stores and for non-durable ones.
+  Status TryRehabilitate();
+
+  /// Records an unrecoverable storage-layer failure observed outside the
+  /// store's own call graph (e.g. the self-healing read path failed to
+  /// reseal a quarantined page): demotes straight to kFailed.
+  void NoteUnrecoverableFailure(const Status& cause);
   /// Thread-safe: the session counters are atomics and the WalWriter
   /// accessors take the writer's own mutex, so a monitoring thread may
   /// poll this while the mutator thread streams ops.
@@ -496,8 +544,9 @@ class NatixStore {
   /// lands batches; under kSyncOnCheckpoint only checkpoints move it.
   uint64_t durable_wal_lsn() const { return wal_ ? wal_->durable_lsn() : 0; }
   /// Flushes and fsyncs every logged entry; on success every prior
-  /// mutation is durable. A failed sync poisons the store exactly like
-  /// a failed append.
+  /// mutation is durable. A failed sync demotes the store to kDegraded
+  /// exactly like a failed append; a full disk (ResourceExhausted) is
+  /// backpressure and leaves health untouched.
   Status SyncWal();
 
   size_t record_count() const { return records_.size(); }
@@ -664,6 +713,16 @@ class NatixStore {
   /// Shared tail of the Log*() helpers: appends and accounts one entry.
   Status LogOp(WalEntryType type, const std::vector<uint8_t>& payload);
 
+  /// Gate every mutation and checkpoint passes first: OK while healthy,
+  /// FailedPrecondition naming the health state and demotion cause
+  /// otherwise.
+  Status CheckWritable() const;
+
+  /// Classified demotion: records `what` failed with `cause` and moves
+  /// health_ to `to` -- but severity only escalates (a kDegraded demand
+  /// cannot overwrite kFailed, and the first recorded reason wins).
+  void Demote(StoreHealth to, const char* what, const Status& cause);
+
   void RecomputeOverflowPages() {
     const uint64_t payload = page_size_ - 16;
     overflow_pages_ =
@@ -711,7 +770,11 @@ class NatixStore {
   std::unique_ptr<WalWriter> wal_;
   std::unique_ptr<FileBackend> backend_;
   SyncPolicy sync_policy_;
-  bool poisoned_ = false;
+  /// Write-path health state machine (see StoreHealth above). Replaces
+  /// the old sticky `poisoned_` flag: Degraded is recoverable via
+  /// TryRehabilitate(), Failed is terminal for this in-process store.
+  StoreHealth health_ = StoreHealth::kHealthy;
+  std::string health_reason_;
   /// Set while recovery replays the op tail, so the replayed
   /// InsertBefore() calls do not log themselves again.
   bool replaying_ = false;

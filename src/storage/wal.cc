@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "common/retry.h"
 
 namespace natix {
 
@@ -36,15 +37,6 @@ void EncodeEntry(std::vector<uint8_t>* buf, uint64_t lsn, WalEntryType type,
   if (!payload.empty()) w.Raw(payload.data(), payload.size());
 }
 
-/// Transient-failure budget, mirroring the FilePageSource read path: a
-/// kUnavailable backend is a flaky-but-alive device, worth a few retries
-/// with exponential backoff before giving up.
-constexpr int kMaxWalAppendRetries = 4;
-
-void AppendRetryBackoff(int attempt) {
-  struct timespec ts = {0, 10'000L << attempt};  // 10us, 20us, 40us, 80us
-  ::nanosleep(&ts, nullptr);
-}
 }  // namespace
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Create(FileBackend* backend,
@@ -103,17 +95,20 @@ WalWriter::~WalWriter() {
 Status WalWriter::RetryingAppend(const uint8_t* data, size_t size,
                                  uint64_t* retries) {
   NATIX_ASSIGN_OR_RETURN(const uint64_t base, backend_->Size());
-  Status st = Status::OK();
-  for (int attempt = 0;; ++attempt) {
-    st = backend_->Append(data, size);
-    if (st.ok() || st.code() != StatusCode::kUnavailable ||
-        attempt >= kMaxWalAppendRetries) {
-      break;
-    }
-    ++*retries;
-    AppendRetryBackoff(attempt);
-    // A failed attempt may have landed a prefix; drop it so the retry
-    // does not splice duplicate bytes into the middle of the log.
+  const Status st = RetryTransient(
+      kIoRetryPolicy, [&] { return backend_->Append(data, size); },
+      [&](int) {
+        ++*retries;
+        // A failed attempt may have landed a prefix; drop it so the
+        // retry does not splice duplicate bytes into the middle of the
+        // log.
+        return backend_->Truncate(base);
+      });
+  if (IsBackpressure(st)) {
+    // Disk full: not retried (the device will keep saying no) and not
+    // fatal. A real ENOSPC write may land a partial transfer, so
+    // restore the log to its pre-append length -- backpressure must
+    // leave no trace. A failed restore IS fatal and takes over.
     NATIX_RETURN_NOT_OK(backend_->Truncate(base));
   }
   return st;
@@ -127,6 +122,7 @@ Status WalWriter::FlushBatchLocked(std::unique_lock<std::mutex>& lock) {
   }
   std::vector<uint8_t> batch;
   batch.swap(pending_);
+  const uint64_t batch_entries = pending_entries_;
   pending_entries_ = 0;
   const uint64_t target_lsn = buffered_lsn_;
   const uint64_t durable_before = durable_lsn_;
@@ -135,21 +131,37 @@ Status WalWriter::FlushBatchLocked(std::unique_lock<std::mutex>& lock) {
   uint64_t retries = 0;
   Status st = Status::OK();
   if (!batch.empty()) st = RetryingAppend(batch.data(), batch.size(), &retries);
+  const bool landed = st.ok();
   if (st.ok()) st = backend_->Sync();
   lock.lock();
   flushing_ = false;
   transient_retries_ += retries;
-  if (st.ok()) {
-    ++fsyncs_;
+  if (landed) {
     bytes_written_ += batch.size();
     if (target_lsn > appended_lsn_) appended_lsn_ = target_lsn;
+  }
+  if (st.ok()) {
+    ++fsyncs_;
     if (target_lsn > durable_lsn_) durable_lsn_ = target_lsn;
     const uint64_t covered = durable_lsn_ - durable_before;
     if (covered > 0) {
       ++sync_batches_;
       synced_entries_ += covered;
     }
+  } else if (IsBackpressure(st) && !landed) {
+    // Disk full before anything landed (RetryingAppend truncated the
+    // attempt back): backpressure, not death. The batch goes back in
+    // FRONT of whatever buffered meanwhile -- its entries carry the
+    // earlier LSNs -- and a later flush retries it once the operator
+    // frees space. The flusher stops spinning until then.
+    pending_.insert(pending_.begin(), batch.begin(), batch.end());
+    pending_entries_ += batch_entries;
+    pending_since_ = std::chrono::steady_clock::now();
+    backpressure_ = true;
   } else {
+    // A disk-full *fsync* after the batch landed leaves appended bytes
+    // whose durability is unknowable; that, like every other failure,
+    // is sticky.
     io_error_ = st;
   }
   durable_cv_.notify_all();
@@ -175,7 +187,8 @@ void WalWriter::FlusherMain() {
   const auto window = std::chrono::microseconds(policy_.window_us);
   while (true) {
     flusher_cv_.wait(l, [&] {
-      return shutdown_ || (pending_entries_ > 0 && io_error_.ok());
+      return shutdown_ ||
+             (pending_entries_ > 0 && io_error_.ok() && !backpressure_);
     });
     if (shutdown_) return;  // the destructor drains the remainder
     // Let the commit window fill unless a size threshold already
@@ -188,7 +201,7 @@ void WalWriter::FlusherMain() {
       flusher_cv_.wait_until(l, deadline);
     }
     if (shutdown_) return;
-    if (pending_entries_ > 0 && io_error_.ok()) {
+    if (pending_entries_ > 0 && io_error_.ok() && !backpressure_) {
       (void)FlushBatchLocked(l);
     }
   }
@@ -198,6 +211,9 @@ Result<uint64_t> WalWriter::Append(WalEntryType type,
                                    const std::vector<uint8_t>& payload) {
   std::unique_lock<std::mutex> l(mu_);
   NATIX_RETURN_NOT_OK(io_error_);
+  // Each explicit append is one fresh chance for a previously-full disk:
+  // un-gate the flusher so the backlog is retried exactly once.
+  backpressure_ = false;
   const uint64_t lsn = next_lsn_;
 
   if (policy_.mode == SyncPolicy::Mode::kSyncOnCheckpoint) {
@@ -215,7 +231,10 @@ Result<uint64_t> WalWriter::Append(WalEntryType type,
     flushing_ = false;
     transient_retries_ += retries;
     if (!st.ok()) {
-      io_error_ = st;
+      // Disk full is backpressure, not death -- but this unbuffered mode
+      // has nowhere to park the entry, so the op is simply not logged.
+      // (The store accounts for the resulting memory/log divergence.)
+      if (!IsBackpressure(st)) io_error_ = st;
       durable_cv_.notify_all();
       return st;
     }
@@ -250,10 +269,15 @@ Result<uint64_t> WalWriter::AppendGroup(std::vector<WalGroupEntry> entries) {
   std::unique_lock<std::mutex> l(mu_);
   while (flushing_) durable_cv_.wait(l);
   NATIX_RETURN_NOT_OK(io_error_);
+  backpressure_ = false;
   // Stage buffered ops (earlier LSNs) plus the whole group as one
   // buffer: a single backend Append is the atomic install.
   std::vector<uint8_t> buf;
   buf.swap(pending_);
+  const uint64_t staged_entries = pending_entries_;
+  const size_t staged_bytes = buf.size();
+  const uint64_t prev_next = next_lsn_;
+  const uint64_t prev_buffered = buffered_lsn_;
   pending_entries_ = 0;
   const uint64_t first = next_lsn_;
   for (const WalGroupEntry& e : entries) {
@@ -266,12 +290,32 @@ Result<uint64_t> WalWriter::AppendGroup(std::vector<WalGroupEntry> entries) {
   l.unlock();
   uint64_t retries = 0;
   Status st = RetryingAppend(buf.data(), buf.size(), &retries);
+  const bool landed = st.ok();
   if (st.ok()) st = backend_->Sync();
   l.lock();
   flushing_ = false;
   transient_retries_ += retries;
   if (!st.ok()) {
-    io_error_ = st;
+    if (IsBackpressure(st) && !landed) {
+      // Disk full before the group touched the log: nothing landed and
+      // no group LSN was ever observable, so unwind the staging -- the
+      // previously-buffered prefix goes back to pending_ (the group's
+      // bytes are chopped off the shared buffer) and the LSN counters
+      // rewind. The caller may retry the whole group later.
+      buf.resize(staged_bytes);
+      pending_.swap(buf);
+      pending_entries_ = staged_entries;
+      if (staged_entries > 0) {
+        pending_since_ = std::chrono::steady_clock::now();
+      }
+      next_lsn_ = prev_next;
+      buffered_lsn_ = prev_buffered;
+      backpressure_ = true;
+    } else {
+      // A failed fsync after the group landed leaves a group whose
+      // durability is unknowable: sticky, like any other failure.
+      io_error_ = st;
+    }
     durable_cv_.notify_all();
     return st;
   }
@@ -291,11 +335,13 @@ Result<uint64_t> WalWriter::AppendGroup(std::vector<WalGroupEntry> entries) {
 Status WalWriter::Sync() {
   std::unique_lock<std::mutex> l(mu_);
   NATIX_RETURN_NOT_OK(io_error_);
+  backpressure_ = false;
   return WaitDurableLocked(l, buffered_lsn_);
 }
 
 Status WalWriter::WaitDurable(uint64_t lsn) {
   std::unique_lock<std::mutex> l(mu_);
+  backpressure_ = false;
   return WaitDurableLocked(l, lsn);
 }
 

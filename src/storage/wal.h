@@ -133,8 +133,13 @@ inline constexpr size_t kWalEntryHeaderSize = 20;
 /// Transient backend failures (StatusCode::kUnavailable -- a flaky but
 /// alive device) are retried with exponential backoff, truncating back
 /// to the pre-append offset between attempts so a half-landed attempt is
-/// never duplicated. Any other failure -- and transient exhaustion -- is
-/// sticky: the writer is dead and every later call returns the error.
+/// never duplicated. Disk full (StatusCode::kResourceExhausted) is
+/// backpressure, not death: the failed append is truncated back so it
+/// leaves no trace, buffered batches go back into the pending buffer,
+/// and the error surfaces to the caller while the writer stays alive --
+/// the next Append/Sync after space is freed retries the backlog. Any
+/// other failure -- and transient exhaustion -- is sticky: the writer is
+/// dead and every later call returns the error.
 class WalWriter {
  public:
   /// Starts a fresh log on an empty backend (writes the magic).
@@ -243,6 +248,10 @@ class WalWriter {
   bool shutdown_ = false;
   /// Sticky first I/O failure; the writer is dead once set.
   Status io_error_ = Status::OK();
+  /// Set when a flush hit disk-full (the batch went back to pending_):
+  /// the flusher thread stops spinning on the full disk and the next
+  /// explicit Append/Sync/WaitDurable retries the backlog once.
+  bool backpressure_ = false;
 
   uint64_t bytes_written_ = 0;
   uint64_t fsyncs_ = 0;

@@ -64,6 +64,67 @@ TEST(PageTest, FreeSpaceDecreases) {
   EXPECT_LT(page.FreeSpace(), before - 30);
 }
 
+TEST(PageTest, InsertThatCannotFitEvenAfterCompactionIsResourceExhausted) {
+  // Leave a reclaimable hole, then ask for more than hole + tail
+  // combined: the insert must fail with ResourceExhausted (the caller's
+  // signal to relocate), not with a silent partial write.
+  Page page(64);  // 8B header + 2x(20B payload + 8B dir) = 64
+  const std::vector<uint8_t> small(20, 1);
+  const uint16_t first = *page.Insert(small);
+  ASSERT_TRUE(page.Insert(small).ok());
+  ASSERT_TRUE(page.Free(first).ok());
+  EXPECT_EQ(page.FreeTotal(), 20u);
+  const Result<uint16_t> too_big = page.Insert(std::vector<uint8_t>(21, 2));
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kResourceExhausted);
+  // A fit-after-compaction record still lands (in the freed slot).
+  const Result<uint16_t> fits = page.Insert(std::vector<uint8_t>(20, 3));
+  ASSERT_TRUE(fits.ok()) << fits.status().ToString();
+  EXPECT_EQ(*fits, first);
+}
+
+TEST(PageTest, UpdateThatDoesNotFitIsResourceExhausted) {
+  Page page(64);
+  const std::vector<uint8_t> small(20, 1);
+  const uint16_t a = *page.Insert(small);
+  ASSERT_TRUE(page.Insert(small).ok());
+  // Growing slot `a` beyond everything the page could ever reclaim must
+  // report ResourceExhausted and leave the old record intact.
+  const Status grown = page.Update(a, std::vector<uint8_t>(60, 9));
+  ASSERT_FALSE(grown.ok());
+  EXPECT_EQ(grown.code(), StatusCode::kResourceExhausted);
+  const auto got = page.Get(a);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->second, small.size());
+  EXPECT_EQ(got->first[0], 1);
+}
+
+TEST(PageTest, SlotDirectoryCapsAt64Ki) {
+  // Slot numbers travel as uint16_t everywhere downstream (RecordIds,
+  // directory lookups), so the 65537th insertion must fail with
+  // ResourceExhausted instead of silently aliasing slot 0. One-byte
+  // records keep the page affordable: 8B header + 65536 * (1B payload +
+  // 8B directory entry).
+  Page page(8 + (1u << 16) * 9 + 1024);
+  const std::vector<uint8_t> tiny(1, 0xAB);
+  for (uint32_t i = 0; i < (1u << 16); ++i) {
+    const Result<uint16_t> slot = page.Insert(tiny);
+    ASSERT_TRUE(slot.ok()) << "slot " << i << ": "
+                           << slot.status().ToString();
+    ASSERT_EQ(*slot, static_cast<uint16_t>(i));
+  }
+  EXPECT_EQ(page.slot_count(), 1u << 16);
+  const Result<uint16_t> overflow = page.Insert(tiny);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  // Freeing a slot makes room again -- the cap is on directory size, not
+  // a permanent state.
+  ASSERT_TRUE(page.Free(123).ok());
+  const Result<uint16_t> reused = page.Insert(tiny);
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(*reused, 123u);
+}
+
 // ----------------------------------------------------------- records ----
 
 RecordNodeSpec MakeSpec(NodeId node, int32_t parent, uint64_t weight,

@@ -1,0 +1,749 @@
+// Randomized chaos harness for the durable store's failure machinery.
+//
+// Every trial drives one store/oracle pair through a seeded mixed
+// CRUD + query + checkpoint + snapshot stream while a fault plan --
+// also drawn from the trial seed -- arms crash, torn-write, transient
+// EIO, fsync-kill, bit-rot and disk-full faults at randomized backend
+// call indices. Four invariants are asserted per trial:
+//
+//   1. no acknowledged-durable op is ever lost: recovery lands on an
+//      op-count k no smaller than the last successful sync barrier;
+//   2. reads are correct-or-clean-error: while the store and oracle are
+//      in lockstep every probed query agrees, and every failed mutation
+//      returns a classified Status (never garbage, never a crash);
+//   3. a Degraded store keeps serving: full query equivalence against
+//      the oracle, snapshot-consistent reads, and mutations refused
+//      with FailedPrecondition;
+//   4. recovery converges: the surviving bytes (power-loss image or
+//      full disk) recover to an exact op-prefix of the oracle stream
+//      and the result passes the store-level fsck cross-validation.
+//
+// Trials are reproducible from their index alone. Short mode runs a
+// bounded sweep; NATIX_CHAOS_EXHAUSTIVE=1 widens it to >= 500 trials
+// and NATIX_CHAOS_TRIALS=<n> pins an exact count.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "core/heuristics.h"
+#include "datagen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/xpathmark.h"
+#include "storage/fault_injector.h"
+#include "storage/file_backend.h"
+#include "storage/fsck.h"
+#include "storage/store.h"
+#include "storage/wal.h"
+#include "xml/importer.h"
+
+namespace natix {
+namespace {
+
+constexpr TotalWeight kChaosLimit = 64;
+constexpr uint64_t kChaosSeedBase = 0x5eedc4a05ull;
+constexpr uint64_t kChaosGolden = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kOpSalt = 0xa5a5a5a5a5a5a5a5ull;
+constexpr uint64_t kProbeSalt = 0x0ddba11ull;
+
+// ------------------------------------------------ trial ingredients -----
+
+/// The base document and partitioning are trial-invariant; importing
+/// them once keeps a 500-trial sweep affordable.
+const ImportedDocument& ChaosBaseDoc() {
+  static const ImportedDocument* doc = [] {
+    WeightModel model;
+    model.max_node_slots = static_cast<uint32_t>(kChaosLimit);
+    Result<ImportedDocument> imp = ImportXml(GenerateXmark(5, 0.003), model);
+    EXPECT_TRUE(imp.ok()) << imp.status().ToString();
+    return new ImportedDocument(std::move(imp).value());
+  }();
+  return *doc;
+}
+
+const Partitioning& ChaosBasePartitioning() {
+  static const Partitioning* part = [] {
+    Result<Partitioning> p = EkmPartition(ChaosBaseDoc().tree, kChaosLimit);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return new Partitioning(std::move(p).value());
+  }();
+  return *part;
+}
+
+NatixStore MakeChaosStore() {
+  Result<NatixStore> store = NatixStore::Build(
+      ChaosBaseDoc().Clone(), ChaosBasePartitioning(), kChaosLimit);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+// ------------------------------------------------- scripted op mix ------
+
+enum class ChaosOutcome { kApplied, kSkipped, kFailed };
+
+struct ChaosOpResult {
+  ChaosOutcome outcome = ChaosOutcome::kSkipped;
+  Status status;
+};
+
+NodeId ChaosPickLive(const NatixStore& store, Rng* rng) {
+  const size_t n = store.tree().size();
+  for (int tries = 0; tries < 256; ++tries) {
+    const auto v = static_cast<NodeId>(rng->NextBounded(n));
+    if (store.IsLiveNode(v)) return v;
+  }
+  return 0;
+}
+
+bool ChaosSubtreeCapped(const Tree& t, NodeId v, size_t cap) {
+  std::vector<NodeId> stack = {v};
+  size_t n = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (++n > cap) return false;
+    for (NodeId c = t.FirstChild(u); c != kInvalidNode; c = t.NextSibling(c)) {
+      stack.push_back(c);
+    }
+  }
+  return true;
+}
+
+/// One scripted mixed op (~40% insert, 30% delete-subtree, 20% move,
+/// 10% rename), prefix-deterministic exactly like the recovery tests'
+/// generator: every draw depends only on the shared Rng and the current
+/// tree state, and skipped picks consume identical draws on every
+/// store. The WAL-layer status is returned verbatim so the harness can
+/// classify failures instead of asserting success.
+ChaosOpResult ChaosOp(NatixStore* store, Rng* rng, size_t size_floor) {
+  static constexpr const char* kLabels[] = {"item", "note", "entry", "x"};
+  const Tree& t = store->tree();
+  uint64_t roll = rng->NextBounded(100);
+  if (roll >= 40 && roll < 70 && store->live_node_count() < size_floor) {
+    roll = 0;
+  }
+  if (roll < 40) {
+    const NodeId parent = ChaosPickLive(*store, rng);
+    NodeId before = kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng->NextBool(0.4)) {
+      const std::vector<NodeId> kids = t.Children(parent);
+      before = kids[rng->NextBounded(kids.size())];
+    }
+    const bool text = rng->NextBool(0.5);
+    std::string content;
+    if (text) {
+      content.assign(1 + rng->NextBounded(40),
+                     static_cast<char>('a' + rng->NextBounded(26)));
+    }
+    const Result<NodeId> id = store->InsertBefore(
+        parent, before, text ? "" : kLabels[rng->NextBounded(4)],
+        text ? NodeKind::kText : NodeKind::kElement, content);
+    return {id.ok() ? ChaosOutcome::kApplied : ChaosOutcome::kFailed,
+            id.ok() ? Status::OK() : id.status()};
+  }
+  if (roll < 70) {
+    const NodeId v = ChaosPickLive(*store, rng);
+    if (v == 0 || !ChaosSubtreeCapped(t, v, 16)) {
+      return {ChaosOutcome::kSkipped, Status::OK()};
+    }
+    const Result<std::vector<NodeId>> gone = store->DeleteSubtree(v);
+    return {gone.ok() ? ChaosOutcome::kApplied : ChaosOutcome::kFailed,
+            gone.ok() ? Status::OK() : gone.status()};
+  }
+  if (roll < 90) {
+    const NodeId v = ChaosPickLive(*store, rng);
+    const NodeId parent = ChaosPickLive(*store, rng);
+    if (v == 0) return {ChaosOutcome::kSkipped, Status::OK()};
+    for (NodeId a = parent; a != kInvalidNode; a = t.Parent(a)) {
+      if (a == v) return {ChaosOutcome::kSkipped, Status::OK()};
+    }
+    NodeId before = kInvalidNode;
+    if (t.ChildCount(parent) > 0 && rng->NextBool(0.5)) {
+      const std::vector<NodeId> kids = t.Children(parent);
+      before = kids[rng->NextBounded(kids.size())];
+      if (before == v) before = kInvalidNode;
+    }
+    const Status moved = store->MoveSubtree(v, parent, before);
+    return {moved.ok() ? ChaosOutcome::kApplied : ChaosOutcome::kFailed,
+            moved};
+  }
+  const Status renamed = store->Rename(ChaosPickLive(*store, rng),
+                                       kLabels[rng->NextBounded(4)]);
+  return {renamed.ok() ? ChaosOutcome::kApplied : ChaosOutcome::kFailed,
+          renamed};
+}
+
+uint64_t AppliedOps(const NatixStore& store) {
+  const UpdateStats us = store.update_stats();
+  return us.inserts + us.deletes + us.moves + us.renames;
+}
+
+/// The failure taxonomy: every surfaced error must be one of these, so a
+/// caller can decide retry (Unavailable), backpressure
+/// (ResourceExhausted), stop-mutating (FailedPrecondition) or page the
+/// operator (Internal). Anything else is a classification bug.
+bool IsCleanFailure(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------- equivalence -------
+
+/// Full-state oracle check, structurally identical to the recovery
+/// tests' ExpectEquivalent: exact tree/content equality (tombstones
+/// included), a feasible partitioning, and XPathMark query agreement.
+void ExpectStoresEquivalent(const NatixStore& got, const NatixStore& want,
+                            const std::string& context) {
+  const Tree& gt = got.tree();
+  const Tree& wt = want.tree();
+  ASSERT_EQ(gt.size(), wt.size()) << context;
+  for (NodeId v = 0; v < gt.size(); ++v) {
+    ASSERT_EQ(gt.Parent(v), wt.Parent(v)) << context << " node " << v;
+    ASSERT_EQ(gt.FirstChild(v), wt.FirstChild(v)) << context << " node " << v;
+    ASSERT_EQ(gt.NextSibling(v), wt.NextSibling(v))
+        << context << " node " << v;
+    ASSERT_EQ(gt.WeightOf(v), wt.WeightOf(v)) << context << " node " << v;
+    ASSERT_EQ(gt.KindOf(v), wt.KindOf(v)) << context << " node " << v;
+    ASSERT_EQ(gt.LabelOf(v), wt.LabelOf(v)) << context << " node " << v;
+    ASSERT_EQ(got.document().ContentOf(v), want.document().ContentOf(v))
+        << context << " node " << v;
+  }
+  if (got.partitioner() != nullptr) {
+    ASSERT_TRUE(got.partitioner()->Validate().ok()) << context;
+  }
+  AccessStats gstats, wstats;
+  StoreQueryEvaluator geval(&got, &gstats);
+  StoreQueryEvaluator weval(&want, &wstats);
+  for (const XPathMarkQuery& q : XPathMarkQueries()) {
+    const Result<PathExpr> path = ParseXPath(q.text);
+    ASSERT_TRUE(path.ok()) << q.id;
+    const Result<std::vector<NodeId>> g = geval.Evaluate(*path);
+    const Result<std::vector<NodeId>> w = weval.Evaluate(*path);
+    ASSERT_TRUE(g.ok() && w.ok()) << context << " " << q.id;
+    ASSERT_EQ(*g, *w) << context << " " << q.id;
+  }
+}
+
+/// One random query probed against both stores (invariant 2 while the
+/// pair is in lockstep).
+void ExpectOneQueryAgrees(const NatixStore& a, const NatixStore& b,
+                          Rng* query_rng, const std::string& context) {
+  const auto& queries = XPathMarkQueries();
+  const XPathMarkQuery& q = queries[query_rng->NextBounded(queries.size())];
+  const Result<PathExpr> path = ParseXPath(q.text);
+  ASSERT_TRUE(path.ok()) << q.id;
+  AccessStats sa, sb;
+  StoreQueryEvaluator ea(&a, &sa);
+  StoreQueryEvaluator eb(&b, &sb);
+  const Result<std::vector<NodeId>> ra = ea.Evaluate(*path);
+  const Result<std::vector<NodeId>> rb = eb.Evaluate(*path);
+  ASSERT_TRUE(ra.ok() && rb.ok()) << context << " " << q.id;
+  ASSERT_EQ(*ra, *rb) << context << " " << q.id;
+}
+
+/// Byte-level document equality for the snapshot probe: the doc the
+/// snapshot materializes after more ops (and possibly a demotion) must
+/// be identical to the one it materialized at open.
+void ExpectSameDocument(const ImportedDocument& got,
+                        const ImportedDocument& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.tree.size(), want.tree.size()) << context;
+  for (NodeId v = 0; v < got.tree.size(); ++v) {
+    ASSERT_EQ(got.tree.Parent(v), want.tree.Parent(v))
+        << context << " node " << v;
+    ASSERT_EQ(got.tree.FirstChild(v), want.tree.FirstChild(v))
+        << context << " node " << v;
+    ASSERT_EQ(got.tree.NextSibling(v), want.tree.NextSibling(v))
+        << context << " node " << v;
+    ASSERT_EQ(got.tree.KindOf(v), want.tree.KindOf(v))
+        << context << " node " << v;
+    ASSERT_EQ(got.tree.LabelOf(v), want.tree.LabelOf(v))
+        << context << " node " << v;
+    ASSERT_EQ(got.ContentOf(v), want.ContentOf(v)) << context << " node "
+                                                   << v;
+  }
+}
+
+// -------------------------------------------------------- the trial -----
+
+struct ChaosTally {
+  int trials = 0;
+  int demotions = 0;
+  int failed_states = 0;
+  int rehab_attempts = 0;
+  int rehabs = 0;
+  int enospc_ops = 0;
+  int divergent_trials = 0;
+  int degraded_serving_checks = 0;
+  int refusals_checked = 0;
+  int snapshot_probes = 0;
+  int power_loss_recoveries = 0;
+  int full_disk_recoveries = 0;
+  uint64_t ops_applied = 0;
+};
+
+/// Recovers `image`, pins the replay depth k within [k_lo, k_hi]
+/// (lower bound waived when armed bit rot may have eaten fsynced
+/// entries -- no single-copy system survives silent corruption of its
+/// only replica), replays a fresh oracle to exactly k ops and demands
+/// full equivalence plus a clean store-level fsck (invariants 1 and 4).
+void VerifyRecoveredImage(const std::vector<uint8_t>& image, uint64_t k_lo,
+                          uint64_t k_hi, bool waive_lower_bound,
+                          uint64_t op_seed, size_t size_floor,
+                          const std::string& context) {
+  {
+    MemoryFileBackend fsck_view(
+        std::make_shared<MemoryFileBackend::Bytes>(image));
+    const Result<FsckReport> report = FsckLog(&fsck_view);
+    ASSERT_TRUE(report.ok()) << context << ": " << report.status().ToString();
+    std::string detail;
+    if (report->log_structure_errors != 0 || !report->store_recovered) {
+      for (const std::string& p : report->problems) detail += p + "\n";
+      MemoryFileBackend dump_view(
+          std::make_shared<MemoryFileBackend::Bytes>(image));
+      Result<WalReader> reader = WalReader::Open(&dump_view);
+      if (reader.ok()) {
+        detail += "entries:";
+        while (true) {
+          Result<std::optional<WalEntry>> e = reader->Next();
+          if (!e.ok() || !e->has_value()) break;
+          detail += " " + std::to_string((*e)->lsn) + ":t" +
+                    std::to_string(static_cast<int>((*e)->type));
+        }
+      }
+    }
+    EXPECT_EQ(report->log_structure_errors, 0u)
+        << context << "\n" << report->Summary() << "\n" << detail;
+    EXPECT_TRUE(report->store_recovered)
+        << context << "\n" << report->Summary() << "\n" << detail;
+  }
+  RecoveryInfo info;
+  Result<NatixStore> recovered = NatixStore::Recover(
+      std::make_unique<MemoryFileBackend>(
+          std::make_shared<MemoryFileBackend::Bytes>(image)),
+      &info);
+  ASSERT_TRUE(recovered.ok()) << context << ": "
+                              << recovered.status().ToString();
+  const uint64_t k = AppliedOps(*recovered);
+  ASSERT_LE(k, k_hi) << context << ": recovery invented ops";
+  if (!waive_lower_bound) {
+    ASSERT_GE(k, k_lo) << context << ": an acknowledged-durable op was lost";
+  }
+  NatixStore replay = MakeChaosStore();
+  Rng replay_rng(op_seed);
+  uint64_t done = 0;
+  for (int guard = 0; done < k; ++guard) {
+    ASSERT_LT(guard, 100000) << context << ": oracle replay diverged";
+    const ChaosOpResult out = ChaosOp(&replay, &replay_rng, size_floor);
+    ASSERT_NE(out.outcome, ChaosOutcome::kFailed)
+        << context << ": " << out.status.ToString();
+    if (out.outcome == ChaosOutcome::kApplied) ++done;
+  }
+  ExpectStoresEquivalent(*recovered, replay, context);
+  FsckReport store_report;
+  ASSERT_TRUE(FsckStore(*recovered, &store_report).ok()) << context;
+  EXPECT_TRUE(store_report.clean()) << context << "\n"
+                                    << store_report.Summary();
+}
+
+// NATIX_CHAOS_TRACE=1 narrates every trial event to stderr -- the fault
+// plan, each op's outcome, barrier rolls and rehabilitations -- so a
+// failing trial can be replayed and read like a script.
+bool ChaosTraceEnabled() {
+  static const bool on = std::getenv("NATIX_CHAOS_TRACE") != nullptr;
+  return on;
+}
+
+void ChaosTrace(const std::string& line) {
+  if (ChaosTraceEnabled()) fprintf(stderr, "TRACE %s\n", line.c_str());
+}
+
+void RunChaosTrial(uint64_t trial, ChaosTally* tally) {
+  const uint64_t seed = kChaosSeedBase + trial * kChaosGolden;
+  const uint64_t op_seed = seed ^ kOpSalt;
+  SCOPED_TRACE("chaos trial " + std::to_string(trial) + " seed " +
+               std::to_string(seed));
+  ++tally->trials;
+
+  Rng meta(seed);                 // fault plan, policy, probe cadence
+  Rng rng_a(op_seed);             // the store's op stream
+  Rng rng_b(op_seed);             // the lockstep oracle's op stream
+  Rng query_rng(seed ^ kProbeSalt);
+
+  std::optional<NatixStore> store(MakeChaosStore());
+  NatixStore oracle = MakeChaosStore();
+  const size_t size_floor = store->live_node_count();
+
+  auto mem = std::make_unique<MemoryFileBackend>();
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk = mem->disk();
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::move(mem), /*fault_at=*/FaultInjectingBackend::kNoLimit,
+      FaultMode::kFailStop, seed);
+  FaultInjectingBackend* raw = inj.get();
+
+  SyncPolicy policy;
+  switch (meta.NextBounded(3)) {
+    case 0:
+      policy = SyncPolicy::EveryOp();
+      break;
+    case 1:
+      // A far-future window with a small op threshold: flushes are
+      // op-count-driven, so trials do not depend on wall-clock timing.
+      policy = SyncPolicy::GroupCommit(
+          /*window_us=*/60'000'000,
+          /*max_ops=*/1 + static_cast<uint32_t>(meta.NextBounded(8)),
+          /*max_bytes=*/1u << 30);
+      break;
+    default:
+      policy = SyncPolicy::OnCheckpoint();
+      break;
+  }
+  // The initial checkpoint runs fault-free (EnableDurability must seal
+  // it), so every trial starts from a recoverable log; the fault plan is
+  // armed relative to the call counters it left behind.
+  ASSERT_TRUE(store->EnableDurability(std::move(inj), policy).ok());
+  const uint64_t base_appends = raw->append_count();
+  const uint64_t base_syncs = raw->sync_count();
+  ChaosTrace("policy=" + std::to_string(static_cast<int>(policy.mode)) +
+             " max_ops=" + std::to_string(policy.max_ops) +
+             " base_appends=" + std::to_string(base_appends) +
+             " base_syncs=" + std::to_string(base_syncs));
+
+  const int ops = 40 + static_cast<int>(meta.NextBounded(80));
+  bool flips_armed = false;
+  bool capacity_armed = false;
+  int cap_at = -1, free_at = -1;
+  const int faults = 1 + static_cast<int>(meta.NextBounded(3));
+  for (int f = 0; f < faults; ++f) {
+    switch (meta.NextBounded(6)) {
+      case 0: {
+        const FaultMode mode = static_cast<FaultMode>(meta.NextBounded(3));
+        const uint64_t at = base_appends + meta.NextBounded(300);
+        raw->ArmAppendFault(mode, at);
+        ChaosTrace("arm append mode=" +
+                   std::to_string(static_cast<int>(mode)) + " at=" +
+                   std::to_string(at));
+        break;
+      }
+      case 1: {
+        const uint64_t at = base_syncs + meta.NextBounded(30);
+        raw->ArmSyncFault(at);
+        ChaosTrace("arm sync at=" + std::to_string(at));
+        break;
+      }
+      case 2: {
+        const uint64_t at = base_appends + meta.NextBounded(300);
+        const uint32_t n = 1 + static_cast<uint32_t>(meta.NextBounded(3));
+        raw->ArmTransientAppendFault(at, n);
+        ChaosTrace("arm transient-append at=" + std::to_string(at) +
+                   " count=" + std::to_string(n));
+        break;
+      }
+      case 3: {
+        const ReadFaultMode mode = meta.NextBool(0.5)
+                                       ? ReadFaultMode::kTransientEio
+                                       : ReadFaultMode::kShortRead;
+        const uint64_t at = meta.NextBounded(300);
+        const uint32_t n = 1 + static_cast<uint32_t>(meta.NextBounded(2));
+        raw->ArmReadFault(mode, at, n);
+        ChaosTrace("arm read mode=" +
+                   std::to_string(static_cast<int>(mode)) + " at=" +
+                   std::to_string(at) + " count=" + std::to_string(n));
+        break;
+      }
+      case 4: {
+        const uint64_t at = meta.NextBounded(300);
+        raw->ArmReadFault(ReadFaultMode::kBitFlip, at);
+        flips_armed = true;
+        ChaosTrace("arm bitflip at=" + std::to_string(at));
+        break;
+      }
+      default:
+        cap_at = static_cast<int>(meta.NextBounded(ops));
+        free_at = cap_at + 1 + static_cast<int>(meta.NextBounded(ops));
+        ChaosTrace("arm capacity cap_at=" + std::to_string(cap_at) +
+                   " free_at=" + std::to_string(free_at));
+        break;
+    }
+  }
+
+  uint64_t applied = 0;   // ops applied to both store and oracle
+  uint64_t min_k = 0;     // applied count at the last durable barrier
+  bool divergent = false; // one mutation failed after its memory apply
+  struct Probe {
+    std::optional<StoreSnapshot> snap;
+    ImportedDocument at_open;
+  };
+  std::optional<Probe> probe;
+
+  for (int i = 0; i < ops; ++i) {
+    if (i == cap_at) {
+      if (const Result<uint64_t> size = raw->Size(); size.ok()) {
+        raw->ArmCapacityLimit(*size + 128 + meta.NextBounded(4096));
+        capacity_armed = true;
+      }
+    }
+    if (i == free_at && capacity_armed) {
+      raw->ArmCapacityLimit(FaultInjectingBackend::kNoLimit);
+      capacity_armed = false;
+    }
+
+    if (store->health() == StoreHealth::kHealthy && !divergent) {
+      const ChaosOpResult r = ChaosOp(&*store, &rng_a, size_floor);
+      ChaosTrace("op " + std::to_string(i) + " outcome=" +
+                 std::to_string(static_cast<int>(r.outcome)) + " status=" +
+                 r.status.ToString() + " health=" +
+                 std::to_string(static_cast<int>(store->health())) +
+                 " appends=" + std::to_string(raw->append_count()) +
+                 " syncs=" + std::to_string(raw->sync_count()));
+      const bool enospc_buffered =
+          r.outcome == ChaosOutcome::kFailed &&
+          r.status.code() == StatusCode::kResourceExhausted &&
+          store->health() == StoreHealth::kHealthy;
+      if (r.outcome == ChaosOutcome::kSkipped) {
+        const ChaosOpResult o = ChaosOp(&oracle, &rng_b, size_floor);
+        ASSERT_EQ(o.outcome, ChaosOutcome::kSkipped) << "lockstep broke";
+      } else if (r.outcome == ChaosOutcome::kApplied || enospc_buffered) {
+        // A disk-full mutation is backpressure, not corruption: the op
+        // applied in memory and its entry is buffered for the next
+        // flush, so the oracle mirrors it like an acknowledged op.
+        const ChaosOpResult o = ChaosOp(&oracle, &rng_b, size_floor);
+        ASSERT_EQ(o.outcome, ChaosOutcome::kApplied)
+            << "lockstep broke: " << o.status.ToString();
+        ++applied;
+        if (enospc_buffered) ++tally->enospc_ops;
+        if (policy.mode == SyncPolicy::Mode::kSyncEveryOp &&
+            r.outcome == ChaosOutcome::kApplied) {
+          min_k = applied;  // every-op acks imply durability
+        }
+      } else {
+        // Invariant 2: the failure is classified, and the apply-then-log
+        // discipline means at most this one op sits in memory without a
+        // log entry -- the lockstep pair diverges by exactly one op.
+        ASSERT_TRUE(IsCleanFailure(r.status)) << r.status.ToString();
+        EXPECT_NE(store->health(), StoreHealth::kHealthy)
+            << "a non-backpressure mutation failure must demote: "
+            << r.status.ToString();
+        divergent = true;
+        ++tally->demotions;
+        ++tally->divergent_trials;
+      }
+    } else if (store->health() != StoreHealth::kHealthy) {
+      // Invariant 3, refusal half: mutations bounce with
+      // FailedPrecondition and change nothing.
+      const size_t nodes_before = store->tree().size();
+      const Result<NodeId> refused = store->InsertBefore(
+          store->tree().root(), kInvalidNode, "x", NodeKind::kElement, "");
+      ASSERT_FALSE(refused.ok());
+      EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition)
+          << refused.status().ToString();
+      EXPECT_EQ(store->tree().size(), nodes_before);
+      EXPECT_FALSE(store->health_reason().empty());
+      ++tally->refusals_checked;
+    }
+
+    const uint64_t roll = meta.NextBounded(100);
+    if (store->health() == StoreHealth::kHealthy) {
+      if (roll < 12) {
+        const Status s = store->SyncWal();
+        ChaosTrace("sync i=" + std::to_string(i) + " -> " + s.ToString());
+        if (s.ok()) {
+          if (!divergent) min_k = applied;
+        } else {
+          ASSERT_TRUE(IsCleanFailure(s)) << s.ToString();
+          if (s.code() != StatusCode::kResourceExhausted) {
+            EXPECT_NE(store->health(), StoreHealth::kHealthy);
+            ++tally->demotions;
+          }
+        }
+      } else if (roll < 18) {
+        const Status s = store->Checkpoint();
+        ChaosTrace("checkpoint i=" + std::to_string(i) + " -> " +
+                   s.ToString());
+        if (s.ok()) {
+          if (!divergent) min_k = applied;
+        } else {
+          ASSERT_TRUE(IsCleanFailure(s)) << s.ToString();
+          if (s.code() != StatusCode::kResourceExhausted) {
+            EXPECT_NE(store->health(), StoreHealth::kHealthy);
+            ++tally->demotions;
+          }
+        }
+      }
+    } else if (store->health() == StoreHealth::kDegraded &&
+               meta.NextBool(0.25)) {
+      // The operator swaps the cable and asks for rehabilitation. A
+      // still-dead (or still-full, or bit-rotten) backend keeps the
+      // store degraded; success must restore full health.
+      ++tally->rehab_attempts;
+      if (raw->fired()) raw->Revive();
+      if (capacity_armed && meta.NextBool(0.7)) {
+        raw->ArmCapacityLimit(FaultInjectingBackend::kNoLimit);
+        capacity_armed = false;
+      }
+      const Status r = store->TryRehabilitate();
+      ChaosTrace("rehab i=" + std::to_string(i) + " -> " + r.ToString());
+      if (r.ok()) {
+        ASSERT_EQ(store->health(), StoreHealth::kHealthy);
+        EXPECT_TRUE(store->health_reason().empty());
+        ++tally->rehabs;
+        // The rehabilitation checkpoint re-persists the whole in-memory
+        // state, divergent op included.
+        min_k = applied + (divergent ? 1 : 0);
+      } else {
+        // A probe that reads rotten bytes (an armed bit-flip hitting the
+        // header or an entry) surfaces as ParseError -- corruption is a
+        // classified failure too, and the store must stay degraded.
+        ASSERT_TRUE(IsCleanFailure(r) ||
+                    r.code() == StatusCode::kParseError)
+            << r.ToString();
+        EXPECT_NE(store->health(), StoreHealth::kHealthy);
+      }
+    }
+
+    // Read probes: lockstep query agreement while the pair is in sync
+    // (healthy or degraded -- reads must keep serving), and a snapshot
+    // opened mid-stream whose view must never move again.
+    if (!divergent && meta.NextBounded(100) < 10) {
+      ExpectOneQueryAgrees(*store, oracle, &query_rng,
+                           "op " + std::to_string(i));
+    }
+    if (!probe && meta.NextBounded(100) < 8) {
+      Probe p;
+      p.snap.emplace(store->OpenSnapshot());
+      Result<ImportedDocument> doc = p.snap->MaterializeDocument();
+      ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+      p.at_open = std::move(doc).value();
+      probe = std::move(p);
+      ++tally->snapshot_probes;
+    }
+  }
+
+  if (store->health() == StoreHealth::kFailed) ++tally->failed_states;
+
+  // Snapshot probe, second half: after every later op, demotion and
+  // rehabilitation, the pinned version must read back unchanged.
+  if (probe) {
+    const Result<ImportedDocument> again = probe->snap->MaterializeDocument();
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    ExpectSameDocument(*again, probe->at_open, "snapshot probe");
+    probe.reset();
+  }
+
+  // Closing barrier for healthy survivors: everything acknowledged gets
+  // synced, making the final recovery exact.
+  bool final_synced = false;
+  if (store->health() == StoreHealth::kHealthy) {
+    if (capacity_armed) {
+      raw->ArmCapacityLimit(FaultInjectingBackend::kNoLimit);
+      capacity_armed = false;
+    }
+    const Status s = store->SyncWal();
+    if (s.ok()) {
+      final_synced = true;
+      min_k = applied + (divergent ? 1 : 0);
+    } else {
+      ASSERT_TRUE(IsCleanFailure(s)) << s.ToString();
+    }
+  }
+
+  // Invariant 3, serving half: a degraded store answers every query
+  // exactly like the oracle (the WAL is dead, reads are not).
+  if (store->health() != StoreHealth::kHealthy && !divergent) {
+    ExpectStoresEquivalent(*store, oracle, "degraded serving");
+    ++tally->degraded_serving_checks;
+  }
+
+  const uint64_t k_hi = applied + (divergent ? 1 : 0);
+  tally->ops_applied += applied;
+
+  // Pull the plug: the power-loss image is what a real restart sees.
+  // The full surviving bytes (un-fsynced suffix included) are a second,
+  // weaker-ordered recovery source; both must converge.
+  Result<std::vector<uint8_t>> power_image = raw->DurableImage();
+  ASSERT_TRUE(power_image.ok()) << power_image.status().ToString();
+  store.reset();  // crash: joins the flusher, drops the injector
+  const std::vector<uint8_t> full_bytes(*disk);
+
+  VerifyRecoveredImage(*power_image, min_k, k_hi, flips_armed, op_seed,
+                       size_floor, "power-loss recovery");
+  ++tally->power_loss_recoveries;
+  if (full_bytes != *power_image &&
+      !::testing::Test::HasFatalFailure()) {
+    VerifyRecoveredImage(full_bytes, min_k, k_hi, flips_armed, op_seed,
+                         size_floor, "full-disk recovery");
+    ++tally->full_disk_recoveries;
+  }
+  if (final_synced) {
+    // Nothing was in flight: recovery of the full bytes is exact.
+    // (Checked via the bounds: min_k == k_hi pins k.)
+    ASSERT_EQ(min_k, k_hi);
+  }
+}
+
+TEST(StoreChaosTest, RandomizedFaultTrialsPreserveInvariants) {
+  int trials = 60;
+  if (const char* n = std::getenv("NATIX_CHAOS_TRIALS")) {
+    trials = std::atoi(n);
+  } else if (std::getenv("NATIX_CHAOS_EXHAUSTIVE") != nullptr) {
+    trials = 500;
+  }
+  int offset = 0;
+  if (const char* n = std::getenv("NATIX_CHAOS_OFFSET")) {
+    offset = std::atoi(n);
+  }
+  ChaosTally tally;
+  for (int t = offset; t < offset + trials; ++t) {
+    RunChaosTrial(static_cast<uint64_t>(t), &tally);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "chaos trial " << t << " violated an invariant";
+  }
+  std::printf(
+      "CHAOS {\"trials\": %d, \"ops_applied\": %llu, \"demotions\": %d, "
+      "\"failed_states\": %d, \"rehab_attempts\": %d, \"rehabs\": %d, "
+      "\"enospc_ops\": %d, \"divergent_trials\": %d, "
+      "\"degraded_serving_checks\": %d, \"refusals_checked\": %d, "
+      "\"snapshot_probes\": %d, \"power_loss_recoveries\": %d, "
+      "\"full_disk_recoveries\": %d}\n",
+      tally.trials, static_cast<unsigned long long>(tally.ops_applied),
+      tally.demotions, tally.failed_states, tally.rehab_attempts,
+      tally.rehabs, tally.enospc_ops, tally.divergent_trials,
+      tally.degraded_serving_checks, tally.refusals_checked,
+      tally.snapshot_probes, tally.power_loss_recoveries,
+      tally.full_disk_recoveries);
+  // The sweep must actually exercise the machine, not dodge it: faults
+  // fired, stores demoted, rehabilitations succeeded, degraded stores
+  // served, and both recovery sources converged. The rarer arms
+  // (degraded serving after a mid-stream demotion, the ENOSPC cliff)
+  // are only guaranteed to appear in a full default sweep, so a
+  // trimmed NATIX_CHAOS_TRIALS debug run skips the coverage tally --
+  // the per-trial invariants above still hold unconditionally.
+  EXPECT_EQ(tally.power_loss_recoveries, tally.trials);
+  if (trials >= 60 && offset == 0) {
+    EXPECT_GT(tally.demotions, 0);
+    EXPECT_GT(tally.rehab_attempts, 0);
+    EXPECT_GT(tally.degraded_serving_checks, 0);
+    EXPECT_GT(tally.snapshot_probes, 0);
+    EXPECT_GT(tally.full_disk_recoveries, 0);
+  }
+}
+
+}  // namespace
+}  // namespace natix

@@ -659,14 +659,22 @@ TEST(DurableStoreTest, PoisonedStoreRefusesFurtherMutations) {
   NatixStore store = MakeStore();
   // Fault on the 2nd append: the magic is append 0 and the initial
   // checkpoint installs as one atomic group append (1), so the fault
-  // lands mid-install, EnableDurability fails and the store is poisoned.
+  // lands mid-install. A torn checkpoint group cannot be fenced off by
+  // truncating to a watermark, so this demotes straight to kFailed --
+  // mutations and rehabilitation are both refused.
   auto inj = std::make_unique<FaultInjectingBackend>(
       std::make_unique<MemoryFileBackend>(), 1, FaultMode::kFailStop);
   EXPECT_FALSE(store.EnableDurability(std::move(inj)).ok());
   EXPECT_TRUE(store.poisoned());
+  EXPECT_EQ(store.health(), StoreHealth::kFailed);
+  EXPECT_FALSE(store.health_reason().empty());
   EXPECT_FALSE(
       store.InsertBefore(store.tree().root(), kInvalidNode, "x").ok());
   EXPECT_FALSE(store.Checkpoint().ok());
+  const Status rehab = store.TryRehabilitate();
+  EXPECT_EQ(rehab.code(), StatusCode::kFailedPrecondition)
+      << rehab.ToString();
+  EXPECT_EQ(store.health(), StoreHealth::kFailed);
 }
 
 TEST(DurableStoreTest, CrashMatrixRecoversToQueryEquivalence) {
@@ -781,11 +789,12 @@ TEST(DurableStoreTest, TransientAppendFaultsAreAbsorbedByRetry) {
   EXPECT_EQ(store.wal_stats().append_retries, 2u);
   EXPECT_EQ(store.last_wal_lsn(), store.durable_wal_lsn());
 
-  // A storm wider than the budget must fail the op and poison the store,
-  // exactly like a hard append failure.
+  // A storm wider than the budget must fail the op and demote the store
+  // to degraded, exactly like a hard append failure.
   raw->ArmTransientAppendFault(raw->append_count(), 64);
   EXPECT_FALSE(ScriptedInsert(&store, &rng).ok());
   EXPECT_TRUE(store.poisoned());
+  EXPECT_EQ(store.health(), StoreHealth::kDegraded);
   EXPECT_FALSE(
       store.InsertBefore(store.tree().root(), kInvalidNode, "x").ok());
 }
@@ -804,7 +813,14 @@ TEST(DurableStoreTest, FsyncFailurePoisonsLikeAppendFailure) {
     Rng rng(kWorkloadSeed);
     EXPECT_FALSE(ScriptedInsert(&store, &rng).ok());
     EXPECT_TRUE(store.poisoned());
+    EXPECT_EQ(store.health(), StoreHealth::kDegraded);
     EXPECT_FALSE(store.Checkpoint().ok());
+    // Degraded, not dead: the MVCC read path never touches the WAL, so
+    // snapshots still open and navigate.
+    AccessStats stats;
+    Navigator nav(&store, &stats);
+    nav.JumpToRoot();
+    EXPECT_TRUE(nav.ToFirstChild());
   }
   // Group-commit flavor: the op is acknowledged from the buffer; the
   // explicit durability barrier reports the failure and poisons.
@@ -828,9 +844,131 @@ TEST(DurableStoreTest, FsyncFailurePoisonsLikeAppendFailure) {
     EXPECT_TRUE(ScriptedInsert(&store, &rng).ok());  // buffered, acked
     EXPECT_FALSE(store.SyncWal().ok());
     EXPECT_TRUE(store.poisoned());
+    EXPECT_EQ(store.health(), StoreHealth::kDegraded);
     EXPECT_FALSE(
         store.InsertBefore(store.tree().root(), kInvalidNode, "x").ok());
   }
+}
+
+TEST(DurableStoreTest, DegradedStoreServesReadsThenRehabilitates) {
+  std::optional<NatixStore> store(MakeStore());
+  NatixStore oracle = MakeStore();
+  auto mem = std::make_unique<MemoryFileBackend>();
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk = mem->disk();
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::move(mem), /*fault_at=*/~0ull, FaultMode::kFailStop);
+  FaultInjectingBackend* raw = inj.get();
+  // A far-future commit window so the test controls every flush.
+  ASSERT_TRUE((*store)
+                  .EnableDurability(
+                      std::move(inj),
+                      SyncPolicy::GroupCommit(/*window_us=*/60'000'000,
+                                              /*max_ops=*/1u << 20,
+                                              /*max_bytes=*/1u << 30))
+                  .ok());
+  Rng rng_a(kWorkloadSeed), rng_b(kWorkloadSeed);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&*store, &rng_a).ok());
+    ASSERT_TRUE(ScriptedInsert(&oracle, &rng_b).ok());
+  }
+  ASSERT_TRUE(store->SyncWal().ok());
+
+  // The device dies at the next fsync: the explicit barrier fails and
+  // the store demotes to Degraded.
+  raw->ArmSyncFault(raw->sync_count());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&*store, &rng_a).ok());  // buffered, acked
+    ASSERT_TRUE(ScriptedInsert(&oracle, &rng_b).ok());
+  }
+  ASSERT_FALSE(store->SyncWal().ok());
+  ASSERT_EQ(store->health(), StoreHealth::kDegraded);
+
+  // Invariant: a Degraded store keeps serving snapshot-consistent reads
+  // that match the oracle -- the MVCC read path never touches the WAL.
+  ExpectEquivalent(*store, oracle, "degraded serving");
+  // ... while every mutation is refused with FailedPrecondition.
+  const Status refused =
+      store->InsertBefore(store->tree().root(), kInvalidNode, "x").status();
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+      << refused.ToString();
+  EXPECT_FALSE(store->DeleteSubtree(1).ok());
+
+  // With the backend still dead, rehabilitation fails but is retryable:
+  // the store stays Degraded rather than falling to Failed.
+  EXPECT_FALSE(store->TryRehabilitate().ok());
+  EXPECT_EQ(store->health(), StoreHealth::kDegraded);
+
+  // The operator swaps the cable; rehabilitation truncates back to the
+  // valid prefix, re-attaches and re-checkpoints -- Healthy again.
+  raw->Revive();
+  const Status rehab = store->TryRehabilitate();
+  ASSERT_TRUE(rehab.ok()) << rehab.ToString();
+  EXPECT_EQ(store->health(), StoreHealth::kHealthy);
+  EXPECT_FALSE(store->poisoned());
+  EXPECT_TRUE(store->health_reason().empty());
+
+  // Writes flow again, and the log is coherent: a recovery of the final
+  // bytes must reproduce the store exactly.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ScriptedInsert(&*store, &rng_a).ok());
+    ASSERT_TRUE(ScriptedInsert(&oracle, &rng_b).ok());
+  }
+  ASSERT_TRUE(store->SyncWal().ok());
+  ExpectEquivalent(*store, oracle, "after rehabilitation");
+
+  store.reset();  // clean crash: drop the store, keep the disk
+  Result<NatixStore> recovered =
+      NatixStore::Recover(std::make_unique<MemoryFileBackend>(disk));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ExpectEquivalent(*recovered, oracle, "recovery after rehabilitation");
+}
+
+TEST(DurableStoreTest, DiskFullIsBackpressureNotDemotion) {
+  std::optional<NatixStore> store(MakeStore());
+  auto mem = std::make_unique<MemoryFileBackend>();
+  const std::shared_ptr<MemoryFileBackend::Bytes> disk = mem->disk();
+  auto inj = std::make_unique<FaultInjectingBackend>(
+      std::move(mem), /*fault_at=*/~0ull, FaultMode::kFailStop);
+  FaultInjectingBackend* raw = inj.get();
+  ASSERT_TRUE(
+      store->EnableDurability(std::move(inj), SyncPolicy::EveryOp()).ok());
+  ASSERT_TRUE(
+      store->InsertBefore(store->tree().root(), kInvalidNode, "a").ok());
+
+  // The disk fills: the next op's entry cannot land. The op stays
+  // applied in memory with its entry parked in the writer, the caller
+  // sees ResourceExhausted, and the store stays Healthy -- ENOSPC is
+  // backpressure, not a failure the log diverged over.
+  const Result<uint64_t> full_at = raw->Size();
+  ASSERT_TRUE(full_at.ok());
+  raw->ArmCapacityLimit(*full_at + 4);
+  const Status enospc =
+      store->InsertBefore(store->tree().root(), kInvalidNode, "b").status();
+  EXPECT_EQ(enospc.code(), StatusCode::kResourceExhausted)
+      << enospc.ToString();
+  EXPECT_EQ(store->health(), StoreHealth::kHealthy);
+  EXPECT_FALSE(store->poisoned());
+  // Not durable yet either: the entry is parked, not acked.
+  EXPECT_LT(store->durable_wal_lsn(), store->last_wal_lsn());
+
+  // Space frees; the parked entry lands on the next explicit barrier and
+  // the write path needs no rehabilitation.
+  raw->ArmCapacityLimit(FaultInjectingBackend::kNoLimit);
+  ASSERT_TRUE(store->SyncWal().ok());
+  EXPECT_EQ(store->durable_wal_lsn(), store->last_wal_lsn());
+  ASSERT_TRUE(
+      store->InsertBefore(store->tree().root(), kInvalidNode, "c").ok());
+  ASSERT_TRUE(store->SyncWal().ok());
+
+  // All three inserts -- including the one that hit ENOSPC -- are in the
+  // log: recovery replays them and fsck-style audit finds nothing torn.
+  store.reset();
+  RecoveryInfo info;
+  Result<NatixStore> recovered = NatixStore::Recover(
+      std::make_unique<MemoryFileBackend>(disk), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->update_stats().inserts, 3u);
+  EXPECT_FALSE(info.tail_was_torn);
 }
 
 TEST(DurableStoreTest, GroupCommitBatchesStoreFsyncs) {
